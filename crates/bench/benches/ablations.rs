@@ -1,0 +1,123 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * `exponential_family` — Example 4.1 (the family whose minimal cover is
+//!   necessarily 2ⁿ): RBR-based `PropCFD_SPC` vs the textbook closure-based
+//!   projection cover (which enumerates *all* 2^|Y| subsets regardless of
+//!   input);
+//! * `mincover_partition` — the §4.3 partitioned-MinCover optimization
+//!   inside RBR: off vs chunk sizes 16/64;
+//! * `heuristic_bound` — the polynomial-time heuristic (growth bound) vs
+//!   the exact algorithm on the exponential family.
+
+use cfd_bench::{make_workload, PointConfig};
+use cfd_model::fd::{closure_projection_cover, Fd};
+use cfd_model::{Cfd, SourceCfd};
+use cfd_propagation::cover::{prop_cfd_spc, CoverOptions, RbrOptions};
+use cfd_relalg::query::RaExpr;
+use cfd_relalg::schema::{Attribute, Catalog, RelationSchema};
+use cfd_relalg::DomainKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Example 4.1: R(A1..An, B1..Bn, C1..Cn, D); Σ = {Ai → Ci, Bi → Ci,
+/// C1...Cn → D}; the view projects out the Ci.
+fn example_4_1(n: usize) -> (Catalog, Vec<SourceCfd>, cfd_relalg::SpcQuery, Vec<Fd>, Vec<usize>) {
+    let mut attrs = Vec::new();
+    for i in 0..n {
+        attrs.push(Attribute::new(format!("A{i}"), DomainKind::Int));
+    }
+    for i in 0..n {
+        attrs.push(Attribute::new(format!("B{i}"), DomainKind::Int));
+    }
+    for i in 0..n {
+        attrs.push(Attribute::new(format!("C{i}"), DomainKind::Int));
+    }
+    attrs.push(Attribute::new("D", DomainKind::Int));
+    let mut catalog = Catalog::new();
+    let r = catalog.add(RelationSchema::new("R", attrs).unwrap()).unwrap();
+    let mut sigma = Vec::new();
+    let mut fds = Vec::new();
+    for i in 0..n {
+        sigma.push(SourceCfd::new(r, Cfd::fd(&[i], 2 * n + i).unwrap()));
+        sigma.push(SourceCfd::new(r, Cfd::fd(&[n + i], 2 * n + i).unwrap()));
+        fds.push(Fd::new([i], 2 * n + i));
+        fds.push(Fd::new([n + i], 2 * n + i));
+    }
+    let cs: Vec<usize> = (2 * n..3 * n).collect();
+    sigma.push(SourceCfd::new(r, Cfd::fd(&cs, 3 * n).unwrap()));
+    fds.push(Fd::new(cs, 3 * n));
+    let keep_names: Vec<String> = (0..n)
+        .map(|i| format!("A{i}"))
+        .chain((0..n).map(|i| format!("B{i}")))
+        .chain(["D".to_string()])
+        .collect();
+    let keep_refs: Vec<&str> = keep_names.iter().map(String::as_str).collect();
+    let view = RaExpr::rel("R").project(&keep_refs).normalize(&catalog).unwrap();
+    let keep_idx: Vec<usize> = (0..n).chain(n..2 * n).chain([3 * n]).collect();
+    (catalog, sigma, view.branches[0].clone(), fds, keep_idx)
+}
+
+fn exponential_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exponential_family");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [4usize, 6, 8] {
+        let (catalog, sigma, view, fds, keep) = example_4_1(n);
+        g.bench_with_input(BenchmarkId::new("rbr_prop_cfd_spc", n), &n, |b, _| {
+            b.iter(|| {
+                // no partitioned MinCover: we want the raw resolution cost
+                let opts = CoverOptions {
+                    rbr: RbrOptions { mincover_chunk: None, max_size: None },
+                    skip_final_mincover: true,
+                };
+                prop_cfd_spc(&catalog, &sigma, &view, &opts).unwrap()
+            })
+        });
+        if n <= 6 {
+            // 2^(2n+1) subsets: n = 8 would enumerate 2^17 closures
+            g.bench_with_input(BenchmarkId::new("closure_baseline", n), &n, |b, _| {
+                b.iter(|| closure_projection_cover(&fds, &keep))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn mincover_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mincover_partition");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let cfg = PointConfig { sigma: 600, ..Default::default() };
+    let w = make_workload(&cfg, 0xC0FFEE);
+    for (label, chunk) in [("off", None), ("chunk16", Some(16)), ("chunk64", Some(64))] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let opts = CoverOptions {
+                    rbr: RbrOptions { mincover_chunk: chunk, max_size: None },
+                    skip_final_mincover: false,
+                };
+                prop_cfd_spc(&w.catalog, &w.sigma, &w.view, &opts).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn heuristic_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heuristic_bound");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let (catalog, sigma, view, _, _) = example_4_1(8);
+    for (label, bound) in [("exact", None), ("bounded256", Some(256)), ("bounded64", Some(64))] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let opts = CoverOptions {
+                    rbr: RbrOptions { mincover_chunk: None, max_size: bound },
+                    skip_final_mincover: true,
+                };
+                prop_cfd_spc(&catalog, &sigma, &view, &opts).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ablations, exponential_family, mincover_partition, heuristic_bound);
+criterion_main!(ablations);

@@ -1,0 +1,61 @@
+//! Criterion versions of the paper's figures (reduced grids so that
+//! `cargo bench` stays fast; the full series come from the `fig5..fig8`
+//! binaries).
+
+use cfd_bench::{make_workload, PointConfig};
+use cfd_propagation::cover::{prop_cfd_spc, CoverOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_cover(c: &mut Criterion, name: &str, configs: &[(String, PointConfig)]) {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, cfg) in configs {
+        let w = make_workload(cfg, 0xC0FFEE);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &w, |b, w| {
+            b.iter(|| {
+                prop_cfd_spc(&w.catalog, &w.sigma, &w.view, &CoverOptions::default()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig5(c: &mut Criterion) {
+    // Fig 5(a): runtime vs |Σ| (var% = 40)
+    let configs: Vec<(String, PointConfig)> = [200usize, 600, 1000]
+        .iter()
+        .map(|&m| (format!("sigma={m}"), PointConfig { sigma: m, ..Default::default() }))
+        .collect();
+    bench_cover(c, "fig5_vary_sigma", &configs);
+}
+
+fn fig6(c: &mut Criterion) {
+    // Fig 6(a): runtime vs |Y| (|Σ| reduced to 600 for bench time)
+    let configs: Vec<(String, PointConfig)> = [10usize, 25, 40]
+        .iter()
+        .map(|&y| (format!("y={y}"), PointConfig { sigma: 600, y, ..Default::default() }))
+        .collect();
+    bench_cover(c, "fig6_vary_y", &configs);
+}
+
+fn fig7(c: &mut Criterion) {
+    // Fig 7(a): runtime vs |F|
+    let configs: Vec<(String, PointConfig)> = [1usize, 5, 10]
+        .iter()
+        .map(|&f| (format!("f={f}"), PointConfig { sigma: 600, f, ..Default::default() }))
+        .collect();
+    bench_cover(c, "fig7_vary_f", &configs);
+}
+
+fn fig8(c: &mut Criterion) {
+    // Fig 8(a): runtime vs |Ec|
+    let configs: Vec<(String, PointConfig)> = [2usize, 4, 8]
+        .iter()
+        .map(|&ec| (format!("ec={ec}"), PointConfig { sigma: 600, ec, ..Default::default() }))
+        .collect();
+    bench_cover(c, "fig8_vary_ec", &configs);
+}
+
+criterion_group!(figures, fig5, fig6, fig7, fig8);
+criterion_main!(figures);

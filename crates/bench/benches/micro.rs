@@ -1,0 +1,86 @@
+//! Microbenchmarks for the building blocks: CFD implication, MinCover,
+//! the propagation check (chase), and the emptiness test.
+
+use cfd_bench::{make_workload, PointConfig};
+use cfd_model::implication::implies;
+use cfd_model::mincover::min_cover;
+use cfd_model::Cfd;
+use cfd_propagation::emptiness::is_always_empty;
+use cfd_propagation::{propagates, Setting};
+use cfd_relalg::query::SpcuQuery;
+use cfd_relalg::DomainKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// An FD chain A0 → A1 → ... over `n` attributes.
+fn chain(n: usize) -> (Vec<Cfd>, Vec<DomainKind>) {
+    let sigma = (0..n - 1).map(|i| Cfd::fd(&[i], i + 1).unwrap()).collect();
+    (sigma, vec![DomainKind::Int; n])
+}
+
+fn implication(c: &mut Criterion) {
+    let mut g = c.benchmark_group("implication");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [16usize, 64, 256] {
+        let (sigma, domains) = chain(n);
+        let phi = Cfd::fd(&[0], n - 1).unwrap();
+        g.bench_with_input(BenchmarkId::new("chain_transitive", n), &n, |b, _| {
+            b.iter(|| implies(&sigma, &phi, &domains))
+        });
+    }
+    g.finish();
+}
+
+fn mincover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mincover");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [32usize, 128] {
+        // chain plus its transitive closure edges from node 0: redundant
+        let (mut sigma, domains) = chain(n);
+        for j in 2..n {
+            sigma.push(Cfd::fd(&[0], j).unwrap());
+        }
+        g.bench_with_input(BenchmarkId::new("chain_plus_closure", n), &n, |b, _| {
+            b.iter(|| min_cover(&sigma, &domains))
+        });
+    }
+    g.finish();
+}
+
+fn propagation_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagation_check");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for m in [200usize, 1000] {
+        let cfg = PointConfig { sigma: m, ..Default::default() };
+        let w = make_workload(&cfg, 0xC0FFEE);
+        let view = SpcuQuery::single(&w.catalog, w.view.clone()).unwrap();
+        // check the first source CFD's projection-free image — a mix of
+        // propagated and not-propagated queries
+        let phi = Cfd::fd(&[0], 1).unwrap();
+        g.bench_with_input(BenchmarkId::new("fd_on_view", m), &m, |b, _| {
+            b.iter(|| {
+                propagates(&w.catalog, &w.sigma, &view, &phi, Setting::InfiniteDomain).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn emptiness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emptiness");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for m in [200usize, 1000] {
+        let cfg = PointConfig { sigma: m, ..Default::default() };
+        let w = make_workload(&cfg, 0xC0FFEE);
+        let view = SpcuQuery::single(&w.catalog, w.view.clone()).unwrap();
+        g.bench_with_input(BenchmarkId::new("random_view", m), &m, |b, _| {
+            b.iter(|| {
+                is_always_empty(&w.catalog, &w.sigma, &view, Setting::InfiniteDomain).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(micro, implication, mincover, propagation_check, emptiness);
+criterion_main!(micro);

@@ -1,0 +1,16 @@
+//! Figure 5: vary the number of source CFDs |Σ| ∈ {200, ..., 2000};
+//! fixed |Y| = 25, |F| = 10, |Ec| = 4, LHS = 9, var% ∈ {40%, 50%}.
+//! (a) runtime of PropCFD_SPC, (b) minimal-propagation-cover cardinality.
+
+use cfd_bench::{cli, run_point, PointConfig};
+
+fn main() {
+    let (datasets, runs) = cli::repeats();
+    cli::header("Figure 5: varying source CFDs (|Y|=25, |F|=10, |Ec|=4)", "|Sigma|");
+    for m in (200..=2000).step_by(200) {
+        let base = PointConfig { sigma: m, ..Default::default() };
+        let a = run_point(&PointConfig { var_pct: 0.4, ..base.clone() }, datasets, runs);
+        let b = run_point(&PointConfig { var_pct: 0.5, ..base }, datasets, runs);
+        cli::row(m, &a, &b);
+    }
+}

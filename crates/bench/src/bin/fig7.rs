@@ -1,0 +1,17 @@
+//! Figure 7: vary the selection condition size |F| ∈ {1, ..., 10};
+//! fixed |Σ| = 2000, |Y| = 25, |Ec| = 4, LHS = 9, var% ∈ {40%, 50%}.
+//! (a) runtime (decreasing in |F|), (b) number of CFDs propagated
+//! (up, then down).
+
+use cfd_bench::{cli, run_point, PointConfig};
+
+fn main() {
+    let (datasets, runs) = cli::repeats();
+    cli::header("Figure 7: varying |F| (|Sigma|=2000, |Y|=25, |Ec|=4)", "|F|");
+    for f in 1..=10 {
+        let base = PointConfig { f, ..Default::default() };
+        let a = run_point(&PointConfig { var_pct: 0.4, ..base.clone() }, datasets, runs);
+        let b = run_point(&PointConfig { var_pct: 0.5, ..base }, datasets, runs);
+        cli::row(f, &a, &b);
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 8: vary the Cartesian-product width |Ec| ∈ {2, ..., 11};
+//! fixed |Σ| = 2000, |Y| = 25, |F| = 10, LHS = 9, var% ∈ {40%, 50%}.
+//! (a) runtime (decreasing in |Ec|), (b) number of CFDs propagated
+//! (decreasing, var%-insensitive).
+
+use cfd_bench::{cli, run_point, PointConfig};
+
+fn main() {
+    let (datasets, runs) = cli::repeats();
+    cli::header("Figure 8: varying |Ec| (|Sigma|=2000, |Y|=25, |F|=10)", "|Ec|");
+    for ec in 2..=11 {
+        let base = PointConfig { ec, ..Default::default() };
+        let a = run_point(&PointConfig { var_pct: 0.4, ..base.clone() }, datasets, runs);
+        let b = run_point(&PointConfig { var_pct: 0.5, ..base }, datasets, runs);
+        cli::row(ec, &a, &b);
+    }
+}

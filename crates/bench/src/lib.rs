@@ -1,0 +1,199 @@
+//! # cfd-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5):
+//!
+//! | target | paper artifact |
+//! |--------|----------------|
+//! | `cargo run --release -p cfd-bench --bin fig5` | Fig. 5(a)+(b): vary \|Σ\| |
+//! | `cargo run --release -p cfd-bench --bin fig6` | Fig. 6(a)+(b): vary \|Y\| |
+//! | `cargo run --release -p cfd-bench --bin fig7` | Fig. 7(a)+(b): vary \|F\| |
+//! | `cargo run --release -p cfd-bench --bin fig8` | Fig. 8(a)+(b): vary \|Ec\| |
+//! | `cargo run --release -p cfd-bench --bin table1` | Table 1 + Table 2 cell validation |
+//! | `cargo bench -p cfd-bench` | criterion microbenchmarks + ablations |
+//!
+//! The paper's methodology: 10 random datasets per configuration, 5 runs
+//! each, averages reported. The binaries default to 3 datasets × 1 run to
+//! keep wall-clock reasonable; pass `--datasets N` / `--runs N` to match
+//! the paper exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cfd_datagen::{
+    gen_cfds, gen_schema, gen_spc_view, CfdGenConfig, SchemaGenConfig, ViewGenConfig,
+};
+use cfd_model::SourceCfd;
+use cfd_propagation::cover::{prop_cfd_spc, CoverOptions};
+use cfd_relalg::query::SpcQuery;
+use cfd_relalg::schema::Catalog;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// One experimental configuration (a point on a figure's x-axis).
+#[derive(Clone, Debug)]
+pub struct PointConfig {
+    /// Number of source CFDs (`|Σ|`).
+    pub sigma: usize,
+    /// Wildcard percentage (`var%`).
+    pub var_pct: f64,
+    /// Maximum LHS size (`LHS`).
+    pub lhs: usize,
+    /// Projection width (`|Y|`).
+    pub y: usize,
+    /// Selection conjuncts (`|F|`).
+    pub f: usize,
+    /// Product width (`|Ec|`).
+    pub ec: usize,
+}
+
+impl Default for PointConfig {
+    /// The paper's base configuration (used by Fig. 5 with varying |Σ|).
+    fn default() -> Self {
+        PointConfig { sigma: 2000, var_pct: 0.4, lhs: 9, y: 25, f: 10, ec: 4 }
+    }
+}
+
+/// Measured outcome of one configuration (averaged over datasets × runs).
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// The configuration.
+    pub config: PointConfig,
+    /// Mean wall-clock time of `PropCFD_SPC`.
+    pub runtime: Duration,
+    /// Mean minimal-cover cardinality.
+    pub cover_size: f64,
+    /// Fraction of datasets whose view was provably always-empty.
+    pub empty_fraction: f64,
+}
+
+/// Materialized workload for one dataset.
+pub struct Workload {
+    /// The source schema.
+    pub catalog: Catalog,
+    /// The source CFDs.
+    pub sigma: Vec<SourceCfd>,
+    /// The SPC view.
+    pub view: SpcQuery,
+}
+
+/// Generate the workload for a configuration and seed (paper §5 setting:
+/// 10 relations, 10–20 attributes, infinite domains).
+pub fn make_workload(cfg: &PointConfig, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = gen_schema(&SchemaGenConfig::default(), &mut rng);
+    let sigma = gen_cfds(
+        &catalog,
+        &CfdGenConfig {
+            count: cfg.sigma,
+            lhs_max: cfg.lhs,
+            var_pct: cfg.var_pct,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let view = gen_spc_view(
+        &catalog,
+        &ViewGenConfig { y: cfg.y, f: cfg.f, ec: cfg.ec, const_range: 100_000 },
+        &mut rng,
+    );
+    Workload { catalog, sigma, view }
+}
+
+/// Run one configuration: `datasets` random workloads × `runs` repetitions,
+/// averaging runtime and cover cardinality (the paper's protocol).
+pub fn run_point(cfg: &PointConfig, datasets: usize, runs: usize) -> PointResult {
+    run_point_with(cfg, datasets, runs, &CoverOptions::default())
+}
+
+/// [`run_point`] with explicit algorithm options (used by ablations).
+pub fn run_point_with(
+    cfg: &PointConfig,
+    datasets: usize,
+    runs: usize,
+    opts: &CoverOptions,
+) -> PointResult {
+    let mut total = Duration::ZERO;
+    let mut covers = 0usize;
+    let mut empties = 0usize;
+    for ds in 0..datasets {
+        let w = make_workload(cfg, 0xC0FFEE + ds as u64);
+        for _ in 0..runs {
+            let t = Instant::now();
+            let cover = prop_cfd_spc(&w.catalog, &w.sigma, &w.view, opts)
+                .expect("generated workloads are valid");
+            total += t.elapsed();
+            covers += cover.cfds.len();
+            if cover.always_empty {
+                empties += 1;
+            }
+        }
+    }
+    let n = (datasets * runs) as u32;
+    PointResult {
+        config: cfg.clone(),
+        runtime: total / n,
+        cover_size: covers as f64 / n as f64,
+        empty_fraction: empties as f64 / n as f64,
+    }
+}
+
+/// Command-line helpers shared by the figure binaries.
+pub mod cli {
+    /// Parse `--datasets N` / `--runs N` (defaults 3 / 1).
+    pub fn repeats() -> (usize, usize) {
+        let args: Vec<String> = std::env::args().collect();
+        let get = |name: &str, default: usize| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        (get("--datasets", 3), get("--runs", 1))
+    }
+
+    /// Print a figure header.
+    pub fn header(title: &str, xlabel: &str) {
+        println!("# {title}");
+        println!(
+            "{:>8} | {:>14} | {:>14} | {:>14} | {:>14}",
+            xlabel, "t(var40%) s", "cover(var40%)", "t(var50%) s", "cover(var50%)"
+        );
+        println!("{}", "-".repeat(76));
+    }
+
+    /// Print one row of a figure (both var% series).
+    pub fn row(x: impl std::fmt::Display, a: &super::PointResult, b: &super::PointResult) {
+        println!(
+            "{:>8} | {:>14.4} | {:>14.1} | {:>14.4} | {:>14.1}",
+            x,
+            a.runtime.as_secs_f64(),
+            a.cover_size,
+            b.runtime.as_secs_f64(),
+            b.cover_size
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_point_smoke() {
+        let cfg = PointConfig { sigma: 60, y: 10, f: 4, ec: 2, ..Default::default() };
+        let r = run_point(&cfg, 1, 1);
+        assert!(r.runtime > Duration::ZERO);
+        assert!(r.empty_fraction <= 1.0);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let cfg = PointConfig { sigma: 30, y: 8, f: 2, ec: 2, ..Default::default() };
+        let a = make_workload(&cfg, 7);
+        let b = make_workload(&cfg, 7);
+        assert_eq!(a.sigma, b.sigma);
+        assert_eq!(a.view, b.view);
+    }
+}

@@ -1,0 +1,393 @@
+//! Conditional functional dependencies in normal form (§2.1, §4).
+//!
+//! A CFD `φ = R(X → A, tp)` pairs an embedded FD `X → A` (single RHS
+//! attribute — the paper's normal form, §4) with a pattern tuple `tp` over
+//! `X ∪ {A}`. Attributes are positional indices into the relation (or view)
+//! schema the CFD is defined on; the schema itself is carried alongside by
+//! callers (e.g. [`SourceCfd`] tags a catalog relation).
+
+use crate::error::CfdError;
+use crate::pattern::Pattern;
+use cfd_relalg::schema::RelId;
+use std::fmt;
+
+/// A CFD in normal form over some relation schema.
+///
+/// Invariants (enforced by constructors):
+/// * LHS attributes are strictly sorted (no duplicates);
+/// * the special variable `x` appears only in the shape
+///   `(A → B, (x ‖ x))` with `A ≠ B` (the domain-constraint form of §2.1).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cfd {
+    lhs: Vec<(usize, Pattern)>,
+    rhs_attr: usize,
+    rhs_pattern: Pattern,
+}
+
+impl Cfd {
+    /// Build a CFD, sorting the LHS and validating the invariants.
+    pub fn new(
+        mut lhs: Vec<(usize, Pattern)>,
+        rhs_attr: usize,
+        rhs_pattern: Pattern,
+    ) -> Result<Self, CfdError> {
+        lhs.sort_by_key(|(a, _)| *a);
+        for w in lhs.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(CfdError::DuplicateLhsAttr(w[0].0));
+            }
+        }
+        let special_lhs = lhs.iter().any(|(_, p)| *p == Pattern::SpecialVar);
+        let special_rhs = rhs_pattern == Pattern::SpecialVar;
+        if special_lhs || special_rhs {
+            let ok = special_lhs
+                && special_rhs
+                && lhs.len() == 1
+                && lhs[0].0 != rhs_attr;
+            if !ok {
+                return Err(CfdError::InvalidSpecialVar);
+            }
+        }
+        Ok(Cfd { lhs, rhs_attr, rhs_pattern })
+    }
+
+    /// A plain FD `X → A` (all-wildcard pattern).
+    pub fn fd(lhs_attrs: &[usize], rhs_attr: usize) -> Result<Self, CfdError> {
+        Cfd::new(
+            lhs_attrs.iter().map(|a| (*a, Pattern::Wild)).collect(),
+            rhs_attr,
+            Pattern::Wild,
+        )
+    }
+
+    /// The domain-constraint CFD `(A → B, (x ‖ x))` asserting `t[A] = t[B]`
+    /// for every tuple.
+    pub fn attr_eq(a: usize, b: usize) -> Result<Self, CfdError> {
+        Cfd::new(vec![(a, Pattern::SpecialVar)], b, Pattern::SpecialVar)
+    }
+
+    /// The constant-column CFD `(A → A, (_ ‖ v))` asserting `t[A] = v` for
+    /// every tuple (the paper uses these for selection constants,
+    /// Lemma 4.2(a)).
+    pub fn const_col(a: usize, v: impl Into<cfd_relalg::Value>) -> Self {
+        Cfd { lhs: vec![(a, Pattern::Wild)], rhs_attr: a, rhs_pattern: Pattern::Const(v.into()) }
+    }
+
+    /// The LHS: `(attribute, pattern)` pairs, sorted by attribute.
+    pub fn lhs(&self) -> &[(usize, Pattern)] {
+        &self.lhs
+    }
+
+    /// The RHS attribute.
+    pub fn rhs_attr(&self) -> usize {
+        self.rhs_attr
+    }
+
+    /// The RHS pattern cell.
+    pub fn rhs_pattern(&self) -> &Pattern {
+        &self.rhs_pattern
+    }
+
+    /// Is this the special `(A → B, (x ‖ x))` form? Returns `(A, B)`.
+    pub fn as_attr_eq(&self) -> Option<(usize, usize)> {
+        if self.rhs_pattern == Pattern::SpecialVar {
+            Some((self.lhs[0].0, self.rhs_attr))
+        } else {
+            None
+        }
+    }
+
+    /// The pattern cell for LHS attribute `attr`, if present.
+    pub fn lhs_pattern(&self, attr: usize) -> Option<&Pattern> {
+        self.lhs
+            .binary_search_by_key(&attr, |(a, _)| *a)
+            .ok()
+            .map(|i| &self.lhs[i].1)
+    }
+
+    /// LHS attribute indices.
+    pub fn lhs_attrs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.lhs.iter().map(|(a, _)| *a)
+    }
+
+    /// Does the CFD mention `attr` (LHS or RHS)?
+    pub fn mentions(&self, attr: usize) -> bool {
+        self.rhs_attr == attr || self.lhs_pattern(attr).is_some()
+    }
+
+    /// All attributes mentioned (LHS ∪ {RHS}).
+    pub fn attrs(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.lhs_attrs().collect();
+        if !v.contains(&self.rhs_attr) {
+            v.push(self.rhs_attr);
+        }
+        v.sort_unstable();
+        v
+    }
+
+    /// The largest attribute index mentioned (for arity validation).
+    pub fn max_attr(&self) -> usize {
+        self.attrs().into_iter().max().expect("nonempty: rhs always present")
+    }
+
+    /// Validate attribute indices against a schema arity.
+    pub fn validate_arity(&self, arity: usize) -> Result<(), CfdError> {
+        if self.max_attr() >= arity {
+            Err(CfdError::AttrOutOfRange { attr: self.max_attr(), arity })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Is the CFD *trivial* in the paper's sense (§4.1)?
+    ///
+    /// `R(X → A, tp)` is trivial iff `A ∈ X` and, writing `η1` for the LHS
+    /// cell of `A` and `η2` for the RHS cell, either `η1 = η2` or `η1` is a
+    /// constant and `η2 = _`. (When `A ∉ X` the CFD is nontrivial; so is
+    /// `(X∪{A} → A, (…, _ ‖ a))`, which asserts a conditional constant.)
+    pub fn is_trivial(&self) -> bool {
+        match self.lhs_pattern(self.rhs_attr) {
+            None => false,
+            Some(eta1) => {
+                eta1 == &self.rhs_pattern
+                    || (eta1.is_const() && self.rhs_pattern == Pattern::Wild)
+            }
+        }
+    }
+
+    /// Equivalent form preferred by resolution: when the RHS is a constant
+    /// and the RHS attribute also occurs on the LHS with a wildcard cell,
+    /// drop that LHS cell.
+    ///
+    /// `(X ∪ {B} → B, (tp[X], _ ‖ v))` is equivalent to
+    /// `(X → B, (tp[X] ‖ v))`: the stronger form follows by applying the
+    /// original to identity pairs `(t, t)`. In particular
+    /// `(B → B, (_ ‖ v))` becomes the empty-LHS `(∅ → B, (‖ v))`, which can
+    /// act as a producer in A-resolution (Fig. 3) — the `B → B` form cannot,
+    /// since its resolvents would still mention `B`.
+    pub fn normalize_const_rhs(&self) -> Cfd {
+        if !self.rhs_pattern.is_const() {
+            return self.clone();
+        }
+        match self.lhs_pattern(self.rhs_attr) {
+            Some(Pattern::Wild) => {
+                let lhs = self
+                    .lhs
+                    .iter()
+                    .filter(|(a, _)| *a != self.rhs_attr)
+                    .cloned()
+                    .collect();
+                Cfd { lhs, rhs_attr: self.rhs_attr, rhs_pattern: self.rhs_pattern.clone() }
+            }
+            _ => self.clone(),
+        }
+    }
+
+    /// Equivalent paper-style presentation: rewrite the empty-LHS constant
+    /// form `(∅ → B, (‖ v))` back to `(B → B, (_ ‖ v))` (the shape used in
+    /// Lemma 4.2 and throughout the paper). Inverse of
+    /// [`Cfd::normalize_const_rhs`] on that shape.
+    pub fn to_paper_form(&self) -> Cfd {
+        if self.lhs.is_empty() && self.rhs_pattern.is_const() {
+            Cfd {
+                lhs: vec![(self.rhs_attr, Pattern::Wild)],
+                rhs_attr: self.rhs_attr,
+                rhs_pattern: self.rhs_pattern.clone(),
+            }
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Is the embedded FD a plain FD (all pattern cells wildcards)?
+    pub fn is_plain_fd(&self) -> bool {
+        self.rhs_pattern == Pattern::Wild && self.lhs.iter().all(|(_, p)| *p == Pattern::Wild)
+    }
+
+    /// Render using attribute names.
+    pub fn display<'a>(&'a self, names: &'a [String]) -> CfdDisplay<'a> {
+        CfdDisplay { cfd: self, names: Some(names) }
+    }
+}
+
+impl fmt::Display for Cfd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        CfdDisplay { cfd: self, names: None }.fmt(f)
+    }
+}
+
+/// Display adapter for [`Cfd`] (with or without attribute names).
+pub struct CfdDisplay<'a> {
+    cfd: &'a Cfd,
+    names: Option<&'a [String]>,
+}
+
+impl CfdDisplay<'_> {
+    fn attr(&self, f: &mut fmt::Formatter<'_>, a: usize) -> fmt::Result {
+        match self.names {
+            Some(ns) if a < ns.len() => write!(f, "{}", ns[a]),
+            _ => write!(f, "#{a}"),
+        }
+    }
+}
+
+impl fmt::Display for CfdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "([")?;
+        for (i, (a, _)) in self.cfd.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            self.attr(f, *a)?;
+        }
+        write!(f, "] -> ")?;
+        self.attr(f, self.cfd.rhs_attr)?;
+        write!(f, ", (")?;
+        for (i, (_, p)) in self.cfd.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, " || {}))", self.cfd.rhs_pattern)
+    }
+}
+
+/// A CFD attached to a catalog relation: the paper's *source dependency*.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SourceCfd {
+    /// The relation the CFD constrains.
+    pub rel: RelId,
+    /// The dependency itself.
+    pub cfd: Cfd,
+}
+
+impl SourceCfd {
+    /// Construct a source CFD.
+    pub fn new(rel: RelId, cfd: Cfd) -> Self {
+        SourceCfd { rel, cfd }
+    }
+}
+
+/// A CFD in the *general* form of §2: `R(X → Y, tp)` with multiple RHS
+/// attributes. Convertible to an equivalent set of normal-form CFDs in
+/// linear time (§4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeneralCfd {
+    /// LHS `(attribute, pattern)` pairs.
+    pub lhs: Vec<(usize, Pattern)>,
+    /// RHS `(attribute, pattern)` pairs.
+    pub rhs: Vec<(usize, Pattern)>,
+}
+
+impl GeneralCfd {
+    /// Split into one normal-form CFD per RHS attribute.
+    pub fn normalize(&self) -> Result<Vec<Cfd>, CfdError> {
+        self.rhs
+            .iter()
+            .map(|(a, p)| Cfd::new(self.lhs.clone(), *a, p.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relalg::Value;
+
+    #[test]
+    fn lhs_sorted_and_deduped() {
+        let c = Cfd::new(
+            vec![(3, Pattern::Wild), (1, Pattern::cst(5))],
+            2,
+            Pattern::Wild,
+        )
+        .unwrap();
+        assert_eq!(c.lhs_attrs().collect::<Vec<_>>(), vec![1, 3]);
+        assert!(Cfd::new(vec![(1, Pattern::Wild), (1, Pattern::Wild)], 2, Pattern::Wild).is_err());
+    }
+
+    #[test]
+    fn special_var_shape_enforced() {
+        assert!(Cfd::attr_eq(0, 1).is_ok());
+        assert!(Cfd::attr_eq(0, 0).is_err(), "A = A is not allowed");
+        assert!(
+            Cfd::new(vec![(0, Pattern::SpecialVar)], 1, Pattern::Wild).is_err(),
+            "x only with x on both sides"
+        );
+        assert!(
+            Cfd::new(
+                vec![(0, Pattern::SpecialVar), (2, Pattern::Wild)],
+                1,
+                Pattern::SpecialVar
+            )
+            .is_err(),
+            "x must be the only LHS cell"
+        );
+    }
+
+    #[test]
+    fn triviality() {
+        // A → A with (_ ‖ _) is trivial
+        let t1 = Cfd::new(vec![(0, Pattern::Wild)], 0, Pattern::Wild).unwrap();
+        assert!(t1.is_trivial());
+        // A → A with (a ‖ a) is trivial
+        let t2 = Cfd::new(vec![(0, Pattern::cst(1))], 0, Pattern::cst(1)).unwrap();
+        assert!(t2.is_trivial());
+        // A → A with (a ‖ _) is trivial
+        let t3 = Cfd::new(vec![(0, Pattern::cst(1))], 0, Pattern::Wild).unwrap();
+        assert!(t3.is_trivial());
+        // A → A with (_ ‖ a) is NOT trivial: asserts the column is constant
+        let n1 = Cfd::const_col(0, 7i64);
+        assert!(!n1.is_trivial());
+        // A → B is not trivial
+        let n2 = Cfd::fd(&[0], 1).unwrap();
+        assert!(!n2.is_trivial());
+        // AX → A with (a, _ ‖ b), a ≠ b: premise-unsatisfiable but per the
+        // paper definition nontrivial
+        let n3 = Cfd::new(vec![(0, Pattern::cst(1)), (1, Pattern::Wild)], 0, Pattern::cst(2)).unwrap();
+        assert!(!n3.is_trivial());
+    }
+
+    #[test]
+    fn plain_fd_detection() {
+        assert!(Cfd::fd(&[0, 1], 2).unwrap().is_plain_fd());
+        assert!(!Cfd::const_col(0, 1i64).is_plain_fd());
+        assert!(!Cfd::new(vec![(0, Pattern::cst(5))], 1, Pattern::Wild).unwrap().is_plain_fd());
+    }
+
+    #[test]
+    fn display_with_names() {
+        let names: Vec<String> = ["CC", "AC", "city"].iter().map(|s| s.to_string()).collect();
+        let phi = Cfd::new(
+            vec![(0, Pattern::cst(Value::str("44"))), (1, Pattern::Wild)],
+            2,
+            Pattern::Wild,
+        )
+        .unwrap();
+        assert_eq!(phi.display(&names).to_string(), "([CC, AC] -> city, ('44', _ || _))");
+    }
+
+    #[test]
+    fn general_form_normalizes() {
+        let g = GeneralCfd {
+            lhs: vec![(0, Pattern::Wild)],
+            rhs: vec![(1, Pattern::Wild), (2, Pattern::cst(3))],
+        };
+        let n = g.normalize().unwrap();
+        assert_eq!(n.len(), 2);
+        assert_eq!(n[0].rhs_attr(), 1);
+        assert_eq!(n[1].rhs_attr(), 2);
+    }
+
+    #[test]
+    fn mentions_and_attrs() {
+        let c = Cfd::new(vec![(1, Pattern::Wild), (3, Pattern::Wild)], 2, Pattern::Wild).unwrap();
+        assert!(c.mentions(1) && c.mentions(2) && c.mentions(3));
+        assert!(!c.mentions(0));
+        assert_eq!(c.attrs(), vec![1, 2, 3]);
+        assert_eq!(c.max_attr(), 3);
+        assert!(c.validate_arity(4).is_ok());
+        assert!(c.validate_arity(3).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for CFD construction and reasoning.
+
+use std::fmt;
+
+/// Errors raised while building or analyzing CFDs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CfdError {
+    /// The same attribute appeared twice on the LHS.
+    DuplicateLhsAttr(usize),
+    /// The special variable `x` used outside the `(A → B, (x ‖ x))` shape.
+    InvalidSpecialVar,
+    /// An attribute index beyond the schema arity.
+    AttrOutOfRange {
+        /// The offending attribute index.
+        attr: usize,
+        /// The schema arity.
+        arity: usize,
+    },
+    /// A pattern constant outside the attribute domain.
+    PatternOutOfDomain {
+        /// The offending attribute index.
+        attr: usize,
+        /// Rendered constant.
+        value: String,
+    },
+}
+
+impl fmt::Display for CfdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfdError::DuplicateLhsAttr(a) => write!(f, "duplicate LHS attribute #{a}"),
+            CfdError::InvalidSpecialVar => {
+                write!(f, "special variable x is only valid in the shape (A -> B, (x || x))")
+            }
+            CfdError::AttrOutOfRange { attr, arity } => {
+                write!(f, "attribute #{attr} out of range for arity {arity}")
+            }
+            CfdError::PatternOutOfDomain { attr, value } => {
+                write!(f, "pattern constant {value} outside the domain of attribute #{attr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CfdError {}

@@ -1,0 +1,242 @@
+//! Classical functional-dependency algorithms.
+//!
+//! FDs are the special case of CFDs whose pattern cells are all `_` (§2.1).
+//! This module provides the textbook toolbox the paper compares against:
+//! attribute closure, FD implication, FD minimal covers, and the
+//! closure-based projection cover ("compute F⁺ and project", the method of
+//! the database texts [23, 26] that *always* takes exponential time — the
+//! baseline `PropCFD_SPC` improves on, §4.1).
+
+use crate::cfd::Cfd;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A plain functional dependency `X → A` over positional attributes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// LHS attributes (sorted, deduplicated).
+    pub lhs: Vec<usize>,
+    /// RHS attribute.
+    pub rhs: usize,
+}
+
+impl Fd {
+    /// Construct an FD, normalizing the LHS.
+    pub fn new(lhs: impl IntoIterator<Item = usize>, rhs: usize) -> Self {
+        let set: BTreeSet<usize> = lhs.into_iter().collect();
+        Fd { lhs: set.into_iter().collect(), rhs }
+    }
+
+    /// The all-wildcard CFD with the same embedded FD.
+    pub fn to_cfd(&self) -> Cfd {
+        Cfd::fd(&self.lhs, self.rhs).expect("normalized LHS")
+    }
+
+    /// View a plain-FD CFD as an [`Fd`].
+    pub fn from_cfd(cfd: &Cfd) -> Option<Fd> {
+        if cfd.is_plain_fd() {
+            Some(Fd::new(cfd.lhs_attrs(), cfd.rhs_attr()))
+        } else {
+            None
+        }
+    }
+
+    /// Is the FD trivial (`A ∈ X`)?
+    pub fn is_trivial(&self) -> bool {
+        self.lhs.contains(&self.rhs)
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} -> {}", self.lhs, self.rhs)
+    }
+}
+
+/// The attribute closure `X⁺` of `attrs` under `fds`.
+pub fn attribute_closure(attrs: &BTreeSet<usize>, fds: &[Fd]) -> BTreeSet<usize> {
+    let mut closure = attrs.clone();
+    loop {
+        let mut changed = false;
+        for fd in fds {
+            if !closure.contains(&fd.rhs) && fd.lhs.iter().all(|a| closure.contains(a)) {
+                closure.insert(fd.rhs);
+                changed = true;
+            }
+        }
+        if !changed {
+            return closure;
+        }
+    }
+}
+
+/// FD implication via attribute closure.
+pub fn implies_fd(fds: &[Fd], phi: &Fd) -> bool {
+    let lhs: BTreeSet<usize> = phi.lhs.iter().copied().collect();
+    attribute_closure(&lhs, fds).contains(&phi.rhs)
+}
+
+/// A minimal cover of a set of FDs (LHS reduction + redundancy removal).
+pub fn fd_min_cover(fds: &[Fd]) -> Vec<Fd> {
+    let mut work: Vec<Fd> = Vec::new();
+    for fd in fds {
+        if !fd.is_trivial() && !work.contains(fd) {
+            work.push(fd.clone());
+        }
+    }
+    // LHS reduction.
+    let mut i = 0;
+    while i < work.len() {
+        loop {
+            let lhs = work[i].lhs.clone();
+            let mut reduced = None;
+            for drop in &lhs {
+                if lhs.len() == 1 {
+                    break;
+                }
+                let cand = Fd::new(lhs.iter().copied().filter(|a| a != drop), work[i].rhs);
+                if implies_fd(&work, &cand) {
+                    reduced = Some(cand);
+                    break;
+                }
+            }
+            match reduced {
+                Some(c) if work.contains(&c) => {
+                    work.remove(i);
+                    break;
+                }
+                Some(c) => work[i] = c,
+                None => break,
+            }
+        }
+        i += 1;
+    }
+    // Redundancy removal.
+    let mut i = 0;
+    while i < work.len() {
+        let fd = work.remove(i);
+        if implies_fd(&work, &fd) {
+            // dropped
+        } else {
+            work.insert(i, fd);
+            i += 1;
+        }
+    }
+    work
+}
+
+/// The textbook *closure-based* projection cover: compute all FDs `X → A`
+/// with `X ⊆ Y`, `A ∈ Y` implied by `fds` (by enumerating every subset of
+/// `Y` — **always exponential in |Y|**), then minimize.
+///
+/// This is the baseline of §4.1: "this algorithm always takes `O(2^|F|)`
+/// time ... it is the algorithm recommended by database textbooks".
+pub fn closure_projection_cover(fds: &[Fd], keep: &[usize]) -> Vec<Fd> {
+    let keep_set: BTreeSet<usize> = keep.iter().copied().collect();
+    let mut out: Vec<Fd> = Vec::new();
+    let k = keep.len();
+    assert!(k < usize::BITS as usize, "projection width too large to enumerate");
+    for mask in 1u64..(1u64 << k) {
+        let subset: BTreeSet<usize> = keep
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, a)| *a)
+            .collect();
+        let closure = attribute_closure(&subset, fds);
+        for a in closure.intersection(&keep_set) {
+            if !subset.contains(a) {
+                out.push(Fd::new(subset.iter().copied(), *a));
+            }
+        }
+    }
+    fd_min_cover(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(xs: &[usize]) -> BTreeSet<usize> {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn closure_computes_transitively() {
+        let fds = vec![Fd::new([0], 1), Fd::new([1], 2)];
+        assert_eq!(attribute_closure(&set(&[0]), &fds), set(&[0, 1, 2]));
+        assert_eq!(attribute_closure(&set(&[1]), &fds), set(&[1, 2]));
+        assert_eq!(attribute_closure(&set(&[2]), &fds), set(&[2]));
+    }
+
+    #[test]
+    fn implication() {
+        let fds = vec![Fd::new([0], 1), Fd::new([1], 2)];
+        assert!(implies_fd(&fds, &Fd::new([0], 2)));
+        assert!(!implies_fd(&fds, &Fd::new([2], 0)));
+        assert!(implies_fd(&fds, &Fd::new([0, 2], 1)), "augmentation");
+    }
+
+    #[test]
+    fn min_cover_drops_redundant() {
+        let fds = vec![Fd::new([0], 1), Fd::new([1], 2), Fd::new([0], 2)];
+        let mc = fd_min_cover(&fds);
+        assert_eq!(mc.len(), 2);
+    }
+
+    #[test]
+    fn min_cover_shrinks_lhs() {
+        let fds = vec![Fd::new([0], 1), Fd::new([0, 2], 1)];
+        let mc = fd_min_cover(&fds);
+        assert_eq!(mc, vec![Fd::new([0], 1)]);
+    }
+
+    #[test]
+    fn projection_cover_composes_through_dropped_attr() {
+        // A → C, C → B; project onto {A, B}: expect A → B
+        let fds = vec![Fd::new([0], 2), Fd::new([2], 1)];
+        let cover = closure_projection_cover(&fds, &[0, 1]);
+        assert_eq!(cover, vec![Fd::new([0], 1)]);
+    }
+
+    #[test]
+    fn projection_cover_keeps_only_projected_attrs() {
+        let fds = vec![Fd::new([0], 2)];
+        let cover = closure_projection_cover(&fds, &[0, 1]);
+        assert!(cover.is_empty());
+    }
+
+    #[test]
+    fn cfd_round_trip() {
+        let fd = Fd::new([2, 0], 1);
+        let cfd = fd.to_cfd();
+        assert_eq!(Fd::from_cfd(&cfd), Some(Fd::new([0, 2], 1)));
+        assert_eq!(Fd::from_cfd(&Cfd::const_col(0, 1i64)), None);
+    }
+
+    #[test]
+    fn exponential_family_of_example_4_1_small() {
+        // n = 2: Ai → Ci, Bi → Ci, C1C2 → D; project away the Ci.
+        // Every cover must contain the 4 FDs {A1|B1}{A2|B2} → D.
+        let (a1, b1, c1, a2, b2, c2, d) = (0, 1, 2, 3, 4, 5, 6);
+        let fds = vec![
+            Fd::new([a1], c1),
+            Fd::new([b1], c1),
+            Fd::new([a2], c2),
+            Fd::new([b2], c2),
+            Fd::new([c1, c2], d),
+        ];
+        let cover = closure_projection_cover(&fds, &[a1, b1, a2, b2, d]);
+        let expect_lhs: Vec<Vec<usize>> =
+            vec![vec![a1, a2], vec![a1, b2], vec![b1, a2], vec![b1, b2]];
+        for lhs in expect_lhs {
+            assert!(
+                cover.iter().any(|f| f.rhs == d && f.lhs == lhs),
+                "missing {:?} -> D in {:?}",
+                lhs,
+                cover
+            );
+        }
+        assert_eq!(cover.len(), 4, "2^n = 4 FDs for n = 2");
+    }
+}

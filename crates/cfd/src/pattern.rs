@@ -1,0 +1,160 @@
+//! Pattern-tuple cells and their three fundamental operations (§2.1, §4.2):
+//!
+//! * the *match* relation `≍` (`eta1 ≍ eta2` iff they are equal or one is
+//!   the unnamed variable `_`),
+//! * the *partial order* `≤` (`eta1 ≤ eta2` iff they are the same constant
+//!   or `eta2 = _`),
+//! * the *merge* `⊕` used by A-resolvents (pointwise minimum w.r.t. `≤`,
+//!   undefined on incomparable constants).
+
+use cfd_relalg::Value;
+use std::fmt;
+
+/// A cell of a CFD pattern tuple.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pattern {
+    /// A constant `'a'`.
+    Const(Value),
+    /// The unnamed variable `_`, drawing values from the attribute domain.
+    Wild,
+    /// The *special* variable `x` of view CFDs `R(A → B, (x ‖ x))`,
+    /// expressing the domain constraint `A = B` (§2.1). Only valid in that
+    /// exact shape; constructors enforce this.
+    SpecialVar,
+}
+
+impl Pattern {
+    /// Convenience constructor for constant patterns.
+    pub fn cst(v: impl Into<Value>) -> Self {
+        Pattern::Const(v.into())
+    }
+
+    /// Is this a constant?
+    pub fn is_const(&self) -> bool {
+        matches!(self, Pattern::Const(_))
+    }
+
+    /// The constant, if any.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Pattern::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `v ≍ self`: does constant `v` match this pattern cell?
+    pub fn matches_value(&self, v: &Value) -> bool {
+        match self {
+            Pattern::Const(c) => c == v,
+            Pattern::Wild | Pattern::SpecialVar => true,
+        }
+    }
+
+    /// `self ≍ other` on pattern cells (used in resolvent side conditions).
+    pub fn compatible(&self, other: &Pattern) -> bool {
+        match (self, other) {
+            (Pattern::Const(a), Pattern::Const(b)) => a == b,
+            _ => true,
+        }
+    }
+
+    /// The partial order `≤`: `self ≤ other` iff both are the same constant
+    /// or `other` is `_`.
+    pub fn leq(&self, other: &Pattern) -> bool {
+        match (self, other) {
+            (Pattern::Const(a), Pattern::Const(b)) => a == b,
+            (_, Pattern::Wild) => true,
+            (Pattern::SpecialVar, Pattern::SpecialVar) => true,
+            _ => false,
+        }
+    }
+
+    /// `min(self, other)` w.r.t. `≤` — the `⊕` merge of §4.2. `None` when
+    /// the cells are incomparable (distinct constants).
+    pub fn merge_min(&self, other: &Pattern) -> Option<Pattern> {
+        match (self, other) {
+            (Pattern::Const(a), Pattern::Const(b)) => {
+                if a == b {
+                    Some(Pattern::Const(a.clone()))
+                } else {
+                    None
+                }
+            }
+            (p, Pattern::Wild) | (Pattern::Wild, p) => Some(p.clone()),
+            (Pattern::SpecialVar, Pattern::SpecialVar) => Some(Pattern::SpecialVar),
+            (Pattern::SpecialVar, Pattern::Const(_)) | (Pattern::Const(_), Pattern::SpecialVar) => None,
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Const(v) => write!(f, "{v}"),
+            Pattern::Wild => write!(f, "_"),
+            Pattern::SpecialVar => write!(f, "x"),
+        }
+    }
+}
+
+impl From<Value> for Pattern {
+    fn from(v: Value) -> Self {
+        Pattern::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: i64) -> Pattern {
+        Pattern::cst(i)
+    }
+
+    #[test]
+    fn match_relation() {
+        assert!(c(1).matches_value(&Value::int(1)));
+        assert!(!c(1).matches_value(&Value::int(2)));
+        assert!(Pattern::Wild.matches_value(&Value::int(2)));
+    }
+
+    #[test]
+    fn compatible_is_the_paper_match_on_cells() {
+        // (Portland, ldn) ≍ (_, ldn) but (Portland, ldn) !≍ (_, nyc)
+        assert!(c(1).compatible(&Pattern::Wild));
+        assert!(Pattern::Wild.compatible(&c(2)));
+        assert!(c(3).compatible(&c(3)));
+        assert!(!c(3).compatible(&c(4)));
+    }
+
+    #[test]
+    fn partial_order() {
+        assert!(c(1).leq(&c(1)));
+        assert!(!c(1).leq(&c(2)));
+        assert!(c(1).leq(&Pattern::Wild));
+        assert!(Pattern::Wild.leq(&Pattern::Wild));
+        assert!(!Pattern::Wild.leq(&c(1)));
+    }
+
+    #[test]
+    fn merge_min_takes_smaller() {
+        assert_eq!(c(1).merge_min(&Pattern::Wild), Some(c(1)));
+        assert_eq!(Pattern::Wild.merge_min(&c(2)), Some(c(2)));
+        assert_eq!(Pattern::Wild.merge_min(&Pattern::Wild), Some(Pattern::Wild));
+        assert_eq!(c(1).merge_min(&c(1)), Some(c(1)));
+        assert_eq!(c(1).merge_min(&c(2)), None);
+    }
+
+    #[test]
+    fn merge_consistent_with_leq() {
+        // whenever min is defined it is ≤ both arguments
+        let cells = [c(1), c(2), Pattern::Wild];
+        for a in &cells {
+            for b in &cells {
+                if let Some(m) = a.merge_min(b) {
+                    assert!(m.leq(a) && m.leq(b), "min({a},{b}) = {m}");
+                }
+            }
+        }
+    }
+}

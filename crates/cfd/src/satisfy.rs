@@ -1,0 +1,142 @@
+//! Satisfaction of CFDs by relation instances (§2.1).
+//!
+//! `D |= R(X → A, tp)` iff for every pair of tuples `t1, t2 ∈ D`:
+//! if `t1[X] = t2[X] ≍ tp[X]` then `t1[A] = t2[A] ≍ tp[A]`.
+//! Pairs include `t1 = t2`, which yields the single-tuple constant rule.
+//! `D |= R(A → B, (x ‖ x))` iff every tuple has `t[A] = t[B]`.
+
+use crate::cfd::Cfd;
+use cfd_relalg::instance::{Relation, Tuple};
+
+/// Does `rel` satisfy `cfd`?
+pub fn satisfies(rel: &Relation, cfd: &Cfd) -> bool {
+    find_violation(rel, cfd).is_none()
+}
+
+/// Does `rel` satisfy every CFD in `sigma`?
+pub fn satisfies_all<'a>(rel: &Relation, sigma: impl IntoIterator<Item = &'a Cfd>) -> bool {
+    sigma.into_iter().all(|c| satisfies(rel, c))
+}
+
+/// Find a violating pair of tuples (possibly identical), if any.
+pub fn find_violation(rel: &Relation, cfd: &Cfd) -> Option<(Tuple, Tuple)> {
+    if let Some((a, b)) = cfd.as_attr_eq() {
+        return rel
+            .tuples()
+            .find(|t| t[a] != t[b])
+            .map(|t| (t.clone(), t.clone()));
+    }
+    let tuples: Vec<&Tuple> = rel.tuples().collect();
+    for (i, t1) in tuples.iter().enumerate() {
+        // premise needs t1[X] ≍ tp[X]
+        if !cfd.lhs().iter().all(|(a, p)| p.matches_value(&t1[*a])) {
+            continue;
+        }
+        for t2 in &tuples[i..] {
+            if !cfd.lhs().iter().all(|(a, _)| t1[*a] == t2[*a]) {
+                continue;
+            }
+            // premise holds for (t1, t2): check the conclusion
+            let b = cfd.rhs_attr();
+            if t1[b] != t2[b]
+                || !cfd.rhs_pattern().matches_value(&t1[b])
+                || !cfd.rhs_pattern().matches_value(&t2[b])
+            {
+                return Some(((*t1).clone(), (*t2).clone()));
+            }
+        }
+    }
+    None
+}
+
+/// All violations of a set of CFDs, tagged by the index of the violated CFD.
+pub fn all_violations(rel: &Relation, sigma: &[Cfd]) -> Vec<(usize, Tuple, Tuple)> {
+    sigma
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| find_violation(rel, c).map(|(a, b)| (i, a, b)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use cfd_relalg::Value;
+
+    fn rel(rows: &[&[i64]]) -> Relation {
+        rows.iter()
+            .map(|r| r.iter().map(|v| Value::int(*v)).collect::<Tuple>())
+            .collect()
+    }
+
+    #[test]
+    fn plain_fd_violation() {
+        // A → B violated by (1,2) and (1,3)
+        let r = rel(&[&[1, 2], &[1, 3]]);
+        let fd = Cfd::fd(&[0], 1).unwrap();
+        assert!(!satisfies(&r, &fd));
+        let r2 = rel(&[&[1, 2], &[2, 3]]);
+        assert!(satisfies(&r2, &fd));
+    }
+
+    #[test]
+    fn conditional_scope() {
+        // ([A] → B, (1 ‖ _)): only tuples with A=1 are constrained
+        let phi = Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::Wild).unwrap();
+        let r = rel(&[&[1, 2], &[1, 2], &[2, 5], &[2, 6]]);
+        assert!(satisfies(&r, &phi), "A=2 tuples are out of scope");
+        let r2 = rel(&[&[1, 2], &[1, 3]]);
+        assert!(!satisfies(&r2, &phi));
+    }
+
+    #[test]
+    fn constant_rhs_binding() {
+        // ([A] → B, (1 ‖ 9)): tuples with A=1 must have B=9
+        let phi = Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::cst(9)).unwrap();
+        let ok = rel(&[&[1, 9], &[2, 5]]);
+        assert!(satisfies(&ok, &phi));
+        let bad = rel(&[&[1, 8]]);
+        assert!(!satisfies(&bad, &phi), "single tuple violates via the identity pair");
+    }
+
+    #[test]
+    fn const_col_constrains_every_tuple() {
+        let phi = Cfd::const_col(1, 7i64);
+        assert!(satisfies(&rel(&[&[1, 7], &[2, 7]]), &phi));
+        assert!(!satisfies(&rel(&[&[1, 7], &[2, 8]]), &phi));
+    }
+
+    #[test]
+    fn attr_eq_semantics() {
+        let phi = Cfd::attr_eq(0, 1).unwrap();
+        assert!(satisfies(&rel(&[&[3, 3], &[4, 4]]), &phi));
+        assert!(!satisfies(&rel(&[&[3, 4]]), &phi));
+    }
+
+    #[test]
+    fn empty_relation_satisfies_everything() {
+        let r = Relation::new();
+        assert!(satisfies(&r, &Cfd::fd(&[0], 1).unwrap()));
+        assert!(satisfies(&r, &Cfd::const_col(0, 1i64)));
+        assert!(satisfies(&r, &Cfd::attr_eq(0, 1).unwrap()));
+    }
+
+    #[test]
+    fn violation_reports_pair() {
+        let r = rel(&[&[1, 2], &[1, 3]]);
+        let fd = Cfd::fd(&[0], 1).unwrap();
+        let (t1, t2) = find_violation(&r, &fd).unwrap();
+        assert_eq!(t1[0], t2[0]);
+        assert_ne!(t1[1], t2[1]);
+    }
+
+    #[test]
+    fn all_violations_tags_indices() {
+        let r = rel(&[&[1, 2], &[1, 3]]);
+        let sigma = vec![Cfd::fd(&[0], 1).unwrap(), Cfd::fd(&[1], 0).unwrap()];
+        let vs = all_violations(&r, &sigma);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].0, 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the CFD algebra: pattern-cell laws, implication
+//! as a preorder, MinCover equivalence, and satisfaction/implication
+//! coherence on concrete instances.
+
+use cfd_model::implication::{equivalent, implies, is_consistent};
+use cfd_model::mincover::min_cover;
+use cfd_model::satisfy;
+use cfd_model::{Cfd, Pattern};
+use cfd_relalg::instance::Relation;
+use cfd_relalg::{DomainKind, Value};
+use proptest::prelude::*;
+
+const ARITY: usize = 4;
+
+fn domains() -> Vec<DomainKind> {
+    vec![DomainKind::Int; ARITY]
+}
+
+/// Strategy: a pattern cell over small integers.
+fn pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        3 => Just(Pattern::Wild),
+        2 => (1i64..4).prop_map(|v| Pattern::Const(Value::Int(v))),
+    ]
+}
+
+/// Strategy: a normal-form CFD over `ARITY` int attributes.
+fn cfd() -> impl Strategy<Value = Cfd> {
+    (
+        proptest::collection::btree_map(0usize..ARITY, pattern(), 0..3),
+        0usize..ARITY,
+        pattern(),
+    )
+        .prop_map(|(lhs, rhs, rhs_pat)| {
+            let lhs: Vec<(usize, Pattern)> =
+                lhs.into_iter().filter(|(a, _)| *a != rhs).collect();
+            Cfd::new(lhs, rhs, rhs_pat).expect("valid")
+        })
+}
+
+/// Strategy: a small set of CFDs.
+fn sigma() -> impl Strategy<Value = Vec<Cfd>> {
+    proptest::collection::vec(cfd(), 0..6)
+}
+
+/// Strategy: a small relation instance over `ARITY` int attributes.
+fn relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(
+        proptest::collection::vec(1i64..4, ARITY..=ARITY),
+        0..6,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|r| r.into_iter().map(Value::Int).collect::<Vec<_>>())
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// `⊕` (merge_min) is commutative, idempotent, and a lower bound of
+    /// both arguments w.r.t. `≤`.
+    #[test]
+    fn pattern_merge_laws(a in pattern(), b in pattern()) {
+        prop_assert_eq!(a.merge_min(&b), b.merge_min(&a));
+        prop_assert_eq!(a.merge_min(&a), Some(a.clone()));
+        if let Some(m) = a.merge_min(&b) {
+            prop_assert!(m.leq(&a) && m.leq(&b));
+        }
+        // ≤ is antisymmetric on these cells
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        // compatible (≍) iff a merge exists
+        prop_assert_eq!(a.compatible(&b), a.merge_min(&b).is_some());
+    }
+
+    /// Implication is reflexive and transitive (a preorder) and monotone
+    /// under set extension.
+    #[test]
+    fn implication_is_a_preorder(s in sigma(), phi in cfd(), extra in cfd()) {
+        let d = domains();
+        for member in &s {
+            prop_assert!(implies(&s, member, &d), "reflexivity: {member}");
+        }
+        if implies(&s, &phi, &d) {
+            // monotonicity: adding CFDs never loses consequences
+            let mut bigger = s.clone();
+            bigger.push(extra);
+            prop_assert!(implies(&bigger, &phi, &d), "monotonicity: {phi}");
+        }
+    }
+
+    /// Semantic soundness of implication: if Σ |= φ then every instance
+    /// satisfying Σ satisfies φ.
+    #[test]
+    fn implication_sound_on_instances(s in sigma(), phi in cfd(), rel in relation()) {
+        let d = domains();
+        if implies(&s, &phi, &d) && satisfy::satisfies_all(&rel, &s) {
+            prop_assert!(
+                satisfy::satisfies(&rel, &phi),
+                "Σ |= {} but a Σ-instance violates it", phi
+            );
+        }
+    }
+
+    /// MinCover returns an equivalent subset-closed-under-implication set
+    /// that is no larger, contains no trivial CFDs, and is idempotent.
+    #[test]
+    fn min_cover_equivalence(s in sigma()) {
+        let d = domains();
+        let mc = min_cover(&s, &d);
+        prop_assert!(mc.len() <= s.len());
+        prop_assert!(equivalent(&mc, &s, &d), "cover not equivalent: {:?} vs {:?}", mc, s);
+        prop_assert!(mc.iter().all(|c| !c.is_trivial()));
+        // no redundant members
+        for (i, c) in mc.iter().enumerate() {
+            let rest: Vec<Cfd> =
+                mc.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, x)| x.clone()).collect();
+            prop_assert!(!implies(&rest, c, &d), "redundant member {c} in {:?}", mc);
+        }
+        // idempotence up to equivalence and size
+        let mc2 = min_cover(&mc, &d);
+        prop_assert_eq!(mc2.len(), mc.len());
+        prop_assert!(equivalent(&mc2, &mc, &d));
+    }
+
+    /// Consistency: a witnessable property — if Σ is consistent we can
+    /// check all CFDs hold on the empty and often on singleton instances;
+    /// if inconsistent, no singleton instance can satisfy Σ.
+    #[test]
+    fn consistency_vs_singletons(s in sigma(), row in proptest::collection::vec(1i64..4, ARITY..=ARITY)) {
+        let d = domains();
+        if !is_consistent(&s, &d) {
+            let rel: Relation =
+                std::iter::once(row.into_iter().map(Value::Int).collect::<Vec<_>>()).collect();
+            prop_assert!(
+                !satisfy::satisfies_all(&rel, &s),
+                "inconsistent Σ satisfied by a singleton: {:?}", s
+            );
+        }
+    }
+
+    /// `normalize_const_rhs` and `to_paper_form` preserve semantics
+    /// (mutual implication as singleton sets).
+    #[test]
+    fn normal_forms_preserve_semantics(phi in cfd()) {
+        let d = domains();
+        let n = phi.normalize_const_rhs();
+        prop_assert!(implies(std::slice::from_ref(&phi), &n, &d), "{phi} vs {n}");
+        prop_assert!(implies(std::slice::from_ref(&n), &phi, &d), "{n} vs {phi}");
+        let p = n.to_paper_form();
+        prop_assert!(implies(std::slice::from_ref(&n), &p, &d));
+        prop_assert!(implies(std::slice::from_ref(&p), &n, &d));
+    }
+
+    /// Satisfaction brute-force agreement: `find_violation` returns a pair
+    /// iff scanning all pairs finds one.
+    #[test]
+    fn violation_search_is_exhaustive(phi in cfd(), rel in relation()) {
+        let found = satisfy::find_violation(&rel, &phi).is_some();
+        let tuples: Vec<_> = rel.tuples().collect();
+        let mut brute = false;
+        for t1 in &tuples {
+            for t2 in &tuples {
+                let premise = phi.lhs().iter().all(|(a, p)| {
+                    t1[*a] == t2[*a] && p.matches_value(&t1[*a])
+                });
+                if premise {
+                    let b = phi.rhs_attr();
+                    if t1[b] != t2[b] || !phi.rhs_pattern().matches_value(&t1[b]) {
+                        brute = true;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(found, brute, "{} on {:?}", phi, tuples);
+    }
+}

@@ -1,0 +1,436 @@
+//! The CIND data type.
+//!
+//! A CIND `ψ = (R1[X; Xp] ⊆ R2[Y; Yp], tp)` (Bravo, Fan & Ma \[5\]) asserts:
+//! for every tuple `t1` of `R1` with `t1[Xp] = tp[Xp]`, some tuple `t2` of
+//! `R2` has `t2[Y] = t1[X]` and `t2[Yp] = tp[Yp]`. Standard inclusion
+//! dependencies are the special case with empty `Xp` and `Yp`.
+//!
+//! We store the pattern tuple inline: `lhs_condition` holds the `Xp`
+//! constants (restricting which `R1` tuples are in scope) and `rhs_pattern`
+//! the `Yp` constants (obligations on the witness).
+
+use crate::error::CindError;
+use cfd_relalg::schema::RelId;
+use cfd_relalg::Value;
+use std::fmt;
+
+/// A conditional inclusion dependency. See the module docs for semantics.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cind {
+    lhs_rel: RelId,
+    rhs_rel: RelId,
+    /// Corresponding inclusion columns `(X_i, Y_i)`, in a canonical order
+    /// (sorted by LHS attribute).
+    columns: Vec<(usize, usize)>,
+    /// `Xp` constants, sorted by attribute.
+    lhs_condition: Vec<(usize, Value)>,
+    /// `Yp` constants, sorted by attribute.
+    rhs_pattern: Vec<(usize, Value)>,
+}
+
+impl Cind {
+    /// Construct a CIND, canonicalizing and validating the shape.
+    pub fn new(
+        lhs_rel: RelId,
+        rhs_rel: RelId,
+        mut columns: Vec<(usize, usize)>,
+        mut lhs_condition: Vec<(usize, Value)>,
+        mut rhs_pattern: Vec<(usize, Value)>,
+    ) -> Result<Self, CindError> {
+        if columns.is_empty() {
+            return Err(CindError::EmptyColumns);
+        }
+        columns.sort_unstable();
+        for w in columns.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(CindError::DuplicateColumn { side: "lhs", attr: w[0].0 });
+            }
+        }
+        let mut rhs_cols: Vec<usize> = columns.iter().map(|(_, y)| *y).collect();
+        rhs_cols.sort_unstable();
+        for w in rhs_cols.windows(2) {
+            if w[0] == w[1] {
+                return Err(CindError::DuplicateColumn { side: "rhs", attr: w[0] });
+            }
+        }
+        lhs_condition.sort_by_key(|(a, _)| *a);
+        for w in lhs_condition.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(CindError::DuplicatePatternAttr { side: "lhs", attr: w[0].0 });
+            }
+        }
+        for (a, _) in &lhs_condition {
+            if columns.iter().any(|(x, _)| x == a) {
+                return Err(CindError::PatternOverlapsColumns { side: "lhs", attr: *a });
+            }
+        }
+        rhs_pattern.sort_by_key(|(a, _)| *a);
+        for w in rhs_pattern.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(CindError::DuplicatePatternAttr { side: "rhs", attr: w[0].0 });
+            }
+        }
+        for (a, _) in &rhs_pattern {
+            if rhs_cols.binary_search(a).is_ok() {
+                return Err(CindError::PatternOverlapsColumns { side: "rhs", attr: *a });
+            }
+        }
+        Ok(Cind { lhs_rel, rhs_rel, columns, lhs_condition, rhs_pattern })
+    }
+
+    /// A standard (unconditional) inclusion dependency `R1[X] ⊆ R2[Y]`.
+    pub fn ind(
+        lhs_rel: RelId,
+        rhs_rel: RelId,
+        columns: Vec<(usize, usize)>,
+    ) -> Result<Self, CindError> {
+        Cind::new(lhs_rel, rhs_rel, columns, vec![], vec![])
+    }
+
+    /// The relation on the inclusion's left (subset) side.
+    pub fn lhs_rel(&self) -> RelId {
+        self.lhs_rel
+    }
+
+    /// The relation on the inclusion's right (superset) side.
+    pub fn rhs_rel(&self) -> RelId {
+        self.rhs_rel
+    }
+
+    /// The corresponding column pairs `(X_i, Y_i)`, sorted by `X_i`.
+    pub fn columns(&self) -> &[(usize, usize)] {
+        &self.columns
+    }
+
+    /// The `Xp` condition constants (scope restriction), sorted.
+    pub fn lhs_condition(&self) -> &[(usize, Value)] {
+        &self.lhs_condition
+    }
+
+    /// The `Yp` pattern constants (witness obligation), sorted.
+    pub fn rhs_pattern(&self) -> &[(usize, Value)] {
+        &self.rhs_pattern
+    }
+
+    /// Is this a standard IND (no conditions, no witness patterns)?
+    pub fn is_standard_ind(&self) -> bool {
+        self.lhs_condition.is_empty() && self.rhs_pattern.is_empty()
+    }
+
+    /// Validate attribute indices against relation arities.
+    pub fn validate_arity(&self, lhs_arity: usize, rhs_arity: usize) -> Result<(), CindError> {
+        for (x, y) in &self.columns {
+            if *x >= lhs_arity {
+                return Err(CindError::AttrOutOfRange { side: "lhs", attr: *x, arity: lhs_arity });
+            }
+            if *y >= rhs_arity {
+                return Err(CindError::AttrOutOfRange { side: "rhs", attr: *y, arity: rhs_arity });
+            }
+        }
+        for (a, _) in &self.lhs_condition {
+            if *a >= lhs_arity {
+                return Err(CindError::AttrOutOfRange { side: "lhs", attr: *a, arity: lhs_arity });
+            }
+        }
+        for (a, _) in &self.rhs_pattern {
+            if *a >= rhs_arity {
+                return Err(CindError::AttrOutOfRange { side: "rhs", attr: *a, arity: rhs_arity });
+            }
+        }
+        Ok(())
+    }
+
+    /// Project to a nonempty subset of the column pairs (the
+    /// projection/permutation inference rule — always sound).
+    pub fn project(&self, keep: &[(usize, usize)]) -> Result<Cind, CindError> {
+        let columns: Vec<(usize, usize)> = self
+            .columns
+            .iter()
+            .filter(|p| keep.contains(p))
+            .cloned()
+            .collect();
+        Cind::new(
+            self.lhs_rel,
+            self.rhs_rel,
+            columns,
+            self.lhs_condition.clone(),
+            self.rhs_pattern.clone(),
+        )
+    }
+
+    /// Does `self` semantically subsume `other` (every instance satisfying
+    /// `self` satisfies `other`), by the sound syntactic criterion:
+    ///
+    /// * same relation pair;
+    /// * `other`'s column pairs ⊆ `self`'s (projection);
+    /// * `self`'s condition ⊆ `other`'s condition (`other` applies to fewer
+    ///   tuples — weakening);
+    /// * every obligation of `other` is discharged: it appears in `self`'s
+    ///   `rhs_pattern`, **or** it sits on a column `Y_i` of `self` whose
+    ///   partner `X_i` is pinned to the same constant by `other`'s
+    ///   condition (the witness copies that constant across).
+    pub fn subsumes(&self, other: &Cind) -> bool {
+        if self.lhs_rel != other.lhs_rel || self.rhs_rel != other.rhs_rel {
+            return false;
+        }
+        if !other.columns.iter().all(|p| self.columns.contains(p)) {
+            return false;
+        }
+        if !self
+            .lhs_condition
+            .iter()
+            .all(|c| other.lhs_condition.contains(c))
+        {
+            return false;
+        }
+        other.rhs_pattern.iter().all(|(y, v)| {
+            self.rhs_pattern.contains(&(*y, v.clone()))
+                || self.columns.iter().any(|(x, yy)| {
+                    yy == y && other.lhs_condition.contains(&(*x, v.clone()))
+                })
+        })
+    }
+
+    /// Transitive composition: from `self : R1[X] ⊆ R2[Y]` and
+    /// `next : R2[Y'] ⊆ R3[Z]`, derive `R1[·] ⊆ R3[Z]` when the
+    /// composition is sound:
+    ///
+    /// * `next`'s condition must be *guaranteed* on the witness produced by
+    ///   `self`, i.e. every `(a, v)` in `next.lhs_condition` appears in
+    ///   `self.rhs_pattern`;
+    /// * each of `next`'s LHS columns either maps through a column pair of
+    ///   `self` (giving a derived column pair) or is pinned by
+    ///   `self.rhs_pattern` (the derived obligation moves to the result's
+    ///   `rhs_pattern`).
+    ///
+    /// Returns `None` when the chain does not connect or all columns
+    /// degenerate to constants (a CIND needs at least one column pair).
+    pub fn compose(&self, next: &Cind) -> Option<Cind> {
+        if self.rhs_rel != next.lhs_rel {
+            return None;
+        }
+        for cond in &next.lhs_condition {
+            if !self.rhs_pattern.contains(cond) {
+                return None;
+            }
+        }
+        let mut columns: Vec<(usize, usize)> = Vec::new();
+        let mut rhs_pattern: Vec<(usize, Value)> = next.rhs_pattern.to_vec();
+        for (yprime, z) in &next.columns {
+            if let Some((x, _)) = self.columns.iter().find(|(_, y)| y == yprime) {
+                columns.push((*x, *z));
+            } else if let Some((_, v)) =
+                self.rhs_pattern.iter().find(|(a, _)| a == yprime)
+            {
+                // The middle column is pinned to a constant: the obligation
+                // transfers to the target side.
+                rhs_pattern.push((*z, v.clone()));
+            } else {
+                return None; // cannot guarantee the middle value
+            }
+        }
+        Cind::new(self.lhs_rel, next.rhs_rel, columns, self.lhs_condition.clone(), rhs_pattern)
+            .ok()
+    }
+
+    /// Render with relation and attribute names from a catalog-like source.
+    pub fn display<'a>(
+        &'a self,
+        rel_names: &'a dyn Fn(RelId) -> String,
+        attr_names: &'a dyn Fn(RelId, usize) -> String,
+    ) -> String {
+        let cols_l: Vec<String> =
+            self.columns.iter().map(|(x, _)| attr_names(self.lhs_rel, *x)).collect();
+        let cols_r: Vec<String> =
+            self.columns.iter().map(|(_, y)| attr_names(self.rhs_rel, *y)).collect();
+        let mut l = cols_l.join(", ");
+        for (a, v) in &self.lhs_condition {
+            l.push_str(&format!("; {} = {}", attr_names(self.lhs_rel, *a), v));
+        }
+        let mut r = cols_r.join(", ");
+        for (a, v) in &self.rhs_pattern {
+            r.push_str(&format!("; {} = {}", attr_names(self.rhs_rel, *a), v));
+        }
+        format!("{}[{}] ⊆ {}[{}]", rel_names(self.lhs_rel), l, rel_names(self.rhs_rel), r)
+    }
+}
+
+impl fmt::Display for Cind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rel = |r: RelId| format!("{r}");
+        let attr = |_r: RelId, a: usize| format!("#{a}");
+        write!(f, "{}", self.display(&rel, &attr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: usize) -> RelId {
+        RelId(i)
+    }
+
+    #[test]
+    fn construction_canonicalizes() {
+        let c = Cind::new(r(0), r(1), vec![(2, 5), (0, 3)], vec![], vec![]).unwrap();
+        assert_eq!(c.columns(), &[(0, 3), (2, 5)]);
+        assert!(c.is_standard_ind());
+    }
+
+    #[test]
+    fn shape_violations_rejected() {
+        assert_eq!(Cind::new(r(0), r(1), vec![], vec![], vec![]), Err(CindError::EmptyColumns));
+        assert!(matches!(
+            Cind::new(r(0), r(1), vec![(0, 1), (0, 2)], vec![], vec![]),
+            Err(CindError::DuplicateColumn { side: "lhs", .. })
+        ));
+        assert!(matches!(
+            Cind::new(r(0), r(1), vec![(0, 1), (2, 1)], vec![], vec![]),
+            Err(CindError::DuplicateColumn { side: "rhs", .. })
+        ));
+        assert!(matches!(
+            Cind::new(r(0), r(1), vec![(0, 1)], vec![(0, Value::int(1))], vec![]),
+            Err(CindError::PatternOverlapsColumns { side: "lhs", .. })
+        ));
+        assert!(matches!(
+            Cind::new(r(0), r(1), vec![(0, 1)], vec![], vec![(1, Value::int(1))]),
+            Err(CindError::PatternOverlapsColumns { side: "rhs", .. })
+        ));
+        assert!(matches!(
+            Cind::new(
+                r(0),
+                r(1),
+                vec![(0, 1)],
+                vec![(2, Value::int(1)), (2, Value::int(2))],
+                vec![]
+            ),
+            Err(CindError::DuplicatePatternAttr { side: "lhs", .. })
+        ));
+    }
+
+    #[test]
+    fn arity_validation() {
+        let c = Cind::new(r(0), r(1), vec![(2, 1)], vec![], vec![]).unwrap();
+        assert!(c.validate_arity(3, 2).is_ok());
+        assert!(matches!(
+            c.validate_arity(2, 2),
+            Err(CindError::AttrOutOfRange { side: "lhs", .. })
+        ));
+        assert!(matches!(
+            c.validate_arity(3, 1),
+            Err(CindError::AttrOutOfRange { side: "rhs", .. })
+        ));
+    }
+
+    #[test]
+    fn projection_keeps_subset() {
+        let c = Cind::new(r(0), r(1), vec![(0, 3), (2, 5)], vec![], vec![]).unwrap();
+        let p = c.project(&[(0, 3)]).unwrap();
+        assert_eq!(p.columns(), &[(0, 3)]);
+        assert!(c.project(&[]).is_err(), "empty projection rejected");
+    }
+
+    #[test]
+    fn subsumption_via_projection_and_weakening() {
+        let big = Cind::new(r(0), r(1), vec![(0, 0), (1, 1)], vec![], vec![]).unwrap();
+        let small = Cind::new(r(0), r(1), vec![(0, 0)], vec![], vec![]).unwrap();
+        assert!(big.subsumes(&small));
+        assert!(!small.subsumes(&big));
+
+        // big applies everywhere, small only under a condition: big ⊨ small
+        let conditioned = Cind::new(
+            r(0),
+            r(1),
+            vec![(0, 0)],
+            vec![(2, Value::int(7))],
+            vec![],
+        )
+        .unwrap();
+        assert!(big.subsumes(&conditioned));
+        assert!(!conditioned.subsumes(&small), "condition restricts scope");
+    }
+
+    #[test]
+    fn subsumption_discharges_obligations_via_pinned_columns() {
+        // self: R0[0;] ⊆ R1[0;] — plain
+        // other: R0[0; cond 0=… impossible since col] — use separate attrs:
+        // self: R0[(1,1)] ⊆ R1, other asks [(1,1)] with condition (1 is a
+        // column so pin via a different attr)
+        let base = Cind::new(r(0), r(1), vec![(0, 0)], vec![], vec![]).unwrap();
+        // other: under condition X0 = 5, witness must have Y0 = 5. The
+        // witness copies t1[0] into Y0, and the condition pins t1[0] = 5.
+        let other = Cind::new(
+            r(0),
+            r(1),
+            vec![(1, 1)],
+            vec![(0, Value::int(5))],
+            vec![(0, Value::int(5))],
+        )
+        .unwrap();
+        let strong = Cind::new(r(0), r(1), vec![(0, 0), (1, 1)], vec![], vec![]).unwrap();
+        assert!(strong.subsumes(&other));
+        assert!(!base.subsumes(&other));
+    }
+
+    #[test]
+    fn composition_chains_columns() {
+        // R0[0] ⊆ R1[1] and R1[1] ⊆ R2[2] gives R0[0] ⊆ R2[2]
+        let a = Cind::new(r(0), r(1), vec![(0, 1)], vec![], vec![]).unwrap();
+        let b = Cind::new(r(1), r(2), vec![(1, 2)], vec![], vec![]).unwrap();
+        let c = a.compose(&b).unwrap();
+        assert_eq!(c.lhs_rel(), r(0));
+        assert_eq!(c.rhs_rel(), r(2));
+        assert_eq!(c.columns(), &[(0, 2)]);
+    }
+
+    #[test]
+    fn composition_requires_guaranteed_condition() {
+        let a = Cind::new(r(0), r(1), vec![(0, 1)], vec![], vec![(2, Value::int(9))]).unwrap();
+        // next fires only when R1.2 = 9 — guaranteed by a's rhs_pattern
+        let b_ok =
+            Cind::new(r(1), r(2), vec![(1, 0)], vec![(2, Value::int(9))], vec![]).unwrap();
+        assert!(a.compose(&b_ok).is_some());
+        // next fires only when R1.2 = 8 — not guaranteed
+        let b_bad =
+            Cind::new(r(1), r(2), vec![(1, 0)], vec![(2, Value::int(8))], vec![]).unwrap();
+        assert!(a.compose(&b_bad).is_none());
+    }
+
+    #[test]
+    fn composition_moves_pinned_columns_to_pattern() {
+        // a: R0[0 → 1] ⊆ R1 with witness obligation R1.2 = 9
+        let a = Cind::new(r(0), r(1), vec![(0, 1)], vec![], vec![(2, Value::int(9))]).unwrap();
+        // b: R1[(1,0), (2,3)] ⊆ R2 — column 2 of R1 is pinned by a
+        let b = Cind::new(r(1), r(2), vec![(1, 0), (2, 3)], vec![], vec![]).unwrap();
+        let c = a.compose(&b).unwrap();
+        assert_eq!(c.columns(), &[(0, 0)]);
+        assert_eq!(c.rhs_pattern(), &[(3, Value::int(9))]);
+    }
+
+    #[test]
+    fn composition_disconnects() {
+        let a = Cind::new(r(0), r(1), vec![(0, 1)], vec![], vec![]).unwrap();
+        let b = Cind::new(r(2), r(3), vec![(0, 0)], vec![], vec![]).unwrap();
+        assert!(a.compose(&b).is_none(), "middle relation differs");
+        // middle column not covered
+        let b2 = Cind::new(r(1), r(2), vec![(0, 0)], vec![], vec![]).unwrap();
+        assert!(a.compose(&b2).is_none());
+    }
+
+    #[test]
+    fn display_human_readable() {
+        let c = Cind::new(
+            r(0),
+            r(1),
+            vec![(0, 1)],
+            vec![(1, Value::str("44"))],
+            vec![(0, Value::str("uk"))],
+        )
+        .unwrap();
+        let s = c.to_string();
+        assert!(s.contains('⊆'), "{s}");
+        assert!(s.contains("'44'"), "{s}");
+        assert!(s.contains("'uk'"), "{s}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Errors for CIND construction and validation.
+
+use std::fmt;
+
+/// Why a CIND could not be constructed or validated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CindError {
+    /// The inclusion column list `X ⊆ Y` was empty.
+    EmptyColumns,
+    /// An attribute appears twice on one side of the column list.
+    DuplicateColumn {
+        /// `"lhs"` or `"rhs"`.
+        side: &'static str,
+        /// The repeated attribute index.
+        attr: usize,
+    },
+    /// A pattern attribute collides with an inclusion column.
+    PatternOverlapsColumns {
+        /// `"lhs"` or `"rhs"`.
+        side: &'static str,
+        /// The offending attribute index.
+        attr: usize,
+    },
+    /// A pattern attribute appears twice.
+    DuplicatePatternAttr {
+        /// `"lhs"` or `"rhs"`.
+        side: &'static str,
+        /// The repeated attribute index.
+        attr: usize,
+    },
+    /// An attribute index is out of range for the relation's arity.
+    AttrOutOfRange {
+        /// `"lhs"` or `"rhs"`.
+        side: &'static str,
+        /// The offending attribute index.
+        attr: usize,
+        /// The relation arity.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for CindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CindError::EmptyColumns => write!(f, "CIND requires at least one inclusion column"),
+            CindError::DuplicateColumn { side, attr } => {
+                write!(f, "attribute #{attr} repeated in the {side} column list")
+            }
+            CindError::PatternOverlapsColumns { side, attr } => {
+                write!(f, "{side} pattern attribute #{attr} collides with an inclusion column")
+            }
+            CindError::DuplicatePatternAttr { side, attr } => {
+                write!(f, "{side} pattern attribute #{attr} repeated")
+            }
+            CindError::AttrOutOfRange { side, attr, arity } => {
+                write!(f, "{side} attribute #{attr} out of range for arity {arity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CindError {}

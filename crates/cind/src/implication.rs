@@ -1,0 +1,190 @@
+//! Sound implication analysis for CINDs.
+//!
+//! Bravo, Fan & Ma \[5\] show CIND implication is EXPTIME-complete in the
+//! general setting, and undecidable once CFDs are mixed in. A complete
+//! decision procedure is therefore out of scope for a library that wants
+//! predictable running times; instead this module *saturates* the given set
+//! under the always-sound inference steps of [`crate::cind::Cind`] —
+//!
+//! * transitive composition ([`Cind::compose`]),
+//! * projection / permutation and pattern weakening, folded into the
+//!   subsumption test ([`Cind::subsumes`]) so they need not be enumerated,
+//!
+//! and answers "implied" when some saturated CIND subsumes the query (or
+//! the query is reflexively trivial). A `true` answer is always correct; a
+//! `false` answer means "not derivable by these rules".
+
+use crate::cind::Cind;
+
+/// Tuning knobs for the saturation.
+#[derive(Clone, Copy, Debug)]
+pub struct ImplicationOptions {
+    /// Stop composing once the saturated set reaches this size.
+    pub max_set: usize,
+    /// Maximum composition rounds (each round composes all current pairs).
+    pub max_rounds: usize,
+}
+
+impl Default for ImplicationOptions {
+    fn default() -> Self {
+        ImplicationOptions { max_set: 512, max_rounds: 4 }
+    }
+}
+
+/// Is `phi` reflexively trivial — satisfied by *every* database?
+///
+/// That holds when the claimed inclusion maps a relation into itself with
+/// identity columns, and every witness obligation is already guaranteed by
+/// the scope condition (the tuple is its own witness).
+pub fn is_trivial(phi: &Cind) -> bool {
+    phi.lhs_rel() == phi.rhs_rel()
+        && phi.columns().iter().all(|(x, y)| x == y)
+        && phi
+            .rhs_pattern()
+            .iter()
+            .all(|(a, v)| phi.lhs_condition().contains(&(*a, v.clone())))
+}
+
+/// Sound implication check: does `sigma` derive `phi` by saturation?
+pub fn implies(sigma: &[Cind], phi: &Cind) -> bool {
+    implies_with(sigma, phi, &ImplicationOptions::default())
+}
+
+/// [`implies`] with explicit bounds.
+pub fn implies_with(sigma: &[Cind], phi: &Cind, opts: &ImplicationOptions) -> bool {
+    if is_trivial(phi) {
+        return true;
+    }
+    let closure = saturate(sigma, opts);
+    closure.iter().any(|c| c.subsumes(phi))
+}
+
+/// The bounded composition closure of `sigma` (deduplicated by
+/// subsumption). Exposed for propagation, which reuses the same engine.
+pub fn saturate(sigma: &[Cind], opts: &ImplicationOptions) -> Vec<Cind> {
+    let mut set: Vec<Cind> = Vec::new();
+    for c in sigma {
+        insert_if_new(&mut set, c.clone());
+    }
+    for _ in 0..opts.max_rounds {
+        let snapshot = set.clone();
+        let mut grew = false;
+        'outer: for a in &snapshot {
+            for b in &snapshot {
+                if set.len() >= opts.max_set {
+                    break 'outer;
+                }
+                if let Some(c) = a.compose(b) {
+                    if !is_trivial(&c) && insert_if_new(&mut set, c) {
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    set
+}
+
+/// Insert `c` unless an existing element subsumes it; drop existing
+/// elements that `c` subsumes. Returns whether the set changed.
+fn insert_if_new(set: &mut Vec<Cind>, c: Cind) -> bool {
+    if set.iter().any(|e| e.subsumes(&c)) {
+        return false;
+    }
+    set.retain(|e| !c.subsumes(e));
+    set.push(c);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relalg::schema::RelId;
+    use cfd_relalg::Value;
+
+    fn r(i: usize) -> RelId {
+        RelId(i)
+    }
+
+    #[test]
+    fn reflexivity() {
+        let phi = Cind::new(r(0), r(0), vec![(0, 0), (1, 1)], vec![], vec![]).unwrap();
+        assert!(implies(&[], &phi));
+        // with matching condition/obligation
+        let phi2 = Cind::new(
+            r(0),
+            r(0),
+            vec![(0, 0)],
+            vec![(1, Value::int(5))],
+            vec![(1, Value::int(5))],
+        )
+        .unwrap();
+        assert!(implies(&[], &phi2));
+        // obligation not covered by condition → not trivial
+        let phi3 =
+            Cind::new(r(0), r(0), vec![(0, 0)], vec![], vec![(1, Value::int(5))]).unwrap();
+        assert!(!implies(&[], &phi3));
+    }
+
+    #[test]
+    fn projection_derived_by_subsumption() {
+        let big = Cind::new(r(0), r(1), vec![(0, 0), (1, 1)], vec![], vec![]).unwrap();
+        let small = Cind::new(r(0), r(1), vec![(1, 1)], vec![], vec![]).unwrap();
+        assert!(implies(&[big], &small));
+    }
+
+    #[test]
+    fn weakening_derived_by_subsumption() {
+        let plain = Cind::new(r(0), r(1), vec![(0, 0)], vec![], vec![]).unwrap();
+        let conditioned =
+            Cind::new(r(0), r(1), vec![(0, 0)], vec![(1, Value::int(3))], vec![]).unwrap();
+        assert!(implies(std::slice::from_ref(&plain), &conditioned));
+        assert!(!implies(&[conditioned], &plain), "cannot drop a condition");
+    }
+
+    #[test]
+    fn transitivity_chain() {
+        let a = Cind::new(r(0), r(1), vec![(0, 1)], vec![], vec![]).unwrap();
+        let b = Cind::new(r(1), r(2), vec![(1, 2)], vec![], vec![]).unwrap();
+        let goal = Cind::new(r(0), r(2), vec![(0, 2)], vec![], vec![]).unwrap();
+        assert!(implies(&[a.clone(), b.clone()], &goal));
+        assert!(!implies(&[a], &goal));
+        // three-step chain needs a second round
+        let c = Cind::new(r(2), r(3), vec![(2, 0)], vec![], vec![]).unwrap();
+        let b2 = Cind::new(r(1), r(2), vec![(1, 2)], vec![], vec![]).unwrap();
+        let a2 = Cind::new(r(0), r(1), vec![(0, 1)], vec![], vec![]).unwrap();
+        let goal3 = Cind::new(r(0), r(3), vec![(0, 0)], vec![], vec![]).unwrap();
+        assert!(implies(&[a2, b2, c], &goal3));
+    }
+
+    #[test]
+    fn unrelated_not_implied() {
+        let a = Cind::new(r(0), r(1), vec![(0, 0)], vec![], vec![]).unwrap();
+        let goal = Cind::new(r(1), r(0), vec![(0, 0)], vec![], vec![]).unwrap();
+        assert!(!implies(&[a], &goal), "inclusion is not symmetric");
+    }
+
+    #[test]
+    fn saturation_respects_bounds() {
+        // a cycle R0 → R1 → R0 composes forever without bounds
+        let a = Cind::new(r(0), r(1), vec![(0, 1)], vec![], vec![]).unwrap();
+        let b = Cind::new(r(1), r(0), vec![(1, 0)], vec![], vec![]).unwrap();
+        let opts = ImplicationOptions { max_set: 8, max_rounds: 10 };
+        let closure = saturate(&[a, b], &opts);
+        assert!(closure.len() <= 8);
+    }
+
+    #[test]
+    fn subsumption_dedup_keeps_strongest() {
+        let strong = Cind::new(r(0), r(1), vec![(0, 0), (1, 1)], vec![], vec![]).unwrap();
+        let weak = Cind::new(r(0), r(1), vec![(0, 0)], vec![], vec![]).unwrap();
+        let closure = saturate(
+            &[weak, strong.clone()],
+            &ImplicationOptions::default(),
+        );
+        assert_eq!(closure, vec![strong]);
+    }
+}

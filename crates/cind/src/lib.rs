@@ -1,0 +1,62 @@
+//! # cfd-cind — conditional inclusion dependencies
+//!
+//! The propagation paper closes (§7) by pointing at *conditional inclusion
+//! dependencies* (CINDs, Bravo, Fan & Ma, VLDB 2007 \[5\]) as the natural
+//! companion of CFDs, and names "propagation of CFDs and CINDs taken
+//! together" as an open problem. This crate implements that extension as
+//! far as it can be done soundly:
+//!
+//! * [`cind::Cind`] — CINDs `(R1[X; Xp] ⊆ R2[Y; Yp], tp)`: an inclusion
+//!   dependency whose scope is restricted by constants over `Xp` and whose
+//!   witnesses must carry constants over `Yp`;
+//! * [`satisfy`] — satisfaction over [`cfd_relalg::Database`] instances;
+//! * [`implication`] — a **sound** saturation-based implication checker
+//!   (projection/permutation, pattern weakening, bounded transitive
+//!   composition). Completeness is out of scope: CIND implication is
+//!   EXPTIME-complete in the general setting, and implication of CFDs and
+//!   CINDs taken together is undecidable \[5\];
+//! * [`propagate`] — propagation through SPC views. Every SPC view
+//!   *always* satisfies the view-to-source CINDs induced by its product
+//!   atoms (each view tuple embeds a witnessing source tuple), and those
+//!   compose with source CINDs to yield view-to-target CINDs — a sound set
+//!   of dependencies on the view, in the spirit of `PropCFD_SPC`;
+//! * [`repair`] — witness insertion (the data-exchange chase step),
+//!   bounded and honest about divergence.
+//!
+//! ```
+//! use cfd_cind::{satisfies, Cind};
+//! use cfd_relalg::{Attribute, Catalog, Database, DomainKind, RelationSchema, Value};
+//!
+//! let mut catalog = Catalog::new();
+//! let orders = catalog.add(RelationSchema::new("orders", vec![
+//!     Attribute::new("cust", DomainKind::Int),
+//! ]).unwrap()).unwrap();
+//! let customers = catalog.add(RelationSchema::new("customers", vec![
+//!     Attribute::new("id", DomainKind::Int),
+//! ]).unwrap()).unwrap();
+//!
+//! // orders[cust] ⊆ customers[id]
+//! let psi = Cind::ind(orders, customers, vec![(0, 0)]).unwrap();
+//! let mut db = Database::empty(&catalog);
+//! db.insert(orders, vec![Value::int(7)]);
+//! assert!(!satisfies(&db, &psi), "customer 7 missing");
+//! db.insert(customers, vec![Value::int(7)]);
+//! assert!(satisfies(&db, &psi));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cind;
+pub mod error;
+pub mod implication;
+pub mod propagate;
+pub mod repair;
+pub mod satisfy;
+
+pub use cind::Cind;
+pub use error::CindError;
+pub use implication::implies;
+pub use propagate::{propagate_cinds, register_view, view_to_source_cinds};
+pub use repair::{repair_by_insertion, CindRepairOutcome};
+pub use satisfy::{find_violation, satisfies};

@@ -1,0 +1,273 @@
+//! CIND propagation through SPC views (§7 of the propagation paper,
+//! realized soundly).
+//!
+//! Two observations make SPC views a friendly target for CINDs:
+//!
+//! 1. **View-to-source CINDs hold by construction.** Every tuple of
+//!    `V = πY(σF(R1 × ... × Rn))` embeds, for each product atom `Rj`, a
+//!    witnessing source tuple that agrees with it on every output column
+//!    drawn from that atom — and that witness additionally carries every
+//!    constant `A = 'a'` that `F` imposes on the atom. So
+//!    `V[cols from Rj; ∅] ⊆ S[orig cols; F-constants]` is *always*
+//!    propagated, for any Σ (even Σ = ∅). [`view_to_source_cinds`]
+//!    enumerates these.
+//! 2. **Composition with source CINDs is sound.** Chaining a
+//!    view-to-source CIND with source CINDs (via [`Cind::compose`]) yields
+//!    view-to-target CINDs guaranteed on every `V(D)` with `D |= Σ`.
+//!    [`propagate_cinds`] returns the bounded composition closure.
+//!
+//! The result is a sound (not necessarily complete) set of view CINDs —
+//! the analogue of a propagation cover for the §7 open problem. Note that
+//! *source-to-view* CINDs are **not** emitted: a source tuple may be
+//! filtered out by `σF` or fail to join, so inclusions into the view do not
+//! hold in general.
+
+use crate::cind::Cind;
+use crate::implication::{saturate, ImplicationOptions};
+use cfd_relalg::query::{ColRef, SelAtom, SpcQuery};
+use cfd_relalg::schema::{Attribute, Catalog, RelId, RelationSchema};
+use cfd_relalg::{RelalgError, Value};
+
+/// Add the view schema of `q` to `catalog` as a relation named `name`,
+/// returning its [`RelId`]. This lets CINDs reference the view and lets
+/// materialized view contents live in the same [`cfd_relalg::Database`] as
+/// the sources.
+pub fn register_view(
+    catalog: &mut Catalog,
+    name: &str,
+    q: &SpcQuery,
+) -> Result<RelId, RelalgError> {
+    q.validate(catalog)?;
+    let vs = q.view_schema(catalog);
+    let attributes = vs
+        .columns
+        .into_iter()
+        .map(|(n, d)| Attribute::new(n, d))
+        .collect();
+    catalog.add(RelationSchema::new(name, attributes)?)
+}
+
+/// The view-to-source CINDs that hold on `view_rel = q` by construction:
+/// one per product atom with at least one projected column.
+pub fn view_to_source_cinds(view_rel: RelId, q: &SpcQuery) -> Vec<Cind> {
+    let mut out = Vec::new();
+    for (atom_idx, base) in q.atoms.iter().enumerate() {
+        // Output columns drawn from this atom: (view position, source attr).
+        let mut columns: Vec<(usize, usize)> = Vec::new();
+        for (view_pos, o) in q.output.iter().enumerate() {
+            if let ColRef::Prod(c) = o.src {
+                if c.atom == atom_idx && !columns.iter().any(|(_, y)| *y == c.attr) {
+                    columns.push((view_pos, c.attr));
+                }
+            }
+        }
+        if columns.is_empty() {
+            continue;
+        }
+        // Selection constants on this atom strengthen the witness: the
+        // source tuple behind each view tuple satisfies them.
+        let mut rhs_pattern: Vec<(usize, Value)> = Vec::new();
+        for s in &q.selection {
+            if let SelAtom::EqConst(c, v) = s {
+                if c.atom == atom_idx
+                    && !columns.iter().any(|(_, y)| *y == c.attr)
+                    && !rhs_pattern.iter().any(|(a, _)| *a == c.attr)
+                {
+                    rhs_pattern.push((c.attr, v.clone()));
+                }
+            }
+        }
+        let cind = Cind::new(view_rel, *base, columns, vec![], rhs_pattern)
+            .expect("construction is shape-valid: distinct view positions and source attrs");
+        out.push(cind);
+    }
+    out
+}
+
+/// A sound set of CINDs on the view propagated from source CINDs `sigma`
+/// via `q`: the view-to-source CINDs composed (transitively, bounded by
+/// `opts`) with the saturation of `sigma`, keeping only dependencies whose
+/// LHS is the view.
+pub fn propagate_cinds(
+    view_rel: RelId,
+    q: &SpcQuery,
+    sigma: &[Cind],
+    opts: &ImplicationOptions,
+) -> Vec<Cind> {
+    let derived = view_to_source_cinds(view_rel, q);
+    let mut all: Vec<Cind> = derived.clone();
+    all.extend_from_slice(sigma);
+    let closure = saturate(&all, opts);
+    let mut result: Vec<Cind> = closure
+        .into_iter()
+        .filter(|c| c.lhs_rel() == view_rel)
+        .collect();
+    result.sort();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relalg::domain::DomainKind;
+    use cfd_relalg::eval::eval_spc;
+    use cfd_relalg::instance::Database;
+    use cfd_relalg::query::{ConstCell, OutputCol, ProdCol};
+    use cfd_relalg::schema::RelationSchema;
+    use crate::satisfy::satisfies;
+
+    /// R1(AC, city), Cities(name, country): sources for a Q1-like view.
+    fn setup() -> (Catalog, RelId, RelId) {
+        let mut c = Catalog::new();
+        let r1 = c
+            .add(
+                RelationSchema::new(
+                    "R1",
+                    vec![
+                        Attribute::new("AC", DomainKind::Text),
+                        Attribute::new("city", DomainKind::Text),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let cities = c
+            .add(
+                RelationSchema::new(
+                    "Cities",
+                    vec![
+                        Attribute::new("name", DomainKind::Text),
+                        Attribute::new("country", DomainKind::Text),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (c, r1, cities)
+    }
+
+    /// `select AC, city, '44' as CC from R1 where AC = '20'`
+    fn q1(c: &Catalog, r1: RelId) -> SpcQuery {
+        let mut q = SpcQuery::identity(c, r1);
+        q.constants.push(ConstCell {
+            name: "CC".into(),
+            value: Value::str("44"),
+            domain: DomainKind::Text,
+        });
+        q.output.push(OutputCol { name: "CC".into(), src: ColRef::Const(0) });
+        q.selection.push(SelAtom::EqConst(ProdCol::new(0, 0), Value::str("20")));
+        q
+    }
+
+    #[test]
+    fn register_view_extends_catalog() {
+        let (mut c, r1, _) = setup();
+        let q = q1(&c, r1);
+        let v = register_view(&mut c, "V", &q).unwrap();
+        assert_eq!(c.schema(v).name, "V");
+        assert_eq!(c.schema(v).arity(), 3);
+        assert_eq!(c.schema(v).attributes[2].name, "CC");
+    }
+
+    #[test]
+    fn view_to_source_cind_shape() {
+        let (mut c, r1, _) = setup();
+        let q = q1(&c, r1);
+        let v = register_view(&mut c, "V", &q).unwrap();
+        let derived = view_to_source_cinds(v, &q);
+        assert_eq!(derived.len(), 1, "one product atom");
+        let cind = &derived[0];
+        assert_eq!(cind.lhs_rel(), v);
+        assert_eq!(cind.rhs_rel(), r1);
+        // view cols 0 (AC), 1 (city) map to source attrs 0, 1; CC is const
+        assert_eq!(cind.columns(), &[(0, 0), (1, 1)]);
+        // AC is a projected column, so the selection constant does not
+        // become a pattern entry (it sits on a column)
+        assert!(cind.rhs_pattern().is_empty());
+    }
+
+    #[test]
+    fn selection_constant_on_unprojected_attr_becomes_pattern() {
+        let (mut c, r1, _) = setup();
+        // project only city; select AC = '20'
+        let mut q = SpcQuery::identity(&c, r1);
+        q.output.remove(0); // drop AC from the projection
+        q.selection.push(SelAtom::EqConst(ProdCol::new(0, 0), Value::str("20")));
+        let v = register_view(&mut c, "V", &q).unwrap();
+        let derived = view_to_source_cinds(v, &q);
+        assert_eq!(derived.len(), 1);
+        assert_eq!(derived[0].columns(), &[(0, 1)]);
+        assert_eq!(derived[0].rhs_pattern(), &[(0, Value::str("20"))]);
+    }
+
+    #[test]
+    fn derived_cinds_hold_on_materialized_views() {
+        let (mut c, r1, _) = setup();
+        let q = q1(&c, r1);
+        let sources = {
+            let mut db = Database::empty(&c);
+            db.insert(r1, vec![Value::str("20"), Value::str("ldn")]);
+            db.insert(r1, vec![Value::str("20"), Value::str("edi")]);
+            db.insert(r1, vec![Value::str("31"), Value::str("ams")]);
+            db
+        };
+        let view_contents = eval_spc(&q, &c, &sources);
+        let v = register_view(&mut c, "V", &q).unwrap();
+        let mut db = Database::empty(&c);
+        // copy sources + view into the extended database
+        for t in sources.relation(r1).tuples() {
+            db.insert(r1, t.clone());
+        }
+        for t in view_contents.tuples() {
+            db.insert(v, t.clone());
+        }
+        for cind in view_to_source_cinds(v, &q) {
+            assert!(satisfies(&db, &cind), "derived CIND must hold: {cind}");
+        }
+    }
+
+    #[test]
+    fn composition_with_source_cind_reaches_target() {
+        let (mut c, r1, cities) = setup();
+        let q = q1(&c, r1);
+        let v = register_view(&mut c, "V", &q).unwrap();
+        // source CIND: R1[city] ⊆ Cities[name]
+        let src = Cind::ind(r1, cities, vec![(1, 0)]).unwrap();
+        let props = propagate_cinds(v, &q, &[src], &ImplicationOptions::default());
+        // expect V[city] ⊆ Cities[name] among the results (view col 1)
+        let goal = Cind::ind(v, cities, vec![(1, 0)]).unwrap();
+        assert!(
+            props.iter().any(|p| p.subsumes(&goal)),
+            "composed view→Cities CIND missing from {props:?}"
+        );
+        // and the direct view→R1 CIND is there too
+        assert!(props.iter().any(|p| p.rhs_rel() == r1));
+    }
+
+    #[test]
+    fn no_source_to_view_cinds_emitted() {
+        let (mut c, r1, _) = setup();
+        let q = q1(&c, r1);
+        let v = register_view(&mut c, "V", &q).unwrap();
+        let props = propagate_cinds(v, &q, &[], &ImplicationOptions::default());
+        assert!(props.iter().all(|p| p.lhs_rel() == v));
+    }
+
+    #[test]
+    fn constant_only_view_yields_no_cinds() {
+        let (mut c, _, _) = setup();
+        // a view with no product atoms: V = {(CC: 44)}
+        let q = SpcQuery {
+            atoms: vec![],
+            constants: vec![ConstCell {
+                name: "CC".into(),
+                value: Value::str("44"),
+                domain: DomainKind::Text,
+            }],
+            selection: vec![],
+            output: vec![OutputCol { name: "CC".into(), src: ColRef::Const(0) }],
+        };
+        let v = register_view(&mut c, "V", &q).unwrap();
+        assert!(view_to_source_cinds(v, &q).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Satisfaction of CINDs by database instances.
+//!
+//! `D |= (R1[X; Xp] ⊆ R2[Y; Yp], tp)` iff for every `t1 ∈ D(R1)` with
+//! `t1[Xp] = tp[Xp]` there is a `t2 ∈ D(R2)` with `t2[Y] = t1[X]` and
+//! `t2[Yp] = tp[Yp]`.
+//!
+//! The check builds a hash set of the qualifying `R2` projections once, so
+//! a full validation is `O(|R1| + |R2|)` expected.
+
+use crate::cind::Cind;
+use cfd_relalg::instance::{Database, Tuple};
+use cfd_relalg::Value;
+use std::collections::HashSet;
+
+/// Does `db` satisfy `cind`?
+pub fn satisfies(db: &Database, cind: &Cind) -> bool {
+    find_violation(db, cind).is_none()
+}
+
+/// Does `db` satisfy every CIND in `sigma`?
+pub fn satisfies_all<'a>(db: &Database, sigma: impl IntoIterator<Item = &'a Cind>) -> bool {
+    sigma.into_iter().all(|c| satisfies(db, c))
+}
+
+/// The first in-scope LHS tuple with no witness, if any.
+pub fn find_violation(db: &Database, cind: &Cind) -> Option<Tuple> {
+    // Qualifying witnesses: R2 tuples carrying the Yp constants, projected
+    // onto the inclusion columns Y.
+    let witnesses: HashSet<Vec<&Value>> = db
+        .relation(cind.rhs_rel())
+        .tuples()
+        .filter(|t| cind.rhs_pattern().iter().all(|(a, v)| &t[*a] == v))
+        .map(|t| cind.columns().iter().map(|(_, y)| &t[*y]).collect())
+        .collect();
+    db.relation(cind.lhs_rel())
+        .tuples()
+        .find(|t| {
+            cind.lhs_condition().iter().all(|(a, v)| &t[*a] == v) && {
+                let key: Vec<&Value> = cind.columns().iter().map(|(x, _)| &t[*x]).collect();
+                !witnesses.contains(&key)
+            }
+        })
+        .cloned()
+}
+
+/// All in-scope LHS tuples with no witness.
+pub fn all_violations(db: &Database, cind: &Cind) -> Vec<Tuple> {
+    let witnesses: HashSet<Vec<&Value>> = db
+        .relation(cind.rhs_rel())
+        .tuples()
+        .filter(|t| cind.rhs_pattern().iter().all(|(a, v)| &t[*a] == v))
+        .map(|t| cind.columns().iter().map(|(_, y)| &t[*y]).collect())
+        .collect();
+    db.relation(cind.lhs_rel())
+        .tuples()
+        .filter(|t| {
+            cind.lhs_condition().iter().all(|(a, v)| &t[*a] == v) && {
+                let key: Vec<&Value> = cind.columns().iter().map(|(x, _)| &t[*x]).collect();
+                !witnesses.contains(&key)
+            }
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relalg::domain::DomainKind;
+    use cfd_relalg::schema::{Attribute, Catalog, RelId, RelationSchema};
+
+    /// Two relations: order(cust, country) and customer(id, cc).
+    fn setup() -> (Catalog, RelId, RelId) {
+        let mut c = Catalog::new();
+        let orders = c
+            .add(
+                RelationSchema::new(
+                    "order",
+                    vec![
+                        Attribute::new("cust", DomainKind::Int),
+                        Attribute::new("country", DomainKind::Text),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let cust = c
+            .add(
+                RelationSchema::new(
+                    "customer",
+                    vec![
+                        Attribute::new("id", DomainKind::Int),
+                        Attribute::new("cc", DomainKind::Text),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (c, orders, cust)
+    }
+
+    fn row(vals: Vec<Value>) -> Tuple {
+        vals
+    }
+
+    #[test]
+    fn standard_ind() {
+        let (c, orders, cust) = setup();
+        let psi = Cind::ind(orders, cust, vec![(0, 0)]).unwrap();
+        let mut db = Database::empty(&c);
+        db.insert(orders, row(vec![Value::int(1), Value::str("uk")]));
+        db.insert(cust, row(vec![Value::int(1), Value::str("44")]));
+        assert!(satisfies(&db, &psi));
+        db.insert(orders, row(vec![Value::int(2), Value::str("us")]));
+        assert!(!satisfies(&db, &psi), "customer 2 missing");
+        let v = find_violation(&db, &psi).unwrap();
+        assert_eq!(v[0], Value::int(2));
+    }
+
+    #[test]
+    fn lhs_condition_restricts_scope() {
+        let (c, orders, cust) = setup();
+        // only uk orders must reference a customer
+        let psi = Cind::new(
+            orders,
+            cust,
+            vec![(0, 0)],
+            vec![(1, Value::str("uk"))],
+            vec![],
+        )
+        .unwrap();
+        let mut db = Database::empty(&c);
+        db.insert(orders, row(vec![Value::int(2), Value::str("us")]));
+        assert!(satisfies(&db, &psi), "us order out of scope");
+        db.insert(orders, row(vec![Value::int(3), Value::str("uk")]));
+        assert!(!satisfies(&db, &psi));
+    }
+
+    #[test]
+    fn rhs_pattern_constrains_witness() {
+        let (c, orders, cust) = setup();
+        // uk orders must reference a customer *with cc = 44*
+        let psi = Cind::new(
+            orders,
+            cust,
+            vec![(0, 0)],
+            vec![(1, Value::str("uk"))],
+            vec![(1, Value::str("44"))],
+        )
+        .unwrap();
+        let mut db = Database::empty(&c);
+        db.insert(orders, row(vec![Value::int(1), Value::str("uk")]));
+        db.insert(cust, row(vec![Value::int(1), Value::str("31")]));
+        assert!(!satisfies(&db, &psi), "witness exists but carries the wrong cc");
+        db.insert(cust, row(vec![Value::int(1), Value::str("44")]));
+        assert!(satisfies(&db, &psi));
+    }
+
+    #[test]
+    fn empty_lhs_is_trivially_satisfied() {
+        let (c, orders, cust) = setup();
+        let psi = Cind::ind(orders, cust, vec![(0, 0)]).unwrap();
+        let db = Database::empty(&c);
+        assert!(satisfies(&db, &psi));
+    }
+
+    #[test]
+    fn all_violations_enumerates() {
+        let (c, orders, cust) = setup();
+        let psi = Cind::ind(orders, cust, vec![(0, 0)]).unwrap();
+        let mut db = Database::empty(&c);
+        db.insert(orders, row(vec![Value::int(1), Value::str("a")]));
+        db.insert(orders, row(vec![Value::int(2), Value::str("b")]));
+        db.insert(cust, row(vec![Value::int(1), Value::str("x")]));
+        let vs = all_violations(&db, &psi);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0][0], Value::int(2));
+    }
+
+    #[test]
+    fn satisfies_all_short_circuits_sets() {
+        let (c, orders, cust) = setup();
+        let a = Cind::ind(orders, cust, vec![(0, 0)]).unwrap();
+        let b = Cind::ind(cust, orders, vec![(0, 0)]).unwrap();
+        let mut db = Database::empty(&c);
+        db.insert(orders, row(vec![Value::int(1), Value::str("a")]));
+        db.insert(cust, row(vec![Value::int(1), Value::str("x")]));
+        assert!(satisfies_all(&db, [&a, &b]));
+        db.insert(cust, row(vec![Value::int(9), Value::str("y")]));
+        assert!(!satisfies_all(&db, [&a, &b]));
+    }
+}

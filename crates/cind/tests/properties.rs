@@ -1,0 +1,123 @@
+//! Property tests for CINDs: every syntactic inference step must be sound
+//! on random database instances.
+
+use cfd_cind::implication::{saturate, ImplicationOptions};
+use cfd_cind::satisfy::{satisfies, satisfies_all};
+use cfd_cind::Cind;
+use cfd_relalg::domain::DomainKind;
+use cfd_relalg::instance::{Database, Tuple};
+use cfd_relalg::schema::{Attribute, Catalog, RelId, RelationSchema};
+use cfd_relalg::Value;
+use proptest::prelude::*;
+
+const RELS: usize = 3;
+const ARITY: usize = 3;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    for i in 0..RELS {
+        let attrs = (0..ARITY)
+            .map(|j| Attribute::new(format!("a{j}"), DomainKind::Int))
+            .collect();
+        c.add(RelationSchema::new(format!("R{i}"), attrs).unwrap()).unwrap();
+    }
+    c
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    (0i64..3).prop_map(Value::int)
+}
+
+fn tuple_strategy() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(value_strategy(), ARITY)
+}
+
+fn database_strategy() -> impl Strategy<Value = Database> {
+    let rel = proptest::collection::vec(tuple_strategy(), 0..6);
+    proptest::collection::vec(rel, RELS).prop_map(|rels| {
+        let c = catalog();
+        let mut db = Database::empty(&c);
+        for (i, tuples) in rels.into_iter().enumerate() {
+            for t in tuples {
+                db.insert(RelId(i), t);
+            }
+        }
+        db
+    })
+}
+
+/// A random well-formed CIND between two (possibly equal) relations.
+fn cind_strategy() -> impl Strategy<Value = Cind> {
+    (
+        0usize..RELS,
+        0usize..RELS,
+        proptest::collection::btree_map(0usize..ARITY, 0usize..ARITY, 1..ARITY),
+        proptest::collection::btree_map(0usize..ARITY, 0i64..3, 0..2),
+        proptest::collection::btree_map(0usize..ARITY, 0i64..3, 0..2),
+    )
+        .prop_filter_map("well-formed cind", |(l, r, cols, lhs_c, rhs_p)| {
+            // btree_map keys give distinct lhs attrs; rhs attrs may repeat →
+            // let the constructor reject those.
+            let columns: Vec<(usize, usize)> = cols.into_iter().collect();
+            let lhs_condition: Vec<(usize, Value)> =
+                lhs_c.into_iter().map(|(a, v)| (a, Value::int(v))).collect();
+            let rhs_pattern: Vec<(usize, Value)> =
+                rhs_p.into_iter().map(|(a, v)| (a, Value::int(v))).collect();
+            Cind::new(RelId(l), RelId(r), columns, lhs_condition, rhs_pattern).ok()
+        })
+}
+
+proptest! {
+    /// Subsumption is sound: `a.subsumes(b)` and `db |= a` imply `db |= b`.
+    #[test]
+    fn subsumption_sound(a in cind_strategy(), b in cind_strategy(), db in database_strategy()) {
+        if a.subsumes(&b) && satisfies(&db, &a) {
+            prop_assert!(satisfies(&db, &b), "a = {a}, b = {b}");
+        }
+    }
+
+    /// Composition is sound: `db |= a ∧ db |= b` implies `db |= a∘b`.
+    #[test]
+    fn composition_sound(a in cind_strategy(), b in cind_strategy(), db in database_strategy()) {
+        if let Some(c) = a.compose(&b) {
+            if satisfies(&db, &a) && satisfies(&db, &b) {
+                prop_assert!(satisfies(&db, &c), "a = {a}, b = {b}, c = {c}");
+            }
+        }
+    }
+
+    /// Saturation is sound: every derived CIND holds on every database
+    /// satisfying the input set.
+    #[test]
+    fn saturation_sound(
+        sigma in proptest::collection::vec(cind_strategy(), 1..4),
+        db in database_strategy(),
+    ) {
+        if satisfies_all(&db, &sigma) {
+            let closure = saturate(&sigma, &ImplicationOptions { max_set: 64, max_rounds: 3 });
+            for c in &closure {
+                prop_assert!(satisfies(&db, c), "derived {c} fails");
+            }
+        }
+    }
+
+    /// Projection is sound: a projected CIND holds wherever the original
+    /// does.
+    #[test]
+    fn projection_sound(a in cind_strategy(), db in database_strategy()) {
+        if a.columns().len() > 1 && satisfies(&db, &a) {
+            let keep = &a.columns()[..1];
+            let p = a.project(keep).expect("nonempty projection");
+            prop_assert!(satisfies(&db, &p));
+        }
+    }
+
+    /// Subsumption is reflexive and transitive on random samples.
+    #[test]
+    fn subsumption_preorder(a in cind_strategy(), b in cind_strategy(), c in cind_strategy()) {
+        prop_assert!(a.subsumes(&a));
+        if a.subsumes(&b) && b.subsumes(&c) {
+            prop_assert!(a.subsumes(&c), "transitivity: {a} ⇒ {b} ⇒ {c}");
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Incremental validation of tuple insertions.
+//!
+//! The paper's data-integration application (§1): when a view is maintained
+//! under updates, an insertion can be rejected by the *dependencies* alone —
+//! either immediately (it clashes with a constant pattern) or against the
+//! current contents (it disagrees with an existing LHS group). This module
+//! maintains one hash index per wildcard-RHS CFD so each insertion is
+//! validated in `O(|Σ|)` expected time instead of rescanning the relation.
+
+use cfd_model::cfd::Cfd;
+use cfd_model::pattern::Pattern;
+use cfd_relalg::instance::{Relation, Tuple};
+use cfd_relalg::Value;
+use std::collections::HashMap;
+
+/// Per-CFD index: LHS-value key → the set of RHS values present.
+///
+/// A clean base relation has exactly one RHS value per key; we keep a small
+/// vector so the checker also works when seeded with a dirty base (it then
+/// reports *additional* damage, never repairs existing damage).
+type GroupIndex = HashMap<Vec<Value>, Vec<Value>>;
+
+/// Validates insertions into one relation against a fixed CFD set.
+#[derive(Clone, Debug)]
+pub struct InsertChecker {
+    sigma: Vec<Cfd>,
+    /// One index per CFD; empty map for CFDs that need no index
+    /// (constant-RHS and attribute-equality forms are memoryless).
+    indexes: Vec<GroupIndex>,
+    tuples: usize,
+}
+
+impl InsertChecker {
+    /// Build a checker over `sigma`, seeded with the tuples of `base`.
+    pub fn new(sigma: Vec<Cfd>, base: &Relation) -> Self {
+        let mut checker = InsertChecker {
+            indexes: vec![GroupIndex::new(); sigma.len()],
+            sigma,
+            tuples: 0,
+        };
+        for t in base.tuples() {
+            checker.admit(t.clone());
+        }
+        checker
+    }
+
+    /// The CFDs being enforced.
+    pub fn sigma(&self) -> &[Cfd] {
+        &self.sigma
+    }
+
+    /// Number of tuples admitted so far (base + inserts).
+    pub fn len(&self) -> usize {
+        self.tuples
+    }
+
+    /// Has nothing been admitted?
+    pub fn is_empty(&self) -> bool {
+        self.tuples == 0
+    }
+
+    /// Indices of the CFDs that inserting `t` would violate. Empty means
+    /// the insertion is safe.
+    pub fn check(&self, t: &Tuple) -> Vec<usize> {
+        let mut bad = Vec::new();
+        for (i, cfd) in self.sigma.iter().enumerate() {
+            if self.violates(i, cfd, t) {
+                bad.push(i);
+            }
+        }
+        bad
+    }
+
+    /// Validate and admit `t`. On violation the state is unchanged and the
+    /// offending CFD indices are returned.
+    pub fn insert(&mut self, t: Tuple) -> Result<(), Vec<usize>> {
+        let bad = self.check(&t);
+        if bad.is_empty() {
+            self.admit(t);
+            Ok(())
+        } else {
+            Err(bad)
+        }
+    }
+
+    /// Admit `t` without validation (used for seeding and for callers that
+    /// deliberately accept dirty data).
+    pub fn admit(&mut self, t: Tuple) {
+        for (i, cfd) in self.sigma.iter().enumerate() {
+            if cfd.as_attr_eq().is_some() || cfd.rhs_pattern() != &Pattern::Wild {
+                continue; // memoryless forms
+            }
+            if !lhs_matches(cfd, &t) {
+                continue;
+            }
+            let key: Vec<Value> = cfd.lhs().iter().map(|(a, _)| t[*a].clone()).collect();
+            let entry = self.indexes[i].entry(key).or_default();
+            let rhs = &t[cfd.rhs_attr()];
+            if !entry.contains(rhs) {
+                entry.push(rhs.clone());
+            }
+        }
+        self.tuples += 1;
+    }
+
+    fn violates(&self, i: usize, cfd: &Cfd, t: &Tuple) -> bool {
+        if let Some((a, b)) = cfd.as_attr_eq() {
+            return t[a] != t[b];
+        }
+        if !lhs_matches(cfd, t) {
+            return false;
+        }
+        match cfd.rhs_pattern() {
+            Pattern::Const(v) => &t[cfd.rhs_attr()] != v,
+            Pattern::Wild => {
+                let key: Vec<Value> = cfd.lhs().iter().map(|(a, _)| t[*a].clone()).collect();
+                match self.indexes[i].get(&key) {
+                    // Any existing RHS value different from ours conflicts.
+                    Some(vals) => vals.iter().any(|v| v != &t[cfd.rhs_attr()]),
+                    None => false,
+                }
+            }
+            Pattern::SpecialVar => unreachable!("as_attr_eq handled the special form"),
+        }
+    }
+}
+
+fn lhs_matches(cfd: &Cfd, t: &Tuple) -> bool {
+    cfd.lhs().iter().all(|(a, p)| p.matches_value(&t[*a]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tup(vs: &[i64]) -> Tuple {
+        vs.iter().map(|v| Value::int(*v)).collect()
+    }
+
+    fn base(rows: &[&[i64]]) -> Relation {
+        rows.iter().map(|r| tup(r)).collect()
+    }
+
+    #[test]
+    fn detects_group_conflict_against_base() {
+        let sigma = vec![Cfd::fd(&[0], 1).unwrap()];
+        let checker = InsertChecker::new(sigma, &base(&[&[1, 2]]));
+        assert!(checker.check(&tup(&[1, 2])).is_empty(), "same tuple is fine");
+        assert_eq!(checker.check(&tup(&[1, 3])), vec![0]);
+        assert!(checker.check(&tup(&[2, 9])).is_empty(), "fresh key is fine");
+    }
+
+    #[test]
+    fn constant_pattern_rejects_without_data() {
+        // ([A] → B, (1 ‖ 9)): no base tuples needed to reject (1, 8)
+        let phi = Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::cst(9)).unwrap();
+        let checker = InsertChecker::new(vec![phi], &Relation::new());
+        assert_eq!(checker.check(&tup(&[1, 8])), vec![0]);
+        assert!(checker.check(&tup(&[1, 9])).is_empty());
+        assert!(checker.check(&tup(&[2, 8])).is_empty(), "out of pattern scope");
+    }
+
+    #[test]
+    fn insert_updates_state() {
+        let sigma = vec![Cfd::fd(&[0], 1).unwrap()];
+        let mut checker = InsertChecker::new(sigma, &Relation::new());
+        checker.insert(tup(&[1, 2])).unwrap();
+        assert_eq!(checker.insert(tup(&[1, 3])), Err(vec![0]));
+        assert_eq!(checker.len(), 1, "rejected insert must not be admitted");
+        checker.insert(tup(&[2, 3])).unwrap();
+        assert_eq!(checker.len(), 2);
+    }
+
+    #[test]
+    fn attr_eq_checked_per_tuple() {
+        let sigma = vec![Cfd::attr_eq(0, 1).unwrap()];
+        let mut checker = InsertChecker::new(sigma, &Relation::new());
+        assert!(checker.insert(tup(&[4, 4])).is_ok());
+        assert_eq!(checker.insert(tup(&[4, 5])), Err(vec![0]));
+    }
+
+    #[test]
+    fn multiple_cfds_all_reported() {
+        let sigma = vec![
+            Cfd::fd(&[0], 1).unwrap(),
+            Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::cst(9)).unwrap(),
+        ];
+        let checker = InsertChecker::new(sigma, &base(&[&[1, 9]]));
+        // (1, 8) both disagrees with the group 1 → 9 and the constant 9.
+        assert_eq!(checker.check(&tup(&[1, 8])), vec![0, 1]);
+    }
+
+    #[test]
+    fn dirty_base_reports_conflicts_with_either_value() {
+        let sigma = vec![Cfd::fd(&[0], 1).unwrap()];
+        let checker = InsertChecker::new(sigma, &base(&[&[1, 2], &[1, 3]]));
+        // the base is already dirty on key 1: any insert under key 1
+        // conflicts with at least one resident value
+        assert_eq!(checker.check(&tup(&[1, 2])), vec![0]);
+        assert_eq!(checker.check(&tup(&[1, 4])), vec![0]);
+    }
+
+    #[test]
+    fn paper_view_update_rejection() {
+        // §1 application (2): ϕ4 = ([CC, AC] → city, ('44','20' ‖ 'ldn'));
+        // inserting (CC='44', AC='20', city='edi') is rejected without data.
+        let phi4 = Cfd::new(
+            vec![
+                (0, Pattern::cst(Value::str("44"))),
+                (1, Pattern::cst(Value::str("20"))),
+            ],
+            2,
+            Pattern::cst(Value::str("ldn")),
+        )
+        .unwrap();
+        let checker = InsertChecker::new(vec![phi4], &Relation::new());
+        let t: Tuple = vec![Value::str("44"), Value::str("20"), Value::str("edi")];
+        assert_eq!(checker.check(&t), vec![0]);
+    }
+}

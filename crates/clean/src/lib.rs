@@ -1,0 +1,56 @@
+//! # cfd-clean — data cleaning with conditional functional dependencies
+//!
+//! CFDs were proposed for data cleaning (Fan, Geerts, Jia, Kementsietsidis
+//! \[8\]), and data cleaning is the third motivating application of the
+//! propagation paper (§1): once a propagation cover tells you which CFDs are
+//! guaranteed on a view, the *remaining* dependencies still have to be
+//! validated against the data. This crate is that validation machinery:
+//!
+//! * [`violations`] — batch violation detection in `O(|D|·|Σ|)` expected
+//!   time by hash-grouping on LHS values (the quadratic
+//!   [`cfd_model::satisfy`] pair scan is kept as the semantic reference);
+//! * [`sql`] — the SQL detection queries of \[8\] (one constant query plus
+//!   one pair query per CFD), generated as text for offloading detection to
+//!   an external RDBMS;
+//! * [`incremental`] — an index that validates tuple *insertions* against a
+//!   CFD set without rescanning the relation (the paper's data-integration
+//!   application: rejecting view updates);
+//! * [`repair()`] — a greedy equivalence-class repair that modifies
+//!   right-hand-side cells until the instance satisfies the CFDs, reporting
+//!   the cell-level cost.
+//!
+//! ```
+//! use cfd_clean::{detect_all, repair};
+//! use cfd_model::Cfd;
+//! use cfd_relalg::{Relation, Value};
+//!
+//! // A → B, violated by (1,2)/(1,3).
+//! let sigma = vec![Cfd::fd(&[0], 1).unwrap()];
+//! let dirty: Relation = [
+//!     vec![Value::int(1), Value::int(2)],
+//!     vec![Value::int(1), Value::int(3)],
+//!     vec![Value::int(2), Value::int(5)],
+//! ]
+//! .into_iter()
+//! .collect();
+//!
+//! let violations = detect_all(&dirty, &sigma);
+//! assert_eq!(violations.len(), 1);
+//!
+//! let fixed = repair(&dirty, &sigma, 4);
+//! assert!(fixed.clean);
+//! assert!(detect_all(&fixed.relation, &sigma).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod incremental;
+pub mod repair;
+pub mod sql;
+pub mod violations;
+
+pub use incremental::InsertChecker;
+pub use repair::{repair, RepairOutcome};
+pub use sql::detection_sql;
+pub use violations::{detect, detect_all, Violation, ViolationKind};

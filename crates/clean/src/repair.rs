@@ -1,0 +1,251 @@
+//! Greedy attribute-modification repair.
+//!
+//! A simplified equivalence-class repair in the spirit of Bohannon et al.
+//! (SIGMOD 2005), adapted to CFDs: every violation found by
+//! [`crate::violations::detect_all`] is resolved by overwriting
+//! right-hand-side cells —
+//!
+//! * a constant clash is fixed by writing the pattern constant,
+//! * a pair conflict is fixed by writing the group's *plurality* RHS value
+//!   into the minority tuples (ties break to the smallest value, so the
+//!   result is deterministic),
+//! * an `(A → B, (x ‖ x))` clash is fixed by writing `t[A]` into `t[B]`.
+//!
+//! Fixes can cascade (a rewritten cell may appear on another CFD's LHS), so
+//! the procedure iterates in rounds up to a caller-supplied bound. It is a
+//! *heuristic*: finding a minimum-cost repair is NP-complete already for
+//! plain FDs, and some CFD sets admit no repair at all (e.g. two constant
+//! patterns demanding different values for one column) — the outcome then
+//! reports `clean = false` with the best instance reached.
+
+use crate::violations::{detect_all, ViolationKind};
+use cfd_model::cfd::Cfd;
+use cfd_relalg::instance::{Relation, Tuple};
+use cfd_relalg::Value;
+use std::collections::HashMap;
+
+/// The result of a repair run.
+#[derive(Clone, Debug)]
+pub struct RepairOutcome {
+    /// The repaired (or best-effort) instance.
+    pub relation: Relation,
+    /// Total number of cell overwrites performed.
+    pub cell_changes: usize,
+    /// Rounds of detect-and-fix executed.
+    pub rounds: usize,
+    /// Did the final instance satisfy every CFD?
+    pub clean: bool,
+}
+
+/// Repair `rel` against `sigma`, iterating at most `max_rounds` rounds.
+///
+/// Under set semantics repaired tuples may merge, so the output can be
+/// smaller than the input — that is the correct behaviour for duplicate
+/// resolution.
+pub fn repair(rel: &Relation, sigma: &[Cfd], max_rounds: usize) -> RepairOutcome {
+    let mut current = rel.clone();
+    let mut cell_changes = 0;
+    for round in 0..max_rounds {
+        let violations = detect_all(&current, sigma);
+        if violations.is_empty() {
+            return RepairOutcome { relation: current, cell_changes, rounds: round, clean: true };
+        }
+        // Plan cell overwrites: tuple → (attr → new value). *Forced* fixes
+        // (constant patterns, attribute equalities) are planned first; pair
+        // conflicts then adopt any pending forced value as their target, so
+        // a constant CFD and the plurality heuristic cannot oscillate by
+        // pulling one group in opposite directions round after round.
+        let mut plan: HashMap<Tuple, HashMap<usize, Value>> = HashMap::new();
+        for v in &violations {
+            let cfd = &sigma[v.cfd_index];
+            match &v.kind {
+                ViolationKind::ConstantClash { expected, .. } => {
+                    plan.entry(v.tuples[0].clone())
+                        .or_default()
+                        .insert(cfd.rhs_attr(), expected.clone());
+                }
+                ViolationKind::AttrEqClash { .. } => {
+                    let (a, b) = cfd.as_attr_eq().expect("attr-eq violation from attr-eq CFD");
+                    let t = &v.tuples[0];
+                    plan.entry(t.clone()).or_default().insert(b, t[a].clone());
+                }
+                ViolationKind::PairConflict { .. } => {} // second pass
+            }
+        }
+        for v in &violations {
+            let cfd = &sigma[v.cfd_index];
+            if !matches!(v.kind, ViolationKind::PairConflict { .. }) {
+                continue;
+            }
+            let rhs = cfd.rhs_attr();
+            let forced = v
+                .tuples
+                .iter()
+                .find_map(|t| plan.get(t).and_then(|ov| ov.get(&rhs)).cloned());
+            let target = forced.unwrap_or_else(|| plurality_value(&v.tuples, rhs));
+            for t in &v.tuples {
+                let current = plan
+                    .get(t)
+                    .and_then(|ov| ov.get(&rhs))
+                    .unwrap_or(&t[rhs]);
+                if current != &target {
+                    plan.entry(t.clone()).or_default().insert(rhs, target.clone());
+                }
+            }
+        }
+        if plan.is_empty() {
+            break; // nothing actionable (should not happen)
+        }
+        let mut next = Relation::new();
+        for t in current.tuples() {
+            match plan.get(t) {
+                Some(overwrites) => {
+                    let mut fixed = t.clone();
+                    for (attr, value) in overwrites {
+                        if &fixed[*attr] != value {
+                            fixed[*attr] = value.clone();
+                            cell_changes += 1;
+                        }
+                    }
+                    next.insert(fixed);
+                }
+                None => {
+                    next.insert(t.clone());
+                }
+            }
+        }
+        current = next;
+    }
+    let clean = detect_all(&current, sigma).is_empty();
+    RepairOutcome { relation: current, cell_changes, rounds: max_rounds, clean }
+}
+
+/// The most frequent value in column `attr` of `tuples`; ties break to the
+/// smallest value (total order on [`Value`]).
+fn plurality_value(tuples: &[Tuple], attr: usize) -> Value {
+    let mut counts: HashMap<&Value, usize> = HashMap::new();
+    for t in tuples {
+        *counts.entry(&t[attr]).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| vb.cmp(va)))
+        .map(|(v, _)| v.clone())
+        .expect("nonempty violation group")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_model::pattern::Pattern;
+    use cfd_model::satisfy;
+
+    fn rel(rows: &[&[i64]]) -> Relation {
+        rows.iter()
+            .map(|r| r.iter().map(|v| Value::int(*v)).collect::<Tuple>())
+            .collect()
+    }
+
+    #[test]
+    fn already_clean_is_untouched() {
+        let r = rel(&[&[1, 2], &[2, 3]]);
+        let sigma = vec![Cfd::fd(&[0], 1).unwrap()];
+        let out = repair(&r, &sigma, 5);
+        assert!(out.clean);
+        assert_eq!(out.cell_changes, 0);
+        assert_eq!(out.relation, r);
+    }
+
+    #[test]
+    fn plurality_wins_pair_conflicts() {
+        // key 1 maps to 2, 2, 3 → the 3 is overwritten with 2
+        let r = rel(&[&[1, 2, 0], &[1, 2, 1], &[1, 3, 2]]);
+        let sigma = vec![Cfd::fd(&[0], 1).unwrap()];
+        let out = repair(&r, &sigma, 5);
+        assert!(out.clean);
+        assert_eq!(out.cell_changes, 1);
+        assert!(out.relation.tuples().all(|t| t[1] == Value::int(2)));
+    }
+
+    #[test]
+    fn constant_clash_fixed_with_pattern_constant() {
+        let phi = Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::cst(9)).unwrap();
+        let r = rel(&[&[1, 8], &[1, 7]]);
+        let out = repair(&r, std::slice::from_ref(&phi), 5);
+        assert!(out.clean);
+        assert_eq!(out.cell_changes, 2);
+        assert!(satisfy::satisfies(&out.relation, &phi));
+        // both tuples became (1, 9) and merged under set semantics
+        assert_eq!(out.relation.len(), 1);
+    }
+
+    #[test]
+    fn attr_eq_clash_copies_left_to_right() {
+        let phi = Cfd::attr_eq(0, 1).unwrap();
+        let r = rel(&[&[4, 5]]);
+        let out = repair(&r, &[phi], 5);
+        assert!(out.clean);
+        let t = out.relation.tuples().next().unwrap();
+        assert_eq!(t[0], t[1]);
+    }
+
+    #[test]
+    fn cascading_fix_converges() {
+        // ([A] → B, (1 ‖ 9)) and B → C: fixing B creates a B-group that then
+        // forces C to agree.
+        let phi1 = Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::cst(9)).unwrap();
+        let phi2 = Cfd::fd(&[1], 2).unwrap();
+        let r = rel(&[&[1, 8, 5], &[2, 9, 6]]);
+        let out = repair(&r, &[phi1.clone(), phi2.clone()], 10);
+        assert!(out.clean, "cascade should settle: {:?}", out.relation);
+        assert!(satisfy::satisfies_all(&out.relation, [&phi1, &phi2]));
+    }
+
+    #[test]
+    fn unsatisfiable_demands_reported_not_clean() {
+        // Two constant columns demanding different values for attribute 1.
+        let a = Cfd::const_col(1, 1i64);
+        let b = Cfd::const_col(1, 2i64);
+        let r = rel(&[&[0, 1]]);
+        let out = repair(&r, &[a, b], 4);
+        assert!(!out.clean, "no repair exists");
+        assert_eq!(out.rounds, 4);
+    }
+
+    #[test]
+    fn repaired_instance_satisfies_sigma_when_clean() {
+        let sigma = vec![
+            Cfd::fd(&[0], 1).unwrap(),
+            Cfd::new(vec![(0, Pattern::cst(3))], 2, Pattern::cst(0)).unwrap(),
+        ];
+        let r = rel(&[&[1, 2, 9], &[1, 4, 9], &[3, 0, 7], &[3, 0, 0]]);
+        let out = repair(&r, &sigma, 10);
+        assert!(out.clean);
+        assert!(satisfy::satisfies_all(&out.relation, &sigma));
+        assert!(out.cell_changes >= 2);
+    }
+
+    #[test]
+    fn constant_and_plurality_do_not_oscillate() {
+        // Regression: FD A → B plus constant ([A] → B, (20 ‖ 9)). The
+        // plurality tie-break alone would pick the *smaller* value (8) for
+        // the group while the constant demands 9, swapping forever. The
+        // forced fix must win and the repair must converge.
+        let fd = Cfd::fd(&[0], 1).unwrap();
+        let k = Cfd::new(vec![(0, Pattern::cst(20))], 1, Pattern::cst(9)).unwrap();
+        let r = rel(&[&[20, 9], &[20, 8], &[31, 5]]);
+        let out = repair(&r, &[fd.clone(), k.clone()], 4);
+        assert!(out.clean, "must converge: {:?}", out.relation);
+        assert!(satisfy::satisfies_all(&out.relation, [&fd, &k]));
+        assert!(out.relation.tuples().all(|t| t[0] != Value::int(20) || t[1] == Value::int(9)));
+        assert_eq!(out.cell_changes, 1, "one forced overwrite suffices");
+    }
+
+    #[test]
+    fn empty_relation_is_trivially_clean() {
+        let out = repair(&Relation::new(), &[Cfd::fd(&[0], 1).unwrap()], 3);
+        assert!(out.clean);
+        assert_eq!(out.cell_changes, 0);
+        assert_eq!(out.rounds, 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! SQL generation for CFD violation detection.
+//!
+//! The CFD paper \[8\] shows that violations of a CFD `(R: X → A, tp)` are
+//! caught by a pair of SQL queries: a *constant* query (single tuples whose
+//! RHS cell clashes with a constant `tp[A]`) and a *variable* query (groups
+//! of tuples that agree on `X` but not on `A`, when `tp[A] = _`). This
+//! module renders those queries as standard SQL text so detection can be
+//! pushed into an external RDBMS instead of loading the data here.
+//!
+//! Identifiers are double-quoted, string literals single-quoted with
+//! doubling — the ANSI conventions.
+
+use cfd_model::cfd::Cfd;
+use cfd_model::pattern::Pattern;
+use cfd_relalg::schema::RelationSchema;
+use cfd_relalg::Value;
+use std::fmt::Write;
+
+/// Render a value as a SQL literal.
+pub fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+    }
+}
+
+/// Quote an identifier (relation or attribute name).
+pub fn sql_ident(name: &str) -> String {
+    format!("\"{}\"", name.replace('"', "\"\""))
+}
+
+/// The detection queries for one CFD: zero, one, or two SQL statements.
+///
+/// * For `(A → B, (x ‖ x))`: one query selecting tuples with `A <> B`.
+/// * For constant RHS `tp[A] = 'a'`: one single-tuple query.
+/// * For wildcard RHS: one `GROUP BY ... HAVING COUNT(DISTINCT A) > 1`
+///   query returning the conflicted LHS groups.
+///
+/// Each returned query selects the *violating* evidence: running them all
+/// and getting empty results everywhere is equivalent to `D |= φ`.
+pub fn detection_sql(schema: &RelationSchema, cfd: &Cfd) -> Vec<String> {
+    let rel = sql_ident(&schema.name);
+    let attr = |i: usize| sql_ident(&schema.attributes[i].name);
+
+    if let Some((a, b)) = cfd.as_attr_eq() {
+        return vec![format!(
+            "SELECT * FROM {rel} t WHERE t.{} <> t.{}",
+            attr(a),
+            attr(b)
+        )];
+    }
+
+    // WHERE conjuncts selecting tuples that match tp[X].
+    let mut conds: Vec<String> = Vec::new();
+    for (a, p) in cfd.lhs() {
+        if let Pattern::Const(v) = p {
+            conds.push(format!("t.{} = {}", attr(*a), sql_literal(v)));
+        }
+    }
+    let where_match = if conds.is_empty() { String::new() } else { conds.join(" AND ") };
+
+    match cfd.rhs_pattern() {
+        Pattern::Const(v) => {
+            let mut q = format!("SELECT * FROM {rel} t WHERE ");
+            if !where_match.is_empty() {
+                let _ = write!(q, "{where_match} AND ");
+            }
+            let _ = write!(q, "t.{} <> {}", attr(cfd.rhs_attr()), sql_literal(v));
+            vec![q]
+        }
+        Pattern::Wild => {
+            let group_cols: Vec<String> =
+                cfd.lhs().iter().map(|(a, _)| format!("t.{}", attr(*a))).collect();
+            if group_cols.is_empty() {
+                // (∅ → A, (‖ _)): "the whole column is one value" — conflicts
+                // are any two distinct values in the column.
+                return vec![format!(
+                    "SELECT COUNT(DISTINCT t.{a}) AS n FROM {rel} t HAVING COUNT(DISTINCT t.{a}) > 1",
+                    a = attr(cfd.rhs_attr())
+                )];
+            }
+            let mut q = format!("SELECT {} FROM {rel} t", group_cols.join(", "));
+            if !where_match.is_empty() {
+                let _ = write!(q, " WHERE {where_match}");
+            }
+            let _ = write!(
+                q,
+                " GROUP BY {} HAVING COUNT(DISTINCT t.{}) > 1",
+                group_cols.join(", "),
+                attr(cfd.rhs_attr())
+            );
+            vec![q]
+        }
+        Pattern::SpecialVar => unreachable!("as_attr_eq handled the special form"),
+    }
+}
+
+/// Detection SQL for a whole CFD set, flattened in input order.
+pub fn detection_sql_all(schema: &RelationSchema, sigma: &[Cfd]) -> Vec<String> {
+    sigma.iter().flat_map(|c| detection_sql(schema, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relalg::domain::DomainKind;
+    use cfd_relalg::schema::Attribute;
+
+    fn schema() -> RelationSchema {
+        RelationSchema::new(
+            "cust",
+            vec![
+                Attribute::new("CC", DomainKind::Text),
+                Attribute::new("AC", DomainKind::Text),
+                Attribute::new("city", DomainKind::Text),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pair_query_for_wildcard_rhs() {
+        // ([CC, AC] → city, ('44', _ ‖ _)) — ϕ2 of the paper
+        let phi = Cfd::new(
+            vec![(0, Pattern::cst(Value::str("44"))), (1, Pattern::Wild)],
+            2,
+            Pattern::Wild,
+        )
+        .unwrap();
+        let qs = detection_sql(&schema(), &phi);
+        assert_eq!(qs.len(), 1);
+        let q = &qs[0];
+        assert!(q.contains(r#"t."CC" = '44'"#), "{q}");
+        assert!(q.contains(r#"GROUP BY t."CC", t."AC""#), "{q}");
+        assert!(q.contains(r#"HAVING COUNT(DISTINCT t."city") > 1"#), "{q}");
+    }
+
+    #[test]
+    fn constant_query_for_constant_rhs() {
+        // ([CC, AC] → city, ('44', '20' ‖ 'ldn')) — ϕ4 of the paper
+        let phi = Cfd::new(
+            vec![
+                (0, Pattern::cst(Value::str("44"))),
+                (1, Pattern::cst(Value::str("20"))),
+            ],
+            2,
+            Pattern::cst(Value::str("ldn")),
+        )
+        .unwrap();
+        let qs = detection_sql(&schema(), &phi);
+        assert_eq!(qs.len(), 1);
+        let q = &qs[0];
+        assert!(q.starts_with("SELECT * FROM \"cust\" t WHERE "), "{q}");
+        assert!(q.contains(r#"t."city" <> 'ldn'"#), "{q}");
+    }
+
+    #[test]
+    fn attr_eq_query() {
+        let phi = Cfd::attr_eq(0, 1).unwrap();
+        let qs = detection_sql(&schema(), &phi);
+        assert_eq!(qs, vec![r#"SELECT * FROM "cust" t WHERE t."CC" <> t."AC""#.to_string()]);
+    }
+
+    #[test]
+    fn string_literals_escaped() {
+        let phi = Cfd::new(
+            vec![(0, Pattern::cst(Value::str("O'Hare")))],
+            2,
+            Pattern::Wild,
+        )
+        .unwrap();
+        let q = &detection_sql(&schema(), &phi)[0];
+        assert!(q.contains("'O''Hare'"), "{q}");
+    }
+
+    #[test]
+    fn idents_with_quotes_escaped() {
+        assert_eq!(sql_ident("we\"ird"), "\"we\"\"ird\"");
+    }
+
+    #[test]
+    fn empty_lhs_column_constancy() {
+        let phi = Cfd::const_col(2, Value::str("ldn")).normalize_const_rhs();
+        let qs = detection_sql(&schema(), &phi);
+        assert_eq!(qs.len(), 1);
+        assert!(qs[0].contains("<> 'ldn'"), "{}", qs[0]);
+    }
+
+    #[test]
+    fn literal_forms() {
+        assert_eq!(sql_literal(&Value::int(-3)), "-3");
+        assert_eq!(sql_literal(&Value::Bool(true)), "TRUE");
+        assert_eq!(sql_literal(&Value::str("a")), "'a'");
+    }
+
+    #[test]
+    fn all_flattens_in_order() {
+        let sigma = vec![Cfd::fd(&[0], 2).unwrap(), Cfd::attr_eq(0, 1).unwrap()];
+        let qs = detection_sql_all(&schema(), &sigma);
+        assert_eq!(qs.len(), 2);
+        assert!(qs[0].contains("GROUP BY"));
+        assert!(qs[1].contains("<>"));
+    }
+}

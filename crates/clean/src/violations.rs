@@ -1,0 +1,285 @@
+//! Batch CFD violation detection.
+//!
+//! [`cfd_model::satisfy::find_violation`] is the semantic reference: a
+//! direct transcription of the §2.1 definition that scans all tuple pairs
+//! (`O(|D|²)` per CFD). Detection here instead groups the tuples that match
+//! the LHS pattern by their LHS *values* — two tuples can only violate a CFD
+//! together if they agree on `X` — so each group is examined in isolation
+//! and the whole pass is `O(|D|)` expected per CFD.
+//!
+//! The output enumerates *every* offending tuple (not just one witness
+//! pair), which is what a cleaning tool needs to mark cells.
+
+use cfd_model::cfd::Cfd;
+use cfd_model::pattern::Pattern;
+use cfd_relalg::instance::{Relation, Tuple};
+use cfd_relalg::Value;
+use std::collections::HashMap;
+
+/// How a tuple (or group of tuples) violates a CFD.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A single tuple matches `tp[X]` but its RHS cell differs from the
+    /// constant `tp[A]` (the single-tuple rule of §2.1).
+    ConstantClash {
+        /// The expected constant `tp[A]`.
+        expected: Value,
+        /// The value actually found in the RHS cell.
+        found: Value,
+    },
+    /// Two or more tuples agree on `X ≍ tp[X]` but disagree on the RHS
+    /// attribute; `values` lists the distinct RHS values observed.
+    PairConflict {
+        /// The distinct RHS values seen within the group (≥ 2).
+        values: Vec<Value>,
+    },
+    /// A tuple fails the `(A → B, (x ‖ x))` equality `t[A] = t[B]`.
+    AttrEqClash {
+        /// The value of `t[A]`.
+        left: Value,
+        /// The value of `t[B]`.
+        right: Value,
+    },
+}
+
+/// One violation of one CFD, with the tuples that exhibit it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the violated CFD in the input set.
+    pub cfd_index: usize,
+    /// The kind of violation.
+    pub kind: ViolationKind,
+    /// All tuples participating in the violation. For
+    /// [`ViolationKind::PairConflict`] this is the whole LHS-value group;
+    /// for the single-tuple kinds it is one tuple.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Violation {
+    /// A one-line human-readable description (attribute names optional).
+    pub fn describe(&self, cfd: &Cfd, names: Option<&[String]>) -> String {
+        let rhs = match names {
+            Some(ns) if cfd.rhs_attr() < ns.len() => ns[cfd.rhs_attr()].clone(),
+            _ => format!("#{}", cfd.rhs_attr()),
+        };
+        match &self.kind {
+            ViolationKind::ConstantClash { expected, found } => format!(
+                "tuple has {rhs} = {found} but the pattern requires {rhs} = {expected}"
+            ),
+            ViolationKind::PairConflict { values } => {
+                let vs: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+                format!(
+                    "{} tuples agree on the LHS but take {} distinct values for {rhs}: {}",
+                    self.tuples.len(),
+                    values.len(),
+                    vs.join(", ")
+                )
+            }
+            ViolationKind::AttrEqClash { left, right } => {
+                format!("tuple violates the equality constraint: {left} ≠ {right}")
+            }
+        }
+    }
+}
+
+/// Detect all violations of `cfd` in `rel`, reported exhaustively.
+pub fn detect(rel: &Relation, cfd: &Cfd) -> Vec<Violation> {
+    detect_indexed(rel, cfd, 0)
+}
+
+/// Detect all violations of every CFD in `sigma`, tagged with CFD indices.
+pub fn detect_all(rel: &Relation, sigma: &[Cfd]) -> Vec<Violation> {
+    sigma
+        .iter()
+        .enumerate()
+        .flat_map(|(i, c)| detect_indexed(rel, c, i))
+        .collect()
+}
+
+fn detect_indexed(rel: &Relation, cfd: &Cfd, cfd_index: usize) -> Vec<Violation> {
+    if let Some((a, b)) = cfd.as_attr_eq() {
+        return rel
+            .tuples()
+            .filter(|t| t[a] != t[b])
+            .map(|t| Violation {
+                cfd_index,
+                kind: ViolationKind::AttrEqClash { left: t[a].clone(), right: t[b].clone() },
+                tuples: vec![t.clone()],
+            })
+            .collect();
+    }
+
+    let mut out = Vec::new();
+    let rhs = cfd.rhs_attr();
+    match cfd.rhs_pattern() {
+        Pattern::Const(expected) => {
+            // Single-tuple rule: every matching tuple must carry the constant.
+            for t in rel.tuples() {
+                if lhs_matches(cfd, t) && &t[rhs] != expected {
+                    out.push(Violation {
+                        cfd_index,
+                        kind: ViolationKind::ConstantClash {
+                            expected: expected.clone(),
+                            found: t[rhs].clone(),
+                        },
+                        tuples: vec![t.clone()],
+                    });
+                }
+            }
+        }
+        Pattern::Wild => {
+            // Pair rule: group matching tuples by LHS values; a group with
+            // ≥ 2 distinct RHS values is one violation.
+            let mut groups: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::new();
+            for t in rel.tuples() {
+                if lhs_matches(cfd, t) {
+                    let key: Vec<&Value> = cfd.lhs().iter().map(|(a, _)| &t[*a]).collect();
+                    groups.entry(key).or_default().push(t);
+                }
+            }
+            let mut conflicted: Vec<Violation> = groups
+                .into_values()
+                .filter_map(|group| {
+                    let mut values: Vec<Value> = Vec::new();
+                    for t in &group {
+                        if !values.contains(&t[rhs]) {
+                            values.push(t[rhs].clone());
+                        }
+                    }
+                    if values.len() > 1 {
+                        values.sort();
+                        Some(Violation {
+                            cfd_index,
+                            kind: ViolationKind::PairConflict { values },
+                            tuples: group.into_iter().cloned().collect(),
+                        })
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            // Deterministic order regardless of hash iteration.
+            conflicted.sort_by(|a, b| a.tuples.cmp(&b.tuples));
+            out.extend(conflicted);
+        }
+        Pattern::SpecialVar => unreachable!("as_attr_eq handled the special form"),
+    }
+    out
+}
+
+fn lhs_matches(cfd: &Cfd, t: &Tuple) -> bool {
+    cfd.lhs().iter().all(|(a, p)| p.matches_value(&t[*a]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_model::satisfy;
+
+    fn rel(rows: &[&[i64]]) -> Relation {
+        rows.iter()
+            .map(|r| r.iter().map(|v| Value::int(*v)).collect::<Tuple>())
+            .collect()
+    }
+
+    #[test]
+    fn clean_relation_has_no_violations() {
+        let r = rel(&[&[1, 2], &[2, 3]]);
+        assert!(detect(&r, &Cfd::fd(&[0], 1).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn pair_conflict_lists_whole_group() {
+        let r = rel(&[&[1, 2], &[1, 3], &[1, 3], &[2, 5]]);
+        let vs = detect(&r, &Cfd::fd(&[0], 1).unwrap());
+        assert_eq!(vs.len(), 1, "one conflicted group");
+        match &vs[0].kind {
+            ViolationKind::PairConflict { values } => {
+                assert_eq!(values, &[Value::int(2), Value::int(3)]);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        // set semantics dedups the (1,3) rows: the group has the 2 tuples
+        assert_eq!(vs[0].tuples.len(), 2);
+    }
+
+    #[test]
+    fn constant_clash_is_per_tuple() {
+        // ([A] → B, (1 ‖ 9))
+        let phi = Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::cst(9)).unwrap();
+        let r = rel(&[&[1, 9], &[1, 8], &[1, 7], &[2, 0]]);
+        let vs = detect(&r, &phi);
+        assert_eq!(vs.len(), 2, "two tuples clash with the constant");
+        assert!(vs
+            .iter()
+            .all(|v| matches!(v.kind, ViolationKind::ConstantClash { .. })));
+    }
+
+    #[test]
+    fn conditional_scope_respected() {
+        let phi = Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::Wild).unwrap();
+        let r = rel(&[&[2, 5], &[2, 6]]); // out of scope
+        assert!(detect(&r, &phi).is_empty());
+    }
+
+    #[test]
+    fn attr_eq_violations() {
+        let phi = Cfd::attr_eq(0, 1).unwrap();
+        let r = rel(&[&[3, 3], &[4, 5]]);
+        let vs = detect(&r, &phi);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(
+            vs[0].kind,
+            ViolationKind::AttrEqClash { left: Value::int(4), right: Value::int(5) }
+        );
+    }
+
+    #[test]
+    fn agrees_with_pairwise_reference() {
+        // detection is empty iff the quadratic reference finds nothing
+        let cases: Vec<(Relation, Cfd)> = vec![
+            (rel(&[&[1, 2], &[1, 3]]), Cfd::fd(&[0], 1).unwrap()),
+            (rel(&[&[1, 2], &[2, 3]]), Cfd::fd(&[0], 1).unwrap()),
+            (rel(&[&[1, 7]]), Cfd::const_col(1, 7i64)),
+            (rel(&[&[1, 8]]), Cfd::const_col(1, 7i64)),
+            (rel(&[&[5, 5]]), Cfd::attr_eq(0, 1).unwrap()),
+            (rel(&[&[5, 6]]), Cfd::attr_eq(0, 1).unwrap()),
+        ];
+        for (r, c) in cases {
+            assert_eq!(
+                detect(&r, &c).is_empty(),
+                satisfy::satisfies(&r, &c),
+                "mismatch for {c} on {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn detect_all_tags_cfd_indices() {
+        let r = rel(&[&[1, 2], &[1, 3]]);
+        let sigma = vec![Cfd::fd(&[0], 1).unwrap(), Cfd::fd(&[1], 0).unwrap()];
+        let vs = detect_all(&r, &sigma);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].cfd_index, 0);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let r = rel(&[&[1, 2], &[1, 3]]);
+        let fd = Cfd::fd(&[0], 1).unwrap();
+        let vs = detect(&r, &fd);
+        let names = vec!["A".to_string(), "B".to_string()];
+        let msg = vs[0].describe(&fd, Some(&names));
+        assert!(msg.contains('B'), "{msg}");
+        assert!(msg.contains("2 tuples"), "{msg}");
+    }
+
+    #[test]
+    fn empty_lhs_constant_form() {
+        // (∅ → B, (‖ 7)) — the normalized constant-column form
+        let phi = Cfd::const_col(1, 7i64).normalize_const_rhs();
+        assert!(phi.lhs().is_empty());
+        let vs = detect(&rel(&[&[1, 7], &[2, 8]]), &phi);
+        assert_eq!(vs.len(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the cleaning substrate.
+//!
+//! The quadratic pair scan of `cfd_model::satisfy` is the semantic
+//! reference; everything here (hash-grouped detection, the incremental
+//! checker, repair) must agree with it on random inputs.
+
+use cfd_clean::{detect, detect_all, repair, InsertChecker};
+use cfd_model::cfd::Cfd;
+use cfd_model::pattern::Pattern;
+use cfd_model::satisfy;
+use cfd_relalg::instance::{Relation, Tuple};
+use cfd_relalg::Value;
+use proptest::prelude::*;
+
+const ARITY: usize = 3;
+
+/// Values from a tiny pool so collisions (and violations) are likely.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    (0i64..4).prop_map(Value::int)
+}
+
+fn tuple_strategy() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(value_strategy(), ARITY)
+}
+
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(tuple_strategy(), 0..12)
+        .prop_map(|ts| ts.into_iter().collect())
+}
+
+/// A random normal-form CFD over `ARITY` attributes (plain, conditional,
+/// constant-RHS, or the attribute-equality form).
+fn cfd_strategy() -> impl Strategy<Value = Cfd> {
+    let cell = prop_oneof![
+        3 => Just(Pattern::Wild),
+        2 => (0i64..4).prop_map(Pattern::cst),
+    ];
+    let lhs = proptest::collection::btree_set(0usize..ARITY, 1..ARITY);
+    let shaped = (lhs, proptest::collection::vec(cell, ARITY), 0usize..ARITY, prop_oneof![
+        3 => Just(Pattern::Wild),
+        2 => (0i64..4).prop_map(Pattern::cst),
+    ])
+        .prop_filter_map("valid cfd", |(lhs, cells, rhs, rhs_p)| {
+            let lhs_cells: Vec<(usize, Pattern)> =
+                lhs.iter().enumerate().map(|(i, a)| (*a, cells[i].clone())).collect();
+            Cfd::new(lhs_cells, rhs, rhs_p).ok()
+        });
+    prop_oneof![
+        6 => shaped,
+        1 => (0usize..ARITY, 0usize..ARITY)
+            .prop_filter_map("distinct attrs", |(a, b)| if a == b { None } else { Cfd::attr_eq(a, b).ok() }),
+    ]
+}
+
+proptest! {
+    /// Hash-grouped detection agrees with the pairwise reference.
+    #[test]
+    fn detect_agrees_with_satisfy(rel in relation_strategy(), cfd in cfd_strategy()) {
+        prop_assert_eq!(detect(&rel, &cfd).is_empty(), satisfy::satisfies(&rel, &cfd));
+    }
+
+    /// Every tuple reported in a violation really belongs to the relation.
+    #[test]
+    fn violations_cite_existing_tuples(rel in relation_strategy(), cfd in cfd_strategy()) {
+        for v in detect(&rel, &cfd) {
+            for t in &v.tuples {
+                prop_assert!(rel.contains(t), "violation cites a phantom tuple");
+            }
+        }
+    }
+
+    /// When repair reports `clean`, the instance satisfies every CFD.
+    #[test]
+    fn repair_result_is_clean_when_claimed(
+        rel in relation_strategy(),
+        sigma in proptest::collection::vec(cfd_strategy(), 1..4),
+    ) {
+        let out = repair(&rel, &sigma, 8);
+        if out.clean {
+            prop_assert!(satisfy::satisfies_all(&out.relation, &sigma));
+            prop_assert!(detect_all(&out.relation, &sigma).is_empty());
+        }
+    }
+
+    /// Repair never invents tuples: the output size is bounded by the input
+    /// (set-semantics merges can only shrink it).
+    #[test]
+    fn repair_never_grows_instance(
+        rel in relation_strategy(),
+        sigma in proptest::collection::vec(cfd_strategy(), 1..4),
+    ) {
+        let out = repair(&rel, &sigma, 8);
+        prop_assert!(out.relation.len() <= rel.len());
+    }
+
+    /// A clean input comes back untouched at zero cost.
+    #[test]
+    fn repair_is_identity_on_clean_input(
+        rel in relation_strategy(),
+        sigma in proptest::collection::vec(cfd_strategy(), 1..4),
+    ) {
+        if satisfy::satisfies_all(&rel, &sigma) {
+            let out = repair(&rel, &sigma, 8);
+            prop_assert!(out.clean);
+            prop_assert_eq!(out.cell_changes, 0);
+            prop_assert_eq!(out.relation, rel);
+        }
+    }
+
+    /// Feeding tuples through the incremental checker (keeping only
+    /// accepted inserts) always produces a relation satisfying Σ.
+    #[test]
+    fn incremental_accepts_only_consistent_states(
+        tuples in proptest::collection::vec(tuple_strategy(), 0..12),
+        sigma in proptest::collection::vec(cfd_strategy(), 1..4),
+    ) {
+        let mut checker = InsertChecker::new(sigma.clone(), &Relation::new());
+        let mut accepted = Relation::new();
+        for t in tuples {
+            if checker.insert(t.clone()).is_ok() {
+                accepted.insert(t);
+            }
+        }
+        prop_assert!(
+            satisfy::satisfies_all(&accepted, &sigma),
+            "accepted set violates sigma: {accepted:?}"
+        );
+    }
+
+    /// The checker's verdict on a single insert agrees with re-running the
+    /// batch reference on the would-be relation.
+    #[test]
+    fn incremental_verdict_matches_batch(
+        base_rows in proptest::collection::vec(tuple_strategy(), 0..8),
+        candidate in tuple_strategy(),
+        sigma in proptest::collection::vec(cfd_strategy(), 1..3),
+    ) {
+        // build a clean base by filtering
+        let mut checker = InsertChecker::new(sigma.clone(), &Relation::new());
+        let mut base = Relation::new();
+        for t in base_rows {
+            if checker.insert(t.clone()).is_ok() {
+                base.insert(t);
+            }
+        }
+        let verdict_ok = checker.check(&candidate).is_empty();
+        let mut merged = base.clone();
+        merged.insert(candidate);
+        prop_assert_eq!(
+            verdict_ok,
+            satisfy::satisfies_all(&merged, &sigma),
+            "incremental and batch disagree"
+        );
+    }
+}

@@ -1,0 +1,506 @@
+//! `cfdprop` — CFD propagation analysis from the command line.
+//!
+//! ```text
+//! cfdprop check <file.cfd> [--setting infinite|general]
+//!     Decide, for every `vcfd` in the file, whether it is propagated from
+//!     the file's source CFDs via its view; print a witness summary when
+//!     not.
+//!
+//! cfdprop cover <file.cfd> [--max-size N] [--view NAME]
+//!     Compute a minimal propagation cover for each (SPC) view.
+//!
+//! cfdprop empty <file.cfd>
+//!     Decide the emptiness problem for every view.
+//!
+//! cfdprop consistency <file.cfd>
+//!     Check each relation's source CFDs for consistency.
+//!
+//! cfdprop gen [--relations N] [--cfds M] [--y N] [--f N] [--ec N] [--seed S]
+//!     Emit a random workload document (paper §5 generators).
+//!
+//! cfdprop clean <file.cfd> [--repair]
+//!     Detect violations of the file's source CFDs on its `row` data;
+//!     with --repair, print a greedy minimal-change repair.
+//!
+//! cfdprop sql <file.cfd>
+//!     Emit the SQL detection queries for every source CFD.
+//!
+//! cfdprop cind <file.cfd>
+//!     Validate `cind` statements against `row` data (when present) and
+//!     print the CINDs propagated to each SPC view.
+//! ```
+
+use cfd_propagation::cover::{
+    prop_cfd_spc, prop_cfd_spc_general, prop_cfd_spcu_sound, CoverOptions, GeneralCoverOptions,
+};
+use cfd_propagation::emptiness::non_emptiness_witness;
+use cfd_propagation::{propagates, Setting, Verdict};
+use cfd_relalg::domain::DomainKind;
+use cfd_text::Document;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load(path: &str) -> Result<Document, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Document::parse(&src).map_err(|e| format!("{path}:{e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("check") => check(args),
+        Some("cover") => cover(args),
+        Some("empty") => empty(args),
+        Some("consistency") => consistency(args),
+        Some("gen") => gen(args),
+        Some("clean") => clean(args),
+        Some("sql") => sql(args),
+        Some("cind") => cind(args),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}` (try --help)")),
+    }
+}
+
+const HELP: &str = "\
+cfdprop — propagating functional dependencies with conditions (VLDB 2008)
+
+USAGE:
+    cfdprop check <file.cfd> [--setting infinite|general]
+    cfdprop cover <file.cfd> [--view NAME] [--max-size N] [--general]
+    cfdprop empty <file.cfd>
+    cfdprop consistency <file.cfd>
+    cfdprop gen [--relations N] [--cfds M] [--y N] [--f N] [--ec N] [--seed S]
+    cfdprop clean <file.cfd> [--repair]
+    cfdprop sql <file.cfd>
+    cfdprop cind <file.cfd>
+";
+
+fn setting_from(args: &[String], doc: &Document) -> Result<Setting, String> {
+    match flag_value(args, "--setting").as_deref() {
+        Some("infinite") => Ok(Setting::InfiniteDomain),
+        Some("general") => Ok(Setting::General),
+        Some(other) => Err(format!("unknown setting `{other}`")),
+        None => Ok(Setting::for_catalog(&doc.catalog)),
+    }
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("usage: cfdprop check <file.cfd>")?;
+    let doc = load(path)?;
+    let setting = setting_from(args, &doc)?;
+    let sigma = doc.sigma();
+    if doc.view_cfds.is_empty() {
+        return Err("no `vcfd` statements in the document".into());
+    }
+    let mut failures = 0;
+    for vc in &doc.view_cfds {
+        let view = doc
+            .view(&vc.view)
+            .ok_or_else(|| format!("unknown view `{}`", vc.view))?;
+        let names = view.query.schema().names();
+        let label = vc.name.clone().unwrap_or_else(|| "<unnamed>".into());
+        let verdict = propagates(&doc.catalog, &sigma, &view.query, &vc.cfd, setting)
+            .map_err(|e| e.to_string())?;
+        match verdict {
+            Verdict::Propagated => {
+                println!("PROPAGATED      {label}: {} on {}", body(&vc.cfd, &names), vc.view);
+            }
+            Verdict::NotPropagated(w) => {
+                failures += 1;
+                println!("NOT PROPAGATED  {label}: {} on {}", body(&vc.cfd, &names), vc.view);
+                println!(
+                    "                counterexample source database with {} tuple(s):",
+                    w.database.total_tuples()
+                );
+                for (rel, schema) in doc.catalog.relations() {
+                    let r = w.database.relation(rel);
+                    if !r.is_empty() {
+                        let cols: Vec<String> =
+                            schema.attributes.iter().map(|a| a.name.clone()).collect();
+                        print!("{}", cfd_relalg::instance::render_table(&schema.name, &cols, r));
+                    }
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        Err(format!("{failures} view CFD(s) not propagated"))
+    } else {
+        Ok(())
+    }
+}
+
+fn body(cfd: &cfd_model::Cfd, names: &[String]) -> String {
+    cfd_text::pretty::render_cfd_body(cfd, names)
+}
+
+fn cover(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("usage: cfdprop cover <file.cfd>")?;
+    let doc = load(path)?;
+    let only = flag_value(args, "--view");
+    let mut opts = CoverOptions::default();
+    if let Some(n) = flag_value(args, "--max-size") {
+        opts.rbr.max_size = Some(n.parse().map_err(|_| "--max-size expects a number")?);
+    }
+    let general = args.iter().any(|a| a == "--general");
+    let sigma = doc.sigma();
+    for view in &doc.views {
+        if let Some(name) = &only {
+            if &view.name != name {
+                continue;
+            }
+        }
+        let names = view.query.schema().names();
+        if view.query.branches.len() != 1 {
+            // Union view: the sound SPCU cover (§7 extension).
+            let result = prop_cfd_spcu_sound(&doc.catalog, &sigma, &view.query, &opts)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "view {}: {} propagated CFD(s) [union: sound cover, possibly incomplete]{}",
+                view.name,
+                result.cfds.len(),
+                if result.always_empty { " [view is empty on every model of Σ]" } else { "" },
+            );
+            for c in &result.cfds {
+                println!("  {}{}", view.name, body(c, &names));
+            }
+            continue;
+        }
+        if general {
+            let gopts = GeneralCoverOptions { cover: opts.clone(), ..Default::default() };
+            let result =
+                prop_cfd_spc_general(&doc.catalog, &sigma, &view.query.branches[0], &gopts)
+                    .map_err(|e| e.to_string())?;
+            println!(
+                "view {}: {} propagated CFD(s) [general setting: sound cover]{}{}{}",
+                view.name,
+                result.cfds.len(),
+                if result.always_empty { " [view is empty on every model of Σ]" } else { "" },
+                if result.enumeration_truncated { " [candidate enumeration truncated]" } else { "" },
+                if result.finite_domain_gains > 0 {
+                    format!(" [{} finite-domain gain(s)]", result.finite_domain_gains)
+                } else {
+                    String::new()
+                },
+            );
+            for c in &result.cfds {
+                println!("  {}{}", view.name, body(c, &names));
+            }
+            continue;
+        }
+        let result = prop_cfd_spc(&doc.catalog, &sigma, &view.query.branches[0], &opts)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "view {}: {} propagated CFD(s){}{}",
+            view.name,
+            result.cfds.len(),
+            if result.always_empty { " [view is empty on every model of Σ]" } else { "" },
+            if result.complete { "" } else { " [truncated: sound subset]" },
+        );
+        for c in &result.cfds {
+            println!("  {}{}", view.name, body(c, &names));
+        }
+    }
+    Ok(())
+}
+
+/// `cfdprop clean <file.cfd> [--repair]` — violation detection (and
+/// optional repair) of the document's source CFDs on its `row` data.
+fn clean(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("usage: cfdprop clean <file.cfd> [--repair]")?;
+    let doc = load(path)?;
+    let db = doc.database().map_err(|e| e.to_string())?;
+    if db.total_tuples() == 0 {
+        return Err("the document has no `row` data to clean".into());
+    }
+    let do_repair = args.iter().any(|a| a == "--repair");
+    let mut total = 0usize;
+    for (rel, schema) in doc.catalog.relations() {
+        let local: Vec<cfd_model::Cfd> = doc
+            .sigma()
+            .iter()
+            .filter(|s| s.rel == rel)
+            .map(|s| s.cfd.clone())
+            .collect();
+        if local.is_empty() {
+            continue;
+        }
+        let names: Vec<String> = schema.attributes.iter().map(|a| a.name.clone()).collect();
+        let violations = cfd_clean::detect_all(db.relation(rel), &local);
+        for v in &violations {
+            println!(
+                "{}: violates {}{}",
+                schema.name,
+                body(&local[v.cfd_index], &names),
+                format_args!(" — {}", v.describe(&local[v.cfd_index], Some(&names)))
+            );
+            for t in &v.tuples {
+                let cells: Vec<String> = t.iter().map(|x| x.to_string()).collect();
+                println!("    ({})", cells.join(", "));
+            }
+        }
+        total += violations.len();
+        if do_repair && !violations.is_empty() {
+            let outcome = cfd_clean::repair(db.relation(rel), &local, 8);
+            println!(
+                "{}: repair — {} cell change(s) in {} round(s), clean = {}",
+                schema.name, outcome.cell_changes, outcome.rounds, outcome.clean
+            );
+            print!("{}", cfd_relalg::instance::render_table(&schema.name, &names, &outcome.relation));
+        }
+    }
+    if total == 0 {
+        println!("clean: no violations");
+        Ok(())
+    } else if do_repair {
+        Ok(())
+    } else {
+        Err(format!("{total} violation(s) found"))
+    }
+}
+
+/// `cfdprop sql <file.cfd>` — detection SQL for every source CFD.
+fn sql(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("usage: cfdprop sql <file.cfd>")?;
+    let doc = load(path)?;
+    for (rel, schema) in doc.catalog.relations() {
+        for s in doc.sigma().iter().filter(|s| s.rel == rel) {
+            for q in cfd_clean::detection_sql(schema, &s.cfd) {
+                println!("{q};");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `cfdprop cind <file.cfd>` — validate CINDs on `row` data and print the
+/// CINDs propagated to each SPC view.
+fn cind(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("usage: cfdprop cind <file.cfd>")?;
+    let doc = load(path)?;
+    if doc.cinds.is_empty() {
+        return Err("no `cind` statements in the document".into());
+    }
+    let sigma: Vec<cfd_cind::Cind> = doc.cinds.iter().map(|n| n.cind.clone()).collect();
+
+    // Validate against data when the document carries rows.
+    let mut violated = 0usize;
+    if !doc.rows.is_empty() {
+        let db = doc.database().map_err(|e| e.to_string())?;
+        for named in &doc.cinds {
+            let label = named.name.clone().unwrap_or_else(|| "<unnamed>".into());
+            if let Some(t) = cfd_cind::find_violation(&db, &named.cind) {
+                violated += 1;
+                let cells: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+                println!(
+                    "VIOLATED  {label}: {} — no witness for ({})",
+                    cfd_text::pretty::render_cind(&named.cind, &doc.catalog),
+                    cells.join(", ")
+                );
+            } else {
+                println!(
+                    "SATISFIED {label}: {}",
+                    cfd_text::pretty::render_cind(&named.cind, &doc.catalog)
+                );
+            }
+        }
+    }
+
+    // Propagate through each single-branch SPC view.
+    for view in &doc.views {
+        if view.query.branches.len() != 1 {
+            println!("view {}: skipped (CIND propagation handles SPC views)", view.name);
+            continue;
+        }
+        let mut extended = doc.catalog.clone();
+        let v = cfd_cind::register_view(&mut extended, &view.name, &view.query.branches[0])
+            .map_err(|e| e.to_string())?;
+        let props = cfd_cind::propagate_cinds(
+            v,
+            &view.query.branches[0],
+            &sigma,
+            &cfd_cind::implication::ImplicationOptions::default(),
+        );
+        println!("view {}: {} propagated CIND(s)", view.name, props.len());
+        for c in &props {
+            println!("  {}", cfd_text::pretty::render_cind(c, &extended));
+        }
+    }
+    if violated > 0 {
+        Err(format!("{violated} CIND(s) violated by the data"))
+    } else {
+        Ok(())
+    }
+}
+
+fn empty(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("usage: cfdprop empty <file.cfd>")?;
+    let doc = load(path)?;
+    let setting = Setting::for_catalog(&doc.catalog);
+    let sigma = doc.sigma();
+    for view in &doc.views {
+        let witness = non_emptiness_witness(&doc.catalog, &sigma, &view.query, setting)
+            .map_err(|e| e.to_string())?;
+        match witness {
+            None => println!("view {}: ALWAYS EMPTY under the source CFDs", view.name),
+            Some(db) => println!(
+                "view {}: realizable (witness source database with {} tuple(s))",
+                view.name,
+                db.total_tuples()
+            ),
+        }
+    }
+    Ok(())
+}
+
+fn consistency(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("usage: cfdprop consistency <file.cfd>")?;
+    let doc = load(path)?;
+    let mut bad = 0;
+    for (rel, schema) in doc.catalog.relations() {
+        let local: Vec<cfd_model::Cfd> = doc
+            .sigma()
+            .iter()
+            .filter(|s| s.rel == rel)
+            .map(|s| s.cfd.clone())
+            .collect();
+        let domains: Vec<DomainKind> =
+            schema.attributes.iter().map(|a| a.domain.clone()).collect();
+        let ok = cfd_model::implication::is_consistent_general(&local, &domains);
+        println!(
+            "{}: {} CFD(s), {}",
+            schema.name,
+            local.len(),
+            if ok { "consistent" } else { "INCONSISTENT (no nonempty instance)" }
+        );
+        if !ok {
+            bad += 1;
+        }
+    }
+    if bad > 0 {
+        Err(format!("{bad} relation(s) with inconsistent CFDs"))
+    } else {
+        Ok(())
+    }
+}
+
+fn gen(args: &[String]) -> Result<(), String> {
+    use cfd_datagen::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let get = |name: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, name) {
+            Some(v) => v.parse().map_err(|_| format!("{name} expects a number")),
+            None => Ok(default),
+        }
+    };
+    let seed = get("--seed", 42)? as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = gen_schema(
+        &SchemaGenConfig { relations: get("--relations", 10)?, ..Default::default() },
+        &mut rng,
+    );
+    let sigma = gen_cfds(
+        &catalog,
+        &CfdGenConfig { count: get("--cfds", 50)?, ..Default::default() },
+        &mut rng,
+    );
+    let view = gen_spc_view(
+        &catalog,
+        &ViewGenConfig {
+            y: get("--y", 10)?,
+            f: get("--f", 4)?,
+            ec: get("--ec", 2)?,
+            const_range: 100_000,
+        },
+        &mut rng,
+    );
+    // Print as a document: schemas + cfds + a reconstructed view text.
+    for (_, schema) in catalog.relations() {
+        let attrs: Vec<String> = schema
+            .attributes
+            .iter()
+            .map(|a| format!("{}: {}", a.name, cfd_text::pretty::render_domain(&a.domain)))
+            .collect();
+        println!("schema {}({});", schema.name, attrs.join(", "));
+    }
+    for s in &sigma {
+        let schema = catalog.schema(s.rel);
+        let names: Vec<String> = schema.attributes.iter().map(|a| a.name.clone()).collect();
+        println!("cfd {}{};", schema.name, body(&s.cfd, &names));
+    }
+    // Reconstruct a textual view: product of renamed atoms, then select,
+    // then project (columns named t{atom}_{attr} to keep them unique).
+    let mut expr = String::new();
+    for (j, rel) in view.atoms.iter().enumerate() {
+        let schema = catalog.schema(*rel);
+        let renames: Vec<String> = schema
+            .attributes
+            .iter()
+            .map(|a| format!("{} -> t{j}_{}", a.name, a.name))
+            .collect();
+        let piece = format!("rename({}, {})", schema.name, renames.join(", "));
+        expr = if j == 0 { piece } else { format!("product({expr}, {piece})") };
+    }
+    let mut conds = Vec::new();
+    for s in &view.selection {
+        match s {
+            cfd_relalg::query::SelAtom::Eq(a, b) => {
+                conds.push(format!(
+                    "{} = {}",
+                    colname(&catalog, &view, *a),
+                    colname(&catalog, &view, *b)
+                ));
+            }
+            cfd_relalg::query::SelAtom::EqConst(a, v) => {
+                conds.push(format!(
+                    "{} = {}",
+                    colname(&catalog, &view, *a),
+                    cfd_text::pretty::render_value(v)
+                ));
+            }
+        }
+    }
+    if !conds.is_empty() {
+        expr = format!("select({expr}, {})", conds.join(", "));
+    }
+    let proj: Vec<String> = view
+        .output
+        .iter()
+        .map(|o| match o.src {
+            cfd_relalg::query::ColRef::Prod(c) => colname(&catalog, &view, c),
+            cfd_relalg::query::ColRef::Const(_) => unreachable!("generator emits no constants"),
+        })
+        .collect();
+    expr = format!("project({expr}, {})", proj.join(", "));
+    println!("view V = {expr};");
+    Ok(())
+}
+
+fn colname(
+    catalog: &cfd_relalg::Catalog,
+    view: &cfd_relalg::SpcQuery,
+    c: cfd_relalg::query::ProdCol,
+) -> String {
+    let schema = catalog.schema(view.atoms[c.atom]);
+    format!("t{}_{}", c.atom, schema.attributes[c.attr].name)
+}

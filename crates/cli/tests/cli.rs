@@ -1,0 +1,297 @@
+//! End-to-end tests of the `cfdprop` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cfdprop(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cfdprop"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_temp(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cfdprop-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const GOOD: &str = r#"
+schema R1(AC: string, city: string, zip: string, street: string);
+cfd f1: R1([zip] -> [street], (_ || _));
+cfd f2: R1([AC] -> [city], (_ || _));
+view V = product(R1, const(CC: '44'));
+vcfd phi1: V([CC, zip] -> [street], ('44', _ || _));
+vcfd phi2: V([CC, AC] -> [city], ('44', _ || _));
+"#;
+
+const BAD: &str = r#"
+schema R1(AC: string, city: string);
+view V = R1;
+vcfd nope: V([AC] -> [city], (_ || _));
+"#;
+
+#[test]
+fn help_prints_usage() {
+    let out = cfdprop(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("cover"));
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = cfdprop(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn check_propagated_exits_zero() {
+    let f = write_temp("good.cfd", GOOD);
+    let out = cfdprop(&["check", f.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert_eq!(text.matches("PROPAGATED").count(), 2);
+    assert!(!text.contains("NOT PROPAGATED"));
+}
+
+#[test]
+fn check_unpropagated_exits_nonzero_with_witness() {
+    let f = write_temp("bad.cfd", BAD);
+    let out = cfdprop(&["check", f.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("NOT PROPAGATED"));
+    assert!(text.contains("counterexample"));
+}
+
+#[test]
+fn cover_lists_cfds() {
+    let f = write_temp("good2.cfd", GOOD);
+    let out = cfdprop(&["cover", f.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("propagated CFD(s)"), "{text}");
+    assert!(text.contains("CC"), "constant column CFD expected: {text}");
+}
+
+#[test]
+fn empty_reports_realizable() {
+    let f = write_temp("good3.cfd", GOOD);
+    let out = cfdprop(&["empty", f.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("realizable"));
+}
+
+#[test]
+fn empty_detects_always_empty() {
+    let f = write_temp("empty.cfd", r#"
+        schema R(A: int, B: int);
+        cfd R([A] -> [B], (_ || 1));
+        view V = select(R, B = 2);
+    "#);
+    let out = cfdprop(&["empty", f.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ALWAYS EMPTY"));
+}
+
+#[test]
+fn consistency_flags_conflicts() {
+    let f = write_temp("incons.cfd", r#"
+        schema R(A: int);
+        cfd R([A] -> [A], (_ || 1));
+        cfd R([A] -> [A], (_ || 2));
+    "#);
+    let out = cfdprop(&["consistency", f.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("INCONSISTENT"));
+
+    let f = write_temp("cons.cfd", "schema R(A: int, B: int);\ncfd R([A] -> [B], (_ || _));\n");
+    let out = cfdprop(&["consistency", f.to_str().unwrap()]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn gen_output_parses_and_analyzes() {
+    let out = cfdprop(&["gen", "--relations", "3", "--cfds", "6", "--y", "4", "--f", "2", "--ec", "2", "--seed", "9"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    let f = write_temp("gen.cfd", &text);
+    // the generated document must itself be parsable and cover-able
+    let out2 = cfdprop(&["cover", f.to_str().unwrap()]);
+    assert!(out2.status.success(), "{}", String::from_utf8_lossy(&out2.stderr));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = cfdprop(&["check", "/nonexistent/nope.cfd"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn parse_error_reports_position() {
+    let f = write_temp("syntax.cfd", "schema R(A: int)");
+    let out = cfdprop(&["check", f.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains(":"), "position expected: {err}");
+}
+
+const DIRTY: &str = r#"
+schema R1(AC: string, city: string);
+cfd f2: R1([AC] -> [city], (_ || _));
+cfd k: R1([AC] -> [city], ('20' || 'ldn'));
+row R1('20', 'ldn');
+row R1('20', 'edi');
+row R1('31', 'ams');
+"#;
+
+#[test]
+fn clean_detects_violations_and_exits_nonzero() {
+    let f = write_temp("dirty.cfd", DIRTY);
+    let out = cfdprop(&["clean", f.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("violates"), "{text}");
+    assert!(text.contains("'edi'"), "offending value shown: {text}");
+}
+
+#[test]
+fn clean_with_repair_exits_zero_and_prints_fixed_table() {
+    let f = write_temp("dirty2.cfd", DIRTY);
+    let out = cfdprop(&["clean", f.to_str().unwrap(), "--repair"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("repair"), "{text}");
+    assert!(text.contains("clean = true"), "{text}");
+}
+
+#[test]
+fn clean_on_consistent_data_reports_clean() {
+    let f = write_temp("ok.cfd", r#"
+        schema R1(AC: string, city: string);
+        cfd f2: R1([AC] -> [city], (_ || _));
+        row R1('20', 'ldn');
+        row R1('31', 'ams');
+    "#);
+    let out = cfdprop(&["clean", f.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no violations"));
+}
+
+#[test]
+fn clean_without_rows_errors() {
+    let f = write_temp("norows.cfd", "schema R(A: int);\ncfd R([A] -> [A], (_ || 1));\n");
+    let out = cfdprop(&["clean", f.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no `row` data"));
+}
+
+#[test]
+fn sql_emits_detection_queries() {
+    let f = write_temp("sqlgen.cfd", DIRTY);
+    let out = cfdprop(&["sql", f.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GROUP BY"), "pair query expected: {text}");
+    assert!(text.contains("<> 'ldn'"), "constant query expected: {text}");
+}
+
+#[test]
+fn cover_handles_union_views_soundly() {
+    let f = write_temp("union.cfd", r#"
+        schema R1(AC: string, city: string);
+        schema R2(AC: string, city: string);
+        cfd f1: R1([AC] -> [city], (_ || _));
+        cfd f2: R2([AC] -> [city], (_ || _));
+        view V = union(product(R1, const(CC: '44')), product(R2, const(CC: '01')));
+    "#);
+    let out = cfdprop(&["cover", f.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("union: sound cover"), "{text}");
+    assert!(text.contains("'44'"), "guarded CFD expected: {text}");
+}
+
+#[test]
+fn cover_general_flag_runs() {
+    let f = write_temp("general.cfd", r#"
+        schema R(F: bool, B: int, C: int);
+        cfd a: R([B] -> [F], (_ || _));
+        cfd b: R([F, B] -> [C], (true, _ || _));
+        cfd c: R([F, B] -> [C], (false, _ || _));
+        view V = project(R, B, C);
+    "#);
+    let out = cfdprop(&["cover", f.to_str().unwrap(), "--general"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("general setting"), "{text}");
+    assert!(text.contains("finite-domain gain"), "the B → C gain: {text}");
+}
+
+#[test]
+fn testdata_dirty_customers_end_to_end() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../testdata/dirty_customers.cfd");
+    let detect = cfdprop(&["clean", path]);
+    assert!(!detect.status.success(), "three dirty rows must be flagged");
+    let text = String::from_utf8_lossy(&detect.stdout);
+    assert!(text.contains("'gla'") || text.contains("'edi'"), "{text}");
+
+    let fix = cfdprop(&["clean", path, "--repair"]);
+    assert!(fix.status.success());
+    assert!(String::from_utf8_lossy(&fix.stdout).contains("clean = true"));
+
+    let sql = cfdprop(&["sql", path]);
+    assert!(sql.status.success());
+    let text = String::from_utf8_lossy(&sql.stdout);
+    assert!(text.contains(r#""cust""#), "{text}");
+}
+
+const CIND_DOC: &str = r#"
+schema orders(cust: int, country: string);
+schema customers(id: int, cc: string);
+cind psi1: orders[cust] <= customers[id];
+cind psi2: orders[cust; country = 'uk'] <= customers[id; cc = '44'];
+view uk_orders = select(orders, country = 'uk');
+row orders(7, 'uk');
+row customers(7, '44');
+"#;
+
+#[test]
+fn cind_validates_and_propagates() {
+    let f = write_temp("cinds.cfd", CIND_DOC);
+    let out = cfdprop(&["cind", f.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert_eq!(text.matches("SATISFIED").count(), 2, "{text}");
+    assert!(text.contains("propagated CIND(s)"), "{text}");
+    assert!(text.contains("uk_orders["), "view CINDs listed: {text}");
+}
+
+#[test]
+fn cind_reports_data_violations() {
+    let f = write_temp("cinds_bad.cfd", r#"
+        schema orders(cust: int, country: string);
+        schema customers(id: int, cc: string);
+        cind psi1: orders[cust] <= customers[id];
+        row orders(9, 'us');
+    "#);
+    let out = cfdprop(&["cind", f.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("VIOLATED"), "{text}");
+    assert!(text.contains("no witness for (9"), "{text}");
+}
+
+#[test]
+fn cind_without_statements_errors() {
+    let f = write_temp("nocind.cfd", "schema R(A: int);\n");
+    let out = cfdprop(&["cind", f.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no `cind`"));
+}

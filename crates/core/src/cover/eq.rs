@@ -1,0 +1,380 @@
+//! `ComputeEQ` (§4.2) and the application of domain constraints to Σ_V
+//! (Fig. 2 lines 7–10).
+//!
+//! The selection condition `F` induces equivalence classes `EQ` over the
+//! flat columns, each with an optional *key* constant: `A, B ∈ eq` iff
+//! `A = B` follows from `F`, and `key(eq) = 'a'` iff `A = 'a'` does. A class
+//! with two distinct keys is the inconsistent case `⊥` — the view is
+//! necessarily empty and Lemma 4.5 applies (handled by the caller through
+//! the chase-based emptiness test, which subsumes this check).
+//!
+//! Applying the constraints to a renamed source CFD (Lemma 4.3 and the
+//! discussion around Fig. 7 — "domain constraints interact with source CFDs
+//! and may either make those CFDs trivial, or combine multiple CFDs into
+//! one") rewrites it so that RBR never has to reason about keyed or merged
+//! columns:
+//!
+//! * every attribute is replaced by its class representative (preferring a
+//!   projected column), merging pattern cells via `⊕` — an undefined merge
+//!   means the premise can never be matched, so the CFD is dropped;
+//! * a keyed LHS cell whose pattern matches the key is *removed* (its
+//!   equality and match conditions hold on every `Es` tuple); a keyed LHS
+//!   cell whose constant pattern contradicts the key makes the premise
+//!   unmatchable — the CFD is dropped;
+//! * a keyed RHS cell with wildcard or key-equal pattern makes the
+//!   conclusion automatic — the CFD is dropped (it is implied by the
+//!   `EQ2CFD` constant CFDs);
+//! * a keyed RHS cell with a *contradicting* constant pattern means no
+//!   tuple can match the premise in any model; this fact is preserved by a
+//!   pair of CFDs with the same premise and two conflicting RHS constants
+//!   (a premise-local Lemma 4.5), from which every vacuous consequence
+//!   follows by implication.
+//!
+//! LHS removal may produce **empty-LHS CFDs** `(∅ → B, tp)` — "all tuples
+//! agree on B (and equal `tp[B]` if constant)". These are standard FD
+//! theory (`∅ → B`) and are first-class citizens of our chase, implication,
+//! and RBR machinery.
+
+use super::flatten::FlatView;
+use cfd_model::{Cfd, Pattern};
+use cfd_relalg::query::{SelAtom, SpcQuery};
+use cfd_relalg::unify::TermUf;
+use cfd_relalg::value::Value;
+use std::collections::BTreeMap;
+
+/// The attribute equivalence classes induced by a selection condition.
+#[derive(Clone, Debug)]
+pub struct EqInfo {
+    uf: TermUf,
+    /// Chosen class representative per flat column.
+    rep: Vec<usize>,
+}
+
+impl EqInfo {
+    /// The representative of `flat`'s class.
+    pub fn rep(&self, flat: usize) -> usize {
+        self.rep[flat]
+    }
+
+    /// The key constant of `flat`'s class, if any.
+    pub fn key(&mut self, flat: usize) -> Option<Value> {
+        self.uf.binding(flat as u32)
+    }
+
+    /// Are two flat columns in the same class?
+    pub fn same_class(&mut self, a: usize, b: usize) -> bool {
+        self.uf.same(a as u32, b as u32)
+    }
+
+    /// The classes, as sorted member lists (singletons included).
+    pub fn classes(&mut self) -> Vec<Vec<usize>> {
+        let mut by_root: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for f in 0..self.rep.len() {
+            by_root.entry(self.uf.find(f as u32)).or_default().push(f);
+        }
+        by_root.into_values().collect()
+    }
+}
+
+/// Compute `EQ` from the selection condition of `q`. Returns `None` for the
+/// inconsistent case `⊥` (conflicting constants or empty domain
+/// intersection within `F` itself).
+pub fn compute_eq(fv: &FlatView, q: &SpcQuery) -> Option<EqInfo> {
+    let mut uf = TermUf::new();
+    for d in &fv.flat_domains {
+        uf.add(d.clone());
+    }
+    for atom in &q.selection {
+        match atom {
+            SelAtom::Eq(a, b) => {
+                uf.union(fv.flat(*a) as u32, fv.flat(*b) as u32).ok()?;
+            }
+            SelAtom::EqConst(a, v) => {
+                uf.bind(fv.flat(*a) as u32, v.clone()).ok()?;
+            }
+        }
+    }
+    // Pick representatives: prefer a projected member, then smallest index.
+    let mut best: BTreeMap<u32, usize> = BTreeMap::new();
+    for f in 0..fv.width() {
+        let root = uf.find(f as u32);
+        let entry = best.entry(root).or_insert(f);
+        let cur_in_y = fv.in_y(*entry);
+        if !cur_in_y && fv.in_y(f) {
+            *entry = f;
+        }
+    }
+    let rep = (0..fv.width()).map(|f| best[&uf.find(f as u32)]).collect();
+    Some(EqInfo { uf, rep })
+}
+
+/// Outcome of rewriting one CFD under the domain constraints.
+enum Rewrite {
+    /// The CFD vanished (vacuous premise or automatic conclusion).
+    Dropped,
+    /// A single rewritten CFD.
+    One(Cfd),
+    /// The premise is unmatchable in every model: preserved as a pair of
+    /// conflicting-constant CFDs over the same premise.
+    ConflictPair(Cfd, Cfd),
+}
+
+/// Apply the domain constraints to all of Σ_V (Fig. 2 lines 7–10).
+pub fn apply_eq(sigma_v: &[Cfd], eq: &mut EqInfo) -> Vec<Cfd> {
+    let mut out: Vec<Cfd> = Vec::with_capacity(sigma_v.len());
+    for cfd in sigma_v {
+        match rewrite_cfd(cfd, eq) {
+            Rewrite::Dropped => {}
+            Rewrite::One(c) => {
+                if !c.is_trivial() && !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+            Rewrite::ConflictPair(a, b) => {
+                for c in [a, b] {
+                    if !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn rewrite_cfd(cfd: &Cfd, eq: &mut EqInfo) -> Rewrite {
+    debug_assert!(cfd.as_attr_eq().is_none(), "source CFDs are standard");
+    // Rewrite the LHS.
+    let mut lhs: BTreeMap<usize, Pattern> = BTreeMap::new();
+    for (a, pat) in cfd.lhs() {
+        let r = eq.rep(*a);
+        match eq.key(*a) {
+            Some(v) => match pat.as_const() {
+                Some(c) if c != &v => return Rewrite::Dropped, // premise vacuous
+                _ => {} // keyed cell: equality and match hold automatically
+            },
+            None => match lhs.entry(r) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(pat.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    match e.get().merge_min(pat) {
+                        Some(m) => {
+                            e.insert(m);
+                        }
+                        None => return Rewrite::Dropped, // incompatible constants on one column
+                    }
+                }
+            },
+        }
+    }
+    // Rewrite the RHS.
+    let b = cfd.rhs_attr();
+    let rb = eq.rep(b);
+    match eq.key(b) {
+        Some(v) => {
+            match cfd.rhs_pattern().as_const() {
+                // Conclusion holds automatically on every Es tuple.
+                None => Rewrite::Dropped,
+                Some(c) if c == &v => Rewrite::Dropped,
+                Some(c) => {
+                    // Premise unmatchable in any model: keep that fact as a
+                    // conflicting pair over the same premise.
+                    let lhs_vec: Vec<(usize, Pattern)> = lhs.into_iter().collect();
+                    let p1 = Cfd::new(lhs_vec.clone(), rb, Pattern::Const(v.clone()))
+                        .expect("valid rewritten CFD");
+                    let p2 = Cfd::new(lhs_vec, rb, Pattern::Const(c.clone()))
+                        .expect("valid rewritten CFD");
+                    Rewrite::ConflictPair(p1, p2)
+                }
+            }
+        }
+        None => {
+            let lhs_vec: Vec<(usize, Pattern)> = lhs.into_iter().collect();
+            let c = Cfd::new(lhs_vec, rb, cfd.rhs_pattern().clone())
+                .expect("valid rewritten CFD");
+            Rewrite::One(c.normalize_const_rhs())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use cfd_relalg::query::{RaCond, RaExpr};
+    use cfd_relalg::schema::{Attribute, Catalog, RelationSchema};
+    use cfd_relalg::DomainKind;
+
+    fn setup(conds: Vec<RaCond>) -> (Catalog, SpcQuery, FlatView) {
+        let mut c = Catalog::new();
+        c.add(
+            RelationSchema::new(
+                "R",
+                vec![
+                    Attribute::new("A", DomainKind::Int),
+                    Attribute::new("B", DomainKind::Int),
+                    Attribute::new("C", DomainKind::Int),
+                    Attribute::new("D", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let q = RaExpr::rel("R").select(conds).normalize(&c).unwrap();
+        let b = q.branches[0].clone();
+        let fv = super::super::flatten::flatten(&c, &b);
+        (c, b, fv)
+    }
+
+    #[test]
+    fn classes_and_keys_from_selection() {
+        let (_, q, fv) = setup(vec![
+            RaCond::Eq("A".into(), "B".into()),
+            RaCond::EqConst("C".into(), Value::int(5)),
+        ]);
+        let mut eq = compute_eq(&fv, &q).unwrap();
+        assert!(eq.same_class(0, 1));
+        assert_eq!(eq.key(2), Some(Value::int(5)));
+        assert_eq!(eq.key(0), None);
+        assert_eq!(eq.rep(0), eq.rep(1));
+    }
+
+    #[test]
+    fn key_propagates_through_class() {
+        let (_, q, fv) = setup(vec![
+            RaCond::Eq("A".into(), "B".into()),
+            RaCond::EqConst("A".into(), Value::int(7)),
+        ]);
+        let mut eq = compute_eq(&fv, &q).unwrap();
+        assert_eq!(eq.key(1), Some(Value::int(7)));
+    }
+
+    #[test]
+    fn conflicting_keys_are_bottom() {
+        let (_, q, fv) = setup(vec![]);
+        // handcraft a conflicting selection
+        let mut q2 = q.clone();
+        q2.selection = vec![
+            SelAtom::Eq(cfd_relalg::query::ProdCol::new(0, 0), cfd_relalg::query::ProdCol::new(0, 1)),
+            SelAtom::EqConst(cfd_relalg::query::ProdCol::new(0, 0), Value::int(1)),
+            SelAtom::EqConst(cfd_relalg::query::ProdCol::new(0, 1), Value::int(2)),
+        ];
+        assert!(compute_eq(&fv, &q2).is_none());
+    }
+
+    #[test]
+    fn lhs_keyed_cell_removed() {
+        // selection A = 5; CFD ([A, B] → C, (_, _ ‖ _)) becomes ([B] → C)
+        let (_, q, fv) = setup(vec![RaCond::EqConst("A".into(), Value::int(5))]);
+        let mut eq = compute_eq(&fv, &q).unwrap();
+        let sigma = vec![Cfd::fd(&[0, 1], 2).unwrap()];
+        let out = apply_eq(&sigma, &mut eq);
+        assert_eq!(out, vec![Cfd::fd(&[1], 2).unwrap()]);
+    }
+
+    #[test]
+    fn lhs_key_conflict_drops_cfd() {
+        // selection A = 5; CFD ([A] → C, (6 ‖ _)) can never fire on Es
+        let (_, q, fv) = setup(vec![RaCond::EqConst("A".into(), Value::int(5))]);
+        let mut eq = compute_eq(&fv, &q).unwrap();
+        let sigma = vec![Cfd::new(vec![(0, Pattern::cst(6))], 2, Pattern::Wild).unwrap()];
+        assert!(apply_eq(&sigma, &mut eq).is_empty());
+    }
+
+    #[test]
+    fn fully_keyed_lhs_becomes_empty_lhs_cfd() {
+        // selection A = 5; CFD ([A] → C, (5 ‖ _)) becomes (∅ → C, (‖ _)):
+        // all Es tuples agree on C
+        let (_, q, fv) = setup(vec![RaCond::EqConst("A".into(), Value::int(5))]);
+        let mut eq = compute_eq(&fv, &q).unwrap();
+        let sigma = vec![Cfd::new(vec![(0, Pattern::cst(5))], 2, Pattern::Wild).unwrap()];
+        let out = apply_eq(&sigma, &mut eq);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].lhs().is_empty());
+        assert_eq!(out[0].rhs_attr(), 2);
+    }
+
+    #[test]
+    fn rhs_keyed_wildcard_dropped() {
+        // selection C = 5; CFD ([A] → C, (_ ‖ _)) is automatic on Es
+        let (_, q, fv) = setup(vec![RaCond::EqConst("C".into(), Value::int(5))]);
+        let mut eq = compute_eq(&fv, &q).unwrap();
+        let sigma = vec![Cfd::fd(&[0], 2).unwrap()];
+        assert!(apply_eq(&sigma, &mut eq).is_empty());
+    }
+
+    #[test]
+    fn rhs_key_conflict_preserved_as_pair() {
+        // selection C = 5; CFD ([A] → C, (1 ‖ 6)): premise unmatchable
+        let (_, q, fv) = setup(vec![RaCond::EqConst("C".into(), Value::int(5))]);
+        let mut eq = compute_eq(&fv, &q).unwrap();
+        let sigma = vec![Cfd::new(vec![(0, Pattern::cst(1))], 2, Pattern::cst(6)).unwrap()];
+        let out = apply_eq(&sigma, &mut eq);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].lhs(), out[1].lhs());
+        assert_ne!(out[0].rhs_pattern(), out[1].rhs_pattern());
+    }
+
+    #[test]
+    fn merged_columns_substitute_representative() {
+        // selection A = B; CFD ([B] → C) is rewritten onto rep(A,B)
+        let (_, q, fv) = setup(vec![RaCond::Eq("A".into(), "B".into())]);
+        let mut eq = compute_eq(&fv, &q).unwrap();
+        let sigma = vec![Cfd::fd(&[1], 2).unwrap()];
+        let out = apply_eq(&sigma, &mut eq);
+        let rep = eq.rep(1);
+        assert_eq!(out, vec![Cfd::fd(&[rep], 2).unwrap()]);
+    }
+
+    #[test]
+    fn merged_lhs_cells_merge_patterns() {
+        // selection A = B; CFD ([A, B] → C, (5, _ ‖ _)) → ([rep] → C, (5 ‖ _))
+        let (_, q, fv) = setup(vec![RaCond::Eq("A".into(), "B".into())]);
+        let mut eq = compute_eq(&fv, &q).unwrap();
+        let sigma =
+            vec![Cfd::new(vec![(0, Pattern::cst(5)), (1, Pattern::Wild)], 2, Pattern::Wild).unwrap()];
+        let out = apply_eq(&sigma, &mut eq);
+        let rep = eq.rep(0);
+        assert_eq!(
+            out,
+            vec![Cfd::new(vec![(rep, Pattern::cst(5))], 2, Pattern::Wild).unwrap()]
+        );
+    }
+
+    #[test]
+    fn merged_lhs_conflicting_patterns_drop() {
+        // selection A = B; CFD ([A, B] → C, (5, 6 ‖ _)): premise unmatchable
+        let (_, q, fv) = setup(vec![RaCond::Eq("A".into(), "B".into())]);
+        let mut eq = compute_eq(&fv, &q).unwrap();
+        let sigma =
+            vec![Cfd::new(vec![(0, Pattern::cst(5)), (1, Pattern::cst(6))], 2, Pattern::Wild)
+                .unwrap()];
+        assert!(apply_eq(&sigma, &mut eq).is_empty());
+    }
+
+    #[test]
+    fn representative_prefers_projected_column() {
+        let mut c = Catalog::new();
+        c.add(
+            RelationSchema::new(
+                "R",
+                vec![
+                    Attribute::new("A", DomainKind::Int),
+                    Attribute::new("B", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let q = RaExpr::rel("R")
+            .select(vec![RaCond::Eq("A".into(), "B".into())])
+            .project(&["B"])
+            .normalize(&c)
+            .unwrap();
+        let b = q.branches[0].clone();
+        let fv = super::super::flatten::flatten(&c, &b);
+        let eq = compute_eq(&fv, &b).unwrap();
+        assert_eq!(eq.rep(0), 1, "rep must be the projected column B");
+    }
+}

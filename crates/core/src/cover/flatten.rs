@@ -1,0 +1,216 @@
+//! Flattening an SPC view into *product-column space*.
+//!
+//! `PropCFD_SPC` reasons over the attributes of `Es = σF(R1 × ... × Rn)`
+//! (§4.2). We index them by a single flat coordinate: column `(j, k)` of the
+//! product maps to `offsets[j] + k`. Source CFDs are renamed into this space
+//! — one copy per relation atom `Rj = ρj(S)` (lines 5–6 of Fig. 2) — and the
+//! projection list `Y` becomes a relation between flat columns and view
+//! output positions.
+
+use cfd_model::{Cfd, SourceCfd};
+use cfd_relalg::domain::DomainKind;
+use cfd_relalg::query::{ColRef, ProdCol, SpcQuery};
+use cfd_relalg::schema::Catalog;
+use cfd_relalg::value::Value;
+
+/// The flat-column view of an SPC query.
+#[derive(Clone, Debug)]
+pub struct FlatView {
+    /// Domain of each flat column.
+    pub flat_domains: Vec<DomainKind>,
+    /// `offsets[j]` = flat index of the first column of atom `j`.
+    pub offsets: Vec<usize>,
+    /// Output positions referencing each flat column (possibly several:
+    /// projection may duplicate a column under different names).
+    pub outputs_of_flat: Vec<Vec<usize>>,
+    /// For each output position: the flat column it references, or `None`
+    /// for constant-relation outputs.
+    pub flat_of_output: Vec<Option<usize>>,
+    /// Constant-relation outputs: `(output position, value, domain)`.
+    pub const_outputs: Vec<(usize, Value, DomainKind)>,
+    /// Flat columns referenced by at least one output (the flat image of
+    /// `Y`).
+    pub y_flats: Vec<usize>,
+}
+
+impl FlatView {
+    /// Flat index of a product column.
+    pub fn flat(&self, c: ProdCol) -> usize {
+        self.offsets[c.atom] + c.attr
+    }
+
+    /// Total number of flat columns (`|attr(Ec)|`).
+    pub fn width(&self) -> usize {
+        self.flat_domains.len()
+    }
+
+    /// Is the flat column referenced by the projection?
+    pub fn in_y(&self, flat: usize) -> bool {
+        !self.outputs_of_flat[flat].is_empty()
+    }
+}
+
+/// Build the flat view of `q`.
+pub fn flatten(catalog: &Catalog, q: &SpcQuery) -> FlatView {
+    let mut offsets = Vec::with_capacity(q.atoms.len());
+    let mut flat_domains = Vec::new();
+    for rel in &q.atoms {
+        offsets.push(flat_domains.len());
+        for a in &catalog.schema(*rel).attributes {
+            flat_domains.push(a.domain.clone());
+        }
+    }
+    let mut outputs_of_flat = vec![Vec::new(); flat_domains.len()];
+    let mut flat_of_output = Vec::with_capacity(q.output.len());
+    let mut const_outputs = Vec::new();
+    for (o, out) in q.output.iter().enumerate() {
+        match out.src {
+            ColRef::Prod(c) => {
+                let f = offsets[c.atom] + c.attr;
+                outputs_of_flat[f].push(o);
+                flat_of_output.push(Some(f));
+            }
+            ColRef::Const(k) => {
+                let cell = &q.constants[k];
+                const_outputs.push((o, cell.value.clone(), cell.domain.clone()));
+                flat_of_output.push(None);
+            }
+        }
+    }
+    let y_flats = outputs_of_flat
+        .iter()
+        .enumerate()
+        .filter(|(_, os)| !os.is_empty())
+        .map(|(f, _)| f)
+        .collect();
+    FlatView { flat_domains, offsets, outputs_of_flat, flat_of_output, const_outputs, y_flats }
+}
+
+/// Rename the source CFDs into flat-column space: for each atom `Rj = ρj(S)`
+/// every CFD on `S` yields a copy over atom `j`'s columns (Fig. 2 lines
+/// 5–6).
+pub fn renamed_sigma(fv: &FlatView, q: &SpcQuery, sigma: &[SourceCfd]) -> Vec<Cfd> {
+    let mut out = Vec::new();
+    for (j, rel) in q.atoms.iter().enumerate() {
+        let base = fv.offsets[j];
+        for s in sigma {
+            if s.rel != *rel {
+                continue;
+            }
+            let lhs = s
+                .cfd
+                .lhs()
+                .iter()
+                .map(|(a, p)| (base + a, p.clone()))
+                .collect();
+            let cfd = Cfd::new(lhs, base + s.cfd.rhs_attr(), s.cfd.rhs_pattern().clone())
+                .expect("renaming preserves CFD invariants");
+            out.push(cfd);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relalg::query::RaExpr;
+    use cfd_relalg::schema::{Attribute, RelationSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            RelationSchema::new(
+                "R",
+                vec![
+                    Attribute::new("A", DomainKind::Int),
+                    Attribute::new("B", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.add(
+            RelationSchema::new(
+                "S",
+                vec![
+                    Attribute::new("C", DomainKind::Int),
+                    Attribute::new("D", DomainKind::Int),
+                    Attribute::new("E", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn offsets_and_width() {
+        let c = catalog();
+        let q = RaExpr::rel("R")
+            .product(RaExpr::rel("S"))
+            .normalize(&c)
+            .unwrap();
+        let fv = flatten(&c, &q.branches[0]);
+        assert_eq!(fv.offsets, vec![0, 2]);
+        assert_eq!(fv.width(), 5);
+        assert_eq!(fv.flat(ProdCol::new(1, 2)), 4);
+    }
+
+    #[test]
+    fn y_mapping_tracks_projection() {
+        let c = catalog();
+        let q = RaExpr::rel("R")
+            .product(RaExpr::rel("S"))
+            .project(&["A", "D"])
+            .normalize(&c)
+            .unwrap();
+        let fv = flatten(&c, &q.branches[0]);
+        assert_eq!(fv.y_flats, vec![0, 3]);
+        assert!(fv.in_y(0) && fv.in_y(3));
+        assert!(!fv.in_y(1) && !fv.in_y(2) && !fv.in_y(4));
+        assert_eq!(fv.flat_of_output, vec![Some(0), Some(3)]);
+    }
+
+    #[test]
+    fn const_outputs_tracked() {
+        let c = catalog();
+        let q = RaExpr::rel("R")
+            .with_const("CC", Value::int(44), DomainKind::Int)
+            .normalize(&c)
+            .unwrap();
+        let fv = flatten(&c, &q.branches[0]);
+        assert_eq!(fv.const_outputs.len(), 1);
+        assert_eq!(fv.const_outputs[0].0, 2);
+        assert_eq!(fv.const_outputs[0].1, Value::int(44));
+        assert_eq!(fv.flat_of_output[2], None);
+    }
+
+    #[test]
+    fn sigma_renamed_per_atom() {
+        let c = catalog();
+        // R × R (renamed apart): each CFD on R appears twice
+        let q = RaExpr::rel("R")
+            .product(RaExpr::rel("R").rename(&[("A", "A2"), ("B", "B2")]))
+            .normalize(&c)
+            .unwrap();
+        let fv = flatten(&c, &q.branches[0]);
+        let r = c.rel_id("R").unwrap();
+        let sigma = vec![SourceCfd::new(r, Cfd::fd(&[0], 1).unwrap())];
+        let renamed = renamed_sigma(&fv, &q.branches[0], &sigma);
+        assert_eq!(renamed.len(), 2);
+        assert_eq!(renamed[0], Cfd::fd(&[0], 1).unwrap());
+        assert_eq!(renamed[1], Cfd::fd(&[2], 3).unwrap());
+    }
+
+    #[test]
+    fn sigma_on_unused_relation_ignored() {
+        let c = catalog();
+        let q = RaExpr::rel("R").normalize(&c).unwrap();
+        let fv = flatten(&c, &q.branches[0]);
+        let s = c.rel_id("S").unwrap();
+        let sigma = vec![SourceCfd::new(s, Cfd::fd(&[0], 1).unwrap())];
+        assert!(renamed_sigma(&fv, &q.branches[0], &sigma).is_empty());
+    }
+}

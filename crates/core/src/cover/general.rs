@@ -1,0 +1,479 @@
+//! Propagation covers in the *general setting* (finite-domain attributes
+//! present) — a prototype of the §7 future-work item "when finite-domain
+//! attributes are taken into account, the propagation cover algorithm
+//! should be generalized".
+//!
+//! Two facts shape the design:
+//!
+//! 1. **The infinite-domain cover stays sound.** Every database over the
+//!    real (finite-domain) schema is also a database over the relaxed
+//!    all-infinite schema, and satisfaction of CFDs does not mention
+//!    domains; hence `Σ |=V φ` in the infinite-domain reading implies
+//!    `Σ |=V φ` in the general setting. So [`super::prop_cfd_spc`] output
+//!    can be adopted verbatim.
+//! 2. **It is not complete.** Finite domains make *more* CFDs propagated
+//!    (Theorem 3.2's hardness comes exactly from the extra derivations that
+//!    finite-domain case analysis enables). A complete cover procedure
+//!    would have to decide the coNP-complete propagation problem for
+//!    unboundedly many candidates.
+//!
+//! The prototype therefore (a) takes the infinite-domain cover, and (b)
+//! *strengthens* it with candidate CFDs built from small combinations of
+//! finite-domain view columns, each verified by the sound-and-complete
+//! general-setting decision procedure [`crate::propagate::propagates`]
+//! (Theorem 3.3 / Corollary 3.6). The result is always sound; it is
+//! complete relative to the enumerated candidate shapes, which is reported
+//! in [`GeneralCover::enumeration_truncated`].
+
+use crate::cover::{prop_cfd_spc, translate, CoverOptions};
+use crate::error::PropError;
+use crate::propagate::{propagates, Setting};
+use cfd_model::implication::implies_general;
+use cfd_model::mincover::min_cover;
+use cfd_model::pattern::Pattern;
+use cfd_model::{Cfd, SourceCfd};
+use cfd_relalg::domain::DomainKind;
+use cfd_relalg::query::{SpcQuery, SpcuQuery};
+use cfd_relalg::schema::Catalog;
+
+/// Options for [`prop_cfd_spc_general`].
+#[derive(Clone, Debug)]
+pub struct GeneralCoverOptions {
+    /// Options for the inner infinite-domain cover run.
+    pub cover: CoverOptions,
+    /// Upper bound on candidate CFDs enumerated from finite-domain columns.
+    /// Candidates beyond the bound are skipped (soundness unaffected).
+    pub max_candidates: usize,
+    /// Enumerate candidates whose LHS combines up to this many
+    /// finite-domain columns (1 or 2; each extra column multiplies the
+    /// candidate count by the domain size).
+    pub max_lhs_finite_cols: usize,
+}
+
+impl Default for GeneralCoverOptions {
+    fn default() -> Self {
+        GeneralCoverOptions {
+            cover: CoverOptions::default(),
+            max_candidates: 4_096,
+            max_lhs_finite_cols: 1,
+        }
+    }
+}
+
+/// A sound propagation cover for the general setting.
+#[derive(Clone, Debug)]
+pub struct GeneralCover {
+    /// The view CFDs (over view output positions). Every element is
+    /// certified propagated in the general setting.
+    pub cfds: Vec<Cfd>,
+    /// The view is empty on every model of Σ (Lemma 4.5 pair returned).
+    pub always_empty: bool,
+    /// `true` when [`GeneralCoverOptions::max_candidates`] cut the
+    /// finite-domain enumeration short.
+    pub enumeration_truncated: bool,
+    /// How many finite-domain candidates were verified as propagated and
+    /// added beyond the infinite-domain cover.
+    pub finite_domain_gains: usize,
+}
+
+impl GeneralCover {
+    /// Is `phi` implied by this cover in the general setting?
+    pub fn implies(&self, phi: &Cfd, view_domains: &[DomainKind]) -> bool {
+        implies_general(&self.cfds, phi, view_domains)
+    }
+}
+
+/// Compute a sound propagation cover of `sigma` via `view` in the general
+/// setting. See the module docs for the guarantees.
+pub fn prop_cfd_spc_general(
+    catalog: &Catalog,
+    sigma: &[SourceCfd],
+    view: &SpcQuery,
+    opts: &GeneralCoverOptions,
+) -> Result<GeneralCover, PropError> {
+    let spcu = SpcuQuery::single(catalog, view.clone())
+        .map_err(|e| PropError::BadView(e.to_string()))?;
+    let view_domains: Vec<DomainKind> =
+        spcu.schema().columns.iter().map(|(_, d)| d.clone()).collect();
+
+    // General-setting emptiness first: an always-empty view satisfies
+    // everything, and the Lemma 4.5 pair is the canonical cover.
+    if crate::emptiness::is_always_empty(catalog, sigma, &spcu, Setting::General)? {
+        let cfds = translate::lemma_4_5_pair(spcu.schema()).unwrap_or_default();
+        return Ok(GeneralCover {
+            cfds,
+            always_empty: true,
+            enumeration_truncated: false,
+            finite_domain_gains: 0,
+        });
+    }
+
+    // Fact 1: the infinite-domain cover is sound here.
+    let base = prop_cfd_spc(catalog, sigma, view, &opts.cover)?;
+    let mut cfds = base.cfds.clone();
+
+    // No finite domains anywhere ⇒ nothing to strengthen.
+    if !catalog.has_finite_domain_attr() && !spcu.schema().has_finite_domain_attr() {
+        return Ok(GeneralCover {
+            cfds,
+            always_empty: false,
+            enumeration_truncated: false,
+            finite_domain_gains: 0,
+        });
+    }
+
+    // Fact 2: enumerate finite-domain candidates and verify each with the
+    // complete general-setting checker. Plain-FD candidates over *all* view
+    // columns are included because finite-domain case analysis can act
+    // through attributes the projection dropped (see the tests).
+    let mut truncated = false;
+    let mut gains = 0usize;
+    let mut budget = opts.max_candidates;
+    for cand in candidates(&view_domains, opts.max_lhs_finite_cols) {
+        if budget == 0 {
+            truncated = true;
+            break;
+        }
+        budget -= 1;
+        if implies_general(&cfds, &cand, &view_domains) {
+            continue; // already known
+        }
+        if propagates(catalog, sigma, &spcu, &cand, Setting::General)?.is_propagated() {
+            cfds.push(cand);
+            gains += 1;
+        }
+    }
+
+    let cfds = min_cover(&cfds, &view_domains)
+        .into_iter()
+        .map(|c| c.to_paper_form())
+        .collect();
+    Ok(GeneralCover {
+        cfds,
+        always_empty: false,
+        enumeration_truncated: truncated,
+        finite_domain_gains: gains,
+    })
+}
+
+/// Candidate view CFDs whose truth can hinge on finite domains:
+///
+/// * `([A] → B, (_ ‖ _))` for **every** pair of view columns — a plain FD
+///   can become propagated purely through case analysis over a
+///   finite-domain attribute that the projection dropped;
+/// * `([A] → B, (a ‖ _))` for each finite-domain *view* column `A` and
+///   value `a` — the per-value conditional FDs;
+/// * with `max_lhs ≥ 2`, pairs of columns: the all-wildcard pair form for
+///   all column pairs, and all value combinations for pairs of finite
+///   columns.
+fn candidates(view_domains: &[DomainKind], max_lhs: usize) -> Vec<Cfd> {
+    let finite_cols: Vec<usize> = view_domains
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_finite())
+        .map(|(i, _)| i)
+        .collect();
+    let n = view_domains.len();
+    let mut out = Vec::new();
+
+    for (a, dom_a) in view_domains.iter().enumerate() {
+        for b in 0..n {
+            if b == a {
+                continue;
+            }
+            if let Some(values) = dom_a.finite_values() {
+                for v in &values {
+                    if let Ok(c) = Cfd::new(vec![(a, Pattern::cst(v.clone()))], b, Pattern::Wild)
+                    {
+                        out.push(c);
+                    }
+                }
+            }
+            if let Ok(c) = Cfd::fd(&[a], b) {
+                out.push(c);
+            }
+        }
+    }
+
+    if max_lhs >= 2 {
+        for a1 in 0..n {
+            for a2 in (a1 + 1)..n {
+                for b in 0..n {
+                    if b == a1 || b == a2 {
+                        continue;
+                    }
+                    if finite_cols.contains(&a1) && finite_cols.contains(&a2) {
+                        let v1s = view_domains[a1].finite_values().unwrap_or_default();
+                        let v2s = view_domains[a2].finite_values().unwrap_or_default();
+                        for v1 in &v1s {
+                            for v2 in &v2s {
+                                if let Ok(c) = Cfd::new(
+                                    vec![
+                                        (a1, Pattern::cst(v1.clone())),
+                                        (a2, Pattern::cst(v2.clone())),
+                                    ],
+                                    b,
+                                    Pattern::Wild,
+                                ) {
+                                    out.push(c);
+                                }
+                            }
+                        }
+                    }
+                    if let Ok(c) = Cfd::fd(&[a1, a2], b) {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relalg::query::{ColRef, OutputCol, ProdCol, SelAtom};
+    use cfd_relalg::schema::{Attribute, RelId, RelationSchema};
+    use cfd_relalg::Value;
+
+    fn bool_catalog() -> (Catalog, RelId) {
+        let mut c = Catalog::new();
+        let r = c
+            .add(
+                RelationSchema::new(
+                    "R",
+                    vec![
+                        Attribute::new("F", DomainKind::Bool),
+                        Attribute::new("B", DomainKind::Int),
+                        Attribute::new("C", DomainKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (c, r)
+    }
+
+    fn infinite_catalog() -> (Catalog, RelId) {
+        let mut c = Catalog::new();
+        let r = c
+            .add(
+                RelationSchema::new(
+                    "R",
+                    vec![
+                        Attribute::new("A", DomainKind::Int),
+                        Attribute::new("B", DomainKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (c, r)
+    }
+
+    #[test]
+    fn matches_infinite_cover_without_finite_domains() {
+        let (c, r) = infinite_catalog();
+        let q = SpcQuery::identity(&c, r);
+        let sigma = vec![SourceCfd::new(r, Cfd::fd(&[0], 1).unwrap())];
+        let general =
+            prop_cfd_spc_general(&c, &sigma, &q, &GeneralCoverOptions::default()).unwrap();
+        let base = prop_cfd_spc(&c, &sigma, &q, &CoverOptions::default()).unwrap();
+        assert_eq!(general.cfds, base.cfds);
+        assert_eq!(general.finite_domain_gains, 0);
+        assert!(!general.enumeration_truncated);
+    }
+
+    #[test]
+    fn finite_domain_case_analysis_via_implication() {
+        // Σ: ([F = false] → B, (false ‖ _)) and ([F = true] → B, (true ‖ _))
+        // over Bool F. Together they say F → B outright — but the
+        // *infinite-domain* reading cannot combine them (a third F-value
+        // could exist), while the general setting derives F → B. Here the
+        // two conditionals survive into the cover, so general-setting
+        // implication closes the gap without needing an enumerated gain.
+        let (c, r) = bool_catalog();
+        let q = SpcQuery::identity(&c, r);
+        let sigma = vec![
+            SourceCfd::new(
+                r,
+                Cfd::new(vec![(0, Pattern::cst(Value::Bool(false)))], 1, Pattern::Wild).unwrap(),
+            ),
+            SourceCfd::new(
+                r,
+                Cfd::new(vec![(0, Pattern::cst(Value::Bool(true)))], 1, Pattern::Wild).unwrap(),
+            ),
+        ];
+        let general =
+            prop_cfd_spc_general(&c, &sigma, &q, &GeneralCoverOptions::default()).unwrap();
+        let fd = Cfd::fd(&[0], 1).unwrap();
+        let view_domains = vec![DomainKind::Bool, DomainKind::Int, DomainKind::Int];
+        assert!(
+            general.implies(&fd, &view_domains),
+            "general cover must capture F → B: {:?}",
+            general.cfds
+        );
+        // Infinite-domain implication alone cannot see it.
+        assert!(!cfd_model::implication::implies(&general.cfds, &fd, &view_domains));
+    }
+
+    #[test]
+    fn gain_through_projected_away_finite_column() {
+        // R(F: Bool, B: Int, C: Int) with
+        //   Σ = { B → F,
+        //         ([F = false, B] → C, (false, _ ‖ _)),
+        //         ([F = true,  B] → C, (true,  _ ‖ _)) },
+        // view πBC(R). Two view tuples agreeing on B share F (by B → F),
+        // and whichever Boolean it is, one of the conditionals forces C to
+        // agree — so B → C is propagated in the general setting. In the
+        // infinite-domain reading a third F value defeats both conditionals
+        // and RBR derives nothing, so this is a genuine enumerated gain.
+        let (c, r) = bool_catalog();
+        let q = SpcQuery {
+            atoms: vec![r],
+            constants: vec![],
+            selection: vec![],
+            output: vec![
+                OutputCol { name: "B".into(), src: ColRef::Prod(ProdCol::new(0, 1)) },
+                OutputCol { name: "C".into(), src: ColRef::Prod(ProdCol::new(0, 2)) },
+            ],
+        };
+        let sigma = vec![
+            SourceCfd::new(r, Cfd::fd(&[1], 0).unwrap()),
+            SourceCfd::new(
+                r,
+                Cfd::new(
+                    vec![(0, Pattern::cst(Value::Bool(false))), (1, Pattern::Wild)],
+                    2,
+                    Pattern::Wild,
+                )
+                .unwrap(),
+            ),
+            SourceCfd::new(
+                r,
+                Cfd::new(
+                    vec![(0, Pattern::cst(Value::Bool(true))), (1, Pattern::Wild)],
+                    2,
+                    Pattern::Wild,
+                )
+                .unwrap(),
+            ),
+        ];
+        let base = prop_cfd_spc(&c, &sigma, &q, &CoverOptions::default()).unwrap();
+        let fd = Cfd::fd(&[0], 1).unwrap(); // view B → C
+        let view_domains = vec![DomainKind::Int, DomainKind::Int];
+        assert!(
+            !cfd_model::implication::implies_general(&base.cfds, &fd, &view_domains),
+            "infinite-domain cover must miss B → C: {:?}",
+            base.cfds
+        );
+        let general =
+            prop_cfd_spc_general(&c, &sigma, &q, &GeneralCoverOptions::default()).unwrap();
+        assert!(
+            general.implies(&fd, &view_domains),
+            "general cover must gain B → C: {:?}",
+            general.cfds
+        );
+        assert!(general.finite_domain_gains >= 1);
+    }
+
+    #[test]
+    fn every_emitted_cfd_verifies_as_propagated() {
+        let (c, r) = bool_catalog();
+        let q = SpcQuery::identity(&c, r);
+        let sigma = vec![
+            SourceCfd::new(r, Cfd::fd(&[0, 1], 2).unwrap()),
+            SourceCfd::new(
+                r,
+                Cfd::new(vec![(0, Pattern::cst(Value::Bool(true)))], 2, Pattern::Wild).unwrap(),
+            ),
+        ];
+        let general =
+            prop_cfd_spc_general(&c, &sigma, &q, &GeneralCoverOptions::default()).unwrap();
+        let spcu = SpcuQuery::single(&c, q).unwrap();
+        for phi in &general.cfds {
+            assert!(
+                propagates(&c, &sigma, &spcu, phi, Setting::General)
+                    .unwrap()
+                    .is_propagated(),
+                "unsound cover element {phi}"
+            );
+        }
+    }
+
+    #[test]
+    fn always_empty_view_returns_lemma_pair() {
+        let (c, r) = bool_catalog();
+        // σ_{B = 1}(R) with Σ forcing B = 2 everywhere
+        let mut q = SpcQuery::identity(&c, r);
+        q.selection.push(SelAtom::EqConst(ProdCol::new(0, 1), Value::int(1)));
+        let sigma = vec![SourceCfd::new(r, Cfd::const_col(1, 2i64))];
+        let general =
+            prop_cfd_spc_general(&c, &sigma, &q, &GeneralCoverOptions::default()).unwrap();
+        assert!(general.always_empty);
+        assert_eq!(general.cfds.len(), 2, "the Lemma 4.5 conflicting pair");
+    }
+
+    #[test]
+    fn candidate_budget_respected() {
+        let (c, r) = bool_catalog();
+        let q = SpcQuery::identity(&c, r);
+        let opts = GeneralCoverOptions { max_candidates: 1, ..Default::default() };
+        let general = prop_cfd_spc_general(&c, &[], &q, &opts).unwrap();
+        assert!(general.enumeration_truncated);
+    }
+
+    #[test]
+    fn pair_candidates_enumerated_when_requested() {
+        let doms = vec![DomainKind::Bool, DomainKind::Bool, DomainKind::Int];
+        let singles = candidates(&doms, 1);
+        let pairs = candidates(&doms, 2);
+        assert!(pairs.len() > singles.len());
+        // the pair form ([0,1] → 2, (b1, b2 ‖ _)) must appear
+        assert!(pairs.iter().any(|c| c.lhs().len() == 2 && c.rhs_attr() == 2));
+    }
+
+    #[test]
+    fn finite_domain_constant_column_projection() {
+        // Enum domain {1}: a singleton domain forces the column constant on
+        // the view even with Σ = ∅.
+        let mut c = Catalog::new();
+        let r = c
+            .add(
+                RelationSchema::new(
+                    "R",
+                    vec![
+                        Attribute::new(
+                            "E",
+                            DomainKind::new_enum(vec![Value::int(1)]).unwrap(),
+                        ),
+                        Attribute::new("B", DomainKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let q = SpcQuery {
+            atoms: vec![r],
+            constants: vec![],
+            selection: vec![],
+            output: vec![
+                OutputCol { name: "E".into(), src: ColRef::Prod(ProdCol::new(0, 0)) },
+                OutputCol { name: "B".into(), src: ColRef::Prod(ProdCol::new(0, 1)) },
+            ],
+        };
+        let general =
+            prop_cfd_spc_general(&c, &[], &q, &GeneralCoverOptions::default()).unwrap();
+        let doms = vec![DomainKind::new_enum(vec![Value::int(1)]).unwrap(), DomainKind::Int];
+        // ([E] → B, (1 ‖ _)) is equivalent to E → B here since dom(E) = {1};
+        // the cover must imply the plain FD E → B in the general setting.
+        let fd = Cfd::fd(&[0], 1).unwrap();
+        // E → B holds iff every pair agreeing on E agrees on B — not true
+        // without any source dependency! Sanity: it must NOT be implied.
+        assert!(
+            !general.implies(&fd, &doms),
+            "no source dependencies: E → B must not appear"
+        );
+    }
+}

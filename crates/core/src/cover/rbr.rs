@@ -1,0 +1,321 @@
+//! Reduction By Resolution for CFDs (procedure `RBR`, Fig. 3), extending
+//! Gottlob's embedded-FD algorithm \[12\] to CFDs.
+//!
+//! To drop an attribute `A`, every pair of CFDs `φ1 = (W → A, t1)` and
+//! `φ2 = (AZ → B, t2)` with `t1[A] ≤ t2[A]` and well-defined merge
+//! `t1[W] ⊕ t2[Z]` yields the *A-resolvent*
+//! `(WZ → B, (t1[W] ⊕ t2[Z] ‖ t2[B]))` (§4.2); then every CFD mentioning
+//! `A` is discarded. By Proposition 4.4, `Drop(Σ, A)⁺ = Σ⁺[U − {A}]`, so
+//! iterating over all of `U − Y` computes a propagation cover of Σ via
+//! `πY`.
+//!
+//! Two optimizations from §4.3 are supported:
+//! * partitioned `MinCover` on the working set after each drop (chunked, so
+//!   the worst-case complexity is unchanged);
+//! * a growth bound: when the working set exceeds `max_size`, resolution
+//!   stops adding new resolvents and the outcome is flagged incomplete —
+//!   the result is then *a sound subset* of a cover (every CFD in it is
+//!   still propagated), matching the paper's polynomial-time heuristic.
+
+use cfd_model::mincover::min_cover_partitioned;
+use cfd_model::{Cfd, Pattern};
+use cfd_relalg::domain::DomainKind;
+use std::collections::BTreeMap;
+
+/// Tuning knobs for [`rbr`].
+#[derive(Clone, Debug)]
+pub struct RbrOptions {
+    /// Chunk size for the partitioned `MinCover` applied after each drop
+    /// (`None` disables the optimization).
+    pub mincover_chunk: Option<usize>,
+    /// Stop adding resolvents once the working set reaches this size
+    /// (`None` = unbounded, always computes a full cover).
+    pub max_size: Option<usize>,
+}
+
+impl Default for RbrOptions {
+    fn default() -> Self {
+        RbrOptions { mincover_chunk: Some(64), max_size: None }
+    }
+}
+
+/// The result of [`rbr`].
+#[derive(Clone, Debug)]
+pub struct RbrOutcome {
+    /// The resulting CFD set over the kept attributes.
+    pub cover: Vec<Cfd>,
+    /// `false` when the growth bound kicked in (result is a sound subset of
+    /// a cover rather than a full cover).
+    pub complete: bool,
+}
+
+/// Does `c` syntactically subsume `r` (imply it cell-wise)? Requires the
+/// same RHS attribute, `c`'s conclusion at least as strong
+/// (`tp_c[B] ≤ tp_r[B]`), and `c`'s premise at most as demanding: every LHS
+/// cell of `c` present in `r` with `tp_r[a] ≤ tp_c[a]`.
+fn subsumes(c: &Cfd, r: &Cfd) -> bool {
+    c.rhs_attr() == r.rhs_attr()
+        && c.rhs_pattern().leq(r.rhs_pattern())
+        && c.lhs().iter().all(|(a, pc)| match r.lhs_pattern(*a) {
+            Some(pr) => pr.leq(pc),
+            None => false,
+        })
+}
+
+/// Drop each attribute of `drop_attrs` from `gamma` by resolution.
+pub fn rbr(
+    mut gamma: Vec<Cfd>,
+    drop_attrs: &[usize],
+    domains: &[DomainKind],
+    opts: &RbrOptions,
+) -> RbrOutcome {
+    let mut complete = true;
+    // Resolution-friendly form: constant-RHS CFDs shed their wildcard
+    // self-cell so they can act as producers (see
+    // `Cfd::normalize_const_rhs`).
+    for c in &mut gamma {
+        *c = c.normalize_const_rhs();
+    }
+    // Re-run the (quadratic-per-call) partitioned MinCover only when the
+    // working set doubles; in between, cheap syntactic subsumption keeps
+    // resolvent growth in check.
+    let mut trim_watermark = gamma.len().max(opts.mincover_chunk.unwrap_or(usize::MAX));
+    for &a in drop_attrs {
+        // Fast path: nothing mentions `a`.
+        if !gamma.iter().any(|c| c.mentions(a)) {
+            continue;
+        }
+        let mut resolvents: Vec<Cfd> = Vec::new();
+        let producers: Vec<&Cfd> = gamma.iter().filter(|c| c.rhs_attr() == a).collect();
+        let consumers: Vec<&Cfd> = gamma.iter().filter(|c| c.lhs_pattern(a).is_some()).collect();
+        let budget = opts.max_size.unwrap_or(usize::MAX);
+        'outer: for p in &producers {
+            if p.lhs_pattern(a).is_some() {
+                continue; // resolvent would still mention `a` (W ∋ A)
+            }
+            for q in &consumers {
+                if gamma.len() + resolvents.len() >= budget {
+                    complete = false;
+                    break 'outer;
+                }
+                if let Some(r) = resolvent(p, q, a) {
+                    let r = r.normalize_const_rhs();
+                    if r.is_trivial()
+                        || resolvents.iter().any(|c| subsumes(c, &r))
+                        || gamma.iter().any(|c| subsumes(c, &r))
+                    {
+                        continue;
+                    }
+                    resolvents.retain(|c| !subsumes(&r, c));
+                    resolvents.push(r);
+                }
+            }
+        }
+        gamma.retain(|c| !c.mentions(a));
+        gamma.extend(resolvents);
+        if let Some(chunk) = opts.mincover_chunk {
+            if gamma.len() > trim_watermark.saturating_mul(2) {
+                gamma = min_cover_partitioned(&gamma, domains, chunk);
+                trim_watermark = gamma.len().max(chunk);
+            }
+        }
+    }
+    RbrOutcome { cover: gamma, complete }
+}
+
+/// The A-resolvent of `p = (W → A, t1)` and `q = (AZ → B, t2)`, if defined.
+///
+/// Requires `t1[A] ≤ t2[A]` and pairwise-mergeable shared LHS cells; the
+/// result must not mention `a` again (`B ≠ A`, `A ∉ W` — the latter is
+/// checked by the caller).
+pub fn resolvent(p: &Cfd, q: &Cfd, a: usize) -> Option<Cfd> {
+    debug_assert_eq!(p.rhs_attr(), a);
+    let t2a = q.lhs_pattern(a)?;
+    if q.rhs_attr() == a {
+        return None;
+    }
+    if !p.rhs_pattern().leq(t2a) {
+        return None;
+    }
+    // W ⊕ Z with Z = lhs(q) ∖ {a}.
+    let mut lhs: BTreeMap<usize, Pattern> = p.lhs().iter().cloned().collect();
+    for (c, pat) in q.lhs() {
+        if *c == a {
+            continue;
+        }
+        match lhs.entry(*c) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(pat.clone());
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let merged = e.get().merge_min(pat)?;
+                e.insert(merged);
+            }
+        }
+    }
+    Cfd::new(lhs.into_iter().collect(), q.rhs_attr(), q.rhs_pattern().clone()).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_model::implication::implies;
+
+    fn int_domains(n: usize) -> Vec<DomainKind> {
+        vec![DomainKind::Int; n]
+    }
+
+    #[test]
+    fn example_4_2_resolvent() {
+        // φ1 = ([A1, A2] → A, (_, c ‖ a)), φ2 = ([A, A2, B1] → B, (_, c, b ‖ _))
+        // with attributes A1=0, A2=1, A=2, B1=3, B=4:
+        // A-resolvent: ([A1, A2, B1] → B, (_, c, b ‖ _))
+        let phi1 = Cfd::new(
+            vec![(0, Pattern::Wild), (1, Pattern::cst(100))],
+            2,
+            Pattern::cst(200),
+        )
+        .unwrap();
+        let phi2 = Cfd::new(
+            vec![(2, Pattern::Wild), (1, Pattern::cst(100)), (3, Pattern::cst(300))],
+            4,
+            Pattern::Wild,
+        )
+        .unwrap();
+        let r = resolvent(&phi1, &phi2, 2).unwrap();
+        assert_eq!(
+            r,
+            Cfd::new(
+                vec![(0, Pattern::Wild), (1, Pattern::cst(100)), (3, Pattern::cst(300))],
+                4,
+                Pattern::Wild
+            )
+            .unwrap()
+        );
+    }
+
+    #[test]
+    fn resolvent_requires_pattern_order() {
+        // producer emits wildcard A, consumer requires A = 5: not ≤
+        let p = Cfd::fd(&[0], 1).unwrap();
+        let q = Cfd::new(vec![(1, Pattern::cst(5))], 2, Pattern::Wild).unwrap();
+        assert!(resolvent(&p, &q, 1).is_none());
+        // producer emits A = 5, consumer requires wildcard: fine
+        let p2 = Cfd::new(vec![(0, Pattern::Wild)], 1, Pattern::cst(5)).unwrap();
+        let q2 = Cfd::fd(&[1], 2).unwrap();
+        assert!(resolvent(&p2, &q2, 1).is_some());
+        // producer emits A = 5, consumer requires A = 5: fine
+        let q3 = Cfd::new(vec![(1, Pattern::cst(5))], 2, Pattern::Wild).unwrap();
+        assert!(resolvent(&p2, &q3, 1).is_some());
+        // producer emits A = 5, consumer requires A = 6: mismatch
+        let q4 = Cfd::new(vec![(1, Pattern::cst(6))], 2, Pattern::Wild).unwrap();
+        assert!(resolvent(&p2, &q4, 1).is_none());
+    }
+
+    #[test]
+    fn resolvent_merge_conflict_undefined() {
+        // shared attribute 3 with incompatible constants
+        let p = Cfd::new(vec![(0, Pattern::Wild), (3, Pattern::cst(1))], 1, Pattern::Wild).unwrap();
+        let q = Cfd::new(vec![(1, Pattern::Wild), (3, Pattern::cst(2))], 2, Pattern::Wild).unwrap();
+        assert!(resolvent(&p, &q, 1).is_none());
+    }
+
+    #[test]
+    fn rbr_transitive_chain() {
+        // A → B, B → C; drop B: expect A → C
+        let gamma = vec![Cfd::fd(&[0], 1).unwrap(), Cfd::fd(&[1], 2).unwrap()];
+        let out = rbr(gamma, &[1], &int_domains(3), &RbrOptions::default());
+        assert!(out.complete);
+        assert_eq!(out.cover, vec![Cfd::fd(&[0], 2).unwrap()]);
+    }
+
+    #[test]
+    fn rbr_empty_lhs_producer_resolves_constants() {
+        // (∅ → B, (‖ 5)) and ([B, Z] → C, (5, _ ‖ _)); drop B: (Z → C)
+        let empty_lhs = Cfd::new(vec![], 1, Pattern::cst(5)).unwrap();
+        let consumer =
+            Cfd::new(vec![(1, Pattern::cst(5)), (3, Pattern::Wild)], 2, Pattern::Wild).unwrap();
+        let out = rbr(vec![empty_lhs, consumer], &[1], &int_domains(4), &RbrOptions::default());
+        assert_eq!(out.cover, vec![Cfd::fd(&[3], 2).unwrap()]);
+    }
+
+    #[test]
+    fn rbr_keeps_unrelated_cfds() {
+        let gamma = vec![Cfd::fd(&[0], 1).unwrap(), Cfd::fd(&[2], 3).unwrap()];
+        let out = rbr(gamma.clone(), &[4], &int_domains(5), &RbrOptions::default());
+        assert_eq!(out.cover, gamma);
+    }
+
+    #[test]
+    fn rbr_drops_dead_end_cfds() {
+        // A → B with B dropped and nothing consuming B: the CFD disappears
+        let gamma = vec![Cfd::fd(&[0], 1).unwrap()];
+        let out = rbr(gamma, &[1], &int_domains(2), &RbrOptions::default());
+        assert!(out.cover.is_empty());
+    }
+
+    #[test]
+    fn rbr_result_is_implied_by_original(
+    ) {
+        // soundness spot-check: every output CFD is implied by the input
+        let gamma = vec![
+            Cfd::fd(&[0], 2).unwrap(),
+            Cfd::new(vec![(2, Pattern::cst(7)), (1, Pattern::Wild)], 3, Pattern::Wild).unwrap(),
+            Cfd::new(vec![(0, Pattern::Wild)], 2, Pattern::cst(7)).unwrap(),
+        ];
+        let out = rbr(gamma.clone(), &[2], &int_domains(4), &RbrOptions::default());
+        for c in &out.cover {
+            assert!(!c.mentions(2));
+            assert!(implies(&gamma, c, &int_domains(4)), "unsound resolvent {c}");
+        }
+    }
+
+    #[test]
+    fn exponential_family_counts() {
+        // Example 4.1 with n = 3: Ai → Ci, Bi → Ci, C1C2C3 → D; dropping the
+        // Ci yields 2^3 = 8 FDs η1η2η3 → D.
+        let n = 3;
+        // attribute layout: Ai = i, Bi = n+i, Ci = 2n+i, D = 3n
+        let mut gamma = Vec::new();
+        for i in 0..n {
+            gamma.push(Cfd::fd(&[i], 2 * n + i).unwrap());
+            gamma.push(Cfd::fd(&[n + i], 2 * n + i).unwrap());
+        }
+        gamma.push(Cfd::fd(&[2 * n, 2 * n + 1, 2 * n + 2], 3 * n).unwrap());
+        let drop: Vec<usize> = (2 * n..3 * n).collect();
+        let out = rbr(gamma, &drop, &int_domains(3 * n + 1), &RbrOptions {
+            mincover_chunk: None,
+            max_size: None,
+        });
+        let to_d: Vec<&Cfd> = out.cover.iter().filter(|c| c.rhs_attr() == 3 * n).collect();
+        assert_eq!(to_d.len(), 1 << n, "2^n FDs with RHS D");
+    }
+
+    #[test]
+    fn growth_bound_yields_sound_subset() {
+        let n = 4;
+        let mut gamma = Vec::new();
+        for i in 0..n {
+            gamma.push(Cfd::fd(&[i], 2 * n + i).unwrap());
+            gamma.push(Cfd::fd(&[n + i], 2 * n + i).unwrap());
+        }
+        gamma.push(Cfd::fd(&[2 * n, 2 * n + 1, 2 * n + 2, 2 * n + 3], 3 * n).unwrap());
+        let drop: Vec<usize> = (2 * n..3 * n).collect();
+        let out = rbr(gamma.clone(), &drop, &int_domains(3 * n + 1), &RbrOptions {
+            mincover_chunk: None,
+            max_size: Some(6),
+        });
+        assert!(!out.complete);
+        for c in &out.cover {
+            assert!(implies(&gamma, c, &int_domains(3 * n + 1)), "unsound {c}");
+        }
+    }
+
+    #[test]
+    fn consumer_with_rhs_equal_to_dropped_attr_skipped() {
+        // (W → A) with ([A] → A, (5 ‖ 9)) would re-mention A: skipped
+        let p = Cfd::new(vec![(0, Pattern::Wild)], 1, Pattern::cst(5)).unwrap();
+        let q = Cfd::new(vec![(1, Pattern::cst(5))], 1, Pattern::cst(9)).unwrap();
+        assert!(resolvent(&p, &q, 1).is_none());
+    }
+}

@@ -1,0 +1,266 @@
+//! A *sound* propagation cover for SPCU views — the "supporting union"
+//! extension the paper lists as future work (§7).
+//!
+//! For a union view `V = V1 ∪ ... ∪ Vn`, a CFD propagated via `V` must be
+//! propagated via every branch (`Vi(D) ⊆ V(D)`, and CFD satisfaction is
+//! closed under subsets), but the converse fails: tuple pairs *across*
+//! branches impose extra constraints (Example 1.1's `f1` holds on each
+//! branch yet fails on the union). The procedure here:
+//!
+//! 1. computes each branch's minimal SPC cover `Γi` (`PropCFD_SPC`);
+//! 2. enriches candidates with *guarded* variants: every `φ = (X → B, tp)`
+//!    of `Γi` extended with the branch's constant columns
+//!    `(C → C, (_ ‖ v)) ∈ Γi` as LHS cells `(C, v)` — this is what turns a
+//!    per-branch FD into the union-surviving conditional CFD (the
+//!    `CC = '44'` guard of ϕ1–ϕ5);
+//! 3. keeps exactly the candidates the chase-based SPCU checker certifies
+//!    as propagated via the whole union;
+//! 4. returns `MinCover` of the survivors.
+//!
+//! Every returned CFD is therefore *provably* propagated (soundness is
+//! unconditional); the result is flagged `complete = false` because a view
+//! CFD outside the candidate space may exist (no finite candidate basis is
+//! known for unions — the open problem of §7). Single-branch inputs
+//! delegate to [`super::prop_cfd_spc`] and retain its completeness.
+
+use super::{prop_cfd_spc, CoverOptions, PropagationCover};
+use crate::emptiness::is_always_empty;
+use crate::error::PropError;
+use crate::propagate::{propagates, Setting};
+use cfd_model::mincover::min_cover;
+use cfd_model::{Cfd, Pattern, SourceCfd};
+use cfd_relalg::domain::DomainKind;
+use cfd_relalg::query::SpcuQuery;
+use cfd_relalg::schema::Catalog;
+
+/// Compute a sound set of CFDs propagated via an SPCU view (see the module
+/// docs for the completeness caveat).
+pub fn prop_cfd_spcu_sound(
+    catalog: &Catalog,
+    sigma: &[SourceCfd],
+    view: &SpcuQuery,
+    opts: &CoverOptions,
+) -> Result<PropagationCover, PropError> {
+    if view.branches.len() == 1 {
+        return prop_cfd_spc(catalog, sigma, &view.branches[0], opts);
+    }
+    let view_domains: Vec<DomainKind> =
+        view.schema().columns.iter().map(|(_, d)| d.clone()).collect();
+
+    // Degenerate case: the whole union is empty on every model.
+    if is_always_empty(catalog, sigma, view, Setting::InfiniteDomain)? {
+        let cfds = super::translate::lemma_4_5_pair(view.schema()).unwrap_or_default();
+        return Ok(PropagationCover { cfds, complete: true, always_empty: true });
+    }
+
+    // 1–2. Per-branch covers + guarded variants.
+    let mut candidates: Vec<Cfd> = Vec::new();
+    let mut all_complete = true;
+    for branch in &view.branches {
+        let cover = prop_cfd_spc(catalog, sigma, branch, opts)?;
+        all_complete &= cover.complete;
+        if cover.always_empty {
+            continue; // an empty branch constrains nothing
+        }
+        // constant columns of this branch: (C → C, (_ ‖ v))
+        let consts: Vec<(usize, cfd_relalg::Value)> = cover
+            .cfds
+            .iter()
+            .filter_map(|c| {
+                let v = c.rhs_pattern().as_const()?;
+                let lhs = c.lhs();
+                (lhs.len() == 1 && lhs[0].0 == c.rhs_attr() && lhs[0].1 == Pattern::Wild)
+                    .then(|| (c.rhs_attr(), v.clone()))
+            })
+            .collect();
+        for cfd in &cover.cfds {
+            push_unique(&mut candidates, cfd.clone());
+            if cfd.as_attr_eq().is_some() {
+                continue;
+            }
+            // guard with every subset of one constant column at a time,
+            // and with all of them together (the common useful shapes)
+            let mut guarded_all = cfd.clone();
+            for (col, v) in &consts {
+                if cfd.mentions(*col) {
+                    continue;
+                }
+                if let Some(g) = add_guard(cfd, *col, v.clone()) {
+                    push_unique(&mut candidates, g);
+                }
+                if let Some(g) = add_guard(&guarded_all, *col, v.clone()) {
+                    guarded_all = g;
+                }
+            }
+            push_unique(&mut candidates, guarded_all);
+        }
+    }
+
+    // 3. Keep the candidates that survive the union.
+    let mut kept = Vec::new();
+    for cand in candidates {
+        if propagates(catalog, sigma, view, &cand, Setting::InfiniteDomain)?.is_propagated() {
+            kept.push(cand);
+        }
+    }
+
+    // 4. Minimize.
+    let minimized = min_cover(&kept, &view_domains);
+    let cfds: Vec<Cfd> = minimized.into_iter().map(|c| c.to_paper_form()).collect();
+    // `complete` would additionally require a finite candidate basis for
+    // unions, which is open; stay honest:
+    let _ = all_complete;
+    Ok(PropagationCover { cfds, complete: false, always_empty: false })
+}
+
+fn push_unique(v: &mut Vec<Cfd>, c: Cfd) {
+    if !c.is_trivial() && !v.contains(&c) {
+        v.push(c);
+    }
+}
+
+/// `(X ∪ {col: v} → B, tp)`, or `None` when the shape is invalid.
+fn add_guard(cfd: &Cfd, col: usize, v: cfd_relalg::Value) -> Option<Cfd> {
+    let mut lhs: Vec<(usize, Pattern)> = cfd.lhs().to_vec();
+    lhs.push((col, Pattern::Const(v)));
+    Cfd::new(lhs, cfd.rhs_attr(), cfd.rhs_pattern().clone()).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relalg::query::RaExpr;
+    use cfd_relalg::schema::{Attribute, RelationSchema};
+    use cfd_relalg::Value;
+
+    fn s(v: &str) -> Value {
+        Value::str(v)
+    }
+
+    fn customer(name: &str) -> RelationSchema {
+        RelationSchema::new(
+            name,
+            ["AC", "city", "zip", "street"]
+                .iter()
+                .map(|a| Attribute::new(*a, DomainKind::Text))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// Example 1.1 in miniature: the union cover recovers ϕ1/ϕ2-style
+    /// guarded CFDs and never emits anything unsound.
+    #[test]
+    fn example_1_1_union_cover() {
+        let mut c = Catalog::new();
+        let r1 = c.add(customer("R1")).unwrap();
+        let _r2 = c.add(customer("R2")).unwrap();
+        let r3 = c.add(customer("R3")).unwrap();
+        let sigma = vec![
+            SourceCfd::new(r1, Cfd::fd(&[2], 3).unwrap()), // zip → street on R1
+            SourceCfd::new(r1, Cfd::fd(&[0], 1).unwrap()), // AC → city on R1
+            SourceCfd::new(r3, Cfd::fd(&[0], 1).unwrap()), // AC → city on R3
+        ];
+        let branch = |rel: &str, cc: &str| {
+            RaExpr::rel(rel).with_const("CC", s(cc), DomainKind::Text)
+        };
+        let view = branch("R1", "44")
+            .union(branch("R2", "01"))
+            .union(branch("R3", "31"))
+            .normalize(&c)
+            .unwrap();
+        let cover = prop_cfd_spcu_sound(&c, &sigma, &view, &CoverOptions::default()).unwrap();
+        assert!(!cover.always_empty);
+        assert!(!cover.complete, "union covers are flagged incomplete");
+        let domains: Vec<DomainKind> =
+            view.schema().columns.iter().map(|(_, d)| d.clone()).collect();
+
+        // ϕ1: ([CC, zip] → street, ('44', _ ‖ _))
+        let col = |n: &str| view.schema().col_index(n).unwrap();
+        let phi1 = Cfd::new(
+            vec![(col("CC"), Pattern::Const(s("44"))), (col("zip"), Pattern::Wild)],
+            col("street"),
+            Pattern::Wild,
+        )
+        .unwrap();
+        let phi2 = Cfd::new(
+            vec![(col("CC"), Pattern::Const(s("44"))), (col("AC"), Pattern::Wild)],
+            col("city"),
+            Pattern::Wild,
+        )
+        .unwrap();
+        let phi3 = Cfd::new(
+            vec![(col("CC"), Pattern::Const(s("31"))), (col("AC"), Pattern::Wild)],
+            col("city"),
+            Pattern::Wild,
+        )
+        .unwrap();
+        for (label, phi) in [("phi1", &phi1), ("phi2", &phi2), ("phi3", &phi3)] {
+            assert!(
+                cfd_model::implication::implies(&cover.cfds, phi, &domains),
+                "{label} not implied by union cover {:?}",
+                cover.cfds
+            );
+        }
+        // soundness: every member is propagated per the checker
+        for cfd in &cover.cfds {
+            assert!(
+                propagates(&c, &sigma, &view, cfd, Setting::InfiniteDomain)
+                    .unwrap()
+                    .is_propagated(),
+                "unsound union-cover member {cfd}"
+            );
+        }
+        // the unguarded FD zip → street must NOT be implied
+        let plain = Cfd::fd(&[col("zip")], col("street")).unwrap();
+        assert!(!cfd_model::implication::implies(&cover.cfds, &plain, &domains));
+    }
+
+    #[test]
+    fn single_branch_delegates_to_spc() {
+        let mut c = Catalog::new();
+        let r = c.add(customer("R1")).unwrap();
+        let sigma = vec![SourceCfd::new(r, Cfd::fd(&[0], 1).unwrap())];
+        let view = RaExpr::rel("R1").normalize(&c).unwrap();
+        let cover = prop_cfd_spcu_sound(&c, &sigma, &view, &CoverOptions::default()).unwrap();
+        assert!(cover.complete, "single branch keeps SPC completeness");
+        assert_eq!(cover.cfds, vec![Cfd::fd(&[0], 1).unwrap()]);
+    }
+
+    #[test]
+    fn empty_union_returns_conflict_pair() {
+        let mut c = Catalog::new();
+        let _ = c.add(customer("R1")).unwrap();
+        let r1 = c.rel_id("R1").unwrap();
+        // Σ forces city = 'x'; both branches select city = 'y'
+        let sigma = vec![SourceCfd::new(
+            r1,
+            Cfd::new(vec![(0, Pattern::Wild)], 1, Pattern::Const(s("x"))).unwrap(),
+        )];
+        let sel = |cc: &str| {
+            RaExpr::rel("R1")
+                .select(vec![cfd_relalg::RaCond::EqConst("city".into(), s("y"))])
+                .with_const("CC", s(cc), DomainKind::Text)
+        };
+        let view = sel("1").union(sel("2")).normalize(&c).unwrap();
+        let cover = prop_cfd_spcu_sound(&c, &sigma, &view, &CoverOptions::default()).unwrap();
+        assert!(cover.always_empty);
+        assert_eq!(cover.cfds.len(), 2);
+    }
+
+    #[test]
+    fn identical_branches_behave_like_spc() {
+        let mut c = Catalog::new();
+        let r = c.add(customer("R1")).unwrap();
+        let sigma = vec![SourceCfd::new(r, Cfd::fd(&[0], 1).unwrap())];
+        let view = RaExpr::rel("R1").union(RaExpr::rel("R1")).normalize(&c).unwrap();
+        let cover = prop_cfd_spcu_sound(&c, &sigma, &view, &CoverOptions::default()).unwrap();
+        let domains: Vec<DomainKind> =
+            view.schema().columns.iter().map(|(_, d)| d.clone()).collect();
+        assert!(cfd_model::implication::implies(
+            &cover.cfds,
+            &Cfd::fd(&[0], 1).unwrap(),
+            &domains
+        ));
+    }
+}

@@ -1,0 +1,196 @@
+//! Translating flat-column CFDs to view-schema CFDs, and `EQ2CFD` (Fig. 4).
+
+use super::eq::EqInfo;
+use super::flatten::FlatView;
+use cfd_model::{Cfd, Pattern};
+
+/// Rewrite a flat-space CFD onto view output positions. All attributes must
+/// be projected flat columns (guaranteed after `RBR` dropped `U − Y`); each
+/// maps to its *primary* (first) output position.
+pub fn translate_cfd(cfd: &Cfd, fv: &FlatView) -> Cfd {
+    let out_of = |f: usize| -> usize {
+        *fv.outputs_of_flat[f]
+            .first()
+            .expect("RBR keeps only projected columns")
+    };
+    let lhs = cfd
+        .lhs()
+        .iter()
+        .map(|(a, p)| (out_of(*a), p.clone()))
+        .collect();
+    Cfd::new(lhs, out_of(cfd.rhs_attr()), cfd.rhs_pattern().clone())
+        .expect("output positions are distinct per flat column")
+}
+
+/// `EQ2CFD` (Fig. 4), extended to projection duplicates and the constant
+/// relation `Rc`:
+///
+/// * for every class with key `'a'`: `RV(A → A, (_ ‖ a))` for each projected
+///   output of each member (Lemma 4.2(a));
+/// * for every keyless class: `RV(A → B, (x ‖ x))` between the first output
+///   and every other output over the class members (Lemma 4.2(b)) — this
+///   also covers a single column projected twice;
+/// * for every constant-relation output `(A: a)`: `RV(A → A, (_ ‖ a))`
+///   (the `Rc` handling of §4.2).
+pub fn eq2cfd(fv: &FlatView, eq: &mut EqInfo) -> Vec<Cfd> {
+    let mut out = Vec::new();
+    for class in eq.classes() {
+        let outputs: Vec<usize> = class
+            .iter()
+            .flat_map(|f| fv.outputs_of_flat[*f].iter().copied())
+            .collect();
+        if outputs.is_empty() {
+            continue;
+        }
+        match eq.key(class[0]) {
+            Some(v) => {
+                for o in outputs {
+                    out.push(Cfd::const_col(o, v.clone()));
+                }
+            }
+            None => {
+                for o in &outputs[1..] {
+                    out.push(Cfd::attr_eq(outputs[0], *o).expect("distinct outputs"));
+                }
+            }
+        }
+    }
+    for (o, v, _) in &fv.const_outputs {
+        out.push(Cfd::const_col(*o, v.clone()));
+    }
+    out
+}
+
+/// The Lemma 4.5 pair for an always-empty view: two CFDs forcing a single
+/// output column to two distinct constants, from which every view CFD
+/// follows. Returns `None` when no output column has two domain values (a
+/// degenerate schema).
+pub fn lemma_4_5_pair(schema: &cfd_relalg::ViewSchema) -> Option<Vec<Cfd>> {
+    for (o, (_, dom)) in schema.columns.iter().enumerate() {
+        let vals = dom.distinct_values(2, 0);
+        if vals.len() >= 2 {
+            return Some(vec![
+                Cfd::new(vec![(o, Pattern::Wild)], o, Pattern::Const(vals[0].clone())).unwrap(),
+                Cfd::new(vec![(o, Pattern::Wild)], o, Pattern::Const(vals[1].clone())).unwrap(),
+            ]);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::eq::compute_eq;
+    use super::super::flatten::flatten;
+    use super::*;
+    use cfd_relalg::query::{RaCond, RaExpr};
+    use cfd_relalg::schema::{Attribute, Catalog, RelationSchema};
+    use cfd_relalg::{DomainKind, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            RelationSchema::new(
+                "R",
+                vec![
+                    Attribute::new("A", DomainKind::Int),
+                    Attribute::new("B", DomainKind::Int),
+                    Attribute::new("C", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn translate_reorders_to_output_positions() {
+        let c = catalog();
+        // project C, A: output 0 = C (flat 2), output 1 = A (flat 0)
+        let q = RaExpr::rel("R").project(&["C", "A"]).normalize(&c).unwrap();
+        let b = &q.branches[0];
+        let fv = flatten(&c, b);
+        let flat_cfd = Cfd::fd(&[0], 2).unwrap(); // A → C in flat space
+        let v = translate_cfd(&flat_cfd, &fv);
+        assert_eq!(v, Cfd::fd(&[1], 0).unwrap());
+    }
+
+    #[test]
+    fn eq2cfd_emits_constants_and_equalities() {
+        let c = catalog();
+        let q = RaExpr::rel("R")
+            .select(vec![
+                RaCond::Eq("A".into(), "B".into()),
+                RaCond::EqConst("C".into(), Value::int(9)),
+            ])
+            .normalize(&c)
+            .unwrap();
+        let b = &q.branches[0];
+        let fv = flatten(&c, b);
+        let mut eq = compute_eq(&fv, b).unwrap();
+        let cfds = eq2cfd(&fv, &mut eq);
+        assert!(cfds.contains(&Cfd::attr_eq(0, 1).unwrap()));
+        assert!(cfds.contains(&Cfd::const_col(2, 9i64)));
+        assert_eq!(cfds.len(), 2);
+    }
+
+    #[test]
+    fn eq2cfd_keyed_class_constants_for_every_member() {
+        let c = catalog();
+        let q = RaExpr::rel("R")
+            .select(vec![
+                RaCond::Eq("A".into(), "B".into()),
+                RaCond::EqConst("A".into(), Value::int(3)),
+            ])
+            .normalize(&c)
+            .unwrap();
+        let b = &q.branches[0];
+        let fv = flatten(&c, b);
+        let mut eq = compute_eq(&fv, b).unwrap();
+        let cfds = eq2cfd(&fv, &mut eq);
+        assert!(cfds.contains(&Cfd::const_col(0, 3i64)));
+        assert!(cfds.contains(&Cfd::const_col(1, 3i64)));
+    }
+
+    #[test]
+    fn eq2cfd_handles_constant_relation() {
+        let c = catalog();
+        let q = RaExpr::rel("R")
+            .with_const("CC", Value::int(44), DomainKind::Int)
+            .normalize(&c)
+            .unwrap();
+        let b = &q.branches[0];
+        let fv = flatten(&c, b);
+        let mut eq = compute_eq(&fv, b).unwrap();
+        let cfds = eq2cfd(&fv, &mut eq);
+        assert!(cfds.contains(&Cfd::const_col(3, 44i64)));
+    }
+
+    #[test]
+    fn eq2cfd_skips_unprojected_classes() {
+        let c = catalog();
+        let q = RaExpr::rel("R")
+            .select(vec![RaCond::Eq("B".into(), "C".into())])
+            .project(&["A"])
+            .normalize(&c)
+            .unwrap();
+        let b = &q.branches[0];
+        let fv = flatten(&c, b);
+        let mut eq = compute_eq(&fv, b).unwrap();
+        assert!(eq2cfd(&fv, &mut eq).is_empty());
+    }
+
+    #[test]
+    fn lemma_4_5_pair_conflicts() {
+        let c = catalog();
+        let q = RaExpr::rel("R").normalize(&c).unwrap();
+        let pair = lemma_4_5_pair(q.schema()).unwrap();
+        assert_eq!(pair.len(), 2);
+        assert_eq!(pair[0].rhs_attr(), pair[1].rhs_attr());
+        assert_ne!(pair[0].rhs_pattern(), pair[1].rhs_pattern());
+        // together they are unsatisfiable by any nonempty view
+        let domains = vec![DomainKind::Int; 3];
+        assert!(!cfd_model::implication::is_consistent(&pair, &domains));
+    }
+}

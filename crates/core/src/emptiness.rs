@@ -1,0 +1,254 @@
+//! The emptiness problem for CFDs and SPCU views (§3.3): given Σ on R and a
+//! view V, is `V(D)` empty for **every** `D |= Σ`?
+//!
+//! coNP-complete in the general setting (Thm 3.7), PTIME without
+//! finite-domain attributes (Thm 3.8). The procedure chases each disjunct's
+//! tableau with Σ: the disjunct can produce a tuple iff the chase is defined
+//! (for some instantiation of finite-domain variables, in the general
+//! setting); instantiating the final chase result yields a source database
+//! witnessing non-emptiness.
+
+use crate::instance_builder::{add_tableau_copy, materialize, FreshPool};
+use crate::propagate::{sigma_by_relation, validate_inputs, Setting};
+use crate::PropError;
+use cfd_model::chase::{any_ground_instantiation, ChaseInstance};
+use cfd_model::SourceCfd;
+use cfd_relalg::instance::Database;
+use cfd_relalg::query::{SelAtom, SpcuQuery};
+use cfd_relalg::schema::Catalog;
+use cfd_relalg::tableau::Tableau;
+use cfd_relalg::value::Value;
+use std::collections::BTreeSet;
+
+/// If some `D |= Σ` makes `V(D)` nonempty, return such a witness database;
+/// `None` means the view is empty on every model of Σ.
+pub fn non_emptiness_witness(
+    catalog: &Catalog,
+    sigma: &[SourceCfd],
+    view: &SpcuQuery,
+    setting: Setting,
+) -> Result<Option<Database>, PropError> {
+    validate_inputs(catalog, sigma, view, None)?;
+    let groups = sigma_by_relation(catalog, sigma);
+    let mut reserved: BTreeSet<Value> = BTreeSet::new();
+    for s in sigma {
+        for (_, p) in s.cfd.lhs() {
+            if let Some(v) = p.as_const() {
+                reserved.insert(v.clone());
+            }
+        }
+        if let Some(v) = s.cfd.rhs_pattern().as_const() {
+            reserved.insert(v.clone());
+        }
+    }
+    for b in &view.branches {
+        for c in &b.constants {
+            reserved.insert(c.value.clone());
+        }
+        for s in &b.selection {
+            if let SelAtom::EqConst(_, v) = s {
+                reserved.insert(v.clone());
+            }
+        }
+    }
+    for branch in &view.branches {
+        let Some(t) = Tableau::from_spc(branch, catalog) else {
+            continue; // selection unsatisfiable: disjunct statically empty
+        };
+        let mut inst = ChaseInstance::new();
+        let _ = add_tableau_copy(&mut inst, &t);
+        if inst.chase(&groups).is_err() {
+            continue;
+        }
+        match setting {
+            Setting::InfiniteDomain => {
+                let mut pool = FreshPool::avoiding(reserved.iter().cloned());
+                return Ok(Some(materialize(&mut inst, catalog, &mut pool)));
+            }
+            Setting::General => {
+                let mut found = None;
+                any_ground_instantiation(&inst, &groups, &mut |trial| {
+                    let mut pool = FreshPool::avoiding(reserved.iter().cloned());
+                    found = Some(materialize(trial, catalog, &mut pool));
+                    true
+                });
+                if let Some(db) = found {
+                    return Ok(Some(db));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Decide the emptiness problem: is `V(D)` empty for every `D |= Σ`?
+pub fn is_always_empty(
+    catalog: &Catalog,
+    sigma: &[SourceCfd],
+    view: &SpcuQuery,
+    setting: Setting,
+) -> Result<bool, PropError> {
+    Ok(non_emptiness_witness(catalog, sigma, view, setting)?.is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_model::pattern::Pattern;
+    use cfd_model::{satisfy, Cfd};
+    use cfd_relalg::eval::eval_spcu;
+    use cfd_relalg::query::{RaCond, RaExpr};
+    use cfd_relalg::schema::{Attribute, RelId, RelationSchema};
+    use cfd_relalg::DomainKind;
+
+    fn catalog() -> (Catalog, RelId) {
+        let mut c = Catalog::new();
+        let r = c
+            .add(
+                RelationSchema::new(
+                    "R",
+                    vec![
+                        Attribute::new("A", DomainKind::Int),
+                        Attribute::new("B", DomainKind::Int),
+                        Attribute::new("C", DomainKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (c, r)
+    }
+
+    fn check_witness(
+        catalog: &Catalog,
+        sigma: &[SourceCfd],
+        view: &SpcuQuery,
+        db: &Database,
+    ) {
+        db.validate(catalog).unwrap();
+        for s in sigma {
+            assert!(satisfy::satisfies(db.relation(s.rel), &s.cfd));
+        }
+        assert!(!eval_spcu(view, catalog, db).is_empty(), "witness view is empty");
+    }
+
+    #[test]
+    fn example_3_1_always_empty() {
+        // φ = (A → B, (_ ‖ b1)), V = σ(B = b2)(R), b2 ≠ b1 ⇒ V always empty
+        let (c, r) = catalog();
+        let sigma = vec![SourceCfd::new(
+            r,
+            Cfd::new(vec![(0, Pattern::Wild)], 1, Pattern::cst(1)).unwrap(),
+        )];
+        let view = RaExpr::rel("R")
+            .select(vec![RaCond::EqConst("B".into(), Value::int(2))])
+            .normalize(&c)
+            .unwrap();
+        assert!(is_always_empty(&c, &sigma, &view, Setting::InfiniteDomain).unwrap());
+        // matching constant: nonempty
+        let view_ok = RaExpr::rel("R")
+            .select(vec![RaCond::EqConst("B".into(), Value::int(1))])
+            .normalize(&c)
+            .unwrap();
+        let w = non_emptiness_witness(&c, &sigma, &view_ok, Setting::InfiniteDomain)
+            .unwrap()
+            .expect("nonempty");
+        check_witness(&c, &sigma, &view_ok, &w);
+    }
+
+    #[test]
+    fn plain_view_never_always_empty() {
+        let (c, _) = catalog();
+        let view = RaExpr::rel("R").normalize(&c).unwrap();
+        let w = non_emptiness_witness(&c, &[], &view, Setting::InfiniteDomain)
+            .unwrap()
+            .expect("nonempty");
+        check_witness(&c, &[], &view, &w);
+    }
+
+    #[test]
+    fn statically_unsatisfiable_selection() {
+        let (c, _) = catalog();
+        let view = RaExpr::rel("R")
+            .select(vec![
+                RaCond::EqConst("A".into(), Value::int(1)),
+                RaCond::EqConst("A".into(), Value::int(2)),
+            ])
+            .normalize(&c)
+            .unwrap();
+        assert!(is_always_empty(&c, &[], &view, Setting::InfiniteDomain).unwrap());
+    }
+
+    #[test]
+    fn union_nonempty_if_any_branch_is() {
+        let (c, r) = catalog();
+        // first branch contradicts Σ, second doesn't
+        let sigma = vec![SourceCfd::new(r, Cfd::const_col(0, 1i64))];
+        let bad = RaExpr::rel("R").select(vec![RaCond::EqConst("A".into(), Value::int(2))]);
+        let good = RaExpr::rel("R").select(vec![RaCond::EqConst("A".into(), Value::int(1))]);
+        let view = bad.union(good).normalize(&c).unwrap();
+        let w = non_emptiness_witness(&c, &sigma, &view, Setting::InfiniteDomain)
+            .unwrap()
+            .expect("second branch realizable");
+        check_witness(&c, &sigma, &view, &w);
+    }
+
+    #[test]
+    fn finite_domain_emptiness_needs_instantiation() {
+        // R(A: enum{1,2}); Σ: tuples with A=1 have B=9, tuples with A=2 have
+        // B=9 — and the view selects B = 9. Nonempty (every tuple qualifies).
+        // With the selection B = 8 it is always empty *because* both cases
+        // force B = 9.
+        let mut c = Catalog::new();
+        let r = c
+            .add(
+                RelationSchema::new(
+                    "R",
+                    vec![
+                        Attribute::new(
+                            "A",
+                            DomainKind::new_enum(vec![Value::int(1), Value::int(2)]).unwrap(),
+                        ),
+                        Attribute::new("B", DomainKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let sigma = vec![
+            SourceCfd::new(r, Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::cst(9)).unwrap()),
+            SourceCfd::new(r, Cfd::new(vec![(0, Pattern::cst(2))], 1, Pattern::cst(9)).unwrap()),
+        ];
+        let view_sel8 = RaExpr::rel("R")
+            .select(vec![RaCond::EqConst("B".into(), Value::int(8))])
+            .normalize(&c)
+            .unwrap();
+        assert!(
+            is_always_empty(&c, &sigma, &view_sel8, Setting::General).unwrap(),
+            "every A-value forces B = 9 ≠ 8"
+        );
+        // the infinite-domain chase is too weak to see this
+        assert!(!is_always_empty(&c, &sigma, &view_sel8, Setting::InfiniteDomain).unwrap());
+
+        let view_sel9 = RaExpr::rel("R")
+            .select(vec![RaCond::EqConst("B".into(), Value::int(9))])
+            .normalize(&c)
+            .unwrap();
+        let w = non_emptiness_witness(&c, &sigma, &view_sel9, Setting::General)
+            .unwrap()
+            .expect("B = 9 is realizable");
+        check_witness(&c, &sigma, &view_sel9, &w);
+    }
+
+    #[test]
+    fn pure_constant_relation_is_never_empty() {
+        let (c, _) = catalog();
+        let view = RaExpr::ConstRel(vec![("X".into(), Value::int(7), DomainKind::Int)])
+            .normalize(&c)
+            .unwrap();
+        let w = non_emptiness_witness(&c, &[], &view, Setting::InfiniteDomain)
+            .unwrap()
+            .expect("constant relation always has one tuple");
+        check_witness(&c, &[], &view, &w);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for propagation analysis.
+
+use std::fmt;
+
+/// Errors raised by the propagation procedures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PropError {
+    /// A view CFD references an output column beyond the view arity.
+    ViewCfdOutOfRange {
+        /// Offending column index.
+        attr: usize,
+        /// View arity.
+        arity: usize,
+    },
+    /// A source CFD references an attribute beyond its relation's arity.
+    SourceCfdOutOfRange {
+        /// The relation name.
+        relation: String,
+        /// Offending attribute index.
+        attr: usize,
+        /// Relation arity.
+        arity: usize,
+    },
+    /// A pattern constant outside the attribute's domain.
+    PatternOutOfDomain {
+        /// Rendered constant.
+        value: String,
+        /// Attribute description.
+        attr: String,
+    },
+    /// The view failed validation against the catalog.
+    BadView(String),
+}
+
+impl fmt::Display for PropError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropError::ViewCfdOutOfRange { attr, arity } => {
+                write!(f, "view CFD references column #{attr}, but the view has arity {arity}")
+            }
+            PropError::SourceCfdOutOfRange { relation, attr, arity } => {
+                write!(f, "source CFD on `{relation}` references attribute #{attr} (arity {arity})")
+            }
+            PropError::PatternOutOfDomain { value, attr } => {
+                write!(f, "pattern constant {value} outside the domain of {attr}")
+            }
+            PropError::BadView(msg) => write!(f, "invalid view: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PropError {}

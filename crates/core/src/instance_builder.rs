@@ -1,0 +1,275 @@
+//! Building chase instances from view tableaux, and extracting concrete
+//! counterexample databases from chased instances.
+//!
+//! This realizes the constructions of the appendix proofs: the instance `I`
+//! assembled from (renamed copies of) the view tableau `TV`, and — when the
+//! chase terminates without forcing the conclusion — the counterexample
+//! obtained by "instantiating variables in the final chasing result with
+//! pairwise different constants".
+
+use cfd_model::chase::ChaseInstance;
+use cfd_relalg::domain::DomainKind;
+use cfd_relalg::instance::Database;
+use cfd_relalg::schema::Catalog;
+use cfd_relalg::tableau::{Tableau, Term};
+use cfd_relalg::value::Value;
+use std::collections::{BTreeSet, HashMap};
+
+/// One copy of a tableau inside a chase instance: the rows it contributed
+/// and the nodes of its summary row.
+#[derive(Clone, Debug)]
+pub struct TableauCopy {
+    /// Indices of the rows added to the [`ChaseInstance`].
+    pub row_indices: Vec<usize>,
+    /// One union–find node per summary (output) column.
+    pub summary: Vec<u32>,
+}
+
+/// Append a *fresh* copy of `tableau` to `inst` (variables renamed apart
+/// from everything already present — the appendix's `ρ1` / `ρ2` mappings
+/// use fresh variables for all cells not unified explicitly afterwards).
+///
+/// Rows are tagged with their relation id as the chase group.
+pub fn add_tableau_copy(inst: &mut ChaseInstance, tableau: &Tableau) -> TableauCopy {
+    let mut var_node: HashMap<u32, u32> = HashMap::new();
+    let mut node_of = |inst: &mut ChaseInstance, t: &Term| -> u32 {
+        match t {
+            Term::Var(v) => *var_node.entry(v.0).or_insert_with(|| {
+                inst.uf.add(tableau.var_domains[v.0 as usize].clone())
+            }),
+            Term::Const(c) => {
+                // A dedicated bound node per occurrence; equality with other
+                // occurrences of the same constant is by-value.
+                let d = domain_of_value(c);
+                inst.uf
+                    .add_const(d, c.clone())
+                    .expect("constant lies in its own carrier domain")
+            }
+        }
+    };
+    let mut row_indices = Vec::with_capacity(tableau.rows.len());
+    for (rel, row) in &tableau.rows {
+        let cells: Vec<u32> = row.iter().map(|t| node_of(inst, t)).collect();
+        row_indices.push(inst.push_row(rel.0, cells));
+    }
+    let summary: Vec<u32> = tableau.summary.iter().map(|t| node_of(inst, t)).collect();
+    TableauCopy { row_indices, summary }
+}
+
+/// The widest carrier domain containing `v` (used for constant cells whose
+/// precise attribute domain is immaterial — they are already bound).
+fn domain_of_value(v: &Value) -> DomainKind {
+    match v {
+        Value::Int(_) => DomainKind::Int,
+        Value::Str(_) => DomainKind::Text,
+        Value::Bool(_) => DomainKind::Bool,
+    }
+}
+
+/// A pool of fresh constants, pairwise distinct and disjoint from a set of
+/// reserved values (the constants of Σ and the view, so that fresh values
+/// cannot accidentally satisfy a pattern or selection constant).
+#[derive(Clone, Debug, Default)]
+pub struct FreshPool {
+    reserved: BTreeSet<Value>,
+    next_int: i64,
+    next_str: u64,
+}
+
+impl FreshPool {
+    /// A pool avoiding the given constants.
+    pub fn avoiding(reserved: impl IntoIterator<Item = Value>) -> Self {
+        let reserved: BTreeSet<Value> = reserved.into_iter().collect();
+        let next_int = reserved
+            .iter()
+            .filter_map(|v| match v {
+                Value::Int(i) => Some(*i),
+                _ => None,
+            })
+            .max()
+            .map_or(1_000, |m| m + 1_000);
+        FreshPool { reserved, next_int, next_str: 0 }
+    }
+
+    /// Reserve an additional value (it will never be produced).
+    pub fn reserve(&mut self, v: Value) {
+        self.reserved.insert(v);
+    }
+
+    /// A fresh value from `domain`, distinct from everything produced or
+    /// reserved so far. For finite domains this may be impossible, in which
+    /// case an *unreserved-if-possible* domain value is returned (finite
+    /// domains only occur in the general setting, where callers enumerate
+    /// instantiations instead of relying on freshness).
+    pub fn fresh(&mut self, domain: &DomainKind) -> Value {
+        match domain {
+            DomainKind::Int => loop {
+                let v = Value::Int(self.next_int);
+                self.next_int += 1;
+                if self.reserved.insert(v.clone()) {
+                    return v;
+                }
+            },
+            DomainKind::Text => loop {
+                let v = Value::Str(format!("fresh_{}", self.next_str));
+                self.next_str += 1;
+                if self.reserved.insert(v.clone()) {
+                    return v;
+                }
+            },
+            DomainKind::Bool | DomainKind::Enum(_) => {
+                let values = domain.finite_values().expect("finite domain");
+                for v in &values {
+                    if !self.reserved.contains(v) {
+                        self.reserved.insert(v.clone());
+                        return v.clone();
+                    }
+                }
+                values[0].clone()
+            }
+        }
+    }
+}
+
+/// Materialize the chased instance as a concrete [`Database`]: bound classes
+/// keep their constants; unbound classes get pairwise-distinct fresh values
+/// from `pool`.
+pub fn materialize(inst: &mut ChaseInstance, catalog: &Catalog, pool: &mut FreshPool) -> Database {
+    let mut db = Database::empty(catalog);
+    let mut class_value: HashMap<u32, Value> = HashMap::new();
+    let rows = inst.rows.clone();
+    for row in rows {
+        let mut tuple = Vec::with_capacity(row.cells.len());
+        for &cell in &row.cells {
+            tuple.push(resolve(inst, cell, pool, &mut class_value));
+        }
+        db.insert(cfd_relalg::schema::RelId(row.group), tuple);
+    }
+    db
+}
+
+/// Resolve one cell to a concrete value under a (growing) class valuation.
+pub fn resolve(
+    inst: &mut ChaseInstance,
+    cell: u32,
+    pool: &mut FreshPool,
+    class_value: &mut HashMap<u32, Value>,
+) -> Value {
+    if let Some(v) = inst.uf.binding(cell) {
+        return v;
+    }
+    let root = inst.uf.find(cell);
+    if let Some(v) = class_value.get(&root) {
+        return v.clone();
+    }
+    let v = pool.fresh(&inst.uf.class_domain(root));
+    class_value.insert(root, v.clone());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relalg::query::RaExpr;
+    use cfd_relalg::schema::{Attribute, RelationSchema};
+    use cfd_relalg::RaCond;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            RelationSchema::new(
+                "R",
+                vec![
+                    Attribute::new("A", DomainKind::Int),
+                    Attribute::new("B", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn two_copies_are_renamed_apart() {
+        let c = catalog();
+        let q = RaExpr::rel("R").normalize(&c).unwrap();
+        let t = Tableau::from_spc(&q.branches[0], &c).unwrap();
+        let mut inst = ChaseInstance::new();
+        let c1 = add_tableau_copy(&mut inst, &t);
+        let c2 = add_tableau_copy(&mut inst, &t);
+        assert_eq!(inst.rows.len(), 2);
+        assert!(!inst.uf.equal(c1.summary[0], c2.summary[0]));
+    }
+
+    #[test]
+    fn selection_constants_survive_into_copy() {
+        let c = catalog();
+        let q = RaExpr::rel("R")
+            .select(vec![RaCond::EqConst("A".into(), Value::int(5))])
+            .normalize(&c)
+            .unwrap();
+        let t = Tableau::from_spc(&q.branches[0], &c).unwrap();
+        let mut inst = ChaseInstance::new();
+        let copy = add_tableau_copy(&mut inst, &t);
+        assert_eq!(inst.uf.binding(copy.summary[0]), Some(Value::int(5)));
+    }
+
+    #[test]
+    fn fresh_pool_avoids_reserved() {
+        let mut pool = FreshPool::avoiding([Value::int(1000), Value::str("fresh_0")]);
+        let a = pool.fresh(&DomainKind::Int);
+        let b = pool.fresh(&DomainKind::Int);
+        assert_ne!(a, b);
+        assert_ne!(a, Value::int(1000));
+        let s = pool.fresh(&DomainKind::Text);
+        assert_ne!(s, Value::str("fresh_0"));
+    }
+
+    #[test]
+    fn materialize_respects_bindings_and_classes() {
+        let c = catalog();
+        let q = RaExpr::rel("R")
+            .select(vec![RaCond::EqConst("A".into(), Value::int(5))])
+            .normalize(&c)
+            .unwrap();
+        let t = Tableau::from_spc(&q.branches[0], &c).unwrap();
+        let mut inst = ChaseInstance::new();
+        let _ = add_tableau_copy(&mut inst, &t);
+        let mut pool = FreshPool::avoiding([Value::int(5)]);
+        let db = materialize(&mut inst, &c, &mut pool);
+        let rel = db.relation(c.rel_id("R").unwrap());
+        assert_eq!(rel.len(), 1);
+        let tuple = rel.tuples().next().unwrap();
+        assert_eq!(tuple[0], Value::int(5));
+        assert_ne!(tuple[1], Value::int(5), "unbound cell got a fresh value");
+    }
+
+    #[test]
+    fn materialize_gives_same_value_to_one_class() {
+        let c = catalog();
+        let q = RaExpr::rel("R")
+            .select(vec![RaCond::Eq("A".into(), "B".into())])
+            .normalize(&c)
+            .unwrap();
+        let t = Tableau::from_spc(&q.branches[0], &c).unwrap();
+        let mut inst = ChaseInstance::new();
+        let _ = add_tableau_copy(&mut inst, &t);
+        let mut pool = FreshPool::default();
+        let db = materialize(&mut inst, &c, &mut pool);
+        let rel = db.relation(c.rel_id("R").unwrap());
+        let tuple = rel.tuples().next().unwrap();
+        assert_eq!(tuple[0], tuple[1]);
+    }
+
+    #[test]
+    fn finite_pool_falls_back_gracefully() {
+        let mut pool = FreshPool::default();
+        let b1 = pool.fresh(&DomainKind::Bool);
+        let b2 = pool.fresh(&DomainKind::Bool);
+        assert_ne!(b1, b2);
+        // exhausted: still returns a domain value
+        let b3 = pool.fresh(&DomainKind::Bool);
+        assert!(matches!(b3, Value::Bool(_)));
+    }
+}

@@ -1,0 +1,15 @@
+//! # cfd-propagation — CFD propagation via views (VLDB 2008)
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover;
+pub mod emptiness;
+pub mod error;
+pub mod instance_builder;
+pub mod propagate;
+pub mod reductions;
+
+pub use error::PropError;
+pub use cover::{prop_cfd_spc, CoverOptions, PropagationCover};
+pub use propagate::{propagates, propagates_auto, Setting, Verdict, Witness};

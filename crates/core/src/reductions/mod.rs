@@ -1,0 +1,4 @@
+//! Lower-bound constructions from the paper's proofs, implemented as
+//! executable reductions and exercised by the test suite and benchmarks.
+
+pub mod three_sat;

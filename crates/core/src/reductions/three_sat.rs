@@ -1,0 +1,367 @@
+//! The 3SAT reduction of Theorem 3.2: propagation from FDs to FDs is
+//! coNP-hard for SC views in the general setting.
+//!
+//! Given a 3SAT instance `φ = C1 ∧ ... ∧ Cn` over variables `x1..xm`, the
+//! reduction builds:
+//!
+//! * schema `R0(X: int, A: bool, Z: bool)` — a tuple `(i, a, z)` encodes a
+//!   truth assignment `a` for variable `xi` — and, per clause `Cj`,
+//!   `Rj(A1: bool, A2: bool, Xj: int, Aj: bool)` — `(c1, c2, p, a)` encodes
+//!   "under counter `(c1, c2)`, the literal of `Cj` on variable `xp` is
+//!   made true by assignment `a`";
+//! * FDs `R0: X → A` (assignments are functional) and
+//!   `Rj: A1 A2 → Xj`, `A1 A2 → Aj` (the counter is a key),
+//!   `Rj: Xj → Aj` (per-clause assignments are functional too);
+//! * the SC view `V = e × e01 × e02 × e1 × ... × en` with
+//!   `e = R0`,
+//!   `e01 = σX=1(R0) × ... × σX=m(R0)` (all variables are assigned),
+//!   `e02 = Πj σ(R0.X = Rj.Xj ∧ R0.A = Rj.Aj)(R0 × Rj)` (some literal of
+//!   every clause agrees with the global assignment), and
+//!   `ej` = the four `σ(A1=c1 ∧ A2=c2 ∧ Xj=p ∧ Aj=a)(Rj)` atoms
+//!   enumerating the satisfying literals of `Cj` (the `(1,1)` counter
+//!   repeats the first literal);
+//! * the view FD `ψ = V(X, A → Z)` over the columns of `e`.
+//!
+//! Then `φ` is satisfiable **iff** `Σ ̸|=V ψ`: a satisfying assignment lets
+//! the view be nonempty while `Z` stays unconstrained; an unsatisfiable `φ`
+//! forces every instantiation of the clause counters into a constant clash,
+//! making the premise of `ψ` unmatchable.
+
+use cfd_model::{Cfd, SourceCfd};
+use cfd_relalg::domain::DomainKind;
+use cfd_relalg::query::{ColRef, OutputCol, ProdCol, SelAtom, SpcQuery, SpcuQuery};
+use cfd_relalg::schema::{Attribute, Catalog, RelationSchema};
+use cfd_relalg::value::Value;
+
+/// A literal: variable index (0-based) and polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lit {
+    /// 0-based variable index.
+    pub var: usize,
+    /// `true` for `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal on `var`.
+    pub fn pos(var: usize) -> Self {
+        Lit { var, positive: true }
+    }
+
+    /// Negative literal on `var`.
+    pub fn neg(var: usize) -> Self {
+        Lit { var, positive: false }
+    }
+}
+
+/// A 3SAT instance: clauses of exactly three literals.
+#[derive(Clone, Debug)]
+pub struct SatInstance {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<[Lit; 3]>,
+}
+
+impl SatInstance {
+    /// A pseudo-random instance from a seed (self-contained xorshift64, so
+    /// callers need no RNG dependency); used by tests and benchmarks.
+    pub fn random(num_vars: usize, clauses: usize, mut seed: u64) -> SatInstance {
+        assert!(num_vars > 0);
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let clauses = (0..clauses)
+            .map(|_| {
+                [0; 3].map(|_| Lit {
+                    var: next() as usize % num_vars,
+                    positive: next() & 1 == 1,
+                })
+            })
+            .collect();
+        SatInstance { num_vars, clauses }
+    }
+
+    /// Brute-force satisfiability (ground truth for tests; exponential).
+    pub fn brute_force_satisfiable(&self) -> bool {
+        assert!(self.num_vars < usize::BITS as usize);
+        'outer: for mask in 0u64..(1u64 << self.num_vars) {
+            for clause in &self.clauses {
+                let sat = clause
+                    .iter()
+                    .any(|l| ((mask >> l.var) & 1 == 1) == l.positive);
+                if !sat {
+                    continue 'outer;
+                }
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// The output of the reduction: a propagation problem equivalent to the
+/// 3SAT instance.
+#[derive(Clone, Debug)]
+pub struct SatReduction {
+    /// Source schema `R0, R1, ..., Rn`.
+    pub catalog: Catalog,
+    /// The source FDs Σ.
+    pub sigma: Vec<SourceCfd>,
+    /// The SC view (one SPC branch, no projection).
+    pub view: SpcuQuery,
+    /// The view FD `ψ = V(X, A → Z)`.
+    pub psi: Cfd,
+}
+
+/// Build the Theorem 3.2 reduction for `inst`.
+///
+/// Tautological clauses (containing `x` and `¬x`) are removed first: they
+/// are satisfied by every assignment, and the paper's `ej` gadget requires
+/// each clause's literal rows to be consistent with the key FD `Xj → Aj`
+/// (the construction — like most 3SAT reductions — presumes clauses free
+/// of complementary literals).
+pub fn reduce_3sat(inst: &SatInstance) -> SatReduction {
+    let clauses: Vec<[Lit; 3]> = inst
+        .clauses
+        .iter()
+        .filter(|c| {
+            !c.iter().any(|l1| {
+                c.iter().any(|l2| l1.var == l2.var && l1.positive != l2.positive)
+            })
+        })
+        .copied()
+        .collect();
+    let inst = SatInstance { num_vars: inst.num_vars, clauses };
+    let m = inst.num_vars;
+    let n = inst.clauses.len();
+    let mut catalog = Catalog::new();
+    let r0 = catalog
+        .add(
+            RelationSchema::new(
+                "R0",
+                vec![
+                    Attribute::new("X", DomainKind::Int),
+                    Attribute::new("A", DomainKind::Bool),
+                    Attribute::new("Z", DomainKind::Bool),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let mut rel_j = Vec::with_capacity(n);
+    for j in 0..n {
+        rel_j.push(
+            catalog
+                .add(
+                    RelationSchema::new(
+                        format!("R{}", j + 1),
+                        vec![
+                            Attribute::new("A1", DomainKind::Bool),
+                            Attribute::new("A2", DomainKind::Bool),
+                            Attribute::new("Xj", DomainKind::Int),
+                            Attribute::new("Aj", DomainKind::Bool),
+                        ],
+                    )
+                    .unwrap(),
+                )
+                .unwrap(),
+        );
+    }
+    // Σ: X → A on R0; A1 A2 → Xj, A1 A2 → Aj, Xj → Aj on each Rj.
+    let mut sigma = vec![SourceCfd::new(r0, Cfd::fd(&[0], 1).unwrap())];
+    for &rj in &rel_j {
+        sigma.push(SourceCfd::new(rj, Cfd::fd(&[0, 1], 2).unwrap()));
+        sigma.push(SourceCfd::new(rj, Cfd::fd(&[0, 1], 3).unwrap()));
+        sigma.push(SourceCfd::new(rj, Cfd::fd(&[2], 3).unwrap()));
+    }
+
+    // Assemble the SC view in normal form.
+    let mut atoms = Vec::new();
+    let mut selection: Vec<SelAtom> = Vec::new();
+    // e: atom 0 = R0.
+    atoms.push(r0);
+    // e01: atoms 1..=m, σ(X = i)(R0).
+    for i in 0..m {
+        let atom = atoms.len();
+        atoms.push(r0);
+        selection.push(SelAtom::EqConst(ProdCol::new(atom, 0), Value::int(i as i64 + 1)));
+    }
+    // e02: per clause, R0 × Rj with X = Xj and A = Aj.
+    for (j, &rj) in rel_j.iter().enumerate() {
+        let a_r0 = atoms.len();
+        atoms.push(r0);
+        let a_rj = atoms.len();
+        atoms.push(rj);
+        selection.push(SelAtom::Eq(ProdCol::new(a_r0, 0), ProdCol::new(a_rj, 2)));
+        selection.push(SelAtom::Eq(ProdCol::new(a_r0, 1), ProdCol::new(a_rj, 3)));
+        let _ = j;
+    }
+    // ej: four selected copies of Rj enumerating the satisfying literals,
+    // with the (1,1) counter repeating the first literal.
+    let bool_v = |b: bool| Value::Bool(b);
+    for (j, &rj) in rel_j.iter().enumerate() {
+        let lits = &inst.clauses[j];
+        let rows: [(bool, bool, Lit); 4] = [
+            (false, false, lits[0]),
+            (false, true, lits[1]),
+            (true, false, lits[2]),
+            (true, true, lits[0]),
+        ];
+        for (c1, c2, lit) in rows {
+            let atom = atoms.len();
+            atoms.push(rj);
+            selection.push(SelAtom::EqConst(ProdCol::new(atom, 0), bool_v(c1)));
+            selection.push(SelAtom::EqConst(ProdCol::new(atom, 1), bool_v(c2)));
+            selection.push(SelAtom::EqConst(
+                ProdCol::new(atom, 2),
+                Value::int(lit.var as i64 + 1),
+            ));
+            selection.push(SelAtom::EqConst(ProdCol::new(atom, 3), bool_v(lit.positive)));
+        }
+    }
+    // SC view: output every column of every atom.
+    let mut output = Vec::new();
+    for (a, rel) in atoms.iter().enumerate() {
+        for (k, attr) in catalog.schema(*rel).attributes.iter().enumerate() {
+            output.push(OutputCol {
+                name: format!("t{a}_{}", attr.name),
+                src: ColRef::Prod(ProdCol::new(a, k)),
+            });
+        }
+    }
+    let query = SpcQuery { atoms, constants: vec![], selection, output };
+    let view = SpcuQuery::single(&catalog, query).expect("reduction view is well-formed");
+    // ψ = V(X, A → Z) over the columns of e (atom 0).
+    let psi = Cfd::fd(&[0, 1], 2).expect("valid FD");
+    SatReduction { catalog, sigma, view, psi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate::{propagates, Setting};
+
+    fn check(inst: &SatInstance) {
+        let sat = inst.brute_force_satisfiable();
+        let red = reduce_3sat(inst);
+        let verdict = propagates(&red.catalog, &red.sigma, &red.view, &red.psi, Setting::General)
+            .expect("reduction inputs are valid");
+        assert_eq!(
+            !verdict.is_propagated(),
+            sat,
+            "satisfiable={sat} must equal not-propagated for {:?}",
+            inst.clauses
+        );
+    }
+
+    #[test]
+    fn satisfiable_single_clause() {
+        // (x1 ∨ x1 ∨ x2): satisfiable ⇒ ψ not propagated
+        check(&SatInstance {
+            num_vars: 2,
+            clauses: vec![[Lit::pos(0), Lit::pos(0), Lit::pos(1)]],
+        });
+    }
+
+    #[test]
+    fn unsatisfiable_pair_of_unit_clauses() {
+        // (x1 ∨ x1 ∨ x1) ∧ (¬x1 ∨ ¬x1 ∨ ¬x1): unsatisfiable ⇒ propagated
+        check(&SatInstance {
+            num_vars: 1,
+            clauses: vec![
+                [Lit::pos(0), Lit::pos(0), Lit::pos(0)],
+                [Lit::neg(0), Lit::neg(0), Lit::neg(0)],
+            ],
+        });
+    }
+
+    #[test]
+    fn satisfiable_two_clauses_two_vars() {
+        // (x1 ∨ x2 ∨ x2) ∧ (¬x1 ∨ x2 ∨ x2): satisfiable with x2 = true
+        check(&SatInstance {
+            num_vars: 2,
+            clauses: vec![
+                [Lit::pos(0), Lit::pos(1), Lit::pos(1)],
+                [Lit::neg(0), Lit::pos(1), Lit::pos(1)],
+            ],
+        });
+    }
+
+    #[test]
+    fn unsatisfiable_complete_enumeration_two_vars() {
+        // all four sign combinations over (x1, x2) as near-unit clauses:
+        // (x1∨x1∨x2) ∧ (x1∨x1∨¬x2) ∧ (¬x1∨¬x1∨x2) ∧ (¬x1∨¬x1∨¬x2) is unsat
+        check(&SatInstance {
+            num_vars: 2,
+            clauses: vec![
+                [Lit::pos(0), Lit::pos(0), Lit::pos(1)],
+                [Lit::pos(0), Lit::pos(0), Lit::neg(1)],
+                [Lit::neg(0), Lit::neg(0), Lit::pos(1)],
+                [Lit::neg(0), Lit::neg(0), Lit::neg(1)],
+            ],
+        });
+    }
+
+    #[test]
+    fn brute_force_solver_sanity() {
+        let sat = SatInstance {
+            num_vars: 3,
+            clauses: vec![[Lit::pos(0), Lit::neg(1), Lit::pos(2)]],
+        };
+        assert!(sat.brute_force_satisfiable());
+        let unsat = SatInstance {
+            num_vars: 1,
+            clauses: vec![
+                [Lit::pos(0), Lit::pos(0), Lit::pos(0)],
+                [Lit::neg(0), Lit::neg(0), Lit::neg(0)],
+            ],
+        };
+        assert!(!unsat.brute_force_satisfiable());
+    }
+
+    #[test]
+    fn tautological_clauses_dropped() {
+        // (x1 ∨ ¬x1 ∨ x2) is always satisfied: the reduction must drop it
+        // rather than build an inconsistent ej gadget.
+        let inst = SatInstance {
+            num_vars: 2,
+            clauses: vec![
+                [Lit::pos(0), Lit::neg(0), Lit::pos(1)],
+                [Lit::neg(1), Lit::neg(1), Lit::neg(1)],
+            ],
+        };
+        check(&inst);
+        // all-tautological => trivially satisfiable
+        let trivial = SatInstance {
+            num_vars: 1,
+            clauses: vec![[Lit::pos(0), Lit::neg(0), Lit::pos(0)]],
+        };
+        check(&trivial);
+    }
+
+    #[test]
+    fn random_instances_agree_with_brute_force() {
+        for seed in 0..6u64 {
+            let inst = SatInstance::random(2, 3, seed + 1);
+            check(&inst);
+        }
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let inst = SatInstance {
+            num_vars: 2,
+            clauses: vec![[Lit::pos(0), Lit::neg(1), Lit::neg(1)]],
+        };
+        let red = reduce_3sat(&inst);
+        // atoms: 1 (e) + m (e01) + 2n (e02) + 4n (ej)
+        assert_eq!(red.view.branches[0].atoms.len(), 1 + 2 + 2 + 4);
+        // SC view: no projection (all columns kept), selection nonempty
+        let frag = red.view.fragment(&red.catalog);
+        assert!(frag.selection && frag.product && !frag.projection && !frag.union);
+    }
+}

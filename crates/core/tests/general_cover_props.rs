@@ -1,0 +1,124 @@
+//! Property tests for the general-setting cover prototype: soundness is
+//! non-negotiable — every CFD it emits must check out against the
+//! (independent) complete general-setting decision procedure, and must
+//! never be violated on a materialized view of a legal source database.
+
+use cfd_datagen::cfd_gen::{gen_cfds, CfdGenConfig};
+use cfd_datagen::instance_gen::{gen_database, InstanceGenConfig};
+use cfd_datagen::schema_gen::{gen_schema, SchemaGenConfig};
+use cfd_datagen::view_gen::{gen_spc_view, ViewGenConfig};
+use cfd_model::satisfy;
+use cfd_propagation::cover::{prop_cfd_spc_general, GeneralCoverOptions};
+use cfd_propagation::propagate::{propagates, Setting};
+use cfd_relalg::eval::eval_spc;
+use cfd_relalg::query::SpcuQuery;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Small schemas *with finite-domain attributes* — the setting the
+/// prototype exists for. Kept tiny because the complete checker is
+/// exponential in the finite-domain variable count.
+fn workload(seed: u64) -> (cfd_relalg::Catalog, Vec<cfd_model::SourceCfd>, cfd_relalg::SpcQuery) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = gen_schema(
+        &SchemaGenConfig { relations: 2, min_arity: 3, max_arity: 4, finite_ratio: 0.3 },
+        &mut rng,
+    );
+    let sigma = gen_cfds(
+        &catalog,
+        &CfdGenConfig { count: 5, lhs_max: 2, var_pct: 0.5, const_range: 3, ..Default::default() },
+        &mut rng,
+    );
+    let view =
+        gen_spc_view(&catalog, &ViewGenConfig { y: 4, f: 1, ec: 1, const_range: 3 }, &mut rng);
+    (catalog, sigma, view)
+}
+
+#[test]
+fn every_emitted_cfd_is_propagated_in_the_general_setting() {
+    let opts = GeneralCoverOptions { max_candidates: 128, ..Default::default() };
+    let mut exercised = 0usize;
+    for seed in 0..10u64 {
+        let (catalog, sigma, view) = workload(seed);
+        let cover = match prop_cfd_spc_general(&catalog, &sigma, &view, &opts) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if cover.always_empty {
+            continue;
+        }
+        let spcu = SpcuQuery::single(&catalog, view.clone()).unwrap();
+        for phi in &cover.cfds {
+            exercised += 1;
+            assert!(
+                propagates(&catalog, &sigma, &spcu, phi, Setting::General)
+                    .unwrap()
+                    .is_propagated(),
+                "seed {seed}: general cover emitted a non-propagated CFD {phi}"
+            );
+        }
+    }
+    assert!(exercised >= 5, "too few cover CFDs exercised: {exercised}");
+}
+
+#[test]
+fn emitted_cfds_hold_on_materialized_views() {
+    let opts = GeneralCoverOptions { max_candidates: 128, ..Default::default() };
+    for seed in 30..38u64 {
+        let (catalog, sigma, view) = workload(seed);
+        let cover = match prop_cfd_spc_general(&catalog, &sigma, &view, &opts) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if cover.always_empty {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1F1);
+        for _ in 0..3 {
+            let db = gen_database(
+                &catalog,
+                &sigma,
+                &InstanceGenConfig { tuples_per_relation: 8, value_range: 3 },
+                &mut rng,
+            );
+            let contents = eval_spc(&view, &catalog, &db);
+            for phi in &cover.cfds {
+                assert!(
+                    satisfy::satisfies(&contents, phi),
+                    "seed {seed}: {phi} violated on a legal materialization"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn general_cover_subsumes_infinite_cover() {
+    // Soundness of the base adoption: everything the infinite-domain cover
+    // certifies must be implied by the general cover (the general cover
+    // can only gain dependencies, never lose them).
+    use cfd_model::implication::implies_general;
+    use cfd_propagation::cover::{prop_cfd_spc, CoverOptions};
+    let opts = GeneralCoverOptions { max_candidates: 64, ..Default::default() };
+    for seed in 60..68u64 {
+        let (catalog, sigma, view) = workload(seed);
+        let (Ok(general), Ok(base)) = (
+            prop_cfd_spc_general(&catalog, &sigma, &view, &opts),
+            prop_cfd_spc(&catalog, &sigma, &view, &CoverOptions::default()),
+        ) else {
+            continue;
+        };
+        if general.always_empty || base.always_empty {
+            continue;
+        }
+        let spcu = SpcuQuery::single(&catalog, view.clone()).unwrap();
+        let domains: Vec<cfd_relalg::DomainKind> =
+            spcu.schema().columns.iter().map(|(_, d)| d.clone()).collect();
+        for phi in &base.cfds {
+            assert!(
+                implies_general(&general.cfds, phi, &domains),
+                "seed {seed}: general cover lost {phi}"
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-validation of the sound SPCU cover (§7 "supporting union"):
+//! every CFD it emits must pass the independent chase-based propagation
+//! check on the *whole union*, and must hold on materialized unions of
+//! random legal source databases.
+
+use cfd_datagen::cfd_gen::{gen_cfds, CfdGenConfig};
+use cfd_datagen::instance_gen::{gen_database, InstanceGenConfig};
+use cfd_datagen::schema_gen::{gen_schema, SchemaGenConfig};
+use cfd_datagen::view_gen::{gen_spc_view, ViewGenConfig};
+use cfd_model::satisfy;
+use cfd_model::SourceCfd;
+use cfd_propagation::cover::{prop_cfd_spcu_sound, CoverOptions};
+use cfd_propagation::propagate::{propagates, Setting};
+use cfd_relalg::eval::eval_spcu;
+use cfd_relalg::query::{SelAtom, SpcuQuery};
+use cfd_relalg::{Catalog, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random union: one generated SPC branch plus a clone whose selection
+/// differs by one extra constant conjunct (keeps the branches
+/// union-compatible but semantically distinct).
+fn union_workload(seed: u64) -> Option<(Catalog, Vec<SourceCfd>, SpcuQuery)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = gen_schema(
+        &SchemaGenConfig { relations: 2, min_arity: 3, max_arity: 5, finite_ratio: 0.0 },
+        &mut rng,
+    );
+    let sigma = gen_cfds(
+        &catalog,
+        &CfdGenConfig { count: 8, lhs_max: 2, var_pct: 0.5, const_range: 4, ..Default::default() },
+        &mut rng,
+    );
+    let b1 = gen_spc_view(&catalog, &ViewGenConfig { y: 4, f: 1, ec: 1, const_range: 4 }, &mut rng);
+    let mut b2 = b1.clone();
+    // pin the first product column of branch 2 to a constant
+    let first = cfd_relalg::query::ProdCol::new(0, 0);
+    let dom = &catalog.schema(b2.atoms[0]).attributes[0].domain;
+    if !dom.contains(&Value::int(1)) {
+        return None; // only int first columns in this schema generator shape
+    }
+    b2.selection.push(SelAtom::EqConst(first, Value::int(1)));
+    let union = SpcuQuery::union(&catalog, vec![b1, b2]).ok()?;
+    Some((catalog, sigma, union))
+}
+
+#[test]
+fn spcu_cover_is_sound_by_the_independent_checker() {
+    let mut exercised = 0usize;
+    for seed in 0..10u64 {
+        let Some((catalog, sigma, union)) = union_workload(seed) else {
+            continue;
+        };
+        let cover = match prop_cfd_spcu_sound(&catalog, &sigma, &union, &CoverOptions::default())
+        {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if cover.always_empty {
+            continue;
+        }
+        for phi in &cover.cfds {
+            exercised += 1;
+            assert!(
+                propagates(&catalog, &sigma, &union, phi, Setting::InfiniteDomain)
+                    .unwrap()
+                    .is_propagated(),
+                "seed {seed}: SPCU cover emitted a non-propagated CFD {phi}"
+            );
+        }
+    }
+    assert!(exercised >= 3, "too few union cover CFDs exercised: {exercised}");
+}
+
+#[test]
+fn spcu_cover_holds_on_materialized_unions() {
+    for seed in 20..28u64 {
+        let Some((catalog, sigma, union)) = union_workload(seed) else {
+            continue;
+        };
+        let cover = match prop_cfd_spcu_sound(&catalog, &sigma, &union, &CoverOptions::default())
+        {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if cover.always_empty {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA11);
+        for _ in 0..3 {
+            let db = gen_database(
+                &catalog,
+                &sigma,
+                &InstanceGenConfig { tuples_per_relation: 10, value_range: 4 },
+                &mut rng,
+            );
+            let contents = eval_spcu(&union, &catalog, &db);
+            for phi in &cover.cfds {
+                assert!(
+                    satisfy::satisfies(&contents, phi),
+                    "seed {seed}: {phi} violated on a legal union materialization"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_branch_union_degenerates_to_spc_cover() {
+    use cfd_propagation::cover::prop_cfd_spc;
+    for seed in 40..44u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let catalog = gen_schema(
+            &SchemaGenConfig { relations: 2, min_arity: 3, max_arity: 4, finite_ratio: 0.0 },
+            &mut rng,
+        );
+        let sigma = gen_cfds(
+            &catalog,
+            &CfdGenConfig { count: 6, lhs_max: 2, var_pct: 0.5, const_range: 4, ..Default::default() },
+            &mut rng,
+        );
+        let q = gen_spc_view(&catalog, &ViewGenConfig { y: 3, f: 1, ec: 1, const_range: 4 }, &mut rng);
+        let single = SpcuQuery::single(&catalog, q.clone()).unwrap();
+        let (Ok(a), Ok(b)) = (
+            prop_cfd_spcu_sound(&catalog, &sigma, &single, &CoverOptions::default()),
+            prop_cfd_spc(&catalog, &sigma, &q, &CoverOptions::default()),
+        ) else {
+            continue;
+        };
+        assert_eq!(a.cfds, b.cfds, "seed {seed}: single-branch SPCU must delegate");
+        assert_eq!(a.complete, b.complete);
+    }
+}

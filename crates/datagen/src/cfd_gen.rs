@@ -1,0 +1,198 @@
+//! The CFD generator of §5: "given a relational schema R and two natural
+//! numbers m and n, randomly produces a set Σ of m source CFDs ... LHS is
+//! the maximum number of attributes in each CFD, and var% is the percentage
+//! of the attributes which are filled with `_` in the pattern tuple, while
+//! the rest draw random values from their corresponding domains."
+//!
+//! The paper's experiments use LHS sizes ranging from 3 up to the LHS
+//! parameter (3 to 9), var% ∈ {40%, 50%}, and constants from [1, 100000].
+
+use cfd_model::{Cfd, Pattern, SourceCfd};
+use cfd_relalg::domain::DomainKind;
+use cfd_relalg::schema::Catalog;
+use cfd_relalg::value::Value;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for [`gen_cfds`].
+#[derive(Clone, Debug)]
+pub struct CfdGenConfig {
+    /// Total number of CFDs to produce (`m`).
+    pub count: usize,
+    /// Maximum LHS size (`LHS`); actual sizes are uniform in
+    /// `[min(3, LHS), LHS]`, clamped to the relation arity.
+    pub lhs_max: usize,
+    /// Fraction of pattern cells that are `_` (`var%`).
+    pub var_pct: f64,
+    /// Constants are drawn uniformly from `[1, const_range]`
+    /// (paper: 100000).
+    pub const_range: i64,
+    /// Keep each relation's CFD set *consistent* (satisfiable by a nonempty
+    /// instance), rejecting candidates that would break it. Real-world
+    /// dependency sets are consistent by construction (the data they
+    /// describe exists); without this guard, large random sets almost
+    /// surely contain two column-constant CFDs forcing different constants
+    /// onto one column, which collapses every view to the always-empty
+    /// case.
+    pub ensure_consistent: bool,
+    /// Allow CFDs with an all-wildcard LHS and a constant RHS. Such a CFD
+    /// forces its RHS column to a single constant on *every* tuple, so any
+    /// random selection constant on that column empties the view; the
+    /// paper's experiments (whose covers keep growing with |Σ|) clearly do
+    /// not produce such degenerate interactions, so these shapes are
+    /// rejected by default.
+    pub allow_unconditional_constants: bool,
+}
+
+impl Default for CfdGenConfig {
+    fn default() -> Self {
+        CfdGenConfig {
+            count: 200,
+            lhs_max: 9,
+            var_pct: 0.4,
+            const_range: 100_000,
+            ensure_consistent: true,
+            allow_unconditional_constants: false,
+        }
+    }
+}
+
+/// Generate `cfg.count` random source CFDs over `catalog`, spread uniformly
+/// across its relations.
+pub fn gen_cfds(catalog: &Catalog, cfg: &CfdGenConfig, rng: &mut impl Rng) -> Vec<SourceCfd> {
+    assert!(!catalog.is_empty());
+    let mut out = Vec::with_capacity(cfg.count);
+    let rels: Vec<_> = catalog.relations().map(|(id, s)| (id, s.clone())).collect();
+    let mut per_rel: Vec<Vec<Cfd>> = vec![Vec::new(); rels.len()];
+    let mut domains: Vec<Vec<cfd_relalg::domain::DomainKind>> = rels
+        .iter()
+        .map(|(_, s)| s.attributes.iter().map(|a| a.domain.clone()).collect())
+        .collect();
+    while out.len() < cfg.count {
+        let ri = rng.gen_range(0..rels.len());
+        let (rel, schema) = &rels[ri];
+        let arity = schema.arity();
+        let lhs_lo = cfg.lhs_max.clamp(1, 3);
+        let lhs_size = rng.gen_range(lhs_lo..=cfg.lhs_max).min(arity - 1).max(1);
+        // distinct LHS attributes + a distinct RHS attribute
+        let mut attrs: Vec<usize> = (0..arity).collect();
+        attrs.shuffle(rng);
+        let lhs_attrs = &attrs[..lhs_size];
+        let rhs_attr = attrs[lhs_size];
+        let mut cell = |attr: usize| -> Pattern {
+            if rng.gen_bool(cfg.var_pct) {
+                Pattern::Wild
+            } else {
+                Pattern::Const(random_value(&schema.attributes[attr].domain, cfg.const_range, rng))
+            }
+        };
+        let lhs: Vec<(usize, Pattern)> = lhs_attrs.iter().map(|a| (*a, cell(*a))).collect();
+        let rhs_pattern = cell(rhs_attr);
+        if !cfg.allow_unconditional_constants
+            && rhs_pattern.is_const()
+            && lhs.iter().all(|(_, p)| *p == Pattern::Wild)
+        {
+            continue; // reject the unconditional constant-column shape
+        }
+        let cfd = Cfd::new(lhs, rhs_attr, rhs_pattern).expect("distinct attributes");
+        if cfg.ensure_consistent {
+            per_rel[ri].push(cfd.clone());
+            if !cfd_model::implication::is_consistent(&per_rel[ri], &domains[ri]) {
+                per_rel[ri].pop();
+                continue; // reject and redraw
+            }
+        }
+        let _ = &mut domains;
+        out.push(SourceCfd::new(*rel, cfd));
+    }
+    out
+}
+
+/// A random constant from `domain` (integers from `[1, const_range]`).
+pub fn random_value(domain: &DomainKind, const_range: i64, rng: &mut impl Rng) -> Value {
+    match domain {
+        DomainKind::Int => Value::Int(rng.gen_range(1..=const_range)),
+        DomainKind::Text => Value::Str(format!("v{}", rng.gen_range(1..=const_range))),
+        DomainKind::Bool => Value::Bool(rng.gen_bool(0.5)),
+        DomainKind::Enum(vs) => vs[rng.gen_range(0..vs.len())].clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_gen::{gen_schema, SchemaGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Catalog, StdRng) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let catalog = gen_schema(&SchemaGenConfig::default(), &mut rng);
+        (catalog, rng)
+    }
+
+    #[test]
+    fn count_and_validity() {
+        let (catalog, mut rng) = setup();
+        let cfg = CfdGenConfig { count: 300, ..Default::default() };
+        let sigma = gen_cfds(&catalog, &cfg, &mut rng);
+        assert_eq!(sigma.len(), 300);
+        for s in &sigma {
+            let schema = catalog.schema(s.rel);
+            s.cfd.validate_arity(schema.arity()).unwrap();
+            assert!(!s.cfd.is_trivial());
+            // RHS not on the LHS by construction
+            assert!(s.cfd.lhs_pattern(s.cfd.rhs_attr()).is_none());
+        }
+    }
+
+    #[test]
+    fn lhs_sizes_in_range() {
+        let (catalog, mut rng) = setup();
+        let cfg = CfdGenConfig { count: 500, lhs_max: 9, ..Default::default() };
+        let sigma = gen_cfds(&catalog, &cfg, &mut rng);
+        for s in &sigma {
+            let n = s.cfd.lhs().len();
+            assert!((3..=9).contains(&n), "LHS size {n}");
+        }
+    }
+
+    #[test]
+    fn var_pct_controls_wildcards() {
+        let (catalog, mut rng) = setup();
+        let all_wild = gen_cfds(
+            &catalog,
+            &CfdGenConfig { count: 50, var_pct: 1.0, ..Default::default() },
+            &mut rng,
+        );
+        assert!(all_wild.iter().all(|s| s.cfd.is_plain_fd()));
+        let all_const = gen_cfds(
+            &catalog,
+            &CfdGenConfig { count: 50, var_pct: 0.0, ..Default::default() },
+            &mut rng,
+        );
+        assert!(all_const.iter().all(|s| s
+            .cfd
+            .lhs()
+            .iter()
+            .all(|(_, p)| p.is_const())
+            && s.cfd.rhs_pattern().is_const()));
+    }
+
+    #[test]
+    fn constants_within_range() {
+        let (catalog, mut rng) = setup();
+        let sigma = gen_cfds(
+            &catalog,
+            &CfdGenConfig { count: 100, var_pct: 0.0, const_range: 50, ..Default::default() },
+            &mut rng,
+        );
+        for s in &sigma {
+            for (_, p) in s.cfd.lhs() {
+                if let Some(Value::Int(i)) = p.as_const() {
+                    assert!((1..=50).contains(i));
+                }
+            }
+        }
+    }
+}

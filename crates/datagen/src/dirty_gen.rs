@@ -1,0 +1,212 @@
+//! Controlled corruption of clean databases.
+//!
+//! Data-cleaning experiments need instances with a *known* amount of
+//! damage: start from a database satisfying Σ ([`crate::instance_gen`]),
+//! then flip a controlled fraction of cells to fresh values. The return
+//! value reports exactly which cells were perturbed, so detection recall
+//! can be evaluated against ground truth.
+
+use crate::instance_gen::{gen_database, InstanceGenConfig};
+use cfd_model::SourceCfd;
+use cfd_relalg::domain::DomainKind;
+use cfd_relalg::instance::{Database, Relation};
+use cfd_relalg::schema::{Catalog, RelId};
+use cfd_relalg::Value;
+use rand::Rng;
+
+/// Configuration for [`gen_dirty_database`].
+#[derive(Clone, Debug)]
+pub struct DirtyGenConfig {
+    /// Configuration of the underlying clean instance.
+    pub base: InstanceGenConfig,
+    /// Probability that a cell is perturbed.
+    pub error_rate: f64,
+}
+
+impl Default for DirtyGenConfig {
+    fn default() -> Self {
+        DirtyGenConfig { base: InstanceGenConfig::default(), error_rate: 0.05 }
+    }
+}
+
+/// One perturbed cell: which relation, tuple (post-corruption), column,
+/// and the original value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Corruption {
+    /// Relation perturbed.
+    pub rel: RelId,
+    /// The tuple after corruption (as stored in the returned database).
+    pub tuple: Vec<Value>,
+    /// Perturbed column.
+    pub column: usize,
+    /// The value before corruption.
+    pub original: Value,
+}
+
+/// Generate a database satisfying `sigma`, then corrupt cells at
+/// `cfg.error_rate`. Returns the dirty database and the ground-truth
+/// corruption log (which may be shorter than expected when set semantics
+/// merges a corrupted tuple into an existing one).
+pub fn gen_dirty_database(
+    catalog: &Catalog,
+    sigma: &[SourceCfd],
+    cfg: &DirtyGenConfig,
+    rng: &mut impl Rng,
+) -> (Database, Vec<Corruption>) {
+    let clean = gen_database(catalog, sigma, &cfg.base, rng);
+    let mut dirty = Database::empty(catalog);
+    let mut log = Vec::new();
+    for (rel, schema) in catalog.relations() {
+        let mut out = Relation::new();
+        for t in clean.relation(rel).tuples() {
+            let mut t = t.clone();
+            for (col, attr) in schema.attributes.iter().enumerate() {
+                if rng.gen_bool(cfg.error_rate) {
+                    let original = t[col].clone();
+                    let fresh = perturb(&attr.domain, &original, cfg.base.value_range, rng);
+                    if fresh != original {
+                        t[col] = fresh;
+                        log.push(Corruption {
+                            rel,
+                            tuple: Vec::new(), // patched below once final
+                            column: col,
+                            original,
+                        });
+                    }
+                }
+            }
+            // patch the tuple into the log entries created for it
+            for entry in log.iter_mut().rev() {
+                if entry.rel == rel && entry.tuple.is_empty() {
+                    entry.tuple = t.clone();
+                } else {
+                    break;
+                }
+            }
+            if !out.insert(t) {
+                // merged into an existing tuple: drop its log entries to
+                // keep the ground truth faithful to the stored instance
+                log.retain(|e| e.rel != rel || out_contains_unique(&out, e));
+            }
+        }
+        for t in out.tuples() {
+            dirty.insert(rel, t.clone());
+        }
+    }
+    (dirty, log)
+}
+
+/// Does `entry` still describe a tuple present in `out`? (Helper for the
+/// rare set-semantics merge case.)
+fn out_contains_unique(out: &Relation, entry: &Corruption) -> bool {
+    out.contains(&entry.tuple)
+}
+
+/// A fresh value from `domain`, different from `old` when the domain has
+/// more than one value.
+fn perturb(domain: &DomainKind, old: &Value, pool: i64, rng: &mut impl Rng) -> Value {
+    for _ in 0..8 {
+        let candidate = match domain {
+            DomainKind::Int => Value::int(rng.gen_range(0..pool.max(2)) + 1_000_000),
+            DomainKind::Text => Value::Str(format!("dirty{}", rng.gen_range(0..pool.max(2)))),
+            DomainKind::Bool => Value::Bool(rng.gen_bool(0.5)),
+            DomainKind::Enum(vs) => vs[rng.gen_range(0..vs.len())].clone(),
+        };
+        if &candidate != old {
+            return candidate;
+        }
+    }
+    old.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_model::Cfd;
+    use cfd_relalg::schema::{Attribute, RelationSchema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Catalog, Vec<SourceCfd>) {
+        let mut c = Catalog::new();
+        let r = c
+            .add(
+                RelationSchema::new(
+                    "R",
+                    vec![
+                        Attribute::new("A", DomainKind::Int),
+                        Attribute::new("B", DomainKind::Int),
+                        Attribute::new("C", DomainKind::Text),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let sigma = vec![SourceCfd::new(r, Cfd::fd(&[0], 1).unwrap())];
+        (c, sigma)
+    }
+
+    #[test]
+    fn zero_error_rate_stays_clean() {
+        let (c, sigma) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = DirtyGenConfig { error_rate: 0.0, ..Default::default() };
+        let (db, log) = gen_dirty_database(&c, &sigma, &cfg, &mut rng);
+        assert!(log.is_empty());
+        assert!(crate::instance_gen::database_satisfies(&db, &sigma));
+    }
+
+    #[test]
+    fn corruption_log_matches_database() {
+        let (c, sigma) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = DirtyGenConfig { error_rate: 0.2, ..Default::default() };
+        let (db, log) = gen_dirty_database(&c, &sigma, &cfg, &mut rng);
+        assert!(!log.is_empty(), "20% error rate must corrupt something");
+        for e in &log {
+            assert!(
+                db.relation(e.rel).contains(&e.tuple),
+                "log cites a tuple missing from the database: {e:?}"
+            );
+            assert_ne!(e.tuple[e.column], e.original, "cell must actually differ");
+        }
+    }
+
+    #[test]
+    fn corrupted_values_respect_domains() {
+        let (c, sigma) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = DirtyGenConfig { error_rate: 0.5, ..Default::default() };
+        let (db, _) = gen_dirty_database(&c, &sigma, &cfg, &mut rng);
+        db.validate(&c).expect("corruption must stay within domains");
+    }
+
+    #[test]
+    fn higher_error_rate_corrupts_more() {
+        let (c, sigma) = setup();
+        let mut low_total = 0usize;
+        let mut high_total = 0usize;
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let low = DirtyGenConfig { error_rate: 0.02, ..Default::default() };
+            low_total += gen_dirty_database(&c, &sigma, &low, &mut rng).1.len();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let high = DirtyGenConfig { error_rate: 0.4, ..Default::default() };
+            high_total += gen_dirty_database(&c, &sigma, &high, &mut rng).1.len();
+        }
+        assert!(high_total > low_total, "{high_total} vs {low_total}");
+    }
+
+    #[test]
+    fn perturb_avoids_old_value_when_possible() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let v = perturb(&DomainKind::Bool, &Value::Bool(true), 2, &mut rng);
+            // Bool has two values; eight retries make a stuck result
+            // astronomically unlikely but not impossible — only check type.
+            assert!(matches!(v, Value::Bool(_)));
+        }
+        let e = DomainKind::new_enum(vec![Value::int(1)]).unwrap();
+        assert_eq!(perturb(&e, &Value::int(1), 2, &mut rng), Value::int(1), "singleton domain cannot change");
+    }
+}

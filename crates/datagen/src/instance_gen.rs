@@ -1,0 +1,269 @@
+//! Random source databases satisfying a set of CFDs.
+//!
+//! Used by integration tests and examples to validate decision procedures
+//! semantically: generate `D |= Σ`, evaluate `V(D)`, and check view
+//! dependencies on real data. Generation is *repair-based*: draw random
+//! tuples, then chase violations away (equating RHS values, applying
+//! constant patterns); tuples that cannot be repaired are dropped, so the
+//! result always satisfies Σ.
+
+use cfd_model::satisfy::find_violation;
+use cfd_model::{Cfd, SourceCfd};
+use cfd_relalg::instance::{Database, Relation, Tuple};
+use cfd_relalg::schema::Catalog;
+use rand::Rng;
+
+/// Configuration for [`gen_database`].
+#[derive(Clone, Debug)]
+pub struct InstanceGenConfig {
+    /// Tuples per relation (before repair).
+    pub tuples_per_relation: usize,
+    /// Value pool size; small pools create many coincidences (and thus
+    /// interesting CFD interactions).
+    pub value_range: i64,
+}
+
+impl Default for InstanceGenConfig {
+    fn default() -> Self {
+        InstanceGenConfig { tuples_per_relation: 20, value_range: 5 }
+    }
+}
+
+/// Generate a random database over `catalog` satisfying every CFD of
+/// `sigma`.
+pub fn gen_database(
+    catalog: &Catalog,
+    sigma: &[SourceCfd],
+    cfg: &InstanceGenConfig,
+    rng: &mut impl Rng,
+) -> Database {
+    let mut db = Database::empty(catalog);
+    for (rel, schema) in catalog.relations() {
+        let local: Vec<&Cfd> = sigma.iter().filter(|s| s.rel == rel).map(|s| &s.cfd).collect();
+        let mut tuples: Vec<Tuple> = (0..cfg.tuples_per_relation)
+            .map(|_| {
+                schema
+                    .attributes
+                    .iter()
+                    .map(|a| crate::cfd_gen::random_value(&a.domain, cfg.value_range, rng))
+                    .collect()
+            })
+            .collect();
+        repair(&mut tuples, &local);
+        let relation: Relation = tuples.into_iter().collect();
+        *db.relation_mut(rel) = relation;
+    }
+    debug_assert!(db.validate(catalog).is_ok());
+    db
+}
+
+/// Repair `tuples` in place until they satisfy all of `cfds`; tuples that
+/// still participate in violations after a bounded number of passes are
+/// removed (guaranteeing termination and `|=`).
+fn repair(tuples: &mut Vec<Tuple>, cfds: &[&Cfd]) {
+    for _ in 0..16 {
+        let mut changed = false;
+        for cfd in cfds {
+            if let Some((a, b)) = cfd.as_attr_eq() {
+                for t in tuples.iter_mut() {
+                    if t[a] != t[b] {
+                        t[b] = t[a].clone();
+                        changed = true;
+                    }
+                }
+                continue;
+            }
+            let rhs = cfd.rhs_attr();
+            // pair rule: order-normalize so repair converges
+            for i in 0..tuples.len() {
+                if !cfd.lhs().iter().all(|(a, p)| p.matches_value(&tuples[i][*a])) {
+                    continue;
+                }
+                if let Some(c) = cfd.rhs_pattern().as_const() {
+                    if &tuples[i][rhs] != c {
+                        tuples[i][rhs] = c.clone();
+                        changed = true;
+                    }
+                }
+                for j in (i + 1)..tuples.len() {
+                    let lhs_eq = cfd.lhs().iter().all(|(a, _)| tuples[i][*a] == tuples[j][*a]);
+                    if lhs_eq && tuples[i][rhs] != tuples[j][rhs] {
+                        let v = tuples[i][rhs].clone();
+                        tuples[j][rhs] = v;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+    // Last resort: drop tuples involved in remaining violations.
+    loop {
+        let rel: Relation = tuples.iter().cloned().collect();
+        let mut bad: Option<Tuple> = None;
+        for cfd in cfds {
+            if let Some((t1, _)) = find_violation(&rel, cfd) {
+                bad = Some(t1);
+                break;
+            }
+        }
+        match bad {
+            Some(t) => tuples.retain(|u| u != &t),
+            None => return,
+        }
+    }
+}
+
+/// A tuple of small random values (helper for tests).
+pub fn random_tuple(
+    catalog: &Catalog,
+    rel: cfd_relalg::schema::RelId,
+    value_range: i64,
+    rng: &mut impl Rng,
+) -> Tuple {
+    catalog
+        .schema(rel)
+        .attributes
+        .iter()
+        .map(|a| crate::cfd_gen::random_value(&a.domain, value_range, rng))
+        .collect()
+}
+
+/// Do all relations of `db` satisfy their CFDs in `sigma`?
+pub fn database_satisfies(db: &Database, sigma: &[SourceCfd]) -> bool {
+    sigma
+        .iter()
+        .all(|s| cfd_model::satisfy::satisfies(db.relation(s.rel), &s.cfd))
+}
+
+/// Count non-`Value::Int` sanity helper used by property tests.
+pub fn total_tuples(db: &Database) -> usize {
+    db.total_tuples()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfd_gen::{gen_cfds, CfdGenConfig};
+    use crate::schema_gen::{gen_schema, SchemaGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_database_satisfies_sigma() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let catalog = gen_schema(
+            &SchemaGenConfig { relations: 4, min_arity: 4, max_arity: 6, finite_ratio: 0.2 },
+            &mut rng,
+        );
+        let sigma = gen_cfds(
+            &catalog,
+            &CfdGenConfig { count: 12, lhs_max: 3, var_pct: 0.5, const_range: 4, ..Default::default() },
+            &mut rng,
+        );
+        for seed in 0..10 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let db = gen_database(&catalog, &sigma, &InstanceGenConfig::default(), &mut r);
+            assert!(database_satisfies(&db, &sigma), "seed {seed}");
+            db.validate(&catalog).unwrap();
+        }
+    }
+
+    #[test]
+    fn repair_handles_attr_eq() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut catalog = Catalog::new();
+        let rel = catalog
+            .add(
+                cfd_relalg::schema::RelationSchema::new(
+                    "R",
+                    vec![
+                        cfd_relalg::schema::Attribute::new("A", cfd_relalg::DomainKind::Int),
+                        cfd_relalg::schema::Attribute::new("B", cfd_relalg::DomainKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let sigma = vec![SourceCfd::new(rel, Cfd::attr_eq(0, 1).unwrap())];
+        let db = gen_database(&catalog, &sigma, &InstanceGenConfig::default(), &mut rng);
+        assert!(database_satisfies(&db, &sigma));
+        for t in db.relation(rel).tuples() {
+            assert_eq!(t[0], t[1]);
+        }
+    }
+
+    #[test]
+    fn nonempty_in_practice() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let catalog = gen_schema(
+            &SchemaGenConfig { relations: 3, min_arity: 3, max_arity: 4, finite_ratio: 0.0 },
+            &mut rng,
+        );
+        let db = gen_database(&catalog, &[], &InstanceGenConfig::default(), &mut rng);
+        assert!(db.total_tuples() > 0);
+    }
+
+    #[test]
+    fn inconsistent_constants_lead_to_empty_relation() {
+        // Σ forces A = 1 and A = 2: repair must drop everything.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut catalog = Catalog::new();
+        let rel = catalog
+            .add(
+                cfd_relalg::schema::RelationSchema::new(
+                    "R",
+                    vec![cfd_relalg::schema::Attribute::new("A", cfd_relalg::DomainKind::Int)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let sigma = vec![
+            SourceCfd::new(rel, Cfd::const_col(0, 1i64)),
+            SourceCfd::new(rel, Cfd::const_col(0, 2i64)),
+        ];
+        let db = gen_database(&catalog, &sigma, &InstanceGenConfig::default(), &mut rng);
+        assert!(db.relation(rel).is_empty());
+        assert!(database_satisfies(&db, &sigma));
+    }
+
+    #[test]
+    fn random_tuple_conforms() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let catalog = gen_schema(&SchemaGenConfig::default(), &mut rng);
+        let (rel, schema) = catalog.relations().next().unwrap();
+        let t = random_tuple(&catalog, rel, 10, &mut rng);
+        assert_eq!(t.len(), schema.arity());
+    }
+
+    #[test]
+    fn value_pool_collisions_exercise_pairs() {
+        // tiny pool: pairs with equal LHS must exist, and repair must have
+        // made their RHS equal
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut catalog = Catalog::new();
+        let rel = catalog
+            .add(
+                cfd_relalg::schema::RelationSchema::new(
+                    "R",
+                    vec![
+                        cfd_relalg::schema::Attribute::new("A", cfd_relalg::DomainKind::Int),
+                        cfd_relalg::schema::Attribute::new("B", cfd_relalg::DomainKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let sigma = vec![SourceCfd::new(rel, Cfd::fd(&[0], 1).unwrap())];
+        let db = gen_database(
+            &catalog,
+            &sigma,
+            &InstanceGenConfig { tuples_per_relation: 50, value_range: 3 },
+            &mut rng,
+        );
+        assert!(database_satisfies(&db, &sigma));
+        assert!(db.relation(rel).len() > 1);
+    }
+}

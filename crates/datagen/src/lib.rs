@@ -1,0 +1,33 @@
+//! # cfd-datagen — workload generators
+//!
+//! Re-implementation of the two generators described in §5 of
+//! *"Propagating Functional Dependencies with Conditions"* (the paper's
+//! workloads are not published, so we reproduce their documented
+//! distributions with seeded RNGs):
+//!
+//! * [`schema_gen`] — random source schemas (≥ 10 relations, 10–20
+//!   attributes each);
+//! * [`cfd_gen`] — the CFD generator with parameters `m` (count), `LHS`
+//!   (max LHS size), `var%` (wildcard ratio), constants from
+//!   `[1, 100000]`;
+//! * [`view_gen`] — the SPC view generator with parameters `|Y|`, `|F|`,
+//!   `|Ec|`;
+//! * [`instance_gen`] — random databases *satisfying* a CFD set
+//!   (repair-based), used to validate decision procedures semantically;
+//! * [`dirty_gen`] — controlled corruption of clean databases with a
+//!   ground-truth log, for data-cleaning experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfd_gen;
+pub mod dirty_gen;
+pub mod instance_gen;
+pub mod schema_gen;
+pub mod view_gen;
+
+pub use cfd_gen::{gen_cfds, CfdGenConfig};
+pub use dirty_gen::{gen_dirty_database, Corruption, DirtyGenConfig};
+pub use instance_gen::{gen_database, InstanceGenConfig};
+pub use schema_gen::{gen_schema, SchemaGenConfig};
+pub use view_gen::{gen_spc_view, ViewGenConfig};

@@ -1,0 +1,42 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A position in the source text (1-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Line number.
+    pub line: usize,
+    /// Column number.
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A parse (or lowering) error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct an error.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        ParseError { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,279 @@
+//! Tokenizer for the `.cfd` text format.
+
+use crate::error::{ParseError, Span};
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted string literal (quotes stripped, `''` escapes `'`).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `->`
+    Arrow,
+    /// `||`
+    Bars,
+    /// `<=` (inclusion, for `cind` statements)
+    SubsetEq,
+    /// `_`
+    Underscore,
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Tokenize `src`. Line comments start with `#` or `--`.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+    macro_rules! span1 {
+        () => {
+            Span { line, col }
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = span1!();
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                out.push(SpannedTok { tok: Tok::Arrow, span: start });
+                i += 2;
+                col += 2;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() => {
+                let (v, len) = lex_int(&src[i..], start)?;
+                out.push(SpannedTok { tok: Tok::Int(v), span: start });
+                i += len;
+                col += len;
+            }
+            '|' if i + 1 < bytes.len() && bytes[i + 1] == b'|' => {
+                out.push(SpannedTok { tok: Tok::Bars, span: start });
+                i += 2;
+                col += 2;
+            }
+            '<' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(SpannedTok { tok: Tok::SubsetEq, span: start });
+                i += 2;
+                col += 2;
+            }
+            '(' => push1(&mut out, Tok::LParen, start, &mut i, &mut col),
+            ')' => push1(&mut out, Tok::RParen, start, &mut i, &mut col),
+            '[' => push1(&mut out, Tok::LBracket, start, &mut i, &mut col),
+            ']' => push1(&mut out, Tok::RBracket, start, &mut i, &mut col),
+            '{' => push1(&mut out, Tok::LBrace, start, &mut i, &mut col),
+            '}' => push1(&mut out, Tok::RBrace, start, &mut i, &mut col),
+            ',' => push1(&mut out, Tok::Comma, start, &mut i, &mut col),
+            ';' => push1(&mut out, Tok::Semi, start, &mut i, &mut col),
+            ':' => push1(&mut out, Tok::Colon, start, &mut i, &mut col),
+            '=' => push1(&mut out, Tok::Eq, start, &mut i, &mut col),
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut cols = 1;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(ParseError::new(start, "unterminated string literal"));
+                    }
+                    if bytes[j] == b'\'' {
+                        if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+                            s.push('\'');
+                            j += 2;
+                            cols += 2;
+                            continue;
+                        }
+                        j += 1;
+                        cols += 1;
+                        break;
+                    }
+                    if bytes[j] == b'\n' {
+                        return Err(ParseError::new(start, "newline in string literal"));
+                    }
+                    s.push(bytes[j] as char);
+                    j += 1;
+                    cols += 1;
+                }
+                out.push(SpannedTok { tok: Tok::Str(s), span: start });
+                col += cols;
+                i = j;
+            }
+            '0'..='9' => {
+                let (v, len) = lex_int(&src[i..], start)?;
+                out.push(SpannedTok { tok: Tok::Int(v), span: start });
+                i += len;
+                col += len;
+            }
+            '_' if !ident_char(bytes.get(i + 1).copied()) => {
+                push1(&mut out, Tok::Underscore, start, &mut i, &mut col)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() && ident_char(Some(bytes[j])) {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                out.push(SpannedTok { tok: Tok::Ident(word.to_owned()), span: start });
+                col += j - i;
+                i = j;
+            }
+            other => {
+                return Err(ParseError::new(start, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn ident_char(b: Option<u8>) -> bool {
+    matches!(b, Some(b) if (b as char).is_ascii_alphanumeric() || b == b'_')
+}
+
+fn lex_int(s: &str, span: Span) -> Result<(i64, usize), ParseError> {
+    let bytes = s.as_bytes();
+    let mut j = 0;
+    if bytes[0] == b'-' {
+        j = 1;
+    }
+    while j < bytes.len() && bytes[j].is_ascii_digit() {
+        j += 1;
+    }
+    s[..j]
+        .parse::<i64>()
+        .map(|v| (v, j))
+        .map_err(|_| ParseError::new(span, "integer literal out of range"))
+}
+
+fn push1(out: &mut Vec<SpannedTok>, tok: Tok, span: Span, i: &mut usize, col: &mut usize) {
+    out.push(SpannedTok { tok, span });
+    *i += 1;
+    *col += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("R1([A] -> [B], (_ || 'x'));"),
+            vec![
+                Tok::Ident("R1".into()),
+                Tok::LParen,
+                Tok::LBracket,
+                Tok::Ident("A".into()),
+                Tok::RBracket,
+                Tok::Arrow,
+                Tok::LBracket,
+                Tok::Ident("B".into()),
+                Tok::RBracket,
+                Tok::Comma,
+                Tok::LParen,
+                Tok::Underscore,
+                Tok::Bars,
+                Tok::Str("x".into()),
+                Tok::RParen,
+                Tok::RParen,
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_negatives() {
+        assert_eq!(toks("42 -7"), vec![Tok::Int(42), Tok::Int(-7)]);
+    }
+
+    #[test]
+    fn subset_eq_token() {
+        assert_eq!(
+            toks("a <= b"),
+            vec![Tok::Ident("a".into()), Tok::SubsetEq, Tok::Ident("b".into())]
+        );
+        assert!(lex("a < b").is_err(), "bare `<` is not a token");
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("a # comment\nb -- another\nc"), vec![
+            Tok::Ident("a".into()),
+            Tok::Ident("b".into()),
+            Tok::Ident("c".into())
+        ]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into())]);
+    }
+
+    #[test]
+    fn underscore_vs_ident() {
+        assert_eq!(toks("_ _a a_"), vec![
+            Tok::Underscore,
+            Tok::Ident("_a".into()),
+            Tok::Ident("a_".into())
+        ]);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = lex("a\n  @").unwrap_err();
+        assert_eq!(e.span.line, 2);
+        assert_eq!(e.span.col, 3);
+        assert!(lex("'oops").is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # cfd-text — a text format for schemas, CFDs, and SPC/SPCU views
+//!
+//! A small, human-writable format so the library works as a standalone
+//! tool (see the `cfdprop` CLI):
+//!
+//! ```text
+//! schema R1(AC: string, city: string, zip: string);
+//!
+//! cfd f2: R1([AC] -> [city], (_ || _));
+//! cfd cfd1: R1([AC] -> [city], ('20' || 'ldn'));
+//!
+//! view V = product(R1, const(CC: '44'));
+//!
+//! vcfd phi2: V([CC, AC] -> [city], ('44', _ || _));
+//! ```
+//!
+//! * [`parser::Document::parse`] — parse a document;
+//! * [`pretty::render`] — print one back (round-trip tested).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+
+pub use error::{ParseError, Span};
+pub use parser::{Document, NamedSourceCfd, NamedView, NamedViewCfd};
+pub use pretty::render;

@@ -1,0 +1,809 @@
+//! Recursive-descent parser for the `.cfd` document format.
+//!
+//! ```text
+//! # comments with `#` or `--`
+//! schema R1(AC: string, city: string, zip: int);
+//!
+//! cfd f1: R1([zip] -> [city], (_ || _));          # plain FD
+//! cfd phi: R1([AC] -> [city], ('20' || 'ldn'));   # CFD with constants
+//!
+//! view V = union(product(R1, const(CC: 44)),
+//!                product(R2, const(CC: 1)));
+//!
+//! vcfd V([CC, AC] -> [city], (44, _ || _));       # dependency on a view
+//! ```
+//!
+//! Supported view combinators: `select(e, A = B, A = 'a', ...)`,
+//! `project(e, A, B, ...)`, `product(e1, e2)`,
+//! `rename(e, A -> B, ...)`, `union(e1, e2)`, `const(A: value, ...)`, a
+//! relation name, or the name of a previously defined view.
+
+use crate::error::{ParseError, Span};
+use crate::lexer::{lex, SpannedTok, Tok};
+use cfd_cind::Cind;
+use cfd_model::{Cfd, GeneralCfd, Pattern, SourceCfd};
+use cfd_relalg::domain::DomainKind;
+use cfd_relalg::query::{RaCond, RaExpr, SpcuQuery};
+use cfd_relalg::schema::{Attribute, Catalog, RelationSchema};
+use cfd_relalg::value::Value;
+
+/// A named source CFD.
+#[derive(Clone, Debug)]
+pub struct NamedSourceCfd {
+    /// Optional label from the document.
+    pub name: Option<String>,
+    /// The dependency.
+    pub cfd: SourceCfd,
+}
+
+/// A named view: the authored expression and its SPCU normal form.
+#[derive(Clone, Debug)]
+pub struct NamedView {
+    /// View name.
+    pub name: String,
+    /// The expression as written.
+    pub expr: RaExpr,
+    /// Its normal form.
+    pub query: SpcuQuery,
+}
+
+/// A named view CFD.
+#[derive(Clone, Debug)]
+pub struct NamedViewCfd {
+    /// Optional label.
+    pub name: Option<String>,
+    /// The view it constrains.
+    pub view: String,
+    /// The dependency, over view output positions.
+    pub cfd: Cfd,
+}
+
+/// A named conditional inclusion dependency.
+#[derive(Clone, Debug)]
+pub struct NamedCind {
+    /// Optional label from the document.
+    pub name: Option<String>,
+    /// The dependency.
+    pub cind: Cind,
+}
+
+/// A parsed document: schemas, source CFDs, views, view CFDs, and
+/// (optionally) data rows.
+#[derive(Clone, Debug, Default)]
+pub struct Document {
+    /// The source schema.
+    pub catalog: Catalog,
+    /// Source dependencies.
+    pub source_cfds: Vec<NamedSourceCfd>,
+    /// Views.
+    pub views: Vec<NamedView>,
+    /// View dependencies.
+    pub view_cfds: Vec<NamedViewCfd>,
+    /// Data rows: `(relation name, tuple)`, from `row R(v1, v2, ...);`
+    /// statements, in document order.
+    pub rows: Vec<(String, Vec<Value>)>,
+    /// Conditional inclusion dependencies, from
+    /// `cind R1[X; A = v] <= R2[Y; B = w];` statements.
+    pub cinds: Vec<NamedCind>,
+}
+
+impl Document {
+    /// Parse a document from text.
+    pub fn parse(src: &str) -> Result<Document, ParseError> {
+        let toks = lex(src)?;
+        Parser { toks, pos: 0 }.document()
+    }
+
+    /// Look up a view by name.
+    pub fn view(&self, name: &str) -> Option<&NamedView> {
+        self.views.iter().find(|v| v.name == name)
+    }
+
+    /// All source CFDs, unnamed.
+    pub fn sigma(&self) -> Vec<SourceCfd> {
+        self.source_cfds.iter().map(|n| n.cfd.clone()).collect()
+    }
+
+    /// The view CFDs attached to `view`.
+    pub fn view_cfds_for(&self, view: &str) -> Vec<Cfd> {
+        self.view_cfds
+            .iter()
+            .filter(|v| v.view == view)
+            .map(|v| v.cfd.clone())
+            .collect()
+    }
+
+    /// Build the database carried by the document's `row` statements,
+    /// validated against the catalog (arity and domains). Returns an empty
+    /// database when the document has no rows.
+    pub fn database(&self) -> Result<cfd_relalg::Database, ParseError> {
+        let mut db = cfd_relalg::Database::empty(&self.catalog);
+        let origin = Span { line: 1, col: 1 };
+        for (rel_name, tuple) in &self.rows {
+            let rel = self
+                .catalog
+                .rel_id(rel_name)
+                .ok_or_else(|| ParseError::new(origin, format!("row for unknown relation `{rel_name}`")))?;
+            db.insert(rel, tuple.clone());
+        }
+        db.validate(&self.catalog).map_err(|e| ParseError::new(origin, e.to_string()))?;
+        Ok(db)
+    }
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn span(&self) -> Span {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.span)
+            .unwrap_or(Span { line: 1, col: 1 })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError::new(self.span(), msg))
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            Some(t) => Err(ParseError::new(
+                self.toks[self.pos - 1].span,
+                format!("expected {tok:?}, found {t:?}"),
+            )),
+            None => self.err(format!("expected {tok:?}, found end of input")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => {
+                Err(ParseError::new(self.toks[self.pos - 1].span, format!("expected identifier, found {t:?}")))
+            }
+            None => self.err("expected identifier, found end of input"),
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn document(mut self) -> Result<Document, ParseError> {
+        let mut doc = Document::default();
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Ident(kw) if kw == "schema" => self.schema_stmt(&mut doc)?,
+                Tok::Ident(kw) if kw == "cfd" => self.cfd_stmt(&mut doc)?,
+                Tok::Ident(kw) if kw == "view" => self.view_stmt(&mut doc)?,
+                Tok::Ident(kw) if kw == "vcfd" => self.vcfd_stmt(&mut doc)?,
+                Tok::Ident(kw) if kw == "row" => self.row_stmt(&mut doc)?,
+                Tok::Ident(kw) if kw == "cind" => self.cind_stmt(&mut doc)?,
+                _ => {
+                    return self
+                        .err("expected `schema`, `cfd`, `view`, `vcfd`, `cind`, or `row`")
+                }
+            }
+        }
+        Ok(doc)
+    }
+
+    fn schema_stmt(&mut self, doc: &mut Document) -> Result<(), ParseError> {
+        let span = self.span();
+        self.pos += 1; // schema
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut attrs = Vec::new();
+        loop {
+            let attr = self.ident()?;
+            self.expect(Tok::Colon)?;
+            let domain = self.domain()?;
+            attrs.push(Attribute::new(attr, domain));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Semi)?;
+        let schema = RelationSchema::new(name, attrs)
+            .map_err(|e| ParseError::new(span, e.to_string()))?;
+        doc.catalog
+            .add(schema)
+            .map_err(|e| ParseError::new(span, e.to_string()))?;
+        Ok(())
+    }
+
+    fn domain(&mut self) -> Result<DomainKind, ParseError> {
+        let span = self.span();
+        let name = self.ident()?;
+        match name.as_str() {
+            "int" => Ok(DomainKind::Int),
+            "string" => Ok(DomainKind::Text),
+            "bool" => Ok(DomainKind::Bool),
+            "enum" => {
+                self.expect(Tok::LBrace)?;
+                let mut values = Vec::new();
+                loop {
+                    values.push(self.value()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+                DomainKind::new_enum(values).map_err(|e| ParseError::new(span, e.to_string()))
+            }
+            other => Err(ParseError::new(span, format!("unknown domain `{other}`"))),
+        }
+    }
+
+    /// `cind [label:] R1[X...; A = v, ...] <= R2[Y...; B = w, ...];` —
+    /// a conditional inclusion dependency. The bracketed lists pair the
+    /// inclusion columns positionally; the optional `;`-suffixed part
+    /// gives the pattern constants (`Xp`/`Yp` of [5]).
+    fn cind_stmt(&mut self, doc: &mut Document) -> Result<(), ParseError> {
+        let span = self.span();
+        self.pos += 1; // cind
+        let label = self.opt_label();
+        let (lhs_rel, lhs_cols, lhs_pats) = self.cind_side(doc, span)?;
+        self.expect(Tok::SubsetEq)?;
+        let (rhs_rel, rhs_cols, rhs_pats) = self.cind_side(doc, span)?;
+        self.expect(Tok::Semi)?;
+        if lhs_cols.len() != rhs_cols.len() {
+            return Err(ParseError::new(
+                span,
+                format!(
+                    "cind column lists differ in length ({} vs {})",
+                    lhs_cols.len(),
+                    rhs_cols.len()
+                ),
+            ));
+        }
+        let columns = lhs_cols.into_iter().zip(rhs_cols).collect();
+        let cind = Cind::new(lhs_rel, rhs_rel, columns, lhs_pats, rhs_pats)
+            .map_err(|e| ParseError::new(span, e.to_string()))?;
+        doc.cinds.push(NamedCind { name: label, cind });
+        Ok(())
+    }
+
+    /// One side of a `cind`: `R[col, ...; attr = value, ...]`, resolved
+    /// against the catalog.
+    #[allow(clippy::type_complexity)]
+    fn cind_side(
+        &mut self,
+        doc: &Document,
+        span: Span,
+    ) -> Result<(cfd_relalg::RelId, Vec<usize>, Vec<(usize, Value)>), ParseError> {
+        let rel_name = self.ident()?;
+        let rel = doc
+            .catalog
+            .require_rel(&rel_name)
+            .map_err(|e| ParseError::new(span, e.to_string()))?;
+        let schema = doc.catalog.schema(rel);
+        self.expect(Tok::LBracket)?;
+        let mut cols = Vec::new();
+        loop {
+            let attr = self.ident()?;
+            cols.push(
+                schema
+                    .require_attr(&attr)
+                    .map_err(|e| ParseError::new(span, e.to_string()))?,
+            );
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        let mut pats = Vec::new();
+        if self.eat(&Tok::Semi) {
+            loop {
+                let attr = self.ident()?;
+                let idx = schema
+                    .require_attr(&attr)
+                    .map_err(|e| ParseError::new(span, e.to_string()))?;
+                self.expect(Tok::Eq)?;
+                let v = self.value()?;
+                if !schema.attributes[idx].domain.contains(&v) {
+                    return Err(ParseError::new(
+                        span,
+                        format!("constant {v} outside domain of {rel_name}.{attr}"),
+                    ));
+                }
+                pats.push((idx, v));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RBracket)?;
+        Ok((rel, cols, pats))
+    }
+
+    /// `row R(v1, v2, ...);` — one data tuple for relation `R`. Arity and
+    /// domain conformance are checked lazily by [`Document::database`], so
+    /// rows may precede later statements freely.
+    fn row_stmt(&mut self, doc: &mut Document) -> Result<(), ParseError> {
+        let span = self.span();
+        self.pos += 1; // row
+        let rel = self.ident()?;
+        if doc.catalog.rel_id(&rel).is_none() {
+            return Err(ParseError::new(span, format!("row for unknown relation `{rel}`")));
+        }
+        self.expect(Tok::LParen)?;
+        let mut tuple = Vec::new();
+        loop {
+            tuple.push(self.value()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Semi)?;
+        doc.rows.push((rel, tuple));
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(Value::Int(i)),
+            Some(Tok::Str(s)) => Ok(Value::Str(s)),
+            Some(Tok::Ident(b)) if b == "true" => Ok(Value::Bool(true)),
+            Some(Tok::Ident(b)) if b == "false" => Ok(Value::Bool(false)),
+            _ => Err(ParseError::new(
+                self.toks[self.pos.saturating_sub(1)].span,
+                "expected a value (integer, 'string', true, false)",
+            )),
+        }
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, ParseError> {
+        match self.peek() {
+            Some(Tok::Underscore) => {
+                self.pos += 1;
+                Ok(Pattern::Wild)
+            }
+            Some(Tok::Ident(s)) if s == "x" => {
+                self.pos += 1;
+                Ok(Pattern::SpecialVar)
+            }
+            _ => Ok(Pattern::Const(self.value()?)),
+        }
+    }
+
+    /// `Name([A, B] -> [C], (p, p || p));` — shared by `cfd` and `vcfd`.
+    /// Returns `(relation-or-view name, general CFD over attribute names)`.
+    #[allow(clippy::type_complexity)]
+    fn cfd_body(
+        &mut self,
+    ) -> Result<(String, Vec<(String, Pattern)>, Vec<(String, Pattern)>), ParseError> {
+        let target = self.ident()?;
+        self.expect(Tok::LParen)?;
+        self.expect(Tok::LBracket)?;
+        let mut lhs_names = Vec::new();
+        if self.peek() != Some(&Tok::RBracket) {
+            loop {
+                lhs_names.push(self.ident()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RBracket)?;
+        self.expect(Tok::Arrow)?;
+        self.expect(Tok::LBracket)?;
+        let mut rhs_names = Vec::new();
+        loop {
+            rhs_names.push(self.ident()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RBracket)?;
+        self.expect(Tok::Comma)?;
+        self.expect(Tok::LParen)?;
+        let mut lhs_pats = Vec::new();
+        if self.peek() != Some(&Tok::Bars) {
+            loop {
+                lhs_pats.push(self.pattern()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::Bars)?;
+        let mut rhs_pats = Vec::new();
+        loop {
+            rhs_pats.push(self.pattern()?);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::Semi)?;
+        if lhs_pats.len() != lhs_names.len() {
+            return self.err(format!(
+                "{} LHS attributes but {} LHS pattern cells",
+                lhs_names.len(),
+                lhs_pats.len()
+            ));
+        }
+        if rhs_pats.len() != rhs_names.len() {
+            return self.err(format!(
+                "{} RHS attributes but {} RHS pattern cells",
+                rhs_names.len(),
+                rhs_pats.len()
+            ));
+        }
+        Ok((
+            target,
+            lhs_names.into_iter().zip(lhs_pats).collect(),
+            rhs_names.into_iter().zip(rhs_pats).collect(),
+        ))
+    }
+
+    fn opt_label(&mut self) -> Option<String> {
+        // `cfd name: R(...)` — lookahead for IDENT ':'
+        if let (Some(Tok::Ident(name)), Some(t2)) =
+            (self.peek().cloned(), self.toks.get(self.pos + 1).map(|t| &t.tok))
+        {
+            if *t2 == Tok::Colon {
+                self.pos += 2;
+                return Some(name);
+            }
+        }
+        None
+    }
+
+    fn cfd_stmt(&mut self, doc: &mut Document) -> Result<(), ParseError> {
+        let span = self.span();
+        self.pos += 1; // cfd
+        let label = self.opt_label();
+        let (rel_name, lhs, rhs) = self.cfd_body()?;
+        let rel = doc
+            .catalog
+            .require_rel(&rel_name)
+            .map_err(|e| ParseError::new(span, e.to_string()))?;
+        let schema = doc.catalog.schema(rel).clone();
+        let resolve = |(n, p): &(String, Pattern)| -> Result<(usize, Pattern), ParseError> {
+            let idx = schema
+                .require_attr(n)
+                .map_err(|e| ParseError::new(span, e.to_string()))?;
+            if let Some(v) = p.as_const() {
+                if !schema.attributes[idx].domain.contains(v) {
+                    return Err(ParseError::new(
+                        span,
+                        format!("constant {v} outside domain of {rel_name}.{n}"),
+                    ));
+                }
+            }
+            Ok((idx, p.clone()))
+        };
+        let general = GeneralCfd {
+            lhs: lhs.iter().map(&resolve).collect::<Result<_, _>>()?,
+            rhs: rhs.iter().map(&resolve).collect::<Result<_, _>>()?,
+        };
+        for cfd in general.normalize().map_err(|e| ParseError::new(span, e.to_string()))? {
+            doc.source_cfds.push(NamedSourceCfd {
+                name: label.clone(),
+                cfd: SourceCfd::new(rel, cfd),
+            });
+        }
+        Ok(())
+    }
+
+    fn vcfd_stmt(&mut self, doc: &mut Document) -> Result<(), ParseError> {
+        let span = self.span();
+        self.pos += 1; // vcfd
+        let label = self.opt_label();
+        let (view_name, lhs, rhs) = self.cfd_body()?;
+        let view = doc
+            .view(&view_name)
+            .ok_or_else(|| ParseError::new(span, format!("unknown view `{view_name}`")))?;
+        let schema = view.query.schema().clone();
+        let resolve = |(n, p): &(String, Pattern)| -> Result<(usize, Pattern), ParseError> {
+            let idx = schema.col_index(n).ok_or_else(|| {
+                ParseError::new(span, format!("unknown column `{n}` in view `{view_name}`"))
+            })?;
+            Ok((idx, p.clone()))
+        };
+        let general = GeneralCfd {
+            lhs: lhs.iter().map(&resolve).collect::<Result<_, _>>()?,
+            rhs: rhs.iter().map(&resolve).collect::<Result<_, _>>()?,
+        };
+        for cfd in general.normalize().map_err(|e| ParseError::new(span, e.to_string()))? {
+            doc.view_cfds.push(NamedViewCfd {
+                name: label.clone(),
+                view: view_name.clone(),
+                cfd,
+            });
+        }
+        Ok(())
+    }
+
+    fn view_stmt(&mut self, doc: &mut Document) -> Result<(), ParseError> {
+        let span = self.span();
+        self.pos += 1; // view
+        let name = self.ident()?;
+        self.expect(Tok::Eq)?;
+        let expr = self.vexpr(doc)?;
+        self.expect(Tok::Semi)?;
+        let query = expr
+            .normalize(&doc.catalog)
+            .map_err(|e| ParseError::new(span, e.to_string()))?;
+        doc.views.push(NamedView { name, expr, query });
+        Ok(())
+    }
+
+    fn vexpr(&mut self, doc: &Document) -> Result<RaExpr, ParseError> {
+        let span = self.span();
+        let head = self.ident()?;
+        match head.as_str() {
+            "select" => {
+                self.expect(Tok::LParen)?;
+                let inner = self.vexpr(doc)?;
+                let mut conds = Vec::new();
+                while self.eat(&Tok::Comma) {
+                    let a = self.ident()?;
+                    self.expect(Tok::Eq)?;
+                    match self.peek() {
+                        Some(Tok::Ident(b)) if b != "true" && b != "false" => {
+                            let b = self.ident()?;
+                            conds.push(RaCond::Eq(a, b));
+                        }
+                        _ => conds.push(RaCond::EqConst(a, self.value()?)),
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                Ok(inner.select(conds))
+            }
+            "project" => {
+                self.expect(Tok::LParen)?;
+                let inner = self.vexpr(doc)?;
+                let mut cols = Vec::new();
+                while self.eat(&Tok::Comma) {
+                    cols.push(self.ident()?);
+                }
+                self.expect(Tok::RParen)?;
+                Ok(RaExpr::Project(Box::new(inner), cols))
+            }
+            "product" => {
+                self.expect(Tok::LParen)?;
+                let a = self.vexpr(doc)?;
+                self.expect(Tok::Comma)?;
+                let b = self.vexpr(doc)?;
+                self.expect(Tok::RParen)?;
+                Ok(a.product(b))
+            }
+            "union" => {
+                self.expect(Tok::LParen)?;
+                let a = self.vexpr(doc)?;
+                self.expect(Tok::Comma)?;
+                let b = self.vexpr(doc)?;
+                self.expect(Tok::RParen)?;
+                Ok(a.union(b))
+            }
+            "rename" => {
+                self.expect(Tok::LParen)?;
+                let inner = self.vexpr(doc)?;
+                let mut pairs = Vec::new();
+                while self.eat(&Tok::Comma) {
+                    let old = self.ident()?;
+                    self.expect(Tok::Arrow)?;
+                    let new = self.ident()?;
+                    pairs.push((old, new));
+                }
+                self.expect(Tok::RParen)?;
+                Ok(RaExpr::Rename(Box::new(inner), pairs))
+            }
+            "const" => {
+                self.expect(Tok::LParen)?;
+                let mut cells = Vec::new();
+                loop {
+                    let n = self.ident()?;
+                    self.expect(Tok::Colon)?;
+                    let v = self.value()?;
+                    let d = match &v {
+                        Value::Int(_) => DomainKind::Int,
+                        Value::Str(_) => DomainKind::Text,
+                        Value::Bool(_) => DomainKind::Bool,
+                    };
+                    cells.push((n, v, d));
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                Ok(RaExpr::ConstRel(cells))
+            }
+            name => {
+                // a base relation or a previously defined view
+                if doc.catalog.rel_id(name).is_some() {
+                    Ok(RaExpr::rel(name))
+                } else if let Some(v) = doc.view(name) {
+                    Ok(v.expr.clone())
+                } else {
+                    Err(ParseError::new(span, format!("unknown relation or view `{name}`")))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE_1_1: &str = r#"
+        # Example 1.1 of the paper
+        schema R1(AC: string, phn: string, name: string,
+                  street: string, city: string, zip: string);
+        schema R2(AC: string, phn: string, name: string,
+                  street: string, city: string, zip: string);
+        schema R3(AC: string, phn: string, name: string,
+                  street: string, city: string, zip: string);
+
+        cfd f1: R1([zip] -> [street], (_ || _));
+        cfd f2: R1([AC] -> [city], (_ || _));
+        cfd f3: R3([AC] -> [city], (_ || _));
+        cfd cfd1: R1([AC] -> [city], ('20' || 'ldn'));
+        cfd cfd2: R3([AC] -> [city], ('20' || 'Amsterdam'));
+
+        view V = union(union(
+            product(R1, const(CC: '44')),
+            product(rename(R2, AC -> AC2, phn -> phn2, name -> name2,
+                           street -> street2, city -> city2, zip -> zip2),
+                    const(CC: '01'))),
+            product(rename(R3, AC -> AC3, phn -> phn3, name -> name3,
+                           street -> street3, city -> city3, zip -> zip3),
+                    const(CC: '31')));
+    "#;
+
+    #[test]
+    fn parses_example_1_1_skeleton() {
+        // union compatibility needs same names: rename breaks it — use a
+        // simpler variant to validate statements individually
+        let doc = Document::parse(
+            r#"
+            schema R1(AC: string, city: string);
+            cfd f2: R1([AC] -> [city], (_ || _));
+            view V = product(R1, const(CC: '44'));
+            vcfd phi: V([CC, AC] -> [city], ('44', _ || _));
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.catalog.len(), 1);
+        assert_eq!(doc.source_cfds.len(), 1);
+        assert_eq!(doc.views.len(), 1);
+        assert_eq!(doc.view_cfds.len(), 1);
+        assert_eq!(doc.views[0].query.schema().names(), vec!["AC", "city", "CC"]);
+        let phi = &doc.view_cfds[0].cfd;
+        assert_eq!(phi.rhs_attr(), 1);
+    }
+
+    #[test]
+    fn rename_keeps_union_incompatible_statement_erroring() {
+        // the full Example 1.1 text renames columns, breaking union
+        // compatibility: the parser surfaces the normalization error
+        let err = Document::parse(EXAMPLE_1_1).unwrap_err();
+        assert!(err.message.contains("union"), "{err}");
+    }
+
+    #[test]
+    fn multi_rhs_cfd_normalizes() {
+        let doc = Document::parse(
+            r#"
+            schema R(A: int, B: int, C: int);
+            cfd R([A] -> [B, C], (_ || _, 5));
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.source_cfds.len(), 2);
+        assert_eq!(doc.source_cfds[1].cfd.cfd.rhs_pattern(), &Pattern::cst(5));
+    }
+
+    #[test]
+    fn special_var_cfd() {
+        let doc = Document::parse(
+            r#"
+            schema R(A: int, B: int);
+            view V = R;
+            vcfd V([A] -> [B], (x || x));
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.view_cfds[0].cfd.as_attr_eq(), Some((0, 1)));
+    }
+
+    #[test]
+    fn domain_validation_on_constants() {
+        let err = Document::parse(
+            r#"
+            schema R(A: int);
+            cfd R([A] -> [A], ('oops' || _));
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("outside domain"), "{err}");
+    }
+
+    #[test]
+    fn enum_domains() {
+        let doc = Document::parse(
+            r#"
+            schema R(A: enum{1, 2, 3}, B: bool);
+            cfd R([A] -> [B], (2 || true));
+            "#,
+        )
+        .unwrap();
+        let s = doc.catalog.schema(doc.catalog.rel_id("R").unwrap());
+        assert!(s.attributes[0].domain.is_finite());
+    }
+
+    #[test]
+    fn select_and_project() {
+        let doc = Document::parse(
+            r#"
+            schema R(A: int, B: int, C: int);
+            view V = project(select(R, A = 5, B = C), A, B);
+            "#,
+        )
+        .unwrap();
+        let v = &doc.views[0].query;
+        assert_eq!(v.schema().names(), vec!["A", "B"]);
+        assert_eq!(v.branches[0].selection.len(), 2);
+    }
+
+    #[test]
+    fn view_references_resolve() {
+        let doc = Document::parse(
+            r#"
+            schema R(A: int, B: int);
+            view V1 = select(R, A = 1);
+            view V2 = project(V1, B);
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.views[1].query.schema().names(), vec!["B"]);
+    }
+
+    #[test]
+    fn errors_report_positions() {
+        let err = Document::parse("schema R(A: int)").unwrap_err(); // missing ;
+        assert!(err.span.line >= 1);
+        let err = Document::parse("bogus").unwrap_err();
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn unknown_references_rejected() {
+        assert!(Document::parse("cfd R([A] -> [B], (_ || _));").is_err());
+        assert!(Document::parse(
+            "schema R(A: int); view V = select(S, A = 1);"
+        )
+        .is_err());
+        assert!(Document::parse(
+            "schema R(A: int); vcfd W([A] -> [A], (_ || 1));"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! The `cind` statement: parsing, validation, round-trips, and the
+//! end-to-end path to satisfaction checking on `row` data.
+
+use cfd_cind::satisfies;
+use cfd_relalg::Value;
+use cfd_text::parser::Document;
+use cfd_text::pretty;
+
+const DOC: &str = "\
+schema orders(cust: int, country: string);
+schema customers(id: int, cc: string);
+cind psi1: orders[cust] <= customers[id];
+cind psi2: orders[cust; country = 'uk'] <= customers[id; cc = '44'];
+row orders(7, 'uk');
+row customers(7, '44');
+";
+
+#[test]
+fn cinds_parse_with_conditions() {
+    let doc = Document::parse(DOC).unwrap();
+    assert_eq!(doc.cinds.len(), 2);
+    let psi1 = &doc.cinds[0];
+    assert_eq!(psi1.name.as_deref(), Some("psi1"));
+    assert!(psi1.cind.is_standard_ind());
+    let psi2 = &doc.cinds[1].cind;
+    assert_eq!(psi2.lhs_condition(), &[(1, Value::str("uk"))]);
+    assert_eq!(psi2.rhs_pattern(), &[(1, Value::str("44"))]);
+    assert_eq!(psi2.columns(), &[(0, 0)]);
+}
+
+#[test]
+fn cinds_check_on_row_data() {
+    let doc = Document::parse(DOC).unwrap();
+    let db = doc.database().unwrap();
+    for named in &doc.cinds {
+        assert!(satisfies(&db, &named.cind), "{:?} must hold", named.name);
+    }
+}
+
+#[test]
+fn violated_cind_detected_on_row_data() {
+    let src = "\
+schema orders(cust: int, country: string);
+schema customers(id: int, cc: string);
+cind orders[cust] <= customers[id];
+row orders(9, 'us');
+";
+    let doc = Document::parse(src).unwrap();
+    let db = doc.database().unwrap();
+    assert!(!satisfies(&db, &doc.cinds[0].cind));
+}
+
+#[test]
+fn mismatched_column_counts_rejected() {
+    let src = "\
+schema a(x: int, y: int);
+schema b(z: int);
+cind a[x, y] <= b[z];
+";
+    let err = Document::parse(src).unwrap_err();
+    assert!(err.to_string().contains("differ in length"), "{err}");
+}
+
+#[test]
+fn unknown_names_rejected() {
+    let base = "schema a(x: int);\nschema b(z: int);\n";
+    for bad in [
+        "cind nope[x] <= b[z];",
+        "cind a[wat] <= b[z];",
+        "cind a[x] <= b[z; q = 1];",
+    ] {
+        let src = format!("{base}{bad}");
+        assert!(Document::parse(&src).is_err(), "{bad} must fail");
+    }
+}
+
+#[test]
+fn pattern_constant_domain_checked() {
+    let src = "\
+schema a(x: int, f: bool);
+schema b(z: int);
+cind a[x; f = 42] <= b[z];
+";
+    let err = Document::parse(src).unwrap_err();
+    assert!(err.to_string().contains("outside domain"), "{err}");
+}
+
+#[test]
+fn cinds_round_trip_through_pretty_printer() {
+    let doc = Document::parse(DOC).unwrap();
+    let rendered = pretty::render(&doc);
+    let reparsed = Document::parse(&rendered).unwrap();
+    assert_eq!(doc.cinds.len(), reparsed.cinds.len());
+    for (a, b) in doc.cinds.iter().zip(&reparsed.cinds) {
+        assert_eq!(a.cind, b.cind, "round-trip must preserve the CIND");
+        assert_eq!(a.name, b.name);
+    }
+}

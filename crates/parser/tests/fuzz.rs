@@ -1,0 +1,95 @@
+//! Robustness: the parser must never panic, whatever bytes it is fed —
+//! every failure mode is a structured [`ParseError`] with a position.
+
+use cfd_text::parser::Document;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary unicode strings: parse returns Ok or Err, never panics.
+    #[test]
+    fn arbitrary_text_never_panics(src in "\\PC{0,200}") {
+        let _ = Document::parse(&src);
+    }
+
+    /// Strings built from the grammar's own alphabet (denser in near-valid
+    /// documents than purely random unicode).
+    #[test]
+    fn grammar_alphabet_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("schema".to_string()),
+                Just("cfd".to_string()),
+                Just("view".to_string()),
+                Just("vcfd".to_string()),
+                Just("union".to_string()),
+                Just("product".to_string()),
+                Just("select".to_string()),
+                Just("project".to_string()),
+                Just("rename".to_string()),
+                Just("const".to_string()),
+                Just("row".to_string()),
+                Just("cind".to_string()),
+                Just("<=".to_string()),
+                Just("R".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just("->".to_string()),
+                Just("||".to_string()),
+                Just(",".to_string()),
+                Just(";".to_string()),
+                Just(":".to_string()),
+                Just("=".to_string()),
+                Just("_".to_string()),
+                Just("'a'".to_string()),
+                Just("42".to_string()),
+                Just("string".to_string()),
+                Just("int".to_string()),
+                Just("bool".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = Document::parse(&src);
+    }
+
+    /// Mutating a valid document (byte deletion) never panics.
+    #[test]
+    fn truncated_valid_document_never_panics(cut in 0usize..400) {
+        let src = "schema R1(AC: string, city: string, zip: int);\n\
+                   cfd f1: R1([zip] -> [city], (_ || _));\n\
+                   view V = product(R1, const(CC: 44));\n\
+                   vcfd V([CC] -> [city], (44 || _));\n";
+        let cut = cut.min(src.len());
+        // cut at a char boundary
+        let mut end = cut;
+        while end > 0 && !src.is_char_boundary(end) {
+            end -= 1;
+        }
+        let _ = Document::parse(&src[..end]);
+    }
+}
+
+#[test]
+fn error_positions_are_within_input() {
+    let bad_inputs = [
+        "schema",
+        "schema R(",
+        "cfd : ([A] -> [B]",
+        "view V = select(",
+        "vcfd V([0] -> [1], (",
+        "schema R(A: wat);",
+        "\u{1F980} crab",
+    ];
+    for src in bad_inputs {
+        match Document::parse(src) {
+            Ok(_) => {}
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(!msg.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The `row` data statement: parsing, validation, and round-trips.
+
+use cfd_relalg::Value;
+use cfd_text::parser::Document;
+use cfd_text::pretty;
+
+const DOC: &str = "\
+schema R1(AC: string, n: int, ok: bool);
+cfd f1: R1([AC] -> [n], (_ || _));
+row R1('20', 7, true);
+row R1('31', 9, false);
+";
+
+#[test]
+fn rows_parse_and_build_a_database() {
+    let doc = Document::parse(DOC).unwrap();
+    assert_eq!(doc.rows.len(), 2);
+    let db = doc.database().unwrap();
+    let rel = doc.catalog.rel_id("R1").unwrap();
+    assert_eq!(db.relation(rel).len(), 2);
+    assert!(db
+        .relation(rel)
+        .contains(&vec![Value::str("20"), Value::int(7), Value::Bool(true)]));
+}
+
+#[test]
+fn row_for_unknown_relation_rejected_at_parse_time() {
+    let err = Document::parse("schema R(A: int);\nrow S(1);\n").unwrap_err();
+    assert!(err.to_string().contains("unknown relation"), "{err}");
+}
+
+#[test]
+fn arity_mismatch_rejected_at_database_build() {
+    let doc = Document::parse("schema R(A: int, B: int);\nrow R(1);\n").unwrap();
+    assert!(doc.database().is_err());
+}
+
+#[test]
+fn domain_mismatch_rejected_at_database_build() {
+    let doc = Document::parse("schema R(A: int);\nrow R('oops');\n").unwrap();
+    assert!(doc.database().is_err());
+}
+
+#[test]
+fn rows_round_trip_through_pretty_printer() {
+    let doc = Document::parse(DOC).unwrap();
+    let rendered = pretty::render(&doc);
+    let reparsed = Document::parse(&rendered).unwrap();
+    assert_eq!(doc.rows, reparsed.rows);
+    assert_eq!(doc.database().unwrap(), reparsed.database().unwrap());
+}
+
+#[test]
+fn duplicate_rows_collapse_under_set_semantics() {
+    let doc =
+        Document::parse("schema R(A: int);\nrow R(1);\nrow R(1);\nrow R(2);\n").unwrap();
+    let db = doc.database().unwrap();
+    assert_eq!(db.relation(doc.catalog.rel_id("R").unwrap()).len(), 2);
+}
+
+#[test]
+fn documents_without_rows_build_empty_databases() {
+    let doc = Document::parse("schema R(A: int);\n").unwrap();
+    let db = doc.database().unwrap();
+    assert_eq!(db.total_tuples(), 0);
+}

@@ -1,0 +1,201 @@
+//! Attribute domains: infinite (`int`, `string`) or finite (`bool`, enums).
+//!
+//! The distinction drives the complexity landscape of the paper: every
+//! decision procedure is PTIME in the *infinite-domain setting* and becomes
+//! coNP-complete once finite-domain attributes are allowed (Theorems 3.2,
+//! 3.3, Corollary 3.6, Theorem 3.7).
+
+use crate::value::Value;
+use std::fmt;
+
+/// The domain an attribute ranges over.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DomainKind {
+    /// Infinite integer domain.
+    Int,
+    /// Infinite string domain.
+    Text,
+    /// The two-valued boolean domain (finite).
+    Bool,
+    /// An explicit finite domain. Invariant: nonempty, deduplicated.
+    Enum(Vec<Value>),
+}
+
+impl DomainKind {
+    /// Does this domain have finitely many values?
+    pub fn is_finite(&self) -> bool {
+        matches!(self, DomainKind::Bool | DomainKind::Enum(_))
+    }
+
+    /// The values of a finite domain, `None` for infinite domains.
+    pub fn finite_values(&self) -> Option<Vec<Value>> {
+        match self {
+            DomainKind::Int | DomainKind::Text => None,
+            DomainKind::Bool => Some(vec![Value::Bool(false), Value::Bool(true)]),
+            DomainKind::Enum(vs) => Some(vs.clone()),
+        }
+    }
+
+    /// Number of values in a finite domain, `None` for infinite domains.
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            DomainKind::Int | DomainKind::Text => None,
+            DomainKind::Bool => Some(2),
+            DomainKind::Enum(vs) => Some(vs.len()),
+        }
+    }
+
+    /// Does the domain contain `v`?
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            DomainKind::Int => matches!(v, Value::Int(_)),
+            DomainKind::Text => matches!(v, Value::Str(_)),
+            DomainKind::Bool => matches!(v, Value::Bool(_)),
+            DomainKind::Enum(vs) => vs.contains(v),
+        }
+    }
+
+    /// An iterator of `n` pairwise-distinct values from this domain, used to
+    /// instantiate chase variables when building counterexample witnesses.
+    ///
+    /// For finite domains fewer than `n` values may exist; the iterator then
+    /// stops early (callers must check [`DomainKind::cardinality`] if they
+    /// need `n` distinct values).
+    ///
+    /// `salt` offsets the generated values so that different call sites can
+    /// draw disjoint pools from an infinite domain.
+    pub fn distinct_values(&self, n: usize, salt: u64) -> Vec<Value> {
+        match self {
+            DomainKind::Int => (0..n as i64).map(|i| Value::Int(1_000 + salt as i64 * 10_000 + i)).collect(),
+            DomainKind::Text => (0..n).map(|i| Value::Str(format!("w{salt}_{i}"))).collect(),
+            DomainKind::Bool => [Value::Bool(false), Value::Bool(true)].into_iter().take(n).collect(),
+            DomainKind::Enum(vs) => vs.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Intersection of two domains. `None` means the intersection is empty
+    /// (so e.g. a selection equating attributes of the two domains can never
+    /// be satisfied).
+    pub fn intersect(&self, other: &DomainKind) -> Option<DomainKind> {
+        use DomainKind::*;
+        match (self, other) {
+            (Int, Int) => Some(Int),
+            (Text, Text) => Some(Text),
+            (Bool, Bool) => Some(Bool),
+            (Enum(vs), d) | (d, Enum(vs)) => {
+                let common: Vec<Value> = vs.iter().filter(|v| d.contains(v)).cloned().collect();
+                if common.is_empty() {
+                    None
+                } else {
+                    Some(Enum(common))
+                }
+            }
+            (Bool, d) | (d, Bool) => {
+                // `d` is Int or Text here: disjoint carriers.
+                debug_assert!(matches!(d, Int | Text));
+                None
+            }
+            (Int, Text) | (Text, Int) => None,
+        }
+    }
+
+    /// Construct an `Enum` domain, deduplicating values and requiring it to
+    /// be nonempty.
+    pub fn new_enum(values: Vec<Value>) -> Result<Self, crate::error::RelalgError> {
+        if values.is_empty() {
+            return Err(crate::error::RelalgError::EmptyDomain);
+        }
+        let mut seen = Vec::with_capacity(values.len());
+        for v in values {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        Ok(DomainKind::Enum(seen))
+    }
+}
+
+impl fmt::Display for DomainKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DomainKind::Int => write!(f, "int"),
+            DomainKind::Text => write!(f, "string"),
+            DomainKind::Bool => write!(f, "bool"),
+            DomainKind::Enum(vs) => {
+                write!(f, "enum{{")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finiteness() {
+        assert!(!DomainKind::Int.is_finite());
+        assert!(!DomainKind::Text.is_finite());
+        assert!(DomainKind::Bool.is_finite());
+        assert!(DomainKind::Enum(vec![Value::int(1)]).is_finite());
+    }
+
+    #[test]
+    fn bool_values() {
+        assert_eq!(
+            DomainKind::Bool.finite_values().unwrap(),
+            vec![Value::Bool(false), Value::Bool(true)]
+        );
+        assert_eq!(DomainKind::Bool.cardinality(), Some(2));
+    }
+
+    #[test]
+    fn contains_checks_type_and_membership() {
+        assert!(DomainKind::Int.contains(&Value::int(5)));
+        assert!(!DomainKind::Int.contains(&Value::str("5")));
+        let e = DomainKind::new_enum(vec![Value::int(1), Value::int(2)]).unwrap();
+        assert!(e.contains(&Value::int(1)));
+        assert!(!e.contains(&Value::int(3)));
+    }
+
+    #[test]
+    fn distinct_values_are_distinct() {
+        for dom in [DomainKind::Int, DomainKind::Text] {
+            let vs = dom.distinct_values(10, 3);
+            assert_eq!(vs.len(), 10);
+            for i in 0..vs.len() {
+                for j in 0..i {
+                    assert_ne!(vs[i], vs[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_values_with_different_salts_are_disjoint() {
+        let a = DomainKind::Int.distinct_values(5, 0);
+        let b = DomainKind::Int.distinct_values(5, 1);
+        for v in &a {
+            assert!(!b.contains(v));
+        }
+    }
+
+    #[test]
+    fn enum_dedup_and_nonempty() {
+        let e = DomainKind::new_enum(vec![Value::int(1), Value::int(1), Value::int(2)]).unwrap();
+        assert_eq!(e.cardinality(), Some(2));
+        assert!(DomainKind::new_enum(vec![]).is_err());
+    }
+
+    #[test]
+    fn finite_domain_truncates_distinct_values() {
+        assert_eq!(DomainKind::Bool.distinct_values(5, 0).len(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised while building schemas, queries, or instances.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelalgError {
+    /// A relation name was not found in the catalog.
+    UnknownRelation(String),
+    /// An attribute name was not found in a relation or view schema.
+    UnknownAttribute {
+        /// The relation searched.
+        relation: String,
+        /// The missing attribute.
+        attribute: String,
+    },
+    /// A duplicate relation name was added to a catalog.
+    DuplicateRelation(String),
+    /// A duplicate attribute name within one relation schema.
+    DuplicateAttribute {
+        /// The relation being built.
+        relation: String,
+        /// The duplicated attribute.
+        attribute: String,
+    },
+    /// An enum domain with no values.
+    EmptyDomain,
+    /// A tuple whose arity does not match its schema.
+    ArityMismatch {
+        /// The relation validated against.
+        relation: String,
+        /// The schema arity.
+        expected: usize,
+        /// The tuple arity.
+        got: usize,
+    },
+    /// A tuple value outside its attribute domain.
+    DomainViolation {
+        /// The relation validated against.
+        relation: String,
+        /// The attribute whose domain was violated.
+        attribute: String,
+        /// The offending value, rendered.
+        value: String,
+    },
+    /// Union branches with incompatible output schemas.
+    UnionIncompatible(String),
+    /// A query references a column that does not exist.
+    BadColumnRef(String),
+    /// Output columns of a product collide.
+    NameCollision(String),
+    /// A selection constant lies outside the column's domain.
+    SelectionDomainMismatch {
+        /// The attribute compared against the constant.
+        attribute: String,
+        /// The offending constant, rendered.
+        value: String,
+    },
+}
+
+impl fmt::Display for RelalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelalgError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            RelalgError::UnknownAttribute { relation, attribute } => {
+                write!(f, "unknown attribute `{attribute}` in `{relation}`")
+            }
+            RelalgError::DuplicateRelation(r) => write!(f, "duplicate relation `{r}`"),
+            RelalgError::DuplicateAttribute { relation, attribute } => {
+                write!(f, "duplicate attribute `{attribute}` in `{relation}`")
+            }
+            RelalgError::EmptyDomain => write!(f, "enum domain must be nonempty"),
+            RelalgError::ArityMismatch { relation, expected, got } => {
+                write!(f, "tuple arity {got} does not match schema `{relation}` (arity {expected})")
+            }
+            RelalgError::DomainViolation { relation, attribute, value } => {
+                write!(f, "value {value} outside domain of `{relation}.{attribute}`")
+            }
+            RelalgError::UnionIncompatible(msg) => write!(f, "union-incompatible branches: {msg}"),
+            RelalgError::BadColumnRef(c) => write!(f, "bad column reference `{c}`"),
+            RelalgError::NameCollision(c) => write!(f, "output column name collision `{c}`"),
+            RelalgError::SelectionDomainMismatch { attribute, value } => {
+                write!(f, "selection constant {value} outside domain of `{attribute}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelalgError {}

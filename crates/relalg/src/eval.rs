@@ -1,0 +1,228 @@
+//! Evaluation of SPC and SPCU queries over database instances.
+//!
+//! This is the semantic ground truth used by the test suite: a dependency φ
+//! is propagated (`Σ |=V φ`) iff `V(D) |= φ` for *every* `D |= Σ`; the
+//! decision procedures are cross-validated against actual evaluation on
+//! witness databases.
+
+use crate::instance::{Database, Relation, Tuple};
+use crate::query::{ColRef, SelAtom, SpcQuery, SpcuQuery};
+use crate::schema::Catalog;
+use crate::value::Value;
+
+/// Evaluate an SPC query on `db`, producing the view instance (set
+/// semantics).
+pub fn eval_spc(q: &SpcQuery, catalog: &Catalog, db: &Database) -> Relation {
+    let mut out = Relation::new();
+    // Materialize the atom instances as slices of tuples.
+    let atom_tuples: Vec<Vec<&Tuple>> = q
+        .atoms
+        .iter()
+        .map(|r| db.relation(*r).tuples().collect())
+        .collect();
+    // Guard: an empty atom relation makes the whole product empty.
+    if atom_tuples.iter().any(|ts| ts.is_empty()) && !q.atoms.is_empty() {
+        return out;
+    }
+    let _ = catalog; // atoms are positionally resolved; catalog kept for symmetry
+    let n = q.atoms.len();
+    let mut idx = vec![0usize; n];
+    loop {
+        // Current combination of tuples.
+        let combo: Vec<&Tuple> = (0..n).map(|j| atom_tuples[j][idx[j]]).collect();
+        if selection_holds(&q.selection, &combo) {
+            let row: Tuple = q
+                .output
+                .iter()
+                .map(|o| match o.src {
+                    ColRef::Prod(c) => combo[c.atom][c.attr].clone(),
+                    ColRef::Const(k) => q.constants[k].value.clone(),
+                })
+                .collect();
+            out.insert(row);
+        }
+        // Advance the odometer; with n == 0 run the single empty combination
+        // once (a pure constant relation yields exactly one tuple).
+        if n == 0 {
+            break;
+        }
+        let mut j = n;
+        loop {
+            if j == 0 {
+                return out;
+            }
+            j -= 1;
+            idx[j] += 1;
+            if idx[j] < atom_tuples[j].len() {
+                break;
+            }
+            idx[j] = 0;
+        }
+    }
+    out
+}
+
+fn selection_holds(selection: &[SelAtom], combo: &[&Tuple]) -> bool {
+    selection.iter().all(|s| match s {
+        SelAtom::Eq(a, b) => combo[a.atom][a.attr] == combo[b.atom][b.attr],
+        SelAtom::EqConst(a, v) => &combo[a.atom][a.attr] == v,
+    })
+}
+
+/// Evaluate an SPCU query on `db` (union of the branch results).
+pub fn eval_spcu(q: &SpcuQuery, catalog: &Catalog, db: &Database) -> Relation {
+    let mut out = Relation::new();
+    for b in &q.branches {
+        for t in eval_spc(b, catalog, db).tuples() {
+            out.insert(t.clone());
+        }
+    }
+    out
+}
+
+/// Helper for tests/examples: collect a relation into sorted `Vec<Tuple>`.
+pub fn sorted_tuples(r: &Relation) -> Vec<Tuple> {
+    r.tuples().cloned().collect()
+}
+
+/// Helper for constructing tuples out of displayable values.
+pub fn row(values: &[Value]) -> Tuple {
+    values.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainKind;
+    use crate::query::{RaCond, RaExpr};
+    use crate::schema::{Attribute, RelId, RelationSchema};
+
+    fn setup() -> (Catalog, RelId, RelId) {
+        let mut c = Catalog::new();
+        let r1 = c
+            .add(
+                RelationSchema::new(
+                    "R1",
+                    vec![
+                        Attribute::new("A", DomainKind::Int),
+                        Attribute::new("B", DomainKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let r2 = c
+            .add(
+                RelationSchema::new(
+                    "R2",
+                    vec![
+                        Attribute::new("C", DomainKind::Int),
+                        Attribute::new("D", DomainKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (c, r1, r2)
+    }
+
+    #[test]
+    fn select_project_evaluates() {
+        let (c, r1, _) = setup();
+        let mut db = Database::empty(&c);
+        db.insert(r1, vec![Value::int(5), Value::int(10)]);
+        db.insert(r1, vec![Value::int(6), Value::int(20)]);
+        let v = RaExpr::rel("R1")
+            .select(vec![RaCond::EqConst("A".into(), Value::int(5))])
+            .project(&["B"])
+            .normalize(&c)
+            .unwrap();
+        let out = eval_spcu(&v, &c, &db);
+        assert_eq!(sorted_tuples(&out), vec![vec![Value::int(10)]]);
+    }
+
+    #[test]
+    fn product_with_join_condition() {
+        let (c, r1, r2) = setup();
+        let mut db = Database::empty(&c);
+        db.insert(r1, vec![Value::int(1), Value::int(2)]);
+        db.insert(r1, vec![Value::int(3), Value::int(4)]);
+        db.insert(r2, vec![Value::int(1), Value::int(9)]);
+        let v = RaExpr::rel("R1")
+            .product(RaExpr::rel("R2"))
+            .select(vec![RaCond::Eq("A".into(), "C".into())])
+            .project(&["A", "D"])
+            .normalize(&c)
+            .unwrap();
+        let out = eval_spcu(&v, &c, &db);
+        assert_eq!(sorted_tuples(&out), vec![vec![Value::int(1), Value::int(9)]]);
+    }
+
+    #[test]
+    fn constant_column_appended() {
+        let (c, r1, _) = setup();
+        let mut db = Database::empty(&c);
+        db.insert(r1, vec![Value::int(1), Value::int(2)]);
+        let v = RaExpr::rel("R1")
+            .with_const("CC", Value::int(44), DomainKind::Int)
+            .normalize(&c)
+            .unwrap();
+        let out = eval_spcu(&v, &c, &db);
+        assert_eq!(
+            sorted_tuples(&out),
+            vec![vec![Value::int(1), Value::int(2), Value::int(44)]]
+        );
+    }
+
+    #[test]
+    fn pure_constant_relation_yields_one_tuple() {
+        let (c, _, _) = setup();
+        let db = Database::empty(&c);
+        let v = RaExpr::ConstRel(vec![("X".into(), Value::int(7), DomainKind::Int)])
+            .normalize(&c)
+            .unwrap();
+        let out = eval_spcu(&v, &c, &db);
+        assert_eq!(sorted_tuples(&out), vec![vec![Value::int(7)]]);
+    }
+
+    #[test]
+    fn union_dedups() {
+        let (c, r1, _) = setup();
+        let mut db = Database::empty(&c);
+        db.insert(r1, vec![Value::int(1), Value::int(2)]);
+        let v = RaExpr::rel("R1").union(RaExpr::rel("R1")).normalize(&c).unwrap();
+        let out = eval_spcu(&v, &c, &db);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn empty_query_evaluates_empty() {
+        let (c, r1, _) = setup();
+        let mut db = Database::empty(&c);
+        db.insert(r1, vec![Value::int(1), Value::int(2)]);
+        let v = RaExpr::rel("R1")
+            .with_const("CC", Value::int(44), DomainKind::Int)
+            .select(vec![RaCond::EqConst("CC".into(), Value::int(31))])
+            .normalize(&c)
+            .unwrap();
+        assert!(eval_spcu(&v, &c, &db).is_empty());
+    }
+
+    #[test]
+    fn empty_atom_relation_gives_empty_view() {
+        let (c, _, _) = setup();
+        let db = Database::empty(&c);
+        let v = RaExpr::rel("R1").normalize(&c).unwrap();
+        assert!(eval_spcu(&v, &c, &db).is_empty());
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let (c, r1, _) = setup();
+        let mut db = Database::empty(&c);
+        db.insert(r1, vec![Value::int(1), Value::int(2)]);
+        db.insert(r1, vec![Value::int(1), Value::int(3)]);
+        let v = RaExpr::rel("R1").project(&["A"]).normalize(&c).unwrap();
+        assert_eq!(eval_spcu(&v, &c, &db).len(), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Tuples, relation instances, and database instances.
+
+use crate::error::RelalgError;
+use crate::schema::{Catalog, RelId, RelationSchema};
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A tuple of constants.
+pub type Tuple = Vec<Value>;
+
+/// An instance of one relation schema, with set semantics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Relation {
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation.
+    pub fn new() -> Self {
+        Relation::default()
+    }
+
+    /// Insert a tuple (duplicates are ignored: set semantics).
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        self.tuples.insert(t)
+    }
+
+    /// All tuples, in deterministic (sorted) order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Does the relation contain `t`?
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Check every tuple against `schema` (arity and domains).
+    pub fn validate(&self, schema: &RelationSchema) -> Result<(), RelalgError> {
+        for t in &self.tuples {
+            if t.len() != schema.arity() {
+                return Err(RelalgError::ArityMismatch {
+                    relation: schema.name.clone(),
+                    expected: schema.arity(),
+                    got: t.len(),
+                });
+            }
+            for (v, a) in t.iter().zip(&schema.attributes) {
+                if !a.domain.contains(v) {
+                    return Err(RelalgError::DomainViolation {
+                        relation: schema.name.clone(),
+                        attribute: a.name.clone(),
+                        value: v.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        Relation { tuples: iter.into_iter().collect() }
+    }
+}
+
+/// An instance of a whole catalog: one [`Relation`] per relation schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Database {
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// An empty database conforming to `catalog` (one empty relation per
+    /// schema).
+    pub fn empty(catalog: &Catalog) -> Self {
+        Database { relations: vec![Relation::new(); catalog.len()] }
+    }
+
+    /// The instance of relation `id`.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.0]
+    }
+
+    /// Mutable access to the instance of relation `id`.
+    pub fn relation_mut(&mut self, id: RelId) -> &mut Relation {
+        &mut self.relations[id.0]
+    }
+
+    /// Insert a tuple into relation `id`.
+    pub fn insert(&mut self, id: RelId, t: Tuple) -> bool {
+        self.relations[id.0].insert(t)
+    }
+
+    /// Validate every relation against the catalog.
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), RelalgError> {
+        for (id, schema) in catalog.relations() {
+            self.relations[id.0].validate(schema)?;
+        }
+        Ok(())
+    }
+
+    /// Total number of tuples across relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+}
+
+/// Render a relation as a small ASCII table (used by examples and the CLI).
+pub fn render_table(schema_name: &str, columns: &[String], rel: &Relation) -> String {
+    use fmt::Write;
+    let mut out = String::new();
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    let rows: Vec<Vec<String>> = rel
+        .tuples()
+        .map(|t| t.iter().map(|v| v.to_string()).collect())
+        .collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let _ = writeln!(out, "{schema_name}:");
+    let header: Vec<String> = columns
+        .iter()
+        .zip(&widths)
+        .map(|(c, w)| format!("{c:<w$}"))
+        .collect();
+    let _ = writeln!(out, "  {}", header.join(" | "));
+    let _ = writeln!(out, "  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+    for row in &rows {
+        let line: Vec<String> = row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        let _ = writeln!(out, "  {}", line.join(" | "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainKind;
+    use crate::schema::Attribute;
+
+    fn setup() -> (Catalog, RelId) {
+        let mut c = Catalog::new();
+        let id = c
+            .add(
+                RelationSchema::new(
+                    "R",
+                    vec![
+                        Attribute::new("A", DomainKind::Int),
+                        Attribute::new("B", DomainKind::Bool),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (c, id)
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut r = Relation::new();
+        assert!(r.insert(vec![Value::int(1), Value::Bool(true)]));
+        assert!(!r.insert(vec![Value::int(1), Value::Bool(true)]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn validation_catches_arity_and_domain() {
+        let (c, id) = setup();
+        let mut db = Database::empty(&c);
+        db.insert(id, vec![Value::int(1)]);
+        assert!(matches!(db.validate(&c), Err(RelalgError::ArityMismatch { .. })));
+
+        let mut db = Database::empty(&c);
+        db.insert(id, vec![Value::int(1), Value::int(2)]);
+        assert!(matches!(db.validate(&c), Err(RelalgError::DomainViolation { .. })));
+
+        let mut db = Database::empty(&c);
+        db.insert(id, vec![Value::int(1), Value::Bool(false)]);
+        assert!(db.validate(&c).is_ok());
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let (_, _) = setup();
+        let mut r = Relation::new();
+        r.insert(vec![Value::int(10), Value::Bool(true)]);
+        let s = render_table("R", &["A".into(), "B".into()], &r);
+        assert!(s.contains("10"));
+        assert!(s.contains("true"));
+    }
+}

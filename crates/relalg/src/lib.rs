@@ -1,0 +1,41 @@
+//! # cfd-relalg — relational substrate for CFD propagation
+//!
+//! This crate implements the data model and view language of
+//! *"Propagating Functional Dependencies with Conditions"* (Fan, Ma, Hu,
+//! Liu, Wu; VLDB 2008):
+//!
+//! * [`value::Value`] / [`domain::DomainKind`] — constants and attribute
+//!   domains, with the infinite vs. finite distinction that drives the
+//!   paper's complexity landscape;
+//! * [`schema`] — relation schemas and catalogs;
+//! * [`instance`] — tuples, relations (set semantics), databases;
+//! * [`query`] — SPC / SPCU queries in the paper's normal form
+//!   `πY(Rc × σF(R1 × ... × Rn))`, a compositional RA builder
+//!   ([`query::RaExpr`]) with a normalizer, and fragment classification
+//!   (S, P, C, SP, SC, PC, SPC, SPCU);
+//! * [`eval`] — query evaluation over instances (semantic ground truth for
+//!   the test suite);
+//! * [`tableau`] — tableau representations of SPC queries (appendix Thm 1);
+//! * [`unify`] — the term union–find shared by tableau construction and the
+//!   chase engines of the `cfd-propagation` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod error;
+pub mod eval;
+pub mod instance;
+pub mod query;
+pub mod schema;
+pub mod tableau;
+pub mod unify;
+pub mod value;
+
+pub use domain::DomainKind;
+pub use error::RelalgError;
+pub use instance::{Database, Relation, Tuple};
+pub use query::{Fragment, RaCond, RaExpr, SpcQuery, SpcuQuery, ViewSchema};
+pub use schema::{Attribute, Catalog, RelId, RelationSchema};
+pub use tableau::{Tableau, Term, VarId};
+pub use value::Value;

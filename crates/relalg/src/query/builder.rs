@@ -1,0 +1,450 @@
+//! A general relational-algebra AST and its normalizer into SPCU normal
+//! form.
+//!
+//! The paper works exclusively with queries in normal form
+//! `πY(Rc × σF(R1 × ... × Rn))`; this module lets users write the natural
+//! compositional form (as in Example 1.1: `Q1 ∪ Q2 ∪ Q3` where
+//! `Q1 = select ..., '44' as CC from R1`) and normalizes it, mirroring the
+//! classical normal-form translation (Corollary 2 of the appendix; the
+//! translation is polynomial).
+
+use crate::domain::DomainKind;
+use crate::error::RelalgError;
+use crate::query::{ColRef, ConstCell, OutputCol, SelAtom, SpcQuery, SpcuQuery, ViewSchema};
+use crate::schema::Catalog;
+use crate::value::Value;
+
+/// A selection condition over output column names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaCond {
+    /// `A = B` for two columns.
+    Eq(String, String),
+    /// `A = 'a'` for a column and a constant.
+    EqConst(String, Value),
+}
+
+/// A positive relational-algebra expression (no set difference), i.e. SPCU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaExpr {
+    /// A base relation, by name.
+    Rel(String),
+    /// A one-tuple constant relation `{(A1: a1, ..., Am: am)}`.
+    ConstRel(Vec<(String, Value, DomainKind)>),
+    /// Selection.
+    Select(Box<RaExpr>, Vec<RaCond>),
+    /// Projection onto the named columns (in the given order).
+    Project(Box<RaExpr>, Vec<String>),
+    /// Cartesian product (output column names must be disjoint).
+    Product(Box<RaExpr>, Box<RaExpr>),
+    /// Renaming: `(old, new)` pairs.
+    Rename(Box<RaExpr>, Vec<(String, String)>),
+    /// Union of union-compatible expressions.
+    Union(Box<RaExpr>, Box<RaExpr>),
+}
+
+impl RaExpr {
+    /// Base relation.
+    pub fn rel(name: impl Into<String>) -> Self {
+        RaExpr::Rel(name.into())
+    }
+
+    /// `σ_conds(self)`.
+    pub fn select(self, conds: Vec<RaCond>) -> Self {
+        RaExpr::Select(Box::new(self), conds)
+    }
+
+    /// `π_cols(self)`.
+    pub fn project(self, cols: &[&str]) -> Self {
+        RaExpr::Project(Box::new(self), cols.iter().map(|c| (*c).to_owned()).collect())
+    }
+
+    /// `self × other`.
+    pub fn product(self, other: RaExpr) -> Self {
+        RaExpr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// `ρ(self)` with `(old, new)` pairs.
+    pub fn rename(self, pairs: &[(&str, &str)]) -> Self {
+        RaExpr::Rename(
+            Box::new(self),
+            pairs.iter().map(|(o, n)| ((*o).to_owned(), (*n).to_owned())).collect(),
+        )
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: RaExpr) -> Self {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Extend with a constant column, as in `'44' as CC` (Example 1.1).
+    pub fn with_const(self, name: &str, value: Value, domain: DomainKind) -> Self {
+        self.product(RaExpr::ConstRel(vec![(name.to_owned(), value, domain)]))
+    }
+
+    /// Normalize into SPCU normal form.
+    ///
+    /// Branches whose selection is unsatisfiable on constants are dropped;
+    /// if all branches drop, the result is the empty query (zero branches)
+    /// with the statically-derived schema.
+    pub fn normalize(&self, catalog: &Catalog) -> Result<SpcuQuery, RelalgError> {
+        let (branches, schema) = self.norm(catalog)?;
+        if branches.is_empty() {
+            Ok(SpcuQuery::empty(schema))
+        } else {
+            SpcuQuery::union(catalog, branches)
+        }
+    }
+
+    fn norm(&self, catalog: &Catalog) -> Result<(Vec<SpcQuery>, ViewSchema), RelalgError> {
+        match self {
+            RaExpr::Rel(name) => {
+                let id = catalog.require_rel(name)?;
+                let q = SpcQuery::identity(catalog, id);
+                let s = q.view_schema(catalog);
+                Ok((vec![q], s))
+            }
+            RaExpr::ConstRel(cells) => {
+                let constants: Vec<ConstCell> = cells
+                    .iter()
+                    .map(|(n, v, d)| ConstCell { name: n.clone(), value: v.clone(), domain: d.clone() })
+                    .collect();
+                let output = constants
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| OutputCol { name: c.name.clone(), src: ColRef::Const(i) })
+                    .collect();
+                let q = SpcQuery { atoms: vec![], constants, selection: vec![], output };
+                q.validate(catalog)?;
+                let s = q.view_schema(catalog);
+                Ok((vec![q], s))
+            }
+            RaExpr::Select(inner, conds) => {
+                let (branches, schema) = inner.norm(catalog)?;
+                let mut out = Vec::with_capacity(branches.len());
+                'branch: for mut b in branches {
+                    for cond in conds {
+                        match apply_cond(&mut b, cond)? {
+                            CondOutcome::Kept => {}
+                            CondOutcome::Unsatisfiable => continue 'branch,
+                        }
+                    }
+                    out.push(b);
+                }
+                Ok((out, schema))
+            }
+            RaExpr::Project(inner, cols) => {
+                let (branches, schema) = inner.norm(catalog)?;
+                for (i, cname) in cols.iter().enumerate() {
+                    if cols[..i].contains(cname) {
+                        return Err(RelalgError::NameCollision(cname.clone()));
+                    }
+                    if schema.col_index(cname).is_none() {
+                        return Err(RelalgError::BadColumnRef(cname.clone()));
+                    }
+                }
+                let new_schema = ViewSchema {
+                    columns: cols
+                        .iter()
+                        .map(|c| schema.columns[schema.col_index(c).expect("checked")].clone())
+                        .collect(),
+                };
+                let out = branches
+                    .into_iter()
+                    .map(|b| {
+                        let output = cols
+                            .iter()
+                            .map(|c| b.output[b.output_index(c).expect("checked")].clone())
+                            .collect();
+                        SpcQuery { output, ..b }
+                    })
+                    .collect();
+                Ok((out, new_schema))
+            }
+            RaExpr::Product(l, r) => {
+                let (lb, ls) = l.norm(catalog)?;
+                let (rb, rs) = r.norm(catalog)?;
+                for (n, _) in &rs.columns {
+                    if ls.col_index(n).is_some() {
+                        return Err(RelalgError::NameCollision(n.clone()));
+                    }
+                }
+                let schema = ViewSchema {
+                    columns: ls.columns.iter().chain(&rs.columns).cloned().collect(),
+                };
+                let mut out = Vec::with_capacity(lb.len() * rb.len());
+                for b1 in &lb {
+                    for b2 in &rb {
+                        out.push(product_branches(b1, b2));
+                    }
+                }
+                Ok((out, schema))
+            }
+            RaExpr::Rename(inner, pairs) => {
+                let (branches, mut schema) = inner.norm(catalog)?;
+                let mut new_names: Vec<String> = schema.names();
+                for (old, new) in pairs {
+                    let i = schema
+                        .col_index(old)
+                        .ok_or_else(|| RelalgError::BadColumnRef(old.clone()))?;
+                    new_names[i] = new.clone();
+                }
+                for (i, n) in new_names.iter().enumerate() {
+                    if new_names[..i].contains(n) {
+                        return Err(RelalgError::NameCollision(n.clone()));
+                    }
+                }
+                for (i, n) in new_names.iter().enumerate() {
+                    schema.columns[i].0 = n.clone();
+                }
+                let out = branches
+                    .into_iter()
+                    .map(|mut b| {
+                        for (i, n) in new_names.iter().enumerate() {
+                            b.output[i].name = n.clone();
+                        }
+                        b
+                    })
+                    .collect();
+                Ok((out, schema))
+            }
+            RaExpr::Union(l, r) => {
+                let (mut lb, ls) = l.norm(catalog)?;
+                let (rb, rs) = r.norm(catalog)?;
+                if ls != rs {
+                    return Err(RelalgError::UnionIncompatible(format!(
+                        "{:?} vs {:?}",
+                        ls.names(),
+                        rs.names()
+                    )));
+                }
+                lb.extend(rb);
+                Ok((lb, ls))
+            }
+        }
+    }
+}
+
+enum CondOutcome {
+    Kept,
+    Unsatisfiable,
+}
+
+fn resolve(b: &SpcQuery, name: &str) -> Result<ColRef, RelalgError> {
+    b.output
+        .iter()
+        .find(|o| o.name == name)
+        .map(|o| o.src)
+        .ok_or_else(|| RelalgError::BadColumnRef(name.to_owned()))
+}
+
+fn apply_cond(b: &mut SpcQuery, cond: &RaCond) -> Result<CondOutcome, RelalgError> {
+    match cond {
+        RaCond::Eq(x, y) => {
+            let cx = resolve(b, x)?;
+            let cy = resolve(b, y)?;
+            match (cx, cy) {
+                (ColRef::Prod(p), ColRef::Prod(q)) => {
+                    if p != q {
+                        b.selection.push(SelAtom::Eq(p, q));
+                    }
+                    Ok(CondOutcome::Kept)
+                }
+                (ColRef::Prod(p), ColRef::Const(k)) | (ColRef::Const(k), ColRef::Prod(p)) => {
+                    let v = b.constants[k].value.clone();
+                    b.selection.push(SelAtom::EqConst(p, v));
+                    Ok(CondOutcome::Kept)
+                }
+                (ColRef::Const(k1), ColRef::Const(k2)) => {
+                    if b.constants[k1].value == b.constants[k2].value {
+                        Ok(CondOutcome::Kept)
+                    } else {
+                        Ok(CondOutcome::Unsatisfiable)
+                    }
+                }
+            }
+        }
+        RaCond::EqConst(x, v) => {
+            let cx = resolve(b, x)?;
+            match cx {
+                ColRef::Prod(p) => {
+                    b.selection.push(SelAtom::EqConst(p, v.clone()));
+                    Ok(CondOutcome::Kept)
+                }
+                ColRef::Const(k) => {
+                    if &b.constants[k].value == v {
+                        Ok(CondOutcome::Kept)
+                    } else {
+                        Ok(CondOutcome::Unsatisfiable)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cross product of two normal-form branches: concatenate atoms, constants,
+/// selections, and outputs, shifting the right branch's references.
+fn product_branches(b1: &SpcQuery, b2: &SpcQuery) -> SpcQuery {
+    let atom_shift = b1.atoms.len();
+    let const_shift = b1.constants.len();
+    let shift_col = |c: crate::query::ProdCol| crate::query::ProdCol::new(c.atom + atom_shift, c.attr);
+    let shift_ref = |r: ColRef| match r {
+        ColRef::Prod(c) => ColRef::Prod(shift_col(c)),
+        ColRef::Const(k) => ColRef::Const(k + const_shift),
+    };
+    SpcQuery {
+        atoms: b1.atoms.iter().chain(&b2.atoms).copied().collect(),
+        constants: b1.constants.iter().chain(&b2.constants).cloned().collect(),
+        selection: b1
+            .selection
+            .iter()
+            .cloned()
+            .chain(b2.selection.iter().map(|s| match s {
+                SelAtom::Eq(a, b) => SelAtom::Eq(shift_col(*a), shift_col(*b)),
+                SelAtom::EqConst(a, v) => SelAtom::EqConst(shift_col(*a), v.clone()),
+            }))
+            .collect(),
+        output: b1
+            .output
+            .iter()
+            .cloned()
+            .chain(b2.output.iter().map(|o| OutputCol { name: o.name.clone(), src: shift_ref(o.src) }))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, RelationSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            RelationSchema::new(
+                "R1",
+                vec![
+                    Attribute::new("A", DomainKind::Int),
+                    Attribute::new("B", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.add(
+            RelationSchema::new(
+                "R2",
+                vec![
+                    Attribute::new("C", DomainKind::Int),
+                    Attribute::new("D", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn normalize_select_project() {
+        let c = catalog();
+        let e = RaExpr::rel("R1")
+            .select(vec![RaCond::EqConst("A".into(), Value::int(5))])
+            .project(&["B"]);
+        let q = e.normalize(&c).unwrap();
+        assert_eq!(q.branches.len(), 1);
+        let b = &q.branches[0];
+        assert_eq!(b.selection.len(), 1);
+        assert_eq!(q.schema().names(), vec!["B"]);
+        let f = q.fragment(&c);
+        assert!(f.selection && f.projection && !f.product && !f.union);
+    }
+
+    #[test]
+    fn normalize_product_disjoint_names() {
+        let c = catalog();
+        let e = RaExpr::rel("R1").product(RaExpr::rel("R2"));
+        let q = e.normalize(&c).unwrap();
+        assert_eq!(q.schema().names(), vec!["A", "B", "C", "D"]);
+        assert_eq!(q.branches[0].atoms.len(), 2);
+    }
+
+    #[test]
+    fn product_name_collision_rejected() {
+        let c = catalog();
+        let e = RaExpr::rel("R1").product(RaExpr::rel("R1"));
+        assert!(matches!(e.normalize(&c), Err(RelalgError::NameCollision(_))));
+        // renaming fixes it
+        let e = RaExpr::rel("R1").product(RaExpr::rel("R1").rename(&[("A", "A2"), ("B", "B2")]));
+        assert!(e.normalize(&c).is_ok());
+    }
+
+    #[test]
+    fn const_rel_and_with_const() {
+        let c = catalog();
+        let e = RaExpr::rel("R1").with_const("CC", Value::int(44), DomainKind::Int);
+        let q = e.normalize(&c).unwrap();
+        assert_eq!(q.schema().names(), vec!["A", "B", "CC"]);
+        assert_eq!(q.branches[0].constants.len(), 1);
+        assert!(q.fragment(&c).product, "constant relation counts as product");
+    }
+
+    #[test]
+    fn unsat_selection_on_constants_drops_branch() {
+        let c = catalog();
+        let e = RaExpr::rel("R1")
+            .with_const("CC", Value::int(44), DomainKind::Int)
+            .select(vec![RaCond::EqConst("CC".into(), Value::int(31))]);
+        let q = e.normalize(&c).unwrap();
+        assert!(q.branches.is_empty());
+        assert_eq!(q.schema().names(), vec!["A", "B", "CC"]);
+    }
+
+    #[test]
+    fn const_eq_const_kept_when_equal() {
+        let c = catalog();
+        let e = RaExpr::rel("R1")
+            .with_const("CC", Value::int(44), DomainKind::Int)
+            .select(vec![RaCond::EqConst("CC".into(), Value::int(44))]);
+        let q = e.normalize(&c).unwrap();
+        assert_eq!(q.branches.len(), 1);
+        assert!(q.branches[0].selection.is_empty(), "trivial condition elided");
+    }
+
+    #[test]
+    fn union_of_three_sources() {
+        let c = catalog();
+        let q1 = RaExpr::rel("R1").with_const("CC", Value::int(44), DomainKind::Int);
+        let q2 = RaExpr::rel("R1").with_const("CC", Value::int(1), DomainKind::Int);
+        let q3 = RaExpr::rel("R1").with_const("CC", Value::int(31), DomainKind::Int);
+        let v = q1.union(q2).union(q3).normalize(&c).unwrap();
+        assert_eq!(v.branches.len(), 3);
+        assert!(v.fragment(&c).union);
+    }
+
+    #[test]
+    fn union_incompatible_rejected() {
+        let c = catalog();
+        let e = RaExpr::rel("R1").union(RaExpr::rel("R2"));
+        assert!(e.normalize(&c).is_err());
+    }
+
+    #[test]
+    fn eq_condition_between_columns() {
+        let c = catalog();
+        let e = RaExpr::rel("R1")
+            .product(RaExpr::rel("R2"))
+            .select(vec![RaCond::Eq("A".into(), "C".into())]);
+        let q = e.normalize(&c).unwrap();
+        assert_eq!(q.branches[0].selection.len(), 1);
+        assert!(matches!(q.branches[0].selection[0], SelAtom::Eq(_, _)));
+    }
+
+    #[test]
+    fn self_equality_elided() {
+        let c = catalog();
+        let e = RaExpr::rel("R1").select(vec![RaCond::Eq("A".into(), "A".into())]);
+        let q = e.normalize(&c).unwrap();
+        assert!(q.branches[0].selection.is_empty());
+    }
+}

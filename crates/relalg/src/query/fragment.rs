@@ -1,0 +1,191 @@
+//! Operator-usage classification of queries into the paper's fragments:
+//! S, P, C, SP, SC, PC, SPC, SPCU (§2.2, Tables 1–2).
+
+use crate::query::{ColRef, SpcQuery};
+use crate::schema::Catalog;
+use std::fmt;
+
+/// Which operators a query uses. Renaming is "included by default" in every
+/// fragment (paper §2.2) and therefore not tracked.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Fragment {
+    /// Uses selection (`σ`).
+    pub selection: bool,
+    /// Uses projection (`π`): drops or duplicates product columns.
+    pub projection: bool,
+    /// Uses Cartesian product (`×`): more than one atom, or a nonempty
+    /// constant relation (the paper expresses `{(CC: 44)} × R1` as a C
+    /// query).
+    pub product: bool,
+    /// Uses union (`∪`): more than one branch.
+    pub union: bool,
+}
+
+impl Fragment {
+    /// Component-wise disjunction (operators used by either query).
+    pub fn join(self, other: Fragment) -> Fragment {
+        Fragment {
+            selection: self.selection || other.selection,
+            projection: self.projection || other.projection,
+            product: self.product || other.product,
+            union: self.union || other.union,
+        }
+    }
+
+    /// Is this fragment contained in the given one?
+    /// E.g. an SP query `is_within` SPC and SPCU but not PC.
+    pub fn is_within(self, allowed: Fragment) -> bool {
+        (!self.selection || allowed.selection)
+            && (!self.projection || allowed.projection)
+            && (!self.product || allowed.product)
+            && (!self.union || allowed.union)
+    }
+
+    /// The full SPC fragment.
+    pub fn spc() -> Fragment {
+        Fragment { selection: true, projection: true, product: true, union: false }
+    }
+
+    /// The full SPCU fragment.
+    pub fn spcu() -> Fragment {
+        Fragment { selection: true, projection: true, product: true, union: true }
+    }
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        if self.selection {
+            write!(f, "S")?;
+            any = true;
+        }
+        if self.projection {
+            write!(f, "P")?;
+            any = true;
+        }
+        if self.product {
+            write!(f, "C")?;
+            any = true;
+        }
+        if self.union {
+            write!(f, "U")?;
+            any = true;
+        }
+        if !any {
+            write!(f, "identity")?;
+        }
+        Ok(())
+    }
+}
+
+/// Classify a normal-form SPC query.
+pub(crate) fn classify_spc(q: &SpcQuery, catalog: &Catalog) -> Fragment {
+    let selection = !q.selection.is_empty();
+    let product = q.atoms.len() > 1 || !q.constants.is_empty();
+    // Projection is used when the output does not keep all product columns
+    // (plus all constant columns) exactly once.
+    let width = q.product_width(catalog) + q.constants.len();
+    let mut seen = vec![false; width];
+    let mut dup_or_drop = q.output.len() != width;
+    for o in &q.output {
+        let idx = match o.src {
+            ColRef::Prod(c) => {
+                let mut base = 0;
+                for r in &q.atoms[..c.atom] {
+                    base += catalog.schema(*r).arity();
+                }
+                base + c.attr
+            }
+            ColRef::Const(k) => q.product_width(catalog) + k,
+        };
+        if seen[idx] {
+            dup_or_drop = true;
+        }
+        seen[idx] = true;
+    }
+    if !seen.iter().all(|b| *b) {
+        dup_or_drop = true;
+    }
+    Fragment { selection, projection: dup_or_drop, product, union: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainKind;
+    use crate::query::{OutputCol, ProdCol, SelAtom};
+    use crate::schema::{Attribute, RelId, RelationSchema};
+    use crate::value::Value;
+
+    fn catalog() -> (Catalog, RelId) {
+        let mut c = Catalog::new();
+        let r = c
+            .add(
+                RelationSchema::new(
+                    "R",
+                    vec![
+                        Attribute::new("A", DomainKind::Int),
+                        Attribute::new("B", DomainKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (c, r)
+    }
+
+    #[test]
+    fn identity_has_no_operators() {
+        let (c, r) = catalog();
+        let q = SpcQuery::identity(&c, r);
+        let f = q.fragment(&c);
+        assert_eq!(f, Fragment::default());
+        assert_eq!(f.to_string(), "identity");
+    }
+
+    #[test]
+    fn selection_only_is_s() {
+        let (c, r) = catalog();
+        let mut q = SpcQuery::identity(&c, r);
+        q.selection.push(SelAtom::EqConst(ProdCol::new(0, 0), Value::int(1)));
+        assert_eq!(q.fragment(&c).to_string(), "S");
+    }
+
+    #[test]
+    fn dropping_column_is_p() {
+        let (c, r) = catalog();
+        let mut q = SpcQuery::identity(&c, r);
+        q.output.pop();
+        assert_eq!(q.fragment(&c).to_string(), "P");
+    }
+
+    #[test]
+    fn duplicating_column_is_p() {
+        let (c, r) = catalog();
+        let mut q = SpcQuery::identity(&c, r);
+        q.output.push(OutputCol { name: "A2".into(), src: crate::query::ColRef::Prod(ProdCol::new(0, 0)) });
+        assert!(q.fragment(&c).projection);
+    }
+
+    #[test]
+    fn two_atoms_is_c() {
+        let (c, r) = catalog();
+        let mut q = SpcQuery::identity(&c, r);
+        q.atoms.push(r);
+        // keep all columns of both atoms to stay projection-free
+        q.output = vec![
+            OutputCol { name: "A".into(), src: crate::query::ColRef::Prod(ProdCol::new(0, 0)) },
+            OutputCol { name: "B".into(), src: crate::query::ColRef::Prod(ProdCol::new(0, 1)) },
+            OutputCol { name: "A2".into(), src: crate::query::ColRef::Prod(ProdCol::new(1, 0)) },
+            OutputCol { name: "B2".into(), src: crate::query::ColRef::Prod(ProdCol::new(1, 1)) },
+        ];
+        assert_eq!(q.fragment(&c).to_string(), "C");
+    }
+
+    #[test]
+    fn containment() {
+        assert!(Fragment { selection: true, ..Default::default() }.is_within(Fragment::spc()));
+        assert!(!Fragment::spcu().is_within(Fragment::spc()));
+        assert!(Fragment::spc().is_within(Fragment::spcu()));
+    }
+}

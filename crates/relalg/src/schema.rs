@@ -1,0 +1,219 @@
+//! Relation schemas and catalogs.
+
+use crate::domain::DomainKind;
+use crate::error::RelalgError;
+use std::fmt;
+
+/// Index of a relation in a [`Catalog`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub usize);
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R#{}", self.0)
+    }
+}
+
+/// A named, typed attribute of a relation schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, unique within its relation.
+    pub name: String,
+    /// The domain the attribute ranges over.
+    pub domain: DomainKind,
+}
+
+impl Attribute {
+    /// Construct an attribute.
+    pub fn new(name: impl Into<String>, domain: DomainKind) -> Self {
+        Attribute { name: name.into(), domain }
+    }
+}
+
+/// A relation schema `R(A1: dom1, ..., Ak: domk)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Relation name, unique within its catalog.
+    pub name: String,
+    /// Ordered attributes.
+    pub attributes: Vec<Attribute>,
+}
+
+impl RelationSchema {
+    /// Build a schema, rejecting duplicate attribute names.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: Vec<Attribute>,
+    ) -> Result<Self, RelalgError> {
+        let name = name.into();
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(RelalgError::DuplicateAttribute {
+                    relation: name,
+                    attribute: a.name.clone(),
+                });
+            }
+        }
+        Ok(RelationSchema { name, attributes })
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Position of attribute `name`, if present.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Position of attribute `name`, or an error naming the relation.
+    pub fn require_attr(&self, name: &str) -> Result<usize, RelalgError> {
+        self.attr_index(name).ok_or_else(|| RelalgError::UnknownAttribute {
+            relation: self.name.clone(),
+            attribute: name.to_owned(),
+        })
+    }
+
+    /// Does any attribute have a finite domain?
+    pub fn has_finite_domain_attr(&self) -> bool {
+        self.attributes.iter().any(|a| a.domain.is_finite())
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.domain)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A database schema: an ordered collection of relation schemas.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Catalog {
+    relations: Vec<RelationSchema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Add a relation schema, returning its [`RelId`].
+    pub fn add(&mut self, schema: RelationSchema) -> Result<RelId, RelalgError> {
+        if self.relations.iter().any(|r| r.name == schema.name) {
+            return Err(RelalgError::DuplicateRelation(schema.name));
+        }
+        self.relations.push(schema);
+        Ok(RelId(self.relations.len() - 1))
+    }
+
+    /// Look up a relation by name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.relations.iter().position(|r| r.name == name).map(RelId)
+    }
+
+    /// Look up a relation by name, or error.
+    pub fn require_rel(&self, name: &str) -> Result<RelId, RelalgError> {
+        self.rel_id(name).ok_or_else(|| RelalgError::UnknownRelation(name.to_owned()))
+    }
+
+    /// The schema of `id`. Panics on an id from a different catalog.
+    pub fn schema(&self, id: RelId) -> &RelationSchema {
+        &self.relations[id.0]
+    }
+
+    /// All relations, in insertion order.
+    pub fn relations(&self) -> impl Iterator<Item = (RelId, &RelationSchema)> {
+        self.relations.iter().enumerate().map(|(i, r)| (RelId(i), r))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Does any relation contain a finite-domain attribute?
+    ///
+    /// This is the paper's dividing line between the *infinite-domain
+    /// setting* and the *general setting*.
+    pub fn has_finite_domain_attr(&self) -> bool {
+        self.relations.iter().any(|r| r.has_finite_domain_attr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cust_schema() -> RelationSchema {
+        RelationSchema::new(
+            "R1",
+            vec![
+                Attribute::new("AC", DomainKind::Text),
+                Attribute::new("phn", DomainKind::Text),
+                Attribute::new("city", DomainKind::Text),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let s = cust_schema();
+        assert_eq!(s.attr_index("phn"), Some(1));
+        assert_eq!(s.attr_index("zip"), None);
+        assert!(s.require_attr("zip").is_err());
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let r = RelationSchema::new(
+            "R",
+            vec![
+                Attribute::new("A", DomainKind::Int),
+                Attribute::new("A", DomainKind::Int),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn catalog_add_and_lookup() {
+        let mut c = Catalog::new();
+        let id = c.add(cust_schema()).unwrap();
+        assert_eq!(c.rel_id("R1"), Some(id));
+        assert_eq!(c.schema(id).name, "R1");
+        assert!(c.add(cust_schema()).is_err(), "duplicate relation");
+    }
+
+    #[test]
+    fn finite_domain_detection() {
+        let mut c = Catalog::new();
+        c.add(cust_schema()).unwrap();
+        assert!(!c.has_finite_domain_attr());
+        c.add(
+            RelationSchema::new("R2", vec![Attribute::new("b", DomainKind::Bool)]).unwrap(),
+        )
+        .unwrap();
+        assert!(c.has_finite_domain_attr());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(cust_schema().to_string(), "R1(AC: string, phn: string, city: string)");
+    }
+}

@@ -1,0 +1,299 @@
+//! Tableau representations of SPC queries (appendix, Theorem 1 and
+//! Corollary 2).
+//!
+//! A tableau `T = (Sum, T1, ..., Tm)` consists of free tuples over the source
+//! relations plus a summary row. For SPC queries the summary is a single row.
+//! The translation applies the selection condition `F` by unifying variables
+//! and binding constants, so the resulting tableau is "pre-chased" with
+//! respect to the view definition; a selection that is unsatisfiable on its
+//! own yields `None` (the query is empty on every database).
+
+use crate::domain::DomainKind;
+use crate::query::{ColRef, SelAtom, SpcQuery};
+use crate::schema::{Catalog, RelId};
+use crate::unify::TermUf;
+use crate::value::Value;
+use std::fmt;
+
+/// A tableau variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A term of a free tuple: a constant or a variable.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A constant.
+    Const(Value),
+    /// A variable drawing values from its domain.
+    Var(VarId),
+}
+
+impl Term {
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this term is one.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// The tableau of an SPC query: free tuples + a single summary row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tableau {
+    /// One free tuple per relation atom of the query, tagged with the base
+    /// relation it ranges over.
+    pub rows: Vec<(RelId, Vec<Term>)>,
+    /// The summary row, one term per output column.
+    pub summary: Vec<Term>,
+    /// Domain of each variable, indexed by [`VarId`].
+    pub var_domains: Vec<DomainKind>,
+}
+
+impl Tableau {
+    /// Number of distinct variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_domains.len()
+    }
+
+    /// Variables whose domain is finite, with their value lists — the ones
+    /// the general-setting procedures must instantiate (proofs of Thms 3.2,
+    /// 3.3, 3.7).
+    pub fn finite_vars(&self) -> Vec<(VarId, Vec<Value>)> {
+        self.var_domains
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.finite_values().map(|vs| (VarId(i as u32), vs)))
+            .collect()
+    }
+
+    /// Build the tableau of a (validated) SPC query. Returns `None` when the
+    /// selection condition is unsatisfiable by itself (constant clash or
+    /// empty domain intersection), in which case the query is empty on every
+    /// database.
+    pub fn from_spc(q: &SpcQuery, catalog: &Catalog) -> Option<Tableau> {
+        let mut uf = TermUf::new();
+        // One node per product column.
+        let mut col_node: Vec<Vec<u32>> = Vec::with_capacity(q.atoms.len());
+        for rel in &q.atoms {
+            let schema = catalog.schema(*rel);
+            col_node.push(
+                schema
+                    .attributes
+                    .iter()
+                    .map(|a| uf.add(a.domain.clone()))
+                    .collect(),
+            );
+        }
+        // Apply F.
+        for s in &q.selection {
+            let r = match s {
+                SelAtom::Eq(a, b) => uf.union(col_node[a.atom][a.attr], col_node[b.atom][b.attr]),
+                SelAtom::EqConst(a, v) => uf.bind(col_node[a.atom][a.attr], v.clone()),
+            };
+            if r.is_err() {
+                return None;
+            }
+        }
+        // Compact representatives into VarIds.
+        let mut rep_to_var: std::collections::HashMap<u32, VarId> = std::collections::HashMap::new();
+        let mut var_domains: Vec<DomainKind> = Vec::new();
+        let mut term_of = |uf: &mut TermUf, node: u32| -> Term {
+            if let Some(v) = uf.binding(node) {
+                return Term::Const(v);
+            }
+            let rep = uf.find(node);
+            let var = *rep_to_var.entry(rep).or_insert_with(|| {
+                var_domains.push(uf.class_domain(rep));
+                VarId((var_domains.len() - 1) as u32)
+            });
+            Term::Var(var)
+        };
+        let mut rows = Vec::with_capacity(q.atoms.len());
+        for (j, rel) in q.atoms.iter().enumerate() {
+            let schema = catalog.schema(*rel);
+            let row: Vec<Term> = (0..schema.arity())
+                .map(|k| term_of(&mut uf, col_node[j][k]))
+                .collect();
+            rows.push((*rel, row));
+        }
+        let summary: Vec<Term> = q
+            .output
+            .iter()
+            .map(|o| match o.src {
+                ColRef::Prod(c) => term_of(&mut uf, col_node[c.atom][c.attr]),
+                ColRef::Const(k) => Term::Const(q.constants[k].value.clone()),
+            })
+            .collect();
+        Some(Tableau { rows, summary, var_domains })
+    }
+}
+
+impl fmt::Display for Tableau {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sum(")?;
+        for (i, t) in self.summary.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        writeln!(f, ")")?;
+        for (rel, row) in &self.rows {
+            write!(f, "  {rel}(")?;
+            for (i, t) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            writeln!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{RaCond, RaExpr};
+    use crate::schema::{Attribute, RelationSchema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            RelationSchema::new(
+                "R1",
+                vec![
+                    Attribute::new("A", DomainKind::Int),
+                    Attribute::new("B", DomainKind::Int),
+                    Attribute::new("C", DomainKind::Bool),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.add(
+            RelationSchema::new(
+                "R2",
+                vec![
+                    Attribute::new("D", DomainKind::Int),
+                    Attribute::new("E", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn tableau_of(e: &RaExpr, c: &Catalog) -> Option<Tableau> {
+        let q = e.normalize(c).unwrap();
+        assert_eq!(q.branches.len(), 1);
+        Tableau::from_spc(&q.branches[0], c)
+    }
+
+    #[test]
+    fn identity_tableau() {
+        let c = catalog();
+        let t = tableau_of(&RaExpr::rel("R1"), &c).unwrap();
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.num_vars(), 3);
+        assert_eq!(t.summary.len(), 3);
+        // summary repeats the row variables
+        assert_eq!(t.summary, t.rows[0].1);
+    }
+
+    #[test]
+    fn selection_binds_constant() {
+        let c = catalog();
+        let t = tableau_of(
+            &RaExpr::rel("R1").select(vec![RaCond::EqConst("A".into(), Value::int(5))]),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(t.rows[0].1[0], Term::Const(Value::int(5)));
+        assert_eq!(t.summary[0], Term::Const(Value::int(5)));
+        assert_eq!(t.num_vars(), 2);
+    }
+
+    #[test]
+    fn join_condition_unifies_vars() {
+        let c = catalog();
+        let t = tableau_of(
+            &RaExpr::rel("R1")
+                .product(RaExpr::rel("R2"))
+                .select(vec![RaCond::Eq("A".into(), "D".into())]),
+            &c,
+        )
+        .unwrap();
+        // A (row 0 col 0) and D (row 1 col 0) share a variable
+        assert_eq!(t.rows[0].1[0], t.rows[1].1[0]);
+        assert_eq!(t.num_vars(), 4);
+    }
+
+    #[test]
+    fn unsatisfiable_selection_yields_none() {
+        let c = catalog();
+        let e = RaExpr::rel("R1").select(vec![
+            RaCond::EqConst("A".into(), Value::int(1)),
+            RaCond::EqConst("A".into(), Value::int(2)),
+        ]);
+        assert!(tableau_of(&e, &c).is_none());
+    }
+
+    #[test]
+    fn transitive_constant_clash_detected() {
+        let c = catalog();
+        // A = B, A = 1, B = 2 is unsatisfiable only through the equality
+        let e = RaExpr::rel("R1").select(vec![
+            RaCond::Eq("A".into(), "B".into()),
+            RaCond::EqConst("A".into(), Value::int(1)),
+            RaCond::EqConst("B".into(), Value::int(2)),
+        ]);
+        assert!(tableau_of(&e, &c).is_none());
+    }
+
+    #[test]
+    fn finite_vars_reported() {
+        let c = catalog();
+        let t = tableau_of(&RaExpr::rel("R1"), &c).unwrap();
+        let fv = t.finite_vars();
+        assert_eq!(fv.len(), 1);
+        assert_eq!(fv[0].1.len(), 2); // bool
+    }
+
+    #[test]
+    fn constant_output_column() {
+        let c = catalog();
+        let t = tableau_of(
+            &RaExpr::rel("R1").with_const("CC", Value::int(44), DomainKind::Int),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(t.summary[3], Term::Const(Value::int(44)));
+    }
+}

@@ -1,0 +1,274 @@
+//! A union–find over *terms*: equivalence classes of variables that may be
+//! bound to a constant and carry a domain.
+//!
+//! This is the workhorse of tableau construction and of every chase in the
+//! propagation crate: "chase undefined" (the appendix's terminology for a
+//! constant conflict) surfaces as [`Clash`].
+
+use crate::domain::DomainKind;
+use crate::value::Value;
+use std::fmt;
+
+/// A conflict discovered while unifying or binding terms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Clash {
+    /// Two distinct constants were forced equal.
+    ConstConflict(Value, Value),
+    /// The intersection of the class domains is empty.
+    EmptyDomain,
+    /// A constant falls outside the class domain.
+    OutOfDomain(Value),
+}
+
+impl fmt::Display for Clash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Clash::ConstConflict(a, b) => write!(f, "constants {a} and {b} forced equal"),
+            Clash::EmptyDomain => write!(f, "empty domain intersection"),
+            Clash::OutOfDomain(v) => write!(f, "constant {v} outside class domain"),
+        }
+    }
+}
+
+impl std::error::Error for Clash {}
+
+/// Union–find over variable nodes with constant bindings and domains.
+#[derive(Clone, Debug, Default)]
+pub struct TermUf {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    binding: Vec<Option<Value>>,
+    domain: Vec<DomainKind>,
+}
+
+impl TermUf {
+    /// An empty structure.
+    pub fn new() -> Self {
+        TermUf::default()
+    }
+
+    /// Number of nodes allocated.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether no nodes were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Allocate a fresh unbound node with the given domain.
+    pub fn add(&mut self, domain: DomainKind) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.rank.push(0);
+        self.binding.push(None);
+        self.domain.push(domain);
+        id
+    }
+
+    /// Allocate a fresh node bound to `v` (domain taken from `domain`).
+    pub fn add_const(&mut self, domain: DomainKind, v: Value) -> Result<u32, Clash> {
+        let id = self.add(domain);
+        self.bind(id, v)?;
+        Ok(id)
+    }
+
+    /// Class representative of `x`, with path compression.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Are `a` and `b` in the same class?
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// The constant bound to `x`'s class, if any.
+    pub fn binding(&mut self, x: u32) -> Option<Value> {
+        let r = self.find(x) as usize;
+        self.binding[r].clone()
+    }
+
+    /// The domain of `x`'s class.
+    pub fn class_domain(&mut self, x: u32) -> DomainKind {
+        let r = self.find(x) as usize;
+        self.domain[r].clone()
+    }
+
+    /// Are `a` and `b` semantically equal (same class, or both bound to the
+    /// same constant)?
+    pub fn equal(&mut self, a: u32, b: u32) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        ra == rb
+            || match (&self.binding[ra as usize], &self.binding[rb as usize]) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            }
+    }
+
+    /// Is `x`'s class bound to exactly `v`? (Allocation-free fast path for
+    /// the chase's premise checks.)
+    pub fn is_bound_to(&mut self, x: u32, v: &Value) -> bool {
+        let r = self.find(x) as usize;
+        self.binding[r].as_ref() == Some(v)
+    }
+
+    /// Is `x`'s class bound to any constant?
+    pub fn is_bound(&mut self, x: u32) -> bool {
+        let r = self.find(x) as usize;
+        self.binding[r].is_some()
+    }
+
+    /// Merge the classes of `a` and `b`. Returns `Ok(true)` if the structure
+    /// changed, `Ok(false)` if they were already equal.
+    pub fn union(&mut self, a: u32, b: u32) -> Result<bool, Clash> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return Ok(false);
+        }
+        let dom = self.domain[ra as usize]
+            .intersect(&self.domain[rb as usize])
+            .ok_or(Clash::EmptyDomain)?;
+        let binding = match (&self.binding[ra as usize], &self.binding[rb as usize]) {
+            (Some(x), Some(y)) if x != y => {
+                return Err(Clash::ConstConflict(x.clone(), y.clone()))
+            }
+            (Some(x), _) | (_, Some(x)) => Some(x.clone()),
+            (None, None) => None,
+        };
+        if let Some(v) = &binding {
+            if !dom.contains(v) {
+                return Err(Clash::OutOfDomain(v.clone()));
+            }
+        }
+        // Union by rank.
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.binding[hi as usize] = binding;
+        self.domain[hi as usize] = dom;
+        Ok(true)
+    }
+
+    /// Bind `x`'s class to constant `v`. Returns `Ok(true)` if the binding
+    /// is new, `Ok(false)` if it was already bound to `v`.
+    pub fn bind(&mut self, x: u32, v: Value) -> Result<bool, Clash> {
+        let r = self.find(x) as usize;
+        if !self.domain[r].contains(&v) {
+            return Err(Clash::OutOfDomain(v));
+        }
+        match &self.binding[r] {
+            Some(old) if *old == v => Ok(false),
+            Some(old) => Err(Clash::ConstConflict(old.clone(), v)),
+            None => {
+                self.binding[r] = Some(v);
+                Ok(true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = TermUf::new();
+        let a = uf.add(DomainKind::Int);
+        let b = uf.add(DomainKind::Int);
+        let c = uf.add(DomainKind::Int);
+        assert!(!uf.same(a, b));
+        uf.union(a, b).unwrap();
+        assert!(uf.same(a, b));
+        assert!(!uf.same(a, c));
+    }
+
+    #[test]
+    fn binding_propagates_through_union() {
+        let mut uf = TermUf::new();
+        let a = uf.add(DomainKind::Int);
+        let b = uf.add(DomainKind::Int);
+        uf.bind(a, Value::int(5)).unwrap();
+        uf.union(a, b).unwrap();
+        assert_eq!(uf.binding(b), Some(Value::int(5)));
+    }
+
+    #[test]
+    fn conflicting_constants_clash() {
+        let mut uf = TermUf::new();
+        let a = uf.add(DomainKind::Int);
+        let b = uf.add(DomainKind::Int);
+        uf.bind(a, Value::int(5)).unwrap();
+        uf.bind(b, Value::int(6)).unwrap();
+        assert!(matches!(uf.union(a, b), Err(Clash::ConstConflict(_, _))));
+    }
+
+    #[test]
+    fn rebinding_same_value_is_noop() {
+        let mut uf = TermUf::new();
+        let a = uf.add(DomainKind::Int);
+        assert!(uf.bind(a, Value::int(5)).unwrap());
+        assert!(!uf.bind(a, Value::int(5)).unwrap());
+        assert!(uf.bind(a, Value::int(6)).is_err());
+    }
+
+    #[test]
+    fn domain_intersection_on_union() {
+        let mut uf = TermUf::new();
+        let a = uf.add(DomainKind::new_enum(vec![Value::int(1), Value::int(2)]).unwrap());
+        let b = uf.add(DomainKind::new_enum(vec![Value::int(2), Value::int(3)]).unwrap());
+        uf.union(a, b).unwrap();
+        assert_eq!(
+            uf.class_domain(a),
+            DomainKind::Enum(vec![Value::int(2)])
+        );
+        // binding outside the narrowed domain now fails
+        assert!(matches!(uf.bind(a, Value::int(1)), Err(Clash::OutOfDomain(_))));
+    }
+
+    #[test]
+    fn disjoint_domains_clash() {
+        let mut uf = TermUf::new();
+        let a = uf.add(DomainKind::Int);
+        let b = uf.add(DomainKind::Text);
+        assert!(matches!(uf.union(a, b), Err(Clash::EmptyDomain)));
+    }
+
+    #[test]
+    fn equal_via_shared_constant() {
+        let mut uf = TermUf::new();
+        let a = uf.add(DomainKind::Int);
+        let b = uf.add(DomainKind::Int);
+        uf.bind(a, Value::int(9)).unwrap();
+        uf.bind(b, Value::int(9)).unwrap();
+        assert!(uf.equal(a, b));
+        assert!(!uf.same(a, b));
+    }
+
+    #[test]
+    fn binding_out_of_domain_rejected() {
+        let mut uf = TermUf::new();
+        let a = uf.add(DomainKind::Bool);
+        assert!(matches!(uf.bind(a, Value::int(1)), Err(Clash::OutOfDomain(_))));
+    }
+}

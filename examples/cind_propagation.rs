@@ -1,0 +1,125 @@
+//! Propagating conditional inclusion dependencies (the §7 open problem,
+//! realized soundly by `cfd-cind`).
+//!
+//! A retailer integrates a uk order feed into a reporting view. Master
+//! data carries CINDs ("every order references a known customer; uk
+//! customers appear in the uk ledger"). The view-to-source CINDs hold on
+//! *any* SPC view by construction; composing them with the source CINDs
+//! yields referential guarantees on the view itself — no data access
+//! needed, exactly like the paper's CFD propagation story.
+//!
+//! Run with `cargo run --example cind_propagation`.
+
+use cfdprop::cind::implication::ImplicationOptions;
+use cfdprop::cind::{propagate_cinds, register_view, view_to_source_cinds, Cind};
+use cfdprop::prelude::*;
+use cfdprop::relalg::eval::eval_spc;
+
+fn main() {
+    // Sources: orders(cust, sku, country), customers(id, name),
+    // uk_ledger(cust_id, vat).
+    let mut catalog = Catalog::new();
+    let orders = catalog
+        .add(
+            RelationSchema::new(
+                "orders",
+                vec![
+                    Attribute::new("cust", DomainKind::Int),
+                    Attribute::new("sku", DomainKind::Text),
+                    Attribute::new("country", DomainKind::Text),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let customers = catalog
+        .add(
+            RelationSchema::new(
+                "customers",
+                vec![
+                    Attribute::new("id", DomainKind::Int),
+                    Attribute::new("name", DomainKind::Text),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let uk_ledger = catalog
+        .add(
+            RelationSchema::new(
+                "uk_ledger",
+                vec![
+                    Attribute::new("cust_id", DomainKind::Int),
+                    Attribute::new("vat", DomainKind::Text),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+    // Source CINDs:
+    //   ψ1: orders[cust] ⊆ customers[id]                (plain IND)
+    //   ψ2: orders[cust; country = 'uk'] ⊆ uk_ledger[cust_id]
+    let psi1 = Cind::ind(orders, customers, vec![(0, 0)]).unwrap();
+    let psi2 = Cind::new(
+        orders,
+        uk_ledger,
+        vec![(0, 0)],
+        vec![(2, Value::str("uk"))],
+        vec![],
+    )
+    .unwrap();
+
+    // The reporting view: uk orders only, keeping (cust, sku).
+    let view_q = RaExpr::rel("orders")
+        .select(vec![RaCond::EqConst("country".into(), Value::str("uk"))])
+        .project(&["cust", "sku"])
+        .normalize(&catalog)
+        .unwrap();
+    let q = &view_q.branches[0];
+    let v = register_view(&mut catalog, "uk_report", q).unwrap();
+
+    let rel_name = |r: cfdprop::relalg::RelId| catalog.schema(r).name.clone();
+    let attr_name =
+        |r: cfdprop::relalg::RelId, a: usize| catalog.schema(r).attributes[a].name.clone();
+
+    println!("== View-to-source CINDs (hold by construction) ==");
+    for c in view_to_source_cinds(v, q) {
+        println!("  {}", c.display(&rel_name, &attr_name));
+    }
+
+    println!("\n== Propagated view CINDs (composed with source CINDs) ==");
+    let props = propagate_cinds(v, q, &[psi1, psi2], &ImplicationOptions::default());
+    for c in &props {
+        println!("  {}", c.display(&rel_name, &attr_name));
+    }
+
+    // Demonstrate on data: materialize the view and check each propagated
+    // CIND on the combined database.
+    let mut db = Database::empty(&catalog);
+    db.insert(orders, vec![Value::int(1), Value::str("anvil"), Value::str("uk")]);
+    db.insert(orders, vec![Value::int(2), Value::str("rocket"), Value::str("us")]);
+    db.insert(customers, vec![Value::int(1), Value::str("ann")]);
+    db.insert(customers, vec![Value::int(2), Value::str("bob")]);
+    db.insert(uk_ledger, vec![Value::int(1), Value::str("GB123")]);
+    let contents = eval_spc(q, &catalog, &db);
+    for t in contents.tuples() {
+        db.insert(v, t.clone());
+    }
+    println!("\n== Checking the propagated CINDs on a materialized instance ==");
+    for c in &props {
+        let ok = cfdprop::cind::satisfies(&db, c);
+        println!("  {} … {}", c.display(&rel_name, &attr_name), if ok { "holds" } else { "VIOLATED" });
+        assert!(ok, "propagated CINDs must hold on materialized views");
+    }
+
+    // The converse direction is NOT sound — and the data shows it: the us
+    // order never reaches the view.
+    let converse = Cind::ind(orders, v, vec![(0, 0)]).unwrap();
+    println!("\n== The unsound converse (source ⊆ view) ==");
+    println!(
+        "  {} … {}",
+        converse.display(&rel_name, &attr_name),
+        if cfdprop::cind::satisfies(&db, &converse) { "holds (by luck)" } else { "VIOLATED, as expected" }
+    );
+}

@@ -1,0 +1,149 @@
+//! Data cleaning (paper §1, Applications (3)): CFDs defined on a target
+//! database for consistency checking. Propagation analysis tells us which
+//! target CFDs are *guaranteed* by the sources (no validation needed) and
+//! which must be validated against the materialized view — and for those,
+//! the cleaning substrate (`cfd-clean`) detects every violation, renders
+//! the SQL that would detect them in an external RDBMS, and proposes a
+//! minimal-change repair.
+//!
+//! Run with `cargo run --example data_cleaning`.
+
+use cfdprop::clean::{detect_all, detection_sql, repair};
+use cfdprop::model::satisfy;
+use cfdprop::prelude::*;
+use cfdprop::relalg::eval::eval_spcu;
+
+fn main() {
+    // Source: a hospital feed with patient visits.
+    let mut catalog = Catalog::new();
+    let visits = catalog
+        .add(
+            RelationSchema::new(
+                "visits",
+                vec![
+                    Attribute::new("patient", DomainKind::Text),
+                    Attribute::new("insurer", DomainKind::Text),
+                    Attribute::new("plan", DomainKind::Text),
+                    Attribute::new("copay", DomainKind::Int),
+                    Attribute::new("ward", DomainKind::Text),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    // The feed guarantees: insurer + plan determine the copay, and the
+    // "statecare" insurer only offers plan "basic".
+    let sigma = vec![
+        SourceCfd::new(visits, Cfd::fd(&[1, 2], 3).unwrap()),
+        SourceCfd::new(
+            visits,
+            Cfd::new(
+                vec![(1, Pattern::cst(Value::str("statecare")))],
+                2,
+                Pattern::Const(Value::str("basic")),
+            )
+            .unwrap(),
+        ),
+    ];
+
+    // Target: the billing view (drops the ward).
+    let view = RaExpr::rel("visits")
+        .project(&["patient", "insurer", "plan", "copay"])
+        .normalize(&catalog)
+        .unwrap();
+    let names = view.schema().names();
+
+    // CFDs the billing team wants to hold on the target.
+    let target_cfds = vec![
+        ("insurer,plan -> copay", Cfd::fd(&[1, 2], 3).unwrap()),
+        (
+            "statecare -> basic",
+            Cfd::new(
+                vec![(1, Pattern::cst(Value::str("statecare")))],
+                2,
+                Pattern::Const(Value::str("basic")),
+            )
+            .unwrap(),
+        ),
+        ("patient -> insurer", Cfd::fd(&[0], 1).unwrap()),
+        ("plan -> copay", Cfd::fd(&[2], 3).unwrap()),
+    ];
+
+    println!("== Which target CFDs need validation? ==");
+    let mut must_validate = Vec::new();
+    for (label, cfd) in &target_cfds {
+        let verdict = propagates(&catalog, &sigma, &view, cfd, Setting::InfiniteDomain).unwrap();
+        if verdict.is_propagated() {
+            println!("  guaranteed by the sources: {label}");
+        } else {
+            println!("  MUST VALIDATE:             {label}");
+            must_validate.push((label, cfd));
+        }
+    }
+
+    // A dirty batch arrives; materialize the view and validate only the
+    // CFDs that propagation analysis could not discharge.
+    let mut db = Database::empty(&catalog);
+    let row = |p: &str, i: &str, pl: &str, c: i64, w: &str| {
+        vec![Value::str(p), Value::str(i), Value::str(pl), Value::int(c), Value::str(w)]
+    };
+    db.insert(visits, row("ann", "acme", "gold", 20, "W1"));
+    db.insert(visits, row("ann", "acme", "gold", 20, "W2"));
+    db.insert(visits, row("bob", "acme", "silver", 35, "W1"));
+    db.insert(visits, row("bob", "umbrella", "silver", 30, "W3")); // patient→insurer violation
+    db.insert(visits, row("eve", "statecare", "basic", 5, "W2"));
+    let target = eval_spcu(&view, &catalog, &db);
+    println!("\n== Validating the materialized billing view ({} rows) ==", target.len());
+    for (label, cfd) in &must_validate {
+        match satisfy::find_violation(&target, cfd) {
+            None => println!("  {label}: clean"),
+            Some((t1, t2)) => {
+                println!("  {label}: VIOLATED by");
+                println!("    {:?}", t1.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+                println!("    {:?}", t2.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    // And the full cover, for the curious.
+    let cover =
+        prop_cfd_spc(&catalog, &sigma, &view.branches[0], &CoverOptions::default()).unwrap();
+    println!("\n== Everything guaranteed on the billing view ==");
+    for cfd in &cover.cfds {
+        println!("  billing{}", cfd.display(&names));
+    }
+
+    // The cleaning substrate: exhaustive detection of the non-guaranteed
+    // CFDs, the SQL that would offload detection to an RDBMS, and a repair.
+    let to_validate: Vec<Cfd> = must_validate.iter().map(|(_, c)| (*c).clone()).collect();
+    println!("\n== Exhaustive violation report (cfd-clean) ==");
+    for v in detect_all(&target, &to_validate) {
+        println!("  [{}] {}", must_validate[v.cfd_index].0, v.describe(&to_validate[v.cfd_index], Some(&names)));
+    }
+
+    println!("\n== Detection SQL (run these against your warehouse) ==");
+    let view_rel_schema = RelationSchema::new(
+        "billing",
+        view.schema()
+            .columns
+            .iter()
+            .map(|(n, d)| Attribute::new(n.clone(), d.clone()))
+            .collect(),
+    )
+    .unwrap();
+    for cfd in &to_validate {
+        for q in detection_sql(&view_rel_schema, cfd) {
+            println!("  {q};");
+        }
+    }
+
+    println!("\n== Greedy repair ==");
+    let outcome = repair(&target, &to_validate, 8);
+    println!(
+        "  {} cell change(s) in {} round(s); clean = {}",
+        outcome.cell_changes, outcome.rounds, outcome.clean
+    );
+    for t in outcome.relation.tuples() {
+        println!("    {:?}", t.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+    }
+}

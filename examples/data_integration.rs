@@ -1,0 +1,160 @@
+//! Example 1.1 of the paper, end to end: three customer sources (UK, US,
+//! Netherlands) integrated by a union view with country codes.
+//!
+//! Demonstrates that the source FDs `f1, f2, f3` survive only as *CFDs*
+//! (ϕ1–ϕ3), that source CFDs produce pattern CFDs (ϕ4, ϕ5), that ϕ6 is NOT
+//! propagated, and that the Fig. 1 instances behave exactly as the paper
+//! describes.
+//!
+//! Run with `cargo run --example data_integration`.
+
+use cfdprop::prelude::*;
+use cfdprop::relalg::eval::eval_spcu;
+use cfdprop::model::satisfy;
+
+fn customer_schema(name: &str) -> RelationSchema {
+    RelationSchema::new(
+        name,
+        ["AC", "phn", "name", "street", "city", "zip"]
+            .iter()
+            .map(|a| Attribute::new(*a, DomainKind::Text))
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn s(v: &str) -> Value {
+    Value::str(v)
+}
+
+fn main() {
+    let mut catalog = Catalog::new();
+    let r1 = catalog.add(customer_schema("R1")).unwrap(); // UK
+    let r2 = catalog.add(customer_schema("R2")).unwrap(); // US
+    let r3 = catalog.add(customer_schema("R3")).unwrap(); // NL
+    let (ac, street, city, zip) = (0usize, 3usize, 4usize, 5usize);
+
+    // Source dependencies.
+    let f1 = SourceCfd::new(r1, Cfd::fd(&[zip], street).unwrap());
+    let f2 = SourceCfd::new(r1, Cfd::fd(&[ac], city).unwrap());
+    let f3 = SourceCfd::new(r3, Cfd::fd(&[ac], city).unwrap());
+    let cfd1 = SourceCfd::new(
+        r1,
+        Cfd::new(vec![(ac, Pattern::cst(s("20")))], city, Pattern::Const(s("ldn"))).unwrap(),
+    );
+    let cfd2 = SourceCfd::new(
+        r3,
+        Cfd::new(vec![(ac, Pattern::cst(s("20")))], city, Pattern::Const(s("Amsterdam"))).unwrap(),
+    );
+    let sigma = vec![f1, f2, f3, cfd1, cfd2];
+
+    // The view V = Q1 ∪ Q2 ∪ Q3 with country codes 44 / 01 / 31.
+    let branch = |rel: &str, cc: &str| RaExpr::rel(rel).with_const("CC", s(cc), DomainKind::Text);
+    let view = branch("R1", "44")
+        .union(branch("R2", "01"))
+        .union(branch("R3", "31"))
+        .normalize(&catalog)
+        .unwrap();
+    let names = view.schema().names();
+    let col = |n: &str| view.schema().col_index(n).unwrap();
+
+    // The view dependencies of Example 1.1.
+    let phi = |cc: &str, lhs_extra: Option<(&str, &str)>, rhs: (&str, Option<&str>)| {
+        let mut lhs = vec![(col("CC"), Pattern::cst(s(cc)))];
+        match lhs_extra {
+            Some((a, "_")) => lhs.push((col(a), Pattern::Wild)),
+            Some((a, v)) => lhs.push((col(a), Pattern::cst(s(v)))),
+            None => {}
+        }
+        let rhs_pat = match rhs.1 {
+            Some(v) => Pattern::Const(s(v)),
+            None => Pattern::Wild,
+        };
+        Cfd::new(lhs, col(rhs.0), rhs_pat).unwrap()
+    };
+    let phi1 = {
+        let mut lhs = vec![(col("CC"), Pattern::cst(s("44"))), (col("zip"), Pattern::Wild)];
+        lhs.sort_by_key(|(a, _)| *a);
+        Cfd::new(lhs, col("street"), Pattern::Wild).unwrap()
+    };
+    let phi2 = phi("44", Some(("AC", "_")), ("city", None));
+    let phi3 = phi("31", Some(("AC", "_")), ("city", None));
+    let phi4 = phi("44", Some(("AC", "20")), ("city", Some("ldn")));
+    let phi5 = phi("31", Some(("AC", "20")), ("city", Some("Amsterdam")));
+    // ϕ6 = CC, AC, phn → street, city, zip — NOT propagated.
+    let phi6 = GeneralCfd {
+        lhs: vec![
+            (col("CC"), Pattern::Wild),
+            (col("AC"), Pattern::Wild),
+            (col("phn"), Pattern::Wild),
+        ],
+        rhs: vec![
+            (col("street"), Pattern::Wild),
+            (col("city"), Pattern::Wild),
+            (col("zip"), Pattern::Wild),
+        ],
+    };
+
+    println!("== Propagation analysis (Example 1.1) ==");
+    for (label, cfd) in [
+        ("phi1", &phi1),
+        ("phi2", &phi2),
+        ("phi3", &phi3),
+        ("phi4", &phi4),
+        ("phi5", &phi5),
+    ] {
+        let v = propagates(&catalog, &sigma, &view, cfd, Setting::InfiniteDomain).unwrap();
+        println!(
+            "  {label}: V{}  ->  {}",
+            cfd.display(&names),
+            if v.is_propagated() { "PROPAGATED" } else { "NOT PROPAGATED" }
+        );
+        assert!(v.is_propagated());
+    }
+    // a plain FD zip → street fails across the union (US zips don't
+    // determine streets)
+    let plain = Cfd::fd(&[col("zip")], col("street")).unwrap();
+    let v = propagates(&catalog, &sigma, &view, &plain, Setting::InfiniteDomain).unwrap();
+    println!(
+        "  f1 as plain FD: V{}  ->  {}",
+        plain.display(&names),
+        if v.is_propagated() { "PROPAGATED" } else { "NOT PROPAGATED (as the paper says)" }
+    );
+    assert!(!v.is_propagated());
+    for cfd in phi6.normalize().unwrap() {
+        let v = propagates(&catalog, &sigma, &view, &cfd, Setting::InfiniteDomain).unwrap();
+        println!(
+            "  phi6 component: V{}  ->  {}",
+            cfd.display(&names),
+            if v.is_propagated() { "PROPAGATED" } else { "NOT PROPAGATED" }
+        );
+        assert!(!v.is_propagated(), "phi6 must be validated against the data");
+    }
+
+    // == The Fig. 1 instances ==
+    println!("\n== Evaluating V on the Fig. 1 instances ==");
+    let mut db = Database::empty(&catalog);
+    let row = |vals: [&str; 6]| -> Vec<Value> { vals.iter().map(|v| s(v)).collect() };
+    db.insert(r1, row(["20", "1234567", "Mike", "Portland", "ldn", "W1B 1JL"]));
+    db.insert(r1, row(["20", "3456789", "Rick", "Portland", "ldn", "W1B 1JL"]));
+    db.insert(r2, row(["610", "3456789", "Joe", "Copley", "Darby", "19082"]));
+    db.insert(r2, row(["610", "1234567", "Mary", "Walnut", "Darby", "19082"]));
+    db.insert(r3, row(["20", "3456789", "Marx", "Kruise", "Amsterdam", "1096"]));
+    db.insert(r3, row(["36", "1234567", "Bart", "Grote", "Almere", "1316"]));
+    let v_inst = eval_spcu(&view, &catalog, &db);
+    println!("  |V(D1, D2, D3)| = {} tuples", v_inst.len());
+    // Example 2.2: the view satisfies ϕ1, ϕ2, ϕ4 ...
+    for (label, cfd) in [("phi1", &phi1), ("phi2", &phi2), ("phi4", &phi4)] {
+        assert!(satisfy::satisfies(&v_inst, cfd));
+        println!("  V(D) |= {label}");
+    }
+    // ... but dropping CC from ϕ4 breaks it (t1/t5: AC 20 -> LDN vs Amsterdam)
+    let no_cc = Cfd::new(
+        vec![(col("AC"), Pattern::cst(s("20")))],
+        col("city"),
+        Pattern::Const(s("ldn")),
+    )
+    .unwrap();
+    assert!(!satisfy::satisfies(&v_inst, &no_cc));
+    println!("  V(D) violates phi4 without the CC condition (Example 2.2)");
+}

@@ -1,0 +1,149 @@
+//! The general setting (paper §3): finite-domain attributes change the
+//! complexity landscape. This example shows
+//!
+//! 1. a propagation that holds only by *case analysis* over a boolean
+//!    attribute (the chase alone misses it — Thm 3.2's reason);
+//! 2. the emptiness problem with finite domains (Thm 3.7);
+//! 3. the Theorem 3.2 reduction in action: solving a tiny 3SAT instance by
+//!    asking a propagation question;
+//! 4. the §7 future-work cover generalization: `prop_cfd_spc_general`
+//!    recovering a dependency that the infinite-domain cover provably
+//!    misses.
+//!
+//! Run with `cargo run --example finite_domains`.
+
+use cfdprop::prelude::*;
+use cfdprop::propagation::reductions::three_sat::{reduce_3sat, Lit, SatInstance};
+
+fn main() {
+    // 1. Case analysis: R(flag: bool, status: int) with CFDs
+    //    flag = true  → status = 1
+    //    flag = false → status = 1
+    //    Every tuple has status 1, but no single chase derivation shows it.
+    let mut catalog = Catalog::new();
+    let r = catalog
+        .add(
+            RelationSchema::new(
+                "R",
+                vec![
+                    Attribute::new("flag", DomainKind::Bool),
+                    Attribute::new("status", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let sigma = vec![
+        SourceCfd::new(
+            r,
+            Cfd::new(vec![(0, Pattern::cst(Value::Bool(true)))], 1, Pattern::cst(1)).unwrap(),
+        ),
+        SourceCfd::new(
+            r,
+            Cfd::new(vec![(0, Pattern::cst(Value::Bool(false)))], 1, Pattern::cst(1)).unwrap(),
+        ),
+    ];
+    let view = RaExpr::rel("R").normalize(&catalog).unwrap();
+    let phi = Cfd::const_col(1, 1i64); // status is always 1
+    let inf = propagates(&catalog, &sigma, &view, &phi, Setting::InfiniteDomain).unwrap();
+    let gen = propagates(&catalog, &sigma, &view, &phi, Setting::General).unwrap();
+    println!("status = 1 on the view:");
+    println!("  infinite-domain chase : {}", verdict(&inf));
+    println!("  general setting       : {} (case split over flag)", verdict(&gen));
+    assert!(!inf.is_propagated() && gen.is_propagated());
+
+    // 2. Emptiness: selecting status = 2 makes the view empty on every
+    //    model — but only the general setting can tell.
+    let sel2 = RaExpr::rel("R")
+        .select(vec![RaCond::EqConst("status".into(), Value::int(2))])
+        .normalize(&catalog)
+        .unwrap();
+    let empty_inf = is_always_empty(&catalog, &sigma, &sel2, Setting::InfiniteDomain).unwrap();
+    let empty_gen = is_always_empty(&catalog, &sigma, &sel2, Setting::General).unwrap();
+    println!("\nσ(status = 2)(R) always empty?");
+    println!("  infinite-domain chase : {empty_inf}");
+    println!("  general setting       : {empty_gen}");
+    assert!(!empty_inf && empty_gen);
+
+    // 3. Solve 3SAT by propagation (Theorem 3.2): (x1 ∨ ¬x2 ∨ x2) ∧
+    //    (¬x1 ∨ ¬x1 ∨ ¬x1) — satisfiable with x1 = false.
+    let inst = SatInstance {
+        num_vars: 2,
+        clauses: vec![
+            [Lit::pos(0), Lit::neg(1), Lit::pos(1)],
+            [Lit::neg(0), Lit::neg(0), Lit::neg(0)],
+        ],
+    };
+    let red = reduce_3sat(&inst);
+    let v = propagates(&red.catalog, &red.sigma, &red.view, &red.psi, Setting::General).unwrap();
+    println!("\n3SAT via propagation: formula is {}", if v.is_propagated() { "UNSATISFIABLE" } else { "SATISFIABLE" });
+    assert_eq!(!v.is_propagated(), inst.brute_force_satisfiable());
+
+    // 4. The general-setting *cover* (§7 future work, prototype):
+    //    R2(F: bool, B, C) with B → F and per-flag conditionals
+    //    ([F, B] → C). After projecting F away, B → C holds only by case
+    //    analysis — the infinite-domain cover cannot contain it, the
+    //    general-setting cover gains it.
+    let r2 = catalog
+        .add(
+            RelationSchema::new(
+                "R2",
+                vec![
+                    Attribute::new("F", DomainKind::Bool),
+                    Attribute::new("B", DomainKind::Int),
+                    Attribute::new("C", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let sigma2 = vec![
+        SourceCfd::new(r2, Cfd::fd(&[1], 0).unwrap()),
+        SourceCfd::new(
+            r2,
+            Cfd::new(
+                vec![(0, Pattern::cst(Value::Bool(true))), (1, Pattern::Wild)],
+                2,
+                Pattern::Wild,
+            )
+            .unwrap(),
+        ),
+        SourceCfd::new(
+            r2,
+            Cfd::new(
+                vec![(0, Pattern::cst(Value::Bool(false))), (1, Pattern::Wild)],
+                2,
+                Pattern::Wild,
+            )
+            .unwrap(),
+        ),
+    ];
+    let proj = RaExpr::rel("R2").project(&["B", "C"]).normalize(&catalog).unwrap();
+    let names = proj.schema().names();
+    let q = &proj.branches[0];
+    let base = prop_cfd_spc(&catalog, &sigma2, q, &CoverOptions::default()).unwrap();
+    let general =
+        prop_cfd_spc_general(&catalog, &sigma2, q, &GeneralCoverOptions::default()).unwrap();
+    println!("\nπ(B, C)(R2) covers:");
+    println!("  infinite-domain (PropCFD_SPC) : {} CFD(s)", base.cfds.len());
+    for c in &base.cfds {
+        println!("    V{}", c.display(&names));
+    }
+    println!(
+        "  general setting (prototype)   : {} CFD(s), {} finite-domain gain(s)",
+        general.cfds.len(),
+        general.finite_domain_gains
+    );
+    for c in &general.cfds {
+        println!("    V{}", c.display(&names));
+    }
+    assert!(general.finite_domain_gains >= 1);
+}
+
+fn verdict(v: &Verdict) -> &'static str {
+    if v.is_propagated() {
+        "PROPAGATED"
+    } else {
+        "not propagated"
+    }
+}

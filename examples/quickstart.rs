@@ -1,0 +1,87 @@
+//! Quickstart: define a schema, source CFDs, and a view; check propagation
+//! and compute a minimal propagation cover.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cfdprop::prelude::*;
+
+fn main() {
+    // Source schema: customer(AC, phn, city, zip), orders(oid, AC2, amount).
+    let mut catalog = Catalog::new();
+    let customer = catalog
+        .add(
+            RelationSchema::new(
+                "customer",
+                vec![
+                    Attribute::new("AC", DomainKind::Text),
+                    Attribute::new("phn", DomainKind::Text),
+                    Attribute::new("city", DomainKind::Text),
+                    Attribute::new("zip", DomainKind::Text),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    catalog
+        .add(
+            RelationSchema::new(
+                "orders",
+                vec![
+                    Attribute::new("oid", DomainKind::Int),
+                    Attribute::new("AC2", DomainKind::Text),
+                    Attribute::new("amount", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+    // Source dependencies: zip → city, and the CFD (AC = '20' → city = 'ldn').
+    let sigma = vec![
+        SourceCfd::new(customer, Cfd::fd(&[3], 2).unwrap()),
+        SourceCfd::new(
+            customer,
+            Cfd::new(
+                vec![(0, Pattern::cst(Value::str("20")))],
+                2,
+                Pattern::Const(Value::str("ldn")),
+            )
+            .unwrap(),
+        ),
+    ];
+
+    // View: join customers with their orders on the area code and keep
+    // (AC, city, zip, amount).
+    let view = RaExpr::rel("customer")
+        .product(RaExpr::rel("orders"))
+        .select(vec![RaCond::Eq("AC".into(), "AC2".into())])
+        .project(&["AC", "city", "zip", "amount"])
+        .normalize(&catalog)
+        .unwrap();
+    println!("view schema: {:?}", view.schema().names());
+
+    // 1. Is `zip → city` still guaranteed on the view?
+    let phi = Cfd::fd(&[2], 1).unwrap(); // zip → city over view columns
+    let verdict = propagates(&catalog, &sigma, &view, &phi, Setting::InfiniteDomain).unwrap();
+    println!("zip -> city on the view: {}", if verdict.is_propagated() { "propagated" } else { "NOT propagated" });
+
+    // 2. Is `zip → amount` guaranteed? (It should not be.)
+    let bad = Cfd::fd(&[2], 3).unwrap();
+    match propagates(&catalog, &sigma, &view, &bad, Setting::InfiniteDomain).unwrap() {
+        Verdict::Propagated => println!("zip -> amount: propagated (unexpected!)"),
+        Verdict::NotPropagated(w) => {
+            println!(
+                "zip -> amount: NOT propagated — counterexample source database with {} tuples",
+                w.database.total_tuples()
+            );
+        }
+    }
+
+    // 3. Compute the full minimal propagation cover of the view.
+    let cover = prop_cfd_spc(&catalog, &sigma, &view.branches[0], &CoverOptions::default()).unwrap();
+    let names = view.schema().names();
+    println!("minimal propagation cover ({} CFDs):", cover.cfds.len());
+    for cfd in &cover.cfds {
+        println!("  V{}", cfd.display(&names));
+    }
+}

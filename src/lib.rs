@@ -1,0 +1,84 @@
+//! # cfdprop — Propagating Functional Dependencies with Conditions
+//!
+//! A Rust implementation of W. Fan, S. Ma, Y. Hu, J. Liu, Y. Wu,
+//! *"Propagating Functional Dependencies with Conditions"*, VLDB 2008:
+//! dependency propagation analysis for conditional functional dependencies
+//! (CFDs) through SPC/SPCU views.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`relalg`] (`cfd-relalg`) — values, domains, schemas, instances,
+//!   SPC/SPCU views, evaluation, tableaux;
+//! * [`model`] (`cfd-model`) — CFDs, satisfaction, implication,
+//!   consistency, minimal covers, the classical FD toolbox;
+//! * [`propagation`] (`cfd-propagation`) — the paper's contribution:
+//!   chase-based propagation checking (§3), the emptiness test (§3.3),
+//!   `PropCFD_SPC` minimal propagation covers (§4), and the Thm 3.2 3SAT
+//!   reduction;
+//! * [`datagen`] (`cfd-datagen`) — the §5 workload generators;
+//! * [`text`] (`cfd-text`) — a parsable text format (see the `cfdprop`
+//!   CLI);
+//! * [`clean`] (`cfd-clean`) — the data-cleaning substrate (violation
+//!   detection, SQL generation, incremental insert checks, repair);
+//! * [`cind`] (`cfd-cind`) — conditional inclusion dependencies and their
+//!   propagation through SPC views (§7 future work, realized soundly).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cfdprop::prelude::*;
+//!
+//! // Source schema R(AC, city) and FD AC → city.
+//! let mut catalog = Catalog::new();
+//! let r = catalog
+//!     .add(RelationSchema::new(
+//!         "R",
+//!         vec![
+//!             Attribute::new("AC", DomainKind::Text),
+//!             Attribute::new("city", DomainKind::Text),
+//!         ],
+//!     ).unwrap())
+//!     .unwrap();
+//! let sigma = vec![SourceCfd::new(r, Cfd::fd(&[0], 1).unwrap())];
+//!
+//! // View: R extended with a constant country code.
+//! let view = RaExpr::rel("R")
+//!     .with_const("CC", Value::str("44"), DomainKind::Text)
+//!     .normalize(&catalog)
+//!     .unwrap();
+//!
+//! // The CFD ([CC, AC] → city, ('44', _ ‖ _)) is propagated:
+//! let phi = Cfd::new(
+//!     vec![(2, Pattern::cst(Value::str("44"))), (0, Pattern::Wild)],
+//!     1,
+//!     Pattern::Wild,
+//! ).unwrap();
+//! let verdict = propagates(&catalog, &sigma, &view, &phi, Setting::InfiniteDomain).unwrap();
+//! assert!(verdict.is_propagated());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cfd_cind as cind;
+pub use cfd_clean as clean;
+pub use cfd_datagen as datagen;
+pub use cfd_model as model;
+pub use cfd_propagation as propagation;
+pub use cfd_relalg as relalg;
+pub use cfd_text as text;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use cfd_model::{Cfd, Fd, GeneralCfd, Pattern, SourceCfd};
+    pub use cfd_propagation::cover::{
+        prop_cfd_spc, prop_cfd_spc_general, CoverOptions, GeneralCover, GeneralCoverOptions,
+        PropagationCover,
+    };
+    pub use cfd_propagation::emptiness::{is_always_empty, non_emptiness_witness};
+    pub use cfd_propagation::{propagates, propagates_auto, Setting, Verdict, Witness};
+    pub use cfd_relalg::{
+        Attribute, Catalog, Database, DomainKind, RaCond, RaExpr, RelationSchema, SpcQuery,
+        SpcuQuery, Value,
+    };
+}

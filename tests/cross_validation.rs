@@ -1,0 +1,212 @@
+//! Randomized cross-validation of the two *independent* decision paths:
+//!
+//! * the chase-based propagation checker (`propagates`, §3 / appendix), and
+//! * the RBR-based minimal propagation cover (`prop_cfd_spc`, §4) combined
+//!   with CFD implication.
+//!
+//! For SPC views in the infinite-domain setting the paper proves both
+//! decide `Σ |=V φ`; any disagreement is a bug in one of them. We also
+//! validate every `NotPropagated` witness semantically (the witness
+//! database satisfies Σ and its view violates φ) and check emptiness
+//! claims against evaluation on generated databases.
+
+use cfd_datagen::{
+    gen_cfds, gen_database, gen_schema, gen_spc_view, CfdGenConfig, InstanceGenConfig,
+    SchemaGenConfig, ViewGenConfig,
+};
+use cfd_model::{satisfy, Cfd, Pattern, SourceCfd};
+use cfd_propagation::cover::{prop_cfd_spc, CoverOptions, PropagationCover};
+use cfd_propagation::emptiness::non_emptiness_witness;
+use cfd_propagation::{propagates, Setting, Verdict};
+use cfd_relalg::eval::eval_spcu;
+use cfd_relalg::{Catalog, Database, DomainKind, SpcuQuery, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Setup {
+    catalog: Catalog,
+    sigma: Vec<SourceCfd>,
+    view: SpcuQuery,
+    cover: PropagationCover,
+    domains: Vec<DomainKind>,
+}
+
+fn build(seed: u64, m: usize, y: usize, f: usize, ec: usize) -> Setup {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = gen_schema(
+        &SchemaGenConfig { relations: 3, min_arity: 3, max_arity: 5, finite_ratio: 0.0 },
+        &mut rng,
+    );
+    let sigma = gen_cfds(
+        &catalog,
+        &CfdGenConfig {
+            count: m,
+            lhs_max: 2,
+            var_pct: 0.5,
+            const_range: 4,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let spc = gen_spc_view(&catalog, &ViewGenConfig { y, f, ec, const_range: 4 }, &mut rng);
+    let view = SpcuQuery::single(&catalog, spc.clone()).expect("generated view valid");
+    let cover = prop_cfd_spc(&catalog, &sigma, &spc, &CoverOptions::default()).expect("cover");
+    let domains: Vec<DomainKind> =
+        view.schema().columns.iter().map(|(_, d)| d.clone()).collect();
+    Setup { catalog, sigma, view, cover, domains }
+}
+
+/// A random view CFD over the view schema (small constants to provoke
+/// pattern interaction).
+fn random_view_cfd(schema_arity: usize, rng: &mut StdRng) -> Cfd {
+    let rhs = rng.gen_range(0..schema_arity);
+    let lhs_size = rng.gen_range(0..=2usize.min(schema_arity - 1));
+    let mut lhs = Vec::new();
+    let mut used = vec![rhs];
+    for _ in 0..lhs_size {
+        let a = rng.gen_range(0..schema_arity);
+        if used.contains(&a) {
+            continue;
+        }
+        used.push(a);
+        let pat = if rng.gen_bool(0.5) {
+            Pattern::Wild
+        } else {
+            Pattern::Const(Value::int(rng.gen_range(1..=4)))
+        };
+        lhs.push((a, pat));
+    }
+    let rhs_pat = if rng.gen_bool(0.6) {
+        Pattern::Wild
+    } else {
+        Pattern::Const(Value::int(rng.gen_range(1..=4)))
+    };
+    Cfd::new(lhs, rhs, rhs_pat).expect("valid random CFD")
+}
+
+fn assert_witness_valid(s: &Setup, phi: &Cfd, db: &Database) {
+    db.validate(&s.catalog).expect("witness conforms to schema");
+    for sc in &s.sigma {
+        assert!(
+            satisfy::satisfies(db.relation(sc.rel), &sc.cfd),
+            "witness violates source CFD {}",
+            sc.cfd
+        );
+    }
+    let v = eval_spcu(&s.view, &s.catalog, db);
+    assert!(!satisfy::satisfies(&v, phi), "witness view fails to violate {phi}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, .. ProptestConfig::default() })]
+
+    /// Soundness of the cover: everything in it is propagated per the
+    /// independent checker.
+    #[test]
+    fn cover_is_sound(seed in 0u64..10_000, m in 4usize..14, y in 3usize..7,
+                      f in 0usize..4, ec in 1usize..3) {
+        let s = build(seed, m, y, f, ec);
+        prop_assume!(s.cover.complete);
+        for cfd in &s.cover.cfds {
+            let verdict = propagates(&s.catalog, &s.sigma, &s.view, cfd, Setting::InfiniteDomain)
+                .expect("valid inputs");
+            prop_assert!(
+                verdict.is_propagated(),
+                "cover CFD {} not confirmed by the checker", cfd
+            );
+        }
+    }
+
+    /// Agreement on random queries: checker verdict == cover implication,
+    /// and counterexample witnesses are semantically valid.
+    #[test]
+    fn checker_and_cover_agree(seed in 0u64..10_000, m in 4usize..14, y in 3usize..7,
+                               f in 0usize..4, ec in 1usize..3, queries in 1usize..6) {
+        let s = build(seed, m, y, f, ec);
+        prop_assume!(s.cover.complete);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+        for _ in 0..queries {
+            let phi = random_view_cfd(s.view.schema().arity(), &mut rng);
+            let verdict = propagates(&s.catalog, &s.sigma, &s.view, &phi, Setting::InfiniteDomain)
+                .expect("valid inputs");
+            let by_cover = s.cover.implies(&phi, &s.domains);
+            match &verdict {
+                Verdict::Propagated => prop_assert!(
+                    by_cover,
+                    "checker says propagated, cover misses it: {} (cover {:?})",
+                    phi, s.cover.cfds
+                ),
+                Verdict::NotPropagated(w) => {
+                    prop_assert!(
+                        !by_cover,
+                        "cover claims propagated, checker refutes: {} (cover {:?})",
+                        phi, s.cover.cfds
+                    );
+                    assert_witness_valid(&s, &phi, &w.database);
+                }
+            }
+        }
+    }
+
+    /// Emptiness claims match both the witness API and actual evaluation on
+    /// random databases satisfying Σ.
+    #[test]
+    fn emptiness_is_semantically_correct(seed in 0u64..10_000, m in 4usize..14,
+                                         f in 0usize..4, ec in 1usize..3) {
+        let s = build(seed, m, 4, f, ec);
+        let witness = non_emptiness_witness(&s.catalog, &s.sigma, &s.view, Setting::InfiniteDomain)
+            .expect("valid inputs");
+        prop_assert_eq!(s.cover.always_empty, witness.is_none());
+        match witness {
+            Some(db) => {
+                db.validate(&s.catalog).unwrap();
+                for sc in &s.sigma {
+                    prop_assert!(satisfy::satisfies(db.relation(sc.rel), &sc.cfd));
+                }
+                prop_assert!(!eval_spcu(&s.view, &s.catalog, &db).is_empty());
+            }
+            None => {
+                // every generated database satisfying Σ yields an empty view
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+                for _ in 0..3 {
+                    let db = gen_database(
+                        &s.catalog,
+                        &s.sigma,
+                        &InstanceGenConfig { tuples_per_relation: 12, value_range: 4 },
+                        &mut rng,
+                    );
+                    prop_assert!(eval_spcu(&s.view, &s.catalog, &db).is_empty());
+                }
+            }
+        }
+    }
+
+    /// View dependencies that hold on *every* generated database (a
+    /// necessary condition of propagation): whenever the checker says
+    /// "propagated", evaluation must never find a violation.
+    #[test]
+    fn propagated_cfds_hold_on_generated_data(seed in 0u64..10_000, m in 4usize..14,
+                                              y in 3usize..7, ec in 1usize..3) {
+        let s = build(seed, m, y, 2, ec);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let phi = random_view_cfd(s.view.schema().arity(), &mut rng);
+        let verdict = propagates(&s.catalog, &s.sigma, &s.view, &phi, Setting::InfiniteDomain)
+            .expect("valid inputs");
+        if verdict.is_propagated() {
+            for _ in 0..3 {
+                let db = gen_database(
+                    &s.catalog,
+                    &s.sigma,
+                    &InstanceGenConfig { tuples_per_relation: 10, value_range: 3 },
+                    &mut rng,
+                );
+                let v = eval_spcu(&s.view, &s.catalog, &db);
+                prop_assert!(
+                    satisfy::satisfies(&v, &phi),
+                    "propagated CFD {} violated on a generated database", phi
+                );
+            }
+        }
+    }
+}

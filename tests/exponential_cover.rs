@@ -1,0 +1,143 @@
+//! Example 4.1 — the inherently exponential propagation-cover family.
+//!
+//! Schema R(A1..An, B1..Bn, C1..Cn, D) with Σ = {Ai → Ci, Bi → Ci,
+//! C1...Cn → D}; the view projects away the Ci. Every cover of the
+//! propagated FDs must contain all 2^n dependencies
+//! {A1|B1} ... {An|Bn} → D (Fischer, Jou & Tsou [9]).
+//!
+//! This is the worst case that justifies RBR over the closure-based
+//! textbook method — and the case where the paper's polynomial-time
+//! *heuristic* (a bounded RBR returning a sound subset) earns its keep.
+
+use cfd_model::{Cfd, SourceCfd};
+use cfd_propagation::cover::RbrOptions;
+use cfd_propagation::{prop_cfd_spc, CoverOptions};
+use cfd_relalg::schema::{Attribute, Catalog, RelId, RelationSchema};
+use cfd_relalg::query::SpcQuery;
+use cfd_relalg::query::{ColRef, OutputCol, ProdCol};
+use cfd_relalg::DomainKind;
+
+/// Attribute layout: Ai = i, Bi = n + i, Ci = 2n + i, D = 3n.
+struct Family {
+    catalog: Catalog,
+    rel: RelId,
+    sigma: Vec<SourceCfd>,
+    view: SpcQuery,
+    n: usize,
+}
+
+fn family(n: usize) -> Family {
+    let mut attrs = Vec::new();
+    for i in 0..n {
+        attrs.push(Attribute::new(format!("A{i}"), DomainKind::Int));
+    }
+    for i in 0..n {
+        attrs.push(Attribute::new(format!("B{i}"), DomainKind::Int));
+    }
+    for i in 0..n {
+        attrs.push(Attribute::new(format!("C{i}"), DomainKind::Int));
+    }
+    attrs.push(Attribute::new("D", DomainKind::Int));
+    let mut catalog = Catalog::new();
+    let rel = catalog.add(RelationSchema::new("R", attrs).unwrap()).unwrap();
+
+    let mut sigma = Vec::new();
+    for i in 0..n {
+        sigma.push(SourceCfd::new(rel, Cfd::fd(&[i], 2 * n + i).unwrap()));
+        sigma.push(SourceCfd::new(rel, Cfd::fd(&[n + i], 2 * n + i).unwrap()));
+    }
+    let cs: Vec<usize> = (0..n).map(|i| 2 * n + i).collect();
+    sigma.push(SourceCfd::new(rel, Cfd::fd(&cs, 3 * n).unwrap()));
+
+    // Project onto the Ai, Bi and D (drop the Ci).
+    let keep: Vec<usize> = (0..n).chain(n..2 * n).chain([3 * n]).collect();
+    let view = SpcQuery {
+        atoms: vec![rel],
+        constants: vec![],
+        selection: vec![],
+        output: keep
+            .iter()
+            .map(|&k| OutputCol {
+                name: catalog.schema(rel).attributes[k].name.clone(),
+                src: ColRef::Prod(ProdCol::new(0, k)),
+            })
+            .collect(),
+    };
+    Family { catalog, rel, sigma, view, n }
+}
+
+/// Count the cover CFDs of the form η1...ηn → D.
+fn d_rules(cover: &[Cfd], n: usize) -> usize {
+    let d_pos = 2 * n; // D is the last output column
+    cover.iter().filter(|c| c.rhs_attr() == d_pos && c.lhs().len() == n).count()
+}
+
+#[test]
+fn cover_blows_up_exponentially() {
+    for n in 1..=4usize {
+        let f = family(n);
+        let cover =
+            prop_cfd_spc(&f.catalog, &f.sigma, &f.view, &CoverOptions::default()).unwrap();
+        assert!(cover.complete);
+        assert_eq!(
+            d_rules(&cover.cfds, n),
+            1 << n,
+            "n = {n}: expected 2^n = {} D-rules in {:?}",
+            1 << n,
+            cover.cfds
+        );
+    }
+}
+
+#[test]
+fn every_choice_function_rule_present() {
+    let n = 3;
+    let f = family(n);
+    let cover = prop_cfd_spc(&f.catalog, &f.sigma, &f.view, &CoverOptions::default()).unwrap();
+    // view positions: Ai = i, Bi = n + i, D = 2n
+    for mask in 0..(1usize << n) {
+        let lhs: Vec<usize> =
+            (0..n).map(|i| if mask >> i & 1 == 0 { i } else { n + i }).collect();
+        let expect = Cfd::fd(&lhs, 2 * n).unwrap();
+        assert!(
+            cover.cfds.contains(&expect),
+            "missing choice rule {expect} (mask {mask:b})"
+        );
+    }
+}
+
+#[test]
+fn heuristic_bound_returns_sound_subset() {
+    let n = 5;
+    let f = family(n);
+    let opts = CoverOptions {
+        rbr: RbrOptions { max_size: Some(16), ..Default::default() },
+        ..Default::default()
+    };
+    let bounded = prop_cfd_spc(&f.catalog, &f.sigma, &f.view, &opts).unwrap();
+    assert!(!bounded.complete, "2^5 = 32 D-rules cannot fit in 16");
+    // Soundness: everything returned is in the unbounded cover's closure.
+    let full = prop_cfd_spc(&f.catalog, &f.sigma, &f.view, &CoverOptions::default()).unwrap();
+    let domains: Vec<DomainKind> =
+        f.view.view_schema(&f.catalog).columns.into_iter().map(|(_, d)| d).collect();
+    for c in &bounded.cfds {
+        assert!(
+            cfd_model::implication::implies(&full.cfds, c, &domains),
+            "bounded cover emitted a non-propagated CFD: {c}"
+        );
+    }
+}
+
+#[test]
+fn ai_to_ci_rules_do_not_survive_projection() {
+    let f = family(3);
+    let cover = prop_cfd_spc(&f.catalog, &f.sigma, &f.view, &CoverOptions::default()).unwrap();
+    // No cover CFD may mention a dropped Ci — they are not view columns.
+    // (All view positions are < 2n + 1; this asserts translation sanity:
+    // every mentioned attr is a valid view position.)
+    let width = 2 * f.n + 1;
+    for c in &cover.cfds {
+        assert!(c.max_attr() < width, "cover CFD mentions a dropped column: {c}");
+    }
+    let _ = f.rel;
+}

@@ -1,0 +1,97 @@
+//! FD-only cross-validation: on projection views with plain-FD sources,
+//! `PropCFD_SPC` must agree with the classical closure-based projection
+//! cover ("compute F⁺ and project", the textbook method of §4.1) — the two
+//! covers must be equivalent FD sets.
+
+use cfd_model::fd::{closure_projection_cover, implies_fd, Fd};
+use cfd_model::SourceCfd;
+use cfd_propagation::cover::{prop_cfd_spc, CoverOptions};
+use cfd_relalg::{Attribute, Catalog, DomainKind, RaExpr, RelationSchema};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn setup(seed: u64, arity: usize, fd_count: usize, keep_count: usize) -> (Catalog, Vec<Fd>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut catalog = Catalog::new();
+    catalog
+        .add(
+            RelationSchema::new(
+                "R",
+                (0..arity).map(|i| Attribute::new(format!("a{i}"), DomainKind::Int)).collect(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let mut fds = Vec::new();
+    for _ in 0..fd_count {
+        let lhs_size = rng.gen_range(1..=2usize);
+        let lhs: Vec<usize> = (0..lhs_size).map(|_| rng.gen_range(0..arity)).collect();
+        let rhs = rng.gen_range(0..arity);
+        let fd = Fd::new(lhs, rhs);
+        if !fd.is_trivial() {
+            fds.push(fd);
+        }
+    }
+    let mut keep: Vec<usize> = (0..arity).collect();
+    for _ in 0..(arity - keep_count) {
+        let i = rng.gen_range(0..keep.len());
+        keep.remove(i);
+    }
+    (catalog, fds, keep)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 30, .. ProptestConfig::default() })]
+
+    #[test]
+    fn rbr_cover_equals_closure_baseline(seed in 0u64..10_000, arity in 4usize..7,
+                                          fd_count in 2usize..8, keep_count in 2usize..4) {
+        let (catalog, fds, keep) = setup(seed, arity, fd_count, keep_count);
+        let rel = catalog.rel_id("R").unwrap();
+        let sigma: Vec<SourceCfd> =
+            fds.iter().map(|f| SourceCfd::new(rel, f.to_cfd())).collect();
+        let keep_names: Vec<String> = keep.iter().map(|i| format!("a{i}")).collect();
+        let keep_refs: Vec<&str> = keep_names.iter().map(String::as_str).collect();
+        let view = RaExpr::rel("R").project(&keep_refs).normalize(&catalog).unwrap();
+
+        let cover = prop_cfd_spc(
+            &catalog,
+            &sigma,
+            &view.branches[0],
+            &CoverOptions {
+                rbr: cfd_propagation::cover::RbrOptions { mincover_chunk: None, max_size: None },
+                skip_final_mincover: false,
+            },
+        )
+        .unwrap();
+        prop_assert!(cover.complete && !cover.always_empty);
+
+        // Translate the RBR cover to FDs over original attribute indices.
+        let rbr_fds: Vec<Fd> = cover
+            .cfds
+            .iter()
+            .map(|c| {
+                let f = Fd::from_cfd(c).expect("FD sources yield FD covers");
+                Fd::new(f.lhs.iter().map(|o| keep[*o]), keep[f.rhs])
+            })
+            .collect();
+        let baseline = closure_projection_cover(&fds, &keep);
+
+        // Mutual implication = equivalence of the two covers.
+        for f in &baseline {
+            prop_assert!(
+                implies_fd(&rbr_fds, f),
+                "RBR cover {:?} misses baseline FD {} (baseline {:?})",
+                rbr_fds, f, baseline
+            );
+        }
+        for f in &rbr_fds {
+            prop_assert!(
+                implies_fd(&baseline, f),
+                "RBR cover has unsound FD {} (baseline {:?})",
+                f, baseline
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Integration tests for the text format: parse → analyze → render → parse.
+
+use cfd_propagation::cover::{prop_cfd_spc, CoverOptions};
+use cfd_propagation::{propagates, Setting};
+use cfd_text::{render, Document};
+use proptest::prelude::*;
+
+const EXAMPLE: &str = r#"
+# Example 1.1, machine-readable
+schema R1(AC: string, phn: string, name: string, street: string, city: string, zip: string);
+schema R2(AC: string, phn: string, name: string, street: string, city: string, zip: string);
+schema R3(AC: string, phn: string, name: string, street: string, city: string, zip: string);
+
+cfd f1: R1([zip] -> [street], (_ || _));
+cfd f2: R1([AC] -> [city], (_ || _));
+cfd f3: R3([AC] -> [city], (_ || _));
+cfd cfd1: R1([AC] -> [city], ('20' || 'ldn'));
+cfd cfd2: R3([AC] -> [city], ('20' || 'Amsterdam'));
+
+view V = union(product(R1, const(CC: '44')),
+         union(product(R2, const(CC: '01')),
+               product(R3, const(CC: '31'))));
+
+vcfd phi1: V([CC, zip] -> [street], ('44', _ || _));
+vcfd phi2: V([CC, AC] -> [city], ('44', _ || _));
+vcfd phi4: V([CC, AC] -> [city], ('44', '20' || 'ldn'));
+"#;
+
+#[test]
+fn parse_analyze_example_1_1() {
+    let doc = Document::parse(EXAMPLE).unwrap();
+    let view = doc.view("V").unwrap();
+    let sigma = doc.sigma();
+    for vc in &doc.view_cfds {
+        let verdict =
+            propagates(&doc.catalog, &sigma, &view.query, &vc.cfd, Setting::InfiniteDomain)
+                .unwrap();
+        assert!(verdict.is_propagated(), "{:?} must be propagated", vc.name);
+    }
+}
+
+#[test]
+fn render_round_trip_preserves_analysis() {
+    let doc = Document::parse(EXAMPLE).unwrap();
+    let text = render(&doc);
+    let doc2 = Document::parse(&text).unwrap_or_else(|e| panic!("re-parse: {e}\n{text}"));
+    assert_eq!(doc.catalog, doc2.catalog);
+    assert_eq!(doc.sigma(), doc2.sigma());
+    assert_eq!(doc.view("V").unwrap().query, doc2.view("V").unwrap().query);
+}
+
+#[test]
+fn cover_through_text_pipeline() {
+    let doc = Document::parse(
+        r#"
+        schema R(A: int, B: int, C: int, D: int);
+        cfd R([A] -> [C], (_ || _));
+        cfd R([C] -> [B], (_ || _));
+        view V = project(select(R, D = 7), A, B);
+        "#,
+    )
+    .unwrap();
+    let view = doc.view("V").unwrap();
+    let cover = prop_cfd_spc(
+        &doc.catalog,
+        &doc.sigma(),
+        &view.query.branches[0],
+        &CoverOptions::default(),
+    )
+    .unwrap();
+    // A → B survives through the dropped C; D = 7 is not in Y.
+    assert_eq!(cover.cfds, vec![cfd_model::Cfd::fd(&[0], 1).unwrap()]);
+}
+
+/// Strategy for random CFD documents: a schema plus pattern CFDs.
+fn doc_strategy() -> impl Strategy<Value = String> {
+    (2usize..6, proptest::collection::vec((0usize..5, 0usize..5, -3i64..4), 1..6)).prop_map(
+        |(arity, cfds)| {
+            let mut s = String::from("schema R(");
+            for i in 0..arity {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("a{i}: int"));
+            }
+            s.push_str(");\n");
+            for (lhs, rhs, pat) in cfds {
+                let (lhs, rhs) = (lhs % arity, rhs % arity);
+                if lhs == rhs {
+                    continue;
+                }
+                let lhs_pat =
+                    if pat < 0 { "_".to_string() } else { pat.to_string() };
+                s.push_str(&format!("cfd R([a{lhs}] -> [a{rhs}], ({lhs_pat} || _));\n"));
+            }
+            s
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_documents_round_trip(src in doc_strategy()) {
+        let doc = Document::parse(&src).unwrap();
+        let text = render(&doc);
+        let doc2 = Document::parse(&text).unwrap();
+        prop_assert_eq!(&doc.catalog, &doc2.catalog);
+        prop_assert_eq!(doc.sigma(), doc2.sigma());
+    }
+}
