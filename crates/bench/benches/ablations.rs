@@ -21,7 +21,15 @@ use std::time::Duration;
 
 /// Example 4.1: R(A1..An, B1..Bn, C1..Cn, D); Σ = {Ai → Ci, Bi → Ci,
 /// C1...Cn → D}; the view projects out the Ci.
-fn example_4_1(n: usize) -> (Catalog, Vec<SourceCfd>, cfd_relalg::SpcQuery, Vec<Fd>, Vec<usize>) {
+fn example_4_1(
+    n: usize,
+) -> (
+    Catalog,
+    Vec<SourceCfd>,
+    cfd_relalg::SpcQuery,
+    Vec<Fd>,
+    Vec<usize>,
+) {
     let mut attrs = Vec::new();
     for i in 0..n {
         attrs.push(Attribute::new(format!("A{i}"), DomainKind::Int));
@@ -34,7 +42,9 @@ fn example_4_1(n: usize) -> (Catalog, Vec<SourceCfd>, cfd_relalg::SpcQuery, Vec<
     }
     attrs.push(Attribute::new("D", DomainKind::Int));
     let mut catalog = Catalog::new();
-    let r = catalog.add(RelationSchema::new("R", attrs).unwrap()).unwrap();
+    let r = catalog
+        .add(RelationSchema::new("R", attrs).unwrap())
+        .unwrap();
     let mut sigma = Vec::new();
     let mut fds = Vec::new();
     for i in 0..n {
@@ -52,7 +62,10 @@ fn example_4_1(n: usize) -> (Catalog, Vec<SourceCfd>, cfd_relalg::SpcQuery, Vec<
         .chain(["D".to_string()])
         .collect();
     let keep_refs: Vec<&str> = keep_names.iter().map(String::as_str).collect();
-    let view = RaExpr::rel("R").project(&keep_refs).normalize(&catalog).unwrap();
+    let view = RaExpr::rel("R")
+        .project(&keep_refs)
+        .normalize(&catalog)
+        .unwrap();
     let keep_idx: Vec<usize> = (0..n).chain(n..2 * n).chain([3 * n]).collect();
     (catalog, sigma, view.branches[0].clone(), fds, keep_idx)
 }
@@ -66,7 +79,10 @@ fn exponential_family(c: &mut Criterion) {
             b.iter(|| {
                 // no partitioned MinCover: we want the raw resolution cost
                 let opts = CoverOptions {
-                    rbr: RbrOptions { mincover_chunk: None, max_size: None },
+                    rbr: RbrOptions {
+                        mincover_chunk: None,
+                        max_size: None,
+                    },
                     skip_final_mincover: true,
                 };
                 prop_cfd_spc(&catalog, &sigma, &view, &opts).unwrap()
@@ -85,13 +101,19 @@ fn exponential_family(c: &mut Criterion) {
 fn mincover_partition(c: &mut Criterion) {
     let mut g = c.benchmark_group("mincover_partition");
     g.sample_size(10).measurement_time(Duration::from_secs(5));
-    let cfg = PointConfig { sigma: 600, ..Default::default() };
+    let cfg = PointConfig {
+        sigma: 600,
+        ..Default::default()
+    };
     let w = make_workload(&cfg, 0xC0FFEE);
     for (label, chunk) in [("off", None), ("chunk16", Some(16)), ("chunk64", Some(64))] {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let opts = CoverOptions {
-                    rbr: RbrOptions { mincover_chunk: chunk, max_size: None },
+                    rbr: RbrOptions {
+                        mincover_chunk: chunk,
+                        max_size: None,
+                    },
                     skip_final_mincover: false,
                 };
                 prop_cfd_spc(&w.catalog, &w.sigma, &w.view, &opts).unwrap()
@@ -105,11 +127,18 @@ fn heuristic_bound(c: &mut Criterion) {
     let mut g = c.benchmark_group("heuristic_bound");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     let (catalog, sigma, view, _, _) = example_4_1(8);
-    for (label, bound) in [("exact", None), ("bounded256", Some(256)), ("bounded64", Some(64))] {
+    for (label, bound) in [
+        ("exact", None),
+        ("bounded256", Some(256)),
+        ("bounded64", Some(64)),
+    ] {
         g.bench_function(label, |b| {
             b.iter(|| {
                 let opts = CoverOptions {
-                    rbr: RbrOptions { mincover_chunk: None, max_size: bound },
+                    rbr: RbrOptions {
+                        mincover_chunk: None,
+                        max_size: bound,
+                    },
                     skip_final_mincover: true,
                 };
                 prop_cfd_spc(&catalog, &sigma, &view, &opts).unwrap()
@@ -119,5 +148,10 @@ fn heuristic_bound(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(ablations, exponential_family, mincover_partition, heuristic_bound);
+criterion_group!(
+    ablations,
+    exponential_family,
+    mincover_partition,
+    heuristic_bound
+);
 criterion_main!(ablations);

@@ -3,9 +3,9 @@
 //! quadratic reference), incremental insert validation, greedy repair, and
 //! CIND satisfaction / saturation.
 
-use cfd_clean::{detect_all, repair, InsertChecker};
 use cfd_cind::implication::{saturate, ImplicationOptions};
 use cfd_cind::Cind;
+use cfd_clean::{detect_all, repair, InsertChecker};
 use cfd_model::satisfy;
 use cfd_model::{Cfd, Pattern};
 use cfd_relalg::instance::{Database, Relation, Tuple};
@@ -137,7 +137,9 @@ fn cind_machinery(c: &mut Criterion) {
                 cfd_relalg::RelationSchema::new(
                     name,
                     (0..3)
-                        .map(|i| cfd_relalg::Attribute::new(format!("c{i}"), cfd_relalg::DomainKind::Int))
+                        .map(|i| {
+                            cfd_relalg::Attribute::new(format!("c{i}"), cfd_relalg::DomainKind::Int)
+                        })
                         .collect(),
                 )
                 .unwrap(),
@@ -158,11 +160,15 @@ fn cind_machinery(c: &mut Criterion) {
         for _ in 0..n {
             db.insert(
                 RelId(0),
-                (0..3).map(|_| Value::int(rng.gen_range(0..n as i64 / 2))).collect(),
+                (0..3)
+                    .map(|_| Value::int(rng.gen_range(0..n as i64 / 2)))
+                    .collect(),
             );
             db.insert(
                 RelId(1),
-                (0..3).map(|_| Value::int(rng.gen_range(0..n as i64 / 2))).collect(),
+                (0..3)
+                    .map(|_| Value::int(rng.gen_range(0..n as i64 / 2)))
+                    .collect(),
             );
         }
         g.bench_with_input(BenchmarkId::new("satisfaction", n), &n, |b, _| {
@@ -177,12 +183,25 @@ fn cind_machinery(c: &mut Criterion) {
             .collect();
         g.bench_with_input(BenchmarkId::new("saturation_chain", k), &k, |b, _| {
             b.iter(|| {
-                saturate(&chain, &ImplicationOptions { max_set: 4096, max_rounds: 8 }).len()
+                saturate(
+                    &chain,
+                    &ImplicationOptions {
+                        max_set: 4096,
+                        max_rounds: 8,
+                    },
+                )
+                .len()
             })
         });
     }
     g.finish();
 }
 
-criterion_group!(cleaning, detection, incremental, greedy_repair, cind_machinery);
+criterion_group!(
+    cleaning,
+    detection,
+    incremental,
+    greedy_repair,
+    cind_machinery
+);
 criterion_main!(cleaning);

@@ -1,0 +1,32 @@
+//! The `columnar` criterion group: seed row-wise detection vs the
+//! dictionary-encoded columnar + parallel path, at 10k / 100k / 500k
+//! tuples × 20 CFDs (ISSUE 1 acceptance: ≥ 5× at 100k).
+//!
+//! `cargo run --release -p cfd-bench --bin columnar_exp` runs the same
+//! comparison outside the criterion harness and emits
+//! `BENCH_columnar.json`.
+
+use cfd_bench::columnar::{detection_sigma, dirty_relation};
+use cfd_clean::{detect_all, detect_all_rowwise};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn detection(c: &mut Criterion) {
+    let sigma = detection_sigma();
+    let mut g = c.benchmark_group("columnar");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    for n in [10_000usize, 100_000, 500_000] {
+        let rel = dirty_relation(n, 0xC0FFEE);
+        g.bench_with_input(BenchmarkId::new("rowwise_detect_all", n), &n, |b, _| {
+            b.iter(|| detect_all_rowwise(&rel, &sigma))
+        });
+        g.bench_with_input(BenchmarkId::new("columnar_detect_all", n), &n, |b, _| {
+            b.iter(|| detect_all(&rel, &sigma))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(columnar, detection);
+criterion_main!(columnar);

@@ -25,7 +25,15 @@ fn fig5(c: &mut Criterion) {
     // Fig 5(a): runtime vs |Σ| (var% = 40)
     let configs: Vec<(String, PointConfig)> = [200usize, 600, 1000]
         .iter()
-        .map(|&m| (format!("sigma={m}"), PointConfig { sigma: m, ..Default::default() }))
+        .map(|&m| {
+            (
+                format!("sigma={m}"),
+                PointConfig {
+                    sigma: m,
+                    ..Default::default()
+                },
+            )
+        })
         .collect();
     bench_cover(c, "fig5_vary_sigma", &configs);
 }
@@ -34,7 +42,16 @@ fn fig6(c: &mut Criterion) {
     // Fig 6(a): runtime vs |Y| (|Σ| reduced to 600 for bench time)
     let configs: Vec<(String, PointConfig)> = [10usize, 25, 40]
         .iter()
-        .map(|&y| (format!("y={y}"), PointConfig { sigma: 600, y, ..Default::default() }))
+        .map(|&y| {
+            (
+                format!("y={y}"),
+                PointConfig {
+                    sigma: 600,
+                    y,
+                    ..Default::default()
+                },
+            )
+        })
         .collect();
     bench_cover(c, "fig6_vary_y", &configs);
 }
@@ -43,7 +60,16 @@ fn fig7(c: &mut Criterion) {
     // Fig 7(a): runtime vs |F|
     let configs: Vec<(String, PointConfig)> = [1usize, 5, 10]
         .iter()
-        .map(|&f| (format!("f={f}"), PointConfig { sigma: 600, f, ..Default::default() }))
+        .map(|&f| {
+            (
+                format!("f={f}"),
+                PointConfig {
+                    sigma: 600,
+                    f,
+                    ..Default::default()
+                },
+            )
+        })
         .collect();
     bench_cover(c, "fig7_vary_f", &configs);
 }
@@ -52,7 +78,16 @@ fn fig8(c: &mut Criterion) {
     // Fig 8(a): runtime vs |Ec|
     let configs: Vec<(String, PointConfig)> = [2usize, 4, 8]
         .iter()
-        .map(|&ec| (format!("ec={ec}"), PointConfig { sigma: 600, ec, ..Default::default() }))
+        .map(|&ec| {
+            (
+                format!("ec={ec}"),
+                PointConfig {
+                    sigma: 600,
+                    ec,
+                    ..Default::default()
+                },
+            )
+        })
         .collect();
     bench_cover(c, "fig8_vary_ec", &configs);
 }

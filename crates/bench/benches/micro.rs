@@ -51,7 +51,10 @@ fn propagation_check(c: &mut Criterion) {
     let mut g = c.benchmark_group("propagation_check");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     for m in [200usize, 1000] {
-        let cfg = PointConfig { sigma: m, ..Default::default() };
+        let cfg = PointConfig {
+            sigma: m,
+            ..Default::default()
+        };
         let w = make_workload(&cfg, 0xC0FFEE);
         let view = SpcuQuery::single(&w.catalog, w.view.clone()).unwrap();
         // check the first source CFD's projection-free image — a mix of
@@ -70,7 +73,10 @@ fn emptiness(c: &mut Criterion) {
     let mut g = c.benchmark_group("emptiness");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     for m in [200usize, 1000] {
-        let cfg = PointConfig { sigma: m, ..Default::default() };
+        let cfg = PointConfig {
+            sigma: m,
+            ..Default::default()
+        };
         let w = make_workload(&cfg, 0xC0FFEE);
         let view = SpcuQuery::single(&w.catalog, w.view.clone()).unwrap();
         g.bench_with_input(BenchmarkId::new("random_view", m), &m, |b, _| {

@@ -29,12 +29,23 @@ use std::time::Instant;
 fn main() {
     let mut rng = StdRng::seed_from_u64(0xC1EA);
     let catalog = gen_schema(
-        &SchemaGenConfig { relations: 4, min_arity: 5, max_arity: 8, finite_ratio: 0.0 },
+        &SchemaGenConfig {
+            relations: 4,
+            min_arity: 5,
+            max_arity: 8,
+            finite_ratio: 0.0,
+        },
         &mut rng,
     );
     let sigma = gen_cfds(
         &catalog,
-        &CfdGenConfig { count: 24, lhs_max: 3, var_pct: 0.5, const_range: 6, ..Default::default() },
+        &CfdGenConfig {
+            count: 24,
+            lhs_max: 3,
+            var_pct: 0.5,
+            const_range: 6,
+            ..Default::default()
+        },
         &mut rng,
     );
 
@@ -54,7 +65,10 @@ fn main() {
         for seed in 0..DATASETS as u64 {
             let mut rng = StdRng::seed_from_u64(seed * 7 + 1);
             let cfg = DirtyGenConfig {
-                base: InstanceGenConfig { tuples_per_relation: 200, value_range: 6 },
+                base: InstanceGenConfig {
+                    tuples_per_relation: 200,
+                    value_range: 6,
+                },
                 error_rate,
             };
             let (db, log) = gen_dirty_database(&catalog, &sigma, &cfg, &mut rng);

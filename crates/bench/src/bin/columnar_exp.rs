@@ -1,0 +1,61 @@
+//! The columnar-detection experiment: seed row-wise `detect_all` vs the
+//! dictionary-encoded columnar + parallel path, at 10k / 100k / 500k
+//! tuples × 20 CFDs. Prints a table and writes `BENCH_columnar.json`
+//! (ISSUE 1: record the measured speedup).
+//!
+//! ```text
+//! cargo run --release -p cfd-bench --bin columnar_exp [--runs N] [--out PATH]
+//! ```
+
+use cfd_bench::columnar::compare_detection;
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let runs: usize = flag("--runs").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_columnar.json".into());
+
+    println!("# columnar violation detection vs seed row-wise (20 CFDs, best of {runs})");
+    println!(
+        "{:>9} | {:>14} | {:>14} | {:>9} | {:>11}",
+        "tuples", "rowwise s", "columnar s", "speedup", "violations"
+    );
+    println!("{}", "-".repeat(70));
+
+    let mut json = String::from(
+        "{\n  \"experiment\": \"columnar_detection\",\n  \"cfds\": 20,\n  \"points\": [\n",
+    );
+    let sizes = [10_000usize, 100_000, 500_000];
+    for (i, &n) in sizes.iter().enumerate() {
+        let p = compare_detection(n, runs);
+        println!(
+            "{:>9} | {:>14.4} | {:>14.4} | {:>8.1}x | {:>11}",
+            p.tuples,
+            p.rowwise.as_secs_f64(),
+            p.columnar.as_secs_f64(),
+            p.speedup(),
+            p.violations
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"tuples\": {}, \"rowwise_s\": {:.6}, \"columnar_s\": {:.6}, \"speedup\": {:.2}, \"violations\": {}}}{}",
+            p.tuples,
+            p.rowwise.as_secs_f64(),
+            p.columnar.as_secs_f64(),
+            p.speedup(),
+            p.violations,
+            if i + 1 < sizes.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

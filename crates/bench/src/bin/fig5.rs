@@ -6,11 +6,31 @@ use cfd_bench::{cli, run_point, PointConfig};
 
 fn main() {
     let (datasets, runs) = cli::repeats();
-    cli::header("Figure 5: varying source CFDs (|Y|=25, |F|=10, |Ec|=4)", "|Sigma|");
+    cli::header(
+        "Figure 5: varying source CFDs (|Y|=25, |F|=10, |Ec|=4)",
+        "|Sigma|",
+    );
     for m in (200..=2000).step_by(200) {
-        let base = PointConfig { sigma: m, ..Default::default() };
-        let a = run_point(&PointConfig { var_pct: 0.4, ..base.clone() }, datasets, runs);
-        let b = run_point(&PointConfig { var_pct: 0.5, ..base }, datasets, runs);
+        let base = PointConfig {
+            sigma: m,
+            ..Default::default()
+        };
+        let a = run_point(
+            &PointConfig {
+                var_pct: 0.4,
+                ..base.clone()
+            },
+            datasets,
+            runs,
+        );
+        let b = run_point(
+            &PointConfig {
+                var_pct: 0.5,
+                ..base
+            },
+            datasets,
+            runs,
+        );
         cli::row(m, &a, &b);
     }
 }

@@ -6,11 +6,31 @@ use cfd_bench::{cli, run_point, PointConfig};
 
 fn main() {
     let (datasets, runs) = cli::repeats();
-    cli::header("Figure 6: varying |Y| (|Sigma|=2000, |F|=10, |Ec|=4)", "|Y|");
+    cli::header(
+        "Figure 6: varying |Y| (|Sigma|=2000, |F|=10, |Ec|=4)",
+        "|Y|",
+    );
     for y in (5..=50).step_by(5) {
-        let base = PointConfig { y, ..Default::default() };
-        let a = run_point(&PointConfig { var_pct: 0.4, ..base.clone() }, datasets, runs);
-        let b = run_point(&PointConfig { var_pct: 0.5, ..base }, datasets, runs);
+        let base = PointConfig {
+            y,
+            ..Default::default()
+        };
+        let a = run_point(
+            &PointConfig {
+                var_pct: 0.4,
+                ..base.clone()
+            },
+            datasets,
+            runs,
+        );
+        let b = run_point(
+            &PointConfig {
+                var_pct: 0.5,
+                ..base
+            },
+            datasets,
+            runs,
+        );
         cli::row(y, &a, &b);
     }
 }

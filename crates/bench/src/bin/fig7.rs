@@ -7,11 +7,31 @@ use cfd_bench::{cli, run_point, PointConfig};
 
 fn main() {
     let (datasets, runs) = cli::repeats();
-    cli::header("Figure 7: varying |F| (|Sigma|=2000, |Y|=25, |Ec|=4)", "|F|");
+    cli::header(
+        "Figure 7: varying |F| (|Sigma|=2000, |Y|=25, |Ec|=4)",
+        "|F|",
+    );
     for f in 1..=10 {
-        let base = PointConfig { f, ..Default::default() };
-        let a = run_point(&PointConfig { var_pct: 0.4, ..base.clone() }, datasets, runs);
-        let b = run_point(&PointConfig { var_pct: 0.5, ..base }, datasets, runs);
+        let base = PointConfig {
+            f,
+            ..Default::default()
+        };
+        let a = run_point(
+            &PointConfig {
+                var_pct: 0.4,
+                ..base.clone()
+            },
+            datasets,
+            runs,
+        );
+        let b = run_point(
+            &PointConfig {
+                var_pct: 0.5,
+                ..base
+            },
+            datasets,
+            runs,
+        );
         cli::row(f, &a, &b);
     }
 }

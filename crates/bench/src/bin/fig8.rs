@@ -7,11 +7,31 @@ use cfd_bench::{cli, run_point, PointConfig};
 
 fn main() {
     let (datasets, runs) = cli::repeats();
-    cli::header("Figure 8: varying |Ec| (|Sigma|=2000, |Y|=25, |F|=10)", "|Ec|");
+    cli::header(
+        "Figure 8: varying |Ec| (|Sigma|=2000, |Y|=25, |F|=10)",
+        "|Ec|",
+    );
     for ec in 2..=11 {
-        let base = PointConfig { ec, ..Default::default() };
-        let a = run_point(&PointConfig { var_pct: 0.4, ..base.clone() }, datasets, runs);
-        let b = run_point(&PointConfig { var_pct: 0.5, ..base }, datasets, runs);
+        let base = PointConfig {
+            ec,
+            ..Default::default()
+        };
+        let a = run_point(
+            &PointConfig {
+                var_pct: 0.4,
+                ..base.clone()
+            },
+            datasets,
+            runs,
+        );
+        let b = run_point(
+            &PointConfig {
+                var_pct: 0.5,
+                ..base
+            },
+            datasets,
+            runs,
+        );
         cli::row(ec, &a, &b);
     }
 }

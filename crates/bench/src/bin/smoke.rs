@@ -7,11 +7,41 @@ use std::time::Instant;
 fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let catalog = gen_schema(&SchemaGenConfig::default(), &mut rng);
-    for (m, y, f, ec) in [(200, 25, 10, 4), (1000, 25, 10, 4), (2000, 25, 10, 4), (2000, 50, 10, 4), (2000, 40, 10, 4)] {
-        let sigma = gen_cfds(&catalog, &CfdGenConfig { count: m, lhs_max: 9, var_pct: 0.5, ..Default::default() }, &mut rng);
-        let view = gen_spc_view(&catalog, &ViewGenConfig { y, f, ec, const_range: 100_000 }, &mut rng);
+    for (m, y, f, ec) in [
+        (200, 25, 10, 4),
+        (1000, 25, 10, 4),
+        (2000, 25, 10, 4),
+        (2000, 50, 10, 4),
+        (2000, 40, 10, 4),
+    ] {
+        let sigma = gen_cfds(
+            &catalog,
+            &CfdGenConfig {
+                count: m,
+                lhs_max: 9,
+                var_pct: 0.5,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let view = gen_spc_view(
+            &catalog,
+            &ViewGenConfig {
+                y,
+                f,
+                ec,
+                const_range: 100_000,
+            },
+            &mut rng,
+        );
         let t = Instant::now();
         let cover = prop_cfd_spc(&catalog, &sigma, &view, &CoverOptions::default()).unwrap();
-        println!("m={m} y={y} f={f} ec={ec}: {:?} cover={} complete={} empty={}", t.elapsed(), cover.cfds.len(), cover.complete, cover.always_empty);
+        println!(
+            "m={m} y={y} f={f} ec={ec}: {:?} cover={} complete={} empty={}",
+            t.elapsed(),
+            cover.cfds.len(),
+            cover.complete,
+            cover.always_empty
+        );
     }
 }

@@ -75,13 +75,19 @@ fn view_for(fragment: &str, c: &Catalog, arity: usize) -> cfd_relalg::SpcuQuery 
         "SP" => r
             .select(vec![RaCond::EqConst(first, Value::int(1))])
             .project(&[&format!("R{}", 0), &last]),
-        "SC" => r
+        "SC" => r.product(RaExpr::rel("S")).select(vec![RaCond::Eq(
+            format!("R{}", arity - 1),
+            format!("S{}", 0),
+        )]),
+        "PC" => r
             .product(RaExpr::rel("S"))
-            .select(vec![RaCond::Eq(format!("R{}", arity - 1), format!("S{}", 0))]),
-        "PC" => r.product(RaExpr::rel("S")).project(&[&format!("R{}", 0), &last]),
+            .project(&[&format!("R{}", 0), &last]),
         "SPC" => r
             .product(RaExpr::rel("S"))
-            .select(vec![RaCond::Eq(format!("R{}", arity - 1), format!("S{}", 0))])
+            .select(vec![RaCond::Eq(
+                format!("R{}", arity - 1),
+                format!("S{}", 0),
+            )])
             .project(&[&format!("R{}", 0), &format!("S{}", arity - 1)]),
         "SPCU" => {
             let a = RaExpr::rel("R").project(&[&format!("R{}", 0), &last]);
@@ -119,7 +125,10 @@ fn measure_cell(fragment: &str, cfds: bool, setting: Setting, finite: bool) -> S
         let t = Instant::now();
         let verdict = propagates(&c, &sigma, &view, &phi, setting).unwrap();
         let dt = t.elapsed();
-        assert!(verdict.is_propagated(), "{fragment}: chain FD must propagate");
+        assert!(
+            verdict.is_propagated(),
+            "{fragment}: chain FD must propagate"
+        );
         parts.push(format!("n={arity}:{:>7.1}us", dt.as_secs_f64() * 1e6));
     }
     parts.join(" ")
@@ -133,7 +142,10 @@ fn measure_conp_lower_bound() {
         let mut clauses = Vec::new();
         for mask in 0..(1u32 << k) {
             let lits: Vec<Lit> = (0..k)
-                .map(|v| Lit { var: v, positive: (mask >> v) & 1 == 1 })
+                .map(|v| Lit {
+                    var: v,
+                    positive: (mask >> v) & 1 == 1,
+                })
                 .collect();
             let mut arr = [lits[0]; 3];
             for (i, l) in lits.iter().enumerate().take(3) {
@@ -141,12 +153,21 @@ fn measure_conp_lower_bound() {
             }
             clauses.push(arr);
         }
-        let inst = SatInstance { num_vars: k, clauses };
+        let inst = SatInstance {
+            num_vars: k,
+            clauses,
+        };
         assert!(!inst.brute_force_satisfiable());
         let red = reduce_3sat(&inst);
         let t = Instant::now();
-        let verdict =
-            propagates(&red.catalog, &red.sigma, &red.view, &red.psi, Setting::General).unwrap();
+        let verdict = propagates(
+            &red.catalog,
+            &red.sigma,
+            &red.view,
+            &red.psi,
+            Setting::General,
+        )
+        .unwrap();
         let dt = t.elapsed();
         assert!(verdict.is_propagated(), "unsatisfiable => propagated");
         println!(
@@ -160,7 +181,10 @@ fn measure_conp_lower_bound() {
 fn main() {
     println!("# Table 1 — complexity of CFD propagation (measured on chain families)\n");
     println!("## Propagation from FDs to CFDs");
-    println!("{:>6} | {:<22} | {:<22} | measured (infinite setting)", "view", "infinite domain", "general setting");
+    println!(
+        "{:>6} | {:<22} | {:<22} | measured (infinite setting)",
+        "view", "infinite domain", "general setting"
+    );
     println!("{}", "-".repeat(110));
     let fd_rows = [
         ("SP", "PTIME", "PTIME"),
@@ -173,10 +197,16 @@ fn main() {
         let m = measure_cell(frag, false, Setting::InfiniteDomain, false);
         println!("{frag:>6} | {inf:<22} | {gen:<22} | {m}");
     }
-    println!("{:>6} | {:<22} | {:<22} | (not implementable)", "RA", "undecidable", "undecidable");
+    println!(
+        "{:>6} | {:<22} | {:<22} | (not implementable)",
+        "RA", "undecidable", "undecidable"
+    );
 
     println!("\n## Propagation from CFDs to CFDs");
-    println!("{:>6} | {:<22} | {:<22} | measured (infinite setting)", "view", "infinite domain", "general setting");
+    println!(
+        "{:>6} | {:<22} | {:<22} | measured (infinite setting)",
+        "view", "infinite domain", "general setting"
+    );
     println!("{}", "-".repeat(110));
     let cfd_rows = [
         ("S", "PTIME", "coNP-complete"),
@@ -189,10 +219,16 @@ fn main() {
         let m = measure_cell(frag, true, Setting::InfiniteDomain, false);
         println!("{frag:>6} | {inf:<22} | {gen:<22} | {m}");
     }
-    println!("{:>6} | {:<22} | {:<22} | (not implementable)", "RA", "undecidable", "undecidable");
+    println!(
+        "{:>6} | {:<22} | {:<22} | (not implementable)",
+        "RA", "undecidable", "undecidable"
+    );
 
     println!("\n# Table 2 — propagation from FDs to FDs");
-    println!("{:>6} | {:<22} | {:<22} | measured (general setting, finite attrs present)", "view", "infinite domain", "general setting");
+    println!(
+        "{:>6} | {:<22} | {:<22} | measured (general setting, finite attrs present)",
+        "view", "infinite domain", "general setting"
+    );
     println!("{}", "-".repeat(110));
     let t2 = [
         ("SP", "PTIME [16,1]", "PTIME"),
@@ -204,7 +240,10 @@ fn main() {
         let m = measure_cell(frag, false, Setting::General, true);
         println!("{frag:>6} | {inf:<22} | {gen:<22} | {m}");
     }
-    println!("{:>6} | {:<22} | {:<22} | (not implementable)", "RA", "undecidable [15]", "undecidable");
+    println!(
+        "{:>6} | {:<22} | {:<22} | (not implementable)",
+        "RA", "undecidable [15]", "undecidable"
+    );
 
     measure_conp_lower_bound();
 }

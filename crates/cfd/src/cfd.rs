@@ -40,15 +40,16 @@ impl Cfd {
         let special_lhs = lhs.iter().any(|(_, p)| *p == Pattern::SpecialVar);
         let special_rhs = rhs_pattern == Pattern::SpecialVar;
         if special_lhs || special_rhs {
-            let ok = special_lhs
-                && special_rhs
-                && lhs.len() == 1
-                && lhs[0].0 != rhs_attr;
+            let ok = special_lhs && special_rhs && lhs.len() == 1 && lhs[0].0 != rhs_attr;
             if !ok {
                 return Err(CfdError::InvalidSpecialVar);
             }
         }
-        Ok(Cfd { lhs, rhs_attr, rhs_pattern })
+        Ok(Cfd {
+            lhs,
+            rhs_attr,
+            rhs_pattern,
+        })
     }
 
     /// A plain FD `X → A` (all-wildcard pattern).
@@ -70,7 +71,11 @@ impl Cfd {
     /// every tuple (the paper uses these for selection constants,
     /// Lemma 4.2(a)).
     pub fn const_col(a: usize, v: impl Into<cfd_relalg::Value>) -> Self {
-        Cfd { lhs: vec![(a, Pattern::Wild)], rhs_attr: a, rhs_pattern: Pattern::Const(v.into()) }
+        Cfd {
+            lhs: vec![(a, Pattern::Wild)],
+            rhs_attr: a,
+            rhs_pattern: Pattern::Const(v.into()),
+        }
     }
 
     /// The LHS: `(attribute, pattern)` pairs, sorted by attribute.
@@ -127,13 +132,19 @@ impl Cfd {
 
     /// The largest attribute index mentioned (for arity validation).
     pub fn max_attr(&self) -> usize {
-        self.attrs().into_iter().max().expect("nonempty: rhs always present")
+        self.attrs()
+            .into_iter()
+            .max()
+            .expect("nonempty: rhs always present")
     }
 
     /// Validate attribute indices against a schema arity.
     pub fn validate_arity(&self, arity: usize) -> Result<(), CfdError> {
         if self.max_attr() >= arity {
-            Err(CfdError::AttrOutOfRange { attr: self.max_attr(), arity })
+            Err(CfdError::AttrOutOfRange {
+                attr: self.max_attr(),
+                arity,
+            })
         } else {
             Ok(())
         }
@@ -149,8 +160,7 @@ impl Cfd {
         match self.lhs_pattern(self.rhs_attr) {
             None => false,
             Some(eta1) => {
-                eta1 == &self.rhs_pattern
-                    || (eta1.is_const() && self.rhs_pattern == Pattern::Wild)
+                eta1 == &self.rhs_pattern || (eta1.is_const() && self.rhs_pattern == Pattern::Wild)
             }
         }
     }
@@ -177,7 +187,11 @@ impl Cfd {
                     .filter(|(a, _)| *a != self.rhs_attr)
                     .cloned()
                     .collect();
-                Cfd { lhs, rhs_attr: self.rhs_attr, rhs_pattern: self.rhs_pattern.clone() }
+                Cfd {
+                    lhs,
+                    rhs_attr: self.rhs_attr,
+                    rhs_pattern: self.rhs_pattern.clone(),
+                }
             }
             _ => self.clone(),
         }
@@ -206,13 +220,20 @@ impl Cfd {
 
     /// Render using attribute names.
     pub fn display<'a>(&'a self, names: &'a [String]) -> CfdDisplay<'a> {
-        CfdDisplay { cfd: self, names: Some(names) }
+        CfdDisplay {
+            cfd: self,
+            names: Some(names),
+        }
     }
 }
 
 impl fmt::Display for Cfd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        CfdDisplay { cfd: self, names: None }.fmt(f)
+        CfdDisplay {
+            cfd: self,
+            names: None,
+        }
+        .fmt(f)
     }
 }
 
@@ -304,7 +325,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(c.lhs_attrs().collect::<Vec<_>>(), vec![1, 3]);
-        assert!(Cfd::new(vec![(1, Pattern::Wild), (1, Pattern::Wild)], 2, Pattern::Wild).is_err());
+        assert!(Cfd::new(
+            vec![(1, Pattern::Wild), (1, Pattern::Wild)],
+            2,
+            Pattern::Wild
+        )
+        .is_err());
     }
 
     #[test]
@@ -345,7 +371,12 @@ mod tests {
         assert!(!n2.is_trivial());
         // AX → A with (a, _ ‖ b), a ≠ b: premise-unsatisfiable but per the
         // paper definition nontrivial
-        let n3 = Cfd::new(vec![(0, Pattern::cst(1)), (1, Pattern::Wild)], 0, Pattern::cst(2)).unwrap();
+        let n3 = Cfd::new(
+            vec![(0, Pattern::cst(1)), (1, Pattern::Wild)],
+            0,
+            Pattern::cst(2),
+        )
+        .unwrap();
         assert!(!n3.is_trivial());
     }
 
@@ -353,7 +384,9 @@ mod tests {
     fn plain_fd_detection() {
         assert!(Cfd::fd(&[0, 1], 2).unwrap().is_plain_fd());
         assert!(!Cfd::const_col(0, 1i64).is_plain_fd());
-        assert!(!Cfd::new(vec![(0, Pattern::cst(5))], 1, Pattern::Wild).unwrap().is_plain_fd());
+        assert!(!Cfd::new(vec![(0, Pattern::cst(5))], 1, Pattern::Wild)
+            .unwrap()
+            .is_plain_fd());
     }
 
     #[test]
@@ -365,7 +398,10 @@ mod tests {
             Pattern::Wild,
         )
         .unwrap();
-        assert_eq!(phi.display(&names).to_string(), "([CC, AC] -> city, ('44', _ || _))");
+        assert_eq!(
+            phi.display(&names).to_string(),
+            "([CC, AC] -> city, ('44', _ || _))"
+        );
     }
 
     #[test]
@@ -382,7 +418,12 @@ mod tests {
 
     #[test]
     fn mentions_and_attrs() {
-        let c = Cfd::new(vec![(1, Pattern::Wild), (3, Pattern::Wild)], 2, Pattern::Wild).unwrap();
+        let c = Cfd::new(
+            vec![(1, Pattern::Wild), (3, Pattern::Wild)],
+            2,
+            Pattern::Wild,
+        )
+        .unwrap();
         assert!(c.mentions(1) && c.mentions(2) && c.mentions(3));
         assert!(!c.mentions(0));
         assert_eq!(c.attrs(), vec![1, 2, 3]);

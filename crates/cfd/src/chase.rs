@@ -124,7 +124,11 @@ impl ChaseInstance {
     pub fn finite_classes(&mut self) -> Vec<(u32, Vec<cfd_relalg::Value>)> {
         let mut seen: Vec<u32> = Vec::new();
         let mut out = Vec::new();
-        let nodes: Vec<u32> = self.rows.iter().flat_map(|r| r.cells.iter().copied()).collect();
+        let nodes: Vec<u32> = self
+            .rows
+            .iter()
+            .flat_map(|r| r.cells.iter().copied())
+            .collect();
         for n in nodes {
             let r = self.uf.find(n);
             if seen.contains(&r) || self.uf.binding(r).is_some() {

@@ -1,0 +1,486 @@
+//! CFD checking over dictionary-encoded columnar relations.
+//!
+//! [`crate::satisfy::find_violation`] is the §2.1 reference: an `O(|D|²)`
+//! scan over tuple pairs, comparing heap [`cfd_relalg::Value`]s. This module
+//! is the production path: a [`Cfd`] is *compiled* against a
+//! [`ValuePool`] into a [`CodedCfd`] whose pattern constants are dense
+//! `u32` codes, after which satisfaction is one hash-group-by pass over the
+//! code columns — `O(|D|)` expected, no `Value` clones, no string
+//! comparisons. Groups are keyed by the LHS code slice; a pattern constant
+//! absent from the pool compiles to [`CodeCell::Absent`], which matches no
+//! row (LHS) or every matching row violates (RHS).
+//!
+//! Equivalence with the pairwise reference is enforced by property tests
+//! (`crates/cfd/tests/properties.rs`).
+
+use crate::cfd::Cfd;
+use crate::pattern::Pattern;
+use cfd_relalg::columnar::ColumnarRelation;
+use cfd_relalg::pool::{Code, ValuePool};
+use rustc_hash::FxHashMap;
+
+/// A pattern cell compiled against a [`ValuePool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CodeCell {
+    /// `_` — matches every code.
+    Wild,
+    /// A constant that is interned: matches exactly this code.
+    Const(Code),
+    /// A constant *not* present in the pool: matches no code at all
+    /// (no row of the encoded relation can carry it).
+    Absent,
+}
+
+impl CodeCell {
+    fn compile(p: &Pattern, pool: &ValuePool) -> CodeCell {
+        match p {
+            Pattern::Wild | Pattern::SpecialVar => CodeCell::Wild,
+            Pattern::Const(v) => match pool.lookup(v) {
+                Some(c) => CodeCell::Const(c),
+                None => CodeCell::Absent,
+            },
+        }
+    }
+
+    /// Does `code` match this compiled cell?
+    #[inline]
+    pub fn matches(&self, code: Code) -> bool {
+        match self {
+            CodeCell::Wild => true,
+            CodeCell::Const(c) => *c == code,
+            CodeCell::Absent => false,
+        }
+    }
+}
+
+/// A [`Cfd`] compiled against a [`ValuePool`] for code-level checking.
+#[derive(Clone, Debug)]
+pub struct CodedCfd {
+    lhs: Vec<(usize, CodeCell)>,
+    rhs_attr: usize,
+    rhs: CodeCell,
+    /// `Some((a, b))` for the `(A → B, (x ‖ x))` equality form.
+    attr_eq: Option<(usize, usize)>,
+}
+
+impl CodedCfd {
+    /// Compile `cfd` against `pool` (lookup only — never interns, so an
+    /// immutable pool can be shared across threads).
+    pub fn compile(cfd: &Cfd, pool: &ValuePool) -> CodedCfd {
+        CodedCfd {
+            lhs: cfd
+                .lhs()
+                .iter()
+                .map(|(a, p)| (*a, CodeCell::compile(p, pool)))
+                .collect(),
+            rhs_attr: cfd.rhs_attr(),
+            rhs: CodeCell::compile(cfd.rhs_pattern(), pool),
+            attr_eq: cfd.as_attr_eq(),
+        }
+    }
+
+    /// The `(A, B)` attributes of the equality form, if this is one.
+    pub fn attr_eq(&self) -> Option<(usize, usize)> {
+        self.attr_eq
+    }
+
+    /// The RHS attribute index.
+    pub fn rhs_attr(&self) -> usize {
+        self.rhs_attr
+    }
+
+    /// The compiled RHS cell.
+    pub fn rhs(&self) -> CodeCell {
+        self.rhs
+    }
+
+    /// The compiled LHS cells, sorted by attribute.
+    pub fn lhs(&self) -> &[(usize, CodeCell)] {
+        &self.lhs
+    }
+
+    /// Does row `row` match every LHS pattern cell?
+    #[inline]
+    pub fn lhs_matches_row(&self, rel: &ColumnarRelation, row: usize) -> bool {
+        self.lhs
+            .iter()
+            .all(|(a, cell)| cell.matches(rel.code(row, *a)))
+    }
+
+    /// The group key of `row` (its LHS code slice).
+    #[inline]
+    pub fn key_of(&self, rel: &ColumnarRelation, row: usize) -> GroupKey {
+        match self.lhs.len() {
+            0 => GroupKey::Unit,
+            1 => GroupKey::One(rel.code(row, self.lhs[0].0)),
+            2 => GroupKey::Two(pack2(
+                rel.code(row, self.lhs[0].0),
+                rel.code(row, self.lhs[1].0),
+            )),
+            _ => GroupKey::Many(self.lhs.iter().map(|(a, _)| rel.code(row, *a)).collect()),
+        }
+    }
+
+    /// [`CodedCfd::lhs_matches_row`] over a row-major code slice.
+    #[inline]
+    pub fn lhs_matches_codes(&self, row: &[Code]) -> bool {
+        self.lhs.iter().all(|(a, cell)| cell.matches(row[*a]))
+    }
+
+    /// [`CodedCfd::key_of`] over a row-major code slice.
+    #[inline]
+    pub fn key_of_codes(&self, row: &[Code]) -> GroupKey {
+        match self.lhs.len() {
+            0 => GroupKey::Unit,
+            1 => GroupKey::One(row[self.lhs[0].0]),
+            2 => GroupKey::Two(pack2(row[self.lhs[0].0], row[self.lhs[1].0])),
+            _ => GroupKey::Many(self.lhs.iter().map(|(a, _)| row[*a]).collect()),
+        }
+    }
+
+    /// The group key from codes already gathered in LHS order
+    /// (`lhs_codes[i]` is the code at the `i`-th LHS attribute).
+    #[inline]
+    pub fn key_of_lhs_codes(&self, lhs_codes: &[Code]) -> GroupKey {
+        debug_assert_eq!(lhs_codes.len(), self.lhs.len());
+        match lhs_codes {
+            [] => GroupKey::Unit,
+            [a] => GroupKey::One(*a),
+            [a, b] => GroupKey::Two(pack2(*a, *b)),
+            _ => GroupKey::Many(lhs_codes.to_vec()),
+        }
+    }
+
+    /// Does any LHS cell constrain its column (i.e. is non-wildcard)?
+    #[inline]
+    pub fn has_const_lhs(&self) -> bool {
+        self.lhs.iter().any(|(_, c)| *c != CodeCell::Wild)
+    }
+
+    /// Does any LHS cell name a constant absent from the pool (so no row
+    /// can match the premise at all)?
+    #[inline]
+    pub fn has_absent_lhs(&self) -> bool {
+        self.lhs.iter().any(|(_, c)| *c == CodeCell::Absent)
+    }
+}
+
+#[inline]
+fn pack2(a: Code, b: Code) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// A group-by key over LHS codes, with packed fast paths for the common
+/// 1- and 2-attribute LHS shapes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    /// Empty LHS: one global group.
+    Unit,
+    /// Single LHS attribute.
+    One(Code),
+    /// Two LHS attributes, packed into one word.
+    Two(u64),
+    /// Three or more LHS attributes.
+    Many(Vec<Code>),
+}
+
+/// A hash map keyed by [`GroupKey`], specialized per key shape so the
+/// packed fast paths never hash a `Vec`.
+#[derive(Debug)]
+pub enum GroupMap<T> {
+    /// For [`GroupKey::Unit`].
+    Zero(Option<T>),
+    /// For [`GroupKey::One`].
+    One(FxHashMap<Code, T>),
+    /// For [`GroupKey::Two`].
+    Two(FxHashMap<u64, T>),
+    /// For [`GroupKey::Many`].
+    Many(FxHashMap<Vec<Code>, T>),
+}
+
+impl<T> GroupMap<T> {
+    /// An empty map for keys of `lhs_len` attributes.
+    pub fn new(lhs_len: usize) -> Self {
+        match lhs_len {
+            0 => GroupMap::Zero(None),
+            1 => GroupMap::One(FxHashMap::default()),
+            2 => GroupMap::Two(FxHashMap::default()),
+            _ => GroupMap::Many(FxHashMap::default()),
+        }
+    }
+
+    /// The entry for `key`, inserting `default()` when vacant.
+    pub fn entry_or_insert_with(&mut self, key: GroupKey, default: impl FnOnce() -> T) -> &mut T {
+        match (self, key) {
+            (GroupMap::Zero(slot), GroupKey::Unit) => slot.get_or_insert_with(default),
+            (GroupMap::One(m), GroupKey::One(k)) => m.entry(k).or_insert_with(default),
+            (GroupMap::Two(m), GroupKey::Two(k)) => m.entry(k).or_insert_with(default),
+            (GroupMap::Many(m), GroupKey::Many(k)) => m.entry(k).or_insert_with(default),
+            _ => unreachable!("GroupKey shape does not match GroupMap shape"),
+        }
+    }
+
+    /// Consume the map, yielding all group payloads (hash order).
+    pub fn into_values(self) -> Vec<T> {
+        match self {
+            GroupMap::Zero(slot) => slot.into_iter().collect(),
+            GroupMap::One(m) => m.into_values().collect(),
+            GroupMap::Two(m) => m.into_values().collect(),
+            GroupMap::Many(m) => m.into_values().collect(),
+        }
+    }
+}
+
+/// Sentinel gid in [`GroupIds::row_gid`] for rows outside the CFD's
+/// premise scope.
+pub const NO_GROUP: u32 = u32::MAX;
+
+/// The result of one hash-group-by pass over a CFD's LHS: every in-scope
+/// row is assigned a dense group id.
+///
+/// This is the allocation-lean core of violation detection: the pass
+/// performs exactly one hash probe per in-scope row and allocates nothing
+/// per row. Everything downstream — conflict flags, exhaustive group
+/// enumeration — is indexed sweeps over `row_gid`, so a batch detector can
+/// compute the ids once per distinct LHS and reuse them for every CFD
+/// sharing that LHS.
+#[derive(Clone, Debug)]
+pub struct GroupIds {
+    /// Group id per row ([`NO_GROUP`] for out-of-scope rows).
+    pub row_gid: Vec<u32>,
+    /// Number of distinct groups (gids are `0..group_count`).
+    pub group_count: usize,
+}
+
+/// Group the in-scope rows of `rel` by `coded`'s LHS codes.
+///
+/// Keys are packed into machine words for LHS widths ≤ 4 (one `u32`, one
+/// `u64`, or one `u128`), falling back to `Vec<Code>` keys beyond that, so
+/// the per-row cost is one integer hash for every realistic CFD.
+pub fn assign_group_ids(rel: &ColumnarRelation, coded: &CodedCfd) -> GroupIds {
+    debug_assert!(
+        u32::try_from(rel.len()).is_ok(),
+        "row count exceeds u32 gid space"
+    );
+    if rel.is_empty() {
+        // An empty relation has no columns to borrow (arity 0).
+        return GroupIds {
+            row_gid: Vec::new(),
+            group_count: 0,
+        };
+    }
+    if coded.has_absent_lhs() {
+        // A constant the pool has never seen matches no row.
+        return GroupIds {
+            row_gid: vec![NO_GROUP; rel.len()],
+            group_count: 0,
+        };
+    }
+    let lhs_attrs: Vec<usize> = coded.lhs().iter().map(|(a, _)| *a).collect();
+    match lhs_attrs.as_slice() {
+        [] => grouping_pass(rel, coded, |_| ()),
+        [a] => {
+            let ca = rel.column(*a);
+            grouping_pass(rel, coded, |row| ca[row])
+        }
+        [a, b] => {
+            let (ca, cb) = (rel.column(*a), rel.column(*b));
+            grouping_pass(rel, coded, |row| pack2(ca[row], cb[row]))
+        }
+        [a, b, c] => {
+            let (ca, cb, cc) = (rel.column(*a), rel.column(*b), rel.column(*c));
+            grouping_pass(rel, coded, |row| {
+                ((ca[row] as u128) << 64) | ((cb[row] as u128) << 32) | cc[row] as u128
+            })
+        }
+        [a, b, c, d] => {
+            let (ca, cb, cc, cd) = (
+                rel.column(*a),
+                rel.column(*b),
+                rel.column(*c),
+                rel.column(*d),
+            );
+            grouping_pass(rel, coded, |row| {
+                ((ca[row] as u128) << 96)
+                    | ((cb[row] as u128) << 64)
+                    | ((cc[row] as u128) << 32)
+                    | cd[row] as u128
+            })
+        }
+        attrs => {
+            let attrs: Vec<usize> = attrs.to_vec();
+            grouping_pass(rel, coded, move |row| {
+                attrs
+                    .iter()
+                    .map(|a| rel.code(row, *a))
+                    .collect::<Vec<Code>>()
+            })
+        }
+    }
+}
+
+fn grouping_pass<K: std::hash::Hash + Eq>(
+    rel: &ColumnarRelation,
+    coded: &CodedCfd,
+    key: impl Fn(usize) -> K,
+) -> GroupIds {
+    let filtered = coded.has_const_lhs();
+    // Reserving for the worst case (every row its own group) up front costs
+    // ~1 MB per 100k rows and saves a dozen rehash-and-move cycles.
+    let mut map: FxHashMap<K, u32> =
+        FxHashMap::with_capacity_and_hasher(rel.len() / 2 + 8, Default::default());
+    let mut group_count = 0u32;
+    let mut row_gid: Vec<u32> = Vec::with_capacity(rel.len());
+    for row in 0..rel.len() {
+        if filtered && !coded.lhs_matches_row(rel, row) {
+            row_gid.push(NO_GROUP);
+            continue;
+        }
+        let gid = *map.entry(key(row)).or_insert_with(|| {
+            group_count += 1;
+            group_count - 1
+        });
+        row_gid.push(gid);
+    }
+    GroupIds {
+        row_gid,
+        group_count: group_count as usize,
+    }
+}
+
+/// Does the encoded relation satisfy `cfd`? Single pass, early exit.
+pub fn satisfies_coded(rel: &ColumnarRelation, pool: &ValuePool, cfd: &Cfd) -> bool {
+    find_violating_rows(rel, &CodedCfd::compile(cfd, pool)).is_none()
+}
+
+/// First violating row pair (possibly identical), as *row indices* into
+/// `rel` — the code-level core of the fast path.
+pub fn find_violating_rows(rel: &ColumnarRelation, coded: &CodedCfd) -> Option<(usize, usize)> {
+    if rel.is_empty() {
+        return None;
+    }
+    if let Some((a, b)) = coded.attr_eq() {
+        let (ca, cb) = (rel.column(a), rel.column(b));
+        return (0..rel.len()).find(|&r| ca[r] != cb[r]).map(|r| (r, r));
+    }
+    match coded.rhs() {
+        CodeCell::Absent => {
+            // The required constant occurs nowhere: every row matching the
+            // LHS violates via the identity pair.
+            (0..rel.len())
+                .find(|&r| coded.lhs_matches_row(rel, r))
+                .map(|r| (r, r))
+        }
+        CodeCell::Const(expected) => {
+            let rhs_col = rel.column(coded.rhs_attr());
+            (0..rel.len())
+                .find(|&r| rhs_col[r] != expected && coded.lhs_matches_row(rel, r))
+                .map(|r| (r, r))
+        }
+        CodeCell::Wild => {
+            // Group matching rows by LHS codes; remember the first row per
+            // group and its RHS code, violate on the first disagreement.
+            let rhs_col = rel.column(coded.rhs_attr());
+            let mut groups: GroupMap<(usize, Code)> = GroupMap::new(coded.lhs().len());
+            for (row, &rhs) in rhs_col.iter().enumerate() {
+                if !coded.lhs_matches_row(rel, row) {
+                    continue;
+                }
+                let (first_row, first_rhs) =
+                    *groups.entry_or_insert_with(coded.key_of(rel, row), || (row, rhs));
+                if first_rhs != rhs {
+                    return Some((first_row, row));
+                }
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::satisfy;
+    use cfd_relalg::instance::{Relation, Tuple};
+    use cfd_relalg::Value;
+
+    fn encode(rows: &[&[i64]]) -> (ColumnarRelation, ValuePool, Relation) {
+        let rel: Relation = rows
+            .iter()
+            .map(|r| r.iter().map(|v| Value::int(*v)).collect::<Tuple>())
+            .collect();
+        let mut pool = ValuePool::new();
+        let cols = ColumnarRelation::from_relation(&rel, &mut pool);
+        (cols, pool, rel)
+    }
+
+    fn agree(rows: &[&[i64]], cfd: &Cfd) {
+        let (cols, pool, rel) = encode(rows);
+        assert_eq!(
+            satisfies_coded(&cols, &pool, cfd),
+            satisfy::satisfies_pairwise(&rel, cfd),
+            "columnar vs pairwise disagree for {cfd} on {rows:?}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_reference_on_basics() {
+        let fd = Cfd::fd(&[0], 1).unwrap();
+        agree(&[&[1, 2], &[1, 3]], &fd);
+        agree(&[&[1, 2], &[2, 3]], &fd);
+        agree(&[], &fd);
+        agree(&[&[5, 5]], &Cfd::attr_eq(0, 1).unwrap());
+        agree(&[&[5, 6]], &Cfd::attr_eq(0, 1).unwrap());
+        agree(&[&[1, 7], &[2, 7]], &Cfd::const_col(1, 7i64));
+        agree(&[&[1, 7], &[2, 8]], &Cfd::const_col(1, 7i64));
+    }
+
+    #[test]
+    fn absent_constant_on_lhs_matches_nothing() {
+        // ([A] → B, (99 ‖ _)) with 99 nowhere in the data: satisfied.
+        let phi = Cfd::new(vec![(0, Pattern::cst(99))], 1, Pattern::Wild).unwrap();
+        let (cols, pool, _) = encode(&[&[1, 2], &[1, 3]]);
+        assert!(satisfies_coded(&cols, &pool, &phi));
+    }
+
+    #[test]
+    fn absent_constant_on_rhs_violates_every_match() {
+        // ([A] → B, (1 ‖ 99)) with 99 nowhere in the data.
+        let phi = Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::cst(99)).unwrap();
+        let (cols, pool, _) = encode(&[&[1, 2]]);
+        assert!(!satisfies_coded(&cols, &pool, &phi));
+        // ... but out-of-scope rows stay fine.
+        let (cols, pool, _) = encode(&[&[2, 2]]);
+        assert!(satisfies_coded(&cols, &pool, &phi));
+    }
+
+    #[test]
+    fn violating_rows_are_a_real_witness() {
+        let (cols, _pool, _) = encode(&[&[1, 2], &[1, 3], &[2, 5]]);
+        let fd = Cfd::fd(&[0], 1).unwrap();
+        let pool = {
+            let mut p = ValuePool::new();
+            let r: Relation = [
+                vec![Value::int(1), Value::int(2)],
+                vec![Value::int(1), Value::int(3)],
+                vec![Value::int(2), Value::int(5)],
+            ]
+            .into_iter()
+            .collect();
+            ColumnarRelation::from_relation(&r, &mut p);
+            p
+        };
+        let coded = CodedCfd::compile(&fd, &pool);
+        let (r1, r2) = find_violating_rows(&cols, &coded).unwrap();
+        assert_eq!(cols.code(r1, 0), cols.code(r2, 0), "agree on LHS");
+        assert_ne!(cols.code(r1, 1), cols.code(r2, 1), "disagree on RHS");
+    }
+
+    #[test]
+    fn wide_lhs_uses_many_keys() {
+        // 3-attribute LHS exercises the GroupKey::Many path.
+        let fd = Cfd::fd(&[0, 1, 2], 3).unwrap();
+        agree(&[&[1, 2, 3, 4], &[1, 2, 3, 5]], &fd);
+        agree(&[&[1, 2, 3, 4], &[1, 2, 9, 5]], &fd);
+    }
+}

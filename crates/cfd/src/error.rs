@@ -30,13 +30,19 @@ impl fmt::Display for CfdError {
         match self {
             CfdError::DuplicateLhsAttr(a) => write!(f, "duplicate LHS attribute #{a}"),
             CfdError::InvalidSpecialVar => {
-                write!(f, "special variable x is only valid in the shape (A -> B, (x || x))")
+                write!(
+                    f,
+                    "special variable x is only valid in the shape (A -> B, (x || x))"
+                )
             }
             CfdError::AttrOutOfRange { attr, arity } => {
                 write!(f, "attribute #{attr} out of range for arity {arity}")
             }
             CfdError::PatternOutOfDomain { attr, value } => {
-                write!(f, "pattern constant {value} outside the domain of attribute #{attr}")
+                write!(
+                    f,
+                    "pattern constant {value} outside the domain of attribute #{attr}"
+                )
             }
         }
     }

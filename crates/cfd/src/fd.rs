@@ -24,7 +24,10 @@ impl Fd {
     /// Construct an FD, normalizing the LHS.
     pub fn new(lhs: impl IntoIterator<Item = usize>, rhs: usize) -> Self {
         let set: BTreeSet<usize> = lhs.into_iter().collect();
-        Fd { lhs: set.into_iter().collect(), rhs }
+        Fd {
+            lhs: set.into_iter().collect(),
+            rhs,
+        }
     }
 
     /// The all-wildcard CFD with the same embedded FD.
@@ -135,7 +138,10 @@ pub fn closure_projection_cover(fds: &[Fd], keep: &[usize]) -> Vec<Fd> {
     let keep_set: BTreeSet<usize> = keep.iter().copied().collect();
     let mut out: Vec<Fd> = Vec::new();
     let k = keep.len();
-    assert!(k < usize::BITS as usize, "projection width too large to enumerate");
+    assert!(
+        k < usize::BITS as usize,
+        "projection width too large to enumerate"
+    );
     for mask in 1u64..(1u64 << k) {
         let subset: BTreeSet<usize> = keep
             .iter()

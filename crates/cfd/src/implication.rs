@@ -190,7 +190,11 @@ mod tests {
         let sigma = vec![Cfd::fd(&[0], 1).unwrap()];
         assert!(implies(&sigma, &Cfd::fd(&[0, 2], 1).unwrap(), &INT3));
         // trivial FD A → A
-        assert!(implies(&[], &Cfd::new(vec![(0, Pattern::Wild)], 0, Pattern::Wild).unwrap(), &INT3));
+        assert!(implies(
+            &[],
+            &Cfd::new(vec![(0, Pattern::Wild)], 0, Pattern::Wild).unwrap(),
+            &INT3
+        ));
     }
 
     #[test]
@@ -259,12 +263,28 @@ mod tests {
         // imply ([B] → B, (_ ‖ 1)) — but only by case analysis on A.
         let domains = [DomainKind::Bool, DomainKind::Int];
         let sigma = vec![
-            Cfd::new(vec![(0, Pattern::cst(Value::Bool(true)))], 1, Pattern::cst(1)).unwrap(),
-            Cfd::new(vec![(0, Pattern::cst(Value::Bool(false)))], 1, Pattern::cst(1)).unwrap(),
+            Cfd::new(
+                vec![(0, Pattern::cst(Value::Bool(true)))],
+                1,
+                Pattern::cst(1),
+            )
+            .unwrap(),
+            Cfd::new(
+                vec![(0, Pattern::cst(Value::Bool(false)))],
+                1,
+                Pattern::cst(1),
+            )
+            .unwrap(),
         ];
         let phi = Cfd::const_col(1, 1i64);
-        assert!(!implies(&sigma, &phi, &domains), "chase alone is incomplete here");
-        assert!(implies_general(&sigma, &phi, &domains), "instantiation completes it");
+        assert!(
+            !implies(&sigma, &phi, &domains),
+            "chase alone is incomplete here"
+        );
+        assert!(
+            implies_general(&sigma, &phi, &domains),
+            "instantiation completes it"
+        );
         // and general does not over-approximate
         let wrong = Cfd::const_col(1, 2i64);
         assert!(!implies_general(&sigma, &wrong, &domains));
@@ -305,14 +325,29 @@ mod tests {
         // tuples with A=false need B=2: consistent (choose A=false).
         let d = [DomainKind::Bool, DomainKind::Int];
         let sigma = vec![
-            Cfd::new(vec![(0, Pattern::cst(Value::Bool(true)))], 1, Pattern::cst(1)).unwrap(),
+            Cfd::new(
+                vec![(0, Pattern::cst(Value::Bool(true)))],
+                1,
+                Pattern::cst(1),
+            )
+            .unwrap(),
             Cfd::const_col(1, 2i64),
         ];
         assert!(is_consistent_general(&sigma, &d));
         // now forbid both cases
         let sigma2 = vec![
-            Cfd::new(vec![(0, Pattern::cst(Value::Bool(true)))], 1, Pattern::cst(1)).unwrap(),
-            Cfd::new(vec![(0, Pattern::cst(Value::Bool(false)))], 1, Pattern::cst(1)).unwrap(),
+            Cfd::new(
+                vec![(0, Pattern::cst(Value::Bool(true)))],
+                1,
+                Pattern::cst(1),
+            )
+            .unwrap(),
+            Cfd::new(
+                vec![(0, Pattern::cst(Value::Bool(false)))],
+                1,
+                Pattern::cst(1),
+            )
+            .unwrap(),
             Cfd::const_col(1, 2i64),
         ];
         assert!(!is_consistent_general(&sigma2, &d));

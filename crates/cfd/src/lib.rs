@@ -9,7 +9,12 @@
 //! * [`cfd::Cfd`] — normal-form CFDs `(X → A, tp)`, including plain FDs, the
 //!   constant-column form `(A → A, (_ ‖ a))`, and the view-only
 //!   domain-constraint form `(A → B, (x ‖ x))`;
-//! * [`satisfy`] — satisfaction of CFDs by relation instances;
+//! * [`satisfy`] — satisfaction of CFDs by relation instances (the §2.1
+//!   pairwise reference plus a columnar fast path);
+//! * [`columnar`] — CFD checking over dictionary-encoded columnar
+//!   relations: [`columnar::CodedCfd`] compiles pattern constants to dense
+//!   codes and satisfaction becomes one hash-group-by pass over `u32`
+//!   columns;
 //! * [`chase`] — a generic CFD chase over instances with variables, shared
 //!   by implication here and by the propagation procedures of
 //!   `cfd-propagation`;
@@ -26,6 +31,7 @@
 
 pub mod cfd;
 pub mod chase;
+pub mod columnar;
 pub mod error;
 pub mod fd;
 pub mod implication;

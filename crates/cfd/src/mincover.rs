@@ -112,8 +112,12 @@ mod tests {
     use super::*;
     use crate::implication::equivalent;
 
-    const INT4: [DomainKind; 4] =
-        [DomainKind::Int, DomainKind::Int, DomainKind::Int, DomainKind::Int];
+    const INT4: [DomainKind; 4] = [
+        DomainKind::Int,
+        DomainKind::Int,
+        DomainKind::Int,
+        DomainKind::Int,
+    ];
 
     #[test]
     fn drops_trivial_and_duplicate() {
@@ -148,8 +152,12 @@ mod tests {
     fn shrink_respects_patterns() {
         // ([A,C] → B, (5, _ ‖ _)) with ([A] → B, (5 ‖ _)) present: reducible
         let spec = Cfd::new(vec![(0, Pattern::cst(5))], 1, Pattern::Wild).unwrap();
-        let wide =
-            Cfd::new(vec![(0, Pattern::cst(5)), (2, Pattern::Wild)], 1, Pattern::Wild).unwrap();
+        let wide = Cfd::new(
+            vec![(0, Pattern::cst(5)), (2, Pattern::Wild)],
+            1,
+            Pattern::Wild,
+        )
+        .unwrap();
         let out = min_cover(&[spec.clone(), wide], &INT4);
         assert_eq!(out, vec![spec]);
     }

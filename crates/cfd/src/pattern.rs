@@ -82,7 +82,9 @@ impl Pattern {
             }
             (p, Pattern::Wild) | (Pattern::Wild, p) => Some(p.clone()),
             (Pattern::SpecialVar, Pattern::SpecialVar) => Some(Pattern::SpecialVar),
-            (Pattern::SpecialVar, Pattern::Const(_)) | (Pattern::Const(_), Pattern::SpecialVar) => None,
+            (Pattern::SpecialVar, Pattern::Const(_)) | (Pattern::Const(_), Pattern::SpecialVar) => {
+                None
+            }
         }
     }
 }

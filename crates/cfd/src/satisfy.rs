@@ -6,19 +6,55 @@
 //! `D |= R(A → B, (x ‖ x))` iff every tuple has `t[A] = t[B]`.
 
 use crate::cfd::Cfd;
+use crate::columnar::{find_violating_rows, CodedCfd};
+use cfd_relalg::columnar::ColumnarRelation;
 use cfd_relalg::instance::{Relation, Tuple};
+use cfd_relalg::pool::ValuePool;
+
+/// Below this size the pairwise scan beats dictionary encoding (the chase
+/// engines check tiny witness instances in tight loops, where the encoding
+/// allocations dominate; a pairwise pass over ≤ a dozen tuples does not).
+const COLUMNAR_CUTOFF: usize = 16;
 
 /// Does `rel` satisfy `cfd`?
+///
+/// Dispatches to the single-pass columnar checker
+/// ([`crate::columnar::satisfies_coded`]) above a small size cutoff and to
+/// the §2.1 pairwise scan below it; the two agree by construction (and by
+/// property test).
 pub fn satisfies(rel: &Relation, cfd: &Cfd) -> bool {
-    find_violation(rel, cfd).is_none()
+    if rel.len() < COLUMNAR_CUTOFF {
+        return satisfies_pairwise(rel, cfd);
+    }
+    let mut pool = ValuePool::new();
+    let cols = ColumnarRelation::from_relation(rel, &mut pool);
+    find_violating_rows(&cols, &CodedCfd::compile(cfd, &pool)).is_none()
 }
 
 /// Does `rel` satisfy every CFD in `sigma`?
+///
+/// Encodes `rel` once and checks each CFD with the columnar fast path
+/// (falling back to pairwise below the cutoff).
 pub fn satisfies_all<'a>(rel: &Relation, sigma: impl IntoIterator<Item = &'a Cfd>) -> bool {
-    sigma.into_iter().all(|c| satisfies(rel, c))
+    if rel.len() < COLUMNAR_CUTOFF {
+        return sigma.into_iter().all(|c| satisfies_pairwise(rel, c));
+    }
+    let mut pool = ValuePool::new();
+    let cols = ColumnarRelation::from_relation(rel, &mut pool);
+    sigma
+        .into_iter()
+        .all(|c| find_violating_rows(&cols, &CodedCfd::compile(c, &pool)).is_none())
+}
+
+/// Does `rel` satisfy `cfd`, by the quadratic §2.1 reference?
+pub fn satisfies_pairwise(rel: &Relation, cfd: &Cfd) -> bool {
+    find_violation(rel, cfd).is_none()
 }
 
 /// Find a violating pair of tuples (possibly identical), if any.
+///
+/// This is the direct transcription of the §2.1 definition — `O(|D|²)` —
+/// kept as the semantic reference the fast paths are tested against.
 pub fn find_violation(rel: &Relation, cfd: &Cfd) -> Option<(Tuple, Tuple)> {
     if let Some((a, b)) = cfd.as_attr_eq() {
         return rel
@@ -50,11 +86,27 @@ pub fn find_violation(rel: &Relation, cfd: &Cfd) -> Option<(Tuple, Tuple)> {
 }
 
 /// All violations of a set of CFDs, tagged by the index of the violated CFD.
+///
+/// One witness pair per violated CFD; found with the columnar fast path
+/// (the relation is encoded once for the whole set) and materialized back
+/// to [`Tuple`]s only for the reported pairs.
 pub fn all_violations(rel: &Relation, sigma: &[Cfd]) -> Vec<(usize, Tuple, Tuple)> {
+    if rel.len() < COLUMNAR_CUTOFF {
+        return sigma
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| find_violation(rel, c).map(|(a, b)| (i, a, b)))
+            .collect();
+    }
+    let mut pool = ValuePool::new();
+    let cols = ColumnarRelation::from_relation(rel, &mut pool);
     sigma
         .iter()
         .enumerate()
-        .filter_map(|(i, c)| find_violation(rel, c).map(|(a, b)| (i, a, b)))
+        .filter_map(|(i, c)| {
+            find_violating_rows(&cols, &CodedCfd::compile(c, &pool))
+                .map(|(r1, r2)| (i, cols.decode_row(r1, &pool), cols.decode_row(r2, &pool)))
+        })
         .collect()
 }
 
@@ -97,7 +149,10 @@ mod tests {
         let ok = rel(&[&[1, 9], &[2, 5]]);
         assert!(satisfies(&ok, &phi));
         let bad = rel(&[&[1, 8]]);
-        assert!(!satisfies(&bad, &phi), "single tuple violates via the identity pair");
+        assert!(
+            !satisfies(&bad, &phi),
+            "single tuple violates via the identity pair"
+        );
     }
 
     #[test]

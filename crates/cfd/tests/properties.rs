@@ -2,12 +2,13 @@
 //! as a preorder, MinCover equivalence, and satisfaction/implication
 //! coherence on concrete instances.
 
+use cfd_model::columnar::{find_violating_rows, satisfies_coded, CodedCfd};
 use cfd_model::implication::{equivalent, implies, is_consistent};
 use cfd_model::mincover::min_cover;
 use cfd_model::satisfy;
 use cfd_model::{Cfd, Pattern};
 use cfd_relalg::instance::Relation;
-use cfd_relalg::{DomainKind, Value};
+use cfd_relalg::{ColumnarRelation, DomainKind, Value, ValuePool};
 use proptest::prelude::*;
 
 const ARITY: usize = 4;
@@ -32,8 +33,7 @@ fn cfd() -> impl Strategy<Value = Cfd> {
         pattern(),
     )
         .prop_map(|(lhs, rhs, rhs_pat)| {
-            let lhs: Vec<(usize, Pattern)> =
-                lhs.into_iter().filter(|(a, _)| *a != rhs).collect();
+            let lhs: Vec<(usize, Pattern)> = lhs.into_iter().filter(|(a, _)| *a != rhs).collect();
             Cfd::new(lhs, rhs, rhs_pat).expect("valid")
         })
 }
@@ -45,15 +45,26 @@ fn sigma() -> impl Strategy<Value = Vec<Cfd>> {
 
 /// Strategy: a small relation instance over `ARITY` int attributes.
 fn relation() -> impl Strategy<Value = Relation> {
-    proptest::collection::vec(
-        proptest::collection::vec(1i64..4, ARITY..=ARITY),
-        0..6,
+    proptest::collection::vec(proptest::collection::vec(1i64..4, ARITY..=ARITY), 0..6).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect::<Vec<_>>())
+                .collect()
+        },
     )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .map(|r| r.into_iter().map(Value::Int).collect::<Vec<_>>())
-            .collect()
-    })
+}
+
+/// Strategy: a relation large enough to cross the columnar dispatch
+/// cutoff in `satisfy::satisfies` (a wider value pool keeps groups
+/// nontrivial at this size).
+fn big_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(proptest::collection::vec(1i64..6, ARITY..=ARITY), 0..40).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect::<Vec<_>>())
+                .collect()
+        },
+    )
 }
 
 proptest! {
@@ -176,5 +187,42 @@ proptest! {
             }
         }
         prop_assert_eq!(found, brute, "{} on {:?}", phi, tuples);
+    }
+
+    /// ISSUE 1: the columnar single-pass checker agrees *exactly* with the
+    /// §2.1 pairwise reference on random instances and CFDs.
+    #[test]
+    fn columnar_satisfaction_agrees_with_pairwise(phi in cfd(), rel in big_relation()) {
+        let mut pool = ValuePool::new();
+        let cols = ColumnarRelation::from_relation(&rel, &mut pool);
+        prop_assert_eq!(
+            satisfies_coded(&cols, &pool, &phi),
+            satisfy::satisfies_pairwise(&rel, &phi),
+            "columnar vs pairwise on {} over {:?}", phi, rel
+        );
+        // The public dispatcher (pairwise below the size cutoff, columnar
+        // above) must agree with the reference on both sides of the cutoff.
+        prop_assert_eq!(
+            satisfy::satisfies(&rel, &phi),
+            satisfy::satisfies_pairwise(&rel, &phi)
+        );
+    }
+
+    /// The witness pair reported by the columnar checker is a real
+    /// violation of the CFD.
+    #[test]
+    fn columnar_witness_rows_violate(phi in cfd(), rel in big_relation()) {
+        let mut pool = ValuePool::new();
+        let cols = ColumnarRelation::from_relation(&rel, &mut pool);
+        let coded = CodedCfd::compile(&phi, &pool);
+        if let Some((r1, r2)) = find_violating_rows(&cols, &coded) {
+            let pair: Relation = [cols.decode_row(r1, &pool), cols.decode_row(r2, &pool)]
+                .into_iter()
+                .collect();
+            prop_assert!(
+                !satisfy::satisfies_pairwise(&pair, &phi),
+                "reported rows do not violate {} : {:?}", phi, pair
+            );
+        }
     }
 }

@@ -43,39 +43,63 @@ impl Cind {
         columns.sort_unstable();
         for w in columns.windows(2) {
             if w[0].0 == w[1].0 {
-                return Err(CindError::DuplicateColumn { side: "lhs", attr: w[0].0 });
+                return Err(CindError::DuplicateColumn {
+                    side: "lhs",
+                    attr: w[0].0,
+                });
             }
         }
         let mut rhs_cols: Vec<usize> = columns.iter().map(|(_, y)| *y).collect();
         rhs_cols.sort_unstable();
         for w in rhs_cols.windows(2) {
             if w[0] == w[1] {
-                return Err(CindError::DuplicateColumn { side: "rhs", attr: w[0] });
+                return Err(CindError::DuplicateColumn {
+                    side: "rhs",
+                    attr: w[0],
+                });
             }
         }
         lhs_condition.sort_by_key(|(a, _)| *a);
         for w in lhs_condition.windows(2) {
             if w[0].0 == w[1].0 {
-                return Err(CindError::DuplicatePatternAttr { side: "lhs", attr: w[0].0 });
+                return Err(CindError::DuplicatePatternAttr {
+                    side: "lhs",
+                    attr: w[0].0,
+                });
             }
         }
         for (a, _) in &lhs_condition {
             if columns.iter().any(|(x, _)| x == a) {
-                return Err(CindError::PatternOverlapsColumns { side: "lhs", attr: *a });
+                return Err(CindError::PatternOverlapsColumns {
+                    side: "lhs",
+                    attr: *a,
+                });
             }
         }
         rhs_pattern.sort_by_key(|(a, _)| *a);
         for w in rhs_pattern.windows(2) {
             if w[0].0 == w[1].0 {
-                return Err(CindError::DuplicatePatternAttr { side: "rhs", attr: w[0].0 });
+                return Err(CindError::DuplicatePatternAttr {
+                    side: "rhs",
+                    attr: w[0].0,
+                });
             }
         }
         for (a, _) in &rhs_pattern {
             if rhs_cols.binary_search(a).is_ok() {
-                return Err(CindError::PatternOverlapsColumns { side: "rhs", attr: *a });
+                return Err(CindError::PatternOverlapsColumns {
+                    side: "rhs",
+                    attr: *a,
+                });
             }
         }
-        Ok(Cind { lhs_rel, rhs_rel, columns, lhs_condition, rhs_pattern })
+        Ok(Cind {
+            lhs_rel,
+            rhs_rel,
+            columns,
+            lhs_condition,
+            rhs_pattern,
+        })
     }
 
     /// A standard (unconditional) inclusion dependency `R1[X] ⊆ R2[Y]`.
@@ -121,20 +145,36 @@ impl Cind {
     pub fn validate_arity(&self, lhs_arity: usize, rhs_arity: usize) -> Result<(), CindError> {
         for (x, y) in &self.columns {
             if *x >= lhs_arity {
-                return Err(CindError::AttrOutOfRange { side: "lhs", attr: *x, arity: lhs_arity });
+                return Err(CindError::AttrOutOfRange {
+                    side: "lhs",
+                    attr: *x,
+                    arity: lhs_arity,
+                });
             }
             if *y >= rhs_arity {
-                return Err(CindError::AttrOutOfRange { side: "rhs", attr: *y, arity: rhs_arity });
+                return Err(CindError::AttrOutOfRange {
+                    side: "rhs",
+                    attr: *y,
+                    arity: rhs_arity,
+                });
             }
         }
         for (a, _) in &self.lhs_condition {
             if *a >= lhs_arity {
-                return Err(CindError::AttrOutOfRange { side: "lhs", attr: *a, arity: lhs_arity });
+                return Err(CindError::AttrOutOfRange {
+                    side: "lhs",
+                    attr: *a,
+                    arity: lhs_arity,
+                });
             }
         }
         for (a, _) in &self.rhs_pattern {
             if *a >= rhs_arity {
-                return Err(CindError::AttrOutOfRange { side: "rhs", attr: *a, arity: rhs_arity });
+                return Err(CindError::AttrOutOfRange {
+                    side: "rhs",
+                    attr: *a,
+                    arity: rhs_arity,
+                });
             }
         }
         Ok(())
@@ -185,9 +225,10 @@ impl Cind {
         }
         other.rhs_pattern.iter().all(|(y, v)| {
             self.rhs_pattern.contains(&(*y, v.clone()))
-                || self.columns.iter().any(|(x, yy)| {
-                    yy == y && other.lhs_condition.contains(&(*x, v.clone()))
-                })
+                || self
+                    .columns
+                    .iter()
+                    .any(|(x, yy)| yy == y && other.lhs_condition.contains(&(*x, v.clone())))
         })
     }
 
@@ -219,9 +260,7 @@ impl Cind {
         for (yprime, z) in &next.columns {
             if let Some((x, _)) = self.columns.iter().find(|(_, y)| y == yprime) {
                 columns.push((*x, *z));
-            } else if let Some((_, v)) =
-                self.rhs_pattern.iter().find(|(a, _)| a == yprime)
-            {
+            } else if let Some((_, v)) = self.rhs_pattern.iter().find(|(a, _)| a == yprime) {
                 // The middle column is pinned to a constant: the obligation
                 // transfers to the target side.
                 rhs_pattern.push((*z, v.clone()));
@@ -229,8 +268,14 @@ impl Cind {
                 return None; // cannot guarantee the middle value
             }
         }
-        Cind::new(self.lhs_rel, next.rhs_rel, columns, self.lhs_condition.clone(), rhs_pattern)
-            .ok()
+        Cind::new(
+            self.lhs_rel,
+            next.rhs_rel,
+            columns,
+            self.lhs_condition.clone(),
+            rhs_pattern,
+        )
+        .ok()
     }
 
     /// Render with relation and attribute names from a catalog-like source.
@@ -239,10 +284,16 @@ impl Cind {
         rel_names: &'a dyn Fn(RelId) -> String,
         attr_names: &'a dyn Fn(RelId, usize) -> String,
     ) -> String {
-        let cols_l: Vec<String> =
-            self.columns.iter().map(|(x, _)| attr_names(self.lhs_rel, *x)).collect();
-        let cols_r: Vec<String> =
-            self.columns.iter().map(|(_, y)| attr_names(self.rhs_rel, *y)).collect();
+        let cols_l: Vec<String> = self
+            .columns
+            .iter()
+            .map(|(x, _)| attr_names(self.lhs_rel, *x))
+            .collect();
+        let cols_r: Vec<String> = self
+            .columns
+            .iter()
+            .map(|(_, y)| attr_names(self.rhs_rel, *y))
+            .collect();
         let mut l = cols_l.join(", ");
         for (a, v) in &self.lhs_condition {
             l.push_str(&format!("; {} = {}", attr_names(self.lhs_rel, *a), v));
@@ -251,7 +302,13 @@ impl Cind {
         for (a, v) in &self.rhs_pattern {
             r.push_str(&format!("; {} = {}", attr_names(self.rhs_rel, *a), v));
         }
-        format!("{}[{}] ⊆ {}[{}]", rel_names(self.lhs_rel), l, rel_names(self.rhs_rel), r)
+        format!(
+            "{}[{}] ⊆ {}[{}]",
+            rel_names(self.lhs_rel),
+            l,
+            rel_names(self.rhs_rel),
+            r
+        )
     }
 }
 
@@ -280,7 +337,10 @@ mod tests {
 
     #[test]
     fn shape_violations_rejected() {
-        assert_eq!(Cind::new(r(0), r(1), vec![], vec![], vec![]), Err(CindError::EmptyColumns));
+        assert_eq!(
+            Cind::new(r(0), r(1), vec![], vec![], vec![]),
+            Err(CindError::EmptyColumns)
+        );
         assert!(matches!(
             Cind::new(r(0), r(1), vec![(0, 1), (0, 2)], vec![], vec![]),
             Err(CindError::DuplicateColumn { side: "lhs", .. })
@@ -339,14 +399,8 @@ mod tests {
         assert!(!small.subsumes(&big));
 
         // big applies everywhere, small only under a condition: big ⊨ small
-        let conditioned = Cind::new(
-            r(0),
-            r(1),
-            vec![(0, 0)],
-            vec![(2, Value::int(7))],
-            vec![],
-        )
-        .unwrap();
+        let conditioned =
+            Cind::new(r(0), r(1), vec![(0, 0)], vec![(2, Value::int(7))], vec![]).unwrap();
         assert!(big.subsumes(&conditioned));
         assert!(!conditioned.subsumes(&small), "condition restricts scope");
     }
@@ -388,12 +442,10 @@ mod tests {
     fn composition_requires_guaranteed_condition() {
         let a = Cind::new(r(0), r(1), vec![(0, 1)], vec![], vec![(2, Value::int(9))]).unwrap();
         // next fires only when R1.2 = 9 — guaranteed by a's rhs_pattern
-        let b_ok =
-            Cind::new(r(1), r(2), vec![(1, 0)], vec![(2, Value::int(9))], vec![]).unwrap();
+        let b_ok = Cind::new(r(1), r(2), vec![(1, 0)], vec![(2, Value::int(9))], vec![]).unwrap();
         assert!(a.compose(&b_ok).is_some());
         // next fires only when R1.2 = 8 — not guaranteed
-        let b_bad =
-            Cind::new(r(1), r(2), vec![(1, 0)], vec![(2, Value::int(8))], vec![]).unwrap();
+        let b_bad = Cind::new(r(1), r(2), vec![(1, 0)], vec![(2, Value::int(8))], vec![]).unwrap();
         assert!(a.compose(&b_bad).is_none());
     }
 

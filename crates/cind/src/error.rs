@@ -47,7 +47,10 @@ impl fmt::Display for CindError {
                 write!(f, "attribute #{attr} repeated in the {side} column list")
             }
             CindError::PatternOverlapsColumns { side, attr } => {
-                write!(f, "{side} pattern attribute #{attr} collides with an inclusion column")
+                write!(
+                    f,
+                    "{side} pattern attribute #{attr} collides with an inclusion column"
+                )
             }
             CindError::DuplicatePatternAttr { side, attr } => {
                 write!(f, "{side} pattern attribute #{attr} repeated")

@@ -27,7 +27,10 @@ pub struct ImplicationOptions {
 
 impl Default for ImplicationOptions {
     fn default() -> Self {
-        ImplicationOptions { max_set: 512, max_rounds: 4 }
+        ImplicationOptions {
+            max_set: 512,
+            max_rounds: 4,
+        }
     }
 }
 
@@ -124,8 +127,7 @@ mod tests {
         .unwrap();
         assert!(implies(&[], &phi2));
         // obligation not covered by condition → not trivial
-        let phi3 =
-            Cind::new(r(0), r(0), vec![(0, 0)], vec![], vec![(1, Value::int(5))]).unwrap();
+        let phi3 = Cind::new(r(0), r(0), vec![(0, 0)], vec![], vec![(1, Value::int(5))]).unwrap();
         assert!(!implies(&[], &phi3));
     }
 
@@ -172,7 +174,10 @@ mod tests {
         // a cycle R0 → R1 → R0 composes forever without bounds
         let a = Cind::new(r(0), r(1), vec![(0, 1)], vec![], vec![]).unwrap();
         let b = Cind::new(r(1), r(0), vec![(1, 0)], vec![], vec![]).unwrap();
-        let opts = ImplicationOptions { max_set: 8, max_rounds: 10 };
+        let opts = ImplicationOptions {
+            max_set: 8,
+            max_rounds: 10,
+        };
         let closure = saturate(&[a, b], &opts);
         assert!(closure.len() <= 8);
     }
@@ -181,10 +186,7 @@ mod tests {
     fn subsumption_dedup_keeps_strongest() {
         let strong = Cind::new(r(0), r(1), vec![(0, 0), (1, 1)], vec![], vec![]).unwrap();
         let weak = Cind::new(r(0), r(1), vec![(0, 0)], vec![], vec![]).unwrap();
-        let closure = saturate(
-            &[weak, strong.clone()],
-            &ImplicationOptions::default(),
-        );
+        let closure = saturate(&[weak, strong.clone()], &ImplicationOptions::default());
         assert_eq!(closure, vec![strong]);
     }
 }

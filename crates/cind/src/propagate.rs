@@ -109,12 +109,12 @@ pub fn propagate_cinds(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::satisfy::satisfies;
     use cfd_relalg::domain::DomainKind;
     use cfd_relalg::eval::eval_spc;
     use cfd_relalg::instance::Database;
     use cfd_relalg::query::{ConstCell, OutputCol, ProdCol};
     use cfd_relalg::schema::RelationSchema;
-    use crate::satisfy::satisfies;
 
     /// R1(AC, city), Cities(name, country): sources for a Q1-like view.
     fn setup() -> (Catalog, RelId, RelId) {
@@ -154,8 +154,12 @@ mod tests {
             value: Value::str("44"),
             domain: DomainKind::Text,
         });
-        q.output.push(OutputCol { name: "CC".into(), src: ColRef::Const(0) });
-        q.selection.push(SelAtom::EqConst(ProdCol::new(0, 0), Value::str("20")));
+        q.output.push(OutputCol {
+            name: "CC".into(),
+            src: ColRef::Const(0),
+        });
+        q.selection
+            .push(SelAtom::EqConst(ProdCol::new(0, 0), Value::str("20")));
         q
     }
 
@@ -192,7 +196,8 @@ mod tests {
         // project only city; select AC = '20'
         let mut q = SpcQuery::identity(&c, r1);
         q.output.remove(0); // drop AC from the projection
-        q.selection.push(SelAtom::EqConst(ProdCol::new(0, 0), Value::str("20")));
+        q.selection
+            .push(SelAtom::EqConst(ProdCol::new(0, 0), Value::str("20")));
         let v = register_view(&mut c, "V", &q).unwrap();
         let derived = view_to_source_cinds(v, &q);
         assert_eq!(derived.len(), 1);
@@ -265,7 +270,10 @@ mod tests {
                 domain: DomainKind::Text,
             }],
             selection: vec![],
-            output: vec![OutputCol { name: "CC".into(), src: ColRef::Const(0) }],
+            output: vec![OutputCol {
+                name: "CC".into(),
+                src: ColRef::Const(0),
+            }],
         };
         let v = register_view(&mut c, "V", &q).unwrap();
         assert!(view_to_source_cinds(v, &q).is_empty());

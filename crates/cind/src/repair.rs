@@ -59,11 +59,21 @@ pub fn repair_by_insertion(
             }
         }
         if !changed {
-            return CindRepairOutcome { database: current, inserted, rounds: round, clean: true };
+            return CindRepairOutcome {
+                database: current,
+                inserted,
+                rounds: round,
+                clean: true,
+            };
         }
     }
     let clean = sigma.iter().all(|c| crate::satisfy::satisfies(&current, c));
-    CindRepairOutcome { database: current, inserted, rounds: max_rounds, clean }
+    CindRepairOutcome {
+        database: current,
+        inserted,
+        rounds: max_rounds,
+        clean,
+    }
 }
 
 /// The canonical witness for `t1` under `cind`: inclusion columns copied,
@@ -208,7 +218,10 @@ mod tests {
         let mut db = Database::empty(&c);
         db.insert(r, vec![Value::int(1), Value::int(2)]);
         let out = repair_by_insertion(&c, &db, &[psi], 5);
-        assert!(!out.clean, "cyclic fresh-value chase cannot finish in 5 rounds");
+        assert!(
+            !out.clean,
+            "cyclic fresh-value chase cannot finish in 5 rounds"
+        );
         assert_eq!(out.rounds, 5);
         assert!(out.inserted >= 5);
     }
@@ -223,7 +236,9 @@ mod tests {
         }
         let out = repair_by_insertion(&c, &db, &[psi], 4);
         assert!(out.clean);
-        out.database.validate(&c).expect("inserted witnesses conform to the schema");
+        out.database
+            .validate(&c)
+            .expect("inserted witnesses conform to the schema");
         assert_eq!(out.inserted, 5);
     }
 }

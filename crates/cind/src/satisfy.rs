@@ -151,7 +151,10 @@ mod tests {
         let mut db = Database::empty(&c);
         db.insert(orders, row(vec![Value::int(1), Value::str("uk")]));
         db.insert(cust, row(vec![Value::int(1), Value::str("31")]));
-        assert!(!satisfies(&db, &psi), "witness exists but carries the wrong cc");
+        assert!(
+            !satisfies(&db, &psi),
+            "witness exists but carries the wrong cc"
+        );
         db.insert(cust, row(vec![Value::int(1), Value::str("44")]));
         assert!(satisfies(&db, &psi));
     }

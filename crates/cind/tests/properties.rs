@@ -19,7 +19,8 @@ fn catalog() -> Catalog {
         let attrs = (0..ARITY)
             .map(|j| Attribute::new(format!("a{j}"), DomainKind::Int))
             .collect();
-        c.add(RelationSchema::new(format!("R{i}"), attrs).unwrap()).unwrap();
+        c.add(RelationSchema::new(format!("R{i}"), attrs).unwrap())
+            .unwrap();
     }
     c
 }

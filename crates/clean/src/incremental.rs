@@ -6,24 +6,34 @@
 //! current contents (it disagrees with an existing LHS group). This module
 //! maintains one hash index per wildcard-RHS CFD so each insertion is
 //! validated in `O(|Σ|)` expected time instead of rescanning the relation.
+//!
+//! The indexes are kept over dictionary codes: the checker owns a
+//! [`ValuePool`], admitted tuples are interned once, and every lookup is
+//! `u32` hashing. [`InsertChecker::check`] never interns — a value the pool
+//! has not seen cannot equal any resident value, which the code paths
+//! exploit directly.
 
 use cfd_model::cfd::Cfd;
-use cfd_model::pattern::Pattern;
+use cfd_model::columnar::{CodeCell, CodedCfd, GroupKey};
 use cfd_relalg::instance::{Relation, Tuple};
-use cfd_relalg::Value;
-use std::collections::HashMap;
+use cfd_relalg::pool::{Code, ValuePool};
+use rustc_hash::FxHashMap;
 
-/// Per-CFD index: LHS-value key → the set of RHS values present.
+/// Per-CFD index: LHS code key → the RHS codes present.
 ///
-/// A clean base relation has exactly one RHS value per key; we keep a small
+/// A clean base relation has exactly one RHS code per key; we keep a small
 /// vector so the checker also works when seeded with a dirty base (it then
 /// reports *additional* damage, never repairs existing damage).
-type GroupIndex = HashMap<Vec<Value>, Vec<Value>>;
+type GroupIndex = FxHashMap<GroupKey, Vec<Code>>;
 
 /// Validates insertions into one relation against a fixed CFD set.
 #[derive(Clone, Debug)]
 pub struct InsertChecker {
     sigma: Vec<Cfd>,
+    /// CFDs compiled against `pool`; pattern constants are interned at
+    /// construction, so compiled constants stay valid as the pool grows.
+    coded: Vec<CodedCfd>,
+    pool: ValuePool,
     /// One index per CFD; empty map for CFDs that need no index
     /// (constant-RHS and attribute-equality forms are memoryless).
     indexes: Vec<GroupIndex>,
@@ -33,9 +43,23 @@ pub struct InsertChecker {
 impl InsertChecker {
     /// Build a checker over `sigma`, seeded with the tuples of `base`.
     pub fn new(sigma: Vec<Cfd>, base: &Relation) -> Self {
+        let mut pool = ValuePool::new();
+        for cfd in &sigma {
+            for (_, p) in cfd.lhs() {
+                if let Some(v) = p.as_const() {
+                    pool.intern(v);
+                }
+            }
+            if let Some(v) = cfd.rhs_pattern().as_const() {
+                pool.intern(v);
+            }
+        }
+        let coded = sigma.iter().map(|c| CodedCfd::compile(c, &pool)).collect();
         let mut checker = InsertChecker {
-            indexes: vec![GroupIndex::new(); sigma.len()],
+            indexes: vec![GroupIndex::default(); sigma.len()],
             sigma,
+            coded,
+            pool,
             tuples: 0,
         };
         for t in base.tuples() {
@@ -62,9 +86,12 @@ impl InsertChecker {
     /// Indices of the CFDs that inserting `t` would violate. Empty means
     /// the insertion is safe.
     pub fn check(&self, t: &Tuple) -> Vec<usize> {
+        // Lookup-only encoding: `None` marks a value the pool has never
+        // seen, which therefore differs from every resident value.
+        let codes: Vec<Option<Code>> = t.iter().map(|v| self.pool.lookup(v)).collect();
         let mut bad = Vec::new();
-        for (i, cfd) in self.sigma.iter().enumerate() {
-            if self.violates(i, cfd, t) {
+        for (i, coded) in self.coded.iter().enumerate() {
+            if self.violates(i, coded, t, &codes) {
                 bad.push(i);
             }
         }
@@ -86,52 +113,69 @@ impl InsertChecker {
     /// Admit `t` without validation (used for seeding and for callers that
     /// deliberately accept dirty data).
     pub fn admit(&mut self, t: Tuple) {
-        for (i, cfd) in self.sigma.iter().enumerate() {
-            if cfd.as_attr_eq().is_some() || cfd.rhs_pattern() != &Pattern::Wild {
+        let codes: Vec<Code> = t.iter().map(|v| self.pool.intern(v)).collect();
+        for (i, coded) in self.coded.iter().enumerate() {
+            if coded.attr_eq().is_some() || coded.rhs() != CodeCell::Wild {
                 continue; // memoryless forms
             }
-            if !lhs_matches(cfd, &t) {
+            if !coded.lhs_matches_codes(&codes) {
                 continue;
             }
-            let key: Vec<Value> = cfd.lhs().iter().map(|(a, _)| t[*a].clone()).collect();
-            let entry = self.indexes[i].entry(key).or_default();
-            let rhs = &t[cfd.rhs_attr()];
-            if !entry.contains(rhs) {
-                entry.push(rhs.clone());
+            let entry = self.indexes[i]
+                .entry(coded.key_of_codes(&codes))
+                .or_default();
+            let rhs = codes[coded.rhs_attr()];
+            if !entry.contains(&rhs) {
+                entry.push(rhs);
             }
         }
         self.tuples += 1;
     }
 
-    fn violates(&self, i: usize, cfd: &Cfd, t: &Tuple) -> bool {
-        if let Some((a, b)) = cfd.as_attr_eq() {
+    fn violates(&self, i: usize, coded: &CodedCfd, t: &Tuple, codes: &[Option<Code>]) -> bool {
+        if let Some((a, b)) = coded.attr_eq() {
             return t[a] != t[b];
         }
-        if !lhs_matches(cfd, t) {
+        // LHS match on optional codes: a constant cell can only match a
+        // value the pool knows (pattern constants are always interned).
+        let lhs_matches = coded.lhs().iter().all(|(a, cell)| match cell {
+            CodeCell::Wild => true,
+            CodeCell::Const(c) => codes[*a] == Some(*c),
+            CodeCell::Absent => unreachable!("pattern constants are interned at construction"),
+        });
+        if !lhs_matches {
             return false;
         }
-        match cfd.rhs_pattern() {
-            Pattern::Const(v) => &t[cfd.rhs_attr()] != v,
-            Pattern::Wild => {
-                let key: Vec<Value> = cfd.lhs().iter().map(|(a, _)| t[*a].clone()).collect();
-                match self.indexes[i].get(&key) {
-                    // Any existing RHS value different from ours conflicts.
-                    Some(vals) => vals.iter().any(|v| v != &t[cfd.rhs_attr()]),
+        match coded.rhs() {
+            CodeCell::Const(c) => codes[coded.rhs_attr()] != Some(c),
+            CodeCell::Absent => unreachable!("pattern constants are interned at construction"),
+            CodeCell::Wild => {
+                // A never-seen value in the key means no resident group can
+                // share it: the insertion opens a fresh group, which is safe.
+                let lhs_codes: Option<Vec<Code>> =
+                    coded.lhs().iter().map(|(a, _)| codes[*a]).collect();
+                let Some(lhs_codes) = lhs_codes else {
+                    return false;
+                };
+                match self.indexes[i].get(&coded.key_of_lhs_codes(&lhs_codes)) {
+                    // Any existing RHS code different from ours conflicts;
+                    // a never-seen RHS value conflicts with every resident.
+                    Some(vals) => match codes[coded.rhs_attr()] {
+                        Some(rhs) => vals.iter().any(|v| *v != rhs),
+                        None => !vals.is_empty(),
+                    },
                     None => false,
                 }
             }
-            Pattern::SpecialVar => unreachable!("as_attr_eq handled the special form"),
         }
     }
-}
-
-fn lhs_matches(cfd: &Cfd, t: &Tuple) -> bool {
-    cfd.lhs().iter().all(|(a, p)| p.matches_value(&t[*a]))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cfd_model::pattern::Pattern;
+    use cfd_relalg::Value;
 
     fn tup(vs: &[i64]) -> Tuple {
         vs.iter().map(|v| Value::int(*v)).collect()
@@ -145,7 +189,10 @@ mod tests {
     fn detects_group_conflict_against_base() {
         let sigma = vec![Cfd::fd(&[0], 1).unwrap()];
         let checker = InsertChecker::new(sigma, &base(&[&[1, 2]]));
-        assert!(checker.check(&tup(&[1, 2])).is_empty(), "same tuple is fine");
+        assert!(
+            checker.check(&tup(&[1, 2])).is_empty(),
+            "same tuple is fine"
+        );
         assert_eq!(checker.check(&tup(&[1, 3])), vec![0]);
         assert!(checker.check(&tup(&[2, 9])).is_empty(), "fresh key is fine");
     }
@@ -157,7 +204,10 @@ mod tests {
         let checker = InsertChecker::new(vec![phi], &Relation::new());
         assert_eq!(checker.check(&tup(&[1, 8])), vec![0]);
         assert!(checker.check(&tup(&[1, 9])).is_empty());
-        assert!(checker.check(&tup(&[2, 8])).is_empty(), "out of pattern scope");
+        assert!(
+            checker.check(&tup(&[2, 8])).is_empty(),
+            "out of pattern scope"
+        );
     }
 
     #[test]
@@ -198,6 +248,16 @@ mod tests {
         // conflicts with at least one resident value
         assert_eq!(checker.check(&tup(&[1, 2])), vec![0]);
         assert_eq!(checker.check(&tup(&[1, 4])), vec![0]);
+    }
+
+    #[test]
+    fn never_seen_rhs_value_conflicts_with_residents() {
+        let sigma = vec![Cfd::fd(&[0], 1).unwrap()];
+        let checker = InsertChecker::new(sigma, &base(&[&[1, 2]]));
+        // 99 was never interned: it still conflicts with the resident 2.
+        assert_eq!(checker.check(&tup(&[1, 99])), vec![0]);
+        // A never-seen key value opens a fresh group: safe.
+        assert!(checker.check(&tup(&[77, 99])).is_empty());
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! Greedy attribute-modification repair.
 //!
 //! A simplified equivalence-class repair in the spirit of Bohannon et al.
-//! (SIGMOD 2005), adapted to CFDs: every violation found by
-//! [`crate::violations::detect_all`] is resolved by overwriting
-//! right-hand-side cells —
+//! (SIGMOD 2005), adapted to CFDs: every violation found by code-level
+//! detection is resolved by overwriting right-hand-side cells —
 //!
 //! * a constant clash is fixed by writing the pattern constant,
 //! * a pair conflict is fixed by writing the group's *plurality* RHS value
@@ -17,12 +16,20 @@
 //! plain FDs, and some CFD sets admit no repair at all (e.g. two constant
 //! patterns demanding different values for one column) — the outcome then
 //! reports `clean = false` with the best instance reached.
+//!
+//! The whole loop runs on dictionary codes: the input relation is encoded
+//! once into a [`ColumnarRelation`] (with every pattern constant interned
+//! up front, since a fix may write a constant absent from the data), rounds
+//! detect and patch `u32` code rows, and [`Value`]s are materialized once
+//! at the end.
 
-use crate::violations::{detect_all, ViolationKind};
+use crate::violations::{detect_all_coded, CodedViolation, CodedViolationKind};
 use cfd_model::cfd::Cfd;
-use cfd_relalg::instance::{Relation, Tuple};
-use cfd_relalg::Value;
-use std::collections::HashMap;
+use cfd_model::columnar::{CodeCell, CodedCfd};
+use cfd_relalg::columnar::ColumnarRelation;
+use cfd_relalg::instance::Relation;
+use cfd_relalg::pool::{Code, ValuePool};
+use rustc_hash::FxHashMap;
 
 /// The result of a repair run.
 #[derive(Clone, Debug)]
@@ -43,94 +50,123 @@ pub struct RepairOutcome {
 /// smaller than the input — that is the correct behaviour for duplicate
 /// resolution.
 pub fn repair(rel: &Relation, sigma: &[Cfd], max_rounds: usize) -> RepairOutcome {
-    let mut current = rel.clone();
+    let mut pool = ValuePool::new();
+    let base = ColumnarRelation::from_relation(rel, &mut pool);
+    // Intern every pattern constant: fixes write them, and compiled CFDs
+    // must never see an Absent cell that later becomes present.
+    for cfd in sigma {
+        for (_, p) in cfd.lhs() {
+            if let Some(v) = p.as_const() {
+                pool.intern(v);
+            }
+        }
+        if let Some(v) = cfd.rhs_pattern().as_const() {
+            pool.intern(v);
+        }
+    }
+    let coded: Vec<CodedCfd> = sigma.iter().map(|c| CodedCfd::compile(c, &pool)).collect();
+    let mut rows: Vec<Vec<Code>> = (0..base.len())
+        .map(|r| base.row_codes(r).collect())
+        .collect();
+
     let mut cell_changes = 0;
     for round in 0..max_rounds {
-        let violations = detect_all(&current, sigma);
+        let cols = ColumnarRelation::from_code_rows(&rows);
+        // The batched detector shares one grouping pass across CFDs with a
+        // common LHS and fans out across threads on large instances.
+        let violations: Vec<CodedViolation> = detect_all_coded(&cols, &coded);
         if violations.is_empty() {
-            return RepairOutcome { relation: current, cell_changes, rounds: round, clean: true };
+            return RepairOutcome {
+                relation: cols.to_relation(&pool),
+                cell_changes,
+                rounds: round,
+                clean: true,
+            };
         }
-        // Plan cell overwrites: tuple → (attr → new value). *Forced* fixes
+        // Plan cell overwrites: row → (attr → new code). *Forced* fixes
         // (constant patterns, attribute equalities) are planned first; pair
         // conflicts then adopt any pending forced value as their target, so
         // a constant CFD and the plurality heuristic cannot oscillate by
         // pulling one group in opposite directions round after round.
-        let mut plan: HashMap<Tuple, HashMap<usize, Value>> = HashMap::new();
+        let mut plan: FxHashMap<usize, FxHashMap<usize, Code>> = FxHashMap::default();
         for v in &violations {
-            let cfd = &sigma[v.cfd_index];
+            let cfd = &coded[v.cfd_index];
             match &v.kind {
-                ViolationKind::ConstantClash { expected, .. } => {
-                    plan.entry(v.tuples[0].clone())
+                CodedViolationKind::ConstantClash { .. } => {
+                    let expected = match cfd.rhs() {
+                        CodeCell::Const(c) => c,
+                        _ => unreachable!("constant clash from constant-RHS CFD"),
+                    };
+                    plan.entry(v.rows[0])
                         .or_default()
-                        .insert(cfd.rhs_attr(), expected.clone());
+                        .insert(cfd.rhs_attr(), expected);
                 }
-                ViolationKind::AttrEqClash { .. } => {
-                    let (a, b) = cfd.as_attr_eq().expect("attr-eq violation from attr-eq CFD");
-                    let t = &v.tuples[0];
-                    plan.entry(t.clone()).or_default().insert(b, t[a].clone());
+                CodedViolationKind::AttrEqClash { .. } => {
+                    let (a, b) = cfd.attr_eq().expect("attr-eq violation from attr-eq CFD");
+                    let row = v.rows[0];
+                    let left = rows[row][a];
+                    plan.entry(row).or_default().insert(b, left);
                 }
-                ViolationKind::PairConflict { .. } => {} // second pass
+                CodedViolationKind::PairConflict { .. } => {} // second pass
             }
         }
         for v in &violations {
-            let cfd = &sigma[v.cfd_index];
-            if !matches!(v.kind, ViolationKind::PairConflict { .. }) {
+            if !matches!(v.kind, CodedViolationKind::PairConflict { .. }) {
                 continue;
             }
-            let rhs = cfd.rhs_attr();
+            let rhs = coded[v.cfd_index].rhs_attr();
             let forced = v
-                .tuples
+                .rows
                 .iter()
-                .find_map(|t| plan.get(t).and_then(|ov| ov.get(&rhs)).cloned());
-            let target = forced.unwrap_or_else(|| plurality_value(&v.tuples, rhs));
-            for t in &v.tuples {
+                .find_map(|r| plan.get(r).and_then(|ov| ov.get(&rhs)).copied());
+            let target = forced.unwrap_or_else(|| plurality_code(&v.rows, rhs, &rows, &pool));
+            for &r in &v.rows {
                 let current = plan
-                    .get(t)
-                    .and_then(|ov| ov.get(&rhs))
-                    .unwrap_or(&t[rhs]);
-                if current != &target {
-                    plan.entry(t.clone()).or_default().insert(rhs, target.clone());
+                    .get(&r)
+                    .and_then(|ov| ov.get(&rhs).copied())
+                    .unwrap_or(rows[r][rhs]);
+                if current != target {
+                    plan.entry(r).or_default().insert(rhs, target);
                 }
             }
         }
         if plan.is_empty() {
             break; // nothing actionable (should not happen)
         }
-        let mut next = Relation::new();
-        for t in current.tuples() {
-            match plan.get(t) {
-                Some(overwrites) => {
-                    let mut fixed = t.clone();
-                    for (attr, value) in overwrites {
-                        if &fixed[*attr] != value {
-                            fixed[*attr] = value.clone();
-                            cell_changes += 1;
-                        }
-                    }
-                    next.insert(fixed);
-                }
-                None => {
-                    next.insert(t.clone());
+        for (row, overwrites) in &plan {
+            for (attr, code) in overwrites {
+                if rows[*row][*attr] != *code {
+                    rows[*row][*attr] = *code;
+                    cell_changes += 1;
                 }
             }
         }
-        current = next;
+        // Set semantics: repaired rows may merge.
+        rows.sort_unstable();
+        rows.dedup();
     }
-    let clean = detect_all(&current, sigma).is_empty();
-    RepairOutcome { relation: current, cell_changes, rounds: max_rounds, clean }
+    let cols = ColumnarRelation::from_code_rows(&rows);
+    let clean = detect_all_coded(&cols, &coded).is_empty();
+    RepairOutcome {
+        relation: cols.to_relation(&pool),
+        cell_changes,
+        rounds: max_rounds,
+        clean,
+    }
 }
 
-/// The most frequent value in column `attr` of `tuples`; ties break to the
-/// smallest value (total order on [`Value`]).
-fn plurality_value(tuples: &[Tuple], attr: usize) -> Value {
-    let mut counts: HashMap<&Value, usize> = HashMap::new();
-    for t in tuples {
-        *counts.entry(&t[attr]).or_default() += 1;
+/// The most frequent code in column `attr` of the given rows; ties break
+/// to the smallest *value* (codes are compared through the pool, since
+/// code order is assignment order, not value order).
+fn plurality_code(group: &[usize], attr: usize, rows: &[Vec<Code>], pool: &ValuePool) -> Code {
+    let mut counts: FxHashMap<Code, usize> = FxHashMap::default();
+    for &r in group {
+        *counts.entry(rows[r][attr]).or_default() += 1;
     }
     counts
         .into_iter()
-        .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| vb.cmp(va)))
-        .map(|(v, _)| v.clone())
+        .max_by(|(va, ca), (vb, cb)| ca.cmp(cb).then_with(|| pool.cmp_values(*vb, *va)))
+        .map(|(v, _)| v)
         .expect("nonempty violation group")
 }
 
@@ -139,6 +175,8 @@ mod tests {
     use super::*;
     use cfd_model::pattern::Pattern;
     use cfd_model::satisfy;
+    use cfd_relalg::instance::Tuple;
+    use cfd_relalg::Value;
 
     fn rel(rows: &[&[i64]]) -> Relation {
         rows.iter()
@@ -190,6 +228,18 @@ mod tests {
     }
 
     #[test]
+    fn repair_writes_constants_absent_from_the_data() {
+        // ([A] → B, (1 ‖ 9)) with 9 nowhere in the input: the fix must
+        // still be able to write it.
+        let phi = Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::cst(9)).unwrap();
+        let r = rel(&[&[1, 8]]);
+        let out = repair(&r, std::slice::from_ref(&phi), 5);
+        assert!(out.clean);
+        let t = out.relation.tuples().next().unwrap();
+        assert_eq!(t[1], Value::int(9));
+    }
+
+    #[test]
     fn cascading_fix_converges() {
         // ([A] → B, (1 ‖ 9)) and B → C: fixing B creates a B-group that then
         // forces C to agree.
@@ -237,7 +287,10 @@ mod tests {
         let out = repair(&r, &[fd.clone(), k.clone()], 4);
         assert!(out.clean, "must converge: {:?}", out.relation);
         assert!(satisfy::satisfies_all(&out.relation, [&fd, &k]));
-        assert!(out.relation.tuples().all(|t| t[0] != Value::int(20) || t[1] == Value::int(9)));
+        assert!(out
+            .relation
+            .tuples()
+            .all(|t| t[0] != Value::int(20) || t[1] == Value::int(9)));
         assert_eq!(out.cell_changes, 1, "one forced overwrite suffices");
     }
 

@@ -58,7 +58,11 @@ pub fn detection_sql(schema: &RelationSchema, cfd: &Cfd) -> Vec<String> {
             conds.push(format!("t.{} = {}", attr(*a), sql_literal(v)));
         }
     }
-    let where_match = if conds.is_empty() { String::new() } else { conds.join(" AND ") };
+    let where_match = if conds.is_empty() {
+        String::new()
+    } else {
+        conds.join(" AND ")
+    };
 
     match cfd.rhs_pattern() {
         Pattern::Const(v) => {
@@ -70,8 +74,11 @@ pub fn detection_sql(schema: &RelationSchema, cfd: &Cfd) -> Vec<String> {
             vec![q]
         }
         Pattern::Wild => {
-            let group_cols: Vec<String> =
-                cfd.lhs().iter().map(|(a, _)| format!("t.{}", attr(*a))).collect();
+            let group_cols: Vec<String> = cfd
+                .lhs()
+                .iter()
+                .map(|(a, _)| format!("t.{}", attr(*a)))
+                .collect();
             if group_cols.is_empty() {
                 // (∅ → A, (‖ _)): "the whole column is one value" — conflicts
                 // are any two distinct values in the column.
@@ -98,7 +105,10 @@ pub fn detection_sql(schema: &RelationSchema, cfd: &Cfd) -> Vec<String> {
 
 /// Detection SQL for a whole CFD set, flattened in input order.
 pub fn detection_sql_all(schema: &RelationSchema, sigma: &[Cfd]) -> Vec<String> {
-    sigma.iter().flat_map(|c| detection_sql(schema, c)).collect()
+    sigma
+        .iter()
+        .flat_map(|c| detection_sql(schema, c))
+        .collect()
 }
 
 #[cfg(test)]
@@ -159,7 +169,10 @@ mod tests {
     fn attr_eq_query() {
         let phi = Cfd::attr_eq(0, 1).unwrap();
         let qs = detection_sql(&schema(), &phi);
-        assert_eq!(qs, vec![r#"SELECT * FROM "cust" t WHERE t."CC" <> t."AC""#.to_string()]);
+        assert_eq!(
+            qs,
+            vec![r#"SELECT * FROM "cust" t WHERE t."CC" <> t."AC""#.to_string()]
+        );
     }
 
     #[test]

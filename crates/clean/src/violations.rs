@@ -2,19 +2,37 @@
 //!
 //! [`cfd_model::satisfy::find_violation`] is the semantic reference: a
 //! direct transcription of the §2.1 definition that scans all tuple pairs
-//! (`O(|D|²)` per CFD). Detection here instead groups the tuples that match
-//! the LHS pattern by their LHS *values* — two tuples can only violate a CFD
-//! together if they agree on `X` — so each group is examined in isolation
-//! and the whole pass is `O(|D|)` expected per CFD.
+//! (`O(|D|²)` per CFD). Production detection runs on the dictionary-encoded
+//! columnar layer instead ([`cfd_relalg::columnar::ColumnarRelation`]): the
+//! relation is encoded once, each CFD is compiled to dense codes
+//! ([`cfd_model::columnar::CodedCfd`]), and detection is a single
+//! hash-group-by pass over `u32` columns — `O(|D|)` expected per CFD with
+//! no `Value` clones until the reporting boundary. [`detect_all`] further
+//! fans the per-CFD passes out across threads with rayon when the workload
+//! is large enough to amortize the spawns.
+//!
+//! The seed's row-wise hash-grouped detection is kept as
+//! [`detect_rowwise`] / [`detect_all_rowwise`] — it is the baseline the
+//! `columnar` criterion group measures against, and a second reference for
+//! the property tests.
 //!
 //! The output enumerates *every* offending tuple (not just one witness
 //! pair), which is what a cleaning tool needs to mark cells.
 
 use cfd_model::cfd::Cfd;
+use cfd_model::columnar::{assign_group_ids, CodeCell, CodedCfd, GroupIds, NO_GROUP};
 use cfd_model::pattern::Pattern;
+use cfd_relalg::columnar::ColumnarRelation;
 use cfd_relalg::instance::{Relation, Tuple};
+use cfd_relalg::pool::{Code, ValuePool};
 use cfd_relalg::Value;
-use std::collections::HashMap;
+use rayon::prelude::*;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::{BTreeSet, HashMap};
+
+/// Below this many (tuples × CFDs) the per-CFD passes stay sequential —
+/// thread spawns would dominate the work.
+const PARALLEL_CUTOFF: usize = 1 << 14;
 
 /// How a tuple (or group of tuples) violates a CFD.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,9 +81,9 @@ impl Violation {
             _ => format!("#{}", cfd.rhs_attr()),
         };
         match &self.kind {
-            ViolationKind::ConstantClash { expected, found } => format!(
-                "tuple has {rhs} = {found} but the pattern requires {rhs} = {expected}"
-            ),
+            ViolationKind::ConstantClash { expected, found } => {
+                format!("tuple has {rhs} = {found} but the pattern requires {rhs} = {expected}")
+            }
             ViolationKind::PairConflict { values } => {
                 let vs: Vec<String> = values.iter().map(|v| v.to_string()).collect();
                 format!(
@@ -84,26 +102,340 @@ impl Violation {
 
 /// Detect all violations of `cfd` in `rel`, reported exhaustively.
 pub fn detect(rel: &Relation, cfd: &Cfd) -> Vec<Violation> {
-    detect_indexed(rel, cfd, 0)
+    let mut pool = ValuePool::with_capacity(rel.len());
+    let cols = ColumnarRelation::from_relation(rel, &mut pool);
+    detect_columnar_indexed(&cols, &pool, cfd, 0)
 }
 
 /// Detect all violations of every CFD in `sigma`, tagged with CFD indices.
+///
+/// Encodes `rel` once; per-CFD passes run in parallel (rayon) when
+/// `|D| · |Σ|` is large enough to amortize the thread spawns. Output order
+/// is deterministic: by CFD index, then by the violating tuples.
 pub fn detect_all(rel: &Relation, sigma: &[Cfd]) -> Vec<Violation> {
-    sigma
-        .iter()
-        .enumerate()
-        .flat_map(|(i, c)| detect_indexed(rel, c, i))
+    let mut pool = ValuePool::with_capacity(rel.len());
+    let cols = ColumnarRelation::from_relation(rel, &mut pool);
+    detect_all_columnar(&cols, &pool, sigma)
+}
+
+/// [`detect`] over an already-encoded relation.
+pub fn detect_columnar(rel: &ColumnarRelation, pool: &ValuePool, cfd: &Cfd) -> Vec<Violation> {
+    detect_columnar_indexed(rel, pool, cfd, 0)
+}
+
+/// [`detect_all`] over an already-encoded relation.
+///
+/// CFDs are compiled once and *batched by LHS signature*: CFDs whose
+/// compiled LHS cells coincide (common in real Σ — many FDs keyed by the
+/// same attributes) share one hash-group-by pass, after which each CFD's
+/// conflicts are found by a cheap indexed sweep. Batches (and standalone
+/// CFDs) fan out across threads when the workload is large enough.
+pub fn detect_all_columnar(
+    rel: &ColumnarRelation,
+    pool: &ValuePool,
+    sigma: &[Cfd],
+) -> Vec<Violation> {
+    let coded: Vec<CodedCfd> = sigma.iter().map(|c| CodedCfd::compile(c, pool)).collect();
+    detect_all_coded(rel, &coded)
+        .into_iter()
+        .map(|v| {
+            let cfd = &sigma[v.cfd_index];
+            materialize(v, rel, pool, cfd)
+        })
         .collect()
 }
 
-fn detect_indexed(rel: &Relation, cfd: &Cfd, cfd_index: usize) -> Vec<Violation> {
+/// The code-level core of [`detect_all_columnar`], also driving the
+/// repair loop: batched by LHS signature, fanned out across threads when
+/// large, output in Σ order (per-CFD order as in [`detect_coded`]).
+pub(crate) fn detect_all_coded(rel: &ColumnarRelation, coded: &[CodedCfd]) -> Vec<CodedViolation> {
+    if rel.is_empty() {
+        return Vec::new();
+    }
+
+    // One unit of work per memoryless CFD, one per distinct wild-RHS LHS.
+    enum Unit {
+        Single(usize),
+        SharedLhs(Vec<usize>),
+    }
+    let mut units: Vec<Unit> = Vec::new();
+    let mut batch_of: FxHashMap<Vec<(usize, CodeCell)>, usize> = FxHashMap::default();
+    for (i, c) in coded.iter().enumerate() {
+        if c.attr_eq().is_none() && c.rhs() == CodeCell::Wild {
+            match batch_of.entry(c.lhs().to_vec()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let unit = *e.get();
+                    if let Unit::SharedLhs(ids) = &mut units[unit] {
+                        ids.push(i);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(units.len());
+                    units.push(Unit::SharedLhs(vec![i]));
+                }
+            }
+        } else {
+            units.push(Unit::Single(i));
+        }
+    }
+
+    let run_unit = |unit: &Unit| -> Vec<(usize, Vec<CodedViolation>)> {
+        match unit {
+            Unit::Single(i) => vec![(*i, detect_coded(rel, &coded[*i], *i))],
+            Unit::SharedLhs(cfds) => {
+                let ids = assign_group_ids(rel, &coded[cfds[0]]);
+                cfds.iter()
+                    .map(|&i| (i, wild_violations(rel, &coded[i], &ids, i)))
+                    .collect()
+            }
+        }
+    };
+    let results: Vec<Vec<(usize, Vec<CodedViolation>)>> =
+        if rel.len().saturating_mul(coded.len()) < PARALLEL_CUTOFF {
+            units.iter().map(run_unit).collect()
+        } else {
+            units.par_iter().map(run_unit).collect()
+        };
+
+    // Scatter unit outputs back into Σ order.
+    let mut per_cfd: Vec<Vec<CodedViolation>> = vec![Vec::new(); coded.len()];
+    for (i, vs) in results.into_iter().flatten() {
+        per_cfd[i] = vs;
+    }
+    per_cfd.into_iter().flatten().collect()
+}
+
+fn detect_columnar_indexed(
+    rel: &ColumnarRelation,
+    pool: &ValuePool,
+    cfd: &Cfd,
+    cfd_index: usize,
+) -> Vec<Violation> {
+    let coded = CodedCfd::compile(cfd, pool);
+    detect_coded(rel, &coded, cfd_index)
+        .into_iter()
+        .map(|v| materialize(v, rel, pool, cfd))
+        .collect()
+}
+
+/// A violation at the code level: row indices instead of tuples. The
+/// repair loop consumes these directly; [`materialize`] decodes them at
+/// the reporting boundary.
+#[derive(Clone, Debug)]
+pub(crate) struct CodedViolation {
+    pub(crate) cfd_index: usize,
+    pub(crate) kind: CodedViolationKind,
+    /// Participating rows, in ascending row order.
+    pub(crate) rows: Vec<usize>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum CodedViolationKind {
+    /// RHS cell differs from the pattern constant (code of the value
+    /// found; the expected constant lives in the CFD pattern).
+    ConstantClash { found: Code },
+    /// ≥ 2 distinct RHS codes within one LHS group (unsorted).
+    PairConflict { values: Vec<Code> },
+    /// `t[A] ≠ t[B]` for the equality form.
+    AttrEqClash { left: Code, right: Code },
+}
+
+/// Single-pass code-level detection. Per-row kinds come out in row order;
+/// group kinds are sorted by their row sets, so the output is
+/// deterministic regardless of hash iteration order.
+pub(crate) fn detect_coded(
+    rel: &ColumnarRelation,
+    coded: &CodedCfd,
+    cfd_index: usize,
+) -> Vec<CodedViolation> {
+    let mut out = Vec::new();
+    if rel.is_empty() {
+        return out;
+    }
+    if let Some((a, b)) = coded.attr_eq() {
+        let (ca, cb) = (rel.column(a), rel.column(b));
+        for row in 0..rel.len() {
+            if ca[row] != cb[row] {
+                out.push(CodedViolation {
+                    cfd_index,
+                    kind: CodedViolationKind::AttrEqClash {
+                        left: ca[row],
+                        right: cb[row],
+                    },
+                    rows: vec![row],
+                });
+            }
+        }
+        return out;
+    }
+    match coded.rhs() {
+        CodeCell::Const(expected) => {
+            let rhs_col = rel.column(coded.rhs_attr());
+            for (row, &found) in rhs_col.iter().enumerate() {
+                if found != expected && coded.lhs_matches_row(rel, row) {
+                    out.push(CodedViolation {
+                        cfd_index,
+                        kind: CodedViolationKind::ConstantClash { found },
+                        rows: vec![row],
+                    });
+                }
+            }
+        }
+        CodeCell::Absent => {
+            // The required constant occurs nowhere in the pool: every row
+            // matching the LHS clashes.
+            let rhs_col = rel.column(coded.rhs_attr());
+            for (row, &found) in rhs_col.iter().enumerate() {
+                if coded.lhs_matches_row(rel, row) {
+                    out.push(CodedViolation {
+                        cfd_index,
+                        kind: CodedViolationKind::ConstantClash { found },
+                        rows: vec![row],
+                    });
+                }
+            }
+        }
+        CodeCell::Wild => {
+            // Pass 1: one hash probe per in-scope row, no per-row
+            // allocations — just a gid per row.
+            let ids = assign_group_ids(rel, coded);
+            out.extend(wild_violations(rel, coded, &ids, cfd_index));
+        }
+    }
+    out
+}
+
+/// Conflicts of one wildcard-RHS CFD given a (possibly shared) group
+/// assignment: an indexed conflict sweep, then an exhaustive collection
+/// sweep over the (typically rare) conflicted groups only.
+fn wild_violations(
+    rel: &ColumnarRelation,
+    coded: &CodedCfd,
+    ids: &GroupIds,
+    cfd_index: usize,
+) -> Vec<CodedViolation> {
+    if rel.is_empty() {
+        return Vec::new();
+    }
+    let rhs_col = rel.column(coded.rhs_attr());
+    // Per-group RHS state: 0 = unseen, 1 = one code seen, 2 = conflicted.
+    let mut state: Vec<(Code, u8)> = vec![(0, 0); ids.group_count];
+    let mut any_conflict = false;
+    for (row, &gid) in ids.row_gid.iter().enumerate() {
+        if gid == NO_GROUP {
+            continue;
+        }
+        let s = &mut state[gid as usize];
+        match s.1 {
+            0 => *s = (rhs_col[row], 1),
+            1 if s.0 != rhs_col[row] => {
+                s.1 = 2;
+                any_conflict = true;
+            }
+            _ => {}
+        }
+    }
+    if !any_conflict {
+        return Vec::new();
+    }
+    // Collection sweep: rows and distinct RHS codes per conflicted group.
+    let mut bucket_of: Vec<u32> = vec![u32::MAX; ids.group_count];
+    let mut buckets: Vec<(Vec<usize>, FxHashSet<Code>)> = Vec::new();
+    for (gid, s) in state.iter().enumerate() {
+        if s.1 == 2 {
+            bucket_of[gid] = buckets.len() as u32;
+            buckets.push((Vec::new(), FxHashSet::default()));
+        }
+    }
+    for (row, &gid) in ids.row_gid.iter().enumerate() {
+        if gid == NO_GROUP {
+            continue;
+        }
+        let bucket = bucket_of[gid as usize];
+        if bucket == u32::MAX {
+            continue;
+        }
+        let (rows, values) = &mut buckets[bucket as usize];
+        rows.push(row);
+        values.insert(rhs_col[row]);
+    }
+    let mut conflicted: Vec<CodedViolation> = buckets
+        .into_iter()
+        .map(|(rows, values)| CodedViolation {
+            cfd_index,
+            kind: CodedViolationKind::PairConflict {
+                values: values.into_iter().collect(),
+            },
+            rows,
+        })
+        .collect();
+    // Rows are in ascending order within each group and rel's row order is
+    // the set's sorted tuple order, so sorting by row sets equals sorting
+    // by tuple groups.
+    conflicted.sort_by(|a, b| a.rows.cmp(&b.rows));
+    conflicted
+}
+
+fn materialize(
+    v: CodedViolation,
+    rel: &ColumnarRelation,
+    pool: &ValuePool,
+    cfd: &Cfd,
+) -> Violation {
+    let tuples: Vec<Tuple> = v.rows.iter().map(|&r| rel.decode_row(r, pool)).collect();
+    let kind = match v.kind {
+        CodedViolationKind::ConstantClash { found } => ViolationKind::ConstantClash {
+            expected: cfd
+                .rhs_pattern()
+                .as_const()
+                .expect("constant clash from constant-RHS CFD")
+                .clone(),
+            found: pool.value(found).clone(),
+        },
+        CodedViolationKind::PairConflict { values } => {
+            let mut values: Vec<Value> =
+                values.into_iter().map(|c| pool.value(c).clone()).collect();
+            values.sort();
+            ViolationKind::PairConflict { values }
+        }
+        CodedViolationKind::AttrEqClash { left, right } => ViolationKind::AttrEqClash {
+            left: pool.value(left).clone(),
+            right: pool.value(right).clone(),
+        },
+    };
+    Violation {
+        cfd_index: v.cfd_index,
+        kind,
+        tuples,
+    }
+}
+
+/// The seed's row-wise hash-grouped detection (kept as the benchmark
+/// baseline and as a second reference implementation).
+pub fn detect_rowwise(rel: &Relation, cfd: &Cfd) -> Vec<Violation> {
+    detect_rowwise_indexed(rel, cfd, 0)
+}
+
+/// [`detect_rowwise`] over a CFD set, tagged with CFD indices.
+pub fn detect_all_rowwise(rel: &Relation, sigma: &[Cfd]) -> Vec<Violation> {
+    sigma
+        .iter()
+        .enumerate()
+        .flat_map(|(i, c)| detect_rowwise_indexed(rel, c, i))
+        .collect()
+}
+
+fn detect_rowwise_indexed(rel: &Relation, cfd: &Cfd, cfd_index: usize) -> Vec<Violation> {
     if let Some((a, b)) = cfd.as_attr_eq() {
         return rel
             .tuples()
             .filter(|t| t[a] != t[b])
             .map(|t| Violation {
                 cfd_index,
-                kind: ViolationKind::AttrEqClash { left: t[a].clone(), right: t[b].clone() },
+                kind: ViolationKind::AttrEqClash {
+                    left: t[a].clone(),
+                    right: t[b].clone(),
+                },
                 tuples: vec![t.clone()],
             })
             .collect();
@@ -140,17 +472,13 @@ fn detect_indexed(rel: &Relation, cfd: &Cfd, cfd_index: usize) -> Vec<Violation>
             let mut conflicted: Vec<Violation> = groups
                 .into_values()
                 .filter_map(|group| {
-                    let mut values: Vec<Value> = Vec::new();
-                    for t in &group {
-                        if !values.contains(&t[rhs]) {
-                            values.push(t[rhs].clone());
-                        }
-                    }
-                    if values.len() > 1 {
-                        values.sort();
+                    let distinct: BTreeSet<&Value> = group.iter().map(|t| &t[rhs]).collect();
+                    if distinct.len() > 1 {
                         Some(Violation {
                             cfd_index,
-                            kind: ViolationKind::PairConflict { values },
+                            kind: ViolationKind::PairConflict {
+                                values: distinct.into_iter().cloned().collect(),
+                            },
                             tuples: group.into_iter().cloned().collect(),
                         })
                     } else {
@@ -230,7 +558,10 @@ mod tests {
         assert_eq!(vs.len(), 1);
         assert_eq!(
             vs[0].kind,
-            ViolationKind::AttrEqClash { left: Value::int(4), right: Value::int(5) }
+            ViolationKind::AttrEqClash {
+                left: Value::int(4),
+                right: Value::int(5)
+            }
         );
     }
 
@@ -248,10 +579,29 @@ mod tests {
         for (r, c) in cases {
             assert_eq!(
                 detect(&r, &c).is_empty(),
-                satisfy::satisfies(&r, &c),
+                satisfy::satisfies_pairwise(&r, &c),
                 "mismatch for {c} on {r:?}"
             );
         }
+    }
+
+    #[test]
+    fn columnar_equals_rowwise_exactly() {
+        let sigma = vec![
+            Cfd::fd(&[0], 1).unwrap(),
+            Cfd::fd(&[1, 2], 0).unwrap(),
+            Cfd::new(vec![(0, Pattern::cst(1))], 2, Pattern::cst(9)).unwrap(),
+            Cfd::attr_eq(1, 2).unwrap(),
+        ];
+        let r = rel(&[
+            &[1, 2, 9],
+            &[1, 3, 9],
+            &[1, 3, 8],
+            &[2, 2, 2],
+            &[2, 2, 3],
+            &[4, 4, 4],
+        ]);
+        assert_eq!(detect_all(&r, &sigma), detect_all_rowwise(&r, &sigma));
     }
 
     #[test]
@@ -281,5 +631,24 @@ mod tests {
         assert!(phi.lhs().is_empty());
         let vs = detect(&rel(&[&[1, 7], &[2, 8]]), &phi);
         assert_eq!(vs.len(), 1);
+    }
+
+    #[test]
+    fn large_input_takes_parallel_path() {
+        // Enough tuples × CFDs to cross PARALLEL_CUTOFF; results must
+        // stay identical to the sequential row-wise baseline.
+        // A unique last column keeps all rows distinct under set semantics.
+        let rows: Vec<Vec<Value>> = (0..4096)
+            .map(|i| vec![Value::int(i % 50), Value::int(i % 7), Value::int(i)])
+            .collect();
+        let r: Relation = rows.into_iter().collect();
+        let sigma = vec![
+            Cfd::fd(&[0], 1).unwrap(),
+            Cfd::fd(&[1], 2).unwrap(),
+            Cfd::fd(&[0, 1], 2).unwrap(),
+            Cfd::attr_eq(1, 2).unwrap(),
+        ];
+        assert!(r.len() * sigma.len() >= super::PARALLEL_CUTOFF);
+        assert_eq!(detect_all(&r, &sigma), detect_all_rowwise(&r, &sigma));
     }
 }

@@ -24,8 +24,7 @@ fn tuple_strategy() -> impl Strategy<Value = Tuple> {
 }
 
 fn relation_strategy() -> impl Strategy<Value = Relation> {
-    proptest::collection::vec(tuple_strategy(), 0..12)
-        .prop_map(|ts| ts.into_iter().collect())
+    proptest::collection::vec(tuple_strategy(), 0..12).prop_map(|ts| ts.into_iter().collect())
 }
 
 /// A random normal-form CFD over `ARITY` attributes (plain, conditional,
@@ -36,13 +35,21 @@ fn cfd_strategy() -> impl Strategy<Value = Cfd> {
         2 => (0i64..4).prop_map(Pattern::cst),
     ];
     let lhs = proptest::collection::btree_set(0usize..ARITY, 1..ARITY);
-    let shaped = (lhs, proptest::collection::vec(cell, ARITY), 0usize..ARITY, prop_oneof![
-        3 => Just(Pattern::Wild),
-        2 => (0i64..4).prop_map(Pattern::cst),
-    ])
+    let shaped = (
+        lhs,
+        proptest::collection::vec(cell, ARITY),
+        0usize..ARITY,
+        prop_oneof![
+            3 => Just(Pattern::Wild),
+            2 => (0i64..4).prop_map(Pattern::cst),
+        ],
+    )
         .prop_filter_map("valid cfd", |(lhs, cells, rhs, rhs_p)| {
-            let lhs_cells: Vec<(usize, Pattern)> =
-                lhs.iter().enumerate().map(|(i, a)| (*a, cells[i].clone())).collect();
+            let lhs_cells: Vec<(usize, Pattern)> = lhs
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (*a, cells[i].clone()))
+                .collect();
             Cfd::new(lhs_cells, rhs, rhs_p).ok()
         });
     prop_oneof![
@@ -150,6 +157,33 @@ proptest! {
             verdict_ok,
             satisfy::satisfies_all(&merged, &sigma),
             "incremental and batch disagree"
+        );
+    }
+
+    /// ISSUE 1: the columnar detector (including its LHS-sharing batch
+    /// path) reproduces the seed's row-wise detection *exactly* — same
+    /// violations, same order, same reported values.
+    #[test]
+    fn columnar_detection_equals_rowwise(
+        rel in relation_strategy(),
+        sigma in proptest::collection::vec(cfd_strategy(), 1..5),
+    ) {
+        prop_assert_eq!(
+            detect_all(&rel, &sigma),
+            cfd_clean::detect_all_rowwise(&rel, &sigma)
+        );
+    }
+
+    /// Columnar detection is empty exactly when the §2.1 pairwise
+    /// reference is satisfied.
+    #[test]
+    fn columnar_detection_agrees_with_pairwise_reference(
+        rel in relation_strategy(),
+        cfd in cfd_strategy(),
+    ) {
+        prop_assert_eq!(
+            detect(&rel, &cfd).is_empty(),
+            satisfy::satisfies_pairwise(&rel, &cfd)
         );
     }
 }

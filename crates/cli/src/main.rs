@@ -18,9 +18,11 @@
 //! cfdprop gen [--relations N] [--cfds M] [--y N] [--f N] [--ec N] [--seed S]
 //!     Emit a random workload document (paper §5 generators).
 //!
-//! cfdprop clean <file.cfd> [--repair]
+//! cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise]
 //!     Detect violations of the file's source CFDs on its `row` data;
-//!     with --repair, print a greedy minimal-change repair.
+//!     with --repair, print a greedy minimal-change repair. Detection
+//!     runs on the dictionary-encoded columnar engine unless
+//!     `--detector rowwise` selects the row-wise reference.
 //!
 //! cfdprop sql <file.cfd>
 //!     Emit the SQL detection queries for every source CFD.
@@ -89,7 +91,7 @@ USAGE:
     cfdprop empty <file.cfd>
     cfdprop consistency <file.cfd>
     cfdprop gen [--relations N] [--cfds M] [--y N] [--f N] [--ec N] [--seed S]
-    cfdprop clean <file.cfd> [--repair]
+    cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise]
     cfdprop sql <file.cfd>
     cfdprop cind <file.cfd>
 ";
@@ -122,11 +124,19 @@ fn check(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         match verdict {
             Verdict::Propagated => {
-                println!("PROPAGATED      {label}: {} on {}", body(&vc.cfd, &names), vc.view);
+                println!(
+                    "PROPAGATED      {label}: {} on {}",
+                    body(&vc.cfd, &names),
+                    vc.view
+                );
             }
             Verdict::NotPropagated(w) => {
                 failures += 1;
-                println!("NOT PROPAGATED  {label}: {} on {}", body(&vc.cfd, &names), vc.view);
+                println!(
+                    "NOT PROPAGATED  {label}: {} on {}",
+                    body(&vc.cfd, &names),
+                    vc.view
+                );
                 println!(
                     "                counterexample source database with {} tuple(s):",
                     w.database.total_tuples()
@@ -136,7 +146,10 @@ fn check(args: &[String]) -> Result<(), String> {
                     if !r.is_empty() {
                         let cols: Vec<String> =
                             schema.attributes.iter().map(|a| a.name.clone()).collect();
-                        print!("{}", cfd_relalg::instance::render_table(&schema.name, &cols, r));
+                        print!(
+                            "{}",
+                            cfd_relalg::instance::render_table(&schema.name, &cols, r)
+                        );
                     }
                 }
             }
@@ -178,7 +191,11 @@ fn cover(args: &[String]) -> Result<(), String> {
                 "view {}: {} propagated CFD(s) [union: sound cover, possibly incomplete]{}",
                 view.name,
                 result.cfds.len(),
-                if result.always_empty { " [view is empty on every model of Σ]" } else { "" },
+                if result.always_empty {
+                    " [view is empty on every model of Σ]"
+                } else {
+                    ""
+                },
             );
             for c in &result.cfds {
                 println!("  {}{}", view.name, body(c, &names));
@@ -186,7 +203,10 @@ fn cover(args: &[String]) -> Result<(), String> {
             continue;
         }
         if general {
-            let gopts = GeneralCoverOptions { cover: opts.clone(), ..Default::default() };
+            let gopts = GeneralCoverOptions {
+                cover: opts.clone(),
+                ..Default::default()
+            };
             let result =
                 prop_cfd_spc_general(&doc.catalog, &sigma, &view.query.branches[0], &gopts)
                     .map_err(|e| e.to_string())?;
@@ -194,8 +214,16 @@ fn cover(args: &[String]) -> Result<(), String> {
                 "view {}: {} propagated CFD(s) [general setting: sound cover]{}{}{}",
                 view.name,
                 result.cfds.len(),
-                if result.always_empty { " [view is empty on every model of Σ]" } else { "" },
-                if result.enumeration_truncated { " [candidate enumeration truncated]" } else { "" },
+                if result.always_empty {
+                    " [view is empty on every model of Σ]"
+                } else {
+                    ""
+                },
+                if result.enumeration_truncated {
+                    " [candidate enumeration truncated]"
+                } else {
+                    ""
+                },
                 if result.finite_domain_gains > 0 {
                     format!(" [{} finite-domain gain(s)]", result.finite_domain_gains)
                 } else {
@@ -213,8 +241,16 @@ fn cover(args: &[String]) -> Result<(), String> {
             "view {}: {} propagated CFD(s){}{}",
             view.name,
             result.cfds.len(),
-            if result.always_empty { " [view is empty on every model of Σ]" } else { "" },
-            if result.complete { "" } else { " [truncated: sound subset]" },
+            if result.always_empty {
+                " [view is empty on every model of Σ]"
+            } else {
+                ""
+            },
+            if result.complete {
+                ""
+            } else {
+                " [truncated: sound subset]"
+            },
         );
         for c in &result.cfds {
             println!("  {}{}", view.name, body(c, &names));
@@ -223,16 +259,34 @@ fn cover(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `cfdprop clean <file.cfd> [--repair]` — violation detection (and
-/// optional repair) of the document's source CFDs on its `row` data.
+/// `cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise]` —
+/// violation detection (and optional repair) of the document's source CFDs
+/// on its `row` data.
+///
+/// Detection defaults to the dictionary-encoded columnar engine (`cargo
+/// run -p cfd-bench --bin columnar_exp` for the measured speedup);
+/// `--detector rowwise` forces the seed's row-wise hash grouping, which is
+/// useful for cross-checking the two engines on real documents.
 fn clean(args: &[String]) -> Result<(), String> {
-    let path = args.get(1).ok_or("usage: cfdprop clean <file.cfd> [--repair]")?;
+    let path = args
+        .get(1)
+        .ok_or("usage: cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise]")?;
     let doc = load(path)?;
     let db = doc.database().map_err(|e| e.to_string())?;
     if db.total_tuples() == 0 {
         return Err("the document has no `row` data to clean".into());
     }
     let do_repair = args.iter().any(|a| a == "--repair");
+    let rowwise = if args.iter().any(|a| a == "--detector") {
+        match flag_value(args, "--detector").as_deref() {
+            Some("columnar") => false,
+            Some("rowwise") => true,
+            Some(other) => return Err(format!("unknown detector `{other}` (columnar|rowwise)")),
+            None => return Err("--detector requires a value (columnar|rowwise)".into()),
+        }
+    } else {
+        false
+    };
     let mut total = 0usize;
     for (rel, schema) in doc.catalog.relations() {
         let local: Vec<cfd_model::Cfd> = doc
@@ -245,7 +299,11 @@ fn clean(args: &[String]) -> Result<(), String> {
             continue;
         }
         let names: Vec<String> = schema.attributes.iter().map(|a| a.name.clone()).collect();
-        let violations = cfd_clean::detect_all(db.relation(rel), &local);
+        let violations = if rowwise {
+            cfd_clean::detect_all_rowwise(db.relation(rel), &local)
+        } else {
+            cfd_clean::detect_all(db.relation(rel), &local)
+        };
         for v in &violations {
             println!(
                 "{}: violates {}{}",
@@ -265,7 +323,10 @@ fn clean(args: &[String]) -> Result<(), String> {
                 "{}: repair — {} cell change(s) in {} round(s), clean = {}",
                 schema.name, outcome.cell_changes, outcome.rounds, outcome.clean
             );
-            print!("{}", cfd_relalg::instance::render_table(&schema.name, &names, &outcome.relation));
+            print!(
+                "{}",
+                cfd_relalg::instance::render_table(&schema.name, &names, &outcome.relation)
+            );
         }
     }
     if total == 0 {
@@ -328,7 +389,10 @@ fn cind(args: &[String]) -> Result<(), String> {
     // Propagate through each single-branch SPC view.
     for view in &doc.views {
         if view.query.branches.len() != 1 {
-            println!("view {}: skipped (CIND propagation handles SPC views)", view.name);
+            println!(
+                "view {}: skipped (CIND propagation handles SPC views)",
+                view.name
+            );
             continue;
         }
         let mut extended = doc.catalog.clone();
@@ -383,14 +447,17 @@ fn consistency(args: &[String]) -> Result<(), String> {
             .filter(|s| s.rel == rel)
             .map(|s| s.cfd.clone())
             .collect();
-        let domains: Vec<DomainKind> =
-            schema.attributes.iter().map(|a| a.domain.clone()).collect();
+        let domains: Vec<DomainKind> = schema.attributes.iter().map(|a| a.domain.clone()).collect();
         let ok = cfd_model::implication::is_consistent_general(&local, &domains);
         println!(
             "{}: {} CFD(s), {}",
             schema.name,
             local.len(),
-            if ok { "consistent" } else { "INCONSISTENT (no nonempty instance)" }
+            if ok {
+                "consistent"
+            } else {
+                "INCONSISTENT (no nonempty instance)"
+            }
         );
         if !ok {
             bad += 1;
@@ -416,12 +483,18 @@ fn gen(args: &[String]) -> Result<(), String> {
     let seed = get("--seed", 42)? as u64;
     let mut rng = StdRng::seed_from_u64(seed);
     let catalog = gen_schema(
-        &SchemaGenConfig { relations: get("--relations", 10)?, ..Default::default() },
+        &SchemaGenConfig {
+            relations: get("--relations", 10)?,
+            ..Default::default()
+        },
         &mut rng,
     );
     let sigma = gen_cfds(
         &catalog,
-        &CfdGenConfig { count: get("--cfds", 50)?, ..Default::default() },
+        &CfdGenConfig {
+            count: get("--cfds", 50)?,
+            ..Default::default()
+        },
         &mut rng,
     );
     let view = gen_spc_view(
@@ -459,7 +532,11 @@ fn gen(args: &[String]) -> Result<(), String> {
             .map(|a| format!("{} -> t{j}_{}", a.name, a.name))
             .collect();
         let piece = format!("rename({}, {})", schema.name, renames.join(", "));
-        expr = if j == 0 { piece } else { format!("product({expr}, {piece})") };
+        expr = if j == 0 {
+            piece
+        } else {
+            format!("product({expr}, {piece})")
+        };
     }
     let mut conds = Vec::new();
     for s in &view.selection {

@@ -89,11 +89,14 @@ fn empty_reports_realizable() {
 
 #[test]
 fn empty_detects_always_empty() {
-    let f = write_temp("empty.cfd", r#"
+    let f = write_temp(
+        "empty.cfd",
+        r#"
         schema R(A: int, B: int);
         cfd R([A] -> [B], (_ || 1));
         view V = select(R, B = 2);
-    "#);
+    "#,
+    );
     let out = cfdprop(&["empty", f.to_str().unwrap()]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("ALWAYS EMPTY"));
@@ -101,29 +104,53 @@ fn empty_detects_always_empty() {
 
 #[test]
 fn consistency_flags_conflicts() {
-    let f = write_temp("incons.cfd", r#"
+    let f = write_temp(
+        "incons.cfd",
+        r#"
         schema R(A: int);
         cfd R([A] -> [A], (_ || 1));
         cfd R([A] -> [A], (_ || 2));
-    "#);
+    "#,
+    );
     let out = cfdprop(&["consistency", f.to_str().unwrap()]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("INCONSISTENT"));
 
-    let f = write_temp("cons.cfd", "schema R(A: int, B: int);\ncfd R([A] -> [B], (_ || _));\n");
+    let f = write_temp(
+        "cons.cfd",
+        "schema R(A: int, B: int);\ncfd R([A] -> [B], (_ || _));\n",
+    );
     let out = cfdprop(&["consistency", f.to_str().unwrap()]);
     assert!(out.status.success());
 }
 
 #[test]
 fn gen_output_parses_and_analyzes() {
-    let out = cfdprop(&["gen", "--relations", "3", "--cfds", "6", "--y", "4", "--f", "2", "--ec", "2", "--seed", "9"]);
+    let out = cfdprop(&[
+        "gen",
+        "--relations",
+        "3",
+        "--cfds",
+        "6",
+        "--y",
+        "4",
+        "--f",
+        "2",
+        "--ec",
+        "2",
+        "--seed",
+        "9",
+    ]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     let f = write_temp("gen.cfd", &text);
     // the generated document must itself be parsable and cover-able
     let out2 = cfdprop(&["cover", f.to_str().unwrap()]);
-    assert!(out2.status.success(), "{}", String::from_utf8_lossy(&out2.stderr));
+    assert!(
+        out2.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out2.stderr)
+    );
 }
 
 #[test]
@@ -173,20 +200,46 @@ fn clean_with_repair_exits_zero_and_prints_fixed_table() {
 
 #[test]
 fn clean_on_consistent_data_reports_clean() {
-    let f = write_temp("ok.cfd", r#"
+    let f = write_temp(
+        "ok.cfd",
+        r#"
         schema R1(AC: string, city: string);
         cfd f2: R1([AC] -> [city], (_ || _));
         row R1('20', 'ldn');
         row R1('31', 'ams');
-    "#);
+    "#,
+    );
     let out = cfdprop(&["clean", f.to_str().unwrap()]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("no violations"));
 }
 
 #[test]
+fn clean_detector_flag_selects_engine() {
+    let f = write_temp("dirty3.cfd", DIRTY);
+    let columnar = cfdprop(&["clean", f.to_str().unwrap(), "--detector", "columnar"]);
+    let rowwise = cfdprop(&["clean", f.to_str().unwrap(), "--detector", "rowwise"]);
+    assert!(!columnar.status.success());
+    assert!(!rowwise.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&columnar.stdout),
+        String::from_utf8_lossy(&rowwise.stdout),
+        "both engines must report identical violations"
+    );
+    let bad = cfdprop(&["clean", f.to_str().unwrap(), "--detector", "quantum"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown detector"));
+    let dangling = cfdprop(&["clean", f.to_str().unwrap(), "--detector"]);
+    assert!(!dangling.status.success());
+    assert!(String::from_utf8_lossy(&dangling.stderr).contains("requires a value"));
+}
+
+#[test]
 fn clean_without_rows_errors() {
-    let f = write_temp("norows.cfd", "schema R(A: int);\ncfd R([A] -> [A], (_ || 1));\n");
+    let f = write_temp(
+        "norows.cfd",
+        "schema R(A: int);\ncfd R([A] -> [A], (_ || 1));\n",
+    );
     let out = cfdprop(&["clean", f.to_str().unwrap()]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no `row` data"));
@@ -204,13 +257,16 @@ fn sql_emits_detection_queries() {
 
 #[test]
 fn cover_handles_union_views_soundly() {
-    let f = write_temp("union.cfd", r#"
+    let f = write_temp(
+        "union.cfd",
+        r#"
         schema R1(AC: string, city: string);
         schema R2(AC: string, city: string);
         cfd f1: R1([AC] -> [city], (_ || _));
         cfd f2: R2([AC] -> [city], (_ || _));
         view V = union(product(R1, const(CC: '44')), product(R2, const(CC: '01')));
-    "#);
+    "#,
+    );
     let out = cfdprop(&["cover", f.to_str().unwrap()]);
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{text}");
@@ -220,23 +276,32 @@ fn cover_handles_union_views_soundly() {
 
 #[test]
 fn cover_general_flag_runs() {
-    let f = write_temp("general.cfd", r#"
+    let f = write_temp(
+        "general.cfd",
+        r#"
         schema R(F: bool, B: int, C: int);
         cfd a: R([B] -> [F], (_ || _));
         cfd b: R([F, B] -> [C], (true, _ || _));
         cfd c: R([F, B] -> [C], (false, _ || _));
         view V = project(R, B, C);
-    "#);
+    "#,
+    );
     let out = cfdprop(&["cover", f.to_str().unwrap(), "--general"]);
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{text}");
     assert!(text.contains("general setting"), "{text}");
-    assert!(text.contains("finite-domain gain"), "the B → C gain: {text}");
+    assert!(
+        text.contains("finite-domain gain"),
+        "the B → C gain: {text}"
+    );
 }
 
 #[test]
 fn testdata_dirty_customers_end_to_end() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../testdata/dirty_customers.cfd");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../testdata/dirty_customers.cfd"
+    );
     let detect = cfdprop(&["clean", path]);
     assert!(!detect.status.success(), "three dirty rows must be flagged");
     let text = String::from_utf8_lossy(&detect.stdout);
@@ -275,12 +340,15 @@ fn cind_validates_and_propagates() {
 
 #[test]
 fn cind_reports_data_violations() {
-    let f = write_temp("cinds_bad.cfd", r#"
+    let f = write_temp(
+        "cinds_bad.cfd",
+        r#"
         schema orders(cust: int, country: string);
         schema customers(id: int, cc: string);
         cind psi1: orders[cust] <= customers[id];
         row orders(9, 'us');
-    "#);
+    "#,
+    );
     let out = cfdprop(&["cind", f.to_str().unwrap()]);
     assert!(!out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);

@@ -191,8 +191,7 @@ fn rewrite_cfd(cfd: &Cfd, eq: &mut EqInfo) -> Rewrite {
         }
         None => {
             let lhs_vec: Vec<(usize, Pattern)> = lhs.into_iter().collect();
-            let c = Cfd::new(lhs_vec, rb, cfd.rhs_pattern().clone())
-                .expect("valid rewritten CFD");
+            let c = Cfd::new(lhs_vec, rb, cfd.rhs_pattern().clone()).expect("valid rewritten CFD");
             Rewrite::One(c.normalize_const_rhs())
         }
     }
@@ -201,7 +200,7 @@ fn rewrite_cfd(cfd: &Cfd, eq: &mut EqInfo) -> Rewrite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use cfd_relalg::query::{RaCond, RaExpr};
     use cfd_relalg::schema::{Attribute, Catalog, RelationSchema};
     use cfd_relalg::DomainKind;
@@ -256,7 +255,10 @@ mod tests {
         // handcraft a conflicting selection
         let mut q2 = q.clone();
         q2.selection = vec![
-            SelAtom::Eq(cfd_relalg::query::ProdCol::new(0, 0), cfd_relalg::query::ProdCol::new(0, 1)),
+            SelAtom::Eq(
+                cfd_relalg::query::ProdCol::new(0, 0),
+                cfd_relalg::query::ProdCol::new(0, 1),
+            ),
             SelAtom::EqConst(cfd_relalg::query::ProdCol::new(0, 0), Value::int(1)),
             SelAtom::EqConst(cfd_relalg::query::ProdCol::new(0, 1), Value::int(2)),
         ];
@@ -332,8 +334,12 @@ mod tests {
         // selection A = B; CFD ([A, B] → C, (5, _ ‖ _)) → ([rep] → C, (5 ‖ _))
         let (_, q, fv) = setup(vec![RaCond::Eq("A".into(), "B".into())]);
         let mut eq = compute_eq(&fv, &q).unwrap();
-        let sigma =
-            vec![Cfd::new(vec![(0, Pattern::cst(5)), (1, Pattern::Wild)], 2, Pattern::Wild).unwrap()];
+        let sigma = vec![Cfd::new(
+            vec![(0, Pattern::cst(5)), (1, Pattern::Wild)],
+            2,
+            Pattern::Wild,
+        )
+        .unwrap()];
         let out = apply_eq(&sigma, &mut eq);
         let rep = eq.rep(0);
         assert_eq!(
@@ -347,9 +353,12 @@ mod tests {
         // selection A = B; CFD ([A, B] → C, (5, 6 ‖ _)): premise unmatchable
         let (_, q, fv) = setup(vec![RaCond::Eq("A".into(), "B".into())]);
         let mut eq = compute_eq(&fv, &q).unwrap();
-        let sigma =
-            vec![Cfd::new(vec![(0, Pattern::cst(5)), (1, Pattern::cst(6))], 2, Pattern::Wild)
-                .unwrap()];
+        let sigma = vec![Cfd::new(
+            vec![(0, Pattern::cst(5)), (1, Pattern::cst(6))],
+            2,
+            Pattern::Wild,
+        )
+        .unwrap()];
         assert!(apply_eq(&sigma, &mut eq).is_empty());
     }
 

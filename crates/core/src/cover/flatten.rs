@@ -83,7 +83,14 @@ pub fn flatten(catalog: &Catalog, q: &SpcQuery) -> FlatView {
         .filter(|(_, os)| !os.is_empty())
         .map(|(f, _)| f)
         .collect();
-    FlatView { flat_domains, offsets, outputs_of_flat, flat_of_output, const_outputs, y_flats }
+    FlatView {
+        flat_domains,
+        offsets,
+        outputs_of_flat,
+        flat_of_output,
+        const_outputs,
+        y_flats,
+    }
 }
 
 /// Rename the source CFDs into flat-column space: for each atom `Rj = ρj(S)`

@@ -91,10 +91,14 @@ pub fn prop_cfd_spc_general(
     view: &SpcQuery,
     opts: &GeneralCoverOptions,
 ) -> Result<GeneralCover, PropError> {
-    let spcu = SpcuQuery::single(catalog, view.clone())
-        .map_err(|e| PropError::BadView(e.to_string()))?;
-    let view_domains: Vec<DomainKind> =
-        spcu.schema().columns.iter().map(|(_, d)| d.clone()).collect();
+    let spcu =
+        SpcuQuery::single(catalog, view.clone()).map_err(|e| PropError::BadView(e.to_string()))?;
+    let view_domains: Vec<DomainKind> = spcu
+        .schema()
+        .columns
+        .iter()
+        .map(|(_, d)| d.clone())
+        .collect();
 
     // General-setting emptiness first: an always-empty view satisfies
     // everything, and the Lemma 4.5 pair is the canonical cover.
@@ -183,8 +187,7 @@ fn candidates(view_domains: &[DomainKind], max_lhs: usize) -> Vec<Cfd> {
             }
             if let Some(values) = dom_a.finite_values() {
                 for v in &values {
-                    if let Ok(c) = Cfd::new(vec![(a, Pattern::cst(v.clone()))], b, Pattern::Wild)
-                    {
+                    if let Ok(c) = Cfd::new(vec![(a, Pattern::cst(v.clone()))], b, Pattern::Wild) {
                         out.push(c);
                     }
                 }
@@ -298,7 +301,12 @@ mod tests {
         let sigma = vec![
             SourceCfd::new(
                 r,
-                Cfd::new(vec![(0, Pattern::cst(Value::Bool(false)))], 1, Pattern::Wild).unwrap(),
+                Cfd::new(
+                    vec![(0, Pattern::cst(Value::Bool(false)))],
+                    1,
+                    Pattern::Wild,
+                )
+                .unwrap(),
             ),
             SourceCfd::new(
                 r,
@@ -315,7 +323,11 @@ mod tests {
             general.cfds
         );
         // Infinite-domain implication alone cannot see it.
-        assert!(!cfd_model::implication::implies(&general.cfds, &fd, &view_domains));
+        assert!(!cfd_model::implication::implies(
+            &general.cfds,
+            &fd,
+            &view_domains
+        ));
     }
 
     #[test]
@@ -335,8 +347,14 @@ mod tests {
             constants: vec![],
             selection: vec![],
             output: vec![
-                OutputCol { name: "B".into(), src: ColRef::Prod(ProdCol::new(0, 1)) },
-                OutputCol { name: "C".into(), src: ColRef::Prod(ProdCol::new(0, 2)) },
+                OutputCol {
+                    name: "B".into(),
+                    src: ColRef::Prod(ProdCol::new(0, 1)),
+                },
+                OutputCol {
+                    name: "C".into(),
+                    src: ColRef::Prod(ProdCol::new(0, 2)),
+                },
             ],
         };
         let sigma = vec![
@@ -407,7 +425,8 @@ mod tests {
         let (c, r) = bool_catalog();
         // σ_{B = 1}(R) with Σ forcing B = 2 everywhere
         let mut q = SpcQuery::identity(&c, r);
-        q.selection.push(SelAtom::EqConst(ProdCol::new(0, 1), Value::int(1)));
+        q.selection
+            .push(SelAtom::EqConst(ProdCol::new(0, 1), Value::int(1)));
         let sigma = vec![SourceCfd::new(r, Cfd::const_col(1, 2i64))];
         let general =
             prop_cfd_spc_general(&c, &sigma, &q, &GeneralCoverOptions::default()).unwrap();
@@ -419,7 +438,10 @@ mod tests {
     fn candidate_budget_respected() {
         let (c, r) = bool_catalog();
         let q = SpcQuery::identity(&c, r);
-        let opts = GeneralCoverOptions { max_candidates: 1, ..Default::default() };
+        let opts = GeneralCoverOptions {
+            max_candidates: 1,
+            ..Default::default()
+        };
         let general = prop_cfd_spc_general(&c, &[], &q, &opts).unwrap();
         assert!(general.enumeration_truncated);
     }
@@ -431,7 +453,9 @@ mod tests {
         let pairs = candidates(&doms, 2);
         assert!(pairs.len() > singles.len());
         // the pair form ([0,1] → 2, (b1, b2 ‖ _)) must appear
-        assert!(pairs.iter().any(|c| c.lhs().len() == 2 && c.rhs_attr() == 2));
+        assert!(pairs
+            .iter()
+            .any(|c| c.lhs().len() == 2 && c.rhs_attr() == 2));
     }
 
     #[test]
@@ -444,10 +468,7 @@ mod tests {
                 RelationSchema::new(
                     "R",
                     vec![
-                        Attribute::new(
-                            "E",
-                            DomainKind::new_enum(vec![Value::int(1)]).unwrap(),
-                        ),
+                        Attribute::new("E", DomainKind::new_enum(vec![Value::int(1)]).unwrap()),
                         Attribute::new("B", DomainKind::Int),
                     ],
                 )
@@ -459,13 +480,21 @@ mod tests {
             constants: vec![],
             selection: vec![],
             output: vec![
-                OutputCol { name: "E".into(), src: ColRef::Prod(ProdCol::new(0, 0)) },
-                OutputCol { name: "B".into(), src: ColRef::Prod(ProdCol::new(0, 1)) },
+                OutputCol {
+                    name: "E".into(),
+                    src: ColRef::Prod(ProdCol::new(0, 0)),
+                },
+                OutputCol {
+                    name: "B".into(),
+                    src: ColRef::Prod(ProdCol::new(0, 1)),
+                },
             ],
         };
-        let general =
-            prop_cfd_spc_general(&c, &[], &q, &GeneralCoverOptions::default()).unwrap();
-        let doms = vec![DomainKind::new_enum(vec![Value::int(1)]).unwrap(), DomainKind::Int];
+        let general = prop_cfd_spc_general(&c, &[], &q, &GeneralCoverOptions::default()).unwrap();
+        let doms = vec![
+            DomainKind::new_enum(vec![Value::int(1)]).unwrap(),
+            DomainKind::Int,
+        ];
         // ([E] → B, (1 ‖ _)) is equivalent to E → B here since dom(E) = {1};
         // the cover must imply the plain FD E → B in the general setting.
         let fd = Cfd::fd(&[0], 1).unwrap();

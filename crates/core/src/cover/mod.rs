@@ -85,8 +85,8 @@ pub fn prop_cfd_spc(
     view: &SpcQuery,
     opts: &CoverOptions,
 ) -> Result<PropagationCover, PropError> {
-    let spcu = SpcuQuery::single(catalog, view.clone())
-        .map_err(|e| PropError::BadView(e.to_string()))?;
+    let spcu =
+        SpcuQuery::single(catalog, view.clone()).map_err(|e| PropError::BadView(e.to_string()))?;
     validate_inputs(catalog, sigma, &spcu, None)?;
     let view_schema = spcu.schema();
     let view_domains: Vec<DomainKind> =
@@ -98,7 +98,11 @@ pub fn prop_cfd_spc(
     // Lines 2–4: inconsistency ⇒ the Lemma 4.5 pair.
     if is_always_empty(catalog, &minimized, &spcu, Setting::InfiniteDomain)? {
         let cfds = translate::lemma_4_5_pair(view_schema).unwrap_or_default();
-        return Ok(PropagationCover { cfds, complete: true, always_empty: true });
+        return Ok(PropagationCover {
+            cfds,
+            complete: true,
+            always_empty: true,
+        });
     }
 
     let fv = flatten::flatten(catalog, view);
@@ -106,7 +110,11 @@ pub fn prop_cfd_spc(
         // Selection unsatisfiable on its own — already caught by the
         // emptiness test above; defensive fallback.
         let cfds = translate::lemma_4_5_pair(view_schema).unwrap_or_default();
-        return Ok(PropagationCover { cfds, complete: true, always_empty: true });
+        return Ok(PropagationCover {
+            cfds,
+            complete: true,
+            always_empty: true,
+        });
     };
 
     // Lines 5–6: Cartesian product via renaming.
@@ -146,7 +154,11 @@ pub fn prop_cfd_spc(
             cfds.push(c);
         }
     }
-    Ok(PropagationCover { cfds, complete: outcome.complete, always_empty: false })
+    Ok(PropagationCover {
+        cfds,
+        complete: outcome.complete,
+        always_empty: false,
+    })
 }
 
 /// Per-relation `MinCover` of the source CFDs (Fig. 2 line 1).
@@ -161,8 +173,7 @@ pub fn mincover_sigma(catalog: &Catalog, sigma: &[SourceCfd]) -> Vec<SourceCfd> 
         if local.is_empty() {
             continue;
         }
-        let domains: Vec<DomainKind> =
-            schema.attributes.iter().map(|a| a.domain.clone()).collect();
+        let domains: Vec<DomainKind> = schema.attributes.iter().map(|a| a.domain.clone()).collect();
         out.extend(
             min_cover(&local, &domains)
                 .into_iter()
@@ -186,7 +197,10 @@ mod tests {
         let mk = |name: &str, attrs: &[&str]| {
             RelationSchema::new(
                 name,
-                attrs.iter().map(|a| Attribute::new(*a, DomainKind::Int)).collect(),
+                attrs
+                    .iter()
+                    .map(|a| Attribute::new(*a, DomainKind::Int))
+                    .collect(),
             )
             .unwrap()
         };
@@ -204,7 +218,10 @@ mod tests {
             SourceCfd::new(r2, Cfd::fd(&[0], 1).unwrap()),
             SourceCfd::new(r2, Cfd::fd(&[1], 2).unwrap()),
         ];
-        let view = RaExpr::rel("R2").project(&["A1", "A"]).normalize(&c).unwrap();
+        let view = RaExpr::rel("R2")
+            .project(&["A1", "A"])
+            .normalize(&c)
+            .unwrap();
         let cover = prop_cfd_spc(&c, &sigma, &view.branches[0], &CoverOptions::default()).unwrap();
         assert!(cover.complete && !cover.always_empty);
         assert_eq!(cover.cfds, vec![Cfd::fd(&[0], 1).unwrap()]);
@@ -219,7 +236,11 @@ mod tests {
             .normalize(&c)
             .unwrap();
         let cover = prop_cfd_spc(&c, &sigma, &view.branches[0], &CoverOptions::default()).unwrap();
-        assert!(cover.cfds.contains(&Cfd::const_col(1, 9i64)), "cover {:?}", cover.cfds);
+        assert!(
+            cover.cfds.contains(&Cfd::const_col(1, 9i64)),
+            "cover {:?}",
+            cover.cfds
+        );
         assert!(cover.cfds.contains(&Cfd::fd(&[0], 2).unwrap()));
     }
 
@@ -268,7 +289,11 @@ mod tests {
         let psi2 = SourceCfd::new(
             r3,
             Cfd::new(
-                vec![(0, Pattern::Wild), (1, Pattern::cst(cval)), (2, Pattern::cst(bval))],
+                vec![
+                    (0, Pattern::Wild),
+                    (1, Pattern::cst(cval)),
+                    (2, Pattern::cst(bval)),
+                ],
                 3,
                 Pattern::Wild,
             )
@@ -285,24 +310,41 @@ mod tests {
             .project(&["B1", "B2", "B1p", "A1", "A2", "B"])
             .normalize(&c)
             .unwrap();
-        let cover =
-            prop_cfd_spc(&c, &[psi1, psi2], &view.branches[0], &CoverOptions::default()).unwrap();
+        let cover = prop_cfd_spc(
+            &c,
+            &[psi1, psi2],
+            &view.branches[0],
+            &CoverOptions::default(),
+        )
+        .unwrap();
         assert!(cover.complete && !cover.always_empty);
 
         // outputs: 0 = B1, 1 = B2, 2 = B1p, 3 = A1, 4 = A2, 5 = B
         let phi = Cfd::new(
-            vec![(3, Pattern::Wild), (4, Pattern::cst(cval)), (0, Pattern::cst(bval))],
+            vec![
+                (3, Pattern::Wild),
+                (4, Pattern::cst(cval)),
+                (0, Pattern::cst(bval)),
+            ],
             5,
             Pattern::Wild,
         )
         .unwrap();
         let domains = vec![DomainKind::Int; 6];
-        assert!(cover.implies(&phi, &domains), "missing Ex. 4.2 resolvent; cover = {:?}", cover.cfds);
+        assert!(
+            cover.implies(&phi, &domains),
+            "missing Ex. 4.2 resolvent; cover = {:?}",
+            cover.cfds
+        );
         // φ' = B1 = B1' (or the symmetric form)
         let phi_eq = Cfd::attr_eq(0, 2).unwrap();
         assert!(cover.implies(&phi_eq, &domains), "missing B1 = B1'");
         // sanity: nothing unexpected — cover is small
-        assert!(cover.cfds.len() <= 4, "cover unexpectedly large: {:?}", cover.cfds);
+        assert!(
+            cover.cfds.len() <= 4,
+            "cover unexpectedly large: {:?}",
+            cover.cfds
+        );
     }
 
     #[test]
@@ -365,7 +407,11 @@ mod tests {
             .normalize(&c)
             .unwrap();
         let cover2 = prop_cfd_spc(&c, &sigma, &v2.branches[0], &CoverOptions::default()).unwrap();
-        assert!(cover2.cfds.is_empty(), "no nontrivial CFDs: {:?}", cover2.cfds);
+        assert!(
+            cover2.cfds.is_empty(),
+            "no nontrivial CFDs: {:?}",
+            cover2.cfds
+        );
     }
 
     #[test]

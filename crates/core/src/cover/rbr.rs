@@ -35,7 +35,10 @@ pub struct RbrOptions {
 
 impl Default for RbrOptions {
     fn default() -> Self {
-        RbrOptions { mincover_chunk: Some(64), max_size: None }
+        RbrOptions {
+            mincover_chunk: Some(64),
+            max_size: None,
+        }
     }
 }
 
@@ -87,7 +90,10 @@ pub fn rbr(
         }
         let mut resolvents: Vec<Cfd> = Vec::new();
         let producers: Vec<&Cfd> = gamma.iter().filter(|c| c.rhs_attr() == a).collect();
-        let consumers: Vec<&Cfd> = gamma.iter().filter(|c| c.lhs_pattern(a).is_some()).collect();
+        let consumers: Vec<&Cfd> = gamma
+            .iter()
+            .filter(|c| c.lhs_pattern(a).is_some())
+            .collect();
         let budget = opts.max_size.unwrap_or(usize::MAX);
         'outer: for p in &producers {
             if p.lhs_pattern(a).is_some() {
@@ -120,7 +126,10 @@ pub fn rbr(
             }
         }
     }
-    RbrOutcome { cover: gamma, complete }
+    RbrOutcome {
+        cover: gamma,
+        complete,
+    }
 }
 
 /// The A-resolvent of `p = (W → A, t1)` and `q = (AZ → B, t2)`, if defined.
@@ -153,7 +162,12 @@ pub fn resolvent(p: &Cfd, q: &Cfd, a: usize) -> Option<Cfd> {
             }
         }
     }
-    Cfd::new(lhs.into_iter().collect(), q.rhs_attr(), q.rhs_pattern().clone()).ok()
+    Cfd::new(
+        lhs.into_iter().collect(),
+        q.rhs_attr(),
+        q.rhs_pattern().clone(),
+    )
+    .ok()
 }
 
 #[cfg(test)]
@@ -177,7 +191,11 @@ mod tests {
         )
         .unwrap();
         let phi2 = Cfd::new(
-            vec![(2, Pattern::Wild), (1, Pattern::cst(100)), (3, Pattern::cst(300))],
+            vec![
+                (2, Pattern::Wild),
+                (1, Pattern::cst(100)),
+                (3, Pattern::cst(300)),
+            ],
             4,
             Pattern::Wild,
         )
@@ -186,7 +204,11 @@ mod tests {
         assert_eq!(
             r,
             Cfd::new(
-                vec![(0, Pattern::Wild), (1, Pattern::cst(100)), (3, Pattern::cst(300))],
+                vec![
+                    (0, Pattern::Wild),
+                    (1, Pattern::cst(100)),
+                    (3, Pattern::cst(300))
+                ],
                 4,
                 Pattern::Wild
             )
@@ -215,8 +237,18 @@ mod tests {
     #[test]
     fn resolvent_merge_conflict_undefined() {
         // shared attribute 3 with incompatible constants
-        let p = Cfd::new(vec![(0, Pattern::Wild), (3, Pattern::cst(1))], 1, Pattern::Wild).unwrap();
-        let q = Cfd::new(vec![(1, Pattern::Wild), (3, Pattern::cst(2))], 2, Pattern::Wild).unwrap();
+        let p = Cfd::new(
+            vec![(0, Pattern::Wild), (3, Pattern::cst(1))],
+            1,
+            Pattern::Wild,
+        )
+        .unwrap();
+        let q = Cfd::new(
+            vec![(1, Pattern::Wild), (3, Pattern::cst(2))],
+            2,
+            Pattern::Wild,
+        )
+        .unwrap();
         assert!(resolvent(&p, &q, 1).is_none());
     }
 
@@ -233,9 +265,18 @@ mod tests {
     fn rbr_empty_lhs_producer_resolves_constants() {
         // (∅ → B, (‖ 5)) and ([B, Z] → C, (5, _ ‖ _)); drop B: (Z → C)
         let empty_lhs = Cfd::new(vec![], 1, Pattern::cst(5)).unwrap();
-        let consumer =
-            Cfd::new(vec![(1, Pattern::cst(5)), (3, Pattern::Wild)], 2, Pattern::Wild).unwrap();
-        let out = rbr(vec![empty_lhs, consumer], &[1], &int_domains(4), &RbrOptions::default());
+        let consumer = Cfd::new(
+            vec![(1, Pattern::cst(5)), (3, Pattern::Wild)],
+            2,
+            Pattern::Wild,
+        )
+        .unwrap();
+        let out = rbr(
+            vec![empty_lhs, consumer],
+            &[1],
+            &int_domains(4),
+            &RbrOptions::default(),
+        );
         assert_eq!(out.cover, vec![Cfd::fd(&[3], 2).unwrap()]);
     }
 
@@ -255,12 +296,16 @@ mod tests {
     }
 
     #[test]
-    fn rbr_result_is_implied_by_original(
-    ) {
+    fn rbr_result_is_implied_by_original() {
         // soundness spot-check: every output CFD is implied by the input
         let gamma = vec![
             Cfd::fd(&[0], 2).unwrap(),
-            Cfd::new(vec![(2, Pattern::cst(7)), (1, Pattern::Wild)], 3, Pattern::Wild).unwrap(),
+            Cfd::new(
+                vec![(2, Pattern::cst(7)), (1, Pattern::Wild)],
+                3,
+                Pattern::Wild,
+            )
+            .unwrap(),
             Cfd::new(vec![(0, Pattern::Wild)], 2, Pattern::cst(7)).unwrap(),
         ];
         let out = rbr(gamma.clone(), &[2], &int_domains(4), &RbrOptions::default());
@@ -283,10 +328,15 @@ mod tests {
         }
         gamma.push(Cfd::fd(&[2 * n, 2 * n + 1, 2 * n + 2], 3 * n).unwrap());
         let drop: Vec<usize> = (2 * n..3 * n).collect();
-        let out = rbr(gamma, &drop, &int_domains(3 * n + 1), &RbrOptions {
-            mincover_chunk: None,
-            max_size: None,
-        });
+        let out = rbr(
+            gamma,
+            &drop,
+            &int_domains(3 * n + 1),
+            &RbrOptions {
+                mincover_chunk: None,
+                max_size: None,
+            },
+        );
         let to_d: Vec<&Cfd> = out.cover.iter().filter(|c| c.rhs_attr() == 3 * n).collect();
         assert_eq!(to_d.len(), 1 << n, "2^n FDs with RHS D");
     }
@@ -301,10 +351,15 @@ mod tests {
         }
         gamma.push(Cfd::fd(&[2 * n, 2 * n + 1, 2 * n + 2, 2 * n + 3], 3 * n).unwrap());
         let drop: Vec<usize> = (2 * n..3 * n).collect();
-        let out = rbr(gamma.clone(), &drop, &int_domains(3 * n + 1), &RbrOptions {
-            mincover_chunk: None,
-            max_size: Some(6),
-        });
+        let out = rbr(
+            gamma.clone(),
+            &drop,
+            &int_domains(3 * n + 1),
+            &RbrOptions {
+                mincover_chunk: None,
+                max_size: Some(6),
+            },
+        );
         assert!(!out.complete);
         for c in &out.cover {
             assert!(implies(&gamma, c, &int_domains(3 * n + 1)), "unsound {c}");

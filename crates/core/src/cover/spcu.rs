@@ -44,13 +44,21 @@ pub fn prop_cfd_spcu_sound(
     if view.branches.len() == 1 {
         return prop_cfd_spc(catalog, sigma, &view.branches[0], opts);
     }
-    let view_domains: Vec<DomainKind> =
-        view.schema().columns.iter().map(|(_, d)| d.clone()).collect();
+    let view_domains: Vec<DomainKind> = view
+        .schema()
+        .columns
+        .iter()
+        .map(|(_, d)| d.clone())
+        .collect();
 
     // Degenerate case: the whole union is empty on every model.
     if is_always_empty(catalog, sigma, view, Setting::InfiniteDomain)? {
         let cfds = super::translate::lemma_4_5_pair(view.schema()).unwrap_or_default();
-        return Ok(PropagationCover { cfds, complete: true, always_empty: true });
+        return Ok(PropagationCover {
+            cfds,
+            complete: true,
+            always_empty: true,
+        });
     }
 
     // 1–2. Per-branch covers + guarded variants.
@@ -110,7 +118,11 @@ pub fn prop_cfd_spcu_sound(
     // `complete` would additionally require a finite candidate basis for
     // unions, which is open; stay honest:
     let _ = all_complete;
-    Ok(PropagationCover { cfds, complete: false, always_empty: false })
+    Ok(PropagationCover {
+        cfds,
+        complete: false,
+        always_empty: false,
+    })
 }
 
 fn push_unique(v: &mut Vec<Cfd>, c: Cfd) {
@@ -161,9 +173,8 @@ mod tests {
             SourceCfd::new(r1, Cfd::fd(&[0], 1).unwrap()), // AC → city on R1
             SourceCfd::new(r3, Cfd::fd(&[0], 1).unwrap()), // AC → city on R3
         ];
-        let branch = |rel: &str, cc: &str| {
-            RaExpr::rel(rel).with_const("CC", s(cc), DomainKind::Text)
-        };
+        let branch =
+            |rel: &str, cc: &str| RaExpr::rel(rel).with_const("CC", s(cc), DomainKind::Text);
         let view = branch("R1", "44")
             .union(branch("R2", "01"))
             .union(branch("R3", "31"))
@@ -172,25 +183,38 @@ mod tests {
         let cover = prop_cfd_spcu_sound(&c, &sigma, &view, &CoverOptions::default()).unwrap();
         assert!(!cover.always_empty);
         assert!(!cover.complete, "union covers are flagged incomplete");
-        let domains: Vec<DomainKind> =
-            view.schema().columns.iter().map(|(_, d)| d.clone()).collect();
+        let domains: Vec<DomainKind> = view
+            .schema()
+            .columns
+            .iter()
+            .map(|(_, d)| d.clone())
+            .collect();
 
         // ϕ1: ([CC, zip] → street, ('44', _ ‖ _))
         let col = |n: &str| view.schema().col_index(n).unwrap();
         let phi1 = Cfd::new(
-            vec![(col("CC"), Pattern::Const(s("44"))), (col("zip"), Pattern::Wild)],
+            vec![
+                (col("CC"), Pattern::Const(s("44"))),
+                (col("zip"), Pattern::Wild),
+            ],
             col("street"),
             Pattern::Wild,
         )
         .unwrap();
         let phi2 = Cfd::new(
-            vec![(col("CC"), Pattern::Const(s("44"))), (col("AC"), Pattern::Wild)],
+            vec![
+                (col("CC"), Pattern::Const(s("44"))),
+                (col("AC"), Pattern::Wild),
+            ],
             col("city"),
             Pattern::Wild,
         )
         .unwrap();
         let phi3 = Cfd::new(
-            vec![(col("CC"), Pattern::Const(s("31"))), (col("AC"), Pattern::Wild)],
+            vec![
+                (col("CC"), Pattern::Const(s("31"))),
+                (col("AC"), Pattern::Wild),
+            ],
             col("city"),
             Pattern::Wild,
         )
@@ -213,7 +237,11 @@ mod tests {
         }
         // the unguarded FD zip → street must NOT be implied
         let plain = Cfd::fd(&[col("zip")], col("street")).unwrap();
-        assert!(!cfd_model::implication::implies(&cover.cfds, &plain, &domains));
+        assert!(!cfd_model::implication::implies(
+            &cover.cfds,
+            &plain,
+            &domains
+        ));
     }
 
     #[test]
@@ -253,10 +281,17 @@ mod tests {
         let mut c = Catalog::new();
         let r = c.add(customer("R1")).unwrap();
         let sigma = vec![SourceCfd::new(r, Cfd::fd(&[0], 1).unwrap())];
-        let view = RaExpr::rel("R1").union(RaExpr::rel("R1")).normalize(&c).unwrap();
+        let view = RaExpr::rel("R1")
+            .union(RaExpr::rel("R1"))
+            .normalize(&c)
+            .unwrap();
         let cover = prop_cfd_spcu_sound(&c, &sigma, &view, &CoverOptions::default()).unwrap();
-        let domains: Vec<DomainKind> =
-            view.schema().columns.iter().map(|(_, d)| d.clone()).collect();
+        let domains: Vec<DomainKind> = view
+            .schema()
+            .columns
+            .iter()
+            .map(|(_, d)| d.clone())
+            .collect();
         assert!(cfd_model::implication::implies(
             &cover.cfds,
             &Cfd::fd(&[0], 1).unwrap(),

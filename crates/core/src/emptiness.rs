@@ -119,17 +119,15 @@ mod tests {
         (c, r)
     }
 
-    fn check_witness(
-        catalog: &Catalog,
-        sigma: &[SourceCfd],
-        view: &SpcuQuery,
-        db: &Database,
-    ) {
+    fn check_witness(catalog: &Catalog, sigma: &[SourceCfd], view: &SpcuQuery, db: &Database) {
         db.validate(catalog).unwrap();
         for s in sigma {
             assert!(satisfy::satisfies(db.relation(s.rel), &s.cfd));
         }
-        assert!(!eval_spcu(view, catalog, db).is_empty(), "witness view is empty");
+        assert!(
+            !eval_spcu(view, catalog, db).is_empty(),
+            "witness view is empty"
+        );
     }
 
     #[test]
@@ -216,8 +214,14 @@ mod tests {
             )
             .unwrap();
         let sigma = vec![
-            SourceCfd::new(r, Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::cst(9)).unwrap()),
-            SourceCfd::new(r, Cfd::new(vec![(0, Pattern::cst(2))], 1, Pattern::cst(9)).unwrap()),
+            SourceCfd::new(
+                r,
+                Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::cst(9)).unwrap(),
+            ),
+            SourceCfd::new(
+                r,
+                Cfd::new(vec![(0, Pattern::cst(2))], 1, Pattern::cst(9)).unwrap(),
+            ),
         ];
         let view_sel8 = RaExpr::rel("R")
             .select(vec![RaCond::EqConst("B".into(), Value::int(8))])

@@ -36,10 +36,20 @@ impl fmt::Display for PropError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PropError::ViewCfdOutOfRange { attr, arity } => {
-                write!(f, "view CFD references column #{attr}, but the view has arity {arity}")
+                write!(
+                    f,
+                    "view CFD references column #{attr}, but the view has arity {arity}"
+                )
             }
-            PropError::SourceCfdOutOfRange { relation, attr, arity } => {
-                write!(f, "source CFD on `{relation}` references attribute #{attr} (arity {arity})")
+            PropError::SourceCfdOutOfRange {
+                relation,
+                attr,
+                arity,
+            } => {
+                write!(
+                    f,
+                    "source CFD on `{relation}` references attribute #{attr} (arity {arity})"
+                )
             }
             PropError::PatternOutOfDomain { value, attr } => {
                 write!(f, "pattern constant {value} outside the domain of {attr}")

@@ -34,9 +34,9 @@ pub fn add_tableau_copy(inst: &mut ChaseInstance, tableau: &Tableau) -> TableauC
     let mut var_node: HashMap<u32, u32> = HashMap::new();
     let mut node_of = |inst: &mut ChaseInstance, t: &Term| -> u32 {
         match t {
-            Term::Var(v) => *var_node.entry(v.0).or_insert_with(|| {
-                inst.uf.add(tableau.var_domains[v.0 as usize].clone())
-            }),
+            Term::Var(v) => *var_node
+                .entry(v.0)
+                .or_insert_with(|| inst.uf.add(tableau.var_domains[v.0 as usize].clone())),
             Term::Const(c) => {
                 // A dedicated bound node per occurrence; equality with other
                 // occurrences of the same constant is by-value.
@@ -53,7 +53,10 @@ pub fn add_tableau_copy(inst: &mut ChaseInstance, tableau: &Tableau) -> TableauC
         row_indices.push(inst.push_row(rel.0, cells));
     }
     let summary: Vec<u32> = tableau.summary.iter().map(|t| node_of(inst, t)).collect();
-    TableauCopy { row_indices, summary }
+    TableauCopy {
+        row_indices,
+        summary,
+    }
 }
 
 /// The widest carrier domain containing `v` (used for constant cells whose
@@ -88,7 +91,11 @@ impl FreshPool {
             })
             .max()
             .map_or(1_000, |m| m + 1_000);
-        FreshPool { reserved, next_int, next_str: 0 }
+        FreshPool {
+            reserved,
+            next_int,
+            next_str: 0,
+        }
     }
 
     /// Reserve an additional value (it will never be produced).

@@ -10,6 +10,6 @@ pub mod instance_builder;
 pub mod propagate;
 pub mod reductions;
 
-pub use error::PropError;
 pub use cover::{prop_cfd_spc, CoverOptions, PropagationCover};
+pub use error::PropError;
 pub use propagate::{propagates, propagates_auto, Setting, Verdict, Witness};

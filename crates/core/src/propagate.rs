@@ -147,7 +147,10 @@ pub fn validate_inputs(
     if let Some(phi) = phi {
         let arity = view.schema().arity();
         phi.validate_arity(arity)
-            .map_err(|_| PropError::ViewCfdOutOfRange { attr: phi.max_attr(), arity })?;
+            .map_err(|_| PropError::ViewCfdOutOfRange {
+                attr: phi.max_attr(),
+                arity,
+            })?;
     }
     Ok(())
 }
@@ -275,7 +278,9 @@ fn unify_premise(
     phi: &Cfd,
 ) -> Result<(), ()> {
     for (a, pat) in phi.lhs() {
-        inst.uf.union(c1.summary[*a], c2.summary[*a]).map_err(|_| ())?;
+        inst.uf
+            .union(c1.summary[*a], c2.summary[*a])
+            .map_err(|_| ())?;
         if let Some(v) = pat.as_const() {
             inst.uf.bind(c1.summary[*a], v.clone()).map_err(|_| ())?;
         }
@@ -345,7 +350,10 @@ mod tests {
         let mk = |name: &str, attrs: &[&str]| {
             RelationSchema::new(
                 name,
-                attrs.iter().map(|a| Attribute::new(*a, DomainKind::Int)).collect(),
+                attrs
+                    .iter()
+                    .map(|a| Attribute::new(*a, DomainKind::Int))
+                    .collect(),
             )
             .unwrap()
         };
@@ -363,7 +371,9 @@ mod tests {
         phi: &Cfd,
         w: &Witness,
     ) {
-        w.database.validate(catalog).expect("witness conforms to catalog");
+        w.database
+            .validate(catalog)
+            .expect("witness conforms to catalog");
         for s in sigma {
             assert!(
                 satisfy::satisfies(w.database.relation(s.rel), &s.cfd),
@@ -372,13 +382,20 @@ mod tests {
             );
         }
         let v = eval_spcu(view, catalog, &w.database);
-        assert!(!satisfy::satisfies(&v, phi), "witness view does not violate {}", phi);
+        assert!(
+            !satisfy::satisfies(&v, phi),
+            "witness view does not violate {}",
+            phi
+        );
     }
 
     #[test]
     fn fd_propagates_through_projection_keeping_attrs() {
         let (c, r1, _) = catalog_two_rels();
-        let view = RaExpr::rel("R1").project(&["A", "B"]).normalize(&c).unwrap();
+        let view = RaExpr::rel("R1")
+            .project(&["A", "B"])
+            .normalize(&c)
+            .unwrap();
         let sigma = vec![SourceCfd::new(r1, Cfd::fd(&[0], 1).unwrap())];
         let phi = Cfd::fd(&[0], 1).unwrap(); // A → B on the view
         assert!(propagates(&c, &sigma, &view, &phi, Setting::InfiniteDomain)
@@ -389,7 +406,10 @@ mod tests {
     #[test]
     fn fd_not_propagated_without_source_fd() {
         let (c, _, _) = catalog_two_rels();
-        let view = RaExpr::rel("R1").project(&["A", "B"]).normalize(&c).unwrap();
+        let view = RaExpr::rel("R1")
+            .project(&["A", "B"])
+            .normalize(&c)
+            .unwrap();
         let phi = Cfd::fd(&[0], 1).unwrap();
         let v = propagates(&c, &[], &view, &phi, Setting::InfiniteDomain).unwrap();
         match v {
@@ -402,7 +422,10 @@ mod tests {
     fn transitive_fd_through_dropped_attribute() {
         // A → C, C → B on R1; view projects {A, B}: A → B propagated.
         let (c, r1, _) = catalog_two_rels();
-        let view = RaExpr::rel("R1").project(&["A", "B"]).normalize(&c).unwrap();
+        let view = RaExpr::rel("R1")
+            .project(&["A", "B"])
+            .normalize(&c)
+            .unwrap();
         let sigma = vec![
             SourceCfd::new(r1, Cfd::fd(&[0], 2).unwrap()),
             SourceCfd::new(r1, Cfd::fd(&[2], 1).unwrap()),
@@ -431,9 +454,11 @@ mod tests {
             .is_propagated());
         // and the selection constant itself is propagated: (A → A, (_ ‖ 5))
         let const_a = Cfd::const_col(0, 5i64);
-        assert!(propagates(&c, &sigma, &view, &const_a, Setting::InfiniteDomain)
-            .unwrap()
-            .is_propagated());
+        assert!(
+            propagates(&c, &sigma, &view, &const_a, Setting::InfiniteDomain)
+                .unwrap()
+                .is_propagated()
+        );
     }
 
     #[test]
@@ -555,11 +580,21 @@ mod tests {
         let sigma = vec![
             SourceCfd::new(
                 r,
-                Cfd::new(vec![(0, Pattern::cst(Value::Bool(true)))], 1, Pattern::cst(1)).unwrap(),
+                Cfd::new(
+                    vec![(0, Pattern::cst(Value::Bool(true)))],
+                    1,
+                    Pattern::cst(1),
+                )
+                .unwrap(),
             ),
             SourceCfd::new(
                 r,
-                Cfd::new(vec![(0, Pattern::cst(Value::Bool(false)))], 1, Pattern::cst(1)).unwrap(),
+                Cfd::new(
+                    vec![(0, Pattern::cst(Value::Bool(false)))],
+                    1,
+                    Pattern::cst(1),
+                )
+                .unwrap(),
             ),
         ];
         let phi = Cfd::const_col(1, 1i64);
@@ -574,7 +609,9 @@ mod tests {
             .is_propagated());
         assert_eq!(Setting::for_catalog(&c), Setting::General);
         // the auto entry point picks the right setting
-        assert!(propagates_auto(&c, &sigma, &view, &phi).unwrap().is_propagated());
+        assert!(propagates_auto(&c, &sigma, &view, &phi)
+            .unwrap()
+            .is_propagated());
     }
 
     #[test]

@@ -45,12 +45,18 @@ pub struct Lit {
 impl Lit {
     /// Positive literal on `var`.
     pub fn pos(var: usize) -> Self {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal on `var`.
     pub fn neg(var: usize) -> Self {
-        Lit { var, positive: false }
+        Lit {
+            var,
+            positive: false,
+        }
     }
 }
 
@@ -130,12 +136,16 @@ pub fn reduce_3sat(inst: &SatInstance) -> SatReduction {
         .iter()
         .filter(|c| {
             !c.iter().any(|l1| {
-                c.iter().any(|l2| l1.var == l2.var && l1.positive != l2.positive)
+                c.iter()
+                    .any(|l2| l1.var == l2.var && l1.positive != l2.positive)
             })
         })
         .copied()
         .collect();
-    let inst = SatInstance { num_vars: inst.num_vars, clauses };
+    let inst = SatInstance {
+        num_vars: inst.num_vars,
+        clauses,
+    };
     let m = inst.num_vars;
     let n = inst.clauses.len();
     let mut catalog = Catalog::new();
@@ -188,7 +198,10 @@ pub fn reduce_3sat(inst: &SatInstance) -> SatReduction {
     for i in 0..m {
         let atom = atoms.len();
         atoms.push(r0);
-        selection.push(SelAtom::EqConst(ProdCol::new(atom, 0), Value::int(i as i64 + 1)));
+        selection.push(SelAtom::EqConst(
+            ProdCol::new(atom, 0),
+            Value::int(i as i64 + 1),
+        ));
     }
     // e02: per clause, R0 × Rj with X = Xj and A = Aj.
     for (j, &rj) in rel_j.iter().enumerate() {
@@ -220,7 +233,10 @@ pub fn reduce_3sat(inst: &SatInstance) -> SatReduction {
                 ProdCol::new(atom, 2),
                 Value::int(lit.var as i64 + 1),
             ));
-            selection.push(SelAtom::EqConst(ProdCol::new(atom, 3), bool_v(lit.positive)));
+            selection.push(SelAtom::EqConst(
+                ProdCol::new(atom, 3),
+                bool_v(lit.positive),
+            ));
         }
     }
     // SC view: output every column of every atom.
@@ -233,11 +249,21 @@ pub fn reduce_3sat(inst: &SatInstance) -> SatReduction {
             });
         }
     }
-    let query = SpcQuery { atoms, constants: vec![], selection, output };
+    let query = SpcQuery {
+        atoms,
+        constants: vec![],
+        selection,
+        output,
+    };
     let view = SpcuQuery::single(&catalog, query).expect("reduction view is well-formed");
     // ψ = V(X, A → Z) over the columns of e (atom 0).
     let psi = Cfd::fd(&[0, 1], 2).expect("valid FD");
-    SatReduction { catalog, sigma, view, psi }
+    SatReduction {
+        catalog,
+        sigma,
+        view,
+        psi,
+    }
 }
 
 #[cfg(test)]
@@ -248,8 +274,14 @@ mod tests {
     fn check(inst: &SatInstance) {
         let sat = inst.brute_force_satisfiable();
         let red = reduce_3sat(inst);
-        let verdict = propagates(&red.catalog, &red.sigma, &red.view, &red.psi, Setting::General)
-            .expect("reduction inputs are valid");
+        let verdict = propagates(
+            &red.catalog,
+            &red.sigma,
+            &red.view,
+            &red.psi,
+            Setting::General,
+        )
+        .expect("reduction inputs are valid");
         assert_eq!(
             !verdict.is_propagated(),
             sat,

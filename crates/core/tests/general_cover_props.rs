@@ -18,25 +18,53 @@ use rand::SeedableRng;
 /// Small schemas *with finite-domain attributes* — the setting the
 /// prototype exists for. Kept tiny because the complete checker is
 /// exponential in the finite-domain variable count.
-fn workload(seed: u64) -> (cfd_relalg::Catalog, Vec<cfd_model::SourceCfd>, cfd_relalg::SpcQuery) {
+fn workload(
+    seed: u64,
+) -> (
+    cfd_relalg::Catalog,
+    Vec<cfd_model::SourceCfd>,
+    cfd_relalg::SpcQuery,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
     let catalog = gen_schema(
-        &SchemaGenConfig { relations: 2, min_arity: 3, max_arity: 4, finite_ratio: 0.3 },
+        &SchemaGenConfig {
+            relations: 2,
+            min_arity: 3,
+            max_arity: 4,
+            finite_ratio: 0.3,
+        },
         &mut rng,
     );
     let sigma = gen_cfds(
         &catalog,
-        &CfdGenConfig { count: 5, lhs_max: 2, var_pct: 0.5, const_range: 3, ..Default::default() },
+        &CfdGenConfig {
+            count: 5,
+            lhs_max: 2,
+            var_pct: 0.5,
+            const_range: 3,
+            ..Default::default()
+        },
         &mut rng,
     );
-    let view =
-        gen_spc_view(&catalog, &ViewGenConfig { y: 4, f: 1, ec: 1, const_range: 3 }, &mut rng);
+    let view = gen_spc_view(
+        &catalog,
+        &ViewGenConfig {
+            y: 4,
+            f: 1,
+            ec: 1,
+            const_range: 3,
+        },
+        &mut rng,
+    );
     (catalog, sigma, view)
 }
 
 #[test]
 fn every_emitted_cfd_is_propagated_in_the_general_setting() {
-    let opts = GeneralCoverOptions { max_candidates: 128, ..Default::default() };
+    let opts = GeneralCoverOptions {
+        max_candidates: 128,
+        ..Default::default()
+    };
     let mut exercised = 0usize;
     for seed in 0..10u64 {
         let (catalog, sigma, view) = workload(seed);
@@ -63,7 +91,10 @@ fn every_emitted_cfd_is_propagated_in_the_general_setting() {
 
 #[test]
 fn emitted_cfds_hold_on_materialized_views() {
-    let opts = GeneralCoverOptions { max_candidates: 128, ..Default::default() };
+    let opts = GeneralCoverOptions {
+        max_candidates: 128,
+        ..Default::default()
+    };
     for seed in 30..38u64 {
         let (catalog, sigma, view) = workload(seed);
         let cover = match prop_cfd_spc_general(&catalog, &sigma, &view, &opts) {
@@ -78,7 +109,10 @@ fn emitted_cfds_hold_on_materialized_views() {
             let db = gen_database(
                 &catalog,
                 &sigma,
-                &InstanceGenConfig { tuples_per_relation: 8, value_range: 3 },
+                &InstanceGenConfig {
+                    tuples_per_relation: 8,
+                    value_range: 3,
+                },
                 &mut rng,
             );
             let contents = eval_spc(&view, &catalog, &db);
@@ -99,7 +133,10 @@ fn general_cover_subsumes_infinite_cover() {
     // can only gain dependencies, never lose them).
     use cfd_model::implication::implies_general;
     use cfd_propagation::cover::{prop_cfd_spc, CoverOptions};
-    let opts = GeneralCoverOptions { max_candidates: 64, ..Default::default() };
+    let opts = GeneralCoverOptions {
+        max_candidates: 64,
+        ..Default::default()
+    };
     for seed in 60..68u64 {
         let (catalog, sigma, view) = workload(seed);
         let (Ok(general), Ok(base)) = (
@@ -112,8 +149,12 @@ fn general_cover_subsumes_infinite_cover() {
             continue;
         }
         let spcu = SpcuQuery::single(&catalog, view.clone()).unwrap();
-        let domains: Vec<cfd_relalg::DomainKind> =
-            spcu.schema().columns.iter().map(|(_, d)| d.clone()).collect();
+        let domains: Vec<cfd_relalg::DomainKind> = spcu
+            .schema()
+            .columns
+            .iter()
+            .map(|(_, d)| d.clone())
+            .collect();
         for phi in &base.cfds {
             assert!(
                 implies_general(&general.cfds, phi, &domains),

@@ -23,15 +23,35 @@ use rand::SeedableRng;
 fn union_workload(seed: u64) -> Option<(Catalog, Vec<SourceCfd>, SpcuQuery)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let catalog = gen_schema(
-        &SchemaGenConfig { relations: 2, min_arity: 3, max_arity: 5, finite_ratio: 0.0 },
+        &SchemaGenConfig {
+            relations: 2,
+            min_arity: 3,
+            max_arity: 5,
+            finite_ratio: 0.0,
+        },
         &mut rng,
     );
     let sigma = gen_cfds(
         &catalog,
-        &CfdGenConfig { count: 8, lhs_max: 2, var_pct: 0.5, const_range: 4, ..Default::default() },
+        &CfdGenConfig {
+            count: 8,
+            lhs_max: 2,
+            var_pct: 0.5,
+            const_range: 4,
+            ..Default::default()
+        },
         &mut rng,
     );
-    let b1 = gen_spc_view(&catalog, &ViewGenConfig { y: 4, f: 1, ec: 1, const_range: 4 }, &mut rng);
+    let b1 = gen_spc_view(
+        &catalog,
+        &ViewGenConfig {
+            y: 4,
+            f: 1,
+            ec: 1,
+            const_range: 4,
+        },
+        &mut rng,
+    );
     let mut b2 = b1.clone();
     // pin the first product column of branch 2 to a constant
     let first = cfd_relalg::query::ProdCol::new(0, 0);
@@ -51,8 +71,7 @@ fn spcu_cover_is_sound_by_the_independent_checker() {
         let Some((catalog, sigma, union)) = union_workload(seed) else {
             continue;
         };
-        let cover = match prop_cfd_spcu_sound(&catalog, &sigma, &union, &CoverOptions::default())
-        {
+        let cover = match prop_cfd_spcu_sound(&catalog, &sigma, &union, &CoverOptions::default()) {
             Ok(c) => c,
             Err(_) => continue,
         };
@@ -69,7 +88,10 @@ fn spcu_cover_is_sound_by_the_independent_checker() {
             );
         }
     }
-    assert!(exercised >= 3, "too few union cover CFDs exercised: {exercised}");
+    assert!(
+        exercised >= 3,
+        "too few union cover CFDs exercised: {exercised}"
+    );
 }
 
 #[test]
@@ -78,8 +100,7 @@ fn spcu_cover_holds_on_materialized_unions() {
         let Some((catalog, sigma, union)) = union_workload(seed) else {
             continue;
         };
-        let cover = match prop_cfd_spcu_sound(&catalog, &sigma, &union, &CoverOptions::default())
-        {
+        let cover = match prop_cfd_spcu_sound(&catalog, &sigma, &union, &CoverOptions::default()) {
             Ok(c) => c,
             Err(_) => continue,
         };
@@ -91,7 +112,10 @@ fn spcu_cover_holds_on_materialized_unions() {
             let db = gen_database(
                 &catalog,
                 &sigma,
-                &InstanceGenConfig { tuples_per_relation: 10, value_range: 4 },
+                &InstanceGenConfig {
+                    tuples_per_relation: 10,
+                    value_range: 4,
+                },
                 &mut rng,
             );
             let contents = eval_spcu(&union, &catalog, &db);
@@ -111,15 +135,35 @@ fn single_branch_union_degenerates_to_spc_cover() {
     for seed in 40..44u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let catalog = gen_schema(
-            &SchemaGenConfig { relations: 2, min_arity: 3, max_arity: 4, finite_ratio: 0.0 },
+            &SchemaGenConfig {
+                relations: 2,
+                min_arity: 3,
+                max_arity: 4,
+                finite_ratio: 0.0,
+            },
             &mut rng,
         );
         let sigma = gen_cfds(
             &catalog,
-            &CfdGenConfig { count: 6, lhs_max: 2, var_pct: 0.5, const_range: 4, ..Default::default() },
+            &CfdGenConfig {
+                count: 6,
+                lhs_max: 2,
+                var_pct: 0.5,
+                const_range: 4,
+                ..Default::default()
+            },
             &mut rng,
         );
-        let q = gen_spc_view(&catalog, &ViewGenConfig { y: 3, f: 1, ec: 1, const_range: 4 }, &mut rng);
+        let q = gen_spc_view(
+            &catalog,
+            &ViewGenConfig {
+                y: 3,
+                f: 1,
+                ec: 1,
+                const_range: 4,
+            },
+            &mut rng,
+        );
         let single = SpcuQuery::single(&catalog, q.clone()).unwrap();
         let (Ok(a), Ok(b)) = (
             prop_cfd_spcu_sound(&catalog, &sigma, &single, &CoverOptions::default()),
@@ -127,7 +171,10 @@ fn single_branch_union_degenerates_to_spc_cover() {
         ) else {
             continue;
         };
-        assert_eq!(a.cfds, b.cfds, "seed {seed}: single-branch SPCU must delegate");
+        assert_eq!(
+            a.cfds, b.cfds,
+            "seed {seed}: single-branch SPCU must delegate"
+        );
         assert_eq!(a.complete, b.complete);
     }
 }

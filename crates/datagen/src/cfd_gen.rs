@@ -83,7 +83,11 @@ pub fn gen_cfds(catalog: &Catalog, cfg: &CfdGenConfig, rng: &mut impl Rng) -> Ve
             if rng.gen_bool(cfg.var_pct) {
                 Pattern::Wild
             } else {
-                Pattern::Const(random_value(&schema.attributes[attr].domain, cfg.const_range, rng))
+                Pattern::Const(random_value(
+                    &schema.attributes[attr].domain,
+                    cfg.const_range,
+                    rng,
+                ))
             }
         };
         let lhs: Vec<(usize, Pattern)> = lhs_attrs.iter().map(|a| (*a, cell(*a))).collect();
@@ -134,7 +138,10 @@ mod tests {
     #[test]
     fn count_and_validity() {
         let (catalog, mut rng) = setup();
-        let cfg = CfdGenConfig { count: 300, ..Default::default() };
+        let cfg = CfdGenConfig {
+            count: 300,
+            ..Default::default()
+        };
         let sigma = gen_cfds(&catalog, &cfg, &mut rng);
         assert_eq!(sigma.len(), 300);
         for s in &sigma {
@@ -149,7 +156,11 @@ mod tests {
     #[test]
     fn lhs_sizes_in_range() {
         let (catalog, mut rng) = setup();
-        let cfg = CfdGenConfig { count: 500, lhs_max: 9, ..Default::default() };
+        let cfg = CfdGenConfig {
+            count: 500,
+            lhs_max: 9,
+            ..Default::default()
+        };
         let sigma = gen_cfds(&catalog, &cfg, &mut rng);
         for s in &sigma {
             let n = s.cfd.lhs().len();
@@ -162,21 +173,26 @@ mod tests {
         let (catalog, mut rng) = setup();
         let all_wild = gen_cfds(
             &catalog,
-            &CfdGenConfig { count: 50, var_pct: 1.0, ..Default::default() },
+            &CfdGenConfig {
+                count: 50,
+                var_pct: 1.0,
+                ..Default::default()
+            },
             &mut rng,
         );
         assert!(all_wild.iter().all(|s| s.cfd.is_plain_fd()));
         let all_const = gen_cfds(
             &catalog,
-            &CfdGenConfig { count: 50, var_pct: 0.0, ..Default::default() },
+            &CfdGenConfig {
+                count: 50,
+                var_pct: 0.0,
+                ..Default::default()
+            },
             &mut rng,
         );
-        assert!(all_const.iter().all(|s| s
-            .cfd
-            .lhs()
-            .iter()
-            .all(|(_, p)| p.is_const())
-            && s.cfd.rhs_pattern().is_const()));
+        assert!(all_const.iter().all(
+            |s| s.cfd.lhs().iter().all(|(_, p)| p.is_const()) && s.cfd.rhs_pattern().is_const()
+        ));
     }
 
     #[test]
@@ -184,7 +200,12 @@ mod tests {
         let (catalog, mut rng) = setup();
         let sigma = gen_cfds(
             &catalog,
-            &CfdGenConfig { count: 100, var_pct: 0.0, const_range: 50, ..Default::default() },
+            &CfdGenConfig {
+                count: 100,
+                var_pct: 0.0,
+                const_range: 50,
+                ..Default::default()
+            },
             &mut rng,
         );
         for s in &sigma {

@@ -25,7 +25,10 @@ pub struct DirtyGenConfig {
 
 impl Default for DirtyGenConfig {
     fn default() -> Self {
-        DirtyGenConfig { base: InstanceGenConfig::default(), error_rate: 0.05 }
+        DirtyGenConfig {
+            base: InstanceGenConfig::default(),
+            error_rate: 0.05,
+        }
     }
 }
 
@@ -150,7 +153,10 @@ mod tests {
     fn zero_error_rate_stays_clean() {
         let (c, sigma) = setup();
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = DirtyGenConfig { error_rate: 0.0, ..Default::default() };
+        let cfg = DirtyGenConfig {
+            error_rate: 0.0,
+            ..Default::default()
+        };
         let (db, log) = gen_dirty_database(&c, &sigma, &cfg, &mut rng);
         assert!(log.is_empty());
         assert!(crate::instance_gen::database_satisfies(&db, &sigma));
@@ -160,7 +166,10 @@ mod tests {
     fn corruption_log_matches_database() {
         let (c, sigma) = setup();
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = DirtyGenConfig { error_rate: 0.2, ..Default::default() };
+        let cfg = DirtyGenConfig {
+            error_rate: 0.2,
+            ..Default::default()
+        };
         let (db, log) = gen_dirty_database(&c, &sigma, &cfg, &mut rng);
         assert!(!log.is_empty(), "20% error rate must corrupt something");
         for e in &log {
@@ -176,9 +185,13 @@ mod tests {
     fn corrupted_values_respect_domains() {
         let (c, sigma) = setup();
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = DirtyGenConfig { error_rate: 0.5, ..Default::default() };
+        let cfg = DirtyGenConfig {
+            error_rate: 0.5,
+            ..Default::default()
+        };
         let (db, _) = gen_dirty_database(&c, &sigma, &cfg, &mut rng);
-        db.validate(&c).expect("corruption must stay within domains");
+        db.validate(&c)
+            .expect("corruption must stay within domains");
     }
 
     #[test]
@@ -188,10 +201,16 @@ mod tests {
         let mut high_total = 0usize;
         for seed in 0..5u64 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let low = DirtyGenConfig { error_rate: 0.02, ..Default::default() };
+            let low = DirtyGenConfig {
+                error_rate: 0.02,
+                ..Default::default()
+            };
             low_total += gen_dirty_database(&c, &sigma, &low, &mut rng).1.len();
             let mut rng = StdRng::seed_from_u64(seed);
-            let high = DirtyGenConfig { error_rate: 0.4, ..Default::default() };
+            let high = DirtyGenConfig {
+                error_rate: 0.4,
+                ..Default::default()
+            };
             high_total += gen_dirty_database(&c, &sigma, &high, &mut rng).1.len();
         }
         assert!(high_total > low_total, "{high_total} vs {low_total}");
@@ -207,6 +226,10 @@ mod tests {
             assert!(matches!(v, Value::Bool(_)));
         }
         let e = DomainKind::new_enum(vec![Value::int(1)]).unwrap();
-        assert_eq!(perturb(&e, &Value::int(1), 2, &mut rng), Value::int(1), "singleton domain cannot change");
+        assert_eq!(
+            perturb(&e, &Value::int(1), 2, &mut rng),
+            Value::int(1),
+            "singleton domain cannot change"
+        );
     }
 }

@@ -25,7 +25,10 @@ pub struct InstanceGenConfig {
 
 impl Default for InstanceGenConfig {
     fn default() -> Self {
-        InstanceGenConfig { tuples_per_relation: 20, value_range: 5 }
+        InstanceGenConfig {
+            tuples_per_relation: 20,
+            value_range: 5,
+        }
     }
 }
 
@@ -39,7 +42,11 @@ pub fn gen_database(
 ) -> Database {
     let mut db = Database::empty(catalog);
     for (rel, schema) in catalog.relations() {
-        let local: Vec<&Cfd> = sigma.iter().filter(|s| s.rel == rel).map(|s| &s.cfd).collect();
+        let local: Vec<&Cfd> = sigma
+            .iter()
+            .filter(|s| s.rel == rel)
+            .map(|s| &s.cfd)
+            .collect();
         let mut tuples: Vec<Tuple> = (0..cfg.tuples_per_relation)
             .map(|_| {
                 schema
@@ -76,7 +83,11 @@ fn repair(tuples: &mut Vec<Tuple>, cfds: &[&Cfd]) {
             let rhs = cfd.rhs_attr();
             // pair rule: order-normalize so repair converges
             for i in 0..tuples.len() {
-                if !cfd.lhs().iter().all(|(a, p)| p.matches_value(&tuples[i][*a])) {
+                if !cfd
+                    .lhs()
+                    .iter()
+                    .all(|(a, p)| p.matches_value(&tuples[i][*a]))
+                {
                     continue;
                 }
                 if let Some(c) = cfd.rhs_pattern().as_const() {
@@ -86,7 +97,10 @@ fn repair(tuples: &mut Vec<Tuple>, cfds: &[&Cfd]) {
                     }
                 }
                 for j in (i + 1)..tuples.len() {
-                    let lhs_eq = cfd.lhs().iter().all(|(a, _)| tuples[i][*a] == tuples[j][*a]);
+                    let lhs_eq = cfd
+                        .lhs()
+                        .iter()
+                        .all(|(a, _)| tuples[i][*a] == tuples[j][*a]);
                     if lhs_eq && tuples[i][rhs] != tuples[j][rhs] {
                         let v = tuples[i][rhs].clone();
                         tuples[j][rhs] = v;
@@ -155,12 +169,23 @@ mod tests {
     fn generated_database_satisfies_sigma() {
         let mut rng = StdRng::seed_from_u64(11);
         let catalog = gen_schema(
-            &SchemaGenConfig { relations: 4, min_arity: 4, max_arity: 6, finite_ratio: 0.2 },
+            &SchemaGenConfig {
+                relations: 4,
+                min_arity: 4,
+                max_arity: 6,
+                finite_ratio: 0.2,
+            },
             &mut rng,
         );
         let sigma = gen_cfds(
             &catalog,
-            &CfdGenConfig { count: 12, lhs_max: 3, var_pct: 0.5, const_range: 4, ..Default::default() },
+            &CfdGenConfig {
+                count: 12,
+                lhs_max: 3,
+                var_pct: 0.5,
+                const_range: 4,
+                ..Default::default()
+            },
             &mut rng,
         );
         for seed in 0..10 {
@@ -199,7 +224,12 @@ mod tests {
     fn nonempty_in_practice() {
         let mut rng = StdRng::seed_from_u64(17);
         let catalog = gen_schema(
-            &SchemaGenConfig { relations: 3, min_arity: 3, max_arity: 4, finite_ratio: 0.0 },
+            &SchemaGenConfig {
+                relations: 3,
+                min_arity: 3,
+                max_arity: 4,
+                finite_ratio: 0.0,
+            },
             &mut rng,
         );
         let db = gen_database(&catalog, &[], &InstanceGenConfig::default(), &mut rng);
@@ -215,7 +245,10 @@ mod tests {
             .add(
                 cfd_relalg::schema::RelationSchema::new(
                     "R",
-                    vec![cfd_relalg::schema::Attribute::new("A", cfd_relalg::DomainKind::Int)],
+                    vec![cfd_relalg::schema::Attribute::new(
+                        "A",
+                        cfd_relalg::DomainKind::Int,
+                    )],
                 )
                 .unwrap(),
             )
@@ -260,7 +293,10 @@ mod tests {
         let db = gen_database(
             &catalog,
             &sigma,
-            &InstanceGenConfig { tuples_per_relation: 50, value_range: 3 },
+            &InstanceGenConfig {
+                tuples_per_relation: 50,
+                value_range: 3,
+            },
             &mut rng,
         );
         assert!(database_satisfies(&db, &sigma));

@@ -23,7 +23,12 @@ pub struct SchemaGenConfig {
 
 impl Default for SchemaGenConfig {
     fn default() -> Self {
-        SchemaGenConfig { relations: 10, min_arity: 10, max_arity: 20, finite_ratio: 0.0 }
+        SchemaGenConfig {
+            relations: 10,
+            min_arity: 10,
+            max_arity: 20,
+            finite_ratio: 0.0,
+        }
     }
 }
 
@@ -58,7 +63,12 @@ mod tests {
 
     #[test]
     fn respects_configuration() {
-        let cfg = SchemaGenConfig { relations: 12, min_arity: 5, max_arity: 8, finite_ratio: 0.0 };
+        let cfg = SchemaGenConfig {
+            relations: 12,
+            min_arity: 5,
+            max_arity: 8,
+            finite_ratio: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let c = gen_schema(&cfg, &mut rng);
         assert_eq!(c.len(), 12);
@@ -70,7 +80,10 @@ mod tests {
 
     #[test]
     fn finite_ratio_produces_bool_attrs() {
-        let cfg = SchemaGenConfig { finite_ratio: 1.0, ..Default::default() };
+        let cfg = SchemaGenConfig {
+            finite_ratio: 1.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let c = gen_schema(&cfg, &mut rng);
         assert!(c.has_finite_domain_attr());

@@ -27,7 +27,12 @@ pub struct ViewGenConfig {
 
 impl Default for ViewGenConfig {
     fn default() -> Self {
-        ViewGenConfig { y: 25, f: 10, ec: 4, const_range: 100_000 }
+        ViewGenConfig {
+            y: 25,
+            f: 10,
+            ec: 4,
+            const_range: 100_000,
+        }
     }
 }
 
@@ -66,7 +71,10 @@ pub fn gen_spc_view(catalog: &Catalog, cfg: &ViewGenConfig, rng: &mut impl Rng) 
             }
             selection.push(SelAtom::Eq(a, b));
         } else {
-            selection.push(SelAtom::EqConst(a, random_value(dom_a, cfg.const_range, rng)));
+            selection.push(SelAtom::EqConst(
+                a,
+                random_value(dom_a, cfg.const_range, rng),
+            ));
         }
     }
     // Y: |Y| distinct product columns (clamped to the available width).
@@ -76,9 +84,17 @@ pub fn gen_spc_view(catalog: &Catalog, cfg: &ViewGenConfig, rng: &mut impl Rng) 
     let output = shuffled[..y]
         .iter()
         .enumerate()
-        .map(|(i, c)| OutputCol { name: format!("y{i}"), src: ColRef::Prod(*c) })
+        .map(|(i, c)| OutputCol {
+            name: format!("y{i}"),
+            src: ColRef::Prod(*c),
+        })
         .collect();
-    SpcQuery { atoms, constants: vec![], selection, output }
+    SpcQuery {
+        atoms,
+        constants: vec![],
+        selection,
+        output,
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +113,12 @@ mod tests {
     #[test]
     fn respects_parameters_and_validates() {
         let (catalog, mut rng) = setup();
-        let cfg = ViewGenConfig { y: 25, f: 10, ec: 4, const_range: 100_000 };
+        let cfg = ViewGenConfig {
+            y: 25,
+            f: 10,
+            ec: 4,
+            const_range: 100_000,
+        };
         for _ in 0..10 {
             let q = gen_spc_view(&catalog, &cfg, &mut rng);
             assert_eq!(q.atoms.len(), 4);
@@ -110,7 +131,12 @@ mod tests {
     #[test]
     fn y_clamped_to_width() {
         let (catalog, mut rng) = setup();
-        let cfg = ViewGenConfig { y: 10_000, f: 0, ec: 1, const_range: 10 };
+        let cfg = ViewGenConfig {
+            y: 10_000,
+            f: 0,
+            ec: 1,
+            const_range: 10,
+        };
         let q = gen_spc_view(&catalog, &cfg, &mut rng);
         assert_eq!(q.output.len(), catalog.schema(q.atoms[0]).arity());
     }
@@ -129,7 +155,12 @@ mod tests {
         // With range [1, 2] two A='a' conjuncts on one column often clash —
         // the generator must still produce a structurally valid query.
         let (catalog, mut rng) = setup();
-        let cfg = ViewGenConfig { y: 5, f: 10, ec: 2, const_range: 2 };
+        let cfg = ViewGenConfig {
+            y: 5,
+            f: 10,
+            ec: 2,
+            const_range: 2,
+        };
         let q = gen_spc_view(&catalog, &cfg, &mut rng);
         q.validate(&catalog).unwrap();
     }

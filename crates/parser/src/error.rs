@@ -29,7 +29,10 @@ pub struct ParseError {
 impl ParseError {
     /// Construct an error.
     pub fn new(span: Span, message: impl Into<String>) -> Self {
-        ParseError { span, message: message.into() }
+        ParseError {
+            span,
+            message: message.into(),
+        }
     }
 }
 

@@ -86,23 +86,35 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 }
             }
             '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
-                out.push(SpannedTok { tok: Tok::Arrow, span: start });
+                out.push(SpannedTok {
+                    tok: Tok::Arrow,
+                    span: start,
+                });
                 i += 2;
                 col += 2;
             }
             '-' if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() => {
                 let (v, len) = lex_int(&src[i..], start)?;
-                out.push(SpannedTok { tok: Tok::Int(v), span: start });
+                out.push(SpannedTok {
+                    tok: Tok::Int(v),
+                    span: start,
+                });
                 i += len;
                 col += len;
             }
             '|' if i + 1 < bytes.len() && bytes[i + 1] == b'|' => {
-                out.push(SpannedTok { tok: Tok::Bars, span: start });
+                out.push(SpannedTok {
+                    tok: Tok::Bars,
+                    span: start,
+                });
                 i += 2;
                 col += 2;
             }
             '<' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                out.push(SpannedTok { tok: Tok::SubsetEq, span: start });
+                out.push(SpannedTok {
+                    tok: Tok::SubsetEq,
+                    span: start,
+                });
                 i += 2;
                 col += 2;
             }
@@ -142,13 +154,19 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     j += 1;
                     cols += 1;
                 }
-                out.push(SpannedTok { tok: Tok::Str(s), span: start });
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    span: start,
+                });
                 col += cols;
                 i = j;
             }
             '0'..='9' => {
                 let (v, len) = lex_int(&src[i..], start)?;
-                out.push(SpannedTok { tok: Tok::Int(v), span: start });
+                out.push(SpannedTok {
+                    tok: Tok::Int(v),
+                    span: start,
+                });
                 i += len;
                 col += len;
             }
@@ -161,12 +179,18 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
                     j += 1;
                 }
                 let word = &src[i..j];
-                out.push(SpannedTok { tok: Tok::Ident(word.to_owned()), span: start });
+                out.push(SpannedTok {
+                    tok: Tok::Ident(word.to_owned()),
+                    span: start,
+                });
                 col += j - i;
                 i = j;
             }
             other => {
-                return Err(ParseError::new(start, format!("unexpected character `{other}`")));
+                return Err(ParseError::new(
+                    start,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }
@@ -241,18 +265,25 @@ mod tests {
     fn subset_eq_token() {
         assert_eq!(
             toks("a <= b"),
-            vec![Tok::Ident("a".into()), Tok::SubsetEq, Tok::Ident("b".into())]
+            vec![
+                Tok::Ident("a".into()),
+                Tok::SubsetEq,
+                Tok::Ident("b".into())
+            ]
         );
         assert!(lex("a < b").is_err(), "bare `<` is not a token");
     }
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(toks("a # comment\nb -- another\nc"), vec![
-            Tok::Ident("a".into()),
-            Tok::Ident("b".into()),
-            Tok::Ident("c".into())
-        ]);
+        assert_eq!(
+            toks("a # comment\nb -- another\nc"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into())
+            ]
+        );
     }
 
     #[test]
@@ -262,11 +293,14 @@ mod tests {
 
     #[test]
     fn underscore_vs_ident() {
-        assert_eq!(toks("_ _a a_"), vec![
-            Tok::Underscore,
-            Tok::Ident("_a".into()),
-            Tok::Ident("a_".into())
-        ]);
+        assert_eq!(
+            toks("_ _a a_"),
+            vec![
+                Tok::Underscore,
+                Tok::Ident("_a".into()),
+                Tok::Ident("a_".into())
+            ]
+        );
     }
 
     #[test]

@@ -120,13 +120,13 @@ impl Document {
         let mut db = cfd_relalg::Database::empty(&self.catalog);
         let origin = Span { line: 1, col: 1 };
         for (rel_name, tuple) in &self.rows {
-            let rel = self
-                .catalog
-                .rel_id(rel_name)
-                .ok_or_else(|| ParseError::new(origin, format!("row for unknown relation `{rel_name}`")))?;
+            let rel = self.catalog.rel_id(rel_name).ok_or_else(|| {
+                ParseError::new(origin, format!("row for unknown relation `{rel_name}`"))
+            })?;
             db.insert(rel, tuple.clone());
         }
-        db.validate(&self.catalog).map_err(|e| ParseError::new(origin, e.to_string()))?;
+        db.validate(&self.catalog)
+            .map_err(|e| ParseError::new(origin, e.to_string()))?;
         Ok(db)
     }
 }
@@ -174,9 +174,10 @@ impl Parser {
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            Some(t) => {
-                Err(ParseError::new(self.toks[self.pos - 1].span, format!("expected identifier, found {t:?}")))
-            }
+            Some(t) => Err(ParseError::new(
+                self.toks[self.pos - 1].span,
+                format!("expected identifier, found {t:?}"),
+            )),
             None => self.err("expected identifier, found end of input"),
         }
     }
@@ -200,10 +201,7 @@ impl Parser {
                 Tok::Ident(kw) if kw == "vcfd" => self.vcfd_stmt(&mut doc)?,
                 Tok::Ident(kw) if kw == "row" => self.row_stmt(&mut doc)?,
                 Tok::Ident(kw) if kw == "cind" => self.cind_stmt(&mut doc)?,
-                _ => {
-                    return self
-                        .err("expected `schema`, `cfd`, `view`, `vcfd`, `cind`, or `row`")
-                }
+                _ => return self.err("expected `schema`, `cfd`, `view`, `vcfd`, `cind`, or `row`"),
             }
         }
         Ok(doc)
@@ -226,8 +224,8 @@ impl Parser {
         }
         self.expect(Tok::RParen)?;
         self.expect(Tok::Semi)?;
-        let schema = RelationSchema::new(name, attrs)
-            .map_err(|e| ParseError::new(span, e.to_string()))?;
+        let schema =
+            RelationSchema::new(name, attrs).map_err(|e| ParseError::new(span, e.to_string()))?;
         doc.catalog
             .add(schema)
             .map_err(|e| ParseError::new(span, e.to_string()))?;
@@ -346,7 +344,10 @@ impl Parser {
         self.pos += 1; // row
         let rel = self.ident()?;
         if doc.catalog.rel_id(&rel).is_none() {
-            return Err(ParseError::new(span, format!("row for unknown relation `{rel}`")));
+            return Err(ParseError::new(
+                span,
+                format!("row for unknown relation `{rel}`"),
+            ));
         }
         self.expect(Tok::LParen)?;
         let mut tuple = Vec::new();
@@ -463,9 +464,10 @@ impl Parser {
 
     fn opt_label(&mut self) -> Option<String> {
         // `cfd name: R(...)` — lookahead for IDENT ':'
-        if let (Some(Tok::Ident(name)), Some(t2)) =
-            (self.peek().cloned(), self.toks.get(self.pos + 1).map(|t| &t.tok))
-        {
+        if let (Some(Tok::Ident(name)), Some(t2)) = (
+            self.peek().cloned(),
+            self.toks.get(self.pos + 1).map(|t| &t.tok),
+        ) {
             if *t2 == Tok::Colon {
                 self.pos += 2;
                 return Some(name);
@@ -502,7 +504,10 @@ impl Parser {
             lhs: lhs.iter().map(&resolve).collect::<Result<_, _>>()?,
             rhs: rhs.iter().map(&resolve).collect::<Result<_, _>>()?,
         };
-        for cfd in general.normalize().map_err(|e| ParseError::new(span, e.to_string()))? {
+        for cfd in general
+            .normalize()
+            .map_err(|e| ParseError::new(span, e.to_string()))?
+        {
             doc.source_cfds.push(NamedSourceCfd {
                 name: label.clone(),
                 cfd: SourceCfd::new(rel, cfd),
@@ -530,7 +535,10 @@ impl Parser {
             lhs: lhs.iter().map(&resolve).collect::<Result<_, _>>()?,
             rhs: rhs.iter().map(&resolve).collect::<Result<_, _>>()?,
         };
-        for cfd in general.normalize().map_err(|e| ParseError::new(span, e.to_string()))? {
+        for cfd in general
+            .normalize()
+            .map_err(|e| ParseError::new(span, e.to_string()))?
+        {
             doc.view_cfds.push(NamedViewCfd {
                 name: label.clone(),
                 view: view_name.clone(),
@@ -642,7 +650,10 @@ impl Parser {
                 } else if let Some(v) = doc.view(name) {
                     Ok(v.expr.clone())
                 } else {
-                    Err(ParseError::new(span, format!("unknown relation or view `{name}`")))
+                    Err(ParseError::new(
+                        span,
+                        format!("unknown relation or view `{name}`"),
+                    ))
                 }
             }
         }
@@ -695,7 +706,10 @@ mod tests {
         assert_eq!(doc.source_cfds.len(), 1);
         assert_eq!(doc.views.len(), 1);
         assert_eq!(doc.view_cfds.len(), 1);
-        assert_eq!(doc.views[0].query.schema().names(), vec!["AC", "city", "CC"]);
+        assert_eq!(
+            doc.views[0].query.schema().names(),
+            vec!["AC", "city", "CC"]
+        );
         let phi = &doc.view_cfds[0].cfd;
         assert_eq!(phi.rhs_attr(), 1);
     }
@@ -797,13 +811,7 @@ mod tests {
     #[test]
     fn unknown_references_rejected() {
         assert!(Document::parse("cfd R([A] -> [B], (_ || _));").is_err());
-        assert!(Document::parse(
-            "schema R(A: int); view V = select(S, A = 1);"
-        )
-        .is_err());
-        assert!(Document::parse(
-            "schema R(A: int); vcfd W([A] -> [A], (_ || 1));"
-        )
-        .is_err());
+        assert!(Document::parse("schema R(A: int); view V = select(S, A = 1);").is_err());
+        assert!(Document::parse("schema R(A: int); vcfd W([A] -> [A], (_ || 1));").is_err());
     }
 }

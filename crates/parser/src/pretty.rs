@@ -25,7 +25,11 @@ pub fn render(doc: &Document) -> String {
     for named in &doc.source_cfds {
         let schema = doc.catalog.schema(named.cfd.rel);
         let names: Vec<String> = schema.attributes.iter().map(|a| a.name.clone()).collect();
-        let label = named.name.as_ref().map(|n| format!("{n}: ")).unwrap_or_default();
+        let label = named
+            .name
+            .as_ref()
+            .map(|n| format!("{n}: "))
+            .unwrap_or_default();
         let _ = writeln!(
             out,
             "cfd {label}{}{};",
@@ -41,12 +45,29 @@ pub fn render(doc: &Document) -> String {
             .view(&vc.view)
             .map(|v| v.query.schema().names())
             .unwrap_or_default();
-        let label = vc.name.as_ref().map(|n| format!("{n}: ")).unwrap_or_default();
-        let _ = writeln!(out, "vcfd {label}{}{};", vc.view, render_cfd_body(&vc.cfd, &names));
+        let label = vc
+            .name
+            .as_ref()
+            .map(|n| format!("{n}: "))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "vcfd {label}{}{};",
+            vc.view,
+            render_cfd_body(&vc.cfd, &names)
+        );
     }
     for named in &doc.cinds {
-        let label = named.name.as_ref().map(|n| format!("{n}: ")).unwrap_or_default();
-        let _ = writeln!(out, "cind {label}{};", render_cind(&named.cind, &doc.catalog));
+        let label = named
+            .name
+            .as_ref()
+            .map(|n| format!("{n}: "))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "cind {label}{};",
+            render_cind(&named.cind, &doc.catalog)
+        );
     }
     for (rel, tuple) in &doc.rows {
         let vals: Vec<String> = tuple.iter().map(render_value).collect();
@@ -58,17 +79,20 @@ pub fn render(doc: &Document) -> String {
 /// Render a CIND in the document syntax
 /// `R1[X...; A = v, ...] <= R2[Y...; B = w, ...]`.
 pub fn render_cind(cind: &cfd_cind::Cind, catalog: &cfd_relalg::Catalog) -> String {
-    let side = |rel: cfd_relalg::RelId,
-                cols: Vec<usize>,
-                pats: &[(usize, Value)]|
-     -> String {
+    let side = |rel: cfd_relalg::RelId, cols: Vec<usize>, pats: &[(usize, Value)]| -> String {
         let schema = catalog.schema(rel);
-        let mut body: Vec<String> =
-            cols.iter().map(|c| schema.attributes[*c].name.clone()).collect();
+        let mut body: Vec<String> = cols
+            .iter()
+            .map(|c| schema.attributes[*c].name.clone())
+            .collect();
         let mut s = body.join(", ");
         body.clear();
         for (a, v) in pats {
-            body.push(format!("{} = {}", schema.attributes[*a].name, render_value(v)));
+            body.push(format!(
+                "{} = {}",
+                schema.attributes[*a].name,
+                render_value(v)
+            ));
         }
         if !body.is_empty() {
             s.push_str("; ");
@@ -117,9 +141,7 @@ fn render_pattern(p: &Pattern) -> String {
 
 /// Render `([A, B] -> [C], (p, p || p))` given attribute names.
 pub fn render_cfd_body(cfd: &Cfd, names: &[String]) -> String {
-    let name = |a: usize| -> String {
-        names.get(a).cloned().unwrap_or_else(|| format!("c{a}"))
-    };
+    let name = |a: usize| -> String { names.get(a).cloned().unwrap_or_else(|| format!("c{a}")) };
     let lhs_names: Vec<String> = cfd.lhs().iter().map(|(a, _)| name(*a)).collect();
     let lhs_pats: Vec<String> = cfd.lhs().iter().map(|(_, p)| render_pattern(p)).collect();
     format!(
@@ -194,7 +216,8 @@ mod tests {
         )
         .unwrap();
         let text = render(&doc);
-        let doc2 = Document::parse(&text).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        let doc2 =
+            Document::parse(&text).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
         assert_eq!(doc.catalog, doc2.catalog);
         assert_eq!(doc.sigma(), doc2.sigma());
         assert_eq!(doc.views.len(), doc2.views.len());
@@ -203,8 +226,14 @@ mod tests {
             assert_eq!(a.query, b.query);
         }
         assert_eq!(
-            doc.view_cfds.iter().map(|v| v.cfd.clone()).collect::<Vec<_>>(),
-            doc2.view_cfds.iter().map(|v| v.cfd.clone()).collect::<Vec<_>>()
+            doc.view_cfds
+                .iter()
+                .map(|v| v.cfd.clone())
+                .collect::<Vec<_>>(),
+            doc2.view_cfds
+                .iter()
+                .map(|v| v.cfd.clone())
+                .collect::<Vec<_>>()
         );
         let _ = DOC; // silence unused in case of future use
     }

@@ -52,8 +52,7 @@ fn rows_round_trip_through_pretty_printer() {
 
 #[test]
 fn duplicate_rows_collapse_under_set_semantics() {
-    let doc =
-        Document::parse("schema R(A: int);\nrow R(1);\nrow R(1);\nrow R(2);\n").unwrap();
+    let doc = Document::parse("schema R(A: int);\nrow R(1);\nrow R(1);\nrow R(2);\n").unwrap();
     let db = doc.database().unwrap();
     assert_eq!(db.relation(doc.catalog.rel_id("R").unwrap()).len(), 2);
 }

@@ -1,0 +1,202 @@
+//! Dictionary-encoded columnar relation storage.
+//!
+//! [`ColumnarRelation`] stores one `Vec<Code>` per attribute instead of one
+//! heap tuple per row: the cache-friendly layout the violation-detection and
+//! cleaning hot paths scan. Conversion from [`Relation`] preserves the set's
+//! deterministic (sorted) tuple order, so row `i` of the columnar form is
+//! the `i`-th tuple of the set iteration, and conversion back is lossless:
+//!
+//! ```
+//! use cfd_relalg::columnar::ColumnarRelation;
+//! use cfd_relalg::pool::ValuePool;
+//! use cfd_relalg::{Relation, Value};
+//!
+//! let rel: Relation = [
+//!     vec![Value::str("44"), Value::str("ldn")],
+//!     vec![Value::str("01"), Value::str("nyc")],
+//! ]
+//! .into_iter()
+//! .collect();
+//!
+//! let mut pool = ValuePool::new();
+//! let cols = ColumnarRelation::from_relation(&rel, &mut pool);
+//! assert_eq!(cols.len(), 2);
+//! assert_eq!(cols.arity(), 2);
+//! assert_eq!(cols.to_relation(&pool), rel, "lossless round-trip");
+//! ```
+
+use crate::instance::{Relation, Tuple};
+use crate::pool::{Code, ValuePool};
+use crate::value::Value;
+
+/// A relation instance in dictionary-encoded column-major layout.
+///
+/// Invariants: every column has the same length ([`ColumnarRelation::len`]),
+/// and rows are distinct when built via [`ColumnarRelation::from_relation`]
+/// (set semantics carries over).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ColumnarRelation {
+    columns: Vec<Vec<Code>>,
+    rows: usize,
+}
+
+impl ColumnarRelation {
+    /// Encode `rel` against `pool`, interning values on first sight.
+    /// Row order is the relation's deterministic (sorted) tuple order.
+    pub fn from_relation(rel: &Relation, pool: &mut ValuePool) -> Self {
+        let mut columns: Vec<Vec<Code>> = Vec::new();
+        // The set iterates in sorted order, so columns — the leftmost ones
+        // especially — arrive in runs of equal values; a one-entry memo per
+        // column turns those repeats into a cheap equality check instead of
+        // a probe of the (large, cold) interner map.
+        let mut memo: Vec<Option<(Value, Code)>> = Vec::new();
+        let mut rows = 0;
+        for t in rel.tuples() {
+            if columns.is_empty() {
+                columns = vec![Vec::with_capacity(rel.len()); t.len()];
+                memo = vec![None; t.len()];
+            }
+            debug_assert_eq!(t.len(), columns.len(), "ragged relation");
+            for ((col, memo), v) in columns.iter_mut().zip(&mut memo).zip(t) {
+                let code = match memo {
+                    Some((last, c)) if last == v => *c,
+                    _ => {
+                        let c = pool.intern(v);
+                        *memo = Some((v.clone(), c));
+                        c
+                    }
+                };
+                col.push(code);
+            }
+            rows += 1;
+        }
+        ColumnarRelation { columns, rows }
+    }
+
+    /// Build directly from row-major code rows (all rows of equal arity;
+    /// codes must come from the pool later used for decoding).
+    pub fn from_code_rows(rows: &[Vec<Code>]) -> Self {
+        let arity = rows.first().map_or(0, Vec::len);
+        let mut columns = vec![Vec::with_capacity(rows.len()); arity];
+        for row in rows {
+            debug_assert_eq!(row.len(), arity, "ragged code rows");
+            for (col, &c) in columns.iter_mut().zip(row) {
+                col.push(c);
+            }
+        }
+        ColumnarRelation {
+            columns,
+            rows: rows.len(),
+        }
+    }
+
+    /// Decode back to a set-semantics [`Relation`].
+    pub fn to_relation(&self, pool: &ValuePool) -> Relation {
+        (0..self.rows).map(|r| self.decode_row(r, pool)).collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of attributes (0 for an empty relation, whose arity is
+    /// unknowable from the data).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The code column of attribute `a`.
+    pub fn column(&self, a: usize) -> &[Code] {
+        &self.columns[a]
+    }
+
+    /// The code at (`row`, `col`).
+    #[inline]
+    pub fn code(&self, row: usize, col: usize) -> Code {
+        self.columns[col][row]
+    }
+
+    /// The codes of one row, gathered across columns.
+    pub fn row_codes(&self, row: usize) -> impl Iterator<Item = Code> + '_ {
+        self.columns.iter().map(move |c| c[row])
+    }
+
+    /// Materialize one row as a [`Tuple`].
+    pub fn decode_row(&self, row: usize, pool: &ValuePool) -> Tuple {
+        self.row_codes(row).map(|c| pool.value(c).clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn rel(rows: &[&[i64]]) -> Relation {
+        rows.iter()
+            .map(|r| r.iter().map(|v| Value::int(*v)).collect::<Tuple>())
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let r = rel(&[&[1, 2, 3], &[4, 5, 6], &[1, 2, 4]]);
+        let mut pool = ValuePool::new();
+        let c = ColumnarRelation::from_relation(&r, &mut pool);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.to_relation(&pool), r);
+    }
+
+    #[test]
+    fn double_round_trip_is_identity() {
+        let r = rel(&[&[9, 1], &[2, 2], &[0, 7]]);
+        let mut pool = ValuePool::new();
+        let c1 = ColumnarRelation::from_relation(&r, &mut pool);
+        let c2 = ColumnarRelation::from_relation(&c1.to_relation(&pool), &mut pool);
+        assert_eq!(c1, c2, "same pool, same sorted row order, same codes");
+    }
+
+    #[test]
+    fn rows_follow_set_order() {
+        // BTreeSet iteration is sorted, so row 0 is the smallest tuple.
+        let r = rel(&[&[5, 0], &[1, 9]]);
+        let mut pool = ValuePool::new();
+        let c = ColumnarRelation::from_relation(&r, &mut pool);
+        assert_eq!(c.decode_row(0, &pool), vec![Value::int(1), Value::int(9)]);
+        assert_eq!(c.decode_row(1, &pool), vec![Value::int(5), Value::int(0)]);
+    }
+
+    #[test]
+    fn shared_codes_across_columns() {
+        let r = rel(&[&[7, 7]]);
+        let mut pool = ValuePool::new();
+        let c = ColumnarRelation::from_relation(&r, &mut pool);
+        assert_eq!(c.code(0, 0), c.code(0, 1), "same value, same code");
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let mut pool = ValuePool::new();
+        let c = ColumnarRelation::from_relation(&Relation::new(), &mut pool);
+        assert!(c.is_empty());
+        assert_eq!(c.arity(), 0);
+        assert_eq!(c.to_relation(&pool), Relation::new());
+    }
+
+    #[test]
+    fn from_code_rows_matches_from_relation() {
+        let r = rel(&[&[1, 2], &[3, 4]]);
+        let mut pool = ValuePool::new();
+        let c1 = ColumnarRelation::from_relation(&r, &mut pool);
+        let rows: Vec<Vec<Code>> = (0..c1.len()).map(|i| c1.row_codes(i).collect()).collect();
+        assert_eq!(ColumnarRelation::from_code_rows(&rows), c1);
+    }
+}

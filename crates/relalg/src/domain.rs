@@ -66,9 +66,14 @@ impl DomainKind {
     /// draw disjoint pools from an infinite domain.
     pub fn distinct_values(&self, n: usize, salt: u64) -> Vec<Value> {
         match self {
-            DomainKind::Int => (0..n as i64).map(|i| Value::Int(1_000 + salt as i64 * 10_000 + i)).collect(),
+            DomainKind::Int => (0..n as i64)
+                .map(|i| Value::Int(1_000 + salt as i64 * 10_000 + i))
+                .collect(),
             DomainKind::Text => (0..n).map(|i| Value::Str(format!("w{salt}_{i}"))).collect(),
-            DomainKind::Bool => [Value::Bool(false), Value::Bool(true)].into_iter().take(n).collect(),
+            DomainKind::Bool => [Value::Bool(false), Value::Bool(true)]
+                .into_iter()
+                .take(n)
+                .collect(),
             DomainKind::Enum(vs) => vs.iter().take(n).cloned().collect(),
         }
     }

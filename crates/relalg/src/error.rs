@@ -62,25 +62,48 @@ impl fmt::Display for RelalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RelalgError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
-            RelalgError::UnknownAttribute { relation, attribute } => {
+            RelalgError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
                 write!(f, "unknown attribute `{attribute}` in `{relation}`")
             }
             RelalgError::DuplicateRelation(r) => write!(f, "duplicate relation `{r}`"),
-            RelalgError::DuplicateAttribute { relation, attribute } => {
+            RelalgError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => {
                 write!(f, "duplicate attribute `{attribute}` in `{relation}`")
             }
             RelalgError::EmptyDomain => write!(f, "enum domain must be nonempty"),
-            RelalgError::ArityMismatch { relation, expected, got } => {
-                write!(f, "tuple arity {got} does not match schema `{relation}` (arity {expected})")
+            RelalgError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema `{relation}` (arity {expected})"
+                )
             }
-            RelalgError::DomainViolation { relation, attribute, value } => {
-                write!(f, "value {value} outside domain of `{relation}.{attribute}`")
+            RelalgError::DomainViolation {
+                relation,
+                attribute,
+                value,
+            } => {
+                write!(
+                    f,
+                    "value {value} outside domain of `{relation}.{attribute}`"
+                )
             }
             RelalgError::UnionIncompatible(msg) => write!(f, "union-incompatible branches: {msg}"),
             RelalgError::BadColumnRef(c) => write!(f, "bad column reference `{c}`"),
             RelalgError::NameCollision(c) => write!(f, "output column name collision `{c}`"),
             RelalgError::SelectionDomainMismatch { attribute, value } => {
-                write!(f, "selection constant {value} outside domain of `{attribute}`")
+                write!(
+                    f,
+                    "selection constant {value} outside domain of `{attribute}`"
+                )
             }
         }
     }

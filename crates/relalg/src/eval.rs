@@ -155,7 +155,10 @@ mod tests {
             .normalize(&c)
             .unwrap();
         let out = eval_spcu(&v, &c, &db);
-        assert_eq!(sorted_tuples(&out), vec![vec![Value::int(1), Value::int(9)]]);
+        assert_eq!(
+            sorted_tuples(&out),
+            vec![vec![Value::int(1), Value::int(9)]]
+        );
     }
 
     #[test]
@@ -190,7 +193,10 @@ mod tests {
         let (c, r1, _) = setup();
         let mut db = Database::empty(&c);
         db.insert(r1, vec![Value::int(1), Value::int(2)]);
-        let v = RaExpr::rel("R1").union(RaExpr::rel("R1")).normalize(&c).unwrap();
+        let v = RaExpr::rel("R1")
+            .union(RaExpr::rel("R1"))
+            .normalize(&c)
+            .unwrap();
         let out = eval_spcu(&v, &c, &db);
         assert_eq!(out.len(), 1);
     }

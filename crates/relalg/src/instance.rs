@@ -72,7 +72,9 @@ impl Relation {
 
 impl FromIterator<Tuple> for Relation {
     fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
-        Relation { tuples: iter.into_iter().collect() }
+        Relation {
+            tuples: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -86,7 +88,9 @@ impl Database {
     /// An empty database conforming to `catalog` (one empty relation per
     /// schema).
     pub fn empty(catalog: &Catalog) -> Self {
-        Database { relations: vec![Relation::new(); catalog.len()] }
+        Database {
+            relations: vec![Relation::new(); catalog.len()],
+        }
     }
 
     /// The instance of relation `id`.
@@ -141,9 +145,21 @@ pub fn render_table(schema_name: &str, columns: &[String], rel: &Relation) -> St
         .map(|(c, w)| format!("{c:<w$}"))
         .collect();
     let _ = writeln!(out, "  {}", header.join(" | "));
-    let _ = writeln!(out, "  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+    let _ = writeln!(
+        out,
+        "  {}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-")
+    );
     for row in &rows {
-        let line: Vec<String> = row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
         let _ = writeln!(out, "  {}", line.join(" | "));
     }
     out
@@ -185,11 +201,17 @@ mod tests {
         let (c, id) = setup();
         let mut db = Database::empty(&c);
         db.insert(id, vec![Value::int(1)]);
-        assert!(matches!(db.validate(&c), Err(RelalgError::ArityMismatch { .. })));
+        assert!(matches!(
+            db.validate(&c),
+            Err(RelalgError::ArityMismatch { .. })
+        ));
 
         let mut db = Database::empty(&c);
         db.insert(id, vec![Value::int(1), Value::int(2)]);
-        assert!(matches!(db.validate(&c), Err(RelalgError::DomainViolation { .. })));
+        assert!(matches!(
+            db.validate(&c),
+            Err(RelalgError::DomainViolation { .. })
+        ));
 
         let mut db = Database::empty(&c);
         db.insert(id, vec![Value::int(1), Value::Bool(false)]);

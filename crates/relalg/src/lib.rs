@@ -9,6 +9,11 @@
 //!   paper's complexity landscape;
 //! * [`schema`] — relation schemas and catalogs;
 //! * [`instance`] — tuples, relations (set semantics), databases;
+//! * [`pool`] / [`columnar`] — the dictionary-encoded columnar storage
+//!   layer: a [`pool::ValuePool`] interns each constant as a dense `u32`
+//!   code and [`columnar::ColumnarRelation`] stores relations column-major
+//!   over codes, which is what the violation-detection and cleaning hot
+//!   paths scan (values are materialized only at reporting boundaries);
 //! * [`query`] — SPC / SPCU queries in the paper's normal form
 //!   `πY(Rc × σF(R1 × ... × Rn))`, a compositional RA builder
 //!   ([`query::RaExpr`]) with a normalizer, and fragment classification
@@ -22,19 +27,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod domain;
 pub mod error;
 pub mod eval;
 pub mod instance;
+pub mod pool;
 pub mod query;
 pub mod schema;
 pub mod tableau;
 pub mod unify;
 pub mod value;
 
+pub use columnar::ColumnarRelation;
 pub use domain::DomainKind;
 pub use error::RelalgError;
 pub use instance::{Database, Relation, Tuple};
+pub use pool::{Code, ValuePool};
 pub use query::{Fragment, RaCond, RaExpr, SpcQuery, SpcuQuery, ViewSchema};
 pub use schema::{Attribute, Catalog, RelId, RelationSchema};
 pub use tableau::{Tableau, Term, VarId};

@@ -1,0 +1,162 @@
+//! Dictionary encoding: interning [`Value`]s as dense `u32` codes.
+//!
+//! The pairwise and hash-grouped checkers of the upper crates spend most of
+//! their time hashing and comparing [`Value`]s — an enum whose dominant
+//! variant heap-allocates (`Value::Str`). A [`ValuePool`] maps each distinct
+//! constant to a dense [`Code`] once, after which every hot-path comparison,
+//! hash, and group-by key is plain `u32` arithmetic: equality of codes is
+//! equality of values, and tuples become flat `&[u32]` slices (see
+//! [`crate::columnar::ColumnarRelation`]). Values are materialized again
+//! only at reporting boundaries.
+//!
+//! Codes are *not* order-preserving: `a < b` says nothing about
+//! `pool.value(a)` vs `pool.value(b)`. Callers that need the total order on
+//! [`Value`] (e.g. deterministic tie-breaking) must compare through
+//! [`ValuePool::value`].
+
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+
+/// A dense dictionary code for an interned [`Value`].
+pub type Code = u32;
+
+/// An append-only interner from [`Value`] to dense [`Code`]s.
+///
+/// ```
+/// use cfd_relalg::pool::ValuePool;
+/// use cfd_relalg::Value;
+///
+/// let mut pool = ValuePool::new();
+/// let a = pool.intern(&Value::str("ldn"));
+/// let b = pool.intern(&Value::str("edi"));
+/// assert_ne!(a, b);
+/// assert_eq!(pool.intern(&Value::str("ldn")), a, "stable on re-insert");
+/// assert_eq!(pool.value(a), &Value::str("ldn"));
+/// assert_eq!(pool.lookup(&Value::int(7)), None, "lookup never interns");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ValuePool {
+    values: Vec<Value>,
+    index: FxHashMap<Value, Code>,
+}
+
+impl ValuePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ValuePool::default()
+    }
+
+    /// An empty pool sized for roughly `distinct` values, avoiding
+    /// rehash-and-move cycles while a large relation is interned.
+    pub fn with_capacity(distinct: usize) -> Self {
+        ValuePool {
+            values: Vec::with_capacity(distinct),
+            index: FxHashMap::with_capacity_and_hasher(distinct, Default::default()),
+        }
+    }
+
+    /// The code for `v`, interning it on first sight.
+    pub fn intern(&mut self, v: &Value) -> Code {
+        if let Some(&c) = self.index.get(v) {
+            return c;
+        }
+        self.insert_new(v.clone())
+    }
+
+    /// The code for `v` (by value, avoiding a clone on first sight).
+    pub fn intern_owned(&mut self, v: Value) -> Code {
+        if let Some(&c) = self.index.get(&v) {
+            return c;
+        }
+        self.insert_new(v)
+    }
+
+    fn insert_new(&mut self, v: Value) -> Code {
+        let code = Code::try_from(self.values.len()).expect("more than u32::MAX distinct values");
+        self.values.push(v.clone());
+        self.index.insert(v, code);
+        code
+    }
+
+    /// The code for `v` if it has been interned; never interns.
+    pub fn lookup(&self, v: &Value) -> Option<Code> {
+        self.index.get(v).copied()
+    }
+
+    /// The value behind `code`.
+    ///
+    /// # Panics
+    /// If `code` was not produced by this pool.
+    pub fn value(&self, code: Code) -> &Value {
+        &self.values[code as usize]
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Has nothing been interned?
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Compare two codes by the total order on their *values* (codes
+    /// themselves are assignment-ordered, not value-ordered).
+    pub fn cmp_values(&self, a: Code, b: Code) -> std::cmp::Ordering {
+        if a == b {
+            std::cmp::Ordering::Equal
+        } else {
+            self.value(a).cmp(self.value(b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut p = ValuePool::new();
+        let a = p.intern(&Value::int(1));
+        let b = p.intern(&Value::int(2));
+        assert_ne!(a, b);
+        assert_eq!(p.intern(&Value::int(1)), a);
+        assert_eq!(p.intern_owned(Value::int(2)), b);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let p = ValuePool::new();
+        assert_eq!(p.lookup(&Value::str("x")), None);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn codes_round_trip_values() {
+        let mut p = ValuePool::new();
+        let vals = [
+            Value::int(-3),
+            Value::str(""),
+            Value::str("ldn"),
+            Value::Bool(true),
+            Value::int(0),
+        ];
+        let codes: Vec<Code> = vals.iter().map(|v| p.intern(v)).collect();
+        for (v, c) in vals.iter().zip(&codes) {
+            assert_eq!(p.value(*c), v);
+        }
+    }
+
+    #[test]
+    fn cmp_values_uses_value_order() {
+        let mut p = ValuePool::new();
+        let b = p.intern(&Value::int(9));
+        let a = p.intern(&Value::int(1));
+        // Interning order gave 9 the smaller code, but 1 < 9 as values.
+        assert!(b < a);
+        assert_eq!(p.cmp_values(a, b), std::cmp::Ordering::Less);
+    }
+}

@@ -55,7 +55,10 @@ impl RaExpr {
 
     /// `π_cols(self)`.
     pub fn project(self, cols: &[&str]) -> Self {
-        RaExpr::Project(Box::new(self), cols.iter().map(|c| (*c).to_owned()).collect())
+        RaExpr::Project(
+            Box::new(self),
+            cols.iter().map(|c| (*c).to_owned()).collect(),
+        )
     }
 
     /// `self × other`.
@@ -67,7 +70,10 @@ impl RaExpr {
     pub fn rename(self, pairs: &[(&str, &str)]) -> Self {
         RaExpr::Rename(
             Box::new(self),
-            pairs.iter().map(|(o, n)| ((*o).to_owned(), (*n).to_owned())).collect(),
+            pairs
+                .iter()
+                .map(|(o, n)| ((*o).to_owned(), (*n).to_owned()))
+                .collect(),
         )
     }
 
@@ -106,14 +112,26 @@ impl RaExpr {
             RaExpr::ConstRel(cells) => {
                 let constants: Vec<ConstCell> = cells
                     .iter()
-                    .map(|(n, v, d)| ConstCell { name: n.clone(), value: v.clone(), domain: d.clone() })
+                    .map(|(n, v, d)| ConstCell {
+                        name: n.clone(),
+                        value: v.clone(),
+                        domain: d.clone(),
+                    })
                     .collect();
                 let output = constants
                     .iter()
                     .enumerate()
-                    .map(|(i, c)| OutputCol { name: c.name.clone(), src: ColRef::Const(i) })
+                    .map(|(i, c)| OutputCol {
+                        name: c.name.clone(),
+                        src: ColRef::Const(i),
+                    })
                     .collect();
-                let q = SpcQuery { atoms: vec![], constants, selection: vec![], output };
+                let q = SpcQuery {
+                    atoms: vec![],
+                    constants,
+                    selection: vec![],
+                    output,
+                };
                 q.validate(catalog)?;
                 let s = q.view_schema(catalog);
                 Ok((vec![q], s))
@@ -287,7 +305,8 @@ fn apply_cond(b: &mut SpcQuery, cond: &RaCond) -> Result<CondOutcome, RelalgErro
 fn product_branches(b1: &SpcQuery, b2: &SpcQuery) -> SpcQuery {
     let atom_shift = b1.atoms.len();
     let const_shift = b1.constants.len();
-    let shift_col = |c: crate::query::ProdCol| crate::query::ProdCol::new(c.atom + atom_shift, c.attr);
+    let shift_col =
+        |c: crate::query::ProdCol| crate::query::ProdCol::new(c.atom + atom_shift, c.attr);
     let shift_ref = |r: ColRef| match r {
         ColRef::Prod(c) => ColRef::Prod(shift_col(c)),
         ColRef::Const(k) => ColRef::Const(k + const_shift),
@@ -308,7 +327,10 @@ fn product_branches(b1: &SpcQuery, b2: &SpcQuery) -> SpcQuery {
             .output
             .iter()
             .cloned()
-            .chain(b2.output.iter().map(|o| OutputCol { name: o.name.clone(), src: shift_ref(o.src) }))
+            .chain(b2.output.iter().map(|o| OutputCol {
+                name: o.name.clone(),
+                src: shift_ref(o.src),
+            }))
             .collect(),
     }
 }
@@ -373,7 +395,10 @@ mod tests {
     fn product_name_collision_rejected() {
         let c = catalog();
         let e = RaExpr::rel("R1").product(RaExpr::rel("R1"));
-        assert!(matches!(e.normalize(&c), Err(RelalgError::NameCollision(_))));
+        assert!(matches!(
+            e.normalize(&c),
+            Err(RelalgError::NameCollision(_))
+        ));
         // renaming fixes it
         let e = RaExpr::rel("R1").product(RaExpr::rel("R1").rename(&[("A", "A2"), ("B", "B2")]));
         assert!(e.normalize(&c).is_ok());
@@ -386,7 +411,10 @@ mod tests {
         let q = e.normalize(&c).unwrap();
         assert_eq!(q.schema().names(), vec!["A", "B", "CC"]);
         assert_eq!(q.branches[0].constants.len(), 1);
-        assert!(q.fragment(&c).product, "constant relation counts as product");
+        assert!(
+            q.fragment(&c).product,
+            "constant relation counts as product"
+        );
     }
 
     #[test]
@@ -408,7 +436,10 @@ mod tests {
             .select(vec![RaCond::EqConst("CC".into(), Value::int(44))]);
         let q = e.normalize(&c).unwrap();
         assert_eq!(q.branches.len(), 1);
-        assert!(q.branches[0].selection.is_empty(), "trivial condition elided");
+        assert!(
+            q.branches[0].selection.is_empty(),
+            "trivial condition elided"
+        );
     }
 
     #[test]

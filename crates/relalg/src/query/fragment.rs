@@ -43,12 +43,22 @@ impl Fragment {
 
     /// The full SPC fragment.
     pub fn spc() -> Fragment {
-        Fragment { selection: true, projection: true, product: true, union: false }
+        Fragment {
+            selection: true,
+            projection: true,
+            product: true,
+            union: false,
+        }
     }
 
     /// The full SPCU fragment.
     pub fn spcu() -> Fragment {
-        Fragment { selection: true, projection: true, product: true, union: true }
+        Fragment {
+            selection: true,
+            projection: true,
+            product: true,
+            union: true,
+        }
     }
 }
 
@@ -106,7 +116,12 @@ pub(crate) fn classify_spc(q: &SpcQuery, catalog: &Catalog) -> Fragment {
     if !seen.iter().all(|b| *b) {
         dup_or_drop = true;
     }
-    Fragment { selection, projection: dup_or_drop, product, union: false }
+    Fragment {
+        selection,
+        projection: dup_or_drop,
+        product,
+        union: false,
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +162,8 @@ mod tests {
     fn selection_only_is_s() {
         let (c, r) = catalog();
         let mut q = SpcQuery::identity(&c, r);
-        q.selection.push(SelAtom::EqConst(ProdCol::new(0, 0), Value::int(1)));
+        q.selection
+            .push(SelAtom::EqConst(ProdCol::new(0, 0), Value::int(1)));
         assert_eq!(q.fragment(&c).to_string(), "S");
     }
 
@@ -163,7 +179,10 @@ mod tests {
     fn duplicating_column_is_p() {
         let (c, r) = catalog();
         let mut q = SpcQuery::identity(&c, r);
-        q.output.push(OutputCol { name: "A2".into(), src: crate::query::ColRef::Prod(ProdCol::new(0, 0)) });
+        q.output.push(OutputCol {
+            name: "A2".into(),
+            src: crate::query::ColRef::Prod(ProdCol::new(0, 0)),
+        });
         assert!(q.fragment(&c).projection);
     }
 
@@ -174,17 +193,33 @@ mod tests {
         q.atoms.push(r);
         // keep all columns of both atoms to stay projection-free
         q.output = vec![
-            OutputCol { name: "A".into(), src: crate::query::ColRef::Prod(ProdCol::new(0, 0)) },
-            OutputCol { name: "B".into(), src: crate::query::ColRef::Prod(ProdCol::new(0, 1)) },
-            OutputCol { name: "A2".into(), src: crate::query::ColRef::Prod(ProdCol::new(1, 0)) },
-            OutputCol { name: "B2".into(), src: crate::query::ColRef::Prod(ProdCol::new(1, 1)) },
+            OutputCol {
+                name: "A".into(),
+                src: crate::query::ColRef::Prod(ProdCol::new(0, 0)),
+            },
+            OutputCol {
+                name: "B".into(),
+                src: crate::query::ColRef::Prod(ProdCol::new(0, 1)),
+            },
+            OutputCol {
+                name: "A2".into(),
+                src: crate::query::ColRef::Prod(ProdCol::new(1, 0)),
+            },
+            OutputCol {
+                name: "B2".into(),
+                src: crate::query::ColRef::Prod(ProdCol::new(1, 1)),
+            },
         ];
         assert_eq!(q.fragment(&c).to_string(), "C");
     }
 
     #[test]
     fn containment() {
-        assert!(Fragment { selection: true, ..Default::default() }.is_within(Fragment::spc()));
+        assert!(Fragment {
+            selection: true,
+            ..Default::default()
+        }
+        .is_within(Fragment::spc()));
         assert!(!Fragment::spcu().is_within(Fragment::spc()));
         assert!(Fragment::spc().is_within(Fragment::spcu()));
     }

@@ -105,7 +105,10 @@ impl SpcQuery {
                 .attributes
                 .iter()
                 .enumerate()
-                .map(|(i, a)| OutputCol { name: a.name.clone(), src: ColRef::Prod(ProdCol::new(0, i)) })
+                .map(|(i, a)| OutputCol {
+                    name: a.name.clone(),
+                    src: ColRef::Prod(ProdCol::new(0, i)),
+                })
                 .collect(),
         }
     }
@@ -118,7 +121,10 @@ impl SpcQuery {
                 .get(c.atom)
                 .ok_or_else(|| RelalgError::BadColumnRef(format!("atom {}", c.atom)))?;
             if c.attr >= catalog.schema(rel).arity() {
-                return Err(RelalgError::BadColumnRef(format!("atom {} attr {}", c.atom, c.attr)));
+                return Err(RelalgError::BadColumnRef(format!(
+                    "atom {} attr {}",
+                    c.atom, c.attr
+                )));
             }
             Ok(())
         };
@@ -175,7 +181,9 @@ impl SpcQuery {
             .iter()
             .map(|o| {
                 let domain = match o.src {
-                    ColRef::Prod(c) => catalog.schema(self.atoms[c.atom]).attributes[c.attr].domain.clone(),
+                    ColRef::Prod(c) => catalog.schema(self.atoms[c.atom]).attributes[c.attr]
+                        .domain
+                        .clone(),
                     ColRef::Const(k) => self.constants[k].domain.clone(),
                 };
                 (o.name.clone(), domain)
@@ -246,7 +254,10 @@ impl SpcuQuery {
     pub fn single(catalog: &Catalog, q: SpcQuery) -> Result<Self, RelalgError> {
         q.validate(catalog)?;
         let schema = q.view_schema(catalog);
-        Ok(SpcuQuery { branches: vec![q], schema })
+        Ok(SpcuQuery {
+            branches: vec![q],
+            schema,
+        })
     }
 
     /// Build a union, checking compatibility (same column names & domains).
@@ -272,7 +283,10 @@ impl SpcuQuery {
 
     /// An empty query with the given schema.
     pub fn empty(schema: ViewSchema) -> Self {
-        SpcuQuery { branches: vec![], schema }
+        SpcuQuery {
+            branches: vec![],
+            schema,
+        }
     }
 
     /// The (shared) view schema.
@@ -314,7 +328,11 @@ impl fmt::Display for SpcQuery {
                 SelAtom::EqConst(a, v) => write!(f, "{}.{}={}", a.atom, a.attr, v)?,
             }
         }
-        write!(f, "] × atoms {:?}", self.atoms.iter().map(|r| r.0).collect::<Vec<_>>())
+        write!(
+            f,
+            "] × atoms {:?}",
+            self.atoms.iter().map(|r| r.0).collect::<Vec<_>>()
+        )
     }
 }
 
@@ -368,12 +386,17 @@ mod tests {
     fn validation_rejects_bad_refs() {
         let (c, r1, _) = catalog();
         let mut q = SpcQuery::identity(&c, r1);
-        q.selection.push(SelAtom::EqConst(ProdCol::new(0, 9), Value::int(1)));
+        q.selection
+            .push(SelAtom::EqConst(ProdCol::new(0, 9), Value::int(1)));
         assert!(q.validate(&c).is_err());
 
         let mut q = SpcQuery::identity(&c, r1);
-        q.selection.push(SelAtom::EqConst(ProdCol::new(0, 0), Value::str("oops")));
-        assert!(matches!(q.validate(&c), Err(RelalgError::SelectionDomainMismatch { .. })));
+        q.selection
+            .push(SelAtom::EqConst(ProdCol::new(0, 0), Value::str("oops")));
+        assert!(matches!(
+            q.validate(&c),
+            Err(RelalgError::SelectionDomainMismatch { .. })
+        ));
     }
 
     #[test]
@@ -397,8 +420,15 @@ mod tests {
     fn constant_cell_domain_checked() {
         let (c, r1, _) = catalog();
         let mut q = SpcQuery::identity(&c, r1);
-        q.constants.push(ConstCell { name: "CC".into(), value: Value::int(44), domain: DomainKind::Text });
-        q.output.push(OutputCol { name: "CC".into(), src: ColRef::Const(0) });
+        q.constants.push(ConstCell {
+            name: "CC".into(),
+            value: Value::int(44),
+            domain: DomainKind::Text,
+        });
+        q.output.push(OutputCol {
+            name: "CC".into(),
+            src: ColRef::Const(0),
+        });
         assert!(q.validate(&c).is_err());
     }
 }

@@ -26,7 +26,10 @@ pub struct Attribute {
 impl Attribute {
     /// Construct an attribute.
     pub fn new(name: impl Into<String>, domain: DomainKind) -> Self {
-        Attribute { name: name.into(), domain }
+        Attribute {
+            name: name.into(),
+            domain,
+        }
     }
 }
 
@@ -41,10 +44,7 @@ pub struct RelationSchema {
 
 impl RelationSchema {
     /// Build a schema, rejecting duplicate attribute names.
-    pub fn new(
-        name: impl Into<String>,
-        attributes: Vec<Attribute>,
-    ) -> Result<Self, RelalgError> {
+    pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Result<Self, RelalgError> {
         let name = name.into();
         for (i, a) in attributes.iter().enumerate() {
             if attributes[..i].iter().any(|b| b.name == a.name) {
@@ -69,10 +69,11 @@ impl RelationSchema {
 
     /// Position of attribute `name`, or an error naming the relation.
     pub fn require_attr(&self, name: &str) -> Result<usize, RelalgError> {
-        self.attr_index(name).ok_or_else(|| RelalgError::UnknownAttribute {
-            relation: self.name.clone(),
-            attribute: name.to_owned(),
-        })
+        self.attr_index(name)
+            .ok_or_else(|| RelalgError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: name.to_owned(),
+            })
     }
 
     /// Does any attribute have a finite domain?
@@ -117,12 +118,16 @@ impl Catalog {
 
     /// Look up a relation by name.
     pub fn rel_id(&self, name: &str) -> Option<RelId> {
-        self.relations.iter().position(|r| r.name == name).map(RelId)
+        self.relations
+            .iter()
+            .position(|r| r.name == name)
+            .map(RelId)
     }
 
     /// Look up a relation by name, or error.
     pub fn require_rel(&self, name: &str) -> Result<RelId, RelalgError> {
-        self.rel_id(name).ok_or_else(|| RelalgError::UnknownRelation(name.to_owned()))
+        self.rel_id(name)
+            .ok_or_else(|| RelalgError::UnknownRelation(name.to_owned()))
     }
 
     /// The schema of `id`. Panics on an id from a different catalog.
@@ -132,7 +137,10 @@ impl Catalog {
 
     /// All relations, in insertion order.
     pub fn relations(&self) -> impl Iterator<Item = (RelId, &RelationSchema)> {
-        self.relations.iter().enumerate().map(|(i, r)| (RelId(i), r))
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i), r))
     }
 
     /// Number of relations.
@@ -205,15 +213,16 @@ mod tests {
         let mut c = Catalog::new();
         c.add(cust_schema()).unwrap();
         assert!(!c.has_finite_domain_attr());
-        c.add(
-            RelationSchema::new("R2", vec![Attribute::new("b", DomainKind::Bool)]).unwrap(),
-        )
-        .unwrap();
+        c.add(RelationSchema::new("R2", vec![Attribute::new("b", DomainKind::Bool)]).unwrap())
+            .unwrap();
         assert!(c.has_finite_domain_attr());
     }
 
     #[test]
     fn display() {
-        assert_eq!(cust_schema().to_string(), "R1(AC: string, phn: string, city: string)");
+        assert_eq!(
+            cust_schema().to_string(),
+            "R1(AC: string, phn: string, city: string)"
+        );
     }
 }

@@ -119,7 +119,8 @@ impl Tableau {
             }
         }
         // Compact representatives into VarIds.
-        let mut rep_to_var: std::collections::HashMap<u32, VarId> = std::collections::HashMap::new();
+        let mut rep_to_var: std::collections::HashMap<u32, VarId> =
+            std::collections::HashMap::new();
         let mut var_domains: Vec<DomainKind> = Vec::new();
         let mut term_of = |uf: &mut TermUf, node: u32| -> Term {
             if let Some(v) = uf.binding(node) {
@@ -148,7 +149,11 @@ impl Tableau {
                 ColRef::Const(k) => Term::Const(q.constants[k].value.clone()),
             })
             .collect();
-        Some(Tableau { rows, summary, var_domains })
+        Some(Tableau {
+            rows,
+            summary,
+            var_domains,
+        })
     }
 }
 

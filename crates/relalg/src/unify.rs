@@ -143,9 +143,7 @@ impl TermUf {
             .intersect(&self.domain[rb as usize])
             .ok_or(Clash::EmptyDomain)?;
         let binding = match (&self.binding[ra as usize], &self.binding[rb as usize]) {
-            (Some(x), Some(y)) if x != y => {
-                return Err(Clash::ConstConflict(x.clone(), y.clone()))
-            }
+            (Some(x), Some(y)) if x != y => return Err(Clash::ConstConflict(x.clone(), y.clone())),
             (Some(x), _) | (_, Some(x)) => Some(x.clone()),
             (None, None) => None,
         };
@@ -238,12 +236,12 @@ mod tests {
         let a = uf.add(DomainKind::new_enum(vec![Value::int(1), Value::int(2)]).unwrap());
         let b = uf.add(DomainKind::new_enum(vec![Value::int(2), Value::int(3)]).unwrap());
         uf.union(a, b).unwrap();
-        assert_eq!(
-            uf.class_domain(a),
-            DomainKind::Enum(vec![Value::int(2)])
-        );
+        assert_eq!(uf.class_domain(a), DomainKind::Enum(vec![Value::int(2)]));
         // binding outside the narrowed domain now fails
-        assert!(matches!(uf.bind(a, Value::int(1)), Err(Clash::OutOfDomain(_))));
+        assert!(matches!(
+            uf.bind(a, Value::int(1)),
+            Err(Clash::OutOfDomain(_))
+        ));
     }
 
     #[test]
@@ -269,6 +267,9 @@ mod tests {
     fn binding_out_of_domain_rejected() {
         let mut uf = TermUf::new();
         let a = uf.add(DomainKind::Bool);
-        assert!(matches!(uf.bind(a, Value::int(1)), Err(Clash::OutOfDomain(_))));
+        assert!(matches!(
+            uf.bind(a, Value::int(1)),
+            Err(Clash::OutOfDomain(_))
+        ));
     }
 }

@@ -2,9 +2,11 @@
 //! invariants, normalization vs. evaluation agreement, and tableau
 //! soundness (the tableau evaluated as a query equals the original query).
 
+use cfd_relalg::columnar::ColumnarRelation;
 use cfd_relalg::domain::DomainKind;
 use cfd_relalg::eval::{eval_spc, eval_spcu};
 use cfd_relalg::instance::{Database, Relation};
+use cfd_relalg::pool::ValuePool;
 use cfd_relalg::query::{RaCond, RaExpr};
 use cfd_relalg::schema::{Attribute, Catalog, RelationSchema};
 use cfd_relalg::tableau::{Tableau, Term};
@@ -40,10 +42,16 @@ fn database() -> impl Strategy<Value = Database> {
             let c = catalog();
             let mut db = Database::empty(&c);
             for row in r_rows {
-                db.insert(c.rel_id("R").unwrap(), row.into_iter().map(Value::Int).collect());
+                db.insert(
+                    c.rel_id("R").unwrap(),
+                    row.into_iter().map(Value::Int).collect(),
+                );
             }
             for row in s_rows {
-                db.insert(c.rel_id("S").unwrap(), row.into_iter().map(Value::Int).collect());
+                db.insert(
+                    c.rel_id("S").unwrap(),
+                    row.into_iter().map(Value::Int).collect(),
+                );
             }
             db
         })
@@ -206,5 +214,26 @@ proptest! {
                 prop_assert_eq!(t.len(), q.schema().arity());
             }
         }
+    }
+
+    /// ISSUE 1: dictionary encoding is lossless — `Relation →
+    /// ColumnarRelation → Relation` is the identity, and re-encoding the
+    /// decoded relation against the same pool reproduces the same codes.
+    #[test]
+    fn columnar_round_trip(rows in proptest::collection::vec(
+        proptest::collection::vec(0i64..5, 3..=3),
+        0..20,
+    )) {
+        let rel: Relation = rows
+            .into_iter()
+            .map(|r| r.into_iter().map(Value::Int).collect::<Vec<_>>())
+            .collect();
+        let mut pool = ValuePool::new();
+        let cols = ColumnarRelation::from_relation(&rel, &mut pool);
+        prop_assert_eq!(cols.len(), rel.len());
+        let decoded = cols.to_relation(&pool);
+        prop_assert_eq!(&decoded, &rel, "decode must invert encode");
+        let cols2 = ColumnarRelation::from_relation(&decoded, &mut pool);
+        prop_assert_eq!(cols2, cols, "re-encoding against the same pool is stable");
     }
 }

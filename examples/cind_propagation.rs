@@ -97,8 +97,14 @@ fn main() {
     // Demonstrate on data: materialize the view and check each propagated
     // CIND on the combined database.
     let mut db = Database::empty(&catalog);
-    db.insert(orders, vec![Value::int(1), Value::str("anvil"), Value::str("uk")]);
-    db.insert(orders, vec![Value::int(2), Value::str("rocket"), Value::str("us")]);
+    db.insert(
+        orders,
+        vec![Value::int(1), Value::str("anvil"), Value::str("uk")],
+    );
+    db.insert(
+        orders,
+        vec![Value::int(2), Value::str("rocket"), Value::str("us")],
+    );
     db.insert(customers, vec![Value::int(1), Value::str("ann")]);
     db.insert(customers, vec![Value::int(2), Value::str("bob")]);
     db.insert(uk_ledger, vec![Value::int(1), Value::str("GB123")]);
@@ -109,7 +115,11 @@ fn main() {
     println!("\n== Checking the propagated CINDs on a materialized instance ==");
     for c in &props {
         let ok = cfdprop::cind::satisfies(&db, c);
-        println!("  {} … {}", c.display(&rel_name, &attr_name), if ok { "holds" } else { "VIOLATED" });
+        println!(
+            "  {} … {}",
+            c.display(&rel_name, &attr_name),
+            if ok { "holds" } else { "VIOLATED" }
+        );
         assert!(ok, "propagated CINDs must hold on materialized views");
     }
 
@@ -120,6 +130,10 @@ fn main() {
     println!(
         "  {} … {}",
         converse.display(&rel_name, &attr_name),
-        if cfdprop::cind::satisfies(&db, &converse) { "holds (by luck)" } else { "VIOLATED, as expected" }
+        if cfdprop::cind::satisfies(&db, &converse) {
+            "holds (by luck)"
+        } else {
+            "VIOLATED, as expected"
+        }
     );
 }

@@ -85,7 +85,13 @@ fn main() {
     // CFDs that propagation analysis could not discharge.
     let mut db = Database::empty(&catalog);
     let row = |p: &str, i: &str, pl: &str, c: i64, w: &str| {
-        vec![Value::str(p), Value::str(i), Value::str(pl), Value::int(c), Value::str(w)]
+        vec![
+            Value::str(p),
+            Value::str(i),
+            Value::str(pl),
+            Value::int(c),
+            Value::str(w),
+        ]
     };
     db.insert(visits, row("ann", "acme", "gold", 20, "W1"));
     db.insert(visits, row("ann", "acme", "gold", 20, "W2"));
@@ -93,21 +99,35 @@ fn main() {
     db.insert(visits, row("bob", "umbrella", "silver", 30, "W3")); // patient→insurer violation
     db.insert(visits, row("eve", "statecare", "basic", 5, "W2"));
     let target = eval_spcu(&view, &catalog, &db);
-    println!("\n== Validating the materialized billing view ({} rows) ==", target.len());
+    println!(
+        "\n== Validating the materialized billing view ({} rows) ==",
+        target.len()
+    );
     for (label, cfd) in &must_validate {
         match satisfy::find_violation(&target, cfd) {
             None => println!("  {label}: clean"),
             Some((t1, t2)) => {
                 println!("  {label}: VIOLATED by");
-                println!("    {:?}", t1.iter().map(|v| v.to_string()).collect::<Vec<_>>());
-                println!("    {:?}", t2.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+                println!(
+                    "    {:?}",
+                    t1.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+                );
+                println!(
+                    "    {:?}",
+                    t2.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+                );
             }
         }
     }
 
     // And the full cover, for the curious.
-    let cover =
-        prop_cfd_spc(&catalog, &sigma, &view.branches[0], &CoverOptions::default()).unwrap();
+    let cover = prop_cfd_spc(
+        &catalog,
+        &sigma,
+        &view.branches[0],
+        &CoverOptions::default(),
+    )
+    .unwrap();
     println!("\n== Everything guaranteed on the billing view ==");
     for cfd in &cover.cfds {
         println!("  billing{}", cfd.display(&names));
@@ -118,7 +138,11 @@ fn main() {
     let to_validate: Vec<Cfd> = must_validate.iter().map(|(_, c)| (*c).clone()).collect();
     println!("\n== Exhaustive violation report (cfd-clean) ==");
     for v in detect_all(&target, &to_validate) {
-        println!("  [{}] {}", must_validate[v.cfd_index].0, v.describe(&to_validate[v.cfd_index], Some(&names)));
+        println!(
+            "  [{}] {}",
+            must_validate[v.cfd_index].0,
+            v.describe(&to_validate[v.cfd_index], Some(&names))
+        );
     }
 
     println!("\n== Detection SQL (run these against your warehouse) ==");
@@ -144,6 +168,9 @@ fn main() {
         outcome.cell_changes, outcome.rounds, outcome.clean
     );
     for t in outcome.relation.tuples() {
-        println!("    {:?}", t.iter().map(|v| v.to_string()).collect::<Vec<_>>());
+        println!(
+            "    {:?}",
+            t.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        );
     }
 }

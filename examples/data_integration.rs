@@ -8,9 +8,9 @@
 //!
 //! Run with `cargo run --example data_integration`.
 
+use cfdprop::model::satisfy;
 use cfdprop::prelude::*;
 use cfdprop::relalg::eval::eval_spcu;
-use cfdprop::model::satisfy;
 
 fn customer_schema(name: &str) -> RelationSchema {
     RelationSchema::new(
@@ -40,11 +40,21 @@ fn main() {
     let f3 = SourceCfd::new(r3, Cfd::fd(&[ac], city).unwrap());
     let cfd1 = SourceCfd::new(
         r1,
-        Cfd::new(vec![(ac, Pattern::cst(s("20")))], city, Pattern::Const(s("ldn"))).unwrap(),
+        Cfd::new(
+            vec![(ac, Pattern::cst(s("20")))],
+            city,
+            Pattern::Const(s("ldn")),
+        )
+        .unwrap(),
     );
     let cfd2 = SourceCfd::new(
         r3,
-        Cfd::new(vec![(ac, Pattern::cst(s("20")))], city, Pattern::Const(s("Amsterdam"))).unwrap(),
+        Cfd::new(
+            vec![(ac, Pattern::cst(s("20")))],
+            city,
+            Pattern::Const(s("Amsterdam")),
+        )
+        .unwrap(),
     );
     let sigma = vec![f1, f2, f3, cfd1, cfd2];
 
@@ -73,7 +83,10 @@ fn main() {
         Cfd::new(lhs, col(rhs.0), rhs_pat).unwrap()
     };
     let phi1 = {
-        let mut lhs = vec![(col("CC"), Pattern::cst(s("44"))), (col("zip"), Pattern::Wild)];
+        let mut lhs = vec![
+            (col("CC"), Pattern::cst(s("44"))),
+            (col("zip"), Pattern::Wild),
+        ];
         lhs.sort_by_key(|(a, _)| *a);
         Cfd::new(lhs, col("street"), Pattern::Wild).unwrap()
     };
@@ -107,7 +120,11 @@ fn main() {
         println!(
             "  {label}: V{}  ->  {}",
             cfd.display(&names),
-            if v.is_propagated() { "PROPAGATED" } else { "NOT PROPAGATED" }
+            if v.is_propagated() {
+                "PROPAGATED"
+            } else {
+                "NOT PROPAGATED"
+            }
         );
         assert!(v.is_propagated());
     }
@@ -118,7 +135,11 @@ fn main() {
     println!(
         "  f1 as plain FD: V{}  ->  {}",
         plain.display(&names),
-        if v.is_propagated() { "PROPAGATED" } else { "NOT PROPAGATED (as the paper says)" }
+        if v.is_propagated() {
+            "PROPAGATED"
+        } else {
+            "NOT PROPAGATED (as the paper says)"
+        }
     );
     assert!(!v.is_propagated());
     for cfd in phi6.normalize().unwrap() {
@@ -126,21 +147,46 @@ fn main() {
         println!(
             "  phi6 component: V{}  ->  {}",
             cfd.display(&names),
-            if v.is_propagated() { "PROPAGATED" } else { "NOT PROPAGATED" }
+            if v.is_propagated() {
+                "PROPAGATED"
+            } else {
+                "NOT PROPAGATED"
+            }
         );
-        assert!(!v.is_propagated(), "phi6 must be validated against the data");
+        assert!(
+            !v.is_propagated(),
+            "phi6 must be validated against the data"
+        );
     }
 
     // == The Fig. 1 instances ==
     println!("\n== Evaluating V on the Fig. 1 instances ==");
     let mut db = Database::empty(&catalog);
     let row = |vals: [&str; 6]| -> Vec<Value> { vals.iter().map(|v| s(v)).collect() };
-    db.insert(r1, row(["20", "1234567", "Mike", "Portland", "ldn", "W1B 1JL"]));
-    db.insert(r1, row(["20", "3456789", "Rick", "Portland", "ldn", "W1B 1JL"]));
-    db.insert(r2, row(["610", "3456789", "Joe", "Copley", "Darby", "19082"]));
-    db.insert(r2, row(["610", "1234567", "Mary", "Walnut", "Darby", "19082"]));
-    db.insert(r3, row(["20", "3456789", "Marx", "Kruise", "Amsterdam", "1096"]));
-    db.insert(r3, row(["36", "1234567", "Bart", "Grote", "Almere", "1316"]));
+    db.insert(
+        r1,
+        row(["20", "1234567", "Mike", "Portland", "ldn", "W1B 1JL"]),
+    );
+    db.insert(
+        r1,
+        row(["20", "3456789", "Rick", "Portland", "ldn", "W1B 1JL"]),
+    );
+    db.insert(
+        r2,
+        row(["610", "3456789", "Joe", "Copley", "Darby", "19082"]),
+    );
+    db.insert(
+        r2,
+        row(["610", "1234567", "Mary", "Walnut", "Darby", "19082"]),
+    );
+    db.insert(
+        r3,
+        row(["20", "3456789", "Marx", "Kruise", "Amsterdam", "1096"]),
+    );
+    db.insert(
+        r3,
+        row(["36", "1234567", "Bart", "Grote", "Almere", "1316"]),
+    );
     let v_inst = eval_spcu(&view, &catalog, &db);
     println!("  |V(D1, D2, D3)| = {} tuples", v_inst.len());
     // Example 2.2: the view satisfies ϕ1, ϕ2, ϕ4 ...

@@ -36,11 +36,21 @@ fn main() {
     let sigma = vec![
         SourceCfd::new(
             r,
-            Cfd::new(vec![(0, Pattern::cst(Value::Bool(true)))], 1, Pattern::cst(1)).unwrap(),
+            Cfd::new(
+                vec![(0, Pattern::cst(Value::Bool(true)))],
+                1,
+                Pattern::cst(1),
+            )
+            .unwrap(),
         ),
         SourceCfd::new(
             r,
-            Cfd::new(vec![(0, Pattern::cst(Value::Bool(false)))], 1, Pattern::cst(1)).unwrap(),
+            Cfd::new(
+                vec![(0, Pattern::cst(Value::Bool(false)))],
+                1,
+                Pattern::cst(1),
+            )
+            .unwrap(),
         ),
     ];
     let view = RaExpr::rel("R").normalize(&catalog).unwrap();
@@ -49,7 +59,10 @@ fn main() {
     let gen = propagates(&catalog, &sigma, &view, &phi, Setting::General).unwrap();
     println!("status = 1 on the view:");
     println!("  infinite-domain chase : {}", verdict(&inf));
-    println!("  general setting       : {} (case split over flag)", verdict(&gen));
+    println!(
+        "  general setting       : {} (case split over flag)",
+        verdict(&gen)
+    );
     assert!(!inf.is_propagated() && gen.is_propagated());
 
     // 2. Emptiness: selecting status = 2 makes the view empty on every
@@ -75,8 +88,22 @@ fn main() {
         ],
     };
     let red = reduce_3sat(&inst);
-    let v = propagates(&red.catalog, &red.sigma, &red.view, &red.psi, Setting::General).unwrap();
-    println!("\n3SAT via propagation: formula is {}", if v.is_propagated() { "UNSATISFIABLE" } else { "SATISFIABLE" });
+    let v = propagates(
+        &red.catalog,
+        &red.sigma,
+        &red.view,
+        &red.psi,
+        Setting::General,
+    )
+    .unwrap();
+    println!(
+        "\n3SAT via propagation: formula is {}",
+        if v.is_propagated() {
+            "UNSATISFIABLE"
+        } else {
+            "SATISFIABLE"
+        }
+    );
     assert_eq!(!v.is_propagated(), inst.brute_force_satisfiable());
 
     // 4. The general-setting *cover* (§7 future work, prototype):
@@ -118,14 +145,20 @@ fn main() {
             .unwrap(),
         ),
     ];
-    let proj = RaExpr::rel("R2").project(&["B", "C"]).normalize(&catalog).unwrap();
+    let proj = RaExpr::rel("R2")
+        .project(&["B", "C"])
+        .normalize(&catalog)
+        .unwrap();
     let names = proj.schema().names();
     let q = &proj.branches[0];
     let base = prop_cfd_spc(&catalog, &sigma2, q, &CoverOptions::default()).unwrap();
     let general =
         prop_cfd_spc_general(&catalog, &sigma2, q, &GeneralCoverOptions::default()).unwrap();
     println!("\nπ(B, C)(R2) covers:");
-    println!("  infinite-domain (PropCFD_SPC) : {} CFD(s)", base.cfds.len());
+    println!(
+        "  infinite-domain (PropCFD_SPC) : {} CFD(s)",
+        base.cfds.len()
+    );
     for c in &base.cfds {
         println!("    V{}", c.display(&names));
     }

@@ -63,7 +63,14 @@ fn main() {
     // 1. Is `zip → city` still guaranteed on the view?
     let phi = Cfd::fd(&[2], 1).unwrap(); // zip → city over view columns
     let verdict = propagates(&catalog, &sigma, &view, &phi, Setting::InfiniteDomain).unwrap();
-    println!("zip -> city on the view: {}", if verdict.is_propagated() { "propagated" } else { "NOT propagated" });
+    println!(
+        "zip -> city on the view: {}",
+        if verdict.is_propagated() {
+            "propagated"
+        } else {
+            "NOT propagated"
+        }
+    );
 
     // 2. Is `zip → amount` guaranteed? (It should not be.)
     let bad = Cfd::fd(&[2], 3).unwrap();
@@ -78,7 +85,13 @@ fn main() {
     }
 
     // 3. Compute the full minimal propagation cover of the view.
-    let cover = prop_cfd_spc(&catalog, &sigma, &view.branches[0], &CoverOptions::default()).unwrap();
+    let cover = prop_cfd_spc(
+        &catalog,
+        &sigma,
+        &view.branches[0],
+        &CoverOptions::default(),
+    )
+    .unwrap();
     let names = view.schema().names();
     println!("minimal propagation cover ({} CFDs):", cover.cfds.len());
     for cfd in &cover.cfds {

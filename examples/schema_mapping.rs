@@ -40,9 +40,7 @@ fn main() {
     //   t3: sku → title                  (global key — too strong?)
     let view = RaExpr::rel("eu_products")
         .with_const("region", Value::str("eu"), DomainKind::Text)
-        .union(
-            RaExpr::rel("us_products").with_const("region", Value::str("us"), DomainKind::Text),
-        )
+        .union(RaExpr::rel("us_products").with_const("region", Value::str("us"), DomainKind::Text))
         .normalize(&catalog)
         .unwrap();
     let names = view.schema().names();
@@ -64,7 +62,11 @@ fn main() {
 
     println!("== Is the view a valid schema mapping for the target CFDs? ==");
     let mut mapping_ok = true;
-    for (label, cfd) in [("t1: region,sku -> title", &t1), ("t2: eu -> EUR", &t2), ("t3: sku -> title", &t3)] {
+    for (label, cfd) in [
+        ("t1: region,sku -> title", &t1),
+        ("t2: eu -> EUR", &t2),
+        ("t3: sku -> title", &t3),
+    ] {
         let verdict = propagates(&catalog, &sigma, &view, cfd, Setting::InfiniteDomain).unwrap();
         match verdict {
             Verdict::Propagated => println!("  ok:      {label}"),
@@ -93,11 +95,13 @@ fn main() {
         // target CFD instead)
         [t1.clone(), t2.clone()]
     };
-    let insert = [Value::str("eu"),
+    let insert = [
+        Value::str("eu"),
         Value::str("sku-9"),
         Value::str("Teapot"),
         Value::str("USD"),
-        Value::int(30)];
+        Value::int(30),
+    ];
     // order columns per view schema: region is last (CC-style constant col)
     let mut row = vec![Value::str("?"); names.len()];
     row[col("region")] = insert[0].clone();
@@ -112,7 +116,10 @@ fn main() {
         if satisfy::satisfies(&single, cfd) {
             println!("  insert consistent with {label}");
         } else {
-            println!("  insert REJECTED by propagated CFD {label}: {}", cfd.display(&names));
+            println!(
+                "  insert REJECTED by propagated CFD {label}: {}",
+                cfd.display(&names)
+            );
         }
     }
 }

@@ -73,9 +73,8 @@ fn main() {
 
     // Materialize the current view contents...
     let mut db = Database::empty(&catalog);
-    let row = |ac: &str, phn: &str, city: &str| {
-        vec![Value::str(ac), Value::str(phn), Value::str(city)]
-    };
+    let row =
+        |ac: &str, phn: &str, city: &str| vec![Value::str(ac), Value::str(phn), Value::str(city)];
     db.insert(r1, row("20", "1234567", "ldn"));
     db.insert(r1, row("131", "6543210", "edi"));
     db.insert(r3, row("20", "3456789", "ams"));
@@ -86,13 +85,45 @@ fn main() {
     println!("\n== Incoming view updates ==");
     let updates = [
         // rejected by the constant pattern alone (step 1)
-        ("uk 20 must be ldn", vec![Value::str("20"), Value::str("9"), Value::str("edi"), Value::str("44")]),
+        (
+            "uk 20 must be ldn",
+            vec![
+                Value::str("20"),
+                Value::str("9"),
+                Value::str("edi"),
+                Value::str("44"),
+            ],
+        ),
         // rejected against the current contents (step 2): uk AC 131 is edi
-        ("uk 131 is edi", vec![Value::str("131"), Value::str("8"), Value::str("gla"), Value::str("44")]),
+        (
+            "uk 131 is edi",
+            vec![
+                Value::str("131"),
+                Value::str("8"),
+                Value::str("gla"),
+                Value::str("44"),
+            ],
+        ),
         // accepted: nl AC 10 is new
-        ("fresh nl area", vec![Value::str("10"), Value::str("7"), Value::str("rtm"), Value::str("31")]),
+        (
+            "fresh nl area",
+            vec![
+                Value::str("10"),
+                Value::str("7"),
+                Value::str("rtm"),
+                Value::str("31"),
+            ],
+        ),
         // accepted: nl 20 = ams is consistent
-        ("consistent nl row", vec![Value::str("20"), Value::str("6"), Value::str("ams"), Value::str("31")]),
+        (
+            "consistent nl row",
+            vec![
+                Value::str("20"),
+                Value::str("6"),
+                Value::str("ams"),
+                Value::str("31"),
+            ],
+        ),
     ];
     for (label, tuple) in updates {
         match checker.insert(tuple.clone()) {

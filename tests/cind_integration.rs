@@ -3,7 +3,7 @@
 //! generated SPC view — no exceptions, no source dependencies required.
 
 use cfdprop::cind::implication::ImplicationOptions;
-use cfdprop::cind::{propagate_cinds, register_view, view_to_source_cinds, satisfies, Cind};
+use cfdprop::cind::{propagate_cinds, register_view, satisfies, view_to_source_cinds, Cind};
 use cfdprop::datagen::schema_gen::{gen_schema, SchemaGenConfig};
 use cfdprop::datagen::view_gen::{gen_spc_view, ViewGenConfig};
 use cfdprop::prelude::*;
@@ -35,12 +35,22 @@ fn derived_cinds_hold_on_every_materialization() {
     for seed in 0..15u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut catalog = gen_schema(
-            &SchemaGenConfig { relations: 3, min_arity: 3, max_arity: 5, finite_ratio: 0.0 },
+            &SchemaGenConfig {
+                relations: 3,
+                min_arity: 3,
+                max_arity: 5,
+                finite_ratio: 0.0,
+            },
             &mut rng,
         );
         let view = gen_spc_view(
             &catalog,
-            &ViewGenConfig { y: 5, f: 2, ec: 2, const_range: 3 },
+            &ViewGenConfig {
+                y: 5,
+                f: 2,
+                ec: 2,
+                const_range: 3,
+            },
             &mut rng,
         );
         let sources = random_database(&catalog, 8, 3, &mut rng);
@@ -75,7 +85,12 @@ fn propagated_cinds_hold_when_sources_satisfy_sigma() {
     for seed in 0..10u64 {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x51AB);
         let mut catalog = gen_schema(
-            &SchemaGenConfig { relations: 2, min_arity: 3, max_arity: 4, finite_ratio: 0.0 },
+            &SchemaGenConfig {
+                relations: 2,
+                min_arity: 3,
+                max_arity: 4,
+                finite_ratio: 0.0,
+            },
             &mut rng,
         );
         let r0 = RelId(0);
@@ -84,21 +99,32 @@ fn propagated_cinds_hold_when_sources_satisfy_sigma() {
         let sigma = vec![Cind::ind(r0, r1, vec![(0, 0)]).unwrap()];
         let view = gen_spc_view(
             &catalog,
-            &ViewGenConfig { y: 4, f: 1, ec: 1, const_range: 3 },
+            &ViewGenConfig {
+                y: 4,
+                f: 1,
+                ec: 1,
+                const_range: 3,
+            },
             &mut rng,
         );
         // build sources satisfying the IND: every R0[0] value is copied
         // into some R1 tuple's column 0
         let mut sources = random_database(&catalog, 6, 3, &mut rng);
-        let r0_keys: Vec<Value> =
-            sources.relation(r0).tuples().map(|t| t[0].clone()).collect();
+        let r0_keys: Vec<Value> = sources
+            .relation(r0)
+            .tuples()
+            .map(|t| t[0].clone())
+            .collect();
         let arity1 = catalog.schema(r1).arity();
         for k in r0_keys {
             let mut t = vec![Value::int(0); arity1];
             t[0] = k;
             sources.insert(r1, t);
         }
-        assert!(satisfies(&sources, &sigma[0]), "construction must satisfy the IND");
+        assert!(
+            satisfies(&sources, &sigma[0]),
+            "construction must satisfy the IND"
+        );
 
         let contents = eval_spc(&view, &catalog, &sources);
         let v = register_view(&mut catalog, "V", &view).unwrap();

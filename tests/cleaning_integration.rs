@@ -19,17 +19,33 @@ use rand::SeedableRng;
 fn small_workload(seed: u64) -> (Catalog, Vec<SourceCfd>, SpcQuery) {
     let mut rng = StdRng::seed_from_u64(seed);
     let catalog = gen_schema(
-        &SchemaGenConfig { relations: 3, min_arity: 4, max_arity: 6, finite_ratio: 0.0 },
+        &SchemaGenConfig {
+            relations: 3,
+            min_arity: 4,
+            max_arity: 6,
+            finite_ratio: 0.0,
+        },
         &mut rng,
     );
     let sigma = gen_cfds(
         &catalog,
-        &CfdGenConfig { count: 12, lhs_max: 3, var_pct: 0.5, const_range: 4, ..Default::default() },
+        &CfdGenConfig {
+            count: 12,
+            lhs_max: 3,
+            var_pct: 0.5,
+            const_range: 4,
+            ..Default::default()
+        },
         &mut rng,
     );
     let view = gen_spc_view(
         &catalog,
-        &ViewGenConfig { y: 6, f: 2, ec: 2, const_range: 4 },
+        &ViewGenConfig {
+            y: 6,
+            f: 2,
+            ec: 2,
+            const_range: 4,
+        },
         &mut rng,
     );
     (catalog, sigma, view)
@@ -53,7 +69,10 @@ fn propagated_cfds_never_fire_on_materialized_views() {
             let db = gen_database(
                 &catalog,
                 &sigma,
-                &InstanceGenConfig { tuples_per_relation: 12, value_range: 4 },
+                &InstanceGenConfig {
+                    tuples_per_relation: 12,
+                    value_range: 4,
+                },
                 &mut rng,
             );
             let contents = eval_spc(&view, &catalog, &db);
@@ -66,7 +85,10 @@ fn propagated_cfds_never_fire_on_materialized_views() {
             );
         }
     }
-    assert!(checked_covers >= 4, "too few non-degenerate covers exercised: {checked_covers}");
+    assert!(
+        checked_covers >= 4,
+        "too few non-degenerate covers exercised: {checked_covers}"
+    );
 }
 
 #[test]
@@ -86,12 +108,14 @@ fn insert_checker_accepts_all_legal_view_tuples() {
         let db = gen_database(
             &catalog,
             &sigma,
-            &InstanceGenConfig { tuples_per_relation: 10, value_range: 4 },
+            &InstanceGenConfig {
+                tuples_per_relation: 10,
+                value_range: 4,
+            },
             &mut rng,
         );
         let contents = eval_spc(&view, &catalog, &db);
-        let mut checker =
-            InsertChecker::new(cover.cfds.clone(), &cfdprop::relalg::Relation::new());
+        let mut checker = InsertChecker::new(cover.cfds.clone(), &cfdprop::relalg::Relation::new());
         for t in contents.tuples() {
             assert!(
                 checker.insert(t.clone()).is_ok(),
@@ -119,7 +143,10 @@ fn repair_fixes_random_corruption() {
         let db = gen_database(
             &catalog,
             &sigma,
-            &InstanceGenConfig { tuples_per_relation: 10, value_range: 4 },
+            &InstanceGenConfig {
+                tuples_per_relation: 10,
+                value_range: 4,
+            },
             &mut rng,
         );
         let contents = eval_spc(&view, &catalog, &db);

@@ -22,8 +22,11 @@ fn combined_round(
     let mut next = Database::empty(catalog);
     let mut changed = false;
     for (rel, _) in catalog.relations() {
-        let local: Vec<Cfd> =
-            cfds.iter().filter(|s| s.rel == rel).map(|s| s.cfd.clone()).collect();
+        let local: Vec<Cfd> = cfds
+            .iter()
+            .filter(|s| s.rel == rel)
+            .map(|s| s.cfd.clone())
+            .collect();
         let fixed = if local.is_empty() {
             db.relation(rel).clone()
         } else {
@@ -112,8 +115,14 @@ fn combined_loop_reaches_a_fixpoint_satisfying_both() {
     // smallest value — lands on '44', the value the CIND also demands;
     // see `adversarial_tie_break_oscillates` for the other case.)
     let mut db = Database::empty(&catalog);
-    db.insert(orders, vec![Value::int(7), Value::str("uk"), Value::str("31")]);
-    db.insert(orders, vec![Value::int(9), Value::str("uk"), Value::str("44")]);
+    db.insert(
+        orders,
+        vec![Value::int(7), Value::str("uk"), Value::str("31")],
+    );
+    db.insert(
+        orders,
+        vec![Value::int(9), Value::str("uk"), Value::str("44")],
+    );
     db.insert(customers, vec![Value::int(9), Value::str("44")]);
     db.insert(customers, vec![Value::int(9), Value::str("51")]);
 
@@ -215,7 +224,10 @@ fn combined_loop_on_clean_data_is_a_noop() {
         .add(
             RelationSchema::new(
                 "R",
-                vec![Attribute::new("a", DomainKind::Int), Attribute::new("b", DomainKind::Int)],
+                vec![
+                    Attribute::new("a", DomainKind::Int),
+                    Attribute::new("b", DomainKind::Int),
+                ],
             )
             .unwrap(),
         )

@@ -21,7 +21,9 @@ fn catalog(finite: bool) -> Catalog {
         c.add(
             RelationSchema::new(
                 name,
-                (0..4).map(|i| Attribute::new(format!("{name}{i}"), dom(i))).collect(),
+                (0..4)
+                    .map(|i| Attribute::new(format!("{name}{i}"), dom(i)))
+                    .collect(),
             )
             .unwrap(),
         )
@@ -53,14 +55,25 @@ fn s_views() {
             .select(vec![RaCond::EqConst("R0".into(), Value::int(5))])
             .normalize(&c)
             .unwrap();
-        let setting = if finite { Setting::General } else { Setting::InfiniteDomain };
+        let setting = if finite {
+            Setting::General
+        } else {
+            Setting::InfiniteDomain
+        };
         // R0 → R1 survives; R0 is pinned to 5, so R1 is functionally a
         // constant column on the view (∅ → R1 — equivalently R1 → R1 … we
         // check the pairwise version R3 → R1? no: check R0 → R1 and the
         // stronger "all tuples agree on R1" via the attr-pair CFD).
         check(&c, &sigma, &view, &Cfd::fd(&[0], 1).unwrap(), setting, true);
         check(&c, &sigma, &view, &Cfd::fd(&[3], 1).unwrap(), setting, true);
-        check(&c, &sigma, &view, &Cfd::fd(&[3], 2).unwrap(), setting, false);
+        check(
+            &c,
+            &sigma,
+            &view,
+            &Cfd::fd(&[3], 2).unwrap(),
+            setting,
+            false,
+        );
         check(&c, &sigma, &view, &Cfd::const_col(0, 5i64), setting, true);
     }
 }
@@ -75,10 +88,24 @@ fn p_views() {
             SourceCfd::new(r, Cfd::fd(&[0], 2).unwrap()),
             SourceCfd::new(r, Cfd::fd(&[2], 1).unwrap()),
         ];
-        let view = RaExpr::rel("R").project(&["R0", "R1"]).normalize(&c).unwrap();
-        let setting = if finite { Setting::General } else { Setting::InfiniteDomain };
+        let view = RaExpr::rel("R")
+            .project(&["R0", "R1"])
+            .normalize(&c)
+            .unwrap();
+        let setting = if finite {
+            Setting::General
+        } else {
+            Setting::InfiniteDomain
+        };
         check(&c, &sigma, &view, &Cfd::fd(&[0], 1).unwrap(), setting, true);
-        check(&c, &sigma, &view, &Cfd::fd(&[1], 0).unwrap(), setting, false);
+        check(
+            &c,
+            &sigma,
+            &view,
+            &Cfd::fd(&[1], 0).unwrap(),
+            setting,
+            false,
+        );
     }
 }
 
@@ -88,10 +115,27 @@ fn c_views() {
     let c = catalog(false);
     let r = c.rel_id("R").unwrap();
     let sigma = vec![SourceCfd::new(r, Cfd::fd(&[0], 1).unwrap())];
-    let view = RaExpr::rel("R").product(RaExpr::rel("S")).normalize(&c).unwrap();
+    let view = RaExpr::rel("R")
+        .product(RaExpr::rel("S"))
+        .normalize(&c)
+        .unwrap();
     // R0 → R1 survives on the product; R0 → S0 does not.
-    check(&c, &sigma, &view, &Cfd::fd(&[0], 1).unwrap(), Setting::InfiniteDomain, true);
-    check(&c, &sigma, &view, &Cfd::fd(&[0], 4).unwrap(), Setting::InfiniteDomain, false);
+    check(
+        &c,
+        &sigma,
+        &view,
+        &Cfd::fd(&[0], 1).unwrap(),
+        Setting::InfiniteDomain,
+        true,
+    );
+    check(
+        &c,
+        &sigma,
+        &view,
+        &Cfd::fd(&[0], 4).unwrap(),
+        Setting::InfiniteDomain,
+        false,
+    );
 }
 
 /// SC views: the general setting needs case analysis (the coNP cell); the
@@ -104,11 +148,21 @@ fn sc_views_case_analysis() {
     let sigma = vec![
         SourceCfd::new(
             r,
-            Cfd::new(vec![(2, Pattern::cst(Value::Bool(true)))], 1, Pattern::cst(1)).unwrap(),
+            Cfd::new(
+                vec![(2, Pattern::cst(Value::Bool(true)))],
+                1,
+                Pattern::cst(1),
+            )
+            .unwrap(),
         ),
         SourceCfd::new(
             r,
-            Cfd::new(vec![(2, Pattern::cst(Value::Bool(false)))], 1, Pattern::cst(1)).unwrap(),
+            Cfd::new(
+                vec![(2, Pattern::cst(Value::Bool(false)))],
+                1,
+                Pattern::cst(1),
+            )
+            .unwrap(),
         ),
     ];
     // SC view: join R with S on R0 = S0 (selection + product, no projection)
@@ -137,8 +191,22 @@ fn pc_views_general_ptime() {
         .project(&["R0", "R3", "S1"])
         .normalize(&c)
         .unwrap();
-    check(&c, &sigma, &view, &Cfd::fd(&[0], 1).unwrap(), Setting::General, true);
-    check(&c, &sigma, &view, &Cfd::fd(&[0], 2).unwrap(), Setting::General, false);
+    check(
+        &c,
+        &sigma,
+        &view,
+        &Cfd::fd(&[0], 1).unwrap(),
+        Setting::General,
+        true,
+    );
+    check(
+        &c,
+        &sigma,
+        &view,
+        &Cfd::fd(&[0], 2).unwrap(),
+        Setting::General,
+        false,
+    );
 }
 
 /// SPCU views: unions require the dependency on every branch pair.
@@ -161,10 +229,21 @@ fn spcu_views() {
             )
             .normalize(&c)
             .unwrap();
-        let setting = if finite { Setting::General } else { Setting::InfiniteDomain };
+        let setting = if finite {
+            Setting::General
+        } else {
+            Setting::InfiniteDomain
+        };
         // both branches satisfy their own A → B, but ACROSS branches the
         // same key can map to different values: not propagated
-        check(&c, &sigma, &view, &Cfd::fd(&[0], 1).unwrap(), setting, false);
+        check(
+            &c,
+            &sigma,
+            &view,
+            &Cfd::fd(&[0], 1).unwrap(),
+            setting,
+            false,
+        );
         // with disjoint tags it is propagated
         let tagged = RaExpr::rel("R")
             .project(&["R0", "R1"])
@@ -191,16 +270,50 @@ fn cfd_sources_general_setting() {
     let sigma = vec![
         SourceCfd::new(
             r,
-            Cfd::new(vec![(2, Pattern::cst(Value::Bool(true)))], 0, Pattern::cst(7)).unwrap(),
+            Cfd::new(
+                vec![(2, Pattern::cst(Value::Bool(true)))],
+                0,
+                Pattern::cst(7),
+            )
+            .unwrap(),
         ),
         SourceCfd::new(
             r,
-            Cfd::new(vec![(2, Pattern::cst(Value::Bool(false)))], 0, Pattern::cst(7)).unwrap(),
+            Cfd::new(
+                vec![(2, Pattern::cst(Value::Bool(false)))],
+                0,
+                Pattern::cst(7),
+            )
+            .unwrap(),
         ),
     ];
     // P view keeping R0, R1
-    let view = RaExpr::rel("R").project(&["R0", "R1"]).normalize(&c).unwrap();
-    check(&c, &sigma, &view, &Cfd::const_col(0, 7i64), Setting::General, true);
-    check(&c, &sigma, &view, &Cfd::const_col(0, 8i64), Setting::General, false);
-    check(&c, &sigma, &view, &Cfd::fd(&[1], 0).unwrap(), Setting::General, true);
+    let view = RaExpr::rel("R")
+        .project(&["R0", "R1"])
+        .normalize(&c)
+        .unwrap();
+    check(
+        &c,
+        &sigma,
+        &view,
+        &Cfd::const_col(0, 7i64),
+        Setting::General,
+        true,
+    );
+    check(
+        &c,
+        &sigma,
+        &view,
+        &Cfd::const_col(0, 8i64),
+        Setting::General,
+        false,
+    );
+    check(
+        &c,
+        &sigma,
+        &view,
+        &Cfd::fd(&[1], 0).unwrap(),
+        Setting::General,
+        true,
+    );
 }

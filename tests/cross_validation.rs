@@ -35,7 +35,12 @@ struct Setup {
 fn build(seed: u64, m: usize, y: usize, f: usize, ec: usize) -> Setup {
     let mut rng = StdRng::seed_from_u64(seed);
     let catalog = gen_schema(
-        &SchemaGenConfig { relations: 3, min_arity: 3, max_arity: 5, finite_ratio: 0.0 },
+        &SchemaGenConfig {
+            relations: 3,
+            min_arity: 3,
+            max_arity: 5,
+            finite_ratio: 0.0,
+        },
         &mut rng,
     );
     let sigma = gen_cfds(
@@ -49,12 +54,31 @@ fn build(seed: u64, m: usize, y: usize, f: usize, ec: usize) -> Setup {
         },
         &mut rng,
     );
-    let spc = gen_spc_view(&catalog, &ViewGenConfig { y, f, ec, const_range: 4 }, &mut rng);
+    let spc = gen_spc_view(
+        &catalog,
+        &ViewGenConfig {
+            y,
+            f,
+            ec,
+            const_range: 4,
+        },
+        &mut rng,
+    );
     let view = SpcuQuery::single(&catalog, spc.clone()).expect("generated view valid");
     let cover = prop_cfd_spc(&catalog, &sigma, &spc, &CoverOptions::default()).expect("cover");
-    let domains: Vec<DomainKind> =
-        view.schema().columns.iter().map(|(_, d)| d.clone()).collect();
-    Setup { catalog, sigma, view, cover, domains }
+    let domains: Vec<DomainKind> = view
+        .schema()
+        .columns
+        .iter()
+        .map(|(_, d)| d.clone())
+        .collect();
+    Setup {
+        catalog,
+        sigma,
+        view,
+        cover,
+        domains,
+    }
 }
 
 /// A random view CFD over the view schema (small constants to provoke
@@ -95,7 +119,10 @@ fn assert_witness_valid(s: &Setup, phi: &Cfd, db: &Database) {
         );
     }
     let v = eval_spcu(&s.view, &s.catalog, db);
-    assert!(!satisfy::satisfies(&v, phi), "witness view fails to violate {phi}");
+    assert!(
+        !satisfy::satisfies(&v, phi),
+        "witness view fails to violate {phi}"
+    );
 }
 
 proptest! {

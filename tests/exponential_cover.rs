@@ -12,9 +12,9 @@
 use cfd_model::{Cfd, SourceCfd};
 use cfd_propagation::cover::RbrOptions;
 use cfd_propagation::{prop_cfd_spc, CoverOptions};
-use cfd_relalg::schema::{Attribute, Catalog, RelId, RelationSchema};
 use cfd_relalg::query::SpcQuery;
 use cfd_relalg::query::{ColRef, OutputCol, ProdCol};
+use cfd_relalg::schema::{Attribute, Catalog, RelId, RelationSchema};
 use cfd_relalg::DomainKind;
 
 /// Attribute layout: Ai = i, Bi = n + i, Ci = 2n + i, D = 3n.
@@ -39,7 +39,9 @@ fn family(n: usize) -> Family {
     }
     attrs.push(Attribute::new("D", DomainKind::Int));
     let mut catalog = Catalog::new();
-    let rel = catalog.add(RelationSchema::new("R", attrs).unwrap()).unwrap();
+    let rel = catalog
+        .add(RelationSchema::new("R", attrs).unwrap())
+        .unwrap();
 
     let mut sigma = Vec::new();
     for i in 0..n {
@@ -63,21 +65,29 @@ fn family(n: usize) -> Family {
             })
             .collect(),
     };
-    Family { catalog, rel, sigma, view, n }
+    Family {
+        catalog,
+        rel,
+        sigma,
+        view,
+        n,
+    }
 }
 
 /// Count the cover CFDs of the form η1...ηn → D.
 fn d_rules(cover: &[Cfd], n: usize) -> usize {
     let d_pos = 2 * n; // D is the last output column
-    cover.iter().filter(|c| c.rhs_attr() == d_pos && c.lhs().len() == n).count()
+    cover
+        .iter()
+        .filter(|c| c.rhs_attr() == d_pos && c.lhs().len() == n)
+        .count()
 }
 
 #[test]
 fn cover_blows_up_exponentially() {
     for n in 1..=4usize {
         let f = family(n);
-        let cover =
-            prop_cfd_spc(&f.catalog, &f.sigma, &f.view, &CoverOptions::default()).unwrap();
+        let cover = prop_cfd_spc(&f.catalog, &f.sigma, &f.view, &CoverOptions::default()).unwrap();
         assert!(cover.complete);
         assert_eq!(
             d_rules(&cover.cfds, n),
@@ -96,8 +106,9 @@ fn every_choice_function_rule_present() {
     let cover = prop_cfd_spc(&f.catalog, &f.sigma, &f.view, &CoverOptions::default()).unwrap();
     // view positions: Ai = i, Bi = n + i, D = 2n
     for mask in 0..(1usize << n) {
-        let lhs: Vec<usize> =
-            (0..n).map(|i| if mask >> i & 1 == 0 { i } else { n + i }).collect();
+        let lhs: Vec<usize> = (0..n)
+            .map(|i| if mask >> i & 1 == 0 { i } else { n + i })
+            .collect();
         let expect = Cfd::fd(&lhs, 2 * n).unwrap();
         assert!(
             cover.cfds.contains(&expect),
@@ -111,15 +122,23 @@ fn heuristic_bound_returns_sound_subset() {
     let n = 5;
     let f = family(n);
     let opts = CoverOptions {
-        rbr: RbrOptions { max_size: Some(16), ..Default::default() },
+        rbr: RbrOptions {
+            max_size: Some(16),
+            ..Default::default()
+        },
         ..Default::default()
     };
     let bounded = prop_cfd_spc(&f.catalog, &f.sigma, &f.view, &opts).unwrap();
     assert!(!bounded.complete, "2^5 = 32 D-rules cannot fit in 16");
     // Soundness: everything returned is in the unbounded cover's closure.
     let full = prop_cfd_spc(&f.catalog, &f.sigma, &f.view, &CoverOptions::default()).unwrap();
-    let domains: Vec<DomainKind> =
-        f.view.view_schema(&f.catalog).columns.into_iter().map(|(_, d)| d).collect();
+    let domains: Vec<DomainKind> = f
+        .view
+        .view_schema(&f.catalog)
+        .columns
+        .into_iter()
+        .map(|(_, d)| d)
+        .collect();
     for c in &bounded.cfds {
         assert!(
             cfd_model::implication::implies(&full.cfds, c, &domains),
@@ -137,7 +156,10 @@ fn ai_to_ci_rules_do_not_survive_projection() {
     // every mentioned attr is a valid view position.)
     let width = 2 * f.n + 1;
     for c in &cover.cfds {
-        assert!(c.max_attr() < width, "cover CFD mentions a dropped column: {c}");
+        assert!(
+            c.max_attr() < width,
+            "cover CFD mentions a dropped column: {c}"
+        );
     }
     let _ = f.rel;
 }

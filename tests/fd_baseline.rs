@@ -11,14 +11,21 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn setup(seed: u64, arity: usize, fd_count: usize, keep_count: usize) -> (Catalog, Vec<Fd>, Vec<usize>) {
+fn setup(
+    seed: u64,
+    arity: usize,
+    fd_count: usize,
+    keep_count: usize,
+) -> (Catalog, Vec<Fd>, Vec<usize>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut catalog = Catalog::new();
     catalog
         .add(
             RelationSchema::new(
                 "R",
-                (0..arity).map(|i| Attribute::new(format!("a{i}"), DomainKind::Int)).collect(),
+                (0..arity)
+                    .map(|i| Attribute::new(format!("a{i}"), DomainKind::Int))
+                    .collect(),
             )
             .unwrap(),
         )

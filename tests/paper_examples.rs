@@ -6,9 +6,7 @@ use cfd_propagation::cover::{prop_cfd_spc, CoverOptions};
 use cfd_propagation::emptiness::is_always_empty;
 use cfd_propagation::{propagates, Setting};
 use cfd_relalg::eval::eval_spcu;
-use cfd_relalg::{
-    Attribute, Catalog, Database, DomainKind, RaCond, RaExpr, RelationSchema, Value,
-};
+use cfd_relalg::{Attribute, Catalog, Database, DomainKind, RaCond, RaExpr, RelationSchema, Value};
 
 fn s(v: &str) -> Value {
     Value::str(v)
@@ -41,12 +39,21 @@ fn example_1_1_and_2_2() {
         SourceCfd::new(r3, Cfd::fd(&[ac], city).unwrap()),
         SourceCfd::new(
             r1,
-            Cfd::new(vec![(ac, Pattern::cst(s("20")))], city, Pattern::Const(s("ldn"))).unwrap(),
+            Cfd::new(
+                vec![(ac, Pattern::cst(s("20")))],
+                city,
+                Pattern::Const(s("ldn")),
+            )
+            .unwrap(),
         ),
         SourceCfd::new(
             r3,
-            Cfd::new(vec![(ac, Pattern::cst(s("20")))], city, Pattern::Const(s("Amsterdam")))
-                .unwrap(),
+            Cfd::new(
+                vec![(ac, Pattern::cst(s("20")))],
+                city,
+                Pattern::Const(s("Amsterdam")),
+            )
+            .unwrap(),
         ),
     ];
     let branch = |rel: &str, cc: &str| RaExpr::rel(rel).with_const("CC", s(cc), DomainKind::Text);
@@ -65,23 +72,38 @@ fn example_1_1_and_2_2() {
     };
 
     // ϕ1–ϕ5 are propagated.
-    let phi1 =
-        Cfd::new(vec![(cc, Pattern::cst(s("44"))), (col("zip"), Pattern::Wild)], col("street"), Pattern::Wild)
-            .unwrap();
-    let phi2 =
-        Cfd::new(vec![(cc, Pattern::cst(s("44"))), (col("AC"), Pattern::Wild)], col("city"), Pattern::Wild)
-            .unwrap();
-    let phi3 =
-        Cfd::new(vec![(cc, Pattern::cst(s("31"))), (col("AC"), Pattern::Wild)], col("city"), Pattern::Wild)
-            .unwrap();
+    let phi1 = Cfd::new(
+        vec![(cc, Pattern::cst(s("44"))), (col("zip"), Pattern::Wild)],
+        col("street"),
+        Pattern::Wild,
+    )
+    .unwrap();
+    let phi2 = Cfd::new(
+        vec![(cc, Pattern::cst(s("44"))), (col("AC"), Pattern::Wild)],
+        col("city"),
+        Pattern::Wild,
+    )
+    .unwrap();
+    let phi3 = Cfd::new(
+        vec![(cc, Pattern::cst(s("31"))), (col("AC"), Pattern::Wild)],
+        col("city"),
+        Pattern::Wild,
+    )
+    .unwrap();
     let phi4 = Cfd::new(
-        vec![(cc, Pattern::cst(s("44"))), (col("AC"), Pattern::cst(s("20")))],
+        vec![
+            (cc, Pattern::cst(s("44"))),
+            (col("AC"), Pattern::cst(s("20"))),
+        ],
         col("city"),
         Pattern::Const(s("ldn")),
     )
     .unwrap();
     let phi5 = Cfd::new(
-        vec![(cc, Pattern::cst(s("31"))), (col("AC"), Pattern::cst(s("20")))],
+        vec![
+            (cc, Pattern::cst(s("31"))),
+            (col("AC"), Pattern::cst(s("20"))),
+        ],
         col("city"),
         Pattern::Const(s("Amsterdam")),
     )
@@ -97,7 +119,11 @@ fn example_1_1_and_2_2() {
 
     // ϕ6 = CC, AC, phn → street, city, zip is NOT propagated.
     let phi6 = GeneralCfd {
-        lhs: vec![(cc, Pattern::Wild), (col("AC"), Pattern::Wild), (col("phn"), Pattern::Wild)],
+        lhs: vec![
+            (cc, Pattern::Wild),
+            (col("AC"), Pattern::Wild),
+            (col("phn"), Pattern::Wild),
+        ],
         rhs: vec![
             (col("street"), Pattern::Wild),
             (col("city"), Pattern::Wild),
@@ -112,12 +138,30 @@ fn example_1_1_and_2_2() {
     // glitch normalized to 'ldn').
     let mut db = Database::empty(&catalog);
     let row = |vals: [&str; 6]| -> Vec<Value> { vals.iter().map(|v| s(v)).collect() };
-    db.insert(r1, row(["20", "1234567", "Mike", "Portland", "ldn", "W1B 1JL"]));
-    db.insert(r1, row(["20", "3456789", "Rick", "Portland", "ldn", "W1B 1JL"]));
-    db.insert(r2, row(["610", "3456789", "Joe", "Copley", "Darby", "19082"]));
-    db.insert(r2, row(["610", "1234567", "Mary", "Walnut", "Darby", "19082"]));
-    db.insert(r3, row(["20", "3456789", "Marx", "Kruise", "Amsterdam", "1096"]));
-    db.insert(r3, row(["36", "1234567", "Bart", "Grote", "Almere", "1316"]));
+    db.insert(
+        r1,
+        row(["20", "1234567", "Mike", "Portland", "ldn", "W1B 1JL"]),
+    );
+    db.insert(
+        r1,
+        row(["20", "3456789", "Rick", "Portland", "ldn", "W1B 1JL"]),
+    );
+    db.insert(
+        r2,
+        row(["610", "3456789", "Joe", "Copley", "Darby", "19082"]),
+    );
+    db.insert(
+        r2,
+        row(["610", "1234567", "Mary", "Walnut", "Darby", "19082"]),
+    );
+    db.insert(
+        r3,
+        row(["20", "3456789", "Marx", "Kruise", "Amsterdam", "1096"]),
+    );
+    db.insert(
+        r3,
+        row(["36", "1234567", "Bart", "Grote", "Almere", "1316"]),
+    );
     let v = eval_spcu(&view, &catalog, &db);
     assert_eq!(v.len(), 6);
     for phi in [&phi1, &phi2, &phi4] {
@@ -132,7 +176,10 @@ fn example_1_1_and_2_2() {
     .unwrap();
     assert!(!satisfy::satisfies(&v, &no_cc));
     // and the view FD zip → street is violated by the US tuples (t3, t4)
-    assert!(!satisfy::satisfies(&v, &Cfd::fd(&[col("zip")], col("street")).unwrap()));
+    assert!(!satisfy::satisfies(
+        &v,
+        &Cfd::fd(&[col("zip")], col("street")).unwrap()
+    ));
 }
 
 /// Example 3.1: Σ = {(A → B, (_ ‖ b1))}, V = σ(B = b2)(R) with b2 ≠ b1:
@@ -163,10 +210,16 @@ fn example_3_1_emptiness() {
         .unwrap();
     assert!(is_always_empty(&catalog, &sigma, &view, Setting::InfiniteDomain).unwrap());
     // "any source CFDs are propagated to the view"
-    for phi in [Cfd::fd(&[2], 0).unwrap(), Cfd::const_col(0, 9i64), Cfd::attr_eq(1, 2).unwrap()] {
-        assert!(propagates(&catalog, &sigma, &view, &phi, Setting::InfiniteDomain)
-            .unwrap()
-            .is_propagated());
+    for phi in [
+        Cfd::fd(&[2], 0).unwrap(),
+        Cfd::const_col(0, 9i64),
+        Cfd::attr_eq(1, 2).unwrap(),
+    ] {
+        assert!(
+            propagates(&catalog, &sigma, &view, &phi, Setting::InfiniteDomain)
+                .unwrap()
+                .is_propagated()
+        );
     }
     // and PropCFD_SPC returns the Lemma 4.5 conflicting pair
     let cover = prop_cfd_spc(
@@ -194,7 +247,9 @@ fn example_4_1_exponential_cover() {
     }
     attrs.push(Attribute::new("D", DomainKind::Int));
     let mut catalog = Catalog::new();
-    let r = catalog.add(RelationSchema::new("R", attrs).unwrap()).unwrap();
+    let r = catalog
+        .add(RelationSchema::new("R", attrs).unwrap())
+        .unwrap();
     let mut sigma = Vec::new();
     let mut fds = Vec::new();
     for i in 0..n {
@@ -213,16 +268,34 @@ fn example_4_1_exponential_cover() {
         .chain(["D".to_string()])
         .collect();
     let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
-    let view = RaExpr::rel("R").project(&keep_refs).normalize(&catalog).unwrap();
+    let view = RaExpr::rel("R")
+        .project(&keep_refs)
+        .normalize(&catalog)
+        .unwrap();
     let cover = prop_cfd_spc(
         &catalog,
         &sigma,
         &view.branches[0],
-        &CoverOptions { rbr: cfd_propagation::cover::RbrOptions { mincover_chunk: None, max_size: None }, skip_final_mincover: false },
+        &CoverOptions {
+            rbr: cfd_propagation::cover::RbrOptions {
+                mincover_chunk: None,
+                max_size: None,
+            },
+            skip_final_mincover: false,
+        },
     )
     .unwrap();
-    let to_d: Vec<&Cfd> = cover.cfds.iter().filter(|c| c.rhs_attr() == 2 * n).collect();
-    assert_eq!(to_d.len(), 1 << n, "cover must contain 2^n FDs into D: {:?}", cover.cfds);
+    let to_d: Vec<&Cfd> = cover
+        .cfds
+        .iter()
+        .filter(|c| c.rhs_attr() == 2 * n)
+        .collect();
+    assert_eq!(
+        to_d.len(),
+        1 << n,
+        "cover must contain 2^n FDs into D: {:?}",
+        cover.cfds
+    );
 
     // cross-check against the textbook closure-based FD baseline
     let keep_idx: Vec<usize> = (0..2 * n).chain([3 * n]).collect();
@@ -239,7 +312,10 @@ fn example_4_3_minimal_cover() {
     let mk = |name: &str, attrs: &[&str]| {
         RelationSchema::new(
             name,
-            attrs.iter().map(|a| Attribute::new(*a, DomainKind::Int)).collect(),
+            attrs
+                .iter()
+                .map(|a| Attribute::new(*a, DomainKind::Int))
+                .collect(),
         )
         .unwrap()
     };
@@ -250,12 +326,21 @@ fn example_4_3_minimal_cover() {
     let sigma = vec![
         SourceCfd::new(
             r2,
-            Cfd::new(vec![(0, Pattern::Wild), (1, Pattern::cst(c))], 2, Pattern::cst(200)).unwrap(),
+            Cfd::new(
+                vec![(0, Pattern::Wild), (1, Pattern::cst(c))],
+                2,
+                Pattern::cst(200),
+            )
+            .unwrap(),
         ),
         SourceCfd::new(
             r3,
             Cfd::new(
-                vec![(0, Pattern::Wild), (1, Pattern::cst(c)), (2, Pattern::cst(300))],
+                vec![
+                    (0, Pattern::Wild),
+                    (1, Pattern::cst(c)),
+                    (2, Pattern::cst(300)),
+                ],
                 3,
                 Pattern::Wild,
             )
@@ -273,8 +358,13 @@ fn example_4_3_minimal_cover() {
         .project(&["B1", "B2", "B1p", "A1", "A2", "B"])
         .normalize(&catalog)
         .unwrap();
-    let cover =
-        prop_cfd_spc(&catalog, &sigma, &view.branches[0], &CoverOptions::default()).unwrap();
+    let cover = prop_cfd_spc(
+        &catalog,
+        &sigma,
+        &view.branches[0],
+        &CoverOptions::default(),
+    )
+    .unwrap();
     // The paper's stated answer is {φ, φ'} with
     //   φ  = ([A1, A2, B1] → B, (_, c, b ‖ _))   (the Ex. 4.2 A-resolvent)
     //   φ' = (B1 → B1', (x ‖ x)).
@@ -285,8 +375,15 @@ fn example_4_3_minimal_cover() {
     //   φmin = ([A2, B1] → B, (c, b ‖ _))   plus   φ'.
     // (See EXPERIMENTS.md for a discussion of this discrepancy.)
     assert_eq!(cover.cfds.len(), 2, "cover: {:?}", cover.cfds);
-    assert!(cover.cfds.iter().any(|x| x.as_attr_eq().is_some()), "φ' missing");
-    let phi_min = cover.cfds.iter().find(|x| x.as_attr_eq().is_none()).unwrap();
+    assert!(
+        cover.cfds.iter().any(|x| x.as_attr_eq().is_some()),
+        "φ' missing"
+    );
+    let phi_min = cover
+        .cfds
+        .iter()
+        .find(|x| x.as_attr_eq().is_none())
+        .unwrap();
     // outputs: 0=B1, 1=B2, 2=B1p, 3=A1, 4=A2, 5=B; the B1/B1' class
     // representative may be either output 0 or 2.
     assert_eq!(phi_min.rhs_attr(), 5);
@@ -297,7 +394,11 @@ fn example_4_3_minimal_cover() {
     // ... and the cover still implies the paper's φ (it is equivalent):
     let domains = vec![DomainKind::Int; 6];
     let paper_phi = Cfd::new(
-        vec![(3, Pattern::Wild), (4, Pattern::cst(100)), (0, Pattern::cst(300))],
+        vec![
+            (3, Pattern::Wild),
+            (4, Pattern::cst(100)),
+            (0, Pattern::cst(300)),
+        ],
         5,
         Pattern::Wild,
     )

@@ -32,9 +32,14 @@ fn parse_analyze_example_1_1() {
     let view = doc.view("V").unwrap();
     let sigma = doc.sigma();
     for vc in &doc.view_cfds {
-        let verdict =
-            propagates(&doc.catalog, &sigma, &view.query, &vc.cfd, Setting::InfiniteDomain)
-                .unwrap();
+        let verdict = propagates(
+            &doc.catalog,
+            &sigma,
+            &view.query,
+            &vc.cfd,
+            Setting::InfiniteDomain,
+        )
+        .unwrap();
         assert!(verdict.is_propagated(), "{:?} must be propagated", vc.name);
     }
 }
@@ -74,8 +79,11 @@ fn cover_through_text_pipeline() {
 
 /// Strategy for random CFD documents: a schema plus pattern CFDs.
 fn doc_strategy() -> impl Strategy<Value = String> {
-    (2usize..6, proptest::collection::vec((0usize..5, 0usize..5, -3i64..4), 1..6)).prop_map(
-        |(arity, cfds)| {
+    (
+        2usize..6,
+        proptest::collection::vec((0usize..5, 0usize..5, -3i64..4), 1..6),
+    )
+        .prop_map(|(arity, cfds)| {
             let mut s = String::from("schema R(");
             for i in 0..arity {
                 if i > 0 {
@@ -89,13 +97,15 @@ fn doc_strategy() -> impl Strategy<Value = String> {
                 if lhs == rhs {
                     continue;
                 }
-                let lhs_pat =
-                    if pat < 0 { "_".to_string() } else { pat.to_string() };
+                let lhs_pat = if pat < 0 {
+                    "_".to_string()
+                } else {
+                    pat.to_string()
+                };
                 s.push_str(&format!("cfd R([a{lhs}] -> [a{rhs}], ({lhs_pat} || _));\n"));
             }
             s
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,186 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size bound for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// A `Vec` of values from `element`, sized within `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` of values from `element`, sized within `size` where the
+/// element domain allows (duplicates are merged, as upstream).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+#[derive(Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let n = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        for _ in 0..(n * 10 + 20) {
+            if out.len() >= n {
+                break;
+            }
+            out.insert(self.element.new_value(rng));
+        }
+        out
+    }
+}
+
+/// A `BTreeMap` with keys from `key` and values from `value`, sized within
+/// `size` where the key domain allows.
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_map`].
+#[derive(Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let n = self.size.pick(rng);
+        let mut out = BTreeMap::new();
+        for _ in 0..(n * 10 + 20) {
+            if out.len() >= n {
+                break;
+            }
+            out.insert(self.key.new_value(rng), self.value.new_value(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("collection-tests")
+    }
+
+    #[test]
+    fn vec_sizes() {
+        let mut r = rng();
+        let s = vec(0i64..5, 2..6);
+        for _ in 0..50 {
+            let v = s.new_value(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+        let exact = vec(0i64..5, 3usize);
+        assert_eq!(exact.new_value(&mut r).len(), 3);
+    }
+
+    #[test]
+    fn set_and_map_reach_min_size() {
+        let mut r = rng();
+        let s = btree_set(0usize..4, 1..4);
+        for _ in 0..50 {
+            let v = s.new_value(&mut r);
+            assert!(!v.is_empty() && v.len() < 4);
+        }
+        let m = btree_map(0usize..4, 0i64..3, 1..=2);
+        for _ in 0..50 {
+            let v = m.new_value(&mut r);
+            assert!((1..=2).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The [`Strategy`] trait and core combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// How many times a filtering combinator retries before giving up.
+const FILTER_RETRIES: usize = 2_000;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value *tree*: strategies generate
+/// plain values and failures are not shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    /// Keep only values `f` maps to `Some`, retrying on `None`.
+    fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap {
+            base: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Keep only values satisfying `f`, retrying on rejection.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Clone)]
+pub struct FilterMap<S, F> {
+    base: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, U, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<U>,
+{
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(v) = (self.f)(self.base.new_value(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map: no value accepted after {FILTER_RETRIES} tries ({})",
+            self.whence
+        );
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    base: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.base.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter: no value accepted after {FILTER_RETRIES} tries ({})",
+            self.whence
+        );
+    }
+}
+
+/// Object-safe generation, used by [`BoxedStrategy`] and [`Union`].
+trait DynStrategy {
+    type Value;
+    fn dyn_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_value(rng)
+    }
+}
+
+/// A weighted arm for [`Union`] (built by the `prop_oneof!` macro).
+pub fn weighted<S>(weight: u32, strategy: S) -> (u32, BoxedStrategy<S::Value>)
+where
+    S: Strategy + 'static,
+{
+    assert!(weight > 0, "prop_oneof weights must be positive");
+    (weight, BoxedStrategy(Box::new(strategy)))
+}
+
+/// Weighted choice among strategies of a common value type.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Build a union from weighted arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.new_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights summed incorrectly");
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_and_map() {
+        let mut r = rng();
+        let s = (0i64..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = s.new_value(&mut r);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_respects_arms() {
+        let mut r = rng();
+        let s = Union::new(vec![weighted(1, Just(1i32)), weighted(3, Just(2i32))]);
+        let mut seen = [0usize; 3];
+        for _ in 0..1_000 {
+            seen[s.new_value(&mut r) as usize] += 1;
+        }
+        assert_eq!(seen[0], 0);
+        assert!(seen[1] > 100 && seen[2] > 500, "{seen:?}");
+    }
+
+    #[test]
+    fn filter_map_retries() {
+        let mut r = rng();
+        let s = (0i64..100).prop_filter_map("even", |x| (x % 2 == 0).then_some(x));
+        for _ in 0..100 {
+            assert_eq!(s.new_value(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut r = rng();
+        let s = (0usize..3, Just("x"), 0i64..2);
+        let (a, b, c) = s.new_value(&mut r);
+        assert!(a < 3 && b == "x" && c < 2);
+    }
+}

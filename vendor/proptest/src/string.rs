@@ -1,0 +1,68 @@
+//! String strategies from pattern literals.
+//!
+//! Upstream proptest interprets a `&str` strategy as a full regex. This
+//! stand-in supports the shape the workspace uses — a character class with
+//! a `{lo,hi}` repetition suffix (e.g. `"\\PC{0,200}"`) — by generating
+//! strings of printable characters (ASCII plus a sprinkling of multi-byte
+//! code points, so UTF-8 boundary handling still gets exercised) with a
+//! length drawn from the suffix. Patterns without a repetition suffix
+//! produce strings of length 0..=32.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_repeat_suffix(self).unwrap_or((0, 32));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            out.push(random_printable(rng));
+        }
+        out
+    }
+}
+
+/// Extract `{lo,hi}` from the end of a pattern, if present.
+fn parse_repeat_suffix(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_suffix('}')?;
+    let open = body.rfind('{')?;
+    let (lo, hi) = body[open + 1..].split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
+}
+
+fn random_printable(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        // Mostly printable ASCII: dense in grammar-relevant characters.
+        0..=7 => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap(),
+        // Latin-1 supplement (2-byte UTF-8).
+        8 => char::from_u32(0xa1 + rng.below(0x5e) as u32).unwrap(),
+        // CJK (3-byte UTF-8).
+        _ => char::from_u32(0x4e00 + rng.below(0x100) as u32).unwrap(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_suffix_controls_length() {
+        let mut rng = TestRng::for_test("string-strategy");
+        let s: &'static str = "\\PC{0,200}";
+        for _ in 0..50 {
+            let v = Strategy::new_value(&s, &mut rng);
+            assert!(v.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn suffix_parser() {
+        assert_eq!(parse_repeat_suffix("\\PC{0,200}"), Some((0, 200)));
+        assert_eq!(parse_repeat_suffix("[a-z]{3,5}"), Some((3, 5)));
+        assert_eq!(parse_repeat_suffix("abc"), None);
+    }
+}

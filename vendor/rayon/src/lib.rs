@@ -1,0 +1,185 @@
+//! Offline stand-in for the `rayon` crate (API-compatible subset).
+//!
+//! Provides `slice.par_iter().map(f).collect()` with genuine data
+//! parallelism: the input is split into one contiguous chunk per available
+//! core and mapped on scoped OS threads, preserving input order in the
+//! collected output. Only the surface this workspace uses is implemented;
+//! swapping the real rayon back in is a one-line manifest change.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+pub mod prelude {
+    //! Traits to glob-import, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Types convertible to a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: 'a;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrow `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// A parallel iterator: run on all items, collect in input order.
+pub trait ParallelIterator: Sized {
+    /// The item type produced.
+    type Item;
+
+    /// Evaluate the pipeline, returning results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Map each item through `f` in parallel.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync,
+        U: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Flatten mapped iterables in input order.
+    fn flat_map<U, I, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        F: Fn(Self::Item) -> I + Sync,
+        I: IntoIterator<Item = U>,
+        U: Send,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Collect the results (order-preserving).
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+    fn run(self) -> Vec<&'a T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// A parallel map adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<'a, T, U, F> ParallelIterator for Map<ParSlice<'a, T>, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        parallel_map(self.base.slice, &self.f)
+    }
+}
+
+/// A parallel flat-map adapter.
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<'a, T, U, I, F> ParallelIterator for FlatMap<ParSlice<'a, T>, F>
+where
+    T: Sync,
+    U: Send,
+    I: IntoIterator<Item = U>,
+    F: Fn(&'a T) -> I + Sync,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        let f = &self.f;
+        parallel_map(self.base.slice, &|t| f(t).into_iter().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Split `items` into one chunk per core and map on scoped threads,
+/// concatenating chunk outputs so the result is in input order.
+fn parallel_map<'a, T, U, F>(items: &'a [T], f: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    let threads = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("worker thread panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<i64> = (0..10_000).collect();
+        let ys: Vec<i64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(ys, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_preserves_order() {
+        let xs = vec![1usize, 2, 3];
+        let ys: Vec<usize> = xs.par_iter().flat_map(|&x| vec![x; x]).collect();
+        assert_eq!(ys, vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let xs: Vec<i64> = vec![];
+        let ys: Vec<i64> = xs.par_iter().map(|x| *x).collect();
+        assert!(ys.is_empty());
+        let one = [7i64];
+        let ys: Vec<i64> = one[..].par_iter().map(|x| x + 1).collect();
+        assert_eq!(ys, vec![8]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Offline stand-in for the `rustc-hash` crate (API-compatible subset).
+//!
+//! Implements the Fx hash function — a fast, non-cryptographic multiply
+//! hash used throughout rustc — together with the [`FxHashMap`] /
+//! [`FxHashSet`] aliases. Vendored because this build environment has no
+//! network access to crates.io; the algorithm matches the upstream crate
+//! (64-bit variant) so swapping the real dependency back in is a one-line
+//! manifest change.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the upstream 64-bit Fx implementation.
+const K: u64 = 0xf1357aea2e62a9c5;
+
+/// The Fx hasher state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<Vec<u32>, usize> = FxHashMap::default();
+        m.insert(vec![1, 2, 3], 7);
+        assert_eq!(m.get(&vec![1, 2, 3]), Some(&7));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let h = |x: &str| {
+            let mut hasher = FxHasher::default();
+            hasher.write(x.as_bytes());
+            hasher.finish()
+        };
+        assert_eq!(h("abc"), h("abc"));
+        assert_ne!(h("abc"), h("abd"));
+    }
+}
