@@ -31,12 +31,19 @@ const ERROR_RATE: f64 = 0.02;
 /// unique row id (LHS-only in the workload), keeping all `n` tuples
 /// distinct under set semantics.
 pub fn dirty_relation(n: usize, seed: u64) -> Relation {
+    dirty_relation_rated(n, seed, ERROR_RATE)
+}
+
+/// [`dirty_relation`] with an explicit per-cell error rate (the
+/// incremental experiment models a mostly-clean maintained store, the
+/// batch-cleaning one a dirtier warehouse).
+pub fn dirty_relation_rated(n: usize, seed: u64, rate: f64) -> Relation {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
         let key = rng.gen_range(0..(n as i64 / 2).max(4));
         let noise = |rng: &mut StdRng, clean: i64, pool: i64| {
-            if rng.gen_bool(ERROR_RATE) {
+            if rng.gen_bool(rate) {
                 (clean + 1 + rng.gen_range(0..pool)) % pool
             } else {
                 clean
@@ -46,7 +53,7 @@ pub fn dirty_relation(n: usize, seed: u64) -> Relation {
         let t2 = noise(&mut rng, key % 1009, 1009);
         let t4 = noise(&mut rng, key % 727, 727);
         let t5 = key % 13;
-        let t6 = if rng.gen_bool(ERROR_RATE) { 8 } else { 7 };
+        let t6 = if rng.gen_bool(rate) { 8 } else { 7 };
         let t7 = noise(&mut rng, t5, 13);
         let t: Tuple = vec![
             Value::str(format!("k{key}")),

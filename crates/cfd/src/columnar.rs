@@ -117,6 +117,17 @@ impl CodedCfd {
                 rel.code(row, self.lhs[0].0),
                 rel.code(row, self.lhs[1].0),
             )),
+            3 => GroupKey::Three(pack3(
+                rel.code(row, self.lhs[0].0),
+                rel.code(row, self.lhs[1].0),
+                rel.code(row, self.lhs[2].0),
+            )),
+            4 => GroupKey::Four(pack4(
+                rel.code(row, self.lhs[0].0),
+                rel.code(row, self.lhs[1].0),
+                rel.code(row, self.lhs[2].0),
+                rel.code(row, self.lhs[3].0),
+            )),
             _ => GroupKey::Many(self.lhs.iter().map(|(a, _)| rel.code(row, *a)).collect()),
         }
     }
@@ -134,6 +145,17 @@ impl CodedCfd {
             0 => GroupKey::Unit,
             1 => GroupKey::One(row[self.lhs[0].0]),
             2 => GroupKey::Two(pack2(row[self.lhs[0].0], row[self.lhs[1].0])),
+            3 => GroupKey::Three(pack3(
+                row[self.lhs[0].0],
+                row[self.lhs[1].0],
+                row[self.lhs[2].0],
+            )),
+            4 => GroupKey::Four(pack4(
+                row[self.lhs[0].0],
+                row[self.lhs[1].0],
+                row[self.lhs[2].0],
+                row[self.lhs[3].0],
+            )),
             _ => GroupKey::Many(self.lhs.iter().map(|(a, _)| row[*a]).collect()),
         }
     }
@@ -147,6 +169,8 @@ impl CodedCfd {
             [] => GroupKey::Unit,
             [a] => GroupKey::One(*a),
             [a, b] => GroupKey::Two(pack2(*a, *b)),
+            [a, b, c] => GroupKey::Three(pack3(*a, *b, *c)),
+            [a, b, c, d] => GroupKey::Four(pack4(*a, *b, *c, *d)),
             _ => GroupKey::Many(lhs_codes.to_vec()),
         }
     }
@@ -170,8 +194,19 @@ fn pack2(a: Code, b: Code) -> u64 {
     ((a as u64) << 32) | b as u64
 }
 
-/// A group-by key over LHS codes, with packed fast paths for the common
-/// 1- and 2-attribute LHS shapes.
+#[inline]
+fn pack3(a: Code, b: Code, c: Code) -> u128 {
+    ((a as u128) << 64) | ((b as u128) << 32) | c as u128
+}
+
+#[inline]
+fn pack4(a: Code, b: Code, c: Code, d: Code) -> u128 {
+    ((a as u128) << 96) | ((b as u128) << 64) | ((c as u128) << 32) | d as u128
+}
+
+/// A group-by key over LHS codes, with packed fast paths for LHS widths
+/// up to 4 (one `u32`, one `u64`, or one `u128` — one integer hash per
+/// probe, no heap key).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum GroupKey {
     /// Empty LHS: one global group.
@@ -180,13 +215,17 @@ pub enum GroupKey {
     One(Code),
     /// Two LHS attributes, packed into one word.
     Two(u64),
-    /// Three or more LHS attributes.
+    /// Three LHS attributes, packed into one `u128`.
+    Three(u128),
+    /// Four LHS attributes, packed into one `u128`.
+    Four(u128),
+    /// Five or more LHS attributes.
     Many(Vec<Code>),
 }
 
 /// A hash map keyed by [`GroupKey`], specialized per key shape so the
 /// packed fast paths never hash a `Vec`.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum GroupMap<T> {
     /// For [`GroupKey::Unit`].
     Zero(Option<T>),
@@ -194,6 +233,8 @@ pub enum GroupMap<T> {
     One(FxHashMap<Code, T>),
     /// For [`GroupKey::Two`].
     Two(FxHashMap<u64, T>),
+    /// For [`GroupKey::Three`] and [`GroupKey::Four`].
+    Wide(FxHashMap<u128, T>),
     /// For [`GroupKey::Many`].
     Many(FxHashMap<Vec<Code>, T>),
 }
@@ -205,6 +246,7 @@ impl<T> GroupMap<T> {
             0 => GroupMap::Zero(None),
             1 => GroupMap::One(FxHashMap::default()),
             2 => GroupMap::Two(FxHashMap::default()),
+            3 | 4 => GroupMap::Wide(FxHashMap::default()),
             _ => GroupMap::Many(FxHashMap::default()),
         }
     }
@@ -215,7 +257,22 @@ impl<T> GroupMap<T> {
             (GroupMap::Zero(slot), GroupKey::Unit) => slot.get_or_insert_with(default),
             (GroupMap::One(m), GroupKey::One(k)) => m.entry(k).or_insert_with(default),
             (GroupMap::Two(m), GroupKey::Two(k)) => m.entry(k).or_insert_with(default),
+            (GroupMap::Wide(m), GroupKey::Three(k) | GroupKey::Four(k)) => {
+                m.entry(k).or_insert_with(default)
+            }
             (GroupMap::Many(m), GroupKey::Many(k)) => m.entry(k).or_insert_with(default),
+            _ => unreachable!("GroupKey shape does not match GroupMap shape"),
+        }
+    }
+
+    /// The payload for `key`, if present.
+    pub fn get(&self, key: &GroupKey) -> Option<&T> {
+        match (self, key) {
+            (GroupMap::Zero(slot), GroupKey::Unit) => slot.as_ref(),
+            (GroupMap::One(m), GroupKey::One(k)) => m.get(k),
+            (GroupMap::Two(m), GroupKey::Two(k)) => m.get(k),
+            (GroupMap::Wide(m), GroupKey::Three(k) | GroupKey::Four(k)) => m.get(k),
+            (GroupMap::Many(m), GroupKey::Many(k)) => m.get(k),
             _ => unreachable!("GroupKey shape does not match GroupMap shape"),
         }
     }
@@ -226,6 +283,7 @@ impl<T> GroupMap<T> {
             GroupMap::Zero(slot) => slot.into_iter().collect(),
             GroupMap::One(m) => m.into_values().collect(),
             GroupMap::Two(m) => m.into_values().collect(),
+            GroupMap::Wide(m) => m.into_values().collect(),
             GroupMap::Many(m) => m.into_values().collect(),
         }
     }
@@ -332,7 +390,7 @@ fn grouping_pass<K: std::hash::Hash + Eq>(
     let mut group_count = 0u32;
     let mut row_gid: Vec<u32> = Vec::with_capacity(rel.len());
     for row in 0..rel.len() {
-        if filtered && !coded.lhs_matches_row(rel, row) {
+        if !rel.is_live(row) || (filtered && !coded.lhs_matches_row(rel, row)) {
             row_gid.push(NO_GROUP);
             continue;
         }
@@ -361,20 +419,24 @@ pub fn find_violating_rows(rel: &ColumnarRelation, coded: &CodedCfd) -> Option<(
     }
     if let Some((a, b)) = coded.attr_eq() {
         let (ca, cb) = (rel.column(a), rel.column(b));
-        return (0..rel.len()).find(|&r| ca[r] != cb[r]).map(|r| (r, r));
+        return (0..rel.len())
+            .find(|&r| rel.is_live(r) && ca[r] != cb[r])
+            .map(|r| (r, r));
     }
     match coded.rhs() {
         CodeCell::Absent => {
             // The required constant occurs nowhere: every row matching the
             // LHS violates via the identity pair.
             (0..rel.len())
-                .find(|&r| coded.lhs_matches_row(rel, r))
+                .find(|&r| rel.is_live(r) && coded.lhs_matches_row(rel, r))
                 .map(|r| (r, r))
         }
         CodeCell::Const(expected) => {
             let rhs_col = rel.column(coded.rhs_attr());
             (0..rel.len())
-                .find(|&r| rhs_col[r] != expected && coded.lhs_matches_row(rel, r))
+                .find(|&r| {
+                    rel.is_live(r) && rhs_col[r] != expected && coded.lhs_matches_row(rel, r)
+                })
                 .map(|r| (r, r))
         }
         CodeCell::Wild => {
@@ -383,7 +445,7 @@ pub fn find_violating_rows(rel: &ColumnarRelation, coded: &CodedCfd) -> Option<(
             let rhs_col = rel.column(coded.rhs_attr());
             let mut groups: GroupMap<(usize, Code)> = GroupMap::new(coded.lhs().len());
             for (row, &rhs) in rhs_col.iter().enumerate() {
-                if !coded.lhs_matches_row(rel, row) {
+                if !rel.is_live(row) || !coded.lhs_matches_row(rel, row) {
                     continue;
                 }
                 let (first_row, first_rhs) =
@@ -477,10 +539,66 @@ mod tests {
     }
 
     #[test]
-    fn wide_lhs_uses_many_keys() {
-        // 3-attribute LHS exercises the GroupKey::Many path.
-        let fd = Cfd::fd(&[0, 1, 2], 3).unwrap();
-        agree(&[&[1, 2, 3, 4], &[1, 2, 3, 5]], &fd);
-        agree(&[&[1, 2, 3, 4], &[1, 2, 9, 5]], &fd);
+    fn wide_lhs_uses_packed_keys() {
+        // 3- and 4-attribute LHS exercise the packed Three/Four key
+        // shapes (GroupMap::Wide); 5-wide falls back to Many.
+        let fd3 = Cfd::fd(&[0, 1, 2], 3).unwrap();
+        agree(&[&[1, 2, 3, 4], &[1, 2, 3, 5]], &fd3);
+        agree(&[&[1, 2, 3, 4], &[1, 2, 9, 5]], &fd3);
+        let fd4 = Cfd::fd(&[0, 1, 2, 3], 4).unwrap();
+        agree(&[&[1, 2, 3, 4, 5], &[1, 2, 3, 4, 6]], &fd4);
+        agree(&[&[1, 2, 3, 4, 5], &[1, 2, 3, 9, 6]], &fd4);
+        let fd5 = Cfd::fd(&[0, 1, 2, 3, 4], 5).unwrap();
+        agree(&[&[1, 2, 3, 4, 5, 6], &[1, 2, 3, 4, 5, 7]], &fd5);
+        agree(&[&[1, 2, 3, 4, 5, 6], &[1, 2, 3, 4, 9, 7]], &fd5);
+    }
+
+    #[test]
+    fn packed_keys_distinguish_position() {
+        // pack3/pack4 must not collide when the same codes appear at
+        // different positions: (a,b,c) ≠ (c,b,a) unless a == c.
+        let rel: Relation = [
+            vec![Value::int(1), Value::int(2), Value::int(3), Value::int(7)],
+            vec![Value::int(3), Value::int(2), Value::int(1), Value::int(8)],
+        ]
+        .into_iter()
+        .collect();
+        let mut pool = ValuePool::new();
+        let cols = ColumnarRelation::from_relation(&rel, &mut pool);
+        // Keys differ, so each row is its own group: no violation.
+        let fd3 = Cfd::fd(&[0, 1, 2], 3).unwrap();
+        assert!(satisfies_coded(&cols, &pool, &fd3));
+        let coded = CodedCfd::compile(&fd3, &pool);
+        assert_ne!(coded.key_of(&cols, 0), coded.key_of(&cols, 1));
+        // Same check for the 4-wide packing on a 5-column relation.
+        let rel: Relation = [
+            vec![
+                Value::int(1),
+                Value::int(2),
+                Value::int(2),
+                Value::int(1),
+                Value::int(7),
+            ],
+            vec![
+                Value::int(2),
+                Value::int(1),
+                Value::int(1),
+                Value::int(2),
+                Value::int(8),
+            ],
+        ]
+        .into_iter()
+        .collect();
+        let mut pool = ValuePool::new();
+        let cols = ColumnarRelation::from_relation(&rel, &mut pool);
+        let fd4 = Cfd::fd(&[0, 1, 2, 3], 4).unwrap();
+        assert!(satisfies_coded(&cols, &pool, &fd4));
+        let coded = CodedCfd::compile(&fd4, &pool);
+        assert_ne!(coded.key_of(&cols, 0), coded.key_of(&cols, 1));
+        // The three key builders agree on the same row.
+        let row0: Vec<Code> = cols.row_codes(0).collect();
+        assert_eq!(coded.key_of_codes(&row0), coded.key_of(&cols, 0));
+        let lhs0: Vec<Code> = row0[..4].to_vec();
+        assert_eq!(coded.key_of_lhs_codes(&lhs0), coded.key_of(&cols, 0));
     }
 }

@@ -4,13 +4,93 @@
 //! `t1[Xp] = tp[Xp]` there is a `t2 ∈ D(R2)` with `t2[Y] = t1[X]` and
 //! `t2[Yp] = tp[Yp]`.
 //!
-//! The check builds a hash set of the qualifying `R2` projections once, so
-//! a full validation is `O(|R1| + |R2|)` expected.
+//! The check runs on interned dictionary codes (the same
+//! [`ValuePool`]-encoding the CFD hot paths use): the qualifying `R2`
+//! projections are interned once into an `FxHashSet` of packed keys —
+//! one machine word for the common 1- and 2-column inclusions — after
+//! which each `R1` probe is integer hashing with no heap-`Value`
+//! comparisons. A full validation is `O(|R1| + |R2|)` expected. The `R1`
+//! side never interns: a value the pool has not seen cannot equal any
+//! witness projection, so its tuple is immediately a violation (when in
+//! scope).
 
 use crate::cind::Cind;
 use cfd_relalg::instance::{Database, Tuple};
-use cfd_relalg::Value;
-use std::collections::HashSet;
+use cfd_relalg::pool::{Code, ValuePool};
+use rustc_hash::FxHashSet;
+
+/// A witness key over the inclusion columns, packed into machine words
+/// for the narrow shapes (mirroring `cfd_model::columnar::GroupKey`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum WitnessKey {
+    /// Single inclusion column.
+    One(Code),
+    /// Two columns, packed into one word.
+    Two(u64),
+    /// Three or more columns.
+    Many(Vec<Code>),
+}
+
+impl WitnessKey {
+    fn pack(codes: &[Code]) -> WitnessKey {
+        match codes {
+            [a] => WitnessKey::One(*a),
+            [a, b] => WitnessKey::Two(((*a as u64) << 32) | *b as u64),
+            _ => WitnessKey::Many(codes.to_vec()),
+        }
+    }
+}
+
+/// The interned witness set of one CIND: every qualifying `R2` projection
+/// as a packed code key.
+struct WitnessSet {
+    pool: ValuePool,
+    keys: FxHashSet<WitnessKey>,
+}
+
+impl WitnessSet {
+    fn build(db: &Database, cind: &Cind) -> WitnessSet {
+        let mut pool = ValuePool::new();
+        let mut keys = FxHashSet::default();
+        let mut scratch: Vec<Code> = Vec::with_capacity(cind.columns().len());
+        for t in db.relation(cind.rhs_rel()).tuples() {
+            if !cind.rhs_pattern().iter().all(|(a, v)| &t[*a] == v) {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(cind.columns().iter().map(|(_, y)| pool.intern(&t[*y])));
+            keys.insert(WitnessKey::pack(&scratch));
+        }
+        WitnessSet { pool, keys }
+    }
+
+    /// Is the in-scope LHS tuple `t` witnessed? Lookup-only: an
+    /// un-interned value on the inclusion columns means no witness. The
+    /// narrow key shapes are packed directly from the lookups, so the
+    /// hot probe loop allocates nothing.
+    fn covers(&self, cind: &Cind, t: &Tuple) -> bool {
+        let cols = cind.columns();
+        let key = match cols {
+            [(x, _)] => match self.pool.lookup(&t[*x]) {
+                Some(a) => WitnessKey::One(a),
+                None => return false,
+            },
+            [(x1, _), (x2, _)] => match (self.pool.lookup(&t[*x1]), self.pool.lookup(&t[*x2])) {
+                (Some(a), Some(b)) => WitnessKey::Two(((a as u64) << 32) | b as u64),
+                _ => return false,
+            },
+            _ => {
+                let codes: Option<Vec<Code>> =
+                    cols.iter().map(|(x, _)| self.pool.lookup(&t[*x])).collect();
+                match codes {
+                    Some(codes) => WitnessKey::Many(codes),
+                    None => return false,
+                }
+            }
+        };
+        self.keys.contains(&key)
+    }
+}
 
 /// Does `db` satisfy `cind`?
 pub fn satisfies(db: &Database, cind: &Cind) -> bool {
@@ -24,40 +104,22 @@ pub fn satisfies_all<'a>(db: &Database, sigma: impl IntoIterator<Item = &'a Cind
 
 /// The first in-scope LHS tuple with no witness, if any.
 pub fn find_violation(db: &Database, cind: &Cind) -> Option<Tuple> {
-    // Qualifying witnesses: R2 tuples carrying the Yp constants, projected
-    // onto the inclusion columns Y.
-    let witnesses: HashSet<Vec<&Value>> = db
-        .relation(cind.rhs_rel())
-        .tuples()
-        .filter(|t| cind.rhs_pattern().iter().all(|(a, v)| &t[*a] == v))
-        .map(|t| cind.columns().iter().map(|(_, y)| &t[*y]).collect())
-        .collect();
+    let witnesses = WitnessSet::build(db, cind);
     db.relation(cind.lhs_rel())
         .tuples()
         .find(|t| {
-            cind.lhs_condition().iter().all(|(a, v)| &t[*a] == v) && {
-                let key: Vec<&Value> = cind.columns().iter().map(|(x, _)| &t[*x]).collect();
-                !witnesses.contains(&key)
-            }
+            cind.lhs_condition().iter().all(|(a, v)| &t[*a] == v) && !witnesses.covers(cind, t)
         })
         .cloned()
 }
 
 /// All in-scope LHS tuples with no witness.
 pub fn all_violations(db: &Database, cind: &Cind) -> Vec<Tuple> {
-    let witnesses: HashSet<Vec<&Value>> = db
-        .relation(cind.rhs_rel())
-        .tuples()
-        .filter(|t| cind.rhs_pattern().iter().all(|(a, v)| &t[*a] == v))
-        .map(|t| cind.columns().iter().map(|(_, y)| &t[*y]).collect())
-        .collect();
+    let witnesses = WitnessSet::build(db, cind);
     db.relation(cind.lhs_rel())
         .tuples()
         .filter(|t| {
-            cind.lhs_condition().iter().all(|(a, v)| &t[*a] == v) && {
-                let key: Vec<&Value> = cind.columns().iter().map(|(x, _)| &t[*x]).collect();
-                !witnesses.contains(&key)
-            }
+            cind.lhs_condition().iter().all(|(a, v)| &t[*a] == v) && !witnesses.covers(cind, t)
         })
         .cloned()
         .collect()
@@ -68,6 +130,7 @@ mod tests {
     use super::*;
     use cfd_relalg::domain::DomainKind;
     use cfd_relalg::schema::{Attribute, Catalog, RelId, RelationSchema};
+    use cfd_relalg::Value;
 
     /// Two relations: order(cust, country) and customer(id, cc).
     fn setup() -> (Catalog, RelId, RelId) {
@@ -178,6 +241,33 @@ mod tests {
         let vs = all_violations(&db, &psi);
         assert_eq!(vs.len(), 1);
         assert_eq!(vs[0][0], Value::int(2));
+    }
+
+    #[test]
+    fn two_column_inclusion_uses_packed_keys() {
+        let (c, orders, cust) = setup();
+        // Both columns included: exercises the WitnessKey::Two path.
+        let psi = Cind::ind(orders, cust, vec![(0, 0), (1, 1)]).unwrap();
+        let mut db = Database::empty(&c);
+        db.insert(orders, row(vec![Value::int(1), Value::str("uk")]));
+        db.insert(cust, row(vec![Value::int(1), Value::str("uk")]));
+        assert!(satisfies(&db, &psi));
+        db.insert(orders, row(vec![Value::int(1), Value::str("us")]));
+        assert!(!satisfies(&db, &psi), "second column differs");
+        let v = find_violation(&db, &psi).unwrap();
+        assert_eq!(v[1], Value::str("us"));
+    }
+
+    #[test]
+    fn unseen_lhs_value_is_an_immediate_violation() {
+        let (c, orders, cust) = setup();
+        let psi = Cind::ind(orders, cust, vec![(0, 0)]).unwrap();
+        let mut db = Database::empty(&c);
+        db.insert(cust, row(vec![Value::int(1), Value::str("x")]));
+        // 99 never occurs among witnesses: the lookup-only probe must
+        // report it without interning.
+        db.insert(orders, row(vec![Value::int(99), Value::str("a")]));
+        assert_eq!(all_violations(&db, &psi).len(), 1);
     }
 
     #[test]

@@ -1,101 +1,66 @@
 //! Incremental validation of tuple insertions.
 //!
-//! The paper's data-integration application (§1): when a view is maintained
-//! under updates, an insertion can be rejected by the *dependencies* alone —
-//! either immediately (it clashes with a constant pattern) or against the
-//! current contents (it disagrees with an existing LHS group). This module
-//! maintains one hash index per wildcard-RHS CFD so each insertion is
-//! validated in `O(|Σ|)` expected time instead of rescanning the relation.
+//! **Superseded by [`crate::delta::DeltaDetector`]**, which handles
+//! deletes as well as inserts, *tracks* violations instead of only
+//! rejecting, and reports the exact [`crate::delta::ViolationDiff`] of
+//! each batch. New code should use the delta engine directly; this type
+//! stays as the convenient reject-only façade for the paper's
+//! data-integration application (§1: an insertion into a maintained view
+//! can be refused by the dependencies alone) and is now a thin wrapper
+//! over a [`DeltaDetector`].
 //!
-//! The indexes are kept over dictionary codes: the checker owns a
-//! [`ValuePool`], admitted tuples are interned once, and every lookup is
-//! `u32` hashing. [`InsertChecker::check`] never interns — a value the pool
-//! has not seen cannot equal any resident value, which the code paths
-//! exploit directly.
+//! Each insertion is validated in `O(|Σ|)` expected time against the
+//! delta engine's LHS-group indexes; [`InsertChecker::check`] never
+//! interns — a value the pool has not seen cannot equal any resident
+//! value. Batch admission goes through [`InsertChecker::apply_batch`],
+//! whose diff is deterministic and independent of the batch's internal
+//! tuple order (duplicate conflicting tuples collapse under set
+//! semantics instead of being double-reported).
 
+use crate::delta::{DeltaDetector, UpdateBatch, ViolationDiff};
 use cfd_model::cfd::Cfd;
-use cfd_model::columnar::{CodeCell, CodedCfd, GroupKey};
 use cfd_relalg::instance::{Relation, Tuple};
-use cfd_relalg::pool::{Code, ValuePool};
-use rustc_hash::FxHashMap;
-
-/// Per-CFD index: LHS code key → the RHS codes present.
-///
-/// A clean base relation has exactly one RHS code per key; we keep a small
-/// vector so the checker also works when seeded with a dirty base (it then
-/// reports *additional* damage, never repairs existing damage).
-type GroupIndex = FxHashMap<GroupKey, Vec<Code>>;
 
 /// Validates insertions into one relation against a fixed CFD set.
+///
+/// A reject-only façade over [`DeltaDetector`] — see the module docs for
+/// when to use which.
 #[derive(Clone, Debug)]
 pub struct InsertChecker {
-    sigma: Vec<Cfd>,
-    /// CFDs compiled against `pool`; pattern constants are interned at
-    /// construction, so compiled constants stay valid as the pool grows.
-    coded: Vec<CodedCfd>,
-    pool: ValuePool,
-    /// One index per CFD; empty map for CFDs that need no index
-    /// (constant-RHS and attribute-equality forms are memoryless).
-    indexes: Vec<GroupIndex>,
-    tuples: usize,
+    inner: DeltaDetector,
+    /// Tuples admitted so far (base + inserts, counting every
+    /// [`InsertChecker::admit`] call — the historical semantics).
+    admitted: usize,
 }
 
 impl InsertChecker {
     /// Build a checker over `sigma`, seeded with the tuples of `base`.
     pub fn new(sigma: Vec<Cfd>, base: &Relation) -> Self {
-        let mut pool = ValuePool::new();
-        for cfd in &sigma {
-            for (_, p) in cfd.lhs() {
-                if let Some(v) = p.as_const() {
-                    pool.intern(v);
-                }
-            }
-            if let Some(v) = cfd.rhs_pattern().as_const() {
-                pool.intern(v);
-            }
+        InsertChecker {
+            admitted: base.len(),
+            inner: DeltaDetector::new(sigma, base),
         }
-        let coded = sigma.iter().map(|c| CodedCfd::compile(c, &pool)).collect();
-        let mut checker = InsertChecker {
-            indexes: vec![GroupIndex::default(); sigma.len()],
-            sigma,
-            coded,
-            pool,
-            tuples: 0,
-        };
-        for t in base.tuples() {
-            checker.admit(t.clone());
-        }
-        checker
     }
 
     /// The CFDs being enforced.
     pub fn sigma(&self) -> &[Cfd] {
-        &self.sigma
+        self.inner.sigma()
     }
 
     /// Number of tuples admitted so far (base + inserts).
     pub fn len(&self) -> usize {
-        self.tuples
+        self.admitted
     }
 
     /// Has nothing been admitted?
     pub fn is_empty(&self) -> bool {
-        self.tuples == 0
+        self.admitted == 0
     }
 
     /// Indices of the CFDs that inserting `t` would violate. Empty means
     /// the insertion is safe.
     pub fn check(&self, t: &Tuple) -> Vec<usize> {
-        // Lookup-only encoding: `None` marks a value the pool has never
-        // seen, which therefore differs from every resident value.
-        let codes: Vec<Option<Code>> = t.iter().map(|v| self.pool.lookup(v)).collect();
-        let mut bad = Vec::new();
-        for (i, coded) in self.coded.iter().enumerate() {
-            if self.violates(i, coded, t, &codes) {
-                bad.push(i);
-            }
-        }
-        bad
+        self.inner.check_insert(t)
     }
 
     /// Validate and admit `t`. On violation the state is unchanged and the
@@ -112,62 +77,30 @@ impl InsertChecker {
 
     /// Admit `t` without validation (used for seeding and for callers that
     /// deliberately accept dirty data).
+    ///
+    /// Each call pays the delta engine's per-batch diff bookkeeping for a
+    /// one-tuple batch; when admitting many tuples — especially into
+    /// already-dirty groups — use [`InsertChecker::apply_batch`] (or seed
+    /// through [`InsertChecker::new`]), which amortizes that cost across
+    /// the whole batch.
     pub fn admit(&mut self, t: Tuple) {
-        let codes: Vec<Code> = t.iter().map(|v| self.pool.intern(v)).collect();
-        for (i, coded) in self.coded.iter().enumerate() {
-            if coded.attr_eq().is_some() || coded.rhs() != CodeCell::Wild {
-                continue; // memoryless forms
-            }
-            if !coded.lhs_matches_codes(&codes) {
-                continue;
-            }
-            let entry = self.indexes[i]
-                .entry(coded.key_of_codes(&codes))
-                .or_default();
-            let rhs = codes[coded.rhs_attr()];
-            if !entry.contains(&rhs) {
-                entry.push(rhs);
-            }
-        }
-        self.tuples += 1;
+        self.inner.apply(&UpdateBatch::inserts(vec![t]));
+        self.admitted += 1;
     }
 
-    fn violates(&self, i: usize, coded: &CodedCfd, t: &Tuple, codes: &[Option<Code>]) -> bool {
-        if let Some((a, b)) = coded.attr_eq() {
-            return t[a] != t[b];
-        }
-        // LHS match on optional codes: a constant cell can only match a
-        // value the pool knows (pattern constants are always interned).
-        let lhs_matches = coded.lhs().iter().all(|(a, cell)| match cell {
-            CodeCell::Wild => true,
-            CodeCell::Const(c) => codes[*a] == Some(*c),
-            CodeCell::Absent => unreachable!("pattern constants are interned at construction"),
-        });
-        if !lhs_matches {
-            return false;
-        }
-        match coded.rhs() {
-            CodeCell::Const(c) => codes[coded.rhs_attr()] != Some(c),
-            CodeCell::Absent => unreachable!("pattern constants are interned at construction"),
-            CodeCell::Wild => {
-                // A never-seen value in the key means no resident group can
-                // share it: the insertion opens a fresh group, which is safe.
-                let lhs_codes: Option<Vec<Code>> =
-                    coded.lhs().iter().map(|(a, _)| codes[*a]).collect();
-                let Some(lhs_codes) = lhs_codes else {
-                    return false;
-                };
-                match self.indexes[i].get(&coded.key_of_lhs_codes(&lhs_codes)) {
-                    // Any existing RHS code different from ours conflicts;
-                    // a never-seen RHS value conflicts with every resident.
-                    Some(vals) => match codes[coded.rhs_attr()] {
-                        Some(rhs) => vals.iter().any(|v| *v != rhs),
-                        None => !vals.is_empty(),
-                    },
-                    None => false,
-                }
-            }
-        }
+    /// Admit a whole batch without per-tuple validation, returning the
+    /// exact violation diff it caused. The diff is sorted and independent
+    /// of the batch's internal tuple order: duplicate conflicting tuples
+    /// collapse under set semantics instead of being reported twice.
+    pub fn apply_batch(&mut self, tuples: Vec<Tuple>) -> ViolationDiff {
+        self.admitted += tuples.len();
+        self.inner.apply(&UpdateBatch::inserts(tuples))
+    }
+
+    /// The underlying delta engine (violation tracking, deletes,
+    /// compaction — everything this façade does not expose).
+    pub fn detector(&self) -> &DeltaDetector {
+        &self.inner
     }
 }
 
@@ -258,6 +191,26 @@ mod tests {
         assert_eq!(checker.check(&tup(&[1, 99])), vec![0]);
         // A never-seen key value opens a fresh group: safe.
         assert!(checker.check(&tup(&[77, 99])).is_empty());
+    }
+
+    #[test]
+    fn batch_with_duplicate_conflicts_reports_deterministically() {
+        // The same batch in any internal order — including duplicated
+        // conflicting tuples — yields the identical (sorted) diff.
+        let sigma = vec![Cfd::fd(&[0], 1).unwrap()];
+        let batch = vec![tup(&[1, 2]), tup(&[1, 3]), tup(&[1, 2]), tup(&[2, 5])];
+        let mut permuted = batch.clone();
+        permuted.reverse();
+        let mut a = InsertChecker::new(sigma.clone(), &Relation::new());
+        let mut b = InsertChecker::new(sigma, &Relation::new());
+        let da = a.apply_batch(batch);
+        let db = b.apply_batch(permuted);
+        assert_eq!(da, db);
+        assert_eq!(da.added.len(), 1, "one conflicted group, reported once");
+        assert_eq!(
+            a.detector().current_violations(),
+            b.detector().current_violations()
+        );
     }
 
     #[test]

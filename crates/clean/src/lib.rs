@@ -16,9 +16,14 @@
 //! * [`sql`] — the SQL detection queries of \[8\] (one constant query plus
 //!   one pair query per CFD), generated as text for offloading detection to
 //!   an external RDBMS;
-//! * [`incremental`] — an index that validates tuple *insertions* against a
-//!   CFD set without rescanning the relation (the paper's data-integration
-//!   application: rejecting view updates);
+//! * [`delta`] — the persistent incremental engine: a [`DeltaDetector`]
+//!   compiles Σ once, keeps LHS-group indexes over the mutable columnar
+//!   store, and answers each batch of inserts/deletes with the exact
+//!   [`ViolationDiff`] it caused in `O(|Δ|·|Σ|)` expected time (the
+//!   paper's update-driven applications: view maintenance, warehouse
+//!   cleaning under change);
+//! * [`incremental`] — the legacy single-insert validator, now a thin
+//!   wrapper over the delta engine (kept for its reject-only API);
 //! * [`repair()`] — a greedy equivalence-class repair that modifies
 //!   right-hand-side cells until the instance satisfies the CFDs, reporting
 //!   the cell-level cost.
@@ -49,11 +54,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod incremental;
 pub mod repair;
 pub mod sql;
 pub mod violations;
 
+pub use delta::{DeltaDetector, UpdateBatch, ViolationDiff};
 pub use incremental::InsertChecker;
 pub use repair::{repair, RepairOutcome};
 pub use sql::detection_sql;

@@ -35,7 +35,10 @@ use std::collections::{BTreeSet, HashMap};
 const PARALLEL_CUTOFF: usize = 1 << 14;
 
 /// How a tuple (or group of tuples) violates a CFD.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The derived order is only a deterministic tie-break (used by the delta
+/// engine's diff output); it carries no semantic meaning.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ViolationKind {
     /// A single tuple matches `tp[X]` but its RHS cell differs from the
     /// constant `tp[A]` (the single-tuple rule of §2.1).
@@ -61,7 +64,7 @@ pub enum ViolationKind {
 }
 
 /// One violation of one CFD, with the tuples that exhibit it.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Violation {
     /// Index of the violated CFD in the input set.
     pub cfd_index: usize,
@@ -255,7 +258,7 @@ pub(crate) fn detect_coded(
     if let Some((a, b)) = coded.attr_eq() {
         let (ca, cb) = (rel.column(a), rel.column(b));
         for row in 0..rel.len() {
-            if ca[row] != cb[row] {
+            if rel.is_live(row) && ca[row] != cb[row] {
                 out.push(CodedViolation {
                     cfd_index,
                     kind: CodedViolationKind::AttrEqClash {
@@ -272,7 +275,7 @@ pub(crate) fn detect_coded(
         CodeCell::Const(expected) => {
             let rhs_col = rel.column(coded.rhs_attr());
             for (row, &found) in rhs_col.iter().enumerate() {
-                if found != expected && coded.lhs_matches_row(rel, row) {
+                if rel.is_live(row) && found != expected && coded.lhs_matches_row(rel, row) {
                     out.push(CodedViolation {
                         cfd_index,
                         kind: CodedViolationKind::ConstantClash { found },
@@ -286,7 +289,7 @@ pub(crate) fn detect_coded(
             // matching the LHS clashes.
             let rhs_col = rel.column(coded.rhs_attr());
             for (row, &found) in rhs_col.iter().enumerate() {
-                if coded.lhs_matches_row(rel, row) {
+                if rel.is_live(row) && coded.lhs_matches_row(rel, row) {
                     out.push(CodedViolation {
                         cfd_index,
                         kind: CodedViolationKind::ConstantClash { found },
@@ -376,7 +379,23 @@ fn wild_violations(
     conflicted
 }
 
-fn materialize(
+/// The total order [`detect_all`] emits violations in: by CFD index,
+/// then by the participating tuples, with the kind as a deterministic
+/// tie-break. The delta engine's diff machinery sorts and merges with
+/// this same comparator — keep them one function.
+pub(crate) fn violation_order(a: &Violation, b: &Violation) -> std::cmp::Ordering {
+    a.cfd_index
+        .cmp(&b.cfd_index)
+        .then_with(|| a.tuples.cmp(&b.tuples))
+        .then_with(|| a.kind.cmp(&b.kind))
+}
+
+/// Sort violations in [`violation_order`].
+pub(crate) fn sort_violations(vs: &mut [Violation]) {
+    vs.sort_by(violation_order);
+}
+
+pub(crate) fn materialize(
     v: CodedViolation,
     rel: &ColumnarRelation,
     pool: &ValuePool,

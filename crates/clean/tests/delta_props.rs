@@ -1,0 +1,197 @@
+//! Property tests for the incremental delta engine (ISSUE 2).
+//!
+//! After any random interleaving of insert/delete batches, three views of
+//! the world must coincide:
+//!
+//! 1. the [`DeltaDetector`]'s cumulative violation state (both as
+//!    reported by `current_violations` and as reconstructed by replaying
+//!    every [`ViolationDiff`] from an empty set);
+//! 2. a fresh columnar [`cfd_clean::detect_all`] over the materialized
+//!    final relation;
+//! 3. the quadratic §2.1 reference (`cfd_model::satisfy`) on these small
+//!    instances: detection is empty exactly when every CFD is satisfied.
+
+use cfd_clean::{detect_all, DeltaDetector, UpdateBatch, Violation};
+use cfd_model::cfd::Cfd;
+use cfd_model::pattern::Pattern;
+use cfd_model::satisfy;
+use cfd_relalg::instance::{Relation, Tuple};
+use cfd_relalg::Value;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const ARITY: usize = 3;
+
+/// Values from a tiny pool so collisions (and violations) are likely.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    (0i64..4).prop_map(Value::int)
+}
+
+fn tuple_strategy() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(value_strategy(), ARITY)
+}
+
+/// A batch: some inserts, some deletes (the deletes drawn from the same
+/// tiny tuple space, so they often hit resident tuples).
+fn batch_strategy() -> impl Strategy<Value = UpdateBatch> {
+    (
+        proptest::collection::vec(tuple_strategy(), 0..6),
+        proptest::collection::vec(tuple_strategy(), 0..6),
+    )
+        .prop_map(|(inserts, deletes)| UpdateBatch::new(inserts, deletes))
+}
+
+/// A random normal-form CFD over `ARITY` attributes (plain, conditional,
+/// constant-RHS, or the attribute-equality form).
+fn cfd_strategy() -> impl Strategy<Value = Cfd> {
+    let cell = prop_oneof![
+        3 => Just(Pattern::Wild),
+        2 => (0i64..4).prop_map(Pattern::cst),
+    ];
+    let lhs = proptest::collection::btree_set(0usize..ARITY, 1..ARITY);
+    let shaped = (
+        lhs,
+        proptest::collection::vec(cell, ARITY),
+        0usize..ARITY,
+        prop_oneof![
+            3 => Just(Pattern::Wild),
+            2 => (0i64..4).prop_map(Pattern::cst),
+        ],
+    )
+        .prop_filter_map("valid cfd", |(lhs, cells, rhs, rhs_p)| {
+            let lhs_cells: Vec<(usize, Pattern)> = lhs
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (*a, cells[i].clone()))
+                .collect();
+            Cfd::new(lhs_cells, rhs, rhs_p).ok()
+        });
+    prop_oneof![
+        6 => shaped,
+        1 => (0usize..ARITY, 0usize..ARITY)
+            .prop_filter_map("distinct attrs", |(a, b)| if a == b { None } else { Cfd::attr_eq(a, b).ok() }),
+    ]
+}
+
+/// Apply `batch` to a model relation with the engine's semantics:
+/// deletes first, then inserts (set semantics).
+fn apply_to_model(model: &mut Relation, batch: &UpdateBatch) {
+    let mut tuples: BTreeSet<Tuple> = model.tuples().cloned().collect();
+    for t in &batch.deletes {
+        tuples.remove(t);
+    }
+    for t in &batch.inserts {
+        tuples.insert(t.clone());
+    }
+    *model = tuples.into_iter().collect();
+}
+
+proptest! {
+    /// The headline equivalence: after any interleaving of batches, the
+    /// delta engine's violation state equals a fresh columnar rescan of
+    /// the final relation, which in turn agrees with the quadratic §2.1
+    /// reference on satisfaction.
+    #[test]
+    fn delta_equals_rescan_equals_reference(
+        base in proptest::collection::vec(tuple_strategy(), 0..8),
+        batches in proptest::collection::vec(batch_strategy(), 0..6),
+        sigma in proptest::collection::vec(cfd_strategy(), 1..4),
+    ) {
+        let base: Relation = base.into_iter().collect();
+        let mut det = DeltaDetector::new(sigma.clone(), &base);
+        let mut model = base;
+        for b in &batches {
+            det.apply(b);
+            apply_to_model(&mut model, b);
+        }
+        prop_assert_eq!(det.relation(), model.clone(), "store diverged from the model");
+        let fresh = detect_all(&model, &sigma);
+        prop_assert_eq!(
+            det.current_violations(),
+            fresh.clone(),
+            "delta state diverged from the columnar rescan"
+        );
+        // §2.1 quadratic reference: no violations ⇔ every CFD satisfied.
+        for (i, cfd) in sigma.iter().enumerate() {
+            prop_assert_eq!(
+                !fresh.iter().any(|v| v.cfd_index == i),
+                satisfy::satisfies_pairwise(&model, cfd),
+                "columnar rescan disagrees with the pairwise reference"
+            );
+        }
+    }
+
+    /// Replaying the diffs reconstructs the violation state: starting
+    /// from the initial violations and applying every batch's
+    /// added/removed sets lands exactly on `current_violations`.
+    #[test]
+    fn diff_replay_reconstructs_state(
+        base in proptest::collection::vec(tuple_strategy(), 0..8),
+        batches in proptest::collection::vec(batch_strategy(), 0..6),
+        sigma in proptest::collection::vec(cfd_strategy(), 1..4),
+    ) {
+        let base: Relation = base.into_iter().collect();
+        let mut det = DeltaDetector::new(sigma, &base);
+        let mut state: BTreeSet<Violation> =
+            det.current_violations().into_iter().collect();
+        for b in &batches {
+            let diff = det.apply(b);
+            for v in &diff.removed {
+                prop_assert!(
+                    state.remove(v),
+                    "diff retired a violation that was not in the state: {v:?}"
+                );
+            }
+            for v in diff.added {
+                prop_assert!(
+                    state.insert(v),
+                    "diff added a violation that was already in the state"
+                );
+            }
+        }
+        let current: BTreeSet<Violation> =
+            det.current_violations().into_iter().collect();
+        prop_assert_eq!(state, current);
+    }
+
+    /// The diff is independent of the order of tuples inside a batch
+    /// (duplicate conflicting tuples included).
+    #[test]
+    fn diff_is_order_independent(
+        base in proptest::collection::vec(tuple_strategy(), 0..6),
+        inserts in proptest::collection::vec(tuple_strategy(), 0..6),
+        deletes in proptest::collection::vec(tuple_strategy(), 0..6),
+        sigma in proptest::collection::vec(cfd_strategy(), 1..3),
+    ) {
+        let base: Relation = base.into_iter().collect();
+        let fwd = UpdateBatch::new(inserts.clone(), deletes.clone());
+        let rev = UpdateBatch::new(
+            inserts.into_iter().rev().collect(),
+            deletes.into_iter().rev().collect(),
+        );
+        let mut d1 = DeltaDetector::new(sigma.clone(), &base);
+        let mut d2 = DeltaDetector::new(sigma, &base);
+        prop_assert_eq!(d1.apply(&fwd), d2.apply(&rev));
+    }
+
+    /// Compaction is invisible: forcing it at every step never changes
+    /// the reported state.
+    #[test]
+    fn compaction_preserves_equivalence(
+        base in proptest::collection::vec(tuple_strategy(), 0..8),
+        batches in proptest::collection::vec(batch_strategy(), 0..5),
+        sigma in proptest::collection::vec(cfd_strategy(), 1..3),
+    ) {
+        let base: Relation = base.into_iter().collect();
+        let mut plain = DeltaDetector::new(sigma.clone(), &base);
+        let mut compacted = DeltaDetector::new(sigma, &base);
+        for b in &batches {
+            let d1 = plain.apply(b);
+            let d2 = compacted.apply(b);
+            compacted.compact_now();
+            prop_assert_eq!(d1, d2, "diffs must not depend on compaction");
+        }
+        prop_assert_eq!(plain.current_violations(), compacted.current_violations());
+        prop_assert_eq!(plain.relation(), compacted.relation());
+    }
+}

@@ -18,11 +18,18 @@
 //! cfdprop gen [--relations N] [--cfds M] [--y N] [--f N] [--ec N] [--seed S]
 //!     Emit a random workload document (paper §5 generators).
 //!
-//! cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise]
+//! cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise|delta]
 //!     Detect violations of the file's source CFDs on its `row` data;
 //!     with --repair, print a greedy minimal-change repair. Detection
 //!     runs on the dictionary-encoded columnar engine unless
-//!     `--detector rowwise` selects the row-wise reference.
+//!     `--detector rowwise` selects the row-wise reference or
+//!     `--detector delta` routes through the incremental delta engine.
+//!
+//! cfdprop apply-updates <file.cfd> <file.upd>
+//!     Replay an update script (batches of `insert R(...)` / `delete
+//!     R(...)` statements separated by `commit;`) against the document's
+//!     `row` data, reporting the violations each batch adds and retires
+//!     via the incremental delta engine.
 //!
 //! cfdprop sql <file.cfd>
 //!     Emit the SQL detection queries for every source CFD.
@@ -72,6 +79,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("consistency") => consistency(args),
         Some("gen") => gen(args),
         Some("clean") => clean(args),
+        Some("apply-updates") => apply_updates(args),
         Some("sql") => sql(args),
         Some("cind") => cind(args),
         Some("--help") | Some("-h") | None => {
@@ -91,7 +99,8 @@ USAGE:
     cfdprop empty <file.cfd>
     cfdprop consistency <file.cfd>
     cfdprop gen [--relations N] [--cfds M] [--y N] [--f N] [--ec N] [--seed S]
-    cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise]
+    cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise|delta]
+    cfdprop apply-updates <file.cfd> <file.upd>
     cfdprop sql <file.cfd>
     cfdprop cind <file.cfd>
 ";
@@ -259,34 +268,50 @@ fn cover(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise]` —
-/// violation detection (and optional repair) of the document's source CFDs
-/// on its `row` data.
+/// Which detection engine `clean` runs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Detector {
+    Columnar,
+    Rowwise,
+    Delta,
+}
+
+fn detector_from(args: &[String]) -> Result<Detector, String> {
+    if !args.iter().any(|a| a == "--detector") {
+        return Ok(Detector::Columnar);
+    }
+    match flag_value(args, "--detector").as_deref() {
+        Some("columnar") => Ok(Detector::Columnar),
+        Some("rowwise") => Ok(Detector::Rowwise),
+        Some("delta") => Ok(Detector::Delta),
+        Some(other) => Err(format!(
+            "unknown detector `{other}` (columnar|rowwise|delta)"
+        )),
+        None => Err("--detector requires a value (columnar|rowwise|delta)".into()),
+    }
+}
+
+/// `cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise|delta]`
+/// — violation detection (and optional repair) of the document's source
+/// CFDs on its `row` data.
 ///
 /// Detection defaults to the dictionary-encoded columnar engine (`cargo
 /// run -p cfd-bench --bin columnar_exp` for the measured speedup);
-/// `--detector rowwise` forces the seed's row-wise hash grouping, which is
-/// useful for cross-checking the two engines on real documents.
+/// `--detector rowwise` forces the seed's row-wise hash grouping, and
+/// `--detector delta` routes through the incremental delta engine
+/// (`cfd_clean::DeltaDetector`) — all three report identical violations,
+/// which makes the flag a cross-check on real documents.
 fn clean(args: &[String]) -> Result<(), String> {
     let path = args
         .get(1)
-        .ok_or("usage: cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise]")?;
+        .ok_or("usage: cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise|delta]")?;
     let doc = load(path)?;
     let db = doc.database().map_err(|e| e.to_string())?;
     if db.total_tuples() == 0 {
         return Err("the document has no `row` data to clean".into());
     }
     let do_repair = args.iter().any(|a| a == "--repair");
-    let rowwise = if args.iter().any(|a| a == "--detector") {
-        match flag_value(args, "--detector").as_deref() {
-            Some("columnar") => false,
-            Some("rowwise") => true,
-            Some(other) => return Err(format!("unknown detector `{other}` (columnar|rowwise)")),
-            None => return Err("--detector requires a value (columnar|rowwise)".into()),
-        }
-    } else {
-        false
-    };
+    let detector = detector_from(args)?;
     let mut total = 0usize;
     for (rel, schema) in doc.catalog.relations() {
         let local: Vec<cfd_model::Cfd> = doc
@@ -299,10 +324,12 @@ fn clean(args: &[String]) -> Result<(), String> {
             continue;
         }
         let names: Vec<String> = schema.attributes.iter().map(|a| a.name.clone()).collect();
-        let violations = if rowwise {
-            cfd_clean::detect_all_rowwise(db.relation(rel), &local)
-        } else {
-            cfd_clean::detect_all(db.relation(rel), &local)
+        let violations = match detector {
+            Detector::Rowwise => cfd_clean::detect_all_rowwise(db.relation(rel), &local),
+            Detector::Columnar => cfd_clean::detect_all(db.relation(rel), &local),
+            Detector::Delta => {
+                cfd_clean::DeltaDetector::new(local.clone(), db.relation(rel)).current_violations()
+            }
         };
         for v in &violations {
             println!(
@@ -336,6 +363,123 @@ fn clean(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{total} violation(s) found"))
+    }
+}
+
+/// `cfdprop apply-updates <file.cfd> <file.upd>` — replay an update
+/// script against the document's data through the incremental delta
+/// engine, reporting the violations each batch adds and retires.
+///
+/// The script is batches of `insert R(v, ...);` / `delete R(v, ...);`
+/// statements, each batch terminated by `commit;`. Deletes within a batch
+/// apply before its inserts; per-batch cost is `O(|Δ|·|Σ|)` expected —
+/// the relation is never rescanned.
+fn apply_updates(args: &[String]) -> Result<(), String> {
+    let path = args
+        .get(1)
+        .ok_or("usage: cfdprop apply-updates <file.cfd> <file.upd>")?;
+    let upd_path = args
+        .get(2)
+        .ok_or("usage: cfdprop apply-updates <file.cfd> <file.upd>")?;
+    let doc = load(path)?;
+    let db = doc.database().map_err(|e| e.to_string())?;
+    let src = std::fs::read_to_string(upd_path).map_err(|e| format!("{upd_path}: {e}"))?;
+    let batches = cfd_text::parser::parse_updates(&src).map_err(|e| format!("{upd_path}:{e}"))?;
+
+    // One delta detector per relation that carries CFDs.
+    let mut detectors: Vec<(cfd_relalg::schema::RelId, cfd_clean::DeltaDetector)> = Vec::new();
+    for (rel, _) in doc.catalog.relations() {
+        let local: Vec<cfd_model::Cfd> = doc
+            .sigma()
+            .iter()
+            .filter(|s| s.rel == rel)
+            .map(|s| s.cfd.clone())
+            .collect();
+        if !local.is_empty() {
+            detectors.push((rel, cfd_clean::DeltaDetector::new(local, db.relation(rel))));
+        }
+    }
+
+    let mut final_total = 0usize;
+    for (b, batch) in batches.iter().enumerate() {
+        // Split the batch per target relation, validating as we go.
+        let mut per_rel: Vec<cfd_clean::UpdateBatch> = detectors
+            .iter()
+            .map(|_| cfd_clean::UpdateBatch::default())
+            .collect();
+        for stmt in batch {
+            let rel = doc
+                .catalog
+                .rel_id(&stmt.relation)
+                .ok_or_else(|| format!("update for unknown relation `{}`", stmt.relation))?;
+            let schema = doc.catalog.schema(rel);
+            if stmt.tuple.len() != schema.arity() {
+                return Err(format!(
+                    "update tuple for `{}` has arity {}, schema has {}",
+                    stmt.relation,
+                    stmt.tuple.len(),
+                    schema.arity()
+                ));
+            }
+            let Some(slot) = detectors.iter().position(|(r, _)| *r == rel) else {
+                continue; // no CFDs on this relation: nothing to check
+            };
+            match stmt.op {
+                cfd_text::UpdateOp::Insert => per_rel[slot].inserts.push(stmt.tuple.clone()),
+                cfd_text::UpdateOp::Delete => per_rel[slot].deletes.push(stmt.tuple.clone()),
+            }
+        }
+        let mut added = 0usize;
+        let mut removed = 0usize;
+        for ((rel, det), upd) in detectors.iter_mut().zip(per_rel) {
+            if upd.is_empty() {
+                continue;
+            }
+            let schema = doc.catalog.schema(*rel);
+            let names: Vec<String> = schema.attributes.iter().map(|a| a.name.clone()).collect();
+            let diff = det.apply(&upd);
+            let sigma = det.sigma();
+            for v in &diff.added {
+                println!(
+                    "batch {}: + {}: {}",
+                    b + 1,
+                    schema.name,
+                    v.describe(&sigma[v.cfd_index], Some(&names))
+                );
+            }
+            for v in &diff.removed {
+                println!(
+                    "batch {}: - {}: {}",
+                    b + 1,
+                    schema.name,
+                    v.describe(&sigma[v.cfd_index], Some(&names))
+                );
+            }
+            added += diff.added.len();
+            removed += diff.removed.len();
+        }
+        println!(
+            "batch {}: {} statement(s), {} violation(s) added, {} retired",
+            b + 1,
+            batch.len(),
+            added,
+            removed
+        );
+    }
+    for (rel, det) in &detectors {
+        final_total += det.current_violations().len();
+        let schema = doc.catalog.schema(*rel);
+        println!(
+            "final {}: {} tuple(s), {} violation(s)",
+            schema.name,
+            det.live_len(),
+            det.current_violations().len()
+        );
+    }
+    if final_total > 0 {
+        Err(format!("{final_total} violation(s) after replay"))
+    } else {
+        Ok(())
     }
 }
 

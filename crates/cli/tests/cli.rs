@@ -226,12 +226,74 @@ fn clean_detector_flag_selects_engine() {
         String::from_utf8_lossy(&rowwise.stdout),
         "both engines must report identical violations"
     );
+    let delta = cfdprop(&["clean", f.to_str().unwrap(), "--detector", "delta"]);
+    assert!(!delta.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&columnar.stdout),
+        String::from_utf8_lossy(&delta.stdout),
+        "the delta engine must report identical violations"
+    );
     let bad = cfdprop(&["clean", f.to_str().unwrap(), "--detector", "quantum"]);
     assert!(!bad.status.success());
     assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown detector"));
     let dangling = cfdprop(&["clean", f.to_str().unwrap(), "--detector"]);
     assert!(!dangling.status.success());
     assert!(String::from_utf8_lossy(&dangling.stderr).contains("requires a value"));
+}
+
+#[test]
+fn apply_updates_reports_added_and_retired_violations() {
+    let f = write_temp("upd_base.cfd", DIRTY);
+    // Batch 1 retires the ('20' → ldn/edi) conflicts by deleting the dirty
+    // row; batch 2 re-creates a conflict on a fresh key.
+    let u = write_temp(
+        "script.upd",
+        r#"
+        delete R1('20', 'edi');
+        commit;
+        insert R1('31', 'rtm');
+        commit;
+    "#,
+    );
+    let out = cfdprop(&["apply-updates", f.to_str().unwrap(), u.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "the final state is dirty, so the replay exits nonzero: {text}"
+    );
+    assert!(text.contains("batch 1"), "{text}");
+    assert!(
+        text.contains("2 retired"),
+        "deleting ('20','edi') retires both the FD and the constant clash: {text}"
+    );
+    assert!(text.contains("violation(s) added, 0 retired"), "{text}");
+    assert!(text.contains("final R1"), "{text}");
+}
+
+#[test]
+fn apply_updates_to_clean_state_exits_zero() {
+    let f = write_temp("upd_base2.cfd", DIRTY);
+    let u = write_temp(
+        "script2.upd",
+        "delete R1('20', 'edi'); insert R1('44', 'ldn'); commit;",
+    );
+    let out = cfdprop(&["apply-updates", f.to_str().unwrap(), u.to_str().unwrap()]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(text.contains("0 violation(s)"), "{text}");
+}
+
+#[test]
+fn apply_updates_rejects_malformed_script() {
+    let f = write_temp("upd_base3.cfd", DIRTY);
+    let u = write_temp("script3.upd", "upsert R1('20', 'edi');");
+    let out = cfdprop(&["apply-updates", f.to_str().unwrap(), u.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected"));
+    let u = write_temp("script4.upd", "insert R1('20');");
+    let out = cfdprop(&["apply-updates", f.to_str().unwrap(), u.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("arity"));
 }
 
 #[test]

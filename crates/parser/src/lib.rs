@@ -26,5 +26,7 @@ pub mod parser;
 pub mod pretty;
 
 pub use error::{ParseError, Span};
-pub use parser::{Document, NamedSourceCfd, NamedView, NamedViewCfd};
+pub use parser::{
+    parse_updates, Document, NamedSourceCfd, NamedView, NamedViewCfd, UpdateOp, UpdateStmt,
+};
 pub use pretty::render;

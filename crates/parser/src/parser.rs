@@ -131,6 +131,48 @@ impl Document {
     }
 }
 
+/// An update-script operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// `insert R(v, ...);`
+    Insert,
+    /// `delete R(v, ...);`
+    Delete,
+}
+
+/// One statement of an update script: an insert or delete of one tuple
+/// into one relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateStmt {
+    /// Target relation name.
+    pub relation: String,
+    /// Insert or delete.
+    pub op: UpdateOp,
+    /// The tuple.
+    pub tuple: Vec<Value>,
+}
+
+/// Parse an update script: a sequence of `insert R(v, ...);` and
+/// `delete R(v, ...);` statements, grouped into batches by `commit;`
+/// statements (a trailing unterminated batch is kept). Comments follow
+/// the `.cfd` rules (`#` or `--`).
+///
+/// ```
+/// use cfd_text::parser::{parse_updates, UpdateOp};
+///
+/// let batches = parse_updates(
+///     "insert R(1, 'a'); delete R(2, 'b'); commit; insert R(3, 'c');",
+/// )
+/// .unwrap();
+/// assert_eq!(batches.len(), 2);
+/// assert_eq!(batches[0].len(), 2);
+/// assert_eq!(batches[0][1].op, UpdateOp::Delete);
+/// ```
+pub fn parse_updates(src: &str) -> Result<Vec<Vec<UpdateStmt>>, ParseError> {
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.updates()
+}
+
 struct Parser {
     toks: Vec<SpannedTok>,
     pos: usize,
@@ -361,6 +403,48 @@ impl Parser {
         self.expect(Tok::Semi)?;
         doc.rows.push((rel, tuple));
         Ok(())
+    }
+
+    /// Parse an update script (see [`parse_updates`]).
+    fn updates(mut self) -> Result<Vec<Vec<UpdateStmt>>, ParseError> {
+        let mut batches: Vec<Vec<UpdateStmt>> = Vec::new();
+        let mut batch: Vec<UpdateStmt> = Vec::new();
+        while let Some(tok) = self.peek() {
+            let op = match tok {
+                Tok::Ident(kw) if kw == "insert" => Some(UpdateOp::Insert),
+                Tok::Ident(kw) if kw == "delete" => Some(UpdateOp::Delete),
+                Tok::Ident(kw) if kw == "commit" => None,
+                _ => {
+                    return self.err("expected `insert`, `delete`, or `commit`");
+                }
+            };
+            self.pos += 1;
+            let Some(op) = op else {
+                self.expect(Tok::Semi)?;
+                batches.push(std::mem::take(&mut batch));
+                continue;
+            };
+            let relation = self.ident()?;
+            self.expect(Tok::LParen)?;
+            let mut tuple = Vec::new();
+            loop {
+                tuple.push(self.value()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Semi)?;
+            batch.push(UpdateStmt {
+                relation,
+                op,
+                tuple,
+            });
+        }
+        if !batch.is_empty() {
+            batches.push(batch);
+        }
+        Ok(batches)
     }
 
     fn value(&mut self) -> Result<Value, ParseError> {

@@ -4,7 +4,18 @@
 //! heap tuple per row: the cache-friendly layout the violation-detection and
 //! cleaning hot paths scan. Conversion from [`Relation`] preserves the set's
 //! deterministic (sorted) tuple order, so row `i` of the columnar form is
-//! the `i`-th tuple of the set iteration, and conversion back is lossless:
+//! the `i`-th tuple of the set iteration, and conversion back is lossless.
+//!
+//! The relation is *mutable*: [`ColumnarRelation::append_row`] /
+//! [`ColumnarRelation::append_rows`] extend the columns in place (the
+//! [`ValuePool`] interns incrementally, so an update batch never forces a
+//! full re-encode), and [`ColumnarRelation::delete_rows`] tombstones rows
+//! without moving any data. Physical row indices therefore stay stable
+//! across updates — the property the incremental detection indexes rely
+//! on — until [`ColumnarRelation::compact`] reclaims the dead rows and
+//! returns a remap for index maintenance. Scans must skip rows for which
+//! [`ColumnarRelation::is_live`] is `false`; with no deletions pending the
+//! check is a single integer compare.
 //!
 //! ```
 //! use cfd_relalg::columnar::ColumnarRelation;
@@ -29,15 +40,26 @@ use crate::instance::{Relation, Tuple};
 use crate::pool::{Code, ValuePool};
 use crate::value::Value;
 
+/// Row remap entry in the result of [`ColumnarRelation::compact`] for rows
+/// that no longer exist.
+pub const DELETED_ROW: u32 = u32::MAX;
+
 /// A relation instance in dictionary-encoded column-major layout.
 ///
-/// Invariants: every column has the same length ([`ColumnarRelation::len`]),
-/// and rows are distinct when built via [`ColumnarRelation::from_relation`]
-/// (set semantics carries over).
+/// Invariants: every column has the same length ([`ColumnarRelation::len`]
+/// counts *physical* rows, live and tombstoned alike), and rows are
+/// distinct when built via [`ColumnarRelation::from_relation`] (set
+/// semantics carries over; callers of the mutation API keep distinctness
+/// themselves, e.g. via a `codes → row` index).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ColumnarRelation {
     columns: Vec<Vec<Code>>,
     rows: usize,
+    /// Tombstone bitset: empty while nothing was ever deleted (the common,
+    /// fast case), otherwise one bit per physical row.
+    tombstones: Vec<u64>,
+    /// Number of set tombstone bits.
+    dead: usize,
 }
 
 impl ColumnarRelation {
@@ -70,7 +92,12 @@ impl ColumnarRelation {
             }
             rows += 1;
         }
-        ColumnarRelation { columns, rows }
+        ColumnarRelation {
+            columns,
+            rows,
+            tombstones: Vec::new(),
+            dead: 0,
+        }
     }
 
     /// Build directly from row-major code rows (all rows of equal arity;
@@ -87,22 +114,145 @@ impl ColumnarRelation {
         ColumnarRelation {
             columns,
             rows: rows.len(),
+            tombstones: Vec::new(),
+            dead: 0,
         }
     }
 
-    /// Decode back to a set-semantics [`Relation`].
+    /// Decode the live rows back to a set-semantics [`Relation`].
     pub fn to_relation(&self, pool: &ValuePool) -> Relation {
-        (0..self.rows).map(|r| self.decode_row(r, pool)).collect()
+        (0..self.rows)
+            .filter(|&r| self.is_live(r))
+            .map(|r| self.decode_row(r, pool))
+            .collect()
     }
 
-    /// Number of rows.
+    /// Number of *physical* rows (live + tombstoned); row indices range
+    /// over `0..len()`.
     pub fn len(&self) -> usize {
         self.rows
     }
 
-    /// Is the relation empty?
+    /// Number of live (non-tombstoned) rows.
+    pub fn live_len(&self) -> usize {
+        self.rows - self.dead
+    }
+
+    /// Number of tombstoned rows awaiting [`ColumnarRelation::compact`].
+    pub fn dead_len(&self) -> usize {
+        self.dead
+    }
+
+    /// Is the relation physically empty (no rows, live or dead)?
     pub fn is_empty(&self) -> bool {
         self.rows == 0
+    }
+
+    /// Is row `row` live (not tombstoned)?
+    #[inline]
+    pub fn is_live(&self, row: usize) -> bool {
+        self.dead == 0 || self.tombstones[row / 64] & (1 << (row % 64)) == 0
+    }
+
+    /// Append one row of codes, returning its physical row index. The
+    /// first row appended to an empty relation fixes the arity.
+    ///
+    /// # Panics
+    /// If `codes` disagrees with the established arity.
+    pub fn append_row(&mut self, codes: &[Code]) -> usize {
+        if self.columns.is_empty() && self.rows == 0 {
+            self.columns = vec![Vec::new(); codes.len()];
+        }
+        assert_eq!(codes.len(), self.columns.len(), "ragged append");
+        for (col, &c) in self.columns.iter_mut().zip(codes) {
+            col.push(c);
+        }
+        let row = self.rows;
+        self.rows += 1;
+        if !self.tombstones.is_empty() {
+            // Keep the bitset covering every physical row once it exists.
+            if self.rows.div_ceil(64) > self.tombstones.len() {
+                self.tombstones.push(0);
+            }
+        }
+        row
+    }
+
+    /// Append many code rows ([`ColumnarRelation::append_row`] per row),
+    /// returning the physical index of the first appended row.
+    pub fn append_rows(&mut self, rows: &[Vec<Code>]) -> usize {
+        let first = self.rows;
+        for r in rows {
+            self.append_row(r);
+        }
+        first
+    }
+
+    /// Encode `t` against `pool` (interning incrementally) and append it,
+    /// returning the physical row index.
+    pub fn append_tuple(&mut self, t: &Tuple, pool: &mut ValuePool) -> usize {
+        let codes = pool.intern_row(t);
+        self.append_row(&codes)
+    }
+
+    /// Tombstone row `row`. Returns `false` when the row was already dead.
+    pub fn delete_row(&mut self, row: usize) -> bool {
+        assert!(row < self.rows, "delete of nonexistent row {row}");
+        if self.tombstones.is_empty() {
+            self.tombstones = vec![0; self.rows.div_ceil(64).max(1)];
+        }
+        let (word, bit) = (row / 64, 1u64 << (row % 64));
+        if self.tombstones[word] & bit != 0 {
+            return false;
+        }
+        self.tombstones[word] |= bit;
+        self.dead += 1;
+        true
+    }
+
+    /// Tombstone every row in `rows`, returning how many were newly
+    /// deleted (duplicates and already-dead rows are ignored).
+    pub fn delete_rows(&mut self, rows: &[usize]) -> usize {
+        rows.iter().filter(|&&r| self.delete_row(r)).count()
+    }
+
+    /// Should the caller [`ColumnarRelation::compact`]? True once dead
+    /// rows outnumber live ones and there are enough of them for the
+    /// rebuild to pay off.
+    pub fn needs_compaction(&self) -> bool {
+        self.dead > 1024 && self.dead * 2 > self.rows
+    }
+
+    /// Drop the tombstoned rows, compacting every column in place.
+    ///
+    /// Returns the row remap: `remap[old] = new` for surviving rows (live
+    /// rows keep their relative order) and [`DELETED_ROW`] for dead ones,
+    /// so callers can patch row-indexed side structures.
+    pub fn compact(&mut self) -> Vec<u32> {
+        let mut remap = vec![DELETED_ROW; self.rows];
+        let mut next = 0u32;
+        for (row, slot) in remap.iter_mut().enumerate() {
+            if self.is_live(row) {
+                *slot = next;
+                next += 1;
+            }
+        }
+        if self.dead > 0 {
+            for col in &mut self.columns {
+                let mut w = 0;
+                for r in 0..col.len() {
+                    if remap[r] != DELETED_ROW {
+                        col[w] = col[r];
+                        w += 1;
+                    }
+                }
+                col.truncate(w);
+            }
+        }
+        self.rows = next as usize;
+        self.dead = 0;
+        self.tombstones.clear();
+        remap
     }
 
     /// Number of attributes (0 for an empty relation, whose arity is
@@ -189,6 +339,72 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.arity(), 0);
         assert_eq!(c.to_relation(&pool), Relation::new());
+    }
+
+    #[test]
+    fn append_and_delete_round_trip() {
+        let mut pool = ValuePool::new();
+        let mut c = ColumnarRelation::default();
+        let r0 = c.append_tuple(&vec![Value::int(1), Value::int(2)], &mut pool);
+        let r1 = c.append_tuple(&vec![Value::int(3), Value::int(4)], &mut pool);
+        assert_eq!((r0, r1), (0, 1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.live_len(), 2);
+        assert!(c.delete_row(r0));
+        assert!(!c.delete_row(r0), "second delete is a no-op");
+        assert_eq!(c.live_len(), 1);
+        assert!(!c.is_live(r0));
+        assert!(c.is_live(r1));
+        assert_eq!(c.to_relation(&pool), rel(&[&[3, 4]]));
+    }
+
+    #[test]
+    fn append_after_delete_keeps_bitset_in_step() {
+        let mut c = ColumnarRelation::default();
+        for i in 0..70u32 {
+            c.append_row(&[i]);
+        }
+        assert_eq!(c.delete_rows(&[0, 64, 64]), 2);
+        // Appends past the word boundary must extend the tombstone bitset.
+        for i in 70..130u32 {
+            let row = c.append_row(&[i]);
+            assert!(c.is_live(row));
+        }
+        assert_eq!(c.live_len(), 128);
+    }
+
+    #[test]
+    fn compact_remaps_live_rows_in_order() {
+        let mut c = ColumnarRelation::default();
+        for i in 0..5u32 {
+            c.append_row(&[i, i + 10]);
+        }
+        c.delete_rows(&[1, 3]);
+        let remap = c.compact();
+        assert_eq!(remap, vec![0, DELETED_ROW, 1, DELETED_ROW, 2]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.live_len(), 3);
+        assert_eq!(c.column(0), &[0, 2, 4]);
+        assert_eq!(c.column(1), &[10, 12, 14]);
+        assert!(!c.needs_compaction());
+    }
+
+    #[test]
+    fn compact_without_deletions_is_identity() {
+        let r = rel(&[&[1, 2], &[3, 4]]);
+        let mut pool = ValuePool::new();
+        let mut c = ColumnarRelation::from_relation(&r, &mut pool);
+        let before = c.clone();
+        assert_eq!(c.compact(), vec![0, 1]);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn first_append_fixes_arity() {
+        let mut c = ColumnarRelation::default();
+        assert_eq!(c.arity(), 0);
+        c.append_row(&[7, 8, 9]);
+        assert_eq!(c.arity(), 3);
     }
 
     #[test]

@@ -83,6 +83,19 @@ impl ValuePool {
         self.index.get(v).copied()
     }
 
+    /// Encode a whole tuple, interning each value on first sight — the
+    /// incremental path an update batch takes (no full re-encode).
+    pub fn intern_row(&mut self, t: &[Value]) -> Vec<Code> {
+        t.iter().map(|v| self.intern(v)).collect()
+    }
+
+    /// Encode a whole tuple without interning: `None` as soon as any value
+    /// has never been seen (such a tuple cannot be resident in any relation
+    /// encoded against this pool).
+    pub fn lookup_row(&self, t: &[Value]) -> Option<Vec<Code>> {
+        t.iter().map(|v| self.lookup(v)).collect()
+    }
+
     /// The value behind `code`.
     ///
     /// # Panics
@@ -148,6 +161,18 @@ mod tests {
         for (v, c) in vals.iter().zip(&codes) {
             assert_eq!(p.value(*c), v);
         }
+    }
+
+    #[test]
+    fn row_helpers_intern_and_lookup() {
+        let mut p = ValuePool::new();
+        let row = vec![Value::int(1), Value::str("x"), Value::int(1)];
+        let codes = p.intern_row(&row);
+        assert_eq!(codes.len(), 3);
+        assert_eq!(codes[0], codes[2], "same value, same code");
+        assert_eq!(p.lookup_row(&row), Some(codes));
+        // Any never-seen value fails the whole lookup.
+        assert_eq!(p.lookup_row(&[Value::int(1), Value::int(9)]), None);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::thread;
 
 pub mod prelude {
     //! Traits to glob-import, mirroring `rayon::prelude`.
-    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator};
 }
 
 /// Types convertible to a borrowing parallel iterator.
@@ -37,6 +37,32 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Iter = ParSlice<'a, T>;
     fn par_iter(&'a self) -> ParSlice<'a, T> {
         ParSlice { slice: self }
+    }
+}
+
+/// Types convertible to a mutably-borrowing parallel iterator.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The mutably borrowed item type.
+    type Item: 'a;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Mutably borrow `self` as a parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = ParSliceMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParSliceMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { slice: self }
     }
 }
 
@@ -82,6 +108,30 @@ impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
     type Item = &'a T;
     fn run(self) -> Vec<&'a T> {
         self.slice.iter().collect()
+    }
+}
+
+/// Parallel iterator over mutable slice references.
+pub struct ParSliceMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for ParSliceMut<'a, T> {
+    type Item = &'a mut T;
+    fn run(self) -> Vec<&'a mut T> {
+        self.slice.iter_mut().collect()
+    }
+}
+
+impl<'a, T, U, F> ParallelIterator for Map<ParSliceMut<'a, T>, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(&'a mut T) -> U + Sync,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        parallel_map_mut(self.base.slice, &self.f)
     }
 }
 
@@ -155,9 +205,53 @@ where
     })
 }
 
+/// [`parallel_map`] over mutable item references (one contiguous chunk per
+/// core, outputs concatenated in input order).
+fn parallel_map_mut<'a, T, U, F>(items: &'a mut [T], f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(&'a mut T) -> U + Sync,
+{
+    let threads = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let total = items.len();
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .map(|part| scope.spawn(move || part.iter_mut().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(total);
+        for h in handles {
+            out.extend(h.join().expect("worker thread panicked"));
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn map_mut_preserves_order_and_mutates() {
+        let mut xs: Vec<i64> = (0..10_000).collect();
+        let ys: Vec<i64> = xs
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x * 2
+            })
+            .collect();
+        assert_eq!(xs, (1..=10_000).collect::<Vec<_>>());
+        assert_eq!(ys, (1..=10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
 
     #[test]
     fn map_preserves_order() {
