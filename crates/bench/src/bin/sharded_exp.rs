@@ -1,0 +1,135 @@
+//! The sharded-store scaling experiment: per-batch apply latency of
+//! `ShardedStore` at 1→N shards against the single-store `DeltaDetector`
+//! baseline, on the incremental experiment's mixed-update workload.
+//! Prints a table and writes `BENCH_sharded.json`.
+//!
+//! ```text
+//! cargo run --release -p cfd-bench --bin sharded_exp \
+//!     [--base N | --bases N1,N2,...] [--batch N] [--batches N] [--runs N]
+//!     [--dirty-rate R] [--shards 1,2,4] [--verify-each] [--out PATH]
+//! ```
+//!
+//! Shard scaling is thread scaling (see `cfd_bench::sharded`): the ≥2×
+//! target at 4 shards applies to multi-core hosts. Every configuration's
+//! end state is verified against a fresh columnar rescan regardless of
+//! flags; `--verify-each` (the CI smoke mode) checks after every batch.
+
+use cfd_bench::sharded::compare_sharded;
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let num =
+        |name: &str, default: usize| flag(name).and_then(|v| v.parse().ok()).unwrap_or(default);
+    let bases: Vec<usize> = match flag("--bases") {
+        Some(list) => list
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect(),
+        None => vec![num("--base", 100_000)],
+    };
+    let batch = num("--batch", 1_000);
+    let batches = num("--batches", 10);
+    let runs = num("--runs", 3);
+    let dirty_rate: f64 = flag("--dirty-rate")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.005);
+    let shard_counts: Vec<usize> = flag("--shards")
+        .unwrap_or_else(|| "1,2,4".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let verify_each = args.iter().any(|a| a == "--verify-each");
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_sharded.json".into());
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = format!(
+        "{{\n  \"experiment\": \"sharded_scaling\",\n  \"cfds\": 20,\n  \"host_cores\": {threads},\n  \
+         \"dirty_rate\": {dirty_rate},\n  \"batch_size\": {batch},\n  \"batches\": {batches},\n  \
+         \"points\": [\n"
+    );
+    for (bi, &base) in bases.iter().enumerate() {
+        println!(
+            "# sharded store scaling vs single-store delta baseline \
+             ({base} base tuples, 20 CFDs, {batches} batches of {batch} mixed updates, \
+             dirty rate {dirty_rate}, best of {runs}, {threads} core(s))"
+        );
+        println!(
+            "{:>15} | {:>16} | {:>22}",
+            "engine", "apply s/batch", "speedup vs baseline"
+        );
+        println!("{}", "-".repeat(60));
+
+        let p = compare_sharded(
+            base,
+            batch,
+            batches,
+            runs,
+            dirty_rate,
+            &shard_counts,
+            verify_each,
+        );
+        for e in &p.engines {
+            let label = if e.shards == 0 {
+                "delta (1 store)".to_string()
+            } else {
+                format!("sharded({})", e.shards)
+            };
+            let speedup = if e.shards == 0 {
+                "1.00x (baseline)".to_string()
+            } else {
+                format!("{:.2}x", p.speedup(e.shards))
+            };
+            println!(
+                "{:>15} | {:>16.6} | {:>22}",
+                label,
+                e.per_batch.as_secs_f64(),
+                speedup
+            );
+        }
+        println!(
+            "final violations: {} (every engine verified against the rescan)\n",
+            p.final_violations
+        );
+
+        let _ = writeln!(
+            json,
+            "    {{\"base_tuples\": {}, \"final_violations\": {}, \"engines\": [",
+            p.base, p.final_violations
+        );
+        for (i, e) in p.engines.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      {{\"engine\": \"{}\", \"shards\": {}, \"apply_s_per_batch\": {:.6}, \
+                 \"speedup_vs_baseline\": {:.3}}}{}",
+                if e.shards == 0 { "delta" } else { "sharded" },
+                e.shards,
+                e.per_batch.as_secs_f64(),
+                if e.shards == 0 {
+                    1.0
+                } else {
+                    p.speedup(e.shards)
+                },
+                if i + 1 < p.engines.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    ]}}{}",
+            if bi + 1 < bases.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

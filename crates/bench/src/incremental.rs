@@ -50,8 +50,9 @@ impl IncrementalPoint {
 /// A fresh tuple the base generator never emits (column 3 carries a
 /// unique id ≥ the base size), keyed so that roughly half the inserts
 /// land in existing LHS groups — realistic churn with a realistic
-/// conflict rate.
-fn fresh_tuple(rng: &mut StdRng, base: usize, serial: &mut i64, rate: f64) -> Tuple {
+/// conflict rate. Shared with the sharded-store experiment
+/// ([`crate::sharded`]) so both replay the same workload.
+pub(crate) fn fresh_tuple(rng: &mut StdRng, base: usize, serial: &mut i64, rate: f64) -> Tuple {
     let key = rng.gen_range(0..(base as i64 / 2).max(4));
     let id = *serial;
     *serial += 1;

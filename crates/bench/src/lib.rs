@@ -73,6 +73,7 @@
 
 pub mod columnar;
 pub mod incremental;
+pub mod sharded;
 
 use cfd_datagen::{
     gen_cfds, gen_schema, gen_spc_view, CfdGenConfig, SchemaGenConfig, ViewGenConfig,

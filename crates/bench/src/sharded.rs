@@ -1,0 +1,214 @@
+//! Workload and measurement helpers for the sharded-store scaling
+//! experiment (ISSUE 3).
+//!
+//! The `sharded_exp` binary (`cargo run --release -p cfd-bench --bin
+//! sharded_exp`) replays the incremental experiment's workload — batches
+//! of mixed inserts and deletes over a dirty base relation, identical
+//! seeds — through the single-store [`cfd_clean::DeltaDetector`]
+//! (baseline) and through [`cfd_clean::ShardedStore`] at each requested
+//! shard count, timing the per-batch apply. Every engine's end state is
+//! verified against a fresh columnar rescan; `verify_each` additionally
+//! cross-checks after every batch (the CI smoke mode).
+//!
+//! Shard scaling is *thread* scaling: phase A (membership, appends,
+//! death stamps, per-row CFDs) parallelizes over storage shards and
+//! phase C (group maintenance) over group-owner shards, so the
+//! acceptance ≥2× at 4 shards needs a multi-core host. On a single-core
+//! container the experiment instead measures the sharding overhead
+//! (expect ≈1× at every N, i.e. the sharded pipeline costs about as
+//! much as the single store while adding snapshots and the bus).
+
+use crate::columnar::{detection_sigma, dirty_relation_rated};
+use crate::incremental::fresh_tuple;
+use cfd_clean::{DeltaDetector, ShardedStore, UpdateBatch};
+use cfd_relalg::instance::{Relation, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Per-batch apply time of one engine configuration.
+#[derive(Clone, Debug)]
+pub struct EnginePoint {
+    /// Shard count (`0` marks the `DeltaDetector` baseline).
+    pub shards: usize,
+    /// Mean per-batch wall time of `apply`.
+    pub per_batch: Duration,
+}
+
+/// One measured scaling comparison.
+#[derive(Clone, Debug)]
+pub struct ShardedPoint {
+    /// Base relation size (tuples before any batch).
+    pub base: usize,
+    /// Per-cell error rate of the base and of the inserted tuples.
+    pub dirty_rate: f64,
+    /// CFD count.
+    pub cfds: usize,
+    /// Updates per batch (mixed inserts and deletes).
+    pub batch: usize,
+    /// Number of batches replayed.
+    pub batches: usize,
+    /// The `DeltaDetector` baseline, then one entry per shard count.
+    pub engines: Vec<EnginePoint>,
+    /// Violations holding after the last batch (identical everywhere).
+    pub final_violations: usize,
+}
+
+impl ShardedPoint {
+    /// `baseline / engine` per-batch speedup for the `n`-shard store.
+    pub fn speedup(&self, n: usize) -> f64 {
+        let baseline = self.engines[0].per_batch.as_secs_f64();
+        let engine = self
+            .engines
+            .iter()
+            .find(|e| e.shards == n)
+            .expect("engine measured")
+            .per_batch
+            .as_secs_f64();
+        baseline / engine.max(1e-12)
+    }
+}
+
+/// The deterministic batch sequence both engines replay (identical
+/// seeds; deletes drawn from the evolving resident set, mirrored).
+fn batch_sequence(base: usize, batch: usize, batches: usize, dirty_rate: f64) -> Vec<UpdateBatch> {
+    let rel = dirty_relation_rated(base, 0xC0FFEE, dirty_rate);
+    let mut rng = StdRng::seed_from_u64(0x5A4D);
+    let mut serial = base as i64;
+    let mut mirror: Vec<Tuple> = rel.tuples().cloned().collect();
+    let mut out = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let mut upd = UpdateBatch::default();
+        for _ in 0..batch {
+            if rng.gen_bool(0.5) && !mirror.is_empty() {
+                let at = rng.gen_range(0..mirror.len());
+                upd.deletes.push(mirror.swap_remove(at));
+            } else {
+                upd.inserts
+                    .push(fresh_tuple(&mut rng, base, &mut serial, dirty_rate));
+            }
+        }
+        mirror.extend(upd.inserts.iter().cloned());
+        out.push(upd);
+    }
+    out
+}
+
+/// Replay `batches` batches of `batch` mixed updates over a `base`-tuple
+/// dirty relation through the delta baseline and through the sharded
+/// store at every count in `shard_counts`, best of `runs` identically
+/// seeded replays (per-batch pointwise minima). End states are always
+/// verified against a fresh columnar rescan; `verify_each` checks after
+/// every batch.
+pub fn compare_sharded(
+    base: usize,
+    batch: usize,
+    batches: usize,
+    runs: usize,
+    dirty_rate: f64,
+    shard_counts: &[usize],
+    verify_each: bool,
+) -> ShardedPoint {
+    let rel = dirty_relation_rated(base, 0xC0FFEE, dirty_rate);
+    let sigma = detection_sigma();
+    let script = batch_sequence(base, batch, batches, dirty_rate);
+
+    // The final relation (for end-state verification) — replay the pure
+    // set semantics once.
+    let mut model: std::collections::BTreeSet<Tuple> = rel.tuples().cloned().collect();
+    for b in &script {
+        for t in &b.deletes {
+            model.remove(t);
+        }
+        for t in &b.inserts {
+            model.insert(t.clone());
+        }
+    }
+    let final_rel: Relation = model.into_iter().collect();
+    let expected = cfd_clean::detect_all(&final_rel, &sigma);
+
+    let mut engines: Vec<EnginePoint> = Vec::new();
+
+    // Baseline: the single-store delta engine.
+    let mut best = vec![Duration::MAX; batches];
+    for _ in 0..runs.max(1) {
+        let mut det = DeltaDetector::new(sigma.clone(), &rel);
+        for (i, b) in script.iter().enumerate() {
+            let t0 = Instant::now();
+            det.apply(b);
+            best[i] = best[i].min(t0.elapsed());
+            if verify_each {
+                assert_eq!(
+                    det.current_violations(),
+                    cfd_clean::detect_all(&det.relation(), &sigma),
+                    "delta baseline diverged mid-replay"
+                );
+            }
+        }
+        assert_eq!(
+            det.current_violations(),
+            expected,
+            "delta end state diverged"
+        );
+    }
+    engines.push(EnginePoint {
+        shards: 0,
+        per_batch: best.iter().sum::<Duration>() / batches.max(1) as u32,
+    });
+
+    for &n in shard_counts {
+        let mut best = vec![Duration::MAX; batches];
+        for _ in 0..runs.max(1) {
+            let mut store = ShardedStore::new(sigma.clone(), &rel, n);
+            for (i, b) in script.iter().enumerate() {
+                let t0 = Instant::now();
+                store.apply(b);
+                best[i] = best[i].min(t0.elapsed());
+                if verify_each {
+                    assert_eq!(
+                        store.current_violations(),
+                        cfd_clean::detect_all(&store.relation(), &sigma),
+                        "sharded({n}) diverged mid-replay"
+                    );
+                }
+            }
+            assert_eq!(
+                store.current_violations(),
+                expected,
+                "sharded({n}) end state diverged"
+            );
+            assert_eq!(
+                store.relation(),
+                final_rel,
+                "sharded({n}) relation diverged"
+            );
+        }
+        engines.push(EnginePoint {
+            shards: n,
+            per_batch: best.iter().sum::<Duration>() / batches.max(1) as u32,
+        });
+    }
+
+    ShardedPoint {
+        base,
+        dirty_rate,
+        cfds: sigma.len(),
+        batch,
+        batches,
+        engines,
+        final_violations: expected.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_replay_verifies_against_rescan() {
+        let p = compare_sharded(1200, 60, 3, 1, 0.02, &[1, 2], true);
+        assert_eq!(p.cfds, 20);
+        assert_eq!(p.engines.len(), 3, "baseline + two shard counts");
+        assert!(p.engines.iter().all(|e| e.per_batch > Duration::ZERO));
+    }
+}

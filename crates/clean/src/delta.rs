@@ -74,6 +74,7 @@
 //! assert!(det.current_violations().is_empty());
 //! ```
 
+use crate::groupstate::GroupState;
 use crate::violations::{
     detect_all_coded, materialize, sort_violations, CodedViolation, CodedViolationKind, Violation,
 };
@@ -147,222 +148,6 @@ impl ViolationDiff {
     }
 }
 
-/// The distinct RHS codes of one group under one CFD, with live
-/// multiplicities. The first distinct code is stored inline — the only
-/// one a clean group ever has, so the hot clean path touches no second
-/// allocation and conflict checks are a one-word read.
-#[derive(Clone, Debug, Default)]
-struct RhsCounts {
-    /// Inline first distinct code; `first.1 == 0` means empty.
-    first: (Code, u32),
-    /// Further distinct codes (nonempty exactly when conflicted).
-    spill: Vec<(Code, u32)>,
-}
-
-impl RhsCounts {
-    /// ≥ 2 distinct codes present?
-    #[inline]
-    fn conflicted(&self) -> bool {
-        !self.spill.is_empty()
-    }
-
-    /// Count `code` once more. Returns `true` when this flipped the
-    /// counts from clean to conflicted.
-    fn bump(&mut self, code: Code) -> bool {
-        if self.first.1 == 0 {
-            self.first = (code, 1);
-        } else if self.first.0 == code {
-            self.first.1 += 1;
-        } else {
-            match self.spill.iter_mut().find(|(c, _)| *c == code) {
-                Some((_, n)) => *n += 1,
-                None => {
-                    self.spill.push((code, 1));
-                    return self.spill.len() == 1;
-                }
-            }
-        }
-        false
-    }
-
-    /// Remove one count of `code`. Returns `true` when this flipped the
-    /// counts from conflicted to clean.
-    fn drop_one(&mut self, code: Code) -> bool {
-        if self.first.1 > 0 && self.first.0 == code {
-            self.first.1 -= 1;
-            if self.first.1 == 0 {
-                if let Some(promoted) = self.spill.pop() {
-                    self.first = promoted;
-                    return self.spill.is_empty();
-                }
-            }
-            return false;
-        }
-        let i = self
-            .spill
-            .iter()
-            .position(|(c, _)| *c == code)
-            .expect("RHS count underflow: index out of sync with the store");
-        self.spill[i].1 -= 1;
-        if self.spill[i].1 == 0 {
-            self.spill.swap_remove(i);
-            return self.spill.is_empty();
-        }
-        false
-    }
-
-    /// The distinct codes present (unsorted).
-    fn codes(&self) -> Vec<Code> {
-        let mut out = Vec::with_capacity(1 + self.spill.len());
-        if self.first.1 > 0 {
-            out.push(self.first.0);
-        }
-        out.extend(self.spill.iter().map(|(c, _)| *c));
-        out
-    }
-}
-
-/// A group's member-row set with inline storage for up to three rows —
-/// the overwhelmingly common group sizes — so minting and maintaining a
-/// small group allocates nothing.
-#[derive(Clone, Debug)]
-enum SmallRows {
-    /// Up to three rows inline.
-    Inline { len: u8, buf: [u32; 3] },
-    /// Four or more rows.
-    Heap(Vec<u32>),
-}
-
-impl Default for SmallRows {
-    fn default() -> Self {
-        SmallRows::Inline {
-            len: 0,
-            buf: [0; 3],
-        }
-    }
-}
-
-impl SmallRows {
-    fn push(&mut self, row: u32) {
-        match self {
-            SmallRows::Inline { len, buf } => {
-                if (*len as usize) < buf.len() {
-                    buf[*len as usize] = row;
-                    *len += 1;
-                } else {
-                    let mut v = Vec::with_capacity(8);
-                    v.extend_from_slice(buf);
-                    v.push(row);
-                    *self = SmallRows::Heap(v);
-                }
-            }
-            SmallRows::Heap(v) => v.push(row),
-        }
-    }
-
-    /// Remove one occurrence of `row` (order is not preserved).
-    ///
-    /// # Panics
-    /// If `row` is not a member.
-    fn remove(&mut self, row: u32) {
-        let s = self.as_mut_slice();
-        let at = s
-            .iter()
-            .position(|r| *r == row)
-            .expect("deleted row is a group member");
-        let last = s.len() - 1;
-        s.swap(at, last);
-        match self {
-            SmallRows::Inline { len, .. } => *len -= 1,
-            SmallRows::Heap(v) => {
-                v.pop();
-            }
-        }
-    }
-
-    fn as_slice(&self) -> &[u32] {
-        match self {
-            SmallRows::Inline { len, buf } => &buf[..*len as usize],
-            SmallRows::Heap(v) => v,
-        }
-    }
-
-    fn as_mut_slice(&mut self) -> &mut [u32] {
-        match self {
-            SmallRows::Inline { len, buf } => &mut buf[..*len as usize],
-            SmallRows::Heap(v) => v,
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        self.as_slice().is_empty()
-    }
-}
-
-/// Per-group state of one indexed (wildcard-RHS) unit.
-///
-/// The first CFD's RHS counts are stored inline: most units carry a
-/// single CFD, and for them every index operation touches exactly one
-/// heap object (this struct's slot in the unit's `groups` vector).
-#[derive(Clone, Debug, Default)]
-struct GroupState {
-    /// Live member rows (arbitrary order; sorted on snapshot).
-    rows: SmallRows,
-    /// Epoch of the last batch that touched this group (before-snapshot
-    /// dedup — see `process_unit`). `0` is never a live epoch; 64 bits
-    /// so the counter cannot recur over any realistic lifetime.
-    stamp: u64,
-    /// Epoch of the last batch that diffed this group (emit dedup).
-    stamp_emit: u64,
-    /// Number of the unit's CFDs currently conflicted here (maintained
-    /// by the bump/drop transitions so `any_conflict` is one word).
-    conflicts: u32,
-    /// RHS code multiset for the unit's first CFD.
-    rhs0: RhsCounts,
-    /// RHS code multisets for the remaining CFDs (empty boxed slice — no
-    /// allocation — for single-CFD units).
-    rhs_rest: Box<[RhsCounts]>,
-}
-
-impl GroupState {
-    fn new(cfds: usize) -> Self {
-        GroupState {
-            rows: SmallRows::default(),
-            stamp: 0,
-            stamp_emit: 0,
-            conflicts: 0,
-            rhs0: RhsCounts::default(),
-            rhs_rest: vec![RhsCounts::default(); cfds - 1].into_boxed_slice(),
-        }
-    }
-
-    /// The RHS counts of the unit's `k`-th CFD.
-    #[inline]
-    fn rhs(&self, k: usize) -> &RhsCounts {
-        if k == 0 {
-            &self.rhs0
-        } else {
-            &self.rhs_rest[k - 1]
-        }
-    }
-
-    /// Mutable [`GroupState::rhs`].
-    #[inline]
-    fn rhs_mut(&mut self, k: usize) -> &mut RhsCounts {
-        if k == 0 {
-            &mut self.rhs0
-        } else {
-            &mut self.rhs_rest[k - 1]
-        }
-    }
-
-    /// Any CFD of the unit conflicted in this group?
-    #[inline]
-    fn any_conflict(&self) -> bool {
-        self.conflicts > 0
-    }
-}
-
 /// Sentinel gid for rows outside a unit's premise scope (mirrors
 /// [`cfd_model::columnar::NO_GROUP`]).
 const NO_GROUP: u32 = u32::MAX;
@@ -393,7 +178,7 @@ enum DetectorUnit {
         /// packed keys probe a machine-word map.
         key_gid: GroupMap<u32>,
         /// Group state, indexed by gid.
-        groups: Vec<GroupState>,
+        groups: Vec<GroupState<u32>>,
     },
 }
 
@@ -561,6 +346,15 @@ impl DeltaDetector {
     /// The CFDs being enforced.
     pub fn sigma(&self) -> &[Cfd] {
         &self.sigma
+    }
+
+    /// The number of batches applied so far — the epoch stamp the next
+    /// committed diff would carry. Epoch `0` is the seeded base state;
+    /// every [`DeltaDetector::apply`] advances it by one. Exported so
+    /// layers above (the sharded store's commit log, diff subscribers)
+    /// can stamp diffs consistently with the engine's own bookkeeping.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of live tuples in the store.
@@ -804,7 +598,7 @@ impl DeltaDetector {
 fn wild_admit(
     cfds: &[usize],
     key_gid: &mut GroupMap<u32>,
-    groups: &mut Vec<GroupState>,
+    groups: &mut Vec<GroupState<u32>>,
     coded: &[CodedCfd],
     row: u32,
     codes: &[Code],
@@ -1014,7 +808,7 @@ fn process_unit(
 /// The current per-CFD conflict snapshot of one group. `None` means no
 /// CFD of the unit has a conflict in this group — the common case, kept
 /// allocation-free because every touched group snapshots twice per batch.
-fn snapshot_wild(state: &GroupState, cfds: &[usize]) -> Option<Vec<Option<CodedViolation>>> {
+fn snapshot_wild(state: &GroupState<u32>, cfds: &[usize]) -> Option<Vec<Option<CodedViolation>>> {
     if !state.any_conflict() {
         return None;
     }
@@ -1053,7 +847,7 @@ fn materialize_group(
 /// re-created the same violation is not a diff. The comparator is the
 /// [`sort_violations`] order — total thanks to the kind tie-break — so
 /// one sorting pass serves both the cancellation walk and the output.
-fn cancel_common(removed: &mut Vec<Violation>, added: &mut Vec<Violation>) {
+pub(crate) fn cancel_common(removed: &mut Vec<Violation>, added: &mut Vec<Violation>) {
     let order = crate::violations::violation_order;
     removed.sort_by(order);
     added.sort_by(order);

@@ -1,0 +1,259 @@
+//! Shared per-group bookkeeping for the incremental engines.
+//!
+//! Both the single-store [`crate::delta::DeltaDetector`] and the
+//! [`crate::sharded::ShardedStore`] maintain, per LHS group of each
+//! wildcard-RHS unit, the same three facts: the live member rows, the
+//! multiset of RHS codes per CFD sharing the unit, and epoch stamps for
+//! per-batch diff dedup. The detectors differ only in how they *name* a
+//! member — a physical row index (`u32`) in the single store, a packed
+//! `(shard, row)` reference (`u64`) in the sharded one — so the state is
+//! generic over that member type.
+
+use cfd_relalg::pool::Code;
+
+/// The distinct RHS codes of one group under one CFD, with live
+/// multiplicities. The first distinct code is stored inline — the only
+/// one a clean group ever has, so the hot clean path touches no second
+/// allocation and conflict checks are a one-word read.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RhsCounts {
+    /// Inline first distinct code; `first.1 == 0` means empty.
+    first: (Code, u32),
+    /// Further distinct codes (nonempty exactly when conflicted).
+    spill: Vec<(Code, u32)>,
+}
+
+impl RhsCounts {
+    /// ≥ 2 distinct codes present?
+    #[inline]
+    pub(crate) fn conflicted(&self) -> bool {
+        !self.spill.is_empty()
+    }
+
+    /// Count `code` once more. Returns `true` when this flipped the
+    /// counts from clean to conflicted.
+    pub(crate) fn bump(&mut self, code: Code) -> bool {
+        if self.first.1 == 0 {
+            self.first = (code, 1);
+        } else if self.first.0 == code {
+            self.first.1 += 1;
+        } else {
+            match self.spill.iter_mut().find(|(c, _)| *c == code) {
+                Some((_, n)) => *n += 1,
+                None => {
+                    self.spill.push((code, 1));
+                    return self.spill.len() == 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// Remove one count of `code`. Returns `true` when this flipped the
+    /// counts from conflicted to clean.
+    pub(crate) fn drop_one(&mut self, code: Code) -> bool {
+        if self.first.1 > 0 && self.first.0 == code {
+            self.first.1 -= 1;
+            if self.first.1 == 0 {
+                if let Some(promoted) = self.spill.pop() {
+                    self.first = promoted;
+                    return self.spill.is_empty();
+                }
+            }
+            return false;
+        }
+        let i = self
+            .spill
+            .iter()
+            .position(|(c, _)| *c == code)
+            .expect("RHS count underflow: index out of sync with the store");
+        self.spill[i].1 -= 1;
+        if self.spill[i].1 == 0 {
+            self.spill.swap_remove(i);
+            return self.spill.is_empty();
+        }
+        false
+    }
+
+    /// The distinct codes present (unsorted).
+    pub(crate) fn codes(&self) -> Vec<Code> {
+        let mut out = Vec::with_capacity(1 + self.spill.len());
+        if self.first.1 > 0 {
+            out.push(self.first.0);
+        }
+        out.extend(self.spill.iter().map(|(c, _)| *c));
+        out
+    }
+}
+
+/// A group's member set with inline storage for up to three members —
+/// the overwhelmingly common group sizes — so minting and maintaining a
+/// small group allocates nothing.
+#[derive(Clone, Debug)]
+pub(crate) enum SmallRows<R> {
+    /// Up to three members inline.
+    Inline { len: u8, buf: [R; 3] },
+    /// Four or more members.
+    Heap(Vec<R>),
+}
+
+impl<R: Copy + Default> Default for SmallRows<R> {
+    fn default() -> Self {
+        SmallRows::Inline {
+            len: 0,
+            buf: [R::default(); 3],
+        }
+    }
+}
+
+impl<R: Copy + Default + Eq> SmallRows<R> {
+    pub(crate) fn push(&mut self, row: R) {
+        match self {
+            SmallRows::Inline { len, buf } => {
+                if (*len as usize) < buf.len() {
+                    buf[*len as usize] = row;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(8);
+                    v.extend_from_slice(buf);
+                    v.push(row);
+                    *self = SmallRows::Heap(v);
+                }
+            }
+            SmallRows::Heap(v) => v.push(row),
+        }
+    }
+
+    /// Remove one occurrence of `row` (order is not preserved).
+    ///
+    /// # Panics
+    /// If `row` is not a member.
+    pub(crate) fn remove(&mut self, row: R) {
+        let s = self.as_mut_slice();
+        let at = s
+            .iter()
+            .position(|r| *r == row)
+            .expect("deleted row is a group member");
+        let last = s.len() - 1;
+        s.swap(at, last);
+        match self {
+            SmallRows::Inline { len, .. } => *len -= 1,
+            SmallRows::Heap(v) => {
+                v.pop();
+            }
+        }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[R] {
+        match self {
+            SmallRows::Inline { len, buf } => &buf[..*len as usize],
+            SmallRows::Heap(v) => v,
+        }
+    }
+
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [R] {
+        match self {
+            SmallRows::Inline { len, buf } => &mut buf[..*len as usize],
+            SmallRows::Heap(v) => v,
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+/// Per-group state of one indexed (wildcard-RHS) unit, generic over the
+/// member reference type `R`.
+///
+/// The first CFD's RHS counts are stored inline: most units carry a
+/// single CFD, and for them every index operation touches exactly one
+/// heap object (this struct's slot in the unit's `groups` vector).
+#[derive(Clone, Debug)]
+pub(crate) struct GroupState<R> {
+    /// Live member rows (arbitrary order; sorted on snapshot).
+    pub(crate) rows: SmallRows<R>,
+    /// Epoch of the last batch that touched this group (before-snapshot
+    /// dedup). `0` is never a live epoch; 64 bits so the counter cannot
+    /// recur over any realistic lifetime.
+    pub(crate) stamp: u64,
+    /// Epoch of the last batch that diffed this group (emit dedup).
+    pub(crate) stamp_emit: u64,
+    /// Number of the unit's CFDs currently conflicted here (maintained
+    /// by the bump/drop transitions so `any_conflict` is one word).
+    pub(crate) conflicts: u32,
+    /// RHS code multiset for the unit's first CFD.
+    rhs0: RhsCounts,
+    /// RHS code multisets for the remaining CFDs (empty boxed slice — no
+    /// allocation — for single-CFD units).
+    rhs_rest: Box<[RhsCounts]>,
+}
+
+impl<R: Copy + Default + Eq> GroupState<R> {
+    pub(crate) fn new(cfds: usize) -> Self {
+        GroupState {
+            rows: SmallRows::default(),
+            stamp: 0,
+            stamp_emit: 0,
+            conflicts: 0,
+            rhs0: RhsCounts::default(),
+            rhs_rest: vec![RhsCounts::default(); cfds - 1].into_boxed_slice(),
+        }
+    }
+
+    /// The RHS counts of the unit's `k`-th CFD.
+    #[inline]
+    pub(crate) fn rhs(&self, k: usize) -> &RhsCounts {
+        if k == 0 {
+            &self.rhs0
+        } else {
+            &self.rhs_rest[k - 1]
+        }
+    }
+
+    /// Mutable [`GroupState::rhs`].
+    #[inline]
+    pub(crate) fn rhs_mut(&mut self, k: usize) -> &mut RhsCounts {
+        if k == 0 {
+            &mut self.rhs0
+        } else {
+            &mut self.rhs_rest[k - 1]
+        }
+    }
+
+    /// Any CFD of the unit conflicted in this group?
+    #[inline]
+    pub(crate) fn any_conflict(&self) -> bool {
+        self.conflicts > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rhs_counts_flip_on_second_distinct_code() {
+        let mut c = RhsCounts::default();
+        assert!(!c.bump(5));
+        assert!(!c.bump(5));
+        assert!(c.bump(7), "second distinct code flips to conflicted");
+        assert!(c.conflicted());
+        assert!(!c.drop_one(5));
+        assert!(c.drop_one(5), "last copy of 5 flips back to clean");
+        assert!(!c.conflicted());
+        assert_eq!(c.codes(), vec![7]);
+    }
+
+    #[test]
+    fn small_rows_spill_to_heap_and_remove() {
+        let mut r: SmallRows<u64> = SmallRows::default();
+        for i in 0..5u64 {
+            r.push(i);
+        }
+        assert_eq!(r.as_slice().len(), 5);
+        r.remove(2);
+        assert!(!r.as_slice().contains(&2));
+        assert_eq!(r.as_slice().len(), 4);
+    }
+}

@@ -55,14 +55,17 @@
 #![warn(missing_docs)]
 
 pub mod delta;
+pub(crate) mod groupstate;
 pub mod incremental;
 pub mod repair;
+pub mod sharded;
 pub mod sql;
 pub mod violations;
 
 pub use delta::{DeltaDetector, UpdateBatch, ViolationDiff};
 pub use incremental::InsertChecker;
 pub use repair::{repair, RepairOutcome};
+pub use sharded::{Commit, DiffFilter, GcStats, ShardedStore, Snapshot};
 pub use sql::detection_sql;
 pub use violations::{
     detect, detect_all, detect_all_columnar, detect_all_rowwise, detect_columnar, detect_rowwise,

@@ -31,6 +31,13 @@
 //!     `row` data, reporting the violations each batch adds and retires
 //!     via the incremental delta engine.
 //!
+//! cfdprop serve-updates <file.cfd> <file.upd> [--shards N] [--cfd I | --attr NAME]
+//!     Replay an update script through the sharded live store
+//!     (`cfd_clean::ShardedStore`) and stream every committed violation
+//!     diff to stdout as JSON lines, in commit order, via the store's
+//!     subscription bus — optionally filtered to one CFD index or to
+//!     CFDs whose right-hand side is a named attribute.
+//!
 //! cfdprop sql <file.cfd>
 //!     Emit the SQL detection queries for every source CFD.
 //!
@@ -80,6 +87,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("gen") => gen(args),
         Some("clean") => clean(args),
         Some("apply-updates") => apply_updates(args),
+        Some("serve-updates") => serve_updates(args),
         Some("sql") => sql(args),
         Some("cind") => cind(args),
         Some("--help") | Some("-h") | None => {
@@ -101,6 +109,7 @@ USAGE:
     cfdprop gen [--relations N] [--cfds M] [--y N] [--f N] [--ec N] [--seed S]
     cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise|delta]
     cfdprop apply-updates <file.cfd> <file.upd>
+    cfdprop serve-updates <file.cfd> <file.upd> [--shards N] [--cfd I | --attr NAME]
     cfdprop sql <file.cfd>
     cfdprop cind <file.cfd>
 ";
@@ -481,6 +490,222 @@ fn apply_updates(args: &[String]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// `cfdprop serve-updates <file.cfd> <file.upd> [--shards N]
+/// [--cfd I | --attr NAME]` — the serving mode: replay an update script
+/// through the sharded live store and stream every committed
+/// [`cfd_clean::ViolationDiff`] to stdout as JSON lines, in commit
+/// order.
+///
+/// One [`cfd_clean::ShardedStore`] is built per relation that carries
+/// CFDs; a writer thread replays that relation's batches while the main
+/// thread drains the store's subscription bus — the shape a network
+/// serving endpoint would use, demonstrated over stdout. `--cfd I`
+/// filters to the `I`-th CFD of each relation (the order `clean`
+/// reports); `--attr NAME` filters to CFDs whose right-hand side is the
+/// named attribute (relations without that attribute stream nothing).
+fn serve_updates(args: &[String]) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: cfdprop serve-updates <file.cfd> <file.upd> [--shards N] [--cfd I | --attr NAME]";
+    let path = args.get(1).ok_or(USAGE)?;
+    let upd_path = args.get(2).ok_or(USAGE)?;
+    let doc = load(path)?;
+    let db = doc.database().map_err(|e| e.to_string())?;
+    let src = std::fs::read_to_string(upd_path).map_err(|e| format!("{upd_path}: {e}"))?;
+    let batches = cfd_text::parser::parse_updates(&src).map_err(|e| format!("{upd_path}:{e}"))?;
+    let shards: usize = match flag_value(args, "--shards") {
+        Some(v) => v.parse().map_err(|_| "--shards expects a number")?,
+        None => 4,
+    };
+    let cfd_filter: Option<usize> = match flag_value(args, "--cfd") {
+        Some(v) => Some(v.parse().map_err(|_| "--cfd expects a CFD index")?),
+        None => None,
+    };
+    let attr_filter = flag_value(args, "--attr");
+    if cfd_filter.is_some() && attr_filter.is_some() {
+        return Err("--cfd and --attr are mutually exclusive".into());
+    }
+
+    // Validate the whole script up front — same rules as `apply-updates`
+    // (every statement names a known relation and matches its arity),
+    // including statements for relations the stores below never serve.
+    for stmt in batches.iter().flatten() {
+        let target = doc
+            .catalog
+            .rel_id(&stmt.relation)
+            .ok_or_else(|| format!("update for unknown relation `{}`", stmt.relation))?;
+        let arity = doc.catalog.schema(target).arity();
+        if stmt.tuple.len() != arity {
+            return Err(format!(
+                "update tuple for `{}` has arity {}, schema has {}",
+                stmt.relation,
+                stmt.tuple.len(),
+                arity
+            ));
+        }
+    }
+
+    let mut final_total = 0usize;
+    for (rel, schema) in doc.catalog.relations() {
+        let local: Vec<cfd_model::Cfd> = doc
+            .sigma()
+            .iter()
+            .filter(|s| s.rel == rel)
+            .map(|s| s.cfd.clone())
+            .collect();
+        if local.is_empty() {
+            continue;
+        }
+        if let Some(i) = cfd_filter {
+            if i >= local.len() {
+                return Err(format!(
+                    "--cfd {i} out of range: `{}` has {} CFD(s)",
+                    schema.name,
+                    local.len()
+                ));
+            }
+        }
+        let names: Vec<String> = schema.attributes.iter().map(|a| a.name.clone()).collect();
+        let filter = match (&cfd_filter, &attr_filter) {
+            (Some(i), _) => cfd_clean::DiffFilter::Cfd(*i),
+            (_, Some(name)) => match names.iter().position(|n| n == name) {
+                Some(a) => cfd_clean::DiffFilter::RhsAttr(a),
+                None => continue, // this relation has no such attribute
+            },
+            _ => cfd_clean::DiffFilter::All,
+        };
+
+        // Split the script into this relation's batches (statements were
+        // validated above).
+        let mut per_batch: Vec<cfd_clean::UpdateBatch> = Vec::with_capacity(batches.len());
+        for batch in &batches {
+            let mut upd = cfd_clean::UpdateBatch::default();
+            for stmt in batch {
+                if doc.catalog.rel_id(&stmt.relation) != Some(rel) {
+                    continue;
+                }
+                match stmt.op {
+                    cfd_text::UpdateOp::Insert => upd.inserts.push(stmt.tuple.clone()),
+                    cfd_text::UpdateOp::Delete => upd.deletes.push(stmt.tuple.clone()),
+                }
+            }
+            per_batch.push(upd);
+        }
+
+        // Writer thread commits; this thread is the subscriber draining
+        // the bounded bus in commit order.
+        let mut store = cfd_clean::ShardedStore::new(local, db.relation(rel), shards);
+        let rx = store.subscribe(filter, 64);
+        let writer = std::thread::spawn(move || {
+            for upd in &per_batch {
+                store.apply(upd);
+            }
+            // Dropping the store closes the bus, ending the drain loop
+            // below once the last commit is delivered.
+            (
+                store.epoch(),
+                store.live_len(),
+                store.current_violations().len(),
+            )
+        });
+        let mut out = std::io::stdout().lock();
+        use std::io::Write as _;
+        for commit in rx {
+            writeln!(out, "{}", commit_json(&schema.name, &commit)).map_err(|e| e.to_string())?;
+        }
+        let (epochs, live, remaining) = writer.join().map_err(|_| "writer thread panicked")?;
+        writeln!(
+            out,
+            "{{\"relation\": {}, \"done\": true, \"epochs\": {epochs}, \"live_tuples\": {live}, \"violations\": {remaining}}}",
+            json_str(&schema.name),
+        )
+        .map_err(|e| e.to_string())?;
+        final_total += remaining;
+    }
+    if final_total > 0 {
+        Err(format!("{final_total} violation(s) after replay"))
+    } else {
+        Ok(())
+    }
+}
+
+/// One committed diff as a JSON line.
+fn commit_json(relation: &str, commit: &cfd_clean::Commit) -> String {
+    let list = |vs: &[cfd_clean::Violation]| -> String {
+        let items: Vec<String> = vs.iter().map(violation_json).collect();
+        format!("[{}]", items.join(", "))
+    };
+    format!(
+        "{{\"relation\": {}, \"epoch\": {}, \"added\": {}, \"removed\": {}}}",
+        json_str(relation),
+        commit.epoch,
+        list(&commit.diff.added),
+        list(&commit.diff.removed)
+    )
+}
+
+fn violation_json(v: &cfd_clean::Violation) -> String {
+    use cfd_clean::ViolationKind;
+    let tuples: Vec<String> = v
+        .tuples
+        .iter()
+        .map(|t| {
+            let cells: Vec<String> = t.iter().map(json_value).collect();
+            format!("[{}]", cells.join(", "))
+        })
+        .collect();
+    let kind = match &v.kind {
+        ViolationKind::ConstantClash { expected, found } => format!(
+            "\"kind\": \"constant_clash\", \"expected\": {}, \"found\": {}",
+            json_value(expected),
+            json_value(found)
+        ),
+        ViolationKind::PairConflict { values } => {
+            let vs: Vec<String> = values.iter().map(json_value).collect();
+            format!(
+                "\"kind\": \"pair_conflict\", \"values\": [{}]",
+                vs.join(", ")
+            )
+        }
+        ViolationKind::AttrEqClash { left, right } => format!(
+            "\"kind\": \"attr_eq_clash\", \"left\": {}, \"right\": {}",
+            json_value(left),
+            json_value(right)
+        ),
+    };
+    format!(
+        "{{\"cfd\": {}, {}, \"tuples\": [{}]}}",
+        v.cfd_index,
+        kind,
+        tuples.join(", ")
+    )
+}
+
+fn json_value(v: &cfd_relalg::Value) -> String {
+    match v {
+        cfd_relalg::Value::Int(i) => i.to_string(),
+        cfd_relalg::Value::Str(s) => json_str(s),
+        cfd_relalg::Value::Bool(b) => b.to_string(),
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// `cfdprop sql <file.cfd>` — detection SQL for every source CFD.

@@ -284,6 +284,125 @@ fn apply_updates_to_clean_state_exits_zero() {
 }
 
 #[test]
+fn serve_updates_streams_json_diffs_in_commit_order() {
+    let f = write_temp("serve_base.cfd", DIRTY);
+    let u = write_temp(
+        "serve.upd",
+        r#"
+        delete R1('20', 'edi');
+        commit;
+        insert R1('31', 'rtm');
+        delete R1('31', 'rtm');
+        commit;
+        insert R1('31', 'rtm');
+        commit;
+    "#,
+    );
+    for shards in ["1", "4"] {
+        let out = cfdprop(&[
+            "serve-updates",
+            f.to_str().unwrap(),
+            u.to_str().unwrap(),
+            "--shards",
+            shards,
+        ]);
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            !out.status.success(),
+            "the final state is dirty, so the replay exits nonzero: {text}"
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "3 commits + summary: {text}");
+        assert!(lines[0].contains("\"epoch\": 1"), "{text}");
+        assert!(lines[0].contains("constant_clash"), "{text}");
+        assert!(lines[0].contains("pair_conflict"), "{text}");
+        // Batch 2: deletes apply before inserts, so deleting the
+        // not-yet-resident ('31','rtm') is a no-op and the insert lands.
+        assert!(
+            lines[1].contains("\"epoch\": 2") && lines[1].contains("pair_conflict"),
+            "{text}"
+        );
+        // Batch 3 re-inserts the now-resident tuple: an empty diff.
+        assert!(
+            lines[2].contains("\"added\": []") && lines[2].contains("\"removed\": []"),
+            "set semantics commits an empty diff: {text}"
+        );
+        assert!(
+            lines[3].contains("\"done\": true") && lines[3].contains("\"violations\": 1"),
+            "{text}"
+        );
+    }
+}
+
+#[test]
+fn serve_updates_validates_like_apply_updates() {
+    // Same rules as apply-updates: every statement must name a known
+    // relation and match its arity, even for relations the stores never
+    // serve — the two replay modes must agree on script validity.
+    let f = write_temp("serve_val.cfd", DIRTY);
+    let u = write_temp("serve_val1.upd", "insert R1('20');");
+    let out = cfdprop(&["serve-updates", f.to_str().unwrap(), u.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("arity"));
+    let u = write_temp("serve_val2.upd", "insert R9('20', 'x');");
+    let out = cfdprop(&["serve-updates", f.to_str().unwrap(), u.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown relation"));
+}
+
+#[test]
+fn serve_updates_filters_by_cfd_and_attribute() {
+    let f = write_temp("serve_filter.cfd", DIRTY);
+    let u = write_temp("serve_filter.upd", "delete R1('20', 'edi'); commit;");
+    // CFD 1 (the constant pattern): only the constant clash streams.
+    let out = cfdprop(&[
+        "serve-updates",
+        f.to_str().unwrap(),
+        u.to_str().unwrap(),
+        "--cfd",
+        "1",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "end state is clean: {text}");
+    assert!(text.contains("constant_clash"), "{text}");
+    assert!(!text.contains("pair_conflict"), "{text}");
+    // Filtering by the RHS attribute `city` passes both CFDs.
+    let out = cfdprop(&[
+        "serve-updates",
+        f.to_str().unwrap(),
+        u.to_str().unwrap(),
+        "--attr",
+        "city",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("constant_clash") && text.contains("pair_conflict"),
+        "{text}"
+    );
+    // Out-of-range CFD index and conflicting flags are rejected.
+    let out = cfdprop(&[
+        "serve-updates",
+        f.to_str().unwrap(),
+        u.to_str().unwrap(),
+        "--cfd",
+        "9",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    let out = cfdprop(&[
+        "serve-updates",
+        f.to_str().unwrap(),
+        u.to_str().unwrap(),
+        "--cfd",
+        "0",
+        "--attr",
+        "city",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+}
+
+#[test]
 fn apply_updates_rejects_malformed_script() {
     let f = write_temp("upd_base3.cfd", DIRTY);
     let u = write_temp("script3.upd", "upsert R1('20', 'edi');");

@@ -29,4 +29,4 @@ pub use error::{ParseError, Span};
 pub use parser::{
     parse_updates, Document, NamedSourceCfd, NamedView, NamedViewCfd, UpdateOp, UpdateStmt,
 };
-pub use pretty::render;
+pub use pretty::{render, render_updates};

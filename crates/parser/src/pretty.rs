@@ -76,6 +76,28 @@ pub fn render(doc: &Document) -> String {
     out
 }
 
+/// Render an update script (the `cfdprop apply-updates` /
+/// `serve-updates` input format) back to text: one `insert R(...)` /
+/// `delete R(...)` statement per line, each batch terminated by
+/// `commit;`. `parse_updates(render_updates(&batches))` reproduces the
+/// batches exactly (round-trip property, enforced by the golden-file
+/// suite in `crates/parser/tests/golden.rs`).
+pub fn render_updates(batches: &[Vec<crate::parser::UpdateStmt>]) -> String {
+    let mut out = String::new();
+    for batch in batches {
+        for stmt in batch {
+            let vals: Vec<String> = stmt.tuple.iter().map(render_value).collect();
+            let op = match stmt.op {
+                crate::parser::UpdateOp::Insert => "insert",
+                crate::parser::UpdateOp::Delete => "delete",
+            };
+            let _ = writeln!(out, "{op} {}({});", stmt.relation, vals.join(", "));
+        }
+        let _ = writeln!(out, "commit;");
+    }
+    out
+}
+
 /// Render a CIND in the document syntax
 /// `R1[X...; A = v, ...] <= R2[Y...; B = w, ...]`.
 pub fn render_cind(cind: &cfd_cind::Cind, catalog: &cfd_relalg::Catalog) -> String {

@@ -1,0 +1,142 @@
+//! Golden-file round-trip tests (ISSUE 3): every fixture under
+//! `testdata/` must parse, pretty-print, and re-parse to an equal AST —
+//! documents (`*.cfd`) through [`cfd_text::render`], update scripts
+//! (`*.upd`, the PR 2 format) through [`cfd_text::render_updates`].
+//!
+//! New fixtures are picked up automatically; a fixture that parses but
+//! does not survive the round trip is a pretty-printer bug by
+//! definition.
+
+use cfd_text::parser::{parse_updates, Document};
+use cfd_text::{render, render_updates};
+use std::path::PathBuf;
+
+/// Every fixture in `testdata/` with the given extension.
+fn fixtures(ext: &str) -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../testdata");
+    let mut out: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("testdata dir {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            (path.extension().and_then(|x| x.to_str()) == Some(ext)).then_some(path)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The parts of a parsed document the round trip must preserve.
+fn assert_documents_equal(path: &std::path::Path, a: &Document, b: &Document) {
+    let at = |what: &str| format!("{}: {what} changed across the round trip", path.display());
+    assert_eq!(a.catalog, b.catalog, "{}", at("catalog"));
+    assert_eq!(a.sigma(), b.sigma(), "{}", at("source CFDs"));
+    assert_eq!(a.views.len(), b.views.len(), "{}", at("view count"));
+    for (va, vb) in a.views.iter().zip(&b.views) {
+        assert_eq!(va.name, vb.name, "{}", at("view name"));
+        assert_eq!(va.query, vb.query, "{}", at("normalized view query"));
+    }
+    let cfds = |d: &Document| -> Vec<_> { d.view_cfds.iter().map(|v| v.cfd.clone()).collect() };
+    assert_eq!(cfds(a), cfds(b), "{}", at("view CFDs"));
+    let cinds = |d: &Document| -> Vec<_> { d.cinds.iter().map(|c| c.cind.clone()).collect() };
+    assert_eq!(cinds(a), cinds(b), "{}", at("CINDs"));
+    assert_eq!(a.rows, b.rows, "{}", at("row data"));
+}
+
+#[test]
+fn every_cfd_fixture_round_trips() {
+    let files = fixtures("cfd");
+    assert!(!files.is_empty(), "no .cfd fixtures found");
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("fixture is readable");
+        let doc = Document::parse(&src)
+            .unwrap_or_else(|e| panic!("{}: fixture no longer parses: {e}", path.display()));
+        let text = render(&doc);
+        let doc2 = Document::parse(&text).unwrap_or_else(|e| {
+            panic!(
+                "{}: pretty-printed form no longer parses: {e}\n{text}",
+                path.display()
+            )
+        });
+        assert_documents_equal(&path, &doc, &doc2);
+        // The printer is a fixed point: rendering the re-parse changes
+        // nothing (catches nondeterministic output orders).
+        assert_eq!(
+            text,
+            render(&doc2),
+            "{}: pretty-printer is not idempotent",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn every_upd_fixture_round_trips() {
+    let files = fixtures("upd");
+    assert!(!files.is_empty(), "no .upd fixtures found");
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("fixture is readable");
+        let batches = parse_updates(&src)
+            .unwrap_or_else(|e| panic!("{}: fixture no longer parses: {e}", path.display()));
+        assert!(
+            !batches.is_empty(),
+            "{}: empty update script makes a vacuous fixture",
+            path.display()
+        );
+        let text = render_updates(&batches);
+        let batches2 = parse_updates(&text).unwrap_or_else(|e| {
+            panic!(
+                "{}: pretty-printed form no longer parses: {e}\n{text}",
+                path.display()
+            )
+        });
+        assert_eq!(
+            batches,
+            batches2,
+            "{}: update batches changed across the round trip",
+            path.display()
+        );
+        assert_eq!(
+            text,
+            render_updates(&batches2),
+            "{}: update printer is not idempotent",
+            path.display()
+        );
+    }
+}
+
+/// The update fixture is not just syntax: replayed against its document
+/// through the sharded store, it must clean the §1 running example.
+#[test]
+fn cust_updates_fixture_cleans_the_running_example() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../testdata");
+    let doc = Document::parse(
+        &std::fs::read_to_string(dir.join("dirty_customers.cfd")).expect("fixture"),
+    )
+    .expect("document parses");
+    let batches =
+        parse_updates(&std::fs::read_to_string(dir.join("cust_updates.upd")).expect("fixture"))
+            .expect("script parses");
+    let db = doc.database().expect("rows load");
+    let rel = doc.catalog.rel_id("cust").expect("cust exists");
+    let sigma: Vec<cfd_model::Cfd> = doc.sigma().iter().map(|s| s.cfd.clone()).collect();
+    let mut store = cfd_clean::ShardedStore::new(sigma, db.relation(rel), 2);
+    assert!(!store.current_violations().is_empty(), "starts dirty");
+    for batch in &batches {
+        let mut upd = cfd_clean::UpdateBatch::default();
+        for stmt in batch {
+            match stmt.op {
+                cfd_text::UpdateOp::Insert => upd.inserts.push(stmt.tuple.clone()),
+                cfd_text::UpdateOp::Delete => upd.deletes.push(stmt.tuple.clone()),
+            }
+        }
+        store.apply(&upd);
+    }
+    assert!(
+        store.current_violations().is_empty(),
+        "the script cleans every violation"
+    );
+    let last = store
+        .violations_at(store.epoch())
+        .zip(store.violations_at(store.epoch() - 1));
+    assert!(last.is_some(), "history retained for the whole replay");
+}

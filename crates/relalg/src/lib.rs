@@ -38,6 +38,7 @@ pub mod schema;
 pub mod tableau;
 pub mod unify;
 pub mod value;
+pub mod versioned;
 
 pub use columnar::ColumnarRelation;
 pub use domain::DomainKind;
@@ -48,3 +49,4 @@ pub use query::{Fragment, RaCond, RaExpr, SpcQuery, SpcuQuery, ViewSchema};
 pub use schema::{Attribute, Catalog, RelId, RelationSchema};
 pub use tableau::{Tableau, Term, VarId};
 pub use value::Value;
+pub use versioned::{CowVec, PoolView, RowsView, SharedPool, VersionedRows};

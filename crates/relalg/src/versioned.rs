@@ -1,0 +1,561 @@
+//! Versioned (MVCC) columnar storage for single-writer / many-reader use.
+//!
+//! [`crate::columnar::ColumnarRelation`] is the single-threaded live
+//! store: mutation in place, tombstone bitset, readers and the writer are
+//! the same thread. The sharded serving layer (`cfd-clean::sharded`)
+//! needs more: a writer that keeps applying update batches while reader
+//! threads scan *consistent historical cuts* without blocking it. This
+//! module supplies the storage primitives for that:
+//!
+//! * [`CowVec`] — a chunked copy-on-write vector. Data lives in fixed
+//!   [`COW_CHUNK`]-element chunks behind [`Arc`]s; a [`CowVec::view`] is a
+//!   cheap clone of the chunk pointer table. The writer mutates through
+//!   [`Arc::make_mut`], so touching a chunk that some view still pins
+//!   copies *that chunk only* — O(chunk), never O(n) — and every
+//!   published view stays exactly as it was. Dropping the last view of a
+//!   superseded chunk frees it (the version GC the snapshot layer
+//!   observes).
+//! * [`VersionedRows`] — code columns in [`CowVec`]s plus per-row
+//!   `birth`/`death` epoch stamps instead of a tombstone bit: row `r`
+//!   exists at epoch `e` iff `birth[r] <= e < death[r]`. Appending never
+//!   moves data, deleting writes one epoch, and a [`RowsView`] taken at
+//!   epoch `e` answers [`RowsView::live_at`] for any `e' <= e` it
+//!   covers.
+//! * [`SharedPool`] — a [`crate::pool::ValuePool`] whose code → value
+//!   table is a [`CowVec`], so readers decode through an immutable
+//!   [`PoolView`] while the writer keeps interning (codes are append-only
+//!   and never reassigned, which is what makes the share sound).
+//!
+//! None of these types synchronize: the writer owns them `&mut`, views
+//! are `Send + Sync` immutable data. The snapshot/epoch *protocol* —
+//! which epoch a reader may ask for, when superseded versions are
+//! reclaimed — lives in `cfd-clean::sharded`.
+
+use crate::instance::Tuple;
+use crate::pool::Code;
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+/// Chunk size of a [`CowVec`], in elements. Power of two so index math
+/// is a shift and mask; small enough that a copy-on-write of one pinned
+/// chunk stays cheap, large enough that the pointer table is tiny.
+pub const COW_CHUNK: usize = 4096;
+
+/// A chunked copy-on-write vector: `Vec<Arc<Vec<T>>>` underneath.
+///
+/// The writer appends and updates in place via [`Arc::make_mut`]; views
+/// ([`CowVec::view`]) share the chunks immutably. See the [module
+/// docs](self) for the cost model.
+#[derive(Clone, Debug)]
+pub struct CowVec<T> {
+    chunks: Vec<Arc<Vec<T>>>,
+    len: usize,
+}
+
+impl<T> Default for CowVec<T> {
+    fn default() -> Self {
+        CowVec {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T: Clone> CowVec<T> {
+    /// An empty vector.
+    pub fn new() -> Self {
+        CowVec {
+            chunks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the vector empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one element.
+    pub fn push(&mut self, v: T) {
+        if self.len == self.chunks.len() * COW_CHUNK {
+            self.chunks.push(Arc::new(Vec::with_capacity(COW_CHUNK)));
+        }
+        let last = self.chunks.last_mut().expect("chunk just ensured");
+        Arc::make_mut(last).push(v);
+        self.len += 1;
+    }
+
+    /// The element at `at`.
+    ///
+    /// # Panics
+    /// If `at >= len()`.
+    #[inline]
+    pub fn get(&self, at: usize) -> &T {
+        assert!(
+            at < self.len,
+            "CowVec index {at} out of bounds {}",
+            self.len
+        );
+        &self.chunks[at / COW_CHUNK][at % COW_CHUNK]
+    }
+
+    /// Overwrite the element at `at` (copy-on-write: clones the chunk if
+    /// any view still shares it).
+    ///
+    /// # Panics
+    /// If `at >= len()`.
+    pub fn set(&mut self, at: usize, v: T) {
+        assert!(
+            at < self.len,
+            "CowVec index {at} out of bounds {}",
+            self.len
+        );
+        Arc::make_mut(&mut self.chunks[at / COW_CHUNK])[at % COW_CHUNK] = v;
+    }
+
+    /// A cheap immutable view of the current contents (clones the chunk
+    /// pointer table, shares the chunks).
+    pub fn view(&self) -> CowVecView<T> {
+        CowVecView {
+            chunks: self.chunks.clone(),
+            len: self.len,
+        }
+    }
+}
+
+/// An immutable view of a [`CowVec`], valid forever: later writer
+/// mutations copy chunks instead of touching shared ones.
+#[derive(Clone, Debug)]
+pub struct CowVecView<T> {
+    chunks: Vec<Arc<Vec<T>>>,
+    len: usize,
+}
+
+impl<T> CowVecView<T> {
+    /// Number of elements the view covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The element at `at`.
+    ///
+    /// # Panics
+    /// If `at >= len()`.
+    #[inline]
+    pub fn get(&self, at: usize) -> &T {
+        assert!(at < self.len, "view index {at} out of bounds {}", self.len);
+        &self.chunks[at / COW_CHUNK][at % COW_CHUNK]
+    }
+}
+
+/// Death epoch of a row that has not been deleted.
+pub const LIVE: u64 = u64::MAX;
+
+/// Dictionary-encoded columns with per-row birth/death epoch stamps —
+/// the storage of one shard of the sharded live store.
+///
+/// Row indices are stable for the row's whole physical lifetime;
+/// [`VersionedRows::compact`] (called by the store's epoch GC once no
+/// snapshot can see the dead rows) is the only operation that remaps.
+#[derive(Clone, Debug, Default)]
+pub struct VersionedRows {
+    cols: Vec<CowVec<Code>>,
+    birth: CowVec<u64>,
+    death: CowVec<u64>,
+    rows: usize,
+    dead: usize,
+}
+
+impl VersionedRows {
+    /// An empty shard (arity fixed by the first append).
+    pub fn new() -> Self {
+        VersionedRows::default()
+    }
+
+    /// Number of physical rows (live + dead).
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Any physical rows?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of rows whose death epoch is unset.
+    pub fn live_len(&self) -> usize {
+        self.rows - self.dead
+    }
+
+    /// Number of dead rows awaiting [`VersionedRows::compact`].
+    pub fn dead_len(&self) -> usize {
+        self.dead
+    }
+
+    /// Number of attributes (0 until the first append).
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Append one code row born at `epoch`, returning its row index.
+    ///
+    /// # Panics
+    /// If `codes` disagrees with the established arity.
+    pub fn append_row(&mut self, codes: &[Code], epoch: u64) -> u32 {
+        if self.cols.is_empty() && self.rows == 0 {
+            self.cols = vec![CowVec::new(); codes.len()];
+        }
+        assert_eq!(codes.len(), self.cols.len(), "ragged append");
+        for (col, &c) in self.cols.iter_mut().zip(codes) {
+            col.push(c);
+        }
+        self.birth.push(epoch);
+        self.death.push(LIVE);
+        let row = self.rows;
+        self.rows += 1;
+        u32::try_from(row).expect("shard exceeds u32 row space")
+    }
+
+    /// Mark row `row` dead as of `epoch` (it exists at epochs `< epoch`
+    /// only). Returns `false` if it was already dead.
+    pub fn kill_row(&mut self, row: u32, epoch: u64) -> bool {
+        let at = row as usize;
+        if *self.death.get(at) != LIVE {
+            return false;
+        }
+        self.death.set(at, epoch);
+        self.dead += 1;
+        true
+    }
+
+    /// Is `row` live in the writer's current state?
+    #[inline]
+    pub fn is_live_now(&self, row: u32) -> bool {
+        *self.death.get(row as usize) == LIVE
+    }
+
+    /// The epoch `row` died at ([`LIVE`] while it has not).
+    #[inline]
+    pub fn death_epoch(&self, row: u32) -> u64 {
+        *self.death.get(row as usize)
+    }
+
+    /// The code at (`row`, `col`).
+    #[inline]
+    pub fn code(&self, row: u32, col: usize) -> Code {
+        *self.cols[col].get(row as usize)
+    }
+
+    /// The codes of one row, gathered across columns.
+    pub fn row_codes(&self, row: u32) -> impl Iterator<Item = Code> + '_ {
+        self.cols.iter().map(move |c| *c.get(row as usize))
+    }
+
+    /// An immutable view of everything appended so far (snapshot
+    /// acquisition; pair it with the acquiring epoch).
+    pub fn view(&self) -> RowsView {
+        RowsView {
+            cols: self.cols.iter().map(CowVec::view).collect(),
+            birth: self.birth.view(),
+            death: self.death.view(),
+            rows: self.rows,
+        }
+    }
+
+    /// Drop every row for which `reclaim` returns true (the store passes
+    /// "died at or before the GC horizon"), compacting the columns.
+    ///
+    /// Returns the row remap — `remap[old] = new` for surviving rows,
+    /// [`crate::columnar::DELETED_ROW`] for reclaimed ones — so callers
+    /// can patch row-indexed side structures. Views taken earlier are
+    /// unaffected (they share the old chunks).
+    pub fn compact(&mut self, mut reclaim: impl FnMut(u32) -> bool) -> Vec<u32> {
+        let mut remap = vec![crate::columnar::DELETED_ROW; self.rows];
+        let mut fresh = VersionedRows::new();
+        if self.arity() > 0 {
+            fresh.cols = vec![CowVec::new(); self.arity()];
+        }
+        let mut codes: Vec<Code> = Vec::with_capacity(self.arity());
+        for row in 0..self.rows as u32 {
+            let dead = *self.death.get(row as usize) != LIVE;
+            if dead && reclaim(row) {
+                continue;
+            }
+            codes.clear();
+            codes.extend(self.row_codes(row));
+            let new = fresh.append_row(&codes, *self.birth.get(row as usize));
+            let death = *self.death.get(row as usize);
+            if death != LIVE {
+                fresh.kill_row(new, death);
+            }
+            remap[row as usize] = new;
+        }
+        *self = fresh;
+        remap
+    }
+}
+
+/// An immutable view of a [`VersionedRows`] as of some acquisition
+/// moment. Row indices beyond the captured length did not exist yet and
+/// are out of bounds.
+#[derive(Clone, Debug)]
+pub struct RowsView {
+    cols: Vec<CowVecView<Code>>,
+    birth: CowVecView<u64>,
+    death: CowVecView<u64>,
+    rows: usize,
+}
+
+impl RowsView {
+    /// Number of physical rows captured.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// No rows captured?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Did row `row` exist at epoch `epoch`?
+    #[inline]
+    pub fn live_at(&self, row: u32, epoch: u64) -> bool {
+        *self.birth.get(row as usize) <= epoch && epoch < *self.death.get(row as usize)
+    }
+
+    /// The code at (`row`, `col`).
+    #[inline]
+    pub fn code(&self, row: u32, col: usize) -> Code {
+        *self.cols[col].get(row as usize)
+    }
+
+    /// The codes of one row, gathered across columns.
+    pub fn row_codes(&self, row: u32) -> impl Iterator<Item = Code> + '_ {
+        self.cols.iter().map(move |c| *c.get(row as usize))
+    }
+
+    /// Materialize one row as a [`Tuple`] through `pool`.
+    pub fn decode_row(&self, row: u32, pool: &PoolView) -> Tuple {
+        self.row_codes(row).map(|c| pool.value(c).clone()).collect()
+    }
+}
+
+/// A [`crate::pool::ValuePool`] variant whose code → value table can be
+/// shared with concurrent readers: the writer interns through the map as
+/// usual, readers decode through an immutable [`PoolView`]. Codes are
+/// dense, append-only, and never reassigned.
+#[derive(Clone, Debug, Default)]
+pub struct SharedPool {
+    values: CowVec<Value>,
+    index: FxHashMap<Value, Code>,
+}
+
+impl SharedPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        SharedPool::default()
+    }
+
+    /// The code for `v`, interning it on first sight.
+    pub fn intern(&mut self, v: &Value) -> Code {
+        if let Some(&c) = self.index.get(v) {
+            return c;
+        }
+        let code = Code::try_from(self.values.len()).expect("more than u32::MAX distinct values");
+        self.values.push(v.clone());
+        self.index.insert(v.clone(), code);
+        code
+    }
+
+    /// Encode a whole tuple, interning each value on first sight.
+    pub fn intern_row(&mut self, t: &[Value]) -> Vec<Code> {
+        t.iter().map(|v| self.intern(v)).collect()
+    }
+
+    /// The code for `v` if it has been interned; never interns.
+    pub fn lookup(&self, v: &Value) -> Option<Code> {
+        self.index.get(v).copied()
+    }
+
+    /// Encode a whole tuple without interning: `None` as soon as any
+    /// value has never been seen (such a tuple cannot be resident in any
+    /// relation encoded against this pool).
+    pub fn lookup_row(&self, t: &[Value]) -> Option<Vec<Code>> {
+        t.iter().map(|v| self.lookup(v)).collect()
+    }
+
+    /// The value behind `code`.
+    ///
+    /// # Panics
+    /// If `code` was not produced by this pool.
+    pub fn value(&self, code: Code) -> &Value {
+        self.values.get(code as usize)
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Has nothing been interned?
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// An immutable decode view of every code interned so far.
+    pub fn view(&self) -> PoolView {
+        PoolView {
+            values: self.values.view(),
+        }
+    }
+
+    /// Materialize a plain [`crate::pool::ValuePool`] with the same code
+    /// assignment (bridge to APIs compiled against the classic pool).
+    pub fn to_value_pool(&self) -> crate::pool::ValuePool {
+        let mut pool = crate::pool::ValuePool::with_capacity(self.len());
+        for code in 0..self.len() as Code {
+            pool.intern(self.values.get(code as usize));
+        }
+        pool
+    }
+}
+
+/// An immutable decode view of a [`SharedPool`].
+#[derive(Clone, Debug)]
+pub struct PoolView {
+    values: CowVecView<Value>,
+}
+
+impl PoolView {
+    /// The value behind `code`.
+    ///
+    /// # Panics
+    /// If `code` was not interned when the view was taken.
+    pub fn value(&self, code: Code) -> &Value {
+        self.values.get(code as usize)
+    }
+
+    /// Number of codes the view covers.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Empty view?
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_are_immutable_under_writer_mutation() {
+        let mut v: CowVec<u64> = CowVec::new();
+        for i in 0..10_000 {
+            v.push(i);
+        }
+        let view = v.view();
+        for i in 0..10_000 {
+            v.set(i as usize, i + 1);
+        }
+        for i in 0..5_000 {
+            v.push(0);
+            let _ = i;
+        }
+        assert_eq!(view.len(), 10_000);
+        for i in 0..10_000usize {
+            assert_eq!(*view.get(i), i as u64, "view must see the old contents");
+            assert_eq!(*v.get(i), i as u64 + 1, "writer must see the new");
+        }
+    }
+
+    #[test]
+    fn unshared_chunks_mutate_in_place() {
+        let mut v: CowVec<u32> = CowVec::new();
+        v.push(1);
+        let before = Arc::as_ptr(&v.chunks[0]);
+        v.set(0, 2);
+        assert_eq!(
+            before,
+            Arc::as_ptr(&v.chunks[0]),
+            "no view pins the chunk, so set() must not copy it"
+        );
+        let _view = v.view();
+        v.set(0, 3);
+        assert_ne!(
+            before,
+            Arc::as_ptr(&v.chunks[0]),
+            "a live view forces copy-on-write"
+        );
+    }
+
+    #[test]
+    fn rows_epoch_visibility() {
+        let mut r = VersionedRows::new();
+        let a = r.append_row(&[1, 2], 0);
+        let b = r.append_row(&[3, 4], 2);
+        assert!(r.kill_row(a, 5));
+        assert!(!r.kill_row(a, 6), "second kill is a no-op");
+        let view = r.view();
+        assert!(view.live_at(a, 0) && view.live_at(a, 4));
+        assert!(!view.live_at(a, 5), "dead from its death epoch onward");
+        assert!(!view.live_at(b, 1), "not yet born");
+        assert!(view.live_at(b, 2));
+        assert_eq!(r.live_len(), 1);
+    }
+
+    #[test]
+    fn compact_remaps_and_preserves_earlier_views() {
+        let mut r = VersionedRows::new();
+        for i in 0..6u32 {
+            r.append_row(&[i], 0);
+        }
+        r.kill_row(1, 1);
+        r.kill_row(4, 1);
+        let view = r.view();
+        let remap = r.compact(|_| true);
+        assert_eq!(r.len(), 4);
+        assert_eq!(remap[0], 0);
+        assert_eq!(remap[1], crate::columnar::DELETED_ROW);
+        assert_eq!(remap[2], 1);
+        assert_eq!(r.code(remap[5], 0), 5);
+        // The pre-compaction view still sees all six rows.
+        assert_eq!(view.len(), 6);
+        assert_eq!(view.code(4, 0), 4);
+        assert!(view.live_at(1, 0) && !view.live_at(1, 1));
+    }
+
+    #[test]
+    fn shared_pool_round_trips_through_views() {
+        let mut p = SharedPool::new();
+        let a = p.intern(&Value::str("ldn"));
+        let view = p.view();
+        let b = p.intern(&Value::str("edi"));
+        assert_ne!(a, b);
+        assert_eq!(p.intern(&Value::str("ldn")), a, "stable on re-insert");
+        assert_eq!(view.value(a), &Value::str("ldn"));
+        assert_eq!(view.len(), 1, "view predates the second intern");
+        assert_eq!(p.view().value(b), &Value::str("edi"));
+        assert_eq!(p.lookup_row(&[Value::str("ldn"), Value::int(7)]), None);
+        let vp = p.to_value_pool();
+        assert_eq!(vp.lookup(&Value::str("edi")), Some(b));
+    }
+}
