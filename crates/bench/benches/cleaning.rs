@@ -172,7 +172,7 @@ fn cind_machinery(c: &mut Criterion) {
             );
         }
         g.bench_with_input(BenchmarkId::new("satisfaction", n), &n, |b, _| {
-            b.iter(|| cfd_cind::satisfies(&db, &psi))
+            b.iter(|| cfd_cind::satisfies(&db, &psi).unwrap())
         });
     }
 

@@ -1,0 +1,98 @@
+//! The incremental-CIND experiment: per-batch cost of the multistore's
+//! maintained CIND state (`cfd_cind::CindDelta` behind
+//! `cfd_clean::MultiStore`) against the full `cfd_cind::satisfy` rescan,
+//! at the §1 maintained-store dirtiness (0.5%) and the batch-cleaning
+//! rate (2%). Prints a table and writes `BENCH_cind.json`.
+//!
+//! ```text
+//! cargo run --release -p cfd-bench --bin cind_exp \
+//!     [--base N] [--batch N] [--batches N] [--runs N] [--shards N]
+//!     [--rates 0.005,0.02] [--verify-each] [--out PATH]
+//! ```
+//!
+//! Both paths see identical batches (including customer deletes — the
+//! RHS-delete shape that *creates* violations); the maintained set is
+//! verified against the rescan at the end of every run, and after every
+//! batch with `--verify-each` (the CI smoke mode).
+
+use cfd_bench::cind::compare_cind;
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let num =
+        |name: &str, default: usize| flag(name).and_then(|v| v.parse().ok()).unwrap_or(default);
+    let base = num("--base", 100_000);
+    let batch = num("--batch", 1_000);
+    let batches = num("--batches", 10);
+    let runs = num("--runs", 3);
+    let shards = num("--shards", 2);
+    let rates: Vec<f64> = flag("--rates")
+        .unwrap_or_else(|| "0.005,0.02".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let verify_each = args.iter().any(|a| a == "--verify-each");
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_cind.json".into());
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = format!(
+        "{{\n  \"experiment\": \"cind_incremental\",\n  \"host_cores\": {threads},\n  \
+         \"batch_size\": {batch},\n  \"batches\": {batches},\n  \"shards\": {shards},\n  \
+         \"points\": [\n"
+    );
+    for (ri, &rate) in rates.iter().enumerate() {
+        println!(
+            "# incremental CIND maintenance vs full satisfy rescan \
+             ({base} orders + {} customers, 4 CINDs, {batches} batches of {batch} mixed \
+             updates, dirty rate {rate}, best of {runs}, {threads} core(s))",
+            (base / 5).max(4)
+        );
+        println!("{:>22} | {:>16} | {:>10}", "engine", "s/batch", "speedup");
+        println!("{}", "-".repeat(56));
+        let p = compare_cind(base, batch, batches, runs, rate, shards, verify_each);
+        println!(
+            "{:>22} | {:>16.6} | {:>10}",
+            "satisfy rescan",
+            p.rescan_per_batch.as_secs_f64(),
+            "1.00x"
+        );
+        println!(
+            "{:>22} | {:>16.6} | {:>9.1}x",
+            "multistore CindDelta",
+            p.delta_per_batch.as_secs_f64(),
+            p.speedup()
+        );
+        println!(
+            "final CIND violations: {} (maintained state verified against the rescan)\n",
+            p.final_violations
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"dirty_rate\": {rate}, \"orders\": {}, \"customers\": {}, \"cinds\": {}, \
+             \"delta_s_per_batch\": {:.6}, \"rescan_s_per_batch\": {:.6}, \
+             \"speedup\": {:.2}, \"final_violations\": {}}}{}",
+            p.orders,
+            p.customers,
+            p.cinds,
+            p.delta_per_batch.as_secs_f64(),
+            p.rescan_per_batch.as_secs_f64(),
+            p.speedup(),
+            p.final_violations,
+            if ri + 1 < rates.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}

@@ -1,0 +1,318 @@
+//! Workload and measurement helpers for the incremental-CIND
+//! experiment (ISSUE 4).
+//!
+//! The `cind_exp` binary (`cargo run --release -p cfd-bench --bin
+//! cind_exp`) replays batches of mixed inserts and deletes over a
+//! two-relation orders/customers store two ways: through the
+//! cross-relation [`cfd_clean::MultiStore`] (whose
+//! [`cfd_cind::CindDelta`] maintains witness-count indexes — `O(|Δ|)`
+//! expected per batch) and by re-running the full batch validator
+//! [`cfd_cind::satisfy::all_violations`] over the mutated database
+//! after every batch (`O(|R1| + |R2|)` per CIND — what a snapshot
+//! engine has to pay, witness-set interning included). Both sides see
+//! identical batches; the maintained violation set is verified against
+//! the rescan at the end of every run.
+//!
+//! The workload keeps ~`dirty_rate` of the order stream referencing
+//! missing customers, and deletes customers as well as orders — the
+//! RHS-delete path that *creates* violations, which only the
+//! incremental engine handles without a rescan.
+
+use cfd_cind::delta::CindViolation;
+use cfd_cind::Cind;
+use cfd_clean::{MultiStore, RelationSpec, UpdateBatch};
+use cfd_relalg::domain::DomainKind;
+use cfd_relalg::instance::{Database, Relation, Tuple};
+use cfd_relalg::schema::{Attribute, Catalog, RelId, RelationSchema};
+use cfd_relalg::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// One measured incremental-vs-rescan comparison.
+#[derive(Clone, Debug)]
+pub struct CindPoint {
+    /// Orders base size (tuples before any batch).
+    pub orders: usize,
+    /// Customers base size.
+    pub customers: usize,
+    /// CIND count.
+    pub cinds: usize,
+    /// Fraction of generated orders referencing a missing customer.
+    pub dirty_rate: f64,
+    /// Updates per batch (mixed inserts/deletes across both relations).
+    pub batch: usize,
+    /// Number of batches replayed.
+    pub batches: usize,
+    /// Mean per-batch wall time of the [`MultiStore::apply`] calls.
+    pub delta_per_batch: Duration,
+    /// Mean per-batch wall time of the full `satisfy` rescan.
+    pub rescan_per_batch: Duration,
+    /// CIND violations holding after the last batch (identical paths).
+    pub final_violations: usize,
+}
+
+impl CindPoint {
+    /// `rescan / delta` — how many times cheaper a batch is incrementally.
+    pub fn speedup(&self) -> f64 {
+        self.rescan_per_batch.as_secs_f64() / self.delta_per_batch.as_secs_f64().max(1e-12)
+    }
+}
+
+/// orders(cust, serial, v, w) and customers(id, tier ∈ {0,1}).
+fn catalog() -> (Catalog, RelId, RelId) {
+    let mut c = Catalog::new();
+    let orders = c
+        .add(
+            RelationSchema::new(
+                "orders",
+                vec![
+                    Attribute::new("cust", DomainKind::Int),
+                    Attribute::new("serial", DomainKind::Int),
+                    Attribute::new("v", DomainKind::Int),
+                    Attribute::new("w", DomainKind::Int),
+                ],
+            )
+            .expect("unique attrs"),
+        )
+        .expect("unique rels");
+    let customers = c
+        .add(
+            RelationSchema::new(
+                "customers",
+                vec![
+                    Attribute::new("id", DomainKind::Int),
+                    Attribute::new("tier", DomainKind::Int),
+                ],
+            )
+            .expect("unique attrs"),
+        )
+        .expect("unique rels");
+    (c, orders, customers)
+}
+
+/// Σ_CIND: a plain inclusion, a condition/pattern pair, a two-column
+/// (packed-key) inclusion, and a reverse-direction inclusion so both
+/// relations sit on both sides somewhere.
+fn detection_cinds(orders: RelId, customers: RelId) -> Vec<Cind> {
+    vec![
+        Cind::ind(orders, customers, vec![(0, 0)]).expect("valid"),
+        Cind::new(
+            orders,
+            customers,
+            vec![(0, 0)],
+            vec![(3, Value::int(0))],
+            vec![(1, Value::int(0))],
+        )
+        .expect("valid"),
+        Cind::ind(orders, customers, vec![(0, 0), (3, 1)]).expect("valid"),
+        Cind::new(
+            customers,
+            orders,
+            vec![(0, 0)],
+            vec![(1, Value::int(1))],
+            vec![],
+        )
+        .expect("valid"),
+    ]
+}
+
+fn order_tuple(rng: &mut StdRng, n_cust: usize, serial: &mut i64, rate: f64) -> Tuple {
+    let cust = if rng.gen_bool(rate) {
+        // Dangling reference: an id the customer generator never emits.
+        n_cust as i64 + rng.gen_range(0..1_000_000i64)
+    } else {
+        rng.gen_range(0..n_cust as i64)
+    };
+    let id = *serial;
+    *serial += 1;
+    let w = if rng.gen_bool(rate) {
+        1 - cust.rem_euclid(2)
+    } else {
+        cust.rem_euclid(2)
+    };
+    vec![
+        Value::int(cust),
+        Value::int(id),
+        Value::int(cust.rem_euclid(7)),
+        Value::int(w),
+    ]
+}
+
+fn customer_tuple(id: i64) -> Tuple {
+    vec![Value::int(id), Value::int(id.rem_euclid(2))]
+}
+
+/// The maintained CIND set as a comparable value set.
+fn maintained_set(store: &MultiStore) -> BTreeSet<CindViolation> {
+    store.cind_violations().into_iter().collect()
+}
+
+/// The rescan answer over a materialized database.
+fn rescan_set(db: &Database, cinds: &[Cind]) -> BTreeSet<CindViolation> {
+    let mut out = BTreeSet::new();
+    for (ci, psi) in cinds.iter().enumerate() {
+        for t in cfd_cind::satisfy::all_violations(db, psi).expect("known relations") {
+            out.insert(CindViolation {
+                cind_index: ci,
+                tuple: t,
+            });
+        }
+    }
+    out
+}
+
+/// Replay `batches` batches of `batch` mixed updates (≈70% on orders,
+/// 30% on customers; half inserts, half deletes of residents) over an
+/// `orders`-tuple base with `orders / 5` customers, timing the
+/// multistore's incremental maintenance against the full `satisfy`
+/// rescan. Best of `runs` identically-seeded replays (per-batch
+/// pointwise minima, the incremental experiment's methodology). End
+/// states are always cross-verified; `verify_each` checks every batch.
+pub fn compare_cind(
+    orders_n: usize,
+    batch: usize,
+    batches: usize,
+    runs: usize,
+    dirty_rate: f64,
+    shards: usize,
+    verify_each: bool,
+) -> CindPoint {
+    let (catalog, orders, customers) = catalog();
+    let cinds = detection_cinds(orders, customers);
+    let n_cust = (orders_n / 5).max(4);
+
+    let mut best_delta = vec![Duration::MAX; batches];
+    let mut best_rescan = vec![Duration::MAX; batches];
+    let mut final_violations = 0usize;
+    for _ in 0..runs.max(1) {
+        let mut rng = StdRng::seed_from_u64(0xC1BD);
+        let mut serial = orders_n as i64;
+        let customers_base: Relation = (0..n_cust as i64).map(customer_tuple).collect();
+        let orders_base: Relation = {
+            let mut s = 0i64;
+            (0..orders_n)
+                .map(|_| order_tuple(&mut rng, n_cust, &mut s, dirty_rate))
+                .collect()
+        };
+        let mut store = MultiStore::new(
+            vec![
+                RelationSpec::new("orders", vec![], orders_base.clone()),
+                RelationSpec::new("customers", vec![], customers_base.clone()),
+            ],
+            cinds.clone(),
+            shards,
+        )
+        .expect("both relations exist");
+
+        // Value-level mirrors feed the rescan side and supply delete
+        // candidates (kept outside both timed regions).
+        let mut mirror_orders: Vec<Tuple> = orders_base.tuples().cloned().collect();
+        let mut mirror_cust: Vec<Tuple> = customers_base.tuples().cloned().collect();
+        let mut fresh_cust = n_cust as i64;
+
+        // One untimed warmup batch, as in the incremental experiment.
+        for bi in 0..batches + 1 {
+            let timed = bi > 0;
+            let mut ord = UpdateBatch::default();
+            let mut cus = UpdateBatch::default();
+            for _ in 0..batch {
+                if rng.gen_bool(0.7) {
+                    if rng.gen_bool(0.5) && !mirror_orders.is_empty() {
+                        let at = rng.gen_range(0..mirror_orders.len());
+                        ord.deletes.push(mirror_orders.swap_remove(at));
+                    } else {
+                        ord.inserts
+                            .push(order_tuple(&mut rng, n_cust, &mut serial, dirty_rate));
+                    }
+                } else if rng.gen_bool(0.5) && !mirror_cust.is_empty() {
+                    // The RHS-delete path: retiring a customer can
+                    // *create* violations on every referencing order.
+                    let at = rng.gen_range(0..mirror_cust.len());
+                    cus.deletes.push(mirror_cust.swap_remove(at));
+                } else {
+                    fresh_cust += 1;
+                    cus.inserts.push(customer_tuple(fresh_cust));
+                }
+            }
+            mirror_orders.extend(ord.inserts.iter().cloned());
+            mirror_cust.extend(cus.inserts.iter().cloned());
+
+            let t0 = Instant::now();
+            if !ord.is_empty() {
+                store.apply(orders, &ord);
+            }
+            if !cus.is_empty() {
+                store.apply(customers, &cus);
+            }
+            if timed {
+                best_delta[bi - 1] = best_delta[bi - 1].min(t0.elapsed());
+            }
+
+            // The rescan side pays the full validator per batch; the
+            // database materialization is shared state both engines
+            // would hold and stays untimed (as the relation snapshot
+            // does in the incremental experiment).
+            let mut db = Database::empty(&catalog);
+            for t in &mirror_orders {
+                db.insert(orders, t.clone());
+            }
+            for t in &mirror_cust {
+                db.insert(customers, t.clone());
+            }
+            let t0 = Instant::now();
+            let full = rescan_set(&db, &cinds);
+            if timed {
+                best_rescan[bi - 1] = best_rescan[bi - 1].min(t0.elapsed());
+            }
+            final_violations = full.len();
+            if verify_each {
+                assert_eq!(
+                    maintained_set(&store),
+                    full,
+                    "maintained CIND state diverged from the rescan mid-replay"
+                );
+            }
+        }
+        // End-state verification is unconditional.
+        let mut db = Database::empty(&catalog);
+        for t in &mirror_orders {
+            db.insert(orders, t.clone());
+        }
+        for t in &mirror_cust {
+            db.insert(customers, t.clone());
+        }
+        assert_eq!(
+            maintained_set(&store),
+            rescan_set(&db, &cinds),
+            "maintained CIND end state diverged from the rescan"
+        );
+    }
+
+    CindPoint {
+        orders: orders_n,
+        customers: n_cust,
+        cinds: cinds.len(),
+        dirty_rate,
+        batch,
+        batches,
+        delta_per_batch: best_delta.iter().sum::<Duration>() / batches.max(1) as u32,
+        rescan_per_batch: best_rescan.iter().sum::<Duration>() / batches.max(1) as u32,
+        final_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_stays_in_sync_with_rescan() {
+        let p = compare_cind(1500, 80, 3, 1, 0.02, 2, true);
+        assert_eq!(p.cinds, 4);
+        assert!(p.delta_per_batch > Duration::ZERO);
+        assert!(p.rescan_per_batch > Duration::ZERO);
+        assert!(p.final_violations > 0, "dirty workload stays dirty");
+    }
+}

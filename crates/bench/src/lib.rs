@@ -67,10 +67,21 @@
 //! batch retires and creates hundreds of violations) pays more; the
 //! rescan pays `O(|r|·|Σ|)` regardless. Both paths are verified to
 //! report identical violation sets at the end of every replay.
+//!
+//! The [`cind`] module drives the incremental-CIND experiment (ISSUE 4):
+//! mixed update batches over a two-relation orders/customers store,
+//! replayed through the cross-relation [`cfd_clean::MultiStore`] (whose
+//! `CindDelta` maintains witness-count indexes in `O(|Δ|)` per batch)
+//! versus the full `cfd_cind::satisfy` rescan after every batch:
+//!
+//! * `cargo run --release -p cfd-bench --bin cind_exp` — prints a table
+//!   and writes `BENCH_cind.json` (`host_cores` recorded as in the
+//!   sharded experiment).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cind;
 pub mod columnar;
 pub mod incremental;
 pub mod sharded;

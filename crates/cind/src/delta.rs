@@ -1,0 +1,542 @@
+//! Incremental CIND maintenance: witness-count indexes answering update
+//! batches in `O(|Δ|)` expected time.
+//!
+//! [`crate::satisfy`] answers "does `D` satisfy ψ" by one full pass over
+//! both relations — `O(|R1| + |R2|)` per CIND per call. The serving
+//! story (`cfd-clean::multistore::MultiStore`) is update-driven: both
+//! sides of every inclusion keep changing by small batches, and a full
+//! rescan per batch re-pays almost all of its work. [`CindDelta`] is
+//! the incremental engine:
+//!
+//! * Σ_CIND is compiled once against a shared
+//!   [`cfd_relalg::versioned::SharedPool`]: pattern constants intern at
+//!   construction, inclusion columns hoist into flat gather lists, and
+//!   every key is a packed [`WitnessKey`](crate::satisfy) — one machine
+//!   word for 1- and 2-column inclusions. Because *all* relations
+//!   encode through the one pool, code equality is value equality
+//!   across relations, and the whole engine runs on `u32` codes.
+//! * Per CIND, one hash index over the shared key space maps each
+//!   projected key to the live in-scope LHS member rows **and** the
+//!   count of qualifying RHS witnesses. A key is violated exactly when
+//!   it has members but a zero witness count.
+//! * [`CindDelta::apply`] takes one relation's applied row changes
+//!   (deletes then inserts, post set-semantics — exactly what the
+//!   sharded store's phase A resolved) and returns the exact
+//!   [`CindDiff`]: violations that now hold and did not before, and the
+//!   reverse. Epoch-stamped before/after snapshots per touched key make
+//!   the diff exact under arbitrary churn within a batch.
+//!
+//! The shape no batch validator ever had to handle falls out naturally:
+//! a **delete on the RHS side** decrements witness counts, and a key
+//! whose count hits zero while it still has members *creates*
+//! violations — every member surfaces in `added`.
+//!
+//! Members are stored as full code rows (not store row references), so
+//! the engine needs no remapping when a store compacts: codes are
+//! append-only and valid forever. The differential fuzz harness
+//! (`crates/clean/tests/multistore_props.rs`) holds this engine equal to
+//! a fresh [`crate::satisfy::all_violations`] rescan and to a quadratic
+//! nested-loop reference under random schemas, Σ, and interleavings.
+
+use crate::cind::Cind;
+use crate::error::CindError;
+use crate::satisfy::WitnessKey;
+use cfd_relalg::instance::Tuple;
+use cfd_relalg::pool::Code;
+use cfd_relalg::schema::RelId;
+use cfd_relalg::versioned::SharedPool;
+use rustc_hash::FxHashMap;
+
+/// One code row, as the storage layer hands it over.
+pub type CodeRow = Box<[Code]>;
+
+/// One CIND violation: an in-scope LHS tuple with no qualifying witness.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CindViolation {
+    /// Index of the violated CIND in the engine's Σ.
+    pub cind_index: usize,
+    /// The witness-less LHS tuple.
+    pub tuple: Tuple,
+}
+
+/// The CIND violations a batch added and retired, each sorted by CIND
+/// index and then by tuple (deterministic and independent of the batch's
+/// internal order).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CindDiff {
+    /// Violations that hold after the batch but did not before.
+    pub added: Vec<CindViolation>,
+    /// Violations that held before the batch but no longer do.
+    pub removed: Vec<CindViolation>,
+}
+
+impl CindDiff {
+    /// Did the batch change the CIND violation set at all?
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// One CIND compiled against the shared pool: column gather lists plus
+/// pattern constants as codes. A pattern constant is interned at
+/// construction, so scope and qualification checks are one integer
+/// compare per pattern cell.
+#[derive(Clone, Debug)]
+struct CompiledCind {
+    lhs_rel: RelId,
+    rhs_rel: RelId,
+    lhs_cols: Vec<usize>,
+    rhs_cols: Vec<usize>,
+    lhs_cond: Vec<(usize, Code)>,
+    rhs_pat: Vec<(usize, Code)>,
+}
+
+impl CompiledCind {
+    fn compile(cind: &Cind, pool: &mut SharedPool) -> CompiledCind {
+        CompiledCind {
+            lhs_rel: cind.lhs_rel(),
+            rhs_rel: cind.rhs_rel(),
+            lhs_cols: cind.columns().iter().map(|(x, _)| *x).collect(),
+            rhs_cols: cind.columns().iter().map(|(_, y)| *y).collect(),
+            lhs_cond: cind
+                .lhs_condition()
+                .iter()
+                .map(|(a, v)| (*a, pool.intern(v)))
+                .collect(),
+            rhs_pat: cind
+                .rhs_pattern()
+                .iter()
+                .map(|(a, v)| (*a, pool.intern(v)))
+                .collect(),
+        }
+    }
+
+    /// Is this LHS code row in the CIND's scope (`t[Xp] = tp[Xp]`)?
+    #[inline]
+    fn in_scope(&self, codes: &[Code]) -> bool {
+        self.lhs_cond.iter().all(|&(a, k)| codes[a] == k)
+    }
+
+    /// Does this RHS code row qualify as a witness (`t[Yp] = tp[Yp]`)?
+    #[inline]
+    fn qualifies(&self, codes: &[Code]) -> bool {
+        self.rhs_pat.iter().all(|&(a, k)| codes[a] == k)
+    }
+}
+
+/// Pack the projection of `codes` onto `cols` through `scratch`.
+#[inline]
+fn pack_key(cols: &[usize], codes: &[Code], scratch: &mut Vec<Code>) -> WitnessKey {
+    scratch.clear();
+    scratch.extend(cols.iter().map(|&c| codes[c]));
+    WitnessKey::pack(scratch)
+}
+
+/// The state of one projected key under one CIND: the live in-scope LHS
+/// member rows and the count of qualifying RHS witnesses. Violated iff
+/// `rhs_count == 0` and `members` is nonempty.
+#[derive(Debug, Default)]
+struct KeyState {
+    members: Vec<CodeRow>,
+    rhs_count: u32,
+    /// Epoch of the last batch that touched this key (before-snapshot
+    /// dedup; `0` is never a live epoch).
+    stamp: u64,
+}
+
+impl KeyState {
+    /// The members currently violated at this key (empty when a witness
+    /// covers them).
+    fn violated(&self) -> Vec<CodeRow> {
+        if self.rhs_count == 0 {
+            self.members.clone()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A persistent incremental CIND engine over a multi-relation store.
+///
+/// See the [module docs](self) for the index invariants and the
+/// `cfd-clean` multistore for the writer that drives it.
+#[derive(Debug)]
+pub struct CindDelta {
+    sigma: Vec<Cind>,
+    compiled: Vec<CompiledCind>,
+    /// CIND indices whose LHS (respectively RHS) is each relation.
+    by_lhs: Vec<Vec<usize>>,
+    by_rhs: Vec<Vec<usize>>,
+    /// Per CIND: projected key → key state.
+    states: Vec<FxHashMap<WitnessKey, KeyState>>,
+}
+
+impl CindDelta {
+    /// Compile `sigma` against `pool` for a store of `relations`
+    /// relations (ids `0..relations`). Pattern constants intern into the
+    /// pool here, so later scope checks never miss a code.
+    ///
+    /// A CIND referencing a relation outside the store is a
+    /// [`CindError::UnknownRelation`].
+    pub fn new(
+        sigma: Vec<Cind>,
+        relations: usize,
+        pool: &mut SharedPool,
+    ) -> Result<CindDelta, CindError> {
+        for cind in &sigma {
+            for rel in [cind.lhs_rel(), cind.rhs_rel()] {
+                if rel.0 >= relations {
+                    return Err(CindError::UnknownRelation { rel, relations });
+                }
+            }
+        }
+        let compiled: Vec<CompiledCind> = sigma
+            .iter()
+            .map(|c| CompiledCind::compile(c, pool))
+            .collect();
+        let mut by_lhs: Vec<Vec<usize>> = vec![Vec::new(); relations];
+        let mut by_rhs: Vec<Vec<usize>> = vec![Vec::new(); relations];
+        for (i, c) in compiled.iter().enumerate() {
+            by_lhs[c.lhs_rel.0].push(i);
+            by_rhs[c.rhs_rel.0].push(i);
+        }
+        Ok(CindDelta {
+            states: (0..sigma.len()).map(|_| FxHashMap::default()).collect(),
+            sigma,
+            compiled,
+            by_lhs,
+            by_rhs,
+        })
+    }
+
+    /// The CINDs being maintained.
+    pub fn sigma(&self) -> &[Cind] {
+        &self.sigma
+    }
+
+    /// Admit one base row of `rel` during seeding (epoch 0): index
+    /// maintenance only, no diff bookkeeping.
+    pub fn seed_row(&mut self, rel: RelId, codes: &[Code]) {
+        let mut scratch = Vec::new();
+        for &ci in &self.by_lhs[rel.0] {
+            let cc = &self.compiled[ci];
+            if !cc.in_scope(codes) {
+                continue;
+            }
+            let key = pack_key(&cc.lhs_cols, codes, &mut scratch);
+            self.states[ci]
+                .entry(key)
+                .or_default()
+                .members
+                .push(codes.into());
+        }
+        for &ci in &self.by_rhs[rel.0] {
+            let cc = &self.compiled[ci];
+            if !cc.qualifies(codes) {
+                continue;
+            }
+            let key = pack_key(&cc.rhs_cols, codes, &mut scratch);
+            self.states[ci].entry(key).or_default().rhs_count += 1;
+        }
+    }
+
+    /// Apply one relation's applied row changes — `dels` then `ins`,
+    /// already resolved to set semantics by the store — at `epoch`
+    /// (strictly increasing across calls, starting above 0), returning
+    /// the exact [`CindDiff`] they caused across every CIND touching
+    /// `rel` on either side.
+    pub fn apply(
+        &mut self,
+        rel: RelId,
+        dels: &[CodeRow],
+        ins: &[CodeRow],
+        epoch: u64,
+        pool: &SharedPool,
+    ) -> CindDiff {
+        // Epoch 0 is the seed state: a batch stamped 0 would defeat the
+        // first-touch dedup below (fresh keys default to stamp 0) and
+        // silently drop its diff.
+        assert!(epoch > 0, "apply epochs start above the seed epoch 0");
+        // Capture each touched key's violated-member set the first time
+        // the batch reaches it; diff against the post-state at the end.
+        let mut touched: Vec<(usize, WitnessKey, Vec<CodeRow>)> = Vec::new();
+        let mut scratch: Vec<Code> = Vec::new();
+        for (phase, is_del) in [(dels, true), (ins, false)] {
+            for codes in phase {
+                for &ci in &self.by_lhs[rel.0] {
+                    let cc = &self.compiled[ci];
+                    if !cc.in_scope(codes) {
+                        continue;
+                    }
+                    let key = pack_key(&cc.lhs_cols, codes, &mut scratch);
+                    let st = self.states[ci].entry(key.clone()).or_default();
+                    if st.stamp != epoch {
+                        st.stamp = epoch;
+                        touched.push((ci, key, st.violated()));
+                    }
+                    if is_del {
+                        let at = st
+                            .members
+                            .iter()
+                            .position(|m| m.as_ref() == codes.as_ref())
+                            .expect("deleted row was admitted as a CIND member");
+                        st.members.swap_remove(at);
+                    } else {
+                        st.members.push(codes.clone());
+                    }
+                }
+                for &ci in &self.by_rhs[rel.0] {
+                    let cc = &self.compiled[ci];
+                    if !cc.qualifies(codes) {
+                        continue;
+                    }
+                    let key = pack_key(&cc.rhs_cols, codes, &mut scratch);
+                    let st = self.states[ci].entry(key.clone()).or_default();
+                    if st.stamp != epoch {
+                        st.stamp = epoch;
+                        touched.push((ci, key, st.violated()));
+                    }
+                    if is_del {
+                        st.rhs_count = st
+                            .rhs_count
+                            .checked_sub(1)
+                            .expect("witness count underflow: index out of sync with the store");
+                    } else {
+                        st.rhs_count += 1;
+                    }
+                }
+            }
+        }
+
+        let mut added: Vec<CindViolation> = Vec::new();
+        let mut removed: Vec<CindViolation> = Vec::new();
+        for (ci, key, mut before) in touched {
+            let st = self.states[ci]
+                .get(&key)
+                .expect("touched keys are never pruned mid-batch");
+            let mut after = st.violated();
+            if st.members.is_empty() && st.rhs_count == 0 {
+                self.states[ci].remove(&key); // fully drained: reclaim
+            }
+            // Exact set difference on sorted code rows; verbatim churn
+            // (a member deleted and re-inserted, a witness count that
+            // dips and recovers) cancels here.
+            before.sort_unstable();
+            after.sort_unstable();
+            let mut b = before.into_iter().peekable();
+            let mut a = after.into_iter().peekable();
+            loop {
+                use std::cmp::Ordering;
+                let ord = match (b.peek(), a.peek()) {
+                    (None, None) => break,
+                    (Some(_), None) => Ordering::Less,
+                    (None, Some(_)) => Ordering::Greater,
+                    (Some(x), Some(y)) => x.cmp(y),
+                };
+                match ord {
+                    Ordering::Equal => {
+                        b.next();
+                        a.next();
+                    }
+                    Ordering::Less => {
+                        removed.push(materialize(ci, &b.next().expect("peeked"), pool));
+                    }
+                    Ordering::Greater => {
+                        added.push(materialize(ci, &a.next().expect("peeked"), pool));
+                    }
+                }
+            }
+        }
+        added.sort_unstable();
+        removed.sort_unstable();
+        CindDiff { added, removed }
+    }
+
+    /// Every CIND violation currently holding, sorted by CIND index and
+    /// then by tuple.
+    pub fn current_violations(&self, pool: &SharedPool) -> Vec<CindViolation> {
+        let mut out: Vec<CindViolation> = Vec::new();
+        for (ci, states) in self.states.iter().enumerate() {
+            for st in states.values() {
+                if st.rhs_count == 0 {
+                    out.extend(st.members.iter().map(|m| materialize(ci, m, pool)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of violations without materializing them.
+    pub fn violation_count(&self) -> usize {
+        self.states
+            .iter()
+            .flat_map(|s| s.values())
+            .filter(|st| st.rhs_count == 0)
+            .map(|st| st.members.len())
+            .sum()
+    }
+}
+
+/// Decode one violated member at the reporting boundary.
+fn materialize(cind_index: usize, codes: &[Code], pool: &SharedPool) -> CindViolation {
+    CindViolation {
+        cind_index,
+        tuple: codes.iter().map(|&c| pool.value(c).clone()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relalg::Value;
+
+    fn rel(i: usize) -> RelId {
+        RelId(i)
+    }
+
+    fn codes(pool: &mut SharedPool, vals: &[i64]) -> CodeRow {
+        vals.iter()
+            .map(|v| pool.intern(&Value::int(*v)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+    }
+
+    fn vio(ci: usize, vals: &[i64]) -> CindViolation {
+        CindViolation {
+            cind_index: ci,
+            tuple: vals.iter().map(|v| Value::int(*v)).collect(),
+        }
+    }
+
+    /// orders(cust, amt) ⊆ customers(id, cc) on the key.
+    fn engine(pool: &mut SharedPool) -> CindDelta {
+        let psi = Cind::ind(rel(0), rel(1), vec![(0, 0)]).unwrap();
+        CindDelta::new(vec![psi], 2, pool).unwrap()
+    }
+
+    #[test]
+    fn lhs_insert_without_witness_violates() {
+        let mut pool = SharedPool::new();
+        let mut d = engine(&mut pool);
+        let t = codes(&mut pool, &[7, 1]);
+        let diff = d.apply(rel(0), &[], &[t], 1, &pool);
+        assert_eq!(diff.added, vec![vio(0, &[7, 1])]);
+        assert!(diff.removed.is_empty());
+        assert_eq!(d.violation_count(), 1);
+    }
+
+    #[test]
+    fn rhs_insert_retires_all_members_of_the_key() {
+        let mut pool = SharedPool::new();
+        let mut d = engine(&mut pool);
+        let a = codes(&mut pool, &[7, 1]);
+        let b = codes(&mut pool, &[7, 2]);
+        d.apply(rel(0), &[], &[a, b], 1, &pool);
+        let w = codes(&mut pool, &[7, 9]);
+        let diff = d.apply(rel(1), &[], &[w], 2, &pool);
+        assert!(diff.added.is_empty());
+        assert_eq!(diff.removed, vec![vio(0, &[7, 1]), vio(0, &[7, 2])]);
+        assert_eq!(d.violation_count(), 0);
+    }
+
+    #[test]
+    fn rhs_delete_creates_violations() {
+        // The shape the batch validator never handled: removing the last
+        // witness makes every member of the key violated.
+        let mut pool = SharedPool::new();
+        let mut d = engine(&mut pool);
+        let w = codes(&mut pool, &[7, 9]);
+        d.seed_row(rel(1), &w);
+        let a = codes(&mut pool, &[7, 1]);
+        d.seed_row(rel(0), &a);
+        assert_eq!(d.violation_count(), 0);
+        let diff = d.apply(rel(1), &[w], &[], 1, &pool);
+        assert_eq!(diff.added, vec![vio(0, &[7, 1])]);
+        assert!(diff.removed.is_empty());
+    }
+
+    #[test]
+    fn churn_within_a_batch_cancels() {
+        let mut pool = SharedPool::new();
+        let mut d = engine(&mut pool);
+        let w = codes(&mut pool, &[7, 9]);
+        d.seed_row(rel(1), &w);
+        let a = codes(&mut pool, &[7, 1]);
+        d.seed_row(rel(0), &a);
+        // Delete the witness and re-insert it in one batch: no net change.
+        let diff = d.apply(
+            rel(1),
+            std::slice::from_ref(&w),
+            std::slice::from_ref(&w),
+            1,
+            &pool,
+        );
+        assert!(diff.is_empty());
+        // Same for a member.
+        let diff = d.apply(
+            rel(0),
+            std::slice::from_ref(&a),
+            std::slice::from_ref(&a),
+            2,
+            &pool,
+        );
+        assert!(diff.is_empty());
+        assert_eq!(d.violation_count(), 0);
+    }
+
+    #[test]
+    fn scope_and_pattern_gate_the_index() {
+        // orders[cust; amt = 5] ⊆ customers[id; cc = 3]
+        let mut pool = SharedPool::new();
+        let psi = Cind::new(
+            rel(0),
+            rel(1),
+            vec![(0, 0)],
+            vec![(1, Value::int(5))],
+            vec![(1, Value::int(3))],
+        )
+        .unwrap();
+        let mut d = CindDelta::new(vec![psi], 2, &mut pool).unwrap();
+        let out_of_scope = codes(&mut pool, &[7, 4]);
+        let diff = d.apply(rel(0), &[], &[out_of_scope], 1, &pool);
+        assert!(diff.is_empty(), "out-of-scope LHS rows are invisible");
+        let in_scope = codes(&mut pool, &[7, 5]);
+        let diff = d.apply(rel(0), &[], &[in_scope], 2, &pool);
+        assert_eq!(diff.added.len(), 1);
+        let bad_witness = codes(&mut pool, &[7, 4]);
+        let diff = d.apply(rel(1), &[], &[bad_witness], 3, &pool);
+        assert!(diff.is_empty(), "wrong-pattern witnesses do not count");
+        let good_witness = codes(&mut pool, &[7, 3]);
+        let diff = d.apply(rel(1), &[], &[good_witness], 4, &pool);
+        assert_eq!(diff.removed.len(), 1);
+    }
+
+    #[test]
+    fn self_referencing_cind_updates_both_roles() {
+        // R[a] ⊆ R[b] within one relation: a row can be member and
+        // witness at once.
+        let mut pool = SharedPool::new();
+        let psi = Cind::new(rel(0), rel(0), vec![(0, 1)], vec![], vec![]).unwrap();
+        let mut d = CindDelta::new(vec![psi], 1, &mut pool).unwrap();
+        let t = codes(&mut pool, &[1, 1]);
+        let diff = d.apply(rel(0), &[], &[t], 1, &pool);
+        assert!(diff.is_empty(), "(1,1) witnesses itself");
+        let u = codes(&mut pool, &[2, 1]);
+        let diff = d.apply(rel(0), &[], &[u], 2, &pool);
+        assert_eq!(diff.added, vec![vio(0, &[2, 1])], "2 not in column b");
+    }
+
+    #[test]
+    fn unknown_relation_rejected_at_construction() {
+        let mut pool = SharedPool::new();
+        let psi = Cind::ind(rel(0), rel(5), vec![(0, 0)]).unwrap();
+        assert_eq!(
+            CindDelta::new(vec![psi], 2, &mut pool).err(),
+            Some(CindError::UnknownRelation {
+                rel: rel(5),
+                relations: 2
+            })
+        );
+    }
+}

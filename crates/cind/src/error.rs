@@ -1,5 +1,6 @@
 //! Errors for CIND construction and validation.
 
+use cfd_relalg::schema::RelId;
 use std::fmt;
 
 /// Why a CIND could not be constructed or validated.
@@ -37,6 +38,15 @@ pub enum CindError {
         /// The relation arity.
         arity: usize,
     },
+    /// A CIND names a relation the database (or store) does not have.
+    /// Historically the satisfaction checker would silently read past
+    /// the instance here; every entry point now reports it.
+    UnknownRelation {
+        /// The relation id the CIND referenced.
+        rel: RelId,
+        /// How many relations the instance actually has.
+        relations: usize,
+    },
 }
 
 impl fmt::Display for CindError {
@@ -57,6 +67,12 @@ impl fmt::Display for CindError {
             }
             CindError::AttrOutOfRange { side, attr, arity } => {
                 write!(f, "{side} attribute #{attr} out of range for arity {arity}")
+            }
+            CindError::UnknownRelation { rel, relations } => {
+                write!(
+                    f,
+                    "CIND references unknown relation {rel} (instance has {relations} relation(s))"
+                )
             }
         }
     }

@@ -9,7 +9,16 @@
 //! * [`cind::Cind`] — CINDs `(R1[X; Xp] ⊆ R2[Y; Yp], tp)`: an inclusion
 //!   dependency whose scope is restricted by constants over `Xp` and whose
 //!   witnesses must carry constants over `Yp`;
-//! * [`satisfy`] — satisfaction over [`cfd_relalg::Database`] instances;
+//! * [`satisfy`] — satisfaction over [`cfd_relalg::Database`] instances
+//!   (fallible: a CIND naming a relation the instance does not have is a
+//!   typed [`CindError::UnknownRelation`], never a silent empty answer);
+//! * [`delta`] — the incremental engine: [`delta::CindDelta`] compiles
+//!   Σ_CIND once against a shared dictionary pool, maintains
+//!   witness-count indexes per projected key, and answers each batch of
+//!   applied inserts/deletes on either side of any inclusion with the
+//!   exact [`delta::CindDiff`] in `O(|Δ|)` expected time — including the
+//!   case a batch validator never meets, where deleting the last RHS
+//!   witness *creates* violations;
 //! * [`implication`] — a **sound** saturation-based implication checker
 //!   (projection/permutation, pattern weakening, bounded transitive
 //!   composition). Completeness is out of scope: CIND implication is
@@ -39,15 +48,16 @@
 //! let psi = Cind::ind(orders, customers, vec![(0, 0)]).unwrap();
 //! let mut db = Database::empty(&catalog);
 //! db.insert(orders, vec![Value::int(7)]);
-//! assert!(!satisfies(&db, &psi), "customer 7 missing");
+//! assert!(!satisfies(&db, &psi).unwrap(), "customer 7 missing");
 //! db.insert(customers, vec![Value::int(7)]);
-//! assert!(satisfies(&db, &psi));
+//! assert!(satisfies(&db, &psi).unwrap());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cind;
+pub mod delta;
 pub mod error;
 pub mod implication;
 pub mod propagate;
@@ -55,6 +65,7 @@ pub mod repair;
 pub mod satisfy;
 
 pub use cind::Cind;
+pub use delta::{CindDelta, CindDiff, CindViolation};
 pub use error::CindError;
 pub use implication::implies;
 pub use propagate::{propagate_cinds, register_view, view_to_source_cinds};

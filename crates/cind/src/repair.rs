@@ -45,7 +45,8 @@ pub fn repair_by_insertion(
     for round in 0..max_rounds {
         let mut changed = false;
         for cind in sigma {
-            let violations = all_violations(&current, cind);
+            let violations =
+                all_violations(&current, cind).expect("repair target names catalog relations");
             if violations.is_empty() {
                 continue;
             }
@@ -67,7 +68,9 @@ pub fn repair_by_insertion(
             };
         }
     }
-    let clean = sigma.iter().all(|c| crate::satisfy::satisfies(&current, c));
+    let clean = sigma
+        .iter()
+        .all(|c| crate::satisfy::satisfies(&current, c).expect("relations checked above"));
     CindRepairOutcome {
         database: current,
         inserted,
@@ -160,7 +163,7 @@ mod tests {
         let out = repair_by_insertion(&c, &db, std::slice::from_ref(&psi), 4);
         assert!(out.clean);
         assert_eq!(out.inserted, 1, "one witness for the uk order");
-        assert!(crate::satisfy::satisfies(&out.database, &psi));
+        assert!(crate::satisfy::satisfies(&out.database, &psi).unwrap());
         // the witness copies the key and carries the pattern constant
         let w = out.database.relation(cust).tuples().next().unwrap();
         assert_eq!(w[0], Value::int(7));
@@ -193,8 +196,8 @@ mod tests {
         db.insert(orders, vec![Value::int(1), Value::str("uk")]);
         let out = repair_by_insertion(&c, &db, &[a.clone(), b.clone()], 8);
         assert!(out.clean, "mutual key CINDs settle: {:?}", out.database);
-        assert!(crate::satisfy::satisfies(&out.database, &a));
-        assert!(crate::satisfy::satisfies(&out.database, &b));
+        assert!(crate::satisfy::satisfies(&out.database, &a).unwrap());
+        assert!(crate::satisfy::satisfies(&out.database, &b).unwrap());
     }
 
     #[test]

@@ -13,16 +13,25 @@
 //! side never interns: a value the pool has not seen cannot equal any
 //! witness projection, so its tuple is immediately a violation (when in
 //! scope).
+//!
+//! Every entry point is fallible: a CIND referencing a relation the
+//! database does not have is a [`CindError::UnknownRelation`], not an
+//! empty answer. (The pre-fix behavior read past the instance — a CIND
+//! parsed against a different catalog could silently validate against
+//! the wrong relation, or panic.)
 
 use crate::cind::Cind;
-use cfd_relalg::instance::{Database, Tuple};
+use crate::error::CindError;
+use cfd_relalg::instance::{Database, Relation, Tuple};
 use cfd_relalg::pool::{Code, ValuePool};
 use rustc_hash::FxHashSet;
 
 /// A witness key over the inclusion columns, packed into machine words
 /// for the narrow shapes (mirroring `cfd_model::columnar::GroupKey`).
+/// Shared with the incremental engine ([`crate::delta::CindDelta`]),
+/// which keys its witness-count indexes the same way.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
-enum WitnessKey {
+pub(crate) enum WitnessKey {
     /// Single inclusion column.
     One(Code),
     /// Two columns, packed into one word.
@@ -32,13 +41,28 @@ enum WitnessKey {
 }
 
 impl WitnessKey {
-    fn pack(codes: &[Code]) -> WitnessKey {
+    pub(crate) fn pack(codes: &[Code]) -> WitnessKey {
         match codes {
             [a] => WitnessKey::One(*a),
             [a, b] => WitnessKey::Two(((*a as u64) << 32) | *b as u64),
             _ => WitnessKey::Many(codes.to_vec()),
         }
     }
+}
+
+/// Both relations a CIND references, checked against the instance.
+fn resolve<'a>(db: &'a Database, cind: &Cind) -> Result<(&'a Relation, &'a Relation), CindError> {
+    let unknown = |rel| CindError::UnknownRelation {
+        rel,
+        relations: db.relation_count(),
+    };
+    let lhs = db
+        .try_relation(cind.lhs_rel())
+        .ok_or_else(|| unknown(cind.lhs_rel()))?;
+    let rhs = db
+        .try_relation(cind.rhs_rel())
+        .ok_or_else(|| unknown(cind.rhs_rel()))?;
+    Ok((lhs, rhs))
 }
 
 /// The interned witness set of one CIND: every qualifying `R2` projection
@@ -49,11 +73,11 @@ struct WitnessSet {
 }
 
 impl WitnessSet {
-    fn build(db: &Database, cind: &Cind) -> WitnessSet {
+    fn build(rhs: &Relation, cind: &Cind) -> WitnessSet {
         let mut pool = ValuePool::new();
         let mut keys = FxHashSet::default();
         let mut scratch: Vec<Code> = Vec::with_capacity(cind.columns().len());
-        for t in db.relation(cind.rhs_rel()).tuples() {
+        for t in rhs.tuples() {
             if !cind.rhs_pattern().iter().all(|(a, v)| &t[*a] == v) {
                 continue;
             }
@@ -93,36 +117,46 @@ impl WitnessSet {
 }
 
 /// Does `db` satisfy `cind`?
-pub fn satisfies(db: &Database, cind: &Cind) -> bool {
-    find_violation(db, cind).is_none()
+pub fn satisfies(db: &Database, cind: &Cind) -> Result<bool, CindError> {
+    Ok(find_violation(db, cind)?.is_none())
 }
 
 /// Does `db` satisfy every CIND in `sigma`?
-pub fn satisfies_all<'a>(db: &Database, sigma: impl IntoIterator<Item = &'a Cind>) -> bool {
-    sigma.into_iter().all(|c| satisfies(db, c))
+pub fn satisfies_all<'a>(
+    db: &Database,
+    sigma: impl IntoIterator<Item = &'a Cind>,
+) -> Result<bool, CindError> {
+    for c in sigma {
+        if !satisfies(db, c)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
 }
 
 /// The first in-scope LHS tuple with no witness, if any.
-pub fn find_violation(db: &Database, cind: &Cind) -> Option<Tuple> {
-    let witnesses = WitnessSet::build(db, cind);
-    db.relation(cind.lhs_rel())
+pub fn find_violation(db: &Database, cind: &Cind) -> Result<Option<Tuple>, CindError> {
+    let (lhs, rhs) = resolve(db, cind)?;
+    let witnesses = WitnessSet::build(rhs, cind);
+    Ok(lhs
         .tuples()
         .find(|t| {
             cind.lhs_condition().iter().all(|(a, v)| &t[*a] == v) && !witnesses.covers(cind, t)
         })
-        .cloned()
+        .cloned())
 }
 
 /// All in-scope LHS tuples with no witness.
-pub fn all_violations(db: &Database, cind: &Cind) -> Vec<Tuple> {
-    let witnesses = WitnessSet::build(db, cind);
-    db.relation(cind.lhs_rel())
+pub fn all_violations(db: &Database, cind: &Cind) -> Result<Vec<Tuple>, CindError> {
+    let (lhs, rhs) = resolve(db, cind)?;
+    let witnesses = WitnessSet::build(rhs, cind);
+    Ok(lhs
         .tuples()
         .filter(|t| {
             cind.lhs_condition().iter().all(|(a, v)| &t[*a] == v) && !witnesses.covers(cind, t)
         })
         .cloned()
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -173,10 +207,10 @@ mod tests {
         let mut db = Database::empty(&c);
         db.insert(orders, row(vec![Value::int(1), Value::str("uk")]));
         db.insert(cust, row(vec![Value::int(1), Value::str("44")]));
-        assert!(satisfies(&db, &psi));
+        assert!(satisfies(&db, &psi).unwrap());
         db.insert(orders, row(vec![Value::int(2), Value::str("us")]));
-        assert!(!satisfies(&db, &psi), "customer 2 missing");
-        let v = find_violation(&db, &psi).unwrap();
+        assert!(!satisfies(&db, &psi).unwrap(), "customer 2 missing");
+        let v = find_violation(&db, &psi).unwrap().unwrap();
         assert_eq!(v[0], Value::int(2));
     }
 
@@ -194,9 +228,9 @@ mod tests {
         .unwrap();
         let mut db = Database::empty(&c);
         db.insert(orders, row(vec![Value::int(2), Value::str("us")]));
-        assert!(satisfies(&db, &psi), "us order out of scope");
+        assert!(satisfies(&db, &psi).unwrap(), "us order out of scope");
         db.insert(orders, row(vec![Value::int(3), Value::str("uk")]));
-        assert!(!satisfies(&db, &psi));
+        assert!(!satisfies(&db, &psi).unwrap());
     }
 
     #[test]
@@ -215,11 +249,11 @@ mod tests {
         db.insert(orders, row(vec![Value::int(1), Value::str("uk")]));
         db.insert(cust, row(vec![Value::int(1), Value::str("31")]));
         assert!(
-            !satisfies(&db, &psi),
+            !satisfies(&db, &psi).unwrap(),
             "witness exists but carries the wrong cc"
         );
         db.insert(cust, row(vec![Value::int(1), Value::str("44")]));
-        assert!(satisfies(&db, &psi));
+        assert!(satisfies(&db, &psi).unwrap());
     }
 
     #[test]
@@ -227,7 +261,7 @@ mod tests {
         let (c, orders, cust) = setup();
         let psi = Cind::ind(orders, cust, vec![(0, 0)]).unwrap();
         let db = Database::empty(&c);
-        assert!(satisfies(&db, &psi));
+        assert!(satisfies(&db, &psi).unwrap());
     }
 
     #[test]
@@ -238,7 +272,7 @@ mod tests {
         db.insert(orders, row(vec![Value::int(1), Value::str("a")]));
         db.insert(orders, row(vec![Value::int(2), Value::str("b")]));
         db.insert(cust, row(vec![Value::int(1), Value::str("x")]));
-        let vs = all_violations(&db, &psi);
+        let vs = all_violations(&db, &psi).unwrap();
         assert_eq!(vs.len(), 1);
         assert_eq!(vs[0][0], Value::int(2));
     }
@@ -251,10 +285,10 @@ mod tests {
         let mut db = Database::empty(&c);
         db.insert(orders, row(vec![Value::int(1), Value::str("uk")]));
         db.insert(cust, row(vec![Value::int(1), Value::str("uk")]));
-        assert!(satisfies(&db, &psi));
+        assert!(satisfies(&db, &psi).unwrap());
         db.insert(orders, row(vec![Value::int(1), Value::str("us")]));
-        assert!(!satisfies(&db, &psi), "second column differs");
-        let v = find_violation(&db, &psi).unwrap();
+        assert!(!satisfies(&db, &psi).unwrap(), "second column differs");
+        let v = find_violation(&db, &psi).unwrap().unwrap();
         assert_eq!(v[1], Value::str("us"));
     }
 
@@ -267,7 +301,7 @@ mod tests {
         // 99 never occurs among witnesses: the lookup-only probe must
         // report it without interning.
         db.insert(orders, row(vec![Value::int(99), Value::str("a")]));
-        assert_eq!(all_violations(&db, &psi).len(), 1);
+        assert_eq!(all_violations(&db, &psi).unwrap().len(), 1);
     }
 
     #[test]
@@ -278,8 +312,35 @@ mod tests {
         let mut db = Database::empty(&c);
         db.insert(orders, row(vec![Value::int(1), Value::str("a")]));
         db.insert(cust, row(vec![Value::int(1), Value::str("x")]));
-        assert!(satisfies_all(&db, [&a, &b]));
+        assert!(satisfies_all(&db, [&a, &b]).unwrap());
         db.insert(cust, row(vec![Value::int(9), Value::str("y")]));
-        assert!(!satisfies_all(&db, [&a, &b]));
+        assert!(!satisfies_all(&db, [&a, &b]).unwrap());
+    }
+
+    /// Regression (ISSUE 4 satellite): a CIND whose relation the
+    /// database never had is a typed error on every entry point, on
+    /// either side — not an empty answer, not a panic.
+    #[test]
+    fn unknown_relation_is_a_typed_error() {
+        let (c, orders, _cust) = setup();
+        let ghost = RelId(99);
+        let mut db = Database::empty(&c);
+        db.insert(orders, row(vec![Value::int(1), Value::str("uk")]));
+        let expected = CindError::UnknownRelation {
+            rel: ghost,
+            relations: 2,
+        };
+        let lhs_ghost = Cind::ind(ghost, orders, vec![(0, 0)]).unwrap();
+        let rhs_ghost = Cind::ind(orders, ghost, vec![(0, 0)]).unwrap();
+        assert_eq!(satisfies(&db, &lhs_ghost), Err(expected.clone()));
+        assert_eq!(find_violation(&db, &rhs_ghost), Err(expected.clone()));
+        assert_eq!(all_violations(&db, &rhs_ghost), Err(expected.clone()));
+        assert_eq!(
+            satisfies_all(&db, [&lhs_ghost]),
+            Err(expected.clone()),
+            "set entry point propagates the error"
+        );
+        let msg = expected.to_string();
+        assert!(msg.contains("unknown relation"), "{msg}");
     }
 }

@@ -24,6 +24,12 @@
 //!   cleaning under change);
 //! * [`incremental`] — the legacy single-insert validator, now a thin
 //!   wrapper over the delta engine (kept for its reject-only API);
+//! * [`multistore`] — the cross-relation serving layer: many sharded
+//!   relations behind one writer, one dictionary pool, and one epoch
+//!   clock, with incremental CIND maintenance
+//!   ([`cfd_cind::CindDelta`]) between them and a diff bus that streams
+//!   CFD and CIND events per relation, per dependency, or per relation
+//!   pair;
 //! * [`repair()`] — a greedy equivalence-class repair that modifies
 //!   right-hand-side cells until the instance satisfies the CFDs, reporting
 //!   the cell-level cost.
@@ -57,6 +63,7 @@
 pub mod delta;
 pub(crate) mod groupstate;
 pub mod incremental;
+pub mod multistore;
 pub mod repair;
 pub mod sharded;
 pub mod sql;
@@ -64,6 +71,7 @@ pub mod violations;
 
 pub use delta::{DeltaDetector, UpdateBatch, ViolationDiff};
 pub use incremental::InsertChecker;
+pub use multistore::{MultiCommit, MultiDiffFilter, MultiSnapshot, MultiStore, RelationSpec};
 pub use repair::{repair, RepairOutcome};
 pub use sharded::{Commit, DiffFilter, GcStats, ShardedStore, Snapshot};
 pub use sql::detection_sql;

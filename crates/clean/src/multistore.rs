@@ -1,0 +1,679 @@
+//! The cross-relation live store: many sharded relations behind one
+//! writer, one dictionary pool, one epoch clock — and incremental CIND
+//! maintenance between them.
+//!
+//! The paper's propagation story is inherently multi-relation: CFDs
+//! constrain each relation on its own, but the *inter*-relation
+//! constraints are CINDs, and a batch-mode validator
+//! ([`cfd_cind::satisfy`]) re-pays a full scan of both sides of every
+//! inclusion after every update. [`MultiStore`] completes the delta
+//! regime across relations:
+//!
+//! * Every relation is a [`crate::sharded::StoreCore`] — the same
+//!   sharded, snapshot-isolated CFD engine behind
+//!   [`crate::sharded::ShardedStore`] — but all cores intern through
+//!   **one** [`SharedPool`]. Code equality is value equality *across
+//!   relations*, which is what lets the CIND engine below run on `u32`
+//!   codes end to end.
+//! * One **epoch clock** orders all commits: [`MultiStore::apply`]
+//!   targets one relation and advances every core to the new epoch, so
+//!   a [`MultiSnapshot`] taken at epoch `e` is a consistent
+//!   cross-relation cut — relation contents, CFD violations, and CIND
+//!   violations all as of `e`, pinned against GC in every core at once.
+//! * A [`cfd_cind::CindDelta`] consumes each commit's *applied* row
+//!   changes (post set-semantics, straight from the core's phase A) and
+//!   yields the exact [`CindDiff`] in `O(|Δ|)` expected time — no
+//!   rescans, including the batch-validator blind spot where deleting
+//!   the last RHS witness *creates* violations.
+//! * The diff bus generalizes [`crate::sharded::DiffFilter`] with CIND
+//!   events: subscribers pick a relation, a CFD of a relation, a CIND,
+//!   or a relation *pair* ([`MultiDiffFilter::RelPair`] — every CIND
+//!   between two named relations), and receive every commit in order
+//!   over a bounded channel. `cfdprop serve-updates --multi` serves the
+//!   stream as JSON lines.
+//!
+//! The differential fuzz harness
+//! (`crates/clean/tests/multistore_props.rs`) pins the whole tower
+//! down: under random schemas, Σ_CIND, and batch interleavings across
+//! relations, the maintained CIND state must equal a fresh
+//! [`cfd_cind::satisfy::all_violations`] rescan *and* a quadratic
+//! nested-loop reference, batch for batch, diff for diff.
+
+use crate::delta::{UpdateBatch, ViolationDiff};
+use crate::sharded::{GcStats, Snapshot, StoreCore};
+use crate::violations::Violation;
+use cfd_cind::delta::{CindDelta, CindDiff, CindViolation};
+use cfd_cind::{Cind, CindError};
+use cfd_model::cfd::Cfd;
+use cfd_relalg::instance::Relation;
+use cfd_relalg::schema::RelId;
+use cfd_relalg::versioned::SharedPool;
+use std::collections::BTreeSet;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+
+/// One relation of a [`MultiStore`]: its name, the CFDs enforced on it
+/// (may be empty — relations can exist purely as CIND endpoints), and
+/// the seed data.
+#[derive(Clone, Debug, Default)]
+pub struct RelationSpec {
+    /// Relation name (the CLI uses catalog names; tests use anything).
+    pub name: String,
+    /// CFDs local to this relation.
+    pub sigma: Vec<Cfd>,
+    /// Seed tuples (may be dirty on both the CFD and the CIND side).
+    pub base: Relation,
+}
+
+impl RelationSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, sigma: Vec<Cfd>, base: Relation) -> Self {
+        RelationSpec {
+            name: name.into(),
+            sigma,
+            base,
+        }
+    }
+}
+
+/// One committed batch of a [`MultiStore`]: the global epoch it
+/// created, the relation it targeted, and the exact CFD and CIND
+/// violation diffs it caused anywhere in the store. (A batch on one
+/// relation can move CIND violations whose LHS tuples live in *other*
+/// relations — the diff reports them all.)
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiCommit {
+    /// The global epoch this commit created (`1` for the first batch).
+    pub epoch: u64,
+    /// The relation the batch targeted.
+    pub rel: RelId,
+    /// CFD violations of the target relation added and retired.
+    pub cfd: ViolationDiff,
+    /// CIND violations added and retired, across all relation pairs the
+    /// batch touched.
+    pub cind: CindDiff,
+}
+
+impl MultiCommit {
+    /// Did the commit change any violation set?
+    pub fn is_empty(&self) -> bool {
+        self.cfd.is_empty() && self.cind.is_empty()
+    }
+}
+
+/// What a multistore bus subscriber wants to see of each commit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MultiDiffFilter {
+    /// Every CFD and CIND event.
+    All,
+    /// CFD events of this relation, plus CIND events of every CIND that
+    /// touches it on either side.
+    Rel(RelId),
+    /// Only CFD events of the CFD at `index` in this relation's Σ.
+    Cfd {
+        /// The relation whose Σ is indexed.
+        rel: RelId,
+        /// CFD index within that relation's Σ.
+        index: usize,
+    },
+    /// Only events of the CIND at this index in Σ_CIND.
+    Cind(usize),
+    /// Only CIND events whose dependency runs from the first relation
+    /// (LHS) to the second (RHS).
+    RelPair(RelId, RelId),
+}
+
+impl MultiDiffFilter {
+    /// The filtered view of one commit (order preserved).
+    fn apply(&self, c: &MultiCommit, sigma_cind: &[Cind]) -> MultiCommit {
+        if matches!(self, MultiDiffFilter::All) {
+            return c.clone();
+        }
+        let keep_cfd = |v: &Violation| match self {
+            MultiDiffFilter::All => true,
+            MultiDiffFilter::Rel(r) => c.rel == *r,
+            MultiDiffFilter::Cfd { rel, index } => c.rel == *rel && v.cfd_index == *index,
+            MultiDiffFilter::Cind(_) | MultiDiffFilter::RelPair(..) => false,
+        };
+        let keep_cind = |v: &CindViolation| {
+            let psi = &sigma_cind[v.cind_index];
+            match self {
+                MultiDiffFilter::All => true,
+                MultiDiffFilter::Rel(r) => psi.lhs_rel() == *r || psi.rhs_rel() == *r,
+                MultiDiffFilter::Cfd { .. } => false,
+                MultiDiffFilter::Cind(i) => v.cind_index == *i,
+                MultiDiffFilter::RelPair(l, r) => psi.lhs_rel() == *l && psi.rhs_rel() == *r,
+            }
+        };
+        MultiCommit {
+            epoch: c.epoch,
+            rel: c.rel,
+            cfd: ViolationDiff {
+                added: c
+                    .cfd
+                    .added
+                    .iter()
+                    .filter(|v| keep_cfd(v))
+                    .cloned()
+                    .collect(),
+                removed: c
+                    .cfd
+                    .removed
+                    .iter()
+                    .filter(|v| keep_cfd(v))
+                    .cloned()
+                    .collect(),
+            },
+            cind: CindDiff {
+                added: c
+                    .cind
+                    .added
+                    .iter()
+                    .filter(|v| keep_cind(v))
+                    .cloned()
+                    .collect(),
+                removed: c
+                    .cind
+                    .removed
+                    .iter()
+                    .filter(|v| keep_cind(v))
+                    .cloned()
+                    .collect(),
+            },
+        }
+    }
+}
+
+struct MultiSub {
+    filter: MultiDiffFilter,
+    tx: SyncSender<Arc<MultiCommit>>,
+}
+
+/// The cross-relation live store. See the [module docs](self).
+pub struct MultiStore {
+    pool: SharedPool,
+    names: Vec<String>,
+    cores: Vec<StoreCore>,
+    cind: CindDelta,
+    /// The global epoch clock (0 = seeded base state).
+    epoch: u64,
+    /// CIND violations holding now, in (cind, tuple) order.
+    cind_current: BTreeSet<CindViolation>,
+    subs: Vec<MultiSub>,
+}
+
+impl MultiStore {
+    /// Build a store of `specs.len()` relations (`RelId(i)` is
+    /// `specs[i]`), each sharded `n_shards` ways, enforcing each spec's
+    /// CFDs locally and `cinds` across relations.
+    ///
+    /// A CIND referencing a relation outside `specs` is a
+    /// [`CindError::UnknownRelation`].
+    pub fn new(
+        specs: Vec<RelationSpec>,
+        cinds: Vec<Cind>,
+        n_shards: usize,
+    ) -> Result<MultiStore, CindError> {
+        let mut pool = SharedPool::new();
+        let mut names = Vec::with_capacity(specs.len());
+        let mut cores = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            names.push(spec.name.clone());
+            cores.push(StoreCore::new(
+                spec.sigma.clone(),
+                &spec.base,
+                n_shards,
+                &mut pool,
+            ));
+        }
+        let mut cind = CindDelta::new(cinds, specs.len(), &mut pool)?;
+        for (i, core) in cores.iter().enumerate() {
+            // The cores already interned every base row; read the codes
+            // back off their storage instead of re-hashing the values.
+            core.for_each_live_code_row(|codes| cind.seed_row(RelId(i), codes));
+        }
+        let cind_current = cind.current_violations(&pool).into_iter().collect();
+        Ok(MultiStore {
+            pool,
+            names,
+            cores,
+            cind,
+            epoch: 0,
+            cind_current,
+            subs: Vec::new(),
+        })
+    }
+
+    /// Number of relations.
+    pub fn rel_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The name of relation `rel`.
+    pub fn name(&self, rel: RelId) -> &str {
+        &self.names[rel.0]
+    }
+
+    /// The relation named `name`, if any.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.names.iter().position(|n| n == name).map(RelId)
+    }
+
+    /// The CFDs enforced on `rel`.
+    pub fn sigma(&self, rel: RelId) -> &[Cfd] {
+        self.cores[rel.0].sigma()
+    }
+
+    /// The CINDs maintained across relations.
+    pub fn cind_sigma(&self) -> &[Cind] {
+        self.cind.sigma()
+    }
+
+    /// The last committed global epoch (0 until the first batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Live tuples in relation `rel`.
+    pub fn live_len(&self, rel: RelId) -> usize {
+        self.cores[rel.0].live_len()
+    }
+
+    /// Materialize relation `rel` as of now.
+    pub fn relation(&self, rel: RelId) -> Relation {
+        self.cores[rel.0].relation(&self.pool)
+    }
+
+    /// Relation `rel` as of `epoch`, or `None` once GC passed it.
+    pub fn scan_at(&self, rel: RelId, epoch: u64) -> Option<Relation> {
+        self.cores[rel.0].scan_at(epoch, &self.pool)
+    }
+
+    /// CFD violations currently holding on `rel`, in
+    /// [`crate::violations::detect_all`] order.
+    pub fn cfd_violations(&self, rel: RelId) -> Vec<Violation> {
+        self.cores[rel.0].current_violations()
+    }
+
+    /// CFD violations of `rel` as of `epoch`, or `None` once GC passed
+    /// it.
+    pub fn cfd_violations_at(&self, rel: RelId, epoch: u64) -> Option<Vec<Violation>> {
+        self.cores[rel.0].violations_at(epoch)
+    }
+
+    /// Every CIND violation currently holding, in (cind, tuple) order.
+    pub fn cind_violations(&self) -> Vec<CindViolation> {
+        self.cind_current.iter().cloned().collect()
+    }
+
+    /// Total violations (CFD across all relations + CIND) without
+    /// materializing them.
+    pub fn violation_count(&self) -> usize {
+        self.cores
+            .iter()
+            .map(|c| c.current_violations().len())
+            .sum::<usize>()
+            + self.cind_current.len()
+    }
+
+    /// Subscribe to every future commit through a bounded channel of
+    /// `capacity` commits, filtered by `filter`. Same delivery contract
+    /// as [`crate::sharded::ShardedStore::subscribe`]: commit order,
+    /// backpressure on a full channel, drop-to-unsubscribe.
+    pub fn subscribe(
+        &mut self,
+        filter: MultiDiffFilter,
+        capacity: usize,
+    ) -> Receiver<Arc<MultiCommit>> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+        self.subs.push(MultiSub { filter, tx });
+        rx
+    }
+
+    /// Pin the current global epoch in every core and capture a
+    /// consistent cross-relation [`MultiSnapshot`]: relation contents,
+    /// CFD violations, and the CIND violation set, all as of the same
+    /// epoch. GC in every core respects the pin until the snapshot (and
+    /// all its clones) drop.
+    pub fn snapshot(&self) -> MultiSnapshot {
+        MultiSnapshot {
+            epoch: self.epoch,
+            snaps: self.cores.iter().map(|c| c.snapshot(&self.pool)).collect(),
+            cind: Arc::new(self.cind_violations()),
+        }
+    }
+
+    /// Apply one batch to relation `rel` (deletes first, then inserts),
+    /// commit the next global epoch, publish the [`MultiCommit`] to
+    /// every subscriber, and return it. The CFD diff is exactly what
+    /// [`crate::sharded::ShardedStore::apply`] would report for the
+    /// target relation; the CIND diff is exact across every inclusion
+    /// touching `rel` on either side.
+    pub fn apply(&mut self, rel: RelId, batch: &UpdateBatch) -> Arc<MultiCommit> {
+        assert!(
+            rel.0 < self.cores.len(),
+            "apply to unknown relation {rel} ({} relations)",
+            self.cores.len()
+        );
+        let epoch = self.epoch + 1;
+        let (commit, applied) = self.cores[rel.0].apply_at(batch, epoch, &mut self.pool);
+        let cind = self
+            .cind
+            .apply(rel, &applied.deletes, &applied.inserts, epoch, &self.pool);
+        self.epoch = epoch;
+        for core in &mut self.cores {
+            core.advance_to(epoch);
+        }
+        for v in &cind.removed {
+            assert!(
+                self.cind_current.remove(v),
+                "CIND diff retired a violation not in the live set"
+            );
+        }
+        for v in &cind.added {
+            assert!(
+                self.cind_current.insert(v.clone()),
+                "CIND diff added a violation already in the live set"
+            );
+        }
+        let mc = Arc::new(MultiCommit {
+            epoch,
+            rel,
+            cfd: commit.diff.clone(),
+            cind,
+        });
+        self.publish(&mc);
+        mc
+    }
+
+    /// Apply one batch of a multi-relation update script: `stmts` are
+    /// `(relation, is_delete, tuple)` triples. This is *the* grouping
+    /// rule of the `.upd` dialect — statements group per target
+    /// relation in first-appearance order, one commit per relation
+    /// (deletes before inserts within each, as always); the CLI's
+    /// `serve-updates --multi` and the golden-fixture suite both route
+    /// through here. Returns the commits in order.
+    pub fn apply_grouped(
+        &mut self,
+        stmts: &[(RelId, bool, cfd_relalg::instance::Tuple)],
+    ) -> Vec<Arc<MultiCommit>> {
+        let mut order: Vec<RelId> = Vec::new();
+        for (rel, _, _) in stmts {
+            if !order.contains(rel) {
+                order.push(*rel);
+            }
+        }
+        order
+            .into_iter()
+            .map(|rel| {
+                let mut upd = UpdateBatch::default();
+                for (r, is_delete, t) in stmts {
+                    if *r != rel {
+                        continue;
+                    }
+                    if *is_delete {
+                        upd.deletes.push(t.clone());
+                    } else {
+                        upd.inserts.push(t.clone());
+                    }
+                }
+                self.apply(rel, &upd)
+            })
+            .collect()
+    }
+
+    /// Garbage-collect every core up to its oldest pin (cross-relation
+    /// snapshots pin all cores at one epoch, so the floors advance in
+    /// step). Returns the aggregate: the *oldest* horizon reached and
+    /// the summed reclamation counts.
+    pub fn gc(&mut self) -> GcStats {
+        let mut agg = GcStats {
+            horizon: u64::MAX,
+            ..GcStats::default()
+        };
+        for core in &mut self.cores {
+            let s = core.gc();
+            agg.horizon = agg.horizon.min(s.horizon);
+            agg.pruned_commits += s.pruned_commits;
+            agg.reclaimed_rows += s.reclaimed_rows;
+        }
+        if agg.horizon == u64::MAX {
+            agg.horizon = self.epoch;
+        }
+        agg
+    }
+
+    fn publish(&mut self, commit: &Arc<MultiCommit>) {
+        let sigma_cind = self.cind.sigma();
+        self.subs.retain(|sub| {
+            let msg = match sub.filter {
+                MultiDiffFilter::All => Arc::clone(commit),
+                _ => Arc::new(sub.filter.apply(commit, sigma_cind)),
+            };
+            sub.tx.send(msg).is_ok()
+        });
+    }
+}
+
+/// A consistent cross-relation cut of a [`MultiStore`] at one global
+/// epoch: one epoch-pinned [`Snapshot`] per relation plus the CIND
+/// violation set. `Send + Sync`; never blocks the writer; unpins every
+/// core on drop. Cloning shares the pins.
+#[derive(Clone)]
+pub struct MultiSnapshot {
+    epoch: u64,
+    snaps: Vec<Snapshot>,
+    cind: Arc<Vec<CindViolation>>,
+}
+
+impl MultiSnapshot {
+    /// The pinned global epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of relations captured.
+    pub fn rel_count(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// The per-relation snapshot (CFD violations, live scan).
+    pub fn rel(&self, rel: RelId) -> &Snapshot {
+        &self.snaps[rel.0]
+    }
+
+    /// Materialize relation `rel` at the pinned epoch.
+    pub fn relation(&self, rel: RelId) -> Relation {
+        self.snaps[rel.0].relation()
+    }
+
+    /// CFD violations of `rel` at the pinned epoch.
+    pub fn cfd_violations(&self, rel: RelId) -> &[Violation] {
+        self.snaps[rel.0].violations()
+    }
+
+    /// CIND violations at the pinned epoch, in (cind, tuple) order.
+    pub fn cind_violations(&self) -> &[CindViolation] {
+        &self.cind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfd_relalg::instance::Tuple;
+    use cfd_relalg::Value;
+
+    fn tup(vs: &[i64]) -> Tuple {
+        vs.iter().map(|v| Value::int(*v)).collect()
+    }
+
+    fn base(rows: &[&[i64]]) -> Relation {
+        rows.iter().map(|r| tup(r)).collect()
+    }
+
+    fn r(i: usize) -> RelId {
+        RelId(i)
+    }
+
+    /// orders(cust, amt) with an FD on cust, customers(id, cc) plain,
+    /// and orders[cust] ⊆ customers[id].
+    fn store(orders: &[&[i64]], customers: &[&[i64]], shards: usize) -> MultiStore {
+        MultiStore::new(
+            vec![
+                RelationSpec::new("orders", vec![Cfd::fd(&[0], 1).unwrap()], base(orders)),
+                RelationSpec::new("customers", vec![], base(customers)),
+            ],
+            vec![Cind::ind(r(0), r(1), vec![(0, 0)]).unwrap()],
+            shards,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn seeding_reports_both_violation_classes() {
+        let s = store(&[&[1, 2], &[1, 3], &[7, 5]], &[&[1, 9]], 2);
+        assert_eq!(s.cfd_violations(r(0)).len(), 1, "cust 1 FD conflict");
+        let cv = s.cind_violations();
+        assert_eq!(cv.len(), 1, "order 7 has no customer");
+        assert_eq!(cv[0].tuple, tup(&[7, 5]));
+        assert_eq!(s.violation_count(), 2);
+    }
+
+    #[test]
+    fn rhs_insert_and_delete_move_cind_violations() {
+        let mut s = store(&[&[7, 5]], &[], 2);
+        assert_eq!(s.cind_violations().len(), 1);
+        // Inserting the customer retires the violation …
+        let c = s.apply(r(1), &UpdateBatch::inserts(vec![tup(&[7, 0])]));
+        assert_eq!(c.epoch, 1);
+        assert!(c.cfd.is_empty());
+        assert_eq!(c.cind.removed.len(), 1);
+        assert!(s.cind_violations().is_empty());
+        // … and deleting it re-creates the violation (the shape the
+        // batch validator never had to handle).
+        let c = s.apply(r(1), &UpdateBatch::deletes(vec![tup(&[7, 0])]));
+        assert_eq!(c.epoch, 2);
+        assert_eq!(c.cind.added.len(), 1);
+        assert_eq!(s.cind_violations().len(), 1);
+    }
+
+    #[test]
+    fn one_batch_can_move_cfd_and_cind_violations_at_once() {
+        let mut s = store(&[&[1, 2]], &[&[1, 0]], 1);
+        assert_eq!(s.violation_count(), 0);
+        let c = s.apply(
+            r(0),
+            &UpdateBatch::inserts(vec![tup(&[1, 3]), tup(&[8, 8])]),
+        );
+        assert_eq!(c.cfd.added.len(), 1, "FD conflict on cust 1");
+        assert_eq!(c.cind.added.len(), 1, "order 8 unreferenced");
+        assert_eq!(s.violation_count(), 2);
+    }
+
+    #[test]
+    fn snapshots_are_cross_relation_consistent_cuts() {
+        let mut s = store(&[&[7, 5]], &[], 2);
+        let s0 = s.snapshot();
+        s.apply(r(1), &UpdateBatch::inserts(vec![tup(&[7, 0])]));
+        let s1 = s.snapshot();
+        s.apply(r(0), &UpdateBatch::deletes(vec![tup(&[7, 5])]));
+        // Epoch 0: the order exists, no customer, one CIND violation.
+        assert_eq!(s0.epoch(), 0);
+        assert_eq!(s0.relation(r(0)).len(), 1);
+        assert!(s0.relation(r(1)).is_empty());
+        assert_eq!(s0.cind_violations().len(), 1);
+        // Epoch 1: both exist, clean.
+        assert_eq!(s1.relation(r(1)).len(), 1);
+        assert!(s1.cind_violations().is_empty());
+        // Now: order gone.
+        assert!(s.relation(r(0)).is_empty());
+        assert!(s.cind_violations().is_empty());
+    }
+
+    #[test]
+    fn bus_filters_route_cfd_and_cind_events() {
+        let mut s = store(&[], &[], 2);
+        let all = s.subscribe(MultiDiffFilter::All, 16);
+        let orders_only = s.subscribe(MultiDiffFilter::Rel(r(0)), 16);
+        let pair = s.subscribe(MultiDiffFilter::RelPair(r(0), r(1)), 16);
+        let cind0 = s.subscribe(MultiDiffFilter::Cind(0), 16);
+        let cfd0 = s.subscribe(
+            MultiDiffFilter::Cfd {
+                rel: r(0),
+                index: 0,
+            },
+            16,
+        );
+        s.apply(
+            r(0),
+            &UpdateBatch::inserts(vec![tup(&[1, 2]), tup(&[1, 3])]),
+        );
+        s.apply(r(1), &UpdateBatch::inserts(vec![tup(&[1, 0])]));
+        let c1 = all.recv().unwrap();
+        assert_eq!((c1.cfd.added.len(), c1.cind.added.len()), (1, 2));
+        let c2 = all.recv().unwrap();
+        assert_eq!((c2.cfd.added.len(), c2.cind.removed.len()), (0, 2));
+        // Rel(orders) admits commit 2's CIND events too: the CIND
+        // touches orders on its LHS even though the batch hit customers.
+        let f1 = orders_only.recv().unwrap();
+        assert_eq!((f1.cfd.added.len(), f1.cind.added.len()), (1, 2));
+        let f2 = orders_only.recv().unwrap();
+        assert_eq!((f2.cfd.added.len(), f2.cind.removed.len()), (0, 2));
+        // The pair and cind filters drop CFD noise.
+        let p1 = pair.recv().unwrap();
+        assert_eq!((p1.cfd.added.len(), p1.cind.added.len()), (0, 2));
+        assert_eq!(cind0.recv().unwrap().cind, p1.cind);
+        // The CFD filter drops CIND noise.
+        let d1 = cfd0.recv().unwrap();
+        assert_eq!((d1.cfd.added.len(), d1.cind.added.len()), (1, 0));
+        assert!(cfd0.recv().unwrap().is_empty());
+    }
+
+    #[test]
+    fn gc_respects_cross_relation_pins() {
+        let mut s = store(&[], &[], 2);
+        for i in 0..8 {
+            s.apply(r(0), &UpdateBatch::inserts(vec![tup(&[i, i])]));
+            s.apply(r(1), &UpdateBatch::inserts(vec![tup(&[i, 0])]));
+        }
+        let snap = s.snapshot(); // pins epoch 16 in both cores
+        for i in 0..8 {
+            s.apply(r(0), &UpdateBatch::deletes(vec![tup(&[i, i])]));
+        }
+        let stats = s.gc();
+        assert_eq!(stats.horizon, 16, "cross-relation pin bounds every core");
+        assert_eq!(stats.reclaimed_rows, 0);
+        assert_eq!(snap.relation(r(0)).len(), 8, "pinned cut intact");
+        drop(snap);
+        let stats = s.gc();
+        assert_eq!(stats.horizon, 24);
+        assert_eq!(stats.reclaimed_rows, 8);
+    }
+
+    #[test]
+    fn unknown_cind_relation_is_a_typed_error() {
+        let err = MultiStore::new(
+            vec![RelationSpec::new("only", vec![], Relation::new())],
+            vec![Cind::ind(r(0), r(3), vec![(0, 0)]).unwrap()],
+            1,
+        )
+        .err();
+        assert_eq!(
+            err,
+            Some(CindError::UnknownRelation {
+                rel: r(3),
+                relations: 1
+            })
+        );
+    }
+
+    #[test]
+    fn names_resolve_both_ways() {
+        let s = store(&[], &[], 1);
+        assert_eq!(s.rel_count(), 2);
+        assert_eq!(s.name(r(1)), "customers");
+        assert_eq!(s.rel_id("orders"), Some(r(0)));
+        assert_eq!(s.rel_id("nope"), None);
+    }
+}

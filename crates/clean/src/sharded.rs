@@ -328,14 +328,28 @@ impl PartialOrd for OrderedViolation {
     }
 }
 
-/// The sharded live store. See the [module docs](self) for the
-/// architecture and the epoch/snapshot protocol.
-pub struct ShardedStore {
+/// The row changes one committed batch actually applied, after set
+/// semantics resolved them: code rows of the deletes that hit residents
+/// and the inserts that were new. This is the store's hand-off to
+/// cross-relation consumers (the multistore's CIND engine) — exactly the
+/// delta, never the raw batch.
+#[derive(Debug, Default)]
+pub(crate) struct AppliedRows {
+    pub(crate) deletes: Vec<Box<[Code]>>,
+    pub(crate) inserts: Vec<Box<[Code]>>,
+}
+
+/// The engine of a sharded live store, with the dictionary pool
+/// *externalized*: every method that encodes or decodes takes the pool
+/// as a parameter. [`ShardedStore`] pairs one core with its own pool
+/// (the single-relation API); `crate::multistore::MultiStore` drives
+/// many cores through one shared pool and one epoch clock, which is
+/// what makes codes comparable across relations.
+pub(crate) struct StoreCore {
     sigma: Vec<Cfd>,
     /// Σ compiled against the shared pool (every pattern constant is
     /// interned at construction, so codes stay valid as the pool grows).
     coded: Vec<CodedCfd>,
-    pool: SharedPool,
     shards: Vec<StorageShard>,
     owners: Vec<OwnerShard>,
     wild_units: Vec<WildUnit>,
@@ -358,18 +372,41 @@ pub struct ShardedStore {
     subs: Vec<BusSub>,
 }
 
-impl ShardedStore {
-    /// Build an `n_shards`-way store enforcing `sigma`, seeded with the
-    /// tuples of `base` (which may be dirty — ask
-    /// [`ShardedStore::current_violations`]).
-    pub fn new(sigma: Vec<Cfd>, base: &Relation, n_shards: usize) -> Self {
+impl StoreCore {
+    /// Build an `n_shards`-way core enforcing `sigma`, seeded with the
+    /// tuples of `base`, interning through the caller's `pool`.
+    pub(crate) fn new(
+        sigma: Vec<Cfd>,
+        base: &Relation,
+        n_shards: usize,
+        pool: &mut SharedPool,
+    ) -> Self {
         let n = n_shards.max(1);
         // Intern every pattern constant into the shared pool and into a
-        // scratch classic pool in the same order: both assign dense codes
-        // from 0, so compiling against the scratch pool yields code cells
-        // valid for the shared pool (and `CodeCell::Absent` never occurs).
-        let mut pool = SharedPool::new();
-        let mut scratch = ValuePool::new();
+        // scratch classic pool tracking the same code assignment: codes
+        // are dense and append-only, so replaying the pool's value table
+        // into the scratch pool reproduces the assignment exactly and
+        // compiling against the scratch pool yields code cells valid for
+        // the shared pool (`CodeCell::Absent` never occurs for constants
+        // interned here). Starting from the pool's *current* contents
+        // (not empty) is what lets many cores share one pool. A Σ with
+        // no constant patterns compiles against an empty scratch pool —
+        // skipping the O(|pool|) replay, which matters when a multistore
+        // seeds many relations (each later core would otherwise re-hash
+        // everything the earlier ones interned).
+        let has_consts = sigma.iter().any(|cfd| {
+            cfd.lhs().iter().any(|(_, p)| p.as_const().is_some())
+                || cfd.rhs_pattern().as_const().is_some()
+        });
+        let mut scratch = if has_consts {
+            let mut scratch = ValuePool::with_capacity(pool.len());
+            for code in 0..pool.len() as Code {
+                scratch.intern(pool.value(code));
+            }
+            scratch
+        } else {
+            ValuePool::new()
+        };
         for cfd in &sigma {
             for (_, p) in cfd.lhs() {
                 if let Some(v) = p.as_const() {
@@ -409,7 +446,7 @@ impl ShardedStore {
             }
         }
 
-        let mut store = ShardedStore {
+        let mut store = StoreCore {
             owners: (0..n)
                 .map(|_| OwnerShard {
                     units: wild_units
@@ -426,7 +463,6 @@ impl ShardedStore {
             per_row,
             sigma,
             coded,
-            pool,
             arity: 0,
             epoch: 0,
             current: std::collections::BTreeSet::new(),
@@ -442,7 +478,7 @@ impl ShardedStore {
             if store.arity == 0 {
                 store.arity = t.len();
             }
-            let codes = store.pool.intern_row(t);
+            let codes = pool.intern_row(t);
             let s = route_row(&codes, n);
             let shard = &mut store.shards[s];
             let row = shard.rows.append_row(&codes, 0);
@@ -480,7 +516,7 @@ impl ShardedStore {
                     current.extend(per_row_clash(
                         &store.coded[i],
                         &store.sigma,
-                        &store.pool,
+                        pool,
                         i,
                         &codes,
                     ));
@@ -492,7 +528,7 @@ impl ShardedStore {
                 for state in &unit.groups {
                     if let Some(snaps) = snapshot_owner(state, &store.wild_units[w]) {
                         for snap in snaps.into_iter().flatten() {
-                            current.push(materialize_snap(&snap, &store.shards, &store.pool));
+                            current.push(materialize_snap(&snap, &store.shards, pool));
                         }
                     }
                 }
@@ -535,6 +571,23 @@ impl ShardedStore {
         self.shards.iter().map(|s| s.rows.live_len()).sum()
     }
 
+    /// Visit every *currently live* row's code vector. Seed-time helper
+    /// for cross-relation consumers (the multistore feeds its CIND
+    /// engine from here instead of re-hashing the base tuples through
+    /// the pool).
+    pub fn for_each_live_code_row(&self, mut f: impl FnMut(&[Code])) {
+        let mut buf: Vec<Code> = Vec::new();
+        for shard in &self.shards {
+            for row in 0..shard.rows.len() as u32 {
+                if shard.rows.is_live_now(row) {
+                    buf.clear();
+                    buf.extend(shard.rows.row_codes(row));
+                    f(&buf);
+                }
+            }
+        }
+    }
+
     /// Is the store empty (no live tuples)?
     pub fn is_empty(&self) -> bool {
         self.live_len() == 0
@@ -547,18 +600,18 @@ impl ShardedStore {
     }
 
     /// Materialize the current live relation (reporting boundary).
-    pub fn relation(&self) -> Relation {
-        self.scan_at(self.epoch)
+    pub fn relation(&self, pool: &SharedPool) -> Relation {
+        self.scan_at(self.epoch, pool)
             .expect("the current epoch is never below the GC floor")
     }
 
     /// The live relation as of `epoch`, or `None` when the epoch has
     /// been garbage-collected (or never existed yet).
-    pub fn scan_at(&self, epoch: u64) -> Option<Relation> {
+    pub fn scan_at(&self, epoch: u64, pool: &SharedPool) -> Option<Relation> {
         if epoch < self.floor_epoch || epoch > self.epoch {
             return None;
         }
-        let view = self.pool.view();
+        let view = pool.view();
         let mut out: Vec<Tuple> = Vec::new();
         for shard in &self.shards {
             let rows = shard.rows.view();
@@ -604,9 +657,20 @@ impl ShardedStore {
         rx
     }
 
+    /// Advance the core's clock to `epoch` without committing anything:
+    /// the multistore calls this on every *other* relation's core when
+    /// one relation commits, so that cross-relation reads (`scan_at`,
+    /// `snapshot`) at the new global epoch answer instead of refusing.
+    /// Historical reconstruction is unaffected — epochs with no commit
+    /// record simply reuse the last committed state.
+    pub fn advance_to(&mut self, epoch: u64) {
+        debug_assert!(epoch >= self.epoch, "the epoch clock never runs back");
+        self.epoch = self.epoch.max(epoch);
+    }
+
     /// Pin the current epoch and capture an immutable [`Snapshot`] of
     /// it. O(total chunks) pointer copies — no row data is copied.
-    pub fn snapshot(&self) -> Snapshot {
+    pub fn snapshot(&self, pool: &SharedPool) -> Snapshot {
         *self
             .pins
             .lock()
@@ -617,17 +681,25 @@ impl ShardedStore {
             epoch: self.epoch,
             arity: self.arity,
             shards: self.shards.iter().map(|s| s.rows.view()).collect(),
-            pool: self.pool.view(),
+            pool: pool.view(),
             violations: Arc::new(self.current_violations()),
             pins: Arc::clone(&self.pins),
         }
     }
 
     /// Apply one batch of updates (deletes first, then inserts), commit
-    /// the next epoch, publish the diff to every subscriber, and return
-    /// the commit. Exact-diff semantics match
+    /// it at `epoch` (strictly above the core's clock — the single-store
+    /// wrapper passes `epoch() + 1`, the multistore its global clock),
+    /// publish the diff to every subscriber, and return the commit plus
+    /// the row changes actually applied. Exact-diff semantics match
     /// [`crate::delta::DeltaDetector::apply`].
-    pub fn apply(&mut self, batch: &UpdateBatch) -> Arc<Commit> {
+    pub fn apply_at(
+        &mut self,
+        batch: &UpdateBatch,
+        epoch: u64,
+        pool: &mut SharedPool,
+    ) -> (Arc<Commit>, AppliedRows) {
+        assert!(epoch > self.epoch, "commit epochs are strictly increasing");
         let n = self.shards.len();
         // Phase 0 — resolve and route. Inserts intern through the shared
         // pool (the only mutation the pool ever sees); deletes that name
@@ -635,7 +707,7 @@ impl ShardedStore {
         let mut del_b: Vec<Vec<Box<[Code]>>> = (0..n).map(|_| Vec::new()).collect();
         for t in &batch.deletes {
             self.check_arity(t);
-            if let Some(codes) = self.pool.lookup_row(t) {
+            if let Some(codes) = pool.lookup_row(t) {
                 del_b[route_row(&codes, n)].push(codes.into_boxed_slice());
             }
         }
@@ -645,11 +717,10 @@ impl ShardedStore {
             if self.arity == 0 {
                 self.arity = t.len();
             }
-            let codes = self.pool.intern_row(t);
+            let codes = pool.intern_row(t);
             ins_b[route_row(&codes, n)].push(codes.into_boxed_slice());
         }
-        self.epoch += 1;
-        let epoch = self.epoch;
+        self.epoch = epoch;
         let work: usize = (del_b.iter().map(Vec::len).sum::<usize>()
             + ins_b.iter().map(Vec::len).sum::<usize>())
         .saturating_mul(self.coded.len());
@@ -680,8 +751,7 @@ impl ShardedStore {
             })
             .collect();
         {
-            let (pool, coded, sigma, per_row) =
-                (&self.pool, &self.coded, &self.sigma, &self.per_row);
+            let (pool, coded, sigma, per_row) = (&*pool, &self.coded, &self.sigma, &self.per_row);
             let run = |(s, t): &mut (usize, ShardTask)| {
                 let s = *s;
                 for codes in t.dels.drain(..) {
@@ -777,7 +847,7 @@ impl ShardedStore {
                 .map(|(o, w)| (o, w, Vec::new(), Vec::new()))
                 .collect();
         {
-            let (shards, pool, wild_units) = (&self.shards, &self.pool, &self.wild_units);
+            let (shards, pool, wild_units) = (&self.shards, &*pool, &self.wild_units);
             let owner_load: usize = ow.iter().map(|(_, w, _, _)| w.len()).sum();
             let run = |(owner, work, removed, added): &mut (
                 OwnerShard,
@@ -807,9 +877,16 @@ impl ShardedStore {
         }
         let mut removed: Vec<Violation> = Vec::new();
         let mut added: Vec<Violation> = Vec::new();
+        let mut applied = AppliedRows::default();
         for out in outs {
             removed.extend(out.removed);
             added.extend(out.added);
+            applied
+                .deletes
+                .extend(out.applied_dels.into_iter().map(|r| r.codes));
+            applied
+                .inserts
+                .extend(out.applied_ins.into_iter().map(|r| r.codes));
         }
         self.owners = ow
             .into_iter()
@@ -844,7 +921,7 @@ impl ShardedStore {
         {
             self.gc();
         }
-        commit
+        (commit, applied)
     }
 
     /// Advance the history floor to the oldest pinned epoch (or the
@@ -937,6 +1014,125 @@ impl ShardedStore {
             t.len(),
             self.arity
         );
+    }
+}
+
+/// The sharded live store over one relation: a [`StoreCore`] paired with
+/// its own dictionary pool. See the [module docs](self) for the
+/// architecture and the epoch/snapshot protocol. Multi-relation serving
+/// (one pool, one epoch clock, CIND maintenance across relations) lives
+/// in [`crate::multistore::MultiStore`], which drives the same core.
+pub struct ShardedStore {
+    pool: SharedPool,
+    core: StoreCore,
+}
+
+impl ShardedStore {
+    /// Build an `n_shards`-way store enforcing `sigma`, seeded with the
+    /// tuples of `base` (which may be dirty — ask
+    /// [`ShardedStore::current_violations`]).
+    pub fn new(sigma: Vec<Cfd>, base: &Relation, n_shards: usize) -> Self {
+        let mut pool = SharedPool::new();
+        let core = StoreCore::new(sigma, base, n_shards, &mut pool);
+        ShardedStore { pool, core }
+    }
+
+    /// The CFDs being enforced.
+    pub fn sigma(&self) -> &[Cfd] {
+        self.core.sigma()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.core.shard_count()
+    }
+
+    /// The last committed epoch (0 until the first batch).
+    pub fn epoch(&self) -> u64 {
+        self.core.epoch()
+    }
+
+    /// The oldest epoch still reconstructable (advanced by
+    /// [`ShardedStore::gc`]).
+    pub fn floor_epoch(&self) -> u64 {
+        self.core.floor_epoch()
+    }
+
+    /// Commit records currently retained for historical reads.
+    pub fn retained_commits(&self) -> usize {
+        self.core.retained_commits()
+    }
+
+    /// Number of live tuples across all shards.
+    pub fn live_len(&self) -> usize {
+        self.core.live_len()
+    }
+
+    /// Is the store empty (no live tuples)?
+    pub fn is_empty(&self) -> bool {
+        self.core.is_empty()
+    }
+
+    /// All violations currently holding, in
+    /// [`crate::violations::detect_all`] order.
+    pub fn current_violations(&self) -> Vec<Violation> {
+        self.core.current_violations()
+    }
+
+    /// Materialize the current live relation (reporting boundary).
+    pub fn relation(&self) -> Relation {
+        self.core.relation(&self.pool)
+    }
+
+    /// The live relation as of `epoch`, or `None` when the epoch has
+    /// been garbage-collected (or never existed yet).
+    pub fn scan_at(&self, epoch: u64) -> Option<Relation> {
+        self.core.scan_at(epoch, &self.pool)
+    }
+
+    /// The violation set as of `epoch`, or `None` when the epoch has
+    /// been garbage-collected (or never existed yet). Reconstructed from
+    /// the floor state plus the retained commit diffs.
+    pub fn violations_at(&self, epoch: u64) -> Option<Vec<Violation>> {
+        self.core.violations_at(epoch)
+    }
+
+    /// Subscribe to every future commit through a bounded channel of
+    /// `capacity` diffs, filtered by `filter`. Delivery is in commit
+    /// order; a full channel blocks the writer (backpressure), and
+    /// dropping the receiver unsubscribes at the next commit.
+    ///
+    /// **Drain from another thread** (as `cfdprop serve-updates` does)
+    /// or size `capacity` for every commit you will apply before
+    /// draining: because the writer blocks on a full channel, a thread
+    /// that subscribes, overfills the channel with its own `apply`
+    /// calls, and only then reads, deadlocks against itself.
+    pub fn subscribe(&mut self, filter: DiffFilter, capacity: usize) -> Receiver<Arc<Commit>> {
+        self.core.subscribe(filter, capacity)
+    }
+
+    /// Pin the current epoch and capture an immutable [`Snapshot`] of
+    /// it. O(total chunks) pointer copies — no row data is copied.
+    pub fn snapshot(&self) -> Snapshot {
+        self.core.snapshot(&self.pool)
+    }
+
+    /// Apply one batch of updates (deletes first, then inserts), commit
+    /// the next epoch, publish the diff to every subscriber, and return
+    /// the commit. Exact-diff semantics match
+    /// [`crate::delta::DeltaDetector::apply`].
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Arc<Commit> {
+        let epoch = self.core.epoch() + 1;
+        self.core.apply_at(batch, epoch, &mut self.pool).0
+    }
+
+    /// Advance the history floor to the oldest pinned epoch (or the
+    /// current epoch) and reclaim everything below it: commit records
+    /// fold into the floor violation set, rows dead at or below the
+    /// horizon are physically dropped, and owner-shard member
+    /// references are remapped. See the [module docs](self).
+    pub fn gc(&mut self) -> GcStats {
+        self.core.gc()
     }
 }
 

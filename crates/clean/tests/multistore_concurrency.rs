@@ -1,0 +1,294 @@
+//! Concurrency tests for the multistore's cross-relation snapshot
+//! isolation (ISSUE 4 satellite).
+//!
+//! Reader threads hold [`MultiSnapshot`]s across writer batches that
+//! stream into *both* relations and must see:
+//!
+//! * **no torn cross-relation reads** — a snapshot's relations, CFD
+//!   violations, and CIND violations are mutually consistent at every
+//!   instant: recomputing the CIND set from the snapshot's own relation
+//!   pair reproduces the snapshot's recorded CIND violations, however
+//!   many batches the writer commits concurrently;
+//! * **pinned-epoch equality** — every snapshot keeps answering with
+//!   exactly the cut recorded at acquisition;
+//! * **cross-relation GC discipline** — `gc` never reclaims what the
+//!   oldest cross-relation pin can still observe, in *any* relation,
+//!   and reclaims promptly once the pins drop.
+//!
+//! Run with `cargo test -- --test-threads=8` (the CI job does) so these
+//! genuinely interleave with the rest of the suite.
+
+use cfd_cind::delta::CindViolation;
+use cfd_cind::Cind;
+use cfd_clean::{detect_all, MultiSnapshot, MultiStore, RelationSpec, UpdateBatch};
+use cfd_model::cfd::Cfd;
+use cfd_relalg::instance::{Relation, Tuple};
+use cfd_relalg::schema::RelId;
+use cfd_relalg::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn r(i: usize) -> RelId {
+    RelId(i)
+}
+
+/// orders(cust, sku, flag) under an FD, customers(id, cc) plain, and
+/// two CINDs linking them (one conditional).
+fn store(shards: usize, rng: &mut StdRng) -> MultiStore {
+    let orders_base: Relation = (0..30).map(|_| order_tuple(rng)).collect();
+    let customers_base: Relation = (0..10).map(|_| customer_tuple(rng)).collect();
+    MultiStore::new(
+        vec![
+            RelationSpec::new(
+                "orders",
+                vec![Cfd::fd(&[0], 1).unwrap(), Cfd::attr_eq(1, 2).unwrap()],
+                orders_base,
+            ),
+            RelationSpec::new("customers", vec![], customers_base),
+        ],
+        vec![
+            Cind::ind(r(0), r(1), vec![(0, 0)]).unwrap(),
+            Cind::new(
+                r(0),
+                r(1),
+                vec![(0, 0)],
+                vec![(2, Value::int(1))],
+                vec![(1, Value::int(0))],
+            )
+            .unwrap(),
+        ],
+        shards,
+    )
+    .expect("both relations exist")
+}
+
+fn order_tuple(rng: &mut StdRng) -> Tuple {
+    vec![
+        Value::int(rng.gen_range(0..6)),
+        Value::int(rng.gen_range(0..4)),
+        Value::int(rng.gen_range(0..3)),
+    ]
+}
+
+fn customer_tuple(rng: &mut StdRng) -> Tuple {
+    vec![
+        Value::int(rng.gen_range(0..6)),
+        Value::int(rng.gen_range(0..2)),
+    ]
+}
+
+/// A mixed batch for whichever relation the writer targets this round.
+fn random_batch(rel: RelId, rng: &mut StdRng) -> UpdateBatch {
+    let gen = |rng: &mut StdRng| -> Tuple {
+        if rel.0 == 0 {
+            order_tuple(rng)
+        } else {
+            customer_tuple(rng)
+        }
+    };
+    let inserts = (0..rng.gen_range(1..8)).map(|_| gen(rng)).collect();
+    let deletes = (0..rng.gen_range(0..5)).map(|_| gen(rng)).collect();
+    UpdateBatch::new(inserts, deletes)
+}
+
+/// Recompute the CIND violation set from a snapshot's own relation pair
+/// by the nested-loop definition — the torn-read detector.
+fn cind_from_cut(snap: &MultiSnapshot, cinds: &[Cind]) -> BTreeSet<CindViolation> {
+    let rels: Vec<Relation> = (0..snap.rel_count()).map(|i| snap.relation(r(i))).collect();
+    let mut out = BTreeSet::new();
+    for (ci, psi) in cinds.iter().enumerate() {
+        for t in rels[psi.lhs_rel().0].tuples() {
+            if !psi.lhs_condition().iter().all(|(a, v)| &t[*a] == v) {
+                continue;
+            }
+            let witnessed = rels[psi.rhs_rel().0].tuples().any(|u| {
+                psi.rhs_pattern().iter().all(|(a, v)| &u[*a] == v)
+                    && psi.columns().iter().all(|(x, y)| t[*x] == u[*y])
+            });
+            if !witnessed {
+                out.insert(CindViolation {
+                    cind_index: ci,
+                    tuple: t.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Readers hammer their cross-relation snapshots while the writer
+/// streams batches into both relations: every read must be a
+/// CIND-consistent pair — no torn cross-relation reads.
+#[test]
+fn readers_see_cind_consistent_pairs_while_writer_streams_both_relations() {
+    let mut rng = StdRng::seed_from_u64(0xC1AD);
+    let mut store = store(4, &mut rng);
+    let cinds = store.cind_sigma().to_vec();
+    let sigma0 = store.sigma(r(0)).to_vec();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut readers = Vec::new();
+    let mut spawn_reader = |snap: MultiSnapshot| {
+        let cinds = cinds.clone();
+        let sigma0 = sigma0.clone();
+        let expected_cind = snap.cind_violations().to_vec();
+        let expected_rels: Vec<Relation> =
+            (0..snap.rel_count()).map(|i| snap.relation(r(i))).collect();
+        let stop = Arc::clone(&stop);
+        readers.push(thread::spawn(move || {
+            let mut checks = 0u32;
+            while !stop.load(Ordering::Relaxed) || checks < 3 {
+                for (i, expected) in expected_rels.iter().enumerate() {
+                    assert_eq!(&snap.relation(r(i)), expected, "snapshot relation changed");
+                }
+                assert_eq!(
+                    snap.cind_violations(),
+                    expected_cind.as_slice(),
+                    "snapshot CIND violations changed"
+                );
+                // Internal consistency: the CIND set recomputed from
+                // the snapshot's own pair matches what it recorded, and
+                // the CFD set matches its own relation.
+                let held: BTreeSet<CindViolation> =
+                    snap.cind_violations().iter().cloned().collect();
+                assert_eq!(
+                    cind_from_cut(&snap, &cinds),
+                    held,
+                    "torn cross-relation read"
+                );
+                assert_eq!(
+                    detect_all(&snap.relation(r(0)), &sigma0),
+                    snap.cfd_violations(r(0)),
+                    "torn CFD read"
+                );
+                checks += 1;
+            }
+            checks
+        }));
+    };
+
+    spawn_reader(store.snapshot());
+    for i in 0..30 {
+        let rel = r(i % 2);
+        let batch = random_batch(rel, &mut rng);
+        store.apply(rel, &batch);
+        if i % 6 == 0 {
+            spawn_reader(store.snapshot());
+        }
+        if i % 10 == 0 {
+            store.gc();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for reader in readers {
+        let checks = reader.join().expect("reader panicked");
+        assert!(checks >= 3, "every reader re-validated its snapshot");
+    }
+    // Writer state itself stayed coherent throughout.
+    let held: BTreeSet<CindViolation> = store.cind_violations().into_iter().collect();
+    assert_eq!(cind_from_cut(&store.snapshot(), &cinds), held);
+}
+
+/// GC respects the oldest cross-relation pin — in both relations at
+/// once — and reclaims after the last holder thread drops its snapshot.
+#[test]
+fn gc_respects_the_oldest_cross_relation_pin() {
+    let mut rng = StdRng::seed_from_u64(0xBEE);
+    let mut store = store(2, &mut rng);
+    // Insert-only warm-up: every physical row is still visible at the
+    // pin below, so the `reclaimed_rows == 0` assertion is exact.
+    for i in 0..6 {
+        let rel = r(i % 2);
+        let batch = UpdateBatch::inserts(random_batch(rel, &mut rng).inserts);
+        store.apply(rel, &batch);
+    }
+    let snap = store.snapshot();
+    let pinned_epoch = snap.epoch();
+    let expect: Vec<Relation> = (0..2).map(|i| store.relation(r(i))).collect();
+
+    // A thread holds a clone of the snapshot; the original drops.
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let holder = {
+        let snap = snap.clone();
+        let expect = expect.clone();
+        thread::spawn(move || {
+            release_rx.recv().ok();
+            for (i, e) in expect.iter().enumerate() {
+                assert_eq!(&snap.relation(r(i)), e, "held cut intact to the end");
+            }
+            snap.epoch()
+        })
+    };
+    drop(snap);
+
+    // Delete everything from both relations, then GC: the pin must keep
+    // every row of *both* relations reconstructable.
+    for i in 0..2 {
+        let all: Vec<Tuple> = store.relation(r(i)).tuples().cloned().collect();
+        store.apply(r(i), &UpdateBatch::deletes(all));
+    }
+    let stats = store.gc();
+    assert_eq!(stats.horizon, pinned_epoch, "pin bounds every core's floor");
+    assert_eq!(stats.reclaimed_rows, 0, "pinned rows survive in all cores");
+    for (i, e) in expect.iter().enumerate() {
+        assert_eq!(
+            store.scan_at(r(i), pinned_epoch).as_ref(),
+            Some(e),
+            "relation {i} reconstructable at the pin"
+        );
+    }
+
+    release_tx.send(()).unwrap();
+    assert_eq!(holder.join().unwrap(), pinned_epoch);
+    let stats = store.gc();
+    assert_eq!(stats.horizon, store.epoch(), "no pins left");
+    assert!(stats.reclaimed_rows > 0, "dead rows reclaimed after drop");
+    assert!(
+        store.scan_at(r(0), pinned_epoch).is_none(),
+        "the old cut is gone"
+    );
+}
+
+/// Cloned cross-relation snapshots answer identically from parallel
+/// threads (pin sharing, data sharing).
+#[test]
+fn cloned_multi_snapshots_agree_from_parallel_threads() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut store = store(3, &mut rng);
+    for i in 0..6 {
+        let rel = r(i % 2);
+        let batch = random_batch(rel, &mut rng);
+        store.apply(rel, &batch);
+    }
+    let snap = store.snapshot();
+    let clones: Vec<MultiSnapshot> = (0..4).map(|_| snap.clone()).collect();
+    for i in 0..6 {
+        let rel = r(i % 2);
+        let batch = random_batch(rel, &mut rng);
+        store.apply(rel, &batch);
+    }
+    let expected = (
+        snap.relation(r(0)),
+        snap.relation(r(1)),
+        snap.cind_violations().to_vec(),
+    );
+    let handles: Vec<_> = clones
+        .into_iter()
+        .map(|c| {
+            thread::spawn(move || {
+                (
+                    c.relation(r(0)),
+                    c.relation(r(1)),
+                    c.cind_violations().to_vec(),
+                )
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), expected);
+    }
+}

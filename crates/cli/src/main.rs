@@ -38,6 +38,15 @@
 //!     subscription bus — optionally filtered to one CFD index or to
 //!     CFDs whose right-hand side is a named attribute.
 //!
+//! cfdprop serve-updates <file.cfd> <file.upd> --multi [--shards N] [--cind I | --rel NAME]
+//!     The cross-relation mode: one `cfd_clean::MultiStore` holds every
+//!     relation of the document behind one dictionary pool and one
+//!     epoch clock, enforcing the document's CFDs per relation and its
+//!     `cind` statements incrementally between relations. Each commit
+//!     streams both violation classes; `--cind I` filters to one CIND,
+//!     `--rel NAME` to one relation's CFD events plus every CIND
+//!     touching it.
+//!
 //! cfdprop sql <file.cfd>
 //!     Emit the SQL detection queries for every source CFD.
 //!
@@ -110,6 +119,7 @@ USAGE:
     cfdprop clean <file.cfd> [--repair] [--detector columnar|rowwise|delta]
     cfdprop apply-updates <file.cfd> <file.upd>
     cfdprop serve-updates <file.cfd> <file.upd> [--shards N] [--cfd I | --attr NAME]
+    cfdprop serve-updates <file.cfd> <file.upd> --multi [--shards N] [--cind I | --rel NAME]
     cfdprop sql <file.cfd>
     cfdprop cind <file.cfd>
 ";
@@ -506,8 +516,8 @@ fn apply_updates(args: &[String]) -> Result<(), String> {
 /// reports); `--attr NAME` filters to CFDs whose right-hand side is the
 /// named attribute (relations without that attribute stream nothing).
 fn serve_updates(args: &[String]) -> Result<(), String> {
-    const USAGE: &str =
-        "usage: cfdprop serve-updates <file.cfd> <file.upd> [--shards N] [--cfd I | --attr NAME]";
+    const USAGE: &str = "usage: cfdprop serve-updates <file.cfd> <file.upd> \
+         [--multi] [--shards N] [--cfd I | --attr NAME | --cind I | --rel NAME]";
     let path = args.get(1).ok_or(USAGE)?;
     let upd_path = args.get(2).ok_or(USAGE)?;
     let doc = load(path)?;
@@ -527,7 +537,7 @@ fn serve_updates(args: &[String]) -> Result<(), String> {
         return Err("--cfd and --attr are mutually exclusive".into());
     }
 
-    // Validate the whole script up front — same rules as `apply-updates`
+    // Validate the whole script up front — both modes share the rules
     // (every statement names a known relation and matches its arity),
     // including statements for relations the stores below never serve.
     for stmt in batches.iter().flatten() {
@@ -544,6 +554,18 @@ fn serve_updates(args: &[String]) -> Result<(), String> {
                 arity
             ));
         }
+    }
+
+    if args.iter().any(|a| a == "--multi") {
+        if cfd_filter.is_some() || attr_filter.is_some() {
+            return Err(
+                "--cfd/--attr select per-relation streams; with --multi use --cind or --rel".into(),
+            );
+        }
+        return serve_updates_multi(args, &doc, &db, &batches, shards);
+    }
+    if flag_value(args, "--cind").is_some() || flag_value(args, "--rel").is_some() {
+        return Err("--cind/--rel select multistore streams; they require --multi".into());
     }
 
     let mut final_total = 0usize;
@@ -628,6 +650,143 @@ fn serve_updates(args: &[String]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// `cfdprop serve-updates … --multi` — the cross-relation serving mode:
+/// one [`cfd_clean::MultiStore`] holds every relation of the document
+/// (shared pool, one epoch clock), enforcing its CFDs per relation and
+/// its `cind` statements incrementally across relations. A writer
+/// thread replays the script (each batch grouped per target relation,
+/// first-appearance order, one commit each) while this thread drains
+/// the multistore bus and prints each commit — CFD and CIND diffs — as
+/// one JSON line.
+fn serve_updates_multi(
+    args: &[String],
+    doc: &cfd_text::Document,
+    db: &cfd_relalg::Database,
+    batches: &[Vec<cfd_text::parser::UpdateStmt>],
+    shards: usize,
+) -> Result<(), String> {
+    let specs: Vec<cfd_clean::RelationSpec> = doc
+        .catalog
+        .relations()
+        .map(|(rel, schema)| {
+            cfd_clean::RelationSpec::new(
+                schema.name.clone(),
+                doc.sigma()
+                    .iter()
+                    .filter(|s| s.rel == rel)
+                    .map(|s| s.cfd.clone())
+                    .collect(),
+                db.relation(rel).clone(),
+            )
+        })
+        .collect();
+    let cinds: Vec<cfd_cind::Cind> = doc.cinds.iter().map(|c| c.cind.clone()).collect();
+    let filter = match (flag_value(args, "--cind"), flag_value(args, "--rel")) {
+        (Some(_), Some(_)) => return Err("--cind and --rel are mutually exclusive".into()),
+        (Some(i), None) => {
+            let i: usize = i.parse().map_err(|_| "--cind expects a CIND index")?;
+            if i >= cinds.len() {
+                return Err(format!(
+                    "--cind {i} out of range: the document has {} CIND(s)",
+                    cinds.len()
+                ));
+            }
+            cfd_clean::MultiDiffFilter::Cind(i)
+        }
+        (None, Some(name)) => {
+            let rel = doc
+                .catalog
+                .rel_id(&name)
+                .ok_or_else(|| format!("--rel names unknown relation `{name}`"))?;
+            cfd_clean::MultiDiffFilter::Rel(rel)
+        }
+        (None, None) => cfd_clean::MultiDiffFilter::All,
+    };
+
+    let names: Vec<String> = doc
+        .catalog
+        .relations()
+        .map(|(_, s)| s.name.clone())
+        .collect();
+    let mut store = cfd_clean::MultiStore::new(specs, cinds, shards).map_err(|e| e.to_string())?;
+    let rx = store.subscribe(filter, 64);
+    let script: Vec<Vec<cfd_text::parser::UpdateStmt>> = batches.to_vec();
+    let catalog = doc.catalog.clone();
+    let writer = std::thread::spawn(move || {
+        for batch in &script {
+            // The dialect's grouping rule (one commit per target
+            // relation, first-appearance order) lives in the store.
+            let stmts: Vec<(cfd_relalg::schema::RelId, bool, Vec<cfd_relalg::Value>)> = batch
+                .iter()
+                .map(|stmt| {
+                    (
+                        catalog.rel_id(&stmt.relation).expect("validated above"),
+                        stmt.op == cfd_text::UpdateOp::Delete,
+                        stmt.tuple.clone(),
+                    )
+                })
+                .collect();
+            store.apply_grouped(&stmts);
+        }
+        let cfd_total: usize = (0..store.rel_count())
+            .map(|i| store.cfd_violations(cfd_relalg::schema::RelId(i)).len())
+            .sum();
+        // Dropping the store closes the bus, ending the drain below.
+        (store.epoch(), cfd_total, store.cind_violations().len())
+    });
+    let mut out = std::io::stdout().lock();
+    use std::io::Write as _;
+    for commit in rx {
+        writeln!(out, "{}", multi_commit_json(&names, &commit)).map_err(|e| e.to_string())?;
+    }
+    let (epochs, cfd_total, cind_total) = writer.join().map_err(|_| "writer thread panicked")?;
+    writeln!(
+        out,
+        "{{\"done\": true, \"epochs\": {epochs}, \"violations\": {cfd_total}, \"cind_violations\": {cind_total}}}"
+    )
+    .map_err(|e| e.to_string())?;
+    if cfd_total + cind_total > 0 {
+        Err(format!(
+            "{} violation(s) after replay",
+            cfd_total + cind_total
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// One multistore commit as a JSON line: the target relation's CFD diff
+/// plus the cross-relation CIND diff.
+fn multi_commit_json(names: &[String], commit: &cfd_clean::MultiCommit) -> String {
+    let list = |vs: &[cfd_clean::Violation]| -> String {
+        let items: Vec<String> = vs.iter().map(violation_json).collect();
+        format!("[{}]", items.join(", "))
+    };
+    let cind_list = |vs: &[cfd_cind::CindViolation]| -> String {
+        let items: Vec<String> = vs
+            .iter()
+            .map(|v| {
+                let cells: Vec<String> = v.tuple.iter().map(json_value).collect();
+                format!(
+                    "{{\"cind\": {}, \"tuple\": [{}]}}",
+                    v.cind_index,
+                    cells.join(", ")
+                )
+            })
+            .collect();
+        format!("[{}]", items.join(", "))
+    };
+    format!(
+        "{{\"relation\": {}, \"epoch\": {}, \"added\": {}, \"removed\": {}, \"cind_added\": {}, \"cind_removed\": {}}}",
+        json_str(&names[commit.rel.0]),
+        commit.epoch,
+        list(&commit.cfd.added),
+        list(&commit.cfd.removed),
+        cind_list(&commit.cind.added),
+        cind_list(&commit.cind.removed)
+    )
 }
 
 /// One committed diff as a JSON line.
@@ -738,19 +897,20 @@ fn cind(args: &[String]) -> Result<(), String> {
         let db = doc.database().map_err(|e| e.to_string())?;
         for named in &doc.cinds {
             let label = named.name.clone().unwrap_or_else(|| "<unnamed>".into());
-            if let Some(t) = cfd_cind::find_violation(&db, &named.cind) {
-                violated += 1;
-                let cells: Vec<String> = t.iter().map(|v| v.to_string()).collect();
-                println!(
-                    "VIOLATED  {label}: {} — no witness for ({})",
-                    cfd_text::pretty::render_cind(&named.cind, &doc.catalog),
-                    cells.join(", ")
-                );
-            } else {
-                println!(
+            match cfd_cind::find_violation(&db, &named.cind).map_err(|e| e.to_string())? {
+                Some(t) => {
+                    violated += 1;
+                    let cells: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+                    println!(
+                        "VIOLATED  {label}: {} — no witness for ({})",
+                        cfd_text::pretty::render_cind(&named.cind, &doc.catalog),
+                        cells.join(", ")
+                    );
+                }
+                None => println!(
                     "SATISFIED {label}: {}",
                     cfd_text::pretty::render_cind(&named.cind, &doc.catalog)
-                );
+                ),
             }
         }
     }

@@ -1,0 +1,178 @@
+//! Random conditional inclusion dependencies over a catalog.
+//!
+//! The paper's §5 generators cover schemas, CFDs, and SPC views; the
+//! multi-relation serving layer (ISSUE 4) additionally needs random
+//! Σ_CIND to drive its differential fuzz harness
+//! (`crates/clean/tests/multistore_props.rs`). The shapes mirror the
+//! CFD generator's philosophy: small column lists, constants drawn from
+//! a tight range so scope conditions and witness patterns actually fire
+//! on random data, and relation pairs drawn uniformly (self-inclusions
+//! `R ⊆ R` included — they exercise the both-roles path of the
+//! incremental engine).
+
+use cfd_cind::Cind;
+use cfd_relalg::schema::Catalog;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for [`gen_cinds`].
+#[derive(Clone, Debug)]
+pub struct CindGenConfig {
+    /// Number of CINDs to generate.
+    pub count: usize,
+    /// Maximum inclusion columns per CIND (at least 1).
+    pub max_cols: usize,
+    /// Probability that a CIND carries an LHS scope condition.
+    pub cond_pct: f64,
+    /// Probability that a CIND carries an RHS witness pattern.
+    pub pat_pct: f64,
+    /// Pattern constants are drawn from `[0, const_range)` (via each
+    /// attribute's domain).
+    pub const_range: i64,
+}
+
+impl Default for CindGenConfig {
+    fn default() -> Self {
+        CindGenConfig {
+            count: 4,
+            max_cols: 2,
+            cond_pct: 0.3,
+            pat_pct: 0.3,
+            const_range: 4,
+        }
+    }
+}
+
+/// Generate `cfg.count` random CINDs over `catalog`'s relations.
+///
+/// Relations of arity 0 cannot host a CIND side; the generator assumes
+/// every relation has at least one attribute (as [`crate::gen_schema`]
+/// guarantees).
+pub fn gen_cinds(catalog: &Catalog, cfg: &CindGenConfig, rng: &mut impl Rng) -> Vec<Cind> {
+    assert!(cfg.max_cols >= 1, "a CIND needs at least one column");
+    let rels: Vec<_> = catalog.relations().map(|(id, _)| id).collect();
+    assert!(!rels.is_empty(), "catalog has no relations");
+    let mut out = Vec::with_capacity(cfg.count);
+    // Shape validation can reject a draw (e.g. a pattern attribute that
+    // would collide on a tiny arity); retry within a generous budget so
+    // the function is total for any sane catalog.
+    let mut budget = cfg.count * 64 + 64;
+    while out.len() < cfg.count && budget > 0 {
+        budget -= 1;
+        let lhs_rel = *rels.choose(rng).expect("nonempty");
+        let rhs_rel = *rels.choose(rng).expect("nonempty");
+        let lhs_schema = catalog.schema(lhs_rel);
+        let rhs_schema = catalog.schema(rhs_rel);
+        let k_max = cfg.max_cols.min(lhs_schema.arity()).min(rhs_schema.arity());
+        if k_max == 0 {
+            continue;
+        }
+        let k = rng.gen_range(1..=k_max);
+        let mut lhs_cols: Vec<usize> = (0..lhs_schema.arity()).collect();
+        let mut rhs_cols: Vec<usize> = (0..rhs_schema.arity()).collect();
+        lhs_cols.shuffle(rng);
+        rhs_cols.shuffle(rng);
+        let columns: Vec<(usize, usize)> = lhs_cols[..k]
+            .iter()
+            .copied()
+            .zip(rhs_cols[..k].iter().copied())
+            .collect();
+        let mut lhs_condition = Vec::new();
+        if rng.gen_bool(cfg.cond_pct) && lhs_schema.arity() > k {
+            let a = lhs_cols[k..][rng.gen_range(0..lhs_schema.arity() - k)];
+            lhs_condition.push((
+                a,
+                crate::cfd_gen::random_value(
+                    &lhs_schema.attributes[a].domain,
+                    cfg.const_range,
+                    rng,
+                ),
+            ));
+        }
+        let mut rhs_pattern = Vec::new();
+        if rng.gen_bool(cfg.pat_pct) && rhs_schema.arity() > k {
+            let a = rhs_cols[k..][rng.gen_range(0..rhs_schema.arity() - k)];
+            rhs_pattern.push((
+                a,
+                crate::cfd_gen::random_value(
+                    &rhs_schema.attributes[a].domain,
+                    cfg.const_range,
+                    rng,
+                ),
+            ));
+        }
+        if let Ok(cind) = Cind::new(lhs_rel, rhs_rel, columns, lhs_condition, rhs_pattern) {
+            out.push(cind);
+        }
+    }
+    assert_eq!(out.len(), cfg.count, "generator budget exhausted");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_gen::{gen_schema, SchemaGenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_catalog(seed: u64) -> Catalog {
+        gen_schema(
+            &SchemaGenConfig {
+                relations: 3,
+                min_arity: 2,
+                max_arity: 4,
+                finite_ratio: 0.0,
+            },
+            &mut StdRng::seed_from_u64(seed),
+        )
+    }
+
+    #[test]
+    fn generates_requested_count_of_valid_cinds() {
+        let catalog = small_catalog(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cinds = gen_cinds(&catalog, &CindGenConfig::default(), &mut rng);
+        assert_eq!(cinds.len(), 4);
+        for c in &cinds {
+            let lhs = catalog.schema(c.lhs_rel()).arity();
+            let rhs = catalog.schema(c.rhs_rel()).arity();
+            c.validate_arity(lhs, rhs).expect("generated CIND in range");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let catalog = small_catalog(3);
+        let a = gen_cinds(
+            &catalog,
+            &CindGenConfig::default(),
+            &mut StdRng::seed_from_u64(9),
+        );
+        let b = gen_cinds(
+            &catalog,
+            &CindGenConfig::default(),
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conditions_and_patterns_appear() {
+        let catalog = small_catalog(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cinds = gen_cinds(
+            &catalog,
+            &CindGenConfig {
+                count: 32,
+                cond_pct: 0.9,
+                pat_pct: 0.9,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(cinds.iter().any(|c| !c.lhs_condition().is_empty()));
+        assert!(cinds.iter().any(|c| !c.rhs_pattern().is_empty()));
+        assert!(cinds.iter().any(|c| c.is_standard_ind()));
+    }
+}

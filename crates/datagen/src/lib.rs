@@ -12,6 +12,8 @@
 //!   `[1, 100000]`;
 //! * [`view_gen`] — the SPC view generator with parameters `|Y|`, `|F|`,
 //!   `|Ec|`;
+//! * [`cind_gen`] — random conditional inclusion dependencies over a
+//!   catalog (drives the multistore differential fuzz harness);
 //! * [`instance_gen`] — random databases *satisfying* a CFD set
 //!   (repair-based), used to validate decision procedures semantically;
 //! * [`dirty_gen`] — controlled corruption of clean databases with a
@@ -21,12 +23,14 @@
 #![warn(missing_docs)]
 
 pub mod cfd_gen;
+pub mod cind_gen;
 pub mod dirty_gen;
 pub mod instance_gen;
 pub mod schema_gen;
 pub mod view_gen;
 
 pub use cfd_gen::{gen_cfds, CfdGenConfig};
+pub use cind_gen::{gen_cinds, CindGenConfig};
 pub use dirty_gen::{gen_dirty_database, Corruption, DirtyGenConfig};
 pub use instance_gen::{gen_database, InstanceGenConfig};
 pub use schema_gen::{gen_schema, SchemaGenConfig};

@@ -98,6 +98,21 @@ impl Database {
         &self.relations[id.0]
     }
 
+    /// The instance of relation `id`, or `None` when the database was
+    /// built from a catalog that never knew such a relation. The
+    /// checked sibling of [`Database::relation`], for callers that hold
+    /// a `RelId` of unverified provenance (e.g. a dependency parsed
+    /// against a different catalog).
+    pub fn try_relation(&self, id: RelId) -> Option<&Relation> {
+        self.relations.get(id.0)
+    }
+
+    /// Number of relations this database instance carries (the length
+    /// of the catalog it was created from).
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
     /// Mutable access to the instance of relation `id`.
     pub fn relation_mut(&mut self, id: RelId) -> &mut Relation {
         &mut self.relations[id.0]

@@ -8,6 +8,15 @@
 //! yields referential guarantees on the view itself — no data access
 //! needed, exactly like the paper's CFD propagation story.
 //!
+//! The closing section shows the *incremental* path (ISSUE 4): the same
+//! CINDs maintained live by a cross-relation
+//! [`cfdprop::clean::MultiStore`], where every update batch yields the
+//! exact set of CIND violations added and retired in `O(|Δ|)` — no
+//! rescans, including the delete-a-referenced-customer case a batch
+//! validator can only catch by re-reading both relations
+//! (`cargo run --release -p cfd-bench --bin cind_exp` for the measured
+//! speedup, `BENCH_cind.json`).
+//!
 //! Run with `cargo run --example cind_propagation`.
 
 use cfdprop::cind::implication::ImplicationOptions;
@@ -89,7 +98,12 @@ fn main() {
     }
 
     println!("\n== Propagated view CINDs (composed with source CINDs) ==");
-    let props = propagate_cinds(v, q, &[psi1, psi2], &ImplicationOptions::default());
+    let props = propagate_cinds(
+        v,
+        q,
+        &[psi1.clone(), psi2.clone()],
+        &ImplicationOptions::default(),
+    );
     for c in &props {
         println!("  {}", c.display(&rel_name, &attr_name));
     }
@@ -114,7 +128,7 @@ fn main() {
     }
     println!("\n== Checking the propagated CINDs on a materialized instance ==");
     for c in &props {
-        let ok = cfdprop::cind::satisfies(&db, c);
+        let ok = cfdprop::cind::satisfies(&db, c).unwrap();
         println!(
             "  {} … {}",
             c.display(&rel_name, &attr_name),
@@ -130,10 +144,80 @@ fn main() {
     println!(
         "  {} … {}",
         converse.display(&rel_name, &attr_name),
-        if cfdprop::cind::satisfies(&db, &converse) {
+        if cfdprop::cind::satisfies(&db, &converse).unwrap() {
             "holds (by luck)"
         } else {
             "VIOLATED, as expected"
         }
     );
+
+    // ── The incremental path ─────────────────────────────────────────
+    // The same CINDs, maintained live: a MultiStore holds all three
+    // relations behind one dictionary pool and one epoch clock, and
+    // every batch reports the exact CIND violations it added/retired.
+    use cfdprop::clean::{MultiStore, RelationSpec, UpdateBatch};
+    println!("\n== Incremental maintenance through the MultiStore ==");
+    let spec = |rel: cfdprop::relalg::RelId| {
+        RelationSpec::new(
+            catalog.schema(rel).name.clone(),
+            vec![],
+            db.relation(rel).clone(),
+        )
+    };
+    let mut store = MultiStore::new(
+        vec![spec(orders), spec(customers), spec(uk_ledger)],
+        vec![psi1.clone(), psi2.clone()],
+        2,
+    )
+    .expect("CINDs name catalog relations");
+    assert!(
+        store.cind_violations().is_empty(),
+        "materialized data is clean"
+    );
+
+    // A new uk order for an unknown customer violates ψ1 *and* ψ2 …
+    let c = store.apply(
+        orders,
+        &UpdateBatch::inserts(vec![vec![
+            Value::int(9),
+            Value::str("tnt"),
+            Value::str("uk"),
+        ]]),
+    );
+    println!(
+        "  epoch {}: +{} CIND violation(s)",
+        c.epoch,
+        c.cind.added.len()
+    );
+    assert_eq!(c.cind.added.len(), 2);
+
+    // … registering the customer and their vat entry retires both …
+    store.apply(
+        customers,
+        &UpdateBatch::inserts(vec![vec![Value::int(9), Value::str("dan")]]),
+    );
+    let c = store.apply(
+        uk_ledger,
+        &UpdateBatch::inserts(vec![vec![Value::int(9), Value::str("GB999")]]),
+    );
+    println!(
+        "  epoch {}: -{} CIND violation(s)",
+        c.epoch,
+        c.cind.removed.len()
+    );
+    assert!(store.cind_violations().is_empty());
+
+    // … and deleting a *referenced* customer re-creates a violation —
+    // the case only the witness-count index catches without a rescan.
+    let c = store.apply(
+        customers,
+        &UpdateBatch::deletes(vec![vec![Value::int(1), Value::str("ann")]]),
+    );
+    println!(
+        "  epoch {}: deleting referenced customer 1 adds {} violation(s)",
+        c.epoch,
+        c.cind.added.len()
+    );
+    assert_eq!(c.cind.added.len(), 1);
+    assert_eq!(c.cind.added[0].tuple[0], Value::int(1));
 }

@@ -71,7 +71,7 @@ fn derived_cinds_hold_on_every_materialization() {
         }
         for cind in view_to_source_cinds(v, &view) {
             assert!(
-                satisfies(&db, &cind),
+                satisfies(&db, &cind).unwrap(),
                 "seed {seed}: derived CIND fails on materialization: {cind}\nview = {view}"
             );
         }
@@ -122,7 +122,7 @@ fn propagated_cinds_hold_when_sources_satisfy_sigma() {
             sources.insert(r1, t);
         }
         assert!(
-            satisfies(&sources, &sigma[0]),
+            satisfies(&sources, &sigma[0]).unwrap(),
             "construction must satisfy the IND"
         );
 
@@ -142,7 +142,7 @@ fn propagated_cinds_hold_when_sources_satisfy_sigma() {
         }
         for cind in propagate_cinds(v, &view, &sigma, &ImplicationOptions::default()) {
             assert!(
-                satisfies(&db, &cind),
+                satisfies(&db, &cind).unwrap(),
                 "seed {seed}: propagated CIND fails: {cind}\nview = {view}"
             );
         }

@@ -53,7 +53,9 @@ fn satisfies_everything(
         cfds.iter()
             .filter(|s| s.rel == rel)
             .all(|s| satisfy::satisfies(db.relation(rel), &s.cfd))
-    }) && cinds.iter().all(|c| cfdprop::cind::satisfies(db, c))
+    }) && cinds
+        .iter()
+        .all(|c| cfdprop::cind::satisfies(db, c).unwrap())
 }
 
 #[test]
