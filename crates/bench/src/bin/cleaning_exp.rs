@@ -14,13 +14,14 @@
 //!
 //! Run with `cargo run --release -p cfd-bench --bin cleaning_exp`.
 
-use cfd_clean::{detect_all, repair};
+use cfd_clean::{detect_all, repair_with_pool};
 use cfd_datagen::cfd_gen::{gen_cfds, CfdGenConfig};
 use cfd_datagen::dirty_gen::{gen_dirty_database, DirtyGenConfig};
 use cfd_datagen::instance_gen::InstanceGenConfig;
 use cfd_datagen::schema_gen::{gen_schema, SchemaGenConfig};
 use cfd_model::Cfd;
 use cfd_relalg::instance::Tuple;
+use cfd_relalg::pool::ValuePool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
@@ -77,6 +78,10 @@ fn main() {
             corrupted_tuples += dirty_tuples.len();
 
             let t0 = Instant::now();
+            // One dictionary for the whole cleaning pass: per-relation
+            // repairs reuse interned codes instead of rebuilding a pool
+            // per call (the ISSUE 5 repair_with_pool fix).
+            let mut pool = ValuePool::new();
             for (rel, _) in catalog.relations() {
                 let local: Vec<Cfd> = sigma
                     .iter()
@@ -92,7 +97,7 @@ fn main() {
                     .flat_map(|v| v.tuples.iter().map(|t| (rel.0, t.clone())))
                     .collect();
                 flagged_overlap += flagged.intersection(&dirty_tuples).count();
-                let outcome = repair(db.relation(rel), &local, 8);
+                let outcome = repair_with_pool(db.relation(rel), &local, 8, &mut pool);
                 repair_cost += outcome.cell_changes;
                 all_clean &= outcome.clean;
             }

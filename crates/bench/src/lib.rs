@@ -77,6 +77,17 @@
 //! * `cargo run --release -p cfd-bench --bin cind_exp` — prints a table
 //!   and writes `BENCH_cind.json` (`host_cores` recorded as in the
 //!   sharded experiment).
+//!
+//! The [`view`] module drives the live materialized-view experiment
+//! (ISSUE 5): mixed update batches over an orders/customers store with
+//! a registered 2-atom join view, replayed through the multistore's
+//! [`cfd_clean::MaterializedView`] (telescoped delta-join maintenance +
+//! incremental view-side detection, `O(|Δ⋈|)` per batch) versus full
+//! `SpcQuery` re-evaluation (the hash-join `eval_spc` — the strong
+//! baseline) + `detect_all` rescan after every batch:
+//!
+//! * `cargo run --release -p cfd-bench --bin view_exp` — prints a table
+//!   and writes `BENCH_view.json` (`host_cores` recorded).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -85,6 +96,7 @@ pub mod cind;
 pub mod columnar;
 pub mod incremental;
 pub mod sharded;
+pub mod view;
 
 use cfd_datagen::{
     gen_cfds, gen_schema, gen_spc_view, CfdGenConfig, SchemaGenConfig, ViewGenConfig,

@@ -45,7 +45,7 @@ use cfd_relalg::instance::Tuple;
 use cfd_relalg::pool::Code;
 use cfd_relalg::schema::RelId;
 use cfd_relalg::versioned::SharedPool;
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 /// One code row, as the storage layer hands it over.
 pub type CodeRow = Box<[Code]>;
@@ -135,9 +135,16 @@ fn pack_key(cols: &[usize], codes: &[Code], scratch: &mut Vec<Code>) -> WitnessK
 /// The state of one projected key under one CIND: the live in-scope LHS
 /// member rows and the count of qualifying RHS witnesses. Violated iff
 /// `rhs_count == 0` and `members` is nonempty.
+///
+/// Members are a hash set, not a list: a low-cardinality projection (a
+/// 3-value column, say) concentrates a large fraction of one relation
+/// under a handful of keys, and a list would pay an O(|members|) scan
+/// for every member delete. The matview layer made this hot — every
+/// maintained view carries its always-true view-to-source inclusions,
+/// whose keys can be exactly such projections.
 #[derive(Debug, Default)]
 struct KeyState {
-    members: Vec<CodeRow>,
+    members: FxHashSet<CodeRow>,
     rhs_count: u32,
     /// Epoch of the last batch that touched this key (before-snapshot
     /// dedup; `0` is never a live epoch).
@@ -146,10 +153,10 @@ struct KeyState {
 
 impl KeyState {
     /// The members currently violated at this key (empty when a witness
-    /// covers them).
+    /// covers them). Unordered; callers sort at the diff boundary.
     fn violated(&self) -> Vec<CodeRow> {
         if self.rhs_count == 0 {
-            self.members.clone()
+            self.members.iter().cloned().collect()
         } else {
             Vec::new()
         }
@@ -228,7 +235,7 @@ impl CindDelta {
                 .entry(key)
                 .or_default()
                 .members
-                .push(codes.into());
+                .insert(codes.into());
         }
         for &ci in &self.by_rhs[rel.0] {
             let cc = &self.compiled[ci];
@@ -275,14 +282,12 @@ impl CindDelta {
                         touched.push((ci, key, st.violated()));
                     }
                     if is_del {
-                        let at = st
-                            .members
-                            .iter()
-                            .position(|m| m.as_ref() == codes.as_ref())
-                            .expect("deleted row was admitted as a CIND member");
-                        st.members.swap_remove(at);
+                        assert!(
+                            st.members.remove(codes),
+                            "deleted row was admitted as a CIND member"
+                        );
                     } else {
-                        st.members.push(codes.clone());
+                        st.members.insert(codes.clone());
                     }
                 }
                 for &ci in &self.by_rhs[rel.0] {

@@ -30,6 +30,13 @@
 //!   ([`cfd_cind::CindDelta`]) between them and a diff bus that streams
 //!   CFD and CIND events per relation, per dependency, or per relation
 //!   pair;
+//! * [`matview`] — live materialized SPC views on the multistore: a
+//!   [`MaterializedView`] is compiled once (predicates pushed down to
+//!   interned codes, one hash-join plan per atom) and maintained from
+//!   each commit's applied row delta in `O(|Δ⋈|)` — derivation counts
+//!   handle deletes — while its own [`DeltaDetector`] and
+//!   [`cfd_cind::CindDelta`] keep the *view's* propagated-constraint
+//!   violations incremental too;
 //! * [`repair()`] — a greedy equivalence-class repair that modifies
 //!   right-hand-side cells until the instance satisfies the CFDs, reporting
 //!   the cell-level cost.
@@ -63,6 +70,7 @@
 pub mod delta;
 pub(crate) mod groupstate;
 pub mod incremental;
+pub mod matview;
 pub mod multistore;
 pub mod repair;
 pub mod sharded;
@@ -71,8 +79,11 @@ pub mod violations;
 
 pub use delta::{DeltaDetector, UpdateBatch, ViolationDiff};
 pub use incremental::InsertChecker;
-pub use multistore::{MultiCommit, MultiDiffFilter, MultiSnapshot, MultiStore, RelationSpec};
-pub use repair::{repair, RepairOutcome};
+pub use matview::{MaterializedView, ViewDelta, ViewSpec};
+pub use multistore::{
+    MultiCommit, MultiDiffFilter, MultiSnapshot, MultiStore, RelationSpec, ViewSnapshot,
+};
+pub use repair::{repair, repair_with_pool, RepairOutcome};
 pub use sharded::{Commit, DiffFilter, GcStats, ShardedStore, Snapshot};
 pub use sql::detection_sql;
 pub use violations::{

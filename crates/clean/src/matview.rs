@@ -1,0 +1,1177 @@
+//! Live materialized SPC views: O(|Δ⋈|) delta-join maintenance and
+//! incremental view-side violation detection on the multistore.
+//!
+//! The paper's propagation results are all stated *over SPC views*
+//! (`V = πY(σF(R1 × … × Rn))`): a propagation cover tells you which
+//! CFDs are guaranteed on `V`, `cfd_cind::propagate_cinds` which CINDs
+//! — but *checking* the remaining constraints against live data meant
+//! re-evaluating the view from scratch on every change, `O(|D|^n)` per
+//! batch while every other path of the system runs in `O(|Δ|)`. A
+//! [`MaterializedView`] closes that gap: it is compiled once from an
+//! [`SpcQuery`] against the multistore's shared dictionary pool and
+//! maintained incrementally from each commit's *applied* row changes.
+//!
+//! # The delta rule
+//!
+//! Compilation splits the selection `F` with
+//! [`cfd_relalg::query::CompiledSelection`]: per-atom constant and
+//! equality conjuncts are pushed down to interned-code comparisons that
+//! gate rows *into* the atom states, and the cross-atom equalities
+//! become one greedy [`cfd_relalg::query::JoinPlan`] per atom — each
+//! atom keeps a code-level hash index per distinct probe-key column
+//! set. A commit to relation `R` with applied delta `Δ = (D, I)`
+//! updates the join by the standard n-ary telescoped rule
+//!
+//! ```text
+//! Δ(R1 ⋈ … ⋈ Rn) = Σj  R1′ ⋈ … ⋈ R(j-1)′ ⋈ Δj ⋈ R(j+1) ⋈ … ⋈ Rn
+//! ```
+//!
+//! — atom positions holding `R` are processed in ascending order;
+//! positions before the current one are already in their *new* state,
+//! positions after it still in their *old* state; each delta row drives
+//! its position's plan through the hash indexes, so the work per batch
+//! is `O(|Δ⋈|)`: proportional to the joined delta, never to the base
+//! relations. When any non-driver atom is empty the position's
+//! contribution is empty and is skipped outright.
+//!
+//! # Multiplicity semantics for deletes
+//!
+//! Source relations are sets, but the projection `πY` is not injective:
+//! one view row may have many derivations. The view therefore keeps a
+//! **derivation count** per output row; joined delta rows adjust the
+//! count by `±1`, a view row is *added* when its count leaves zero and
+//! *removed* when it returns to zero. This is exactly how deletes
+//! avoid re-evaluation: dropping one of two derivations decrements the
+//! count and changes nothing visible.
+//!
+//! # View-side violation detection
+//!
+//! The view's own row delta — the set-level rows added and removed —
+//! feeds two incremental detectors:
+//!
+//! * a per-view [`DeltaDetector`] holding the CFDs registered for the
+//!   view (typically a propagation cover), answering with the exact
+//!   [`ViolationDiff`];
+//! * a per-view [`cfd_cind::CindDelta`] holding the view-to-source
+//!   CINDs (the [`cfd_cind::view_to_source_cinds`] always-true set
+//!   plus whatever [`cfd_cind::propagate_cinds`] derived). Source-side
+//!   deltas update its witness counts, the view's row delta its member
+//!   sets; the two exact diffs compose by cancellation into one
+//!   [`CindDiff`] per commit.
+//!
+//! # Epoch / pin interaction
+//!
+//! A view has no clock of its own: its state always corresponds to the
+//! multistore's last committed epoch, because
+//! `cfd_clean::MultiStore::apply` folds the view update into the same
+//! commit that changed the sources, and the resulting
+//! [`ViewDelta`] rides the [`crate::multistore::MultiCommit`] (and the
+//! diff bus, behind [`crate::multistore::MultiDiffFilter::View`]).
+//! A [`crate::multistore::MultiSnapshot`] therefore pins source *and*
+//! view state at one consistent cut — which also makes
+//! propagation-cover recomputation
+//! ([`crate::multistore::MultiStore::propagated_view_cinds`], re-run
+//! when Σ changes) snapshot-consistent: the cover is derived from the
+//! same epoch the pinned data answers for. View rows are code rows
+//! over the shared pool (codes are append-only and survive GC), so
+//! garbage collection in the stores never invalidates a view.
+
+use crate::delta::{DeltaDetector, UpdateBatch, ViolationDiff};
+use crate::sharded::StoreCore;
+use crate::violations::Violation;
+use cfd_cind::delta::{CindDelta, CindDiff, CindViolation, CodeRow};
+use cfd_cind::{view_to_source_cinds, Cind, CindError};
+use cfd_model::cfd::Cfd;
+use cfd_relalg::instance::{Relation, Tuple};
+use cfd_relalg::pool::Code;
+use cfd_relalg::query::{ColRef, CompiledSelection, JoinPlan, SpcQuery};
+use cfd_relalg::schema::RelId;
+use cfd_relalg::versioned::SharedPool;
+use rustc_hash::FxHashMap;
+
+/// What to materialize: the view's name, its query over the store's
+/// relations (`RelId(i)` is the `i`-th [`crate::multistore::RelationSpec`]),
+/// the CFDs to enforce on the view (typically a propagation cover), and
+/// extra view-LHS CINDs to maintain (the always-true
+/// [`view_to_source_cinds`] set is added automatically; pass the output
+/// of [`cfd_cind::propagate_cinds`] to also track composed
+/// view-to-target inclusions).
+#[derive(Clone, Debug)]
+pub struct ViewSpec {
+    /// View name (the CLI uses document view names).
+    pub name: String,
+    /// The SPC query, atoms resolved against the store's relations.
+    pub query: SpcQuery,
+    /// CFDs enforced on the view (over view output positions).
+    pub sigma: Vec<Cfd>,
+    /// Extra CINDs with the view on the LHS; RHS must be a store
+    /// relation.
+    pub cinds: Vec<Cind>,
+}
+
+impl ViewSpec {
+    /// Convenience constructor for a view with no extra constraints.
+    pub fn new(name: impl Into<String>, query: SpcQuery) -> ViewSpec {
+        ViewSpec {
+            name: name.into(),
+            query,
+            sigma: Vec::new(),
+            cinds: Vec::new(),
+        }
+    }
+}
+
+/// What one commit did to one materialized view: the set-level row
+/// delta and the exact violation diffs it caused. Carried by
+/// [`crate::multistore::MultiCommit::views`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewDelta {
+    /// Index of the view in the store's registration order.
+    pub view: usize,
+    /// View rows that exist after the commit but did not before
+    /// (sorted).
+    pub rows_added: Vec<Tuple>,
+    /// View rows that existed before the commit but no longer do
+    /// (sorted).
+    pub rows_removed: Vec<Tuple>,
+    /// View-CFD violations added and retired.
+    pub cfd: ViolationDiff,
+    /// View-CIND violations added and retired (view-to-source witness
+    /// tracking; a source-side delete can add violations here without
+    /// any view row changing).
+    pub cind: CindDiff,
+}
+
+impl ViewDelta {
+    /// Did the commit change the view or its violation sets at all?
+    pub fn is_empty(&self) -> bool {
+        self.rows_added.is_empty()
+            && self.rows_removed.is_empty()
+            && self.cfd.is_empty()
+            && self.cind.is_empty()
+    }
+}
+
+/// Where one output column's code comes from.
+#[derive(Clone, Copy, Debug)]
+enum OutSrc {
+    /// Column `attr` of the atom at this position.
+    Prod(usize, usize),
+    /// An interned constant.
+    Const(Code),
+}
+
+/// One hash index of an atom: probe-key columns and the bucket map.
+#[derive(Debug, Default)]
+struct AtomIndex {
+    cols: Vec<usize>,
+    map: FxHashMap<Box<[Code]>, Vec<u32>>,
+}
+
+/// One atom position's live rows (the relation's resident rows passing
+/// the position's pushed-down local predicates) plus its hash indexes.
+#[derive(Debug, Default)]
+struct AtomState {
+    ids: FxHashMap<Box<[Code]>, u32>,
+    rows: Vec<Option<Box<[Code]>>>,
+    free: Vec<u32>,
+    indexes: Vec<AtomIndex>,
+}
+
+impl AtomState {
+    fn live(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn insert(&mut self, codes: &[Code]) -> bool {
+        if self.ids.contains_key(codes) {
+            return false;
+        }
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.rows[id as usize] = Some(codes.into());
+                id
+            }
+            None => {
+                self.rows.push(Some(codes.into()));
+                (self.rows.len() - 1) as u32
+            }
+        };
+        self.ids.insert(codes.into(), id);
+        for ix in &mut self.indexes {
+            let key: Box<[Code]> = ix.cols.iter().map(|&c| codes[c]).collect();
+            ix.map.entry(key).or_default().push(id);
+        }
+        true
+    }
+
+    fn remove(&mut self, codes: &[Code]) -> bool {
+        let Some(id) = self.ids.remove(codes) else {
+            return false;
+        };
+        for ix in &mut self.indexes {
+            let key: Box<[Code]> = ix.cols.iter().map(|&c| codes[c]).collect();
+            let bucket = ix.map.get_mut(&key).expect("indexed row has a bucket");
+            let at = bucket
+                .iter()
+                .position(|&r| r == id)
+                .expect("indexed row is in its bucket");
+            bucket.swap_remove(at);
+            if bucket.is_empty() {
+                ix.map.remove(&key);
+            }
+        }
+        self.rows[id as usize] = None;
+        self.free.push(id);
+        true
+    }
+}
+
+/// One plan step resolved to its atom's index slot.
+#[derive(Clone, Debug)]
+struct CompiledStep {
+    atom: usize,
+    index: usize,
+    /// `(bound atom, attr)` value sources for the probe key.
+    key_src: Vec<(usize, usize)>,
+    /// Residual equality checks `((atom, attr), (atom, attr))`, both
+    /// sides bound once this step binds its atom.
+    checks: Vec<((usize, usize), (usize, usize))>,
+}
+
+/// A materialized SPC view over the multistore. Constructed via
+/// [`crate::multistore::MultiStore::register_view`]; see the [module
+/// docs](self) for the maintenance algorithm.
+#[derive(Debug)]
+pub struct MaterializedView {
+    name: String,
+    query: SpcQuery,
+    view_rel: RelId,
+    /// `atoms[j].0` as plain indexes into the store's cores.
+    atom_rels: Vec<usize>,
+    /// Per atom position: pushed-down `A = 'a'` conjuncts as codes.
+    local_consts: Vec<Vec<(usize, Code)>>,
+    /// Per atom position: pushed-down `A = B` conjuncts.
+    local_eqs: Vec<Vec<(usize, usize)>>,
+    /// Per atom position: the delta-join plan driven by that position.
+    plans: Vec<Vec<CompiledStep>>,
+    out_cols: Vec<OutSrc>,
+    states: Vec<AtomState>,
+    /// Derivation count per live view row.
+    counts: FxHashMap<Box<[Code]>, u64>,
+    /// Which store relations affect this view (atom or CIND RHS).
+    touched: Vec<bool>,
+    detector: DeltaDetector,
+    cind: CindDelta,
+    /// Private strictly-increasing clock for the CIND engine (two
+    /// ticks per commit: source side, then view side).
+    cind_epoch: u64,
+}
+
+impl MaterializedView {
+    /// Compile `spec` against the store (`cores`, shared `pool`) and
+    /// seed it from the current live contents. `view_rel` is the id the
+    /// view occupies in the extended relation space (`n_sources +
+    /// view index`).
+    ///
+    /// Errors with [`CindError::UnknownRelation`] when a query atom or
+    /// a CIND endpoint falls outside the store, or when an extra CIND's
+    /// LHS is not the view itself.
+    pub(crate) fn new(
+        spec: ViewSpec,
+        view_rel: RelId,
+        n_sources: usize,
+        cores: &[StoreCore],
+        pool: &mut SharedPool,
+    ) -> Result<MaterializedView, CindError> {
+        let ViewSpec {
+            name,
+            query,
+            sigma,
+            cinds,
+        } = spec;
+        for rel in &query.atoms {
+            if rel.0 >= n_sources {
+                return Err(CindError::UnknownRelation {
+                    rel: *rel,
+                    relations: n_sources,
+                });
+            }
+        }
+        // The maintained CIND set: the by-construction view-to-source
+        // inclusions, then the caller's extras (deduplicated).
+        let mut all_cinds = view_to_source_cinds(view_rel, &query);
+        for c in cinds {
+            if c.lhs_rel() != view_rel {
+                return Err(CindError::UnknownRelation {
+                    rel: c.lhs_rel(),
+                    relations: n_sources,
+                });
+            }
+            if c.rhs_rel().0 >= n_sources {
+                return Err(CindError::UnknownRelation {
+                    rel: c.rhs_rel(),
+                    relations: n_sources,
+                });
+            }
+            if !all_cinds.contains(&c) {
+                all_cinds.push(c);
+            }
+        }
+        let n = query.atoms.len();
+        let sel = CompiledSelection::compile(&query);
+        let local_consts: Vec<Vec<(usize, Code)>> = sel
+            .local_consts
+            .iter()
+            .map(|cs| cs.iter().map(|(a, v)| (*a, pool.intern(v))).collect())
+            .collect();
+        let out_cols: Vec<OutSrc> = query
+            .output
+            .iter()
+            .map(|o| match o.src {
+                ColRef::Prod(c) => OutSrc::Prod(c.atom, c.attr),
+                ColRef::Const(k) => OutSrc::Const(pool.intern(&query.constants[k].value)),
+            })
+            .collect();
+        let mut states: Vec<AtomState> = (0..n).map(|_| AtomState::default()).collect();
+        // Compile one plan per driver position, creating each atom's
+        // hash indexes as the steps demand them.
+        let mut plans: Vec<Vec<CompiledStep>> = Vec::with_capacity(n);
+        for d in 0..n {
+            let plan = JoinPlan::new(n, &sel.cross_eqs, d);
+            let steps = plan
+                .steps
+                .into_iter()
+                .map(|s| {
+                    let state = &mut states[s.atom];
+                    let index = state
+                        .indexes
+                        .iter()
+                        .position(|ix| ix.cols == s.key_cols)
+                        .unwrap_or_else(|| {
+                            state.indexes.push(AtomIndex {
+                                cols: s.key_cols.clone(),
+                                map: FxHashMap::default(),
+                            });
+                            state.indexes.len() - 1
+                        });
+                    CompiledStep {
+                        atom: s.atom,
+                        index,
+                        key_src: s.key_src.iter().map(|c| (c.atom, c.attr)).collect(),
+                        checks: s
+                            .checks
+                            .iter()
+                            .map(|(a, b)| ((a.atom, a.attr), (b.atom, b.attr)))
+                            .collect(),
+                    }
+                })
+                .collect();
+            plans.push(steps);
+        }
+        let cind = CindDelta::new(all_cinds, view_rel.0 + 1, pool)?;
+        let mut view = MaterializedView {
+            atom_rels: query.atoms.iter().map(|r| r.0).collect(),
+            touched: {
+                let mut t = vec![false; n_sources];
+                for r in &query.atoms {
+                    t[r.0] = true;
+                }
+                for c in cind.sigma() {
+                    t[c.rhs_rel().0] = true;
+                }
+                t
+            },
+            name,
+            query,
+            view_rel,
+            local_consts,
+            local_eqs: sel.local_eqs,
+            plans,
+            out_cols,
+            states,
+            counts: FxHashMap::default(),
+            // Placeholder (empty Σ, nothing compiled): the real detector
+            // is constructed once below, against the seeded view rows.
+            detector: DeltaDetector::new(Vec::new(), &Relation::new()),
+            cind,
+            cind_epoch: 0,
+        };
+
+        // Seed the atom states from the live store, then evaluate the
+        // initial contents by driving the *last* position with its full
+        // row set (every earlier position populated: the drive
+        // enumerates the complete join exactly once).
+        for j in 0..n {
+            cores[view.atom_rels[j]].for_each_live_code_row(|codes| {
+                if view.row_passes_local(j, codes) {
+                    view.states[j].insert(codes);
+                }
+            });
+        }
+        let mut delta: FxHashMap<Box<[Code]>, i64> = FxHashMap::default();
+        if n == 0 {
+            // A pure constant relation has exactly one row, always.
+            let row: Box<[Code]> = view
+                .out_cols
+                .iter()
+                .map(|o| match o {
+                    OutSrc::Const(c) => *c,
+                    OutSrc::Prod(..) => unreachable!("no atoms to project"),
+                })
+                .collect();
+            delta.insert(row, 1);
+        } else {
+            let last = n - 1;
+            let drivers: Vec<Box<[Code]>> = view.states[last]
+                .ids
+                .keys()
+                .map(|k| k.as_ref().into())
+                .collect();
+            view.drive_position(last, &drivers, 1, &mut delta);
+        }
+        for (row, dc) in delta {
+            debug_assert!(dc > 0, "seeding only adds derivations");
+            view.counts.insert(row, dc as u64);
+        }
+
+        // Seed the violation engines: view rows as CIND members and as
+        // the detector's base relation; source rows as CIND witnesses.
+        let touches_rhs: Vec<bool> = {
+            let mut t = vec![false; n_sources];
+            for c in view.cind.sigma() {
+                t[c.rhs_rel().0] = true;
+            }
+            t
+        };
+        for (r, core) in cores.iter().enumerate() {
+            if touches_rhs[r] {
+                core.for_each_live_code_row(|codes| view.cind.seed_row(RelId(r), codes));
+            }
+        }
+        let mut initial: Vec<Tuple> = Vec::with_capacity(view.counts.len());
+        for codes in view.counts.keys() {
+            view.cind.seed_row(view_rel, codes);
+            initial.push(codes.iter().map(|&c| pool.value(c).clone()).collect());
+        }
+        let base: Relation = initial.into_iter().collect();
+        view.detector = DeltaDetector::new(sigma, &base);
+        Ok(view)
+    }
+
+    /// The view's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compiled query.
+    pub fn query(&self) -> &SpcQuery {
+        &self.query
+    }
+
+    /// The id the view occupies in the extended relation space.
+    pub fn view_rel(&self) -> RelId {
+        self.view_rel
+    }
+
+    /// The CFDs enforced on the view.
+    pub fn sigma(&self) -> &[Cfd] {
+        self.detector.sigma()
+    }
+
+    /// The CINDs maintained from the view (view-to-source set plus
+    /// registered extras).
+    pub fn cinds(&self) -> &[Cind] {
+        self.cind.sigma()
+    }
+
+    /// Number of live view rows.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Is the view currently empty?
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Does a commit to `rel` affect this view (as a query atom or a
+    /// CIND witness side)?
+    pub(crate) fn touches(&self, rel: RelId) -> bool {
+        self.touched.get(rel.0).copied().unwrap_or(false)
+    }
+
+    /// Materialize the current view contents.
+    pub fn relation(&self, pool: &SharedPool) -> Relation {
+        self.counts
+            .keys()
+            .map(|codes| {
+                codes
+                    .iter()
+                    .map(|&c| pool.value(c).clone())
+                    .collect::<Tuple>()
+            })
+            .collect()
+    }
+
+    /// View-CFD violations currently holding, in
+    /// [`crate::violations::detect_all`] order.
+    pub fn cfd_violations(&self) -> Vec<Violation> {
+        self.detector.current_violations()
+    }
+
+    /// View-CIND violations currently holding, sorted by CIND index and
+    /// tuple.
+    pub fn cind_violations(&self, pool: &SharedPool) -> Vec<CindViolation> {
+        self.cind.current_violations(pool)
+    }
+
+    /// Number of view violations (both classes) without materializing.
+    pub fn violation_count(&self) -> usize {
+        self.detector.current_violations().len() + self.cind.violation_count()
+    }
+
+    fn row_passes_local(&self, j: usize, codes: &[Code]) -> bool {
+        self.local_consts[j].iter().all(|&(a, k)| codes[a] == k)
+            && self.local_eqs[j].iter().all(|&(a, b)| codes[a] == codes[b])
+    }
+
+    /// Drive `rows` of position `j` through its plan, accumulating each
+    /// complete combination's projected row into `delta` with `sign`.
+    fn drive_position(
+        &self,
+        j: usize,
+        rows: &[Box<[Code]>],
+        sign: i64,
+        delta: &mut FxHashMap<Box<[Code]>, i64>,
+    ) {
+        let steps = &self.plans[j];
+        // Any empty non-driver atom empties every combination.
+        if steps.iter().any(|s| self.states[s.atom].live() == 0) {
+            return;
+        }
+        let n = self.atom_rels.len();
+        let mut binding: Vec<Option<&[Code]>> = vec![None; n];
+        for row in rows {
+            binding[j] = Some(row);
+            self.probe(steps, 0, &mut binding, sign, delta);
+            binding[j] = None;
+        }
+    }
+
+    fn probe<'a>(
+        &'a self,
+        steps: &[CompiledStep],
+        depth: usize,
+        binding: &mut Vec<Option<&'a [Code]>>,
+        sign: i64,
+        delta: &mut FxHashMap<Box<[Code]>, i64>,
+    ) {
+        let Some(step) = steps.get(depth) else {
+            let row: Box<[Code]> = self
+                .out_cols
+                .iter()
+                .map(|o| match *o {
+                    OutSrc::Prod(a, c) => binding[a].expect("bound")[c],
+                    OutSrc::Const(code) => code,
+                })
+                .collect();
+            *delta.entry(row).or_insert(0) += sign;
+            return;
+        };
+        let state = &self.states[step.atom];
+        let key: Box<[Code]> = step
+            .key_src
+            .iter()
+            .map(|&(a, c)| binding[a].expect("bound")[c])
+            .collect();
+        let Some(bucket) = state.indexes[step.index].map.get(&key) else {
+            return;
+        };
+        // The bucket may shrink-by-probe never: state is immutable for
+        // the whole position; plain iteration is safe.
+        for &id in bucket {
+            let row: &[Code] = state.rows[id as usize].as_deref().expect("live row");
+            let ok = step.checks.iter().all(|&((a1, c1), (a2, c2))| {
+                let v1 = if a1 == step.atom {
+                    row[c1]
+                } else {
+                    binding[a1].expect("bound")[c1]
+                };
+                let v2 = if a2 == step.atom {
+                    row[c2]
+                } else {
+                    binding[a2].expect("bound")[c2]
+                };
+                v1 == v2
+            });
+            if !ok {
+                continue;
+            }
+            binding[step.atom] = Some(row);
+            self.probe(steps, depth + 1, binding, sign, delta);
+            binding[step.atom] = None;
+        }
+    }
+
+    /// Fold one commit's applied row changes on relation `rel` into the
+    /// view: telescoped delta join, derivation-count bookkeeping, and
+    /// both violation engines. Returns the [`ViewDelta`] (possibly
+    /// empty). Called by `MultiStore::apply` under the store's epoch.
+    pub(crate) fn apply_source_delta(
+        &mut self,
+        index: usize,
+        rel: RelId,
+        dels: &[CodeRow],
+        ins: &[CodeRow],
+        pool: &SharedPool,
+    ) -> ViewDelta {
+        let mut delta: FxHashMap<Box<[Code]>, i64> = FxHashMap::default();
+        for j in 0..self.atom_rels.len() {
+            if self.atom_rels[j] != rel.0 {
+                continue;
+            }
+            let d_j: Vec<Box<[Code]>> = dels
+                .iter()
+                .filter(|c| self.row_passes_local(j, c))
+                .map(|c| c.as_ref().into())
+                .collect();
+            let i_j: Vec<Box<[Code]>> = ins
+                .iter()
+                .filter(|c| self.row_passes_local(j, c))
+                .map(|c| c.as_ref().into())
+                .collect();
+            // Drive first (the plan never consults the driver's own
+            // state), then move this position old → new so later
+            // positions of a self-join see it updated.
+            self.drive_position(j, &d_j, -1, &mut delta);
+            self.drive_position(j, &i_j, 1, &mut delta);
+            for codes in &d_j {
+                assert!(
+                    self.states[j].remove(codes),
+                    "applied delete was resident in its atom state"
+                );
+            }
+            for codes in &i_j {
+                assert!(
+                    self.states[j].insert(codes),
+                    "applied insert was new to its atom state"
+                );
+            }
+        }
+
+        // Fold the signed derivation deltas into the counts; rows
+        // crossing zero are the view's set-level delta.
+        let mut added_codes: Vec<Box<[Code]>> = Vec::new();
+        let mut removed_codes: Vec<Box<[Code]>> = Vec::new();
+        for (row, dc) in delta {
+            if dc == 0 {
+                continue;
+            }
+            let cur = self.counts.get(&row).copied().unwrap_or(0) as i64;
+            let new = cur + dc;
+            assert!(new >= 0, "view derivation count underflow");
+            if cur == 0 && new > 0 {
+                added_codes.push(row.clone());
+            } else if cur > 0 && new == 0 {
+                removed_codes.push(row.clone());
+            }
+            if new == 0 {
+                self.counts.remove(&row);
+            } else {
+                self.counts.insert(row, new as u64);
+            }
+        }
+
+        let mut rows_added: Vec<Tuple> = added_codes
+            .iter()
+            .map(|c| c.iter().map(|&k| pool.value(k).clone()).collect())
+            .collect();
+        let mut rows_removed: Vec<Tuple> = removed_codes
+            .iter()
+            .map(|c| c.iter().map(|&k| pool.value(k).clone()).collect())
+            .collect();
+        rows_added.sort_unstable();
+        rows_removed.sort_unstable();
+
+        // View-CFD detection on the view's own row delta.
+        let cfd = if rows_added.is_empty() && rows_removed.is_empty() {
+            ViolationDiff::default()
+        } else {
+            self.detector.apply(&UpdateBatch {
+                inserts: rows_added.clone(),
+                deletes: rows_removed.clone(),
+            })
+        };
+
+        // View-CIND maintenance: the source delta moves witness counts,
+        // the view delta moves member sets; the two exact diffs compose
+        // by cancellation.
+        self.cind_epoch += 1;
+        let d1 = self.cind.apply(rel, dels, ins, self.cind_epoch, pool);
+        self.cind_epoch += 1;
+        let d2 = self.cind.apply(
+            self.view_rel,
+            &removed_codes,
+            &added_codes,
+            self.cind_epoch,
+            pool,
+        );
+        let cind = compose_cind_diffs(d1, d2);
+
+        ViewDelta {
+            view: index,
+            rows_added,
+            rows_removed,
+            cfd,
+            cind,
+        }
+    }
+}
+
+/// Compose two consecutive exact [`CindDiff`]s into one: concatenate,
+/// then cancel the violations that one diff added and the other
+/// removed (e.g. a source delete orphans a view row in the first diff
+/// and the view delta deletes that row in the second).
+fn compose_cind_diffs(mut a: CindDiff, b: CindDiff) -> CindDiff {
+    a.added.extend(b.added);
+    a.removed.extend(b.removed);
+    a.added.sort_unstable();
+    a.removed.sort_unstable();
+    let mut added = Vec::with_capacity(a.added.len());
+    let mut removed = Vec::with_capacity(a.removed.len());
+    let mut ad = a.added.into_iter().peekable();
+    let mut rm = a.removed.into_iter().peekable();
+    loop {
+        use std::cmp::Ordering;
+        match (ad.peek(), rm.peek()) {
+            (None, None) => break,
+            (Some(_), None) => added.push(ad.next().expect("peeked")),
+            (None, Some(_)) => removed.push(rm.next().expect("peeked")),
+            (Some(x), Some(y)) => match x.cmp(y) {
+                Ordering::Equal => {
+                    // Added by one diff, removed by the other: no net
+                    // change (each element occurs at most once per
+                    // side, both diffs being exact).
+                    ad.next();
+                    rm.next();
+                }
+                Ordering::Less => added.push(ad.next().expect("peeked")),
+                Ordering::Greater => removed.push(rm.next().expect("peeked")),
+            },
+        }
+    }
+    CindDiff { added, removed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multistore::{MultiDiffFilter, MultiStore, RelationSpec};
+    use cfd_relalg::domain::DomainKind;
+    use cfd_relalg::eval::eval_spc;
+    use cfd_relalg::instance::Database;
+    use cfd_relalg::query::{ConstCell, OutputCol, ProdCol, SelAtom};
+    use cfd_relalg::schema::{Attribute, Catalog, RelationSchema};
+    use cfd_relalg::Value;
+
+    fn tup(vs: &[i64]) -> Tuple {
+        vs.iter().map(|v| Value::int(*v)).collect()
+    }
+
+    fn base(rows: &[&[i64]]) -> Relation {
+        rows.iter().map(|r| tup(r)).collect()
+    }
+
+    fn r(i: usize) -> RelId {
+        RelId(i)
+    }
+
+    /// orders(cust, amt) and customers(id, cc), matching the store
+    /// layout of [`store`].
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            RelationSchema::new(
+                "orders",
+                vec![
+                    Attribute::new("cust", DomainKind::Int),
+                    Attribute::new("amt", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.add(
+            RelationSchema::new(
+                "customers",
+                vec![
+                    Attribute::new("id", DomainKind::Int),
+                    Attribute::new("cc", DomainKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn store(orders: &[&[i64]], customers: &[&[i64]], shards: usize) -> MultiStore {
+        MultiStore::new(
+            vec![
+                RelationSpec::new("orders", vec![], base(orders)),
+                RelationSpec::new("customers", vec![], base(customers)),
+            ],
+            vec![],
+            shards,
+        )
+        .unwrap()
+    }
+
+    /// `π(cust, amt, cc) σ(orders.cust = customers.id)(orders × customers)`
+    fn join_query() -> SpcQuery {
+        SpcQuery {
+            atoms: vec![r(0), r(1)],
+            constants: vec![],
+            selection: vec![SelAtom::Eq(ProdCol::new(0, 0), ProdCol::new(1, 0))],
+            output: vec![
+                OutputCol {
+                    name: "cust".into(),
+                    src: ColRef::Prod(ProdCol::new(0, 0)),
+                },
+                OutputCol {
+                    name: "amt".into(),
+                    src: ColRef::Prod(ProdCol::new(0, 1)),
+                },
+                OutputCol {
+                    name: "cc".into(),
+                    src: ColRef::Prod(ProdCol::new(1, 1)),
+                },
+            ],
+        }
+    }
+
+    /// The fresh ground truth: evaluate the query on the store's
+    /// current materialized relations.
+    fn fresh_eval(s: &MultiStore, q: &SpcQuery) -> Relation {
+        let c = catalog();
+        let mut db = Database::empty(&c);
+        for i in 0..s.rel_count() {
+            for t in s.relation(r(i)).tuples() {
+                db.insert(r(i), t.clone());
+            }
+        }
+        eval_spc(q, &c, &db)
+    }
+
+    #[test]
+    fn join_view_tracks_mixed_batches_exactly() {
+        for shards in [1, 4] {
+            let mut s = store(&[&[1, 10], &[2, 20]], &[&[1, 7]], shards);
+            let q = join_query();
+            let v = s
+                .register_view(ViewSpec::new("V", q.clone()))
+                .expect("valid view");
+            assert_eq!(s.view_relation(v), fresh_eval(&s, &q), "seeded contents");
+            let batches: Vec<(RelId, UpdateBatch)> = vec![
+                (r(1), UpdateBatch::inserts(vec![tup(&[2, 8])])),
+                (
+                    r(0),
+                    UpdateBatch::inserts(vec![tup(&[1, 11]), tup(&[3, 30])]),
+                ),
+                (r(0), UpdateBatch::deletes(vec![tup(&[1, 10])])),
+                (r(1), UpdateBatch::deletes(vec![tup(&[2, 8])])),
+                (
+                    r(0),
+                    UpdateBatch::new(vec![tup(&[2, 20])], vec![tup(&[2, 20])]),
+                ),
+            ];
+            for (rel, b) in batches {
+                let c = s.apply(rel, &b);
+                assert_eq!(
+                    s.view_relation(v),
+                    fresh_eval(&s, &q),
+                    "incremental view diverged after epoch {} (shards {shards})",
+                    c.epoch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projection_counts_derivations() {
+        // π(cust) of orders: two orders share cust 1, so deleting one
+        // keeps the view row (count 2 → 1), deleting the second drops
+        // it (1 → 0).
+        let mut s = store(&[&[1, 10], &[1, 11]], &[], 2);
+        let q = SpcQuery {
+            atoms: vec![r(0)],
+            constants: vec![],
+            selection: vec![],
+            output: vec![OutputCol {
+                name: "cust".into(),
+                src: ColRef::Prod(ProdCol::new(0, 0)),
+            }],
+        };
+        let v = s.register_view(ViewSpec::new("V", q)).unwrap();
+        assert_eq!(s.view_relation(v).len(), 1);
+        let c = s.apply(r(0), &UpdateBatch::deletes(vec![tup(&[1, 10])]));
+        assert!(c.views.is_empty(), "a surviving derivation changes nothing");
+        assert_eq!(s.view_relation(v).len(), 1);
+        let c = s.apply(r(0), &UpdateBatch::deletes(vec![tup(&[1, 11])]));
+        assert_eq!(c.views.len(), 1);
+        assert_eq!(c.views[0].rows_removed, vec![tup(&[1])]);
+        assert!(s.view_relation(v).is_empty());
+    }
+
+    #[test]
+    fn view_cfd_violations_stream_and_filter() {
+        let mut s = store(&[], &[&[1, 7], &[2, 8]], 2);
+        let q = join_query();
+        let mut spec = ViewSpec::new("V", q);
+        // FD on the view: cust -> cc (positions 0 -> 2).
+        spec.sigma = vec![Cfd::fd(&[0], 2).unwrap()];
+        let v = s.register_view(spec).unwrap();
+        let all = s.subscribe(MultiDiffFilter::All, 16);
+        let only_view = s.subscribe(MultiDiffFilter::View(v), 16);
+        // Two customers with one id: the join fans one order out to two
+        // cc values — a view-side FD conflict no source CFD sees.
+        s.apply(r(1), &UpdateBatch::inserts(vec![tup(&[1, 9])]));
+        let c = s.apply(r(0), &UpdateBatch::inserts(vec![tup(&[1, 50])]));
+        assert_eq!(c.views.len(), 1);
+        let vd = &c.views[0];
+        assert_eq!(vd.rows_added.len(), 2, "one order × two customers");
+        assert_eq!(vd.cfd.added.len(), 1, "cust 1 maps to cc 7 and 9");
+        assert_eq!(s.view_cfd_violations(v).len(), 1);
+        assert_eq!(s.violation_count(), 1);
+        // The bus carries the view event; the view filter drops the
+        // (empty) base diffs of commit 1 entirely.
+        let a1 = all.recv().unwrap();
+        assert!(a1.views.is_empty());
+        let a2 = all.recv().unwrap();
+        assert_eq!(a2.views[0].cfd.added.len(), 1);
+        let f1 = only_view.recv().unwrap();
+        assert!(f1.is_empty(), "commit 1 never touched the view");
+        let f2 = only_view.recv().unwrap();
+        assert!(
+            f2.cfd.is_empty() && f2.cind.is_empty(),
+            "base diffs dropped"
+        );
+        assert_eq!(f2.views[0].cfd.added.len(), 1);
+        // Deleting the conflicting customer retires the violation.
+        let c = s.apply(r(1), &UpdateBatch::deletes(vec![tup(&[1, 9])]));
+        assert_eq!(c.views[0].cfd.removed.len(), 1);
+        assert!(s.view_cfd_violations(v).is_empty());
+    }
+
+    #[test]
+    fn view_to_source_cinds_never_fire_but_extras_do() {
+        // A selection view of orders alone, with the composed CIND
+        // V[cust] ⊆ customers[id] registered as an extra: deleting the
+        // customer creates view-CIND violations *without any view row
+        // changing* — the witness side moved, not the member side.
+        let mut s = store(&[&[1, 10], &[2, 20]], &[&[1, 7], &[2, 8]], 2);
+        let q = SpcQuery {
+            atoms: vec![r(0)],
+            constants: vec![],
+            selection: vec![],
+            output: vec![
+                OutputCol {
+                    name: "cust".into(),
+                    src: ColRef::Prod(ProdCol::new(0, 0)),
+                },
+                OutputCol {
+                    name: "amt".into(),
+                    src: ColRef::Prod(ProdCol::new(0, 1)),
+                },
+            ],
+        };
+        let mut spec = ViewSpec::new("V", q);
+        let view_rel = r(s.rel_count());
+        spec.cinds = vec![Cind::ind(view_rel, r(1), vec![(0, 0)]).unwrap()];
+        let v = s.register_view(spec).unwrap();
+        assert!(s.view_cind_violations(v).is_empty());
+        let c = s.apply(r(1), &UpdateBatch::deletes(vec![tup(&[1, 7])]));
+        assert_eq!(c.views.len(), 1);
+        assert!(c.views[0].rows_added.is_empty() && c.views[0].rows_removed.is_empty());
+        assert_eq!(c.views[0].cind.added.len(), 1, "order 1 lost its witness");
+        assert_eq!(s.view_cind_violations(v).len(), 1);
+        // Deleting the orphaned order removes the view row and retires
+        // the violation through the member side.
+        let c = s.apply(r(0), &UpdateBatch::deletes(vec![tup(&[1, 10])]));
+        assert_eq!(c.views[0].rows_removed, vec![tup(&[1, 10])]);
+        assert_eq!(c.views[0].cind.removed.len(), 1);
+        assert!(s.view_cind_violations(v).is_empty());
+        // The always-true view-to-source inclusions are among the
+        // maintained set and have never fired.
+        assert!(!s.view(v).cinds().is_empty());
+    }
+
+    #[test]
+    fn source_delete_and_view_delta_cancel_in_one_commit() {
+        // The identity view of customers with the derived CIND
+        // V ⊆ customers: deleting a customer removes the witness *and*
+        // the member in one commit — the composed CIND diff must be
+        // empty, not an add/remove pair.
+        let mut s = store(&[], &[&[1, 7]], 1);
+        let q = SpcQuery {
+            atoms: vec![r(1)],
+            constants: vec![],
+            selection: vec![],
+            output: vec![
+                OutputCol {
+                    name: "id".into(),
+                    src: ColRef::Prod(ProdCol::new(0, 0)),
+                },
+                OutputCol {
+                    name: "cc".into(),
+                    src: ColRef::Prod(ProdCol::new(0, 1)),
+                },
+            ],
+        };
+        let v = s.register_view(ViewSpec::new("V", q)).unwrap();
+        assert_eq!(s.view_relation(v).len(), 1);
+        let c = s.apply(r(1), &UpdateBatch::deletes(vec![tup(&[1, 7])]));
+        assert_eq!(c.views.len(), 1);
+        assert!(c.views[0].cind.is_empty(), "orphan-and-delete cancels");
+        assert!(s.view_relation(v).is_empty());
+        assert_eq!(s.violation_count(), 0);
+    }
+
+    #[test]
+    fn self_join_view_telescopes_correctly() {
+        // V = π(a.cust, b.amt) σ(a.amt = b.amt)(orders × orders): both
+        // atom positions move on every orders commit.
+        let mut s = store(&[&[1, 5]], &[], 2);
+        let q = SpcQuery {
+            atoms: vec![r(0), r(0)],
+            constants: vec![],
+            selection: vec![SelAtom::Eq(ProdCol::new(0, 1), ProdCol::new(1, 1))],
+            output: vec![
+                OutputCol {
+                    name: "cust".into(),
+                    src: ColRef::Prod(ProdCol::new(0, 0)),
+                },
+                OutputCol {
+                    name: "amt".into(),
+                    src: ColRef::Prod(ProdCol::new(1, 1)),
+                },
+            ],
+        };
+        let v = s.register_view(ViewSpec::new("VV", q.clone())).unwrap();
+        assert_eq!(s.view_relation(v), fresh_eval(&s, &q));
+        for b in [
+            UpdateBatch::inserts(vec![tup(&[2, 5]), tup(&[3, 9])]),
+            UpdateBatch::new(vec![tup(&[4, 9])], vec![tup(&[1, 5])]),
+            UpdateBatch::deletes(vec![tup(&[2, 5]), tup(&[3, 9])]),
+        ] {
+            s.apply(r(0), &b);
+            assert_eq!(s.view_relation(v), fresh_eval(&s, &q));
+        }
+    }
+
+    #[test]
+    fn constants_and_pushed_down_selection() {
+        // σ(cust = 1) with a constant output column; the predicate is
+        // an interned-code compare gating rows into the atom state.
+        let mut s = store(&[&[1, 10], &[2, 20]], &[], 2);
+        let q = SpcQuery {
+            atoms: vec![r(0)],
+            constants: vec![ConstCell {
+                name: "CC".into(),
+                value: Value::int(44),
+                domain: DomainKind::Int,
+            }],
+            selection: vec![SelAtom::EqConst(ProdCol::new(0, 0), Value::int(1))],
+            output: vec![
+                OutputCol {
+                    name: "amt".into(),
+                    src: ColRef::Prod(ProdCol::new(0, 1)),
+                },
+                OutputCol {
+                    name: "CC".into(),
+                    src: ColRef::Const(0),
+                },
+            ],
+        };
+        let v = s.register_view(ViewSpec::new("V", q)).unwrap();
+        assert_eq!(s.view_relation(v), base(&[&[10, 44]]));
+        s.apply(
+            r(0),
+            &UpdateBatch::inserts(vec![tup(&[1, 12]), tup(&[2, 9])]),
+        );
+        assert_eq!(s.view_relation(v), base(&[&[10, 44], &[12, 44]]));
+        s.apply(r(0), &UpdateBatch::deletes(vec![tup(&[1, 10])]));
+        assert_eq!(s.view_relation(v), base(&[&[12, 44]]));
+    }
+
+    #[test]
+    fn snapshots_pin_view_state_with_sources() {
+        let mut s = store(&[&[1, 10]], &[&[1, 7]], 2);
+        let q = join_query();
+        let v = s.register_view(ViewSpec::new("V", q)).unwrap();
+        let s0 = s.snapshot();
+        s.apply(r(1), &UpdateBatch::deletes(vec![tup(&[1, 7])]));
+        let s1 = s.snapshot();
+        assert_eq!(s0.view_count(), 1);
+        assert_eq!(s0.view(v).relation, base(&[&[1, 10, 7]]));
+        assert!(s1.view(v).relation.is_empty());
+        assert_eq!(s0.view(v).name, "V");
+        assert!(s.view_relation(v).is_empty());
+    }
+
+    #[test]
+    fn bad_registrations_are_typed_errors() {
+        let mut s = store(&[], &[], 1);
+        let q = SpcQuery {
+            atoms: vec![r(7)],
+            constants: vec![],
+            selection: vec![],
+            output: vec![OutputCol {
+                name: "x".into(),
+                src: ColRef::Prod(ProdCol::new(0, 0)),
+            }],
+        };
+        assert_eq!(
+            s.register_view(ViewSpec::new("V", q)).err(),
+            Some(CindError::UnknownRelation {
+                rel: r(7),
+                relations: 2
+            })
+        );
+        // An extra CIND whose LHS is not the view is rejected.
+        let mut spec = ViewSpec::new(
+            "V",
+            SpcQuery {
+                atoms: vec![r(0)],
+                constants: vec![],
+                selection: vec![],
+                output: vec![OutputCol {
+                    name: "cust".into(),
+                    src: ColRef::Prod(ProdCol::new(0, 0)),
+                }],
+            },
+        );
+        spec.cinds = vec![Cind::ind(r(0), r(1), vec![(0, 0)]).unwrap()];
+        assert!(s.register_view(spec).is_err());
+    }
+
+    #[test]
+    fn compose_cancels_cross_diff_churn() {
+        let v = |i: usize, x: i64| CindViolation {
+            cind_index: i,
+            tuple: vec![cfd_relalg::Value::int(x)],
+        };
+        let a = CindDiff {
+            added: vec![v(0, 1), v(0, 2)],
+            removed: vec![v(1, 5)],
+        };
+        let b = CindDiff {
+            added: vec![v(1, 5)],
+            removed: vec![v(0, 2), v(0, 3)],
+        };
+        let c = compose_cind_diffs(a, b);
+        assert_eq!(c.added, vec![v(0, 1)]);
+        assert_eq!(c.removed, vec![v(0, 3)]);
+    }
+}

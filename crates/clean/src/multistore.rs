@@ -40,17 +40,19 @@
 //! nested-loop reference, batch for batch, diff for diff.
 
 use crate::delta::{UpdateBatch, ViolationDiff};
+use crate::matview::{MaterializedView, ViewDelta, ViewSpec};
 use crate::sharded::{GcStats, Snapshot, StoreCore};
 use crate::violations::Violation;
 use cfd_cind::delta::{CindDelta, CindDiff, CindViolation};
-use cfd_cind::{Cind, CindError};
+use cfd_cind::implication::ImplicationOptions;
+use cfd_cind::{propagate_cinds, Cind, CindError};
 use cfd_model::cfd::Cfd;
 use cfd_relalg::instance::Relation;
 use cfd_relalg::schema::RelId;
 use cfd_relalg::versioned::SharedPool;
 use std::collections::BTreeSet;
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One relation of a [`MultiStore`]: its name, the CFDs enforced on it
 /// (may be empty — relations can exist purely as CIND endpoints), and
@@ -92,12 +94,16 @@ pub struct MultiCommit {
     /// CIND violations added and retired, across all relation pairs the
     /// batch touched.
     pub cind: CindDiff,
+    /// What the commit did to each registered materialized view the
+    /// batch affected (only non-empty deltas are carried; view commits
+    /// ride the same epoch as the source commit).
+    pub views: Vec<ViewDelta>,
 }
 
 impl MultiCommit {
-    /// Did the commit change any violation set?
+    /// Did the commit change any violation set or view?
     pub fn is_empty(&self) -> bool {
-        self.cfd.is_empty() && self.cind.is_empty()
+        self.cfd.is_empty() && self.cind.is_empty() && self.views.is_empty()
     }
 }
 
@@ -121,6 +127,9 @@ pub enum MultiDiffFilter {
     /// Only CIND events whose dependency runs from the first relation
     /// (LHS) to the second (RHS).
     RelPair(RelId, RelId),
+    /// Only events of the materialized view at this registration index:
+    /// its row deltas plus its CFD and CIND violation diffs.
+    View(usize),
 }
 
 impl MultiDiffFilter {
@@ -133,21 +142,29 @@ impl MultiDiffFilter {
             MultiDiffFilter::All => true,
             MultiDiffFilter::Rel(r) => c.rel == *r,
             MultiDiffFilter::Cfd { rel, index } => c.rel == *rel && v.cfd_index == *index,
-            MultiDiffFilter::Cind(_) | MultiDiffFilter::RelPair(..) => false,
+            MultiDiffFilter::Cind(_) | MultiDiffFilter::RelPair(..) | MultiDiffFilter::View(_) => {
+                false
+            }
         };
         let keep_cind = |v: &CindViolation| {
             let psi = &sigma_cind[v.cind_index];
             match self {
                 MultiDiffFilter::All => true,
                 MultiDiffFilter::Rel(r) => psi.lhs_rel() == *r || psi.rhs_rel() == *r,
-                MultiDiffFilter::Cfd { .. } => false,
+                MultiDiffFilter::Cfd { .. } | MultiDiffFilter::View(_) => false,
                 MultiDiffFilter::Cind(i) => v.cind_index == *i,
                 MultiDiffFilter::RelPair(l, r) => psi.lhs_rel() == *l && psi.rhs_rel() == *r,
             }
         };
+        let views: Vec<ViewDelta> = match self {
+            MultiDiffFilter::All => c.views.clone(),
+            MultiDiffFilter::View(i) => c.views.iter().filter(|v| v.view == *i).cloned().collect(),
+            _ => Vec::new(),
+        };
         MultiCommit {
             epoch: c.epoch,
             rel: c.rel,
+            views,
             cfd: ViolationDiff {
                 added: c
                     .cfd
@@ -199,6 +216,16 @@ pub struct MultiStore {
     epoch: u64,
     /// CIND violations holding now, in (cind, tuple) order.
     cind_current: BTreeSet<CindViolation>,
+    /// Materialized views, in registration order; view `i` occupies
+    /// `RelId(rel_count() + i)` in the extended relation space.
+    views: Vec<MaterializedView>,
+    /// Per-view snapshot cache: rebuilt lazily by [`MultiStore::snapshot`],
+    /// invalidated by [`MultiStore::apply`] only when a commit actually
+    /// moves the view — so repeated snapshots across quiet epochs share
+    /// one materialization. Interior-mutable so `snapshot` keeps the
+    /// `&self` contract readers rely on; the locks are uncontended (one
+    /// writer by design).
+    view_snaps: Vec<Mutex<Option<Arc<ViewSnapshot>>>>,
     subs: Vec<MultiSub>,
 }
 
@@ -240,8 +267,78 @@ impl MultiStore {
             cind,
             epoch: 0,
             cind_current,
+            views: Vec::new(),
+            view_snaps: Vec::new(),
             subs: Vec::new(),
         })
+    }
+
+    /// Register a materialized SPC view over the store's relations:
+    /// compile `spec.query` (predicates pushed down to interned codes,
+    /// one delta-join plan per atom), seed the view from the current
+    /// live contents, and maintain it — plus `spec.sigma` CFD
+    /// violations and its view-to-source CINDs (always-true set plus
+    /// `spec.cinds`) — incrementally from every future commit. Returns
+    /// the view's registration index; the view occupies
+    /// `RelId(rel_count() + index)` in the extended relation space.
+    ///
+    /// See [`crate::matview`] for the maintenance algorithm and cost
+    /// model.
+    pub fn register_view(&mut self, spec: ViewSpec) -> Result<usize, CindError> {
+        let view_rel = RelId(self.cores.len() + self.views.len());
+        let view = MaterializedView::new(
+            spec,
+            view_rel,
+            self.cores.len(),
+            &self.cores,
+            &mut self.pool,
+        )?;
+        self.views.push(view);
+        self.view_snaps.push(Mutex::new(None));
+        Ok(self.views.len() - 1)
+    }
+
+    /// Number of registered materialized views.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// The registered view at `index`.
+    pub fn view(&self, index: usize) -> &MaterializedView {
+        &self.views[index]
+    }
+
+    /// The registration index of the view named `name`, if any.
+    pub fn view_id(&self, name: &str) -> Option<usize> {
+        self.views.iter().position(|v| v.name() == name)
+    }
+
+    /// Materialize the current contents of view `index`.
+    pub fn view_relation(&self, index: usize) -> Relation {
+        self.views[index].relation(&self.pool)
+    }
+
+    /// View-CFD violations currently holding on view `index`, in
+    /// [`crate::violations::detect_all`] order.
+    pub fn view_cfd_violations(&self, index: usize) -> Vec<Violation> {
+        self.views[index].cfd_violations()
+    }
+
+    /// View-CIND violations currently holding on view `index`, sorted
+    /// by CIND index and tuple.
+    pub fn view_cind_violations(&self, index: usize) -> Vec<CindViolation> {
+        self.views[index].cind_violations(&self.pool)
+    }
+
+    /// Re-run CIND propagation for view `index` against the store's
+    /// *current* Σ_CIND. Because the store is single-writer, calling
+    /// this between commits — or against the Σ captured by a pinned
+    /// [`MultiSnapshot`] — yields a propagation cover consistent with
+    /// one epoch, which is what makes cover recomputation on a Σ change
+    /// snapshot-consistent.
+    pub fn propagated_view_cinds(&self, index: usize, opts: &ImplicationOptions) -> Vec<Cind> {
+        let view = &self.views[index];
+        propagate_cinds(view.view_rel(), view.query(), self.cind.sigma(), opts)
     }
 
     /// Number of relations.
@@ -306,14 +403,19 @@ impl MultiStore {
         self.cind_current.iter().cloned().collect()
     }
 
-    /// Total violations (CFD across all relations + CIND) without
-    /// materializing them.
+    /// Total violations (CFD across all relations + CIND + every
+    /// registered view's two classes) without materializing them.
     pub fn violation_count(&self) -> usize {
         self.cores
             .iter()
             .map(|c| c.current_violations().len())
             .sum::<usize>()
             + self.cind_current.len()
+            + self
+                .views
+                .iter()
+                .map(|v| v.violation_count())
+                .sum::<usize>()
     }
 
     /// Subscribe to every future commit through a bounded channel of
@@ -332,14 +434,34 @@ impl MultiStore {
 
     /// Pin the current global epoch in every core and capture a
     /// consistent cross-relation [`MultiSnapshot`]: relation contents,
-    /// CFD violations, and the CIND violation set, all as of the same
+    /// CFD violations, the CIND violation set, and every registered
+    /// view (contents + both violation classes), all as of the same
     /// epoch. GC in every core respects the pin until the snapshot (and
-    /// all its clones) drop.
+    /// all its clones) drop. View states are materialized at most once
+    /// per change — snapshots across epochs that did not move a view
+    /// share one cached [`ViewSnapshot`].
     pub fn snapshot(&self) -> MultiSnapshot {
+        let views = self
+            .views
+            .iter()
+            .zip(&self.view_snaps)
+            .map(|(v, slot)| {
+                let mut slot = slot.lock().expect("view snapshot cache");
+                Arc::clone(slot.get_or_insert_with(|| {
+                    Arc::new(ViewSnapshot {
+                        name: v.name().to_string(),
+                        relation: v.relation(&self.pool),
+                        cfd: v.cfd_violations(),
+                        cind: v.cind_violations(&self.pool),
+                    })
+                }))
+            })
+            .collect();
         MultiSnapshot {
             epoch: self.epoch,
             snaps: self.cores.iter().map(|c| c.snapshot(&self.pool)).collect(),
             cind: Arc::new(self.cind_violations()),
+            views,
         }
     }
 
@@ -360,6 +482,20 @@ impl MultiStore {
         let cind = self
             .cind
             .apply(rel, &applied.deletes, &applied.inserts, epoch, &self.pool);
+        // Fold the applied delta into every view the relation feeds —
+        // the view update commits under the same epoch as the source.
+        let mut views: Vec<ViewDelta> = Vec::new();
+        for (i, view) in self.views.iter_mut().enumerate() {
+            if !view.touches(rel) {
+                continue;
+            }
+            let vd =
+                view.apply_source_delta(i, rel, &applied.deletes, &applied.inserts, &self.pool);
+            if !vd.is_empty() {
+                *self.view_snaps[i].lock().expect("view snapshot cache") = None;
+                views.push(vd);
+            }
+        }
         self.epoch = epoch;
         for core in &mut self.cores {
             core.advance_to(epoch);
@@ -381,6 +517,7 @@ impl MultiStore {
             rel,
             cfd: commit.diff.clone(),
             cind,
+            views,
         });
         self.publish(&mc);
         mc
@@ -464,6 +601,21 @@ pub struct MultiSnapshot {
     epoch: u64,
     snaps: Vec<Snapshot>,
     cind: Arc<Vec<CindViolation>>,
+    views: Vec<Arc<ViewSnapshot>>,
+}
+
+/// One materialized view captured by a [`MultiSnapshot`]: contents and
+/// both violation classes as of the pinned epoch.
+#[derive(Clone, Debug)]
+pub struct ViewSnapshot {
+    /// The view's registered name.
+    pub name: String,
+    /// The view contents at the pinned epoch.
+    pub relation: Relation,
+    /// View-CFD violations at the pinned epoch.
+    pub cfd: Vec<Violation>,
+    /// View-CIND violations at the pinned epoch.
+    pub cind: Vec<CindViolation>,
 }
 
 impl MultiSnapshot {
@@ -495,6 +647,17 @@ impl MultiSnapshot {
     /// CIND violations at the pinned epoch, in (cind, tuple) order.
     pub fn cind_violations(&self) -> &[CindViolation] {
         &self.cind
+    }
+
+    /// Number of materialized views captured.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// The captured state of view `index` (contents + both violation
+    /// classes, all at the pinned epoch).
+    pub fn view(&self, index: usize) -> &ViewSnapshot {
+        &self.views[index]
     }
 }
 

@@ -49,9 +49,31 @@ pub struct RepairOutcome {
 /// Under set semantics repaired tuples may merge, so the output can be
 /// smaller than the input — that is the correct behaviour for duplicate
 /// resolution.
+///
+/// Builds a throwaway [`ValuePool`] per call; callers that repair
+/// repeatedly over the same value universe (cleaning rounds, benchmark
+/// replays, a store-resident dictionary) should use
+/// [`repair_with_pool`] and amortize the interning.
 pub fn repair(rel: &Relation, sigma: &[Cfd], max_rounds: usize) -> RepairOutcome {
     let mut pool = ValuePool::new();
-    let base = ColumnarRelation::from_relation(rel, &mut pool);
+    repair_with_pool(rel, sigma, max_rounds, &mut pool)
+}
+
+/// [`repair`] against a caller-provided dictionary pool.
+///
+/// The relation's values and Σ's pattern constants are interned into
+/// `pool` — codes it already assigned are reused, so a second repair
+/// over the same value universe re-interns nothing, and the pool is
+/// *never* rebuilt across the detect-and-fix rounds inside one call
+/// (rounds work on code rows throughout; values materialize once at
+/// the end).
+pub fn repair_with_pool(
+    rel: &Relation,
+    sigma: &[Cfd],
+    max_rounds: usize,
+    pool: &mut ValuePool,
+) -> RepairOutcome {
+    let base = ColumnarRelation::from_relation(rel, pool);
     // Intern every pattern constant: fixes write them, and compiled CFDs
     // must never see an Absent cell that later becomes present.
     for cfd in sigma {
@@ -64,7 +86,7 @@ pub fn repair(rel: &Relation, sigma: &[Cfd], max_rounds: usize) -> RepairOutcome
             pool.intern(v);
         }
     }
-    let coded: Vec<CodedCfd> = sigma.iter().map(|c| CodedCfd::compile(c, &pool)).collect();
+    let coded: Vec<CodedCfd> = sigma.iter().map(|c| CodedCfd::compile(c, pool)).collect();
     let mut rows: Vec<Vec<Code>> = (0..base.len())
         .map(|r| base.row_codes(r).collect())
         .collect();
@@ -77,7 +99,7 @@ pub fn repair(rel: &Relation, sigma: &[Cfd], max_rounds: usize) -> RepairOutcome
         let violations: Vec<CodedViolation> = detect_all_coded(&cols, &coded);
         if violations.is_empty() {
             return RepairOutcome {
-                relation: cols.to_relation(&pool),
+                relation: cols.to_relation(pool),
                 cell_changes,
                 rounds: round,
                 clean: true,
@@ -119,7 +141,7 @@ pub fn repair(rel: &Relation, sigma: &[Cfd], max_rounds: usize) -> RepairOutcome
                 .rows
                 .iter()
                 .find_map(|r| plan.get(r).and_then(|ov| ov.get(&rhs)).copied());
-            let target = forced.unwrap_or_else(|| plurality_code(&v.rows, rhs, &rows, &pool));
+            let target = forced.unwrap_or_else(|| plurality_code(&v.rows, rhs, &rows, pool));
             for &r in &v.rows {
                 let current = plan
                     .get(&r)
@@ -148,7 +170,7 @@ pub fn repair(rel: &Relation, sigma: &[Cfd], max_rounds: usize) -> RepairOutcome
     let cols = ColumnarRelation::from_code_rows(&rows);
     let clean = detect_all_coded(&cols, &coded).is_empty();
     RepairOutcome {
-        relation: cols.to_relation(&pool),
+        relation: cols.to_relation(pool),
         cell_changes,
         rounds: max_rounds,
         clean,
@@ -292,6 +314,38 @@ mod tests {
             .tuples()
             .all(|t| t[0] != Value::int(20) || t[1] == Value::int(9)));
         assert_eq!(out.cell_changes, 1, "one forced overwrite suffices");
+    }
+
+    #[test]
+    fn caller_pool_is_reused_not_rebuilt() {
+        // Regression (ISSUE 5): `repair` used to build a fresh pool and
+        // re-intern the whole relation on every call. With a caller
+        // pool, codes assigned once are reused: a second repair over
+        // the same value universe interns nothing, and the multi-round
+        // cascade inside one call never rebuilds the pool either.
+        let phi1 = Cfd::new(vec![(0, Pattern::cst(1))], 1, Pattern::cst(9)).unwrap();
+        let phi2 = Cfd::fd(&[1], 2).unwrap();
+        let r = rel(&[&[1, 8, 5], &[2, 9, 6]]);
+        let mut pool = ValuePool::new();
+        let out1 = repair_with_pool(&r, &[phi1.clone(), phi2.clone()], 10, &mut pool);
+        assert!(out1.clean);
+        assert!(out1.rounds >= 2, "the cascade takes multiple rounds");
+        let after_first = pool.len();
+        // Every value the repair can touch is now interned; the codes
+        // the pool hands out are stable.
+        let code_of_9 = pool.lookup(&Value::int(9)).expect("pattern constant");
+        let out2 = repair_with_pool(&r, &[phi1, phi2], 10, &mut pool);
+        assert!(out2.clean);
+        assert_eq!(out2.relation, out1.relation, "pooled repair is stable");
+        assert_eq!(
+            pool.len(),
+            after_first,
+            "second repair over the same universe interns nothing"
+        );
+        assert_eq!(pool.lookup(&Value::int(9)), Some(code_of_9));
+        // The wrapper still behaves identically.
+        let out3 = repair(&r, &[Cfd::fd(&[1], 2).unwrap()], 4);
+        assert!(out3.clean);
     }
 
     #[test]

@@ -47,6 +47,14 @@
 //!     `--rel NAME` to one relation's CFD events plus every CIND
 //!     touching it.
 //!
+//! cfdprop serve-updates <file.cfd> <file.upd> --view NAME [--shards N]
+//!     The live-view mode (implies --multi): materialize the document
+//!     view NAME (an SPC view) on the multistore, maintain it
+//!     incrementally with the delta-join rule while the script
+//!     replays, and stream the view's events — row deltas, the view's
+//!     `vcfd` violation diffs, and its propagated view-to-source CIND
+//!     diffs — as JSON lines, one per commit that moved the view.
+//!
 //! cfdprop sql <file.cfd>
 //!     Emit the SQL detection queries for every source CFD.
 //!
@@ -120,6 +128,7 @@ USAGE:
     cfdprop apply-updates <file.cfd> <file.upd>
     cfdprop serve-updates <file.cfd> <file.upd> [--shards N] [--cfd I | --attr NAME]
     cfdprop serve-updates <file.cfd> <file.upd> --multi [--shards N] [--cind I | --rel NAME]
+    cfdprop serve-updates <file.cfd> <file.upd> --view NAME [--shards N]
     cfdprop sql <file.cfd>
     cfdprop cind <file.cfd>
 ";
@@ -332,6 +341,9 @@ fn clean(args: &[String]) -> Result<(), String> {
     let do_repair = args.iter().any(|a| a == "--repair");
     let detector = detector_from(args)?;
     let mut total = 0usize;
+    // One dictionary across the document's relations: repairs reuse
+    // interned codes instead of rebuilding a pool per relation.
+    let mut repair_pool = cfd_relalg::ValuePool::new();
     for (rel, schema) in doc.catalog.relations() {
         let local: Vec<cfd_model::Cfd> = doc
             .sigma()
@@ -364,7 +376,8 @@ fn clean(args: &[String]) -> Result<(), String> {
         }
         total += violations.len();
         if do_repair && !violations.is_empty() {
-            let outcome = cfd_clean::repair(db.relation(rel), &local, 8);
+            let outcome =
+                cfd_clean::repair_with_pool(db.relation(rel), &local, 8, &mut repair_pool);
             println!(
                 "{}: repair — {} cell change(s) in {} round(s), clean = {}",
                 schema.name, outcome.cell_changes, outcome.rounds, outcome.clean
@@ -517,7 +530,7 @@ fn apply_updates(args: &[String]) -> Result<(), String> {
 /// named attribute (relations without that attribute stream nothing).
 fn serve_updates(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: cfdprop serve-updates <file.cfd> <file.upd> \
-         [--multi] [--shards N] [--cfd I | --attr NAME | --cind I | --rel NAME]";
+         [--multi] [--shards N] [--cfd I | --attr NAME | --cind I | --rel NAME | --view NAME]";
     let path = args.get(1).ok_or(USAGE)?;
     let upd_path = args.get(2).ok_or(USAGE)?;
     let doc = load(path)?;
@@ -556,10 +569,13 @@ fn serve_updates(args: &[String]) -> Result<(), String> {
         }
     }
 
-    if args.iter().any(|a| a == "--multi") {
+    // `--view` materializes a document view on the multistore, so it
+    // implies the cross-relation mode.
+    if args.iter().any(|a| a == "--multi") || flag_value(args, "--view").is_some() {
         if cfd_filter.is_some() || attr_filter.is_some() {
             return Err(
-                "--cfd/--attr select per-relation streams; with --multi use --cind or --rel".into(),
+                "--cfd/--attr select per-relation streams; with --multi use --cind, --rel or --view"
+                    .into(),
             );
         }
         return serve_updates_multi(args, &doc, &db, &batches, shards);
@@ -683,9 +699,16 @@ fn serve_updates_multi(
         })
         .collect();
     let cinds: Vec<cfd_cind::Cind> = doc.cinds.iter().map(|c| c.cind.clone()).collect();
-    let filter = match (flag_value(args, "--cind"), flag_value(args, "--rel")) {
-        (Some(_), Some(_)) => return Err("--cind and --rel are mutually exclusive".into()),
-        (Some(i), None) => {
+    let view_name = flag_value(args, "--view");
+    let filter = match (
+        flag_value(args, "--cind"),
+        flag_value(args, "--rel"),
+        &view_name,
+    ) {
+        (Some(_), Some(_), _) | (Some(_), _, Some(_)) | (_, Some(_), Some(_)) => {
+            return Err("--cind, --rel and --view are mutually exclusive".into())
+        }
+        (Some(i), None, None) => {
             let i: usize = i.parse().map_err(|_| "--cind expects a CIND index")?;
             if i >= cinds.len() {
                 return Err(format!(
@@ -695,14 +718,15 @@ fn serve_updates_multi(
             }
             cfd_clean::MultiDiffFilter::Cind(i)
         }
-        (None, Some(name)) => {
+        (None, Some(name), None) => {
             let rel = doc
                 .catalog
                 .rel_id(&name)
                 .ok_or_else(|| format!("--rel names unknown relation `{name}`"))?;
             cfd_clean::MultiDiffFilter::Rel(rel)
         }
-        (None, None) => cfd_clean::MultiDiffFilter::All,
+        // Resolved to `View(index)` after the view registers below.
+        (None, None, _) => cfd_clean::MultiDiffFilter::All,
     };
 
     let names: Vec<String> = doc
@@ -710,7 +734,50 @@ fn serve_updates_multi(
         .relations()
         .map(|(_, s)| s.name.clone())
         .collect();
+
+    // `--view NAME`: resolve the named document view and derive its
+    // propagated CINDs from the document's Σ_CIND while we still hold
+    // it (the store consumes `cinds` below).
+    let view_spec = match &view_name {
+        Some(name) => {
+            let view = doc
+                .view(name)
+                .ok_or_else(|| format!("--view names unknown view `{name}`"))?;
+            if view.query.branches.len() != 1 {
+                return Err(format!(
+                    "--view {name}: union views are not materializable (SPC views only)"
+                ));
+            }
+            let query = view.query.branches[0].clone();
+            let view_rel = cfd_relalg::schema::RelId(specs.len());
+            let propagated = cfd_cind::propagate_cinds(
+                view_rel,
+                &query,
+                &cinds,
+                &cfd_cind::implication::ImplicationOptions::default(),
+            );
+            Some(cfd_clean::ViewSpec {
+                name: name.clone(),
+                query,
+                sigma: doc.view_cfds_for(name),
+                cinds: propagated,
+            })
+        }
+        None => None,
+    };
     let mut store = cfd_clean::MultiStore::new(specs, cinds, shards).map_err(|e| e.to_string())?;
+
+    // Materialize the view on the store, enforce its `vcfd` statements,
+    // and filter the stream to the view's events.
+    let mut view_names: Vec<String> = Vec::new();
+    let filter = if let Some(spec) = view_spec {
+        let name = spec.name.clone();
+        let idx = store.register_view(spec).map_err(|e| e.to_string())?;
+        view_names.push(name);
+        cfd_clean::MultiDiffFilter::View(idx)
+    } else {
+        filter
+    };
     let rx = store.subscribe(filter, 64);
     let script: Vec<Vec<cfd_text::parser::UpdateStmt>> = batches.to_vec();
     let catalog = doc.catalog.clone();
@@ -733,33 +800,48 @@ fn serve_updates_multi(
         let cfd_total: usize = (0..store.rel_count())
             .map(|i| store.cfd_violations(cfd_relalg::schema::RelId(i)).len())
             .sum();
+        let view_total: usize = (0..store.view_count())
+            .map(|i| store.view_cfd_violations(i).len() + store.view_cind_violations(i).len())
+            .sum();
         // Dropping the store closes the bus, ending the drain below.
-        (store.epoch(), cfd_total, store.cind_violations().len())
+        (
+            store.epoch(),
+            cfd_total,
+            store.cind_violations().len(),
+            view_total,
+        )
     });
     let mut out = std::io::stdout().lock();
     use std::io::Write as _;
     for commit in rx {
-        writeln!(out, "{}", multi_commit_json(&names, &commit)).map_err(|e| e.to_string())?;
+        writeln!(out, "{}", multi_commit_json(&names, &view_names, &commit))
+            .map_err(|e| e.to_string())?;
     }
-    let (epochs, cfd_total, cind_total) = writer.join().map_err(|_| "writer thread panicked")?;
+    let (epochs, cfd_total, cind_total, view_total) =
+        writer.join().map_err(|_| "writer thread panicked")?;
     writeln!(
         out,
-        "{{\"done\": true, \"epochs\": {epochs}, \"violations\": {cfd_total}, \"cind_violations\": {cind_total}}}"
+        "{{\"done\": true, \"epochs\": {epochs}, \"violations\": {cfd_total}, \"cind_violations\": {cind_total}, \"view_violations\": {view_total}}}"
     )
     .map_err(|e| e.to_string())?;
-    if cfd_total + cind_total > 0 {
+    if cfd_total + cind_total + view_total > 0 {
         Err(format!(
             "{} violation(s) after replay",
-            cfd_total + cind_total
+            cfd_total + cind_total + view_total
         ))
     } else {
         Ok(())
     }
 }
 
-/// One multistore commit as a JSON line: the target relation's CFD diff
-/// plus the cross-relation CIND diff.
-fn multi_commit_json(names: &[String], commit: &cfd_clean::MultiCommit) -> String {
+/// One multistore commit as a JSON line: the target relation's CFD
+/// diff, the cross-relation CIND diff, and — when the commit moved a
+/// materialized view — each view's row delta and violation diffs.
+fn multi_commit_json(
+    names: &[String],
+    view_names: &[String],
+    commit: &cfd_clean::MultiCommit,
+) -> String {
     let list = |vs: &[cfd_clean::Violation]| -> String {
         let items: Vec<String> = vs.iter().map(violation_json).collect();
         format!("[{}]", items.join(", "))
@@ -778,14 +860,46 @@ fn multi_commit_json(names: &[String], commit: &cfd_clean::MultiCommit) -> Strin
             .collect();
         format!("[{}]", items.join(", "))
     };
+    let rows = |ts: &[Vec<cfd_relalg::Value>]| -> String {
+        let items: Vec<String> = ts
+            .iter()
+            .map(|t| {
+                let cells: Vec<String> = t.iter().map(json_value).collect();
+                format!("[{}]", cells.join(", "))
+            })
+            .collect();
+        format!("[{}]", items.join(", "))
+    };
+    let views = if commit.views.is_empty() {
+        String::new()
+    } else {
+        let items: Vec<String> = commit
+            .views
+            .iter()
+            .map(|vd| {
+                format!(
+                    "{{\"view\": {}, \"rows_added\": {}, \"rows_removed\": {}, \"added\": {}, \"removed\": {}, \"cind_added\": {}, \"cind_removed\": {}}}",
+                    json_str(&view_names[vd.view]),
+                    rows(&vd.rows_added),
+                    rows(&vd.rows_removed),
+                    list(&vd.cfd.added),
+                    list(&vd.cfd.removed),
+                    cind_list(&vd.cind.added),
+                    cind_list(&vd.cind.removed)
+                )
+            })
+            .collect();
+        format!(", \"views\": [{}]", items.join(", "))
+    };
     format!(
-        "{{\"relation\": {}, \"epoch\": {}, \"added\": {}, \"removed\": {}, \"cind_added\": {}, \"cind_removed\": {}}}",
+        "{{\"relation\": {}, \"epoch\": {}, \"added\": {}, \"removed\": {}, \"cind_added\": {}, \"cind_removed\": {}{}}}",
         json_str(&names[commit.rel.0]),
         commit.epoch,
         list(&commit.cfd.added),
         list(&commit.cfd.removed),
         cind_list(&commit.cind.added),
-        cind_list(&commit.cind.removed)
+        cind_list(&commit.cind.removed),
+        views
     )
 }
 

@@ -625,6 +625,63 @@ fn serve_updates_multi_filters_by_cind_and_rel() {
 }
 
 #[test]
+fn serve_updates_view_streams_live_view_events() {
+    let cfd = concat!(env!("CARGO_MANIFEST_DIR"), "/../../testdata/live_view.cfd");
+    let upd = concat!(env!("CARGO_MANIFEST_DIR"), "/../../testdata/live_view.upd");
+    let out = cfdprop(&["serve-updates", cfd, upd, "--view", "OV", "--shards", "2"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "order 1 dangles at the end (source CIND c1), so the replay exits nonzero: {text}"
+    );
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5, "four commits + summary: {text}");
+    // Batch 1: customer bob arrives, order 2 joins into the view.
+    assert!(
+        lines[0].contains("\"view\": \"OV\"")
+            && lines[0].contains("\"rows_added\": [[2, \"bob\", \"open\", \"silver\"]]"),
+        "{text}"
+    );
+    // The view filter drops the base CFD/CIND streams entirely.
+    assert!(lines[0].contains("\"added\": [], \"removed\": [], \"cind_added\": []"));
+    // Batch 2: a second status for order 1 — the view FD vf1 breaks.
+    assert!(
+        lines[1].contains("\"epoch\": 2") && lines[1].contains("pair_conflict"),
+        "{text}"
+    );
+    // Batch 3 retires it again.
+    assert!(lines[2].contains("\"removed\": [{\"cfd\": 0"), "{text}");
+    // Batch 4: customer ann leaves; the join drops order 1's row with
+    // no view-CIND churn (orphan and member delete cancel).
+    assert!(
+        lines[3].contains("\"rows_removed\": [[1, \"ann\", \"open\", \"gold\"]]")
+            && lines[3].contains("\"cind_added\": []"),
+        "{text}"
+    );
+    // The summary separates view violations (none) from the source
+    // CIND violation that remains.
+    assert!(
+        lines[4].contains("\"view_violations\": 0") && lines[4].contains("\"cind_violations\": 1"),
+        "{text}"
+    );
+}
+
+#[test]
+fn serve_updates_view_rejects_bad_requests() {
+    let cfd = concat!(env!("CARGO_MANIFEST_DIR"), "/../../testdata/live_view.cfd");
+    let upd = concat!(env!("CARGO_MANIFEST_DIR"), "/../../testdata/live_view.upd");
+    let out = cfdprop(&["serve-updates", cfd, upd, "--view", "nope"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown view"));
+    let out = cfdprop(&["serve-updates", cfd, upd, "--view", "OV", "--cind", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+    let out = cfdprop(&["serve-updates", cfd, upd, "--view", "OV", "--cfd", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--cfd/--attr"));
+}
+
+#[test]
 fn apply_updates_handles_the_multi_relation_dialect() {
     let cfd = concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -1,0 +1,245 @@
+//! Compiled form of an SPC selection: predicate pushdown and hash-join
+//! planning, shared by [`crate::eval`]'s fast path and by incremental
+//! view maintenance (`cfd-clean::matview`).
+//!
+//! An SPC query's selection `F` is a flat conjunction over the product
+//! columns. For evaluation — one-shot or incremental — the useful
+//! decomposition is *per atom*:
+//!
+//! * `A = 'a'` and `A = B` conjuncts whose columns all sit on one atom
+//!   are **local predicates**: they filter that atom's rows before any
+//!   join work ([`CompiledSelection::local_consts`],
+//!   [`CompiledSelection::local_eqs`]).
+//! * The remaining `A = B` conjuncts span two atoms: they are the **join
+//!   graph** ([`CompiledSelection::cross_eqs`]), and a [`JoinPlan`]
+//!   turns them into hash-join key extractions.
+//!
+//! A [`JoinPlan`] is built for one *driver* atom: the atom whose rows
+//! arrive one at a time (every row of the leftmost atom in a full
+//! evaluation; a delta row in incremental maintenance). The plan visits
+//! every other atom once, greedily preferring atoms with the most
+//! equalities into the already-bound set, and records for each step
+//! which columns to probe on ([`JoinStep::key_cols`]), where the probe
+//! values come from ([`JoinStep::key_src`]), and which equalities become
+//! residual [`JoinStep::checks`] (an atom column constrained twice, or
+//! an equality between two previously-bound atoms). A step with no
+//! equality into the bound set degenerates to a scan of that atom —
+//! exactly the nested-loop fallback, confined to the disconnected part
+//! of the join graph.
+//!
+//! The plan speaks only in atom/attribute positions, so the same plan
+//! drives value-level evaluation ([`crate::eval::eval_spc`]) and
+//! code-level maintenance over a dictionary pool.
+
+use super::{ProdCol, SelAtom, SpcQuery};
+use crate::value::Value;
+
+/// The selection of an [`SpcQuery`], split for pushdown. See the
+/// [module docs](self).
+#[derive(Clone, Debug, Default)]
+pub struct CompiledSelection {
+    /// Per atom: `A = 'a'` conjuncts local to it, as `(attr, constant)`.
+    pub local_consts: Vec<Vec<(usize, Value)>>,
+    /// Per atom: `A = B` conjuncts with both columns on it.
+    pub local_eqs: Vec<Vec<(usize, usize)>>,
+    /// `A = B` conjuncts spanning two distinct atoms.
+    pub cross_eqs: Vec<(ProdCol, ProdCol)>,
+}
+
+impl CompiledSelection {
+    /// Split the selection of `q` (which has `q.atoms.len()` atoms).
+    pub fn compile(q: &SpcQuery) -> CompiledSelection {
+        let n = q.atoms.len();
+        let mut out = CompiledSelection {
+            local_consts: vec![Vec::new(); n],
+            local_eqs: vec![Vec::new(); n],
+            cross_eqs: Vec::new(),
+        };
+        for s in &q.selection {
+            match s {
+                SelAtom::EqConst(c, v) => out.local_consts[c.atom].push((c.attr, v.clone())),
+                SelAtom::Eq(a, b) if a.atom == b.atom => {
+                    out.local_eqs[a.atom].push((a.attr, b.attr));
+                }
+                SelAtom::Eq(a, b) => out.cross_eqs.push((*a, *b)),
+            }
+        }
+        out
+    }
+
+    /// Does `row` (a tuple of atom `atom`'s relation) pass that atom's
+    /// local predicates?
+    pub fn row_passes_local(&self, atom: usize, row: &[Value]) -> bool {
+        self.local_consts[atom].iter().all(|(a, v)| &row[*a] == v)
+            && self.local_eqs[atom].iter().all(|(a, b)| row[*a] == row[*b])
+    }
+}
+
+/// One probe step of a [`JoinPlan`]: join `atom` into the bound set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinStep {
+    /// The atom this step binds.
+    pub atom: usize,
+    /// The columns of `atom` to key the hash probe on (deduplicated; may
+    /// be empty, in which case the step scans the whole atom).
+    pub key_cols: Vec<usize>,
+    /// For each key column, the bound column supplying the probe value.
+    pub key_src: Vec<ProdCol>,
+    /// Residual equalities that become checkable at this step: each
+    /// holds between two bound columns (at least one on `atom` when the
+    /// equality touches it) and was not consumed as a probe key.
+    pub checks: Vec<(ProdCol, ProdCol)>,
+}
+
+/// A hash-join visit order for all atoms except one driver. See the
+/// [module docs](self).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// The atom whose rows drive the join.
+    pub driver: usize,
+    /// The probe steps, in execution order (covers every non-driver
+    /// atom exactly once).
+    pub steps: Vec<JoinStep>,
+}
+
+impl JoinPlan {
+    /// Plan the join of `n_atoms` atoms linked by `cross_eqs`, driven by
+    /// atom `driver`. Greedy: each step picks the unbound atom with the
+    /// most equalities into the bound set (ties break to the lowest atom
+    /// index, keeping plans deterministic).
+    pub fn new(n_atoms: usize, cross_eqs: &[(ProdCol, ProdCol)], driver: usize) -> JoinPlan {
+        assert!(driver < n_atoms, "driver atom out of range");
+        let mut bound = vec![false; n_atoms];
+        bound[driver] = true;
+        let mut used = vec![false; cross_eqs.len()];
+        let mut steps = Vec::with_capacity(n_atoms.saturating_sub(1));
+        for _ in 1..n_atoms {
+            // Score unbound atoms by how many equalities link them to
+            // the bound set.
+            let next = (0..n_atoms)
+                .filter(|&k| !bound[k])
+                .max_by_key(|&k| {
+                    let links = cross_eqs
+                        .iter()
+                        .filter(|(a, b)| {
+                            (a.atom == k && bound[b.atom]) || (b.atom == k && bound[a.atom])
+                        })
+                        .count();
+                    // max_by_key keeps the *last* maximum; invert the
+                    // index so ties resolve to the lowest atom.
+                    (links, n_atoms - k)
+                })
+                .expect("an unbound atom remains");
+            let mut key_cols: Vec<usize> = Vec::new();
+            let mut key_src: Vec<ProdCol> = Vec::new();
+            let mut checks: Vec<(ProdCol, ProdCol)> = Vec::new();
+            for (i, (a, b)) in cross_eqs.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                // Orient the equality as (on `next`, bound source).
+                let (on_next, src) = if a.atom == next && bound[b.atom] {
+                    (*a, *b)
+                } else if b.atom == next && bound[a.atom] {
+                    (*b, *a)
+                } else {
+                    continue;
+                };
+                used[i] = true;
+                if key_cols.contains(&on_next.attr) {
+                    // The column is already a probe key: the second
+                    // constraint becomes a residual check.
+                    checks.push((on_next, src));
+                } else {
+                    key_cols.push(on_next.attr);
+                    key_src.push(src);
+                }
+            }
+            bound[next] = true;
+            steps.push(JoinStep {
+                atom: next,
+                key_cols,
+                key_src,
+                checks,
+            });
+        }
+        debug_assert!(
+            used.iter().all(|&u| u),
+            "every cross-atom equality is consumed once all atoms are bound"
+        );
+        JoinPlan { driver, steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc(atom: usize, attr: usize) -> ProdCol {
+        ProdCol::new(atom, attr)
+    }
+
+    #[test]
+    fn splits_local_from_cross() {
+        use crate::domain::DomainKind;
+        use crate::schema::{Attribute, Catalog, RelationSchema};
+        let mut c = Catalog::new();
+        let r = c
+            .add(
+                RelationSchema::new(
+                    "R",
+                    vec![
+                        Attribute::new("A", DomainKind::Int),
+                        Attribute::new("B", DomainKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut q = SpcQuery::identity(&c, r);
+        q.atoms.push(r);
+        q.selection = vec![
+            SelAtom::EqConst(pc(0, 0), Value::int(7)),
+            SelAtom::Eq(pc(0, 0), pc(0, 1)),
+            SelAtom::Eq(pc(0, 1), pc(1, 0)),
+        ];
+        let cs = CompiledSelection::compile(&q);
+        assert_eq!(cs.local_consts[0], vec![(0, Value::int(7))]);
+        assert_eq!(cs.local_eqs[0], vec![(0, 1)]);
+        assert_eq!(cs.cross_eqs, vec![(pc(0, 1), pc(1, 0))]);
+        assert!(cs.row_passes_local(0, &[Value::int(7), Value::int(7)]));
+        assert!(!cs.row_passes_local(0, &[Value::int(7), Value::int(8)]));
+        assert!(cs.row_passes_local(1, &[Value::int(1), Value::int(2)]));
+    }
+
+    #[test]
+    fn plan_prefers_connected_atoms_and_covers_all() {
+        // 0 — 2 — 1, driver 0: step to 2 (linked) before 1.
+        let eqs = vec![(pc(0, 0), pc(2, 0)), (pc(2, 1), pc(1, 0))];
+        let plan = JoinPlan::new(3, &eqs, 0);
+        assert_eq!(plan.steps.len(), 2);
+        assert_eq!(plan.steps[0].atom, 2);
+        assert_eq!(plan.steps[0].key_cols, vec![0]);
+        assert_eq!(plan.steps[0].key_src, vec![pc(0, 0)]);
+        assert_eq!(plan.steps[1].atom, 1);
+        assert_eq!(plan.steps[1].key_cols, vec![0]);
+        assert_eq!(plan.steps[1].key_src, vec![pc(2, 1)]);
+    }
+
+    #[test]
+    fn doubly_constrained_column_becomes_a_check() {
+        // 1.0 equated to both 0.0 and 0.1: one probe key, one check.
+        let eqs = vec![(pc(0, 0), pc(1, 0)), (pc(1, 0), pc(0, 1))];
+        let plan = JoinPlan::new(2, &eqs, 0);
+        let step = &plan.steps[0];
+        assert_eq!(step.key_cols, vec![0]);
+        assert_eq!(step.checks, vec![(pc(1, 0), pc(0, 1))]);
+    }
+
+    #[test]
+    fn disconnected_atom_scans() {
+        let plan = JoinPlan::new(2, &[], 0);
+        assert_eq!(plan.steps.len(), 1);
+        assert!(plan.steps[0].key_cols.is_empty());
+    }
+}

@@ -12,9 +12,11 @@
 //! An SPCU query is a union `V1 ∪ ... ∪ Vn` of union-compatible SPC queries.
 
 mod builder;
+pub mod compiled;
 mod fragment;
 
 pub use builder::{RaCond, RaExpr};
+pub use compiled::{CompiledSelection, JoinPlan, JoinStep};
 pub use fragment::Fragment;
 
 use crate::domain::DomainKind;

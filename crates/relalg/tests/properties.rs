@@ -4,9 +4,10 @@
 
 use cfd_relalg::columnar::ColumnarRelation;
 use cfd_relalg::domain::DomainKind;
-use cfd_relalg::eval::{eval_spc, eval_spcu};
+use cfd_relalg::eval::{eval_spc, eval_spc_nested, eval_spcu};
 use cfd_relalg::instance::{Database, Relation};
 use cfd_relalg::pool::ValuePool;
+use cfd_relalg::query::{ColRef, OutputCol, ProdCol, SelAtom, SpcQuery};
 use cfd_relalg::query::{RaCond, RaExpr};
 use cfd_relalg::schema::{Attribute, Catalog, RelationSchema};
 use cfd_relalg::tableau::{Tableau, Term};
@@ -54,6 +55,57 @@ fn database() -> impl Strategy<Value = Database> {
                 );
             }
             db
+        })
+}
+
+/// Strategy: a random [`SpcQuery`] in normal form over the `catalog()`
+/// relations — 1–3 atoms drawn from {R, S} with replacement, a random
+/// mix of cross-atom joins, local equalities and constant selections,
+/// and a random projection. Exercises both `eval_spc` paths (queries
+/// with no cross-atom equality take the nested-loop fallback; the rest
+/// take the hash join, including disconnected-atom scans and
+/// doubly-constrained probe columns).
+fn spc_query() -> impl Strategy<Value = SpcQuery> {
+    let atom = 0usize..2; // 0 = R (arity 3), 1 = S (arity 2)
+    (
+        proptest::collection::vec(atom, 1..=3),
+        proptest::collection::vec((0usize..6, 0usize..6), 0..4),
+        proptest::collection::vec((0usize..6, 0i64..4), 0..2),
+        proptest::collection::vec(0usize..6, 1..4),
+    )
+        .prop_map(|(atoms, eqs, consts, proj)| {
+            let c = catalog();
+            let rels = [c.rel_id("R").unwrap(), c.rel_id("S").unwrap()];
+            let arity = |a: usize| if atoms[a] == 0 { 3 } else { 2 };
+            // Map a free index onto a valid (atom, attr) product column.
+            let col = |i: usize| {
+                let a = i % atoms.len();
+                ProdCol::new(a, i % arity(a))
+            };
+            let mut selection: Vec<SelAtom> = Vec::new();
+            for (x, y) in eqs {
+                let (a, b) = (col(x), col(y));
+                if a != b {
+                    selection.push(SelAtom::Eq(a, b));
+                }
+            }
+            for (x, v) in consts {
+                selection.push(SelAtom::EqConst(col(x), Value::Int(v)));
+            }
+            let output = proj
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| OutputCol {
+                    name: format!("y{i}"),
+                    src: ColRef::Prod(col(x)),
+                })
+                .collect();
+            SpcQuery {
+                atoms: atoms.into_iter().map(|a| rels[a]).collect(),
+                constants: vec![],
+                selection,
+                output,
+            }
         })
 }
 
@@ -235,5 +287,21 @@ proptest! {
         prop_assert_eq!(&decoded, &rel, "decode must invert encode");
         let cols2 = ColumnarRelation::from_relation(&decoded, &mut pool);
         prop_assert_eq!(cols2, cols, "re-encoding against the same pool is stable");
+    }
+
+    /// ISSUE 5: the hash-join fast path of `eval_spc` agrees with the
+    /// nested-loop product enumeration on random SPC queries (random
+    /// atoms, selections mixing cross-atom joins, local equalities and
+    /// constants, random projections).
+    #[test]
+    fn hash_join_eval_equals_nested_loop(
+        db in database(),
+        q in spc_query(),
+    ) {
+        let c = catalog();
+        prop_assume!(q.validate(&c).is_ok());
+        let fast = eval_spc(&q, &c, &db);
+        let slow = eval_spc_nested(&q, &c, &db);
+        prop_assert_eq!(fast, slow, "hash-join eval diverged on {}", q);
     }
 }
