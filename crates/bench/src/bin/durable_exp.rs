@@ -1,0 +1,118 @@
+//! The durability experiment: WAL logging overhead per batch at each
+//! fsync policy vs the in-memory multistore, recovery time vs
+//! checkpoint age, and recovery vs re-encoding the final relations from
+//! scratch. Prints a table and writes `BENCH_durable.json`.
+//!
+//! ```text
+//! cargo run --release -p cfd-bench --bin durable_exp \
+//!     [--base N] [--batch N] [--batches N] [--runs N]
+//!     [--dirty-rate R] [--shards N] [--verify-each] [--out PATH]
+//! ```
+//!
+//! `--verify-each` (the CI smoke mode) cross-checks every durable
+//! engine against the in-memory baseline after every batch; the end
+//! states, every recovered store, and the rebuilt store are
+//! cross-checked regardless of flags.
+
+use cfd_bench::durable::compare_durable;
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let num =
+        |name: &str, default: usize| flag(name).and_then(|v| v.parse().ok()).unwrap_or(default);
+    let base = num("--base", 50_000);
+    let batch = num("--batch", 500);
+    let batches = num("--batches", 20);
+    let runs = num("--runs", 3);
+    let dirty_rate: f64 = flag("--dirty-rate")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+    let shards = num("--shards", 1);
+    let verify_each = args.iter().any(|a| a == "--verify-each");
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_durable.json".into());
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "durable: base={base}×2 batch={batch} batches={batches} dirty={dirty_rate} \
+         shards={shards} runs={runs} cores={threads}{}",
+        if verify_each { " (verify-each)" } else { "" }
+    );
+    let p = compare_durable(base, batch, batches, runs, dirty_rate, shards, verify_each);
+
+    println!(
+        "  final: epoch={} live={} cfd={} cind={} log={} KiB",
+        p.final_epoch,
+        p.final_tuples,
+        p.final_violations,
+        p.final_cind_violations,
+        p.log_bytes / 1024
+    );
+    for e in &p.engines {
+        println!(
+            "  apply/batch  {:<14} {:>10.3} ms   overhead {:>5.2}×",
+            e.label,
+            e.per_batch.as_secs_f64() * 1e3,
+            p.overhead(&e.label)
+        );
+    }
+    for r in &p.recovery {
+        println!(
+            "  recover      ckpt@{:<4} +{:>3} frames {:>8.3} ms",
+            r.checkpoint_epoch,
+            r.age_frames,
+            r.recover.as_secs_f64() * 1e3
+        );
+    }
+    println!(
+        "  full rebuild (re-encode + rescan)  {:>8.3} ms   newest-ckpt speedup {:.2}×",
+        p.full_rebuild.as_secs_f64() * 1e3,
+        p.recovery_speedup()
+    );
+
+    let mut json = format!(
+        "{{\n  \"experiment\": \"durable_recovery\",\n  \"host_cores\": {threads},\n  \
+         \"base_tuples_per_relation\": {base},\n  \"relations\": 2,\n  \
+         \"dirty_rate\": {dirty_rate},\n  \"batch_size\": {batch},\n  \"batches\": {batches},\n  \
+         \"final_epoch\": {},\n  \"final_live_tuples\": {},\n  \"final_cfd_violations\": {},\n  \
+         \"final_cind_violations\": {},\n  \"log_bytes\": {},\n  \"logging\": [\n",
+        p.final_epoch, p.final_tuples, p.final_violations, p.final_cind_violations, p.log_bytes
+    );
+    for (i, e) in p.engines.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"apply_s_per_batch\": {:.6}, \"overhead_vs_memory\": {:.3}}}{}",
+            e.label,
+            e.per_batch.as_secs_f64(),
+            p.overhead(&e.label),
+            if i + 1 < p.engines.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"recovery\": [\n");
+    for (i, r) in p.recovery.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"checkpoint_epoch\": {}, \"tail_frames\": {}, \"recover_s\": {:.6}}}{}",
+            r.checkpoint_epoch,
+            r.age_frames,
+            r.recover.as_secs_f64(),
+            if i + 1 < p.recovery.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"full_rebuild_s\": {:.6},\n  \"recovery_speedup_vs_rebuild\": {:.3}\n}}\n",
+        p.full_rebuild.as_secs_f64(),
+        p.recovery_speedup()
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_durable.json");
+    println!("  wrote {out_path}");
+}

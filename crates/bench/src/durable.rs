@@ -1,0 +1,480 @@
+//! Workload and measurement helpers for the durability experiment
+//! (ISSUE 6).
+//!
+//! The `durable_exp` binary (`cargo run --release -p cfd-bench --bin
+//! durable_exp`) replays batches of mixed inserts and deletes over a
+//! string-heavy two-relation orders/lineitems store and measures the
+//! three costs the durable layer trades between:
+//!
+//! * **logging overhead per batch** — the same batch sequence applied
+//!   through a plain in-memory [`cfd_clean::MultiStore`] (baseline) and
+//!   through [`cfd_clean::DurableMultiStore`] writing a real WAL at each
+//!   fsync policy (`os`, `every-8`, `every-commit`);
+//! * **recovery time vs checkpoint age** — [`cfd_clean::recover_from_parts`]
+//!   timed from checkpoints taken at several epochs, so the tail of
+//!   frames replayed grows from zero to the full log;
+//! * **recovery vs full rebuild** — the oldest-checkpoint recovery
+//!   against re-encoding the final `Value`-level relations from scratch
+//!   (`MultiStore::new`, i.e. re-intern every string + full CFD/CIND
+//!   rescan), the cost a store without checkpoints would pay.
+//!
+//! The recovered store is always cross-checked against the in-memory
+//! twin (epoch, live tuples, sorted CFD and CIND violation sets);
+//! `verify_each` additionally cross-checks the durable engines against
+//! the baseline after every batch (the CI smoke mode). The workload
+//! keeps `dirty_rate` of order inserts duplicating a resident `oid`
+//! with a conflicting status (CFD violations) and the same fraction of
+//! line items dangling (CIND violations), so recovery has non-trivial
+//! violation state to rebuild.
+
+use cfd_cind::{Cind, CindViolation};
+use cfd_clean::{
+    checkpoint_bytes, recover_from_parts, DurableMultiStore, DurableOptions, FsyncPolicy, MemIo,
+    MultiStore, RelationSpec, UpdateBatch,
+};
+use cfd_model::Cfd;
+use cfd_relalg::instance::Tuple;
+use cfd_relalg::schema::RelId;
+use cfd_relalg::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+const ORDERS: RelId = RelId(0);
+const LINEITEMS: RelId = RelId(1);
+
+/// Per-batch apply time of one engine configuration.
+#[derive(Clone, Debug)]
+pub struct LogEngine {
+    /// `"memory"` for the plain store, else the WAL fsync policy.
+    pub label: String,
+    /// Mean per-batch wall time of the (logged) apply.
+    pub per_batch: Duration,
+}
+
+/// Recovery wall time from a checkpoint `age_frames` commits old.
+#[derive(Clone, Debug)]
+pub struct RecoveryAge {
+    /// Epoch the checkpoint was taken at.
+    pub checkpoint_epoch: u64,
+    /// Log frames replayed on top of it.
+    pub age_frames: u64,
+    /// Wall time of `recover_from_parts`.
+    pub recover: Duration,
+}
+
+/// One measured durability comparison.
+#[derive(Clone, Debug)]
+pub struct DurablePoint {
+    /// Orders base size (lineitems start at the same size).
+    pub base: usize,
+    /// Fraction of dirty updates (conflicting statuses / dangling oids).
+    pub dirty_rate: f64,
+    /// Updates per batch (mixed, split across both relations).
+    pub batch: usize,
+    /// Number of batches replayed (each commits once per touched
+    /// relation, so the final epoch is `2 × batches`).
+    pub batches: usize,
+    /// The in-memory baseline first, then one entry per fsync policy.
+    pub engines: Vec<LogEngine>,
+    /// WAL bytes written over the whole replay.
+    pub log_bytes: usize,
+    /// Recovery times, newest checkpoint first.
+    pub recovery: Vec<RecoveryAge>,
+    /// Re-encode + full rescan of the final relations from `Value`s.
+    pub full_rebuild: Duration,
+    /// Epoch after the last batch (identical on every engine).
+    pub final_epoch: u64,
+    /// Live tuples after the last batch, summed over both relations.
+    pub final_tuples: usize,
+    /// CFD violations after the last batch, summed over both relations.
+    pub final_violations: usize,
+    /// CIND violations after the last batch.
+    pub final_cind_violations: usize,
+}
+
+impl DurablePoint {
+    /// Per-batch logging overhead of engine `label` vs the baseline
+    /// (`1.0` = free).
+    pub fn overhead(&self, label: &str) -> f64 {
+        let mem = self.engines[0].per_batch.as_secs_f64().max(1e-12);
+        let eng = self
+            .engines
+            .iter()
+            .find(|e| e.label == label)
+            .expect("engine measured")
+            .per_batch
+            .as_secs_f64();
+        eng / mem
+    }
+
+    /// `full_rebuild / recover` for the newest checkpoint — how many
+    /// times cheaper restart is with a fresh checkpoint than
+    /// re-encoding the dataset.
+    pub fn recovery_speedup(&self) -> f64 {
+        let newest = self.recovery.first().expect("recovery measured");
+        self.full_rebuild.as_secs_f64() / newest.recover.as_secs_f64().max(1e-12)
+    }
+}
+
+const STATUSES: [&str; 5] = ["open", "packed", "shipped", "billed", "closed"];
+const REGIONS: [&str; 4] = ["emea", "apac", "amer", "latam"];
+
+// Realistic string widths: recovery's advantage over re-encoding is
+// per-occurrence value hashing, so the columns carry the kind of
+// repeated medium-length strings (emails, depot names) real data has.
+fn order_tuple(oid: i64, status: &str) -> Tuple {
+    vec![
+        Value::int(oid),
+        Value::str(format!(
+            "customer-{:06}@procurement.example-corp.test",
+            oid.rem_euclid(9973)
+        )),
+        Value::str(status),
+        Value::str(format!(
+            "distribution-center-{}-{:03}",
+            REGIONS[(oid.rem_euclid(REGIONS.len() as i64)) as usize],
+            oid.rem_euclid(997)
+        )),
+    ]
+}
+
+fn lineitem_tuple(li: i64, oid: i64, status: &str) -> Tuple {
+    vec![
+        Value::int(li),
+        Value::int(oid),
+        Value::str(format!("fulfillment-{status}-pipeline")),
+    ]
+}
+
+fn status_of(i: i64) -> &'static str {
+    STATUSES[(i.rem_euclid(STATUSES.len() as i64)) as usize]
+}
+
+/// Σ and the CINDs of the workload: `oid → status` on orders,
+/// `li → status` on lineitems, `lineitems[oid] ⊆ orders[oid]`.
+fn constraints() -> (Vec<Cfd>, Vec<Cfd>, Vec<Cind>) {
+    let orders_sigma = vec![Cfd::fd(&[0], 2).expect("valid FD")];
+    let lineitems_sigma = vec![Cfd::fd(&[0], 2).expect("valid FD")];
+    let cinds =
+        vec![Cind::new(LINEITEMS, ORDERS, vec![(1, 0)], vec![], vec![]).expect("valid CIND")];
+    (orders_sigma, lineitems_sigma, cinds)
+}
+
+/// The deterministic per-batch update sequence every engine replays:
+/// each batch is one orders `UpdateBatch` and one lineitems
+/// `UpdateBatch` (two commits). Inserts are ~⅔ of updates; deletes
+/// draw from the evolving resident sets.
+#[allow(clippy::type_complexity)]
+fn workload(
+    base: usize,
+    batch: usize,
+    batches: usize,
+    dirty_rate: f64,
+) -> (
+    Vec<RelationSpec>,
+    Vec<Cind>,
+    Vec<(UpdateBatch, UpdateBatch)>,
+) {
+    let mut rng = StdRng::seed_from_u64(0xD17A_B1E5);
+    let orders_base: Vec<Tuple> = (0..base as i64)
+        .map(|i| order_tuple(i, status_of(i)))
+        .collect();
+    let lineitems_base: Vec<Tuple> = (0..base as i64)
+        .map(|i| lineitem_tuple(i, i.rem_euclid((base as i64).max(1)), status_of(i + 1)))
+        .collect();
+    let mut mirror_ord = orders_base.clone();
+    let mut mirror_li = lineitems_base.clone();
+    let mut next_oid = base as i64;
+    let mut next_li = base as i64;
+    let mut seq = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let mut ord = UpdateBatch::default();
+        let mut li = UpdateBatch::default();
+        for _ in 0..batch {
+            if rng.gen_bool(0.5) {
+                // Orders side.
+                if rng.gen_bool(0.33) && !mirror_ord.is_empty() {
+                    let at = rng.gen_range(0..mirror_ord.len());
+                    ord.deletes.push(mirror_ord.swap_remove(at));
+                } else if rng.gen_bool(dirty_rate.min(1.0)) && !mirror_ord.is_empty() {
+                    // Duplicate a resident oid with a conflicting
+                    // status: a CFD violation only detection sees.
+                    let at = rng.gen_range(0..mirror_ord.len());
+                    let oid = match &mirror_ord[at][0] {
+                        Value::Int(i) => *i,
+                        _ => unreachable!("int oids"),
+                    };
+                    let t = order_tuple(oid, "disputed");
+                    if !mirror_ord.contains(&t) {
+                        mirror_ord.push(t.clone());
+                        ord.inserts.push(t);
+                    }
+                } else {
+                    let t = order_tuple(next_oid, status_of(next_oid));
+                    next_oid += 1;
+                    mirror_ord.push(t.clone());
+                    ord.inserts.push(t);
+                }
+            } else if rng.gen_bool(0.33) && !mirror_li.is_empty() {
+                let at = rng.gen_range(0..mirror_li.len());
+                li.deletes.push(mirror_li.swap_remove(at));
+            } else {
+                // A fraction of new line items dangle (CIND breach).
+                let oid = if rng.gen_bool(dirty_rate.min(1.0)) {
+                    next_oid + 1_000_000 + rng.gen_range(0..1_000_000i64)
+                } else {
+                    rng.gen_range(0..next_oid.max(1))
+                };
+                let t = lineitem_tuple(next_li, oid, status_of(next_li));
+                next_li += 1;
+                mirror_li.push(t.clone());
+                li.inserts.push(t);
+            }
+        }
+        seq.push((ord, li));
+    }
+    let (os, ls, cinds) = constraints();
+    let specs = vec![
+        RelationSpec::new("orders", os, orders_base.into_iter().collect()),
+        RelationSpec::new("lineitems", ls, lineitems_base.into_iter().collect()),
+    ];
+    (specs, cinds, seq)
+}
+
+/// Specs with the same names and Σ but empty base relations — what
+/// recovery is handed (the checkpoint supplies the rows).
+fn empty_specs(specs: &[RelationSpec]) -> Vec<RelationSpec> {
+    let (os, ls, _) = constraints();
+    vec![
+        RelationSpec::new(&specs[0].name, os, Default::default()),
+        RelationSpec::new(&specs[1].name, ls, Default::default()),
+    ]
+}
+
+fn sorted_cfd(store: &MultiStore, rel: RelId) -> Vec<cfd_clean::Violation> {
+    let mut v = store.cfd_violations(rel);
+    v.sort();
+    v
+}
+
+fn sorted_cind(store: &MultiStore) -> Vec<CindViolation> {
+    let mut v = store.cind_violations();
+    v.sort();
+    v
+}
+
+fn assert_same_state(what: &str, a: &MultiStore, b: &MultiStore) {
+    assert_eq!(a.epoch(), b.epoch(), "{what}: epoch");
+    for rel in [ORDERS, LINEITEMS] {
+        assert_eq!(a.live_len(rel), b.live_len(rel), "{what}: live {rel:?}");
+        assert_eq!(
+            sorted_cfd(a, rel),
+            sorted_cfd(b, rel),
+            "{what}: CFD violations {rel:?}"
+        );
+    }
+    assert_eq!(sorted_cind(a), sorted_cind(b), "{what}: CIND violations");
+}
+
+/// Replay the workload through every engine and time the three costs.
+/// Apply times are best-of-`runs` per-batch pointwise minima; recovery
+/// and rebuild times are best of `runs`.
+pub fn compare_durable(
+    base: usize,
+    batch: usize,
+    batches: usize,
+    runs: usize,
+    dirty_rate: f64,
+    shards: usize,
+    verify_each: bool,
+) -> DurablePoint {
+    let (specs, cinds, seq) = workload(base, batch, batches, dirty_rate);
+    let runs = runs.max(1);
+
+    // --- Baseline: the plain in-memory store. -------------------------
+    let mut best_mem = vec![Duration::MAX; batches];
+    let mut twin = MultiStore::new(specs.clone(), cinds.clone(), shards).expect("valid specs");
+    for run in 0..runs {
+        let mut store = MultiStore::new(specs.clone(), cinds.clone(), shards).expect("valid specs");
+        for (bi, (ord, li)) in seq.iter().enumerate() {
+            let t0 = Instant::now();
+            store.apply(ORDERS, ord);
+            store.apply(LINEITEMS, li);
+            best_mem[bi] = best_mem[bi].min(t0.elapsed());
+        }
+        if run == 0 {
+            twin = store;
+        }
+    }
+    let mut engines = vec![LogEngine {
+        label: "memory".into(),
+        per_batch: mean(&best_mem),
+    }];
+
+    // --- Durable engines: a real WAL per fsync policy. ----------------
+    let dir = std::env::temp_dir().join(format!("cfdprop-durable-bench-{}", std::process::id()));
+    for policy in [
+        FsyncPolicy::Os,
+        FsyncPolicy::EveryN(8),
+        FsyncPolicy::EveryCommit,
+    ] {
+        let mut best = vec![Duration::MAX; batches];
+        for _ in 0..runs {
+            let _ = std::fs::remove_dir_all(&dir);
+            let opts = DurableOptions {
+                fsync: policy,
+                checkpoint_every: 0,
+            };
+            let (mut store, _report) =
+                DurableMultiStore::open(&dir, specs.clone(), cinds.clone(), shards, vec![], opts)
+                    .expect("fresh data dir opens");
+            for (bi, (ord, li)) in seq.iter().enumerate() {
+                let t0 = Instant::now();
+                store.apply(ORDERS, ord).expect("log write");
+                store.apply(LINEITEMS, li).expect("log write");
+                best[bi] = best[bi].min(t0.elapsed());
+                if verify_each {
+                    let mut probe =
+                        MultiStore::new(specs.clone(), cinds.clone(), shards).expect("valid specs");
+                    for (o2, l2) in seq.iter().take(bi + 1) {
+                        probe.apply(ORDERS, o2);
+                        probe.apply(LINEITEMS, l2);
+                    }
+                    assert_same_state(&format!("{policy} batch {bi}"), store.store(), &probe);
+                }
+            }
+            store.sync().expect("final sync");
+            assert_same_state(&format!("{policy} end"), store.store(), &twin);
+        }
+        engines.push(LogEngine {
+            label: policy.to_string(),
+            per_batch: mean(&best),
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Recovery: log once to memory, checkpoint along the way. ------
+    let (io, log) = MemIo::new();
+    let (mut store, initial_ckpt) = DurableMultiStore::with_io(
+        specs.clone(),
+        cinds.clone(),
+        shards,
+        vec![],
+        Box::new(io),
+        DurableOptions::default(),
+    )
+    .expect("memory-backed store opens");
+    let final_epoch = (batches as u64) * 2;
+    // Checkpoint ages: the full log, half, a quarter, and zero frames.
+    let ckpt_epochs = [
+        0,
+        final_epoch / 2,
+        final_epoch - final_epoch / 4,
+        final_epoch,
+    ];
+    let mut ckpts: Vec<(u64, Vec<u8>)> = vec![(0, initial_ckpt)];
+    for (ord, li) in &seq {
+        store.apply(ORDERS, ord).expect("log write");
+        store.apply(LINEITEMS, li).expect("log write");
+        let epoch = store.epoch();
+        if ckpt_epochs.contains(&epoch) && ckpts.last().map(|(e, _)| *e) != Some(epoch) {
+            ckpts.push((epoch, checkpoint_bytes(store.store())));
+        }
+    }
+    assert_same_state("memory-logged end", store.store(), &twin);
+    let log = log.lock().expect("log handle").clone();
+    let respec = empty_specs(&specs);
+    // One untimed warmup recovery (allocator + page-cache effects hit
+    // whichever configuration runs first otherwise).
+    let (_, ckpt0) = &ckpts[0];
+    recover_from_parts(
+        &respec,
+        &cinds,
+        shards,
+        &[],
+        &[ckpt0.as_slice()],
+        &[(0, log.as_slice())],
+    )
+    .expect("warmup recovery succeeds");
+    let mut recovery = Vec::new();
+    for (epoch, ckpt) in ckpts.iter().rev() {
+        let mut best = Duration::MAX;
+        let mut recovered = None;
+        for _ in 0..runs {
+            // Drop the previous run's store outside the timed window.
+            drop(recovered.take());
+            let t0 = Instant::now();
+            let (store, report) = recover_from_parts(
+                &respec,
+                &cinds,
+                shards,
+                &[],
+                &[ckpt.as_slice()],
+                &[(0, log.as_slice())],
+            )
+            .expect("recovery succeeds");
+            best = best.min(t0.elapsed());
+            assert_eq!(
+                report.checkpoint_epoch, *epoch,
+                "re-based at the checkpoint"
+            );
+            assert_eq!(report.recovered_epoch, final_epoch, "replays to the tip");
+            recovered = Some(store);
+        }
+        assert_same_state(
+            &format!("recovery from epoch {epoch}"),
+            &recovered.expect("at least one run"),
+            &twin,
+        );
+        recovery.push(RecoveryAge {
+            checkpoint_epoch: *epoch,
+            age_frames: final_epoch - *epoch,
+            recover: best,
+        });
+    }
+
+    // --- Full rebuild: re-encode the final relations from Values. -----
+    let final_orders = twin.relation(ORDERS);
+    let final_lineitems = twin.relation(LINEITEMS);
+    let (os, ls, _) = constraints();
+    let mut full_rebuild = Duration::MAX;
+    for _ in 0..runs {
+        let rebuild_specs = vec![
+            RelationSpec::new("orders", os.clone(), final_orders.clone()),
+            RelationSpec::new("lineitems", ls.clone(), final_lineitems.clone()),
+        ];
+        let t0 = Instant::now();
+        let rebuilt = MultiStore::new(rebuild_specs, cinds.clone(), shards).expect("valid specs");
+        full_rebuild = full_rebuild.min(t0.elapsed());
+        for rel in [ORDERS, LINEITEMS] {
+            assert_eq!(
+                sorted_cfd(&rebuilt, rel),
+                sorted_cfd(&twin, rel),
+                "rebuild CFD violations {rel:?}"
+            );
+        }
+        assert_eq!(sorted_cind(&rebuilt), sorted_cind(&twin), "rebuild CINDs");
+    }
+
+    let final_violations = sorted_cfd(&twin, ORDERS).len() + sorted_cfd(&twin, LINEITEMS).len();
+    DurablePoint {
+        base,
+        dirty_rate,
+        batch,
+        batches,
+        engines,
+        log_bytes: log.len(),
+        recovery,
+        full_rebuild,
+        final_epoch,
+        final_tuples: twin.live_len(ORDERS) + twin.live_len(LINEITEMS),
+        final_violations,
+        final_cind_violations: sorted_cind(&twin).len(),
+    }
+}
+
+fn mean(per_batch: &[Duration]) -> Duration {
+    let total: Duration = per_batch.iter().sum();
+    total / per_batch.len().max(1) as u32
+}

@@ -88,12 +88,27 @@
 //!
 //! * `cargo run --release -p cfd-bench --bin view_exp` — prints a table
 //!   and writes `BENCH_view.json` (`host_cores` recorded).
+//!
+//! The [`durable`] module drives the durability experiment (ISSUE 6):
+//! the same mixed-update style of workload on a string-heavy
+//! orders/lineitems [`cfd_clean::MultiStore`], measuring (a) WAL
+//! logging overhead per batch at each fsync policy versus the plain
+//! in-memory store, (b) [`cfd_clean::recover_from_parts`] wall time as
+//! the newest checkpoint ages (more tail frames to replay), and (c)
+//! recovery versus re-encoding the final relations from `Value`s —
+//! the cost a store without checkpoints pays on every restart:
+//!
+//! * `cargo run --release -p cfd-bench --bin durable_exp` — prints a
+//!   table and writes `BENCH_durable.json` (`host_cores` recorded);
+//!   `--verify-each` is the CI smoke mode (cross-checks the durable
+//!   engines against the baseline after every batch).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cind;
 pub mod columnar;
+pub mod durable;
 pub mod incremental;
 pub mod sharded;
 pub mod view;

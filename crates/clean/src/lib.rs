@@ -37,6 +37,14 @@
 //!   handle deletes — while its own [`DeltaDetector`] and
 //!   [`cfd_cind::CindDelta`] keep the *view's* propagated-constraint
 //!   violations incremental too;
+//! * [`durable`] — durability for the multistore: an epoch-keyed
+//!   write-ahead commit log with CRC-checksummed frames and dictionary
+//!   growth records, columnar checkpoints of the shared pool plus every
+//!   relation's live code rows, and crash recovery that replays the log
+//!   tail through the normal apply path so detectors, CIND indexes, and
+//!   materialized views rebuild exactly — tolerating torn final frames
+//!   and turning every other corruption into a typed
+//!   [`durable::RecoveryError`];
 //! * [`repair()`] — a greedy equivalence-class repair that modifies
 //!   right-hand-side cells until the instance satisfies the CFDs, reporting
 //!   the cell-level cost.
@@ -68,6 +76,7 @@
 #![warn(missing_docs)]
 
 pub mod delta;
+pub mod durable;
 pub(crate) mod groupstate;
 pub mod incremental;
 pub mod matview;
@@ -78,6 +87,10 @@ pub mod sql;
 pub mod violations;
 
 pub use delta::{DeltaDetector, UpdateBatch, ViolationDiff};
+pub use durable::{
+    checkpoint_bytes, recover_from_parts, DurableMultiStore, DurableOptions, FaultIo, FileIo,
+    FrameError, FsyncPolicy, LogIo, MemIo, RecoveryError, RecoveryReport,
+};
 pub use incremental::InsertChecker;
 pub use matview::{MaterializedView, ViewDelta, ViewSpec};
 pub use multistore::{

@@ -41,7 +41,7 @@
 
 use crate::delta::{UpdateBatch, ViolationDiff};
 use crate::matview::{MaterializedView, ViewDelta, ViewSpec};
-use crate::sharded::{GcStats, Snapshot, StoreCore};
+use crate::sharded::{AppliedRows, GcStats, Snapshot, StoreCore};
 use crate::violations::Violation;
 use cfd_cind::delta::{CindDelta, CindDiff, CindViolation};
 use cfd_cind::implication::ImplicationOptions;
@@ -253,7 +253,20 @@ impl MultiStore {
                 &mut pool,
             ));
         }
-        let mut cind = CindDelta::new(cinds, specs.len(), &mut pool)?;
+        Self::from_parts(pool, names, cores, cinds)
+    }
+
+    /// Assemble a store from already-seeded cores sharing `pool`. The
+    /// back half of [`MultiStore::new`], split out so the durable layer
+    /// can rebuild cores straight from checkpointed code rows (see
+    /// [`crate::durable`]) without re-interning every value.
+    pub(crate) fn from_parts(
+        mut pool: SharedPool,
+        names: Vec<String>,
+        cores: Vec<StoreCore>,
+        cinds: Vec<Cind>,
+    ) -> Result<MultiStore, CindError> {
+        let mut cind = CindDelta::new(cinds, cores.len(), &mut pool)?;
         for (i, core) in cores.iter().enumerate() {
             // The cores already interned every base row; read the codes
             // back off their storage instead of re-hashing the values.
@@ -472,6 +485,18 @@ impl MultiStore {
     /// target relation; the CIND diff is exact across every inclusion
     /// touching `rel` on either side.
     pub fn apply(&mut self, rel: RelId, batch: &UpdateBatch) -> Arc<MultiCommit> {
+        self.apply_with_rows(rel, batch).0
+    }
+
+    /// [`MultiStore::apply`], additionally handing back the code rows
+    /// the batch actually applied (post set-semantics). The durable
+    /// layer logs exactly these — the delta, never the raw batch — so a
+    /// replayed log applies the same changes the original run did.
+    pub(crate) fn apply_with_rows(
+        &mut self,
+        rel: RelId,
+        batch: &UpdateBatch,
+    ) -> (Arc<MultiCommit>, AppliedRows) {
         assert!(
             rel.0 < self.cores.len(),
             "apply to unknown relation {rel} ({} relations)",
@@ -520,7 +545,25 @@ impl MultiStore {
             views,
         });
         self.publish(&mc);
-        mc
+        (mc, applied)
+    }
+
+    /// Advance the global clock (and every core) to `epoch` without
+    /// committing anything. Recovery calls this after loading a
+    /// checkpoint so replayed log frames commit at their original
+    /// epochs.
+    pub(crate) fn advance_clock(&mut self, epoch: u64) {
+        debug_assert!(epoch >= self.epoch, "the epoch clock never runs back");
+        self.epoch = self.epoch.max(epoch);
+        for core in &mut self.cores {
+            core.advance_to(epoch);
+        }
+    }
+
+    /// The shared dictionary pool (durable-layer hook: the commit log
+    /// tracks pool growth to make replay re-intern-free).
+    pub(crate) fn shared_pool(&self) -> &SharedPool {
+        &self.pool
     }
 
     /// Apply one batch of a multi-relation update script: `stmts` are
@@ -534,6 +577,18 @@ impl MultiStore {
         &mut self,
         stmts: &[(RelId, bool, cfd_relalg::instance::Tuple)],
     ) -> Vec<Arc<MultiCommit>> {
+        Self::group_stmts(stmts)
+            .into_iter()
+            .map(|(rel, upd)| self.apply(rel, &upd))
+            .collect()
+    }
+
+    /// The grouping rule of [`MultiStore::apply_grouped`], factored out
+    /// so the durable layer can commit the same per-relation batches
+    /// through its logging `apply`.
+    pub(crate) fn group_stmts(
+        stmts: &[(RelId, bool, cfd_relalg::instance::Tuple)],
+    ) -> Vec<(RelId, UpdateBatch)> {
         let mut order: Vec<RelId> = Vec::new();
         for (rel, _, _) in stmts {
             if !order.contains(rel) {
@@ -554,7 +609,7 @@ impl MultiStore {
                         upd.inserts.push(t.clone());
                     }
                 }
-                self.apply(rel, &upd)
+                (rel, upd)
             })
             .collect()
     }

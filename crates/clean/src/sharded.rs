@@ -381,6 +381,47 @@ impl StoreCore {
         n_shards: usize,
         pool: &mut SharedPool,
     ) -> Self {
+        let mut store = StoreCore::empty(sigma, n_shards, pool);
+        // Seed rows at epoch 0 (no diff bookkeeping).
+        for t in base.tuples() {
+            if store.arity == 0 {
+                store.arity = t.len();
+            }
+            let codes = pool.intern_row(t);
+            store.seed_code_row(&codes);
+        }
+        store.finish_seed(pool);
+        store
+    }
+
+    /// Build an `n_shards`-way core enforcing `sigma`, seeded directly
+    /// from already-encoded rows whose codes are valid in `pool` — the
+    /// recovery fast path: a checkpoint restores the dictionary once and
+    /// streams code rows here, skipping the per-occurrence value hashing
+    /// a tuple-level reseed would pay.
+    pub(crate) fn from_code_rows<'a>(
+        sigma: Vec<Cfd>,
+        rows: impl IntoIterator<Item = &'a [Code]>,
+        n_shards: usize,
+        pool: &mut SharedPool,
+    ) -> Self {
+        let mut store = StoreCore::empty(sigma, n_shards, pool);
+        for codes in rows {
+            if store.arity == 0 {
+                store.arity = codes.len();
+            }
+            store.seed_code_row(codes);
+        }
+        store.finish_seed(pool);
+        store
+    }
+
+    /// The shared skeleton of [`StoreCore::new`] and
+    /// [`StoreCore::from_code_rows`]: compile Σ against the pool and lay
+    /// out empty shards. Callers seed rows with
+    /// [`StoreCore::seed_code_row`] and must finish with
+    /// [`StoreCore::finish_seed`].
+    fn empty(sigma: Vec<Cfd>, n_shards: usize, pool: &mut SharedPool) -> Self {
         let n = n_shards.max(1);
         // Intern every pattern constant into the shared pool and into a
         // scratch classic pool tracking the same code assignment: codes
@@ -446,7 +487,7 @@ impl StoreCore {
             }
         }
 
-        let mut store = StoreCore {
+        StoreCore {
             owners: (0..n)
                 .map(|_| OwnerShard {
                     units: wild_units
@@ -471,42 +512,45 @@ impl StoreCore {
             commits: VecDeque::new(),
             pins: Arc::new(Mutex::new(BTreeMap::new())),
             subs: Vec::new(),
-        };
+        }
+    }
 
-        // Seed rows at epoch 0 (no diff bookkeeping).
-        for t in base.tuples() {
-            if store.arity == 0 {
-                store.arity = t.len();
+    /// Seed one code row at epoch 0 (no diff bookkeeping): route it to
+    /// its storage shard and admit it to every group it belongs to.
+    fn seed_code_row(&mut self, codes: &[Code]) {
+        let n = self.shards.len();
+        let s = route_row(codes, n);
+        let shard = &mut self.shards[s];
+        let row = shard.rows.append_row(codes, 0);
+        shard.row_of.insert(codes.to_vec().into_boxed_slice(), row);
+        let rf = pack_ref(s, row);
+        for (w, wu) in self.wild_units.iter().enumerate() {
+            let lead = &self.coded[wu.cfds[0]];
+            if !lead.lhs_matches_codes(codes) {
+                continue;
             }
-            let codes = pool.intern_row(t);
-            let s = route_row(&codes, n);
-            let shard = &mut store.shards[s];
-            let row = shard.rows.append_row(&codes, 0);
-            shard.row_of.insert(codes.clone().into_boxed_slice(), row);
-            let rf = pack_ref(s, row);
-            for (w, wu) in store.wild_units.iter().enumerate() {
-                let lead = &store.coded[wu.cfds[0]];
-                if !lead.lhs_matches_codes(&codes) {
-                    continue;
-                }
-                let key = lead.key_of_codes(&codes);
-                let o = route_key(w, &key, n);
-                let unit = &mut store.owners[o].units[w];
-                let next = unit.groups.len() as u32;
-                let gid = *unit.key_gid.entry_or_insert_with(key, || next);
-                if gid == next {
-                    unit.groups.push(GroupState::new(wu.cfds.len()));
-                }
-                let state = &mut unit.groups[gid as usize];
-                state.rows.push(rf);
-                for (k, &a) in wu.rhs_attrs.iter().enumerate() {
-                    if state.rhs_mut(k).bump(codes[a]) {
-                        state.conflicts += 1;
-                    }
+            let key = lead.key_of_codes(codes);
+            let o = route_key(w, &key, n);
+            let unit = &mut self.owners[o].units[w];
+            let next = unit.groups.len() as u32;
+            let gid = *unit.key_gid.entry_or_insert_with(key, || next);
+            if gid == next {
+                unit.groups.push(GroupState::new(wu.cfds.len()));
+            }
+            let state = &mut unit.groups[gid as usize];
+            state.rows.push(rf);
+            for (k, &a) in wu.rhs_attrs.iter().enumerate() {
+                if state.rhs_mut(k).bump(codes[a]) {
+                    state.conflicts += 1;
                 }
             }
         }
+    }
 
+    /// Compute the initial violation state from the seeded rows — the
+    /// closing step of every seeding constructor.
+    fn finish_seed(&mut self, pool: &SharedPool) {
+        let store = self;
         // Initial violation state, in detect_all order.
         let mut current: Vec<Violation> = Vec::new();
         for shard in &store.shards {
@@ -537,7 +581,6 @@ impl StoreCore {
         sort_violations(&mut current);
         store.floor = Arc::new(current.clone());
         store.current = current.into_iter().map(OrderedViolation).collect();
-        store
     }
 
     /// The CFDs being enforced.
@@ -1176,6 +1219,23 @@ impl Snapshot {
                     .count()
             })
             .sum()
+    }
+
+    /// Visit every code row live at the pinned epoch. Checkpoint-time
+    /// helper: the durable layer serializes exactly what this snapshot
+    /// pins, so concurrent GC can never reclaim rows out from under a
+    /// checkpoint in progress.
+    pub(crate) fn for_each_live_code_row(&self, mut f: impl FnMut(&[Code])) {
+        let mut buf: Vec<Code> = Vec::new();
+        for rows in &self.shards {
+            for row in 0..rows.len() as u32 {
+                if rows.live_at(row, self.epoch) {
+                    buf.clear();
+                    buf.extend(rows.row_codes(row));
+                    f(&buf);
+                }
+            }
+        }
     }
 
     /// Materialize the live relation at the pinned epoch.

@@ -1,0 +1,709 @@
+//! Crash-recovery differential suite for the durable multistore
+//! (ISSUE 6 tentpole + satellites 1 and 4).
+//!
+//! The headline property: take a random multi-relation workload (random
+//! schemas, Σ, Σ_CIND, and a registered SPC view, all from
+//! `cfd-datagen`), stream random update batches through a
+//! [`DurableMultiStore`] whose log lands in memory, then **cut the log
+//! at an arbitrary byte offset** — simulating a crash mid-write — and
+//! recover. Whatever the cut, recovery must land *exactly* on the
+//! in-memory twin at the last durable epoch: every relation, every CFD
+//! violation set, the CIND violation set, the view contents, and the
+//! view's own CFD/CIND violations. The driver covers `N_rel ∈ {2, 3}` ×
+//! `shards ∈ {1, 4}` with a registered view, cutting each run's log at
+//! dozens of offsets, plus a [`FaultIo`] pass where the *writer itself*
+//! dies on a byte budget and the surviving bytes must recover every
+//! acknowledged commit.
+//!
+//! Satellite 1 rides along as the frame-parser fuzz: random bit flips,
+//! truncations, and splices of a valid checkpoint + log never panic the
+//! recovery path — every corruption maps to a typed
+//! [`RecoveryError`] or a longest-valid-prefix recovery that still
+//! equals the twin at the epoch it reports.
+//!
+//! Satellite 4: checkpoints taken under live pinned snapshots (readers
+//! mid-scan) round-trip exactly, and `gc()` after deletes cannot
+//! corrupt a checkpoint taken before it — the checkpoint serializes
+//! from its own pinned snapshot.
+
+use cfd_cind::delta::CindViolation;
+use cfd_cind::Cind;
+use cfd_clean::{
+    checkpoint_bytes, recover_from_parts, DurableMultiStore, DurableOptions, FaultIo, MemIo,
+    MultiStore, RelationSpec, UpdateBatch, ViewSpec, Violation,
+};
+use cfd_datagen::cfd_gen::random_value;
+use cfd_datagen::{
+    gen_cfds, gen_cinds, gen_schema, gen_spc_view, CfdGenConfig, CindGenConfig, SchemaGenConfig,
+    ViewGenConfig,
+};
+use cfd_relalg::instance::{Relation, Tuple};
+use cfd_relalg::schema::{Catalog, RelId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated durable workload: relations, Σ_CIND, and one SPC view.
+struct Workload {
+    catalog: Catalog,
+    specs: Vec<RelationSpec>,
+    cinds: Vec<Cind>,
+    view: ViewSpec,
+}
+
+fn make_workload(n_rel: usize, seed: u64) -> (Workload, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = gen_schema(
+        &SchemaGenConfig {
+            relations: n_rel,
+            min_arity: 2,
+            max_arity: 3,
+            finite_ratio: 0.0,
+        },
+        &mut rng,
+    );
+    let sigma = gen_cfds(
+        &catalog,
+        &CfdGenConfig {
+            count: n_rel * 2,
+            lhs_max: 2,
+            var_pct: 0.5,
+            const_range: 4,
+            ensure_consistent: true,
+            allow_unconditional_constants: true,
+        },
+        &mut rng,
+    );
+    let cinds = gen_cinds(
+        &catalog,
+        &CindGenConfig {
+            count: 2,
+            max_cols: 2,
+            cond_pct: 0.3,
+            pat_pct: 0.3,
+            const_range: 4,
+        },
+        &mut rng,
+    );
+    let query = gen_spc_view(
+        &catalog,
+        &ViewGenConfig {
+            y: 4,
+            f: rng.gen_range(1..4),
+            ec: rng.gen_range(2..=3.min(n_rel + 1)),
+            const_range: 4,
+        },
+        &mut rng,
+    );
+    let mut view = ViewSpec::new("V", query.clone());
+    if query.output.len() >= 2 {
+        view.sigma
+            .push(cfd_model::Cfd::fd(&[0], 1).expect("plain FD"));
+    }
+    let specs = catalog
+        .relations()
+        .map(|(rel, schema)| {
+            let base: Relation = (0..rng.gen_range(0..6))
+                .map(|_| random_tuple(&catalog, rel, &mut rng))
+                .collect();
+            RelationSpec::new(
+                schema.name.clone(),
+                sigma
+                    .iter()
+                    .filter(|s| s.rel == rel)
+                    .map(|s| s.cfd.clone())
+                    .collect(),
+                base,
+            )
+        })
+        .collect();
+    (
+        Workload {
+            catalog,
+            specs,
+            cinds,
+            view,
+        },
+        rng,
+    )
+}
+
+fn random_tuple(catalog: &Catalog, rel: RelId, rng: &mut StdRng) -> Tuple {
+    catalog
+        .schema(rel)
+        .attributes
+        .iter()
+        .map(|a| random_value(&a.domain, 4, rng))
+        .collect()
+}
+
+fn random_batch(
+    catalog: &Catalog,
+    rel: RelId,
+    store: &MultiStore,
+    rng: &mut StdRng,
+) -> UpdateBatch {
+    let mut upd = UpdateBatch::default();
+    for _ in 0..rng.gen_range(1..5) {
+        upd.inserts.push(random_tuple(catalog, rel, rng));
+    }
+    let residents: Vec<Tuple> = store.relation(rel).tuples().cloned().collect();
+    for _ in 0..rng.gen_range(0..3) {
+        if rng.gen_bool(0.5) && !residents.is_empty() {
+            upd.deletes
+                .push(residents[rng.gen_range(0..residents.len())].clone());
+        } else {
+            upd.deletes.push(random_tuple(catalog, rel, rng));
+        }
+    }
+    upd
+}
+
+/// Everything the recovery must reproduce, captured from a store at one
+/// epoch. Violation vectors are canonicalized by sort, so insertion
+/// order (which legitimately differs between a store grown batch by
+/// batch and one rebuilt from a checkpoint) never matters.
+#[derive(Clone, Debug, PartialEq)]
+struct StateSnap {
+    epoch: u64,
+    rels: Vec<Relation>,
+    cfd: Vec<Vec<Violation>>,
+    cind: Vec<CindViolation>,
+    view: Vec<(Relation, Vec<Violation>, Vec<CindViolation>)>,
+}
+
+fn capture(store: &MultiStore) -> StateSnap {
+    let mut cfd = Vec::new();
+    let mut rels = Vec::new();
+    for i in 0..store.rel_count() {
+        rels.push(store.relation(RelId(i)));
+        let mut v = store.cfd_violations(RelId(i));
+        v.sort();
+        cfd.push(v);
+    }
+    let mut cind = store.cind_violations();
+    cind.sort();
+    let mut view = Vec::new();
+    for i in 0..store.view_count() {
+        let mut vc = store.view_cfd_violations(i);
+        vc.sort();
+        let mut vi = store.view_cind_violations(i);
+        vi.sort();
+        view.push((store.view_relation(i), vc, vi));
+    }
+    StateSnap {
+        epoch: store.epoch(),
+        rels,
+        cfd,
+        cind,
+        view,
+    }
+}
+
+/// Drive `n_batches` random batches through a durable store logging to
+/// memory, capturing the twin state after every epoch. Returns
+/// `(checkpoint bytes, log bytes, twin states by epoch, batches)`.
+fn run_workload(
+    w: &Workload,
+    shards: usize,
+    n_batches: usize,
+    rng: &mut StdRng,
+) -> (Vec<u8>, Vec<u8>, Vec<StateSnap>) {
+    let (io, data) = MemIo::new();
+    let (mut durable, ckpt) = DurableMultiStore::with_io(
+        w.specs.clone(),
+        w.cinds.clone(),
+        shards,
+        vec![w.view.clone()],
+        Box::new(io),
+        DurableOptions::default(),
+    )
+    .expect("generated workload is well-formed");
+    let mut states = vec![capture(durable.store())];
+    for _ in 0..n_batches {
+        let rel = RelId(rng.gen_range(0..w.specs.len()));
+        let batch = random_batch(&w.catalog, rel, durable.store(), rng);
+        durable.apply(rel, &batch).expect("MemIo cannot fail");
+        states.push(capture(durable.store()));
+    }
+    let log = data.lock().unwrap().clone();
+    (ckpt, log, states)
+}
+
+fn recover_cut(
+    w: &Workload,
+    shards: usize,
+    ckpt: &[u8],
+    log: &[u8],
+) -> (StateSnap, cfd_clean::RecoveryReport) {
+    let (store, report) = recover_from_parts(
+        &w.specs,
+        &w.cinds,
+        shards,
+        std::slice::from_ref(&w.view),
+        &[ckpt],
+        &[(0, log)],
+    )
+    .expect("a truncated log is a torn tail, never an error");
+    (capture(&store), report)
+}
+
+/// The headline: for every config, every sampled cut offset k of the
+/// log recovers exactly the twin at the epoch recovery reports — and
+/// the reported epoch is monotone in k, reaching the final epoch on the
+/// uncut log.
+#[test]
+fn arbitrary_byte_cuts_recover_the_twin_exactly() {
+    let mut cuts_checked = 0usize;
+    for seed in 0..3u64 {
+        for n_rel in [2usize, 3] {
+            for shards in [1usize, 4] {
+                let (w, mut rng) = make_workload(n_rel, seed * 97 + n_rel as u64);
+                let (ckpt, log, states) = run_workload(&w, shards, 8, &mut rng);
+                let final_epoch = states.last().unwrap().epoch;
+
+                // Uncut log lands on the final state.
+                let (full, report) = recover_cut(&w, shards, &ckpt, &log);
+                assert_eq!(report.recovered_epoch, final_epoch);
+                assert!(report.torn_tail.is_none());
+                assert_eq!(&full, states.last().unwrap());
+
+                // Every sampled cut recovers the twin at the epoch it
+                // reports, and epochs never regress as the cut grows.
+                let mut last_epoch = 0u64;
+                let step = (log.len() / 60).max(1);
+                for cut in (0..log.len()).step_by(step).chain([log.len()]) {
+                    let (snap, report) = recover_cut(&w, shards, &ckpt, &log[..cut]);
+                    assert!(
+                        report.recovered_epoch >= last_epoch,
+                        "cut {cut}: durable epoch regressed"
+                    );
+                    last_epoch = report.recovered_epoch;
+                    assert_eq!(
+                        snap, states[report.recovered_epoch as usize],
+                        "cut {cut}: recovered state diverged from the twin at epoch {}",
+                        report.recovered_epoch
+                    );
+                    cuts_checked += 1;
+                }
+                assert_eq!(last_epoch, final_epoch);
+            }
+        }
+    }
+    assert!(cuts_checked >= 500, "only {cuts_checked} cuts exercised");
+}
+
+/// The writer itself dies on a byte budget ([`FaultIo`] short-writes
+/// the prefix, then fails everything): whatever survived must recover
+/// every commit the store acknowledged before the fault.
+#[test]
+fn fault_injected_writer_never_loses_acknowledged_commits() {
+    for seed in 0..2u64 {
+        for n_rel in [2usize, 3] {
+            let shards = if seed % 2 == 0 { 1 } else { 4 };
+            let (w, mut rng) = make_workload(n_rel, seed * 131 + n_rel as u64);
+            // Dry run to learn the full log length and fix the batches.
+            let mut batches = Vec::new();
+            {
+                let (io, data) = MemIo::new();
+                let (mut d, _) = DurableMultiStore::with_io(
+                    w.specs.clone(),
+                    w.cinds.clone(),
+                    shards,
+                    vec![w.view.clone()],
+                    Box::new(io),
+                    DurableOptions::default(),
+                )
+                .unwrap();
+                for _ in 0..6 {
+                    let rel = RelId(rng.gen_range(0..n_rel));
+                    let b = random_batch(&w.catalog, rel, d.store(), &mut rng);
+                    d.apply(rel, &b).unwrap();
+                    batches.push((rel, b));
+                }
+                drop(data);
+            }
+            let full_len = {
+                let (io, data) = MemIo::new();
+                let (mut d, _) = DurableMultiStore::with_io(
+                    w.specs.clone(),
+                    w.cinds.clone(),
+                    shards,
+                    vec![w.view.clone()],
+                    Box::new(io),
+                    DurableOptions::default(),
+                )
+                .unwrap();
+                for (rel, b) in &batches {
+                    d.apply(*rel, b).unwrap();
+                }
+                let n = data.lock().unwrap().len();
+                n
+            };
+            for budget in (17..full_len).step_by((full_len / 12).max(1)) {
+                let (io, data) = FaultIo::new(budget);
+                let (mut d, ckpt) = DurableMultiStore::with_io(
+                    w.specs.clone(),
+                    w.cinds.clone(),
+                    shards,
+                    vec![w.view.clone()],
+                    Box::new(io),
+                    DurableOptions::default(),
+                )
+                .unwrap();
+                let mut acknowledged = 0usize;
+                let mut twin = MultiStore::new(w.specs.clone(), w.cinds.clone(), shards).unwrap();
+                twin.register_view(w.view.clone()).unwrap();
+                for (rel, b) in &batches {
+                    match d.apply(*rel, b) {
+                        Ok(_) => acknowledged += 1,
+                        Err(_) => break,
+                    }
+                }
+                let survived = data.lock().unwrap().clone();
+                let (store, report) = recover_from_parts(
+                    &w.specs,
+                    &w.cinds,
+                    shards,
+                    std::slice::from_ref(&w.view),
+                    &[&ckpt],
+                    &[(0, &survived)],
+                )
+                .expect("torn tail is not an error");
+                assert!(
+                    report.recovered_epoch >= acknowledged as u64,
+                    "budget {budget}: fsync acknowledged {acknowledged} commits but only \
+                     {} recovered",
+                    report.recovered_epoch
+                );
+                for (rel, b) in batches.iter().take(report.recovered_epoch as usize) {
+                    twin.apply(*rel, b);
+                }
+                assert_eq!(
+                    capture(&store),
+                    capture(&twin),
+                    "budget {budget}: recovered state diverged from the twin"
+                );
+            }
+        }
+    }
+}
+
+/// Satellite 1 — the frame-parser fuzz: arbitrary bit flips, random
+/// truncations, and byte splices of a valid checkpoint + log never
+/// panic. Recovery either reports a typed error or lands on a valid
+/// prefix that equals the twin at the epoch it reports.
+#[test]
+fn corrupted_logs_and_checkpoints_never_panic() {
+    let (w, mut rng) = make_workload(2, 0xD15EA5E);
+    let (ckpt, log, states) = run_workload(&w, 2, 6, &mut rng);
+
+    let mut outcomes = [0usize; 2]; // [recovered, typed error]
+    for trial in 0..400 {
+        let mut bad_ckpt = ckpt.clone();
+        let mut bad_log = log.clone();
+        // Corrupt one of the two artifacts per trial, by one of three
+        // mutators: bit flip, truncation, or splice of random bytes.
+        let target_log = trial % 2 == 0;
+        let buf = if target_log {
+            &mut bad_log
+        } else {
+            &mut bad_ckpt
+        };
+        match rng.gen_range(0..3) {
+            0 => {
+                let bit = rng.gen_range(0..buf.len() * 8);
+                buf[bit / 8] ^= 1 << (bit % 8);
+            }
+            1 => {
+                let cut = rng.gen_range(0..buf.len());
+                buf.truncate(cut);
+            }
+            _ => {
+                let at = rng.gen_range(0..=buf.len());
+                let splice: Vec<u8> = (0..rng.gen_range(1..16))
+                    .map(|_| rng.gen_range(0..256usize) as u8)
+                    .collect();
+                buf.splice(at..at.min(buf.len()), splice);
+            }
+        }
+        match recover_from_parts(
+            &w.specs,
+            &w.cinds,
+            2,
+            std::slice::from_ref(&w.view),
+            &[&bad_ckpt],
+            &[(0, &bad_log)],
+        ) {
+            Ok((store, report)) => {
+                outcomes[0] += 1;
+                // A recovery that claims epoch e must *be* the twin at
+                // e — corruption may shorten history, never change it.
+                assert!(
+                    (report.recovered_epoch as usize) < states.len(),
+                    "trial {trial}: recovered past the twin"
+                );
+                assert_eq!(
+                    capture(&store),
+                    states[report.recovered_epoch as usize],
+                    "trial {trial}: corrupted input recovered to a non-twin state"
+                );
+            }
+            Err(_) => outcomes[1] += 1,
+        }
+    }
+    // The fuzz must actually exercise both outcomes.
+    assert!(outcomes[0] > 0, "no corruption recovered a prefix");
+    assert!(outcomes[1] > 0, "no corruption produced a typed error");
+}
+
+/// A second checkpoint taken mid-history re-bases recovery: feeding
+/// recovery the *newer* checkpoint plus the log segment that starts at
+/// it must land on the same state as checkpoint-0 plus the whole log.
+#[test]
+fn later_checkpoints_re_base_recovery() {
+    let (w, mut rng) = make_workload(2, 42);
+    let (io, data) = MemIo::new();
+    let (mut durable, ckpt0) = DurableMultiStore::with_io(
+        w.specs.clone(),
+        w.cinds.clone(),
+        2,
+        vec![w.view.clone()],
+        Box::new(io),
+        DurableOptions::default(),
+    )
+    .unwrap();
+    for _ in 0..4 {
+        let rel = RelId(rng.gen_range(0..2));
+        let b = random_batch(&w.catalog, rel, durable.store(), &mut rng);
+        durable.apply(rel, &b).unwrap();
+    }
+    // A mid-history checkpoint, serialized from the live store.
+    let ckpt4 = checkpoint_bytes(durable.store());
+    let log = data.lock().unwrap().clone();
+    let from_zero = recover_from_parts(
+        &w.specs,
+        &w.cinds,
+        2,
+        std::slice::from_ref(&w.view),
+        &[&ckpt0],
+        &[(0, &log)],
+    )
+    .unwrap();
+    // Recovery from the later checkpoint alone (its segment would be
+    // empty after rotation — no tail needed).
+    let from_four = recover_from_parts(
+        &w.specs,
+        &w.cinds,
+        2,
+        std::slice::from_ref(&w.view),
+        &[&ckpt4],
+        &[],
+    )
+    .unwrap();
+    assert_eq!(from_zero.1.recovered_epoch, 4);
+    assert_eq!(from_four.1.checkpoint_epoch, 4);
+    assert_eq!(capture(&from_zero.0), capture(&from_four.0));
+    assert_eq!(capture(&from_zero.0), capture(durable.store()));
+
+    // A mid-history checkpoint whose tail still lives in the *original*
+    // segment (no rotation happened): recovery must keep that segment,
+    // skip the folded frames, and replay only the tail.
+    for _ in 0..4 {
+        let rel = RelId(rng.gen_range(0..2));
+        let b = random_batch(&w.catalog, rel, durable.store(), &mut rng);
+        durable.apply(rel, &b).unwrap();
+    }
+    let log = data.lock().unwrap().clone();
+    let tail = recover_from_parts(
+        &w.specs,
+        &w.cinds,
+        2,
+        std::slice::from_ref(&w.view),
+        &[&ckpt4],
+        &[(0, &log)],
+    )
+    .unwrap();
+    assert_eq!(tail.1.checkpoint_epoch, 4);
+    assert_eq!(tail.1.recovered_epoch, 8);
+    assert_eq!(tail.1.frames_replayed, 4);
+    assert_eq!(capture(&tail.0), capture(durable.store()));
+}
+
+/// Satellite 4 — checkpoints vs GC and pinned snapshots. A checkpoint
+/// serializes from its own pinned snapshot, so neither concurrent
+/// pinned readers nor a `gc()` racing right behind it can change what
+/// it captures; and a checkpoint taken *before* deletes + GC still
+/// recovers the pre-delete state.
+#[test]
+fn checkpoints_survive_pins_and_gc() {
+    let (w, mut rng) = make_workload(2, 7);
+    let mut store = MultiStore::new(w.specs.clone(), w.cinds.clone(), 2).unwrap();
+    store.register_view(w.view.clone()).unwrap();
+    for _ in 0..3 {
+        let rel = RelId(rng.gen_range(0..2));
+        let b = random_batch(&w.catalog, rel, &store, &mut rng);
+        store.apply(rel, &b);
+    }
+    // Live pinned readers while the checkpoint is taken.
+    let pin_a = store.snapshot();
+    let pin_b = store.snapshot();
+    let ckpt = checkpoint_bytes(&store);
+    let before = capture(&store);
+
+    // Delete everything from relation 0 and GC hard — the pinned
+    // snapshots (and the already-serialized checkpoint) must be
+    // unaffected.
+    let all: Vec<Tuple> = store.relation(RelId(0)).tuples().cloned().collect();
+    store.apply(RelId(0), &UpdateBatch::deletes(all));
+    drop(pin_a);
+    drop(pin_b);
+    store.gc();
+
+    let (rec, report) = recover_from_parts(
+        &w.specs,
+        &w.cinds,
+        2,
+        std::slice::from_ref(&w.view),
+        &[&ckpt],
+        &[],
+    )
+    .unwrap();
+    assert_eq!(report.checkpoint_epoch, before.epoch);
+    assert_eq!(capture(&rec), before, "checkpoint corrupted by GC");
+
+    // And a checkpoint of the post-GC store captures the *new* state.
+    let ckpt_after = checkpoint_bytes(&store);
+    let (rec_after, _) = recover_from_parts(
+        &w.specs,
+        &w.cinds,
+        2,
+        std::slice::from_ref(&w.view),
+        &[&ckpt_after],
+        &[],
+    )
+    .unwrap();
+    assert_eq!(capture(&rec_after), capture(&store));
+}
+
+/// The data-directory lifecycle: open fresh → commit → crash (drop
+/// without shutdown) → reopen recovers the twin; checkpoints truncate
+/// old files; a second crash-reopen cycle still agrees.
+#[test]
+fn data_dir_open_crash_reopen_cycles() {
+    let dir = std::env::temp_dir().join(format!(
+        "cfdprop-durable-props-{}-{}",
+        std::process::id(),
+        line!()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (w, mut rng) = make_workload(2, 11);
+    let opts = DurableOptions {
+        fsync: cfd_clean::FsyncPolicy::EveryCommit,
+        checkpoint_every: 0,
+    };
+    let mut twin = MultiStore::new(w.specs.clone(), w.cinds.clone(), 2).unwrap();
+    twin.register_view(w.view.clone()).unwrap();
+
+    // Cycle 1: fresh open, a few commits, checkpoint, more commits,
+    // "crash" (drop with no shutdown path).
+    {
+        let (mut d, report) = DurableMultiStore::open(
+            &dir,
+            w.specs.clone(),
+            w.cinds.clone(),
+            2,
+            vec![w.view.clone()],
+            opts,
+        )
+        .unwrap();
+        assert_eq!(report.frames_replayed, 0);
+        for i in 0..5 {
+            let rel = RelId(rng.gen_range(0..2));
+            let b = random_batch(&w.catalog, rel, d.store(), &mut rng);
+            d.apply(rel, &b).unwrap();
+            twin.apply(rel, &b);
+            if i == 2 {
+                let e = d.checkpoint().unwrap();
+                assert_eq!(e, 3);
+                // Truncation bounded by the checkpoint: nothing older
+                // survives in the directory.
+                for entry in std::fs::read_dir(&dir).unwrap() {
+                    let name = entry.unwrap().file_name().into_string().unwrap();
+                    let epoch: u64 = name
+                        .strip_prefix("ckpt-")
+                        .or_else(|| name.strip_prefix("wal-"))
+                        .and_then(|rest| rest.split('.').next())
+                        .and_then(|digits| digits.parse().ok())
+                        .unwrap_or_else(|| panic!("unexpected file {name}"));
+                    assert!(epoch >= 3, "stale file {name} survived the checkpoint");
+                }
+            }
+        }
+        assert_eq!(capture(d.store()), capture(&twin));
+    }
+
+    // Cycle 2: reopen must recover the twin exactly (checkpoint at 3 +
+    // a 2-frame tail), then keep going.
+    {
+        let (mut d, report) = DurableMultiStore::open(
+            &dir,
+            w.specs.clone(),
+            w.cinds.clone(),
+            2,
+            vec![w.view.clone()],
+            opts,
+        )
+        .unwrap();
+        assert_eq!(report.checkpoint_epoch, 3);
+        assert_eq!(report.frames_replayed, 2);
+        assert_eq!(capture(d.store()), capture(&twin));
+        for _ in 0..3 {
+            let rel = RelId(rng.gen_range(0..2));
+            let b = random_batch(&w.catalog, rel, d.store(), &mut rng);
+            d.apply(rel, &b).unwrap();
+            twin.apply(rel, &b);
+        }
+        assert_eq!(capture(d.store()), capture(&twin));
+    }
+
+    // Cycle 3: reopen once more; auto-checkpointing on.
+    {
+        let (mut d, _) = DurableMultiStore::open(
+            &dir,
+            w.specs.clone(),
+            w.cinds.clone(),
+            2,
+            vec![w.view.clone()],
+            DurableOptions {
+                fsync: cfd_clean::FsyncPolicy::EveryN(2),
+                checkpoint_every: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(capture(d.store()), capture(&twin));
+        for _ in 0..4 {
+            let rel = RelId(rng.gen_range(0..2));
+            let b = random_batch(&w.catalog, rel, d.store(), &mut rng);
+            d.apply(rel, &b).unwrap();
+            twin.apply(rel, &b);
+        }
+        assert!(
+            d.last_checkpoint_epoch() >= 10,
+            "auto-checkpoint never fired"
+        );
+        assert_eq!(capture(d.store()), capture(&twin));
+    }
+    let (mut d, _) = DurableMultiStore::open(
+        &dir,
+        w.specs.clone(),
+        w.cinds.clone(),
+        2,
+        vec![w.view.clone()],
+        opts,
+    )
+    .unwrap();
+    assert_eq!(capture(d.store()), capture(&twin));
+    d.sync().unwrap();
+    drop(d);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,306 @@
+//! End-to-end tests of the durable serving mode: `serve-updates
+//! --data-dir`, `recover --verify`, the kill-9 crash-recovery loop, and
+//! graceful SIGPIPE handling (ISSUE 6 satellites 2, 3, and 6).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::Duration;
+
+fn cfdprop(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cfdprop"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn testdata(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../testdata")
+        .join(name)
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cfdprop-durable-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The basic lifecycle: durable serve exits clean, prints the recovery
+/// header plus per-commit JSON, leaves a directory `recover --verify`
+/// accepts, and epochs continue climbing across restarts.
+#[test]
+fn serve_data_dir_then_recover_verify() {
+    let cfd = testdata("orders_lineitems.cfd");
+    let upd = testdata("orders_lineitems.upd");
+    let dir = fresh_dir("lifecycle");
+    let out = cfdprop(&[
+        "serve-updates",
+        &cfd,
+        &upd,
+        "--data-dir",
+        dir.to_str().unwrap(),
+        "--shards",
+        "2",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{text}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines[0].contains("\"recovered\": true") && lines[0].contains("\"epoch\": 0"),
+        "first line is the recovery summary: {text}"
+    );
+    assert!(
+        lines.last().unwrap().contains("\"done\": true")
+            && lines.last().unwrap().contains("\"last_checkpoint\""),
+        "{text}"
+    );
+    // The directory holds exactly one checkpoint generation + live log.
+    assert!(
+        std::fs::read_dir(&dir).unwrap().count() >= 2,
+        "checkpoint + log segment expected"
+    );
+
+    // recover --verify: replays, cross-checks against a fresh rescan,
+    // exits zero.
+    let out = cfdprop(&[
+        "recover",
+        &cfd,
+        "--data-dir",
+        dir.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--verify",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{text}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("\"recovered\": true"), "{text}");
+    assert!(text.contains("\"verified\": true"), "{text}");
+    // The script replayed through 3 grouped commits; recovery reaches
+    // the same epoch.
+    assert!(text.contains("\"epoch\": 3"), "{text}");
+
+    // A second serve run recovers and keeps the clock climbing.
+    let out = cfdprop(&[
+        "serve-updates",
+        &cfd,
+        &upd,
+        "--data-dir",
+        dir.to_str().unwrap(),
+        "--shards",
+        "2",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    assert!(
+        text.lines().next().unwrap().contains("\"epoch\": 3"),
+        "restart resumes at the recovered epoch: {text}"
+    );
+    assert!(text.contains("\"epochs\": 6"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `recover` refuses to invent state: pointing it at a directory with
+/// no checkpoint is an error, and a corrupted checkpoint is a typed
+/// failure, not a panic or a silently empty store.
+#[test]
+fn recover_rejects_missing_and_corrupt_directories() {
+    let cfd = testdata("orders_lineitems.cfd");
+    let upd = testdata("orders_lineitems.upd");
+    let dir = fresh_dir("corrupt");
+    let out = cfdprop(&["recover", &cfd, "--data-dir", dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no checkpoint"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = cfdprop(&[
+        "serve-updates",
+        &cfd,
+        &upd,
+        "--data-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    // Flip a byte inside every checkpoint payload.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let p = entry.unwrap().path();
+        if p.extension().is_some_and(|e| e == "ckpt") {
+            let mut bytes = std::fs::read(&p).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&p, bytes).unwrap();
+        }
+    }
+    let out = cfdprop(&["recover", &cfd, "--data-dir", dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("corrupt"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Unknown fsync policies are rejected up front.
+#[test]
+fn bad_fsync_policy_is_rejected() {
+    let cfd = testdata("orders_lineitems.cfd");
+    let upd = testdata("orders_lineitems.upd");
+    let dir = fresh_dir("badfsync");
+    let out = cfdprop(&[
+        "serve-updates",
+        &cfd,
+        &upd,
+        "--data-dir",
+        dir.to_str().unwrap(),
+        "--fsync",
+        "sometimes",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("fsync policy"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The crash-recovery loop (satellite 6's CI job runs this): kill -9
+/// the serving process mid-replay, over and over against the same data
+/// directory, and require `recover --verify` to pass after every
+/// crash. The long `--loop` plus per-commit fsync and frequent
+/// checkpoints make the kill land at arbitrary byte offsets — torn
+/// frames, half-written checkpoints, mid-rotation states.
+#[test]
+fn kill_nine_loop_recovers_cleanly_every_time() {
+    let cfd = testdata("orders_lineitems.cfd");
+    let upd = testdata("orders_lineitems.upd");
+    let dir = fresh_dir("kill9");
+    for round in 0..5u64 {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_cfdprop"))
+            .args([
+                "serve-updates",
+                &cfd,
+                &upd,
+                "--data-dir",
+                dir.to_str().unwrap(),
+                "--shards",
+                "2",
+                "--loop",
+                "5000",
+                "--fsync",
+                "every-commit",
+                "--checkpoint-every",
+                "7",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawns");
+        // Let it commit for a while, then kill -9 mid-whatever.
+        std::thread::sleep(Duration::from_millis(40 + round * 35));
+        let _ = child.kill();
+        let _ = child.wait();
+
+        let out = cfdprop(&[
+            "recover",
+            &cfd,
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--verify",
+        ]);
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "round {round}: recovery diverged: {text}{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(text.contains("\"verified\": true"), "round {round}: {text}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite 3: a reader that hangs up must not kill the server with a
+/// panic. The parent closes its end of the stdout pipe immediately;
+/// every later write in the child hits EPIPE (Rust maps the ignored
+/// SIGPIPE to `BrokenPipe` errors), and the child must still finish the
+/// replay, sync the log, and exit 0 — leaving a directory that
+/// verifies.
+#[test]
+fn closed_stdout_exits_cleanly_and_log_survives() {
+    let cfd = testdata("orders_lineitems.cfd");
+    let upd = testdata("orders_lineitems.upd");
+    let dir = fresh_dir("sigpipe");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cfdprop"))
+        .args([
+            "serve-updates",
+            &cfd,
+            &upd,
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--loop",
+            "60",
+            "--fsync",
+            "every-8",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    // Drop the only read handle: the pipe buffer may absorb the first
+    // few lines, everything after is a BrokenPipe in the child.
+    drop(child.stdout.take());
+    let status = child.wait().expect("child exits");
+    let mut stderr = String::new();
+    use std::io::Read as _;
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .unwrap();
+    assert!(
+        status.success(),
+        "closed stdout must exit 0, got {status}: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panic"),
+        "no panic on a hung-up reader: {stderr}"
+    );
+
+    // The log survived the hangup: all 60 replays are durable.
+    let out = cfdprop(&[
+        "recover",
+        &cfd,
+        "--data-dir",
+        dir.to_str().unwrap(),
+        "--verify",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{text}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        text.contains("\"epoch\": 180"),
+        "3 commits × 60 loops: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -39,6 +39,7 @@ pub mod tableau;
 pub mod unify;
 pub mod value;
 pub mod versioned;
+pub mod wire;
 
 pub use columnar::ColumnarRelation;
 pub use domain::DomainKind;
@@ -50,3 +51,4 @@ pub use schema::{Attribute, Catalog, RelId, RelationSchema};
 pub use tableau::{Tableau, Term, VarId};
 pub use value::Value;
 pub use versioned::{CowVec, PoolView, RowsView, SharedPool, VersionedRows};
+pub use wire::{crc32, ByteReader, WireError};

@@ -1,0 +1,323 @@
+//! Binary wire format primitives for the durable storage layer.
+//!
+//! `cfd-clean::durable` persists the shared dictionary pool and
+//! versioned code rows; this module supplies the byte-level substrate it
+//! serializes with: little-endian scalar put/get helpers, a
+//! bounds-checked [`ByteReader`] that turns every malformed input into a
+//! typed [`WireError`] instead of a panic (the property the log-fuzz
+//! suite leans on), a [`Value`] codec, and the table-driven IEEE
+//! [`crc32`] used to checksum log frames and checkpoints.
+//!
+//! # Value encoding
+//!
+//! One tag byte, then the payload:
+//!
+//! | tag | variant | payload |
+//! |-----|---------|---------|
+//! | `0` | [`Value::Int`] | 8-byte little-endian two's complement |
+//! | `1` | [`Value::Str`] | `u32` byte length, then UTF-8 bytes |
+//! | `2` | [`Value::Bool`] | one byte, `0` or `1` |
+//!
+//! All multi-byte scalars anywhere in the format are little-endian.
+
+use crate::value::Value;
+use std::fmt;
+
+/// The IEEE 802.3 CRC-32 table (reflected, polynomial `0xEDB88320`).
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The IEEE CRC-32 of `bytes` (the checksum `cksum`-family tools and
+/// zlib compute). One table lookup per byte; no dependencies.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// A malformed byte stream, located by input offset. Every decode error
+/// is typed — corrupt input must never panic the reader.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value being read did.
+    UnexpectedEof {
+        /// Offset the truncated read started at.
+        at: usize,
+    },
+    /// An unknown [`Value`] tag byte.
+    BadTag {
+        /// Offset of the tag byte.
+        at: usize,
+        /// The tag found.
+        tag: u8,
+    },
+    /// A string payload that is not valid UTF-8.
+    BadUtf8 {
+        /// Offset the string payload started at.
+        at: usize,
+    },
+    /// A declared length larger than the bytes that remain — rejected
+    /// before allocating, so corrupt lengths cannot OOM the reader.
+    Oversize {
+        /// Offset of the length field.
+        at: usize,
+        /// The declared length.
+        len: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { at } => write!(f, "unexpected end of input at byte {at}"),
+            WireError::BadTag { at, tag } => write!(f, "unknown value tag {tag} at byte {at}"),
+            WireError::BadUtf8 { at } => write!(f, "invalid UTF-8 in string at byte {at}"),
+            WireError::Oversize { at, len } => {
+                write!(
+                    f,
+                    "declared length {len} at byte {at} exceeds remaining input"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append one [`Value`] (see the [module docs](self) for the layout).
+pub fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(0);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(1);
+            put_u32(
+                out,
+                u32::try_from(s.len()).expect("string longer than u32::MAX bytes"),
+            );
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            out.push(2);
+            out.push(u8::from(*b));
+        }
+    }
+}
+
+/// A cursor over untrusted bytes: every read is bounds-checked and
+/// every failure is a [`WireError`] carrying the offending offset.
+#[derive(Clone, Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current offset from the start of the input.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Has every byte been consumed?
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Consume `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return Err(WireError::UnexpectedEof { at: self.pos });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Consume one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consume a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Consume a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Consume a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Consume a `u32` count field that prefixes `elem_size`-byte
+    /// elements, rejecting counts the remaining input cannot possibly
+    /// hold (`elem_size` must be the *minimum* encoded size of one
+    /// element). This caps allocations before they happen, so a corrupt
+    /// count cannot ask for gigabytes.
+    pub fn count(&mut self, elem_size: usize) -> Result<usize, WireError> {
+        let at = self.pos;
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_size.max(1)) > self.remaining() {
+            return Err(WireError::Oversize { at, len: n as u64 });
+        }
+        Ok(n)
+    }
+
+    /// Consume one [`Value`].
+    pub fn value(&mut self) -> Result<Value, WireError> {
+        let at = self.pos;
+        match self.u8()? {
+            0 => Ok(Value::Int(self.i64()?)),
+            1 => {
+                let len_at = self.pos;
+                let len = self.u32()? as u64;
+                if len > self.remaining() as u64 {
+                    return Err(WireError::Oversize { at: len_at, len });
+                }
+                let str_at = self.pos;
+                let bytes = self.take(len as usize)?;
+                match std::str::from_utf8(bytes) {
+                    Ok(s) => Ok(Value::Str(s.to_owned())),
+                    Err(_) => Err(WireError::BadUtf8 { at: str_at }),
+                }
+            }
+            2 => Ok(Value::Bool(self.u8()? != 0)),
+            tag => Err(WireError::BadTag { at, tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let vals = [
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::str(""),
+            Value::str("nyc"),
+            Value::str("päper ∂"),
+            Value::Bool(true),
+            Value::Bool(false),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            put_value(&mut buf, v);
+        }
+        let mut r = ByteReader::new(&buf);
+        for v in &vals {
+            assert_eq!(&r.value().unwrap(), v);
+        }
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_inputs_are_typed_errors() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::str("hello"));
+        // Every strict prefix fails with a typed error, never a panic.
+        for cut in 0..buf.len() {
+            assert!(ByteReader::new(&buf[..cut]).value().is_err(), "cut {cut}");
+        }
+        // Unknown tag.
+        assert_eq!(
+            ByteReader::new(&[9]).value(),
+            Err(WireError::BadTag { at: 0, tag: 9 })
+        );
+        // Length pointing past the end.
+        let mut huge = vec![1u8];
+        put_u32(&mut huge, 1_000_000);
+        huge.push(b'x');
+        assert!(matches!(
+            ByteReader::new(&huge).value(),
+            Err(WireError::Oversize { .. })
+        ));
+        // Invalid UTF-8 payload.
+        let mut bad = vec![1u8];
+        put_u32(&mut bad, 2);
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(
+            ByteReader::new(&bad).value(),
+            Err(WireError::BadUtf8 { at: 5 })
+        );
+    }
+
+    #[test]
+    fn count_rejects_unpayable_lengths() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 10);
+        buf.extend_from_slice(&[0; 12]);
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(
+            r.count(4),
+            Err(WireError::Oversize { len: 10, .. })
+        ));
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.count(1).unwrap(), 10);
+    }
+}
