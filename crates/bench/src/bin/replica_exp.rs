@@ -1,0 +1,126 @@
+//! The replication experiment: leader commit rate with log shipping
+//! attached, live-follower frame-apply throughput, and catch-up time
+//! from cursors `N` commits stale (tail-replay) plus the fresh-follower
+//! snapshot path. Prints a table and writes `BENCH_replica.json`.
+//!
+//! ```text
+//! cargo run --release -p cfd-bench --bin replica_exp \
+//!     [--base N] [--batch N] [--batches N] [--runs N]
+//!     [--dirty-rate R] [--shards N] [--verify-each] [--out PATH]
+//! ```
+//!
+//! `--verify-each` (the CI smoke mode) cross-checks the live follower
+//! against the leader after every batch; the live end state and every
+//! caught-up follower are cross-checked regardless of flags.
+
+use cfd_bench::replica::measure_replica;
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let num =
+        |name: &str, default: usize| flag(name).and_then(|v| v.parse().ok()).unwrap_or(default);
+    let base = num("--base", 50_000);
+    let batch = num("--batch", 500);
+    let batches = num("--batches", 20);
+    let runs = num("--runs", 3);
+    let dirty_rate: f64 = flag("--dirty-rate")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02);
+    let shards = num("--shards", 1);
+    let verify_each = args.iter().any(|a| a == "--verify-each");
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_replica.json".into());
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "replica: base={base}×2 batch={batch} batches={batches} dirty={dirty_rate} \
+         shards={shards} runs={runs} cores={threads}{}",
+        if verify_each { " (verify-each)" } else { "" }
+    );
+    let p = measure_replica(base, batch, batches, runs, dirty_rate, shards, verify_each);
+
+    println!(
+        "  final: epoch={} live={} cfd={} cind={} shipped={} frames / {} KiB",
+        p.final_epoch,
+        p.final_tuples,
+        p.final_violations,
+        p.final_cind_violations,
+        p.frames_shipped,
+        p.ship_bytes / 1024
+    );
+    println!(
+        "  leader apply/batch   {:>10.3} ms   ({:>10.0} commits/s)",
+        p.leader_per_batch.as_secs_f64() * 1e3,
+        p.leader_commits_per_sec()
+    );
+    println!(
+        "  follower apply/batch {:>10.3} ms   ({:>10.0} applies/s, {:.2}× leader)",
+        p.follower_per_batch.as_secs_f64() * 1e3,
+        p.follower_applies_per_sec(),
+        p.apply_ratio()
+    );
+    for c in &p.tail_catch_up {
+        println!(
+            "  catch-up     {:>4} frames stale  {:>8.3} ms   (tail-replay)",
+            c.stale_frames,
+            c.time.as_secs_f64() * 1e3
+        );
+    }
+    println!(
+        "  catch-up     fresh ({} frames)   {:>8.3} ms   (snapshot + {} frames)",
+        p.fresh_catch_up.stale_frames,
+        p.fresh_catch_up.time.as_secs_f64() * 1e3,
+        p.fresh_catch_up.frames_replayed
+    );
+
+    let mut json = format!(
+        "{{\n  \"experiment\": \"replica_catch_up\",\n  \"host_cores\": {threads},\n  \
+         \"base_tuples_per_relation\": {base},\n  \"relations\": 2,\n  \
+         \"dirty_rate\": {dirty_rate},\n  \"batch_size\": {batch},\n  \"batches\": {batches},\n  \
+         \"shards\": {shards},\n  \"final_epoch\": {},\n  \"final_live_tuples\": {},\n  \
+         \"final_cfd_violations\": {},\n  \"final_cind_violations\": {},\n  \
+         \"frames_shipped\": {},\n  \"ship_bytes\": {},\n  \
+         \"leader_apply_s_per_batch\": {:.6},\n  \"leader_commits_per_s\": {:.1},\n  \
+         \"follower_apply_s_per_batch\": {:.6},\n  \"follower_applies_per_s\": {:.1},\n  \
+         \"follower_vs_leader_ratio\": {:.3},\n  \"catch_up\": [\n",
+        p.final_epoch,
+        p.final_tuples,
+        p.final_violations,
+        p.final_cind_violations,
+        p.frames_shipped,
+        p.ship_bytes,
+        p.leader_per_batch.as_secs_f64(),
+        p.leader_commits_per_sec(),
+        p.follower_per_batch.as_secs_f64(),
+        p.follower_applies_per_sec(),
+        p.apply_ratio()
+    );
+    let all: Vec<_> = p
+        .tail_catch_up
+        .iter()
+        .chain(std::iter::once(&p.fresh_catch_up))
+        .collect();
+    for (i, c) in all.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"stale_frames\": {}, \"frames_replayed\": {}, \"snapshots_loaded\": {}, \
+             \"catch_up_s\": {:.6}}}{}",
+            c.stale_frames,
+            c.frames_replayed,
+            c.snapshots_loaded,
+            c.time.as_secs_f64(),
+            if i + 1 < all.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_replica.json");
+    println!("  wrote {out_path}");
+}

@@ -166,7 +166,7 @@ fn constraints() -> (Vec<Cfd>, Vec<Cfd>, Vec<Cind>) {
 /// `UpdateBatch` (two commits). Inserts are ~⅔ of updates; deletes
 /// draw from the evolving resident sets.
 #[allow(clippy::type_complexity)]
-fn workload(
+pub(crate) fn workload(
     base: usize,
     batch: usize,
     batches: usize,
@@ -264,7 +264,7 @@ fn sorted_cind(store: &MultiStore) -> Vec<CindViolation> {
     v
 }
 
-fn assert_same_state(what: &str, a: &MultiStore, b: &MultiStore) {
+pub(crate) fn assert_same_state(what: &str, a: &MultiStore, b: &MultiStore) {
     assert_eq!(a.epoch(), b.epoch(), "{what}: epoch");
     for rel in [ORDERS, LINEITEMS] {
         assert_eq!(a.live_len(rel), b.live_len(rel), "{what}: live {rel:?}");
@@ -474,7 +474,7 @@ pub fn compare_durable(
     }
 }
 
-fn mean(per_batch: &[Duration]) -> Duration {
+pub(crate) fn mean(per_batch: &[Duration]) -> Duration {
     let total: Duration = per_batch.iter().sum();
     total / per_batch.len().max(1) as u32
 }

@@ -102,6 +102,19 @@
 //!   table and writes `BENCH_durable.json` (`host_cores` recorded);
 //!   `--verify-each` is the CI smoke mode (cross-checks the durable
 //!   engines against the baseline after every batch).
+//!
+//! The [`replica`] module drives the replication experiment (ISSUE 7):
+//! the durable workload replayed through a leader with a
+//! [`cfd_clean::LogShipper`] attached and a live [`cfd_clean::Follower`]
+//! pumped cooperatively, measuring (a) leader commit rate with shipping
+//! on, (b) follower frame-apply throughput, and (c) catch-up time from
+//! cursors `N` commits stale (tail-replay) plus the fresh-follower
+//! snapshot path:
+//!
+//! * `cargo run --release -p cfd-bench --bin replica_exp` — prints a
+//!   table and writes `BENCH_replica.json` (`host_cores` recorded);
+//!   `--verify-each` is the CI smoke mode (cross-checks the live
+//!   follower against the leader after every batch).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -110,6 +123,7 @@ pub mod cind;
 pub mod columnar;
 pub mod durable;
 pub mod incremental;
+pub mod replica;
 pub mod sharded;
 pub mod view;
 

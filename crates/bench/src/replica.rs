@@ -1,0 +1,367 @@
+//! Workload and measurement helpers for the replication experiment
+//! (ISSUE 7).
+//!
+//! The `replica_exp` binary (`cargo run --release -p cfd-bench --bin
+//! replica_exp`) replays the durable workload (orders/lineitems, mixed
+//! inserts/deletes, `dirty_rate` CFD + CIND breaches) through a leader
+//! [`cfd_clean::DurableMultiStore`] with a [`cfd_clean::LogShipper`]
+//! attached, and measures the costs the replication layer trades
+//! between:
+//!
+//! * **leader commit rate with shipping on** — per-batch apply time
+//!   with every acknowledged frame offered to the shipper (the
+//!   write-side overhead a leader pays to have followers at all);
+//! * **follower apply throughput** — per-batch time for a live,
+//!   already-synced follower to drain and apply the shipped frames
+//!   (detection cores + CIND state + idempotence checks included);
+//! * **catch-up time vs staleness** — a follower reopened from a state
+//!   directory whose cursor is `N` commits behind the leader's tip,
+//!   timed from connect to `frames_behind == 0`; tail-replay when the
+//!   leader still retains the frames, and the snapshot fallback for a
+//!   fresh follower (cursor 0, no incarnation) as the degenerate case.
+//!
+//! Every follower end state is cross-checked against the leader (epoch,
+//! live tuples, sorted CFD and CIND violation sets); `verify_each`
+//! additionally cross-checks the live follower after every batch (the
+//! CI smoke mode). Transport is the in-process channel pair
+//! ([`cfd_clean::ChanShipIo`]) pumped cooperatively, so the numbers
+//! isolate protocol + apply cost from socket noise.
+
+use crate::durable::{assert_same_state, mean, workload};
+use cfd_clean::replica::FollowerConn;
+use cfd_clean::{
+    ChanShipIo, DurableMultiStore, DurableOptions, Follower, FsyncPolicy, LogShipper, MemIo,
+    ShipError, ShipIo, ShipOptions, ShipServerConn,
+};
+use cfd_relalg::schema::RelId;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ORDERS: RelId = RelId(0);
+const LINEITEMS: RelId = RelId(1);
+
+/// One timed catch-up: a follower `stale_frames` commits behind the
+/// leader's tip connects and pumps until its lag bound reaches zero.
+#[derive(Clone, Debug)]
+pub struct CatchUp {
+    /// How many commits behind the follower's cursor started.
+    pub stale_frames: u64,
+    /// Frames actually applied during catch-up (tail-replay length).
+    pub frames_replayed: u64,
+    /// Checkpoint rebuilds taken (0 = pure tail-replay, 1 = snapshot).
+    pub snapshots_loaded: u64,
+    /// Wall time from connect to `frames_behind == 0`.
+    pub time: Duration,
+}
+
+/// One measured replication comparison.
+#[derive(Clone, Debug)]
+pub struct ReplicaPoint {
+    /// Orders base size (lineitems start at the same size).
+    pub base: usize,
+    /// Fraction of dirty updates (conflicting statuses / dangling oids).
+    pub dirty_rate: f64,
+    /// Updates per batch (mixed, split across both relations).
+    pub batch: usize,
+    /// Number of batches replayed (two commits each — one per relation).
+    pub batches: usize,
+    /// Mean per-batch leader apply time with the shipper attached.
+    pub leader_per_batch: Duration,
+    /// Mean per-batch time for the live follower to drain + apply the
+    /// two shipped frames (server pump + follower pump, co-op).
+    pub follower_per_batch: Duration,
+    /// Frames the live follower applied over the whole replay.
+    pub frames_shipped: u64,
+    /// Transport bytes the leader sent to the live follower.
+    pub ship_bytes: usize,
+    /// A fresh follower (cursor 0): the snapshot-mode catch-up.
+    pub fresh_catch_up: CatchUp,
+    /// Reopened followers `N` commits stale, smallest `N` first.
+    pub tail_catch_up: Vec<CatchUp>,
+    /// Epoch after the last batch (leader == every follower).
+    pub final_epoch: u64,
+    /// Live tuples after the last batch, summed over both relations.
+    pub final_tuples: usize,
+    /// CFD violations after the last batch, summed over both relations.
+    pub final_violations: usize,
+    /// CIND violations after the last batch.
+    pub final_cind_violations: usize,
+}
+
+impl ReplicaPoint {
+    /// Leader commits per second with shipping on (two per batch).
+    pub fn leader_commits_per_sec(&self) -> f64 {
+        2.0 / self.leader_per_batch.as_secs_f64().max(1e-12)
+    }
+
+    /// Live-follower frame applies per second (two per batch).
+    pub fn follower_applies_per_sec(&self) -> f64 {
+        2.0 / self.follower_per_batch.as_secs_f64().max(1e-12)
+    }
+
+    /// `follower_per_batch / leader_per_batch` — how much cheaper (or
+    /// dearer) replaying a shipped frame is than producing it.
+    pub fn apply_ratio(&self) -> f64 {
+        self.follower_per_batch.as_secs_f64() / self.leader_per_batch.as_secs_f64().max(1e-12)
+    }
+}
+
+/// A [`ShipIo`] wrapper counting bytes sent — wrapped around the
+/// server's end so `ship_bytes` is exactly what crossed the transport
+/// toward the follower.
+struct MeterIo {
+    inner: ChanShipIo,
+    sent: Arc<AtomicUsize>,
+}
+
+impl ShipIo for MeterIo {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), ShipError> {
+        self.sent.fetch_add(bytes.len(), Ordering::Relaxed);
+        self.inner.send(bytes)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ShipError> {
+        self.inner.recv()
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, ShipError> {
+        self.inner.try_recv()
+    }
+}
+
+/// One follower's co-op link: its connection plus the server end.
+struct Link {
+    conn: FollowerConn,
+    server: ShipServerConn,
+}
+
+/// Connect `follower` to `shipper` over a fresh in-process pair, with
+/// the server side metered into `sent`.
+fn connect(follower: &mut Follower, shipper: &LogShipper, sent: &Arc<AtomicUsize>) -> Link {
+    let (fio, sio) = ChanShipIo::pair();
+    let server = ShipServerConn::new(
+        Box::new(MeterIo {
+            inner: sio,
+            sent: sent.clone(),
+        }),
+        shipper.clone(),
+    );
+    let conn = follower.begin(Box::new(fio)).expect("handshake sends");
+    Link { conn, server }
+}
+
+/// Pump both ends until neither makes progress (the co-op scheduler —
+/// single-threaded, so the timings carry no thread-wakeup noise).
+fn pump_to_idle(follower: &mut Follower, link: &mut Link) {
+    loop {
+        let s = link.server.pump().expect("clean server link");
+        let f = follower.pump(&mut link.conn).expect("clean follower link");
+        if !s && f == 0 {
+            return;
+        }
+    }
+}
+
+/// Time a catch-up: connect, pump to idle, and insist the lag bound
+/// reached zero at the leader's tip.
+fn timed_catch_up(
+    follower: &mut Follower,
+    shipper: &LogShipper,
+    stale_frames: u64,
+    final_epoch: u64,
+) -> CatchUp {
+    let sent = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let mut link = connect(follower, shipper, &sent);
+    pump_to_idle(follower, &mut link);
+    let time = t0.elapsed();
+    let lag = follower.lag();
+    assert_eq!(lag.cursor, final_epoch, "caught up to the tip");
+    assert_eq!(lag.frames_behind, 0, "no residual lag");
+    let stats = follower.stats();
+    CatchUp {
+        stale_frames,
+        frames_replayed: stats.frames_applied,
+        snapshots_loaded: stats.snapshots_loaded,
+        time,
+    }
+}
+
+/// The staleness points measured: near-live, an eighth, a quarter, and
+/// half of the log behind (deduped, clipped to the log length). Each
+/// batch commits two epochs, so only even distances are reachable.
+fn stale_points(final_epoch: u64) -> Vec<u64> {
+    let mut pts: Vec<u64> = [2, final_epoch / 8, final_epoch / 4, final_epoch / 2]
+        .into_iter()
+        .map(|n| n & !1)
+        .filter(|n| *n > 0 && *n < final_epoch)
+        .collect();
+    pts.sort_unstable();
+    pts.dedup();
+    pts
+}
+
+/// Replay the workload through a shipping leader plus a live follower
+/// and time the replication costs. Per-batch times are best-of-`runs`
+/// pointwise minima; catch-up times are best of `runs`.
+pub fn measure_replica(
+    base: usize,
+    batch: usize,
+    batches: usize,
+    runs: usize,
+    dirty_rate: f64,
+    shards: usize,
+    verify_each: bool,
+) -> ReplicaPoint {
+    let (specs, cinds, seq) = workload(base, batch, batches, dirty_rate);
+    let runs = runs.max(1);
+    let final_epoch = (batches as u64) * 2;
+    let stales = stale_points(final_epoch);
+    let state_root =
+        std::env::temp_dir().join(format!("cfdprop-replica-bench-{}", std::process::id()));
+
+    let mut best_leader = vec![Duration::MAX; batches];
+    let mut best_follower = vec![Duration::MAX; batches];
+    let mut frames_shipped = 0u64;
+    let mut ship_bytes = 0usize;
+    let mut fresh_best: Option<CatchUp> = None;
+    let mut tail_best: BTreeMap<u64, CatchUp> = BTreeMap::new();
+    let mut point_final = (0u64, 0usize, 0usize, 0usize);
+
+    for run in 0..runs {
+        let _ = std::fs::remove_dir_all(&state_root);
+        std::fs::create_dir_all(&state_root).expect("bench state dir");
+
+        // The leader logs to memory; shipping cost is what's measured,
+        // so retention is sized to hold the whole replay (no follower
+        // is ever forced to snapshot by eviction).
+        let (mut leader, _ckpt) = DurableMultiStore::with_io(
+            specs.clone(),
+            cinds.clone(),
+            shards,
+            vec![],
+            Box::new(MemIo::new().0),
+            DurableOptions {
+                fsync: FsyncPolicy::Os,
+                checkpoint_every: 0,
+            },
+        )
+        .expect("memory-backed leader opens");
+        let shipper = leader.attach_shipper(ShipOptions {
+            queue_cap: final_epoch as usize + 8,
+            max_retained: final_epoch as usize + 8,
+        });
+
+        // A live follower synced from the initial (empty) snapshot.
+        let sent = Arc::new(AtomicUsize::new(0));
+        let mut live = Follower::new(specs.clone(), cinds.clone(), shards, vec![]);
+        let mut link = connect(&mut live, &shipper, &sent);
+        pump_to_idle(&mut live, &mut link);
+
+        for (bi, (ord, li)) in seq.iter().enumerate() {
+            let t0 = Instant::now();
+            leader.apply(ORDERS, ord).expect("log write");
+            leader.apply(LINEITEMS, li).expect("log write");
+            best_leader[bi] = best_leader[bi].min(t0.elapsed());
+
+            let t1 = Instant::now();
+            pump_to_idle(&mut live, &mut link);
+            best_follower[bi] = best_follower[bi].min(t1.elapsed());
+
+            // Freeze stale replicas at the chosen distances from the
+            // final tip; the catch-up phase reopens them.
+            let behind = final_epoch - leader.epoch();
+            if stales.contains(&behind) {
+                live.save_state(&stale_dir(&state_root, behind))
+                    .expect("bench save_state");
+            }
+            if verify_each {
+                assert_same_state(
+                    &format!("live follower batch {bi}"),
+                    live.store().expect("synced follower has state"),
+                    leader.store(),
+                );
+            }
+        }
+        assert_eq!(live.lag().frames_behind, 0, "live follower kept pace");
+        assert_same_state(
+            "live follower end",
+            live.store().expect("synced follower has state"),
+            leader.store(),
+        );
+        if run == 0 {
+            frames_shipped = live.stats().frames_applied;
+            ship_bytes = sent.load(Ordering::Relaxed);
+            let store = leader.store();
+            point_final = (
+                leader.epoch(),
+                store.live_len(ORDERS) + store.live_len(LINEITEMS),
+                store.cfd_violations(ORDERS).len() + store.cfd_violations(LINEITEMS).len(),
+                store.cind_violations().len(),
+            );
+        }
+
+        // Fresh follower: cursor 0, no incarnation — the snapshot path.
+        let mut fresh = Follower::new(specs.clone(), cinds.clone(), shards, vec![]);
+        let cu = timed_catch_up(&mut fresh, &shipper, final_epoch, final_epoch);
+        assert_same_state(
+            "fresh catch-up",
+            fresh.store().expect("caught-up follower has state"),
+            leader.store(),
+        );
+        if fresh_best.as_ref().is_none_or(|b| cu.time < b.time) {
+            fresh_best = Some(cu);
+        }
+
+        // Stale followers: reopen each frozen state directory (cursor
+        // and incarnation restored) and tail-replay to the tip.
+        for &behind in &stales {
+            let mut stale = Follower::open(
+                specs.clone(),
+                cinds.clone(),
+                shards,
+                vec![],
+                &stale_dir(&state_root, behind),
+            )
+            .expect("frozen replica reopens");
+            assert_eq!(stale.cursor(), final_epoch - behind, "frozen at distance");
+            let cu = timed_catch_up(&mut stale, &shipper, behind, final_epoch);
+            assert_eq!(cu.snapshots_loaded, 0, "retained cursor tail-replays");
+            assert_eq!(cu.frames_replayed, behind, "replays exactly the gap");
+            assert_same_state(
+                &format!("catch-up from {behind} behind"),
+                stale.store().expect("caught-up follower has state"),
+                leader.store(),
+            );
+            if tail_best.get(&behind).is_none_or(|b| cu.time < b.time) {
+                tail_best.insert(behind, cu);
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&state_root);
+
+    let (final_epoch, final_tuples, final_violations, final_cind_violations) = point_final;
+    ReplicaPoint {
+        base,
+        dirty_rate,
+        batch,
+        batches,
+        leader_per_batch: mean(&best_leader),
+        follower_per_batch: mean(&best_follower),
+        frames_shipped,
+        ship_bytes,
+        fresh_catch_up: fresh_best.expect("at least one run"),
+        tail_catch_up: tail_best.into_values().collect(),
+        final_epoch,
+        final_tuples,
+        final_violations,
+        final_cind_violations,
+    }
+}
+
+fn stale_dir(root: &Path, behind: u64) -> std::path::PathBuf {
+    root.join(format!("stale-{behind}"))
+}

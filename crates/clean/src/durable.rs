@@ -425,21 +425,30 @@ pub struct RecoveryReport {
 // Frame codec
 // ---------------------------------------------------------------------
 
-/// One decoded commit frame.
+/// One decoded commit frame. Public because the log-shipping layer
+/// ([`crate::replica`]) moves the exact on-disk frames over the wire
+/// and the wire property suite round-trips them.
 #[derive(Clone, Debug, PartialEq, Eq)]
-struct Frame {
-    epoch: u64,
-    rel: u32,
-    growth_base: u32,
-    growth: Vec<Value>,
-    arity: usize,
-    dels: Vec<Code>,
-    ins: Vec<Code>,
+pub struct Frame {
+    /// The global epoch the commit created.
+    pub epoch: u64,
+    /// The relation the commit targeted.
+    pub rel: u32,
+    /// Pool prefix already known to the reader; `growth` starts here.
+    pub growth_base: u32,
+    /// Dictionary entries the commit interned, in code order.
+    pub growth: Vec<Value>,
+    /// Arity of the code rows (0 only when both sides are empty).
+    pub arity: usize,
+    /// Deleted code rows, flattened row-major.
+    pub dels: Vec<Code>,
+    /// Inserted code rows, flattened row-major.
+    pub ins: Vec<Code>,
 }
 
 /// Encode one commit frame (header + checksummed payload) onto `out`.
 #[allow(clippy::too_many_arguments)]
-fn encode_frame(
+pub fn encode_frame(
     out: &mut Vec<u8>,
     epoch: u64,
     rel: u32,
@@ -475,7 +484,7 @@ fn encode_frame(
 /// Decode the next frame, or `Ok(None)` at a clean end of input. Any
 /// malformation — truncation, checksum mismatch, inconsistent counts —
 /// is a typed error; the reader position is left at the frame start.
-fn decode_frame(r: &mut ByteReader<'_>) -> Result<Option<Frame>, FrameError> {
+pub fn decode_frame(r: &mut ByteReader<'_>) -> Result<Option<Frame>, FrameError> {
     if r.is_exhausted() {
         return Ok(None);
     }
@@ -625,6 +634,12 @@ impl WalWriter {
         self.since_sync = 0;
         Ok(())
     }
+
+    /// The encoded bytes of the last frame appended — the log-shipping
+    /// tap: what went to disk is exactly what followers receive.
+    fn last_frame(&self) -> &[u8] {
+        &self.buf
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -632,12 +647,14 @@ impl WalWriter {
 // ---------------------------------------------------------------------
 
 /// A decoded checkpoint: the dictionary and every relation's live code
-/// rows (column-major, exactly as stored).
-struct CheckpointData {
-    epoch: u64,
-    dict: Vec<Value>,
+/// rows (row-major after decode, column-major on the wire).
+pub struct CheckpointData {
+    /// The epoch the checkpoint captured.
+    pub epoch: u64,
+    /// The full dictionary pool at that epoch, in code order.
+    pub dict: Vec<Value>,
     /// Per relation: `(arity, row-major code rows)`.
-    rels: Vec<(usize, Vec<Code>)>,
+    pub rels: Vec<(usize, Vec<Code>)>,
 }
 
 /// Serialize the current state of `store` as checkpoint bytes. The
@@ -680,7 +697,7 @@ pub fn checkpoint_bytes(store: &MultiStore) -> Vec<u8> {
 /// Decode and fully validate checkpoint bytes (magic, length, checksum,
 /// internal consistency — including that every code is within the
 /// dictionary).
-fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, FrameError> {
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<CheckpointData, FrameError> {
     let mut r = ByteReader::new(bytes);
     let magic = r.take(8)?;
     if magic != CKPT_MAGIC {
@@ -910,7 +927,7 @@ pub fn recover_from_parts(
 /// and commit through the normal apply path (which re-interns the
 /// growth values into the store's pool in the same order, keeping the
 /// two dictionaries aligned).
-fn replay_frame(
+pub(crate) fn replay_frame(
     store: &mut MultiStore,
     log_dict: &mut Vec<Value>,
     frame: &Frame,
@@ -971,11 +988,11 @@ fn parse_epoch(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
 }
 
 /// `(epoch, path)` pairs, ascending by epoch.
-type EpochFiles = Vec<(u64, PathBuf)>;
+pub(crate) type EpochFiles = Vec<(u64, PathBuf)>;
 
 /// List `(epoch, path)` pairs of the directory's checkpoints and
 /// segments, both ascending by epoch.
-fn list_dir(dir: &Path) -> io::Result<(EpochFiles, EpochFiles)> {
+pub(crate) fn list_dir(dir: &Path) -> io::Result<(EpochFiles, EpochFiles)> {
     let mut ckpts = Vec::new();
     let mut segs = Vec::new();
     for entry in fs::read_dir(dir)? {
@@ -995,7 +1012,7 @@ fn list_dir(dir: &Path) -> io::Result<(EpochFiles, EpochFiles)> {
 
 /// Write checkpoint bytes durably: temp file, data sync, atomic rename,
 /// directory sync.
-fn write_checkpoint_file(dir: &Path, epoch: u64, bytes: &[u8]) -> io::Result<()> {
+pub(crate) fn write_checkpoint_file(dir: &Path, epoch: u64, bytes: &[u8]) -> io::Result<()> {
     let tmp = dir.join("ckpt.tmp");
     {
         let mut f = fs::File::create(&tmp)?;
@@ -1013,10 +1030,33 @@ fn write_checkpoint_file(dir: &Path, epoch: u64, bytes: &[u8]) -> io::Result<()>
 /// Delete checkpoints and segments strictly older than `keep_epoch`
 /// (the newest durable checkpoint bounds log truncation).
 fn truncate_older(dir: &Path, keep_epoch: u64) -> io::Result<()> {
+    truncate_with_floor(dir, keep_epoch, keep_epoch)
+}
+
+/// Delete checkpoints older than `ckpt_epoch` and segments no pinned
+/// reader needs: every segment up to (but not including) the last one
+/// starting at or before `floor` goes — that last segment holds the
+/// first frames past `floor`, so a follower cursor parked at `floor`
+/// can still be tail-served from disk. With `floor == ckpt_epoch`
+/// (no registered cursor behind the checkpoint) this is exactly the
+/// classic truncate-everything-older rule.
+fn truncate_with_floor(dir: &Path, ckpt_epoch: u64, floor: u64) -> io::Result<()> {
     let (ckpts, segs) = list_dir(dir)?;
-    for (e, p) in ckpts.into_iter().chain(segs) {
-        if e < keep_epoch {
+    for (e, p) in ckpts {
+        if e < ckpt_epoch {
             fs::remove_file(p)?;
+        }
+    }
+    let keep_from = segs
+        .iter()
+        .filter(|(s, _)| *s <= floor)
+        .map(|(s, _)| *s)
+        .max();
+    if let Some(keep_from) = keep_from {
+        for (s, p) in segs {
+            if s < keep_from {
+                fs::remove_file(p)?;
+            }
         }
     }
     Ok(())
@@ -1060,6 +1100,10 @@ pub struct DurableMultiStore {
     opts: DurableOptions,
     commits_since_ckpt: u64,
     last_ckpt_epoch: u64,
+    /// Manual retention pin ([`DurableMultiStore::retain_from`]).
+    manual_floor: Option<u64>,
+    /// The attached log shipper, if any (see [`crate::replica`]).
+    shipper: Option<crate::replica::LogShipper>,
 }
 
 impl std::ops::Deref for DurableMultiStore {
@@ -1119,7 +1163,8 @@ impl DurableMultiStore {
         // differ from the old log's dictionary, so old segments must
         // not be extended — a new checkpoint + segment re-bases both.)
         let epoch = store.epoch();
-        write_checkpoint_file(dir, epoch, &checkpoint_bytes(&store))?;
+        let ckpt = Arc::new(checkpoint_bytes(&store));
+        write_checkpoint_file(dir, epoch, &ckpt)?;
         let io = FileIo::create(&wal_path(dir, epoch))?;
         let wal = WalWriter::new(Box::new(io), opts.fsync, store.shared_pool().len(), epoch)?;
         truncate_older(dir, epoch)?;
@@ -1131,6 +1176,8 @@ impl DurableMultiStore {
                 opts,
                 commits_since_ckpt: 0,
                 last_ckpt_epoch: epoch,
+                manual_floor: None,
+                shipper: None,
             },
             report,
         ))
@@ -1165,6 +1212,8 @@ impl DurableMultiStore {
                 opts,
                 commits_since_ckpt: 0,
                 last_ckpt_epoch: epoch,
+                manual_floor: None,
+                shipper: None,
             },
             ckpt,
         ))
@@ -1188,6 +1237,11 @@ impl DurableMultiStore {
         let (commit, applied) = self.store.apply_with_rows(rel, batch);
         self.wal
             .log_commit(commit.epoch, rel, &applied, self.store.shared_pool())?;
+        if let Some(shipper) = &self.shipper {
+            // Ship the exact bytes the WAL accepted: the frame only
+            // reaches followers once the leader acknowledged it.
+            shipper.offer(commit.epoch, Arc::from(self.wal.last_frame()));
+        }
         self.commits_since_ckpt += 1;
         if self.opts.checkpoint_every > 0
             && self.commits_since_ckpt >= self.opts.checkpoint_every
@@ -1232,8 +1286,10 @@ impl DurableMultiStore {
 
     /// Take a checkpoint at the current epoch: serialize from a pinned
     /// snapshot, write it durably (temp + rename), rotate to a fresh
-    /// log segment, and truncate everything older. Returns the
-    /// checkpoint epoch.
+    /// log segment, and truncate history — but never the segments a
+    /// registered follower cursor or a [`DurableMultiStore::retain_from`]
+    /// pin still needs (those survive until the cursor advances or is
+    /// released). Returns the checkpoint epoch.
     pub fn checkpoint(&mut self) -> io::Result<u64> {
         let Some(dir) = self.dir.clone() else {
             return Err(io::Error::new(
@@ -1243,7 +1299,8 @@ impl DurableMultiStore {
         };
         let epoch = self.store.epoch();
         self.wal.sync()?;
-        write_checkpoint_file(&dir, epoch, &checkpoint_bytes(&self.store))?;
+        let ckpt = Arc::new(checkpoint_bytes(&self.store));
+        write_checkpoint_file(&dir, epoch, &ckpt)?;
         let io = FileIo::create(&wal_path(&dir, epoch))?;
         self.wal = WalWriter::new(
             Box::new(io),
@@ -1251,10 +1308,59 @@ impl DurableMultiStore {
             self.store.shared_pool().len(),
             epoch,
         )?;
-        truncate_older(&dir, epoch)?;
+        if let Some(shipper) = &self.shipper {
+            shipper.on_checkpoint(epoch, Arc::clone(&ckpt));
+        }
+        truncate_with_floor(&dir, epoch, self.retain_floor().unwrap_or(epoch).min(epoch))?;
         self.commits_since_ckpt = 0;
         self.last_ckpt_epoch = epoch;
         Ok(epoch)
+    }
+
+    /// Pin log retention at `epoch`: segments holding frames past it
+    /// survive [`DurableMultiStore::checkpoint`] truncation until the
+    /// pin is lifted with `retain_from(None)`. Registered follower
+    /// cursors (via the attached [`crate::replica::LogShipper`]) pin
+    /// retention the same way without this call.
+    pub fn retain_from(&mut self, epoch: Option<u64>) {
+        self.manual_floor = epoch;
+        if let Some(shipper) = &self.shipper {
+            shipper.retain_from(epoch);
+        }
+    }
+
+    /// The oldest epoch some reader still needs frames after: the
+    /// minimum over the manual pin and every registered follower
+    /// cursor. `None` when nothing pins retention.
+    pub fn retain_floor(&self) -> Option<u64> {
+        let ship = self.shipper.as_ref().and_then(|s| s.retain_floor());
+        match (self.manual_floor, ship) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Attach a [`crate::replica::LogShipper`] serving checkpoint +
+    /// frame streams from this store. Every subsequent acknowledged
+    /// commit is offered to the shipper; checkpoints refresh its
+    /// snapshot-mode payload. One shipper per store — attaching again
+    /// replaces the previous one (its followers see a closed stream).
+    pub fn attach_shipper(
+        &mut self,
+        opts: crate::replica::ShipOptions,
+    ) -> crate::replica::LogShipper {
+        // Serialize a fresh snapshot at the *current* epoch (the last
+        // durable checkpoint may trail it, and the shipper only retains
+        // frames from here on — snapshot-mode catch-up must cover
+        // everything older).
+        let epoch = self.store.epoch();
+        let ckpt = Arc::new(checkpoint_bytes(&self.store));
+        let shipper = crate::replica::LogShipper::new(epoch, ckpt, epoch, opts);
+        if self.manual_floor.is_some() {
+            shipper.retain_from(self.manual_floor);
+        }
+        self.shipper = Some(shipper.clone());
+        shipper
     }
 }
 

@@ -45,6 +45,15 @@
 //!   materialized views rebuild exactly — tolerating torn final frames
 //!   and turning every other corruption into a typed
 //!   [`durable::RecoveryError`];
+//! * [`replica`] — fault-tolerant log shipping over the durable layer:
+//!   a [`replica::LogShipper`] serves checkpoint + WAL-frame streams
+//!   keyed by epoch cursor, a [`replica::Follower`] replays them into
+//!   its own cores, CIND indexes, and materialized views (epoch-pinned
+//!   read snapshots, a queryable lag bound), and the transport seam
+//!   ([`replica::ShipIo`]) swaps between an in-process channel, a Unix
+//!   socket, and a fault injector — every partition, torn write, shed
+//!   queue, or kill-9 answered with typed errors, jittered backoff, and
+//!   cursor re-negotiation;
 //! * [`repair()`] — a greedy equivalence-class repair that modifies
 //!   right-hand-side cells until the instance satisfies the CFDs, reporting
 //!   the cell-level cost.
@@ -82,6 +91,7 @@ pub mod incremental;
 pub mod matview;
 pub mod multistore;
 pub mod repair;
+pub mod replica;
 pub mod sharded;
 pub mod sql;
 pub mod violations;
@@ -97,6 +107,10 @@ pub use multistore::{
     MultiCommit, MultiDiffFilter, MultiSnapshot, MultiStore, RelationSpec, ViewSnapshot,
 };
 pub use repair::{repair, repair_with_pool, RepairOutcome};
+pub use replica::{
+    follow_until_end, ChanShipIo, FaultShipIo, Follower, FollowerError, FollowerStats, LagBound,
+    LogShipper, RetryPolicy, ShipError, ShipIo, ShipMsg, ShipOptions, ShipServerConn,
+};
 pub use sharded::{Commit, DiffFilter, GcStats, ShardedStore, Snapshot};
 pub use sql::detection_sql;
 pub use violations::{

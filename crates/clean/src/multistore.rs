@@ -227,6 +227,9 @@ pub struct MultiStore {
     /// writer by design).
     view_snaps: Vec<Mutex<Option<Arc<ViewSnapshot>>>>,
     subs: Vec<MultiSub>,
+    /// Subscribers dropped because their queue was full at publish
+    /// time (shed-on-lag; the writer never blocks on a laggard).
+    shed_subs: u64,
 }
 
 impl MultiStore {
@@ -283,6 +286,7 @@ impl MultiStore {
             views: Vec::new(),
             view_snaps: Vec::new(),
             subs: Vec::new(),
+            shed_subs: 0,
         })
     }
 
@@ -434,7 +438,12 @@ impl MultiStore {
     /// Subscribe to every future commit through a bounded channel of
     /// `capacity` commits, filtered by `filter`. Same delivery contract
     /// as [`crate::sharded::ShardedStore::subscribe`]: commit order,
-    /// backpressure on a full channel, drop-to-unsubscribe.
+    /// drop-to-unsubscribe, and shed-on-lag — the writer never blocks
+    /// on a subscriber; a queue that is full at publish time drops the
+    /// subscriber (counted in [`MultiStore::shed_sub_count`]), whose
+    /// receiver observes the disconnect as its gap signal and must
+    /// re-sync from a snapshot (or follow through [`crate::replica`],
+    /// which renegotiates automatically).
     pub fn subscribe(
         &mut self,
         filter: MultiDiffFilter,
@@ -443,6 +452,11 @@ impl MultiStore {
         let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
         self.subs.push(MultiSub { filter, tx });
         rx
+    }
+
+    /// Subscribers shed so far for lagging (full queue at publish).
+    pub fn shed_sub_count(&self) -> u64 {
+        self.shed_subs
     }
 
     /// Pin the current global epoch in every core and capture a
@@ -637,13 +651,25 @@ impl MultiStore {
 
     fn publish(&mut self, commit: &Arc<MultiCommit>) {
         let sigma_cind = self.cind.sigma();
+        let mut shed = 0;
         self.subs.retain(|sub| {
             let msg = match sub.filter {
                 MultiDiffFilter::All => Arc::clone(commit),
                 _ => Arc::new(sub.filter.apply(commit, sigma_cind)),
             };
-            sub.tx.send(msg).is_ok()
+            // Never block the writer on a laggard: a full queue sheds
+            // the subscriber (it observes the disconnect as its gap
+            // signal and must re-sync from a snapshot).
+            match sub.tx.try_send(msg) {
+                Ok(()) => true,
+                Err(std::sync::mpsc::TrySendError::Full(_)) => {
+                    shed += 1;
+                    false
+                }
+                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => false,
+            }
         });
+        self.shed_subs += shed;
     }
 }
 

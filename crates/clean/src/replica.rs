@@ -1,0 +1,1863 @@
+//! Fault-tolerant log shipping: read replicas with epoch-cursor
+//! catch-up over an injectable transport.
+//!
+//! The durable layer ([`crate::durable`]) made the multistore survive
+//! its own crashes; this module makes its state *travel*: a
+//! [`LogShipper`] attached to a [`crate::DurableMultiStore`] serves
+//! checkpoint + WAL-frame streams keyed by epoch cursor, and a
+//! [`Follower`] applies them through the same replay path recovery
+//! uses, maintaining its own cores, CIND indexes, and materialized
+//! views — epoch-pinned read snapshots, a queryable lag bound, and
+//! exact violation sets at every applied epoch.
+//!
+//! # The cursor protocol
+//!
+//! Every connection starts with the follower's [`ShipMsg::Hello`]
+//! carrying its **cursor** (last applied epoch) and the leader
+//! **incarnation** it last synced from. The leader answers with one of
+//! two catch-up modes:
+//!
+//! * **tail-replay** ([`ShipMsg::Tail`]): the incarnation matches and
+//!   every frame past the cursor is still retained — the follower keeps
+//!   its state and receives frames `cursor+1, cursor+2, …` (the exact
+//!   bytes the WAL acknowledged);
+//! * **checkpoint + replay** ([`ShipMsg::Snapshot`]): the cursor was
+//!   compacted away, the follower is fresh, or it last synced from a
+//!   different leader incarnation — the follower rebuilds from the
+//!   shipped checkpoint (through [`recover_from_parts`]) and streams
+//!   frames from the checkpoint epoch on.
+//!
+//! Frames are idempotent by epoch: a frame at or below the cursor is
+//! skipped, a frame that skips ahead is a typed
+//! [`FollowerError::EpochGap`] — an acknowledged leader commit can
+//! neither be double-applied nor silently missed.
+//!
+//! # Faults and shed-on-lag
+//!
+//! The transport is the [`ShipIo`] seam: an in-process channel pair
+//! ([`ChanShipIo`]), a byte stream over a Unix socket
+//! ([`StreamShipIo`], what `cfdprop serve-updates --listen` /
+//! `cfdprop follow` speak), and the chaos wrapper [`FaultShipIo`]
+//! injecting partitions, torn mid-frame writes, and delivery delays.
+//! Every fault surfaces as a typed [`ShipError`] / [`FollowerError`];
+//! [`follow_until_end`] answers them with bounded exponential backoff
+//! plus jitter ([`RetryPolicy`]) and cursor re-negotiation on
+//! reconnect.
+//!
+//! On the leader, each connection owns a **bounded** event queue. A
+//! subscriber that falls behind is never allowed to stall the writer or
+//! buffer without bound: the shipper marks it *gapped*, stops queueing
+//! frames for it, and delivers a [`ShipMsg::Gap`] — the follower
+//! rewinds to its cursor and renegotiates (usually landing in
+//! snapshot-mode catch-up). Registered follower cursors pin log
+//! retention (both the in-memory frame buffer and on-disk segments, see
+//! [`crate::DurableMultiStore::checkpoint`]) until they advance,
+//! bounded by [`ShipOptions::max_retained`].
+//!
+//! The chaos property suite (`crates/clean/tests/replica_chaos.rs`)
+//! runs a leader and K followers under randomized fault schedules —
+//! partitions, torn streams, shed queues, follower kill-9 with restart
+//! from a saved follower checkpoint — and asserts after quiescence that
+//! every follower's CFD + CIND + view violation sets equal the
+//! leader's at the follower's cursor epoch.
+
+use crate::durable::{
+    checkpoint_bytes, decode_checkpoint, decode_frame, list_dir, recover_from_parts, replay_frame,
+    write_checkpoint_file, FrameError, RecoveryError,
+};
+use crate::matview::ViewSpec;
+use crate::multistore::{MultiSnapshot, MultiStore, RelationSpec};
+use cfd_cind::Cind;
+use cfd_relalg::wire::{crc32, put_u32, put_u64, ByteReader, WireError};
+use cfd_relalg::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Protocol version spoken in [`ShipMsg::Hello`].
+pub const SHIP_PROTO_VERSION: u32 = 1;
+
+/// Magic bytes opening a follower's saved cursor-metadata file.
+pub const FOLLOW_META_MAGIC: [u8; 8] = *b"CFDFOL01";
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// A transport-level failure. Every fault the [`ShipIo`] seam can
+/// inject maps onto one of these — never a panic, never a hang.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShipError {
+    /// The peer closed the connection (clean EOF or dropped handle).
+    Closed,
+    /// An injected fault tripped (torn write, partition, link down).
+    Fault(&'static str),
+    /// The peer violated the protocol.
+    Protocol(&'static str),
+    /// A message failed to decode (bad magic, checksum, truncation).
+    Corrupt(FrameError),
+    /// An OS-level I/O error on a byte-stream transport.
+    Io(String),
+}
+
+impl fmt::Display for ShipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShipError::Closed => write!(f, "connection closed by peer"),
+            ShipError::Fault(what) => write!(f, "injected fault: {what}"),
+            ShipError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ShipError::Corrupt(e) => write!(f, "corrupt message: {e}"),
+            ShipError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShipError {}
+
+impl From<FrameError> for ShipError {
+    fn from(e: FrameError) -> Self {
+        ShipError::Corrupt(e)
+    }
+}
+
+/// Why a follower session ended abnormally. The retry loop
+/// ([`follow_until_end`]) answers every variant with backoff and cursor
+/// re-negotiation; none of them can corrupt follower state.
+#[derive(Debug)]
+pub enum FollowerError {
+    /// The transport failed at a message boundary.
+    Ship(ShipError),
+    /// The transport failed mid-message — a torn stream; the partial
+    /// bytes are discarded and the cursor stays at the last applied
+    /// epoch.
+    Torn {
+        /// Undecodable bytes buffered when the stream died.
+        buffered: usize,
+    },
+    /// A message or frame failed to decode or apply.
+    Corrupt(FrameError),
+    /// A frame skipped ahead of the cursor — frames lost in flight.
+    EpochGap {
+        /// The epoch the follower expected next.
+        expected: u64,
+        /// The epoch the frame carried.
+        found: u64,
+    },
+    /// The leader shed this subscriber's queue (lag): frames up to
+    /// `through` were dropped for this connection. Renegotiate.
+    Shed {
+        /// The newest epoch the gap covers.
+        through: u64,
+    },
+    /// Rebuilding from a shipped checkpoint failed.
+    Recovery(RecoveryError),
+    /// The peer violated the protocol.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for FollowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FollowerError::Ship(e) => write!(f, "{e}"),
+            FollowerError::Torn { buffered } => {
+                write!(f, "stream torn mid-message ({buffered} bytes buffered)")
+            }
+            FollowerError::Corrupt(e) => write!(f, "corrupt frame: {e}"),
+            FollowerError::EpochGap { expected, found } => {
+                write!(f, "frame gap: expected epoch {expected}, got {found}")
+            }
+            FollowerError::Shed { through } => {
+                write!(f, "shed by leader: frames through epoch {through} dropped")
+            }
+            FollowerError::Recovery(e) => write!(f, "checkpoint rebuild failed: {e}"),
+            FollowerError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FollowerError {}
+
+impl From<ShipError> for FollowerError {
+    fn from(e: ShipError) -> Self {
+        FollowerError::Ship(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire messages
+// ---------------------------------------------------------------------
+
+/// One protocol message. On the wire: `len:u32 crc:u32 payload`, where
+/// the payload is one tag byte plus the fields below (all scalars
+/// little-endian, [`cfd_relalg::wire`] conventions). A
+/// [`ShipMsg::Frame`] embeds the *exact* encoded WAL frame bytes — what
+/// the leader's log acknowledged is what the follower replays.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShipMsg {
+    /// Follower → leader: open a session at `cursor`.
+    Hello {
+        /// Protocol version ([`SHIP_PROTO_VERSION`]).
+        proto: u32,
+        /// Leader incarnation the follower last synced from (0 = none).
+        incarnation: u64,
+        /// Last epoch the follower applied.
+        cursor: u64,
+    },
+    /// Leader → follower: tail-replay granted; frames follow from
+    /// `cursor + 1`.
+    Tail {
+        /// The leader's incarnation.
+        incarnation: u64,
+        /// The leader's current epoch (lag bound seed).
+        leader_epoch: u64,
+    },
+    /// Leader → follower: cursor not servable by tail; rebuild from
+    /// the embedded checkpoint, then frames follow from its epoch.
+    Snapshot {
+        /// The leader's incarnation.
+        incarnation: u64,
+        /// The leader's current epoch.
+        leader_epoch: u64,
+        /// Checkpoint bytes ([`crate::durable`] checkpoint format).
+        ckpt: Vec<u8>,
+    },
+    /// Leader → follower: one encoded WAL frame.
+    Frame(Vec<u8>),
+    /// Leader → follower: keepalive carrying the current epoch.
+    Heartbeat {
+        /// The leader's current epoch.
+        leader_epoch: u64,
+    },
+    /// Leader → follower: your queue lagged and frames through `through`
+    /// were shed — rewind to your cursor and renegotiate.
+    Gap {
+        /// The newest epoch the shed covers.
+        through: u64,
+    },
+    /// Leader → follower: the stream ended cleanly at `leader_epoch`.
+    End {
+        /// The final epoch.
+        leader_epoch: u64,
+    },
+}
+
+/// Encode one message (length + checksum + payload) onto `out`.
+pub fn encode_ship_msg(out: &mut Vec<u8>, msg: &ShipMsg) {
+    let mut p = Vec::new();
+    match msg {
+        ShipMsg::Hello {
+            proto,
+            incarnation,
+            cursor,
+        } => {
+            p.push(0);
+            put_u32(&mut p, *proto);
+            put_u64(&mut p, *incarnation);
+            put_u64(&mut p, *cursor);
+        }
+        ShipMsg::Tail {
+            incarnation,
+            leader_epoch,
+        } => {
+            p.push(1);
+            put_u64(&mut p, *incarnation);
+            put_u64(&mut p, *leader_epoch);
+        }
+        ShipMsg::Snapshot {
+            incarnation,
+            leader_epoch,
+            ckpt,
+        } => {
+            p.push(2);
+            put_u64(&mut p, *incarnation);
+            put_u64(&mut p, *leader_epoch);
+            p.extend_from_slice(ckpt);
+        }
+        ShipMsg::Frame(bytes) => {
+            p.push(3);
+            p.extend_from_slice(bytes);
+        }
+        ShipMsg::Heartbeat { leader_epoch } => {
+            p.push(4);
+            put_u64(&mut p, *leader_epoch);
+        }
+        ShipMsg::Gap { through } => {
+            p.push(5);
+            put_u64(&mut p, *through);
+        }
+        ShipMsg::End { leader_epoch } => {
+            p.push(6);
+            put_u64(&mut p, *leader_epoch);
+        }
+    }
+    put_u32(out, p.len() as u32);
+    put_u32(out, crc32(&p));
+    out.extend_from_slice(&p);
+}
+
+/// Decode the first complete message in `buf`, returning it plus the
+/// bytes consumed — or `Ok(None)` if `buf` holds only a message prefix
+/// (read more and retry). Corruption is a typed error.
+pub fn decode_ship_msg(buf: &[u8]) -> Result<Option<(ShipMsg, usize)>, FrameError> {
+    if buf.len() < 8 {
+        return Ok(None);
+    }
+    let mut r = ByteReader::new(buf);
+    let len = r.u32()? as usize;
+    let crc = r.u32()?;
+    if len > r.remaining() {
+        return Ok(None);
+    }
+    let payload = r.take(len)?;
+    if crc32(payload) != crc {
+        return Err(FrameError::BadCrc { at: 0 });
+    }
+    let mut p = ByteReader::new(payload);
+    let tag = p.u8()?;
+    let msg = match tag {
+        0 => ShipMsg::Hello {
+            proto: p.u32()?,
+            incarnation: p.u64()?,
+            cursor: p.u64()?,
+        },
+        1 => ShipMsg::Tail {
+            incarnation: p.u64()?,
+            leader_epoch: p.u64()?,
+        },
+        2 => {
+            let incarnation = p.u64()?;
+            let leader_epoch = p.u64()?;
+            let ckpt = p.take(p.remaining())?.to_vec();
+            ShipMsg::Snapshot {
+                incarnation,
+                leader_epoch,
+                ckpt,
+            }
+        }
+        3 => ShipMsg::Frame(p.take(p.remaining())?.to_vec()),
+        4 => ShipMsg::Heartbeat {
+            leader_epoch: p.u64()?,
+        },
+        5 => ShipMsg::Gap { through: p.u64()? },
+        6 => ShipMsg::End {
+            leader_epoch: p.u64()?,
+        },
+        tag => return Err(FrameError::Wire(WireError::BadTag { at: 8, tag })),
+    };
+    if !p.is_exhausted() {
+        return Err(FrameError::BadPayload {
+            what: "trailing bytes in ship message",
+        });
+    }
+    Ok(Some((msg, 8 + len)))
+}
+
+// ---------------------------------------------------------------------
+// The transport seam
+// ---------------------------------------------------------------------
+
+/// A bidirectional byte transport: chunks sent on one end arrive (in
+/// order, possibly re-chunked) at the other. Implementations: the
+/// in-process [`ChanShipIo`], the Unix-socket [`StreamShipIo`], and the
+/// fault-injecting [`FaultShipIo`].
+pub trait ShipIo: Send {
+    /// Send `bytes` in full (or fail, possibly having delivered a torn
+    /// prefix — exactly what a mid-frame disconnect leaves behind).
+    fn send(&mut self, bytes: &[u8]) -> Result<(), ShipError>;
+    /// Block until the next chunk arrives. `Err(Closed)` at EOF.
+    fn recv(&mut self) -> Result<Vec<u8>, ShipError>;
+    /// Non-blocking receive: `Ok(None)` when nothing is pending.
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, ShipError>;
+}
+
+/// The in-process [`ShipIo`]: a pair of unbounded byte-chunk channels.
+/// (Flow control lives in the shipper's bounded per-subscriber queues,
+/// not the transport.)
+pub struct ChanShipIo {
+    tx: std::sync::mpsc::Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl ChanShipIo {
+    /// A connected pair: what one end sends, the other receives.
+    pub fn pair() -> (ChanShipIo, ChanShipIo) {
+        let (atx, brx) = std::sync::mpsc::channel();
+        let (btx, arx) = std::sync::mpsc::channel();
+        (
+            ChanShipIo { tx: atx, rx: arx },
+            ChanShipIo { tx: btx, rx: brx },
+        )
+    }
+}
+
+impl ShipIo for ChanShipIo {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), ShipError> {
+        self.tx.send(bytes.to_vec()).map_err(|_| ShipError::Closed)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ShipError> {
+        self.rx.recv().map_err(|_| ShipError::Closed)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, ShipError> {
+        match self.rx.try_recv() {
+            Ok(chunk) => Ok(Some(chunk)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(ShipError::Closed),
+        }
+    }
+}
+
+/// The byte-stream [`ShipIo`] over a Unix-domain socket — what
+/// `cfdprop serve-updates --listen` and `cfdprop follow` speak.
+#[cfg(unix)]
+pub struct StreamShipIo {
+    stream: std::os::unix::net::UnixStream,
+}
+
+#[cfg(unix)]
+impl StreamShipIo {
+    /// Wrap a connected stream.
+    pub fn new(stream: std::os::unix::net::UnixStream) -> StreamShipIo {
+        StreamShipIo { stream }
+    }
+
+    fn map_io(e: io::Error) -> ShipError {
+        match e.kind() {
+            io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::UnexpectedEof => ShipError::Closed,
+            _ => ShipError::Io(e.to_string()),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl ShipIo for StreamShipIo {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), ShipError> {
+        self.stream.set_nonblocking(false).map_err(Self::map_io)?;
+        self.stream.write_all(bytes).map_err(Self::map_io)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ShipError> {
+        self.stream.set_nonblocking(false).map_err(Self::map_io)?;
+        let mut buf = vec![0u8; 64 * 1024];
+        let n = self.stream.read(&mut buf).map_err(Self::map_io)?;
+        if n == 0 {
+            return Err(ShipError::Closed);
+        }
+        buf.truncate(n);
+        Ok(buf)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, ShipError> {
+        self.stream.set_nonblocking(true).map_err(Self::map_io)?;
+        let mut buf = vec![0u8; 64 * 1024];
+        match self.stream.read(&mut buf) {
+            Ok(0) => Err(ShipError::Closed),
+            Ok(n) => {
+                buf.truncate(n);
+                Ok(Some(buf))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(Self::map_io(e)),
+        }
+    }
+}
+
+/// A fault-injecting [`ShipIo`] wrapper. Faults are deterministic
+/// budgets, so a seeded schedule reproduces exactly:
+///
+/// * `cut_send_at(k)` — the send crossing byte `k` delivers only its
+///   prefix (a torn, mid-frame write) and kills the link;
+/// * `cut_recv_at(n)` — the link partitions after `n` data-bearing
+///   receives;
+/// * `delay(n)` — the first `n` polls see nothing (a reordering-free
+///   delivery delay).
+///
+/// After any fault trips, every operation returns
+/// [`ShipError::Fault`].
+pub struct FaultShipIo {
+    inner: Box<dyn ShipIo>,
+    cut_send_at: Option<usize>,
+    cut_recv_at: Option<usize>,
+    delay: usize,
+    sent: usize,
+    recvd: usize,
+    dead: bool,
+}
+
+impl FaultShipIo {
+    /// Wrap `inner` with no faults armed.
+    pub fn new(inner: Box<dyn ShipIo>) -> FaultShipIo {
+        FaultShipIo {
+            inner,
+            cut_send_at: None,
+            cut_recv_at: None,
+            delay: 0,
+            sent: 0,
+            recvd: 0,
+            dead: false,
+        }
+    }
+
+    /// Tear the link mid-write once `bytes` total bytes have been sent.
+    pub fn cut_send_at(mut self, bytes: usize) -> FaultShipIo {
+        self.cut_send_at = Some(bytes);
+        self
+    }
+
+    /// Partition the link after `recvs` data-bearing receives.
+    pub fn cut_recv_at(mut self, recvs: usize) -> FaultShipIo {
+        self.cut_recv_at = Some(recvs);
+        self
+    }
+
+    /// Delay delivery: the first `polls` non-blocking polls see nothing.
+    pub fn delay(mut self, polls: usize) -> FaultShipIo {
+        self.delay = polls;
+        self
+    }
+
+    fn check_recv_budget(&mut self) -> Result<(), ShipError> {
+        if self.dead {
+            return Err(ShipError::Fault("link down"));
+        }
+        if let Some(n) = self.cut_recv_at {
+            if self.recvd >= n {
+                self.dead = true;
+                return Err(ShipError::Fault("network partition"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ShipIo for FaultShipIo {
+    fn send(&mut self, bytes: &[u8]) -> Result<(), ShipError> {
+        if self.dead {
+            return Err(ShipError::Fault("link down"));
+        }
+        if let Some(cut) = self.cut_send_at {
+            if self.sent + bytes.len() > cut {
+                let room = cut.saturating_sub(self.sent);
+                // Deliver the torn prefix — that's what makes the fault
+                // interesting: the peer buffers half a message.
+                let _ = self.inner.send(&bytes[..room]);
+                self.dead = true;
+                return Err(ShipError::Fault("torn mid-frame write"));
+            }
+        }
+        self.sent += bytes.len();
+        self.inner.send(bytes)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ShipError> {
+        self.check_recv_budget()?;
+        let chunk = self.inner.recv()?;
+        self.recvd += 1;
+        Ok(chunk)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, ShipError> {
+        if self.dead {
+            return Err(ShipError::Fault("link down"));
+        }
+        if self.delay > 0 {
+            self.delay -= 1;
+            return Ok(None);
+        }
+        self.check_recv_budget()?;
+        match self.inner.try_recv()? {
+            Some(chunk) => {
+                self.recvd += 1;
+                Ok(Some(chunk))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The leader side: LogShipper
+// ---------------------------------------------------------------------
+
+/// Knobs of a [`LogShipper`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShipOptions {
+    /// Per-connection event-queue capacity. A connection whose queue
+    /// fills is shed (gap event), never allowed to stall the writer.
+    pub queue_cap: usize,
+    /// Retained-frame cap: beyond this many frames, retention stops
+    /// honoring slow cursors (they fall back to snapshot catch-up).
+    /// Frames past the newest checkpoint are always retained — memory
+    /// is bounded by the checkpoint cadence.
+    pub max_retained: usize,
+}
+
+impl Default for ShipOptions {
+    fn default() -> Self {
+        ShipOptions {
+            queue_cap: 64,
+            max_retained: 4096,
+        }
+    }
+}
+
+/// A registered follower cursor: pins log retention at its epoch until
+/// advanced or released.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CursorId(u64);
+
+pub(crate) enum ShipEvent {
+    Frame(u64, Arc<[u8]>),
+    Gap { through: u64 },
+}
+
+struct ShipSub {
+    id: u64,
+    tx: SyncSender<ShipEvent>,
+    gapped: bool,
+    gap_sent: bool,
+}
+
+struct ShipState {
+    incarnation: u64,
+    leader_epoch: u64,
+    ckpt: Arc<Vec<u8>>,
+    ckpt_epoch: u64,
+    /// Frames `(retained_base, leader_epoch]`, oldest first.
+    retained: VecDeque<(u64, Arc<[u8]>)>,
+    retained_base: u64,
+    manual_floor: Option<u64>,
+    cursors: Vec<(u64, u64)>,
+    next_cursor: u64,
+    subs: Vec<ShipSub>,
+    next_sub: u64,
+    closed: bool,
+    shed_count: u64,
+    opts: ShipOptions,
+}
+
+impl ShipState {
+    /// Drop retained frames nothing needs anymore: frames at or below
+    /// the floor (the minimum of the newest checkpoint, every cursor,
+    /// and the manual pin), plus — once over `max_retained` — frames up
+    /// to the checkpoint regardless of cursors (those fall back to
+    /// snapshot catch-up).
+    fn prune(&mut self) {
+        let mut floor = self.ckpt_epoch;
+        if let Some(m) = self.manual_floor {
+            floor = floor.min(m);
+        }
+        for (_, c) in &self.cursors {
+            floor = floor.min(*c);
+        }
+        while self.retained.front().is_some_and(|(e, _)| *e <= floor) {
+            let (e, _) = self.retained.pop_front().expect("checked front");
+            self.retained_base = e;
+        }
+        while self.retained.len() > self.opts.max_retained
+            && self
+                .retained
+                .front()
+                .is_some_and(|(e, _)| *e <= self.ckpt_epoch)
+        {
+            let (e, _) = self.retained.pop_front().expect("checked front");
+            self.retained_base = e;
+        }
+    }
+}
+
+/// What [`LogShipper::catch_up`] grants a connection (computed under
+/// one lock, so the frame list splices exactly onto the live queue).
+pub(crate) struct CatchUp {
+    pub(crate) mode: CatchUpMode,
+    pub(crate) frames: Vec<(u64, Arc<[u8]>)>,
+    pub(crate) leader_epoch: u64,
+    pub(crate) incarnation: u64,
+    pub(crate) rx: Receiver<ShipEvent>,
+    pub(crate) sub_id: u64,
+    pub(crate) cursor: CursorId,
+}
+
+pub(crate) enum CatchUpMode {
+    /// Resume from the follower's cursor; its state stands.
+    Tail,
+    /// Rebuild from this checkpoint (at the embedded epoch).
+    Snapshot(Arc<Vec<u8>>),
+}
+
+/// The leader-side shipping hub: retains acknowledged frames, serves
+/// epoch-cursor catch-up, fans commits out to bounded per-connection
+/// queues (shedding laggards), and tracks registered cursors so log
+/// retention — in memory and on disk — never drops a frame a live
+/// follower still needs. Cheaply cloneable; attach one via
+/// [`crate::DurableMultiStore::attach_shipper`].
+#[derive(Clone)]
+pub struct LogShipper {
+    state: Arc<Mutex<ShipState>>,
+}
+
+/// Process-unique incarnation numbers: a follower that last synced from
+/// a different leader instance (or a restarted one) must rebuild from a
+/// checkpoint, because frame dictionaries align only within one
+/// instance's pool order.
+fn next_incarnation() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let salt = (std::process::id() as u64) << 40;
+    (nanos ^ salt).wrapping_add(COUNTER.fetch_add(1, Ordering::Relaxed) << 56) | 1
+}
+
+impl LogShipper {
+    /// A shipper serving `ckpt` (at `ckpt_epoch`) as its snapshot-mode
+    /// payload and retaining every frame offered after `leader_epoch`.
+    pub(crate) fn new(
+        leader_epoch: u64,
+        ckpt: Arc<Vec<u8>>,
+        ckpt_epoch: u64,
+        opts: ShipOptions,
+    ) -> LogShipper {
+        LogShipper {
+            state: Arc::new(Mutex::new(ShipState {
+                incarnation: next_incarnation(),
+                leader_epoch,
+                ckpt,
+                ckpt_epoch,
+                retained: VecDeque::new(),
+                retained_base: leader_epoch,
+                manual_floor: None,
+                cursors: Vec::new(),
+                next_cursor: 0,
+                subs: Vec::new(),
+                next_sub: 0,
+                closed: false,
+                shed_count: 0,
+                opts,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ShipState> {
+        self.state.lock().expect("shipper state")
+    }
+
+    /// Offer one acknowledged commit frame (called by the durable
+    /// store's `apply`). Never blocks: a connection whose queue is full
+    /// is marked gapped, counted in [`LogShipper::shed_count`], and
+    /// receives a gap event once its queue has room.
+    pub(crate) fn offer(&self, epoch: u64, frame: Arc<[u8]>) {
+        let mut s = self.lock();
+        debug_assert!(epoch > s.leader_epoch, "frames arrive in epoch order");
+        s.leader_epoch = epoch;
+        s.retained.push_back((epoch, Arc::clone(&frame)));
+        s.prune();
+        let mut shed = 0;
+        for sub in &mut s.subs {
+            if sub.gapped {
+                if !sub.gap_sent && sub.tx.try_send(ShipEvent::Gap { through: epoch }).is_ok() {
+                    sub.gap_sent = true;
+                }
+                continue;
+            }
+            match sub.tx.try_send(ShipEvent::Frame(epoch, Arc::clone(&frame))) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    sub.gapped = true;
+                    shed += 1;
+                    if sub.tx.try_send(ShipEvent::Gap { through: epoch }).is_ok() {
+                        sub.gap_sent = true;
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+        s.shed_count += shed;
+    }
+
+    /// Refresh the snapshot-mode payload after a checkpoint.
+    pub(crate) fn on_checkpoint(&self, epoch: u64, ckpt: Arc<Vec<u8>>) {
+        let mut s = self.lock();
+        s.ckpt = ckpt;
+        s.ckpt_epoch = epoch;
+        s.prune();
+    }
+
+    /// Serve a [`ShipMsg::Hello`]: decide tail vs snapshot catch-up,
+    /// subscribe a bounded event queue, and register a retention cursor
+    /// — all under one lock, so no frame can fall between the returned
+    /// backlog and the queue.
+    pub(crate) fn catch_up(&self, cursor: u64, incarnation: u64) -> CatchUp {
+        let mut s = self.lock();
+        let cap = s.opts.queue_cap.max(1);
+        let (tx, rx) = sync_channel(cap);
+        let sub_id = s.next_sub;
+        s.next_sub += 1;
+        s.subs.push(ShipSub {
+            id: sub_id,
+            tx,
+            gapped: false,
+            gap_sent: false,
+        });
+        let tail_ok =
+            incarnation == s.incarnation && cursor <= s.leader_epoch && cursor >= s.retained_base;
+        let (mode, from) = if tail_ok {
+            (CatchUpMode::Tail, cursor)
+        } else {
+            (CatchUpMode::Snapshot(Arc::clone(&s.ckpt)), s.ckpt_epoch)
+        };
+        let frames: Vec<(u64, Arc<[u8]>)> = s
+            .retained
+            .iter()
+            .filter(|(e, _)| *e > from)
+            .cloned()
+            .collect();
+        let cursor_id = CursorId(s.next_cursor);
+        s.next_cursor += 1;
+        s.cursors.push((cursor_id.0, from));
+        CatchUp {
+            mode,
+            frames,
+            leader_epoch: s.leader_epoch,
+            incarnation: s.incarnation,
+            rx,
+            sub_id,
+            cursor: cursor_id,
+        }
+    }
+
+    /// Register a retention cursor at `epoch` (frames past it survive
+    /// checkpoint truncation until the cursor advances or is released).
+    pub fn register_cursor(&self, epoch: u64) -> CursorId {
+        let mut s = self.lock();
+        let id = CursorId(s.next_cursor);
+        s.next_cursor += 1;
+        s.cursors.push((id.0, epoch));
+        id
+    }
+
+    /// Advance a cursor (monotonically) to `epoch`.
+    pub fn advance_cursor(&self, id: CursorId, epoch: u64) {
+        let mut s = self.lock();
+        if let Some(entry) = s.cursors.iter_mut().find(|(cid, _)| *cid == id.0) {
+            entry.1 = entry.1.max(epoch);
+        }
+        s.prune();
+    }
+
+    /// Release a cursor; retention it pinned becomes reclaimable.
+    pub fn release_cursor(&self, id: CursorId) {
+        let mut s = self.lock();
+        s.cursors.retain(|(cid, _)| *cid != id.0);
+        s.prune();
+    }
+
+    pub(crate) fn unsubscribe(&self, sub_id: u64) {
+        let mut s = self.lock();
+        s.subs.retain(|sub| sub.id != sub_id);
+    }
+
+    /// Deliver a pending gap event to a shed subscriber whose queue has
+    /// drained (the conn calls this on an empty queue — without it a
+    /// sub gapped while its queue was full would only learn of the shed
+    /// on the leader's *next* commit, which may never come).
+    pub(crate) fn flush_gap(&self, sub_id: u64) {
+        let mut s = self.lock();
+        let through = s.leader_epoch;
+        if let Some(sub) = s.subs.iter_mut().find(|sub| sub.id == sub_id) {
+            if sub.gapped && !sub.gap_sent && sub.tx.try_send(ShipEvent::Gap { through }).is_ok() {
+                sub.gap_sent = true;
+            }
+        }
+    }
+
+    /// Manual retention pin (see [`crate::DurableMultiStore::retain_from`]).
+    pub fn retain_from(&self, epoch: Option<u64>) {
+        let mut s = self.lock();
+        s.manual_floor = epoch;
+        s.prune();
+    }
+
+    /// The oldest epoch some registered cursor or manual pin still
+    /// needs frames after; `None` when nothing pins retention.
+    pub fn retain_floor(&self) -> Option<u64> {
+        let s = self.lock();
+        s.cursors
+            .iter()
+            .map(|(_, e)| *e)
+            .chain(s.manual_floor)
+            .min()
+    }
+
+    /// The leader's current epoch.
+    pub fn leader_epoch(&self) -> u64 {
+        self.lock().leader_epoch
+    }
+
+    /// This leader instance's incarnation number.
+    pub fn incarnation(&self) -> u64 {
+        self.lock().incarnation
+    }
+
+    /// Connections shed for lag so far.
+    pub fn shed_count(&self) -> u64 {
+        self.lock().shed_count
+    }
+
+    /// Frames currently retained in memory.
+    pub fn retained_len(&self) -> usize {
+        self.lock().retained.len()
+    }
+
+    /// Has [`LogShipper::finish`] been called?
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Close the stream: existing connections drain their queues and
+    /// receive [`ShipMsg::End`]; new connections get catch-up plus an
+    /// immediate end.
+    pub fn finish(&self) {
+        let mut s = self.lock();
+        s.closed = true;
+        // Dropping the senders lets blocking connections observe the
+        // end of the stream after draining what was queued.
+        s.subs.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The leader side: one serving connection
+// ---------------------------------------------------------------------
+
+struct ServerSess {
+    rx: Receiver<ShipEvent>,
+    sub_id: u64,
+    cursor: CursorId,
+    last_sent: u64,
+}
+
+/// One leader-side serving connection: handshake, catch-up backlog,
+/// then live streaming from a bounded queue. Drive it either with
+/// [`ShipServerConn::pump`] (non-blocking, for single-threaded
+/// harnesses) or [`ShipServerConn::run`] (blocking, one thread per
+/// connection — what the CLI spawns per accepted socket).
+///
+/// Dropping the connection releases its queue and retention cursor.
+pub struct ShipServerConn {
+    io: Box<dyn ShipIo>,
+    shipper: LogShipper,
+    rxbuf: Vec<u8>,
+    sess: Option<ServerSess>,
+    done: bool,
+}
+
+impl ShipServerConn {
+    /// Serve one accepted transport.
+    pub fn new(io: Box<dyn ShipIo>, shipper: LogShipper) -> ShipServerConn {
+        ShipServerConn {
+            io,
+            shipper,
+            rxbuf: Vec::new(),
+            sess: None,
+            done: false,
+        }
+    }
+
+    /// Has the connection finished (end sent, gap sent, or peer gone)?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn send(&mut self, msg: &ShipMsg) -> Result<(), ShipError> {
+        let mut out = Vec::new();
+        encode_ship_msg(&mut out, msg);
+        self.io.send(&out)
+    }
+
+    fn handle_hello(&mut self, incarnation: u64, cursor: u64) -> Result<(), ShipError> {
+        if self.sess.is_some() {
+            return Err(ShipError::Protocol("duplicate hello"));
+        }
+        let cu = self.shipper.catch_up(cursor, incarnation);
+        let mut last_sent = match &cu.mode {
+            CatchUpMode::Tail => {
+                self.send(&ShipMsg::Tail {
+                    incarnation: cu.incarnation,
+                    leader_epoch: cu.leader_epoch,
+                })?;
+                cursor
+            }
+            CatchUpMode::Snapshot(ckpt) => {
+                let ckpt_epoch = decode_checkpoint(ckpt).map(|c| c.epoch).unwrap_or(0);
+                self.send(&ShipMsg::Snapshot {
+                    incarnation: cu.incarnation,
+                    leader_epoch: cu.leader_epoch,
+                    ckpt: ckpt.as_ref().clone(),
+                })?;
+                ckpt_epoch
+            }
+        };
+        for (e, bytes) in &cu.frames {
+            if *e > last_sent {
+                self.send(&ShipMsg::Frame(bytes.to_vec()))?;
+                last_sent = *e;
+            }
+        }
+        self.shipper.advance_cursor(cu.cursor, last_sent);
+        self.sess = Some(ServerSess {
+            rx: cu.rx,
+            sub_id: cu.sub_id,
+            cursor: cu.cursor,
+            last_sent,
+        });
+        Ok(())
+    }
+
+    fn handle_event(&mut self, ev: ShipEvent) -> Result<(), ShipError> {
+        match ev {
+            ShipEvent::Frame(e, bytes) => {
+                let sess = self.sess.as_ref().expect("event without session");
+                if e > sess.last_sent {
+                    self.send(&ShipMsg::Frame(bytes.to_vec()))?;
+                    let sess = self.sess.as_mut().expect("session");
+                    sess.last_sent = e;
+                    let (cursor, last) = (sess.cursor, sess.last_sent);
+                    self.shipper.advance_cursor(cursor, last);
+                }
+            }
+            ShipEvent::Gap { through } => {
+                self.send(&ShipMsg::Gap { through })?;
+                self.finish_sess();
+            }
+        }
+        Ok(())
+    }
+
+    /// The stream is over for this connection: if the follower is fully
+    /// caught up, end cleanly; otherwise tell it to renegotiate (the
+    /// remaining frames are served to its next connection).
+    fn end_or_gap(&mut self) -> Result<(), ShipError> {
+        let leader_epoch = self.shipper.leader_epoch();
+        let caught_up = self
+            .sess
+            .as_ref()
+            .is_some_and(|sess| sess.last_sent == leader_epoch);
+        if caught_up {
+            self.send(&ShipMsg::End { leader_epoch })?;
+        } else {
+            self.send(&ShipMsg::Gap {
+                through: leader_epoch,
+            })?;
+        }
+        self.finish_sess();
+        Ok(())
+    }
+
+    fn finish_sess(&mut self) {
+        if let Some(sess) = self.sess.take() {
+            self.shipper.unsubscribe(sess.sub_id);
+            self.shipper.release_cursor(sess.cursor);
+        }
+        self.done = true;
+    }
+
+    fn ingest(&mut self) -> Result<bool, ShipError> {
+        let mut progress = false;
+        while let Some(chunk) = self.io.try_recv()? {
+            self.rxbuf.extend_from_slice(&chunk);
+            progress = true;
+        }
+        while let Some((msg, used)) = decode_ship_msg(&self.rxbuf)? {
+            self.rxbuf.drain(..used);
+            progress = true;
+            match msg {
+                ShipMsg::Hello {
+                    incarnation,
+                    cursor,
+                    ..
+                } => self.handle_hello(incarnation, cursor)?,
+                _ => return Err(ShipError::Protocol("unexpected client message")),
+            }
+        }
+        Ok(progress)
+    }
+
+    /// One non-blocking step: ingest client bytes, run the handshake,
+    /// forward queued events. Returns whether anything happened. An
+    /// `Err` means the connection is dead — drop it (cleanup is
+    /// automatic).
+    pub fn pump(&mut self) -> Result<bool, ShipError> {
+        if self.done {
+            return Ok(false);
+        }
+        let mut progress = match self.ingest() {
+            Ok(p) => p,
+            Err(e) => {
+                self.finish_sess();
+                return Err(e);
+            }
+        };
+        if self.sess.is_some() {
+            loop {
+                let next = self
+                    .sess
+                    .as_ref()
+                    .expect("session while pumping")
+                    .rx
+                    .try_recv();
+                match next {
+                    Ok(ev) => {
+                        if let Err(e) = self.handle_event(ev) {
+                            self.finish_sess();
+                            return Err(e);
+                        }
+                        progress = true;
+                        if self.done {
+                            break;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => {
+                        // A shed may be pending from a moment the queue
+                        // was full; deliver it now that there is room.
+                        let sub_id = self.sess.as_ref().expect("session").sub_id;
+                        self.shipper.flush_gap(sub_id);
+                        if let Ok(ev) = self.sess.as_ref().expect("session").rx.try_recv() {
+                            if let Err(e) = self.handle_event(ev) {
+                                self.finish_sess();
+                                return Err(e);
+                            }
+                            progress = true;
+                            if self.done {
+                                break;
+                            }
+                            continue;
+                        }
+                        if self.shipper.is_closed() {
+                            if let Err(e) = self.end_or_gap() {
+                                self.finish_sess();
+                                return Err(e);
+                            }
+                            progress = true;
+                        }
+                        break;
+                    }
+                    Err(TryRecvError::Disconnected) => {
+                        if let Err(e) = self.end_or_gap() {
+                            self.finish_sess();
+                            return Err(e);
+                        }
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(progress)
+    }
+
+    /// Serve the connection to completion, blocking (one thread per
+    /// connection). Heartbeats go out on idle ticks so the follower's
+    /// lag bound stays fresh and a dead peer is detected.
+    pub fn run(mut self) -> Result<(), ShipError> {
+        // Handshake: block for client bytes until the hello arrives.
+        while self.sess.is_none() {
+            let chunk = match self.io.recv() {
+                Ok(c) => c,
+                Err(e) => {
+                    self.finish_sess();
+                    return Err(e);
+                }
+            };
+            self.rxbuf.extend_from_slice(&chunk);
+            while let Some((msg, used)) = match decode_ship_msg(&self.rxbuf) {
+                Ok(m) => m,
+                Err(e) => {
+                    self.finish_sess();
+                    return Err(e.into());
+                }
+            } {
+                self.rxbuf.drain(..used);
+                let res = match msg {
+                    ShipMsg::Hello {
+                        incarnation,
+                        cursor,
+                        ..
+                    } => self.handle_hello(incarnation, cursor),
+                    _ => Err(ShipError::Protocol("unexpected client message")),
+                };
+                if let Err(e) = res {
+                    self.finish_sess();
+                    return Err(e);
+                }
+            }
+        }
+        // Stream events until the end of the stream or a dead peer.
+        while !self.done {
+            let next = self
+                .sess
+                .as_ref()
+                .expect("session while streaming")
+                .rx
+                .recv_timeout(Duration::from_millis(25));
+            let res = match next {
+                Ok(ev) => self.handle_event(ev),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    let sub_id = self.sess.as_ref().expect("session").sub_id;
+                    self.shipper.flush_gap(sub_id);
+                    if self.shipper.is_closed() {
+                        self.end_or_gap()
+                    } else {
+                        // Keepalive; failure here is how a vanished
+                        // client is detected.
+                        let leader_epoch = self.shipper.leader_epoch();
+                        self.send(&ShipMsg::Heartbeat { leader_epoch })
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => self.end_or_gap(),
+            };
+            if let Err(e) = res {
+                self.finish_sess();
+                return Err(e);
+            }
+        }
+        self.finish_sess();
+        Ok(())
+    }
+}
+
+impl Drop for ShipServerConn {
+    fn drop(&mut self) {
+        self.finish_sess();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The follower
+// ---------------------------------------------------------------------
+
+/// Counters a [`Follower`] keeps across sessions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FollowerStats {
+    /// Frames applied (each advanced the cursor by exactly one).
+    pub frames_applied: u64,
+    /// Frames skipped because their epoch was at or below the cursor
+    /// (re-delivery after reconnect — the idempotence path).
+    pub duplicates_skipped: u64,
+    /// Checkpoint rebuilds (snapshot-mode catch-ups).
+    pub snapshots_loaded: u64,
+    /// Gap events received (queue shed on the leader).
+    pub gaps: u64,
+    /// Sessions opened ([`Follower::begin`] calls).
+    pub connects: u64,
+}
+
+/// The follower's queryable lag bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LagBound {
+    /// Last epoch applied locally.
+    pub cursor: u64,
+    /// Newest leader epoch heard of (frames, heartbeats, handshakes).
+    pub leader_epoch: u64,
+    /// `leader_epoch - cursor`: how many commits behind the follower
+    /// is, by the freshest evidence available.
+    pub frames_behind: u64,
+}
+
+/// One follower connection's receive state (per-session buffer).
+pub struct FollowerConn {
+    io: Box<dyn ShipIo>,
+    buf: Vec<u8>,
+    synced: bool,
+    done: bool,
+}
+
+impl FollowerConn {
+    /// Has the leader ended the stream cleanly on this connection?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// A read replica: applies shipped checkpoints and frames through the
+/// durable layer's replay path, maintaining its own cores, CIND state,
+/// and materialized views. Serves epoch-pinned snapshots
+/// ([`Follower::snapshot`]) and a lag bound ([`Follower::lag`]); can
+/// persist its state ([`Follower::save_state`]) and resume after a
+/// kill-9 ([`Follower::open`]).
+pub struct Follower {
+    specs: Vec<RelationSpec>,
+    cinds: Vec<Cind>,
+    n_shards: usize,
+    views: Vec<ViewSpec>,
+    store: Option<MultiStore>,
+    log_dict: Vec<Value>,
+    cursor: u64,
+    leader_epoch: u64,
+    leader_incarnation: Option<u64>,
+    stats: FollowerStats,
+}
+
+impl Follower {
+    /// A fresh follower (no state; first catch-up is snapshot-mode).
+    pub fn new(
+        specs: Vec<RelationSpec>,
+        cinds: Vec<Cind>,
+        n_shards: usize,
+        views: Vec<ViewSpec>,
+    ) -> Follower {
+        Follower {
+            specs,
+            cinds,
+            n_shards,
+            views,
+            store: None,
+            log_dict: Vec::new(),
+            cursor: 0,
+            leader_epoch: 0,
+            leader_incarnation: None,
+            stats: FollowerStats::default(),
+        }
+    }
+
+    /// Reopen a follower from a state directory written by
+    /// [`Follower::save_state`]. An empty or absent directory yields a
+    /// fresh follower; a saved checkpoint restores the store, cursor,
+    /// and (if the metadata file survived) the leader incarnation — so
+    /// the next connection can be served by tail-replay.
+    pub fn open(
+        specs: Vec<RelationSpec>,
+        cinds: Vec<Cind>,
+        n_shards: usize,
+        views: Vec<ViewSpec>,
+        dir: &Path,
+    ) -> Result<Follower, RecoveryError> {
+        let mut f = Follower::new(specs, cinds, n_shards, views);
+        if !dir.is_dir() {
+            return Ok(f);
+        }
+        let (ckpts, _) = list_dir(dir)?;
+        let Some((_, path)) = ckpts.last() else {
+            return Ok(f);
+        };
+        let mut bytes = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut bytes)?;
+        f.load_checkpoint(&bytes)?;
+        f.leader_incarnation = read_follow_meta(dir);
+        f.stats = FollowerStats::default();
+        Ok(f)
+    }
+
+    /// Persist the follower's state: its store as a checkpoint at the
+    /// cursor epoch plus a metadata file carrying the leader
+    /// incarnation. Survives kill-9 (checkpoints write temp + rename);
+    /// older checkpoints in the directory are pruned. Returns the saved
+    /// cursor epoch. No-op error if the follower has no state yet.
+    pub fn save_state(&self, dir: &Path) -> io::Result<u64> {
+        let Some(store) = &self.store else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "follower has no state to save yet",
+            ));
+        };
+        fs::create_dir_all(dir)?;
+        write_checkpoint_file(dir, self.cursor, &checkpoint_bytes(store))?;
+        write_follow_meta(dir, self.leader_incarnation.unwrap_or(0))?;
+        let (ckpts, _) = list_dir(dir)?;
+        for (e, p) in ckpts {
+            if e < self.cursor {
+                fs::remove_file(p)?;
+            }
+        }
+        Ok(self.cursor)
+    }
+
+    /// Last epoch applied locally.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Session counters.
+    pub fn stats(&self) -> FollowerStats {
+        self.stats
+    }
+
+    /// The replica store, once the first catch-up completed.
+    pub fn store(&self) -> Option<&MultiStore> {
+        self.store.as_ref()
+    }
+
+    /// An epoch-pinned, cross-relation read snapshot at the cursor.
+    pub fn snapshot(&self) -> Option<MultiSnapshot> {
+        self.store.as_ref().map(MultiStore::snapshot)
+    }
+
+    /// The queryable lag bound: cursor vs the newest leader epoch any
+    /// message carried.
+    pub fn lag(&self) -> LagBound {
+        LagBound {
+            cursor: self.cursor,
+            leader_epoch: self.leader_epoch,
+            frames_behind: self.leader_epoch.saturating_sub(self.cursor),
+        }
+    }
+
+    /// Open a session: send the hello (cursor + last-known incarnation)
+    /// and hand back the connection to drive with [`Follower::pump`] or
+    /// [`Follower::run`].
+    pub fn begin(&mut self, mut io: Box<dyn ShipIo>) -> Result<FollowerConn, FollowerError> {
+        let mut out = Vec::new();
+        encode_ship_msg(
+            &mut out,
+            &ShipMsg::Hello {
+                proto: SHIP_PROTO_VERSION,
+                incarnation: self.leader_incarnation.unwrap_or(0),
+                cursor: self.cursor,
+            },
+        );
+        io.send(&out)?;
+        self.stats.connects += 1;
+        Ok(FollowerConn {
+            io,
+            buf: Vec::new(),
+            synced: false,
+            done: false,
+        })
+    }
+
+    fn load_checkpoint(&mut self, bytes: &[u8]) -> Result<(), RecoveryError> {
+        let dict = decode_checkpoint(bytes)
+            .map_err(|_| RecoveryError::BadCheckpoint { tried: 1 })?
+            .dict;
+        let (store, report) = recover_from_parts(
+            &self.specs,
+            &self.cinds,
+            self.n_shards,
+            &self.views,
+            &[bytes],
+            &[],
+        )?;
+        self.log_dict = dict;
+        self.cursor = report.recovered_epoch;
+        self.store = Some(store);
+        Ok(())
+    }
+
+    fn handle_msg(&mut self, conn_synced: &mut bool, msg: ShipMsg) -> Result<bool, FollowerError> {
+        match msg {
+            ShipMsg::Tail {
+                incarnation,
+                leader_epoch,
+            } => {
+                if self.store.is_none() || self.leader_incarnation != Some(incarnation) {
+                    return Err(FollowerError::Protocol("tail granted without local state"));
+                }
+                self.leader_epoch = self.leader_epoch.max(leader_epoch);
+                *conn_synced = true;
+                Ok(false)
+            }
+            ShipMsg::Snapshot {
+                incarnation,
+                leader_epoch,
+                ckpt,
+            } => {
+                self.load_checkpoint(&ckpt)
+                    .map_err(FollowerError::Recovery)?;
+                self.leader_incarnation = Some(incarnation);
+                self.leader_epoch = self.leader_epoch.max(leader_epoch);
+                self.stats.snapshots_loaded += 1;
+                *conn_synced = true;
+                Ok(true)
+            }
+            ShipMsg::Frame(bytes) => {
+                if !*conn_synced {
+                    return Err(FollowerError::Protocol("frame before handshake"));
+                }
+                let mut r = ByteReader::new(&bytes);
+                let frame = decode_frame(&mut r)
+                    .map_err(FollowerError::Corrupt)?
+                    .ok_or(FollowerError::Protocol("empty frame message"))?;
+                if !r.is_exhausted() {
+                    return Err(FollowerError::Protocol("trailing bytes after frame"));
+                }
+                self.leader_epoch = self.leader_epoch.max(frame.epoch);
+                if frame.epoch <= self.cursor {
+                    // Idempotence: re-delivered frames (reconnect
+                    // overlap) are skipped, never double-applied.
+                    self.stats.duplicates_skipped += 1;
+                    return Ok(false);
+                }
+                if frame.epoch != self.cursor + 1 {
+                    return Err(FollowerError::EpochGap {
+                        expected: self.cursor + 1,
+                        found: frame.epoch,
+                    });
+                }
+                let store = self
+                    .store
+                    .as_mut()
+                    .ok_or(FollowerError::Protocol("frame before snapshot"))?;
+                replay_frame(store, &mut self.log_dict, &frame).map_err(|e| {
+                    // Alignment is now suspect; force snapshot-mode
+                    // catch-up on the next session.
+                    self.leader_incarnation = None;
+                    FollowerError::Corrupt(e)
+                })?;
+                self.cursor = frame.epoch;
+                self.stats.frames_applied += 1;
+                Ok(true)
+            }
+            ShipMsg::Heartbeat { leader_epoch } => {
+                self.leader_epoch = self.leader_epoch.max(leader_epoch);
+                Ok(false)
+            }
+            ShipMsg::Gap { through } => {
+                self.stats.gaps += 1;
+                Err(FollowerError::Shed { through })
+            }
+            ShipMsg::End { leader_epoch } => {
+                self.leader_epoch = self.leader_epoch.max(leader_epoch);
+                Ok(false)
+            }
+            ShipMsg::Hello { .. } => Err(FollowerError::Protocol("hello from leader")),
+        }
+    }
+
+    /// Decode and apply every complete message buffered on `conn`.
+    fn drain_buf(&mut self, conn: &mut FollowerConn) -> Result<usize, FollowerError> {
+        let mut applied = 0;
+        loop {
+            let parsed = decode_ship_msg(&conn.buf).map_err(FollowerError::Corrupt)?;
+            let Some((msg, used)) = parsed else {
+                return Ok(applied);
+            };
+            conn.buf.drain(..used);
+            let is_end = matches!(msg, ShipMsg::End { .. });
+            let mut synced = conn.synced;
+            let res = self.handle_msg(&mut synced, msg);
+            conn.synced = synced;
+            match res {
+                Ok(true) => applied += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    conn.done = true;
+                    return Err(e);
+                }
+            }
+            if is_end {
+                conn.done = true;
+                return Ok(applied);
+            }
+        }
+    }
+
+    /// Map a transport error, distinguishing a torn stream (bytes
+    /// buffered mid-message) from a clean close.
+    fn recv_err(conn: &FollowerConn, e: ShipError) -> FollowerError {
+        if conn.buf.is_empty() {
+            FollowerError::Ship(e)
+        } else {
+            FollowerError::Torn {
+                buffered: conn.buf.len(),
+            }
+        }
+    }
+
+    /// One non-blocking step: ingest pending chunks and apply complete
+    /// messages. Returns how many state-changing messages (snapshot
+    /// loads + applied frames) were processed. `Err` ends the session;
+    /// the follower itself stays consistent at its cursor.
+    pub fn pump(&mut self, conn: &mut FollowerConn) -> Result<usize, FollowerError> {
+        if conn.done {
+            return Ok(0);
+        }
+        let mut applied = self.drain_buf(conn)?;
+        while !conn.done {
+            match conn.io.try_recv() {
+                Ok(Some(chunk)) => {
+                    conn.buf.extend_from_slice(&chunk);
+                    applied += self.drain_buf(conn)?;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    conn.done = true;
+                    return Err(Self::recv_err(conn, e));
+                }
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Drive the session to the leader's clean end of stream, blocking.
+    pub fn run(&mut self, conn: &mut FollowerConn) -> Result<(), FollowerError> {
+        loop {
+            self.drain_buf(conn)?;
+            if conn.done {
+                return Ok(());
+            }
+            match conn.io.recv() {
+                Ok(chunk) => conn.buf.extend_from_slice(&chunk),
+                Err(e) => {
+                    conn.done = true;
+                    return Err(Self::recv_err(conn, e));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Retry / backoff
+// ---------------------------------------------------------------------
+
+/// Bounded exponential backoff with jitter for follower reconnects.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// First-retry delay, in milliseconds.
+    pub base_ms: u64,
+    /// Delay ceiling, in milliseconds.
+    pub max_ms: u64,
+    /// Jitter as a percentage of the delay (0–100): the actual sleep is
+    /// uniform in `delay ± jitter_pct%`.
+    pub jitter_pct: u64,
+    /// Consecutive failed sessions (no progress) before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_ms: 10,
+            max_ms: 500,
+            jitter_pct: 50,
+            max_retries: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based): exponential
+    /// from `base_ms`, capped at `max_ms`, jittered.
+    pub fn delay(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_ms);
+        let jitter_span = exp * self.jitter_pct.min(100) / 100;
+        let jittered = exp - jitter_span + rng.gen_range(0..=2 * jitter_span.max(1));
+        Duration::from_millis(jittered.min(self.max_ms * 2))
+    }
+}
+
+/// Follow a leader to its clean end of stream, blocking: connect via
+/// `connect`, run the session, and answer every fault — transport
+/// errors, torn streams, sheds, epoch gaps — with jittered exponential
+/// backoff and cursor re-negotiation on a fresh connection. Progress
+/// (any frame applied or snapshot loaded) resets the backoff; a fault
+/// budget of `policy.max_retries` consecutive no-progress sessions
+/// surfaces the last error.
+pub fn follow_until_end<C>(
+    follower: &mut Follower,
+    mut connect: C,
+    policy: &RetryPolicy,
+    seed: u64,
+) -> Result<(), FollowerError>
+where
+    C: FnMut() -> Result<Box<dyn ShipIo>, ShipError>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut attempt: u32 = 0;
+    loop {
+        let before = follower.stats.frames_applied + follower.stats.snapshots_loaded;
+        let result = connect().map_err(FollowerError::Ship).and_then(|io| {
+            let mut conn = follower.begin(io)?;
+            follower.run(&mut conn)
+        });
+        match result {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                let progressed =
+                    follower.stats.frames_applied + follower.stats.snapshots_loaded > before;
+                if progressed {
+                    attempt = 0;
+                } else if attempt >= policy.max_retries {
+                    return Err(e);
+                } else {
+                    attempt += 1;
+                }
+                std::thread::sleep(policy.delay(attempt, &mut rng));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Follower state-directory metadata
+// ---------------------------------------------------------------------
+
+fn meta_path(dir: &Path) -> std::path::PathBuf {
+    dir.join("follow.meta")
+}
+
+fn write_follow_meta(dir: &Path, incarnation: u64) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(8);
+    put_u64(&mut payload, incarnation);
+    let mut out = Vec::with_capacity(20);
+    out.extend_from_slice(&FOLLOW_META_MAGIC);
+    put_u32(&mut out, crc32(&payload));
+    out.extend_from_slice(&payload);
+    let tmp = dir.join("follow.meta.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&out)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, meta_path(dir))
+}
+
+/// `None` on any damage — the follower then renegotiates via snapshot.
+fn read_follow_meta(dir: &Path) -> Option<u64> {
+    let bytes = fs::read(meta_path(dir)).ok()?;
+    let mut r = ByteReader::new(&bytes);
+    if r.take(8).ok()? != FOLLOW_META_MAGIC {
+        return None;
+    }
+    let crc = r.u32().ok()?;
+    let payload = r.take(r.remaining()).ok()?;
+    if crc32(payload) != crc || payload.len() != 8 {
+        return None;
+    }
+    let incarnation = u64::from_le_bytes(payload.try_into().ok()?);
+    (incarnation != 0).then_some(incarnation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ship_msgs_round_trip() {
+        let msgs = [
+            ShipMsg::Hello {
+                proto: SHIP_PROTO_VERSION,
+                incarnation: 0,
+                cursor: 17,
+            },
+            ShipMsg::Tail {
+                incarnation: 9,
+                leader_epoch: 40,
+            },
+            ShipMsg::Snapshot {
+                incarnation: 9,
+                leader_epoch: 40,
+                ckpt: vec![1, 2, 3, 4],
+            },
+            ShipMsg::Frame(vec![5, 6, 7]),
+            ShipMsg::Heartbeat { leader_epoch: 41 },
+            ShipMsg::Gap { through: 42 },
+            ShipMsg::End { leader_epoch: 43 },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            encode_ship_msg(&mut buf, m);
+        }
+        let mut at = 0;
+        for m in &msgs {
+            let (got, used) = decode_ship_msg(&buf[at..]).unwrap().unwrap();
+            assert_eq!(&got, m);
+            at += used;
+        }
+        assert_eq!(at, buf.len());
+        // Every strict prefix of a single message is incomplete, never
+        // an error, never a partial parse.
+        let mut one = Vec::new();
+        encode_ship_msg(&mut one, &msgs[1]);
+        for cut in 0..one.len() {
+            assert!(
+                matches!(decode_ship_msg(&one[..cut]), Ok(None)),
+                "cut {cut}"
+            );
+        }
+        // A flipped payload bit is a checksum error.
+        let mut bad = one.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(decode_ship_msg(&bad).is_err());
+    }
+
+    #[test]
+    fn chan_ship_io_delivers_in_order() {
+        let (mut a, mut b) = ChanShipIo::pair();
+        a.send(b"one").unwrap();
+        a.send(b"two").unwrap();
+        assert_eq!(b.recv().unwrap(), b"one");
+        assert_eq!(b.try_recv().unwrap().unwrap(), b"two");
+        assert!(b.try_recv().unwrap().is_none());
+        drop(a);
+        assert_eq!(b.try_recv(), Err(ShipError::Closed));
+    }
+
+    #[test]
+    fn fault_io_tears_sends_and_partitions_recvs() {
+        let (a, mut b) = ChanShipIo::pair();
+        let mut f = FaultShipIo::new(Box::new(a)).cut_send_at(5);
+        f.send(b"123").unwrap();
+        assert_eq!(
+            f.send(b"4567"),
+            Err(ShipError::Fault("torn mid-frame write"))
+        );
+        assert_eq!(f.send(b"x"), Err(ShipError::Fault("link down")));
+        assert_eq!(b.recv().unwrap(), b"123");
+        // The torn prefix was delivered.
+        assert_eq!(b.recv().unwrap(), b"45");
+        let (a, _keep) = ChanShipIo::pair();
+        let mut f = FaultShipIo::new(Box::new(a)).cut_recv_at(0).delay(2);
+        assert_eq!(f.try_recv().unwrap(), None, "delayed");
+        assert_eq!(f.try_recv().unwrap(), None, "delayed");
+        assert_eq!(f.try_recv(), Err(ShipError::Fault("network partition")));
+    }
+
+    #[test]
+    fn retry_policy_is_bounded_and_jittered() {
+        let p = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for attempt in 0..24 {
+            let d = p.delay(attempt, &mut rng).as_millis() as u64;
+            assert!(d <= p.max_ms * 2, "attempt {attempt}: {d}ms");
+        }
+        // Later attempts reach the cap region.
+        let d = p.delay(23, &mut rng).as_millis() as u64;
+        assert!(d >= p.max_ms - p.max_ms * p.jitter_pct / 100);
+    }
+
+    #[test]
+    fn follow_meta_survives_round_trip_and_rejects_damage() {
+        let dir = std::env::temp_dir().join(format!(
+            "cfdprop-replica-meta-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        write_follow_meta(&dir, 0xDEAD_BEEF).unwrap();
+        assert_eq!(read_follow_meta(&dir), Some(0xDEAD_BEEF));
+        let mut bytes = fs::read(meta_path(&dir)).unwrap();
+        bytes[10] ^= 1;
+        fs::write(meta_path(&dir), &bytes).unwrap();
+        assert_eq!(read_follow_meta(&dir), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -70,10 +70,13 @@
 //!
 //! [`ShardedStore::subscribe`] registers a bounded channel, optionally
 //! filtered by CFD index or by RHS attribute. Every commit is delivered
-//! to every live subscriber in commit order; a full channel exerts
-//! backpressure on the writer (bounded-queue semantics), and a dropped
-//! receiver unsubscribes on the next commit. `cfdprop serve-updates`
-//! wires this to a JSON-lines stream.
+//! to every live subscriber in commit order. The writer never blocks on
+//! a laggard: a subscriber whose queue is full at publish time is shed
+//! (dropped and counted) and observes the disconnect as its gap signal
+//! — resubscribe and re-sync from a snapshot, exactly the rewind
+//! discipline the replication layer's followers use. A dropped receiver
+//! unsubscribes on the next commit. `cfdprop serve-updates` wires this
+//! to a JSON-lines stream.
 
 use crate::delta::{cancel_common, UpdateBatch, ViolationDiff};
 use crate::groupstate::GroupState;
@@ -370,6 +373,9 @@ pub(crate) struct StoreCore {
     /// Pinned epochs → pin counts, shared with every [`Snapshot`].
     pins: Arc<Mutex<BTreeMap<u64, usize>>>,
     subs: Vec<BusSub>,
+    /// Subscribers dropped because their queue was full at publish
+    /// time (shed-on-lag; the writer never blocks on a laggard).
+    shed_subs: u64,
 }
 
 impl StoreCore {
@@ -512,6 +518,7 @@ impl StoreCore {
             commits: VecDeque::new(),
             pins: Arc::new(Mutex::new(BTreeMap::new())),
             subs: Vec::new(),
+            shed_subs: 0,
         }
     }
 
@@ -686,18 +693,26 @@ impl StoreCore {
 
     /// Subscribe to every future commit through a bounded channel of
     /// `capacity` diffs, filtered by `filter`. Delivery is in commit
-    /// order; a full channel blocks the writer (backpressure), and
-    /// dropping the receiver unsubscribes at the next commit.
+    /// order. The writer never blocks on a subscriber: a queue that is
+    /// full at publish time **sheds** the subscriber — it is dropped,
+    /// the shed is counted ([`StoreCore::shed_sub_count`]), and the
+    /// receiver observes the disconnect as its gap signal (resubscribe
+    /// and re-sync from a snapshot, as the replication layer's
+    /// followers do). Dropping the receiver unsubscribes at the next
+    /// commit.
     ///
-    /// **Drain from another thread** (as `cfdprop serve-updates` does)
-    /// or size `capacity` for every commit you will apply before
-    /// draining: because the writer blocks on a full channel, a thread
-    /// that subscribes, overfills the channel with its own `apply`
-    /// calls, and only then reads, deadlocks against itself.
+    /// Size `capacity` for every commit that may land before the next
+    /// drain, or drain from another thread (as `cfdprop serve-updates`
+    /// does) to keep the queue shallow.
     pub fn subscribe(&mut self, filter: DiffFilter, capacity: usize) -> Receiver<Arc<Commit>> {
         let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
         self.subs.push(BusSub { filter, tx });
         rx
+    }
+
+    /// Subscribers shed so far for lagging (full queue at publish).
+    pub fn shed_sub_count(&self) -> u64 {
+        self.shed_subs
     }
 
     /// Advance the core's clock to `epoch` without committing anything:
@@ -1038,6 +1053,7 @@ impl StoreCore {
 
     fn publish(&mut self, commit: &Arc<Commit>) {
         let sigma = &self.sigma;
+        let mut shed = 0;
         self.subs.retain(|sub| {
             let msg = match sub.filter {
                 DiffFilter::All => Arc::clone(commit),
@@ -1046,8 +1062,19 @@ impl StoreCore {
                     diff: sub.filter.apply(&commit.diff, sigma),
                 }),
             };
-            sub.tx.send(msg).is_ok()
+            // Never block the writer on a laggard: a full queue sheds
+            // the subscriber (it observes the disconnect as its gap
+            // signal and must re-sync from a snapshot).
+            match sub.tx.try_send(msg) {
+                Ok(()) => true,
+                Err(std::sync::mpsc::TrySendError::Full(_)) => {
+                    shed += 1;
+                    false
+                }
+                Err(std::sync::mpsc::TrySendError::Disconnected(_)) => false,
+            }
         });
+        self.shed_subs += shed;
     }
 
     fn check_arity(&self, t: &Tuple) {
@@ -1142,16 +1169,23 @@ impl ShardedStore {
 
     /// Subscribe to every future commit through a bounded channel of
     /// `capacity` diffs, filtered by `filter`. Delivery is in commit
-    /// order; a full channel blocks the writer (backpressure), and
-    /// dropping the receiver unsubscribes at the next commit.
+    /// order. The writer never blocks on a subscriber: a queue that is
+    /// full at publish time **sheds** the subscriber — it is dropped,
+    /// the shed is counted ([`ShardedStore::shed_sub_count`]), and the
+    /// receiver observes the disconnect as its gap signal (resubscribe
+    /// and re-sync from a snapshot). Dropping the receiver
+    /// unsubscribes at the next commit.
     ///
-    /// **Drain from another thread** (as `cfdprop serve-updates` does)
-    /// or size `capacity` for every commit you will apply before
-    /// draining: because the writer blocks on a full channel, a thread
-    /// that subscribes, overfills the channel with its own `apply`
-    /// calls, and only then reads, deadlocks against itself.
+    /// Size `capacity` for every commit that may land before the next
+    /// drain, or drain from another thread (as `cfdprop serve-updates`
+    /// does) to keep the queue shallow.
     pub fn subscribe(&mut self, filter: DiffFilter, capacity: usize) -> Receiver<Arc<Commit>> {
         self.core.subscribe(filter, capacity)
+    }
+
+    /// Subscribers shed so far for lagging (full queue at publish).
+    pub fn shed_sub_count(&self) -> u64 {
+        self.core.shed_sub_count()
     }
 
     /// Pin the current epoch and capture an immutable [`Snapshot`] of

@@ -498,3 +498,37 @@ fn pinned_snapshots_survive_the_writer_storm() {
         }
     }
 }
+
+/// Regression (shed-on-lag): the multi-relation bus inherits the
+/// sharded bus's contract — a subscriber whose queue is full at publish
+/// time is dropped, never waited on. The writer here is the test thread
+/// itself, so the old blocking semantics would deadlock rather than
+/// fail an assertion.
+#[test]
+fn stalled_multistore_subscriber_is_shed_and_never_stalls_the_writer() {
+    let (w, mut rng) = make_workload(2, 0xBEEF);
+    let mut store = MultiStore::new(w.specs.clone(), w.cinds.clone(), 2).expect("valid workload");
+    let laggard = store.subscribe(cfd_clean::MultiDiffFilter::All, 1);
+    let mut mirror: Mirror = vec![BTreeSet::new(); 2];
+    for i in 0..48u64 {
+        let rel = RelId((i % 2) as usize);
+        let batch = random_batch(&w.catalog, rel, &mirror[rel.0], &mut rng);
+        fold(&mut mirror[rel.0], &batch);
+        store.apply(rel, &batch);
+    }
+    assert_eq!(store.shed_sub_count(), 1, "laggard shed exactly once");
+    let first = laggard.recv().expect("buffered commit survives the shed");
+    assert_eq!(first.epoch, 1);
+    assert!(
+        laggard.recv().is_err(),
+        "shed subscriber observes disconnect as its gap signal"
+    );
+    // A fresh subscriber attached after the shed gets a live stream.
+    let fresh = store.subscribe(cfd_clean::MultiDiffFilter::All, 4);
+    let rel = RelId(0);
+    let batch = random_batch(&w.catalog, rel, &mirror[0], &mut rng);
+    store.apply(rel, &batch);
+    let c = fresh.try_recv().expect("fresh subscriber sees new commits");
+    assert_eq!(c.epoch, 49);
+    assert_eq!(store.shed_sub_count(), 1, "no further sheds");
+}

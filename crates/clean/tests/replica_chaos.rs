@@ -1,0 +1,833 @@
+//! The replication chaos harness (ISSUE 7 tentpole proof).
+//!
+//! A leader [`DurableMultiStore`] with an attached [`LogShipper`] and
+//! K followers run under randomized fault schedules: network
+//! partitions, torn mid-frame writes, delivery delays, shed queues
+//! (deliberately tiny subscriber buffers), leader checkpoints that
+//! compact cursors away mid-flight, and follower kill-9 (the follower
+//! is dropped on the floor and reopened from its last saved state
+//! directory). Every schedule is driven as a deterministic
+//! single-threaded co-op pump — no sleeps, no real sockets — so a seed
+//! reproduces a failure exactly.
+//!
+//! After quiescence ([`LogShipper::finish`] plus a fault-free final
+//! reconnect for every follower), the harness asserts the headline
+//! property from the issue: every follower's cursor reaches the
+//! leader's epoch and its **entire** derived state — every relation,
+//! every CFD violation set, the CIND violation set, and each
+//! materialized view's contents and view-side violations — equals the
+//! leader's, and no acknowledged commit was skipped or double-applied
+//! (each applied frame advanced the cursor by exactly one).
+//!
+//! Satellite regressions ride along: frame idempotence under raw
+//! re-delivery, shed-on-lag (gap + rewind, never writer stall),
+//! pin-horizon-aware log retention with the cursor-below-checkpoint
+//! fallback, and a threaded blocking-path run through
+//! [`follow_until_end`].
+
+use cfd_cind::delta::CindViolation;
+use cfd_cind::Cind;
+use cfd_clean::replica::{decode_ship_msg, encode_ship_msg, SHIP_PROTO_VERSION};
+use cfd_clean::{
+    follow_until_end, ChanShipIo, DurableMultiStore, DurableOptions, FaultShipIo, Follower,
+    FollowerError, FsyncPolicy, LogShipper, MultiStore, RelationSpec, RetryPolicy, ShipIo, ShipMsg,
+    ShipOptions, ShipServerConn, UpdateBatch, ViewSpec, Violation,
+};
+use cfd_datagen::cfd_gen::random_value;
+use cfd_datagen::{
+    gen_cfds, gen_cinds, gen_schema, gen_spc_view, CfdGenConfig, CindGenConfig, SchemaGenConfig,
+    ViewGenConfig,
+};
+use cfd_relalg::instance::{Relation, Tuple};
+use cfd_relalg::schema::{Catalog, RelId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------
+// Workload generation (the durable_props idiom)
+// ---------------------------------------------------------------------
+
+struct Workload {
+    catalog: Catalog,
+    specs: Vec<RelationSpec>,
+    cinds: Vec<Cind>,
+    view: ViewSpec,
+}
+
+fn make_workload(seed: u64) -> (Workload, StdRng) {
+    let n_rel = 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = gen_schema(
+        &SchemaGenConfig {
+            relations: n_rel,
+            min_arity: 2,
+            max_arity: 3,
+            finite_ratio: 0.0,
+        },
+        &mut rng,
+    );
+    let sigma = gen_cfds(
+        &catalog,
+        &CfdGenConfig {
+            count: n_rel * 2,
+            lhs_max: 2,
+            var_pct: 0.5,
+            const_range: 4,
+            ensure_consistent: true,
+            allow_unconditional_constants: true,
+        },
+        &mut rng,
+    );
+    let cinds = gen_cinds(
+        &catalog,
+        &CindGenConfig {
+            count: 2,
+            max_cols: 2,
+            cond_pct: 0.3,
+            pat_pct: 0.3,
+            const_range: 4,
+        },
+        &mut rng,
+    );
+    let query = gen_spc_view(
+        &catalog,
+        &ViewGenConfig {
+            y: 4,
+            f: rng.gen_range(1..4),
+            ec: rng.gen_range(2..=3.min(n_rel + 1)),
+            const_range: 4,
+        },
+        &mut rng,
+    );
+    let mut view = ViewSpec::new("V", query.clone());
+    if query.output.len() >= 2 {
+        view.sigma
+            .push(cfd_model::Cfd::fd(&[0], 1).expect("plain FD"));
+    }
+    let specs = catalog
+        .relations()
+        .map(|(rel, schema)| {
+            let base: Relation = (0..rng.gen_range(0..6))
+                .map(|_| random_tuple(&catalog, rel, &mut rng))
+                .collect();
+            RelationSpec::new(
+                schema.name.clone(),
+                sigma
+                    .iter()
+                    .filter(|s| s.rel == rel)
+                    .map(|s| s.cfd.clone())
+                    .collect(),
+                base,
+            )
+        })
+        .collect();
+    (
+        Workload {
+            catalog,
+            specs,
+            cinds,
+            view,
+        },
+        rng,
+    )
+}
+
+fn random_tuple(catalog: &Catalog, rel: RelId, rng: &mut StdRng) -> Tuple {
+    catalog
+        .schema(rel)
+        .attributes
+        .iter()
+        .map(|a| random_value(&a.domain, 4, rng))
+        .collect()
+}
+
+fn random_batch(
+    catalog: &Catalog,
+    rel: RelId,
+    store: &MultiStore,
+    rng: &mut StdRng,
+) -> UpdateBatch {
+    let mut upd = UpdateBatch::default();
+    for _ in 0..rng.gen_range(1..5) {
+        upd.inserts.push(random_tuple(catalog, rel, rng));
+    }
+    let residents: Vec<Tuple> = store.relation(rel).tuples().cloned().collect();
+    for _ in 0..rng.gen_range(0..3) {
+        if rng.gen_bool(0.5) && !residents.is_empty() {
+            upd.deletes
+                .push(residents[rng.gen_range(0..residents.len())].clone());
+        } else {
+            upd.deletes.push(random_tuple(catalog, rel, rng));
+        }
+    }
+    upd
+}
+
+/// Everything a follower must reproduce, canonicalized by sort so
+/// insertion order (which legitimately differs between a store grown
+/// commit by commit and one rebuilt from a shipped checkpoint) never
+/// matters.
+#[derive(Clone, Debug, PartialEq)]
+struct StateSnap {
+    epoch: u64,
+    rels: Vec<Relation>,
+    cfd: Vec<Vec<Violation>>,
+    cind: Vec<CindViolation>,
+    view: Vec<(Relation, Vec<Violation>, Vec<CindViolation>)>,
+}
+
+fn capture(store: &MultiStore) -> StateSnap {
+    let mut cfd = Vec::new();
+    let mut rels = Vec::new();
+    for i in 0..store.rel_count() {
+        rels.push(store.relation(RelId(i)));
+        let mut v = store.cfd_violations(RelId(i));
+        v.sort();
+        cfd.push(v);
+    }
+    let mut cind = store.cind_violations();
+    cind.sort();
+    let mut view = Vec::new();
+    for i in 0..store.view_count() {
+        let mut vc = store.view_cfd_violations(i);
+        vc.sort();
+        let mut vi = store.view_cind_violations(i);
+        vi.sort();
+        view.push((store.view_relation(i), vc, vi));
+    }
+    StateSnap {
+        epoch: store.epoch(),
+        rels,
+        cfd,
+        cind,
+        view,
+    }
+}
+
+fn fresh_dir(tag: &str, n: u64) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("cfdprop-chaos-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    std::fs::create_dir_all(&path).expect("create temp dir");
+    path
+}
+
+fn durable_opts() -> DurableOptions {
+    DurableOptions {
+        fsync: FsyncPolicy::Os,
+        checkpoint_every: 0,
+    }
+}
+
+fn open_leader(w: &Workload, dir: &Path, shards: usize) -> DurableMultiStore {
+    DurableMultiStore::open(
+        dir,
+        w.specs.clone(),
+        w.cinds.clone(),
+        shards,
+        vec![w.view.clone()],
+        durable_opts(),
+    )
+    .expect("generated workload is well-formed")
+    .0
+}
+
+fn fresh_follower(w: &Workload, shards: usize) -> Follower {
+    Follower::new(
+        w.specs.clone(),
+        w.cinds.clone(),
+        shards,
+        vec![w.view.clone()],
+    )
+}
+
+fn commit_random(w: &Workload, leader: &mut DurableMultiStore, rng: &mut StdRng) {
+    let rel = RelId(rng.gen_range(0..w.specs.len()));
+    let batch = random_batch(&w.catalog, rel, leader.store(), rng);
+    leader.apply(rel, &batch).expect("leader commit");
+}
+
+/// Pump a clean (fault-free) server/follower pair until both go idle.
+fn pump_to_idle(
+    follower: &mut Follower,
+    conn: &mut cfd_clean::replica::FollowerConn,
+    server: &mut ShipServerConn,
+) {
+    loop {
+        let s = server.pump().expect("clean server link");
+        let f = follower.pump(conn).expect("clean follower link");
+        if !s && f == 0 {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The co-op rig: one follower, its connection, and its server end
+// ---------------------------------------------------------------------
+
+struct Rig {
+    follower: Follower,
+    conn: Option<cfd_clean::replica::FollowerConn>,
+    server: Option<ShipServerConn>,
+    state_dir: PathBuf,
+    saved: bool,
+    clean_end: bool,
+    faults_seen: usize,
+    kills: usize,
+    /// Steps this rig refuses to pump — a stalled consumer, the
+    /// shed-on-lag trigger.
+    stalled: u32,
+}
+
+impl Rig {
+    fn new(w: &Workload, shards: usize, state_dir: PathBuf) -> Rig {
+        Rig {
+            follower: fresh_follower(w, shards),
+            conn: None,
+            server: None,
+            state_dir,
+            saved: false,
+            clean_end: false,
+            faults_seen: 0,
+            kills: 0,
+            stalled: 0,
+        }
+    }
+
+    /// Open a connection pair, wrapping each side in random faults
+    /// (`faulty = false` forces a clean link for the final drain).
+    fn connect(&mut self, shipper: &LogShipper, rng: &mut StdRng, faulty: bool) {
+        let (cio, sio) = ChanShipIo::pair();
+        let client: Box<dyn ShipIo> = if faulty && rng.gen_bool(0.5) {
+            let mut f = FaultShipIo::new(Box::new(cio));
+            if rng.gen_bool(0.5) {
+                f = f.cut_recv_at(rng.gen_range(0..12));
+            }
+            if rng.gen_bool(0.4) {
+                f = f.delay(rng.gen_range(0..4));
+            }
+            Box::new(f)
+        } else {
+            Box::new(cio)
+        };
+        let server: Box<dyn ShipIo> = if faulty && rng.gen_bool(0.5) {
+            // Torn mid-frame writes on the serving side: the follower
+            // buffers a prefix of a message and must discard it.
+            Box::new(FaultShipIo::new(Box::new(sio)).cut_send_at(rng.gen_range(8..4096)))
+        } else {
+            Box::new(sio)
+        };
+        self.server = Some(ShipServerConn::new(server, shipper.clone()));
+        match self.follower.begin(client) {
+            Ok(conn) => self.conn = Some(conn),
+            Err(_) => {
+                // The hello itself hit a fault; retry next round.
+                self.conn = None;
+                self.server = None;
+                self.faults_seen += 1;
+            }
+        }
+        self.clean_end = false;
+    }
+
+    /// Pump both ends once. On any fault, tear the session down (both
+    /// ends) so the driver reconnects.
+    fn pump(&mut self) {
+        if let Some(server) = &mut self.server {
+            if server.pump().is_err() {
+                self.server = None;
+                self.faults_seen += 1;
+            }
+        }
+        if let Some(conn) = &mut self.conn {
+            match self.follower.pump(conn) {
+                Ok(_) => {
+                    if conn.is_done() {
+                        self.clean_end = true;
+                        self.conn = None;
+                        self.server = None;
+                    }
+                }
+                Err(_) => {
+                    self.conn = None;
+                    self.server = None;
+                    self.faults_seen += 1;
+                }
+            }
+        }
+    }
+
+    /// kill-9: the in-memory follower is dropped on the floor and a new
+    /// process-equivalent reopens from the last saved state directory
+    /// (or from nothing, if it never saved).
+    fn kill_minus_nine(&mut self, w: &Workload, shards: usize) {
+        let reopened = Follower::open(
+            w.specs.clone(),
+            w.cinds.clone(),
+            shards,
+            vec![w.view.clone()],
+            &self.state_dir,
+        )
+        .expect("saved follower state reopens");
+        if self.saved {
+            assert!(
+                reopened.store().is_some(),
+                "saved state must survive kill-9"
+            );
+        }
+        self.follower = reopened;
+        self.conn = None;
+        self.server = None;
+        self.kills += 1;
+        self.clean_end = false;
+    }
+}
+
+// ---------------------------------------------------------------------
+// The headline chaos property
+// ---------------------------------------------------------------------
+
+/// One randomized schedule: random interleaving of leader commits,
+/// leader checkpoints, rig pumps, fault-induced reconnects, follower
+/// state saves, and kill-9s. Returns the per-rig (faults, kills,
+/// gaps + sheds) tallies for the coverage assertion.
+fn run_schedule(seed: u64, k: usize, shards: usize, run: u64) -> (usize, usize, u64) {
+    let (w, mut rng) = make_workload(seed);
+    let leader_dir = fresh_dir("leader", run);
+    let mut leader = open_leader(&w, &leader_dir, shards);
+    // Tiny queues + a short retained window: sheds and compacted-away
+    // cursors happen constantly, not as edge cases.
+    let shipper = leader.attach_shipper(ShipOptions {
+        queue_cap: 4,
+        max_retained: 64,
+    });
+    let mut rigs: Vec<Rig> = (0..k)
+        .map(|i| {
+            let mut rig = Rig::new(&w, shards, fresh_dir("fol", run * 8 + i as u64));
+            rig.connect(&shipper, &mut rng, true);
+            rig
+        })
+        .collect();
+
+    let total_batches = 24;
+    let mut applied = 0;
+    let mut steps = 0;
+    while applied < total_batches || steps < 200 {
+        steps += 1;
+        if steps > 5000 {
+            break;
+        }
+        match rng.gen_range(0..10u32) {
+            0..=3 if applied < total_batches => {
+                // Bursts outrun the tiny subscriber queues of stalled
+                // rigs, forcing sheds.
+                for _ in 0..rng
+                    .gen_range(1..=3u32)
+                    .min((total_batches - applied) as u32)
+                {
+                    commit_random(&w, &mut leader, &mut rng);
+                    applied += 1;
+                }
+            }
+            4 if rng.gen_bool(0.25) => {
+                leader.checkpoint().expect("leader checkpoint");
+            }
+            _ => {}
+        }
+        for rig in &mut rigs {
+            if rig.stalled > 0 {
+                rig.stalled -= 1;
+                continue;
+            }
+            if rng.gen_bool(0.08) {
+                rig.stalled = rng.gen_range(5..20);
+                continue;
+            }
+            for _ in 0..rng.gen_range(0..3u32) {
+                rig.pump();
+            }
+            if rig.conn.is_none() && !rig.clean_end {
+                if rng.gen_bool(0.2) && rig.follower.store().is_some() {
+                    rig.follower.save_state(&rig.state_dir).expect("save state");
+                    rig.saved = true;
+                }
+                if rng.gen_bool(0.15) {
+                    rig.kill_minus_nine(&w, shards);
+                }
+                if rng.gen_bool(0.6) {
+                    rig.connect(&shipper, &mut rng, true);
+                }
+            }
+        }
+    }
+    assert_eq!(applied, total_batches, "seed {seed}: leader starved");
+
+    // Quiescence: end the stream, give every rig a clean link, and
+    // drain. Every follower must reach the leader's exact state.
+    shipper.finish();
+    let expected = capture(leader.store());
+    for (i, rig) in rigs.iter_mut().enumerate() {
+        let mut rounds = 0;
+        while !rig.clean_end {
+            if rig.conn.is_none() {
+                rig.connect(&shipper, &mut rng, false);
+            }
+            rig.pump();
+            rounds += 1;
+            assert!(
+                rounds < 10_000,
+                "seed {seed} rig {i}: drain did not quiesce"
+            );
+        }
+        let stats = rig.follower.stats();
+        assert_eq!(
+            rig.follower.cursor(),
+            expected.epoch,
+            "seed {seed} rig {i}: cursor short of the leader epoch"
+        );
+        assert_eq!(
+            rig.follower.lag().frames_behind,
+            0,
+            "seed {seed} rig {i}: lag at rest"
+        );
+        let got = capture(rig.follower.store().expect("synced follower has a store"));
+        assert_eq!(
+            got, expected,
+            "seed {seed} rig {i}: follower diverged from the leader \
+             (stats: {stats:?})"
+        );
+    }
+    let faults: usize = rigs.iter().map(|r| r.faults_seen).sum();
+    let kills: usize = rigs.iter().map(|r| r.kills).sum();
+    let gaps: u64 = rigs.iter().map(|r| r.follower.stats().gaps).sum();
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    for rig in &rigs {
+        let _ = std::fs::remove_dir_all(&rig.state_dir);
+    }
+    (faults, kills, gaps + shipper.shed_count())
+}
+
+/// The acceptance criterion: ≥ 100 randomized fault schedules across
+/// K ∈ {1,3} followers and shards ∈ {1,4}, every follower converging
+/// to the leader's exact CFD + CIND + view violation state at its
+/// cursor epoch. The coverage tallies prove the schedules actually
+/// exercised faults, kill-9s, and sheds — a chaos suite that never
+/// injects chaos proves nothing.
+#[test]
+fn chaos_every_follower_converges_under_random_fault_schedules() {
+    let mut schedules = 0u64;
+    let (mut faults, mut kills, mut sheds) = (0usize, 0usize, 0u64);
+    for seed in 0..25u64 {
+        for k in [1usize, 3] {
+            for shards in [1usize, 4] {
+                let (f, ki, s) = run_schedule(seed, k, shards, schedules);
+                faults += f;
+                kills += ki;
+                sheds += s;
+                schedules += 1;
+            }
+        }
+    }
+    assert!(schedules >= 100, "only {schedules} schedules");
+    assert!(faults >= 200, "only {faults} faults injected");
+    assert!(kills >= 20, "only {kills} kill-9s exercised");
+    assert!(sheds >= 20, "only {sheds} sheds/gaps exercised");
+}
+
+// ---------------------------------------------------------------------
+// Focused regressions
+// ---------------------------------------------------------------------
+
+/// Frame idempotence by epoch: frames re-delivered over a live session
+/// (exactly what a reconnect overlap or a duplicating leader produces)
+/// are skipped, never double-applied — state and cursor unchanged,
+/// every duplicate counted.
+#[test]
+fn redelivered_frames_are_skipped_never_double_applied() {
+    let (w, mut rng) = make_workload(4242);
+    let dir = fresh_dir("idem", 0);
+    let mut leader = open_leader(&w, &dir, 1);
+    let shipper = leader.attach_shipper(ShipOptions::default());
+
+    let mut follower = fresh_follower(&w, 1);
+    let (cio, sio) = ChanShipIo::pair();
+    let mut server = ShipServerConn::new(Box::new(sio), shipper.clone());
+    let mut conn = follower.begin(Box::new(cio)).unwrap();
+    for _ in 0..6 {
+        commit_random(&w, &mut leader, &mut rng);
+    }
+    pump_to_idle(&mut follower, &mut conn, &mut server);
+    assert_eq!(follower.cursor(), leader.store().epoch());
+    let before = capture(follower.store().unwrap());
+    let applied_before = follower.stats().frames_applied;
+
+    // Re-deliver every retained frame, twice, over a fresh raw link
+    // that grants tail-replay and then duplicates the stream.
+    let retained = shipper_frames(&shipper);
+    assert_eq!(retained.len(), 6, "all six frames retained");
+    let (mut evil_leader, rio) = ChanShipIo::pair();
+    let mut bytes = Vec::new();
+    encode_ship_msg(
+        &mut bytes,
+        &ShipMsg::Tail {
+            incarnation: shipper.incarnation(),
+            leader_epoch: shipper.leader_epoch(),
+        },
+    );
+    for frame in retained.iter().chain(retained.iter()) {
+        encode_ship_msg(&mut bytes, &ShipMsg::Frame(frame.clone()));
+    }
+    evil_leader.send(&bytes).unwrap();
+    let mut reconn = follower.begin(Box::new(rio)).unwrap();
+    follower.pump(&mut reconn).unwrap();
+
+    assert_eq!(capture(follower.store().unwrap()), before);
+    assert_eq!(follower.stats().frames_applied, applied_before);
+    assert_eq!(
+        follower.stats().duplicates_skipped,
+        2 * retained.len() as u64,
+        "every re-delivered frame counted as a skipped duplicate"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Read the retained frames back off a throwaway snapshot-mode
+/// catch-up connection.
+fn shipper_frames(shipper: &LogShipper) -> Vec<Vec<u8>> {
+    let (mut cio, sio) = ChanShipIo::pair();
+    let mut server = ShipServerConn::new(Box::new(sio), shipper.clone());
+    let mut hello = Vec::new();
+    encode_ship_msg(
+        &mut hello,
+        &ShipMsg::Hello {
+            proto: SHIP_PROTO_VERSION,
+            incarnation: 0,
+            cursor: 0,
+        },
+    );
+    cio.send(&hello).unwrap();
+    while server.pump().unwrap() {}
+    let mut buf = Vec::new();
+    while let Some(chunk) = cio.try_recv().unwrap() {
+        buf.extend_from_slice(&chunk);
+    }
+    let mut frames = Vec::new();
+    let mut at = 0;
+    while let Some((msg, used)) = decode_ship_msg(&buf[at..]).unwrap() {
+        at += used;
+        if let ShipMsg::Frame(bytes) = msg {
+            frames.push(bytes);
+        }
+    }
+    frames
+}
+
+/// Fully sync a fresh follower against the shipper over a clean link.
+fn synced_follower(w: &Workload, shipper: &LogShipper, shards: usize) -> Follower {
+    let mut follower = fresh_follower(w, shards);
+    sync_once(&mut follower, shipper);
+    follower
+}
+
+fn sync_once(follower: &mut Follower, shipper: &LogShipper) {
+    let (cio, sio) = ChanShipIo::pair();
+    let mut server = ShipServerConn::new(Box::new(sio), shipper.clone());
+    let mut conn = follower.begin(Box::new(cio)).unwrap();
+    pump_to_idle(follower, &mut conn, &mut server);
+}
+
+/// Satellite 1: a registered follower cursor pins on-disk log
+/// retention — `checkpoint()` must not truncate segments the cursor
+/// still needs — a live cursor above the retained base resumes by
+/// tail-replay (no snapshot rebuild), and a cursor compacted away by a
+/// later checkpoint falls back to checkpoint+replay. Exact convergence
+/// either way.
+#[test]
+fn cursor_pins_log_retention_and_compacted_cursor_falls_back_to_snapshot() {
+    let (w, mut rng) = make_workload(4242);
+    let dir = fresh_dir("retain", 0);
+    let mut leader = open_leader(&w, &dir, 1);
+    let shipper = leader.attach_shipper(ShipOptions::default());
+
+    let seg_starts = |dir: &Path| -> Vec<u64> {
+        let mut segs: Vec<u64> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| {
+                let name = e.unwrap().file_name().into_string().unwrap();
+                name.strip_prefix("wal-")?
+                    .strip_suffix(".log")?
+                    .parse()
+                    .ok()
+            })
+            .collect();
+        segs.sort_unstable();
+        segs
+    };
+
+    // Commit, pin a cursor, commit past a checkpoint.
+    for _ in 0..4 {
+        commit_random(&w, &mut leader, &mut rng);
+    }
+    let pinned = leader.store().epoch();
+    let cursor = shipper.register_cursor(pinned);
+    assert_eq!(leader.retain_floor(), Some(pinned));
+    let old_segs = seg_starts(&dir);
+    for _ in 0..4 {
+        commit_random(&w, &mut leader, &mut rng);
+    }
+    leader.checkpoint().unwrap();
+    let kept = seg_starts(&dir);
+    assert!(
+        kept.iter().any(|s| old_segs.contains(s) && *s <= pinned),
+        "checkpoint truncated a segment the cursor at {pinned} needs: \
+         kept {kept:?}, had {old_segs:?}"
+    );
+
+    // A follower synced to the checkpoint tail-replays later commits:
+    // its cursor is within the retained window, so no snapshot rebuild.
+    let mut follower = synced_follower(&w, &shipper, 1);
+    assert_eq!(follower.stats().snapshots_loaded, 1, "initial sync only");
+    for _ in 0..2 {
+        commit_random(&w, &mut leader, &mut rng);
+    }
+    sync_once(&mut follower, &shipper);
+    assert_eq!(follower.cursor(), leader.store().epoch());
+    assert_eq!(
+        follower.stats().snapshots_loaded,
+        1,
+        "a live cursor must resume by tail-replay, not rebuild"
+    );
+    assert_eq!(capture(follower.store().unwrap()), capture(leader.store()));
+
+    // Release the pin: the next checkpoint reclaims the old segments …
+    shipper.release_cursor(cursor);
+    assert_eq!(leader.retain_floor(), None);
+    for _ in 0..2 {
+        commit_random(&w, &mut leader, &mut rng);
+    }
+    leader.checkpoint().unwrap();
+    assert!(
+        seg_starts(&dir).iter().all(|s| !old_segs.contains(s)),
+        "released pin still blocks truncation"
+    );
+
+    // … and the follower's cursor, now below the compacted horizon,
+    // falls back to checkpoint+replay and still converges exactly.
+    sync_once(&mut follower, &shipper);
+    assert_eq!(follower.cursor(), leader.store().epoch());
+    assert_eq!(
+        follower.stats().snapshots_loaded,
+        2,
+        "compacted-away cursor must fall back to checkpoint+replay"
+    );
+    assert_eq!(capture(follower.store().unwrap()), capture(leader.store()));
+
+    // The manual pin hook composes with cursor pins.
+    leader.retain_from(Some(1));
+    assert_eq!(leader.retain_floor(), Some(1));
+    leader.retain_from(None);
+    assert_eq!(leader.retain_floor(), None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shed-on-lag: a follower that stops pumping while the leader commits
+/// past its queue capacity is shed — gap event, cursor rewind via
+/// renegotiation — and the leader is never stalled (every `apply`
+/// returns). After reconnecting, the laggard converges exactly.
+#[test]
+fn slow_follower_is_shed_with_a_gap_and_converges_after_rewind() {
+    let (w, mut rng) = make_workload(4242);
+    let dir = fresh_dir("shed", 0);
+    let mut leader = open_leader(&w, &dir, 1);
+    let shipper = leader.attach_shipper(ShipOptions {
+        queue_cap: 2,
+        max_retained: 4096,
+    });
+    let mut follower = fresh_follower(&w, 1);
+    let (cio, sio) = ChanShipIo::pair();
+    let mut server = ShipServerConn::new(Box::new(sio), shipper.clone());
+    let mut conn = follower.begin(Box::new(cio)).unwrap();
+    pump_to_idle(&mut follower, &mut conn, &mut server);
+
+    // The follower goes to sleep; the leader commits far past the
+    // queue capacity. No apply may block or fail.
+    for _ in 0..12 {
+        commit_random(&w, &mut leader, &mut rng);
+    }
+    assert!(shipper.shed_count() >= 1, "laggard was never shed");
+
+    // Waking up, the follower sees the shed as a typed error …
+    let err = loop {
+        let _ = server.pump();
+        match follower.pump(&mut conn) {
+            Ok(_) => continue,
+            Err(e) => break e,
+        }
+    };
+    assert!(
+        matches!(err, FollowerError::Shed { through } if through <= leader.store().epoch()),
+        "expected a shed, got {err}"
+    );
+    assert_eq!(follower.stats().gaps, 1);
+    assert!(follower.cursor() < leader.store().epoch());
+
+    // … and a plain reconnect (cursor renegotiation) converges.
+    sync_once(&mut follower, &shipper);
+    assert_eq!(follower.cursor(), leader.store().epoch());
+    assert_eq!(capture(follower.store().unwrap()), capture(leader.store()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The blocking path end to end on real threads: `follow_until_end`
+/// (with jittered backoff) rides out two links that tear mid-stream
+/// before a clean one, and the follower still converges exactly.
+#[test]
+fn follow_until_end_survives_faulty_connections_on_real_threads() {
+    let (w, mut rng) = make_workload(4242);
+    let dir = fresh_dir("threads", 0);
+    let mut leader = open_leader(&w, &dir, 1);
+    for _ in 0..6 {
+        commit_random(&w, &mut leader, &mut rng);
+    }
+    let shipper = leader.attach_shipper(ShipOptions::default());
+    for _ in 0..6 {
+        commit_random(&w, &mut leader, &mut rng);
+    }
+    let expected = capture(leader.store());
+    shipper.finish();
+
+    let mut follower = fresh_follower(&w, 1);
+    let mut attempts: usize = 0;
+    let ship = shipper.clone();
+    follow_until_end(
+        &mut follower,
+        move || {
+            attempts += 1;
+            let (cio, sio) = ChanShipIo::pair();
+            let io: Box<dyn ShipIo> = if attempts <= 2 {
+                // The first two links die mid-stream.
+                Box::new(FaultShipIo::new(Box::new(sio)).cut_send_at(40 * attempts))
+            } else {
+                Box::new(sio)
+            };
+            let server = ShipServerConn::new(io, ship.clone());
+            std::thread::spawn(move || {
+                let _ = server.run();
+            });
+            let client: Box<dyn ShipIo> = Box::new(cio);
+            Ok(client)
+        },
+        &RetryPolicy {
+            base_ms: 1,
+            max_ms: 5,
+            jitter_pct: 50,
+            max_retries: 8,
+        },
+        99,
+    )
+    .expect("retry loop rides out the faulty links");
+    assert_eq!(capture(follower.store().unwrap()), expected);
+    assert!(follower.stats().connects >= 3, "faulty links were retried");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -231,3 +231,39 @@ proptest! {
         prop_assert!(store.violations_at(store.epoch() + 1).is_none());
     }
 }
+
+/// Regression (shed-on-lag): a subscriber that never drains its bounded
+/// queue must never stall or error the writer. Publishing into a full
+/// queue drops the subscriber instead — counted once, observed by the
+/// receiver as a disconnect after the buffered commits — and the store
+/// keeps serving fresh subscribers. Before this semantics the writer
+/// blocked on the laggard, which (single-threaded here) would deadlock
+/// this very test.
+#[test]
+fn stalled_subscriber_is_shed_and_never_stalls_the_writer() {
+    let sigma = vec![Cfd::attr_eq(0, 1).expect("valid attr-eq CFD")];
+    let base: Relation = Vec::<Tuple>::new().into_iter().collect();
+    let mut store = ShardedStore::new(sigma, &base, 2);
+    // A deliberately slow consumer: queue of one, never drained.
+    let laggard = store.subscribe(DiffFilter::All, 1);
+    for i in 0..64i64 {
+        let t: Tuple = vec![Value::int(i % 4), Value::int((i + 1) % 4), Value::int(0)];
+        store.apply(&UpdateBatch::new(vec![t], vec![]));
+    }
+    assert_eq!(store.shed_sub_count(), 1, "laggard shed exactly once");
+    // The commit buffered before the shed survives; the disconnect
+    // after it is the laggard's gap signal.
+    let first = laggard.recv().expect("buffered commit survives the shed");
+    assert_eq!(first.epoch, 1);
+    assert!(
+        laggard.recv().is_err(),
+        "shed subscriber observes disconnect as its gap signal"
+    );
+    // The bus itself is still live for new subscribers.
+    let fresh = store.subscribe(DiffFilter::All, 4);
+    let t: Tuple = vec![Value::int(3), Value::int(2), Value::int(1)];
+    store.apply(&UpdateBatch::new(vec![t], vec![]));
+    let c = fresh.try_recv().expect("fresh subscriber sees new commits");
+    assert_eq!(c.epoch, 65);
+    assert_eq!(store.shed_sub_count(), 1, "no further sheds");
+}

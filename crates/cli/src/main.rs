@@ -66,6 +66,26 @@
 //!     stdout ends streaming gracefully (log synced, exit 0), never a
 //!     panic mid-frame.
 //!
+//! cfdprop serve-updates <file.cfd> <file.upd> --data-dir DIR --listen SOCK
+//!                       [--linger-ms N] [--pace-ms N]
+//!     Durable serving plus log shipping: a `cfd_clean::LogShipper`
+//!     serves the replication stream (checkpoint + WAL frames, cursor
+//!     catch-up, heartbeats, shed-on-lag gaps) to any number of
+//!     followers over the unix socket SOCK. `--linger-ms` keeps the
+//!     leader listening that long after the script finishes before it
+//!     announces the clean end of stream; `--pace-ms` sleeps between
+//!     commits so crash harnesses overlap a live stream.
+//!
+//! cfdprop follow <file.cfd> --connect SOCK [--state-dir DIR] [--shards N]
+//!                [--view NAME] [--verify] [--max-retries N] [--seed S]
+//!     Run a read replica: connect to a leader's --listen socket, catch
+//!     up (snapshot or tail replay, negotiated from the saved cursor),
+//!     apply frames until the leader ends the stream, and print a
+//!     summary. Faults are answered with jittered exponential backoff
+//!     and cursor re-negotiation. `--state-dir` persists the replica
+//!     across runs (kill -9 safe); `--verify` cross-checks the final
+//!     replica state against a fresh rescan, exactly like `recover`.
+//!
 //! cfdprop recover <file.cfd> --data-dir DIR [--verify] [--shards N] [--view NAME]
 //!     Recover a durable data directory and print a summary. --verify
 //!     cross-checks every recovered violation set (CFD, CIND, and view
@@ -122,6 +142,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("clean") => clean(args),
         Some("apply-updates") => apply_updates(args),
         Some("serve-updates") => serve_updates(args),
+        Some("follow") => follow(args),
         Some("recover") => recover(args),
         Some("sql") => sql(args),
         Some("cind") => cind(args),
@@ -657,9 +678,12 @@ fn serve_updates(args: &[String]) -> Result<(), String> {
         }
 
         // Writer thread commits; this thread is the subscriber draining
-        // the bounded bus in commit order.
+        // the bounded bus in commit order. The queue is sized for the
+        // whole script: the bus sheds (drops) a subscriber whose queue
+        // is full at publish time rather than blocking the writer, and
+        // a serving stream must never lose commits to its own burst.
         let mut store = cfd_clean::ShardedStore::new(local, db.relation(rel), shards);
-        let rx = store.subscribe(filter, 64);
+        let rx = store.subscribe(filter, per_batch.len() + 1);
         let writer = std::thread::spawn(move || {
             for upd in &per_batch {
                 store.apply(upd);
@@ -842,6 +866,23 @@ fn serve_updates_multi(
         Some(v) => v.parse().map_err(|_| "--loop expects a repeat count")?,
         None => 1,
     };
+    // `--listen SOCK` attaches a log shipper to the durable store and
+    // serves the replication stream over a unix socket; `--linger-ms`
+    // keeps the leader listening after the script so late followers can
+    // catch up before the clean end of stream; `--pace-ms` spaces the
+    // commits out so crash harnesses overlap a live stream.
+    let listen_path = flag_value(args, "--listen");
+    let linger_ms: u64 = match flag_value(args, "--linger-ms") {
+        Some(v) => v.parse().map_err(|_| "--linger-ms expects milliseconds")?,
+        None => 0,
+    };
+    let pace_ms: u64 = match flag_value(args, "--pace-ms") {
+        Some(v) => v.parse().map_err(|_| "--pace-ms expects milliseconds")?,
+        None => 0,
+    };
+    if listen_path.is_some() && flag_value(args, "--data-dir").is_none() {
+        return Err("--listen requires --data-dir (the shipper serves the durable log)".into());
+    }
 
     let names: Vec<String> = doc
         .catalog
@@ -872,9 +913,21 @@ fn serve_updates_multi(
     let mut out = std::io::stdout().lock();
     use std::io::Write as _;
 
+    // The bus sheds a subscriber whose queue is full at publish time
+    // (the writer never blocks on a laggard), so the serving stream
+    // sizes its queue for every commit the script can produce: each
+    // batch commits at most once per statement's relation.
+    let bus_capacity = loops
+        .saturating_mul(script.iter().map(Vec::len).sum::<usize>())
+        .saturating_add(1);
+
     // Build the store — durable when `--data-dir` is given — subscribe,
     // and hand it to the writer thread. Dropping the store at the end
-    // of the writer closes the bus, ending the drain loop below.
+    // of the writer closes the bus, ending the drain loop below. The
+    // shipper (when `--listen` asked for one) outlives the store: it
+    // holds the retained frames and checkpoint itself, so followers
+    // connecting after the script finished are still served.
+    let mut shipper: Option<cfd_clean::LogShipper> = None;
     let (rx, writer): (
         std::sync::mpsc::Receiver<std::sync::Arc<cfd_clean::MultiCommit>>,
         std::thread::JoinHandle<Result<ReplaySummary, String>>,
@@ -912,11 +965,17 @@ fn serve_updates_multi(
         } else {
             filter
         };
-        let rx = store.subscribe(filter, 64);
+        let rx = store.subscribe(filter, bus_capacity);
+        if let Some(sock) = &listen_path {
+            shipper = Some(spawn_ship_listener(&mut store, sock)?);
+        }
         let writer = std::thread::spawn(move || {
             for _ in 0..loops {
                 for batch in &script {
                     store.apply_grouped(batch).map_err(|e| e.to_string())?;
+                    if pace_ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(pace_ms));
+                    }
                 }
             }
             // Make the tail durable even under `--fsync os`/every-N
@@ -939,7 +998,7 @@ fn serve_updates_multi(
         } else {
             filter
         };
-        let rx = store.subscribe(filter, 64);
+        let rx = store.subscribe(filter, bus_capacity);
         let writer = std::thread::spawn(move || {
             for _ in 0..loops {
                 for batch in &script {
@@ -967,6 +1026,19 @@ fn serve_updates_multi(
     }
     drop(rx);
     let summary = writer.join().map_err(|_| "writer thread panicked")??;
+    if let Some(shipper) = shipper {
+        // Late followers get the linger window to reconnect and drain
+        // before the clean end of stream is announced; then a short
+        // grace lets per-connection threads deliver their End frames.
+        if linger_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+        }
+        shipper.finish();
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        if let Some(sock) = &listen_path {
+            let _ = std::fs::remove_file(sock);
+        }
+    }
     if pipe_closed {
         return Ok(());
     }
@@ -989,6 +1061,209 @@ fn serve_updates_multi(
         Err(format!("{total} violation(s) after replay"))
     } else {
         Ok(())
+    }
+}
+
+/// Attach a [`cfd_clean::LogShipper`] to the durable store and serve it
+/// over a unix socket: an accept loop hands each connection to a
+/// [`cfd_clean::ShipServerConn`] on its own thread. Threads are
+/// detached — connections die with the process, and a follower treats
+/// that as any other transport fault (reconnect, renegotiate).
+#[cfg(unix)]
+fn spawn_ship_listener(
+    store: &mut cfd_clean::DurableMultiStore,
+    sock: &str,
+) -> Result<cfd_clean::LogShipper, String> {
+    let shipper = store.attach_shipper(cfd_clean::ShipOptions::default());
+    // A stale socket file from a previous (killed) leader would make
+    // bind fail; replacing it is the restart semantics we want.
+    let _ = std::fs::remove_file(sock);
+    let listener = std::os::unix::net::UnixListener::bind(sock)
+        .map_err(|e| format!("--listen {sock}: {e}"))?;
+    let accept_shipper = shipper.clone();
+    std::thread::spawn(move || {
+        while let Ok((stream, _)) = listener.accept() {
+            let per_conn = accept_shipper.clone();
+            std::thread::spawn(move || {
+                let io = Box::new(cfd_clean::replica::StreamShipIo::new(stream));
+                let _ = cfd_clean::ShipServerConn::new(io, per_conn).run();
+            });
+        }
+    });
+    Ok(shipper)
+}
+
+#[cfg(not(unix))]
+fn spawn_ship_listener(
+    _store: &mut cfd_clean::DurableMultiStore,
+    _sock: &str,
+) -> Result<cfd_clean::LogShipper, String> {
+    Err("--listen requires a unix platform (unix-domain sockets)".into())
+}
+
+/// `cfdprop follow <file.cfd> --connect SOCK [--state-dir DIR]
+/// [--shards N] [--view NAME] [--verify] [--max-retries N] [--seed S]`
+/// — run a read replica against a `serve-updates --listen` leader:
+/// catch up from the saved cursor (tail replay when the leader still
+/// retains those frames, snapshot rebuild otherwise), apply frames to
+/// the leader's clean end of stream, and print a summary JSON line.
+/// Transport faults, sheds, and epoch gaps are retried with jittered
+/// exponential backoff and cursor re-negotiation
+/// ([`cfd_clean::follow_until_end`]). The schema flags must match the
+/// leader (`--shards`, `--view`).
+#[cfg(unix)]
+fn follow(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: cfdprop follow <file.cfd> --connect SOCK [--state-dir DIR] \
+         [--shards N] [--view NAME] [--verify] [--max-retries N] [--seed S]";
+    let path = args.get(1).ok_or(USAGE)?;
+    let sock = flag_value(args, "--connect").ok_or(USAGE)?;
+    let doc = load(path)?;
+    let db = doc.database().map_err(|e| e.to_string())?;
+    let shards: usize = match flag_value(args, "--shards") {
+        Some(v) => v.parse().map_err(|_| "--shards expects a number")?,
+        None => 4,
+    };
+    let view_name = flag_value(args, "--view");
+    let (specs, cinds, view_spec) = multi_setup(&doc, &db, view_name.as_deref())?;
+    let views: Vec<cfd_clean::ViewSpec> = view_spec.into_iter().collect();
+    let state_dir = flag_value(args, "--state-dir").map(std::path::PathBuf::from);
+    let mut follower = match &state_dir {
+        Some(dir) => cfd_clean::Follower::open(specs, cinds, shards, views, dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?,
+        None => cfd_clean::Follower::new(specs, cinds, shards, views),
+    };
+    let policy = cfd_clean::RetryPolicy {
+        max_retries: match flag_value(args, "--max-retries") {
+            Some(v) => v.parse().map_err(|_| "--max-retries expects a number")?,
+            None => cfd_clean::RetryPolicy::default().max_retries,
+        },
+        ..Default::default()
+    };
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(v) => v.parse().map_err(|_| "--seed expects a number")?,
+        None => std::process::id() as u64,
+    };
+    let save_every: u64 = match flag_value(args, "--save-every") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--save-every expects a frame count")?,
+        None => 0,
+    };
+    if save_every > 0 && state_dir.is_none() {
+        return Err("--save-every requires --state-dir".into());
+    }
+    let connect = || -> Result<Box<dyn cfd_clean::ShipIo>, cfd_clean::ShipError> {
+        std::os::unix::net::UnixStream::connect(&sock)
+            .map(|s| {
+                Box::new(cfd_clean::replica::StreamShipIo::new(s)) as Box<dyn cfd_clean::ShipIo>
+            })
+            .map_err(|e| cfd_clean::ShipError::Io(e.to_string()))
+    };
+    match (save_every, &state_dir) {
+        (n, Some(dir)) if n > 0 => follow_saving(&mut follower, &sock, dir, n, &policy)?,
+        _ => cfd_clean::follow_until_end(&mut follower, connect, &policy, seed)
+            .map_err(|e| format!("follow: {e}"))?,
+    }
+    // Persist before reporting: a `--state-dir` replica that printed its
+    // summary must be reopenable at that cursor.
+    if let Some(dir) = &state_dir {
+        follower
+            .save_state(dir)
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    let lag = follower.lag();
+    let stats = follower.stats();
+    println!(
+        "{{\"followed\": true, \"cursor\": {}, \"leader_epoch\": {}, \"frames_behind\": {}, \
+         \"frames_applied\": {}, \"duplicates_skipped\": {}, \"snapshots_loaded\": {}, \
+         \"gaps\": {}, \"connects\": {}}}",
+        lag.cursor,
+        lag.leader_epoch,
+        lag.frames_behind,
+        stats.frames_applied,
+        stats.duplicates_skipped,
+        stats.snapshots_loaded,
+        stats.gaps,
+        stats.connects,
+    );
+    if args.iter().any(|a| a == "--verify") {
+        let store = follower
+            .store()
+            .ok_or("follow: nothing replicated, nothing to verify")?;
+        verify_store(&doc, store)?;
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn follow(_args: &[String]) -> Result<(), String> {
+    Err("follow requires a unix platform (unix-domain sockets)".into())
+}
+
+/// `follow --save-every N`: like [`cfd_clean::follow_until_end`], but
+/// persists the replica's state directory after every N applied frames
+/// (or snapshot loads), so a kill -9 at any moment loses at most N
+/// frames of catch-up work — the next run resumes from the saved cursor
+/// instead of a full snapshot. Drives [`cfd_clean::Follower::pump`]
+/// directly (the blocking `run` has no save hook); faults get a bounded
+/// exponential backoff with re-negotiation, and progress resets the
+/// attempt budget, mirroring `follow_until_end`.
+#[cfg(unix)]
+fn follow_saving(
+    follower: &mut cfd_clean::Follower,
+    sock: &str,
+    dir: &std::path::Path,
+    every: u64,
+    policy: &cfd_clean::RetryPolicy,
+) -> Result<(), String> {
+    let mut attempt: u32 = 0;
+    let mut unsaved: u64 = 0;
+    let progress = |f: &cfd_clean::Follower| {
+        let s = f.stats();
+        s.frames_applied + s.snapshots_loaded
+    };
+    loop {
+        let before = progress(follower);
+        let result = (|| -> Result<(), String> {
+            let stream =
+                std::os::unix::net::UnixStream::connect(sock).map_err(|e| e.to_string())?;
+            let mut conn = follower
+                .begin(Box::new(cfd_clean::replica::StreamShipIo::new(stream)))
+                .map_err(|e| e.to_string())?;
+            loop {
+                let n = follower.pump(&mut conn).map_err(|e| e.to_string())? as u64;
+                if n > 0 {
+                    unsaved += n;
+                    if unsaved >= every {
+                        follower.save_state(dir).map_err(|e| e.to_string())?;
+                        unsaved = 0;
+                    }
+                }
+                if conn.is_done() {
+                    return Ok(());
+                }
+                if n == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+        })();
+        match result {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                if progress(follower) > before {
+                    attempt = 0;
+                } else if attempt >= policy.max_retries {
+                    return Err(format!("follow: {e}"));
+                } else {
+                    attempt += 1;
+                }
+                let backoff = policy
+                    .base_ms
+                    .saturating_mul(1 << attempt.min(10))
+                    .min(policy.max_ms);
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+            }
+        }
     }
 }
 
@@ -1062,13 +1337,24 @@ fn recover(args: &[String]) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     println!("{}", recovery_json(&report, store.store()));
-    if !args.iter().any(|a| a == "--verify") {
-        return Ok(());
+    if args.iter().any(|a| a == "--verify") {
+        verify_store(&doc, store.store())?;
     }
+    Ok(())
+}
 
-    // --verify: the recovered incremental state vs fresh rescans of the
-    // recovered data. Violation lists are compared as sorted sets —
-    // insertion order is an engine artifact, membership is the claim.
+/// Cross-check a store's maintained incremental state against fresh
+/// rescans of its own data: per-relation CFD violations against
+/// [`cfd_clean::detect_all`], cross-relation CIND violations against
+/// `cfd_cind::satisfy::all_violations`, each materialized view against
+/// a from-scratch [`cfd_relalg::eval::eval_spc`] plus rescans of its
+/// own Σ. Shared by `recover --verify` (the recovered leader state) and
+/// `follow --verify` (the replica state): both must be indistinguishable
+/// from a store that computed everything from scratch. Violation lists
+/// are compared as sorted sets — insertion order is an engine artifact,
+/// membership is the claim. Prints the verified line on success; any
+/// divergence is an error.
+fn verify_store(doc: &Document, store: &cfd_clean::MultiStore) -> Result<(), String> {
     let mut divergences = 0usize;
     let mut fresh_db = cfd_relalg::Database::empty(&doc.catalog);
     for i in 0..store.rel_count() {

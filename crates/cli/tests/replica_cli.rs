@@ -1,0 +1,286 @@
+//! End-to-end tests of the replication pipeline over real unix sockets
+//! and real processes: `serve-updates --listen` (leader),
+//! `cfdprop follow` (replica), cursor resume across leader restarts,
+//! and the follower kill-9 → reconnect → converge loop (ISSUE 7,
+//! satellite 5's CI chaos job runs this file).
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::Duration;
+
+fn cfdprop(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cfdprop"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn testdata(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../testdata")
+        .join(name)
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cfdprop-replica-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawn a leader serving `loops` script replays over `sock`, paced so
+/// followers overlap a live stream, lingering after the script so late
+/// followers still reach the clean end of stream.
+fn spawn_leader(
+    cfd: &str,
+    upd: &str,
+    dir: &Path,
+    sock: &Path,
+    loops: &str,
+    extra: &[&str],
+) -> Child {
+    let mut args = vec![
+        "serve-updates",
+        cfd,
+        upd,
+        "--data-dir",
+        dir.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--listen",
+        sock.to_str().unwrap(),
+        "--loop",
+        loops,
+        "--fsync",
+        "os",
+    ];
+    args.extend_from_slice(extra);
+    Command::new(env!("CARGO_BIN_EXE_cfdprop"))
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("leader spawns")
+}
+
+/// Wait (bounded) for the leader's socket to exist before connecting.
+fn await_socket(sock: &Path) {
+    for _ in 0..200 {
+        if sock.exists() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("leader socket {} never appeared", sock.display());
+}
+
+/// The basic replica lifecycle: a follower connects mid-stream, catches
+/// up (one snapshot, then tail frames), reaches the leader's final
+/// epoch, passes `--verify` against a fresh rescan of its own replica
+/// state, and leaves a reopenable state directory.
+#[test]
+fn follower_catches_up_converges_and_verifies() {
+    let cfd = testdata("orders_lineitems.cfd");
+    let upd = testdata("orders_lineitems.upd");
+    let dir = fresh_dir("basic");
+    let sock = dir.join("ship.sock");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut leader = spawn_leader(
+        &cfd,
+        &upd,
+        &dir.join("leader"),
+        &sock,
+        "40",
+        &["--pace-ms", "2", "--linger-ms", "4000"],
+    );
+    await_socket(&sock);
+
+    let out = cfdprop(&[
+        "follow",
+        &cfd,
+        "--connect",
+        sock.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--state-dir",
+        dir.join("replica").to_str().unwrap(),
+        "--verify",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{text}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The script is 3 batches × 40 loops = 120 epochs; the follower
+    // must land exactly on the leader's final epoch with zero lag.
+    assert!(
+        text.contains("\"followed\": true") && text.contains("\"cursor\": 120"),
+        "follower converged: {text}"
+    );
+    assert!(text.contains("\"frames_behind\": 0"), "{text}");
+    assert!(text.contains("\"snapshots_loaded\": 1"), "{text}");
+    assert!(text.contains("\"verified\": true"), "{text}");
+    assert!(
+        dir.join("replica").join("follow.meta").is_file(),
+        "state directory persisted"
+    );
+    assert!(leader.wait().expect("leader exits").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cursor resume across leader restarts: run 2 continues the same data
+/// directory (epochs keep climbing), and the reopened follower — whose
+/// saved incarnation no longer matches — renegotiates via snapshot and
+/// converges on the new final epoch. No commit is lost or double
+/// applied across the restart boundary.
+#[test]
+fn follower_resumes_across_leader_restarts() {
+    let cfd = testdata("orders_lineitems.cfd");
+    let upd = testdata("orders_lineitems.upd");
+    let dir = fresh_dir("restart");
+    let sock = dir.join("ship.sock");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut cursors = Vec::new();
+    for round in 0..2 {
+        let mut leader = spawn_leader(
+            &cfd,
+            &upd,
+            &dir.join("leader"),
+            &sock,
+            "20",
+            &["--linger-ms", "4000"],
+        );
+        await_socket(&sock);
+        let out = cfdprop(&[
+            "follow",
+            &cfd,
+            "--connect",
+            sock.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--state-dir",
+            dir.join("replica").to_str().unwrap(),
+            "--verify",
+        ]);
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "round {round}: {text}{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            text.contains("\"frames_behind\": 0") && text.contains("\"verified\": true"),
+            "round {round}: {text}"
+        );
+        let cursor: u64 = text
+            .split("\"cursor\": ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("cursor in summary");
+        cursors.push(cursor);
+        assert!(leader.wait().expect("leader exits").success());
+    }
+    // 3 batches × 20 loops per run; the durable leader resumes its
+    // epoch clock, so the replica's cursor keeps climbing.
+    assert_eq!(cursors, vec![60, 120], "epochs continue across restarts");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The chaos headline at process level: kill -9 a catching-up follower
+/// five times mid-stream — each run saving its state every few frames —
+/// then let a final run converge and verify. Every kill lands at an
+/// arbitrary apply offset; the saved cursor plus renegotiation
+/// (tail-replay when retained, snapshot when compacted away by the
+/// leader's `--checkpoint-every`) must always reach exact convergence.
+#[test]
+fn follower_kill_nine_loop_reconnects_and_converges() {
+    let cfd = testdata("orders_lineitems.cfd");
+    let upd = testdata("orders_lineitems.upd");
+    let dir = fresh_dir("kill9");
+    let sock = dir.join("ship.sock");
+    std::fs::create_dir_all(&dir).unwrap();
+    let state = dir.join("replica");
+    let mut leader = spawn_leader(
+        &cfd,
+        &upd,
+        &dir.join("leader"),
+        &sock,
+        "250",
+        &[
+            "--pace-ms",
+            "3",
+            "--linger-ms",
+            "4000",
+            "--checkpoint-every",
+            "40",
+        ],
+    );
+    await_socket(&sock);
+
+    for round in 0..5u64 {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_cfdprop"))
+            .args([
+                "follow",
+                &cfd,
+                "--connect",
+                sock.to_str().unwrap(),
+                "--shards",
+                "2",
+                "--state-dir",
+                state.to_str().unwrap(),
+                "--save-every",
+                "5",
+                "--max-retries",
+                "50",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("follower spawns");
+        // Let it replicate for a while, then kill -9 mid-apply.
+        std::thread::sleep(Duration::from_millis(60 + round * 40));
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    assert!(
+        state.join("follow.meta").is_file(),
+        "at least one round persisted replica state before dying"
+    );
+
+    // The final run reopens the killed replica's state and must reach
+    // the leader's clean end of stream with a verified exact state.
+    let out = cfdprop(&[
+        "follow",
+        &cfd,
+        "--connect",
+        sock.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--state-dir",
+        state.to_str().unwrap(),
+        "--save-every",
+        "5",
+        "--max-retries",
+        "50",
+        "--verify",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "final run: {text}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        text.contains("\"cursor\": 750") && text.contains("\"frames_behind\": 0"),
+        "exact convergence at the leader's final epoch: {text}"
+    );
+    assert!(text.contains("\"verified\": true"), "{text}");
+    assert!(leader.wait().expect("leader exits").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

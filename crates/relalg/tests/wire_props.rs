@@ -1,0 +1,190 @@
+//! Wire-format properties (ISSUE 7 satellite): the byte-level codec is
+//! a bijection on what it accepts, and total on what it rejects.
+//!
+//! Two obligations:
+//!
+//! 1. **Canonical round trip** — encode → decode → re-encode produces
+//!    byte-identical output for any sequence of values and scalars.
+//!    The replication stream leans on this: a follower that re-encodes
+//!    what it decoded (e.g. to persist its own checkpoint) must land on
+//!    the same bytes the leader checksummed.
+//! 2. **Totality under corruption** — [`ByteReader`] never panics, no
+//!    matter how the input is mutated: every malformed byte stream
+//!    becomes a typed [`WireError`], and declared lengths are vetted
+//!    against the remaining input before any allocation.
+
+use cfd_relalg::wire::{crc32, put_u32, put_u64, put_value, ByteReader, WireError};
+use cfd_relalg::Value;
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        "\\PC{0,12}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+/// Encode a value sequence the way the durable layer does: a `u32`
+/// count, then the values back to back.
+fn encode_seq(vals: &[Value]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, vals.len() as u32);
+    for v in vals {
+        put_value(&mut out, v);
+    }
+    out
+}
+
+/// Decode a value sequence; errors propagate, trailing bytes are the
+/// caller's problem (reported via the reader position).
+fn decode_seq(r: &mut ByteReader<'_>) -> Result<Vec<Value>, WireError> {
+    // Minimum encoded value is 2 bytes (tag + 1-byte payload).
+    let n = r.count(2)?;
+    let mut vals = Vec::with_capacity(n);
+    for _ in 0..n {
+        vals.push(r.value()?);
+    }
+    Ok(vals)
+}
+
+/// A tiny deterministic xorshift64* so the mutation fuzz needs no RNG
+/// dependency — proptest supplies the seed, this expands it.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Exercise every `ByteReader` accessor over `buf` until the input is
+/// exhausted or errors — the fuzz driver. Returning at all (rather than
+/// panicking or looping) is the property.
+fn drain_with_every_accessor(buf: &[u8]) {
+    let mut r = ByteReader::new(buf);
+    let _ = decode_seq(&mut r);
+    // Restart and interleave scalar reads with value reads so header
+    // fields and payloads land on arbitrary offsets.
+    let mut r = ByteReader::new(buf);
+    let mut step = 0usize;
+    loop {
+        let before = r.pos();
+        let res: Result<(), WireError> = match step % 5 {
+            0 => r.u8().map(drop),
+            1 => r.u32().map(drop),
+            2 => r.u64().map(drop),
+            3 => r.value().map(drop),
+            _ => r.take(3).map(drop),
+        };
+        step += 1;
+        if res.is_err() || r.is_exhausted() {
+            break;
+        }
+        assert!(r.pos() > before, "every successful read must consume");
+    }
+}
+
+proptest! {
+    /// encode → decode → re-encode is the identity on bytes, and the
+    /// decoded values equal the originals.
+    #[test]
+    fn value_sequences_round_trip_canonically(
+        vals in proptest::collection::vec(value_strategy(), 0..24),
+    ) {
+        let bytes = encode_seq(&vals);
+        let mut r = ByteReader::new(&bytes);
+        let decoded = decode_seq(&mut r).expect("own encoding decodes");
+        prop_assert!(r.is_exhausted(), "decode must consume the encoding exactly");
+        prop_assert_eq!(&decoded, &vals);
+        let again = encode_seq(&decoded);
+        prop_assert_eq!(again, bytes, "re-encoding must be byte-identical");
+    }
+
+    /// Scalar helpers round trip and advance the reader by the exact
+    /// encoded width.
+    #[test]
+    fn scalars_round_trip(a in (0u32..=u32::MAX), b in (0u64..=u64::MAX), v in value_strategy()) {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, a);
+        put_u64(&mut bytes, b);
+        put_value(&mut bytes, &v);
+        let crc = crc32(&bytes);
+        let mut r = ByteReader::new(&bytes);
+        prop_assert_eq!(r.u32().unwrap(), a);
+        prop_assert_eq!(r.u64().unwrap(), b);
+        prop_assert_eq!(r.value().unwrap(), v);
+        prop_assert!(r.is_exhausted());
+        prop_assert_eq!(crc32(&bytes), crc, "crc32 is a pure function");
+    }
+
+    /// 256 random mutations per case — bit flips, truncations, splices
+    /// — and the reader never panics: it either decodes something or
+    /// returns a typed error.
+    #[test]
+    fn byte_reader_never_panics_on_mutated_input(
+        vals in proptest::collection::vec(value_strategy(), 0..12),
+        seed in (0u64..=u64::MAX),
+    ) {
+        let pristine = encode_seq(&vals);
+        let mut rng = XorShift(seed | 1);
+        for _ in 0..256 {
+            let mut bytes = pristine.clone();
+            match rng.next() % 3 {
+                // Bit flip somewhere (or in a 1-byte buffer if empty).
+                0 => {
+                    if bytes.is_empty() {
+                        bytes.push(0);
+                    }
+                    let i = rng.below(bytes.len());
+                    bytes[i] ^= 1 << rng.below(8);
+                }
+                // Truncate to a random prefix.
+                1 => {
+                    let keep = rng.below(bytes.len() + 1);
+                    bytes.truncate(keep);
+                }
+                // Splice random bytes at a random offset.
+                _ => {
+                    let at = rng.below(bytes.len() + 1);
+                    let n = 1 + rng.below(6);
+                    let junk: Vec<u8> =
+                        (0..n).map(|_| (rng.next() & 0xFF) as u8).collect();
+                    bytes.splice(at..at, junk);
+                }
+            }
+            drain_with_every_accessor(&bytes);
+        }
+    }
+
+    /// `count` rejects any declared length the remaining input cannot
+    /// hold — before allocating.
+    #[test]
+    fn counts_larger_than_the_input_are_rejected(
+        tail_len in 0usize..32,
+        declared in 1u32..u32::MAX,
+    ) {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, declared);
+        bytes.extend(std::iter::repeat_n(0u8, tail_len));
+        let mut r = ByteReader::new(&bytes);
+        let res = r.count(2);
+        if (declared as usize).saturating_mul(2) > tail_len {
+            prop_assert_eq!(
+                res,
+                Err(WireError::Oversize { at: 0, len: declared as u64 })
+            );
+        } else {
+            prop_assert_eq!(res, Ok(declared as usize));
+        }
+    }
+}
