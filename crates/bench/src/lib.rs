@@ -115,6 +115,19 @@
 //!   table and writes `BENCH_replica.json` (`host_cores` recorded);
 //!   `--verify-each` is the CI smoke mode (cross-checks the live
 //!   follower against the leader after every batch).
+//!
+//! The [`planfix`] module drives the delta-join planner experiment
+//! (ISSUE PR8): maintenance of a skewed 3-atom path view under the
+//! legacy greedy binary join plan versus the width-bounded factorized
+//! engine, swept over hot-key skews (the greedy plan's per-batch cost
+//! climbs the cliff while the factorized plan stays flat — see
+//! `docs/VIEWS.md` for measured numbers):
+//!
+//! * `cargo run --release -p cfd-bench --bin planfix_exp` — prints a
+//!   table and writes `BENCH_planfix.json` (`host_cores` recorded);
+//!   `--verify-each` is the CI smoke mode (verifies every batch
+//!   against `eval_spc_nested` on a same-epoch snapshot, with
+//!   `--budget-per-row` bounding the factorized engine's probe work).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -123,6 +136,7 @@ pub mod cind;
 pub mod columnar;
 pub mod durable;
 pub mod incremental;
+pub mod planfix;
 pub mod replica;
 pub mod sharded;
 pub mod view;

@@ -32,9 +32,11 @@
 //!   pair;
 //! * [`matview`] — live materialized SPC views on the multistore: a
 //!   [`MaterializedView`] is compiled once (predicates pushed down to
-//!   interned codes, one hash-join plan per atom) and maintained from
-//!   each commit's applied row delta in `O(|Δ⋈|)` — derivation counts
-//!   handle deletes — while its own [`DeltaDetector`] and
+//!   interned codes through the transitive equality closure, one
+//!   width-bounded factorized plan per atom — [`PlanMode`]) and
+//!   maintained from each commit's applied row delta in `O(|Δ⋈|)` —
+//!   derivation counts handle deletes — while its own [`DeltaDetector`]
+//!   and
 //!   [`cfd_cind::CindDelta`] keep the *view's* propagated-constraint
 //!   violations incremental too;
 //! * [`durable`] — durability for the multistore: an epoch-keyed
@@ -102,7 +104,7 @@ pub use durable::{
     FrameError, FsyncPolicy, LogIo, MemIo, RecoveryError, RecoveryReport,
 };
 pub use incremental::InsertChecker;
-pub use matview::{MaterializedView, ViewDelta, ViewSpec};
+pub use matview::{MaterializedView, PlanMode, ViewDelta, ViewSpec};
 pub use multistore::{
     MultiCommit, MultiDiffFilter, MultiSnapshot, MultiStore, RelationSpec, ViewSnapshot,
 };

@@ -14,13 +14,21 @@
 //! # The delta rule
 //!
 //! Compilation splits the selection `F` with
-//! [`cfd_relalg::query::CompiledSelection`]: per-atom constant and
-//! equality conjuncts are pushed down to interned-code comparisons that
-//! gate rows *into* the atom states, and the cross-atom equalities
-//! become one greedy [`cfd_relalg::query::JoinPlan`] per atom — each
-//! atom keeps a code-level hash index per distinct probe-key column
-//! set. A commit to relation `R` with applied delta `Δ = (D, I)`
-//! updates the join by the standard n-ary telescoped rule
+//! [`cfd_relalg::query::CompiledSelection`]: constant and equality
+//! conjuncts — including the ones only reachable through the transitive
+//! equality closure — are pushed down to interned-code comparisons that
+//! gate rows *into* the atom states, and the join variables drive a
+//! width-bounded [`cfd_relalg::query::FactorizedEngine`]
+//! ([`PlanMode::Factorized`], the default): each delta row
+//! semijoin-reduces the per-atom candidate sets and enumerates only
+//! surviving bindings, so per-row work is bounded by per-variable
+//! intersections plus derivations emitted — never by intermediate join
+//! size. [`PlanMode::Greedy`] keeps the legacy per-atom greedy
+//! [`cfd_relalg::query::JoinPlan`] over code-level hash indexes as a
+//! property-tested reference (and as the "before" side of the
+//! `planfix_exp` cliff bench). A commit to relation `R` with applied
+//! delta `Δ = (D, I)` updates the join by the standard n-ary telescoped
+//! rule
 //!
 //! ```text
 //! Δ(R1 ⋈ … ⋈ Rn) = Σj  R1′ ⋈ … ⋈ R(j-1)′ ⋈ Δj ⋈ R(j+1) ⋈ … ⋈ Rn
@@ -84,10 +92,26 @@ use cfd_cind::{view_to_source_cinds, Cind, CindError};
 use cfd_model::cfd::Cfd;
 use cfd_relalg::instance::{Relation, Tuple};
 use cfd_relalg::pool::Code;
-use cfd_relalg::query::{ColRef, CompiledSelection, JoinPlan, SpcQuery};
+use cfd_relalg::query::{ColRef, CompiledSelection, FactorizedEngine, JoinPlan, OutCode, SpcQuery};
 use cfd_relalg::schema::RelId;
 use cfd_relalg::versioned::SharedPool;
 use rustc_hash::FxHashMap;
+use std::cell::Cell;
+
+/// Which delta-join plan maintains the view.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Width-bounded factorized variable elimination
+    /// ([`cfd_relalg::query::factorized`]): per-delta-row work is
+    /// bounded by per-variable intersections plus derivations emitted.
+    /// The default.
+    #[default]
+    Factorized,
+    /// The legacy greedy binary [`JoinPlan`]: kept as a property-tested
+    /// reference and to let `planfix_exp` demonstrate the blowup cliff.
+    /// On skewed keys its per-row cost tracks intermediate join size.
+    Greedy,
+}
 
 /// What to materialize: the view's name, its query over the store's
 /// relations (`RelId(i)` is the `i`-th [`crate::multistore::RelationSpec`]),
@@ -107,6 +131,8 @@ pub struct ViewSpec {
     /// Extra CINDs with the view on the LHS; RHS must be a store
     /// relation.
     pub cinds: Vec<Cind>,
+    /// The maintenance plan (factorized by default).
+    pub plan: PlanMode,
 }
 
 impl ViewSpec {
@@ -117,7 +143,14 @@ impl ViewSpec {
             query,
             sigma: Vec::new(),
             cinds: Vec::new(),
+            plan: PlanMode::default(),
         }
+    }
+
+    /// Select the maintenance plan.
+    pub fn with_plan(mut self, plan: PlanMode) -> ViewSpec {
+        self.plan = plan;
+        self
     }
 }
 
@@ -253,10 +286,19 @@ pub struct MaterializedView {
     local_consts: Vec<Vec<(usize, Code)>>,
     /// Per atom position: pushed-down `A = B` conjuncts.
     local_eqs: Vec<Vec<(usize, usize)>>,
-    /// Per atom position: the delta-join plan driven by that position.
+    /// Per atom position: the greedy delta-join plan driven by that
+    /// position ([`PlanMode::Greedy`] only).
     plans: Vec<Vec<CompiledStep>>,
     out_cols: Vec<OutSrc>,
+    /// Per atom position: live rows + hash indexes
+    /// ([`PlanMode::Greedy`] only; the engine owns the rows otherwise).
     states: Vec<AtomState>,
+    /// Factorized join state ([`PlanMode::Factorized`]).
+    engine: Option<FactorizedEngine>,
+    engine_out: Vec<OutCode>,
+    /// Enumeration work spent by the greedy probe (bucket rows
+    /// visited); the factorized counter lives in the engine.
+    greedy_work: Cell<u64>,
     /// Derivation count per live view row.
     counts: FxHashMap<Box<[Code]>, u64>,
     /// Which store relations affect this view (atom or CIND RHS).
@@ -289,6 +331,7 @@ impl MaterializedView {
             query,
             sigma,
             cinds,
+            plan: plan_mode,
         } = spec;
         for rel in &query.atoms {
             if rel.0 >= n_sources {
@@ -334,40 +377,58 @@ impl MaterializedView {
             })
             .collect();
         let mut states: Vec<AtomState> = (0..n).map(|_| AtomState::default()).collect();
-        // Compile one plan per driver position, creating each atom's
-        // hash indexes as the steps demand them.
-        let mut plans: Vec<Vec<CompiledStep>> = Vec::with_capacity(n);
-        for d in 0..n {
-            let plan = JoinPlan::new(n, &sel.cross_eqs, d);
-            let steps = plan
-                .steps
-                .into_iter()
-                .map(|s| {
-                    let state = &mut states[s.atom];
-                    let index = state
-                        .indexes
-                        .iter()
-                        .position(|ix| ix.cols == s.key_cols)
-                        .unwrap_or_else(|| {
-                            state.indexes.push(AtomIndex {
-                                cols: s.key_cols.clone(),
-                                map: FxHashMap::default(),
-                            });
-                            state.indexes.len() - 1
-                        });
-                    CompiledStep {
-                        atom: s.atom,
-                        index,
-                        key_src: s.key_src.iter().map(|c| (c.atom, c.attr)).collect(),
-                        checks: s
-                            .checks
-                            .iter()
-                            .map(|(a, b)| ((a.atom, a.attr), (b.atom, b.attr)))
-                            .collect(),
-                    }
-                })
-                .collect();
-            plans.push(steps);
+        // Compile the maintenance plan: a factorized engine, or (legacy
+        // mode) one greedy plan per driver position, creating each
+        // atom's hash indexes as the steps demand them.
+        let mut plans: Vec<Vec<CompiledStep>> = Vec::new();
+        let mut engine = None;
+        let mut engine_out = Vec::new();
+        match plan_mode {
+            PlanMode::Factorized => {
+                engine = Some(FactorizedEngine::new(n, &sel.join_vars));
+                engine_out = out_cols
+                    .iter()
+                    .map(|o| match *o {
+                        OutSrc::Prod(a, c) => OutCode::Col(a, c),
+                        OutSrc::Const(code) => OutCode::Const(code),
+                    })
+                    .collect();
+            }
+            PlanMode::Greedy => {
+                plans.reserve(n);
+                for d in 0..n {
+                    let plan = JoinPlan::new(n, &sel.cross_eqs, d);
+                    let steps = plan
+                        .steps
+                        .into_iter()
+                        .map(|s| {
+                            let state = &mut states[s.atom];
+                            let index = state
+                                .indexes
+                                .iter()
+                                .position(|ix| ix.cols == s.key_cols)
+                                .unwrap_or_else(|| {
+                                    state.indexes.push(AtomIndex {
+                                        cols: s.key_cols.clone(),
+                                        map: FxHashMap::default(),
+                                    });
+                                    state.indexes.len() - 1
+                                });
+                            CompiledStep {
+                                atom: s.atom,
+                                index,
+                                key_src: s.key_src.iter().map(|c| (c.atom, c.attr)).collect(),
+                                checks: s
+                                    .checks
+                                    .iter()
+                                    .map(|(a, b)| ((a.atom, a.attr), (b.atom, b.attr)))
+                                    .collect(),
+                            }
+                        })
+                        .collect();
+                    plans.push(steps);
+                }
+            }
         }
         let cind = CindDelta::new(all_cinds, view_rel.0 + 1, pool)?;
         let mut view = MaterializedView {
@@ -390,6 +451,9 @@ impl MaterializedView {
             plans,
             out_cols,
             states,
+            engine,
+            engine_out,
+            greedy_work: Cell::new(0),
             counts: FxHashMap::default(),
             // Placeholder (empty Σ, nothing compiled): the real detector
             // is constructed once below, against the seeded view rows.
@@ -405,7 +469,7 @@ impl MaterializedView {
         for j in 0..n {
             cores[view.atom_rels[j]].for_each_live_code_row(|codes| {
                 if view.row_passes_local(j, codes) {
-                    view.states[j].insert(codes);
+                    view.insert_row(j, codes);
                 }
             });
         }
@@ -423,11 +487,14 @@ impl MaterializedView {
             delta.insert(row, 1);
         } else {
             let last = n - 1;
-            let drivers: Vec<Box<[Code]>> = view.states[last]
-                .ids
-                .keys()
-                .map(|k| k.as_ref().into())
-                .collect();
+            let drivers: Vec<Box<[Code]>> = match &view.engine {
+                Some(eng) => eng.rows_of(last),
+                None => view.states[last]
+                    .ids
+                    .keys()
+                    .map(|k| k.as_ref().into())
+                    .collect(),
+            };
             view.drive_position(last, &drivers, 1, &mut delta);
         }
         for (row, dc) in delta {
@@ -536,6 +603,33 @@ impl MaterializedView {
             && self.local_eqs[j].iter().all(|&(a, b)| codes[a] == codes[b])
     }
 
+    /// Insert a local-predicate-passing row into position `j`'s state
+    /// (whichever plan owns the rows).
+    fn insert_row(&mut self, j: usize, codes: &[Code]) -> bool {
+        match &mut self.engine {
+            Some(eng) => eng.insert(j, codes),
+            None => self.states[j].insert(codes),
+        }
+    }
+
+    /// Remove a row from position `j`'s state.
+    fn remove_row(&mut self, j: usize, codes: &[Code]) -> bool {
+        match &mut self.engine {
+            Some(eng) => eng.remove(j, codes),
+            None => self.states[j].remove(codes),
+        }
+    }
+
+    /// Cumulative join-enumeration work (bucket rows visited by the
+    /// greedy probe, or the factorized engine's candidate/emit
+    /// counter). `planfix_exp` budgets maintenance against this.
+    pub fn probe_work(&self) -> u64 {
+        match &self.engine {
+            Some(eng) => eng.work(),
+            None => self.greedy_work.get(),
+        }
+    }
+
     /// Drive `rows` of position `j` through its plan, accumulating each
     /// complete combination's projected row into `delta` with `sign`.
     fn drive_position(
@@ -545,16 +639,39 @@ impl MaterializedView {
         sign: i64,
         delta: &mut FxHashMap<Box<[Code]>, i64>,
     ) {
+        if let Some(eng) = &self.engine {
+            eng.drive(j, rows, sign, &self.engine_out, delta);
+            return;
+        }
         let steps = &self.plans[j];
         // Any empty non-driver atom empties every combination.
         if steps.iter().any(|s| self.states[s.atom].live() == 0) {
             return;
         }
+        // A disconnected step (no probe key) would look up the same
+        // whole-atom bucket for every driver row — resolve those scans
+        // once per batch instead.
+        let empty_key: &[Code] = &[];
+        let scans: Vec<Option<&Vec<u32>>> = steps
+            .iter()
+            .map(|s| {
+                if s.key_src.is_empty() {
+                    Some(
+                        self.states[s.atom].indexes[s.index]
+                            .map
+                            .get(empty_key)
+                            .expect("non-empty atom has its scan bucket"),
+                    )
+                } else {
+                    None
+                }
+            })
+            .collect();
         let n = self.atom_rels.len();
         let mut binding: Vec<Option<&[Code]>> = vec![None; n];
         for row in rows {
             binding[j] = Some(row);
-            self.probe(steps, 0, &mut binding, sign, delta);
+            self.probe(steps, &scans, 0, &mut binding, sign, delta);
             binding[j] = None;
         }
     }
@@ -562,6 +679,7 @@ impl MaterializedView {
     fn probe<'a>(
         &'a self,
         steps: &[CompiledStep],
+        scans: &[Option<&'a Vec<u32>>],
         depth: usize,
         binding: &mut Vec<Option<&'a [Code]>>,
         sign: i64,
@@ -580,14 +698,22 @@ impl MaterializedView {
             return;
         };
         let state = &self.states[step.atom];
-        let key: Box<[Code]> = step
-            .key_src
-            .iter()
-            .map(|&(a, c)| binding[a].expect("bound")[c])
-            .collect();
-        let Some(bucket) = state.indexes[step.index].map.get(&key) else {
-            return;
+        let bucket = match scans[depth] {
+            Some(b) => b,
+            None => {
+                let key: Box<[Code]> = step
+                    .key_src
+                    .iter()
+                    .map(|&(a, c)| binding[a].expect("bound")[c])
+                    .collect();
+                match state.indexes[step.index].map.get(&key) {
+                    Some(b) => b,
+                    None => return,
+                }
+            }
         };
+        self.greedy_work
+            .set(self.greedy_work.get() + bucket.len() as u64);
         // The bucket may shrink-by-probe never: state is immutable for
         // the whole position; plain iteration is safe.
         for &id in bucket {
@@ -609,7 +735,7 @@ impl MaterializedView {
                 continue;
             }
             binding[step.atom] = Some(row);
-            self.probe(steps, depth + 1, binding, sign, delta);
+            self.probe(steps, scans, depth + 1, binding, sign, delta);
             binding[step.atom] = None;
         }
     }
@@ -648,13 +774,13 @@ impl MaterializedView {
             self.drive_position(j, &i_j, 1, &mut delta);
             for codes in &d_j {
                 assert!(
-                    self.states[j].remove(codes),
+                    self.remove_row(j, codes),
                     "applied delete was resident in its atom state"
                 );
             }
             for codes in &i_j {
                 assert!(
-                    self.states[j].insert(codes),
+                    self.insert_row(j, codes),
                     "applied insert was new to its atom state"
                 );
             }

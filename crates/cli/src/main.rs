@@ -772,6 +772,7 @@ fn multi_setup(
                 query,
                 sigma: doc.view_cfds_for(name),
                 cinds: propagated,
+                plan: cfd_clean::PlanMode::default(),
             })
         }
         None => None,

@@ -6,7 +6,10 @@
 //! witness databases.
 
 use crate::instance::{Database, Relation, Tuple};
-use crate::query::{ColRef, CompiledSelection, JoinPlan, SelAtom, SpcQuery, SpcuQuery};
+use crate::pool::{Code, ValuePool};
+use crate::query::{
+    ColRef, CompiledSelection, FactorizedEngine, JoinPlan, OutCode, SelAtom, SpcQuery, SpcuQuery,
+};
 use crate::schema::Catalog;
 use crate::value::Value;
 use rustc_hash::FxHashMap;
@@ -14,25 +17,73 @@ use rustc_hash::FxHashMap;
 /// Evaluate an SPC query on `db`, producing the view instance (set
 /// semantics).
 ///
-/// Dispatches to a hash-join fast path when the selection contains
-/// cross-atom equality conjuncts (`O(|D| + |output|)` expected instead
-/// of the nested-loop `O(|D|^n)`); queries without a join condition fall
-/// back to [`eval_spc_nested`], whose product enumeration *is* the
-/// answer in that case.
+/// Multi-atom queries dispatch to the width-bounded factorized
+/// evaluator ([`eval_spc_factorized`]): per driver row, work is bounded
+/// by per-variable intersections plus derivations actually emitted —
+/// never intermediate join size, which is where the legacy greedy
+/// hash-join plan ([`eval_spc_hash`]) hits its blowup cliff on skewed
+/// keys. Single-atom (and pure-constant) queries fall back to
+/// [`eval_spc_nested`], whose enumeration *is* the answer in that case.
+/// Both older evaluators are kept public as property-tested references.
 pub fn eval_spc(q: &SpcQuery, catalog: &Catalog, db: &Database) -> Relation {
     if q.atoms.len() >= 2 {
-        let sel = CompiledSelection::compile(q);
-        if !sel.cross_eqs.is_empty() {
-            return eval_spc_hash(q, &sel, db);
-        }
+        return eval_spc_factorized(q, catalog, db);
     }
     eval_spc_nested(q, catalog, db)
 }
 
-/// The hash-join evaluation: filter each atom by its pushed-down local
-/// predicates, build one hash index per [`JoinPlan`] step, then drive
-/// the plan with the rows of its driver atom.
-fn eval_spc_hash(q: &SpcQuery, sel: &CompiledSelection, db: &Database) -> Relation {
+/// Factorized evaluation: compile the selection (with transitive
+/// constant pushdown), intern the filtered atom rows into a scratch
+/// pool, and drive a [`FactorizedEngine`] with the first atom's rows.
+pub fn eval_spc_factorized(q: &SpcQuery, catalog: &Catalog, db: &Database) -> Relation {
+    let n = q.atoms.len();
+    if n == 0 {
+        return eval_spc_nested(q, catalog, db);
+    }
+    let sel = CompiledSelection::compile(q);
+    let mut pool = ValuePool::new();
+    let mut engine = FactorizedEngine::new(n, &sel.join_vars);
+    let mut driver_rows: Vec<Box<[Code]>> = Vec::new();
+    for (j, rel) in q.atoms.iter().enumerate() {
+        for t in db.relation(*rel).tuples() {
+            if !sel.row_passes_local(j, t) {
+                continue;
+            }
+            let codes: Box<[Code]> = t.iter().map(|v| pool.intern(v)).collect();
+            if j == 0 {
+                driver_rows.push(codes.clone());
+            }
+            engine.insert(j, &codes);
+        }
+    }
+    let out: Vec<OutCode> = q
+        .output
+        .iter()
+        .map(|o| match o.src {
+            ColRef::Prod(c) => OutCode::Col(c.atom, c.attr),
+            ColRef::Const(k) => OutCode::Const(pool.intern(&q.constants[k].value)),
+        })
+        .collect();
+    let mut delta: FxHashMap<Box<[Code]>, i64> = FxHashMap::default();
+    engine.drive(0, &driver_rows, 1, &out, &mut delta);
+    let mut rel = Relation::new();
+    for (key, cnt) in &delta {
+        debug_assert!(*cnt > 0, "one-shot derivation counts are positive");
+        rel.insert(key.iter().map(|&c| pool.value(c).clone()).collect());
+    }
+    let _ = catalog;
+    rel
+}
+
+/// The legacy hash-join evaluation: filter each atom by its pushed-down
+/// local predicates, build one hash index per [`JoinPlan`] step, then
+/// drive the plan with the rows of its driver atom. Kept public as a
+/// property-tested reference for [`eval_spc_factorized`].
+pub fn eval_spc_hash(q: &SpcQuery, catalog: &Catalog, db: &Database) -> Relation {
+    if q.atoms.is_empty() {
+        return eval_spc_nested(q, catalog, db);
+    }
+    let sel = CompiledSelection::compile(q);
     let n = q.atoms.len();
     // Per atom: the rows passing the local predicates.
     let atom_rows: Vec<Vec<&Tuple>> = q

@@ -13,10 +13,12 @@
 
 mod builder;
 pub mod compiled;
+pub mod factorized;
 mod fragment;
 
 pub use builder::{RaCond, RaExpr};
 pub use compiled::{CompiledSelection, JoinPlan, JoinStep};
+pub use factorized::{FactorizedEngine, FactorizedPlan, OutCode};
 pub use fragment::Fragment;
 
 use crate::domain::DomainKind;
