@@ -116,6 +116,21 @@
 //!   `--verify-each` is the CI smoke mode (cross-checks the live
 //!   follower against the leader after every batch).
 //!
+//! The [`catalog`] module drives the stacked view-catalog experiment
+//! (ISSUE 9): mixed update batches over the orders/customers store with
+//! a three-level view-over-view DAG — a 2-atom join, an SPCU union of
+//! two *overlapping* selections over it (derivation counts above 1 are
+//! live), and a selection over that — registered through
+//! [`cfd_clean::MultiStore::register_stacked_batch`] and maintained per
+//! commit in topological order, versus a full bottom-up rebuild of the
+//! stack (one exact [`cfd_relalg::eval::eval_spcu`] pass per level in
+//! dependency order) after every batch:
+//!
+//! * `cargo run --release -p cfd-bench --bin catalog_exp` — prints a
+//!   table and writes `BENCH_catalog.json` (`host_cores` recorded);
+//!   `--verify-each` is the CI smoke mode (cross-checks every level
+//!   against the rebuild after every batch).
+//!
 //! The [`planfix`] module drives the delta-join planner experiment
 //! (ISSUE PR8): maintenance of a skewed 3-atom path view under the
 //! legacy greedy binary join plan versus the width-bounded factorized
@@ -132,6 +147,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod cind;
 pub mod columnar;
 pub mod durable;

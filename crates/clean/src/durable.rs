@@ -87,11 +87,12 @@
 //! cuts random commit sequences at arbitrary byte offsets and requires
 //! recovery to equal an in-memory twin at the last durable epoch.
 
+use crate::catalog::CatalogError;
 use crate::delta::UpdateBatch;
 use crate::matview::ViewSpec;
 use crate::multistore::{MultiCommit, MultiDiffFilter, MultiStore, RelationSpec};
 use crate::sharded::{AppliedRows, GcStats, StoreCore};
-use cfd_cind::{Cind, CindError};
+use cfd_cind::Cind;
 use cfd_relalg::instance::Tuple;
 use cfd_relalg::pool::Code;
 use cfd_relalg::schema::RelId;
@@ -360,7 +361,7 @@ pub enum RecoveryError {
         relations: usize,
     },
     /// The schema itself (CINDs, views) failed to compile.
-    Spec(CindError),
+    Spec(CatalogError),
 }
 
 impl From<io::Error> for RecoveryError {
@@ -815,8 +816,8 @@ pub fn recover_from_parts(
             &mut pool,
         ));
     }
-    let mut store =
-        MultiStore::from_parts(pool, names, cores, cinds.to_vec()).map_err(RecoveryError::Spec)?;
+    let mut store = MultiStore::from_parts(pool, names, cores, cinds.to_vec())
+        .map_err(|e| RecoveryError::Spec(e.into()))?;
     store.advance_clock(ck.epoch);
     for v in views {
         store
@@ -1135,7 +1136,8 @@ impl DurableMultiStore {
         fs::create_dir_all(dir)?;
         let (ckpts, segs) = list_dir(dir)?;
         let (store, report) = if ckpts.is_empty() {
-            let mut store = MultiStore::new(specs, cinds, n_shards).map_err(RecoveryError::Spec)?;
+            let mut store = MultiStore::new(specs, cinds, n_shards)
+                .map_err(|e| RecoveryError::Spec(e.into()))?;
             for v in views {
                 store.register_view(v).map_err(RecoveryError::Spec)?;
             }
@@ -1197,7 +1199,8 @@ impl DurableMultiStore {
         io: Box<dyn LogIo>,
         opts: DurableOptions,
     ) -> Result<(DurableMultiStore, Vec<u8>), RecoveryError> {
-        let mut store = MultiStore::new(specs, cinds, n_shards).map_err(RecoveryError::Spec)?;
+        let mut store =
+            MultiStore::new(specs, cinds, n_shards).map_err(|e| RecoveryError::Spec(e.into()))?;
         for v in views {
             store.register_view(v).map_err(RecoveryError::Spec)?;
         }

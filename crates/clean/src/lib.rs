@@ -86,6 +86,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod delta;
 pub mod durable;
 pub(crate) mod groupstate;
@@ -98,6 +99,7 @@ pub mod sharded;
 pub mod sql;
 pub mod violations;
 
+pub use catalog::{CatalogError, CyclePolicy, StackedViewSpec};
 pub use delta::{DeltaDetector, UpdateBatch, ViolationDiff};
 pub use durable::{
     checkpoint_bytes, recover_from_parts, DurableMultiStore, DurableOptions, FaultIo, FileIo,

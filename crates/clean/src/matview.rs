@@ -1,19 +1,20 @@
-//! Live materialized SPC views: O(|Δ⋈|) delta-join maintenance and
+//! Live materialized SPCU views: O(|Δ⋈|) delta-join maintenance and
 //! incremental view-side violation detection on the multistore.
 //!
-//! The paper's propagation results are all stated *over SPC views*
-//! (`V = πY(σF(R1 × … × Rn))`): a propagation cover tells you which
-//! CFDs are guaranteed on `V`, `cfd_cind::propagate_cinds` which CINDs
-//! — but *checking* the remaining constraints against live data meant
-//! re-evaluating the view from scratch on every change, `O(|D|^n)` per
-//! batch while every other path of the system runs in `O(|Δ|)`. A
-//! [`MaterializedView`] closes that gap: it is compiled once from an
-//! [`SpcQuery`] against the multistore's shared dictionary pool and
-//! maintained incrementally from each commit's *applied* row changes.
+//! The paper's view language is SPCU: unions of SPC branches
+//! `V = ∪i πY(σFi(Ri1 × … × Rini))`. A [`MaterializedView`] maintains
+//! one such union, where each branch's atoms are **nodes** of the
+//! store's extended space — source relations first, then view slots —
+//! so views stack on other views (see [`crate::catalog`] for the
+//! dependency bookkeeping that orders their refresh). Each branch is
+//! compiled once against the multistore's shared dictionary pool and
+//! maintained incrementally from upstream row deltas: source commits
+//! and, for stacked views, the row deltas the upstream views emitted
+//! earlier in the same commit's topological walk.
 //!
 //! # The delta rule
 //!
-//! Compilation splits the selection `F` with
+//! Compilation splits each branch's selection `F` with
 //! [`cfd_relalg::query::CompiledSelection`]: constant and equality
 //! conjuncts — including the ones only reachable through the transitive
 //! equality closure — are pushed down to interned-code comparisons that
@@ -25,32 +26,31 @@
 //! intersections plus derivations emitted — never by intermediate join
 //! size. [`PlanMode::Greedy`] keeps the legacy per-atom greedy
 //! [`cfd_relalg::query::JoinPlan`] over code-level hash indexes as a
-//! property-tested reference (and as the "before" side of the
-//! `planfix_exp` cliff bench). A commit to relation `R` with applied
-//! delta `Δ = (D, I)` updates the join by the standard n-ary telescoped
-//! rule
+//! property-tested reference. A delta `Δ = (D, I)` on node `N` updates
+//! each branch by the standard n-ary telescoped rule
 //!
 //! ```text
 //! Δ(R1 ⋈ … ⋈ Rn) = Σj  R1′ ⋈ … ⋈ R(j-1)′ ⋈ Δj ⋈ R(j+1) ⋈ … ⋈ Rn
 //! ```
 //!
-//! — atom positions holding `R` are processed in ascending order;
+//! — atom positions holding `N` are processed in ascending order;
 //! positions before the current one are already in their *new* state,
-//! positions after it still in their *old* state; each delta row drives
-//! its position's plan through the hash indexes, so the work per batch
-//! is `O(|Δ⋈|)`: proportional to the joined delta, never to the base
-//! relations. When any non-driver atom is empty the position's
-//! contribution is empty and is skipped outright.
+//! positions after it still in their *old* state. When several nodes
+//! changed in one commit (a source plus upstream views), the same
+//! telescoping applies across nodes: each changed node is folded fully,
+//! in the order given, before the next — the per-node deltas compose
+//! exactly because `Δ(Q[A→A',B→B']) = Δ(Q[A→A']) + Δ(Q[A',B→B'])`.
 //!
-//! # Multiplicity semantics for deletes
+//! # Multiplicity semantics: union by derivation-count addition
 //!
-//! Source relations are sets, but the projection `πY` is not injective:
-//! one view row may have many derivations. The view therefore keeps a
-//! **derivation count** per output row; joined delta rows adjust the
-//! count by `±1`, a view row is *added* when its count leaves zero and
+//! Source relations are sets, but neither projection nor union is
+//! injective: one view row may have many derivations, within a branch
+//! and across branches. The view keeps **one derivation count per
+//! output row, summed over all branches**; joined delta rows adjust it
+//! by `±1`, a view row is *added* when its count leaves zero and
 //! *removed* when it returns to zero. This is exactly how deletes
-//! avoid re-evaluation: dropping one of two derivations decrements the
-//! count and changes nothing visible.
+//! cancel across union branches: dropping the last derivation of one
+//! branch only removes the row if no other branch still derives it.
 //!
 //! # View-side violation detection
 //!
@@ -60,32 +60,42 @@
 //! * a per-view [`DeltaDetector`] holding the CFDs registered for the
 //!   view (typically a propagation cover), answering with the exact
 //!   [`ViolationDiff`];
-//! * a per-view [`cfd_cind::CindDelta`] holding the view-to-source
-//!   CINDs (the [`cfd_cind::view_to_source_cinds`] always-true set
-//!   plus whatever [`cfd_cind::propagate_cinds`] derived). Source-side
-//!   deltas update its witness counts, the view's row delta its member
-//!   sets; the two exact diffs compose by cancellation into one
-//!   [`CindDiff`] per commit.
+//! * a per-view [`cfd_cind::CindDelta`] holding the view-to-upstream
+//!   CINDs (the intersection over branches of each branch's
+//!   [`cfd_cind::view_to_source_cinds`] always-true set — union
+//!   inclusion holds iff every branch's does — plus registered
+//!   extras). Upstream deltas update its witness counts, the view's
+//!   row delta its member sets; the exact diffs compose by
+//!   cancellation into one [`CindDiff`] per commit.
+//!
+//! # Recursive views
+//!
+//! A view inside a monotone dependency cycle
+//! ([`crate::catalog::CyclePolicy::Monotone`]) is maintained
+//! *set-level*: it has no per-branch join state, its derivation counts
+//! are pinned to 1, and the store refreshes its whole strongly
+//! connected component to the least fixed point
+//! ([`MaterializedView::eval_set`] under Kleene iteration — growing
+//! from the current state for insert-only upstream deltas, recomputing
+//! from ∅, delete-and-rederive, otherwise), then diffs old against new
+//! rows with [`MaterializedView::refit_rows`] so the delta machinery
+//! downstream (bus, detectors, CINDs) is identical either way.
 //!
 //! # Epoch / pin interaction
 //!
 //! A view has no clock of its own: its state always corresponds to the
 //! multistore's last committed epoch, because
-//! `cfd_clean::MultiStore::apply` folds the view update into the same
-//! commit that changed the sources, and the resulting
-//! [`ViewDelta`] rides the [`crate::multistore::MultiCommit`] (and the
-//! diff bus, behind [`crate::multistore::MultiDiffFilter::View`]).
-//! A [`crate::multistore::MultiSnapshot`] therefore pins source *and*
-//! view state at one consistent cut — which also makes
-//! propagation-cover recomputation
-//! ([`crate::multistore::MultiStore::propagated_view_cinds`], re-run
-//! when Σ changes) snapshot-consistent: the cover is derived from the
-//! same epoch the pinned data answers for. View rows are code rows
-//! over the shared pool (codes are append-only and survive GC), so
-//! garbage collection in the stores never invalidates a view.
+//! `cfd_clean::MultiStore::apply` folds every view update — walked in
+//! dependency order — into the same commit that changed the sources,
+//! and the resulting [`ViewDelta`]s ride the
+//! [`crate::multistore::MultiCommit`] (and the diff bus, behind
+//! [`crate::multistore::MultiDiffFilter::View`]). A
+//! [`crate::multistore::MultiSnapshot`] therefore pins source and the
+//! *entire view catalog cut* at one consistent epoch. View rows are
+//! code rows over the shared pool (codes are append-only and survive
+//! GC), so garbage collection in the stores never invalidates a view.
 
 use crate::delta::{DeltaDetector, UpdateBatch, ViolationDiff};
-use crate::sharded::StoreCore;
 use crate::violations::Violation;
 use cfd_cind::delta::{CindDelta, CindDiff, CindViolation, CodeRow};
 use cfd_cind::{view_to_source_cinds, Cind, CindError};
@@ -95,8 +105,9 @@ use cfd_relalg::pool::Code;
 use cfd_relalg::query::{ColRef, CompiledSelection, FactorizedEngine, JoinPlan, OutCode, SpcQuery};
 use cfd_relalg::schema::RelId;
 use cfd_relalg::versioned::SharedPool;
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::cell::Cell;
+use std::collections::BTreeSet;
 
 /// Which delta-join plan maintains the view.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -113,13 +124,17 @@ pub enum PlanMode {
     Greedy,
 }
 
-/// What to materialize: the view's name, its query over the store's
-/// relations (`RelId(i)` is the `i`-th [`crate::multistore::RelationSpec`]),
-/// the CFDs to enforce on the view (typically a propagation cover), and
-/// extra view-LHS CINDs to maintain (the always-true
-/// [`view_to_source_cinds`] set is added automatically; pass the output
-/// of [`cfd_cind::propagate_cinds`] to also track composed
-/// view-to-target inclusions).
+/// What to materialize: a single-branch SPC view over the store's
+/// *source* relations (`RelId(i)` is the `i`-th
+/// [`crate::multistore::RelationSpec`]), the CFDs to enforce on the
+/// view (typically a propagation cover), and extra view-LHS CINDs to
+/// maintain (the always-true [`view_to_source_cinds`] set is added
+/// automatically; pass the output of [`cfd_cind::propagate_cinds`] to
+/// also track composed view-to-target inclusions).
+///
+/// This is the legacy flat-SPC registration type; union views and
+/// views over other views use [`crate::catalog::StackedViewSpec`] via
+/// [`crate::multistore::MultiStore::register_stacked`].
 #[derive(Clone, Debug)]
 pub struct ViewSpec {
     /// View name (the CLI uses document view names).
@@ -159,7 +174,7 @@ impl ViewSpec {
 /// [`crate::multistore::MultiCommit::views`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ViewDelta {
-    /// Index of the view in the store's registration order.
+    /// Slot index of the view in the store's registration order.
     pub view: usize,
     /// View rows that exist after the commit but did not before
     /// (sorted).
@@ -169,8 +184,8 @@ pub struct ViewDelta {
     pub rows_removed: Vec<Tuple>,
     /// View-CFD violations added and retired.
     pub cfd: ViolationDiff,
-    /// View-CIND violations added and retired (view-to-source witness
-    /// tracking; a source-side delete can add violations here without
+    /// View-CIND violations added and retired (view-to-upstream witness
+    /// tracking; an upstream delete can add violations here without
     /// any view row changing).
     pub cind: CindDiff,
 }
@@ -183,6 +198,26 @@ impl ViewDelta {
             && self.cfd.is_empty()
             && self.cind.is_empty()
     }
+}
+
+/// Callback-based row provider over the extended node space: invoked
+/// with a node id, it must call the supplied sink once per live code
+/// row of that node (sources from their cores, views from their
+/// derivation-count keys; nodes not yet built count as empty).
+pub(crate) type NodeRows<'a> = dyn FnMut(usize, &mut dyn FnMut(&[Code])) + 'a;
+
+/// Build instructions for one materialized view, produced by the
+/// store's catalog front end after name/cycle validation.
+#[derive(Clone, Debug)]
+pub(crate) struct ViewBuild {
+    pub(crate) name: String,
+    pub(crate) branches: Vec<SpcQuery>,
+    pub(crate) sigma: Vec<Cfd>,
+    pub(crate) cinds: Vec<Cind>,
+    pub(crate) plan: PlanMode,
+    /// True when the view sits in a monotone dependency cycle: skip
+    /// join state, pin counts to 1, maintain by fixpoint + refit.
+    pub(crate) recursive: bool,
 }
 
 /// Where one output column's code comes from.
@@ -201,7 +236,7 @@ struct AtomIndex {
     map: FxHashMap<Box<[Code]>, Vec<u32>>,
 }
 
-/// One atom position's live rows (the relation's resident rows passing
+/// One atom position's live rows (the node's resident rows passing
 /// the position's pushed-down local predicates) plus its hash indexes.
 #[derive(Debug, Default)]
 struct AtomState {
@@ -272,20 +307,21 @@ struct CompiledStep {
     checks: Vec<((usize, usize), (usize, usize))>,
 }
 
-/// A materialized SPC view over the multistore. Constructed via
-/// [`crate::multistore::MultiStore::register_view`]; see the [module
-/// docs](self) for the maintenance algorithm.
+/// One compiled SPC union branch: pushed-down predicates, the delta
+/// plan, and (for non-recursive views) the live per-atom join state.
 #[derive(Debug)]
-pub struct MaterializedView {
-    name: String,
+struct BranchState {
     query: SpcQuery,
-    view_rel: RelId,
-    /// `atoms[j].0` as plain indexes into the store's cores.
+    /// `atoms[j].0` as plain node ids (sources, then view slots).
     atom_rels: Vec<usize>,
     /// Per atom position: pushed-down `A = 'a'` conjuncts as codes.
     local_consts: Vec<Vec<(usize, Code)>>,
     /// Per atom position: pushed-down `A = B` conjuncts.
     local_eqs: Vec<Vec<(usize, usize)>>,
+    /// Cross-atom equalities `((atom, attr), (atom, attr))` — together
+    /// with the local conjuncts these are equivalent to the branch's
+    /// full selection `F` (used by [`BranchState::eval_into`]).
+    cross_eqs: Vec<((usize, usize), (usize, usize))>,
     /// Per atom position: the greedy delta-join plan driven by that
     /// position ([`PlanMode::Greedy`] only).
     plans: Vec<Vec<CompiledStep>>,
@@ -299,68 +335,18 @@ pub struct MaterializedView {
     /// Enumeration work spent by the greedy probe (bucket rows
     /// visited); the factorized counter lives in the engine.
     greedy_work: Cell<u64>,
-    /// Derivation count per live view row.
-    counts: FxHashMap<Box<[Code]>, u64>,
-    /// Which store relations affect this view (atom or CIND RHS).
-    touched: Vec<bool>,
-    detector: DeltaDetector,
-    cind: CindDelta,
-    /// Private strictly-increasing clock for the CIND engine (two
-    /// ticks per commit: source side, then view side).
-    cind_epoch: u64,
 }
 
-impl MaterializedView {
-    /// Compile `spec` against the store (`cores`, shared `pool`) and
-    /// seed it from the current live contents. `view_rel` is the id the
-    /// view occupies in the extended relation space (`n_sources +
-    /// view index`).
-    ///
-    /// Errors with [`CindError::UnknownRelation`] when a query atom or
-    /// a CIND endpoint falls outside the store, or when an extra CIND's
-    /// LHS is not the view itself.
-    pub(crate) fn new(
-        spec: ViewSpec,
-        view_rel: RelId,
-        n_sources: usize,
-        cores: &[StoreCore],
+impl BranchState {
+    /// Compile one branch. Recursive views skip the join machinery
+    /// entirely (they are refreshed by fixpoint re-evaluation, never
+    /// driven by deltas).
+    fn compile(
+        query: SpcQuery,
+        plan_mode: PlanMode,
+        recursive: bool,
         pool: &mut SharedPool,
-    ) -> Result<MaterializedView, CindError> {
-        let ViewSpec {
-            name,
-            query,
-            sigma,
-            cinds,
-            plan: plan_mode,
-        } = spec;
-        for rel in &query.atoms {
-            if rel.0 >= n_sources {
-                return Err(CindError::UnknownRelation {
-                    rel: *rel,
-                    relations: n_sources,
-                });
-            }
-        }
-        // The maintained CIND set: the by-construction view-to-source
-        // inclusions, then the caller's extras (deduplicated).
-        let mut all_cinds = view_to_source_cinds(view_rel, &query);
-        for c in cinds {
-            if c.lhs_rel() != view_rel {
-                return Err(CindError::UnknownRelation {
-                    rel: c.lhs_rel(),
-                    relations: n_sources,
-                });
-            }
-            if c.rhs_rel().0 >= n_sources {
-                return Err(CindError::UnknownRelation {
-                    rel: c.rhs_rel(),
-                    relations: n_sources,
-                });
-            }
-            if !all_cinds.contains(&c) {
-                all_cinds.push(c);
-            }
-        }
+    ) -> BranchState {
         let n = query.atoms.len();
         let sel = CompiledSelection::compile(&query);
         let local_consts: Vec<Vec<(usize, Code)>> = sel
@@ -376,14 +362,17 @@ impl MaterializedView {
                 ColRef::Const(k) => OutSrc::Const(pool.intern(&query.constants[k].value)),
             })
             .collect();
+        let cross_eqs: Vec<((usize, usize), (usize, usize))> = sel
+            .cross_eqs
+            .iter()
+            .map(|(a, b)| ((a.atom, a.attr), (b.atom, b.attr)))
+            .collect();
         let mut states: Vec<AtomState> = (0..n).map(|_| AtomState::default()).collect();
-        // Compile the maintenance plan: a factorized engine, or (legacy
-        // mode) one greedy plan per driver position, creating each
-        // atom's hash indexes as the steps demand them.
         let mut plans: Vec<Vec<CompiledStep>> = Vec::new();
         let mut engine = None;
         let mut engine_out = Vec::new();
         match plan_mode {
+            _ if recursive => {}
             PlanMode::Factorized => {
                 engine = Some(FactorizedEngine::new(n, &sel.join_vars));
                 engine_out = out_cols
@@ -430,172 +419,19 @@ impl MaterializedView {
                 }
             }
         }
-        let cind = CindDelta::new(all_cinds, view_rel.0 + 1, pool)?;
-        let mut view = MaterializedView {
+        BranchState {
             atom_rels: query.atoms.iter().map(|r| r.0).collect(),
-            touched: {
-                let mut t = vec![false; n_sources];
-                for r in &query.atoms {
-                    t[r.0] = true;
-                }
-                for c in cind.sigma() {
-                    t[c.rhs_rel().0] = true;
-                }
-                t
-            },
-            name,
             query,
-            view_rel,
             local_consts,
             local_eqs: sel.local_eqs,
+            cross_eqs,
             plans,
             out_cols,
             states,
             engine,
             engine_out,
             greedy_work: Cell::new(0),
-            counts: FxHashMap::default(),
-            // Placeholder (empty Σ, nothing compiled): the real detector
-            // is constructed once below, against the seeded view rows.
-            detector: DeltaDetector::new(Vec::new(), &Relation::new()),
-            cind,
-            cind_epoch: 0,
-        };
-
-        // Seed the atom states from the live store, then evaluate the
-        // initial contents by driving the *last* position with its full
-        // row set (every earlier position populated: the drive
-        // enumerates the complete join exactly once).
-        for j in 0..n {
-            cores[view.atom_rels[j]].for_each_live_code_row(|codes| {
-                if view.row_passes_local(j, codes) {
-                    view.insert_row(j, codes);
-                }
-            });
         }
-        let mut delta: FxHashMap<Box<[Code]>, i64> = FxHashMap::default();
-        if n == 0 {
-            // A pure constant relation has exactly one row, always.
-            let row: Box<[Code]> = view
-                .out_cols
-                .iter()
-                .map(|o| match o {
-                    OutSrc::Const(c) => *c,
-                    OutSrc::Prod(..) => unreachable!("no atoms to project"),
-                })
-                .collect();
-            delta.insert(row, 1);
-        } else {
-            let last = n - 1;
-            let drivers: Vec<Box<[Code]>> = match &view.engine {
-                Some(eng) => eng.rows_of(last),
-                None => view.states[last]
-                    .ids
-                    .keys()
-                    .map(|k| k.as_ref().into())
-                    .collect(),
-            };
-            view.drive_position(last, &drivers, 1, &mut delta);
-        }
-        for (row, dc) in delta {
-            debug_assert!(dc > 0, "seeding only adds derivations");
-            view.counts.insert(row, dc as u64);
-        }
-
-        // Seed the violation engines: view rows as CIND members and as
-        // the detector's base relation; source rows as CIND witnesses.
-        let touches_rhs: Vec<bool> = {
-            let mut t = vec![false; n_sources];
-            for c in view.cind.sigma() {
-                t[c.rhs_rel().0] = true;
-            }
-            t
-        };
-        for (r, core) in cores.iter().enumerate() {
-            if touches_rhs[r] {
-                core.for_each_live_code_row(|codes| view.cind.seed_row(RelId(r), codes));
-            }
-        }
-        let mut initial: Vec<Tuple> = Vec::with_capacity(view.counts.len());
-        for codes in view.counts.keys() {
-            view.cind.seed_row(view_rel, codes);
-            initial.push(codes.iter().map(|&c| pool.value(c).clone()).collect());
-        }
-        let base: Relation = initial.into_iter().collect();
-        view.detector = DeltaDetector::new(sigma, &base);
-        Ok(view)
-    }
-
-    /// The view's name.
-    pub fn name(&self) -> &str {
-        &self.name
-    }
-
-    /// The compiled query.
-    pub fn query(&self) -> &SpcQuery {
-        &self.query
-    }
-
-    /// The id the view occupies in the extended relation space.
-    pub fn view_rel(&self) -> RelId {
-        self.view_rel
-    }
-
-    /// The CFDs enforced on the view.
-    pub fn sigma(&self) -> &[Cfd] {
-        self.detector.sigma()
-    }
-
-    /// The CINDs maintained from the view (view-to-source set plus
-    /// registered extras).
-    pub fn cinds(&self) -> &[Cind] {
-        self.cind.sigma()
-    }
-
-    /// Number of live view rows.
-    pub fn len(&self) -> usize {
-        self.counts.len()
-    }
-
-    /// Is the view currently empty?
-    pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
-    }
-
-    /// Does a commit to `rel` affect this view (as a query atom or a
-    /// CIND witness side)?
-    pub(crate) fn touches(&self, rel: RelId) -> bool {
-        self.touched.get(rel.0).copied().unwrap_or(false)
-    }
-
-    /// Materialize the current view contents.
-    pub fn relation(&self, pool: &SharedPool) -> Relation {
-        self.counts
-            .keys()
-            .map(|codes| {
-                codes
-                    .iter()
-                    .map(|&c| pool.value(c).clone())
-                    .collect::<Tuple>()
-            })
-            .collect()
-    }
-
-    /// View-CFD violations currently holding, in
-    /// [`crate::violations::detect_all`] order.
-    pub fn cfd_violations(&self) -> Vec<Violation> {
-        self.detector.current_violations()
-    }
-
-    /// View-CIND violations currently holding, sorted by CIND index and
-    /// tuple.
-    pub fn cind_violations(&self, pool: &SharedPool) -> Vec<CindViolation> {
-        self.cind.current_violations(pool)
-    }
-
-    /// Number of view violations (both classes) without materializing.
-    pub fn violation_count(&self) -> usize {
-        self.detector.current_violations().len() + self.cind.violation_count()
     }
 
     fn row_passes_local(&self, j: usize, codes: &[Code]) -> bool {
@@ -620,13 +456,48 @@ impl MaterializedView {
         }
     }
 
-    /// Cumulative join-enumeration work (bucket rows visited by the
-    /// greedy probe, or the factorized engine's candidate/emit
-    /// counter). `planfix_exp` budgets maintenance against this.
-    pub fn probe_work(&self) -> u64 {
-        match &self.engine {
-            Some(eng) => eng.work(),
-            None => self.greedy_work.get(),
+    /// Fold one node's applied row delta into this branch by the
+    /// telescoped rule: every position holding `node`, ascending,
+    /// drives deletes then inserts through its plan and only then moves
+    /// its state old → new (so later positions of a self-join see it
+    /// updated).
+    fn fold_node(
+        &mut self,
+        node: usize,
+        dels: &[CodeRow],
+        ins: &[CodeRow],
+        delta: &mut FxHashMap<Box<[Code]>, i64>,
+    ) {
+        for j in 0..self.atom_rels.len() {
+            if self.atom_rels[j] != node {
+                continue;
+            }
+            let d_j: Vec<Box<[Code]>> = dels
+                .iter()
+                .filter(|c| self.row_passes_local(j, c))
+                .map(|c| c.as_ref().into())
+                .collect();
+            let i_j: Vec<Box<[Code]>> = ins
+                .iter()
+                .filter(|c| self.row_passes_local(j, c))
+                .map(|c| c.as_ref().into())
+                .collect();
+            // Drive first (the plan never consults the driver's own
+            // state), then move this position old → new.
+            self.drive_position(j, &d_j, -1, delta);
+            self.drive_position(j, &i_j, 1, delta);
+            for codes in &d_j {
+                assert!(
+                    self.remove_row(j, codes),
+                    "applied delete was resident in its atom state"
+                );
+            }
+            for codes in &i_j {
+                assert!(
+                    self.insert_row(j, codes),
+                    "applied insert was new to its atom state"
+                );
+            }
         }
     }
 
@@ -740,54 +611,469 @@ impl MaterializedView {
         }
     }
 
-    /// Fold one commit's applied row changes on relation `rel` into the
-    /// view: telescoped delta join, derivation-count bookkeeping, and
-    /// both violation engines. Returns the [`ViewDelta`] (possibly
-    /// empty). Called by `MultiStore::apply` under the store's epoch.
-    pub(crate) fn apply_source_delta(
-        &mut self,
-        index: usize,
-        rel: RelId,
-        dels: &[CodeRow],
-        ins: &[CodeRow],
-        pool: &SharedPool,
-    ) -> ViewDelta {
-        let mut delta: FxHashMap<Box<[Code]>, i64> = FxHashMap::default();
-        for j in 0..self.atom_rels.len() {
-            if self.atom_rels[j] != rel.0 {
-                continue;
-            }
-            let d_j: Vec<Box<[Code]>> = dels
+    /// Evaluate this branch from scratch against the rows `rows_of`
+    /// serves per node, set-level, into `out`. This is the fixpoint
+    /// evaluator for recursive views: nested-loop over the filtered
+    /// per-position row lists, checking the residual cross-atom
+    /// equalities (locals + crosses ≡ the branch's full selection).
+    fn eval_into(&self, rows_of: &mut NodeRows<'_>, out: &mut FxHashSet<Box<[Code]>>) {
+        let n = self.atom_rels.len();
+        if n == 0 {
+            // A pure constant relation has exactly one row, always.
+            let row: Box<[Code]> = self
+                .out_cols
                 .iter()
-                .filter(|c| self.row_passes_local(j, c))
-                .map(|c| c.as_ref().into())
+                .map(|o| match o {
+                    OutSrc::Const(c) => *c,
+                    OutSrc::Prod(..) => unreachable!("no atoms to project"),
+                })
                 .collect();
-            let i_j: Vec<Box<[Code]>> = ins
-                .iter()
-                .filter(|c| self.row_passes_local(j, c))
-                .map(|c| c.as_ref().into())
-                .collect();
-            // Drive first (the plan never consults the driver's own
-            // state), then move this position old → new so later
-            // positions of a self-join see it updated.
-            self.drive_position(j, &d_j, -1, &mut delta);
-            self.drive_position(j, &i_j, 1, &mut delta);
-            for codes in &d_j {
-                assert!(
-                    self.remove_row(j, codes),
-                    "applied delete was resident in its atom state"
-                );
+            out.insert(row);
+            return;
+        }
+        let mut per_pos: Vec<Vec<Box<[Code]>>> = Vec::with_capacity(n);
+        for j in 0..n {
+            let mut rows: Vec<Box<[Code]>> = Vec::new();
+            rows_of(self.atom_rels[j], &mut |codes| {
+                if self.row_passes_local(j, codes) {
+                    rows.push(codes.into());
+                }
+            });
+            if rows.is_empty() {
+                return;
             }
-            for codes in &i_j {
-                assert!(
-                    self.insert_row(j, codes),
-                    "applied insert was new to its atom state"
-                );
+            per_pos.push(rows);
+        }
+        let mut idx = vec![0usize; n];
+        loop {
+            let passes = self
+                .cross_eqs
+                .iter()
+                .all(|&((a1, c1), (a2, c2))| per_pos[a1][idx[a1]][c1] == per_pos[a2][idx[a2]][c2]);
+            if passes {
+                let row: Box<[Code]> = self
+                    .out_cols
+                    .iter()
+                    .map(|o| match *o {
+                        OutSrc::Prod(a, c) => per_pos[a][idx[a]][c],
+                        OutSrc::Const(code) => code,
+                    })
+                    .collect();
+                out.insert(row);
+            }
+            // Odometer advance; done when every position wraps.
+            let mut j = n;
+            loop {
+                if j == 0 {
+                    return;
+                }
+                j -= 1;
+                idx[j] += 1;
+                if idx[j] < per_pos[j].len() {
+                    break;
+                }
+                idx[j] = 0;
+            }
+        }
+    }
+}
+
+/// A materialized SPCU view over the multistore's extended node space.
+/// Constructed via [`crate::multistore::MultiStore::register_view`] or
+/// [`crate::multistore::MultiStore::register_stacked`]; see the
+/// [module docs](self) for the maintenance algorithm.
+#[derive(Debug)]
+pub struct MaterializedView {
+    name: String,
+    branches: Vec<BranchState>,
+    view_rel: RelId,
+    /// Set-level fixpoint maintenance instead of delta joins.
+    recursive: bool,
+    /// Derivation count per live view row, summed across branches
+    /// (pinned to 1 for recursive views).
+    counts: FxHashMap<Box<[Code]>, u64>,
+    /// Which nodes affect this view (branch atom or CIND RHS).
+    touched: Vec<bool>,
+    detector: DeltaDetector,
+    cind: CindDelta,
+    /// Private strictly-increasing clock for the CIND engine (one tick
+    /// per upstream node touched, plus one for the view side).
+    cind_epoch: u64,
+}
+
+impl MaterializedView {
+    /// Compile `build` against the store's extended node space
+    /// (`n_nodes` nodes: sources, then every view slot including this
+    /// one) and seed it from the live rows `rows_of` serves. `view_rel`
+    /// is the id the view occupies (`n_sources + slot`).
+    ///
+    /// Errors with [`CindError::UnknownRelation`] when a branch atom or
+    /// a CIND endpoint falls outside the node space, or when an extra
+    /// CIND's LHS is not the view itself. Name and cycle validation
+    /// happened earlier, in [`crate::catalog::ViewCatalog`].
+    pub(crate) fn new(
+        build: ViewBuild,
+        view_rel: RelId,
+        n_nodes: usize,
+        rows_of: &mut NodeRows<'_>,
+        pool: &mut SharedPool,
+    ) -> Result<MaterializedView, CindError> {
+        let ViewBuild {
+            name,
+            branches,
+            sigma,
+            cinds,
+            plan,
+            recursive,
+        } = build;
+        for q in &branches {
+            for rel in &q.atoms {
+                if rel.0 >= n_nodes {
+                    return Err(CindError::UnknownRelation {
+                        rel: *rel,
+                        relations: n_nodes,
+                    });
+                }
+            }
+        }
+        // The maintained CIND set: the by-construction view-to-upstream
+        // inclusions that hold for *every* union branch (union
+        // inclusion holds iff each branch's does), then the caller's
+        // extras (deduplicated).
+        let mut all_cinds: Vec<Cind> = match branches.first() {
+            Some(first) => {
+                let mut set = view_to_source_cinds(view_rel, first);
+                for b in &branches[1..] {
+                    let bc = view_to_source_cinds(view_rel, b);
+                    set.retain(|c| bc.contains(c));
+                }
+                set
+            }
+            None => Vec::new(),
+        };
+        for c in cinds {
+            if c.lhs_rel() != view_rel {
+                return Err(CindError::UnknownRelation {
+                    rel: c.lhs_rel(),
+                    relations: n_nodes,
+                });
+            }
+            if c.rhs_rel().0 >= n_nodes {
+                return Err(CindError::UnknownRelation {
+                    rel: c.rhs_rel(),
+                    relations: n_nodes,
+                });
+            }
+            if !all_cinds.contains(&c) {
+                all_cinds.push(c);
+            }
+        }
+        let cind = CindDelta::new(all_cinds, n_nodes, pool)?;
+        let branch_states: Vec<BranchState> = branches
+            .into_iter()
+            .map(|q| BranchState::compile(q, plan, recursive, pool))
+            .collect();
+        let mut view = MaterializedView {
+            touched: {
+                let mut t = vec![false; n_nodes];
+                for b in &branch_states {
+                    for &r in &b.atom_rels {
+                        t[r] = true;
+                    }
+                }
+                for c in cind.sigma() {
+                    t[c.rhs_rel().0] = true;
+                }
+                t
+            },
+            name,
+            branches: branch_states,
+            view_rel,
+            recursive,
+            counts: FxHashMap::default(),
+            // Placeholder (empty Σ, nothing compiled): the real detector
+            // is constructed once below, against the seeded view rows.
+            detector: DeltaDetector::new(Vec::new(), &Relation::new()),
+            cind,
+            cind_epoch: 0,
+        };
+
+        // Seed join state and initial contents. Recursive views skip
+        // both: the store seeds them by fixpoint + refit right after
+        // every member of the component exists.
+        if !recursive {
+            for br in &mut view.branches {
+                for j in 0..br.atom_rels.len() {
+                    rows_of(br.atom_rels[j], &mut |codes| {
+                        if br.row_passes_local(j, codes) {
+                            br.insert_row(j, codes);
+                        }
+                    });
+                }
+            }
+            // Evaluate the initial contents by driving each branch's
+            // *last* position with its full row set (every earlier
+            // position populated: the drive enumerates the complete
+            // join exactly once), all branches into one delta map so
+            // union derivations add.
+            let mut delta: FxHashMap<Box<[Code]>, i64> = FxHashMap::default();
+            for br in &view.branches {
+                let n = br.atom_rels.len();
+                if n == 0 {
+                    let row: Box<[Code]> = br
+                        .out_cols
+                        .iter()
+                        .map(|o| match o {
+                            OutSrc::Const(c) => *c,
+                            OutSrc::Prod(..) => unreachable!("no atoms to project"),
+                        })
+                        .collect();
+                    *delta.entry(row).or_insert(0) += 1;
+                } else {
+                    let last = n - 1;
+                    let drivers: Vec<Box<[Code]>> = match &br.engine {
+                        Some(eng) => eng.rows_of(last),
+                        None => br.states[last]
+                            .ids
+                            .keys()
+                            .map(|k| k.as_ref().into())
+                            .collect(),
+                    };
+                    br.drive_position(last, &drivers, 1, &mut delta);
+                }
+            }
+            for (row, dc) in delta {
+                debug_assert!(dc > 0, "seeding only adds derivations");
+                view.counts.insert(row, dc as u64);
             }
         }
 
-        // Fold the signed derivation deltas into the counts; rows
-        // crossing zero are the view's set-level delta.
+        // Seed the violation engines: view rows as CIND members and as
+        // the detector's base relation; upstream rows as CIND
+        // witnesses. (For recursive views the member side is empty here
+        // and filled by the seeding refit.)
+        let rhs_nodes: BTreeSet<usize> = view
+            .cind
+            .sigma()
+            .iter()
+            .map(|c| c.rhs_rel().0)
+            .filter(|&r| r != view_rel.0)
+            .collect();
+        for r in rhs_nodes {
+            rows_of(r, &mut |codes| view.cind.seed_row(RelId(r), codes));
+        }
+        let mut initial: Vec<Tuple> = Vec::with_capacity(view.counts.len());
+        for codes in view.counts.keys() {
+            view.cind.seed_row(view_rel, codes);
+            initial.push(codes.iter().map(|&c| pool.value(c).clone()).collect());
+        }
+        let base: Relation = initial.into_iter().collect();
+        view.detector = DeltaDetector::new(sigma, &base);
+        Ok(view)
+    }
+
+    /// The view's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The first union branch's compiled query. Every pre-SPCU view
+    /// has exactly one branch, so this is the whole definition for
+    /// views registered through
+    /// [`crate::multistore::MultiStore::register_view`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-branch (always-empty) view; use
+    /// [`MaterializedView::branch_queries`] when branches may be absent
+    /// or plural.
+    pub fn query(&self) -> &SpcQuery {
+        &self
+            .branches
+            .first()
+            .expect("query() on a zero-branch view")
+            .query
+    }
+
+    /// The compiled queries of every union branch, in order.
+    pub fn branch_queries(&self) -> impl Iterator<Item = &SpcQuery> {
+        self.branches.iter().map(|b| &b.query)
+    }
+
+    /// The view's output arity (0 for a zero-branch view).
+    pub fn arity(&self) -> usize {
+        self.branches.first().map(|b| b.out_cols.len()).unwrap_or(0)
+    }
+
+    /// Is this view maintained by monotone-fixpoint iteration (member
+    /// of a dependency cycle) rather than delta joins?
+    pub fn is_recursive(&self) -> bool {
+        self.recursive
+    }
+
+    /// The id the view occupies in the extended node space.
+    pub fn view_rel(&self) -> RelId {
+        self.view_rel
+    }
+
+    /// The CFDs enforced on the view.
+    pub fn sigma(&self) -> &[Cfd] {
+        self.detector.sigma()
+    }
+
+    /// The CINDs maintained from the view (the every-branch
+    /// view-to-upstream set plus registered extras).
+    pub fn cinds(&self) -> &[Cind] {
+        self.cind.sigma()
+    }
+
+    /// Number of live view rows.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Is the view currently empty?
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Does a delta on node `node` affect this view (as a branch atom
+    /// or a CIND witness side)?
+    pub(crate) fn touches_node(&self, node: usize) -> bool {
+        self.touched.get(node).copied().unwrap_or(false)
+    }
+
+    /// Materialize the current view contents.
+    pub fn relation(&self, pool: &SharedPool) -> Relation {
+        self.counts
+            .keys()
+            .map(|codes| {
+                codes
+                    .iter()
+                    .map(|&c| pool.value(c).clone())
+                    .collect::<Tuple>()
+            })
+            .collect()
+    }
+
+    /// View-CFD violations currently holding, in
+    /// [`crate::violations::detect_all`] order.
+    pub fn cfd_violations(&self) -> Vec<Violation> {
+        self.detector.current_violations()
+    }
+
+    /// View-CIND violations currently holding, sorted by CIND index and
+    /// tuple.
+    pub fn cind_violations(&self, pool: &SharedPool) -> Vec<CindViolation> {
+        self.cind.current_violations(pool)
+    }
+
+    /// Number of view violations (both classes) without materializing.
+    pub fn violation_count(&self) -> usize {
+        self.detector.current_violations().len() + self.cind.violation_count()
+    }
+
+    /// Cumulative join-enumeration work across branches (bucket rows
+    /// visited by the greedy probe, or the factorized engines'
+    /// candidate/emit counters). `planfix_exp` budgets maintenance
+    /// against this.
+    pub fn probe_work(&self) -> u64 {
+        self.branches
+            .iter()
+            .map(|b| match &b.engine {
+                Some(eng) => eng.work(),
+                None => b.greedy_work.get(),
+            })
+            .sum()
+    }
+
+    /// Visit every live view row (code-level).
+    pub(crate) fn for_each_row(&self, f: &mut dyn FnMut(&[Code])) {
+        for codes in self.counts.keys() {
+            f(codes);
+        }
+    }
+
+    /// Is this code row currently in the view?
+    pub(crate) fn contains_row(&self, codes: &[Code]) -> bool {
+        self.counts.contains_key(codes)
+    }
+
+    /// Evaluate the whole union from scratch, set-level, against the
+    /// rows `rows_of` serves per node — the one-step operator of the
+    /// recursive-component fixpoint.
+    pub(crate) fn eval_set(&self, rows_of: &mut NodeRows<'_>) -> FxHashSet<Box<[Code]>> {
+        let mut out = FxHashSet::default();
+        for br in &self.branches {
+            br.eval_into(rows_of, &mut out);
+        }
+        out
+    }
+
+    /// Fold one commit's upstream row deltas into the view: the
+    /// telescoped delta join per changed node (in the order given —
+    /// the store passes sources first, then upstream views in
+    /// topological order), derivation-count bookkeeping, and both
+    /// violation engines. Returns the [`ViewDelta`] plus the view's own
+    /// code-level row delta (removed, added) for downstream consumers.
+    pub(crate) fn apply_upstream(
+        &mut self,
+        index: usize,
+        changed: &[(usize, Vec<CodeRow>, Vec<CodeRow>)],
+        pool: &SharedPool,
+    ) -> (ViewDelta, Vec<CodeRow>, Vec<CodeRow>) {
+        debug_assert!(
+            !self.recursive,
+            "recursive views are refreshed by refit_rows, not delta joins"
+        );
+        let mut delta: FxHashMap<Box<[Code]>, i64> = FxHashMap::default();
+        for (node, dels, ins) in changed {
+            for br in &mut self.branches {
+                br.fold_node(*node, dels, ins, &mut delta);
+            }
+        }
+        self.commit_delta(index, delta, changed, pool)
+    }
+
+    /// Replace the view's contents with `target` (set-level), emitting
+    /// the same [`ViewDelta`] a delta-join maintenance step would have:
+    /// the recursive-component refresh path. `changed` carries the
+    /// upstream row deltas of the same commit so witness counts move
+    /// in step.
+    pub(crate) fn refit_rows(
+        &mut self,
+        index: usize,
+        target: &FxHashSet<Box<[Code]>>,
+        changed: &[(usize, Vec<CodeRow>, Vec<CodeRow>)],
+        pool: &SharedPool,
+    ) -> (ViewDelta, Vec<CodeRow>, Vec<CodeRow>) {
+        let mut delta: FxHashMap<Box<[Code]>, i64> = FxHashMap::default();
+        for row in target {
+            if !self.counts.contains_key(row) {
+                delta.insert(row.clone(), 1);
+            }
+        }
+        for row in self.counts.keys() {
+            if !target.contains(row) {
+                delta.insert(row.clone(), -1);
+            }
+        }
+        self.commit_delta(index, delta, changed, pool)
+    }
+
+    /// Shared tail of every maintenance path: fold the signed
+    /// derivation deltas into the counts (rows crossing zero are the
+    /// view's set-level delta), run the CFD detector, and walk the
+    /// CIND engine — witness side once per changed upstream endpoint,
+    /// in the order given, member side last — composing the exact
+    /// diffs by cancellation.
+    fn commit_delta(
+        &mut self,
+        index: usize,
+        delta: FxHashMap<Box<[Code]>, i64>,
+        changed: &[(usize, Vec<CodeRow>, Vec<CodeRow>)],
+        pool: &SharedPool,
+    ) -> (ViewDelta, Vec<CodeRow>, Vec<CodeRow>) {
         let mut added_codes: Vec<Box<[Code]>> = Vec::new();
         let mut removed_codes: Vec<Box<[Code]>> = Vec::new();
         for (row, dc) in delta {
@@ -830,11 +1116,32 @@ impl MaterializedView {
             })
         };
 
-        // View-CIND maintenance: the source delta moves witness counts,
-        // the view delta moves member sets; the two exact diffs compose
-        // by cancellation.
-        self.cind_epoch += 1;
-        let d1 = self.cind.apply(rel, dels, ins, self.cind_epoch, pool);
+        // View-CIND maintenance: each changed upstream endpoint moves
+        // witness counts; the view's own delta moves member sets (and,
+        // for a self-referential CIND, its witnesses — one call handles
+        // both roles, which is why the walk skips the view node).
+        let mut cind = CindDiff {
+            added: Vec::new(),
+            removed: Vec::new(),
+        };
+        for (node, dels, ins) in changed {
+            if *node == self.view_rel.0 {
+                continue;
+            }
+            let endpoint = self
+                .cind
+                .sigma()
+                .iter()
+                .any(|c| c.lhs_rel().0 == *node || c.rhs_rel().0 == *node);
+            if !endpoint {
+                continue;
+            }
+            self.cind_epoch += 1;
+            let d = self
+                .cind
+                .apply(RelId(*node), dels, ins, self.cind_epoch, pool);
+            cind = compose_cind_diffs(cind, d);
+        }
         self.cind_epoch += 1;
         let d2 = self.cind.apply(
             self.view_rel,
@@ -843,15 +1150,19 @@ impl MaterializedView {
             self.cind_epoch,
             pool,
         );
-        let cind = compose_cind_diffs(d1, d2);
+        let cind = compose_cind_diffs(cind, d2);
 
-        ViewDelta {
-            view: index,
-            rows_added,
-            rows_removed,
-            cfd,
-            cind,
-        }
+        (
+            ViewDelta {
+                view: index,
+                rows_added,
+                rows_removed,
+                cfd,
+                cind,
+            },
+            removed_codes,
+            added_codes,
+        )
     }
 }
 
@@ -893,6 +1204,7 @@ fn compose_cind_diffs(mut a: CindDiff, b: CindDiff) -> CindDiff {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::CatalogError;
     use crate::multistore::{MultiDiffFilter, MultiStore, RelationSpec};
     use cfd_relalg::domain::DomainKind;
     use cfd_relalg::eval::eval_spc;
@@ -1258,12 +1570,14 @@ mod tests {
                 src: ColRef::Prod(ProdCol::new(0, 0)),
             }],
         };
+        // 3 nodes are addressable during this registration: the two
+        // sources plus the view's own slot.
         assert_eq!(
             s.register_view(ViewSpec::new("V", q)).err(),
-            Some(CindError::UnknownRelation {
+            Some(CatalogError::Cind(CindError::UnknownRelation {
                 rel: r(7),
-                relations: 2
-            })
+                relations: 3
+            }))
         );
         // An extra CIND whose LHS is not the view is rejected.
         let mut spec = ViewSpec::new(

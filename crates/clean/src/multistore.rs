@@ -25,31 +25,46 @@
 //!   yields the exact [`CindDiff`] in `O(|Δ|)` expected time — no
 //!   rescans, including the batch-validator blind spot where deleting
 //!   the last RHS witness *creates* violations.
+//! * A [`crate::catalog::ViewCatalog`] names the store's materialized
+//!   SPCU views — unions of SPC branches over sources *and other
+//!   views* ([`MultiStore::register_stacked`]). Each commit walks the
+//!   condensation of the view dependency graph in topological order:
+//!   every view folds the upstream row deltas (source first, then any
+//!   upstream views that already committed theirs this epoch) and
+//!   emits its own [`ViewDelta`] under the same epoch, so a refresh
+//!   never reads a stale upstream. Monotone dependency cycles
+//!   (opt-in, [`crate::catalog::CyclePolicy::Monotone`]) are
+//!   maintained to the least fixed point — grown in place for
+//!   insert-only deltas, recomputed by delete-and-rederive otherwise.
+//!   Drops are `RESTRICT`; replacement revalidates atomically.
 //! * The diff bus generalizes [`crate::sharded::DiffFilter`] with CIND
 //!   events: subscribers pick a relation, a CFD of a relation, a CIND,
-//!   or a relation *pair* ([`MultiDiffFilter::RelPair`] — every CIND
-//!   between two named relations), and receive every commit in order
-//!   over a bounded channel. `cfdprop serve-updates --multi` serves the
-//!   stream as JSON lines.
+//!   a relation *pair* ([`MultiDiffFilter::RelPair`] — every CIND
+//!   between two named relations), or a view slot, and receive every
+//!   commit in order over a bounded channel. `cfdprop serve-updates
+//!   --multi` serves the stream as JSON lines.
 //!
-//! The differential fuzz harness
-//! (`crates/clean/tests/multistore_props.rs`) pins the whole tower
-//! down: under random schemas, Σ_CIND, and batch interleavings across
-//! relations, the maintained CIND state must equal a fresh
-//! [`cfd_cind::satisfy::all_violations`] rescan *and* a quadratic
-//! nested-loop reference, batch for batch, diff for diff.
+//! The differential fuzz harnesses
+//! (`crates/clean/tests/multistore_props.rs`,
+//! `crates/clean/tests/catalog_props.rs`) pin the whole tower down:
+//! under random schemas, Σ_CIND, view DAGs, and batch interleavings
+//! across relations, the maintained state must equal a fresh
+//! bottom-up re-evaluation, batch for batch, diff for diff.
 
+use crate::catalog::{CatalogError, CyclePolicy, StackedViewSpec, ViewCatalog};
 use crate::delta::{UpdateBatch, ViolationDiff};
-use crate::matview::{MaterializedView, ViewDelta, ViewSpec};
+use crate::matview::{MaterializedView, ViewBuild, ViewDelta, ViewSpec};
 use crate::sharded::{AppliedRows, GcStats, Snapshot, StoreCore};
 use crate::violations::Violation;
-use cfd_cind::delta::{CindDelta, CindDiff, CindViolation};
+use cfd_cind::delta::{CindDelta, CindDiff, CindViolation, CodeRow};
 use cfd_cind::implication::ImplicationOptions;
 use cfd_cind::{propagate_cinds, Cind, CindError};
 use cfd_model::cfd::Cfd;
 use cfd_relalg::instance::Relation;
+use cfd_relalg::pool::Code;
 use cfd_relalg::schema::RelId;
 use cfd_relalg::versioned::SharedPool;
+use rustc_hash::FxHashSet;
 use std::collections::BTreeSet;
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
@@ -95,8 +110,9 @@ pub struct MultiCommit {
     /// batch touched.
     pub cind: CindDiff,
     /// What the commit did to each registered materialized view the
-    /// batch affected (only non-empty deltas are carried; view commits
-    /// ride the same epoch as the source commit).
+    /// batch affected, in refresh (topological) order — only non-empty
+    /// deltas are carried; view commits ride the same epoch as the
+    /// source commit.
     pub views: Vec<ViewDelta>,
 }
 
@@ -127,8 +143,10 @@ pub enum MultiDiffFilter {
     /// Only CIND events whose dependency runs from the first relation
     /// (LHS) to the second (RHS).
     RelPair(RelId, RelId),
-    /// Only events of the materialized view at this registration index:
-    /// its row deltas plus its CFD and CIND violation diffs.
+    /// Only events of the materialized view in this catalog slot:
+    /// its row deltas plus its CFD and CIND violation diffs. (Slots
+    /// are stable across drops — a dropped slot simply never emits
+    /// again.)
     View(usize),
 }
 
@@ -206,6 +224,13 @@ struct MultiSub {
     tx: SyncSender<Arc<MultiCommit>>,
 }
 
+/// One upstream row delta in the extended node space: the node that
+/// changed, the code rows it lost, and the code rows it gained. The
+/// refresh walk appends each view's own delta as it commits, so
+/// downstream views see every upstream — source or view — through the
+/// same shape.
+type NodeDelta = (usize, Vec<CodeRow>, Vec<CodeRow>);
+
 /// The cross-relation live store. See the [module docs](self).
 pub struct MultiStore {
     pool: SharedPool,
@@ -216,9 +241,16 @@ pub struct MultiStore {
     epoch: u64,
     /// CIND violations holding now, in (cind, tuple) order.
     cind_current: BTreeSet<CindViolation>,
-    /// Materialized views, in registration order; view `i` occupies
-    /// `RelId(rel_count() + i)` in the extended relation space.
-    views: Vec<MaterializedView>,
+    /// View name/dependency bookkeeping: slot records, refresh order,
+    /// cycle analysis. The materialized states live in `views` below,
+    /// indexed by slot.
+    catalog: ViewCatalog,
+    /// Materialized views by catalog slot; a dropped view tombstones
+    /// its slot to `None` (slot indexes, node ids, and
+    /// [`MultiDiffFilter::View`] subscriptions stay stable forever).
+    /// View slot `k` occupies `RelId(rel_count() + k)` in the extended
+    /// node space.
+    views: Vec<Option<MaterializedView>>,
     /// Per-view snapshot cache: rebuilt lazily by [`MultiStore::snapshot`],
     /// invalidated by [`MultiStore::apply`] only when a commit actually
     /// moves the view — so repeated snapshots across quiet epochs share
@@ -276,6 +308,7 @@ impl MultiStore {
             core.for_each_live_code_row(|codes| cind.seed_row(RelId(i), codes));
         }
         let cind_current = cind.current_violations(&pool).into_iter().collect();
+        let n_sources = cores.len();
         Ok(MultiStore {
             pool,
             names,
@@ -283,6 +316,7 @@ impl MultiStore {
             cind,
             epoch: 0,
             cind_current,
+            catalog: ViewCatalog::new(n_sources),
             views: Vec::new(),
             view_snaps: Vec::new(),
             subs: Vec::new(),
@@ -290,72 +324,456 @@ impl MultiStore {
         })
     }
 
-    /// Register a materialized SPC view over the store's relations:
-    /// compile `spec.query` (predicates pushed down to interned codes,
-    /// one delta-join plan per atom), seed the view from the current
-    /// live contents, and maintain it — plus `spec.sigma` CFD
-    /// violations and its view-to-source CINDs (always-true set plus
-    /// `spec.cinds`) — incrementally from every future commit. Returns
-    /// the view's registration index; the view occupies
-    /// `RelId(rel_count() + index)` in the extended relation space.
+    /// Register a materialized SPC view over the store's *source*
+    /// relations: compile `spec.query` (predicates pushed down to
+    /// interned codes, one delta-join plan per atom), seed the view
+    /// from the current live contents, and maintain it — plus
+    /// `spec.sigma` CFD violations and its view-to-source CINDs
+    /// (always-true set plus `spec.cinds`) — incrementally from every
+    /// future commit. Returns the view's catalog slot; the view
+    /// occupies `RelId(rel_count() + slot)` in the extended node
+    /// space.
     ///
-    /// See [`crate::matview`] for the maintenance algorithm and cost
-    /// model.
-    pub fn register_view(&mut self, spec: ViewSpec) -> Result<usize, CindError> {
-        let view_rel = RelId(self.cores.len() + self.views.len());
-        let view = MaterializedView::new(
-            spec,
-            view_rel,
-            self.cores.len(),
-            &self.cores,
-            &mut self.pool,
-        )?;
-        self.views.push(view);
-        self.view_snaps.push(Mutex::new(None));
-        Ok(self.views.len() - 1)
+    /// This is the single-branch convenience front end of
+    /// [`MultiStore::register_stacked`]; duplicate names and dangling
+    /// references are typed [`CatalogError`]s. See [`crate::matview`]
+    /// for the maintenance algorithm and cost model.
+    pub fn register_view(&mut self, spec: ViewSpec) -> Result<usize, CatalogError> {
+        let ViewSpec {
+            name,
+            query,
+            sigma,
+            cinds,
+            plan,
+        } = spec;
+        self.register_stacked(StackedViewSpec {
+            name,
+            branches: vec![query],
+            sigma,
+            cinds,
+            plan,
+            cycle: CyclePolicy::Reject,
+        })
     }
 
-    /// Number of registered materialized views.
+    /// Register one stacked SPCU view: a union of SPC branches whose
+    /// atoms are nodes of the extended space — source `i` is node `i`,
+    /// view slot `k` is node `rel_count() + k`. Union branches merge
+    /// by derivation-count addition, so a delete cancels exactly
+    /// across branches. Returns the new catalog slot.
+    pub fn register_stacked(&mut self, spec: StackedViewSpec) -> Result<usize, CatalogError> {
+        Ok(self.register_stacked_batch(vec![spec])?[0])
+    }
+
+    /// Register a batch of stacked views **atomically**: names, node
+    /// references, union compatibility, and cycles are validated for
+    /// the whole batch before anything is built, and a failed build
+    /// rolls every slot of the batch back. Specs may reference each
+    /// other in any order (including forward); builds run in
+    /// dependency order. Dependency cycles within the batch are
+    /// rejected unless every member opted into
+    /// [`CyclePolicy::Monotone`], in which case the component is
+    /// seeded and maintained to its least fixed point. Returns the new
+    /// slots in spec order (`first..first + specs.len()`).
+    pub fn register_stacked_batch(
+        &mut self,
+        specs: Vec<StackedViewSpec>,
+    ) -> Result<Vec<usize>, CatalogError> {
+        let first = self.views.len();
+        self.catalog.admit(&specs)?;
+        for _ in 0..specs.len() {
+            self.views.push(None);
+            self.view_snaps.push(Mutex::new(None));
+        }
+        match self.build_new_slots(first, specs) {
+            Ok(()) => Ok((first..self.views.len()).collect()),
+            Err(e) => {
+                self.views.truncate(first);
+                self.view_snaps.truncate(first);
+                self.catalog.retract(first);
+                Err(e)
+            }
+        }
+    }
+
+    /// Build the materialized states for the slots a successful
+    /// [`ViewCatalog::admit`] appended, walking the refresh order so
+    /// every view seeds against already-built upstreams. Recursive
+    /// components are built stateless and then seeded to their fixed
+    /// point as a unit.
+    fn build_new_slots(
+        &mut self,
+        first: usize,
+        specs: Vec<StackedViewSpec>,
+    ) -> Result<(), CatalogError> {
+        let mut specs: Vec<Option<StackedViewSpec>> = specs.into_iter().map(Some).collect();
+        let n_sources = self.cores.len();
+        let n_nodes = n_sources + self.views.len();
+        let order = self.catalog.refresh_order().to_vec();
+        for comp in order {
+            if comp.iter().all(|&s| s < first) {
+                continue;
+            }
+            let recursive = self.catalog.is_recursive(comp[0]);
+            for &slot in &comp {
+                let spec = specs[slot - first]
+                    .take()
+                    .expect("each new slot built once");
+                let build = ViewBuild {
+                    name: spec.name,
+                    branches: spec.branches,
+                    sigma: spec.sigma,
+                    cinds: spec.cinds,
+                    plan: spec.plan,
+                    recursive,
+                };
+                let view_rel = RelId(n_sources + slot);
+                let (cores, views, pool) = (&self.cores, &self.views, &mut self.pool);
+                let mut rows_of = |node: usize, f: &mut dyn FnMut(&[Code])| {
+                    if node < n_sources {
+                        cores[node].for_each_live_code_row(|codes| f(codes));
+                    } else if let Some(Some(v)) = views.get(node - n_sources) {
+                        v.for_each_row(f);
+                    }
+                };
+                let mv = MaterializedView::new(build, view_rel, n_nodes, &mut rows_of, pool)?;
+                self.views[slot] = Some(mv);
+            }
+            if recursive {
+                self.seed_recursive(&comp);
+            }
+        }
+        Ok(())
+    }
+
+    /// Seed a freshly built recursive component: compute the least
+    /// fixed point from ∅, then refit every member so its counts,
+    /// detector, and CIND engine land exactly where incremental
+    /// maintenance will keep them. Emits no commit — like
+    /// non-recursive seeding, registration is not an epoch.
+    fn seed_recursive(&mut self, comp: &[usize]) {
+        let targets = self.scc_fixpoint(comp, false);
+        let n_sources = self.cores.len();
+        let nets: Vec<NodeDelta> = comp
+            .iter()
+            .zip(&targets)
+            .map(|(&slot, t)| (n_sources + slot, Vec::new(), t.iter().cloned().collect()))
+            .collect();
+        for (k, &slot) in comp.iter().enumerate() {
+            // Every member consumes the whole component's row deltas;
+            // its own entry is skipped by the member-side CIND pass.
+            let (views, pool) = (&mut self.views, &self.pool);
+            let _ = views[slot]
+                .as_mut()
+                .expect("recursive member just built")
+                .refit_rows(slot, &targets[k], &nets, pool);
+        }
+    }
+
+    /// The least fixed point of one recursive component under the
+    /// store's *current* upstream contents: Gauss–Seidel Kleene
+    /// iteration of each member's set-level union evaluation, serving
+    /// component members from the evolving iterate and everything else
+    /// from its committed state. `from_current` starts the iteration
+    /// at the members' current rows — sound exactly when no upstream
+    /// delta deleted (the old fixpoint is a pre-fixpoint of the grown
+    /// operator, so growth converges to the new least fixed point);
+    /// otherwise start from ∅ and rederive.
+    fn scc_fixpoint(&self, comp: &[usize], from_current: bool) -> Vec<FxHashSet<Box<[Code]>>> {
+        let n_sources = self.cores.len();
+        let mut rows: Vec<FxHashSet<Box<[Code]>>> = comp
+            .iter()
+            .map(|&slot| {
+                let mut set = FxHashSet::default();
+                if from_current {
+                    self.views[slot]
+                        .as_ref()
+                        .expect("live recursive member")
+                        .for_each_row(&mut |codes| {
+                            set.insert(codes.into());
+                        });
+                }
+                set
+            })
+            .collect();
+        loop {
+            let mut changed_any = false;
+            for k in 0..comp.len() {
+                let view = self.views[comp[k]].as_ref().expect("live recursive member");
+                let next = {
+                    let (cores, views, rows_ref) = (&self.cores, &self.views, &rows);
+                    let mut rows_of = |node: usize, f: &mut dyn FnMut(&[Code])| {
+                        if node < n_sources {
+                            cores[node].for_each_live_code_row(|codes| f(codes));
+                        } else if let Some(j) = comp.iter().position(|&s| n_sources + s == node) {
+                            for row in &rows_ref[j] {
+                                f(row);
+                            }
+                        } else if let Some(Some(v)) = views.get(node - n_sources) {
+                            v.for_each_row(f);
+                        }
+                    };
+                    view.eval_set(&mut rows_of)
+                };
+                if next != rows[k] {
+                    rows[k] = next;
+                    changed_any = true;
+                }
+            }
+            if !changed_any {
+                return rows;
+            }
+        }
+    }
+
+    /// Walk the refresh order and fold `changed` (upstream node
+    /// deltas, sources first) into every affected view, appending each
+    /// view's own row delta to `changed` as it commits so downstream
+    /// views consume it in the same pass — the topological refresh.
+    /// Non-empty [`ViewDelta`]s land in `out` in refresh order;
+    /// `skip_slot` exempts one slot (the view a replacement just
+    /// rebuilt wholesale).
+    fn propagate_changed(
+        &mut self,
+        changed: &mut Vec<NodeDelta>,
+        out: &mut Vec<ViewDelta>,
+        skip_slot: Option<usize>,
+    ) {
+        let n_sources = self.cores.len();
+        let order = self.catalog.refresh_order().to_vec();
+        for comp in order {
+            if skip_slot.is_some_and(|s| comp.contains(&s)) {
+                continue;
+            }
+            let touched = comp.iter().any(|&slot| {
+                let v = self.views[slot]
+                    .as_ref()
+                    .expect("live view in refresh order");
+                changed.iter().any(|(n, ..)| v.touches_node(*n))
+            });
+            if !touched {
+                continue;
+            }
+            if self.catalog.is_recursive(comp[0]) {
+                // Fixed-point refresh: grow in place when every
+                // upstream delta is insert-only (semi-naive-style —
+                // iteration starts at the old fixpoint, not ∅),
+                // otherwise delete-and-rederive from scratch.
+                let insert_only = changed.iter().all(|(_, dels, _)| dels.is_empty());
+                let targets = self.scc_fixpoint(&comp, insert_only);
+                // Net per-member row deltas, computed before any refit
+                // mutates a member (refits consume each other's nets).
+                let mut nets: Vec<NodeDelta> = Vec::with_capacity(comp.len());
+                for (k, &slot) in comp.iter().enumerate() {
+                    let v = self.views[slot].as_ref().expect("live recursive member");
+                    let mut removed: Vec<CodeRow> = Vec::new();
+                    v.for_each_row(&mut |codes| {
+                        if !targets[k].contains(codes) {
+                            removed.push(codes.into());
+                        }
+                    });
+                    let added: Vec<CodeRow> = targets[k]
+                        .iter()
+                        .filter(|row| !v.contains_row(row))
+                        .cloned()
+                        .collect();
+                    nets.push((n_sources + slot, removed, added));
+                }
+                for (k, &slot) in comp.iter().enumerate() {
+                    let mut ch = changed.clone();
+                    for (j, net) in nets.iter().enumerate() {
+                        if j != k {
+                            ch.push(net.clone());
+                        }
+                    }
+                    let (views, pool) = (&mut self.views, &self.pool);
+                    let (vd, _, _) = views[slot]
+                        .as_mut()
+                        .expect("live recursive member")
+                        .refit_rows(slot, &targets[k], &ch, pool);
+                    if !vd.is_empty() {
+                        *self.view_snaps[slot].lock().expect("view snapshot cache") = None;
+                        out.push(vd);
+                    }
+                }
+                for net in nets {
+                    if !net.1.is_empty() || !net.2.is_empty() {
+                        changed.push(net);
+                    }
+                }
+            } else {
+                let slot = comp[0];
+                let (views, pool) = (&mut self.views, &self.pool);
+                let (vd, removed, added) = views[slot]
+                    .as_mut()
+                    .expect("live view in refresh order")
+                    .apply_upstream(slot, changed, pool);
+                if !vd.is_empty() {
+                    *self.view_snaps[slot].lock().expect("view snapshot cache") = None;
+                    out.push(vd);
+                }
+                if !removed.is_empty() || !added.is_empty() {
+                    changed.push((n_sources + slot, removed, added));
+                }
+            }
+        }
+    }
+
+    /// `RESTRICT` drop: tombstone the live view named `name` unless
+    /// live views depend on it ([`CatalogError::HasDependents`]). The
+    /// slot index and node id are never reused; pinned
+    /// [`MultiSnapshot`]s taken before the drop keep serving the
+    /// captured state. Returns the tombstoned slot.
+    pub fn drop_view(&mut self, name: &str) -> Result<usize, CatalogError> {
+        let slot = self.catalog.drop_slot(name)?;
+        self.views[slot] = None;
+        *self.view_snaps[slot].lock().expect("view snapshot cache") = None;
+        Ok(slot)
+    }
+
+    /// Replace the live view named `spec.name` **atomically**: the new
+    /// definition is validated (node references, union compatibility,
+    /// no cycles of any kind, arity preserved while dependents read
+    /// it) and fully rebuilt against the current store before the old
+    /// state is swapped out — on any error the old view stays live and
+    /// every pinned snapshot stays valid. The row difference between
+    /// old and new contents propagates to downstream views exactly
+    /// like a commit's delta would, and the resulting [`ViewDelta`]s
+    /// are returned (replacement is not an epoch: nothing is
+    /// published on the bus).
+    pub fn replace_view(&mut self, spec: StackedViewSpec) -> Result<Vec<ViewDelta>, CatalogError> {
+        let slot = self
+            .catalog
+            .live_id(&spec.name)
+            .ok_or_else(|| CatalogError::UnknownView(spec.name.clone()))?;
+        let old_arity = self.views[slot].as_ref().expect("live view").arity();
+        let new_arity = spec.branches.first().map(|b| b.output.len()).unwrap_or(0);
+        if new_arity != old_arity && !self.catalog.dependents_of(slot).is_empty() {
+            return Err(CatalogError::ReplaceIncompatible { view: spec.name });
+        }
+        let deps = self.catalog.validate_replace(slot, &spec)?;
+        let n_sources = self.cores.len();
+        let n_nodes = n_sources + self.views.len();
+        let build = ViewBuild {
+            name: spec.name,
+            branches: spec.branches,
+            sigma: spec.sigma,
+            cinds: spec.cinds,
+            plan: spec.plan,
+            recursive: false,
+        };
+        let view_rel = RelId(n_sources + slot);
+        let new_view = {
+            let (cores, views, pool) = (&self.cores, &self.views, &mut self.pool);
+            let mut rows_of = |node: usize, f: &mut dyn FnMut(&[Code])| {
+                if node < n_sources {
+                    cores[node].for_each_live_code_row(|codes| f(codes));
+                } else if let Some(Some(v)) = views.get(node - n_sources) {
+                    v.for_each_row(f);
+                }
+            };
+            MaterializedView::new(build, view_rel, n_nodes, &mut rows_of, pool)?
+        };
+        // The replacement's net row delta, for downstream propagation.
+        let old = self.views[slot].as_ref().expect("live view");
+        let mut removed: Vec<CodeRow> = Vec::new();
+        old.for_each_row(&mut |codes| {
+            if !new_view.contains_row(codes) {
+                removed.push(codes.into());
+            }
+        });
+        let mut added: Vec<CodeRow> = Vec::new();
+        new_view.for_each_row(&mut |codes| {
+            if !old.contains_row(codes) {
+                added.push(codes.into());
+            }
+        });
+        self.views[slot] = Some(new_view);
+        self.catalog.commit_replace(slot, deps);
+        *self.view_snaps[slot].lock().expect("view snapshot cache") = None;
+        let mut out = Vec::new();
+        if !removed.is_empty() || !added.is_empty() {
+            let mut changed = vec![(n_sources + slot, removed, added)];
+            self.propagate_changed(&mut changed, &mut out, Some(slot));
+        }
+        Ok(out)
+    }
+
+    /// Number of catalog slots ever registered, dropped ones included
+    /// (slot indexes are stable; use [`MultiStore::view_id`] to
+    /// resolve live names).
     pub fn view_count(&self) -> usize {
         self.views.len()
     }
 
-    /// The registered view at `index`.
+    /// The view in catalog slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was dropped.
     pub fn view(&self, index: usize) -> &MaterializedView {
-        &self.views[index]
+        self.views[index].as_ref().expect("view slot was dropped")
     }
 
-    /// The registration index of the view named `name`, if any.
+    /// The catalog slot of the *live* view named `name`, if any.
     pub fn view_id(&self, name: &str) -> Option<usize> {
-        self.views.iter().position(|v| v.name() == name)
+        self.catalog.live_id(name)
     }
 
-    /// Materialize the current contents of view `index`.
+    /// The name registered for catalog slot `index` — names survive
+    /// drops, so slot-keyed streams ([`MultiDiffFilter::View`]) can
+    /// always be labelled.
+    pub fn view_name(&self, index: usize) -> &str {
+        debug_assert_eq!(self.catalog.slot_count(), self.views.len());
+        &self.catalog.slot(index).name
+    }
+
+    /// Materialize the current contents of the view in slot `index`.
     pub fn view_relation(&self, index: usize) -> Relation {
-        self.views[index].relation(&self.pool)
+        self.view(index).relation(&self.pool)
     }
 
-    /// View-CFD violations currently holding on view `index`, in
-    /// [`crate::violations::detect_all`] order.
+    /// View-CFD violations currently holding on the view in slot
+    /// `index`, in [`crate::violations::detect_all`] order.
     pub fn view_cfd_violations(&self, index: usize) -> Vec<Violation> {
-        self.views[index].cfd_violations()
+        self.view(index).cfd_violations()
     }
 
-    /// View-CIND violations currently holding on view `index`, sorted
-    /// by CIND index and tuple.
+    /// View-CIND violations currently holding on the view in slot
+    /// `index`, sorted by CIND index and tuple.
     pub fn view_cind_violations(&self, index: usize) -> Vec<CindViolation> {
-        self.views[index].cind_violations(&self.pool)
+        self.view(index).cind_violations(&self.pool)
     }
 
-    /// Re-run CIND propagation for view `index` against the store's
-    /// *current* Σ_CIND. Because the store is single-writer, calling
-    /// this between commits — or against the Σ captured by a pinned
-    /// [`MultiSnapshot`] — yields a propagation cover consistent with
-    /// one epoch, which is what makes cover recomputation on a Σ change
-    /// snapshot-consistent.
+    /// Re-run CIND propagation for the view in slot `index` against
+    /// the store's *current* Σ_CIND — the inclusions guaranteed to
+    /// hold on the view by construction. For an SPCU view the cover is
+    /// the *intersection* of each branch's cover (a union inclusion
+    /// holds iff every branch's does); a view with a view-atom branch
+    /// (or no branches) propagates nothing, since the paper's
+    /// propagation rules speak source-level SPC. Because the store is
+    /// single-writer, calling this between commits — or against the Σ
+    /// captured by a pinned [`MultiSnapshot`] — yields a propagation
+    /// cover consistent with one epoch.
     pub fn propagated_view_cinds(&self, index: usize, opts: &ImplicationOptions) -> Vec<Cind> {
-        let view = &self.views[index];
-        propagate_cinds(view.view_rel(), view.query(), self.cind.sigma(), opts)
+        let view = self.view(index);
+        let n_sources = self.cores.len();
+        let mut branches = view.branch_queries();
+        let Some(first) = branches.next() else {
+            return Vec::new();
+        };
+        if first.atoms.iter().any(|a| a.0 >= n_sources) {
+            return Vec::new();
+        }
+        let mut cover = propagate_cinds(view.view_rel(), first, self.cind.sigma(), opts);
+        for b in branches {
+            if b.atoms.iter().any(|a| a.0 >= n_sources) {
+                return Vec::new();
+            }
+            let bc = propagate_cinds(view.view_rel(), b, self.cind.sigma(), opts);
+            cover.retain(|c| bc.contains(c));
+        }
+        cover
     }
 
     /// Number of relations.
@@ -420,8 +838,8 @@ impl MultiStore {
         self.cind_current.iter().cloned().collect()
     }
 
-    /// Total violations (CFD across all relations + CIND + every
-    /// registered view's two classes) without materializing them.
+    /// Total violations (CFD across all relations + CIND + every live
+    /// view's two classes) without materializing them.
     pub fn violation_count(&self) -> usize {
         self.cores
             .iter()
@@ -431,6 +849,7 @@ impl MultiStore {
             + self
                 .views
                 .iter()
+                .flatten()
                 .map(|v| v.violation_count())
                 .sum::<usize>()
     }
@@ -461,27 +880,29 @@ impl MultiStore {
 
     /// Pin the current global epoch in every core and capture a
     /// consistent cross-relation [`MultiSnapshot`]: relation contents,
-    /// CFD violations, the CIND violation set, and every registered
-    /// view (contents + both violation classes), all as of the same
-    /// epoch. GC in every core respects the pin until the snapshot (and
-    /// all its clones) drop. View states are materialized at most once
-    /// per change — snapshots across epochs that did not move a view
-    /// share one cached [`ViewSnapshot`].
+    /// CFD violations, the CIND violation set, and every live view
+    /// (contents + both violation classes), all as of the same
+    /// epoch — the whole catalog cut. GC in every core respects the
+    /// pin until the snapshot (and all its clones) drop. View states
+    /// are materialized at most once per change — snapshots across
+    /// epochs that did not move a view share one cached
+    /// [`ViewSnapshot`].
     pub fn snapshot(&self) -> MultiSnapshot {
         let views = self
             .views
             .iter()
             .zip(&self.view_snaps)
             .map(|(v, slot)| {
+                let v = v.as_ref()?;
                 let mut slot = slot.lock().expect("view snapshot cache");
-                Arc::clone(slot.get_or_insert_with(|| {
+                Some(Arc::clone(slot.get_or_insert_with(|| {
                     Arc::new(ViewSnapshot {
                         name: v.name().to_string(),
                         relation: v.relation(&self.pool),
                         cfd: v.cfd_violations(),
                         cind: v.cind_violations(&self.pool),
                     })
-                }))
+                })))
             })
             .collect();
         MultiSnapshot {
@@ -497,7 +918,9 @@ impl MultiStore {
     /// every subscriber, and return it. The CFD diff is exactly what
     /// [`crate::sharded::ShardedStore::apply`] would report for the
     /// target relation; the CIND diff is exact across every inclusion
-    /// touching `rel` on either side.
+    /// touching `rel` on either side; the view deltas walk the catalog
+    /// refresh order, so every stacked view commits after its
+    /// upstreams, under this same epoch.
     pub fn apply(&mut self, rel: RelId, batch: &UpdateBatch) -> Arc<MultiCommit> {
         self.apply_with_rows(rel, batch).0
     }
@@ -521,20 +944,14 @@ impl MultiStore {
         let cind = self
             .cind
             .apply(rel, &applied.deletes, &applied.inserts, epoch, &self.pool);
-        // Fold the applied delta into every view the relation feeds —
-        // the view update commits under the same epoch as the source.
+        // Fold the applied delta through the view DAG in refresh
+        // order — every view update commits under the same epoch as
+        // the source commit, and each view's own row delta feeds its
+        // dependents within the same walk.
         let mut views: Vec<ViewDelta> = Vec::new();
-        for (i, view) in self.views.iter_mut().enumerate() {
-            if !view.touches(rel) {
-                continue;
-            }
-            let vd =
-                view.apply_source_delta(i, rel, &applied.deletes, &applied.inserts, &self.pool);
-            if !vd.is_empty() {
-                *self.view_snaps[i].lock().expect("view snapshot cache") = None;
-                views.push(vd);
-            }
-        }
+        let mut changed: Vec<NodeDelta> =
+            vec![(rel.0, applied.deletes.clone(), applied.inserts.clone())];
+        self.propagate_changed(&mut changed, &mut views, None);
         self.epoch = epoch;
         for core in &mut self.cores {
             core.advance_to(epoch);
@@ -682,7 +1099,8 @@ pub struct MultiSnapshot {
     epoch: u64,
     snaps: Vec<Snapshot>,
     cind: Arc<Vec<CindViolation>>,
-    views: Vec<Arc<ViewSnapshot>>,
+    /// Per catalog slot; `None` for slots dropped before the cut.
+    views: Vec<Option<Arc<ViewSnapshot>>>,
 }
 
 /// One materialized view captured by a [`MultiSnapshot`]: contents and
@@ -730,15 +1148,28 @@ impl MultiSnapshot {
         &self.cind
     }
 
-    /// Number of materialized views captured.
+    /// Number of view slots captured (dropped slots included, as
+    /// `None`).
     pub fn view_count(&self) -> usize {
         self.views.len()
     }
 
-    /// The captured state of view `index` (contents + both violation
-    /// classes, all at the pinned epoch).
+    /// The captured state of the view in slot `index` (contents + both
+    /// violation classes, all at the pinned epoch), if the slot was
+    /// live at the cut.
+    pub fn view_opt(&self, index: usize) -> Option<&ViewSnapshot> {
+        self.views[index].as_deref()
+    }
+
+    /// The captured state of the view in slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was dropped before this snapshot.
     pub fn view(&self, index: usize) -> &ViewSnapshot {
-        &self.views[index]
+        self.views[index]
+            .as_deref()
+            .expect("view slot was dropped before this snapshot")
     }
 }
 

@@ -48,12 +48,19 @@
 //!     touching it.
 //!
 //! cfdprop serve-updates <file.cfd> <file.upd> --view NAME [--shards N]
-//!     The live-view mode (implies --multi): materialize the document
-//!     view NAME (an SPC view) on the multistore, maintain it
-//!     incrementally with the delta-join rule while the script
-//!     replays, and stream the view's events — row deltas, the view's
+//!                       [--view-file FILE]
+//!     The live-view mode (implies --multi): materialize the document's
+//!     views on the multistore through the view catalog — every
+//!     `stacked` statement (SPCU unions over relations *or other
+//!     stacked views*, refreshed in topological order per commit) plus,
+//!     when `--view` names a plain `view`, that one — maintain them
+//!     incrementally with the delta-join rule while the script replays,
+//!     and stream the named view's events — row deltas, the view's
 //!     `vcfd` violation diffs, and its propagated view-to-source CIND
 //!     diffs — as JSON lines, one per commit that moved the view.
+//!     `--view-file FILE` extends the document with further statements
+//!     (typically `stacked` definitions over its schemas and views)
+//!     before serving.
 //!
 //! cfdprop serve-updates <file.cfd> <file.upd> --data-dir DIR [--fsync POLICY]
 //!                       [--checkpoint-every N] [--loop N]
@@ -167,7 +174,7 @@ USAGE:
     cfdprop apply-updates <file.cfd> <file.upd>
     cfdprop serve-updates <file.cfd> <file.upd> [--shards N] [--cfd I | --attr NAME]
     cfdprop serve-updates <file.cfd> <file.upd> --multi [--shards N] [--cind I | --rel NAME]
-    cfdprop serve-updates <file.cfd> <file.upd> --view NAME [--shards N]
+    cfdprop serve-updates <file.cfd> <file.upd> --view NAME [--shards N] [--view-file FILE]
     cfdprop serve-updates <file.cfd> <file.upd> --data-dir DIR [--fsync POLICY]
                           [--checkpoint-every N] [--loop N]
     cfdprop recover <file.cfd> --data-dir DIR [--verify] [--shards N] [--view NAME]
@@ -572,7 +579,8 @@ fn apply_updates(args: &[String]) -> Result<(), String> {
 /// named attribute (relations without that attribute stream nothing).
 fn serve_updates(args: &[String]) -> Result<(), String> {
     const USAGE: &str = "usage: cfdprop serve-updates <file.cfd> <file.upd> \
-         [--multi] [--shards N] [--cfd I | --attr NAME | --cind I | --rel NAME | --view NAME]";
+         [--multi] [--shards N] [--view-file FILE] \
+         [--cfd I | --attr NAME | --cind I | --rel NAME | --view NAME]";
     let path = args.get(1).ok_or(USAGE)?;
     let upd_path = args.get(2).ok_or(USAGE)?;
     let doc = load(path)?;
@@ -611,11 +619,12 @@ fn serve_updates(args: &[String]) -> Result<(), String> {
         }
     }
 
-    // `--view` materializes a document view on the multistore and
-    // `--data-dir` makes the multistore durable, so both imply the
-    // cross-relation mode.
+    // `--view`/`--view-file` materialize document views on the
+    // multistore and `--data-dir` makes the multistore durable, so all
+    // three imply the cross-relation mode.
     if args.iter().any(|a| a == "--multi")
         || flag_value(args, "--view").is_some()
+        || flag_value(args, "--view-file").is_some()
         || flag_value(args, "--data-dir").is_some()
     {
         if cfd_filter.is_some() || attr_filter.is_some() {
@@ -717,17 +726,61 @@ fn serve_updates(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// The resolved multistore inputs: per-relation specs, Σ_CIND, and
-/// (with `--view NAME`) the view spec with its propagated CINDs.
+/// The resolved multistore inputs: per-relation specs, Σ_CIND, the
+/// stacked view specs to register through the view catalog (every
+/// `stacked` statement of the document in slot order, plus — when
+/// `--view` names a plain view — that view appended as a one-stack
+/// union), and the slot index `--view` selects.
 type MultiSetup = (
     Vec<cfd_clean::RelationSpec>,
     Vec<cfd_cind::Cind>,
-    Option<cfd_clean::ViewSpec>,
+    Vec<cfd_clean::StackedViewSpec>,
+    Option<usize>,
 );
 
-/// The multistore inputs shared by `serve-updates --multi` and
-/// `recover`: per-relation specs, Σ_CIND, and (with `--view NAME`) the
-/// resolved [`cfd_clean::ViewSpec`] with its propagated CINDs.
+/// One document view as a catalog spec: its union branches as written,
+/// its `vcfd` statements as the view Σ, and the CINDs propagated to it
+/// — per-branch source-level propagation intersected across branches
+/// (the union satisfies an inclusion iff every branch does); a branch
+/// over another view slot propagates nothing.
+fn stacked_spec(
+    doc: &cfd_text::Document,
+    cinds: &[cfd_cind::Cind],
+    n_base: usize,
+    slot: usize,
+    name: &str,
+    query: &cfd_relalg::SpcuQuery,
+) -> cfd_clean::StackedViewSpec {
+    let view_rel = cfd_relalg::schema::RelId(n_base + slot);
+    let all_source = query
+        .branches
+        .iter()
+        .all(|b| b.atoms.iter().all(|a| a.0 < n_base));
+    let opts = cfd_cind::implication::ImplicationOptions::default();
+    let mut propagated = Vec::new();
+    if all_source {
+        let mut branches = query.branches.iter();
+        if let Some(first) = branches.next() {
+            propagated = cfd_cind::propagate_cinds(view_rel, first, cinds, &opts);
+            for b in branches {
+                let bc = cfd_cind::propagate_cinds(view_rel, b, cinds, &opts);
+                propagated.retain(|c| bc.contains(c));
+            }
+        }
+    }
+    cfd_clean::StackedViewSpec {
+        name: name.to_string(),
+        branches: query.branches.clone(),
+        sigma: doc.view_cfds_for(name),
+        cinds: propagated,
+        plan: cfd_clean::PlanMode::default(),
+        cycle: cfd_clean::CyclePolicy::Reject,
+    }
+}
+
+/// The multistore inputs shared by `serve-updates --multi`, `recover`,
+/// and `follow`: per-relation specs, Σ_CIND, and the view-catalog specs
+/// with their propagated CINDs.
 fn multi_setup(
     doc: &cfd_text::Document,
     db: &cfd_relalg::Database,
@@ -749,35 +802,63 @@ fn multi_setup(
         })
         .collect();
     let cinds: Vec<cfd_cind::Cind> = doc.cinds.iter().map(|c| c.cind.clone()).collect();
-    let view_spec = match view_name {
+    let n_base = specs.len();
+    let mut views: Vec<cfd_clean::StackedViewSpec> = doc
+        .stacked
+        .iter()
+        .enumerate()
+        .map(|(k, s)| stacked_spec(doc, &cinds, n_base, k, &s.name, &s.query))
+        .collect();
+    let target = match view_name {
         Some(name) => {
-            let view = doc
-                .view(name)
-                .ok_or_else(|| format!("--view names unknown view `{name}`"))?;
-            if view.query.branches.len() != 1 {
-                return Err(format!(
-                    "--view {name}: union views are not materializable (SPC views only)"
-                ));
+            if let Some(k) = doc.stacked.iter().position(|s| s.name == name) {
+                Some(k)
+            } else if let Some(v) = doc.view(name) {
+                let slot = views.len();
+                views.push(stacked_spec(doc, &cinds, n_base, slot, name, &v.query));
+                Some(slot)
+            } else {
+                return Err(format!("--view names unknown view `{name}`"));
             }
-            let query = view.query.branches[0].clone();
-            let view_rel = cfd_relalg::schema::RelId(specs.len());
-            let propagated = cfd_cind::propagate_cinds(
-                view_rel,
-                &query,
-                &cinds,
-                &cfd_cind::implication::ImplicationOptions::default(),
-            );
-            Some(cfd_clean::ViewSpec {
-                name: name.to_string(),
-                query,
-                sigma: doc.view_cfds_for(name),
-                cinds: propagated,
-                plan: cfd_clean::PlanMode::default(),
-            })
         }
         None => None,
     };
-    Ok((specs, cinds, view_spec))
+    Ok((specs, cinds, views, target))
+}
+
+/// Downgrade catalog specs to the single-branch [`cfd_clean::ViewSpec`]
+/// form the durable and replica layers persist. The view catalog itself
+/// (stacked DAGs, union views) is in-memory for now: `what` names the
+/// flag that asked for durability so the error says what to drop.
+fn spc_only_views(
+    doc: &cfd_text::Document,
+    views: Vec<cfd_clean::StackedViewSpec>,
+    what: &str,
+) -> Result<Vec<cfd_clean::ViewSpec>, String> {
+    if !doc.stacked.is_empty() {
+        return Err(format!(
+            "{what}: `stacked` views are served in-memory only for now"
+        ));
+    }
+    views
+        .into_iter()
+        .map(|s| {
+            let mut branches = s.branches;
+            if branches.len() != 1 {
+                return Err(format!(
+                    "{what}: union view `{}` is served in-memory only for now",
+                    s.name
+                ));
+            }
+            Ok(cfd_clean::ViewSpec {
+                name: s.name,
+                query: branches.remove(0),
+                sigma: s.sigma,
+                cinds: s.cinds,
+                plan: s.plan,
+            })
+        })
+        .collect()
 }
 
 /// What the replay writer thread reports when the script is done.
@@ -834,7 +915,20 @@ fn serve_updates_multi(
     shards: usize,
 ) -> Result<(), String> {
     let view_name = flag_value(args, "--view");
-    let (specs, cinds, view_spec) = multi_setup(doc, db, view_name.as_deref())?;
+    // `--view-file FILE` extends the document with further statements —
+    // typically `stacked` definitions over its schemas and views — so a
+    // DAG can be served without editing the source document.
+    let extended = match flag_value(args, "--view-file") {
+        Some(vf) => {
+            let src = std::fs::read_to_string(&vf).map_err(|e| format!("{vf}: {e}"))?;
+            let mut d = doc.clone();
+            d.parse_into(&src).map_err(|e| format!("{vf}: {e}"))?;
+            Some(d)
+        }
+        None => None,
+    };
+    let doc = extended.as_ref().unwrap_or(doc);
+    let (specs, cinds, view_specs, view_target) = multi_setup(doc, db, view_name.as_deref())?;
     let filter = match (
         flag_value(args, "--cind"),
         flag_value(args, "--rel"),
@@ -890,7 +984,7 @@ fn serve_updates_multi(
         .relations()
         .map(|(_, s)| s.name.clone())
         .collect();
-    let view_names: Vec<String> = view_spec.iter().map(|s| s.name.clone()).collect();
+    let view_names: Vec<String> = view_specs.iter().map(|s| s.name.clone()).collect();
 
     // Grouping the script per commit is the store's job; here we only
     // translate statements to (relation, is_delete, tuple).
@@ -943,12 +1037,13 @@ fn serve_updates_multi(
                 .map_err(|_| "--checkpoint-every expects a number")?,
             None => 0,
         };
+        let durable_views = spc_only_views(doc, view_specs, "--data-dir")?;
         let (mut store, report) = cfd_clean::DurableMultiStore::open(
             std::path::Path::new(&dir),
             specs,
             cinds,
             shards,
-            view_spec.into_iter().collect(),
+            durable_views,
             cfd_clean::DurableOptions {
                 fsync,
                 checkpoint_every,
@@ -991,13 +1086,20 @@ fn serve_updates_multi(
     } else {
         let mut store =
             cfd_clean::MultiStore::new(specs, cinds, shards).map_err(|e| e.to_string())?;
-        // Materialize the view on the store, enforce its `vcfd`
-        // statements, and filter the stream to the view's events.
-        let filter = if let Some(spec) = view_spec {
-            let idx = store.register_view(spec).map_err(|e| e.to_string())?;
-            cfd_clean::MultiDiffFilter::View(idx)
-        } else {
+        // Materialize every view of the document on the store through
+        // the view catalog — one batch, refreshed in topological order
+        // from then on — and filter the stream to the `--view` target's
+        // events when one was named.
+        let filter = if view_specs.is_empty() {
             filter
+        } else {
+            let ids = store
+                .register_stacked_batch(view_specs)
+                .map_err(|e| e.to_string())?;
+            match view_target {
+                Some(t) => cfd_clean::MultiDiffFilter::View(ids[t]),
+                None => filter,
+            }
         };
         let rx = store.subscribe(filter, bus_capacity);
         let writer = std::thread::spawn(move || {
@@ -1017,6 +1119,12 @@ fn serve_updates_multi(
     // process must not panic mid-frame because a reader hung up.
     let mut pipe_closed = false;
     for commit in &rx {
+        // The view stream promises one line per commit that *moved* the
+        // view; the bus itself delivers every commit (filtered), so the
+        // quiet ones are dropped here.
+        if view_target.is_some() && commit.views.is_empty() {
+            continue;
+        }
         if let Err(e) = writeln!(out, "{}", multi_commit_json(&names, &view_names, &commit)) {
             if e.kind() == std::io::ErrorKind::BrokenPipe {
                 pipe_closed = true;
@@ -1125,8 +1233,8 @@ fn follow(args: &[String]) -> Result<(), String> {
         None => 4,
     };
     let view_name = flag_value(args, "--view");
-    let (specs, cinds, view_spec) = multi_setup(&doc, &db, view_name.as_deref())?;
-    let views: Vec<cfd_clean::ViewSpec> = view_spec.into_iter().collect();
+    let (specs, cinds, view_specs, _target) = multi_setup(&doc, &db, view_name.as_deref())?;
+    let views: Vec<cfd_clean::ViewSpec> = spc_only_views(&doc, view_specs, "follow")?;
     let state_dir = flag_value(args, "--state-dir").map(std::path::PathBuf::from);
     let mut follower = match &state_dir {
         Some(dir) => cfd_clean::Follower::open(specs, cinds, shards, views, dir)
@@ -1308,7 +1416,8 @@ fn recover(args: &[String]) -> Result<(), String> {
         None => 4,
     };
     let view_name = flag_value(args, "--view");
-    let (specs, cinds, view_spec) = multi_setup(&doc, &db, view_name.as_deref())?;
+    let (specs, cinds, view_specs, _target) = multi_setup(&doc, &db, view_name.as_deref())?;
+    let views = spc_only_views(&doc, view_specs, "recover")?;
 
     // `recover` recovers; it must not silently initialize a fresh store
     // when pointed at the wrong directory.
@@ -1330,7 +1439,7 @@ fn recover(args: &[String]) -> Result<(), String> {
         specs,
         cinds,
         shards,
-        view_spec.into_iter().collect(),
+        views,
         cfd_clean::DurableOptions {
             fsync: cfd_clean::FsyncPolicy::Os,
             checkpoint_every: 0,
@@ -1403,7 +1512,18 @@ fn verify_store(doc: &Document, store: &cfd_clean::MultiStore) -> Result<(), Str
     for v in 0..store.view_count() {
         let view = store.view(v);
         let recovered = store.view_relation(v);
-        let fresh = cfd_relalg::eval::eval_spc(view.query(), &doc.catalog, &fresh_db);
+        // Union of fresh per-branch evaluations. The durable and replica
+        // paths admit source-level views only (`spc_only_views`), so the
+        // base catalog resolves every atom.
+        let fresh: cfd_relalg::Relation = view
+            .branch_queries()
+            .flat_map(|q| {
+                cfd_relalg::eval::eval_spc(q, &doc.catalog, &fresh_db)
+                    .tuples()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
         if recovered != fresh {
             divergences += 1;
             eprintln!(

@@ -667,6 +667,148 @@ fn serve_updates_view_streams_live_view_events() {
 }
 
 #[test]
+fn serve_updates_view_streams_stacked_dag_events() {
+    let cfd = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../testdata/stacked_views.cfd"
+    );
+    let upd = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../testdata/stacked_views.upd"
+    );
+    let out = cfdprop(&["serve-updates", cfd, upd, "--view", "GOLD", "--shards", "2"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "the script leaves f1 and c1 dirty at the source, so the replay exits nonzero: {text}"
+    );
+    let lines: Vec<&str> = text.lines().collect();
+    // Batches 1 (silver bob) and 2 (union overlap cancels) do not move
+    // GOLD; batches 3-5 do. Three streamed commits plus the summary.
+    assert_eq!(lines.len(), 4, "{text}");
+    // Batch 3: the shipped duplicate flows down ALLO -> OC -> GOLD in
+    // one topological refresh.
+    assert!(
+        lines[0].contains("\"view\": \"GOLD\"")
+            && lines[0].contains("\"rows_added\": [[1, \"ann\", \"shipped\", \"gold\"]]"),
+        "{text}"
+    );
+    // Batch 4: bob's gold promotion enters GOLD through OC.
+    assert!(
+        lines[1].contains("\"rows_added\": [[2, \"bob\", \"open\", \"gold\"]]"),
+        "{text}"
+    );
+    // Batch 5: every ann row drains.
+    assert!(
+        lines[2].contains("\"rows_removed\"")
+            && lines[2].contains("[1, \"ann\", \"open\", \"gold\"]")
+            && lines[2].contains("[1, \"ann\", \"shipped\", \"gold\"]"),
+        "{text}"
+    );
+}
+
+#[test]
+fn serve_updates_view_file_serves_a_stacked_dag_over_the_document() {
+    let cfd = write_temp(
+        "vf_base.cfd",
+        r#"
+        schema orders(oid: int, cust: string, status: string);
+        row orders(1, 'ann', 'open');
+        "#,
+    );
+    let views = write_temp(
+        "vf_views.cfd",
+        r#"
+        stacked AO = orders;
+        stacked OPEN = select(AO, status = 'open');
+        "#,
+    );
+    let upd = write_temp(
+        "vf.upd",
+        r#"
+        insert orders(2, 'bob', 'open');
+        commit;
+        insert orders(3, 'cara', 'shipped');
+        commit;
+        delete orders(1, 'ann', 'open');
+        commit;
+        "#,
+    );
+    let out = cfdprop(&[
+        "serve-updates",
+        cfd.to_str().unwrap(),
+        upd.to_str().unwrap(),
+        "--view-file",
+        views.to_str().unwrap(),
+        "--view",
+        "OPEN",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{text}");
+    let lines: Vec<&str> = text.lines().collect();
+    // Batch 2 moves only AO (shipped), so OPEN streams two commits.
+    assert_eq!(lines.len(), 3, "{text}");
+    assert!(
+        lines[0].contains("\"view\": \"OPEN\"")
+            && lines[0].contains("\"rows_added\": [[2, \"bob\", \"open\"]]"),
+        "{text}"
+    );
+    assert!(
+        lines[1].contains("\"rows_removed\": [[1, \"ann\", \"open\"]]"),
+        "{text}"
+    );
+}
+
+#[test]
+fn serve_updates_view_file_rejects_duplicates_and_durability() {
+    let cfd = write_temp(
+        "vf_dup_base.cfd",
+        "schema orders(oid: int, cust: string, status: string);",
+    );
+    let upd = write_temp("vf_dup.upd", "insert orders(1, 'ann', 'open'); commit;");
+    // A duplicate registration must be a typed error, not a silent
+    // second slot (the parser mirrors the catalog's uniqueness rule).
+    let views = write_temp(
+        "vf_dup_views.cfd",
+        "stacked OPEN = orders; stacked OPEN = select(orders, status = 'open');",
+    );
+    let out = cfdprop(&[
+        "serve-updates",
+        cfd.to_str().unwrap(),
+        upd.to_str().unwrap(),
+        "--view-file",
+        views.to_str().unwrap(),
+        "--view",
+        "OPEN",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("duplicate relation or view name `OPEN`"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The view catalog is in-memory for now: durable serving of a
+    // stacked view must refuse rather than recover a store without it.
+    let views = write_temp("vf_ok_views.cfd", "stacked OPEN = orders;");
+    let dir = std::env::temp_dir().join("cfdprop-cli-tests/vf-data");
+    let out = cfdprop(&[
+        "serve-updates",
+        cfd.to_str().unwrap(),
+        upd.to_str().unwrap(),
+        "--view-file",
+        views.to_str().unwrap(),
+        "--data-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("in-memory"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn serve_updates_view_rejects_bad_requests() {
     let cfd = concat!(env!("CARGO_MANIFEST_DIR"), "/../../testdata/live_view.cfd");
     let upd = concat!(env!("CARGO_MANIFEST_DIR"), "/../../testdata/live_view.upd");

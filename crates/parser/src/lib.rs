@@ -27,6 +27,7 @@ pub mod pretty;
 
 pub use error::{ParseError, Span};
 pub use parser::{
-    parse_updates, Document, NamedSourceCfd, NamedView, NamedViewCfd, UpdateOp, UpdateStmt,
+    parse_updates, Document, NamedSourceCfd, NamedStackedView, NamedView, NamedViewCfd, UpdateOp,
+    UpdateStmt,
 };
 pub use pretty::{render, render_updates};

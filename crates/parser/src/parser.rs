@@ -17,13 +17,19 @@
 //! `project(e, A, B, ...)`, `product(e1, e2)`,
 //! `rename(e, A -> B, ...)`, `union(e1, e2)`, `const(A: value, ...)`, a
 //! relation name, or the name of a previously defined view.
+//!
+//! `stacked NAME = expr;` defines a *stacked* view: references to other
+//! stacked views stay atoms over the extended catalog (a view-over-view
+//! DAG for incremental maintenance) instead of being inlined the way
+//! plain `view` references are.
 
 use crate::error::{ParseError, Span};
 use crate::lexer::{lex, SpannedTok, Tok};
 use cfd_cind::Cind;
 use cfd_model::{Cfd, GeneralCfd, Pattern, SourceCfd};
 use cfd_relalg::domain::DomainKind;
-use cfd_relalg::query::{RaCond, RaExpr, SpcuQuery};
+use cfd_relalg::eval::catalog_with_views;
+use cfd_relalg::query::{RaCond, RaExpr, SpcuQuery, ViewSchema};
 use cfd_relalg::schema::{Attribute, Catalog, RelationSchema};
 use cfd_relalg::value::Value;
 
@@ -44,6 +50,22 @@ pub struct NamedView {
     /// The expression as written.
     pub expr: RaExpr,
     /// Its normal form.
+    pub query: SpcuQuery,
+}
+
+/// A named stacked view: a materializable view whose atoms may be base
+/// relations *or previously defined stacked views*. Unlike [`NamedView`],
+/// references to other stacked views are kept as atoms — the expression is
+/// normalized against the catalog extended with one relation per prior
+/// stacked view (`RelId(n_base + k)` is stacked view `k`), preserving the
+/// view-over-view DAG for incremental maintenance.
+#[derive(Clone, Debug)]
+pub struct NamedStackedView {
+    /// View name.
+    pub name: String,
+    /// The expression as written.
+    pub expr: RaExpr,
+    /// Its SPCU normal form over the extended catalog.
     pub query: SpcuQuery,
 }
 
@@ -77,6 +99,9 @@ pub struct Document {
     pub source_cfds: Vec<NamedSourceCfd>,
     /// Views.
     pub views: Vec<NamedView>,
+    /// Stacked views, in definition order (`RelId(n_base + k)` in the
+    /// extended catalog is `stacked[k]`).
+    pub stacked: Vec<NamedStackedView>,
     /// View dependencies.
     pub view_cfds: Vec<NamedViewCfd>,
     /// Data rows: `(relation name, tuple)`, from `row R(v1, v2, ...);`
@@ -91,12 +116,40 @@ impl Document {
     /// Parse a document from text.
     pub fn parse(src: &str) -> Result<Document, ParseError> {
         let toks = lex(src)?;
-        Parser { toks, pos: 0 }.document()
+        let mut doc = Document::default();
+        Parser { toks, pos: 0 }.document_into(&mut doc)?;
+        Ok(doc)
+    }
+
+    /// Extend an existing document with more statements parsed from `src`
+    /// — e.g. a view file of `stacked` definitions resolved against the
+    /// schemas and views already in `self`. Statements append in order;
+    /// on error the document may hold a prefix of the new statements.
+    pub fn parse_into(&mut self, src: &str) -> Result<(), ParseError> {
+        let toks = lex(src)?;
+        Parser { toks, pos: 0 }.document_into(self)
     }
 
     /// Look up a view by name.
     pub fn view(&self, name: &str) -> Option<&NamedView> {
         self.views.iter().find(|v| v.name == name)
+    }
+
+    /// Look up a stacked view by name.
+    pub fn stacked_view(&self, name: &str) -> Option<&NamedStackedView> {
+        self.stacked.iter().find(|v| v.name == name)
+    }
+
+    /// The catalog extended with one relation per stacked view in
+    /// definition order, so stacked queries' atom `RelId`s resolve.
+    pub fn extended_catalog(&self) -> Result<Catalog, ParseError> {
+        let views: Vec<(String, ViewSchema)> = self
+            .stacked
+            .iter()
+            .map(|s| (s.name.clone(), s.query.schema().clone()))
+            .collect();
+        catalog_with_views(&self.catalog, &views)
+            .map_err(|e| ParseError::new(Span { line: 1, col: 1 }, e.to_string()))
     }
 
     /// All source CFDs, unnamed.
@@ -233,20 +286,24 @@ impl Parser {
         }
     }
 
-    fn document(mut self) -> Result<Document, ParseError> {
-        let mut doc = Document::default();
+    fn document_into(&mut self, doc: &mut Document) -> Result<(), ParseError> {
         while let Some(tok) = self.peek() {
             match tok {
-                Tok::Ident(kw) if kw == "schema" => self.schema_stmt(&mut doc)?,
-                Tok::Ident(kw) if kw == "cfd" => self.cfd_stmt(&mut doc)?,
-                Tok::Ident(kw) if kw == "view" => self.view_stmt(&mut doc)?,
-                Tok::Ident(kw) if kw == "vcfd" => self.vcfd_stmt(&mut doc)?,
-                Tok::Ident(kw) if kw == "row" => self.row_stmt(&mut doc)?,
-                Tok::Ident(kw) if kw == "cind" => self.cind_stmt(&mut doc)?,
-                _ => return self.err("expected `schema`, `cfd`, `view`, `vcfd`, `cind`, or `row`"),
+                Tok::Ident(kw) if kw == "schema" => self.schema_stmt(doc)?,
+                Tok::Ident(kw) if kw == "cfd" => self.cfd_stmt(doc)?,
+                Tok::Ident(kw) if kw == "view" => self.view_stmt(doc)?,
+                Tok::Ident(kw) if kw == "stacked" => self.stacked_stmt(doc)?,
+                Tok::Ident(kw) if kw == "vcfd" => self.vcfd_stmt(doc)?,
+                Tok::Ident(kw) if kw == "row" => self.row_stmt(doc)?,
+                Tok::Ident(kw) if kw == "cind" => self.cind_stmt(doc)?,
+                _ => {
+                    return self.err(
+                        "expected `schema`, `cfd`, `view`, `stacked`, `vcfd`, `cind`, or `row`",
+                    )
+                }
             }
         }
-        Ok(doc)
+        Ok(())
     }
 
     fn schema_stmt(&mut self, doc: &mut Document) -> Result<(), ParseError> {
@@ -605,10 +662,12 @@ impl Parser {
         self.pos += 1; // vcfd
         let label = self.opt_label();
         let (view_name, lhs, rhs) = self.cfd_body()?;
-        let view = doc
+        let schema = doc
             .view(&view_name)
-            .ok_or_else(|| ParseError::new(span, format!("unknown view `{view_name}`")))?;
-        let schema = view.query.schema().clone();
+            .map(|v| v.query.schema())
+            .or_else(|| doc.stacked_view(&view_name).map(|s| s.query.schema()))
+            .ok_or_else(|| ParseError::new(span, format!("unknown view `{view_name}`")))?
+            .clone();
         let resolve = |(n, p): &(String, Pattern)| -> Result<(usize, Pattern), ParseError> {
             let idx = schema.col_index(n).ok_or_else(|| {
                 ParseError::new(span, format!("unknown column `{n}` in view `{view_name}`"))
@@ -643,6 +702,33 @@ impl Parser {
             .normalize(&doc.catalog)
             .map_err(|e| ParseError::new(span, e.to_string()))?;
         doc.views.push(NamedView { name, expr, query });
+        Ok(())
+    }
+
+    /// `stacked NAME = expr;` — a stacked view. References to previously
+    /// defined stacked views stay atoms (resolved against the extended
+    /// catalog) instead of being inlined, so a consumer sees the DAG.
+    fn stacked_stmt(&mut self, doc: &mut Document) -> Result<(), ParseError> {
+        let span = self.span();
+        self.pos += 1; // stacked
+        let name = self.ident()?;
+        self.expect(Tok::Eq)?;
+        let expr = self.vexpr(doc)?;
+        self.expect(Tok::Semi)?;
+        if doc.catalog.rel_id(&name).is_some()
+            || doc.view(&name).is_some()
+            || doc.stacked_view(&name).is_some()
+        {
+            return Err(ParseError::new(
+                span,
+                format!("duplicate relation or view name `{name}`"),
+            ));
+        }
+        let ext = doc.extended_catalog()?;
+        let query = expr
+            .normalize(&ext)
+            .map_err(|e| ParseError::new(span, e.to_string()))?;
+        doc.stacked.push(NamedStackedView { name, expr, query });
         Ok(())
     }
 
@@ -728,8 +814,9 @@ impl Parser {
                 Ok(RaExpr::ConstRel(cells))
             }
             name => {
-                // a base relation or a previously defined view
-                if doc.catalog.rel_id(name).is_some() {
+                // A base relation or stacked view stays an atom; a plain
+                // view's expression is inlined where it is used.
+                if doc.catalog.rel_id(name).is_some() || doc.stacked_view(name).is_some() {
                     Ok(RaExpr::rel(name))
                 } else if let Some(v) = doc.view(name) {
                     Ok(v.expr.clone())
@@ -882,6 +969,73 @@ mod tests {
         )
         .unwrap();
         assert_eq!(doc.views[1].query.schema().names(), vec!["B"]);
+    }
+
+    #[test]
+    fn stacked_views_stay_atoms() {
+        let doc = Document::parse(
+            r#"
+            schema R(A: int, B: int);
+            schema S(A: int, B: int);
+            stacked V1 = union(R, S);
+            stacked V2 = select(V1, A = 1);
+            "#,
+        )
+        .unwrap();
+        assert_eq!(doc.stacked.len(), 2);
+        // V1 is a two-branch union over the base relations.
+        assert_eq!(doc.stacked[0].query.branches.len(), 2);
+        // V2's sole atom is V1 at the extended slot RelId(n_base + 0).
+        let v2 = &doc.stacked[1].query;
+        assert_eq!(v2.branches.len(), 1);
+        assert_eq!(
+            v2.branches[0].atoms,
+            vec![cfd_relalg::RelId(2)],
+            "stacked reference must resolve to the extended catalog slot"
+        );
+        // The extended catalog names both slots.
+        let ext = doc.extended_catalog().unwrap();
+        assert!(ext.rel_id("V1").is_some() && ext.rel_id("V2").is_some());
+    }
+
+    #[test]
+    fn stacked_duplicate_and_forward_references_rejected() {
+        // Duplicate against a base relation, a plain view, and a stacked view.
+        assert!(Document::parse("schema R(A: int); stacked R = select(R, A = 1);").is_err());
+        assert!(
+            Document::parse("schema R(A: int); view V = R; stacked V = select(R, A = 1);").is_err()
+        );
+        assert!(
+            Document::parse("schema R(A: int); stacked W = R; stacked W = select(R, A = 1);")
+                .is_err()
+        );
+        // A stacked view cannot reference itself or a later definition:
+        // the name is simply unknown at that point (cycles live in the
+        // store catalog, not the text format).
+        let err = Document::parse("schema R(A: int); stacked V = select(V, A = 1);").unwrap_err();
+        assert!(err.message.contains("unknown relation or view"));
+        // Plain `view` statements cannot consume stacked views (stacked
+        // names stay atoms, which the base catalog cannot resolve).
+        assert!(Document::parse("schema R(A: int); stacked W = R; view V = W;").is_err());
+    }
+
+    #[test]
+    fn stacked_views_extend_into_seeded_document() {
+        let mut doc =
+            Document::parse("schema R(A: int, B: int); view V = select(R, A = 1);").unwrap();
+        doc.parse_into("stacked T = project(V, B); stacked U = T;")
+            .unwrap();
+        assert_eq!(doc.stacked.len(), 2);
+        // `V` was a plain view, so it inlined; T's atom is the base relation.
+        assert_eq!(
+            doc.stacked[0].query.branches[0].atoms,
+            vec![cfd_relalg::RelId(0)]
+        );
+        // `U = T` references the stacked slot.
+        assert_eq!(
+            doc.stacked[1].query.branches[0].atoms,
+            vec![cfd_relalg::RelId(1)]
+        );
     }
 
     #[test]

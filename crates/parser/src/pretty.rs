@@ -40,6 +40,9 @@ pub fn render(doc: &Document) -> String {
     for view in &doc.views {
         let _ = writeln!(out, "view {} = {};", view.name, render_expr(&view.expr));
     }
+    for sv in &doc.stacked {
+        let _ = writeln!(out, "stacked {} = {};", sv.name, render_expr(&sv.expr));
+    }
     for vc in &doc.view_cfds {
         let names = doc
             .view(&vc.view)

@@ -35,6 +35,11 @@ fn assert_documents_equal(path: &std::path::Path, a: &Document, b: &Document) {
         assert_eq!(va.name, vb.name, "{}", at("view name"));
         assert_eq!(va.query, vb.query, "{}", at("normalized view query"));
     }
+    assert_eq!(a.stacked.len(), b.stacked.len(), "{}", at("stacked count"));
+    for (sa, sb) in a.stacked.iter().zip(&b.stacked) {
+        assert_eq!(sa.name, sb.name, "{}", at("stacked view name"));
+        assert_eq!(sa.query, sb.query, "{}", at("normalized stacked query"));
+    }
     let cfds = |d: &Document| -> Vec<_> { d.view_cfds.iter().map(|v| v.cfd.clone()).collect() };
     assert_eq!(cfds(a), cfds(b), "{}", at("view CFDs"));
     let cinds = |d: &Document| -> Vec<_> { d.cinds.iter().map(|c| c.cind.clone()).collect() };
@@ -139,6 +144,128 @@ fn cust_updates_fixture_cleans_the_running_example() {
         .violations_at(store.epoch())
         .zip(store.violations_at(store.epoch() - 1));
     assert!(last.is_some(), "history retained for the whole replay");
+}
+
+/// The stacked fixture is not just syntax either (ISSUE 9): registered
+/// through the view catalog and replayed commit by commit, the three
+/// maintained levels of the ALLO → OC → GOLD stack must equal a fresh
+/// bottom-up [`eval_stacked`] of the whole DAG after every batch.
+#[test]
+fn stacked_views_fixture_maintains_the_dag() {
+    use cfd_clean::{CyclePolicy, MultiStore, PlanMode, RelationSpec, StackedViewSpec};
+    use cfd_relalg::eval::eval_stacked;
+    use cfd_relalg::instance::Tuple;
+    use cfd_relalg::schema::RelId;
+    use std::collections::BTreeSet;
+
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../testdata");
+    let doc =
+        Document::parse(&std::fs::read_to_string(dir.join("stacked_views.cfd")).expect("fixture"))
+            .expect("document parses");
+    let batches =
+        parse_updates(&std::fs::read_to_string(dir.join("stacked_views.upd")).expect("fixture"))
+            .expect("script parses");
+    assert_eq!(
+        doc.stacked.len(),
+        3,
+        "fixture carries the three-level stack"
+    );
+
+    let db = doc.database().expect("rows load");
+    let specs: Vec<RelationSpec> = doc
+        .catalog
+        .relations()
+        .map(|(rel, schema)| {
+            RelationSpec::new(
+                schema.name.clone(),
+                doc.sigma()
+                    .iter()
+                    .filter(|s| s.rel == rel)
+                    .map(|s| s.cfd.clone())
+                    .collect(),
+                db.relation(rel).clone(),
+            )
+        })
+        .collect();
+    let n_base = specs.len();
+    let cinds: Vec<cfd_cind::Cind> = doc.cinds.iter().map(|c| c.cind.clone()).collect();
+    let mut store = MultiStore::new(specs, cinds, 2).expect("catalog relations");
+    let ids = store
+        .register_stacked_batch(
+            doc.stacked
+                .iter()
+                .map(|s| StackedViewSpec {
+                    name: s.name.clone(),
+                    branches: s.query.branches.clone(),
+                    sigma: Vec::new(),
+                    cinds: Vec::new(),
+                    plan: PlanMode::Factorized,
+                    cycle: CyclePolicy::Reject,
+                })
+                .collect(),
+        )
+        .expect("the fixture's stack registers");
+
+    let ext = doc.extended_catalog().expect("extended catalog");
+    let queries: Vec<_> = doc.stacked.iter().map(|s| s.query.clone()).collect();
+    let mut mirror: Vec<BTreeSet<Tuple>> = (0..n_base)
+        .map(|i| db.relation(RelId(i)).tuples().cloned().collect())
+        .collect();
+    let check = |store: &MultiStore, mirror: &[BTreeSet<Tuple>], when: &str| {
+        let mut fresh_db = cfd_relalg::Database::empty(&doc.catalog);
+        for (i, rows) in mirror.iter().enumerate() {
+            for t in rows {
+                fresh_db.insert(RelId(i), t.clone());
+            }
+        }
+        let fresh = eval_stacked(&ext, n_base, &queries, &fresh_db);
+        for (k, &id) in ids.iter().enumerate() {
+            assert_eq!(
+                store.view_relation(id),
+                fresh[k],
+                "{when}: maintained `{}` ≠ fresh bottom-up evaluation",
+                doc.stacked[k].name
+            );
+        }
+    };
+    check(&store, &mirror, "after seeding");
+    assert!(
+        !store.view_relation(ids[2]).is_empty(),
+        "GOLD starts non-empty (ann is gold)"
+    );
+
+    for (b, batch) in batches.iter().enumerate() {
+        let stmts: Vec<(RelId, bool, Tuple)> = batch
+            .iter()
+            .map(|stmt| {
+                (
+                    store.rel_id(&stmt.relation).expect("known relation"),
+                    stmt.op == cfd_text::UpdateOp::Delete,
+                    stmt.tuple.clone(),
+                )
+            })
+            .collect();
+        for (rel, is_delete, tuple) in &stmts {
+            if *is_delete {
+                mirror[rel.0].remove(tuple);
+            }
+        }
+        for (rel, is_delete, tuple) in &stmts {
+            if !*is_delete {
+                mirror[rel.0].insert(tuple.clone());
+            }
+        }
+        store.apply_grouped(&stmts);
+        check(&store, &mirror, &format!("after batch {}", b + 1));
+    }
+    let gold = store.view_relation(ids[2]);
+    assert!(
+        !gold.is_empty()
+            && gold
+                .tuples()
+                .all(|t| *t != doc.rows[0].1 && t[1] != cfd_relalg::Value::str("ann")),
+        "by the end GOLD holds only bob's promoted order: {gold:?}"
+    );
 }
 
 /// The multi-relation fixture is not just syntax either (ISSUE 4):

@@ -9,9 +9,11 @@ use crate::instance::{Database, Relation, Tuple};
 use crate::pool::{Code, ValuePool};
 use crate::query::{
     ColRef, CompiledSelection, FactorizedEngine, JoinPlan, OutCode, SelAtom, SpcQuery, SpcuQuery,
+    ViewSchema,
 };
-use crate::schema::Catalog;
+use crate::schema::{Attribute, Catalog, RelId, RelationSchema};
 use crate::value::Value;
+use crate::RelalgError;
 use rustc_hash::FxHashMap;
 
 /// Evaluate an SPC query on `db`, producing the view instance (set
@@ -246,6 +248,63 @@ pub fn eval_spcu(q: &SpcuQuery, catalog: &Catalog, db: &Database) -> Relation {
         }
     }
     out
+}
+
+/// Extend `base` with one relation schema per named view, in order:
+/// view `k` becomes `RelId(base.len() + k)`. This is the catalog of
+/// the *extended node space* a stacked-view store evaluates in — base
+/// relations first, then every view slot.
+pub fn catalog_with_views(
+    base: &Catalog,
+    views: &[(String, ViewSchema)],
+) -> Result<Catalog, RelalgError> {
+    let mut ext = base.clone();
+    for (name, schema) in views {
+        let attrs = schema
+            .columns
+            .iter()
+            .map(|(n, d)| Attribute::new(n.clone(), d.clone()))
+            .collect();
+        ext.add(RelationSchema::new(name.clone(), attrs)?)?;
+    }
+    Ok(ext)
+}
+
+/// Bottom-up reference evaluation of a stack of SPCU views whose atoms
+/// may be base relations *or other views*: view `k` reads node
+/// `RelId(n_base + k)` of `ext` (see [`catalog_with_views`]). Repeated
+/// [`eval_spcu`] passes run to a fixed point, so the result is exact
+/// for any dependency DAG in any order — and, because SPCU is
+/// monotone, it is the *least* fixed point for cyclic stacks too
+/// (naive Kleene iteration from the empty instance). This is the
+/// fresh-eval oracle the differential harnesses compare maintained
+/// views against.
+pub fn eval_stacked(
+    ext: &Catalog,
+    n_base: usize,
+    views: &[SpcuQuery],
+    db: &Database,
+) -> Vec<Relation> {
+    let mut work = Database::empty(ext);
+    for i in 0..n_base {
+        *work.relation_mut(RelId(i)) = db.relation(RelId(i)).clone();
+    }
+    loop {
+        let mut changed = false;
+        for (k, q) in views.iter().enumerate() {
+            let out = eval_spcu(q, ext, &work);
+            let slot = RelId(n_base + k);
+            if &out != work.relation(slot) {
+                *work.relation_mut(slot) = out;
+                changed = true;
+            }
+        }
+        if !changed {
+            return (0..views.len())
+                .map(|k| work.relation(RelId(n_base + k)).clone())
+                .collect();
+        }
+    }
 }
 
 /// Helper for tests/examples: collect a relation into sorted `Vec<Tuple>`.
