@@ -11,14 +11,31 @@
 //! cargo run --release -p cfd-bench --bin catalog_exp \
 //!     [--base N] [--batch N] [--batches N] [--runs N] [--shards N]
 //!     [--rates 0.005,0.02] [--verify-each] [--out PATH]
+//!     [--views N] [--wide-orders N]
+//!     [--assert-skip-rate F] [--assert-shared-tries]
 //! ```
 //!
 //! Both paths see identical batches (including deletes on both join
 //! sides); every level of the maintained stack is verified against the
 //! fresh bottom-up rebuild at the end of every run, and after every
 //! batch with `--verify-each` (the CI smoke mode).
+//!
+//! The run closes with the **wide-catalog** scenario (ISSUE 10):
+//! `--views` sibling region-selection views over one orders ⋈
+//! customers join, batches confined to two hot regions, replayed with
+//! the delta-aware refresh scheduler on and off. It records
+//! refreshed/skipped counts and shared-trie occupancy into the same
+//! JSON (`"wide"`). The scenario sizes its base with `--wide-orders`
+//! (default 20k), independent of `--base`: it measures how per-batch
+//! cost scales with the *number of sibling views*, and past ~20k rows
+//! the shard-level core apply — identical work on both sides — starts
+//! to dominate both timings and dilute the contrast the scenario
+//! exists to isolate. `--assert-skip-rate F` fails the process if the
+//! scheduler pruned less than `F` of the refresh decisions, and
+//! `--assert-shared-tries` if no trie is shared between views — the CI
+//! regression gates.
 
-use cfd_bench::catalog::compare_catalog;
+use cfd_bench::catalog::{compare_catalog, wide_catalog_scenario};
 use std::fmt::Write as _;
 
 fn main() {
@@ -43,6 +60,10 @@ fn main() {
         .collect();
     let verify_each = args.iter().any(|a| a == "--verify-each");
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_catalog.json".into());
+    let wide_views = num("--views", 32);
+    let wide_orders = num("--wide-orders", 20_000);
+    let assert_skip_rate: Option<f64> = flag("--assert-skip-rate").and_then(|v| v.parse().ok());
+    let assert_shared = args.iter().any(|a| a == "--assert-shared-tries");
 
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -92,9 +113,87 @@ fn main() {
             if ri + 1 < rates.len() { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    // The wide catalog: many siblings, few of them movable per commit.
+    let w = wide_catalog_scenario(
+        wide_views,
+        wide_orders,
+        batch,
+        batches,
+        runs,
+        shards,
+        verify_each,
+    );
+    println!(
+        "# wide catalog: {} region views over orders ⋈ customers ({} orders + {} customers), \
+         batches confined to 2 hot regions ({batches} batches of {batch}, best of {runs})",
+        w.views, w.orders, w.customers
+    );
+    println!(
+        "{:>28} | {:>16} | {:>10}",
+        "scheduler", "s/batch", "speedup"
+    );
+    println!("{}", "-".repeat(62));
+    println!(
+        "{:>28} | {:>16.6} | {:>10}",
+        "PR 9 refresh-everything walk",
+        w.unpruned_per_batch.as_secs_f64(),
+        "1.00x"
+    );
+    println!(
+        "{:>28} | {:>16.6} | {:>9.1}x",
+        "delta-aware pruning",
+        w.pruned_per_batch.as_secs_f64(),
+        w.speedup()
+    );
+    println!(
+        "refreshed {} / skipped {} ({:.1}% pruned); tries: {} entries serving {} references \
+         ({} shared, {} rows); verified against eval_stacked\n",
+        w.refreshed,
+        w.skipped,
+        w.skip_rate() * 100.0,
+        w.trie_entries,
+        w.trie_refs,
+        w.shared_tries(),
+        w.trie_rows
+    );
+    let _ = writeln!(
+        json,
+        "  \"wide\": {{\"views\": {}, \"orders\": {}, \"customers\": {}, \
+         \"pruned_s_per_batch\": {:.6}, \"unpruned_s_per_batch\": {:.6}, \"speedup\": {:.2}, \
+         \"refreshed\": {}, \"skipped\": {}, \"skip_rate\": {:.4}, \
+         \"trie_entries\": {}, \"trie_refs\": {}, \"tries_shared\": {}, \"trie_rows\": {}}}",
+        w.views,
+        w.orders,
+        w.customers,
+        w.pruned_per_batch.as_secs_f64(),
+        w.unpruned_per_batch.as_secs_f64(),
+        w.speedup(),
+        w.refreshed,
+        w.skipped,
+        w.skip_rate(),
+        w.trie_entries,
+        w.trie_refs,
+        w.shared_tries(),
+        w.trie_rows
+    );
+    json.push_str("}\n");
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    if let Some(floor) = assert_skip_rate {
+        assert!(
+            w.skip_rate() >= floor,
+            "wide-catalog skip rate {:.3} fell below the {floor} floor",
+            w.skip_rate()
+        );
+    }
+    if assert_shared {
+        assert!(
+            w.shared_tries() > 0,
+            "no shared tries: every view kept a private copy of the customers atom"
+        );
     }
 }

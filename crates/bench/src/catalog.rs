@@ -22,7 +22,7 @@
 
 use cfd_clean::{MultiStore, RelationSpec, StackedViewSpec, UpdateBatch};
 use cfd_relalg::domain::DomainKind;
-use cfd_relalg::eval::{catalog_with_views, eval_spcu};
+use cfd_relalg::eval::{catalog_with_views, eval_spcu, eval_stacked};
 use cfd_relalg::instance::{Database, Relation, Tuple};
 use cfd_relalg::query::{ColRef, OutputCol, ProdCol, SelAtom, SpcQuery, SpcuQuery};
 use cfd_relalg::schema::{Attribute, Catalog, RelId, RelationSchema};
@@ -344,6 +344,316 @@ pub fn compare_catalog(
     }
 }
 
+/// One measured run of the wide-catalog scenario (ISSUE 10): many
+/// sibling selection views over one join, batches skewed so only a
+/// couple of them can move per commit.
+#[derive(Clone, Debug)]
+pub struct WidePoint {
+    /// Sibling views registered (one per region).
+    pub views: usize,
+    /// Orders base size.
+    pub orders: usize,
+    /// Customers base size.
+    pub customers: usize,
+    /// Updates per batch (orders only, hot regions only).
+    pub batch: usize,
+    /// Batches replayed.
+    pub batches: usize,
+    /// Mean per-batch wall time with delta-aware pruning (the default).
+    pub pruned_per_batch: Duration,
+    /// Mean per-batch wall time with pruning disabled — every view that
+    /// reads a changed node refreshes (the refresh-everything baseline).
+    pub unpruned_per_batch: Duration,
+    /// Cumulative views refreshed across the replay (pruned store).
+    pub refreshed: u64,
+    /// Cumulative views skipped across the replay (pruned store).
+    pub skipped: u64,
+    /// Distinct shared-trie entries the store maintains.
+    pub trie_entries: usize,
+    /// References those entries serve (what N private engines would
+    /// maintain).
+    pub trie_refs: usize,
+    /// Rows resident across all shared tries.
+    pub trie_rows: usize,
+    /// Total view rows after the last batch (all levels, both paths).
+    pub final_rows_total: usize,
+}
+
+impl WidePoint {
+    /// `unpruned / pruned` — what skipping irrelevant views buys.
+    pub fn speedup(&self) -> f64 {
+        self.unpruned_per_batch.as_secs_f64() / self.pruned_per_batch.as_secs_f64().max(1e-12)
+    }
+
+    /// Fraction of view-refresh decisions that pruned away.
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.refreshed + self.skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / total as f64
+        }
+    }
+
+    /// References served without a private copy — `refs − entries`.
+    pub fn shared_tries(&self) -> usize {
+        self.trie_refs - self.trie_entries
+    }
+}
+
+/// orders(okey, ckey, region, amt) and customers(ckey, tier).
+fn wide_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add(
+        RelationSchema::new(
+            "orders",
+            vec![
+                Attribute::new("okey", DomainKind::Int),
+                Attribute::new("ckey", DomainKind::Int),
+                Attribute::new("region", DomainKind::Int),
+                Attribute::new("amt", DomainKind::Int),
+            ],
+        )
+        .expect("unique attrs"),
+    )
+    .expect("unique rels");
+    c.add(
+        RelationSchema::new(
+            "customers",
+            vec![
+                Attribute::new("ckey", DomainKind::Int),
+                Attribute::new("tier", DomainKind::Int),
+            ],
+        )
+        .expect("unique attrs"),
+    )
+    .expect("unique rels");
+    c
+}
+
+/// View `i`: σ(region = i)(orders ⋈ customers). Every view carries the
+/// same predicate-free customers atom, so the shared-trie store keeps
+/// one customers trie for the whole catalog; the orders atoms differ in
+/// their pushed-down region constant and stay private.
+fn wide_view(region: i64) -> SpcQuery {
+    SpcQuery {
+        atoms: vec![RelId(0), RelId(1)],
+        constants: vec![],
+        selection: vec![
+            SelAtom::Eq(ProdCol::new(0, 1), ProdCol::new(1, 0)),
+            SelAtom::EqConst(ProdCol::new(0, 2), Value::int(region)),
+        ],
+        output: vec![
+            col("okey", 0, 0),
+            col("ckey", 0, 1),
+            col("region", 0, 2),
+            col("amt", 0, 3),
+            col("tier", 1, 1),
+        ],
+    }
+}
+
+fn wide_order(serial: &mut i64, ckey: i64, region: i64) -> Tuple {
+    let id = *serial;
+    *serial += 1;
+    vec![
+        Value::int(id),
+        Value::int(ckey),
+        Value::int(region),
+        Value::int(id.rem_euclid(100)),
+    ]
+}
+
+/// The wide-catalog scenario: `views` sibling selection views (one per
+/// region) over orders ⋈ customers, replayed under batches that only
+/// ever touch **two** hot regions — so at most two views can move per
+/// commit and the scheduler should skip the rest. The same seeded
+/// batches replay twice: once on the default engine, and once on the
+/// full PR 9 baseline — pruning off
+/// ([`MultiStore::set_refresh_pruning`]) *and* legacy maintenance on
+/// ([`MultiStore::set_legacy_maintenance`]: private per-view atom
+/// states, always-true CIND upkeep) — timing `apply` per batch
+/// (best of `runs` pointwise). The pruned store is verified against
+/// [`eval_stacked`] after every batch when `verify_each` is set, and
+/// both stores are at the end of every run.
+pub fn wide_catalog_scenario(
+    views: usize,
+    orders_n: usize,
+    batch: usize,
+    batches: usize,
+    runs: usize,
+    shards: usize,
+    verify_each: bool,
+) -> WidePoint {
+    assert!(views >= 3, "the scenario needs cold regions to skip");
+    let catalog = wide_catalog();
+    let specs: Vec<StackedViewSpec> = (0..views)
+        .map(|i| StackedViewSpec::new(format!("r{i:02}"), vec![wide_view(i as i64)]))
+        .collect();
+    // Every view reads only the two base relations, so the extended
+    // catalog is buildable in one pass.
+    let schemas: Vec<(String, cfd_relalg::ViewSchema)> = specs
+        .iter()
+        .map(|s| (s.name.clone(), s.branches[0].view_schema(&catalog)))
+        .collect();
+    let ext = catalog_with_views(&catalog, &schemas).unwrap();
+    let queries: Vec<SpcuQuery> = specs
+        .iter()
+        .map(|s| SpcuQuery::union(&ext, s.branches.clone()).unwrap())
+        .collect();
+    let n_cust = (orders_n / 5).max(4);
+    let orders = RelId(0);
+    let customers = RelId(1);
+    let hot = [1i64, views as i64 - 2];
+
+    let mut best_pruned = vec![Duration::MAX; batches];
+    let mut best_unpruned = vec![Duration::MAX; batches];
+    let mut point: Option<WidePoint> = None;
+    for _ in 0..runs.max(1) {
+        let mut rng = StdRng::seed_from_u64(0xCA7A);
+        let mut serial = orders_n as i64;
+        let customers_base: Relation = (0..n_cust as i64)
+            .map(|i| customer_tuple(i, i.rem_euclid(3)))
+            .collect();
+        let orders_base: Relation = {
+            let mut s = 0i64;
+            (0..orders_n)
+                .map(|_| {
+                    let ckey = rng.gen_range(0..n_cust as i64);
+                    let region = rng.gen_range(0..views as i64);
+                    wide_order(&mut s, ckey, region)
+                })
+                .collect()
+        };
+        let build_store = |prune: bool| {
+            let mut s = MultiStore::new(
+                vec![
+                    RelationSpec::new("orders", vec![], orders_base.clone()),
+                    RelationSpec::new("customers", vec![], customers_base.clone()),
+                ],
+                vec![],
+                shards,
+            )
+            .expect("both relations exist");
+            s.set_refresh_pruning(prune);
+            // The baseline store is the PR 9 engine end to end: coarse
+            // reads-the-node walk, private per-view atom states, and
+            // witness upkeep for the always-true view-to-source CINDs.
+            s.set_legacy_maintenance(!prune);
+            let ids = s
+                .register_stacked_batch(specs.clone())
+                .expect("flat catalog is acyclic");
+            (s, ids)
+        };
+        let (mut pruned, ids) = build_store(true);
+        let (mut unpruned, _) = build_store(false);
+
+        // Delete candidates must stay hot, or deletes would leak
+        // relevance into cold views; the cold mirror only feeds the
+        // rebuild side.
+        let mut mirror_hot: Vec<Tuple> = Vec::new();
+        let mut mirror_cold: Vec<Tuple> = Vec::new();
+        for t in orders_base.tuples() {
+            let Value::Int(r) = t[2] else { unreachable!() };
+            if hot.contains(&r) {
+                mirror_hot.push(t.clone());
+            } else {
+                mirror_cold.push(t.clone());
+            }
+        }
+
+        // One untimed warmup batch, as in the sibling experiments.
+        for bi in 0..batches + 1 {
+            let timed = bi > 0;
+            let mut ord = UpdateBatch::default();
+            for _ in 0..batch {
+                if rng.gen_bool(0.5) && !mirror_hot.is_empty() {
+                    let at = rng.gen_range(0..mirror_hot.len());
+                    ord.deletes.push(mirror_hot.swap_remove(at));
+                } else {
+                    let ckey = rng.gen_range(0..n_cust as i64);
+                    let region = hot[rng.gen_range(0..hot.len())];
+                    ord.inserts.push(wide_order(&mut serial, ckey, region));
+                }
+            }
+            mirror_hot.extend(ord.inserts.iter().cloned());
+
+            let t0 = Instant::now();
+            pruned.apply(orders, &ord);
+            let pruned_t = t0.elapsed();
+            let t0 = Instant::now();
+            unpruned.apply(orders, &ord);
+            let unpruned_t = t0.elapsed();
+            if timed {
+                best_pruned[bi - 1] = best_pruned[bi - 1].min(pruned_t);
+                best_unpruned[bi - 1] = best_unpruned[bi - 1].min(unpruned_t);
+            }
+
+            if verify_each {
+                let mut db = Database::empty(&ext);
+                for t in mirror_hot.iter().chain(&mirror_cold) {
+                    db.insert(orders, t.clone());
+                }
+                for t in customers_base.tuples() {
+                    db.insert(customers, t.clone());
+                }
+                let full = eval_stacked(&ext, 2, &queries, &db);
+                for (k, fresh) in full.iter().enumerate() {
+                    assert_eq!(
+                        &pruned.view_relation(ids[k]),
+                        fresh,
+                        "pruned view {k} diverged from eval_stacked mid-replay"
+                    );
+                }
+            }
+        }
+        // End-state verification is unconditional, for both stores.
+        let mut db = Database::empty(&ext);
+        for t in mirror_hot.iter().chain(&mirror_cold) {
+            db.insert(orders, t.clone());
+        }
+        for t in customers_base.tuples() {
+            db.insert(customers, t.clone());
+        }
+        let full = eval_stacked(&ext, 2, &queries, &db);
+        for (k, fresh) in full.iter().enumerate() {
+            assert_eq!(
+                &pruned.view_relation(ids[k]),
+                fresh,
+                "pruned view {k} end state diverged from eval_stacked"
+            );
+            assert_eq!(
+                &unpruned.view_relation(ids[k]),
+                fresh,
+                "unpruned view {k} end state diverged from eval_stacked"
+            );
+        }
+
+        let (refreshed, skipped) = pruned.total_refresh_counts();
+        let (trie_entries, trie_refs, trie_rows) = pruned.shared_trie_stats();
+        point = Some(WidePoint {
+            views,
+            orders: orders_n,
+            customers: n_cust,
+            batch,
+            batches,
+            pruned_per_batch: Duration::ZERO,
+            unpruned_per_batch: Duration::ZERO,
+            refreshed,
+            skipped,
+            trie_entries,
+            trie_refs,
+            trie_rows,
+            final_rows_total: full.iter().map(|r| r.len()).sum(),
+        });
+    }
+
+    let mut p = point.expect("at least one run");
+    p.pruned_per_batch = best_pruned.iter().sum::<Duration>() / batches.max(1) as u32;
+    p.unpruned_per_batch = best_unpruned.iter().sum::<Duration>() / batches.max(1) as u32;
+    p
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,5 +669,25 @@ mod tests {
             p.final_rows[1] > 0,
             "the union level keeps overlapping derivations"
         );
+    }
+
+    #[test]
+    fn wide_catalog_skips_cold_views_and_shares_the_customers_trie() {
+        let p = wide_catalog_scenario(32, 1200, 60, 3, 1, 2, true);
+        // Batches only touch two hot regions, so at least 30 of the 32
+        // sibling views prune away every commit.
+        assert!(
+            p.skip_rate() >= 0.8,
+            "skip rate {} below the wide-catalog floor",
+            p.skip_rate()
+        );
+        assert!(p.refreshed > 0, "the hot views do refresh");
+        // One predicate-free customers trie serves all 32 views; the
+        // region-filtered orders tries stay private.
+        assert_eq!(p.trie_entries, 33);
+        assert_eq!(p.trie_refs, 64);
+        assert_eq!(p.shared_tries(), 31);
+        assert!(p.trie_rows > 0);
+        assert!(p.final_rows_total > 0, "the stack is populated");
     }
 }

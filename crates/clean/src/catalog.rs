@@ -465,6 +465,51 @@ impl ViewCatalog {
     }
 }
 
+/// Per-commit outcome of the delta-aware refresh scheduler: how much
+/// of the catalog walk a commit actually paid for, and how much trie
+/// state sibling views share. Published on every
+/// [`crate::multistore::MultiCommit`] and queryable via
+/// [`crate::multistore::MultiStore::refresh_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Views whose maintenance ran this commit.
+    pub refreshed: usize,
+    /// Views skipped because their delta was provably empty: no
+    /// changed node they read admitted a single delta row through the
+    /// pushed-down local predicates (and none was a maintained-CIND
+    /// endpoint, whose witness side can orphan view rows). Skipped
+    /// views do no work at all and emit no delta, so their dependent
+    /// cone silences transitively.
+    pub skipped: usize,
+    /// Shareable atom positions across all live views — what N private
+    /// engines would maintain.
+    pub tries_total: usize,
+    /// Positions whose trie entry at least one *other* position also
+    /// references: the maintenance and memory the sharing saves.
+    pub tries_shared: usize,
+    /// Distinct shared-trie entries actually maintained.
+    pub trie_entries: usize,
+    /// Rows resident across all shared-trie entries.
+    pub trie_rows: usize,
+}
+
+/// One scheduling decision of the commit-time walk: refresh a
+/// condensation component iff **any** member has a relevant delta.
+///
+/// For a DAG component (one non-recursive view) this is exactly the
+/// per-view pruning rule. For a monotone SCC it is deliberately
+/// conservative — skipping requires *every* member's inputs to be
+/// empty, because one relevant member can move the whole fixpoint. A
+/// member's relevance test is sound for recursion too: if no member
+/// admits any delta row, every branch's filtered input lists are
+/// unchanged, so the least fixpoint is unchanged.
+pub(crate) fn component_relevant(
+    comp: &[usize],
+    mut member_relevant: impl FnMut(usize) -> bool,
+) -> bool {
+    comp.iter().any(|&slot| member_relevant(slot))
+}
+
 /// Tarjan's SCC over the live slots of `slots` (edges point from a
 /// view to the view slots it depends on), returning the condensation
 /// components **dependencies first** — exactly the refresh order.

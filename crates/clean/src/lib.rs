@@ -99,7 +99,7 @@ pub mod sharded;
 pub mod sql;
 pub mod violations;
 
-pub use catalog::{CatalogError, CyclePolicy, StackedViewSpec};
+pub use catalog::{CatalogError, CyclePolicy, RefreshStats, StackedViewSpec};
 pub use delta::{DeltaDetector, UpdateBatch, ViolationDiff};
 pub use durable::{
     checkpoint_bytes, recover_from_parts, DurableMultiStore, DurableOptions, FaultIo, FileIo,

@@ -51,7 +51,9 @@
 //! across relations, the maintained state must equal a fresh
 //! bottom-up re-evaluation, batch for batch, diff for diff.
 
-use crate::catalog::{CatalogError, CyclePolicy, StackedViewSpec, ViewCatalog};
+use crate::catalog::{
+    component_relevant, CatalogError, CyclePolicy, RefreshStats, StackedViewSpec, ViewCatalog,
+};
 use crate::delta::{UpdateBatch, ViolationDiff};
 use crate::matview::{MaterializedView, ViewBuild, ViewDelta, ViewSpec};
 use crate::sharded::{AppliedRows, GcStats, Snapshot, StoreCore};
@@ -62,6 +64,7 @@ use cfd_cind::{propagate_cinds, Cind, CindError};
 use cfd_model::cfd::Cfd;
 use cfd_relalg::instance::Relation;
 use cfd_relalg::pool::Code;
+use cfd_relalg::query::TrieStore;
 use cfd_relalg::schema::RelId;
 use cfd_relalg::versioned::SharedPool;
 use rustc_hash::FxHashSet;
@@ -114,6 +117,10 @@ pub struct MultiCommit {
     /// deltas are carried; view commits ride the same epoch as the
     /// source commit.
     pub views: Vec<ViewDelta>,
+    /// What the refresh scheduler did for this commit: views refreshed
+    /// versus provably skipped, and the shared-trie footprint after the
+    /// walk.
+    pub refresh: RefreshStats,
 }
 
 impl MultiCommit {
@@ -183,6 +190,7 @@ impl MultiDiffFilter {
             epoch: c.epoch,
             rel: c.rel,
             views,
+            refresh: c.refresh,
             cfd: ViolationDiff {
                 added: c
                     .cfd
@@ -251,6 +259,29 @@ pub struct MultiStore {
     /// View slot `k` occupies `RelId(rel_count() + k)` in the extended
     /// node space.
     views: Vec<Option<MaterializedView>>,
+    /// The shared per-atom trie store: every factorized non-recursive
+    /// branch position of every live view holds one reference into it,
+    /// keyed by `(node, pushed-down local predicate set)` — sibling
+    /// views with the same key maintain **one** trie. Commit deltas
+    /// are applied here once per changed node, not once per view.
+    tries: TrieStore,
+    /// Delta-aware refresh pruning (on by default): skip any
+    /// condensation component whose every member has a provably empty
+    /// delta. `false` restores the coarse reads-the-node walk, kept as
+    /// the measurable baseline for `catalog_exp`.
+    prune: bool,
+    /// Build subsequently registered views with the PR 9 maintenance
+    /// profile: private per-position atom states instead of shared
+    /// trie entries, and witness upkeep for the always-true
+    /// view-to-source CINDs. Off by default; benches flip it to
+    /// measure the refresh-everything walk this scheduler replaced.
+    legacy_views: bool,
+    /// The last commit's scheduling outcome.
+    last_refresh: RefreshStats,
+    /// Views refreshed across all commits (monotone counter).
+    total_refreshed: u64,
+    /// Views skipped across all commits (monotone counter).
+    total_skipped: u64,
     /// Per-view snapshot cache: rebuilt lazily by [`MultiStore::snapshot`],
     /// invalidated by [`MultiStore::apply`] only when a commit actually
     /// moves the view — so repeated snapshots across quiet epochs share
@@ -318,6 +349,12 @@ impl MultiStore {
             cind_current,
             catalog: ViewCatalog::new(n_sources),
             views: Vec::new(),
+            tries: TrieStore::new(),
+            prune: true,
+            legacy_views: false,
+            last_refresh: RefreshStats::default(),
+            total_refreshed: 0,
+            total_skipped: 0,
             view_snaps: Vec::new(),
             subs: Vec::new(),
             shed_subs: 0,
@@ -388,7 +425,12 @@ impl MultiStore {
         match self.build_new_slots(first, specs) {
             Ok(()) => Ok((first..self.views.len()).collect()),
             Err(e) => {
-                self.views.truncate(first);
+                // Views built before the failure already hold shared-trie
+                // references; reclaim them or the entries (and their
+                // refcounts) leak past the rollback.
+                for mut v in self.views.drain(first..).flatten() {
+                    v.release_shared(&mut self.tries);
+                }
                 self.view_snaps.truncate(first);
                 self.catalog.retract(first);
                 Err(e)
@@ -426,9 +468,11 @@ impl MultiStore {
                     cinds: spec.cinds,
                     plan: spec.plan,
                     recursive,
+                    legacy: self.legacy_views,
                 };
                 let view_rel = RelId(n_sources + slot);
-                let (cores, views, pool) = (&self.cores, &self.views, &mut self.pool);
+                let (cores, views, tries, pool) =
+                    (&self.cores, &self.views, &mut self.tries, &mut self.pool);
                 let mut rows_of = |node: usize, f: &mut dyn FnMut(&[Code])| {
                     if node < n_sources {
                         cores[node].for_each_live_code_row(|codes| f(codes));
@@ -436,7 +480,8 @@ impl MultiStore {
                         v.for_each_row(f);
                     }
                 };
-                let mv = MaterializedView::new(build, view_rel, n_nodes, &mut rows_of, pool)?;
+                let mv =
+                    MaterializedView::new(build, view_rel, n_nodes, &mut rows_of, tries, pool)?;
                 self.views[slot] = Some(mv);
             }
             if recursive {
@@ -533,6 +578,20 @@ impl MultiStore {
     /// Non-empty [`ViewDelta`]s land in `out` in refresh order;
     /// `skip_slot` exempts one slot (the view a replacement just
     /// rebuilt wholesale).
+    ///
+    /// This is the delta-aware scheduler: with pruning on (the
+    /// default) a condensation component refreshes only when some
+    /// member has a *relevant* delta — a changed node it reads whose
+    /// rows pass some branch position's pushed-down predicates, or a
+    /// maintained-CIND endpoint whose violation set can move without a
+    /// join delta. A skipped view provably emits nothing and owes no
+    /// bookkeeping (the invariantly-true view-to-source inclusions are
+    /// never maintained), so it pushes no delta of its own and its
+    /// downstream cone silences through the same test. Shared
+    /// tries are maintained here too: every changed node's delta is
+    /// applied to the [`TrieStore`] exactly once — before any view
+    /// folds for the initial entries, and at push time for view
+    /// deltas — never once per view.
     fn propagate_changed(
         &mut self,
         changed: &mut Vec<NodeDelta>,
@@ -540,20 +599,46 @@ impl MultiStore {
         skip_slot: Option<usize>,
     ) {
         let n_sources = self.cores.len();
+        // Entries `applied..` of `changed` are not yet in the shared
+        // trie store; the store must reach the commit's new state
+        // before any component downstream of those entries folds
+        // (matview's `fold_changed` un-applies per swept entry when
+        // the telescoping needs an old state).
+        let mut applied = 0;
+        while applied < changed.len() {
+            let (node, dels, ins) = &changed[applied];
+            self.tries.apply_node_delta(*node, dels, ins);
+            applied += 1;
+        }
+        let mut refreshed = 0usize;
+        let mut skipped = 0usize;
         let order = self.catalog.refresh_order().to_vec();
         for comp in order {
             if skip_slot.is_some_and(|s| comp.contains(&s)) {
                 continue;
             }
-            let touched = comp.iter().any(|&slot| {
-                let v = self.views[slot]
-                    .as_ref()
-                    .expect("live view in refresh order");
-                changed.iter().any(|(n, ..)| v.touches_node(*n))
-            });
-            if !touched {
+            let relevant = if self.prune {
+                component_relevant(&comp, |slot| {
+                    self.views[slot]
+                        .as_ref()
+                        .expect("live view in refresh order")
+                        .delta_relevant(changed)
+                })
+            } else {
+                // Pruning off: the coarse reads-a-changed-node test,
+                // kept as the measurable refresh-everything baseline.
+                comp.iter().any(|&slot| {
+                    let v = self.views[slot]
+                        .as_ref()
+                        .expect("live view in refresh order");
+                    changed.iter().any(|(n, ..)| v.touches_node(*n))
+                })
+            };
+            if !relevant {
+                skipped += comp.len();
                 continue;
             }
+            refreshed += comp.len();
             if self.catalog.is_recursive(comp[0]) {
                 // Fixed-point refresh: grow in place when every
                 // upstream delta is insert-only (semi-naive-style —
@@ -603,11 +688,11 @@ impl MultiStore {
                 }
             } else {
                 let slot = comp[0];
-                let (views, pool) = (&mut self.views, &self.pool);
+                let (views, tries, pool) = (&mut self.views, &mut self.tries, &self.pool);
                 let (vd, removed, added) = views[slot]
                     .as_mut()
                     .expect("live view in refresh order")
-                    .apply_upstream(slot, changed, pool);
+                    .apply_upstream(slot, changed, tries, pool);
                 if !vd.is_empty() {
                     *self.view_snaps[slot].lock().expect("view snapshot cache") = None;
                     out.push(vd);
@@ -616,7 +701,33 @@ impl MultiStore {
                     changed.push((n_sources + slot, removed, added));
                 }
             }
+            // Any view delta this component just pushed becomes store
+            // state before the next component reads it.
+            while applied < changed.len() {
+                let (node, dels, ins) = &changed[applied];
+                self.tries.apply_node_delta(*node, dels, ins);
+                applied += 1;
+            }
         }
+        debug_assert_eq!(
+            self.views
+                .iter()
+                .flatten()
+                .map(|v| v.shared_positions())
+                .sum::<usize>(),
+            self.tries.ref_count(),
+            "every shared-trie reference is held by exactly one live position"
+        );
+        self.last_refresh = RefreshStats {
+            refreshed,
+            skipped,
+            tries_total: self.tries.ref_count(),
+            tries_shared: self.tries.ref_count() - self.tries.entry_count(),
+            trie_entries: self.tries.entry_count(),
+            trie_rows: self.tries.row_count(),
+        };
+        self.total_refreshed += refreshed as u64;
+        self.total_skipped += skipped as u64;
     }
 
     /// `RESTRICT` drop: tombstone the live view named `name` unless
@@ -626,7 +737,9 @@ impl MultiStore {
     /// captured state. Returns the tombstoned slot.
     pub fn drop_view(&mut self, name: &str) -> Result<usize, CatalogError> {
         let slot = self.catalog.drop_slot(name)?;
-        self.views[slot] = None;
+        if let Some(mut v) = self.views[slot].take() {
+            v.release_shared(&mut self.tries);
+        }
         *self.view_snaps[slot].lock().expect("view snapshot cache") = None;
         Ok(slot)
     }
@@ -661,10 +774,17 @@ impl MultiStore {
             cinds: spec.cinds,
             plan: spec.plan,
             recursive: false,
+            legacy: self.legacy_views,
         };
         let view_rel = RelId(n_sources + slot);
         let new_view = {
-            let (cores, views, pool) = (&self.cores, &self.views, &mut self.pool);
+            // Building first keeps the swap atomic *and* keeps shared
+            // trie entries alive across it: the new view acquires its
+            // references (sharing any entry the old view also holds)
+            // before the old view releases, so refcounts never dip to
+            // zero for an entry both definitions use.
+            let (cores, views, tries, pool) =
+                (&self.cores, &self.views, &mut self.tries, &mut self.pool);
             let mut rows_of = |node: usize, f: &mut dyn FnMut(&[Code])| {
                 if node < n_sources {
                     cores[node].for_each_live_code_row(|codes| f(codes));
@@ -672,7 +792,7 @@ impl MultiStore {
                     v.for_each_row(f);
                 }
             };
-            MaterializedView::new(build, view_rel, n_nodes, &mut rows_of, pool)?
+            MaterializedView::new(build, view_rel, n_nodes, &mut rows_of, tries, pool)?
         };
         // The replacement's net row delta, for downstream propagation.
         let old = self.views[slot].as_ref().expect("live view");
@@ -688,6 +808,8 @@ impl MultiStore {
                 added.push(codes.into());
             }
         });
+        let mut old = self.views[slot].take().expect("live view");
+        old.release_shared(&mut self.tries);
         self.views[slot] = Some(new_view);
         self.catalog.commit_replace(slot, deps);
         *self.view_snaps[slot].lock().expect("view snapshot cache") = None;
@@ -704,6 +826,49 @@ impl MultiStore {
     /// resolve live names).
     pub fn view_count(&self) -> usize {
         self.views.len()
+    }
+
+    /// The refresh scheduler's outcome for the last catalog walk (the
+    /// last commit's, or the last replacement's). Also carried per
+    /// commit on [`MultiCommit::refresh`].
+    pub fn refresh_stats(&self) -> RefreshStats {
+        self.last_refresh
+    }
+
+    /// Cumulative `(refreshed, skipped)` view-refresh decisions since
+    /// the store was built.
+    pub fn total_refresh_counts(&self) -> (u64, u64) {
+        (self.total_refreshed, self.total_skipped)
+    }
+
+    /// Toggle delta-aware refresh pruning (on by default). With
+    /// pruning off, every component that merely *reads* a changed
+    /// node refreshes — the coarse pre-scheduler walk, kept as the
+    /// measurable refresh-everything baseline for `catalog_exp`.
+    pub fn set_refresh_pruning(&mut self, on: bool) {
+        self.prune = on;
+    }
+
+    /// Build views registered *after* this call with the PR 9
+    /// maintenance profile: private per-position atom states (no trie
+    /// sharing) and witness upkeep for the always-true view-to-source
+    /// CINDs. Combined with [`MultiStore::set_refresh_pruning`]`(false)`
+    /// this reproduces the refresh-everything walk the delta-aware
+    /// scheduler replaced, as a measurable baseline for `catalog_exp`.
+    /// Already-registered views are unaffected.
+    pub fn set_legacy_maintenance(&mut self, on: bool) {
+        self.legacy_views = on;
+    }
+
+    /// `(entries, references, resident rows)` of the shared trie
+    /// store: `references - entries` atom positions are riding a trie
+    /// some other position also maintains.
+    pub fn shared_trie_stats(&self) -> (usize, usize, usize) {
+        (
+            self.tries.entry_count(),
+            self.tries.ref_count(),
+            self.tries.row_count(),
+        )
     }
 
     /// The view in catalog slot `index`.
@@ -974,6 +1139,7 @@ impl MultiStore {
             cfd: commit.diff.clone(),
             cind,
             views,
+            refresh: self.last_refresh,
         });
         self.publish(&mc);
         (mc, applied)

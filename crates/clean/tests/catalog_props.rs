@@ -33,6 +33,7 @@
 //!   failures (arity change under dependents, introduced cycles)
 //!   leave the old definition live.
 
+use cfd_cind::Cind;
 use cfd_clean::{
     CatalogError, CyclePolicy, MultiStore, RelationSpec, StackedViewSpec, UpdateBatch,
 };
@@ -289,6 +290,16 @@ fn run_one(n_base: usize, n_views: usize, shards: usize, seed: u64) {
             mirror[rel.0].insert(t.clone());
         }
         let commit = store.apply(rel, &batch);
+        // Refresh-scheduler accounting: every live view is either
+        // refreshed or provably skipped, never silently dropped. The
+        // oracle check below then proves the skips sound — skipped
+        // views must *still* equal the fresh evaluation.
+        assert_eq!(
+            commit.refresh.refreshed + commit.refresh.skipped,
+            live.iter().filter(|&&l| l).count(),
+            "{}",
+            ctx("refresh + skip counts must cover every live view")
+        );
         // Topological refresh emits each view at most once, in slot
         // order (registration order is a topological order here).
         let emitted: Vec<usize> = commit.views.iter().map(|vd| vd.view).collect();
@@ -339,7 +350,13 @@ fn run_one(n_base: usize, n_views: usize, shards: usize, seed: u64) {
         for t in &batch.inserts {
             mirror[rel.0].insert(t.clone());
         }
-        store.apply(rel, &batch);
+        let commit = store.apply(rel, &batch);
+        assert_eq!(
+            commit.refresh.refreshed + commit.refresh.skipped,
+            live.iter().filter(|&&l| l).count(),
+            "{}",
+            ctx("refresh accounting over tombstoned slots")
+        );
         check_against_oracle(&store, &dag, &live, &ctx(&format!("after dropping v{k}")));
     }
 }
@@ -776,4 +793,141 @@ fn replace_view_is_atomic_under_pinned_snapshots() {
     let fresh2 = eval_stacked(&ext, 1, &queries, &db2);
     assert_eq!(store.view_relation(0), fresh2[0]);
     assert_eq!(store.view_relation(1), fresh2[1]);
+}
+
+/// The delta-aware scheduler (ISSUE 10): a commit whose rows pass no
+/// view's pushed-down predicates refreshes **zero** views, a commit
+/// matching one selection refreshes exactly that view, and turning
+/// pruning off restores the coarse refresh-everything walk.
+#[test]
+fn irrelevant_commits_refresh_zero_views() {
+    let (_catalog, mut store) = edge_store(&[(1, 2), (2, 3)], 2);
+    // Four sibling views over `e`, each pinned to a distinct constant.
+    for k in 0..4i64 {
+        let mut q = edge_identity();
+        q.selection = vec![SelAtom::EqConst(ProdCol::new(0, 0), Value::int(10 + k))];
+        store
+            .register_stacked(StackedViewSpec::new(format!("s{k}"), vec![q]))
+            .unwrap();
+    }
+    // No row has a0 ∈ {10..13}: every view skips, nothing is emitted.
+    let mut miss = UpdateBatch::default();
+    miss.inserts.push(vec![Value::int(5), Value::int(5)]);
+    let commit = store.apply(RelId(0), &miss);
+    assert_eq!(
+        (commit.refresh.refreshed, commit.refresh.skipped),
+        (0, 4),
+        "a commit matching no view refreshes no view"
+    );
+    assert!(commit.views.is_empty());
+    // a0 = 11 passes exactly s1's predicate.
+    let mut hit = UpdateBatch::default();
+    hit.inserts.push(vec![Value::int(11), Value::int(0)]);
+    let commit = store.apply(RelId(0), &hit);
+    assert_eq!((commit.refresh.refreshed, commit.refresh.skipped), (1, 3));
+    assert_eq!(commit.views.len(), 1);
+    assert_eq!(commit.views[0].rows_added.len(), 1);
+    // The store-side accessors agree with the published commit.
+    assert_eq!(store.refresh_stats(), commit.refresh);
+    assert_eq!(store.total_refresh_counts(), (1, 7));
+    // Pruning off: the coarse walk refreshes everything that reads the
+    // node, even though nothing can move.
+    store.set_refresh_pruning(false);
+    let mut miss2 = UpdateBatch::default();
+    miss2.inserts.push(vec![Value::int(6), Value::int(6)]);
+    let commit = store.apply(RelId(0), &miss2);
+    assert_eq!(
+        (commit.refresh.refreshed, commit.refresh.skipped),
+        (4, 0),
+        "the unpruned baseline refreshes every reader"
+    );
+    assert!(commit.views.is_empty(), "refreshed four views for nothing");
+}
+
+/// Skipping propagates down the dependency cone: when the top of a
+/// chain proves its delta empty, the views stacked on it skip too —
+/// they can only move through a delta the skipped view never emitted.
+#[test]
+fn skips_silence_the_downstream_cone() {
+    let (_catalog, mut store) = edge_store(&[(7, 1)], 2);
+    let mut head = edge_identity();
+    head.selection = vec![SelAtom::EqConst(ProdCol::new(0, 0), Value::int(7))];
+    let mut mid = edge_identity();
+    mid.atoms = vec![RelId(1)]; // over the head view
+    let mut tail = edge_identity();
+    tail.atoms = vec![RelId(2)]; // over the middle view
+    store
+        .register_stacked_batch(vec![
+            StackedViewSpec::new("head", vec![head]),
+            StackedViewSpec::new("mid", vec![mid]),
+            StackedViewSpec::new("tail", vec![tail]),
+        ])
+        .unwrap();
+    // a0 = 5 misses the head's predicate; the whole chain skips.
+    let mut miss = UpdateBatch::default();
+    miss.inserts.push(vec![Value::int(5), Value::int(5)]);
+    let commit = store.apply(RelId(0), &miss);
+    assert_eq!((commit.refresh.refreshed, commit.refresh.skipped), (0, 3));
+    // a0 = 7 hits: the delta flows through all three.
+    let mut hit = UpdateBatch::default();
+    hit.inserts.push(vec![Value::int(7), Value::int(9)]);
+    let commit = store.apply(RelId(0), &hit);
+    assert_eq!((commit.refresh.refreshed, commit.refresh.skipped), (3, 0));
+    assert_eq!(commit.views.len(), 3);
+    assert_eq!(store.view_relation(2).len(), 2);
+}
+
+/// ISSUE 10 satellite: a registration batch whose k-th view fails to
+/// build must roll back the shared-trie references the earlier views
+/// of the batch already acquired — entry count, reference count, and
+/// resident rows all return to their pre-batch values, and the same
+/// shapes register cleanly afterwards.
+#[test]
+fn failed_batch_build_reclaims_shared_trie_state() {
+    let (_catalog, mut store) = edge_store(&[(1, 2), (2, 3)], 2);
+    store
+        .register_stacked(StackedViewSpec::new("keep", vec![edge_identity()]))
+        .unwrap();
+    let before = store.shared_trie_stats();
+    assert_eq!(before, (1, 1, 2), "one entry, one reference, two rows");
+    // The second view of the batch carries an extra CIND whose LHS is
+    // not the view itself: `admit` only validates branch atoms and
+    // CIND RHS nodes, so the batch is admitted — and then the build of
+    // that view fails *after* the first view already acquired its
+    // shared-trie references.
+    let bogus = Cind::ind(RelId(0), RelId(0), vec![(0, 0)]).unwrap();
+    let mut selective = edge_identity();
+    selective.selection = vec![SelAtom::EqConst(ProdCol::new(0, 0), Value::int(1))];
+    let err = store.register_stacked_batch(vec![
+        StackedViewSpec::new("w0", vec![edge_identity(), selective.clone()]),
+        StackedViewSpec::new("w1", vec![edge_identity()]).with_cinds(vec![bogus]),
+    ]);
+    assert!(
+        matches!(err, Err(CatalogError::Cind(_))),
+        "bogus-LHS extra CIND passes admit but fails the build: {err:?}"
+    );
+    assert_eq!(store.view_count(), 1, "batch rolled back");
+    assert_eq!(
+        store.shared_trie_stats(),
+        before,
+        "rollback reclaimed every shared-trie reference the batch took"
+    );
+    // The same shapes register cleanly afterwards; w0's identity
+    // branch rides the surviving entry, the selective branch gets its
+    // own.
+    store
+        .register_stacked_batch(vec![
+            StackedViewSpec::new("w0", vec![edge_identity(), selective]),
+            StackedViewSpec::new("w1", vec![edge_identity()]),
+        ])
+        .unwrap();
+    let (entries, refs, _rows) = store.shared_trie_stats();
+    assert_eq!(entries, 2, "identity key shared, selective key private");
+    assert_eq!(refs, 4, "keep + w0×2 + w1");
+    // Dropping releases: w1 rides the shared identity entry, so only
+    // its reference goes; dropping w0 then retires the selective entry.
+    store.drop_view("w1").unwrap();
+    assert_eq!(store.shared_trie_stats().1, 3);
+    store.drop_view("w0").unwrap();
+    assert_eq!(store.shared_trie_stats(), before);
 }

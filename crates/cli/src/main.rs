@@ -868,6 +868,11 @@ struct ReplaySummary {
     cind_total: usize,
     view_total: usize,
     last_checkpoint: Option<u64>,
+    views: usize,
+    refreshed_total: u64,
+    skipped_total: u64,
+    tries_total: usize,
+    tries_shared: usize,
 }
 
 fn summarize(store: &cfd_clean::MultiStore, last_checkpoint: Option<u64>) -> ReplaySummary {
@@ -877,12 +882,19 @@ fn summarize(store: &cfd_clean::MultiStore, last_checkpoint: Option<u64>) -> Rep
     let view_total: usize = (0..store.view_count())
         .map(|i| store.view_cfd_violations(i).len() + store.view_cind_violations(i).len())
         .sum();
+    let (refreshed_total, skipped_total) = store.total_refresh_counts();
+    let (trie_entries, trie_refs, _) = store.shared_trie_stats();
     ReplaySummary {
         epochs: store.epoch(),
         cfd_total,
         cind_total: store.cind_violations().len(),
         view_total,
         last_checkpoint,
+        views: store.view_count(),
+        refreshed_total,
+        skipped_total,
+        tries_total: trie_refs,
+        tries_shared: trie_refs - trie_entries,
     }
 }
 
@@ -1155,8 +1167,16 @@ fn serve_updates_multi(
         Some(e) => format!(", \"last_checkpoint\": {e}"),
         None => String::new(),
     };
+    let sched = if summary.views == 0 {
+        String::new()
+    } else {
+        format!(
+            ", \"views_refreshed\": {}, \"views_skipped\": {}, \"tries_total\": {}, \"tries_shared\": {}",
+            summary.refreshed_total, summary.skipped_total, summary.tries_total, summary.tries_shared
+        )
+    };
     let line = format!(
-        "{{\"done\": true, \"epochs\": {}, \"violations\": {}, \"cind_violations\": {}, \"view_violations\": {}{ckpt}}}",
+        "{{\"done\": true, \"epochs\": {}, \"violations\": {}, \"cind_violations\": {}, \"view_violations\": {}{ckpt}{sched}}}",
         summary.epochs, summary.cfd_total, summary.cind_total, summary.view_total
     );
     if let Err(e) = writeln!(out, "{line}") {
@@ -1637,14 +1657,29 @@ fn multi_commit_json(
             .collect();
         format!(", \"views\": [{}]", items.join(", "))
     };
+    // The scheduler's verdict for this commit — only meaningful (and
+    // only emitted) when the store carries live views.
+    let refresh = if commit.refresh.refreshed + commit.refresh.skipped == 0 {
+        String::new()
+    } else {
+        format!(
+            ", \"refresh\": {{\"refreshed\": {}, \"skipped\": {}, \"tries_total\": {}, \"tries_shared\": {}, \"trie_rows\": {}}}",
+            commit.refresh.refreshed,
+            commit.refresh.skipped,
+            commit.refresh.tries_total,
+            commit.refresh.tries_shared,
+            commit.refresh.trie_rows
+        )
+    };
     format!(
-        "{{\"relation\": {}, \"epoch\": {}, \"added\": {}, \"removed\": {}, \"cind_added\": {}, \"cind_removed\": {}{}}}",
+        "{{\"relation\": {}, \"epoch\": {}, \"added\": {}, \"removed\": {}, \"cind_added\": {}, \"cind_removed\": {}{}{}}}",
         json_str(&names[commit.rel.0]),
         commit.epoch,
         list(&commit.cfd.added),
         list(&commit.cfd.removed),
         cind_list(&commit.cind.added),
         cind_list(&commit.cind.removed),
+        refresh,
         views
     )
 }

@@ -757,6 +757,17 @@ fn serve_updates_view_file_serves_a_stacked_dag_over_the_document() {
         lines[1].contains("\"rows_removed\": [[1, \"ann\", \"open\"]]"),
         "{text}"
     );
+    // Batch 1 moved both views; the scheduler verdict rides the line.
+    assert!(
+        lines[0].contains("\"refresh\": {\"refreshed\": 2, \"skipped\": 0"),
+        "{text}"
+    );
+    // Batch 2 (shipped) was pruned for OPEN — the cumulative counters
+    // in the summary see the skip even though its line was filtered.
+    assert!(
+        lines[2].contains("\"views_refreshed\": 5, \"views_skipped\": 1"),
+        "{text}"
+    );
 }
 
 #[test]

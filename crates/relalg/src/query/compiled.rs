@@ -197,6 +197,23 @@ impl CompiledSelection {
     }
 }
 
+/// Canonical form of one atom's local equalities, for cross-view
+/// state-sharing keys: each pair ordered `a < b`, reflexive pairs
+/// dropped, the list sorted and deduplicated. Two positions whose
+/// selections differ only in how the equality closure happened to emit
+/// derived pairs normalize to the same signature (consumed by
+/// `cfd-relalg::query::factorized::AtomKey`).
+pub fn canonical_local_eqs(eqs: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = eqs
+        .iter()
+        .filter(|&&(a, b)| a != b)
+        .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
 /// One probe step of a [`JoinPlan`]: join `atom` into the bound set.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JoinStep {

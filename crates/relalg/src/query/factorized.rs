@@ -63,7 +63,28 @@
 //! maps the full key to the bucket of row ids. All maps are over
 //! interned [`Code`]s, so the same engine serves code-level view
 //! maintenance and (through a scratch pool) one-shot evaluation.
+//!
+//! # Shared tries
+//!
+//! An atom position's state is fully determined by `(upstream node,
+//! local predicate set)`: it holds exactly the node's live rows passing
+//! the pushed-down predicates. Two positions agreeing on that pair —
+//! across branches, across *views* — are bitwise the same state, and
+//! the canonical per-component variable orders above make their trie
+//! column orders shareable too. A [`TrieStore`] deduplicates such
+//! states under an [`AtomKey`]: each entry is one refcounted
+//! [`EngineAtom`] that any number of engines reference through
+//! [`AtomSlot::Shared`], so N sibling views over the same upstream
+//! maintain one support-counted trie instead of N. Tries *within* an
+//! entry are still deduplicated by column order, and registering a new
+//! column order backfills it from the entry's live rows, so late
+//! joiners (a view registered after data arrived) see full state.
+//!
+//! Store-backed engines use the `*_in` method variants, which take the
+//! store explicitly; the classic methods serve engines that own all
+//! their atoms and panic on a shared slot.
 
+use super::compiled::canonical_local_eqs;
 use super::ProdCol;
 use crate::pool::Code;
 use rustc_hash::FxHashMap;
@@ -154,11 +175,17 @@ struct EngineAtom {
 
 impl EngineAtom {
     /// Register a trie over `cols` (deduplicated), returning its index.
+    /// A new trie is backfilled from the live rows, so registration
+    /// after data arrived (a late view sharing this atom) is sound.
     fn register(&mut self, cols: Vec<usize>) -> usize {
         match self.tries.iter().position(|t| t.cols == cols) {
             Some(i) => i,
             None => {
-                self.tries.push(AtomTrie::new(cols));
+                let mut trie = AtomTrie::new(cols);
+                for (codes, &id) in &self.ids {
+                    trie.insert(codes, id);
+                }
+                self.tries.push(trie);
                 self.tries.len() - 1
             }
         }
@@ -202,6 +229,308 @@ impl EngineAtom {
     }
 }
 
+/// Identity of a shareable atom state: the upstream node it reads plus
+/// the canonicalized local predicate set pushed onto it. Two atom
+/// positions with equal keys hold exactly the same rows at all times —
+/// the node's live rows passing the predicates — so they can share one
+/// [`TrieStore`] entry. Constants are interned [`Code`]s, so admission
+/// checks are integer compares.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AtomKey {
+    node: usize,
+    /// `attr = code` constraints, sorted and deduplicated.
+    consts: Box<[(usize, Code)]>,
+    /// `attr_a = attr_b` constraints, canonicalized (see
+    /// [`canonical_local_eqs`]).
+    eqs: Box<[(usize, usize)]>,
+}
+
+impl AtomKey {
+    /// Build the canonical key for an atom position over `node` with
+    /// the given pushed-down local predicates.
+    pub fn new(node: usize, consts: &[(usize, Code)], eqs: &[(usize, usize)]) -> AtomKey {
+        let mut cs = consts.to_vec();
+        cs.sort_unstable();
+        cs.dedup();
+        AtomKey {
+            node,
+            consts: cs.into(),
+            eqs: canonical_local_eqs(eqs).into(),
+        }
+    }
+
+    /// The upstream node (source relation or view slot) this state
+    /// reads.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Does a row of the node pass this key's local predicates?
+    /// Equivalent to the owning views' per-position local filter.
+    pub fn admits(&self, codes: &[Code]) -> bool {
+        self.consts.iter().all(|&(a, k)| codes[a] == k)
+            && self.eqs.iter().all(|&(a, b)| codes[a] == codes[b])
+    }
+}
+
+/// One refcounted shared atom state.
+#[derive(Clone, Debug)]
+struct StoreEntry {
+    key: AtomKey,
+    refs: usize,
+    atom: EngineAtom,
+}
+
+/// A refcounted store of atom states keyed by [`AtomKey`], shared
+/// across the engines of sibling views (see module docs). Owned by the
+/// catalog layer (`cfd-clean`'s `MultiStore`); engines reference
+/// entries by id and resolve them on every access, so the store can be
+/// mutated between drives without invalidating engines.
+///
+/// Lifecycle: view registration [`TrieStore::acquire`]s one entry per
+/// shareable atom position (seeding it if freshly created) and
+/// [`TrieStore::register_trie`]s the column orders its plans need; view
+/// drop/replace [`TrieStore::release`]s, and the last release frees the
+/// entry. Delta application ([`TrieStore::apply_node_delta`]) updates
+/// each distinct entry once per commit, however many views reference
+/// it.
+#[derive(Clone, Debug, Default)]
+pub struct TrieStore {
+    /// Slab of entries; `None` slots are on the free list.
+    entries: Vec<Option<StoreEntry>>,
+    index: FxHashMap<AtomKey, usize>,
+    free: Vec<usize>,
+    /// Delta-routing index, per node (see [`NodeRoutes`]).
+    routes: FxHashMap<usize, NodeRoutes>,
+}
+
+/// How [`TrieStore::apply_node_delta`] finds the entries reading one
+/// node without scanning the whole store: entries carrying at least one
+/// pushed-down constant are bucketed under their first `attr = code`
+/// constraint, so a delta row probes each routing attribute once with
+/// its *own* code and never visits an entry whose constant rejects it —
+/// a catalog of N sibling selection views costs a commit O(|Δ|) trie
+/// upkeep, not O(|Δ|·N). Constant-free entries stay on the scan list
+/// and are checked per row.
+#[derive(Clone, Debug, Default)]
+struct NodeRoutes {
+    /// Entries with no pushed-down constant.
+    scan: Vec<usize>,
+    /// attr → code → entries whose first constant is `attr = code`.
+    by_attr: FxHashMap<usize, FxHashMap<Code, Vec<usize>>>,
+}
+
+impl TrieStore {
+    /// An empty store.
+    pub fn new() -> TrieStore {
+        TrieStore::default()
+    }
+
+    /// Take a reference on the entry for `key`, creating it if absent.
+    /// Returns `(entry id, created)`; a created entry is empty — the
+    /// caller seeds it with the node's admitted live rows.
+    pub fn acquire(&mut self, key: AtomKey) -> (usize, bool) {
+        if let Some(&id) = self.index.get(&key) {
+            self.entries[id]
+                .as_mut()
+                .expect("indexed entry is live")
+                .refs += 1;
+            return (id, false);
+        }
+        let id = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.entries.push(None);
+                self.entries.len() - 1
+            }
+        };
+        self.index.insert(key.clone(), id);
+        let nr = self.routes.entry(key.node).or_default();
+        match key.consts.first() {
+            Some(&(attr, code)) => nr
+                .by_attr
+                .entry(attr)
+                .or_default()
+                .entry(code)
+                .or_default()
+                .push(id),
+            None => nr.scan.push(id),
+        }
+        self.entries[id] = Some(StoreEntry {
+            key,
+            refs: 1,
+            atom: EngineAtom::default(),
+        });
+        (id, true)
+    }
+
+    /// Drop one reference; the last reference frees the entry and all
+    /// its tries.
+    pub fn release(&mut self, id: usize) {
+        let e = self.entries[id].as_mut().expect("released entry is live");
+        e.refs -= 1;
+        if e.refs == 0 {
+            let e = self.entries[id].take().expect("entry present");
+            self.index.remove(&e.key);
+            let nr = self.routes.get_mut(&e.key.node).expect("routed node");
+            match e.key.consts.first() {
+                Some(&(attr, code)) => {
+                    let buckets = nr.by_attr.get_mut(&attr).expect("routed attr");
+                    let ids = buckets.get_mut(&code).expect("routed bucket");
+                    ids.retain(|&i| i != id);
+                    if ids.is_empty() {
+                        buckets.remove(&code);
+                    }
+                    if nr.by_attr[&attr].is_empty() {
+                        nr.by_attr.remove(&attr);
+                    }
+                }
+                None => nr.scan.retain(|&i| i != id),
+            }
+            if nr.scan.is_empty() && nr.by_attr.is_empty() {
+                self.routes.remove(&e.key.node);
+            }
+            self.free.push(id);
+        }
+    }
+
+    /// Register a trie over `cols` on entry `id` (deduplicated by
+    /// column order, backfilled from live rows), returning its index.
+    pub fn register_trie(&mut self, id: usize, cols: Vec<usize>) -> usize {
+        self.entry_mut(id).atom.register(cols)
+    }
+
+    /// Insert an admitted row into entry `id`. Returns `false` if it
+    /// was already present.
+    pub fn insert(&mut self, id: usize, codes: &[Code]) -> bool {
+        self.entry_mut(id).atom.insert(codes)
+    }
+
+    /// Remove a row from entry `id`. Returns `false` if absent.
+    pub fn remove(&mut self, id: usize, codes: &[Code]) -> bool {
+        self.entry_mut(id).atom.remove(codes)
+    }
+
+    /// Live row count of entry `id`.
+    pub fn live(&self, id: usize) -> usize {
+        self.entry(id).ids.len()
+    }
+
+    /// The live rows of entry `id` (arbitrary order).
+    pub fn rows_of(&self, id: usize) -> Vec<Box<[Code]>> {
+        self.entry(id).ids.keys().cloned().collect()
+    }
+
+    /// Apply one node's committed delta to every entry reading it —
+    /// once per entry, however many engines share it, and only to the
+    /// entries each row can enter (the [`NodeRoutes`] index). Deletes
+    /// must be previously-live node rows and inserts new ones (set
+    /// semantics upstream), so admitted deletes are resident and
+    /// admitted inserts fresh.
+    pub fn apply_node_delta(&mut self, node: usize, dels: &[Box<[Code]>], ins: &[Box<[Code]>]) {
+        let Some(nr) = self.routes.get(&node) else {
+            return;
+        };
+        let entries = &mut self.entries;
+        let mut hit = |id: usize, codes: &[Code], insert: bool| {
+            let e = entries[id].as_mut().expect("routed entry is live");
+            if !e.key.admits(codes) {
+                return;
+            }
+            if insert {
+                assert!(e.atom.insert(codes), "shared-trie insert was new");
+            } else {
+                assert!(e.atom.remove(codes), "shared-trie delete was resident");
+            }
+        };
+        for (rows, insert) in [(dels, false), (ins, true)] {
+            for codes in rows.iter() {
+                for &id in &nr.scan {
+                    hit(id, codes, insert);
+                }
+                for (&attr, buckets) in &nr.by_attr {
+                    if let Some(ids) = buckets.get(&codes[attr]) {
+                        for &id in ids {
+                            hit(id, codes, insert);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of live entries (distinct maintained states).
+    pub fn entry_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Total references across entries: what N private engines would
+    /// maintain. `ref_count() - entry_count()` is the sharing win.
+    pub fn ref_count(&self) -> usize {
+        self.entries.iter().flatten().map(|e| e.refs).sum()
+    }
+
+    /// Rows resident across all entries.
+    pub fn row_count(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .map(|e| e.atom.ids.len())
+            .sum()
+    }
+
+    /// Tries maintained across all entries.
+    pub fn trie_count(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .map(|e| e.atom.tries.len())
+            .sum()
+    }
+
+    fn entry(&self, id: usize) -> &EngineAtom {
+        &self.entries[id]
+            .as_ref()
+            .expect("live trie-store entry")
+            .atom
+    }
+
+    fn entry_mut(&mut self, id: usize) -> &mut StoreEntry {
+        self.entries[id].as_mut().expect("live trie-store entry")
+    }
+}
+
+/// Where one atom position's state lives: owned by the engine, or an
+/// entry of a shared [`TrieStore`].
+#[derive(Clone, Debug)]
+enum AtomSlot {
+    Owned(EngineAtom),
+    Shared(usize),
+}
+
+impl AtomSlot {
+    fn owned(&self) -> &EngineAtom {
+        match self {
+            AtomSlot::Owned(a) => a,
+            AtomSlot::Shared(_) => panic!("atom is store-backed; use the *_in accessors"),
+        }
+    }
+
+    fn owned_mut(&mut self) -> &mut EngineAtom {
+        match self {
+            AtomSlot::Owned(a) => a,
+            AtomSlot::Shared(_) => panic!("atom is store-backed; use the *_in accessors"),
+        }
+    }
+
+    fn resolve<'s>(&'s self, store: &'s TrieStore) -> &'s EngineAtom {
+        match self {
+            AtomSlot::Owned(a) => a,
+            AtomSlot::Shared(id) => store.entry(*id),
+        }
+    }
+}
+
 /// One atom probe of a [`FactorizedPlan`]: which trie to use and which
 /// plan variables its columns carry, in trie column order.
 #[derive(Clone, Debug)]
@@ -241,16 +570,21 @@ pub struct FactorizedPlan {
 }
 
 /// Incrementally maintained factorized join state for one `SpcQuery`:
-/// one [`EngineAtom`] per atom position, one [`FactorizedPlan`] per
-/// driver. Rows must already pass the query's local predicates
-/// (including the closure-derived ones) *before* insertion — the engine
-/// only handles the join variables.
+/// one atom state per position (owned, or shared through a
+/// [`TrieStore`]), one [`FactorizedPlan`] per driver. Rows must
+/// already pass the query's local predicates (including the
+/// closure-derived ones) *before* insertion — the engine only handles
+/// the join variables.
+///
+/// Cloning is only meaningful for all-owned engines: a clone of a
+/// store-backed engine aliases the same entries without taking
+/// references on them.
 #[derive(Clone, Debug)]
 pub struct FactorizedEngine {
     n_atoms: usize,
     n_vars: usize,
     plans: Vec<FactorizedPlan>,
-    atoms: Vec<EngineAtom>,
+    atoms: Vec<AtomSlot>,
     work: Cell<u64>,
 }
 
@@ -288,8 +622,23 @@ fn order_vars(
 
 impl FactorizedEngine {
     /// Build the engine for `n_atoms` atoms joined by `join_vars`
-    /// (from [`super::CompiledSelection::join_vars`]).
+    /// (from [`super::CompiledSelection::join_vars`]), with every atom
+    /// state owned by the engine.
     pub fn new(n_atoms: usize, join_vars: &[Vec<ProdCol>]) -> FactorizedEngine {
+        FactorizedEngine::new_shared(n_atoms, join_vars, &[], &mut TrieStore::default())
+    }
+
+    /// Build an engine whose atom `a` is backed by shared store entry
+    /// `shared[a]` when `Some` (a reference already acquired by the
+    /// caller), and engine-owned otherwise. The column orders the plans
+    /// need are registered on the shared entries, backfilled from any
+    /// rows already live there.
+    pub fn new_shared(
+        n_atoms: usize,
+        join_vars: &[Vec<ProdCol>],
+        shared: &[Option<usize>],
+        store: &mut TrieStore,
+    ) -> FactorizedEngine {
         let n_vars = join_vars.len();
         // Per variable: (atom, representative attr) occurrences, the
         // representative being the smallest attr of the class on that
@@ -349,7 +698,12 @@ impl FactorizedEngine {
             })
             .collect();
 
-        let mut atoms: Vec<EngineAtom> = (0..n_atoms).map(|_| EngineAtom::default()).collect();
+        let mut atoms: Vec<AtomSlot> = (0..n_atoms)
+            .map(|a| match shared.get(a).copied().flatten() {
+                Some(id) => AtomSlot::Shared(id),
+                None => AtomSlot::Owned(EngineAtom::default()),
+            })
+            .collect();
         let mut plans = Vec::with_capacity(n_atoms);
         for d in 0..n_atoms {
             let bound: Vec<(usize, usize)> = atom_vars[d]
@@ -413,9 +767,13 @@ impl FactorizedEngine {
                     .iter()
                     .map(|&v| var_occ[v].iter().find(|&&(x, _)| x == a).unwrap().1)
                     .collect();
+                let trie = match &mut atoms[a] {
+                    AtomSlot::Owned(at) => at.register(cols),
+                    AtomSlot::Shared(id) => store.register_trie(*id, cols),
+                };
                 let probe = AtomProbe {
                     atom: a,
-                    trie: atoms[a].register(cols),
+                    trie,
                     col_vars: vs,
                 };
                 if Some(find(&mut comp, a)) == conn_root {
@@ -481,24 +839,66 @@ impl FactorizedEngine {
 
     /// Insert a row (already local-predicate-filtered) into atom
     /// `atom`'s state. Returns `false` if it was already present.
+    /// Panics on a store-backed atom — use [`Self::insert_in`].
     pub fn insert(&mut self, atom: usize, codes: &[Code]) -> bool {
-        self.atoms[atom].insert(codes)
+        self.atoms[atom].owned_mut().insert(codes)
     }
 
     /// Remove a row from atom `atom`'s state. Returns `false` if it was
-    /// not present.
+    /// not present. Panics on a store-backed atom — use
+    /// [`Self::remove_in`].
     pub fn remove(&mut self, atom: usize, codes: &[Code]) -> bool {
-        self.atoms[atom].remove(codes)
+        self.atoms[atom].owned_mut().remove(codes)
     }
 
-    /// Live row count of atom `atom`.
+    /// [`Self::insert`] resolving store-backed atoms through `store`.
+    pub fn insert_in(&mut self, store: &mut TrieStore, atom: usize, codes: &[Code]) -> bool {
+        match &mut self.atoms[atom] {
+            AtomSlot::Owned(a) => a.insert(codes),
+            AtomSlot::Shared(id) => store.insert(*id, codes),
+        }
+    }
+
+    /// [`Self::remove`] resolving store-backed atoms through `store`.
+    pub fn remove_in(&mut self, store: &mut TrieStore, atom: usize, codes: &[Code]) -> bool {
+        match &mut self.atoms[atom] {
+            AtomSlot::Owned(a) => a.remove(codes),
+            AtomSlot::Shared(id) => store.remove(*id, codes),
+        }
+    }
+
+    /// Is atom `atom` backed by shared store entry — and which?
+    pub fn shared_entry(&self, atom: usize) -> Option<usize> {
+        match self.atoms[atom] {
+            AtomSlot::Owned(_) => None,
+            AtomSlot::Shared(id) => Some(id),
+        }
+    }
+
+    /// Live row count of atom `atom` (owned atoms only).
     pub fn live(&self, atom: usize) -> usize {
-        self.atoms[atom].ids.len()
+        self.atoms[atom].owned().ids.len()
     }
 
-    /// The live rows of atom `atom` (arbitrary order).
+    /// The live rows of atom `atom`, arbitrary order (owned atoms
+    /// only).
     pub fn rows_of(&self, atom: usize) -> Vec<Box<[Code]>> {
-        self.atoms[atom].ids.keys().cloned().collect()
+        self.atoms[atom].owned().ids.keys().cloned().collect()
+    }
+
+    /// [`Self::live`] resolving store-backed atoms through `store`.
+    pub fn live_in(&self, store: &TrieStore, atom: usize) -> usize {
+        self.atoms[atom].resolve(store).ids.len()
+    }
+
+    /// [`Self::rows_of`] resolving store-backed atoms through `store`.
+    pub fn rows_of_in(&self, store: &TrieStore, atom: usize) -> Vec<Box<[Code]>> {
+        self.atoms[atom]
+            .resolve(store)
+            .ids
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Cumulative enumeration work: candidate values tried, semijoin
@@ -517,9 +917,37 @@ impl FactorizedEngine {
     /// the *current* state of every other atom, accumulating `sign` per
     /// derivation into `delta` keyed by the projected output codes.
     /// Driver rows must already pass the local predicates; the driver
-    /// atom's own stored state is not consulted.
+    /// atom's own stored state is not consulted. Panics if any atom is
+    /// store-backed — use [`Self::drive_in`].
     pub fn drive(
         &self,
+        driver: usize,
+        rows: &[Box<[Code]>],
+        sign: i64,
+        out: &[OutCode],
+        delta: &mut FxHashMap<Box<[Code]>, i64>,
+    ) {
+        let atoms: Vec<&EngineAtom> = self.atoms.iter().map(|s| s.owned()).collect();
+        self.drive_with(&atoms, driver, rows, sign, out, delta);
+    }
+
+    /// [`Self::drive`] resolving store-backed atoms through `store`.
+    pub fn drive_in(
+        &self,
+        store: &TrieStore,
+        driver: usize,
+        rows: &[Box<[Code]>],
+        sign: i64,
+        out: &[OutCode],
+        delta: &mut FxHashMap<Box<[Code]>, i64>,
+    ) {
+        let atoms: Vec<&EngineAtom> = self.atoms.iter().map(|s| s.resolve(store)).collect();
+        self.drive_with(&atoms, driver, rows, sign, out, delta);
+    }
+
+    fn drive_with(
+        &self,
+        atoms: &[&EngineAtom],
         driver: usize,
         rows: &[Box<[Code]>],
         sign: i64,
@@ -529,8 +957,8 @@ impl FactorizedEngine {
         if rows.is_empty() {
             return;
         }
-        for a in 0..self.n_atoms {
-            if a != driver && self.atoms[a].ids.is_empty() {
+        for (a, atom) in atoms.iter().enumerate() {
+            if a != driver && atom.ids.is_empty() {
                 return;
             }
         }
@@ -538,14 +966,14 @@ impl FactorizedEngine {
         let mut var_values = vec![0 as Code; self.n_vars];
         // Driver-free components and variable-free atoms: enumerated
         // once per drive call, not once per driver row.
-        let rest: Vec<Vec<u32>> = self.enum_rest(plan, &mut var_values);
+        let rest: Vec<Vec<u32>> = self.enum_rest(atoms, plan, &mut var_values);
         if !plan.rest_probes.is_empty() && rest.is_empty() {
             return;
         }
         let free_rows: Vec<Vec<u32>> = plan
             .free_atoms
             .iter()
-            .map(|&a| self.atoms[a].ids.values().copied().collect())
+            .map(|&a| atoms[a].ids.values().copied().collect())
             .collect();
         let empty: &[Code] = &[];
         let mut binding: Vec<&[Code]> = vec![empty; self.n_atoms];
@@ -558,13 +986,14 @@ impl FactorizedEngine {
             let mut semi_buckets: Vec<&Vec<u32>> = Vec::with_capacity(plan.semi.len());
             for p in &plan.semi {
                 let key: Box<[Code]> = p.col_vars.iter().map(|&v| var_values[v]).collect();
-                match self.atoms[p.atom].tries[p.trie].buckets.get(&key) {
+                match atoms[p.atom].tries[p.trie].buckets.get(&key) {
                     Some(b) => semi_buckets.push(b),
                     None => continue 'rows,
                 }
             }
             binding[driver] = row.as_ref();
             self.elim(
+                atoms,
                 plan,
                 0,
                 &mut var_values,
@@ -582,7 +1011,8 @@ impl FactorizedEngine {
     /// Eliminate `plan.conn_elim[depth..]`, then emit.
     #[allow(clippy::too_many_arguments)]
     fn elim<'s>(
-        &'s self,
+        &self,
+        atoms: &[&'s EngineAtom],
         plan: &FactorizedPlan,
         depth: usize,
         var_values: &mut [Code],
@@ -602,7 +1032,7 @@ impl FactorizedEngine {
                 Vec::with_capacity(plan.probed.len() + plan.semi.len());
             for p in &plan.probed {
                 let key: Box<[Code]> = p.col_vars.iter().map(|&v| var_values[v]).collect();
-                let Some(b) = self.atoms[p.atom].tries[p.trie].buckets.get(&key) else {
+                let Some(b) = atoms[p.atom].tries[p.trie].buckets.get(&key) else {
                     return;
                 };
                 factors.push((p.atom, b));
@@ -613,11 +1043,11 @@ impl FactorizedEngine {
             for (i, &a) in plan.free_atoms.iter().enumerate() {
                 factors.push((a, &free_rows[i]));
             }
-            self.emit(plan, &factors, 0, rest, binding, sign, out, delta);
+            self.emit(atoms, plan, &factors, 0, rest, binding, sign, out, delta);
             return;
         }
         let step = &plan.conn_elim[depth];
-        let Some(maps) = self.candidate_maps(&step.occ, &plan.probed, var_values) else {
+        let Some(maps) = Self::candidate_maps(atoms, &step.occ, &plan.probed, var_values) else {
             return;
         };
         let smallest = (0..maps.len()).min_by_key(|&i| maps[i].len()).unwrap();
@@ -632,6 +1062,7 @@ impl FactorizedEngine {
             {
                 var_values[step.var] = val;
                 self.elim(
+                    atoms,
                     plan,
                     depth + 1,
                     var_values,
@@ -649,18 +1080,18 @@ impl FactorizedEngine {
 
     /// The per-occurrence candidate maps for one elimination step, or
     /// `None` if any occurrence has no rows under the current prefix.
-    fn candidate_maps<'a>(
-        &'a self,
+    fn candidate_maps<'s>(
+        atoms: &[&'s EngineAtom],
         occ: &[(usize, usize)],
         probes: &[AtomProbe],
         var_values: &[Code],
-    ) -> Option<Vec<&'a FxHashMap<Code, u32>>> {
+    ) -> Option<Vec<&'s FxHashMap<Code, u32>>> {
         occ.iter()
             .map(|&(slot, level)| {
                 let p = &probes[slot];
                 let prefix: Box<[Code]> =
                     p.col_vars[..level].iter().map(|&v| var_values[v]).collect();
-                self.atoms[p.atom].tries[p.trie].levels[level].get(&prefix)
+                atoms[p.atom].tries[p.trie].levels[level].get(&prefix)
             })
             .collect()
     }
@@ -668,17 +1099,23 @@ impl FactorizedEngine {
     /// Enumerate the driver-free components once: every combination of
     /// one row id per `rest_probes` slot consistent with the rest
     /// variables.
-    fn enum_rest(&self, plan: &FactorizedPlan, var_values: &mut [Code]) -> Vec<Vec<u32>> {
+    fn enum_rest(
+        &self,
+        atoms: &[&EngineAtom],
+        plan: &FactorizedPlan,
+        var_values: &mut [Code],
+    ) -> Vec<Vec<u32>> {
         let mut combos = Vec::new();
         if plan.rest_probes.is_empty() {
             return combos;
         }
-        self.rest_rec(plan, 0, var_values, &mut Vec::new(), &mut combos);
+        self.rest_rec(atoms, plan, 0, var_values, &mut Vec::new(), &mut combos);
         combos
     }
 
     fn rest_rec(
         &self,
+        atoms: &[&EngineAtom],
         plan: &FactorizedPlan,
         depth: usize,
         var_values: &mut [Code],
@@ -690,7 +1127,7 @@ impl FactorizedEngine {
             let mut buckets: Vec<&Vec<u32>> = Vec::with_capacity(plan.rest_probes.len());
             for p in &plan.rest_probes {
                 let key: Box<[Code]> = p.col_vars.iter().map(|&v| var_values[v]).collect();
-                let Some(b) = self.atoms[p.atom].tries[p.trie].buckets.get(&key) else {
+                let Some(b) = atoms[p.atom].tries[p.trie].buckets.get(&key) else {
                     return;
                 };
                 buckets.push(b);
@@ -701,7 +1138,8 @@ impl FactorizedEngine {
             return;
         }
         let step = &plan.rest_elim[depth];
-        let Some(maps) = self.candidate_maps(&step.occ, &plan.rest_probes, var_values) else {
+        let Some(maps) = Self::candidate_maps(atoms, &step.occ, &plan.rest_probes, var_values)
+        else {
             return;
         };
         let smallest = (0..maps.len()).min_by_key(|&i| maps[i].len()).unwrap();
@@ -713,7 +1151,7 @@ impl FactorizedEngine {
                 .all(|(j, m)| j == smallest || m.contains_key(&val))
             {
                 var_values[step.var] = val;
-                self.rest_rec(plan, depth + 1, var_values, picked, combos);
+                self.rest_rec(atoms, plan, depth + 1, var_values, picked, combos);
             }
         }
     }
@@ -740,7 +1178,8 @@ impl FactorizedEngine {
     /// combos, projecting each full binding through `out`.
     #[allow(clippy::too_many_arguments)]
     fn emit<'s>(
-        &'s self,
+        &self,
+        atoms: &[&'s EngineAtom],
         plan: &FactorizedPlan,
         factors: &[(usize, &Vec<u32>)],
         i: usize,
@@ -753,8 +1192,8 @@ impl FactorizedEngine {
         if i < factors.len() {
             let (atom, bucket) = factors[i];
             for &id in bucket.iter() {
-                binding[atom] = self.atoms[atom].row(id);
-                self.emit(plan, factors, i + 1, rest, binding, sign, out, delta);
+                binding[atom] = atoms[atom].row(id);
+                self.emit(atoms, plan, factors, i + 1, rest, binding, sign, out, delta);
             }
             return;
         }
@@ -775,7 +1214,7 @@ impl FactorizedEngine {
         }
         for combo in rest {
             for (p, &id) in plan.rest_probes.iter().zip(combo.iter()) {
-                binding[p.atom] = self.atoms[p.atom].row(id);
+                binding[p.atom] = atoms[p.atom].row(id);
             }
             project(binding, delta);
         }
@@ -919,6 +1358,72 @@ mod tests {
         let out = [OutCode::Col(0, 0), OutCode::Col(1, 0)];
         let delta = drive_once(&eng, 0, &[&[1]], 1, &out);
         assert_eq!(delta.len(), 2);
+    }
+
+    #[test]
+    fn trie_store_refcounts_and_frees_entries() {
+        let mut store = TrieStore::new();
+        let key = AtomKey::new(3, &[(0, 7)], &[(2, 1), (1, 2)]);
+        let (id, created) = store.acquire(key.clone());
+        assert!(created);
+        // Same predicates in any written order → same entry.
+        let (id2, created2) = store.acquire(AtomKey::new(3, &[(0, 7)], &[(1, 2)]));
+        assert_eq!((id, false), (id2, created2));
+        assert_eq!((store.entry_count(), store.ref_count()), (1, 2));
+        // Different node or predicates → distinct entry.
+        let (other, _) = store.acquire(AtomKey::new(4, &[], &[]));
+        assert_ne!(id, other);
+        store.release(id);
+        assert_eq!((store.entry_count(), store.ref_count()), (2, 2));
+        store.release(id);
+        assert_eq!((store.entry_count(), store.ref_count()), (1, 1));
+        // The freed slot is recycled and the key maps to a fresh entry.
+        let (id3, created3) = store.acquire(key);
+        assert!(created3);
+        assert_eq!(id3, id);
+    }
+
+    #[test]
+    fn trie_store_delta_respects_entry_predicates() {
+        let mut store = TrieStore::new();
+        let (hot, _) = store.acquire(AtomKey::new(0, &[(1, 7)], &[]));
+        let (all, _) = store.acquire(AtomKey::new(0, &[], &[]));
+        let rows: Vec<Box<[Code]>> =
+            vec![Box::from([1, 7].as_slice()), Box::from([2, 8].as_slice())];
+        store.apply_node_delta(0, &[], &rows);
+        assert_eq!((store.live(hot), store.live(all)), (1, 2));
+        store.apply_node_delta(0, &rows[..1], &[]);
+        assert_eq!((store.live(hot), store.live(all)), (0, 1));
+    }
+
+    #[test]
+    fn sibling_engines_share_entries_and_backfill_late_tries() {
+        // Two engines over the same 2-atom join share atom 1's state;
+        // the second registers after rows arrived, exercising backfill.
+        let vars = vec![vec![pc(0, 1), pc(1, 0)]];
+        let mut store = TrieStore::new();
+        let (e1, c1) = store.acquire(AtomKey::new(1, &[], &[]));
+        assert!(c1);
+        let mut a = FactorizedEngine::new_shared(2, &vars, &[None, Some(e1)], &mut store);
+        assert!(a.insert_in(&mut store, 1, &[7, 40]));
+        let (e2, c2) = store.acquire(AtomKey::new(1, &[], &[]));
+        assert!(!c2);
+        let b = FactorizedEngine::new_shared(2, &vars, &[None, Some(e2)], &mut store);
+        assert_eq!(b.shared_entry(1), Some(e1));
+        assert_eq!(b.live_in(&store, 1), 1);
+        let out = [OutCode::Col(0, 0), OutCode::Col(1, 1)];
+        let row: Vec<Box<[Code]>> = vec![Box::from([1, 7].as_slice())];
+        for eng in [&a, &b] {
+            let mut delta = FxHashMap::default();
+            eng.drive_in(&store, 0, &row, 1, &out, &mut delta);
+            assert_eq!(delta.get([1 as Code, 40].as_slice()).copied(), Some(1));
+        }
+        // One shared state: a removal through either engine is seen by
+        // both.
+        assert!(a.remove_in(&mut store, 1, &[7, 40]));
+        let mut delta = FxHashMap::default();
+        b.drive_in(&store, 0, &row, 1, &out, &mut delta);
+        assert!(delta.is_empty());
     }
 
     #[test]

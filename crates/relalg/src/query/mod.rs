@@ -17,8 +17,8 @@ pub mod factorized;
 mod fragment;
 
 pub use builder::{RaCond, RaExpr};
-pub use compiled::{CompiledSelection, JoinPlan, JoinStep};
-pub use factorized::{FactorizedEngine, FactorizedPlan, OutCode};
+pub use compiled::{canonical_local_eqs, CompiledSelection, JoinPlan, JoinStep};
+pub use factorized::{AtomKey, FactorizedEngine, FactorizedPlan, OutCode, TrieStore};
 pub use fragment::Fragment;
 
 use crate::domain::DomainKind;
